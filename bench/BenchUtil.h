@@ -1,0 +1,45 @@
+//===- BenchUtil.h - Shared helpers for the benchmark harness ----*- C++ -*-===//
+///
+/// \file
+/// Compiles a workload, profiles its loop coverage, and provides table
+/// printing for the experiment reproductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_BENCH_BENCHUTIL_H
+#define PSPDG_BENCH_BENCHUTIL_H
+
+#include "emulator/Coverage.h"
+#include "frontend/Frontend.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace psc::bench {
+
+/// A compiled + profiled workload.
+struct PreparedWorkload {
+  const Workload *W = nullptr;
+  std::unique_ptr<Module> M;
+  CoverageMap Coverage;
+  uint64_t DynamicInstructions = 0;
+};
+
+inline PreparedWorkload prepare(const Workload &W) {
+  PreparedWorkload P;
+  P.W = &W;
+  P.M = compileOrDie(W.Source, W.Name);
+  ModuleAnalyses MA(*P.M);
+  CoverageProfiler Cov(MA);
+  Interpreter I(*P.M);
+  I.addObserver(&Cov);
+  RunResult R = I.run();
+  P.Coverage = Cov.coverage();
+  P.DynamicInstructions = R.InstructionsExecuted;
+  return P;
+}
+
+} // namespace psc::bench
+
+#endif // PSPDG_BENCH_BENCHUTIL_H

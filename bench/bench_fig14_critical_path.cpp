@@ -1,0 +1,43 @@
+//===- bench_fig14_critical_path.cpp - Paper Fig. 14 reproduction -*- C++ -*-===//
+///
+/// \file
+/// Regenerates Fig. 14: "Critical path reduction from abstraction-enabled
+/// parallelism" — the critical path of each benchmark on an ideal machine
+/// (unlimited cores, zero-cost communication) under each abstraction's
+/// plan, reported as the reduction over the programmer's OpenMP plan
+/// (values < 1 mean the abstraction cannot even recover the programmer's
+/// parallelism — the PDG column, the paper's motivating observation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "emulator/CriticalPath.h"
+
+#include <cstdio>
+
+using namespace psc;
+using namespace psc::bench;
+
+int main() {
+  std::printf(
+      "=== Fig. 14: Critical path reduction over the OpenMP plan ===\n");
+  std::printf("(ideal machine; critical path in dynamic IR instructions)\n\n");
+  std::printf("%-6s %12s %12s | %9s %9s %9s\n", "Bench", "seq-instrs",
+              "CP(OpenMP)", "PDG", "J&K", "PS-PDG");
+
+  for (const Workload &W : nasWorkloads()) {
+    PreparedWorkload P = prepare(W);
+    CriticalPathReport R = evaluateCriticalPaths(*P.M);
+    std::printf("%-6s %12llu %12.0f | %8.2fx %8.2fx %8.2fx\n", W.Name.c_str(),
+                (unsigned long long)R.TotalDynamicInstructions, R.OpenMP,
+                R.OpenMP / R.PDG, R.OpenMP / R.JK, R.OpenMP / R.PSPDG);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 14): PDG < 1x everywhere (a sequential\n"
+      "IR's PDG cannot recover the programmer's plan); J&K recovers the\n"
+      "annotated loops; the PS-PDG matches or beats every other plan\n"
+      "(>= 1x always, with large wins where data properties, orderless\n"
+      "sections, and contexts unlock extra parallelism).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===- bench_micro.cpp - Component micro-benchmarks ----------------*- C++ -*-===//
+///
+/// \file
+/// google-benchmark timings of the compiler stack's components on the IS
+/// kernel (the paper's Fig. 3 program) and on synthetic inputs: frontend,
+/// dependence analysis, PDG and PS-PDG construction, SCC decomposition,
+/// option enumeration, fingerprinting, and the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceAnalysis.h"
+#include "emulator/Interpreter.h"
+#include "frontend/Frontend.h"
+#include "parallel/PlanEnumerator.h"
+#include "pdg/PDG.h"
+#include "pspdg/Fingerprint.h"
+#include "pspdg/PSPDGBuilder.h"
+#include "support/SCCIterator.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace psc;
+
+namespace {
+
+const std::string &isSource() { return findWorkload("IS")->Source; }
+
+void BM_FrontendCompile(benchmark::State &State) {
+  for (auto _ : State) {
+    auto M = compileOrDie(isSource(), "IS");
+    benchmark::DoNotOptimize(M.get());
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+void BM_DependenceAnalysis(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  const Function *F = M->getFunction("main");
+  for (auto _ : State) {
+    FunctionAnalysis FA(*F);
+    DependenceInfo DI(FA);
+    benchmark::DoNotOptimize(DI.edges().size());
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+void BM_PDGBuild(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  FunctionAnalysis FA(*M->getFunction("main"));
+  DependenceInfo DI(FA);
+  for (auto _ : State) {
+    PDG G(FA, DI);
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+}
+BENCHMARK(BM_PDGBuild);
+
+void BM_PSPDGBuild(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  FunctionAnalysis FA(*M->getFunction("main"));
+  DependenceInfo DI(FA);
+  for (auto _ : State) {
+    auto G = buildPSPDG(FA, DI);
+    benchmark::DoNotOptimize(G->numNodes());
+  }
+}
+BENCHMARK(BM_PSPDGBuild);
+
+void BM_Fingerprint(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  FunctionAnalysis FA(*M->getFunction("main"));
+  DependenceInfo DI(FA);
+  auto G = buildPSPDG(FA, DI);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fingerprintHash(*G));
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_OptionEnumeration(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  for (auto _ : State) {
+    OptionCount R = enumerateOptions(*M, AbstractionKind::PSPDG);
+    benchmark::DoNotOptimize(R.Total);
+  }
+}
+BENCHMARK(BM_OptionEnumeration);
+
+void BM_InterpreterThroughput(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    Interpreter I(*M);
+    RunResult R = I.run();
+    Instrs += R.InstructionsExecuted;
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_TarjanSCC(benchmark::State &State) {
+  // Ring-of-rings synthetic graph.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Adj[I].push_back((I + 1) % N);
+    if (I % 10 == 0)
+      Adj[I].push_back((I + N / 2) % N);
+  }
+  for (auto _ : State) {
+    SCCResult R = computeSCCs(
+        N, [&Adj](unsigned Node) -> const std::vector<unsigned> & {
+          return Adj[Node];
+        });
+    benchmark::DoNotOptimize(R.numComponents());
+  }
+}
+BENCHMARK(BM_TarjanSCC)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_WorkloadCompile(benchmark::State &State) {
+  const Workload &W = nasWorkloads()[static_cast<size_t>(State.range(0))];
+  State.SetLabel(W.Name);
+  for (auto _ : State) {
+    auto M = compileOrDie(W.Source, W.Name);
+    benchmark::DoNotOptimize(M.get());
+  }
+}
+BENCHMARK(BM_WorkloadCompile)->DenseRange(0, 7);
+
+} // namespace
+
+BENCHMARK_MAIN();

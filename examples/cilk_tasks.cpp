@@ -1,0 +1,107 @@
+//===- cilk_tasks.cpp - Appendix A: Cilk tasks in the PS-PDG -------*- C++ -*-===//
+///
+/// \file
+/// Demonstrates the paper's Appendix A: Cilk's execution model (spawn /
+/// sync / hyperobjects) mapped onto the PS-PDG. A spawn-per-iteration loop
+/// (the cilk_for idiom) with a hyperobject accumulator is compiled, its
+/// PS-PDG inspected, and the planner verdicts compared with the PDG's.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emulator/CriticalPath.h"
+#include "frontend/Frontend.h"
+#include "parallel/AbstractionView.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <cstdio>
+
+using namespace psc;
+
+int main() {
+  const char *Source = R"PSC(
+// A Cilk-style program: per-row work is spawned as tasks; the row sums
+// accumulate into a hyperobject (reducible views) merged by merge_views.
+double grid[1024];
+double views[8];
+#pragma psc reducible(views : merge_views)
+
+void merge_views(double a[], double b[]) {
+  int k;
+  for (k = 0; k < 8; k++) { a[k] = a[k] + b[k]; }
+}
+
+void row_work(int r) {
+  int j;
+  double s;
+  s = 0.0;
+  for (j = 0; j < 32; j++) {
+    grid[r * 32 + j] = grid[r * 32 + j] * 0.5 + 1.0;
+    s = s + grid[r * 32 + j];
+  }
+  views[r % 8] = views[r % 8] + s;
+}
+
+int main() {
+  int r;
+  int total;
+  for (r = 0; r < 32; r++) {
+    spawn row_work(r);
+  }
+  sync;
+  total = views[0] + views[7];
+  print(total);
+  return 0;
+}
+)PSC";
+
+  std::printf("=== Cilk tasks in the PS-PDG (paper Appendix A) ===\n\n%s\n",
+              Source);
+
+  CompileResult R = compileSource(Source, "cilk");
+  if (!R.ok()) {
+    for (const std::string &D : R.Diagnostics)
+      std::fprintf(stderr, "error: %s\n", D.c_str());
+    return 1;
+  }
+
+  const Function &F = *R.M->getFunction("main");
+  FunctionAnalysis FA(F);
+  DependenceInfo DI(FA);
+  auto G = buildPSPDG(FA, DI);
+  std::printf("%s\n", G->summary().c_str());
+
+  unsigned Tasks = 0;
+  for (PSNodeId N = 0; N < G->numNodes(); ++N)
+    if (G->node(N).Region == PSRegionKind::TaskRegion)
+      ++Tasks;
+  std::printf("task (spawn) hierarchical nodes: %u\n", Tasks);
+  if (const PSVariable *V = G->variableFor(R.M->getGlobal("views")))
+    std::printf("hyperobject: '%s' reducible via @%s (%zu defs, %zu uses)\n",
+                V->Name.c_str(), V->CustomReducer->getName().c_str(),
+                V->DefNodes.size(), V->UseNodes.size());
+
+  AbstractionView PDGView(AbstractionKind::PDG, FA, DI);
+  AbstractionView PSView(AbstractionKind::PSPDG, FA, DI, G.get());
+  const Loop *L = FA.loopInfo().loops()[0];
+  LoopSCCDAG PDGDag(PDGView.viewFor(*L));
+  LoopPlanView PSPlan = PSView.viewFor(*L);
+  LoopSCCDAG PSDag(PSPlan);
+  std::printf("\nspawn loop under PDG   : %u/%u sequential SCCs -> %s\n",
+              PDGDag.numSequentialSCCs(), PDGDag.numSCCs(),
+              PDGDag.allParallel() ? "DOALL" : "not DOALL");
+  std::printf("spawn loop under PS-PDG: %u/%u sequential SCCs -> %s\n",
+              PSDag.numSequentialSCCs(), PSDag.numSCCs(),
+              PSDag.allParallel() && PSPlan.TripCountable ? "DOALL"
+                                                          : "not DOALL");
+
+  CriticalPathReport CP = evaluateCriticalPaths(*R.M);
+  std::printf("\ncritical paths: sequential=%llu PDG=%.0f PS-PDG=%.0f "
+              "(%.1fx better)\n",
+              (unsigned long long)CP.TotalDynamicInstructions, CP.PDG,
+              CP.PSPDG, CP.PDG / CP.PSPDG);
+
+  std::printf("\nThe spawned strands are opaque calls to the PDG; the\n"
+              "PS-PDG's SESE task nodes and the hyperobject's reducible\n"
+              "variable recover the concurrency the programmer expressed.\n");
+  return 0;
+}

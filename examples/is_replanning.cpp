@@ -1,0 +1,78 @@
+//===- is_replanning.cpp - The paper's Fig. 3 IS walk-through ------*- C++ -*-===//
+///
+/// \file
+/// Reproduces the paper's motivating example (§2, Fig. 3): the hottest
+/// kernel of NAS IS, as the programmer parallelized it, and what a
+/// PS-PDG-equipped compiler can do instead. For each of the kernel's four
+/// loops it shows how every abstraction classifies the loop and the
+/// resulting ideal-machine critical paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emulator/CriticalPath.h"
+#include "frontend/Frontend.h"
+#include "parallel/AbstractionView.h"
+#include "pspdg/PSPDGBuilder.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace psc;
+
+int main() {
+  const Workload *IS = findWorkload("IS");
+  std::printf("=== NAS IS re-planning (paper Fig. 3) ===\n\n");
+  std::printf("The kernel (PSC):\n%s\n", IS->Source.c_str());
+
+  auto M = compileOrDie(IS->Source, "IS");
+  const Function &F = *M->getFunction("main");
+  FunctionAnalysis FA(F);
+  DependenceInfo DI(FA);
+  auto G = buildPSPDG(FA, DI);
+  std::printf("%s\n\n", G->summary().c_str());
+
+  AbstractionView PDGView(AbstractionKind::PDG, FA, DI);
+  AbstractionView JKView(AbstractionKind::JK, FA, DI);
+  AbstractionView PSView(AbstractionKind::PSPDG, FA, DI, G.get());
+
+  std::printf("%-16s %-10s | %-12s %-12s %-12s\n", "loop (header)", "depth",
+              "PDG", "J&K", "PS-PDG");
+  for (const Loop *L : FA.loopInfo().loops()) {
+    std::printf("%-16s %-10u |",
+                F.getBlock(L->getHeader())->getName().c_str(),
+                L->getDepth());
+    for (const AbstractionView *V : {&PDGView, &JKView, &PSView}) {
+      LoopPlanView PV = V->viewFor(*L);
+      LoopSCCDAG DAG(PV);
+      char Buf[32];
+      if (DAG.allParallel() && PV.TripCountable)
+        std::snprintf(Buf, sizeof(Buf), "DOALL%s",
+                      PV.NumOrderlessConflicts ? "+lock" : "");
+      else
+        std::snprintf(Buf, sizeof(Buf), "%useq/%u", DAG.numSequentialSCCs(),
+                      DAG.numSCCs());
+      std::printf(" %-12s", Buf);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nIdeal-machine critical paths (dynamic IR instructions):\n");
+  CriticalPathReport R = evaluateCriticalPaths(*M);
+  std::printf("  sequential  : %llu\n",
+              (unsigned long long)R.TotalDynamicInstructions);
+  std::printf("  OpenMP plan : %.0f\n", R.OpenMP);
+  std::printf("  PDG plan    : %.0f  (%.2fx of OpenMP)\n", R.PDG,
+              R.OpenMP / R.PDG);
+  std::printf("  J&K plan    : %.0f  (%.2fx)\n", R.JK, R.OpenMP / R.JK);
+  std::printf("  PS-PDG plan : %.0f  (%.2fx)\n", R.PSPDG,
+              R.OpenMP / R.PSPDG);
+
+  std::printf(
+      "\nWhat happened (paper §2.2): the PS-PDG knows prv_buff1 is\n"
+      "thread-private (privatizable), that the critical merge is orderless,\n"
+      "and that the worksharing declaration holds in the context of loop 2.\n"
+      "It can therefore re-plan all four loops — including the ones the\n"
+      "programmer left sequential — while the PDG must keep every\n"
+      "conservative dependence, and J&K only refines the annotated loop.\n");
+  return 0;
+}

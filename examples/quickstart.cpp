@@ -1,0 +1,101 @@
+//===- quickstart.cpp - PS-PDG library quickstart ------------------*- C++ -*-===//
+///
+/// \file
+/// End-to-end tour of the public API in ~100 lines:
+///   1. compile a PSC program with OpenMP-style pragmas,
+///   2. run the dependence analysis,
+///   3. build the classic PDG and the PS-PDG,
+///   4. compare what each abstraction lets the parallelizer do,
+///   5. print the PS-PDG (summary + DOT).
+///
+//===----------------------------------------------------------------------===//
+
+#include "emulator/Interpreter.h"
+#include "frontend/Frontend.h"
+#include "parallel/AbstractionView.h"
+#include "pdg/PDG.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <cstdio>
+
+using namespace psc;
+
+int main() {
+  // A histogram loop: the indirect subscript defeats static dependence
+  // analysis, but the programmer declared the iterations independent and
+  // the buffer thread-private.
+  const char *Source = R"PSC(
+int hist[256];
+int keys[4096];
+#pragma psc threadprivate(hist)
+
+int main() {
+  int i;
+  int seed;
+  seed = 12345;
+  for (i = 0; i < 4096; i++) {
+    seed = lcg(seed);
+    keys[i] = seed % 256;
+  }
+  #pragma psc parallel for
+  for (i = 0; i < 4096; i++) {
+    hist[keys[i]] += 1;
+  }
+  print(hist[0] + hist[255]);
+  return 0;
+}
+)PSC";
+
+  // 1. Front-end: source -> verified IR with parallel annotations.
+  CompileResult R = compileSource(Source, "quickstart");
+  if (!R.ok()) {
+    for (const std::string &D : R.Diagnostics)
+      std::fprintf(stderr, "error: %s\n", D.c_str());
+    return 1;
+  }
+  Module &M = *R.M;
+  std::printf("--- IR (%zu directives recorded) ---\n%s\n",
+              M.getParallelInfo().directives().size(), M.str().c_str());
+
+  // 2. Analyses: CFG/dominators/loops + dependences.
+  const Function &F = *M.getFunction("main");
+  FunctionAnalysis FA(F);
+  DependenceInfo DI(FA);
+  std::printf("--- analysis: %zu instructions, %zu loops, %zu dependence "
+              "edges ---\n",
+              FA.instructions().size(), FA.loopInfo().loops().size(),
+              DI.edges().size());
+
+  // 3. Abstractions: the classic PDG and the PS-PDG.
+  PDG ClassicPDG(FA, DI);
+  std::unique_ptr<PSPDG> G = buildPSPDG(FA, DI);
+  std::printf("%s\n\n", G->summary().c_str());
+
+  // 4. What can the parallelizer do with each abstraction?
+  AbstractionView PDGView(AbstractionKind::PDG, FA, DI);
+  AbstractionView PSView(AbstractionKind::PSPDG, FA, DI, G.get());
+  for (const Loop *L : FA.loopInfo().loops()) {
+    const char *Header = F.getBlock(L->getHeader())->getName().c_str();
+    for (const AbstractionView *V : {&PDGView, &PSView}) {
+      LoopPlanView PV = V->viewFor(*L);
+      LoopSCCDAG DAG(PV);
+      std::printf("loop %-14s under %-6s: %2u SCCs, %u sequential -> %s\n",
+                  Header, abstractionName(V->kind()), DAG.numSCCs(),
+                  DAG.numSequentialSCCs(),
+                  DAG.allParallel() && PV.TripCountable ? "DOALL"
+                                                        : "not DOALL");
+    }
+  }
+
+  // 5. Execute the program on the emulator.
+  Interpreter I(M);
+  RunResult Run = I.run();
+  std::printf("\nprogram output: %s (%llu dynamic instructions)\n",
+              Run.Output.empty() ? "<none>" : Run.Output[0].c_str(),
+              (unsigned long long)Run.InstructionsExecuted);
+
+  std::printf("\nThe PDG must assume the histogram loop's iterations "
+              "conflict;\nthe PS-PDG knows they do not — that is the "
+              "paper's point.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+//===- AffineExpr.cpp -----------------------------------------*- C++ -*-===//
+
+#include "analysis/AffineExpr.h"
+
+#include "ir/Instructions.h"
+
+#include <sstream>
+
+using namespace psc;
+
+AffineExpr AffineExpr::operator+(const AffineExpr &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  AffineExpr R = *this;
+  R.Constant += O.Constant;
+  for (auto &[Sym, C] : O.Coeffs) {
+    long &Slot = R.Coeffs[Sym];
+    Slot += C;
+    if (Slot == 0)
+      R.Coeffs.erase(Sym);
+  }
+  return R;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  AffineExpr Neg;
+  Neg.Constant = -O.Constant;
+  for (auto &[Sym, C] : O.Coeffs)
+    Neg.Coeffs[Sym] = -C;
+  return *this + Neg;
+}
+
+AffineExpr AffineExpr::operator*(const AffineExpr &O) const {
+  if (!Valid || !O.Valid)
+    return invalid();
+  const AffineExpr *Const = nullptr, *Other = nullptr;
+  if (isConstant()) {
+    Const = this;
+    Other = &O;
+  } else if (O.isConstant()) {
+    Const = &O;
+    Other = this;
+  } else {
+    return invalid();
+  }
+  AffineExpr R;
+  long K = Const->Constant;
+  if (K == 0)
+    return constant(0);
+  R.Constant = Other->Constant * K;
+  for (auto &[Sym, C] : Other->Coeffs)
+    R.Coeffs[Sym] = C * K;
+  return R;
+}
+
+std::string AffineExpr::str() const {
+  if (!Valid)
+    return "<non-affine>";
+  std::ostringstream OS;
+  bool First = true;
+  for (auto &[Sym, C] : Coeffs) {
+    if (!First)
+      OS << " + ";
+    First = false;
+    OS << C << "*" << (Sym->getName().empty() ? "?" : Sym->getName());
+  }
+  if (Constant != 0 || First) {
+    if (!First)
+      OS << " + ";
+    OS << Constant;
+  }
+  return OS.str();
+}
+
+AffineExpr psc::buildAffineExpr(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return AffineExpr::constant(CI->getValue());
+
+  if (const auto *LI = dyn_cast<LoadInst>(V)) {
+    // A direct scalar load (not through a GEP) becomes a symbol for the
+    // loaded storage object.
+    const Value *Ptr = LI->getPointer();
+    if (isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr))
+      return AffineExpr::symbol(Ptr);
+    return AffineExpr::invalid();
+  }
+
+  if (const auto *BI = dyn_cast<BinaryInst>(V)) {
+    if (!BI->getType()->isInt())
+      return AffineExpr::invalid();
+    AffineExpr L = buildAffineExpr(BI->getLHS());
+    AffineExpr R = buildAffineExpr(BI->getRHS());
+    switch (BI->getBinOp()) {
+    case BinaryInst::BinOp::Add:
+      return L + R;
+    case BinaryInst::BinOp::Sub:
+      return L - R;
+    case BinaryInst::BinOp::Mul:
+      return L * R;
+    case BinaryInst::BinOp::Shl:
+      if (R.isConstant() && R.Constant >= 0 && R.Constant < 62)
+        return L * AffineExpr::constant(1L << R.Constant);
+      return AffineExpr::invalid();
+    default:
+      return AffineExpr::invalid();
+    }
+  }
+
+  if (const auto *UI = dyn_cast<UnaryInst>(V)) {
+    if (UI->getUnOp() == UnaryInst::UnOp::Neg)
+      return AffineExpr::constant(0) - buildAffineExpr(UI->getOperand(0));
+    return AffineExpr::invalid();
+  }
+
+  return AffineExpr::invalid();
+}

@@ -1,0 +1,74 @@
+//===- AffineExpr.h - Linear index expressions ------------------*- C++ -*-===//
+///
+/// \file
+/// A lightweight scalar-evolution substitute: array subscripts are
+/// represented as affine combinations  sum(Coeff_s * s) + Constant  over
+/// *symbols*, where a symbol is the storage object (alloca/global) of a
+/// scalar variable whose value the subscript loads. At dependence-test time
+/// symbols are classified per loop as induction variables (with known
+/// ranges from ForLoopMeta), loop-invariant values (which cancel in
+/// differences), or unknown (forcing a conservative answer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_AFFINEEXPR_H
+#define PSPDG_ANALYSIS_AFFINEEXPR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace psc {
+
+class Value;
+class Instruction;
+
+/// Affine form of an integer expression. Invalid when the expression is not
+/// affine in scalar-variable loads.
+struct AffineExpr {
+  bool Valid = true;
+  long Constant = 0;
+  /// Symbol (scalar storage object) -> coefficient. Zero coefficients are
+  /// never stored.
+  std::map<const Value *, long> Coeffs;
+
+  static AffineExpr invalid() {
+    AffineExpr E;
+    E.Valid = false;
+    return E;
+  }
+
+  static AffineExpr constant(long C) {
+    AffineExpr E;
+    E.Constant = C;
+    return E;
+  }
+
+  static AffineExpr symbol(const Value *Storage) {
+    AffineExpr E;
+    E.Coeffs[Storage] = 1;
+    return E;
+  }
+
+  bool isConstant() const { return Valid && Coeffs.empty(); }
+
+  AffineExpr operator+(const AffineExpr &O) const;
+  AffineExpr operator-(const AffineExpr &O) const;
+  /// Multiplication is affine only when one side is constant.
+  AffineExpr operator*(const AffineExpr &O) const;
+
+  /// Difference convenience used by the dependence tests.
+  AffineExpr minus(const AffineExpr &O) const { return *this - O; }
+
+  std::string str() const;
+};
+
+/// Derives the affine form of an integer-valued IR expression \p V by
+/// walking its operand tree. Loads of scalar variables become symbols;
+/// anything else (calls, memory loads through GEPs, float math) invalidates
+/// the result.
+AffineExpr buildAffineExpr(const Value *V);
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_AFFINEEXPR_H

@@ -1,0 +1,104 @@
+//===- FunctionAnalysis.h - Per-function analysis bundle --------*- C++ -*-===//
+///
+/// \file
+/// Owns the CFG, dominator/post-dominator trees, and loop forest of one
+/// function, plus instruction numbering shared by the dependence graph
+/// builders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_FUNCTIONANALYSIS_H
+#define PSPDG_ANALYSIS_FUNCTIONANALYSIS_H
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace psc {
+
+/// Bundle of the standard per-function analyses.
+class FunctionAnalysis {
+public:
+  explicit FunctionAnalysis(const Function &F)
+      : F(F), G(F), DT(G, /*Post=*/false), PDT(G, /*Post=*/true),
+        LI(F, G, DT) {
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB) {
+        IndexOf[I] = static_cast<unsigned>(Instructions.size());
+        Instructions.push_back(I);
+      }
+  }
+
+  const Function &function() const { return F; }
+  const CFG &cfg() const { return G; }
+  const DominatorTree &domTree() const { return DT; }
+  const DominatorTree &postDomTree() const { return PDT; }
+  const LoopInfo &loopInfo() const { return LI; }
+
+  /// All instructions in program order (block order, then position).
+  const std::vector<Instruction *> &instructions() const {
+    return Instructions;
+  }
+  unsigned indexOf(const Instruction *I) const { return IndexOf.at(I); }
+
+  /// Innermost loop containing \p I, or null.
+  Loop *loopOf(const Instruction *I) const {
+    return LI.getLoopFor(I->getParent()->getIndex());
+  }
+
+  /// Innermost loop containing both instructions, or null.
+  Loop *commonLoop(const Instruction *A, const Instruction *B) const {
+    for (Loop *L = loopOf(A); L; L = L->getParent())
+      if (L->contains(B->getParent()->getIndex()))
+        return L;
+    return nullptr;
+  }
+
+  /// ForLoopMeta for \p L (keyed by header block), or null.
+  const ForLoopMeta *forMeta(const Loop *L) const {
+    const Module *M = F.getParent();
+    return M->getParallelInfo().getForLoopMeta(
+        F.getBlock(L->getHeader()));
+  }
+
+private:
+  const Function &F;
+  CFG G;
+  DominatorTree DT;
+  DominatorTree PDT;
+  LoopInfo LI;
+  std::vector<Instruction *> Instructions;
+  std::map<const Instruction *, unsigned> IndexOf;
+};
+
+/// Lazily-built FunctionAnalysis cache for all definitions of a module.
+class ModuleAnalyses {
+public:
+  explicit ModuleAnalyses(const Module &M) : M(M) {}
+
+  const FunctionAnalysis &of(const Function &F) {
+    auto It = Cache.find(&F);
+    if (It != Cache.end())
+      return *It->second;
+    auto FA = std::make_unique<FunctionAnalysis>(F);
+    const FunctionAnalysis &Ref = *FA;
+    Cache[&F] = std::move(FA);
+    return Ref;
+  }
+
+  const Module &module() const { return M; }
+
+private:
+  const Module &M;
+  std::map<const Function *, std::unique_ptr<FunctionAnalysis>> Cache;
+};
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_FUNCTIONANALYSIS_H

@@ -1,0 +1,97 @@
+//===- MemoryModel.cpp ----------------------------------------*- C++ -*-===//
+
+#include "analysis/MemoryModel.h"
+
+#include "ir/Module.h"
+
+using namespace psc;
+
+Value *psc::findUnderlyingObject(Value *Ptr) {
+  while (true) {
+    if (auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = GEP->getBase();
+      continue;
+    }
+    if (isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr))
+      return Ptr;
+    if (auto *Arg = dyn_cast<Argument>(Ptr))
+      return Arg->getType()->isPointer() ? Arg : nullptr;
+    return nullptr;
+  }
+}
+
+AliasResult psc::aliasBases(const Value *A, const Value *B) {
+  if (!A || !B)
+    return AliasResult::MayAlias; // opaque
+  if (A == B)
+    return AliasResult::MayAlias;
+
+  bool AIsArg = isa<Argument>(A), BIsArg = isa<Argument>(B);
+  bool AIsGlobal = isa<GlobalVariable>(A), BIsGlobal = isa<GlobalVariable>(B);
+
+  // Distinct array arguments are restrict; an argument may alias a global.
+  if (AIsArg && BIsArg)
+    return AliasResult::NoAlias;
+  if ((AIsArg && BIsGlobal) || (AIsGlobal && BIsArg))
+    return AliasResult::MayAlias;
+
+  // Distinct allocas/globals (and alloca vs anything else) never alias.
+  return AliasResult::NoAlias;
+}
+
+std::vector<MemAccess> psc::collectMemAccesses(const Function &F) {
+  std::vector<MemAccess> Accesses;
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (auto *LI = dyn_cast<LoadInst>(I)) {
+        MemAccess A;
+        A.I = I;
+        A.Kind = MemAccess::AccessKind::Read;
+        A.Base = findUnderlyingObject(LI->getPointer());
+        if (auto *GEP = dyn_cast<GEPInst>(LI->getPointer())) {
+          A.IsScalar = false;
+          A.Subscript = buildAffineExpr(GEP->getIndex());
+        }
+        Accesses.push_back(std::move(A));
+        continue;
+      }
+      if (auto *SI = dyn_cast<StoreInst>(I)) {
+        MemAccess A;
+        A.I = I;
+        A.Kind = MemAccess::AccessKind::Write;
+        A.Base = findUnderlyingObject(SI->getPointer());
+        if (auto *GEP = dyn_cast<GEPInst>(SI->getPointer())) {
+          A.IsScalar = false;
+          A.Subscript = buildAffineExpr(GEP->getIndex());
+        }
+        Accesses.push_back(std::move(A));
+        continue;
+      }
+      if (auto *CI = dyn_cast<CallInst>(I)) {
+        const Function *Callee = CI->getCallee();
+        const std::string &Name = Callee->getName();
+        if (Module::isMarkerIntrinsicName(Name))
+          continue;
+        if (Callee->isDeclaration()) {
+          if (Name == intrinsics::Print || Name == intrinsics::PrintF) {
+            MemAccess A;
+            A.I = I;
+            A.Kind = MemAccess::AccessKind::ReadWrite;
+            A.IsIO = true;
+            Accesses.push_back(std::move(A));
+          }
+          // Pure math intrinsics: no memory effects.
+          continue;
+        }
+        // Defined callee: opaque access touching unknown memory.
+        MemAccess A;
+        A.I = I;
+        A.Kind = MemAccess::AccessKind::ReadWrite;
+        A.IsScalar = false;
+        Accesses.push_back(std::move(A));
+        continue;
+      }
+    }
+  }
+  return Accesses;
+}

@@ -1,0 +1,75 @@
+//===- MemoryModel.h - Memory accesses and aliasing -------------*- C++ -*-===//
+///
+/// \file
+/// Classifies every memory-touching instruction of a function into a
+/// MemAccess (base object + affine subscript) and answers base-object alias
+/// queries. Aliasing rules (documented in DESIGN.md):
+///
+///   * distinct allocas never alias;
+///   * distinct globals never alias;
+///   * allocas never alias globals or arguments;
+///   * distinct array arguments never alias (PSC arrays are restrict, the
+///     Fortran-flavoured assumption the NAS kernels satisfy);
+///   * an array argument may alias any global (the caller may pass one);
+///   * calls to defined functions and to 'print' are modeled as accessing
+///     an unknown object (alias with everything / other prints).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_MEMORYMODEL_H
+#define PSPDG_ANALYSIS_MEMORYMODEL_H
+
+#include "analysis/AffineExpr.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace psc {
+
+/// One memory access performed by an instruction.
+struct MemAccess {
+  enum class AccessKind {
+    Read,     ///< Load.
+    Write,    ///< Store.
+    ReadWrite ///< Opaque call / externally-visible output.
+  };
+
+  Instruction *I = nullptr;
+  AccessKind Kind = AccessKind::Read;
+
+  /// Base object (AllocaInst, GlobalVariable, or array Argument); null for
+  /// opaque accesses (calls).
+  Value *Base = nullptr;
+
+  /// True for whole-scalar accesses (direct load/store of a variable, not
+  /// through a GEP); Subscript is then meaningless.
+  bool IsScalar = true;
+
+  /// Affine form of the element subscript for array accesses.
+  AffineExpr Subscript;
+
+  /// True for 'print' calls: I/O order matters only against other I/O.
+  bool IsIO = false;
+
+  bool isWrite() const { return Kind != AccessKind::Read; }
+  bool isRead() const { return Kind != AccessKind::Write; }
+  bool isOpaque() const { return Base == nullptr && !IsIO; }
+};
+
+/// Walks GEP chains to the underlying object; returns null when the pointer
+/// does not resolve to an alloca/global/argument.
+Value *findUnderlyingObject(Value *Ptr);
+
+/// Alias verdict for two base objects under the rules above. Null bases
+/// (opaque) alias everything.
+enum class AliasResult { NoAlias, MayAlias };
+AliasResult aliasBases(const Value *A, const Value *B);
+
+/// Collects the memory accesses of \p F in program order (block order, then
+/// instruction order). Marker intrinsics are skipped; pure math intrinsics
+/// contribute nothing.
+std::vector<MemAccess> collectMemAccesses(const Function &F);
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_MEMORYMODEL_H

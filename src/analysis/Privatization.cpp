@@ -1,0 +1,89 @@
+//===- Privatization.cpp --------------------------------------*- C++ -*-===//
+
+#include "analysis/Privatization.h"
+
+#include <map>
+#include <vector>
+
+using namespace psc;
+
+std::set<const Value *>
+psc::computeIterationPrivateScalars(const FunctionAnalysis &FA,
+                                    const Loop &L) {
+  const Function &F = FA.function();
+
+  // Counters of canonical loops are never "private temporaries".
+  std::set<const Value *> Counters;
+  for (const Loop *Any : FA.loopInfo().loops())
+    if (const ForLoopMeta *Meta = FA.forMeta(Any))
+      Counters.insert(Meta->CounterStorage);
+
+  // Gather per-scalar access info.
+  struct Info {
+    std::vector<unsigned> AccessBlocks;   // blocks inside L touching S
+    std::vector<const Instruction *> FirstInBlock; // first access per block
+    bool LoadedOutsideLoop = false;
+    bool AddressEscapes = false; // used by a GEP (array) — not a scalar
+  };
+  std::map<const Value *, Info> Scalars;
+
+  auto NoteAccess = [&](const Value *Ptr, Instruction *I, bool InLoop,
+                        bool IsLoad) {
+    auto *AI = dyn_cast<AllocaInst>(Ptr);
+    if (!AI || AI->getAllocatedType()->isArray())
+      return;
+    Info &S = Scalars[AI];
+    if (!InLoop) {
+      if (IsLoad)
+        S.LoadedOutsideLoop = true;
+      return;
+    }
+    unsigned B = I->getParent()->getIndex();
+    if (S.AccessBlocks.empty() || S.AccessBlocks.back() != B) {
+      S.AccessBlocks.push_back(B);
+      S.FirstInBlock.push_back(I);
+    }
+  };
+
+  for (BasicBlock *BB : F) {
+    bool InLoop = L.contains(BB->getIndex());
+    for (Instruction *I : *BB) {
+      if (auto *LI = dyn_cast<LoadInst>(I))
+        NoteAccess(LI->getPointer(), I, InLoop, /*IsLoad=*/true);
+      else if (auto *SI = dyn_cast<StoreInst>(I))
+        NoteAccess(SI->getPointer(), I, InLoop, /*IsLoad=*/false);
+      else if (auto *GI = dyn_cast<GEPInst>(I))
+        if (auto *AI = dyn_cast<AllocaInst>(GI->getBase()))
+          Scalars[AI].AddressEscapes = true;
+    }
+  }
+
+  std::set<const Value *> Private;
+  const DominatorTree &DT = FA.domTree();
+
+  for (auto &[S, I] : Scalars) {
+    if (Counters.count(S) || I.LoadedOutsideLoop || I.AddressEscapes ||
+        I.AccessBlocks.empty())
+      continue;
+
+    // Find a store block dominating all access blocks whose first access
+    // is a store.
+    bool Qualifies = false;
+    for (size_t K = 0; K < I.AccessBlocks.size() && !Qualifies; ++K) {
+      const Instruction *First = I.FirstInBlock[K];
+      if (!isa<StoreInst>(First))
+        continue;
+      unsigned D = I.AccessBlocks[K];
+      bool DominatesAll = true;
+      for (unsigned B : I.AccessBlocks)
+        if (!DT.dominates(D, B)) {
+          DominatesAll = false;
+          break;
+        }
+      Qualifies = DominatesAll;
+    }
+    if (Qualifies)
+      Private.insert(S);
+  }
+  return Private;
+}

@@ -1,0 +1,35 @@
+//===- Privatization.h - Automatic scalar privatization ---------*- C++ -*-===//
+///
+/// \file
+/// Identifies *iteration-private* scalars of a loop: stack variables that
+/// are (re)written before any use in every iteration and are dead outside
+/// the loop. Loop-carried WAR/WAW/RAW dependences on such scalars are
+/// removable by giving each worker its own copy — the standard analysis a
+/// PDG-based auto-parallelizer performs (and the compiler-derivable subset
+/// of what the PS-PDG's privatizable variables declare).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_PRIVATIZATION_H
+#define PSPDG_ANALYSIS_PRIVATIZATION_H
+
+#include "analysis/FunctionAnalysis.h"
+
+#include <set>
+
+namespace psc {
+
+/// Storage objects (allocas) of \p L's iteration-private scalars.
+///
+/// A scalar alloca S qualifies when:
+///  * S is not the canonical counter of any loop (IVs are handled
+///    separately);
+///  * inside L, some store to S in block D dominates every block accessing
+///    S in L, and within D the first access is a store;
+///  * S is never loaded outside L in the function (dead after the loop).
+std::set<const Value *> computeIterationPrivateScalars(
+    const FunctionAnalysis &FA, const Loop &L);
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_PRIVATIZATION_H

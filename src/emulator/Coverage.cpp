@@ -1,0 +1,62 @@
+//===- Coverage.cpp -------------------------------------------*- C++ -*-===//
+
+#include "emulator/Coverage.h"
+
+using namespace psc;
+
+void CoverageProfiler::onEnterFunction(const Function &F) {
+  Activation A;
+  A.F = &F;
+  A.LI = &MA.of(F).loopInfo();
+  Activations.push_back(std::move(A));
+}
+
+void CoverageProfiler::onExitFunction(const Function &F) {
+  if (!Activations.empty())
+    Activations.pop_back();
+}
+
+void CoverageProfiler::onBlockTransfer(const Function &F,
+                                       const BasicBlock *From,
+                                       const BasicBlock *To) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  const Loop *ToLoop = A.LI->getLoopFor(To->getIndex());
+
+  // Pop loops that do not contain the destination.
+  while (!A.Stack.empty() &&
+         (!ToLoop || !A.Stack.back()->contains(To->getIndex())))
+    A.Stack.pop_back();
+
+  // Push newly-entered loops (outermost first).
+  std::vector<const Loop *> Chain;
+  for (const Loop *L = ToLoop; L; L = L->getParent()) {
+    bool OnStack = false;
+    for (const Loop *S : A.Stack)
+      if (S == L)
+        OnStack = true;
+    if (!OnStack)
+      Chain.push_back(L);
+  }
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+    A.Stack.push_back(*It);
+}
+
+void CoverageProfiler::onInstruction(const Instruction &I) {
+  ++Total;
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  for (const Loop *L : A.Stack)
+    ++Counts[{A.F->getName(), L->getHeader()}];
+}
+
+CoverageMap CoverageProfiler::coverage() const {
+  CoverageMap Out;
+  if (Total == 0)
+    return Out;
+  for (auto &[Key, N] : Counts)
+    Out[Key] = static_cast<double>(N) / static_cast<double>(Total);
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- Coverage.h - Loop runtime-coverage profiler ---------------*- C++ -*-===//
+///
+/// \file
+/// Execution observer that measures the fraction of dynamic instructions
+/// attributable to each loop (instructions in nested loops count toward all
+/// enclosing loops). Feeds the ≥1% coverage filter of the option
+/// enumeration (paper §6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_EMULATOR_COVERAGE_H
+#define PSPDG_EMULATOR_COVERAGE_H
+
+#include "analysis/FunctionAnalysis.h"
+#include "emulator/Interpreter.h"
+#include "parallel/PlanEnumerator.h"
+
+namespace psc {
+
+/// Profiles loop coverage during one interpreter run.
+class CoverageProfiler : public ExecutionObserver {
+public:
+  explicit CoverageProfiler(ModuleAnalyses &MA) : MA(MA) {}
+
+  void onInstruction(const Instruction &I) override;
+  void onBlockTransfer(const Function &F, const BasicBlock *From,
+                       const BasicBlock *To) override;
+  void onEnterFunction(const Function &F) override;
+  void onExitFunction(const Function &F) override;
+
+  /// Coverage fractions after the run.
+  CoverageMap coverage() const;
+
+  uint64_t totalInstructions() const { return Total; }
+
+  /// Dynamic instructions attributed to a loop.
+  uint64_t loopInstructions(const std::string &Fn, unsigned Header) const {
+    auto It = Counts.find({Fn, Header});
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+private:
+  struct Activation {
+    const Function *F = nullptr;
+    const LoopInfo *LI = nullptr;
+    std::vector<const Loop *> Stack;
+  };
+
+  ModuleAnalyses &MA;
+  std::vector<Activation> Activations;
+  std::map<std::pair<std::string, unsigned>, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace psc
+
+#endif // PSPDG_EMULATOR_COVERAGE_H

@@ -1,0 +1,320 @@
+//===- CriticalPath.cpp ---------------------------------------*- C++ -*-===//
+
+#include "emulator/CriticalPath.h"
+
+#include "pspdg/PSPDGBuilder.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace psc;
+
+// --- CriticalPathModel -------------------------------------------------------
+
+CriticalPathModel::CriticalPathModel(const Module &M, AbstractionKind Kind,
+                                     const FeatureSet &Features)
+    : Kind(Kind), Features(Features), MA(M) {
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      planFunction(*F);
+}
+
+void CriticalPathModel::planFunction(const Function &F) {
+  const FunctionAnalysis &FA = MA.of(F);
+  if (FA.loopInfo().loops().empty())
+    return;
+
+  const Module &M = *F.getParent();
+
+  auto Worksharing = [&](const Loop *L) -> bool {
+    BasicBlock *Header = F.getBlock(L->getHeader());
+    for (const Directive *D : M.getParallelInfo().directivesForLoop(Header))
+      if (D->Kind == DirectiveKind::ParallelFor ||
+          D->Kind == DirectiveKind::For)
+        return true;
+    return false;
+  };
+
+  if (Kind == AbstractionKind::OpenMP) {
+    for (const Loop *L : FA.loopInfo().loops())
+      if (Worksharing(L)) {
+        LoopCPConfig Cfg;
+        Cfg.AllowDOALL = true; // by programmer declaration
+        Cfg.CountSerialRegions = true;
+        Configs[{&F, L->getHeader()}] = std::move(Cfg);
+      }
+    return;
+  }
+
+  DependenceInfo DI(FA);
+  std::unique_ptr<PSPDG> G;
+  if (Kind == AbstractionKind::PSPDG)
+    G = buildPSPDG(FA, DI, Features);
+  AbstractionView View(Kind, FA, DI, G.get());
+
+  // Which loops each abstraction may re-plan (paper §6.3 methodology):
+  //   PDG    — outermost loops only;
+  //   J&K    — outermost loops + developer-expressed inner loops;
+  //   PS-PDG — every loop (contexts scope the declared semantics to each
+  //            nesting level, enabling hierarchical parallelism).
+  bool InnerWorksharing = Kind == AbstractionKind::JK;
+  bool AllLoops = Kind == AbstractionKind::PSPDG;
+
+  for (const Loop *L : FA.loopInfo().loops()) {
+    bool Planned = L->getDepth() == 1 || AllLoops;
+    if (!Planned && !(InnerWorksharing && Worksharing(L)))
+      continue;
+
+    LoopPlanView PV = View.viewFor(*L);
+    LoopSCCDAG DAG(PV);
+
+    LoopCPConfig Cfg;
+    Cfg.NumSCCs = DAG.numSCCs();
+    Cfg.AllowDOALL = DAG.allParallel() && PV.TripCountable;
+    switch (Kind) {
+    case AbstractionKind::JK:
+      Cfg.CountSerialRegions = true;
+      break;
+    case AbstractionKind::PSPDG:
+      // Conflicts present -> the lock is real. Without hierarchical nodes
+      // or traits the PS-PDG cannot reason about regions at all, so the
+      // program's serialization is preserved conservatively.
+      Cfg.CountSerialRegions =
+          PV.NumOrderlessConflicts > 0 ||
+          !(Features.HierarchicalNodesAndUndirectedEdges &&
+            Features.NodeTraits);
+      break;
+    default: // PDG: sequential version of the program, no locks.
+      Cfg.CountSerialRegions = false;
+      break;
+    }
+    if (Planned) {
+      Cfg.AllowHELIX = true;
+      Cfg.AllowDSWP = DAG.numSCCs() >= 2;
+    } else if (!Cfg.AllowDOALL) {
+      continue; // inner worksharing loop the view cannot prove: sequential
+    }
+    Cfg.SCCIsSeq.resize(DAG.numSCCs());
+    for (unsigned S = 0; S < DAG.numSCCs(); ++S)
+      Cfg.SCCIsSeq[S] = DAG.isSequential(S);
+    for (unsigned I = 0; I < PV.Insts.size(); ++I)
+      Cfg.SCCOf[PV.Insts[I]] = DAG.sccOf(I);
+
+    Configs[{&F, L->getHeader()}] = std::move(Cfg);
+  }
+}
+
+// --- CriticalPathEvaluator -----------------------------------------------------
+
+bool CriticalPathEvaluator::inSerializedRegion(const Activation &A) const {
+  for (DirectiveKind K : A.RegionStack)
+    if (K == DirectiveKind::Critical || K == DirectiveKind::Atomic ||
+        K == DirectiveKind::Ordered)
+      return true;
+  return false;
+}
+
+void CriticalPathEvaluator::onEnterFunction(const Function &F) {
+  Activation A;
+  A.F = &F;
+  A.LI = &Model.analyses().of(F).loopInfo();
+  Activations.push_back(std::move(A));
+}
+
+void CriticalPathEvaluator::onExitFunction(const Function &F) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  while (!A.LoopStack.empty())
+    popLoopFrame();
+  double CP = A.BaseCP;
+  Activations.pop_back();
+  if (Activations.empty()) {
+    FinalCP = CP;
+    return;
+  }
+  // Propagated to the caller when its Call instruction is observed.
+  PendingCallCP += CP;
+}
+
+void CriticalPathEvaluator::foldIteration(LoopFrame &Fr) {
+  Fr.SumIterCP += Fr.IterCP;
+  Fr.MaxIterCP = std::max(Fr.MaxIterCP, Fr.IterCP);
+  ++Fr.Iterations;
+  Fr.IterCP = 0;
+}
+
+void CriticalPathEvaluator::popLoopFrame() {
+  Activation &A = Activations.back();
+  LoopFrame Fr = std::move(A.LoopStack.back());
+  A.LoopStack.pop_back();
+  foldIteration(Fr);
+
+  double CP = Fr.SumIterCP; // sequential execution
+
+  if (Fr.Cfg) {
+    double SerialFloor = Fr.Cfg->CountSerialRegions ? Fr.RawSerial : 0.0;
+    double Best = CP;
+    if (Fr.Cfg->AllowDOALL)
+      Best = std::min(Best, std::max(Fr.MaxIterCP, SerialFloor));
+    if (Fr.Cfg->AllowHELIX) {
+      // Sequential segments execute in iteration order across the whole
+      // invocation (RawSeq); the parallel remainder pipelines, bounded by
+      // one (reduced) iteration.
+      double Helix = Fr.RawSeq + Fr.MaxIterCP;
+      Best = std::min(Best, std::max(Helix, SerialFloor));
+    }
+    if (Fr.Cfg->AllowDSWP && Fr.Cfg->NumSCCs >= 2) {
+      double Longest = 0;
+      for (double T : Fr.RawSCCTotals)
+        Longest = std::max(Longest, T);
+      Best = std::min(Best, std::max(Longest, SerialFloor));
+    }
+    CP = Best;
+  }
+
+  // Propagate the reduced invocation cost into the parent scope. The
+  // enclosing frames already saw every instruction on their raw tracks, so
+  // the lump goes to the reduced track only.
+  const Function &F = *A.F;
+  const Instruction *Attr =
+      F.getBlock(Fr.L->getHeader())->getTerminator();
+  addCost(CP, /*Serialized=*/false, Attr, /*Raw=*/false);
+}
+
+void CriticalPathEvaluator::addCost(double W, bool Serialized,
+                                    const Instruction *I, bool Raw) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  if (A.LoopStack.empty()) {
+    A.BaseCP += W;
+    return;
+  }
+
+  // Raw track: every planned enclosing frame classifies the instruction
+  // with its own SCC map.
+  if (Raw) {
+    for (LoopFrame &Fr : A.LoopStack) {
+      if (Serialized)
+        Fr.RawSerial += W;
+      if (!Fr.Cfg || Fr.Cfg->SCCOf.empty())
+        continue;
+      auto It = Fr.Cfg->SCCOf.find(I);
+      if (It == Fr.Cfg->SCCOf.end())
+        continue;
+      unsigned S = It->second;
+      if (Fr.RawSCCTotals.size() < Fr.Cfg->NumSCCs)
+        Fr.RawSCCTotals.resize(Fr.Cfg->NumSCCs, 0.0);
+      Fr.RawSCCTotals[S] += W;
+      if (Fr.Cfg->SCCIsSeq[S])
+        Fr.RawSeq += W;
+    }
+  }
+
+  // Reduced track: innermost frame only.
+  A.LoopStack.back().IterCP += W;
+}
+
+void CriticalPathEvaluator::onBlockTransfer(const Function &F,
+                                            const BasicBlock *From,
+                                            const BasicBlock *To) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  const Loop *ToLoop = A.LI->getLoopFor(To->getIndex());
+
+  // Leave loops that do not contain the destination block.
+  while (!A.LoopStack.empty() &&
+         (!ToLoop || !A.LoopStack.back().L->contains(To->getIndex())))
+    popLoopFrame();
+
+  // Iteration boundary: branching back to the innermost header.
+  if (!A.LoopStack.empty() && ToLoop &&
+      A.LoopStack.back().L->getHeader() == To->getIndex() && From)
+    foldIteration(A.LoopStack.back());
+
+  // Enter newly-reached loops, outermost first.
+  std::vector<const Loop *> Chain;
+  for (const Loop *L = ToLoop; L; L = L->getParent()) {
+    bool OnStack = false;
+    for (const LoopFrame &S : A.LoopStack)
+      if (S.L == L)
+        OnStack = true;
+    if (!OnStack)
+      Chain.push_back(L);
+  }
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    LoopFrame Fr;
+    Fr.L = *It;
+    Fr.Cfg = Model.configFor(&F, (*It)->getHeader());
+    if (Fr.Cfg)
+      Fr.RawSCCTotals.assign(Fr.Cfg->NumSCCs, 0.0);
+    A.LoopStack.push_back(std::move(Fr));
+  }
+}
+
+void CriticalPathEvaluator::onInstruction(const Instruction &I) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+
+  // Region markers: maintain the dynamic region stack; zero cost.
+  if (const auto *CI = dyn_cast<CallInst>(&I)) {
+    const std::string &Name = CI->getCallee()->getName();
+    if (Name == intrinsics::RegionBegin) {
+      auto *IdC = cast<ConstantInt>(CI->getArg(0));
+      const Directive *D =
+          A.F->getParent()->getParallelInfo().getDirective(
+              static_cast<unsigned>(IdC->getValue()));
+      A.RegionStack.push_back(D ? D->Kind : DirectiveKind::Parallel);
+      return;
+    }
+    if (Name == intrinsics::RegionEnd) {
+      if (!A.RegionStack.empty())
+        A.RegionStack.pop_back();
+      return;
+    }
+    if (Name == intrinsics::BarrierMarker)
+      return;
+  }
+
+  double W = 1.0 + PendingCallCP;
+  PendingCallCP = 0;
+  addCost(W, inSerializedRegion(A), &I, /*Raw=*/true);
+}
+
+// --- Whole-program convenience ------------------------------------------------
+
+CriticalPathReport psc::evaluateCriticalPaths(const Module &M,
+                                              uint64_t InstructionBudget) {
+  CriticalPathReport Report;
+  const AbstractionKind Kinds[] = {AbstractionKind::OpenMP,
+                                   AbstractionKind::PDG, AbstractionKind::JK,
+                                   AbstractionKind::PSPDG};
+  for (AbstractionKind K : Kinds) {
+    CriticalPathModel Model(M, K);
+    CriticalPathEvaluator Eval(Model);
+    Interpreter Interp(M);
+    Interp.setInstructionBudget(InstructionBudget);
+    Interp.addObserver(&Eval);
+    RunResult R = Interp.run();
+    Report.TotalDynamicInstructions = R.InstructionsExecuted;
+    double CP = Eval.criticalPath();
+    switch (K) {
+    case AbstractionKind::OpenMP:
+      Report.OpenMP = CP;
+      break;
+    case AbstractionKind::PDG:
+      Report.PDG = CP;
+      break;
+    case AbstractionKind::JK:
+      Report.JK = CP;
+      break;
+    case AbstractionKind::PSPDG:
+      Report.PSPDG = CP;
+      break;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,153 @@
+//===- CriticalPath.h - Plan-constrained ideal-machine critical path -------===//
+///
+/// \file
+/// Reproduces the paper's §6.3 experiment (Fig. 14): the critical path of a
+/// program on an ideal machine (unlimited cores, zero-cost communication,
+/// perfect memory) under the parallelization each abstraction can justify,
+/// measured in dynamic IR instructions that must serialize.
+///
+/// Methodology (following the paper and Zhang et al., IISWC'21):
+///  * OpenMP  — the programmer's plan: worksharing loops run their
+///    iterations concurrently (critical/atomic/ordered content serializes);
+///    everything else is sequential.
+///  * PDG     — every outermost loop is parallelized with the best of
+///    DOALL/HELIX/DSWP over the PDG's SCCs; inner loops are sequential.
+///  * J&K     — PDG SCCs for outermost loops + developer-expressed inner
+///    worksharing loops (when the J&K view proves them DOALL).
+///  * PS-PDG  — PS-PDG SCCs for outermost loops + developer-expressed
+///    inner loops.
+///
+/// Per loop invocation the evaluator folds per-iteration costs and takes
+/// the best legal technique:
+///   CP_seq   = Σ_iter CP(iter)
+///   CP_doall = max(max_iter CP(iter), Σ serialized-region cost)
+///   CP_helix = Σ_iter seq-SCC cost + max_iter parallel-SCC cost
+///   CP_dswp  = max over SCCs of that SCC's total cost
+/// A nested invocation contributes its own (already reduced) CP as a single
+/// cost attributed to the loop-header terminator of the inner loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_EMULATOR_CRITICALPATH_H
+#define PSPDG_EMULATOR_CRITICALPATH_H
+
+#include "analysis/FunctionAnalysis.h"
+#include "emulator/Interpreter.h"
+#include "parallel/AbstractionView.h"
+#include "pspdg/Features.h"
+
+#include <map>
+#include <memory>
+
+namespace psc {
+
+/// Static per-loop plan for the critical-path evaluation.
+struct LoopCPConfig {
+  bool AllowDOALL = false;
+  bool AllowHELIX = false;
+  bool AllowDSWP = false;
+  /// Whether critical/atomic/ordered content serializes when this loop runs
+  /// in parallel. OpenMP and J&K preserve the program's locks; the PDG
+  /// analyzes the sequential version (no locks); the PS-PDG keeps a lock
+  /// only when orderless conflicts actually exist (undirected edges carried
+  /// at this loop) — otherwise the mutual exclusion is provably vacuous.
+  bool CountSerialRegions = false;
+  unsigned NumSCCs = 0;
+  /// Instruction → SCC class (only instructions of this loop).
+  std::map<const Instruction *, unsigned> SCCOf;
+  std::vector<bool> SCCIsSeq;
+};
+
+/// Precomputed plans for a whole module under one abstraction.
+class CriticalPathModel {
+public:
+  CriticalPathModel(const Module &M, AbstractionKind Kind,
+                    const FeatureSet &Features = FeatureSet());
+
+  AbstractionKind kind() const { return Kind; }
+  ModuleAnalyses &analyses() { return MA; }
+
+  /// Config for the loop with header \p Header in \p F; null = sequential.
+  const LoopCPConfig *configFor(const Function *F, unsigned Header) const {
+    auto It = Configs.find({F, Header});
+    return It == Configs.end() ? nullptr : &It->second;
+  }
+
+private:
+  void planFunction(const Function &F);
+
+  AbstractionKind Kind;
+  FeatureSet Features;
+  ModuleAnalyses MA;
+  std::map<std::pair<const Function *, unsigned>, LoopCPConfig> Configs;
+};
+
+/// Execution observer that accumulates the plan-constrained critical path.
+class CriticalPathEvaluator : public ExecutionObserver {
+public:
+  explicit CriticalPathEvaluator(CriticalPathModel &Model) : Model(Model) {}
+
+  void onInstruction(const Instruction &I) override;
+  void onBlockTransfer(const Function &F, const BasicBlock *From,
+                       const BasicBlock *To) override;
+  void onEnterFunction(const Function &F) override;
+  void onExitFunction(const Function &F) override;
+
+  /// Critical path (in dynamic instructions) after the run.
+  double criticalPath() const { return FinalCP; }
+
+private:
+  struct LoopFrame {
+    const Loop *L = nullptr;
+    const LoopCPConfig *Cfg = nullptr; ///< Null = forced sequential.
+    // Reduced track: per-iteration critical path where nested invocations
+    // contribute their already-reduced CP as a lump.
+    double IterCP = 0;
+    double SumIterCP = 0, MaxIterCP = 0;
+    // Raw track: every dynamic instruction of the loop (including nested
+    // loops' instructions) attributed by THIS loop's SCC classes — this is
+    // what serializes under HELIX (sequential segments) and DSWP (stages).
+    double RawSeq = 0, RawSerial = 0;
+    std::vector<double> RawSCCTotals;
+    uint64_t Iterations = 0;
+  };
+
+  struct Activation {
+    const Function *F = nullptr;
+    const LoopInfo *LI = nullptr;
+    std::vector<LoopFrame> LoopStack;
+    double BaseCP = 0;
+    /// Dynamic directive-region nesting (serialized-region tracking).
+    std::vector<DirectiveKind> RegionStack;
+  };
+
+  /// \p Raw: attribute to every frame's raw track (true for executed
+  /// instructions and call lumps; false for nested-loop lumps, whose
+  /// instructions the enclosing frames already saw individually).
+  void addCost(double W, bool Serialized, const Instruction *I, bool Raw);
+  void foldIteration(LoopFrame &Fr);
+  /// Finalizes the top loop frame and propagates its CP to the parent.
+  void popLoopFrame();
+
+  bool inSerializedRegion(const Activation &A) const;
+
+  CriticalPathModel &Model;
+  std::vector<Activation> Activations;
+  double FinalCP = 0;
+  double PendingCallCP = 0; ///< Callee CP awaiting the call instruction.
+};
+
+/// Convenience: runs \p M under all four abstractions and returns their
+/// critical paths, plus the total sequential instruction count.
+struct CriticalPathReport {
+  double OpenMP = 0, PDG = 0, JK = 0, PSPDG = 0;
+  uint64_t TotalDynamicInstructions = 0;
+};
+
+CriticalPathReport evaluateCriticalPaths(const Module &M,
+                                         uint64_t InstructionBudget =
+                                             2'000'000'000ULL);
+
+} // namespace psc
+
+#endif // PSPDG_EMULATOR_CRITICALPATH_H

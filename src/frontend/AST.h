@@ -1,0 +1,383 @@
+//===- AST.h - PSC abstract syntax tree --------------------------*- C++ -*-===//
+///
+/// \file
+/// AST node classes for PSC. The tree is owned top-down via unique_ptr.
+/// Pragmas parse into PragmaDirective records; loop directives wrap the
+/// following `for` statement, region directives wrap the following
+/// statement/block (mirroring OpenMP's structured-block rule).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_AST_H
+#define PSPDG_FRONTEND_AST_H
+
+#include "ir/ParallelInfo.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Source-level scalar types (arrays are a declarator property).
+enum class ASTType { Int, Double, Void };
+
+// --- Expressions -----------------------------------------------------------
+
+class Expr {
+public:
+  enum class ExprKind {
+    IntLit,
+    FloatLit,
+    Var,
+    Index,
+    Binary,
+    Unary,
+    Call
+  };
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return Kind; }
+
+  /// Result type; filled in by Sema.
+  ASTType getASTType() const { return Ty; }
+  void setASTType(ASTType T) { Ty = T; }
+
+  unsigned Line = 0;
+
+private:
+  ExprKind Kind;
+  ASTType Ty = ASTType::Int;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  explicit IntLitExpr(int64_t V) : Expr(ExprKind::IntLit), Value(V) {}
+  int64_t Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IntLit;
+  }
+};
+
+class FloatLitExpr : public Expr {
+public:
+  explicit FloatLitExpr(double V) : Expr(ExprKind::FloatLit), Value(V) {}
+  double Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::FloatLit;
+  }
+};
+
+/// Reference to a scalar variable (or a whole array when used as a call
+/// argument).
+class VarExpr : public Expr {
+public:
+  explicit VarExpr(std::string Name)
+      : Expr(ExprKind::Var), Name(std::move(Name)) {}
+  std::string Name;
+  bool IsArrayRef = false; ///< Set by Sema when the name denotes an array.
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Var; }
+};
+
+/// Array element access a[i].
+class IndexExpr : public Expr {
+public:
+  IndexExpr(std::string Name, ExprPtr Idx)
+      : Expr(ExprKind::Index), Name(std::move(Name)), Index(std::move(Idx)) {}
+  std::string Name;
+  ExprPtr Index;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Index;
+  }
+};
+
+/// Binary operator. LogicalAnd/LogicalOr are strict (both sides evaluate);
+/// see DESIGN.md — no short-circuit control flow in PSC.
+class BinaryExpr : public Expr {
+public:
+  enum class Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    LogicalAnd,
+    LogicalOr,
+    EQ,
+    NE,
+    LT,
+    LE,
+    GT,
+    GE
+  };
+
+  BinaryExpr(Op O, ExprPtr L, ExprPtr R)
+      : Expr(ExprKind::Binary), Operator(O), LHS(std::move(L)),
+        RHS(std::move(R)) {}
+  Op Operator;
+  ExprPtr LHS, RHS;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+};
+
+class UnaryExpr : public Expr {
+public:
+  enum class Op { Neg, Not };
+  UnaryExpr(Op O, ExprPtr Sub)
+      : Expr(ExprKind::Unary), Operator(O), Sub(std::move(Sub)) {}
+  Op Operator;
+  ExprPtr Sub;
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Unary;
+  }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Call; }
+};
+
+// --- Pragmas -----------------------------------------------------------------
+
+/// Parsed `#pragma psc` directive with unresolved variable names; Sema
+/// validates names, CodeGen resolves them into ir::Directive VarRefs.
+struct PragmaDirective {
+  DirectiveKind Kind = DirectiveKind::Parallel;
+  std::string CriticalName;
+  std::vector<std::string> Privates;
+  struct Reduction {
+    std::string OpName; ///< "+", "*", "min", "max", or a function name.
+    std::string Var;
+  };
+  std::vector<Reduction> Reductions;
+  std::vector<std::string> LastPrivates;
+  std::vector<std::string> FirstPrivates;
+  std::vector<std::string> Relaxed; ///< relaxed(x): Any-Producer live-out.
+  std::vector<std::string> Shared;
+  bool NoWait = false;
+  bool HasOrderedClause = false;
+  long ChunkSize = 0;
+  unsigned Line = 0;
+};
+
+// --- Statements ---------------------------------------------------------------
+
+class Stmt {
+public:
+  enum class StmtKind {
+    Decl,
+    Assign,
+    ExprStmt,
+    If,
+    While,
+    For,
+    Return,
+    Block,
+    Pragma,
+    Barrier,
+    Spawn,
+    Sync
+  };
+
+  explicit Stmt(StmtKind K) : Kind(K) {}
+  virtual ~Stmt() = default;
+
+  StmtKind getKind() const { return Kind; }
+  unsigned Line = 0;
+
+private:
+  StmtKind Kind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Local variable declaration: `int x;`, `double a[128];`, `int n = 5;`.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(ASTType Ty, std::string Name)
+      : Stmt(StmtKind::Decl), Ty(Ty), Name(std::move(Name)) {}
+  ASTType Ty;
+  std::string Name;
+  bool IsArray = false;
+  int64_t ArraySize = 0;
+  ExprPtr Init; ///< Scalar initializer, may be null.
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Decl; }
+};
+
+/// Assignment to a scalar variable or array element, with optional
+/// compound operator (+=, -=, *=, /=).
+class AssignStmt : public Stmt {
+public:
+  enum class Op { Set, Add, Sub, Mul, Div };
+  AssignStmt(ExprPtr Target, Op O, ExprPtr Value)
+      : Stmt(StmtKind::Assign), Target(std::move(Target)), Operator(O),
+        Value(std::move(Value)) {}
+  ExprPtr Target; ///< VarExpr or IndexExpr.
+  Op Operator;
+  ExprPtr Value;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Assign;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(ExprPtr E) : Stmt(StmtKind::ExprStmt), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::ExprStmt;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body)
+      : Stmt(StmtKind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::While;
+  }
+};
+
+/// Canonical counted loop: `for (i = Init; i REL Bound; i += Step) Body`.
+/// The parser enforces that all three positions use the same variable.
+class ForStmt : public Stmt {
+public:
+  ForStmt() : Stmt(StmtKind::For) {}
+  std::string Counter;
+  ExprPtr Init;
+  BinaryExpr::Op Rel = BinaryExpr::Op::LT; ///< LT/LE/GT/GE/NE.
+  ExprPtr Bound;
+  ExprPtr Step;         ///< Amount added each iteration (negated for -=).
+  bool StepIsAdd = true; ///< false for `i -= step`.
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(ExprPtr V) : Stmt(StmtKind::Return), Value(std::move(V)) {}
+  ExprPtr Value; ///< May be null for `return;`.
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt() : Stmt(StmtKind::Block) {}
+  std::vector<StmtPtr> Stmts;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Block;
+  }
+};
+
+/// A directive attached to a statement (loop directives attach to ForStmt,
+/// region directives to any statement).
+class PragmaStmt : public Stmt {
+public:
+  PragmaStmt(PragmaDirective D, StmtPtr Sub)
+      : Stmt(StmtKind::Pragma), Directive(std::move(D)), Sub(std::move(Sub)) {}
+  PragmaDirective Directive;
+  StmtPtr Sub;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Pragma;
+  }
+};
+
+/// `#pragma psc barrier` — a standalone statement.
+class BarrierStmt : public Stmt {
+public:
+  BarrierStmt() : Stmt(StmtKind::Barrier) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Barrier;
+  }
+};
+
+/// `spawn f(args);` — a Cilk-style spawned call (paper Appendix A): the
+/// call may run concurrently with the continuation until the next `sync`.
+class SpawnStmt : public Stmt {
+public:
+  explicit SpawnStmt(ExprPtr Call)
+      : Stmt(StmtKind::Spawn), Call(std::move(Call)) {}
+  ExprPtr Call; ///< Must be a CallExpr (checked by Sema).
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Spawn;
+  }
+};
+
+/// `sync;` — joins every task spawned in the enclosing function scope.
+class SyncStmt : public Stmt {
+public:
+  SyncStmt() : Stmt(StmtKind::Sync) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Sync;
+  }
+};
+
+// --- Top level -----------------------------------------------------------------
+
+struct ParamDecl {
+  ASTType Ty = ASTType::Int;
+  std::string Name;
+  bool IsArray = false; ///< `int a[]` — passed as pointer.
+};
+
+struct FunctionDecl {
+  ASTType RetTy = ASTType::Void;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  unsigned Line = 0;
+};
+
+struct GlobalDecl {
+  ASTType Ty = ASTType::Int;
+  std::string Name;
+  bool IsArray = false;
+  int64_t ArraySize = 0;
+  bool HasInit = false;
+  double Init = 0.0;
+  unsigned Line = 0;
+};
+
+/// One parsed translation unit.
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+  std::vector<std::string> ThreadPrivates; ///< From top-level pragmas.
+  /// `reducible(var : fn)` top-level pragmas: variable → reducer function.
+  std::vector<std::pair<std::string, std::string>> Reducibles;
+};
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_AST_H

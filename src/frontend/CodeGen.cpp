@@ -1,0 +1,604 @@
+//===- CodeGen.cpp --------------------------------------------*- C++ -*-===//
+
+#include "frontend/CodeGen.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace psc;
+
+Type *CodeGen::lowerScalarType(ASTType Ty) {
+  switch (Ty) {
+  case ASTType::Int:
+    return M->getTypes().getIntTy();
+  case ASTType::Double:
+    return M->getTypes().getFloatTy();
+  case ASTType::Void:
+    return M->getTypes().getVoidTy();
+  }
+  psc_unreachable("invalid AST type");
+}
+
+std::unique_ptr<Module> CodeGen::emit(const TranslationUnit &TU,
+                                      const std::string &ModuleName) {
+  M = std::make_unique<Module>(ModuleName);
+  B = std::make_unique<IRBuilder>(*M);
+
+  // Globals.
+  for (const GlobalDecl &G : TU.Globals) {
+    Type *Obj = lowerScalarType(G.Ty);
+    if (G.IsArray)
+      Obj = M->getTypes().getArrayTy(Obj, static_cast<uint64_t>(G.ArraySize));
+    GlobalVariable *GV = M->createGlobal(G.Name, Obj);
+    if (G.HasInit)
+      GV->setScalarInit(G.Init);
+  }
+
+  declareFunctions(TU);
+
+  for (const FunctionDecl &F : TU.Functions)
+    emitFunction(F);
+
+  // threadprivate / reducible registrations.
+  for (const std::string &V : TU.ThreadPrivates)
+    M->getParallelInfo().addThreadPrivate({V, M->getGlobal(V)});
+  for (auto &[Var, Fn] : TU.Reducibles) {
+    Directive D;
+    D.Kind = DirectiveKind::Parallel; // module-scope marker directive
+    ReductionClause R;
+    R.Var = {Var, M->getGlobal(Var)};
+    R.Op = ReduceOp::Custom;
+    R.CustomReducer = M->getFunction(Fn);
+    D.Reductions.push_back(R);
+    M->getParallelInfo().addDirective(std::move(D));
+  }
+
+  return std::move(M);
+}
+
+void CodeGen::declareFunctions(const TranslationUnit &TU) {
+  for (const FunctionDecl &F : TU.Functions) {
+    std::vector<Type *> ParamTys;
+    std::vector<std::string> ParamNames;
+    for (const ParamDecl &P : F.Params) {
+      Type *T = lowerScalarType(P.Ty);
+      if (P.IsArray)
+        T = M->getTypes().getPointerTy(T);
+      ParamTys.push_back(T);
+      ParamNames.push_back(P.Name);
+    }
+    M->createFunction(F.Name, lowerScalarType(F.RetTy), ParamTys, ParamNames);
+  }
+}
+
+void CodeGen::collectAllocas(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    Type *Obj = lowerScalarType(D->Ty);
+    if (D->IsArray)
+      Obj = M->getTypes().getArrayTy(Obj, static_cast<uint64_t>(D->ArraySize));
+    LocalStorage[D->Name] = B->createAlloca(Obj, D->Name);
+    return;
+  }
+  case Stmt::StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectAllocas(I->Then.get());
+    collectAllocas(I->Else.get());
+    return;
+  }
+  case Stmt::StmtKind::While:
+    collectAllocas(cast<WhileStmt>(S)->Body.get());
+    return;
+  case Stmt::StmtKind::For:
+    collectAllocas(cast<ForStmt>(S)->Body.get());
+    return;
+  case Stmt::StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->Stmts)
+      collectAllocas(Sub.get());
+    return;
+  case Stmt::StmtKind::Pragma:
+    collectAllocas(cast<PragmaStmt>(S)->Sub.get());
+    return;
+  default:
+    return;
+  }
+}
+
+void CodeGen::emitFunction(const FunctionDecl &F) {
+  CurFn = M->getFunction(F.Name);
+  CurDecl = &F;
+  LocalStorage.clear();
+  NextBlockId = 0;
+
+  BasicBlock *Entry = CurFn->createBlock("entry");
+  B->setInsertPoint(Entry);
+
+  // Scalar parameters get a stack home; array parameters are used directly
+  // as base pointers (PSC forbids reassigning them).
+  for (unsigned I = 0; I < CurFn->getNumArgs(); ++I) {
+    Argument *A = CurFn->getArg(I);
+    const ParamDecl &P = F.Params[I];
+    if (P.IsArray) {
+      LocalStorage[P.Name] = A;
+      continue;
+    }
+    AllocaInst *Slot = B->createAlloca(A->getType(), P.Name);
+    B->createStore(A, Slot);
+    LocalStorage[P.Name] = Slot;
+  }
+
+  // Hoist all local allocas into the entry block so loops do not
+  // re-allocate (and so every variable has a single storage object —
+  // required for dependence analysis and clause resolution).
+  collectAllocas(F.Body.get());
+
+  emitStmt(F.Body.get());
+
+  // Implicit return at the end of the function if control can fall through.
+  if (!B->getInsertBlock()->hasTerminator()) {
+    if (F.RetTy == ASTType::Void)
+      B->createRetVoid();
+    else if (F.RetTy == ASTType::Int)
+      B->createRet(M->getConstantInt(0));
+    else
+      B->createRet(M->getConstantFloat(0.0));
+  }
+
+  // Terminate any other unterminated blocks (e.g. after early returns in
+  // both arms of an if): these are unreachable but must be well-formed.
+  for (BasicBlock *BB : *CurFn) {
+    if (!BB->hasTerminator()) {
+      B->setInsertPoint(BB);
+      if (F.RetTy == ASTType::Void)
+        B->createRetVoid();
+      else if (F.RetTy == ASTType::Int)
+        B->createRet(M->getConstantInt(0));
+      else
+        B->createRet(M->getConstantFloat(0.0));
+    }
+  }
+}
+
+Value *CodeGen::lookupStorage(const std::string &Name) const {
+  auto It = LocalStorage.find(Name);
+  if (It != LocalStorage.end())
+    return It->second;
+  if (GlobalVariable *GV = M->getGlobal(Name))
+    return GV;
+  psc_unreachable("unresolved variable in codegen (Sema should have caught)");
+}
+
+Value *CodeGen::convert(Value *V, ASTType From, ASTType To) {
+  if (From == To)
+    return V;
+  if (From == ASTType::Int && To == ASTType::Double)
+    return B->createIntToFloat(V);
+  if (From == ASTType::Double && To == ASTType::Int)
+    return B->createFloatToInt(V);
+  psc_unreachable("invalid conversion");
+}
+
+Value *CodeGen::emitExprAs(const Expr *E, ASTType Target) {
+  Value *V = emitExpr(E);
+  return convert(V, E->getASTType(), Target);
+}
+
+Value *CodeGen::emitBoolean(Value *V) {
+  return B->createCmp(CmpInst::Predicate::NE, V, M->getConstantInt(0));
+}
+
+Value *CodeGen::emitAddress(const Expr *Target) {
+  if (const auto *V = dyn_cast<VarExpr>(Target))
+    return lookupStorage(V->Name);
+  if (const auto *I = dyn_cast<IndexExpr>(Target)) {
+    Value *Base = lookupStorage(I->Name);
+    Value *Idx = emitExprAs(I->Index.get(), ASTType::Int);
+    return B->createGEP(Base, Idx);
+  }
+  psc_unreachable("invalid assignment target");
+}
+
+Value *CodeGen::emitExpr(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLit:
+    return M->getConstantInt(cast<IntLitExpr>(E)->Value);
+  case Expr::ExprKind::FloatLit:
+    return M->getConstantFloat(cast<FloatLitExpr>(E)->Value);
+  case Expr::ExprKind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    if (V->IsArrayRef)
+      return lookupStorage(V->Name); // base pointer (call argument)
+    return B->createLoad(lookupStorage(V->Name));
+  }
+  case Expr::ExprKind::Index:
+    return B->createLoad(emitAddress(E));
+  case Expr::ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    using Op = BinaryExpr::Op;
+    Op O = Bin->Operator;
+
+    if (O == Op::LogicalAnd || O == Op::LogicalOr) {
+      // Strict (non-short-circuit) logical ops; operands normalized to 0/1.
+      Value *L = emitBoolean(emitExprAs(Bin->LHS.get(), ASTType::Int));
+      Value *R = emitBoolean(emitExprAs(Bin->RHS.get(), ASTType::Int));
+      return B->createBinary(O == Op::LogicalAnd ? BinaryInst::BinOp::And
+                                                 : BinaryInst::BinOp::Or,
+                             L, R);
+    }
+
+    ASTType LTy = Bin->LHS->getASTType();
+    ASTType RTy = Bin->RHS->getASTType();
+    ASTType OpTy = (LTy == ASTType::Double || RTy == ASTType::Double)
+                       ? ASTType::Double
+                       : ASTType::Int;
+
+    Value *L = emitExprAs(Bin->LHS.get(), OpTy);
+    Value *R = emitExprAs(Bin->RHS.get(), OpTy);
+
+    switch (O) {
+    case Op::Add:
+      return B->createBinary(BinaryInst::BinOp::Add, L, R);
+    case Op::Sub:
+      return B->createBinary(BinaryInst::BinOp::Sub, L, R);
+    case Op::Mul:
+      return B->createBinary(BinaryInst::BinOp::Mul, L, R);
+    case Op::Div:
+      return B->createBinary(BinaryInst::BinOp::Div, L, R);
+    case Op::Rem:
+      return B->createBinary(BinaryInst::BinOp::Rem, L, R);
+    case Op::BitAnd:
+      return B->createBinary(BinaryInst::BinOp::And, L, R);
+    case Op::BitOr:
+      return B->createBinary(BinaryInst::BinOp::Or, L, R);
+    case Op::BitXor:
+      return B->createBinary(BinaryInst::BinOp::Xor, L, R);
+    case Op::Shl:
+      return B->createBinary(BinaryInst::BinOp::Shl, L, R);
+    case Op::Shr:
+      return B->createBinary(BinaryInst::BinOp::Shr, L, R);
+    case Op::EQ:
+      return B->createCmp(CmpInst::Predicate::EQ, L, R);
+    case Op::NE:
+      return B->createCmp(CmpInst::Predicate::NE, L, R);
+    case Op::LT:
+      return B->createCmp(CmpInst::Predicate::LT, L, R);
+    case Op::LE:
+      return B->createCmp(CmpInst::Predicate::LE, L, R);
+    case Op::GT:
+      return B->createCmp(CmpInst::Predicate::GT, L, R);
+    case Op::GE:
+      return B->createCmp(CmpInst::Predicate::GE, L, R);
+    default:
+      psc_unreachable("logical ops handled above");
+    }
+  }
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->Operator == UnaryExpr::Op::Not) {
+      Value *V = emitBoolean(emitExprAs(U->Sub.get(), ASTType::Int));
+      return B->createBinary(BinaryInst::BinOp::Xor, V, M->getConstantInt(1));
+    }
+    Value *V = emitExpr(U->Sub.get());
+    return B->createUnary(UnaryInst::UnOp::Neg, V);
+  }
+  case Expr::ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Function *Callee = M->getFunction(C->Callee);
+    if (!Callee)
+      Callee = M->getOrCreateIntrinsic(C->Callee);
+    FunctionType *FT = Callee->getFunctionType();
+    std::vector<Value *> Args;
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      const Expr *A = C->Args[I].get();
+      Type *ParamTy = FT->getParams()[I];
+      if (ParamTy->isPointer()) {
+        Args.push_back(emitExpr(A)); // array base pointer
+        continue;
+      }
+      ASTType Target = ParamTy->isFloat() ? ASTType::Double : ASTType::Int;
+      Args.push_back(emitExprAs(A, Target));
+    }
+    return B->createCall(Callee, std::move(Args));
+  }
+  }
+  psc_unreachable("invalid expression kind");
+}
+
+void CodeGen::emitStmt(const Stmt *S) {
+  if (!S)
+    return;
+  // Stop emitting into a terminated block (code after return).
+  if (B->getInsertBlock()->hasTerminator())
+    return;
+
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    if (D->Init) {
+      Value *V = emitExprAs(D->Init.get(), D->Ty);
+      B->createStore(V, LocalStorage.at(D->Name));
+    }
+    return;
+  }
+  case Stmt::StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    ASTType TargetTy = A->Target->getASTType();
+    Value *Addr = emitAddress(A->Target.get());
+    Value *RHS = emitExprAs(A->Value.get(), TargetTy);
+    if (A->Operator != AssignStmt::Op::Set) {
+      Value *Old = B->createLoad(Addr);
+      BinaryInst::BinOp Op;
+      switch (A->Operator) {
+      case AssignStmt::Op::Add:
+        Op = BinaryInst::BinOp::Add;
+        break;
+      case AssignStmt::Op::Sub:
+        Op = BinaryInst::BinOp::Sub;
+        break;
+      case AssignStmt::Op::Mul:
+        Op = BinaryInst::BinOp::Mul;
+        break;
+      case AssignStmt::Op::Div:
+        Op = BinaryInst::BinOp::Div;
+        break;
+      default:
+        psc_unreachable("Set handled above");
+      }
+      RHS = B->createBinary(Op, Old, RHS);
+    }
+    B->createStore(RHS, Addr);
+    return;
+  }
+  case Stmt::StmtKind::ExprStmt:
+    emitExpr(cast<ExprStmt>(S)->E.get());
+    return;
+  case Stmt::StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Value *Cond = emitExprAs(I->Cond.get(), ASTType::Int);
+    BasicBlock *ThenBB = CurFn->createBlock(blockName("if.then"));
+    BasicBlock *MergeBB = CurFn->createBlock(blockName("if.end"));
+    BasicBlock *ElseBB =
+        I->Else ? CurFn->createBlock(blockName("if.else")) : MergeBB;
+    B->createCondBr(Cond, ThenBB, ElseBB);
+
+    B->setInsertPoint(ThenBB);
+    emitStmt(I->Then.get());
+    if (!B->getInsertBlock()->hasTerminator())
+      B->createBr(MergeBB);
+
+    if (I->Else) {
+      B->setInsertPoint(ElseBB);
+      emitStmt(I->Else.get());
+      if (!B->getInsertBlock()->hasTerminator())
+        B->createBr(MergeBB);
+    }
+    B->setInsertPoint(MergeBB);
+    return;
+  }
+  case Stmt::StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    BasicBlock *Header = CurFn->createBlock(blockName("while.header"));
+    BasicBlock *Body = CurFn->createBlock(blockName("while.body"));
+    BasicBlock *Exit = CurFn->createBlock(blockName("while.exit"));
+    B->createBr(Header);
+
+    B->setInsertPoint(Header);
+    Value *Cond = emitExprAs(W->Cond.get(), ASTType::Int);
+    B->createCondBr(Cond, Body, Exit);
+
+    B->setInsertPoint(Body);
+    emitStmt(W->Body.get());
+    if (!B->getInsertBlock()->hasTerminator())
+      B->createBr(Header);
+
+    B->setInsertPoint(Exit);
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    Value *Counter = LocalStorage.count(F->Counter)
+                         ? LocalStorage.at(F->Counter)
+                         : lookupStorage(F->Counter);
+
+    // Preheader: initialize the counter.
+    Value *Init = emitExprAs(F->Init.get(), ASTType::Int);
+    B->createStore(Init, Counter);
+
+    BasicBlock *Header = CurFn->createBlock(blockName("for.header"));
+    BasicBlock *Body = CurFn->createBlock(blockName("for.body"));
+    BasicBlock *Latch = CurFn->createBlock(blockName("for.latch"));
+    BasicBlock *Exit = CurFn->createBlock(blockName("for.exit"));
+    B->createBr(Header);
+
+    B->setInsertPoint(Header);
+    Value *IV = B->createLoad(Counter);
+    Value *Bound = emitExprAs(F->Bound.get(), ASTType::Int);
+    CmpInst::Predicate Pred;
+    switch (F->Rel) {
+    case BinaryExpr::Op::LT:
+      Pred = CmpInst::Predicate::LT;
+      break;
+    case BinaryExpr::Op::LE:
+      Pred = CmpInst::Predicate::LE;
+      break;
+    case BinaryExpr::Op::GT:
+      Pred = CmpInst::Predicate::GT;
+      break;
+    case BinaryExpr::Op::GE:
+      Pred = CmpInst::Predicate::GE;
+      break;
+    case BinaryExpr::Op::NE:
+      Pred = CmpInst::Predicate::NE;
+      break;
+    default:
+      psc_unreachable("parser guarantees a comparison");
+    }
+    Value *Cond = B->createCmp(Pred, IV, Bound);
+    B->createCondBr(Cond, Body, Exit);
+
+    B->setInsertPoint(Body);
+    emitStmt(F->Body.get());
+    if (!B->getInsertBlock()->hasTerminator())
+      B->createBr(Latch);
+
+    B->setInsertPoint(Latch);
+    Value *IV2 = B->createLoad(Counter);
+    Value *Step = emitExprAs(F->Step.get(), ASTType::Int);
+    Value *Next = B->createBinary(F->StepIsAdd ? BinaryInst::BinOp::Add
+                                               : BinaryInst::BinOp::Sub,
+                                  IV2, Step);
+    B->createStore(Next, Counter);
+    B->createBr(Header);
+
+    B->setInsertPoint(Exit);
+
+    // Record canonical-loop metadata for the dependence tests.
+    ForLoopMeta Meta;
+    Meta.Header = Header;
+    Meta.CounterStorage = Counter;
+    const auto *StepLit = dyn_cast<IntLitExpr>(F->Step.get());
+    Meta.Canonical = StepLit != nullptr;
+    Meta.Step = StepLit ? (F->StepIsAdd ? StepLit->Value : -StepLit->Value)
+                        : 0;
+    if (const auto *InitLit = dyn_cast<IntLitExpr>(F->Init.get())) {
+      Meta.HasConstInit = true;
+      Meta.InitVal = InitLit->Value;
+    }
+    if (const auto *BoundLit = dyn_cast<IntLitExpr>(F->Bound.get())) {
+      Meta.HasConstBound = true;
+      Meta.BoundVal = BoundLit->Value;
+    }
+    switch (F->Rel) {
+    case BinaryExpr::Op::LT:
+      Meta.RelKind = 0;
+      break;
+    case BinaryExpr::Op::LE:
+      Meta.RelKind = 1;
+      break;
+    case BinaryExpr::Op::GT:
+      Meta.RelKind = 2;
+      break;
+    case BinaryExpr::Op::GE:
+      Meta.RelKind = 3;
+      break;
+    default:
+      Meta.RelKind = 4;
+      break;
+    }
+    M->getParallelInfo().addForLoopMeta(Meta);
+
+    LastLoopHeader = Header;
+    return;
+  }
+  case Stmt::StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (!R->Value) {
+      B->createRetVoid();
+      return;
+    }
+    ASTType RetTy = CurDecl->RetTy;
+    B->createRet(emitExprAs(R->Value.get(), RetTy));
+    return;
+  }
+  case Stmt::StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->Stmts)
+      emitStmt(Sub.get());
+    return;
+  case Stmt::StmtKind::Pragma:
+    emitPragma(*cast<PragmaStmt>(S));
+    return;
+  case Stmt::StmtKind::Barrier: {
+    Directive D;
+    D.Kind = DirectiveKind::Barrier;
+    M->getParallelInfo().addDirective(std::move(D));
+    B->createIntrinsicCall(intrinsics::BarrierMarker, {});
+    return;
+  }
+  case Stmt::StmtKind::Spawn: {
+    // Cilk-style spawn (paper Appendix A): the call becomes a Task region
+    // whose hierarchical SESE node the PS-PDG builder creates; the spawned
+    // strand may overlap the continuation until the next sync.
+    const auto *Sp = cast<SpawnStmt>(S);
+    Directive D;
+    D.Kind = DirectiveKind::Task;
+    unsigned Id = M->getParallelInfo().addDirective(std::move(D));
+    B->createIntrinsicCall(intrinsics::RegionBegin,
+                           {M->getConstantInt(static_cast<int64_t>(Id))});
+    emitExpr(Sp->Call.get());
+    B->createIntrinsicCall(intrinsics::RegionEnd,
+                           {M->getConstantInt(static_cast<int64_t>(Id))});
+    return;
+  }
+  case Stmt::StmtKind::Sync: {
+    Directive D;
+    D.Kind = DirectiveKind::TaskWait;
+    M->getParallelInfo().addDirective(std::move(D));
+    B->createIntrinsicCall(intrinsics::TaskWaitMarker, {});
+    return;
+  }
+  }
+}
+
+Directive CodeGen::lowerDirective(const PragmaDirective &D) {
+  Directive Out;
+  Out.Kind = D.Kind;
+  Out.CriticalName = D.CriticalName;
+  Out.NoWait = D.NoWait;
+  Out.HasOrderedClause = D.HasOrderedClause;
+  Out.ChunkSize = D.ChunkSize;
+
+  auto Resolve = [&](const std::string &Name) -> VarRef {
+    return {Name, lookupStorage(Name)};
+  };
+
+  for (const std::string &V : D.Privates)
+    Out.Privates.push_back(Resolve(V));
+  for (const std::string &V : D.FirstPrivates)
+    Out.LiveOuts.push_back({Resolve(V), LiveOutPolicy::First});
+  for (const std::string &V : D.LastPrivates)
+    Out.LiveOuts.push_back({Resolve(V), LiveOutPolicy::Last});
+  for (const std::string &V : D.Relaxed)
+    Out.LiveOuts.push_back({Resolve(V), LiveOutPolicy::Any});
+  for (const PragmaDirective::Reduction &R : D.Reductions) {
+    ReductionClause RC;
+    RC.Var = Resolve(R.Var);
+    if (R.OpName == "+")
+      RC.Op = ReduceOp::Add;
+    else if (R.OpName == "*")
+      RC.Op = ReduceOp::Mul;
+    else if (R.OpName == "min")
+      RC.Op = ReduceOp::Min;
+    else if (R.OpName == "max")
+      RC.Op = ReduceOp::Max;
+    else {
+      RC.Op = ReduceOp::Custom;
+      RC.CustomReducer = M->getFunction(R.OpName);
+    }
+    Out.Reductions.push_back(std::move(RC));
+  }
+  return Out;
+}
+
+void CodeGen::emitPragma(const PragmaStmt &P) {
+  const PragmaDirective &D = P.Directive;
+  Directive Lowered = lowerDirective(D);
+
+  if (D.Kind == DirectiveKind::ParallelFor || D.Kind == DirectiveKind::For) {
+    emitStmt(P.Sub.get());
+    Lowered.LoopHeader = LastLoopHeader;
+    M->getParallelInfo().addDirective(std::move(Lowered));
+    return;
+  }
+
+  // Region directive: bracket the sub-statement with marker calls carrying
+  // the directive id.
+  unsigned Id = M->getParallelInfo().addDirective(std::move(Lowered));
+  B->createIntrinsicCall(intrinsics::RegionBegin,
+                         {M->getConstantInt(static_cast<int64_t>(Id))});
+  emitStmt(P.Sub.get());
+  if (!B->getInsertBlock()->hasTerminator())
+    B->createIntrinsicCall(intrinsics::RegionEnd,
+                           {M->getConstantInt(static_cast<int64_t>(Id))});
+}

@@ -1,0 +1,67 @@
+//===- CodeGen.h - AST → PSC IR lowering -------------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a semantically-valid TranslationUnit into a Module in
+/// alloca+load/store form, attaching the parallel directives into the
+/// module's ParallelInfo (loop directives bind to loop headers, region
+/// directives become __psc_region_begin/end marker calls).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_CODEGEN_H
+#define PSPDG_FRONTEND_CODEGEN_H
+
+#include "frontend/AST.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace psc {
+
+/// One-shot code generator.
+class CodeGen {
+public:
+  /// Lowers \p TU into a fresh module named \p ModuleName. The unit must
+  /// have passed Sema.
+  std::unique_ptr<Module> emit(const TranslationUnit &TU,
+                               const std::string &ModuleName);
+
+private:
+  Type *lowerScalarType(ASTType Ty);
+
+  void declareFunctions(const TranslationUnit &TU);
+  void emitFunction(const FunctionDecl &F);
+  void collectAllocas(const Stmt *S);
+
+  void emitStmt(const Stmt *S);
+  void emitPragma(const PragmaStmt &P);
+  Directive lowerDirective(const PragmaDirective &D);
+
+  Value *emitExpr(const Expr *E);
+  Value *emitExprAs(const Expr *E, ASTType Target);
+  Value *convert(Value *V, ASTType From, ASTType To);
+  Value *emitAddress(const Expr *Target);
+  /// Base pointer for a named variable (alloca, global, or array param).
+  Value *lookupStorage(const std::string &Name) const;
+  /// Normalizes an i64 to 0/1 for logical operators.
+  Value *emitBoolean(Value *V);
+
+  std::unique_ptr<Module> M;
+  std::unique_ptr<IRBuilder> B;
+  Function *CurFn = nullptr;
+  const FunctionDecl *CurDecl = nullptr;
+  std::map<std::string, Value *> LocalStorage; ///< name -> alloca/arg.
+  BasicBlock *LastLoopHeader = nullptr; ///< Set by emitStmt(ForStmt).
+  unsigned NextBlockId = 0;
+
+  std::string blockName(const std::string &Hint) {
+    return Hint + "." + std::to_string(NextBlockId++);
+  }
+};
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_CODEGEN_H

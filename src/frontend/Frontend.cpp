@@ -1,0 +1,53 @@
+//===- Frontend.cpp -------------------------------------------*- C++ -*-===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/CodeGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace psc;
+
+CompileResult psc::compileSource(const std::string &Source,
+                                 const std::string &ModuleName) {
+  CompileResult Result;
+
+  Lexer L(Source);
+  Parser P(L.lexAll());
+  TranslationUnit TU = P.parseTranslationUnit();
+  if (P.hasErrors()) {
+    Result.Diagnostics = P.errors();
+    return Result;
+  }
+
+  Sema S;
+  Result.Diagnostics = S.analyze(TU);
+  if (!Result.Diagnostics.empty())
+    return Result;
+
+  CodeGen CG;
+  std::unique_ptr<Module> M = CG.emit(TU, ModuleName);
+
+  std::vector<std::string> VerifierErrors = verifyModule(*M);
+  if (!VerifierErrors.empty()) {
+    Result.Diagnostics = std::move(VerifierErrors);
+    return Result;
+  }
+
+  Result.M = std::move(M);
+  return Result;
+}
+
+std::unique_ptr<Module> psc::compileOrDie(const std::string &Source,
+                                          const std::string &ModuleName) {
+  CompileResult R = compileSource(Source, ModuleName);
+  if (R.ok())
+    return std::move(R.M);
+  std::string Msg = "PSC compilation of '" + ModuleName + "' failed:";
+  for (const std::string &D : R.Diagnostics)
+    Msg += "\n  " + D;
+  reportFatalError(Msg);
+}

@@ -1,0 +1,39 @@
+//===- Frontend.h - One-call PSC → IR compilation ---------------*- C++ -*-===//
+///
+/// \file
+/// Convenience driver: source text → verified Module (or diagnostics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_FRONTEND_H
+#define PSPDG_FRONTEND_FRONTEND_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Result of compiling a PSC source buffer.
+struct CompileResult {
+  std::unique_ptr<Module> M;              ///< Null on failure.
+  std::vector<std::string> Diagnostics;   ///< Parse/sema/verifier messages.
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Lexes, parses, type-checks, lowers, and verifies \p Source.
+CompileResult compileSource(const std::string &Source,
+                            const std::string &ModuleName = "psc");
+
+/// Like compileSource but aborts with the diagnostics on failure —
+/// convenient for tests, benches, and the built-in workloads, which are
+/// expected to always compile.
+std::unique_ptr<Module> compileOrDie(const std::string &Source,
+                                     const std::string &ModuleName = "psc");
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_FRONTEND_H

@@ -1,0 +1,378 @@
+//===- Lexer.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace psc;
+
+const char *psc::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwSync:
+    return "'sync'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::PragmaStart:
+    return "'#pragma psc'";
+  case TokenKind::PragmaEnd:
+    return "end of pragma";
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string Src) : Source(std::move(Src)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == '\n' && InPragma)
+      return; // pragma terminator is significant
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Source.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K, std::string Text) {
+  Token T;
+  T.Kind = K;
+  T.Text = std::move(Text);
+  T.Line = Line;
+  T.Column = Column;
+  return T;
+}
+
+Token Lexer::errorToken(const std::string &Msg) {
+  Token T = makeToken(TokenKind::Error, Msg);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  if (Pos >= Source.size()) {
+    if (InPragma) {
+      InPragma = false;
+      return makeToken(TokenKind::PragmaEnd, "");
+    }
+    return makeToken(TokenKind::Eof, "");
+  }
+
+  unsigned TokLine = Line, TokCol = Column;
+  char C = peek();
+
+  if (C == '\n' && InPragma) {
+    advance();
+    InPragma = false;
+    Token T = makeToken(TokenKind::PragmaEnd, "");
+    T.Line = TokLine;
+    T.Column = TokCol;
+    return T;
+  }
+
+  auto finish = [&](Token T) {
+    T.Line = TokLine;
+    T.Column = TokCol;
+    return T;
+  };
+
+  // Pragma start: '#pragma psc'.
+  if (C == '#') {
+    advance();
+    skipWhitespaceAndComments();
+    std::string Word;
+    while (std::isalpha(static_cast<unsigned char>(peek())))
+      Word += advance();
+    if (Word != "pragma")
+      return finish(errorToken("expected 'pragma' after '#'"));
+    skipWhitespaceAndComments();
+    Word.clear();
+    while (std::isalpha(static_cast<unsigned char>(peek())))
+      Word += advance();
+    if (Word != "psc")
+      return finish(errorToken("expected 'psc' after '#pragma'"));
+    InPragma = true;
+    return finish(makeToken(TokenKind::PragmaStart, "#pragma psc"));
+  }
+
+  // Identifiers and keywords.
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Word;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Word += advance();
+    static const std::map<std::string, TokenKind> Keywords = {
+        {"int", TokenKind::KwInt},       {"double", TokenKind::KwDouble},
+        {"void", TokenKind::KwVoid},     {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},     {"for", TokenKind::KwFor},
+        {"while", TokenKind::KwWhile},   {"return", TokenKind::KwReturn},
+        {"spawn", TokenKind::KwSpawn},   {"sync", TokenKind::KwSync},
+    };
+    auto It = Keywords.find(Word);
+    if (It != Keywords.end())
+      return finish(makeToken(It->second, Word));
+    return finish(makeToken(TokenKind::Identifier, Word));
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Num;
+    bool IsFloat = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Num += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Num += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Num += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = Pos;
+      std::string Exp;
+      Exp += advance();
+      if (peek() == '+' || peek() == '-')
+        Exp += advance();
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Exp += advance();
+        Num += Exp;
+        IsFloat = true;
+      } else {
+        Pos = Save; // not an exponent
+      }
+    }
+    Token T = makeToken(IsFloat ? TokenKind::FloatLiteral
+                                : TokenKind::IntLiteral,
+                        Num);
+    if (IsFloat)
+      T.FloatValue = std::strtod(Num.c_str(), nullptr);
+    else
+      T.IntValue = std::strtoll(Num.c_str(), nullptr, 10);
+    return finish(T);
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return finish(makeToken(TokenKind::LParen, "("));
+  case ')':
+    return finish(makeToken(TokenKind::RParen, ")"));
+  case '{':
+    return finish(makeToken(TokenKind::LBrace, "{"));
+  case '}':
+    return finish(makeToken(TokenKind::RBrace, "}"));
+  case '[':
+    return finish(makeToken(TokenKind::LBracket, "["));
+  case ']':
+    return finish(makeToken(TokenKind::RBracket, "]"));
+  case ';':
+    return finish(makeToken(TokenKind::Semicolon, ";"));
+  case ',':
+    return finish(makeToken(TokenKind::Comma, ","));
+  case ':':
+    return finish(makeToken(TokenKind::Colon, ":"));
+  case '+':
+    if (match('+'))
+      return finish(makeToken(TokenKind::PlusPlus, "++"));
+    if (match('='))
+      return finish(makeToken(TokenKind::PlusAssign, "+="));
+    return finish(makeToken(TokenKind::Plus, "+"));
+  case '-':
+    if (match('-'))
+      return finish(makeToken(TokenKind::MinusMinus, "--"));
+    if (match('='))
+      return finish(makeToken(TokenKind::MinusAssign, "-="));
+    return finish(makeToken(TokenKind::Minus, "-"));
+  case '*':
+    if (match('='))
+      return finish(makeToken(TokenKind::StarAssign, "*="));
+    return finish(makeToken(TokenKind::Star, "*"));
+  case '/':
+    if (match('='))
+      return finish(makeToken(TokenKind::SlashAssign, "/="));
+    return finish(makeToken(TokenKind::Slash, "/"));
+  case '%':
+    return finish(makeToken(TokenKind::Percent, "%"));
+  case '&':
+    if (match('&'))
+      return finish(makeToken(TokenKind::AmpAmp, "&&"));
+    return finish(makeToken(TokenKind::Amp, "&"));
+  case '|':
+    if (match('|'))
+      return finish(makeToken(TokenKind::PipePipe, "||"));
+    return finish(makeToken(TokenKind::Pipe, "|"));
+  case '^':
+    return finish(makeToken(TokenKind::Caret, "^"));
+  case '!':
+    if (match('='))
+      return finish(makeToken(TokenKind::NotEq, "!="));
+    return finish(makeToken(TokenKind::Bang, "!"));
+  case '=':
+    if (match('='))
+      return finish(makeToken(TokenKind::EqEq, "=="));
+    return finish(makeToken(TokenKind::Assign, "="));
+  case '<':
+    if (match('<'))
+      return finish(makeToken(TokenKind::Shl, "<<"));
+    if (match('='))
+      return finish(makeToken(TokenKind::LessEq, "<="));
+    return finish(makeToken(TokenKind::Less, "<"));
+  case '>':
+    if (match('>'))
+      return finish(makeToken(TokenKind::Shr, ">>"));
+    if (match('='))
+      return finish(makeToken(TokenKind::GreaterEq, ">="));
+    return finish(makeToken(TokenKind::Greater, ">"));
+  default:
+    break;
+  }
+  return finish(errorToken(std::string("unexpected character '") + C + "'"));
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokenKind::Eof) || T.is(TokenKind::Error);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,47 @@
+//===- Lexer.h - PSC lexer ---------------------------------------*- C++ -*-===//
+///
+/// \file
+/// Hand-written lexer for PSC. Supports `//` and `/* */` comments, decimal
+/// integer and floating literals, and in-line pragma tokenization (see
+/// Token.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_LEXER_H
+#define PSPDG_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Tokenizes a PSC source buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the entire buffer; the last token is Eof (or Error on a lexical
+  /// failure, with the message in Token::Text).
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  Token makeToken(TokenKind K, std::string Text);
+  Token errorToken(const std::string &Msg);
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+
+  std::string Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  bool InPragma = false;
+};
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_LEXER_H

@@ -1,0 +1,800 @@
+//===- Parser.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace psc;
+
+Parser::Parser(std::vector<Token> Toks) : Tokens(std::move(Toks)) {
+  assert(!Tokens.empty() && "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1;
+  return Tokens[I];
+}
+
+Token Parser::advance() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const std::string &Where) {
+  if (accept(K))
+    return true;
+  error("expected " + std::string(tokenKindName(K)) + " " + Where +
+        ", found " + std::string(tokenKindName(current().Kind)) +
+        (current().Text.empty() ? "" : " '" + current().Text + "'"));
+  return false;
+}
+
+void Parser::error(const std::string &Msg) {
+  Errors.push_back("line " + std::to_string(current().Line) + ": " + Msg);
+}
+
+bool Parser::atEnd() const {
+  return current().is(TokenKind::Eof) || current().is(TokenKind::Error) ||
+         !Errors.empty();
+}
+
+bool Parser::parseTypeSpecifier(ASTType &Ty) {
+  if (accept(TokenKind::KwInt)) {
+    Ty = ASTType::Int;
+    return true;
+  }
+  if (accept(TokenKind::KwDouble)) {
+    Ty = ASTType::Double;
+    return true;
+  }
+  if (accept(TokenKind::KwVoid)) {
+    Ty = ASTType::Void;
+    return true;
+  }
+  return false;
+}
+
+TranslationUnit Parser::parseTranslationUnit() {
+  TranslationUnit TU;
+  if (current().is(TokenKind::Error))
+    error(current().Text);
+  while (!atEnd())
+    parseTopLevel(TU);
+  return TU;
+}
+
+void Parser::parseTopLevel(TranslationUnit &TU) {
+  if (check(TokenKind::PragmaStart)) {
+    parseTopLevelPragma(TU);
+    return;
+  }
+
+  ASTType Ty;
+  unsigned Line = current().Line;
+  if (!parseTypeSpecifier(Ty)) {
+    error("expected type specifier at top level");
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    error("expected name after type");
+    return;
+  }
+  std::string Name = advance().Text;
+
+  if (check(TokenKind::LParen)) {
+    FunctionDecl F = parseFunction(Ty, Name);
+    F.Line = Line;
+    TU.Functions.push_back(std::move(F));
+    return;
+  }
+
+  // Global variable.
+  GlobalDecl G;
+  G.Ty = Ty;
+  G.Name = Name;
+  G.Line = Line;
+  if (Ty == ASTType::Void) {
+    error("global variable of type void");
+    return;
+  }
+  if (accept(TokenKind::LBracket)) {
+    if (!check(TokenKind::IntLiteral)) {
+      error("global array size must be an integer literal");
+      return;
+    }
+    G.IsArray = true;
+    G.ArraySize = advance().IntValue;
+    expect(TokenKind::RBracket, "after array size");
+  }
+  if (accept(TokenKind::Assign)) {
+    bool Negative = accept(TokenKind::Minus);
+    if (check(TokenKind::IntLiteral)) {
+      G.HasInit = true;
+      G.Init = static_cast<double>(advance().IntValue);
+    } else if (check(TokenKind::FloatLiteral)) {
+      G.HasInit = true;
+      G.Init = advance().FloatValue;
+    } else {
+      error("global initializer must be a literal");
+      return;
+    }
+    if (Negative)
+      G.Init = -G.Init;
+  }
+  expect(TokenKind::Semicolon, "after global declaration");
+  TU.Globals.push_back(std::move(G));
+}
+
+void Parser::parseTopLevelPragma(TranslationUnit &TU) {
+  advance(); // PragmaStart
+  if (!check(TokenKind::Identifier)) {
+    error("expected directive name in pragma");
+    return;
+  }
+  std::string Name = advance().Text;
+  if (Name == "threadprivate") {
+    expect(TokenKind::LParen, "after 'threadprivate'");
+    for (std::string &V : parseNameList())
+      TU.ThreadPrivates.push_back(std::move(V));
+    expect(TokenKind::RParen, "after threadprivate list");
+  } else if (Name == "reducible") {
+    // reducible(var : combineFn)
+    expect(TokenKind::LParen, "after 'reducible'");
+    if (!check(TokenKind::Identifier)) {
+      error("expected variable in reducible pragma");
+      return;
+    }
+    std::string Var = advance().Text;
+    expect(TokenKind::Colon, "in reducible pragma");
+    if (!check(TokenKind::Identifier)) {
+      error("expected reducer function in reducible pragma");
+      return;
+    }
+    std::string Fn = advance().Text;
+    expect(TokenKind::RParen, "after reducible pragma");
+    TU.Reducibles.push_back({Var, Fn});
+  } else {
+    error("unknown top-level pragma '" + Name + "'");
+    return;
+  }
+  expect(TokenKind::PragmaEnd, "at end of pragma line");
+}
+
+FunctionDecl Parser::parseFunction(ASTType RetTy, std::string Name) {
+  FunctionDecl F;
+  F.RetTy = RetTy;
+  F.Name = std::move(Name);
+  expect(TokenKind::LParen, "in function declaration");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl P;
+      if (!parseTypeSpecifier(P.Ty) || P.Ty == ASTType::Void) {
+        error("expected parameter type");
+        break;
+      }
+      if (!check(TokenKind::Identifier)) {
+        error("expected parameter name");
+        break;
+      }
+      P.Name = advance().Text;
+      if (accept(TokenKind::LBracket)) {
+        expect(TokenKind::RBracket, "in array parameter");
+        P.IsArray = true;
+      }
+      F.Params.push_back(std::move(P));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameters");
+
+  if (!check(TokenKind::LBrace)) {
+    error("expected function body");
+    return F;
+  }
+  StmtPtr Body = parseBlock();
+  F.Body.reset(static_cast<BlockStmt *>(Body.release()));
+  return F;
+}
+
+StmtPtr Parser::parseBlock() {
+  auto Block = std::make_unique<BlockStmt>();
+  Block->Line = current().Line;
+  expect(TokenKind::LBrace, "to open block");
+  while (!check(TokenKind::RBrace) && !atEnd())
+    if (StmtPtr S = parseStatement())
+      Block->Stmts.push_back(std::move(S));
+  expect(TokenKind::RBrace, "to close block");
+  return Block;
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwInt:
+  case TokenKind::KwDouble:
+    return parseDeclStatement();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::PragmaStart:
+    return parsePragmaStatement();
+  case TokenKind::KwSpawn: {
+    unsigned Line = current().Line;
+    advance();
+    ExprPtr Call = parsePrimary();
+    expect(TokenKind::Semicolon, "after spawn statement");
+    auto S = std::make_unique<SpawnStmt>(std::move(Call));
+    S->Line = Line;
+    return S;
+  }
+  case TokenKind::KwSync: {
+    unsigned Line = current().Line;
+    advance();
+    expect(TokenKind::Semicolon, "after 'sync'");
+    auto S = std::make_unique<SyncStmt>();
+    S->Line = Line;
+    return S;
+  }
+  case TokenKind::Semicolon:
+    advance();
+    return std::make_unique<BlockStmt>(); // empty statement
+  default:
+    return parseExprOrAssign();
+  }
+}
+
+StmtPtr Parser::parseDeclStatement() {
+  unsigned Line = current().Line;
+  ASTType Ty;
+  parseTypeSpecifier(Ty);
+  if (!check(TokenKind::Identifier)) {
+    error("expected variable name in declaration");
+    return nullptr;
+  }
+  auto D = std::make_unique<DeclStmt>(Ty, advance().Text);
+  D->Line = Line;
+  if (accept(TokenKind::LBracket)) {
+    if (!check(TokenKind::IntLiteral)) {
+      error("local array size must be an integer literal");
+      return nullptr;
+    }
+    D->IsArray = true;
+    D->ArraySize = advance().IntValue;
+    expect(TokenKind::RBracket, "after array size");
+  } else if (accept(TokenKind::Assign)) {
+    D->Init = parseExpr();
+  }
+  expect(TokenKind::Semicolon, "after declaration");
+  return D;
+}
+
+StmtPtr Parser::parseIf() {
+  unsigned Line = current().Line;
+  advance(); // if
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  auto S = std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  S->Line = Line;
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  unsigned Line = current().Line;
+  advance(); // while
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  auto S = std::make_unique<WhileStmt>(std::move(Cond), parseStatement());
+  S->Line = Line;
+  return S;
+}
+
+StmtPtr Parser::parseFor() {
+  unsigned Line = current().Line;
+  advance(); // for
+  expect(TokenKind::LParen, "after 'for'");
+
+  auto F = std::make_unique<ForStmt>();
+  F->Line = Line;
+
+  if (!check(TokenKind::Identifier)) {
+    error("for-init must be 'var = expr'");
+    return nullptr;
+  }
+  F->Counter = advance().Text;
+  expect(TokenKind::Assign, "in for-init");
+  F->Init = parseExpr();
+  expect(TokenKind::Semicolon, "after for-init");
+
+  if (!check(TokenKind::Identifier) || current().Text != F->Counter) {
+    error("for-condition must test the loop counter '" + F->Counter + "'");
+    return nullptr;
+  }
+  advance();
+  switch (current().Kind) {
+  case TokenKind::Less:
+    F->Rel = BinaryExpr::Op::LT;
+    break;
+  case TokenKind::LessEq:
+    F->Rel = BinaryExpr::Op::LE;
+    break;
+  case TokenKind::Greater:
+    F->Rel = BinaryExpr::Op::GT;
+    break;
+  case TokenKind::GreaterEq:
+    F->Rel = BinaryExpr::Op::GE;
+    break;
+  case TokenKind::NotEq:
+    F->Rel = BinaryExpr::Op::NE;
+    break;
+  default:
+    error("for-condition must be a comparison");
+    return nullptr;
+  }
+  advance();
+  F->Bound = parseExpr();
+  expect(TokenKind::Semicolon, "after for-condition");
+
+  if (!check(TokenKind::Identifier) || current().Text != F->Counter) {
+    error("for-step must update the loop counter '" + F->Counter + "'");
+    return nullptr;
+  }
+  advance();
+  if (accept(TokenKind::PlusPlus)) {
+    F->Step = std::make_unique<IntLitExpr>(1);
+    F->StepIsAdd = true;
+  } else if (accept(TokenKind::MinusMinus)) {
+    F->Step = std::make_unique<IntLitExpr>(1);
+    F->StepIsAdd = false;
+  } else if (accept(TokenKind::PlusAssign)) {
+    F->Step = parseExpr();
+    F->StepIsAdd = true;
+  } else if (accept(TokenKind::MinusAssign)) {
+    F->Step = parseExpr();
+    F->StepIsAdd = false;
+  } else if (accept(TokenKind::Assign)) {
+    // i = i + c  or  i = i - c
+    if (!check(TokenKind::Identifier) || current().Text != F->Counter) {
+      error("for-step must be of the form 'i = i + c'");
+      return nullptr;
+    }
+    advance();
+    if (accept(TokenKind::Plus))
+      F->StepIsAdd = true;
+    else if (accept(TokenKind::Minus))
+      F->StepIsAdd = false;
+    else {
+      error("for-step must be of the form 'i = i + c'");
+      return nullptr;
+    }
+    F->Step = parseExpr();
+  } else {
+    error("unsupported for-step");
+    return nullptr;
+  }
+  expect(TokenKind::RParen, "after for-step");
+  F->Body = parseStatement();
+  return F;
+}
+
+StmtPtr Parser::parseReturn() {
+  unsigned Line = current().Line;
+  advance(); // return
+  ExprPtr V;
+  if (!check(TokenKind::Semicolon))
+    V = parseExpr();
+  expect(TokenKind::Semicolon, "after return");
+  auto S = std::make_unique<ReturnStmt>(std::move(V));
+  S->Line = Line;
+  return S;
+}
+
+StmtPtr Parser::parseExprOrAssign() {
+  unsigned Line = current().Line;
+  ExprPtr LHS = parsePostfix();
+  if (!LHS)
+    return nullptr;
+
+  AssignStmt::Op Op;
+  bool IsAssign = true;
+  switch (current().Kind) {
+  case TokenKind::Assign:
+    Op = AssignStmt::Op::Set;
+    break;
+  case TokenKind::PlusAssign:
+    Op = AssignStmt::Op::Add;
+    break;
+  case TokenKind::MinusAssign:
+    Op = AssignStmt::Op::Sub;
+    break;
+  case TokenKind::StarAssign:
+    Op = AssignStmt::Op::Mul;
+    break;
+  case TokenKind::SlashAssign:
+    Op = AssignStmt::Op::Div;
+    break;
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus: {
+    bool IsInc = current().Kind == TokenKind::PlusPlus;
+    advance();
+    expect(TokenKind::Semicolon, "after statement");
+    auto S = std::make_unique<AssignStmt>(
+        std::move(LHS), IsInc ? AssignStmt::Op::Add : AssignStmt::Op::Sub,
+        std::make_unique<IntLitExpr>(1));
+    S->Line = Line;
+    return S;
+  }
+  default:
+    IsAssign = false;
+    break;
+  }
+
+  if (!IsAssign) {
+    // Plain expression statement; continue parsing binary operators.
+    ExprPtr Full = parseBinaryRHS(0, std::move(LHS));
+    expect(TokenKind::Semicolon, "after expression statement");
+    auto S = std::make_unique<ExprStmt>(std::move(Full));
+    S->Line = Line;
+    return S;
+  }
+
+  if (!isa<VarExpr>(LHS.get()) && !isa<IndexExpr>(LHS.get())) {
+    error("assignment target must be a variable or array element");
+    return nullptr;
+  }
+  advance(); // the assignment operator
+  ExprPtr RHS = parseExpr();
+  expect(TokenKind::Semicolon, "after assignment");
+  auto S =
+      std::make_unique<AssignStmt>(std::move(LHS), Op, std::move(RHS));
+  S->Line = Line;
+  return S;
+}
+
+StmtPtr Parser::parsePragmaStatement() {
+  advance(); // PragmaStart
+  PragmaDirective D = parseDirective();
+  expect(TokenKind::PragmaEnd, "at end of pragma line");
+  if (!Errors.empty())
+    return nullptr;
+
+  if (D.Kind == DirectiveKind::Barrier) {
+    auto B = std::make_unique<BarrierStmt>();
+    B->Line = D.Line;
+    return B;
+  }
+
+  StmtPtr Sub = parseStatement();
+  if ((D.Kind == DirectiveKind::ParallelFor || D.Kind == DirectiveKind::For) &&
+      (!Sub || !isa<ForStmt>(Sub.get()))) {
+    error("a loop directive must be followed by a 'for' statement");
+    return nullptr;
+  }
+  auto P = std::make_unique<PragmaStmt>(std::move(D), std::move(Sub));
+  P->Line = P->Directive.Line;
+  return P;
+}
+
+PragmaDirective Parser::parseDirective() {
+  PragmaDirective D;
+  D.Line = current().Line;
+  if (accept(TokenKind::KwFor)) {
+    D.Kind = DirectiveKind::For;
+    parseClauses(D);
+    return D;
+  }
+  if (!check(TokenKind::Identifier)) {
+    error("expected directive name in pragma");
+    return D;
+  }
+  std::string Name = advance().Text;
+  if (Name == "parallel") {
+    if (accept(TokenKind::KwFor)) {
+      D.Kind = DirectiveKind::ParallelFor;
+    } else {
+      D.Kind = DirectiveKind::Parallel;
+    }
+  } else if (Name == "critical") {
+    D.Kind = DirectiveKind::Critical;
+    if (accept(TokenKind::LParen)) {
+      if (check(TokenKind::Identifier))
+        D.CriticalName = advance().Text;
+      expect(TokenKind::RParen, "after critical name");
+    }
+  } else if (Name == "atomic") {
+    D.Kind = DirectiveKind::Atomic;
+  } else if (Name == "single") {
+    D.Kind = DirectiveKind::Single;
+  } else if (Name == "master") {
+    D.Kind = DirectiveKind::Master;
+  } else if (Name == "ordered") {
+    D.Kind = DirectiveKind::Ordered;
+  } else if (Name == "barrier") {
+    D.Kind = DirectiveKind::Barrier;
+  } else {
+    error("unknown pragma directive '" + Name + "'");
+    return D;
+  }
+  parseClauses(D);
+  return D;
+}
+
+void Parser::parseClauses(PragmaDirective &D) {
+  while (check(TokenKind::Identifier)) {
+    std::string Clause = advance().Text;
+    if (Clause == "private") {
+      expect(TokenKind::LParen, "after 'private'");
+      for (std::string &V : parseNameList())
+        D.Privates.push_back(std::move(V));
+      expect(TokenKind::RParen, "after private list");
+    } else if (Clause == "firstprivate") {
+      expect(TokenKind::LParen, "after 'firstprivate'");
+      for (std::string &V : parseNameList())
+        D.FirstPrivates.push_back(std::move(V));
+      expect(TokenKind::RParen, "after firstprivate list");
+    } else if (Clause == "lastprivate") {
+      expect(TokenKind::LParen, "after 'lastprivate'");
+      for (std::string &V : parseNameList())
+        D.LastPrivates.push_back(std::move(V));
+      expect(TokenKind::RParen, "after lastprivate list");
+    } else if (Clause == "relaxed") {
+      expect(TokenKind::LParen, "after 'relaxed'");
+      for (std::string &V : parseNameList())
+        D.Relaxed.push_back(std::move(V));
+      expect(TokenKind::RParen, "after relaxed list");
+    } else if (Clause == "shared") {
+      expect(TokenKind::LParen, "after 'shared'");
+      for (std::string &V : parseNameList())
+        D.Shared.push_back(std::move(V));
+      expect(TokenKind::RParen, "after shared list");
+    } else if (Clause == "reduction") {
+      expect(TokenKind::LParen, "after 'reduction'");
+      PragmaDirective::Reduction R;
+      // Operator: + * or an identifier (min/max/custom function).
+      if (accept(TokenKind::Plus))
+        R.OpName = "+";
+      else if (accept(TokenKind::Star))
+        R.OpName = "*";
+      else if (check(TokenKind::Identifier))
+        R.OpName = advance().Text;
+      else {
+        error("expected reduction operator");
+        return;
+      }
+      expect(TokenKind::Colon, "in reduction clause");
+      std::vector<std::string> Vars = parseNameList();
+      expect(TokenKind::RParen, "after reduction clause");
+      for (std::string &V : Vars) {
+        PragmaDirective::Reduction Copy = R;
+        Copy.Var = std::move(V);
+        D.Reductions.push_back(std::move(Copy));
+      }
+    } else if (Clause == "nowait") {
+      D.NoWait = true;
+    } else if (Clause == "ordered") {
+      D.HasOrderedClause = true;
+    } else if (Clause == "schedule") {
+      expect(TokenKind::LParen, "after 'schedule'");
+      if (check(TokenKind::Identifier))
+        advance(); // kind (only 'static' supported)
+      if (accept(TokenKind::Comma)) {
+        if (check(TokenKind::IntLiteral))
+          D.ChunkSize = advance().IntValue;
+        else
+          error("expected chunk size in schedule clause");
+      }
+      expect(TokenKind::RParen, "after schedule clause");
+    } else {
+      error("unknown clause '" + Clause + "'");
+      return;
+    }
+  }
+}
+
+std::vector<std::string> Parser::parseNameList() {
+  std::vector<std::string> Names;
+  do {
+    if (!check(TokenKind::Identifier)) {
+      error("expected name in list");
+      return Names;
+    }
+    Names.push_back(advance().Text);
+  } while (accept(TokenKind::Comma));
+  return Names;
+}
+
+// --- Expressions -------------------------------------------------------------
+
+namespace {
+
+int precedenceOf(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::Pipe:
+    return 3;
+  case TokenKind::Caret:
+    return 4;
+  case TokenKind::Amp:
+    return 5;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:
+    return 6;
+  case TokenKind::Less:
+  case TokenKind::LessEq:
+  case TokenKind::Greater:
+  case TokenKind::GreaterEq:
+    return 7;
+  case TokenKind::Shl:
+  case TokenKind::Shr:
+    return 8;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 9;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+BinaryExpr::Op binOpOf(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return BinaryExpr::Op::LogicalOr;
+  case TokenKind::AmpAmp:
+    return BinaryExpr::Op::LogicalAnd;
+  case TokenKind::Pipe:
+    return BinaryExpr::Op::BitOr;
+  case TokenKind::Caret:
+    return BinaryExpr::Op::BitXor;
+  case TokenKind::Amp:
+    return BinaryExpr::Op::BitAnd;
+  case TokenKind::EqEq:
+    return BinaryExpr::Op::EQ;
+  case TokenKind::NotEq:
+    return BinaryExpr::Op::NE;
+  case TokenKind::Less:
+    return BinaryExpr::Op::LT;
+  case TokenKind::LessEq:
+    return BinaryExpr::Op::LE;
+  case TokenKind::Greater:
+    return BinaryExpr::Op::GT;
+  case TokenKind::GreaterEq:
+    return BinaryExpr::Op::GE;
+  case TokenKind::Shl:
+    return BinaryExpr::Op::Shl;
+  case TokenKind::Shr:
+    return BinaryExpr::Op::Shr;
+  case TokenKind::Plus:
+    return BinaryExpr::Op::Add;
+  case TokenKind::Minus:
+    return BinaryExpr::Op::Sub;
+  case TokenKind::Star:
+    return BinaryExpr::Op::Mul;
+  case TokenKind::Slash:
+    return BinaryExpr::Op::Div;
+  case TokenKind::Percent:
+    return BinaryExpr::Op::Rem;
+  default:
+    return BinaryExpr::Op::Add;
+  }
+}
+
+} // namespace
+
+ExprPtr Parser::parseExpr() { return parseBinaryRHS(0, parseUnary()); }
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  if (!LHS)
+    return nullptr;
+  while (true) {
+    int Prec = precedenceOf(current().Kind);
+    if (Prec < MinPrec || Prec < 0)
+      return LHS;
+    TokenKind OpTok = advance().Kind;
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    int NextPrec = precedenceOf(current().Kind);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+    unsigned Line = LHS->Line;
+    LHS = std::make_unique<BinaryExpr>(binOpOf(OpTok), std::move(LHS),
+                                       std::move(RHS));
+    LHS->Line = Line;
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  unsigned Line = current().Line;
+  if (accept(TokenKind::Minus)) {
+    auto E = std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg, parseUnary());
+    E->Line = Line;
+    return E;
+  }
+  if (accept(TokenKind::Bang)) {
+    auto E = std::make_unique<UnaryExpr>(UnaryExpr::Op::Not, parseUnary());
+    E->Line = Line;
+    return E;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  unsigned Line = current().Line;
+  if (check(TokenKind::IntLiteral)) {
+    auto E = std::make_unique<IntLitExpr>(advance().IntValue);
+    E->Line = Line;
+    return E;
+  }
+  if (check(TokenKind::FloatLiteral)) {
+    auto E = std::make_unique<FloatLitExpr>(advance().FloatValue);
+    E->Line = Line;
+    return E;
+  }
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      auto E = std::make_unique<CallExpr>(std::move(Name), std::move(Args));
+      E->Line = Line;
+      return E;
+    }
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      auto E = std::make_unique<IndexExpr>(std::move(Name), std::move(Idx));
+      E->Line = Line;
+      return E;
+    }
+    auto E = std::make_unique<VarExpr>(std::move(Name));
+    E->Line = Line;
+    return E;
+  }
+  error("expected expression, found " +
+        std::string(tokenKindName(current().Kind)));
+  return nullptr;
+}

@@ -1,0 +1,74 @@
+//===- Parser.h - PSC recursive-descent parser -------------------*- C++ -*-===//
+///
+/// \file
+/// Parses a token stream into a TranslationUnit. On the first syntax error
+/// parsing stops and the error is recorded; callers check hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_PARSER_H
+#define PSPDG_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Recursive-descent parser for PSC.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens);
+
+  /// Parses the whole unit. Check errors() afterwards.
+  TranslationUnit parseTranslationUnit();
+
+  bool hasErrors() const { return !Errors.empty(); }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  // Token plumbing.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind K) const { return current().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const std::string &Where);
+  void error(const std::string &Msg);
+  bool atEnd() const;
+
+  // Grammar productions.
+  void parseTopLevel(TranslationUnit &TU);
+  void parseTopLevelPragma(TranslationUnit &TU);
+  FunctionDecl parseFunction(ASTType RetTy, std::string Name);
+  StmtPtr parseStatement();
+  StmtPtr parseBlock();
+  StmtPtr parseDeclStatement();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseExprOrAssign();
+  StmtPtr parsePragmaStatement();
+  PragmaDirective parseDirective();
+  void parseClauses(PragmaDirective &D);
+  std::vector<std::string> parseNameList();
+
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  bool parseTypeSpecifier(ASTType &Ty);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::vector<std::string> Errors;
+};
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_PARSER_H

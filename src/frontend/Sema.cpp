@@ -1,0 +1,401 @@
+//===- Sema.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "frontend/Sema.h"
+
+#include "ir/Module.h"
+
+#include <array>
+
+using namespace psc;
+
+namespace {
+
+/// Signature of a runtime built-in visible to PSC sources.
+struct BuiltinSig {
+  const char *Name;
+  ASTType RetTy;
+  std::vector<ASTType> Params;
+};
+
+const std::vector<BuiltinSig> &builtins() {
+  static const std::vector<BuiltinSig> Table = {
+      {intrinsics::Print, ASTType::Void, {ASTType::Int}},
+      {intrinsics::PrintF, ASTType::Void, {ASTType::Double}},
+      {intrinsics::Sqrt, ASTType::Double, {ASTType::Double}},
+      {intrinsics::Fabs, ASTType::Double, {ASTType::Double}},
+      {intrinsics::Sin, ASTType::Double, {ASTType::Double}},
+      {intrinsics::Cos, ASTType::Double, {ASTType::Double}},
+      {intrinsics::Exp, ASTType::Double, {ASTType::Double}},
+      {intrinsics::Log, ASTType::Double, {ASTType::Double}},
+      {intrinsics::Pow, ASTType::Double, {ASTType::Double, ASTType::Double}},
+      {intrinsics::IMin, ASTType::Int, {ASTType::Int, ASTType::Int}},
+      {intrinsics::IMax, ASTType::Int, {ASTType::Int, ASTType::Int}},
+      {intrinsics::FMin, ASTType::Double, {ASTType::Double, ASTType::Double}},
+      {intrinsics::FMax, ASTType::Double, {ASTType::Double, ASTType::Double}},
+      {intrinsics::Lcg, ASTType::Int, {ASTType::Int}},
+  };
+  return Table;
+}
+
+const BuiltinSig *lookupBuiltin(const std::string &Name) {
+  for (const BuiltinSig &B : builtins())
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}
+
+bool isIntOnlyOp(BinaryExpr::Op Op) {
+  switch (Op) {
+  case BinaryExpr::Op::Rem:
+  case BinaryExpr::Op::BitAnd:
+  case BinaryExpr::Op::BitOr:
+  case BinaryExpr::Op::BitXor:
+  case BinaryExpr::Op::Shl:
+  case BinaryExpr::Op::Shr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isComparison(BinaryExpr::Op Op) {
+  switch (Op) {
+  case BinaryExpr::Op::EQ:
+  case BinaryExpr::Op::NE:
+  case BinaryExpr::Op::LT:
+  case BinaryExpr::Op::LE:
+  case BinaryExpr::Op::GT:
+  case BinaryExpr::Op::GE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isLogical(BinaryExpr::Op Op) {
+  return Op == BinaryExpr::Op::LogicalAnd || Op == BinaryExpr::Op::LogicalOr;
+}
+
+} // namespace
+
+void Sema::error(unsigned Line, const std::string &Msg) {
+  Diags.push_back("line " + std::to_string(Line) + ": " + Msg);
+}
+
+const Sema::VarInfo *Sema::lookupVar(const std::string &Name) const {
+  auto It = Locals.find(Name);
+  if (It != Locals.end())
+    return &It->second;
+  auto GIt = Globals.find(Name);
+  if (GIt != Globals.end())
+    return &GIt->second;
+  return nullptr;
+}
+
+std::vector<std::string> Sema::analyze(TranslationUnit &TU) {
+  collectTopLevel(TU);
+  for (FunctionDecl &F : TU.Functions)
+    analyzeFunction(F);
+
+  // threadprivate/reducible pragmas must reference globals.
+  for (const std::string &V : TU.ThreadPrivates)
+    if (!Globals.count(V))
+      Diags.push_back("threadprivate variable '" + V + "' is not a global");
+  for (auto &[Var, Fn] : TU.Reducibles) {
+    if (!Globals.count(Var))
+      Diags.push_back("reducible variable '" + Var + "' is not a global");
+    if (!Functions.count(Fn))
+      Diags.push_back("reducer function '" + Fn + "' is not defined");
+  }
+  return std::move(Diags);
+}
+
+void Sema::collectTopLevel(const TranslationUnit &TU) {
+  for (const GlobalDecl &G : TU.Globals) {
+    if (Globals.count(G.Name) || Functions.count(G.Name)) {
+      error(G.Line, "redefinition of '" + G.Name + "'");
+      continue;
+    }
+    Globals[G.Name] = {G.Ty, G.IsArray, false};
+  }
+  for (const FunctionDecl &F : TU.Functions) {
+    if (Functions.count(F.Name) || Globals.count(F.Name) ||
+        lookupBuiltin(F.Name)) {
+      error(F.Line, "redefinition of '" + F.Name + "'");
+      continue;
+    }
+    Functions[F.Name] = {F.RetTy, F.Params};
+  }
+}
+
+void Sema::analyzeFunction(FunctionDecl &F) {
+  Locals.clear();
+  CurrentRetTy = F.RetTy;
+  for (const ParamDecl &P : F.Params) {
+    if (Locals.count(P.Name)) {
+      error(F.Line, "duplicate parameter '" + P.Name + "'");
+      continue;
+    }
+    Locals[P.Name] = {P.Ty, P.IsArray, true};
+  }
+  if (F.Body)
+    analyzeStmt(F.Body.get());
+}
+
+void Sema::analyzeStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::StmtKind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    if (Locals.count(D->Name)) {
+      error(D->Line, "redeclaration of '" + D->Name +
+                         "' (PSC forbids shadowing)");
+      return;
+    }
+    if (Globals.count(D->Name))
+      error(D->Line, "local '" + D->Name + "' shadows a global");
+    if (D->IsArray && D->ArraySize <= 0)
+      error(D->Line, "array size must be positive");
+    Locals[D->Name] = {D->Ty, D->IsArray, false};
+    if (D->Init) {
+      if (D->IsArray) {
+        error(D->Line, "array declarations cannot have initializers");
+        return;
+      }
+      analyzeExpr(D->Init.get());
+    }
+    return;
+  }
+  case Stmt::StmtKind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    ASTType TargetTy = analyzeExpr(A->Target.get());
+    if (auto *V = dyn_cast<VarExpr>(A->Target.get())) {
+      const VarInfo *VI = lookupVar(V->Name);
+      if (VI && VI->IsArray) {
+        error(A->Line, "cannot assign to array '" + V->Name + "'");
+        return;
+      }
+    }
+    ASTType ValueTy = analyzeExpr(A->Value.get());
+    (void)TargetTy;
+    (void)ValueTy; // implicit int<->double conversion is allowed
+    return;
+  }
+  case Stmt::StmtKind::ExprStmt:
+    analyzeExpr(cast<ExprStmt>(S)->E.get());
+    return;
+  case Stmt::StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    if (analyzeExpr(I->Cond.get()) != ASTType::Int)
+      error(I->Line, "if condition must be an integer expression");
+    analyzeStmt(I->Then.get());
+    analyzeStmt(I->Else.get());
+    return;
+  }
+  case Stmt::StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    if (analyzeExpr(W->Cond.get()) != ASTType::Int)
+      error(W->Line, "while condition must be an integer expression");
+    analyzeStmt(W->Body.get());
+    return;
+  }
+  case Stmt::StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    const VarInfo *VI = lookupVar(F->Counter);
+    if (!VI)
+      error(F->Line, "undeclared loop counter '" + F->Counter + "'");
+    else if (VI->Ty != ASTType::Int || VI->IsArray)
+      error(F->Line, "loop counter '" + F->Counter +
+                         "' must be a scalar int");
+    analyzeExpr(F->Init.get());
+    analyzeExpr(F->Bound.get());
+    analyzeExpr(F->Step.get());
+    analyzeStmt(F->Body.get());
+    return;
+  }
+  case Stmt::StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->Value) {
+      if (CurrentRetTy == ASTType::Void) {
+        error(R->Line, "void function cannot return a value");
+        return;
+      }
+      analyzeExpr(R->Value.get());
+    } else if (CurrentRetTy != ASTType::Void) {
+      error(R->Line, "non-void function must return a value");
+    }
+    return;
+  }
+  case Stmt::StmtKind::Block:
+    for (StmtPtr &Sub : cast<BlockStmt>(S)->Stmts)
+      analyzeStmt(Sub.get());
+    return;
+  case Stmt::StmtKind::Pragma:
+    analyzePragma(*cast<PragmaStmt>(S));
+    return;
+  case Stmt::StmtKind::Barrier:
+    return;
+  case Stmt::StmtKind::Spawn: {
+    auto *Sp = cast<SpawnStmt>(S);
+    auto *Call = dyn_cast_or_null<CallExpr>(Sp->Call.get());
+    if (!Call) {
+      error(Sp->Line, "spawn requires a function call");
+      return;
+    }
+    if (!Functions.count(Call->Callee)) {
+      error(Sp->Line, "spawned function '" + Call->Callee +
+                          "' must be a defined function");
+      return;
+    }
+    analyzeExpr(Sp->Call.get());
+    return;
+  }
+  case Stmt::StmtKind::Sync:
+    return;
+  }
+}
+
+void Sema::analyzePragma(PragmaStmt &P) {
+  const PragmaDirective &D = P.Directive;
+  auto CheckVars = [&](const std::vector<std::string> &Names,
+                       const char *Clause) {
+    for (const std::string &N : Names)
+      if (!lookupVar(N))
+        error(D.Line, std::string("variable '") + N + "' in " + Clause +
+                          " clause is not declared");
+  };
+  CheckVars(D.Privates, "private");
+  CheckVars(D.FirstPrivates, "firstprivate");
+  CheckVars(D.LastPrivates, "lastprivate");
+  CheckVars(D.Relaxed, "relaxed");
+  CheckVars(D.Shared, "shared");
+  for (const PragmaDirective::Reduction &R : D.Reductions) {
+    if (!lookupVar(R.Var))
+      error(D.Line,
+            "reduction variable '" + R.Var + "' is not declared");
+    bool KnownOp = R.OpName == "+" || R.OpName == "*" || R.OpName == "min" ||
+                   R.OpName == "max";
+    if (!KnownOp && !Functions.count(R.OpName))
+      error(D.Line, "unknown reduction operator/function '" + R.OpName + "'");
+  }
+  analyzeStmt(P.Sub.get());
+}
+
+ASTType Sema::analyzeExpr(Expr *E, bool AllowArrayRef) {
+  if (!E)
+    return ASTType::Int;
+  switch (E->getKind()) {
+  case Expr::ExprKind::IntLit:
+    E->setASTType(ASTType::Int);
+    return ASTType::Int;
+  case Expr::ExprKind::FloatLit:
+    E->setASTType(ASTType::Double);
+    return ASTType::Double;
+  case Expr::ExprKind::Var: {
+    auto *V = cast<VarExpr>(E);
+    const VarInfo *VI = lookupVar(V->Name);
+    if (!VI) {
+      error(E->Line, "undeclared variable '" + V->Name + "'");
+      E->setASTType(ASTType::Int);
+      return ASTType::Int;
+    }
+    if (VI->IsArray) {
+      V->IsArrayRef = true;
+      if (!AllowArrayRef)
+        error(E->Line, "array '" + V->Name +
+                           "' used as a scalar (index it or pass it to a "
+                           "function)");
+    }
+    E->setASTType(VI->Ty);
+    return VI->Ty;
+  }
+  case Expr::ExprKind::Index: {
+    auto *I = cast<IndexExpr>(E);
+    const VarInfo *VI = lookupVar(I->Name);
+    if (!VI) {
+      error(E->Line, "undeclared array '" + I->Name + "'");
+      E->setASTType(ASTType::Int);
+      return ASTType::Int;
+    }
+    if (!VI->IsArray)
+      error(E->Line, "'" + I->Name + "' is not an array");
+    if (analyzeExpr(I->Index.get()) != ASTType::Int)
+      error(E->Line, "array index must be an integer");
+    E->setASTType(VI->Ty);
+    return VI->Ty;
+  }
+  case Expr::ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    ASTType L = analyzeExpr(B->LHS.get());
+    ASTType R = analyzeExpr(B->RHS.get());
+    if (isIntOnlyOp(B->Operator) || isLogical(B->Operator)) {
+      if (L != ASTType::Int || R != ASTType::Int)
+        error(E->Line, "operator requires integer operands");
+      E->setASTType(ASTType::Int);
+      return ASTType::Int;
+    }
+    if (isComparison(B->Operator)) {
+      E->setASTType(ASTType::Int);
+      return ASTType::Int;
+    }
+    ASTType Ty = (L == ASTType::Double || R == ASTType::Double)
+                     ? ASTType::Double
+                     : ASTType::Int;
+    E->setASTType(Ty);
+    return Ty;
+  }
+  case Expr::ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    ASTType SubTy = analyzeExpr(U->Sub.get());
+    if (U->Operator == UnaryExpr::Op::Not) {
+      if (SubTy != ASTType::Int)
+        error(E->Line, "'!' requires an integer operand");
+      E->setASTType(ASTType::Int);
+      return ASTType::Int;
+    }
+    E->setASTType(SubTy);
+    return SubTy;
+  }
+  case Expr::ExprKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    // Builtins first.
+    if (const BuiltinSig *B = lookupBuiltin(C->Callee)) {
+      if (C->Args.size() != B->Params.size())
+        error(E->Line, "wrong number of arguments to '" + C->Callee + "'");
+      for (ExprPtr &A : C->Args)
+        analyzeExpr(A.get());
+      E->setASTType(B->RetTy);
+      return B->RetTy;
+    }
+    auto It = Functions.find(C->Callee);
+    if (It == Functions.end()) {
+      error(E->Line, "call to undefined function '" + C->Callee + "'");
+      E->setASTType(ASTType::Int);
+      return ASTType::Int;
+    }
+    const FuncInfo &FI = It->second;
+    if (C->Args.size() != FI.Params.size()) {
+      error(E->Line, "wrong number of arguments to '" + C->Callee + "'");
+    } else {
+      for (size_t I = 0; I < C->Args.size(); ++I) {
+        ASTType ArgTy = analyzeExpr(C->Args[I].get(),
+                                    /*AllowArrayRef=*/FI.Params[I].IsArray);
+        const ParamDecl &P = FI.Params[I];
+        if (P.IsArray) {
+          auto *V = dyn_cast<VarExpr>(C->Args[I].get());
+          if (!V || !V->IsArrayRef)
+            error(E->Line, "argument " + std::to_string(I + 1) + " of '" +
+                               C->Callee + "' must be an array");
+          else if (ArgTy != P.Ty)
+            error(E->Line, "array element type mismatch in call to '" +
+                               C->Callee + "'");
+        }
+      }
+    }
+    E->setASTType(FI.RetTy);
+    return FI.RetTy;
+  }
+  }
+  return ASTType::Int;
+}

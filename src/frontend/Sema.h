@@ -1,0 +1,63 @@
+//===- Sema.h - PSC semantic analysis ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Type checks a TranslationUnit in place: resolves identifier kinds
+/// (scalar / array / function), computes expression types (annotated onto
+/// Expr nodes), validates assignments, calls, loop shapes, and pragma
+/// clauses. PSC forbids shadowing: all variables in a function (including
+/// parameters) must have distinct names, which keeps clause resolution and
+/// code generation unambiguous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_SEMA_H
+#define PSPDG_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Semantic analyzer; one instance per translation unit.
+class Sema {
+public:
+  /// Analyzes \p TU; returns the diagnostics (empty = success).
+  std::vector<std::string> analyze(TranslationUnit &TU);
+
+private:
+  struct VarInfo {
+    ASTType Ty = ASTType::Int;
+    bool IsArray = false;
+    bool IsParam = false;
+  };
+
+  struct FuncInfo {
+    ASTType RetTy = ASTType::Void;
+    std::vector<ParamDecl> Params;
+  };
+
+  void error(unsigned Line, const std::string &Msg);
+
+  void collectTopLevel(const TranslationUnit &TU);
+  void analyzeFunction(FunctionDecl &F);
+  void analyzeStmt(Stmt *S);
+  void analyzePragma(PragmaStmt &P);
+  /// Returns the expression type, annotating the node. Reports an error and
+  /// returns Int on failure.
+  ASTType analyzeExpr(Expr *E, bool AllowArrayRef = false);
+
+  const VarInfo *lookupVar(const std::string &Name) const;
+
+  std::map<std::string, VarInfo> Globals;
+  std::map<std::string, FuncInfo> Functions;
+  std::map<std::string, VarInfo> Locals; ///< Current function scope.
+  ASTType CurrentRetTy = ASTType::Void;
+  std::vector<std::string> Diags;
+};
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_SEMA_H

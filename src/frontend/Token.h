@@ -1,0 +1,101 @@
+//===- Token.h - PSC lexical tokens ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Token kinds produced by the PSC lexer. Pragma lines (`#pragma psc ...`)
+/// are tokenized in-line: the lexer emits PragmaStart at `#pragma psc` and
+/// PragmaEnd at the first newline afterwards, so the parser consumes
+/// directives with ordinary lookahead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_FRONTEND_TOKEN_H
+#define PSPDG_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace psc {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwSpawn,
+  KwSync,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Colon,
+
+  // Operators.
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PlusPlus,
+  MinusMinus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  AmpAmp,
+  PipePipe,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  Bang,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+
+  // Pragmas.
+  PragmaStart, // '#pragma psc'
+  PragmaEnd,   // end-of-line inside a pragma
+
+  Eof,
+  Error
+};
+
+/// One lexed token with source position (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Mnemonic for diagnostics ("identifier", "'('", ...).
+const char *tokenKindName(TokenKind K);
+
+} // namespace psc
+
+#endif // PSPDG_FRONTEND_TOKEN_H

@@ -1,0 +1,27 @@
+//===- BasicBlock.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace psc;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(!hasTerminator() && "appending to a terminated block");
+  I->setParent(this);
+  Instructions.push_back(std::move(I));
+  return Instructions.back().get();
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *Term = getTerminator();
+  if (!Term)
+    return {};
+  if (auto *Br = dyn_cast<BranchInst>(Term))
+    return {Br->getTarget()};
+  if (auto *CBr = dyn_cast<CondBranchInst>(Term))
+    return {CBr->getTrueTarget(), CBr->getFalseTarget()};
+  return {};
+}

@@ -1,0 +1,85 @@
+//===- BasicBlock.h - Straight-line instruction container ------*- C++ -*-===//
+///
+/// \file
+/// A BasicBlock owns a sequence of instructions ending in exactly one
+/// terminator. Blocks are identified by a stable per-function index used by
+/// the CFG, dominator, and loop analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_BASICBLOCK_H
+#define PSPDG_IR_BASICBLOCK_H
+
+#include "ir/Instructions.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class Function;
+
+/// A maximal straight-line code sequence with a single terminator.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string BlockName, unsigned Index)
+      : Parent(Parent), Name(std::move(BlockName)), Index(Index) {}
+
+  Function *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  unsigned getIndex() const { return Index; }
+  void setIndex(unsigned I) { Index = I; }
+
+  /// Appends \p I and takes ownership. The block must not already have a
+  /// terminator.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  bool empty() const { return Instructions.empty(); }
+  size_t size() const { return Instructions.size(); }
+
+  Instruction *front() const { return Instructions.front().get(); }
+  Instruction *back() const { return Instructions.back().get(); }
+
+  /// Returns the terminator, or null if the block is still being built.
+  Instruction *getTerminator() const {
+    if (Instructions.empty() || !Instructions.back()->isTerminator())
+      return nullptr;
+    return Instructions.back().get();
+  }
+
+  bool hasTerminator() const { return getTerminator() != nullptr; }
+
+  /// Successor blocks (0 for Ret, 1 for Br, 2 for CondBr).
+  std::vector<BasicBlock *> successors() const;
+
+  // Iteration over instructions (as raw pointers).
+  class iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<Instruction>>::const_iterator;
+    explicit iterator(Inner It) : It(It) {}
+    Instruction *operator*() const { return It->get(); }
+    iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return It != O.It; }
+    bool operator==(const iterator &O) const { return It == O.It; }
+
+  private:
+    Inner It;
+  };
+
+  iterator begin() const { return iterator(Instructions.begin()); }
+  iterator end() const { return iterator(Instructions.end()); }
+
+private:
+  Function *Parent;
+  std::string Name;
+  unsigned Index;
+  std::vector<std::unique_ptr<Instruction>> Instructions;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_BASICBLOCK_H

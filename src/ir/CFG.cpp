@@ -1,0 +1,44 @@
+//===- CFG.cpp ------------------------------------------------*- C++ -*-===//
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+
+using namespace psc;
+
+CFG::CFG(const Function &F) {
+  unsigned N = F.getNumBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  for (unsigned I = 0; I < N; ++I)
+    for (BasicBlock *S : F.getBlock(I)->successors())
+      Succs[I].push_back(S->getIndex());
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned S : Succs[I])
+      Preds[S].push_back(I);
+
+  if (N == 0)
+    return;
+
+  // Iterative post-order DFS from the entry block.
+  std::vector<unsigned> PostOrder;
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  Reachable[0] = true;
+  Stack.push_back({0, 0});
+  while (!Stack.empty()) {
+    auto &[Block, Pos] = Stack.back();
+    if (Pos < Succs[Block].size()) {
+      unsigned Next = Succs[Block][Pos++];
+      if (!Reachable[Next]) {
+        Reachable[Next] = true;
+        Stack.push_back({Next, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+}

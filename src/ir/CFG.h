@@ -1,0 +1,47 @@
+//===- CFG.h - Control-flow-graph utilities ---------------------*- C++ -*-===//
+///
+/// \file
+/// Predecessor maps, reverse post-order, and reachability over a Function's
+/// CFG. These are the building blocks for the dominator and loop analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_CFG_H
+#define PSPDG_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace psc {
+
+/// Immutable snapshot of a function's CFG structure, indexed by block index.
+class CFG {
+public:
+  explicit CFG(const Function &F);
+
+  unsigned size() const { return static_cast<unsigned>(Succs.size()); }
+
+  const std::vector<unsigned> &successors(unsigned Block) const {
+    return Succs[Block];
+  }
+  const std::vector<unsigned> &predecessors(unsigned Block) const {
+    return Preds[Block];
+  }
+
+  /// Blocks in reverse post-order of a DFS from the entry. Unreachable
+  /// blocks are excluded.
+  const std::vector<unsigned> &reversePostOrder() const { return RPO; }
+
+  bool isReachable(unsigned Block) const { return Reachable[Block]; }
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+  std::vector<unsigned> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_CFG_H

@@ -1,0 +1,165 @@
+//===- Dominators.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace psc;
+
+namespace {
+
+/// Graph view used by the solver: either the CFG as-is or its reverse with a
+/// virtual exit appended.
+struct GraphView {
+  unsigned NumNodes = 0;
+  unsigned Root = 0;
+  std::vector<std::vector<unsigned>> Preds;
+  std::vector<unsigned> RPO; // of the (possibly reversed) graph
+};
+
+GraphView makeForwardView(const CFG &G) {
+  GraphView V;
+  V.NumNodes = G.size();
+  V.Root = 0;
+  V.Preds.resize(V.NumNodes);
+  for (unsigned B = 0; B < V.NumNodes; ++B)
+    V.Preds[B] = G.predecessors(B);
+  V.RPO = G.reversePostOrder();
+  return V;
+}
+
+GraphView makeReverseView(const CFG &G) {
+  GraphView V;
+  unsigned N = G.size();
+  V.NumNodes = N + 1; // + virtual exit
+  V.Root = N;
+  V.Preds.resize(V.NumNodes);
+
+  // Reverse edges: pred in reverse graph = succ in forward graph.
+  for (unsigned B = 0; B < N; ++B)
+    V.Preds[B] = G.successors(B);
+  // Exit blocks (no successors) are predecessors of the virtual exit in the
+  // forward sense, i.e. the virtual exit's reverse-graph successors; in the
+  // reverse graph each exit block has the virtual exit as predecessor.
+  std::vector<unsigned> Exits;
+  for (unsigned B = 0; B < N; ++B)
+    if (G.successors(B).empty() && G.isReachable(B))
+      Exits.push_back(B);
+  for (unsigned E : Exits)
+    V.Preds[E].push_back(V.Root);
+
+  // RPO of the reverse graph: DFS from the virtual exit along reverse edges
+  // (i.e. along forward predecessors).
+  std::vector<bool> Visited(V.NumNodes, false);
+  std::vector<unsigned> PostOrder;
+  std::vector<std::pair<unsigned, size_t>> Stack;
+  auto ReverseSuccs = [&](unsigned Node) -> std::vector<unsigned> {
+    if (Node == V.Root)
+      return Exits;
+    return G.predecessors(Node);
+  };
+  Visited[V.Root] = true;
+  Stack.push_back({V.Root, 0});
+  std::vector<std::vector<unsigned>> SuccCache(V.NumNodes);
+  SuccCache[V.Root] = ReverseSuccs(V.Root);
+  while (!Stack.empty()) {
+    auto &[Node, Pos] = Stack.back();
+    auto &Succs = SuccCache[Node];
+    if (Pos < Succs.size()) {
+      unsigned Next = Succs[Pos++];
+      if (!Visited[Next]) {
+        Visited[Next] = true;
+        SuccCache[Next] = ReverseSuccs(Next);
+        Stack.push_back({Next, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+  V.RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  return V;
+}
+
+/// Cooper–Harvey–Kennedy "engineered" iterative dominator algorithm.
+std::vector<unsigned> solveIDoms(const GraphView &V) {
+  constexpr unsigned None = DominatorTree::None;
+  std::vector<unsigned> IDom(V.NumNodes, None);
+  std::vector<unsigned> RPONumber(V.NumNodes, None);
+  for (unsigned I = 0; I < V.RPO.size(); ++I)
+    RPONumber[V.RPO[I]] = I;
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  IDom[V.Root] = V.Root;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : V.RPO) {
+      if (Node == V.Root)
+        continue;
+      unsigned NewIDom = None;
+      for (unsigned P : V.Preds[Node]) {
+        if (RPONumber[P] == None || IDom[P] == None)
+          continue; // unreachable or unprocessed
+        NewIDom = NewIDom == None ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != None && IDom[Node] != NewIDom) {
+        IDom[Node] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[V.Root] = None; // root has no idom
+  return IDom;
+}
+
+std::vector<std::vector<unsigned>>
+computeFrontiers(const GraphView &V, const std::vector<unsigned> &IDom) {
+  constexpr unsigned None = DominatorTree::None;
+  std::vector<std::vector<unsigned>> DF(V.NumNodes);
+  for (unsigned Node = 0; Node < V.NumNodes; ++Node) {
+    if (V.Preds[Node].size() < 2)
+      continue;
+    for (unsigned P : V.Preds[Node]) {
+      unsigned Runner = P;
+      while (Runner != None && Runner != IDom[Node]) {
+        if (std::find(DF[Runner].begin(), DF[Runner].end(), Node) ==
+            DF[Runner].end())
+          DF[Runner].push_back(Node);
+        Runner = IDom[Runner];
+      }
+    }
+  }
+  return DF;
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const CFG &G, bool Post) {
+  GraphView V = Post ? makeReverseView(G) : makeForwardView(G);
+  if (Post)
+    VirtualExit = G.size();
+  IDom = solveIDoms(V);
+  Frontier = computeFrontiers(V, IDom);
+}
+
+bool DominatorTree::dominates(unsigned A, unsigned B) const {
+  assert(A < IDom.size() && B < IDom.size() && "block index out of range");
+  unsigned Runner = B;
+  while (Runner != None) {
+    if (Runner == A)
+      return true;
+    Runner = IDom[Runner];
+  }
+  return false;
+}

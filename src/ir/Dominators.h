@@ -1,0 +1,58 @@
+//===- Dominators.h - Dominator and post-dominator trees -------*- C++ -*-===//
+///
+/// \file
+/// Dominator / post-dominator computation via the Cooper–Harvey–Kennedy
+/// iterative algorithm, plus dominance frontiers. Post-dominance frontiers
+/// yield control dependences (Ferrante et al., the original PDG paper).
+/// Multiple-exit functions are handled with a virtual exit node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_DOMINATORS_H
+#define PSPDG_IR_DOMINATORS_H
+
+#include "ir/CFG.h"
+
+#include <vector>
+
+namespace psc {
+
+/// Dominator tree over block indices. With Post=true, computes the
+/// post-dominator tree on the reversed CFG (virtual exit = index size()).
+class DominatorTree {
+public:
+  DominatorTree(const CFG &G, bool Post);
+
+  static constexpr unsigned None = ~0u;
+
+  /// Immediate dominator of \p Block, or None for the root / unreachable
+  /// blocks. The virtual root (entry, or virtual exit for post-dominance)
+  /// has idom None.
+  unsigned getIDom(unsigned Block) const { return IDom[Block]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const;
+
+  /// Index of the virtual exit node for post-dominator trees (== number of
+  /// real blocks), or None for dominator trees.
+  unsigned getVirtualExit() const { return VirtualExit; }
+
+  bool isPostDominatorTree() const { return VirtualExit != None; }
+
+  /// Dominance frontier of every block. For post-dominator trees this is
+  /// the *post-dominance frontier*: B is control-dependent on every block
+  /// in PDF(B)... more precisely, PDF(B) contains the branches controlling
+  /// whether B executes.
+  const std::vector<std::vector<unsigned>> &frontiers() const {
+    return Frontier;
+  }
+
+private:
+  std::vector<unsigned> IDom;
+  std::vector<std::vector<unsigned>> Frontier;
+  unsigned VirtualExit = None;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_DOMINATORS_H

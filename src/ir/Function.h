@@ -1,0 +1,99 @@
+//===- Function.h - Function definition/declaration -------------*- C++ -*-===//
+///
+/// \file
+/// A Function owns its arguments and basic blocks. Functions without blocks
+/// are declarations; the runtime built-ins (print, sqrt, region markers) are
+/// declarations whose semantics live in the emulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_FUNCTION_H
+#define PSPDG_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class Module;
+
+/// A function definition or declaration.
+class Function : public Value {
+public:
+  Function(FunctionType *FTy, std::string FuncName, Module *Parent)
+      : Value(ValueKind::Function, FTy), Parent(Parent) {
+    setName(std::move(FuncName));
+  }
+
+  Module *getParent() const { return Parent; }
+
+  FunctionType *getFunctionType() const {
+    return static_cast<FunctionType *>(getType());
+  }
+  Type *getReturnType() const { return getFunctionType()->getReturnType(); }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  // Arguments.
+  Argument *addArgument(std::unique_ptr<Argument> Arg) {
+    Args.push_back(std::move(Arg));
+    return Args.back().get();
+  }
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+
+  // Blocks.
+  BasicBlock *createBlock(std::string BlockName) {
+    Blocks.push_back(std::make_unique<BasicBlock>(
+        this, std::move(BlockName), static_cast<unsigned>(Blocks.size())));
+    return Blocks.back().get();
+  }
+  unsigned getNumBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  BasicBlock *getBlock(unsigned I) const { return Blocks[I].get(); }
+  BasicBlock *getEntryBlock() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  class block_iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<BasicBlock>>::const_iterator;
+    explicit block_iterator(Inner It) : It(It) {}
+    BasicBlock *operator*() const { return It->get(); }
+    block_iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const block_iterator &O) const { return It != O.It; }
+
+  private:
+    Inner It;
+  };
+
+  block_iterator begin() const { return block_iterator(Blocks.begin()); }
+  block_iterator end() const { return block_iterator(Blocks.end()); }
+
+  /// Total instruction count across all blocks.
+  size_t getInstructionCount() const {
+    size_t N = 0;
+    for (auto &BB : Blocks)
+      N += BB->size();
+    return N;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Function;
+  }
+
+private:
+  Module *Parent;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_FUNCTION_H

@@ -1,0 +1,131 @@
+//===- IRBuilder.h - Convenience instruction factory -----------*- C++ -*-===//
+///
+/// \file
+/// Creates instructions at an insertion point, wiring up types, stable ids,
+/// and ownership. All create* methods append to the current block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_IRBUILDER_H
+#define PSPDG_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <memory>
+
+namespace psc {
+
+/// Streams new instructions into a basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertPoint(BasicBlock *BB) { Insert = BB; }
+  BasicBlock *getInsertBlock() const { return Insert; }
+
+  Module &getModule() { return M; }
+  TypeContext &types() { return M.getTypes(); }
+
+  // --- Memory -------------------------------------------------------------
+
+  AllocaInst *createAlloca(Type *ObjectTy, const std::string &VarName) {
+    Type *Elem = ObjectTy->isArray() ? cast<ArrayType>(ObjectTy)->getElement()
+                                     : ObjectTy;
+    auto I = std::make_unique<AllocaInst>(types().getPointerTy(Elem), ObjectTy,
+                                          VarName);
+    return append(std::move(I));
+  }
+
+  LoadInst *createLoad(Value *Ptr) {
+    auto *PT = cast<PointerType>(Ptr->getType());
+    return append(std::make_unique<LoadInst>(PT->getPointee(), Ptr));
+  }
+
+  StoreInst *createStore(Value *Val, Value *Ptr) {
+    return append(
+        std::make_unique<StoreInst>(types().getVoidTy(), Val, Ptr));
+  }
+
+  GEPInst *createGEP(Value *Base, Value *Index) {
+    auto *PT = cast<PointerType>(Base->getType());
+    return append(std::make_unique<GEPInst>(PT, Base, Index));
+  }
+
+  // --- Arithmetic -----------------------------------------------------------
+
+  BinaryInst *createBinary(BinaryInst::BinOp Op, Value *LHS, Value *RHS) {
+    assert(LHS->getType() == RHS->getType() && "binop type mismatch");
+    return append(
+        std::make_unique<BinaryInst>(LHS->getType(), Op, LHS, RHS));
+  }
+
+  UnaryInst *createUnary(UnaryInst::UnOp Op, Value *V) {
+    Type *Ty =
+        Op == UnaryInst::UnOp::Not ? types().getIntTy() : V->getType();
+    return append(std::make_unique<UnaryInst>(Ty, Op, V));
+  }
+
+  CmpInst *createCmp(CmpInst::Predicate Pred, Value *LHS, Value *RHS) {
+    assert(LHS->getType() == RHS->getType() && "cmp type mismatch");
+    return append(
+        std::make_unique<CmpInst>(types().getIntTy(), Pred, LHS, RHS));
+  }
+
+  CastInst *createIntToFloat(Value *V) {
+    return append(std::make_unique<CastInst>(
+        types().getFloatTy(), CastInst::CastOp::IntToFloat, V));
+  }
+
+  CastInst *createFloatToInt(Value *V) {
+    return append(std::make_unique<CastInst>(
+        types().getIntTy(), CastInst::CastOp::FloatToInt, V));
+  }
+
+  // --- Control flow ---------------------------------------------------------
+
+  BranchInst *createBr(BasicBlock *Target) {
+    return append(std::make_unique<BranchInst>(types().getVoidTy(), Target));
+  }
+
+  CondBranchInst *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                               BasicBlock *FalseBB) {
+    return append(std::make_unique<CondBranchInst>(types().getVoidTy(), Cond,
+                                                   TrueBB, FalseBB));
+  }
+
+  ReturnInst *createRetVoid() {
+    return append(std::make_unique<ReturnInst>(types().getVoidTy()));
+  }
+
+  ReturnInst *createRet(Value *V) {
+    return append(std::make_unique<ReturnInst>(types().getVoidTy(), V));
+  }
+
+  CallInst *createCall(Function *Callee, std::vector<Value *> Args) {
+    return append(std::make_unique<CallInst>(Callee->getReturnType(), Callee,
+                                             std::move(Args)));
+  }
+
+  /// Emits a call to a marker/runtime intrinsic by name.
+  CallInst *createIntrinsicCall(const std::string &IntrinsicName,
+                                std::vector<Value *> Args) {
+    return createCall(M.getOrCreateIntrinsic(IntrinsicName), std::move(Args));
+  }
+
+private:
+  template <typename InstT> InstT *append(std::unique_ptr<InstT> I) {
+    assert(Insert && "no insertion point set");
+    I->setId(M.takeNextValueId());
+    InstT *Raw = I.get();
+    Insert->append(std::move(I));
+    return Raw;
+  }
+
+  Module &M;
+  BasicBlock *Insert = nullptr;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_IRBUILDER_H

@@ -1,0 +1,114 @@
+//===- Instructions.cpp ---------------------------------------*- C++ -*-===//
+
+#include "ir/Instructions.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+using namespace psc;
+
+CallInst::CallInst(Type *RetTy, Function *Callee, std::vector<Value *> Args)
+    : Instruction(ValueKind::Call, RetTy), Callee(Callee) {
+  for (Value *A : Args)
+    addOperand(A);
+}
+
+bool Instruction::mayAccessMemory() const {
+  switch (getKind()) {
+  case ValueKind::Load:
+  case ValueKind::Store:
+    return true;
+  case ValueKind::Call: {
+    const auto *CI = cast<CallInst>(this);
+    const Function *Callee = CI->getCallee();
+    // Declared built-ins are pure except 'print' (externally visible
+    // output); defined functions may touch any memory.
+    if (!Callee->isDeclaration())
+      return true;
+    const std::string &N = Callee->getName();
+    return N == intrinsics::Print || N == intrinsics::PrintF;
+  }
+  default:
+    return false;
+  }
+}
+
+const char *Instruction::getOpcodeName() const {
+  switch (getKind()) {
+  case ValueKind::Alloca:
+    return "alloca";
+  case ValueKind::Load:
+    return "load";
+  case ValueKind::Store:
+    return "store";
+  case ValueKind::GEP:
+    return "gep";
+  case ValueKind::Binary:
+    return BinaryInst::getBinOpName(cast<BinaryInst>(this)->getBinOp());
+  case ValueKind::Unary:
+    return cast<UnaryInst>(this)->getUnOp() == UnaryInst::UnOp::Neg ? "neg"
+                                                                    : "not";
+  case ValueKind::Cmp:
+    return "cmp";
+  case ValueKind::Cast:
+    return cast<CastInst>(this)->getCastOp() == CastInst::CastOp::IntToFloat
+               ? "sitofp"
+               : "fptosi";
+  case ValueKind::Br:
+    return "br";
+  case ValueKind::CondBr:
+    return "condbr";
+  case ValueKind::Ret:
+    return "ret";
+  case ValueKind::Call:
+    return "call";
+  default:
+    psc_unreachable("not an instruction kind");
+  }
+}
+
+const char *BinaryInst::getBinOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::Div:
+    return "div";
+  case BinOp::Rem:
+    return "rem";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Shl:
+    return "shl";
+  case BinOp::Shr:
+    return "shr";
+  }
+  psc_unreachable("invalid binop");
+}
+
+const char *CmpInst::getPredicateName(Predicate Pred) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return "eq";
+  case Predicate::NE:
+    return "ne";
+  case Predicate::LT:
+    return "lt";
+  case Predicate::LE:
+    return "le";
+  case Predicate::GT:
+    return "gt";
+  case Predicate::GE:
+    return "ge";
+  }
+  psc_unreachable("invalid predicate");
+}

@@ -1,0 +1,305 @@
+//===- Instructions.h - Instruction classes of the PSC IR ------*- C++ -*-===//
+///
+/// \file
+/// The Instruction hierarchy. The IR is a RISC-like three-address form in
+/// alloca+load/store shape (clang -O0 shape): source variables live in
+/// memory objects (allocas/globals) and expression temporaries are virtual
+/// registers local to their defining block. There is no phi; cross-block
+/// data flow goes through memory, which is exactly the situation in which
+/// the PS-PDG's parallel-semantic-variable annotations pay off (paper §3.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_INSTRUCTIONS_H
+#define PSPDG_IR_INSTRUCTIONS_H
+
+#include "ir/Value.h"
+
+#include <cassert>
+#include <vector>
+
+namespace psc {
+
+class BasicBlock;
+class Function;
+
+/// Base class of all instructions. Operands are stored uniformly so that
+/// dependence analysis can walk them generically; successor blocks of
+/// terminators are stored separately (they are not data operands).
+class Instruction : public Value {
+public:
+  Instruction(ValueKind K, Type *Ty) : Value(K, Ty) {}
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// True for instructions that end a basic block (Br, CondBr, Ret).
+  bool isTerminator() const {
+    return getKind() == ValueKind::Br || getKind() == ValueKind::CondBr ||
+           getKind() == ValueKind::Ret;
+  }
+
+  /// True if this instruction reads or writes memory (Load, Store, and
+  /// calls to functions that may access memory).
+  bool mayAccessMemory() const;
+
+  /// Opcode mnemonic for printing ("load", "add", ...).
+  const char *getOpcodeName() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() > ValueKind::InstBegin &&
+           V->getKind() < ValueKind::InstEnd;
+  }
+
+protected:
+  void addOperand(Value *V) { Operands.push_back(V); }
+
+private:
+  BasicBlock *Parent = nullptr;
+  std::vector<Value *> Operands;
+};
+
+/// Stack allocation of a scalar or array object in the enclosing function.
+/// The result is a pointer to the allocated object.
+class AllocaInst : public Instruction {
+public:
+  AllocaInst(PointerType *PtrTy, Type *AllocatedTy, std::string VarName)
+      : Instruction(ValueKind::Alloca, PtrTy), AllocatedTy(AllocatedTy) {
+    setName(std::move(VarName));
+  }
+
+  Type *getAllocatedType() const { return AllocatedTy; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Alloca;
+  }
+
+private:
+  Type *AllocatedTy;
+};
+
+/// Reads a scalar through a pointer.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Type *Ty, Value *Ptr) : Instruction(ValueKind::Load, Ty) {
+    addOperand(Ptr);
+  }
+
+  Value *getPointer() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Load;
+  }
+};
+
+/// Writes a scalar through a pointer.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Type *VoidTy, Value *Val, Value *Ptr)
+      : Instruction(ValueKind::Store, VoidTy) {
+    addOperand(Val);
+    addOperand(Ptr);
+  }
+
+  Value *getStoredValue() const { return getOperand(0); }
+  Value *getPointer() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Store;
+  }
+};
+
+/// Computes the address of an array element: result = &Base[Index].
+class GEPInst : public Instruction {
+public:
+  GEPInst(PointerType *ResultTy, Value *Base, Value *Index)
+      : Instruction(ValueKind::GEP, ResultTy) {
+    addOperand(Base);
+    addOperand(Index);
+  }
+
+  Value *getBase() const { return getOperand(0); }
+  Value *getIndex() const { return getOperand(1); }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::GEP; }
+};
+
+/// Two-operand arithmetic/logical operation. The operand type (i64 vs f64)
+/// selects integer vs floating-point semantics.
+class BinaryInst : public Instruction {
+public:
+  enum class BinOp { Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr };
+
+  BinaryInst(Type *Ty, BinOp Op, Value *LHS, Value *RHS)
+      : Instruction(ValueKind::Binary, Ty), Op(Op) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  BinOp getBinOp() const { return Op; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static const char *getBinOpName(BinOp Op);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Binary;
+  }
+
+private:
+  BinOp Op;
+};
+
+/// One-operand operation: arithmetic negation or logical not.
+class UnaryInst : public Instruction {
+public:
+  enum class UnOp { Neg, Not };
+
+  UnaryInst(Type *Ty, UnOp Op, Value *V)
+      : Instruction(ValueKind::Unary, Ty), Op(Op) {
+    addOperand(V);
+  }
+
+  UnOp getUnOp() const { return Op; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Unary;
+  }
+
+private:
+  UnOp Op;
+};
+
+/// Comparison producing an i64 boolean (0 or 1).
+class CmpInst : public Instruction {
+public:
+  enum class Predicate { EQ, NE, LT, LE, GT, GE };
+
+  CmpInst(Type *IntTy, Predicate Pred, Value *LHS, Value *RHS)
+      : Instruction(ValueKind::Cmp, IntTy), Pred(Pred) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Predicate getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static const char *getPredicateName(Predicate Pred);
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Cmp; }
+
+private:
+  Predicate Pred;
+};
+
+/// Numeric conversion between i64 and f64.
+class CastInst : public Instruction {
+public:
+  enum class CastOp { IntToFloat, FloatToInt };
+
+  CastInst(Type *Ty, CastOp Op, Value *V)
+      : Instruction(ValueKind::Cast, Ty), Op(Op) {
+    addOperand(V);
+  }
+
+  CastOp getCastOp() const { return Op; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Cast;
+  }
+
+private:
+  CastOp Op;
+};
+
+/// Unconditional branch.
+class BranchInst : public Instruction {
+public:
+  BranchInst(Type *VoidTy, BasicBlock *Target)
+      : Instruction(ValueKind::Br, VoidTy), Target(Target) {}
+
+  BasicBlock *getTarget() const { return Target; }
+  void setTarget(BasicBlock *BB) { Target = BB; }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Br; }
+
+private:
+  BasicBlock *Target;
+};
+
+/// Two-way conditional branch on an i64 condition (0 = false).
+class CondBranchInst : public Instruction {
+public:
+  CondBranchInst(Type *VoidTy, Value *Cond, BasicBlock *TrueBB,
+                 BasicBlock *FalseBB)
+      : Instruction(ValueKind::CondBr, VoidTy), TrueBB(TrueBB),
+        FalseBB(FalseBB) {
+    addOperand(Cond);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  BasicBlock *getTrueTarget() const { return TrueBB; }
+  BasicBlock *getFalseTarget() const { return FalseBB; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::CondBr;
+  }
+
+private:
+  BasicBlock *TrueBB;
+  BasicBlock *FalseBB;
+};
+
+/// Function return, with an optional value.
+class ReturnInst : public Instruction {
+public:
+  explicit ReturnInst(Type *VoidTy) : Instruction(ValueKind::Ret, VoidTy) {}
+  ReturnInst(Type *VoidTy, Value *RetVal)
+      : Instruction(ValueKind::Ret, VoidTy) {
+    addOperand(RetVal);
+  }
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    assert(hasReturnValue() && "void return has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Ret; }
+};
+
+/// Direct call. Built-in runtime functions (print, sqrt, region markers)
+/// are declarations recognized by name; see Module::isIntrinsicName.
+class CallInst : public Instruction {
+public:
+  CallInst(Type *RetTy, Function *Callee, std::vector<Value *> Args);
+
+  Function *getCallee() const { return Callee; }
+  unsigned getNumArgs() const { return getNumOperands(); }
+  Value *getArg(unsigned I) const { return getOperand(I); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Call;
+  }
+
+private:
+  Function *Callee;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_INSTRUCTIONS_H

@@ -1,0 +1,128 @@
+//===- LoopInfo.cpp -------------------------------------------*- C++ -*-===//
+
+#include "ir/LoopInfo.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace psc;
+
+bool Loop::contains(unsigned Block) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), Block);
+}
+
+bool Loop::encloses(const Loop *Other) const {
+  for (const Loop *L = Other; L; L = L->getParent())
+    if (L == this)
+      return true;
+  return false;
+}
+
+LoopInfo::LoopInfo(const Function &F, const CFG &G, const DominatorTree &DT) {
+  unsigned N = G.size();
+  BlockToLoop.assign(N, nullptr);
+
+  // 1. Find back edges: S -> H where H dominates S.
+  std::map<unsigned, std::vector<unsigned>> HeaderToLatches;
+  for (unsigned B = 0; B < N; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (unsigned S : G.successors(B))
+      if (DT.dominates(S, B))
+        HeaderToLatches[S].push_back(B);
+  }
+
+  // 2. For each header, collect the natural-loop body by walking CFG
+  //    predecessors backwards from the latches.
+  struct RawLoop {
+    unsigned Header;
+    std::vector<unsigned> Latches;
+    std::vector<unsigned> Blocks;
+  };
+  std::vector<RawLoop> Raw;
+  for (auto &[Header, Latches] : HeaderToLatches) {
+    RawLoop RL;
+    RL.Header = Header;
+    RL.Latches = Latches;
+    std::vector<bool> InLoop(N, false);
+    InLoop[Header] = true;
+    std::vector<unsigned> Work = Latches;
+    for (unsigned L : Latches)
+      InLoop[L] = true;
+    while (!Work.empty()) {
+      unsigned B = Work.back();
+      Work.pop_back();
+      for (unsigned P : G.predecessors(B))
+        if (!InLoop[P] && G.isReachable(P)) {
+          InLoop[P] = true;
+          Work.push_back(P);
+        }
+    }
+    for (unsigned B = 0; B < N; ++B)
+      if (InLoop[B])
+        RL.Blocks.push_back(B);
+    Raw.push_back(std::move(RL));
+  }
+
+  // 3. Build nesting: sort by block-count ascending so inner loops come
+  //    first; a loop's parent is the smallest strictly-larger loop that
+  //    contains its header.
+  std::sort(Raw.begin(), Raw.end(), [](const RawLoop &A, const RawLoop &B) {
+    if (A.Blocks.size() != B.Blocks.size())
+      return A.Blocks.size() < B.Blocks.size();
+    return A.Header < B.Header;
+  });
+
+  for (auto &RL : Raw) {
+    Storage.push_back(std::make_unique<Loop>(RL.Header, 1));
+    Loop *L = Storage.back().get();
+    L->Blocks = RL.Blocks;
+    L->Latches = RL.Latches;
+  }
+  // Parent assignment (quadratic in loop count; loop counts are small).
+  for (size_t I = 0; I < Storage.size(); ++I) {
+    Loop *Inner = Storage[I].get();
+    for (size_t J = I + 1; J < Storage.size(); ++J) {
+      Loop *Outer = Storage[J].get();
+      if (Outer->contains(Inner->getHeader()) &&
+          Outer->getHeader() != Inner->getHeader()) {
+        Inner->Parent = Outer;
+        Outer->SubLoops.push_back(Inner);
+        break;
+      }
+    }
+  }
+  // Depths.
+  for (auto &LPtr : Storage) {
+    unsigned D = 1;
+    for (Loop *P = LPtr->getParent(); P; P = P->getParent())
+      ++D;
+    LPtr->Depth = D;
+  }
+  // Innermost map: iterate loops from outer to inner so inner wins.
+  std::vector<Loop *> ByDepth;
+  for (auto &LPtr : Storage)
+    ByDepth.push_back(LPtr.get());
+  std::sort(ByDepth.begin(), ByDepth.end(), [](Loop *A, Loop *B) {
+    if (A->getDepth() != B->getDepth())
+      return A->getDepth() < B->getDepth();
+    return A->getHeader() < B->getHeader();
+  });
+  for (Loop *L : ByDepth)
+    for (unsigned B : L->blocks())
+      BlockToLoop[B] = L;
+
+  AllLoops = ByDepth;
+  for (Loop *L : AllLoops)
+    if (!L->getParent())
+      TopLoops.push_back(L);
+}
+
+Loop *LoopInfo::getLoopByHeader(unsigned Header) const {
+  for (Loop *L : AllLoops)
+    if (L->getHeader() == Header)
+      return L;
+  return nullptr;
+}

@@ -1,0 +1,84 @@
+//===- LoopInfo.h - Natural-loop analysis -----------------------*- C++ -*-===//
+///
+/// \file
+/// Identifies natural loops from dominator-backedges and organizes them in a
+/// nesting forest. Loops are the unit of parallelization for the DOALL /
+/// HELIX / DSWP planners and the hierarchical-node / context anchors of the
+/// PS-PDG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_LOOPINFO_H
+#define PSPDG_IR_LOOPINFO_H
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+
+#include <memory>
+#include <vector>
+
+namespace psc {
+
+class Function;
+
+/// One natural loop: a header plus the set of blocks that can reach a latch
+/// without leaving the header's dominance region.
+class Loop {
+public:
+  Loop(unsigned Header, unsigned Depth) : Header(Header), Depth(Depth) {}
+
+  unsigned getHeader() const { return Header; }
+  unsigned getDepth() const { return Depth; } ///< 1 = outermost.
+
+  Loop *getParent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+
+  /// All blocks of the loop including sub-loop blocks, sorted ascending.
+  const std::vector<unsigned> &blocks() const { return Blocks; }
+  bool contains(unsigned Block) const;
+
+  /// Latch blocks (sources of back edges to the header).
+  const std::vector<unsigned> &latches() const { return Latches; }
+
+  /// True if \p Other is this loop or nested (transitively) inside it.
+  bool encloses(const Loop *Other) const;
+
+private:
+  friend class LoopInfo;
+  unsigned Header;
+  unsigned Depth;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  std::vector<unsigned> Blocks;
+  std::vector<unsigned> Latches;
+};
+
+/// Loop nesting forest for one function.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const CFG &G, const DominatorTree &DT);
+
+  /// All loops, outermost-first within each nest, in header order.
+  const std::vector<Loop *> &loops() const { return AllLoops; }
+
+  /// Top-level (depth-1) loops.
+  const std::vector<Loop *> &topLevelLoops() const { return TopLoops; }
+
+  /// Innermost loop containing \p Block, or null.
+  Loop *getLoopFor(unsigned Block) const {
+    return Block < BlockToLoop.size() ? BlockToLoop[Block] : nullptr;
+  }
+
+  /// Loop whose header is \p Header, or null.
+  Loop *getLoopByHeader(unsigned Header) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Storage;
+  std::vector<Loop *> AllLoops;
+  std::vector<Loop *> TopLoops;
+  std::vector<Loop *> BlockToLoop;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_LOOPINFO_H

@@ -1,0 +1,145 @@
+//===- Module.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Module.h"
+
+#include "support/ErrorHandling.h"
+
+#include <array>
+#include <sstream>
+
+using namespace psc;
+
+Function *Module::createFunction(const std::string &FuncName, Type *RetTy,
+                                 const std::vector<Type *> &ParamTys,
+                                 const std::vector<std::string> &ParamNames) {
+  assert(!getFunction(FuncName) && "duplicate function name");
+  assert(ParamTys.size() == ParamNames.size() && "param arity mismatch");
+  FunctionType *FTy = Types.getFunctionTy(RetTy, ParamTys);
+  Functions.push_back(std::make_unique<Function>(FTy, FuncName, this));
+  Function *F = Functions.back().get();
+  F->setId(takeNextValueId());
+  for (unsigned I = 0; I < ParamTys.size(); ++I) {
+    auto Arg = std::make_unique<Argument>(ParamTys[I], ParamNames[I], I);
+    Arg->setId(takeNextValueId());
+    F->addArgument(std::move(Arg));
+  }
+  return F;
+}
+
+Function *Module::getFunction(const std::string &FuncName) const {
+  for (auto &F : Functions)
+    if (F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+namespace {
+
+struct IntrinsicSig {
+  const char *Name;
+  unsigned NumIntParams;
+  unsigned NumFloatParams;
+  bool ReturnsFloat;
+  bool ReturnsVoid;
+};
+
+constexpr std::array<IntrinsicSig, 18> IntrinsicTable = {{
+    {intrinsics::RegionBegin, 1, 0, false, true},
+    {intrinsics::RegionEnd, 1, 0, false, true},
+    {intrinsics::BarrierMarker, 0, 0, false, true},
+    {intrinsics::TaskWaitMarker, 0, 0, false, true},
+    {intrinsics::Print, 1, 0, false, true},
+    {intrinsics::PrintF, 0, 1, false, true},
+    {intrinsics::Sqrt, 0, 1, true, false},
+    {intrinsics::Fabs, 0, 1, true, false},
+    {intrinsics::Sin, 0, 1, true, false},
+    {intrinsics::Cos, 0, 1, true, false},
+    {intrinsics::Exp, 0, 1, true, false},
+    {intrinsics::Log, 0, 1, true, false},
+    {intrinsics::Pow, 0, 2, true, false},
+    {intrinsics::IMin, 2, 0, false, false},
+    {intrinsics::IMax, 2, 0, false, false},
+    {intrinsics::FMin, 0, 2, true, false},
+    {intrinsics::FMax, 0, 2, true, false},
+    {intrinsics::Lcg, 1, 0, false, false},
+}};
+
+const IntrinsicSig *lookupIntrinsic(const std::string &Name) {
+  for (const IntrinsicSig &Sig : IntrinsicTable)
+    if (Name == Sig.Name)
+      return &Sig;
+  return nullptr;
+}
+
+} // namespace
+
+bool Module::isIntrinsicName(const std::string &FuncName) {
+  return lookupIntrinsic(FuncName) != nullptr;
+}
+
+bool Module::isMarkerIntrinsicName(const std::string &FuncName) {
+  return FuncName == intrinsics::RegionBegin ||
+         FuncName == intrinsics::RegionEnd ||
+         FuncName == intrinsics::BarrierMarker ||
+         FuncName == intrinsics::TaskWaitMarker;
+}
+
+Function *Module::getOrCreateIntrinsic(const std::string &IntrinsicName) {
+  if (Function *F = getFunction(IntrinsicName))
+    return F;
+  const IntrinsicSig *Sig = lookupIntrinsic(IntrinsicName);
+  if (!Sig)
+    reportFatalError("unknown intrinsic '" + IntrinsicName + "'");
+  std::vector<Type *> Params;
+  std::vector<std::string> Names;
+  for (unsigned I = 0; I < Sig->NumIntParams; ++I) {
+    Params.push_back(Types.getIntTy());
+    Names.push_back("a" + std::to_string(I));
+  }
+  for (unsigned I = 0; I < Sig->NumFloatParams; ++I) {
+    Params.push_back(Types.getFloatTy());
+    Names.push_back("x" + std::to_string(I));
+  }
+  Type *Ret = Sig->ReturnsVoid
+                  ? Types.getVoidTy()
+                  : (Sig->ReturnsFloat ? Types.getFloatTy() : Types.getIntTy());
+  return createFunction(IntrinsicName, Ret, Params, Names);
+}
+
+GlobalVariable *Module::createGlobal(const std::string &VarName,
+                                     Type *ObjectTy) {
+  assert(!getGlobal(VarName) && "duplicate global name");
+  PointerType *PT = Types.getPointerTy(
+      ObjectTy->isArray() ? cast<ArrayType>(ObjectTy)->getElement()
+                          : ObjectTy);
+  Globals.push_back(std::make_unique<GlobalVariable>(PT, ObjectTy, VarName));
+  GlobalVariable *GV = Globals.back().get();
+  GV->setId(takeNextValueId());
+  return GV;
+}
+
+GlobalVariable *Module::getGlobal(const std::string &VarName) const {
+  for (auto &G : Globals)
+    if (G->getName() == VarName)
+      return G.get();
+  return nullptr;
+}
+
+ConstantInt *Module::getConstantInt(int64_t V) {
+  for (auto &C : IntConstants)
+    if (C->getValue() == V)
+      return C.get();
+  IntConstants.push_back(std::make_unique<ConstantInt>(Types.getIntTy(), V));
+  IntConstants.back()->setId(takeNextValueId());
+  return IntConstants.back().get();
+}
+
+ConstantFloat *Module::getConstantFloat(double V) {
+  for (auto &C : FloatConstants)
+    if (C->getValue() == V)
+      return C.get();
+  FloatConstants.push_back(
+      std::make_unique<ConstantFloat>(Types.getFloatTy(), V));
+  FloatConstants.back()->setId(takeNextValueId());
+  return FloatConstants.back().get();
+}

@@ -1,0 +1,117 @@
+//===- Module.h - Top-level IR container ------------------------*- C++ -*-===//
+///
+/// \file
+/// A Module owns functions, global variables, the type context, uniqued
+/// constants, and the ParallelInfo side-table. It also assigns the stable
+/// value ids used for deterministic graph construction and printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_MODULE_H
+#define PSPDG_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "ir/ParallelInfo.h"
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Names of the runtime built-ins the front-end may reference. The emulator
+/// implements their dynamic semantics; dependence analysis knows which of
+/// them access memory (none do, except print's externally-visible output).
+namespace intrinsics {
+inline constexpr const char *RegionBegin = "__psc_region_begin";
+inline constexpr const char *RegionEnd = "__psc_region_end";
+inline constexpr const char *BarrierMarker = "__psc_barrier";
+inline constexpr const char *TaskWaitMarker = "__psc_taskwait";
+inline constexpr const char *Print = "print";
+inline constexpr const char *PrintF = "printf64";
+inline constexpr const char *Sqrt = "sqrt";
+inline constexpr const char *Fabs = "fabs";
+inline constexpr const char *Sin = "sin";
+inline constexpr const char *Cos = "cos";
+inline constexpr const char *Exp = "exp";
+inline constexpr const char *Log = "log";
+inline constexpr const char *Pow = "pow";
+inline constexpr const char *IMin = "imin";
+inline constexpr const char *IMax = "imax";
+inline constexpr const char *FMin = "fmin";
+inline constexpr const char *FMax = "fmax";
+inline constexpr const char *Lcg = "lcg";
+} // namespace intrinsics
+
+/// Top-level container for one translation unit.
+class Module {
+public:
+  explicit Module(std::string ModuleName) : Name(std::move(ModuleName)) {}
+
+  const std::string &getName() const { return Name; }
+
+  TypeContext &getTypes() { return Types; }
+  const TypeContext &getTypes() const { return Types; }
+
+  ParallelInfo &getParallelInfo() { return PI; }
+  const ParallelInfo &getParallelInfo() const { return PI; }
+
+  /// Assigns the next stable value id. Called for every created value.
+  uint64_t takeNextValueId() { return NextValueId++; }
+
+  // --- Functions ---------------------------------------------------------
+
+  /// Creates a function (definition once blocks are added, declaration
+  /// otherwise). Function names must be unique.
+  Function *createFunction(const std::string &FuncName, Type *RetTy,
+                           const std::vector<Type *> &ParamTys,
+                           const std::vector<std::string> &ParamNames);
+
+  Function *getFunction(const std::string &FuncName) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Returns (creating on first use) the declaration of a runtime built-in.
+  Function *getOrCreateIntrinsic(const std::string &IntrinsicName);
+
+  /// True if \p FuncName names a runtime built-in.
+  static bool isIntrinsicName(const std::string &FuncName);
+
+  /// True if \p FuncName is one of the region/barrier marker intrinsics
+  /// (pure annotations: no data semantics).
+  static bool isMarkerIntrinsicName(const std::string &FuncName);
+
+  // --- Globals ------------------------------------------------------------
+
+  GlobalVariable *createGlobal(const std::string &VarName, Type *ObjectTy);
+  GlobalVariable *getGlobal(const std::string &VarName) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  // --- Constants (uniqued) -------------------------------------------------
+
+  ConstantInt *getConstantInt(int64_t V);
+  ConstantFloat *getConstantFloat(double V);
+
+  /// Renders the whole module in textual IR.
+  std::string str() const;
+
+private:
+  std::string Name;
+  TypeContext Types;
+  ParallelInfo PI;
+  uint64_t NextValueId = 1;
+
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::vector<std::unique_ptr<ConstantInt>> IntConstants;
+  std::vector<std::unique_ptr<ConstantFloat>> FloatConstants;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_MODULE_H

@@ -1,0 +1,208 @@
+//===- ParallelInfo.h - Explicit-parallelism annotations on the IR -------===//
+///
+/// \file
+/// Side-table carrying the programmer's explicit parallel semantics from the
+/// PSC front-end to the PS-PDG builder (paper Fig. 12: "IR with metadata").
+/// Directives are either *loop directives* (attached to a loop header block)
+/// or *region directives* (delimited in the instruction stream by calls to
+/// the marker intrinsics __psc_region_begin(id) / __psc_region_end(id)).
+///
+/// The PDG-based baselines ignore this table entirely; the J&K baseline
+/// (Jensen & Karlsson, TACO'17) consumes only the worksharing-loop
+/// directives; the PS-PDG builder consumes everything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_PARALLELINFO_H
+#define PSPDG_IR_PARALLELINFO_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class BasicBlock;
+class Function;
+class Value;
+
+/// Directive kinds, mirroring the PSC pragma surface (an OpenMP-style
+/// model; see DESIGN.md §2 for the OpenMP→PSC mapping).
+enum class DirectiveKind {
+  Parallel,    ///< `parallel` region: spawn a team of threads.
+  ParallelFor, ///< `parallel for`: combined spawn + worksharing loop.
+  For,         ///< `for`: worksharing loop inside a parallel region.
+  Critical,    ///< `critical [(name)]`: mutual exclusion, orderless.
+  Atomic,      ///< `atomic`: atomic update region.
+  Single,      ///< `single`: executed by one iteration/thread per context.
+  Master,      ///< `master`: executed by the master thread only.
+  Ordered,     ///< `ordered`: executed in loop-iteration order.
+  Barrier,     ///< `barrier`: synchronization point.
+  Task,        ///< `spawn f(...)`: Cilk-style spawned call (Appendix A).
+  TaskWait     ///< `sync`: join all tasks spawned in the enclosing scope.
+};
+
+/// Reduction operators supported by the `reduction(op: var)` clause.
+/// Custom is the PSC extension `reducible(var : combineFn)` that carries an
+/// application-specific reducer function (paper Fig. 10 / Fig. 11-E).
+enum class ReduceOp { Add, Mul, Min, Max, Custom };
+
+/// A source variable named in a clause, resolved to its storage (an
+/// AllocaInst or GlobalVariable).
+struct VarRef {
+  std::string Name;
+  Value *Storage = nullptr;
+};
+
+/// One reduction clause entry.
+struct ReductionClause {
+  VarRef Var;
+  ReduceOp Op = ReduceOp::Add;
+  /// Reducer function for ReduceOp::Custom (takes two copies, merges into
+  /// the first) — the PS-PDG variable's "merge node" (paper §3.6).
+  Function *CustomReducer = nullptr;
+};
+
+/// Live-out propagation policy requested for a variable (maps onto the
+/// PS-PDG data-selectors, paper §3.5).
+enum class LiveOutPolicy {
+  Last, ///< lastprivate: last iteration's value propagates (Last-Producer).
+  Any,  ///< relaxed(x): any iteration's value may propagate (Any-Producer).
+  First ///< firstprivate: pre-loop value broadcast in (All-Consumers).
+};
+
+struct LiveOutClause {
+  VarRef Var;
+  LiveOutPolicy Policy = LiveOutPolicy::Last;
+};
+
+/// One parsed directive.
+struct Directive {
+  unsigned Id = 0;
+  DirectiveKind Kind = DirectiveKind::Parallel;
+  std::string CriticalName; ///< For Critical; empty = unnamed.
+
+  std::vector<VarRef> Privates;
+  std::vector<ReductionClause> Reductions;
+  std::vector<LiveOutClause> LiveOuts; ///< first/lastprivate, relaxed.
+  bool NoWait = false;
+  bool HasOrderedClause = false; ///< `ordered` clause on a loop directive.
+  long ChunkSize = 0;            ///< schedule(static, N); 0 = default.
+
+  /// For loop directives: the header block of the annotated loop.
+  BasicBlock *LoopHeader = nullptr;
+
+  bool isLoopDirective() const {
+    return Kind == DirectiveKind::ParallelFor || Kind == DirectiveKind::For;
+  }
+  bool isRegionDirective() const {
+    return !isLoopDirective() && Kind != DirectiveKind::Barrier &&
+           Kind != DirectiveKind::TaskWait;
+  }
+};
+
+/// Canonical-loop metadata recorded by the front-end for every `for`
+/// statement: the induction variable's storage, constant step, and whether
+/// the loop is in canonical form (i = init; i REL bound; i += step). This is
+/// the moral equivalent of LLVM loop metadata + SCEV's canonical IV and is
+/// what the affine dependence tests key on.
+struct ForLoopMeta {
+  BasicBlock *Header = nullptr;
+  Value *CounterStorage = nullptr; ///< Alloca/global holding the IV.
+  long Step = 1;
+  bool Canonical = false;
+
+  /// Constant bounds when the source used literals; enables exact IV ranges
+  /// for the Banerjee-style dependence test and static trip counts.
+  bool HasConstInit = false;
+  long InitVal = 0;
+  bool HasConstBound = false;
+  long BoundVal = 0;
+  /// Comparison in the loop guard: 0 '<', 1 '<=', 2 '>', 3 '>=', 4 '!='.
+  int RelKind = 0;
+
+  /// Static trip count if fully constant; -1 if unknown.
+  long tripCount() const {
+    if (!Canonical || !HasConstInit || !HasConstBound || Step == 0)
+      return -1;
+    long Lo = InitVal, Hi = BoundVal;
+    switch (RelKind) {
+    case 0: // <
+      return Step > 0 && Hi > Lo ? (Hi - Lo + Step - 1) / Step : 0;
+    case 1: // <=
+      return Step > 0 && Hi >= Lo ? (Hi - Lo + Step) / Step : 0;
+    case 2: // >
+      return Step < 0 && Lo > Hi ? (Lo - Hi + (-Step) - 1) / (-Step) : 0;
+    case 3: // >=
+      return Step < 0 && Lo >= Hi ? (Lo - Hi + (-Step)) / (-Step) : 0;
+    default:
+      return -1;
+    }
+  }
+
+  /// Inclusive range [Min, Max] of IV values, valid when tripCount() > 0.
+  bool ivRange(long &Min, long &Max) const {
+    long Trip = tripCount();
+    if (Trip <= 0)
+      return false;
+    long First = InitVal, Last = InitVal + (Trip - 1) * Step;
+    Min = std::min(First, Last);
+    Max = std::max(First, Last);
+    return true;
+  }
+};
+
+/// Per-module table of directives and loop metadata.
+class ParallelInfo {
+public:
+  /// Registers a directive and returns its id.
+  unsigned addDirective(Directive D) {
+    D.Id = static_cast<unsigned>(Directives.size());
+    Directives.push_back(std::move(D));
+    return Directives.back().Id;
+  }
+
+  const std::vector<Directive> &directives() const { return Directives; }
+  std::vector<Directive> &directives() { return Directives; }
+
+  const Directive *getDirective(unsigned Id) const {
+    return Id < Directives.size() ? &Directives[Id] : nullptr;
+  }
+
+  /// Loop directives attached to a given loop header, in source order.
+  std::vector<const Directive *> directivesForLoop(BasicBlock *Header) const {
+    std::vector<const Directive *> Out;
+    for (const Directive &D : Directives)
+      if (D.isLoopDirective() && D.LoopHeader == Header)
+        Out.push_back(&D);
+    return Out;
+  }
+
+  void addForLoopMeta(ForLoopMeta M) { ForLoops[M.Header] = M; }
+  const ForLoopMeta *getForLoopMeta(BasicBlock *Header) const {
+    auto It = ForLoops.find(Header);
+    return It == ForLoops.end() ? nullptr : &It->second;
+  }
+
+  /// threadprivate(x): x is privatized per thread for the whole program.
+  void addThreadPrivate(VarRef V) { ThreadPrivates.push_back(std::move(V)); }
+  const std::vector<VarRef> &threadPrivates() const { return ThreadPrivates; }
+
+  bool isThreadPrivate(const Value *Storage) const {
+    for (const VarRef &V : ThreadPrivates)
+      if (V.Storage == Storage)
+        return true;
+    return false;
+  }
+
+private:
+  std::vector<Directive> Directives;
+  std::map<BasicBlock *, ForLoopMeta> ForLoops;
+  std::vector<VarRef> ThreadPrivates;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_PARALLELINFO_H

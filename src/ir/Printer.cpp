@@ -1,0 +1,177 @@
+//===- Printer.cpp - Textual IR rendering ----------------------*- C++ -*-===//
+///
+/// \file
+/// Implements Module::str(). The textual form exists for debugging, golden
+/// tests, and the examples; it is not parsed back.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/ErrorHandling.h"
+
+#include <map>
+#include <sstream>
+
+using namespace psc;
+
+namespace {
+
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { numberValues(); }
+
+  void print(std::ostringstream &OS) {
+    OS << (F.isDeclaration() ? "declare " : "define ")
+       << F.getReturnType()->str() << " @" << F.getName() << "(";
+    for (unsigned I = 0; I < F.getNumArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      Argument *A = F.getArg(I);
+      OS << A->getType()->str() << " %" << A->getName();
+    }
+    OS << ")";
+    if (F.isDeclaration()) {
+      OS << "\n";
+      return;
+    }
+    OS << " {\n";
+    for (BasicBlock *BB : F) {
+      OS << BB->getName() << ":\n";
+      for (Instruction *I : *BB)
+        printInstruction(OS, I);
+    }
+    OS << "}\n";
+  }
+
+private:
+  void numberValues() {
+    unsigned Next = 0;
+    for (unsigned I = 0; I < F.getNumArgs(); ++I)
+      Number[F.getArg(I)] = Next++;
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        if (!I->getType()->isVoid())
+          Number[I] = Next++;
+  }
+
+  std::string ref(const Value *V) {
+    if (auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->getValue());
+    if (auto *CF = dyn_cast<ConstantFloat>(V)) {
+      std::ostringstream OS;
+      OS << CF->getValue();
+      return OS.str();
+    }
+    if (auto *GV = dyn_cast<GlobalVariable>(V))
+      return "@" + GV->getName();
+    if (auto *Fn = dyn_cast<Function>(V))
+      return "@" + Fn->getName();
+    auto It = Number.find(V);
+    std::string N = It != Number.end() ? std::to_string(It->second) : "?";
+    if (!V->getName().empty())
+      return "%" + V->getName() + "." + N;
+    return "%v" + N;
+  }
+
+  void printInstruction(std::ostringstream &OS, const Instruction *I) {
+    OS << "  ";
+    if (!I->getType()->isVoid())
+      OS << ref(I) << " = ";
+    switch (I->getKind()) {
+    case Value::ValueKind::Alloca: {
+      const auto *AI = cast<AllocaInst>(I);
+      OS << "alloca " << AI->getAllocatedType()->str();
+      break;
+    }
+    case Value::ValueKind::Load:
+      OS << "load " << ref(cast<LoadInst>(I)->getPointer());
+      break;
+    case Value::ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(I);
+      OS << "store " << ref(SI->getStoredValue()) << ", "
+         << ref(SI->getPointer());
+      break;
+    }
+    case Value::ValueKind::GEP: {
+      const auto *GI = cast<GEPInst>(I);
+      OS << "gep " << ref(GI->getBase()) << "[" << ref(GI->getIndex()) << "]";
+      break;
+    }
+    case Value::ValueKind::Binary: {
+      const auto *BI = cast<BinaryInst>(I);
+      OS << (BI->getType()->isFloat() ? "f" : "")
+         << BinaryInst::getBinOpName(BI->getBinOp()) << " " << ref(BI->getLHS())
+         << ", " << ref(BI->getRHS());
+      break;
+    }
+    case Value::ValueKind::Unary: {
+      const auto *UI = cast<UnaryInst>(I);
+      OS << (UI->getUnOp() == UnaryInst::UnOp::Neg ? "neg " : "not ")
+         << ref(UI->getOperand(0));
+      break;
+    }
+    case Value::ValueKind::Cmp: {
+      const auto *CI = cast<CmpInst>(I);
+      OS << "cmp " << CmpInst::getPredicateName(CI->getPredicate()) << " "
+         << ref(CI->getLHS()) << ", " << ref(CI->getRHS());
+      break;
+    }
+    case Value::ValueKind::Cast:
+      OS << I->getOpcodeName() << " " << ref(I->getOperand(0));
+      break;
+    case Value::ValueKind::Br:
+      OS << "br " << cast<BranchInst>(I)->getTarget()->getName();
+      break;
+    case Value::ValueKind::CondBr: {
+      const auto *CB = cast<CondBranchInst>(I);
+      OS << "condbr " << ref(CB->getCondition()) << ", "
+         << CB->getTrueTarget()->getName() << ", "
+         << CB->getFalseTarget()->getName();
+      break;
+    }
+    case Value::ValueKind::Ret: {
+      const auto *RI = cast<ReturnInst>(I);
+      OS << "ret";
+      if (RI->hasReturnValue())
+        OS << " " << ref(RI->getReturnValue());
+      break;
+    }
+    case Value::ValueKind::Call: {
+      const auto *CI = cast<CallInst>(I);
+      OS << "call @" << CI->getCallee()->getName() << "(";
+      for (unsigned A = 0; A < CI->getNumArgs(); ++A) {
+        if (A)
+          OS << ", ";
+        OS << ref(CI->getArg(A));
+      }
+      OS << ")";
+      break;
+    }
+    default:
+      psc_unreachable("unhandled instruction kind in printer");
+    }
+    OS << "\n";
+  }
+
+  const Function &F;
+  std::map<const Value *, unsigned> Number;
+};
+
+} // namespace
+
+std::string Module::str() const {
+  std::ostringstream OS;
+  OS << "; module '" << Name << "'\n";
+  for (auto &G : Globals) {
+    OS << "@" << G->getName() << " = global " << G->getObjectType()->str();
+    if (G->hasScalarInit())
+      OS << " init " << G->getScalarInit();
+    OS << "\n";
+  }
+  for (auto &F : Functions) {
+    OS << "\n";
+    FunctionPrinter(*F).print(OS);
+  }
+  return OS.str();
+}

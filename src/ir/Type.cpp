@@ -1,0 +1,72 @@
+//===- Type.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "ir/Type.h"
+
+#include "support/ErrorHandling.h"
+
+#include <sstream>
+
+using namespace psc;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "i64";
+  case TypeKind::Float:
+    return "f64";
+  case TypeKind::Pointer:
+    return "ptr<" + cast<PointerType>(this)->getPointee()->str() + ">";
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    std::ostringstream OS;
+    OS << "[" << AT->getNumElements() << " x " << AT->getElement()->str()
+       << "]";
+    return OS.str();
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = FT->getReturnType()->str() + " (";
+    for (unsigned I = 0; I < FT->getNumParams(); ++I) {
+      if (I)
+        S += ", ";
+      S += FT->getParams()[I]->str();
+    }
+    return S + ")";
+  }
+  }
+  psc_unreachable("invalid type kind");
+}
+
+TypeContext::TypeContext() {
+  VoidTy = std::make_unique<Type>(Type::TypeKind::Void);
+  IntTy = std::make_unique<Type>(Type::TypeKind::Int);
+  FloatTy = std::make_unique<Type>(Type::TypeKind::Float);
+}
+
+PointerType *TypeContext::getPointerTy(Type *Pointee) {
+  for (auto &PT : PointerTypes)
+    if (PT->getPointee() == Pointee)
+      return PT.get();
+  PointerTypes.push_back(std::make_unique<PointerType>(Pointee));
+  return PointerTypes.back().get();
+}
+
+ArrayType *TypeContext::getArrayTy(Type *Element, uint64_t NumElements) {
+  for (auto &AT : ArrayTypes)
+    if (AT->getElement() == Element && AT->getNumElements() == NumElements)
+      return AT.get();
+  ArrayTypes.push_back(std::make_unique<ArrayType>(Element, NumElements));
+  return ArrayTypes.back().get();
+}
+
+FunctionType *TypeContext::getFunctionTy(Type *Ret,
+                                         std::vector<Type *> Params) {
+  for (auto &FT : FunctionTypes)
+    if (FT->getReturnType() == Ret && FT->getParams() == Params)
+      return FT.get();
+  FunctionTypes.push_back(
+      std::make_unique<FunctionType>(Ret, std::move(Params)));
+  return FunctionTypes.back().get();
+}

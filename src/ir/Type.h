@@ -1,0 +1,139 @@
+//===- Type.h - Type system of the PSC IR ----------------------*- C++ -*-===//
+///
+/// \file
+/// Types for the PSC intermediate representation. The type system is
+/// deliberately small — the PS-PDG construction only needs enough typing to
+/// distinguish scalars from memory objects:
+///
+///   * VoidTy            — function results only
+///   * IntTy             — 64-bit signed integer (also used for booleans)
+///   * FloatTy           — IEEE double
+///   * PointerType(T)    — pointer to T (produced by allocas, globals, GEPs)
+///   * ArrayType(T, N)   — N contiguous elements of scalar type T
+///   * FunctionType      — return type + parameter types
+///
+/// Types are uniqued and owned by a TypeContext (one per Module), so type
+/// equality is pointer equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_TYPE_H
+#define PSPDG_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class TypeContext;
+
+/// Base class of all IR types. Subclasses add structure (pointee, element
+/// count, parameters); the scalar types are kind-only singletons.
+class Type {
+public:
+  enum class TypeKind { Void, Int, Float, Pointer, Array, Function };
+
+  explicit Type(TypeKind K) : Kind(K) {}
+  virtual ~Type() = default;
+
+  TypeKind getKind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isFloat() const { return Kind == TypeKind::Float; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+  bool isScalar() const { return isInt() || isFloat(); }
+
+  /// Renders the type in IR syntax ("i64", "f64", "ptr<f64>", "[8 x i64]").
+  std::string str() const;
+
+private:
+  TypeKind Kind;
+};
+
+/// Pointer to a pointee type. All memory-access instructions operate on
+/// pointer-typed values.
+class PointerType : public Type {
+public:
+  explicit PointerType(Type *Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+
+  Type *getPointee() const { return Pointee; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Pointer;
+  }
+
+private:
+  Type *Pointee;
+};
+
+/// Fixed-size one-dimensional array of scalars. Multi-dimensional source
+/// arrays are flattened by the front-end, matching how the NAS kernels are
+/// analyzed (affine index expressions over a single linearized subscript).
+class ArrayType : public Type {
+public:
+  ArrayType(Type *Element, uint64_t NumElements)
+      : Type(TypeKind::Array), Element(Element), NumElements(NumElements) {}
+
+  Type *getElement() const { return Element; }
+  uint64_t getNumElements() const { return NumElements; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Array;
+  }
+
+private:
+  Type *Element;
+  uint64_t NumElements;
+};
+
+/// Function signature: return type and parameter types.
+class FunctionType : public Type {
+public:
+  FunctionType(Type *Ret, std::vector<Type *> Params)
+      : Type(TypeKind::Function), Ret(Ret), Params(std::move(Params)) {}
+
+  Type *getReturnType() const { return Ret; }
+  const std::vector<Type *> &getParams() const { return Params; }
+  unsigned getNumParams() const { return static_cast<unsigned>(Params.size()); }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Function;
+  }
+
+private:
+  Type *Ret;
+  std::vector<Type *> Params;
+};
+
+/// Owns and uniques all types of a Module. Pointer equality on Type* is
+/// type equality.
+class TypeContext {
+public:
+  TypeContext();
+
+  Type *getVoidTy() { return VoidTy.get(); }
+  Type *getIntTy() { return IntTy.get(); }
+  Type *getFloatTy() { return FloatTy.get(); }
+
+  PointerType *getPointerTy(Type *Pointee);
+  ArrayType *getArrayTy(Type *Element, uint64_t NumElements);
+  FunctionType *getFunctionTy(Type *Ret, std::vector<Type *> Params);
+
+private:
+  std::unique_ptr<Type> VoidTy, IntTy, FloatTy;
+  std::vector<std::unique_ptr<PointerType>> PointerTypes;
+  std::vector<std::unique_ptr<ArrayType>> ArrayTypes;
+  std::vector<std::unique_ptr<FunctionType>> FunctionTypes;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_TYPE_H

@@ -1,0 +1,153 @@
+//===- Value.h - Base class of all IR values --------------------*- C++ -*-===//
+///
+/// \file
+/// The Value hierarchy of the PSC IR, modeled on LLVM's: every entity an
+/// instruction can reference (constants, arguments, globals, functions, and
+/// instruction results) is a Value with a Type and a stable per-module id.
+/// Kind discriminators support the isa/cast/dyn_cast templates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_VALUE_H
+#define PSPDG_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+
+namespace psc {
+
+/// Root of the IR value hierarchy.
+class Value {
+public:
+  /// Discriminator for isa/cast. Instruction kinds occupy the contiguous
+  /// range (InstBegin, InstEnd) so Instruction::classof is a range check.
+  enum class ValueKind {
+    Argument,
+    ConstantInt,
+    ConstantFloat,
+    GlobalVariable,
+    Function,
+    InstBegin,
+    Alloca,
+    Load,
+    Store,
+    GEP,
+    Binary,
+    Unary,
+    Cmp,
+    Cast,
+    Br,
+    CondBr,
+    Ret,
+    Call,
+    InstEnd
+  };
+
+  Value(ValueKind K, Type *Ty) : Kind(K), Ty(Ty) {}
+  virtual ~Value() = default;
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  /// Stable id, unique within the owning Module; assigned at creation.
+  uint64_t getId() const { return Id; }
+  void setId(uint64_t NewId) { Id = NewId; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+private:
+  ValueKind Kind;
+  Type *Ty;
+  uint64_t Id = 0;
+  std::string Name;
+};
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string ArgName, unsigned ArgIndex)
+      : Value(ValueKind::Argument, Ty), ArgIndex(ArgIndex) {
+    setName(std::move(ArgName));
+  }
+
+  unsigned getArgIndex() const { return ArgIndex; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned ArgIndex;
+};
+
+/// 64-bit signed integer constant. Uniqued per Module.
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type *IntTy, int64_t V)
+      : Value(ValueKind::ConstantInt, IntTy), Val(V) {}
+
+  int64_t getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// Double-precision floating-point constant. Uniqued per Module.
+class ConstantFloat : public Value {
+public:
+  ConstantFloat(Type *FloatTy, double V)
+      : Value(ValueKind::ConstantFloat, FloatTy), Val(V) {}
+
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFloat;
+  }
+
+private:
+  double Val;
+};
+
+/// Module-scope variable: a scalar or array object. Its Value type is a
+/// pointer to the object type (like LLVM globals). Zero-initialized unless
+/// a scalar initializer is attached.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(PointerType *PtrTy, Type *ObjectTy, std::string VarName)
+      : Value(ValueKind::GlobalVariable, PtrTy), ObjectTy(ObjectTy) {
+    setName(std::move(VarName));
+  }
+
+  Type *getObjectType() const { return ObjectTy; }
+
+  bool hasScalarInit() const { return HasInit; }
+  double getScalarInit() const { return ScalarInit; }
+  void setScalarInit(double V) {
+    HasInit = true;
+    ScalarInit = V;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  Type *ObjectTy;
+  bool HasInit = false;
+  double ScalarInit = 0.0;
+};
+
+} // namespace psc
+
+#endif // PSPDG_IR_VALUE_H

@@ -1,0 +1,182 @@
+//===- Verifier.cpp -------------------------------------------*- C++ -*-===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+#include <set>
+#include <sstream>
+
+using namespace psc;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    for (auto &F : M.functions())
+      verifyFunction(*F);
+    verifyParallelInfo();
+    return std::move(Errors);
+  }
+
+private:
+  void error(const std::string &Where, const std::string &What) {
+    Errors.push_back(Where + ": " + What);
+  }
+
+  void verifyFunction(const Function &F) {
+    if (F.isDeclaration())
+      return;
+    std::string Where = "function '" + F.getName() + "'";
+
+    // Collect values visible in this function for operand scoping checks.
+    std::set<const Value *> Visible;
+    for (unsigned I = 0; I < F.getNumArgs(); ++I)
+      Visible.insert(F.getArg(I));
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        Visible.insert(I);
+
+    for (BasicBlock *BB : F) {
+      if (!BB->hasTerminator()) {
+        error(Where, "block '" + BB->getName() + "' has no terminator");
+        continue;
+      }
+      unsigned Pos = 0, Size = static_cast<unsigned>(BB->size());
+      for (Instruction *I : *BB) {
+        ++Pos;
+        if (I->isTerminator() && Pos != Size)
+          error(Where, "terminator in the middle of block '" + BB->getName() +
+                           "'");
+        verifyInstruction(F, *BB, *I, Visible, Where);
+      }
+    }
+  }
+
+  void verifyInstruction(const Function &F, const BasicBlock &BB,
+                         const Instruction &I,
+                         const std::set<const Value *> &Visible,
+                         const std::string &Where) {
+    // Operand scoping: instruction/argument operands must belong to F.
+    for (Value *Op : I.operands()) {
+      if (isa<ConstantInt>(Op) || isa<ConstantFloat>(Op) ||
+          isa<GlobalVariable>(Op) || isa<Function>(Op))
+        continue;
+      if (!Visible.count(Op))
+        error(Where, "operand of a '" + std::string(I.getOpcodeName()) +
+                         "' does not belong to the function");
+    }
+
+    switch (I.getKind()) {
+    case Value::ValueKind::Load: {
+      const auto *LI = cast<LoadInst>(&I);
+      if (!LI->getPointer()->getType()->isPointer())
+        error(Where, "load from non-pointer");
+      break;
+    }
+    case Value::ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(&I);
+      if (!SI->getPointer()->getType()->isPointer())
+        error(Where, "store to non-pointer");
+      else if (cast<PointerType>(SI->getPointer()->getType())->getPointee() !=
+               SI->getStoredValue()->getType())
+        error(Where, "store value/pointee type mismatch");
+      break;
+    }
+    case Value::ValueKind::GEP: {
+      const auto *GI = cast<GEPInst>(&I);
+      if (!GI->getBase()->getType()->isPointer())
+        error(Where, "gep base is not a pointer");
+      if (!GI->getIndex()->getType()->isInt())
+        error(Where, "gep index is not an integer");
+      break;
+    }
+    case Value::ValueKind::Binary: {
+      const auto *BI = cast<BinaryInst>(&I);
+      if (BI->getLHS()->getType() != BI->getRHS()->getType())
+        error(Where, "binary operand type mismatch");
+      if (!BI->getType()->isScalar())
+        error(Where, "binary result is not scalar");
+      break;
+    }
+    case Value::ValueKind::Cmp: {
+      const auto *CI = cast<CmpInst>(&I);
+      if (CI->getLHS()->getType() != CI->getRHS()->getType())
+        error(Where, "cmp operand type mismatch");
+      break;
+    }
+    case Value::ValueKind::CondBr:
+      if (!cast<CondBranchInst>(&I)->getCondition()->getType()->isInt())
+        error(Where, "condbr condition is not i64");
+      break;
+    case Value::ValueKind::Ret: {
+      const auto *RI = cast<ReturnInst>(&I);
+      if (RI->hasReturnValue()) {
+        if (F.getReturnType()->isVoid())
+          error(Where, "value returned from void function");
+        else if (RI->getReturnValue()->getType() != F.getReturnType())
+          error(Where, "return type mismatch");
+      } else if (!F.getReturnType()->isVoid()) {
+        error(Where, "missing return value");
+      }
+      break;
+    }
+    case Value::ValueKind::Call: {
+      const auto *CI = cast<CallInst>(&I);
+      const Function *Callee = CI->getCallee();
+      if (!Callee) {
+        error(Where, "call with null callee");
+        break;
+      }
+      FunctionType *FT = Callee->getFunctionType();
+      if (CI->getNumArgs() != FT->getNumParams()) {
+        error(Where, "call to '" + Callee->getName() + "' arity mismatch");
+        break;
+      }
+      for (unsigned A = 0; A < CI->getNumArgs(); ++A)
+        if (CI->getArg(A)->getType() != FT->getParams()[A])
+          error(Where,
+                "call to '" + Callee->getName() + "' arg type mismatch");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  void verifyParallelInfo() {
+    const ParallelInfo &PI = M.getParallelInfo();
+    for (const Directive &D : PI.directives()) {
+      std::ostringstream W;
+      W << "directive #" << D.Id;
+      if (D.isLoopDirective() && !D.LoopHeader)
+        error(W.str(), "loop directive without a loop header");
+      for (const VarRef &V : D.Privates)
+        if (!V.Storage)
+          error(W.str(), "unresolved private variable '" + V.Name + "'");
+      for (const ReductionClause &R : D.Reductions) {
+        if (!R.Var.Storage)
+          error(W.str(), "unresolved reduction variable '" + R.Var.Name + "'");
+        if (R.Op == ReduceOp::Custom && !R.CustomReducer)
+          error(W.str(), "custom reduction without reducer function");
+      }
+      for (const LiveOutClause &L : D.LiveOuts)
+        if (!L.Var.Storage)
+          error(W.str(), "unresolved live-out variable '" + L.Var.Name + "'");
+    }
+  }
+
+  const Module &M;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> psc::verifyModule(const Module &M) {
+  return VerifierImpl(M).run();
+}
+
+bool psc::isModuleValid(const Module &M) { return verifyModule(M).empty(); }

@@ -1,0 +1,30 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+///
+/// \file
+/// Structural validation of a Module: every reachable block terminated,
+/// operand typing, pointer-typed memory operands, call signatures, and
+/// ParallelInfo referential integrity (directives point at real loop
+/// headers, clause storage resolved). Returns human-readable diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_IR_VERIFIER_H
+#define PSPDG_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class Module;
+class Function;
+
+/// Collects verification failures; empty result means the module is valid.
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience: true if the module verifies cleanly.
+bool isModuleValid(const Module &M);
+
+} // namespace psc
+
+#endif // PSPDG_IR_VERIFIER_H

@@ -1,0 +1,178 @@
+//===- AbstractionView.cpp ------------------------------------*- C++ -*-===//
+
+#include "parallel/AbstractionView.h"
+
+#include "analysis/Privatization.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace psc;
+
+const char *psc::abstractionName(AbstractionKind K) {
+  switch (K) {
+  case AbstractionKind::OpenMP:
+    return "OpenMP";
+  case AbstractionKind::PDG:
+    return "PDG";
+  case AbstractionKind::JK:
+    return "J&K";
+  case AbstractionKind::PSPDG:
+    return "PS-PDG";
+  }
+  return "?";
+}
+
+AbstractionView::AbstractionView(AbstractionKind Kind,
+                                 const FunctionAnalysis &FA,
+                                 const DependenceInfo &DI, const PSPDG *G)
+    : Kind(Kind), FA(FA), DI(DI), G(G), Regions(FA) {
+  assert((Kind != AbstractionKind::PSPDG || G) &&
+         "PS-PDG view requires a built PS-PDG");
+}
+
+const Directive *AbstractionView::worksharing(const Loop &L) const {
+  const Module *M = FA.function().getParent();
+  BasicBlock *Header = FA.function().getBlock(L.getHeader());
+  for (const Directive *D : M->getParallelInfo().directivesForLoop(Header))
+    if (D->Kind == DirectiveKind::ParallelFor || D->Kind == DirectiveKind::For)
+      return D;
+  return nullptr;
+}
+
+bool AbstractionView::jkRemovable(const DepEdge &E, const Loop &L) const {
+  const Directive *D = worksharing(L);
+  if (!D || !E.isMemory() || E.IsIO)
+    return false;
+  // Conservative content: mutual-exclusion and ordered regions keep their
+  // dependences (J&K has no representation for orderless atomicity).
+  if (Regions.inMutualExclusionRegion(E.Src) ||
+      Regions.inMutualExclusionRegion(E.Dst) ||
+      Regions.inOrderedRegion(E.Src) || Regions.inOrderedRegion(E.Dst))
+    return false;
+
+  const Value *Obj = E.MemObject;
+  if (!Obj)
+    return false; // opaque conflicts stay
+
+  // Custom (application-specific) reductions are beyond the J&K model: the
+  // worksharing declaration alone cannot justify reordering them.
+  for (const ReductionClause &R : D->Reductions)
+    if (R.Var.Storage == Obj && R.Op == ReduceOp::Custom)
+      return false;
+
+  // threadprivate objects are a data-property semantics (per-thread
+  // storage), not iteration independence: outside the J&K model, so the
+  // dependence stays.
+  const Module *M = FA.function().getParent();
+  if (M->getParallelInfo().isThreadPrivate(Obj))
+    return false;
+
+  // Everything else at the annotated loop is removable: J&K use the
+  // worksharing declaration (including its standard data clauses) to
+  // refine the dependence analysis of that loop — but only of that loop;
+  // non-annotated loops, orderless critical sections, threadprivate
+  // buffers, and data selectors remain out of reach (paper §6.2, "J&K").
+  return true;
+}
+
+bool AbstractionView::keepCarried(
+    const DepEdge &E, const Loop &L,
+    const std::set<const Value *> &PrivateScalars) const {
+  unsigned H = L.getHeader();
+
+  // Compiler-analysis removals common to every abstraction:
+  // (a) canonical induction-variable updates of a countable loop;
+  const ForLoopMeta *Meta = FA.forMeta(&L);
+  bool Countable = Meta && Meta->Canonical;
+  if (Countable && E.MemObject == Meta->CounterStorage)
+    return false;
+  // (b) the loop guard's control self-dependence of a countable loop;
+  if (Countable && E.Kind == DepKind::Control &&
+      E.Src->getParent()->getIndex() == H)
+    return false;
+  // (c) iteration-private scalar temporaries.
+  if (E.MemObject && PrivateScalars.count(E.MemObject))
+    return false;
+
+  switch (Kind) {
+  case AbstractionKind::PDG:
+    return true;
+  case AbstractionKind::JK:
+    return !jkRemovable(E, L);
+  default:
+    return true;
+  }
+}
+
+LoopPlanView AbstractionView::viewFor(const Loop &L) const {
+  LoopPlanView View;
+  View.L = &L;
+
+  const ForLoopMeta *Meta = FA.forMeta(&L);
+  View.TripCountable = Meta && Meta->Canonical;
+  View.TripCount = Meta ? Meta->tripCount() : -1;
+  View.HasWorksharingDirective = worksharing(L) != nullptr;
+
+  // Loop instruction list (non-marker), with index mapping.
+  std::map<const Instruction *, unsigned> IdxOf;
+  for (Instruction *I : FA.instructions()) {
+    if (!L.contains(I->getParent()->getIndex()))
+      continue;
+    if (const auto *CI = dyn_cast<CallInst>(I))
+      if (Module::isMarkerIntrinsicName(CI->getCallee()->getName()))
+        continue;
+    IdxOf[I] = static_cast<unsigned>(View.Insts.size());
+    View.Insts.push_back(I);
+  }
+
+  std::set<const Value *> PrivateScalars =
+      computeIterationPrivateScalars(FA, L);
+
+  unsigned H = L.getHeader();
+
+  if (Kind == AbstractionKind::PSPDG) {
+    // Consume the PS-PDG's directed edges (feature-filtered).
+    for (const PSDirectedEdge &E : G->directedEdges()) {
+      const PSNode &SrcN = G->node(E.Src);
+      const PSNode &DstN = G->node(E.Dst);
+      auto SIt = IdxOf.find(SrcN.I);
+      auto DIt = IdxOf.find(DstN.I);
+      if (SIt == IdxOf.end() || DIt == IdxOf.end())
+        continue;
+      bool Carried = E.CarriedAtHeaders.count(H) != 0;
+      if (Carried) {
+        // Common compiler-analysis removals (same as the PDG path).
+        const ForLoopMeta *M2 = FA.forMeta(&L);
+        bool Countable = M2 && M2->Canonical;
+        if (Countable && E.MemObject == M2->CounterStorage)
+          Carried = false;
+        else if (Countable && E.Kind == DepKind::Control &&
+                 SrcN.I->getParent()->getIndex() == H)
+          Carried = false;
+        else if (E.MemObject && PrivateScalars.count(E.MemObject))
+          Carried = false;
+      }
+      if (!Carried && !E.Intra)
+        continue;
+      View.Edges.push_back({SIt->second, DIt->second, Carried});
+    }
+    for (const PSUndirectedEdge &E : G->undirectedEdges())
+      if (E.CarriedAtHeaders.count(H))
+        ++View.NumOrderlessConflicts;
+    return View;
+  }
+
+  // PDG / J&K: filter raw dependence edges. (OpenMP builds no view.)
+  for (const DepEdge &E : DI.edges()) {
+    auto SIt = IdxOf.find(E.Src);
+    auto DIt = IdxOf.find(E.Dst);
+    if (SIt == IdxOf.end() || DIt == IdxOf.end())
+      continue;
+    bool Carried = E.isCarriedAt(H) && keepCarried(E, L, PrivateScalars);
+    if (!Carried && !E.Intra)
+      continue;
+    View.Edges.push_back({SIt->second, DIt->second, Carried});
+  }
+  return View;
+}

@@ -1,0 +1,71 @@
+//===- AbstractionView.h - PDG / J&K / PS-PDG planner inputs -----*- C++ -*-===//
+///
+/// \file
+/// Produces the per-loop dependence view (LoopPlanView) under each of the
+/// paper's four abstractions (§6.2):
+///
+///   * OpenMP  — no compiler view; only the programmer's plan exists.
+///   * PDG     — the classic PDG: all dependences, minus what sequential
+///     compiler analysis removes (canonical-IV updates for countable loops,
+///     iteration-private scalar temporaries).
+///   * J&K     — PDG + worksharing-loop-improved dependence analysis
+///     (Jensen & Karlsson, TACO'17): carried dependences at an annotated
+///     loop are dropped for plain shared accesses and for scalar
+///     private/reduction clauses, but critical/atomic/ordered content,
+///     threadprivate arrays, and custom reductions stay conservative.
+///   * PS-PDG  — the PS-PDG's directed edges (already feature-filtered by
+///     the builder); undirected (orderless) edges do not serialize and are
+///     only counted as lock requirements.
+///
+/// All views share the same compiler-analysis removals, so differences
+/// between them measure exactly what each abstraction expresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PARALLEL_ABSTRACTIONVIEW_H
+#define PSPDG_PARALLEL_ABSTRACTIONVIEW_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "parallel/LoopSCCDAG.h"
+#include "parallel/RegionMap.h"
+#include "pspdg/PSPDG.h"
+
+#include <memory>
+
+namespace psc {
+
+/// The four abstractions compared in the paper's evaluation.
+enum class AbstractionKind { OpenMP, PDG, JK, PSPDG };
+
+const char *abstractionName(AbstractionKind K);
+
+/// Builds LoopPlanViews for one function under one abstraction.
+class AbstractionView {
+public:
+  /// \p G is required for AbstractionKind::PSPDG (it may be an ablated
+  /// PS-PDG) and ignored otherwise.
+  AbstractionView(AbstractionKind Kind, const FunctionAnalysis &FA,
+                  const DependenceInfo &DI, const PSPDG *G = nullptr);
+
+  AbstractionKind kind() const { return Kind; }
+
+  /// The planner input for loop \p L.
+  LoopPlanView viewFor(const Loop &L) const;
+
+private:
+  bool keepCarried(const DepEdge &E, const Loop &L,
+                   const std::set<const Value *> &PrivateScalars) const;
+  bool jkRemovable(const DepEdge &E, const Loop &L) const;
+
+  const Directive *worksharing(const Loop &L) const;
+
+  AbstractionKind Kind;
+  const FunctionAnalysis &FA;
+  const DependenceInfo &DI;
+  const PSPDG *G;
+  RegionMap Regions;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PARALLEL_ABSTRACTIONVIEW_H

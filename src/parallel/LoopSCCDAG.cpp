@@ -1,0 +1,34 @@
+//===- LoopSCCDAG.cpp -----------------------------------------*- C++ -*-===//
+
+#include "parallel/LoopSCCDAG.h"
+
+#include "support/SCCIterator.h"
+
+using namespace psc;
+
+LoopSCCDAG::LoopSCCDAG(const LoopPlanView &View) {
+  unsigned N = static_cast<unsigned>(View.Insts.size());
+  std::vector<std::vector<unsigned>> Succs(N);
+  for (const LoopDepEdge &E : View.Edges)
+    Succs[E.Src].push_back(E.Dst);
+
+  SCCResult R = computeSCCs(N, [&](unsigned Node) -> const std::vector<unsigned> & {
+    return Succs[Node];
+  });
+
+  Components = std::move(R.Components);
+  ComponentOf = std::move(R.ComponentOf);
+  SeqFlag.assign(Components.size(), false);
+
+  // Sequential SCC = contains a carried edge internal to the component
+  // (including carried self-edges).
+  for (const LoopDepEdge &E : View.Edges) {
+    if (!E.CarriedAtLoop)
+      continue;
+    if (ComponentOf[E.Src] == ComponentOf[E.Dst])
+      SeqFlag[ComponentOf[E.Src]] = true;
+  }
+  for (bool S : SeqFlag)
+    if (S)
+      ++NumSeq;
+}

@@ -1,0 +1,72 @@
+//===- LoopSCCDAG.h - SCC decomposition of a loop's dependences --*- C++ -*-===//
+///
+/// \file
+/// The NOELLE-style decomposition the planners consume (paper §6.1): the
+/// instructions of one loop, the dependence edges an abstraction kept for
+/// it, the strongly-connected components of that graph, and the
+/// sequential/parallel classification of each component (sequential = the
+/// component contains a loop-carried edge, so its instances must serialize
+/// across iterations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PARALLEL_LOOPSCCDAG_H
+#define PSPDG_PARALLEL_LOOPSCCDAG_H
+
+#include "analysis/FunctionAnalysis.h"
+
+#include <vector>
+
+namespace psc {
+
+/// One dependence edge between loop instructions (indices into the loop's
+/// instruction list).
+struct LoopDepEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  bool CarriedAtLoop = false;
+};
+
+/// The per-loop dependence view an abstraction exposes to the planner.
+struct LoopPlanView {
+  const Loop *L = nullptr;
+  std::vector<Instruction *> Insts; ///< Non-marker instructions of L.
+  std::vector<LoopDepEdge> Edges;
+  long TripCount = -1;        ///< Static trip count, -1 if unknown.
+  bool TripCountable = false; ///< Canonical counted loop.
+  bool HasWorksharingDirective = false;
+  /// Number of orderless mutual-exclusion conflicts (locks) the plan must
+  /// realize (PS-PDG undirected edges touching this loop).
+  unsigned NumOrderlessConflicts = 0;
+};
+
+/// SCC decomposition of a LoopPlanView.
+class LoopSCCDAG {
+public:
+  explicit LoopSCCDAG(const LoopPlanView &View);
+
+  unsigned numSCCs() const { return static_cast<unsigned>(SeqFlag.size()); }
+  unsigned numSequentialSCCs() const { return NumSeq; }
+  bool isSequential(unsigned SCC) const { return SeqFlag[SCC]; }
+
+  /// SCC id of a loop instruction (by index into View.Insts).
+  unsigned sccOf(unsigned InstIdx) const { return ComponentOf[InstIdx]; }
+
+  const std::vector<std::vector<unsigned>> &components() const {
+    return Components;
+  }
+
+  /// True when no sequential SCC exists (every carried dependence was
+  /// removed by the abstraction) — the DOALL precondition.
+  bool allParallel() const { return NumSeq == 0; }
+
+private:
+  std::vector<std::vector<unsigned>> Components;
+  std::vector<unsigned> ComponentOf;
+  std::vector<bool> SeqFlag;
+  unsigned NumSeq = 0;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PARALLEL_LOOPSCCDAG_H

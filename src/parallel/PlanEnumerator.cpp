@@ -1,0 +1,120 @@
+//===- PlanEnumerator.cpp -------------------------------------*- C++ -*-===//
+
+#include "parallel/PlanEnumerator.h"
+
+#include "pspdg/PSPDGBuilder.h"
+
+#include <algorithm>
+
+using namespace psc;
+
+namespace {
+
+bool loopQualifies(const CoverageMap *Coverage, const std::string &Fn,
+                   unsigned Header, double Threshold) {
+  if (!Coverage)
+    return true;
+  auto It = Coverage->find({Fn, Header});
+  return It != Coverage->end() && It->second >= Threshold;
+}
+
+uint64_t doallOptions(const EnumeratorConfig &C) {
+  return static_cast<uint64_t>(C.Cores) * C.ChunkSizes;
+}
+
+uint64_t helixOptions(const EnumeratorConfig &C, unsigned NumSeqSCCs) {
+  // One option per (number of sequential segments, core count): a
+  // sequential segment is a slice containing at least one sequential SCC,
+  // so the segment count ranges over 1..NumSeqSCCs.
+  return static_cast<uint64_t>(std::max(1u, NumSeqSCCs)) * C.Cores;
+}
+
+uint64_t dswpOptions(const EnumeratorConfig &C, unsigned NumSCCs) {
+  // One option per pipeline stage count, 2..min(#SCCs, cores).
+  unsigned MaxStages = std::min(NumSCCs, C.Cores);
+  return MaxStages >= 2 ? MaxStages - 1 : 0;
+}
+
+} // namespace
+
+OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
+                                  const EnumeratorConfig &Config,
+                                  const CoverageMap *Coverage,
+                                  const FeatureSet &Features) {
+  OptionCount Out;
+
+  for (const auto &FPtr : M.functions()) {
+    const Function &F = *FPtr;
+    if (F.isDeclaration())
+      continue;
+
+    FunctionAnalysis FA(F);
+    if (FA.loopInfo().loops().empty())
+      continue;
+
+    if (Kind == AbstractionKind::OpenMP) {
+      // Programmer plan only: each worksharing loop exposes the
+      // environment-variable surface (threads × chunk sizes).
+      for (const Loop *L : FA.loopInfo().loops()) {
+        if (!loopQualifies(Coverage, F.getName(), L->getHeader(),
+                           Config.CoverageThreshold))
+          continue;
+        BasicBlock *Header = F.getBlock(L->getHeader());
+        bool Annotated = false;
+        for (const Directive *D :
+             M.getParallelInfo().directivesForLoop(Header))
+          if (D->Kind == DirectiveKind::ParallelFor ||
+              D->Kind == DirectiveKind::For)
+            Annotated = true;
+        if (!Annotated)
+          continue;
+        LoopOptions LO;
+        LO.FunctionName = F.getName();
+        LO.HeaderBlock = L->getHeader();
+        LO.Depth = L->getDepth();
+        LO.DOALL = true;
+        LO.Options = doallOptions(Config);
+        Out.Total += LO.Options;
+        ++Out.LoopsConsidered;
+        ++Out.DOALLLoops;
+        Out.PerLoop.push_back(std::move(LO));
+      }
+      continue;
+    }
+
+    DependenceInfo DI(FA);
+    std::unique_ptr<PSPDG> G;
+    if (Kind == AbstractionKind::PSPDG)
+      G = buildPSPDG(FA, DI, Features);
+    AbstractionView View(Kind, FA, DI, G.get());
+
+    for (const Loop *L : FA.loopInfo().loops()) {
+      if (!loopQualifies(Coverage, F.getName(), L->getHeader(),
+                         Config.CoverageThreshold))
+        continue;
+
+      LoopPlanView PV = View.viewFor(*L);
+      LoopSCCDAG DAG(PV);
+
+      LoopOptions LO;
+      LO.FunctionName = F.getName();
+      LO.HeaderBlock = L->getHeader();
+      LO.Depth = L->getDepth();
+      LO.NumSCCs = DAG.numSCCs();
+      LO.NumSeqSCCs = DAG.numSequentialSCCs();
+      LO.DOALL = DAG.allParallel() && PV.TripCountable;
+
+      if (LO.DOALL) {
+        LO.Options = doallOptions(Config);
+        ++Out.DOALLLoops;
+      } else {
+        LO.Options = helixOptions(Config, LO.NumSeqSCCs) +
+                     dswpOptions(Config, LO.NumSCCs);
+      }
+      Out.Total += LO.Options;
+      ++Out.LoopsConsidered;
+      Out.PerLoop.push_back(std::move(LO));
+    }
+  }
+  return Out;
+}

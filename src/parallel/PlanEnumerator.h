@@ -1,0 +1,74 @@
+//===- PlanEnumerator.h - Counting parallelization options -------*- C++ -*-===//
+///
+/// \file
+/// Reproduces the paper's §6.2 experiment (Fig. 13): enumerate the
+/// parallelization options an automatic-parallelizing compiler considers
+/// per loop, for each abstraction, on a 56-core machine:
+///
+///   * DOALL-able loops: Cores(56) × ChunkSizes(8) options; a DOALL loop is
+///     considered only as DOALL;
+///   * non-DOALL loops: HELIX options = (number of possible sequential
+///     segments = #sequential SCCs) × 56 cores; DSWP options = number of
+///     possible pipeline stage counts (2 .. min(#SCCs, 56));
+///   * OpenMP (programmer plan): 56 × 8 schedule/thread-count choices per
+///     programmer-parallelized loop — the environment-variable surface.
+///
+/// Loops qualify when their runtime coverage is at least 1% (coverage map
+/// from the emulator's profile; defaults to "all loops qualify").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PARALLEL_PLANENUMERATOR_H
+#define PSPDG_PARALLEL_PLANENUMERATOR_H
+
+#include "parallel/AbstractionView.h"
+#include "pspdg/Features.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Enumeration constants from the paper's methodology.
+struct EnumeratorConfig {
+  unsigned Cores = 56;
+  unsigned ChunkSizes = 8;
+  double CoverageThreshold = 0.01;
+};
+
+/// Loop runtime coverage: header block → fraction of dynamic instructions.
+/// Keys are (function name, header block index).
+using CoverageMap = std::map<std::pair<std::string, unsigned>, double>;
+
+/// Per-loop enumeration result. Plain data only: the analyses that
+/// produced it are gone by the time the caller sees this.
+struct LoopOptions {
+  std::string FunctionName;
+  unsigned HeaderBlock = 0;
+  unsigned Depth = 0;
+  bool DOALL = false;
+  unsigned NumSCCs = 0;
+  unsigned NumSeqSCCs = 0;
+  uint64_t Options = 0;
+};
+
+/// Totals for one function (or one benchmark) under one abstraction.
+struct OptionCount {
+  uint64_t Total = 0;
+  unsigned LoopsConsidered = 0;
+  unsigned DOALLLoops = 0;
+  std::vector<LoopOptions> PerLoop;
+};
+
+/// Enumerates options for every qualifying loop of \p M under abstraction
+/// \p Kind. For PSPDG the FeatureSet selects the (possibly ablated) PS-PDG.
+OptionCount enumerateOptions(const Module &M, AbstractionKind Kind,
+                             const EnumeratorConfig &Config = {},
+                             const CoverageMap *Coverage = nullptr,
+                             const FeatureSet &Features = FeatureSet());
+
+} // namespace psc
+
+#endif // PSPDG_PARALLEL_PLANENUMERATOR_H

@@ -1,0 +1,47 @@
+//===- RegionMap.cpp ------------------------------------------*- C++ -*-===//
+
+#include "parallel/RegionMap.h"
+
+#include "ir/Module.h"
+
+#include <vector>
+
+using namespace psc;
+
+RegionMap::RegionMap(const FunctionAnalysis &FA) {
+  const ParallelInfo &PI = FA.function().getParent()->getParallelInfo();
+  std::vector<const Directive *> Stack;
+  for (Instruction *I : FA.instructions()) {
+    if (const auto *CI = dyn_cast<CallInst>(I)) {
+      const std::string &Name = CI->getCallee()->getName();
+      if (Name == intrinsics::RegionBegin) {
+        auto *IdC = cast<ConstantInt>(CI->getArg(0));
+        const Directive *D =
+            PI.getDirective(static_cast<unsigned>(IdC->getValue()));
+        if (D) {
+          ParentRegion[D] = Stack.empty() ? nullptr : Stack.back();
+          Stack.push_back(D);
+        }
+        continue;
+      }
+      if (Name == intrinsics::RegionEnd) {
+        if (!Stack.empty())
+          Stack.pop_back();
+        continue;
+      }
+    }
+    if (!Stack.empty())
+      Map[I] = Stack.back();
+  }
+}
+
+const Directive *RegionMap::enclosing(const Instruction *I,
+                                      DirectiveKind K) const {
+  for (const Directive *D = regionOf(I); D;) {
+    if (D->Kind == K)
+      return D;
+    auto It = ParentRegion.find(D);
+    D = It == ParentRegion.end() ? nullptr : It->second;
+  }
+  return nullptr;
+}

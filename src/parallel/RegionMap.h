@@ -1,0 +1,53 @@
+//===- RegionMap.h - Instruction → directive-region lookup ------*- C++ -*-===//
+///
+/// \file
+/// Maps every instruction to the innermost directive region (critical /
+/// atomic / single / master / ordered / parallel) containing it, derived
+/// from the __psc_region_begin/end marker calls. Shared by the abstraction
+/// views and the critical-path evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PARALLEL_REGIONMAP_H
+#define PSPDG_PARALLEL_REGIONMAP_H
+
+#include "analysis/FunctionAnalysis.h"
+#include "ir/ParallelInfo.h"
+
+#include <map>
+
+namespace psc {
+
+/// Per-function region membership.
+class RegionMap {
+public:
+  explicit RegionMap(const FunctionAnalysis &FA);
+
+  /// Innermost directive region containing \p I, or null.
+  const Directive *regionOf(const Instruction *I) const {
+    auto It = Map.find(I);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  /// Innermost region of kind \p K containing \p I (walks the nesting
+  /// chain), or null.
+  const Directive *enclosing(const Instruction *I, DirectiveKind K) const;
+
+  /// True if \p I sits inside any critical/atomic region.
+  bool inMutualExclusionRegion(const Instruction *I) const {
+    return enclosing(I, DirectiveKind::Critical) ||
+           enclosing(I, DirectiveKind::Atomic);
+  }
+
+  bool inOrderedRegion(const Instruction *I) const {
+    return enclosing(I, DirectiveKind::Ordered) != nullptr;
+  }
+
+private:
+  std::map<const Instruction *, const Directive *> Map;
+  std::map<const Directive *, const Directive *> ParentRegion;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PARALLEL_REGIONMAP_H

@@ -1,0 +1,70 @@
+//===- PDG.cpp ------------------------------------------------*- C++ -*-===//
+
+#include "pdg/PDG.h"
+
+#include <sstream>
+
+using namespace psc;
+
+PDG::PDG(const FunctionAnalysis &FA, const DependenceInfo &DI) : FA(FA) {
+  Edges = DI.edges();
+  Out.resize(numNodes());
+  for (unsigned E = 0; E < Edges.size(); ++E)
+    Out[FA.indexOf(Edges[E].Src)].push_back(E);
+}
+
+std::vector<const DepEdge *> PDG::edgesWithin(const Loop &L) const {
+  std::vector<const DepEdge *> Result;
+  for (const DepEdge &E : Edges) {
+    unsigned SB = E.Src->getParent()->getIndex();
+    unsigned DB = E.Dst->getParent()->getIndex();
+    if (L.contains(SB) && L.contains(DB))
+      Result.push_back(&E);
+  }
+  return Result;
+}
+
+namespace {
+
+const char *kindLabel(DepKind K) {
+  switch (K) {
+  case DepKind::Register:
+    return "reg";
+  case DepKind::MemoryRAW:
+    return "RAW";
+  case DepKind::MemoryWAR:
+    return "WAR";
+  case DepKind::MemoryWAW:
+    return "WAW";
+  case DepKind::Control:
+    return "ctrl";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string PDG::toDot(const Loop *Only) const {
+  std::ostringstream OS;
+  OS << "digraph PDG {\n  node [shape=box,fontsize=9];\n";
+  auto InScope = [&](const Instruction *I) {
+    return !Only || Only->contains(I->getParent()->getIndex());
+  };
+  for (unsigned N = 0; N < numNodes(); ++N) {
+    Instruction *I = node(N);
+    if (!InScope(I))
+      continue;
+    OS << "  n" << N << " [label=\"" << N << ": " << I->getOpcodeName()
+       << "\"];\n";
+  }
+  for (const DepEdge &E : Edges) {
+    if (!InScope(E.Src) || !InScope(E.Dst))
+      continue;
+    OS << "  n" << FA.indexOf(E.Src) << " -> n" << FA.indexOf(E.Dst)
+       << " [label=\"" << kindLabel(E.Kind)
+       << (E.CarriedAtHeaders.empty() ? "" : " LC") << "\""
+       << (E.Kind == DepKind::Control ? ",style=dashed" : "") << "];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

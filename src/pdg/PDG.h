@@ -1,0 +1,56 @@
+//===- PDG.h - Classic Program Dependence Graph ------------------*- C++ -*-===//
+///
+/// \file
+/// The Ferrante/Ottenstein/Warren PDG over one function: one node per
+/// instruction, edges for data (register), memory, and control dependences,
+/// with per-loop carried annotations. This is the baseline abstraction the
+/// paper's PS-PDG is compared against (paper §6.2/6.3, "PDG" and "J&K"
+/// series) — it sees no parallel semantics at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PDG_PDG_H
+#define PSPDG_PDG_PDG_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "analysis/FunctionAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Classic PDG: instruction nodes + dependence edges.
+class PDG {
+public:
+  PDG(const FunctionAnalysis &FA, const DependenceInfo &DI);
+
+  const FunctionAnalysis &functionAnalysis() const { return FA; }
+
+  unsigned numNodes() const {
+    return static_cast<unsigned>(FA.instructions().size());
+  }
+  Instruction *node(unsigned Idx) const { return FA.instructions()[Idx]; }
+
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Outgoing edge indices of a node.
+  const std::vector<unsigned> &outEdges(unsigned Node) const {
+    return Out[Node];
+  }
+
+  /// Edges whose endpoints are both inside \p L.
+  std::vector<const DepEdge *> edgesWithin(const Loop &L) const;
+
+  /// DOT rendering (optionally restricted to a loop).
+  std::string toDot(const Loop *Only = nullptr) const;
+
+private:
+  const FunctionAnalysis &FA;
+  std::vector<DepEdge> Edges;
+  std::vector<std::vector<unsigned>> Out;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PDG_PDG_H

@@ -1,0 +1,80 @@
+//===- Features.h - PS-PDG feature (ablation) control ------------*- C++ -*-===//
+///
+/// \file
+/// The five PS-PDG extensions over the PDG, as separable features. The
+/// paper's §4 necessity argument removes each one in turn and shows that two
+/// semantically-different programs collapse onto the same abstraction; our
+/// NecessityTest and bench_ablation do exactly that through this struct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PSPDG_FEATURES_H
+#define PSPDG_PSPDG_FEATURES_H
+
+#include <string>
+
+namespace psc {
+
+/// Which PS-PDG extensions the builder is allowed to use.
+struct FeatureSet {
+  /// Hierarchical nodes + undirected edges (paper §3.1/§3.4, Fig. 11-A).
+  bool HierarchicalNodesAndUndirectedEdges = true;
+  /// Node traits: atomic / unordered / singular (§3.2, Fig. 11-B).
+  bool NodeTraits = true;
+  /// Contexts: parallel semantics scoped to code regions (§3.3, Fig. 11-C).
+  bool Contexts = true;
+  /// Data-selector directed edges (§3.5, Fig. 11-D).
+  bool DataSelectors = true;
+  /// Parallel-semantic variables + use/def relations (§3.6, Fig. 11-E).
+  bool ParallelVariables = true;
+
+  static FeatureSet full() { return FeatureSet(); }
+
+  static FeatureSet withoutHierarchicalNodes() {
+    FeatureSet F;
+    F.HierarchicalNodesAndUndirectedEdges = false;
+    return F;
+  }
+  static FeatureSet withoutNodeTraits() {
+    FeatureSet F;
+    F.NodeTraits = false;
+    return F;
+  }
+  static FeatureSet withoutContexts() {
+    FeatureSet F;
+    F.Contexts = false;
+    return F;
+  }
+  static FeatureSet withoutDataSelectors() {
+    FeatureSet F;
+    F.DataSelectors = false;
+    return F;
+  }
+  static FeatureSet withoutParallelVariables() {
+    FeatureSet F;
+    F.ParallelVariables = false;
+    return F;
+  }
+
+  std::string str() const {
+    if (HierarchicalNodesAndUndirectedEdges && NodeTraits && Contexts &&
+        DataSelectors && ParallelVariables)
+      return "full";
+    std::string S = "without:";
+    if (!HierarchicalNodesAndUndirectedEdges)
+      S += " HN+UE";
+    if (!NodeTraits)
+      S += " NT";
+    if (!Contexts)
+      S += " C";
+    if (!DataSelectors)
+      S += " DSDE";
+    if (!ParallelVariables)
+      S += " PSV";
+    return S;
+  }
+};
+
+} // namespace psc
+
+#endif // PSPDG_PSPDG_FEATURES_H

@@ -1,0 +1,273 @@
+//===- Fingerprint.cpp ----------------------------------------*- C++ -*-===//
+
+#include "pspdg/Fingerprint.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace psc;
+
+namespace {
+
+class Canonicalizer {
+public:
+  explicit Canonicalizer(const PSPDG &G) : G(G) {
+    numberLeaves();
+    findMeaningfulNodes();
+    numberHierarchical();
+  }
+
+  std::string serialize();
+
+private:
+  void numberLeaves();
+  void findMeaningfulNodes();
+  void numberHierarchical();
+
+  /// Canonical id of any node: leaves map directly; hierarchical nodes map
+  /// through HierNumber; flattened/unknown map to a stable sentinel.
+  long canonical(PSNodeId Id) const {
+    if (Id == NoContext)
+      return -1;
+    auto LIt = LeafNumber.find(Id);
+    if (LIt != LeafNumber.end())
+      return static_cast<long>(LIt->second);
+    auto HIt = HierNumber.find(Id);
+    if (HIt != HierNumber.end())
+      return static_cast<long>(HIt->second);
+    return -1; // flattened hierarchical node: no identity
+  }
+
+  std::string leafRef(const Value *V) const;
+  void collectLeafSet(PSNodeId Id, std::vector<unsigned> &Out) const;
+
+  const PSPDG &G;
+  std::map<PSNodeId, unsigned> LeafNumber;
+  std::set<PSNodeId> Meaningful;
+  std::map<PSNodeId, unsigned> HierNumber;
+};
+
+void Canonicalizer::numberLeaves() {
+  // Leaves were created in program order with ascending node ids.
+  std::vector<PSNodeId> Leaves;
+  for (PSNodeId Id = 0; Id < G.numNodes(); ++Id)
+    if (!G.node(Id).IsHierarchical)
+      Leaves.push_back(Id);
+  for (unsigned K = 0; K < Leaves.size(); ++K)
+    LeafNumber[Leaves[K]] = K;
+}
+
+void Canonicalizer::findMeaningfulNodes() {
+  // Contexts referenced by any semantic element.
+  std::set<PSNodeId> ReferencedContexts;
+  for (PSNodeId Id = 0; Id < G.numNodes(); ++Id)
+    for (const PSTrait &T : G.node(Id).Traits)
+      if (T.Context != NoContext)
+        ReferencedContexts.insert(T.Context);
+  for (const PSDirectedEdge &E : G.directedEdges())
+    if (E.Selector && E.Selector->Context != NoContext)
+      ReferencedContexts.insert(E.Selector->Context);
+  for (const PSUndirectedEdge &E : G.undirectedEdges())
+    if (E.Context != NoContext)
+      ReferencedContexts.insert(E.Context);
+  for (const PSVariable &V : G.variables())
+    if (V.Context != NoContext)
+      ReferencedContexts.insert(V.Context);
+
+  std::set<PSNodeId> UndirectedEndpoints;
+  for (const PSUndirectedEdge &E : G.undirectedEdges()) {
+    UndirectedEndpoints.insert(E.A);
+    UndirectedEndpoints.insert(E.B);
+  }
+
+  for (PSNodeId Id = 0; Id < G.numNodes(); ++Id) {
+    const PSNode &N = G.node(Id);
+    if (!N.IsHierarchical)
+      continue;
+    if (!N.Traits.empty() || ReferencedContexts.count(Id) ||
+        UndirectedEndpoints.count(Id))
+      Meaningful.insert(Id);
+  }
+}
+
+void Canonicalizer::collectLeafSet(PSNodeId Id,
+                                   std::vector<unsigned> &Out) const {
+  const PSNode &N = G.node(Id);
+  if (!N.IsHierarchical) {
+    Out.push_back(LeafNumber.at(Id));
+    return;
+  }
+  for (PSNodeId C : N.Children)
+    collectLeafSet(C, Out);
+}
+
+void Canonicalizer::numberHierarchical() {
+  // Order meaningful hierarchical nodes by their sorted leaf sets.
+  std::vector<std::pair<std::vector<unsigned>, PSNodeId>> Keyed;
+  for (PSNodeId Id : Meaningful) {
+    std::vector<unsigned> Leaves;
+    collectLeafSet(Id, Leaves);
+    std::sort(Leaves.begin(), Leaves.end());
+    Keyed.push_back({std::move(Leaves), Id});
+  }
+  std::sort(Keyed.begin(), Keyed.end());
+  unsigned Next = static_cast<unsigned>(LeafNumber.size());
+  for (auto &[Leaves, Id] : Keyed)
+    HierNumber[Id] = Next++;
+}
+
+std::string Canonicalizer::leafRef(const Value *V) const {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return "c" + std::to_string(CI->getValue());
+  if (const auto *CF = dyn_cast<ConstantFloat>(V)) {
+    std::ostringstream OS;
+    OS << "f" << CF->getValue();
+    return OS.str();
+  }
+  if (const auto *GV = dyn_cast<GlobalVariable>(V))
+    return "g:" + GV->getName();
+  if (const auto *Fn = dyn_cast<Function>(V))
+    return "fn:" + Fn->getName();
+  if (const auto *Arg = dyn_cast<Argument>(V))
+    return "arg" + std::to_string(Arg->getArgIndex());
+  if (const auto *I = dyn_cast<Instruction>(V)) {
+    // Reference the defining instruction's leaf; alloca names are part of
+    // program identity (variable names).
+    if (const auto *AI = dyn_cast<AllocaInst>(I))
+      return "a:" + AI->getName();
+    return "%" + std::to_string(canonical(G.leafOf(I)));
+  }
+  return "?";
+}
+
+std::string Canonicalizer::serialize() {
+  std::ostringstream OS;
+
+  // --- Instruction leaves in program order.
+  OS << "leaves\n";
+  for (PSNodeId Id = 0; Id < G.numNodes(); ++Id) {
+    const PSNode &N = G.node(Id);
+    if (N.IsHierarchical)
+      continue;
+    const Instruction *I = N.I;
+    OS << LeafNumber.at(Id) << " " << I->getOpcodeName();
+    for (const Value *Op : I->operands())
+      OS << " " << leafRef(Op);
+    if (const auto *Br = dyn_cast<BranchInst>(I))
+      OS << " ->b" << Br->getTarget()->getIndex();
+    if (const auto *CBr = dyn_cast<CondBranchInst>(I))
+      OS << " ->b" << CBr->getTrueTarget()->getIndex() << ",b"
+         << CBr->getFalseTarget()->getIndex();
+    OS << "\n";
+  }
+
+  // --- Meaningful hierarchical nodes with traits.
+  OS << "hier\n";
+  std::vector<std::pair<unsigned, PSNodeId>> Hier;
+  for (auto &[Id, Num] : HierNumber)
+    Hier.push_back({Num, Id});
+  std::sort(Hier.begin(), Hier.end());
+  for (auto &[Num, Id] : Hier) {
+    std::vector<unsigned> Leaves;
+    collectLeafSet(Id, Leaves);
+    std::sort(Leaves.begin(), Leaves.end());
+    OS << Num << " {";
+    for (unsigned L : Leaves)
+      OS << L << " ";
+    OS << "}";
+    std::vector<PSTrait> Traits = G.node(Id).Traits;
+    std::sort(Traits.begin(), Traits.end());
+    for (const PSTrait &T : Traits) {
+      OS << " t" << static_cast<int>(T.Kind) << "@" << canonical(T.Context);
+    }
+    OS << "\n";
+  }
+
+  // --- Directed edges.
+  std::vector<std::string> Lines;
+  for (const PSDirectedEdge &E : G.directedEdges()) {
+    std::ostringstream L;
+    L << canonical(E.Src) << ">" << canonical(E.Dst) << " k"
+      << static_cast<int>(E.Kind) << (E.Intra ? " i" : "");
+    for (unsigned H : E.CarriedAtHeaders)
+      L << " lc" << H;
+    if (E.Selector)
+      L << " sel" << static_cast<int>(E.Selector->Kind) << "@"
+        << canonical(E.Selector->Context);
+    Lines.push_back(L.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  OS << "dedges\n";
+  for (const std::string &L : Lines)
+    OS << L << "\n";
+
+  // --- Undirected edges.
+  Lines.clear();
+  for (const PSUndirectedEdge &E : G.undirectedEdges()) {
+    long A = canonical(E.A), B = canonical(E.B);
+    if (A > B)
+      std::swap(A, B);
+    std::ostringstream L;
+    L << A << "~" << B << "@" << canonical(E.Context);
+    Lines.push_back(L.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  OS << "uedges\n";
+  for (const std::string &L : Lines)
+    OS << L << "\n";
+
+  // --- Parallel-semantic variables.
+  Lines.clear();
+  for (const PSVariable &V : G.variables()) {
+    std::ostringstream L;
+    L << (V.Kind == PSVariable::VarKind::Privatizable ? "priv" : "red") << " "
+      << V.Name << "@" << canonical(V.Context);
+    if (V.Kind == PSVariable::VarKind::Reducible) {
+      L << " op" << static_cast<int>(V.Op);
+      if (V.CustomReducer)
+        L << ":" << V.CustomReducer->getName();
+    }
+    std::vector<long> Uses, Defs;
+    for (PSNodeId N : V.UseNodes)
+      Uses.push_back(canonical(N));
+    for (PSNodeId N : V.DefNodes)
+      Defs.push_back(canonical(N));
+    std::sort(Uses.begin(), Uses.end());
+    std::sort(Defs.begin(), Defs.end());
+    L << " u{";
+    for (long U : Uses)
+      L << U << " ";
+    L << "} d{";
+    for (long D : Defs)
+      L << D << " ";
+    L << "}";
+    Lines.push_back(L.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  OS << "vars\n";
+  for (const std::string &L : Lines)
+    OS << L << "\n";
+
+  return OS.str();
+}
+
+} // namespace
+
+std::string psc::fingerprint(const PSPDG &G) {
+  return Canonicalizer(G).serialize();
+}
+
+uint64_t psc::fingerprintHash(const PSPDG &G) {
+  std::string S = fingerprint(G);
+  uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}

@@ -1,0 +1,39 @@
+//===- Fingerprint.h - Canonical PS-PDG serialization ------------*- C++ -*-===//
+///
+/// \file
+/// Canonical, semantics-only serialization of a PS-PDG, used to compare the
+/// abstractions of two different programs (paper §4: two semantically
+/// different programs are "indistinguishable" under an ablated PS-PDG iff
+/// their fingerprints are equal).
+///
+/// Canonicalization rules:
+///  * nodes are numbered in program order of their leaves; instruction
+///    leaves serialize as their opcode (plus operand shape), not value ids;
+///  * hierarchical nodes that carry no semantics — no traits, no context
+///    label referenced by any trait/edge/variable/selector, and no incident
+///    undirected edges — are transparent (flattened), since a bare grouping
+///    adds no constraints;
+///  * contexts serialize as the canonical number of their labeled node;
+///  * edges/variables/traits/selectors are sorted before emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PSPDG_FINGERPRINT_H
+#define PSPDG_PSPDG_FINGERPRINT_H
+
+#include "pspdg/PSPDG.h"
+
+#include <string>
+
+namespace psc {
+
+/// Canonical serialization; two PS-PDGs represent the same constraints iff
+/// the strings are equal.
+std::string fingerprint(const PSPDG &G);
+
+/// FNV-1a hash of fingerprint(G), for compact reporting.
+uint64_t fingerprintHash(const PSPDG &G);
+
+} // namespace psc
+
+#endif // PSPDG_PSPDG_FINGERPRINT_H

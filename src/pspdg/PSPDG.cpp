@@ -1,0 +1,171 @@
+//===- PSPDG.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "pspdg/PSPDG.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Instructions.h"
+#include "ir/LoopInfo.h"
+
+#include <functional>
+#include <sstream>
+
+using namespace psc;
+
+PSNodeId PSPDG::enclosingRegion(PSNodeId Id, PSRegionKind Kind) const {
+  for (PSNodeId N = Id; N != NoContext; N = Nodes[N].Parent)
+    if (Nodes[N].Region == Kind)
+      return N;
+  return NoContext;
+}
+
+PSNodeId PSPDG::loopNode(unsigned HeaderBlock) const {
+  for (PSNodeId N = 0; N < Nodes.size(); ++N)
+    if (Nodes[N].Region == PSRegionKind::LoopNode && Nodes[N].L &&
+        Nodes[N].L->getHeader() == HeaderBlock)
+      return N;
+  return NoContext;
+}
+
+namespace {
+
+const char *regionName(PSRegionKind K) {
+  switch (K) {
+  case PSRegionKind::None:
+    return "inst";
+  case PSRegionKind::Function:
+    return "function";
+  case PSRegionKind::LoopNode:
+    return "loop";
+  case PSRegionKind::ParallelRegion:
+    return "parallel";
+  case PSRegionKind::CriticalRegion:
+    return "critical";
+  case PSRegionKind::AtomicRegion:
+    return "atomic";
+  case PSRegionKind::SingleRegion:
+    return "single";
+  case PSRegionKind::MasterRegion:
+    return "master";
+  case PSRegionKind::OrderedRegion:
+    return "ordered";
+  case PSRegionKind::TaskRegion:
+    return "task";
+  }
+  return "?";
+}
+
+const char *traitName(TraitKind K) {
+  switch (K) {
+  case TraitKind::Atomic:
+    return "atomic";
+  case TraitKind::Unordered:
+    return "unordered";
+  case TraitKind::Singular:
+    return "singular";
+  }
+  return "?";
+}
+
+const char *selectorName(SelectorKind K) {
+  switch (K) {
+  case SelectorKind::AnyProducer:
+    return "any-producer";
+  case SelectorKind::LastProducer:
+    return "last-producer";
+  case SelectorKind::AllConsumers:
+    return "all-consumers";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string PSPDG::toDot() const {
+  std::ostringstream OS;
+  OS << "digraph PSPDG {\n  compound=true;\n  node [shape=box,fontsize=9];\n";
+
+  // Emit hierarchy as nested clusters via recursive lambda.
+  std::function<void(PSNodeId, unsigned)> Emit = [&](PSNodeId Id,
+                                                     unsigned Depth) {
+    const PSNode &N = Nodes[Id];
+    std::string Indent(2 * (Depth + 1), ' ');
+    if (!N.IsHierarchical) {
+      OS << Indent << "n" << Id << " [label=\"" << Id << ": "
+         << (N.I ? N.I->getOpcodeName() : "?") << "\"];\n";
+      return;
+    }
+    OS << Indent << "subgraph cluster" << Id << " {\n";
+    OS << Indent << "  label=\"" << regionName(N.Region);
+    if (N.IsContext)
+      OS << " [ctx " << Id << "]";
+    for (const PSTrait &T : N.Traits) {
+      OS << " +" << traitName(T.Kind);
+      if (T.Context != NoContext)
+        OS << "@" << T.Context;
+    }
+    OS << "\";\n";
+    // Anchor node so edges can target the cluster.
+    OS << Indent << "  n" << Id << " [shape=point,style=invis];\n";
+    for (PSNodeId C : N.Children)
+      Emit(C, Depth + 1);
+    OS << Indent << "}\n";
+  };
+  Emit(root(), 0);
+
+  for (const PSDirectedEdge &E : Directed) {
+    OS << "  n" << E.Src << " -> n" << E.Dst << " [label=\"";
+    switch (E.Kind) {
+    case DepKind::Register:
+      OS << "reg";
+      break;
+    case DepKind::MemoryRAW:
+      OS << "RAW";
+      break;
+    case DepKind::MemoryWAR:
+      OS << "WAR";
+      break;
+    case DepKind::MemoryWAW:
+      OS << "WAW";
+      break;
+    case DepKind::Control:
+      OS << "ctrl";
+      break;
+    }
+    if (!E.CarriedAtHeaders.empty())
+      OS << " LC";
+    if (E.Selector)
+      OS << " " << selectorName(E.Selector->Kind);
+    OS << "\"" << (E.Kind == DepKind::Control ? ",style=dashed" : "")
+       << "];\n";
+  }
+  for (const PSUndirectedEdge &E : Undirected)
+    OS << "  n" << E.A << " -> n" << E.B
+       << " [dir=none,style=bold,color=blue,label=\"unordered@" << E.Context
+       << "\"];\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string PSPDG::summary() const {
+  unsigned Leaves = 0, Hier = 0, Ctx = 0, Traits = 0;
+  for (const PSNode &N : Nodes) {
+    if (N.IsHierarchical)
+      ++Hier;
+    else
+      ++Leaves;
+    if (N.IsContext)
+      ++Ctx;
+    Traits += static_cast<unsigned>(N.Traits.size());
+  }
+  unsigned Selectors = 0;
+  for (const PSDirectedEdge &E : Directed)
+    if (E.Selector)
+      ++Selectors;
+  std::ostringstream OS;
+  OS << "PS-PDG: " << Leaves << " instruction nodes, " << Hier
+     << " hierarchical nodes (" << Ctx << " contexts), " << Traits
+     << " traits, " << Directed.size() << " directed edges (" << Selectors
+     << " with data-selectors), " << Undirected.size()
+     << " undirected edges, " << Variables.size() << " parallel variables";
+  return OS.str();
+}

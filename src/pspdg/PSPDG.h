@@ -1,0 +1,222 @@
+//===- PSPDG.h - The Parallel Semantics Program Dependence Graph -*- C++ -*-===//
+///
+/// \file
+/// In-memory form of the paper's Table 1 grammar:
+///
+///   PS-PDG   ::= (Node+, Edge*, Variable*, VariableAccess*)
+///   Node     ::= (Instruction, Trait*) | (HierarchicalNode, Trait*)
+///   Trait    ::= (Singular | Unordered | Atomic, Context)
+///   Edge     ::= DirectedEdge | UndirectedEdge
+///   DirectedEdge   ::= (Node_p, Node_c, Data-selector?)
+///   UndirectedEdge ::= (Node, Node, Context)
+///   Data-selector  ::= (Any-Producer | Last-Producer | All-Consumers, Ctx)
+///   Variable ::= (Privatizable | Reducible, Context)
+///   VariableAccess ::= (Variable, Node*_use, Node*_def)
+///   Context  ::= unique identifier (a labeled hierarchical node)
+///
+/// Directed edges additionally carry the analysis payload (dependence kind,
+/// carried levels, base object) so the parallelization planner can consume
+/// the PS-PDG directly in place of the PDG (paper Fig. 2 / Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PSPDG_PSPDG_H
+#define PSPDG_PSPDG_PSPDG_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "ir/ParallelInfo.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+class Instruction;
+class Loop;
+
+/// Node id within one PSPDG. Id 0 is always the function root node.
+using PSNodeId = unsigned;
+
+/// Sentinel context meaning "no context specified" (global validity).
+inline constexpr PSNodeId NoContext = ~0u;
+
+/// Trait kinds (paper §3.2).
+enum class TraitKind { Atomic, Unordered, Singular };
+
+/// A trait scoped to a context.
+struct PSTrait {
+  TraitKind Kind = TraitKind::Atomic;
+  PSNodeId Context = NoContext;
+
+  bool operator==(const PSTrait &O) const {
+    return Kind == O.Kind && Context == O.Context;
+  }
+  bool operator<(const PSTrait &O) const {
+    return Kind != O.Kind ? Kind < O.Kind : Context < O.Context;
+  }
+};
+
+/// What source construct a hierarchical node represents (for printing and
+/// for the planner's region queries; carries no extra semantics).
+enum class PSRegionKind {
+  None,     ///< Instruction leaf.
+  Function, ///< Root.
+  LoopNode,
+  ParallelRegion,
+  CriticalRegion,
+  AtomicRegion,
+  SingleRegion,
+  MasterRegion,
+  OrderedRegion,
+  TaskRegion ///< Cilk-style spawned strand (paper Appendix A).
+};
+
+/// One PS-PDG node: an instruction leaf or a hierarchical grouping.
+struct PSNode {
+  bool IsHierarchical = false;
+  Instruction *I = nullptr;            ///< Leaf payload.
+  std::vector<PSNodeId> Children;      ///< Hierarchical payload.
+  PSNodeId Parent = NoContext;
+
+  /// Labeled hierarchical nodes are contexts (paper §3.3); the label is the
+  /// node id itself.
+  bool IsContext = false;
+
+  std::vector<PSTrait> Traits;
+
+  // Provenance (not part of the abstract grammar).
+  PSRegionKind Region = PSRegionKind::None;
+  const Loop *L = nullptr;             ///< For LoopNode.
+  unsigned DirectiveId = ~0u;          ///< For directive-derived regions.
+  std::string CriticalName;
+
+  bool hasTrait(TraitKind K) const {
+    for (const PSTrait &T : Traits)
+      if (T.Kind == K)
+        return true;
+    return false;
+  }
+};
+
+/// Data-selector kinds (paper §3.5).
+enum class SelectorKind { AnyProducer, LastProducer, AllConsumers };
+
+struct DataSelector {
+  SelectorKind Kind = SelectorKind::LastProducer;
+  PSNodeId Context = NoContext;
+};
+
+/// Directed edge with the dependence payload and optional data-selector.
+struct PSDirectedEdge {
+  PSNodeId Src = 0;
+  PSNodeId Dst = 0;
+  DepKind Kind = DepKind::Register;
+  bool Intra = true;
+  std::set<unsigned> CarriedAtHeaders; ///< Loop header block indices.
+  const Value *MemObject = nullptr;
+  bool IsIVDep = false;
+  bool IsIO = false;
+  std::optional<DataSelector> Selector;
+};
+
+/// Undirected edge: the endpoints must not overlap but may run in either
+/// order, within the given context (paper §3.4).
+struct PSUndirectedEdge {
+  PSNodeId A = 0;
+  PSNodeId B = 0;
+  PSNodeId Context = NoContext;
+  /// Loop headers whose carried dependences this edge absorbs (provenance
+  /// for the planner: the orderless conflict happens across iterations of
+  /// these loops).
+  std::set<unsigned> CarriedAtHeaders;
+};
+
+/// Parallel-semantic variable (paper §3.6) with its use/def access lists.
+struct PSVariable {
+  enum class VarKind { Privatizable, Reducible };
+  VarKind Kind = VarKind::Privatizable;
+  PSNodeId Context = NoContext;
+  const Value *Storage = nullptr;
+  std::string Name;
+
+  // Reduction description (Reducible only).
+  ReduceOp Op = ReduceOp::Add;
+  Function *CustomReducer = nullptr;
+
+  // VariableAccess: nodes that use (load) / define (store) the variable.
+  std::vector<PSNodeId> UseNodes;
+  std::vector<PSNodeId> DefNodes;
+};
+
+/// The Parallel Semantics Program Dependence Graph of one function.
+class PSPDG {
+public:
+  // --- Nodes --------------------------------------------------------------
+  PSNodeId addNode(PSNode N) {
+    Nodes.push_back(std::move(N));
+    return static_cast<PSNodeId>(Nodes.size() - 1);
+  }
+  const PSNode &node(PSNodeId Id) const { return Nodes[Id]; }
+  PSNode &node(PSNodeId Id) { return Nodes[Id]; }
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  PSNodeId root() const { return 0; }
+
+  /// Leaf node of an instruction; NoContext if the instruction has no node
+  /// (marker intrinsics are annotations, not computation).
+  PSNodeId leafOf(const Instruction *I) const {
+    auto It = LeafOf.find(I);
+    return It == LeafOf.end() ? NoContext : It->second;
+  }
+  void mapLeaf(const Instruction *I, PSNodeId Id) { LeafOf[I] = Id; }
+
+  // --- Edges --------------------------------------------------------------
+  void addDirectedEdge(PSDirectedEdge E) { Directed.push_back(std::move(E)); }
+  void addUndirectedEdge(PSUndirectedEdge E) {
+    Undirected.push_back(std::move(E));
+  }
+  const std::vector<PSDirectedEdge> &directedEdges() const { return Directed; }
+  const std::vector<PSUndirectedEdge> &undirectedEdges() const {
+    return Undirected;
+  }
+  PSUndirectedEdge &undirectedEdge(unsigned Idx) { return Undirected[Idx]; }
+
+  // --- Variables ------------------------------------------------------------
+  void addVariable(PSVariable V) { Variables.push_back(std::move(V)); }
+  const std::vector<PSVariable> &variables() const { return Variables; }
+
+  /// Variable entry for a storage object, or null.
+  const PSVariable *variableFor(const Value *Storage) const {
+    for (const PSVariable &V : Variables)
+      if (V.Storage == Storage)
+        return &V;
+    return nullptr;
+  }
+
+  // --- Queries used by the planner ----------------------------------------
+
+  /// Innermost hierarchical ancestor of \p Id with the given region kind,
+  /// or NoContext.
+  PSNodeId enclosingRegion(PSNodeId Id, PSRegionKind Kind) const;
+
+  /// The loop node for a loop (by header block index), or NoContext.
+  PSNodeId loopNode(unsigned HeaderBlock) const;
+
+  /// DOT rendering of the graph (hierarchy as clusters).
+  std::string toDot() const;
+
+  /// Human-readable summary (node/edge/variable counts by kind).
+  std::string summary() const;
+
+private:
+  std::vector<PSNode> Nodes;
+  std::vector<PSDirectedEdge> Directed;
+  std::vector<PSUndirectedEdge> Undirected;
+  std::vector<PSVariable> Variables;
+  std::map<const Instruction *, PSNodeId> LeafOf;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PSPDG_PSPDG_H

@@ -1,0 +1,667 @@
+//===- PSPDGBuilder.cpp ---------------------------------------*- C++ -*-===//
+
+#include "pspdg/PSPDGBuilder.h"
+
+#include "analysis/MemoryModel.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace psc;
+
+namespace {
+
+/// A "container": the function, a loop, or a directive region. Containers
+/// form the hierarchical-node tree.
+struct Container {
+  PSRegionKind Kind = PSRegionKind::Function;
+  const Loop *L = nullptr;
+  const Directive *D = nullptr;
+  /// Members as indices into the program-order instruction list.
+  std::vector<bool> Members; // sized to #instructions
+  unsigned Size = 0;
+  PSNodeId Node = NoContext;
+};
+
+class BuilderImpl {
+public:
+  BuilderImpl(const FunctionAnalysis &FA, const DependenceInfo &DI,
+              const FeatureSet &Features)
+      : FA(FA), DI(DI), Feats(Features),
+        PI(FA.function().getParent()->getParallelInfo()) {}
+
+  std::unique_ptr<PSPDG> run();
+
+private:
+  void collectContainers();
+  void buildNodes();
+  void buildEdges();
+  void buildVariables();
+
+  bool isMarker(const Instruction *I) const {
+    const auto *CI = dyn_cast<CallInst>(I);
+    return CI && Module::isMarkerIntrinsicName(CI->getCallee()->getName());
+  }
+
+  /// Directive-derived region container enclosing instruction index \p Idx
+  /// (innermost), or -1.
+  int regionContainerOf(unsigned Idx) const;
+
+  /// Worksharing directive attached to loop header \p Header, or null.
+  const Directive *worksharingDirective(unsigned Header) const;
+
+  /// True if \p Storage is privatizable at the loop with header \p Header
+  /// under the declared semantics (clause private / live-out privates /
+  /// threadprivate).
+  bool isPrivatizableAt(const Value *Storage, unsigned Header) const;
+
+  /// True if \p Storage is a declared reduction object at loop \p Header or
+  /// a module-scope reducible.
+  bool isReducibleAt(const Value *Storage, unsigned Header) const;
+
+  PSNodeId contextOf(PSNodeId Node) const; ///< Innermost labeled ancestor.
+
+  const FunctionAnalysis &FA;
+  const DependenceInfo &DI;
+  FeatureSet Feats;
+  const ParallelInfo &PI;
+
+  std::unique_ptr<PSPDG> G;
+  std::vector<Container> Containers; // [0] = function
+  std::vector<int> RegionOf;         // per instruction index, or -1
+  std::vector<unsigned> TaskWaitIdx; // taskwait markers, program order
+};
+
+int BuilderImpl::regionContainerOf(unsigned Idx) const {
+  return RegionOf[Idx];
+}
+
+const Directive *BuilderImpl::worksharingDirective(unsigned Header) const {
+  BasicBlock *HB = FA.function().getBlock(Header);
+  for (const Directive *D : PI.directivesForLoop(HB))
+    if (D->Kind == DirectiveKind::ParallelFor || D->Kind == DirectiveKind::For)
+      return D;
+  return nullptr;
+}
+
+bool BuilderImpl::isPrivatizableAt(const Value *Storage,
+                                   unsigned Header) const {
+  if (!Storage)
+    return false;
+  if (PI.isThreadPrivate(Storage))
+    return true;
+  const Directive *D = worksharingDirective(Header);
+  if (!D)
+    return false;
+  for (const VarRef &V : D->Privates)
+    if (V.Storage == Storage)
+      return true;
+  for (const LiveOutClause &L : D->LiveOuts)
+    if (L.Var.Storage == Storage)
+      return true;
+  return false;
+}
+
+bool BuilderImpl::isReducibleAt(const Value *Storage, unsigned Header) const {
+  if (!Storage)
+    return false;
+  // Module-scope `reducible(var : fn)` declarations.
+  for (const Directive &D : PI.directives())
+    if (!D.isLoopDirective() && D.Kind == DirectiveKind::Parallel &&
+        !D.LoopHeader)
+      for (const ReductionClause &R : D.Reductions)
+        if (R.Var.Storage == Storage && R.Op == ReduceOp::Custom)
+          return true;
+  const Directive *D = worksharingDirective(Header);
+  if (!D)
+    return false;
+  for (const ReductionClause &R : D->Reductions)
+    if (R.Var.Storage == Storage)
+      return true;
+  return false;
+}
+
+void BuilderImpl::collectContainers() {
+  const auto &Insts = FA.instructions();
+  unsigned N = static_cast<unsigned>(Insts.size());
+
+  // Function container.
+  Container Fn;
+  Fn.Kind = PSRegionKind::Function;
+  Fn.Members.assign(N, true);
+  Fn.Size = N;
+  Containers.push_back(std::move(Fn));
+
+  // Loop containers.
+  for (const Loop *L : FA.loopInfo().loops()) {
+    Container C;
+    C.Kind = PSRegionKind::LoopNode;
+    C.L = L;
+    C.Members.assign(N, false);
+    for (unsigned I = 0; I < N; ++I)
+      if (L->contains(Insts[I]->getParent()->getIndex())) {
+        C.Members[I] = true;
+        ++C.Size;
+      }
+    Containers.push_back(std::move(C));
+  }
+
+  // Taskwait markers: join points for the Cilk-style task concurrency.
+  for (unsigned I = 0; I < N; ++I)
+    if (const auto *CI = dyn_cast<CallInst>(Insts[I]))
+      if (CI->getCallee()->getName() == intrinsics::TaskWaitMarker)
+        TaskWaitIdx.push_back(I);
+
+  // Region containers from marker calls. Instructions are in program order
+  // and the front-end emits regions as contiguous index ranges.
+  RegionOf.assign(N, -1);
+  std::vector<std::pair<unsigned, unsigned>> Stack; // (directiveId, startIdx)
+  std::map<unsigned, std::pair<unsigned, unsigned>> Ranges; // id -> [a,b)
+  for (unsigned I = 0; I < N; ++I) {
+    const auto *CI = dyn_cast<CallInst>(Insts[I]);
+    if (!CI)
+      continue;
+    const std::string &Name = CI->getCallee()->getName();
+    if (Name == intrinsics::RegionBegin) {
+      auto *IdC = cast<ConstantInt>(CI->getArg(0));
+      Stack.push_back({static_cast<unsigned>(IdC->getValue()), I + 1});
+    } else if (Name == intrinsics::RegionEnd) {
+      if (Stack.empty())
+        continue;
+      auto [Id, Start] = Stack.back();
+      Stack.pop_back();
+      Ranges[Id] = {Start, I};
+    }
+  }
+  // Unterminated regions (sub-statement ended in a return) extend to the
+  // end of the function.
+  while (!Stack.empty()) {
+    auto [Id, Start] = Stack.back();
+    Stack.pop_back();
+    Ranges[Id] = {Start, N};
+  }
+
+  for (auto &[Id, Range] : Ranges) {
+    const Directive *D = PI.getDirective(Id);
+    if (!D)
+      continue;
+    Container C;
+    switch (D->Kind) {
+    case DirectiveKind::Parallel:
+      C.Kind = PSRegionKind::ParallelRegion;
+      break;
+    case DirectiveKind::Critical:
+      C.Kind = PSRegionKind::CriticalRegion;
+      break;
+    case DirectiveKind::Atomic:
+      C.Kind = PSRegionKind::AtomicRegion;
+      break;
+    case DirectiveKind::Single:
+      C.Kind = PSRegionKind::SingleRegion;
+      break;
+    case DirectiveKind::Master:
+      C.Kind = PSRegionKind::MasterRegion;
+      break;
+    case DirectiveKind::Ordered:
+      C.Kind = PSRegionKind::OrderedRegion;
+      break;
+    case DirectiveKind::Task:
+      C.Kind = PSRegionKind::TaskRegion;
+      break;
+    default:
+      continue;
+    }
+    C.D = D;
+    C.Members.assign(N, false);
+    for (unsigned I = Range.first; I < Range.second; ++I) {
+      if (isMarker(Insts[I]))
+        continue;
+      C.Members[I] = true;
+      ++C.Size;
+    }
+    unsigned CIdx = static_cast<unsigned>(Containers.size());
+    for (unsigned I = Range.first; I < Range.second; ++I)
+      if (C.Members[I] &&
+          (RegionOf[I] < 0 ||
+           Containers[RegionOf[I]].Size >= C.Size)) // innermost region wins
+        RegionOf[I] = static_cast<int>(CIdx);
+    Containers.push_back(std::move(C));
+  }
+}
+
+PSNodeId BuilderImpl::contextOf(PSNodeId NodeId) const {
+  for (PSNodeId N = NodeId; N != NoContext; N = G->node(N).Parent)
+    if (G->node(N).IsContext)
+      return N;
+  return NoContext;
+}
+
+void BuilderImpl::buildNodes() {
+  const auto &Insts = FA.instructions();
+  unsigned N = static_cast<unsigned>(Insts.size());
+  bool HN = Feats.HierarchicalNodesAndUndirectedEdges;
+
+  // Root node always exists (the function is the outermost hierarchical
+  // node; without HN it is the only one, holding all leaves directly).
+  PSNode Root;
+  Root.IsHierarchical = true;
+  Root.Region = PSRegionKind::Function;
+  Root.IsContext = Feats.Contexts;
+  PSNodeId RootId = G->addNode(std::move(Root));
+  Containers[0].Node = RootId;
+
+  if (HN) {
+    // One hierarchical node per non-function container. Parent = smallest
+    // strictly-larger container containing all members.
+    // Order containers by ascending size for parent search.
+    std::vector<unsigned> BySize;
+    for (unsigned C = 1; C < Containers.size(); ++C)
+      BySize.push_back(C);
+    std::sort(BySize.begin(), BySize.end(), [&](unsigned A, unsigned B) {
+      return Containers[A].Size < Containers[B].Size;
+    });
+
+    for (unsigned C = 1; C < Containers.size(); ++C) {
+      PSNode Node;
+      Node.IsHierarchical = true;
+      Node.Region = Containers[C].Kind;
+      Node.L = Containers[C].L;
+      if (Containers[C].D) {
+        Node.DirectiveId = Containers[C].D->Id;
+        Node.CriticalName = Containers[C].D->CriticalName;
+      }
+      // Loops and parallel regions are the labeled contexts.
+      Node.IsContext = Feats.Contexts &&
+                       (Containers[C].Kind == PSRegionKind::LoopNode ||
+                        Containers[C].Kind == PSRegionKind::ParallelRegion);
+      Containers[C].Node = G->addNode(std::move(Node));
+    }
+
+    auto Contains = [&](unsigned Outer, unsigned Inner) {
+      if (Containers[Outer].Size < Containers[Inner].Size)
+        return false;
+      for (unsigned I = 0; I < N; ++I)
+        if (Containers[Inner].Members[I] && !Containers[Outer].Members[I])
+          return false;
+      return true;
+    };
+
+    // Parent = smallest container (other than itself) that contains it;
+    // BySize ordering makes the first containing candidate the smallest.
+    for (size_t SI = 0; SI < BySize.size(); ++SI) {
+      unsigned C = BySize[SI];
+      unsigned Parent = 0;
+      for (size_t SJ = SI + 1; SJ < BySize.size(); ++SJ) {
+        unsigned Cand = BySize[SJ];
+        if (Contains(Cand, C)) {
+          Parent = Cand;
+          break;
+        }
+      }
+      PSNodeId P = Containers[Parent].Node;
+      G->node(Containers[C].Node).Parent = P;
+      G->node(P).Children.push_back(Containers[C].Node);
+    }
+  }
+
+  // Leaves: every non-marker instruction. Parent = innermost container.
+  for (unsigned I = 0; I < N; ++I) {
+    Instruction *Inst = Insts[I];
+    if (isMarker(Inst))
+      continue;
+    PSNode Leaf;
+    Leaf.I = Inst;
+    PSNodeId ParentNode = RootId;
+    if (HN) {
+      unsigned Best = 0;
+      for (unsigned C = 1; C < Containers.size(); ++C)
+        if (Containers[C].Members[I] &&
+            (Best == 0 || Containers[C].Size < Containers[Best].Size))
+          Best = C;
+      ParentNode = Containers[Best].Node;
+    }
+    Leaf.Parent = ParentNode;
+    PSNodeId Id = G->addNode(std::move(Leaf));
+    G->node(ParentNode).Children.push_back(Id);
+    G->mapLeaf(Inst, Id);
+  }
+
+  // Traits.
+  if (Feats.NodeTraits && HN) {
+    for (Container &C : Containers) {
+      if (C.Node == NoContext)
+        continue;
+      PSNode &Node = G->node(C.Node);
+      // Trait context: the innermost enclosing context (loop / parallel
+      // region / function root).
+      PSNodeId Ctx =
+          Feats.Contexts && Node.Parent != NoContext ? contextOf(Node.Parent)
+                                                     : NoContext;
+      switch (C.Kind) {
+      case PSRegionKind::CriticalRegion:
+      case PSRegionKind::AtomicRegion:
+        Node.Traits.push_back({TraitKind::Atomic, Ctx});
+        Node.Traits.push_back({TraitKind::Unordered, Ctx});
+        break;
+      case PSRegionKind::SingleRegion:
+      case PSRegionKind::MasterRegion:
+        Node.Traits.push_back({TraitKind::Singular, Ctx});
+        break;
+      default:
+        break;
+      }
+    }
+  }
+}
+
+void BuilderImpl::buildEdges() {
+  bool HN = Feats.HierarchicalNodesAndUndirectedEdges;
+
+  // Dedup set for undirected edges: (nodeA, nodeB, ctx).
+  std::map<std::tuple<PSNodeId, PSNodeId, PSNodeId>, unsigned> UndirectedIdx;
+
+  auto MutualExclusionRegion = [&](const Instruction *I) -> int {
+    // Innermost region only: a critical nested in another region wins the
+    // RegionOf slot, which is the case that matters for lock pairing.
+    int R = regionContainerOf(FA.indexOf(I));
+    if (R < 0)
+      return -1;
+    PSRegionKind K = Containers[R].Kind;
+    if (K == PSRegionKind::CriticalRegion || K == PSRegionKind::AtomicRegion)
+      return R;
+    return -1;
+  };
+
+  auto OrderedRegionOf = [&](const Instruction *I) -> int {
+    unsigned Idx = FA.indexOf(I);
+    int R = regionContainerOf(Idx);
+    if (R >= 0 && Containers[R].Kind == PSRegionKind::OrderedRegion)
+      return R;
+    return -1;
+  };
+
+  auto TaskRegionOf = [&](const Instruction *I) -> int {
+    int R = regionContainerOf(FA.indexOf(I));
+    if (R >= 0 && Containers[R].Kind == PSRegionKind::TaskRegion)
+      return R;
+    return -1;
+  };
+
+  auto SyncBetween = [&](unsigned Lo, unsigned Hi) {
+    for (unsigned W : TaskWaitIdx)
+      if (W > Lo && W < Hi)
+        return true;
+    return false;
+  };
+
+  auto SyncInsideLoop = [&](unsigned Header) {
+    const Loop *L = FA.loopInfo().getLoopByHeader(Header);
+    if (!L)
+      return true; // unknown: conservative
+    for (unsigned W : TaskWaitIdx)
+      if (L->contains(FA.instructions()[W]->getParent()->getIndex()))
+        return true;
+    return false;
+  };
+
+  auto SameLock = [&](int RA, int RB) {
+    const Container &A = Containers[RA], &B = Containers[RB];
+    if (A.Kind == PSRegionKind::CriticalRegion &&
+        B.Kind == PSRegionKind::CriticalRegion)
+      return A.D->CriticalName == B.D->CriticalName;
+    // Atomic regions: conservatively one lock domain (sound; see DESIGN.md).
+    return A.Kind == PSRegionKind::AtomicRegion &&
+           B.Kind == PSRegionKind::AtomicRegion;
+  };
+
+  for (const DepEdge &E : DI.edges()) {
+    if (isMarker(E.Src) || isMarker(E.Dst))
+      continue;
+    PSNodeId SrcLeaf = G->leafOf(E.Src);
+    PSNodeId DstLeaf = G->leafOf(E.Dst);
+    assert(SrcLeaf != NoContext && DstLeaf != NoContext &&
+           "leaf missing for non-marker instruction");
+
+    PSDirectedEdge Out;
+    Out.Src = SrcLeaf;
+    Out.Dst = DstLeaf;
+    Out.Kind = E.Kind;
+    Out.Intra = E.Intra;
+    Out.MemObject = E.MemObject;
+    Out.IsIVDep = E.IsIVDep;
+    Out.IsIO = E.IsIO;
+    Out.CarriedAtHeaders = E.CarriedAtHeaders;
+
+    // Cilk-style task concurrency (Appendix A, needs the SESE hierarchical
+    // nodes): a spawned strand runs concurrently with its continuation and
+    // with other strands until the next sync. Memory conflicts between a
+    // task and anything outside it (with no intervening sync) carry no
+    // ordering; conflicts between dynamic instances of the same task are
+    // unordered across loop iterations when no sync joins them inside the
+    // loop. (Hyperobjects make this safe for reducible data — the PSV
+    // variables; plain races are the programmer's responsibility, exactly
+    // as in Cilk.)
+    if (HN && E.isMemory()) {
+      int TA = TaskRegionOf(E.Src), TB = TaskRegionOf(E.Dst);
+      if ((TA >= 0 || TB >= 0)) {
+        unsigned IA = FA.indexOf(E.Src), IB = FA.indexOf(E.Dst);
+        unsigned Lo = std::min(IA, IB), Hi = std::max(IA, IB);
+        if (TA != TB && !SyncBetween(Lo, Hi)) {
+          Out.Intra = false;
+          std::set<unsigned> Keep;
+          for (unsigned H : Out.CarriedAtHeaders)
+            if (SyncInsideLoop(H))
+              Keep.insert(H);
+          Out.CarriedAtHeaders = std::move(Keep);
+        } else if (TA == TB && TA >= 0) {
+          std::set<unsigned> Keep;
+          for (unsigned H : Out.CarriedAtHeaders)
+            if (SyncInsideLoop(H))
+              Keep.insert(H);
+          Out.CarriedAtHeaders = std::move(Keep);
+        }
+      }
+    }
+
+    // Process each carried level against the declared parallel semantics.
+    for (unsigned H : E.CarriedAtHeaders) {
+      bool Drop = false;
+
+      // (a) Privatizable / reducible variables (PSV).
+      if (Feats.ParallelVariables && E.isMemory() &&
+          (isPrivatizableAt(E.MemObject, H) || isReducibleAt(E.MemObject, H)))
+        Drop = true;
+
+      // (b) Mutual-exclusion regions (HN+UE, and NT for the atomicity that
+      // makes overlap-free reordering sound): carried conflicts between
+      // critical/atomic instances become an undirected edge between the
+      // region nodes.
+      if (!Drop && HN && Feats.NodeTraits && (E.isMemory() || E.IsIO)) {
+        int RA = MutualExclusionRegion(E.Src);
+        int RB = MutualExclusionRegion(E.Dst);
+        if (RA >= 0 && RB >= 0 && SameLock(RA, RB)) {
+          PSNodeId CtxNode =
+              Feats.Contexts ? G->loopNode(H) : NoContext;
+          PSNodeId NA = Containers[RA].Node, NB = Containers[RB].Node;
+          if (NA > NB)
+            std::swap(NA, NB);
+          auto Key = std::make_tuple(NA, NB, CtxNode);
+          auto It = UndirectedIdx.find(Key);
+          if (It == UndirectedIdx.end()) {
+            PSUndirectedEdge UE;
+            UE.A = NA;
+            UE.B = NB;
+            UE.Context = CtxNode;
+            UE.CarriedAtHeaders.insert(H);
+            UndirectedIdx[Key] =
+                static_cast<unsigned>(G->undirectedEdges().size());
+            G->addUndirectedEdge(std::move(UE));
+          } else {
+            G->undirectedEdge(It->second).CarriedAtHeaders.insert(H);
+          }
+          Drop = true;
+        }
+      }
+
+      // (c) Declared independence of worksharing loops (contexts): drop
+      // carried dependences at the annotated loop. The loop counter is
+      // implicitly private (OpenMP 5.0 §2.21.1), so its bookkeeping
+      // dependences drop unconditionally. Everything else is excluded when
+      // it sits inside an ordered/critical/atomic region, is I/O
+      // (orderless-converted below), or is an object the directive itself
+      // declares special (private/reduction/live-out/threadprivate — those
+      // are governed by the parallel-semantic variables, feature (a)).
+      if (!Drop && Feats.Contexts && E.isMemory() &&
+          worksharingDirective(H)) {
+        const ForLoopMeta *HMeta =
+            PI.getForLoopMeta(FA.function().getBlock(H));
+        bool IsCounter =
+            HMeta && E.MemObject && HMeta->CounterStorage == E.MemObject;
+        bool Protected = OrderedRegionOf(E.Src) >= 0 ||
+                         OrderedRegionOf(E.Dst) >= 0 ||
+                         MutualExclusionRegion(E.Src) >= 0 ||
+                         MutualExclusionRegion(E.Dst) >= 0;
+        bool DeclaredData = isPrivatizableAt(E.MemObject, H) ||
+                            isReducibleAt(E.MemObject, H) ||
+                            (E.MemObject && PI.isThreadPrivate(E.MemObject));
+        if (IsCounter || (!E.IsIO && !Protected && !DeclaredData))
+          Drop = true;
+      }
+
+      // (d) I/O inside a declared-independent loop: any interleaving is
+      // allowed → orderless undirected edge between the printing nodes.
+      if (!Drop && HN && E.IsIO && worksharingDirective(H) &&
+          OrderedRegionOf(E.Src) < 0 && OrderedRegionOf(E.Dst) < 0) {
+        PSNodeId CtxNode = Feats.Contexts ? G->loopNode(H) : NoContext;
+        PSNodeId NA = SrcLeaf, NB = DstLeaf;
+        if (NA > NB)
+          std::swap(NA, NB);
+        auto Key = std::make_tuple(NA, NB, CtxNode);
+        if (!UndirectedIdx.count(Key)) {
+          PSUndirectedEdge UE;
+          UE.A = NA;
+          UE.B = NB;
+          UE.Context = CtxNode;
+          UE.CarriedAtHeaders.insert(H);
+          UndirectedIdx[Key] =
+              static_cast<unsigned>(G->undirectedEdges().size());
+          G->addUndirectedEdge(std::move(UE));
+        }
+        Drop = true;
+      }
+
+      if (Drop)
+        Out.CarriedAtHeaders.erase(H);
+    }
+
+    // Data-selectors on loop live-out/live-in RAW edges (DSDE).
+    if (Feats.DataSelectors && Out.Kind == DepKind::MemoryRAW &&
+        E.MemObject) {
+      for (const Directive &D : PI.directives()) {
+        if (!D.isLoopDirective() || !D.LoopHeader)
+          continue;
+        const Loop *L =
+            FA.loopInfo().getLoopByHeader(D.LoopHeader->getIndex());
+        if (!L)
+          continue;
+        bool SrcIn = L->contains(E.Src->getParent()->getIndex());
+        bool DstIn = L->contains(E.Dst->getParent()->getIndex());
+        for (const LiveOutClause &LO : D.LiveOuts) {
+          if (LO.Var.Storage != E.MemObject)
+            continue;
+          PSNodeId Ctx = Feats.Contexts ? G->loopNode(L->getHeader())
+                                        : NoContext;
+          if (SrcIn && !DstIn && LO.Policy == LiveOutPolicy::Last)
+            Out.Selector = DataSelector{SelectorKind::LastProducer, Ctx};
+          else if (SrcIn && !DstIn && LO.Policy == LiveOutPolicy::Any)
+            Out.Selector = DataSelector{SelectorKind::AnyProducer, Ctx};
+          else if (!SrcIn && DstIn && LO.Policy == LiveOutPolicy::First)
+            Out.Selector = DataSelector{SelectorKind::AllConsumers, Ctx};
+        }
+      }
+    }
+
+    // An edge whose every constraint was discharged (no intra ordering, no
+    // carried level, no selector) represents nothing: omit it.
+    if (!Out.Intra && Out.CarriedAtHeaders.empty() && !Out.Selector)
+      continue;
+
+    G->addDirectedEdge(std::move(Out));
+  }
+}
+
+void BuilderImpl::buildVariables() {
+  if (!Feats.ParallelVariables)
+    return;
+
+  auto AccessNodes = [&](const Value *Storage, std::vector<PSNodeId> &Uses,
+                         std::vector<PSNodeId> &Defs) {
+    for (Instruction *I : FA.instructions()) {
+      PSNodeId Leaf = G->leafOf(I);
+      if (Leaf == NoContext)
+        continue;
+      if (auto *LI = dyn_cast<LoadInst>(I)) {
+        if (findUnderlyingObject(LI->getPointer()) == Storage)
+          Uses.push_back(Leaf);
+      } else if (auto *SI = dyn_cast<StoreInst>(I)) {
+        if (findUnderlyingObject(SI->getPointer()) == Storage)
+          Defs.push_back(Leaf);
+      }
+    }
+  };
+
+  auto AddVariable = [&](PSVariable::VarKind Kind, const VarRef &V,
+                         PSNodeId Ctx, ReduceOp Op, Function *Reducer) {
+    if (!V.Storage)
+      return;
+    PSVariable Var;
+    Var.Kind = Kind;
+    Var.Context = Ctx;
+    Var.Storage = V.Storage;
+    Var.Name = V.Name;
+    Var.Op = Op;
+    Var.CustomReducer = Reducer;
+    AccessNodes(V.Storage, Var.UseNodes, Var.DefNodes);
+    if (Var.UseNodes.empty() && Var.DefNodes.empty())
+      return; // variable not accessed in this function
+    G->addVariable(std::move(Var));
+  };
+
+  for (const Directive &D : PI.directives()) {
+    PSNodeId Ctx = NoContext;
+    if (Feats.Contexts && D.LoopHeader)
+      Ctx = G->loopNode(D.LoopHeader->getIndex());
+    for (const VarRef &V : D.Privates)
+      AddVariable(PSVariable::VarKind::Privatizable, V, Ctx, ReduceOp::Add,
+                  nullptr);
+    for (const LiveOutClause &L : D.LiveOuts)
+      AddVariable(PSVariable::VarKind::Privatizable, L.Var, Ctx,
+                  ReduceOp::Add, nullptr);
+    for (const ReductionClause &R : D.Reductions)
+      AddVariable(PSVariable::VarKind::Reducible, R.Var, Ctx, R.Op,
+                  R.CustomReducer);
+  }
+  for (const VarRef &V : PI.threadPrivates())
+    AddVariable(PSVariable::VarKind::Privatizable, V,
+                Feats.Contexts ? G->root() : NoContext, ReduceOp::Add,
+                nullptr);
+}
+
+std::unique_ptr<PSPDG> BuilderImpl::run() {
+  G = std::make_unique<PSPDG>();
+  collectContainers();
+  buildNodes();
+  buildEdges();
+  buildVariables();
+  return std::move(G);
+}
+
+} // namespace
+
+std::unique_ptr<PSPDG> psc::buildPSPDG(const FunctionAnalysis &FA,
+                                       const DependenceInfo &DI,
+                                       const FeatureSet &Features) {
+  return BuilderImpl(FA, DI, Features).run();
+}

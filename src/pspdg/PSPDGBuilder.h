@@ -1,0 +1,42 @@
+//===- PSPDGBuilder.h - Building the PS-PDG from annotated IR ----*- C++ -*-===//
+///
+/// \file
+/// Constructs the PS-PDG of a function from (a) the dependence analysis of
+/// its IR and (b) the explicit parallel semantics in the module's
+/// ParallelInfo, following the OpenMP→PS-PDG mapping of paper §5:
+///
+///   * declarations of independence (worksharing loops) → hierarchical
+///     nodes + contexts; carried dependences the programmer declared away
+///     are removed in the declared context;
+///   * data properties (private/firstprivate/lastprivate/threadprivate/
+///     reduction/reducible) → parallel-semantic variables with use/def
+///     edges; first/lastprivate/relaxed live-outs → data-selectors;
+///   * ordering (critical/atomic) → hierarchical nodes with atomic +
+///     unordered traits and undirected edges; ordered regions keep their
+///     directed edges; single/master → singular trait.
+///
+/// A FeatureSet selects which extensions are expressible, implementing the
+/// §4 ablations: a disabled feature degrades to the PDG-conservative
+/// encoding (kept directed edges, no traits, no variables, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PSPDG_PSPDGBUILDER_H
+#define PSPDG_PSPDG_PSPDGBUILDER_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "pspdg/Features.h"
+#include "pspdg/PSPDG.h"
+
+#include <memory>
+
+namespace psc {
+
+/// Builds the PS-PDG of FA's function.
+std::unique_ptr<PSPDG> buildPSPDG(const FunctionAnalysis &FA,
+                                  const DependenceInfo &DI,
+                                  const FeatureSet &Features = FeatureSet());
+
+} // namespace psc
+
+#endif // PSPDG_PSPDG_PSPDGBUILDER_H

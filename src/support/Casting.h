@@ -1,0 +1,68 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates ------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of llvm/Support/Casting.h. A class
+/// hierarchy participates by exposing a Kind discriminator and a static
+/// `classof(const Base *)` predicate on each subclass. This project is built
+/// with -fno-rtti, so these templates are the only supported way to perform
+/// checked downcasts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SUPPORT_CASTING_H
+#define PSPDG_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace psc {
+
+/// Returns true if \p Val is an instance of the class \p To.
+///
+/// \p Val must be non-null; use isa_and_nonnull for possibly-null values.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false for null).
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Checked downcast: asserts that \p Val is an instance of \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast for const pointers.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not an instance of \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast for const pointers.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null input pointer.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast_or_null for const pointers.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace psc
+
+#endif // PSPDG_SUPPORT_CASTING_H

@@ -1,0 +1,20 @@
+//===- ErrorHandling.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace psc;
+
+void psc::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void psc::unreachableInternal(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}

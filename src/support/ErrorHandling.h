@@ -1,0 +1,34 @@
+//===- ErrorHandling.h - Fatal error and unreachable helpers ---*- C++ -*-===//
+///
+/// \file
+/// Fatal-error reporting for conditions triggered by user input (malformed
+/// PSC sources, invalid CLI arguments) and an llvm_unreachable-style marker
+/// for conditions that indicate internal bugs. The project is built with
+/// -fno-exceptions, so errors that cannot be represented in the API surface
+/// terminate the process with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SUPPORT_ERRORHANDLING_H
+#define PSPDG_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace psc {
+
+/// Prints "fatal error: <Msg>" to stderr and aborts. Use for errors caused
+/// by user input when no recoverable error path exists.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Internal implementation of the psc_unreachable macro.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace psc
+
+/// Marks a point in code that must never be executed. Reaching it is an
+/// internal bug (not a user-input error).
+#define psc_unreachable(msg)                                                   \
+  ::psc::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // PSPDG_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,128 @@
+//===- SCCIterator.h - Tarjan SCC over adjacency-list graphs ---*- C++ -*-===//
+///
+/// \file
+/// Iterative Tarjan strongly-connected-component computation over a generic
+/// graph given as node count + successor callback. Used to build the SCC-DAG
+/// of per-loop dependence graphs (the NOELLE-style decomposition that the
+/// DOALL/HELIX/DSWP planners consume, paper section 6.1).
+///
+/// Components are emitted in reverse topological order of the condensation
+/// (Tarjan's natural emission order); callers that need topological order
+/// reverse the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SUPPORT_SCCITERATOR_H
+#define PSPDG_SUPPORT_SCCITERATOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace psc {
+
+/// Result of an SCC computation over nodes [0, NumNodes).
+struct SCCResult {
+  /// Components[i] lists the member node ids of component i, in discovery
+  /// order. Components are in reverse topological order of the SCC-DAG.
+  std::vector<std::vector<unsigned>> Components;
+
+  /// ComponentOf[n] is the index into Components for node n.
+  std::vector<unsigned> ComponentOf;
+
+  unsigned numComponents() const {
+    return static_cast<unsigned>(Components.size());
+  }
+
+  /// Returns true if component \p C contains more than one node or a node
+  /// with a self edge (the caller passes self-edge knowledge via
+  /// \p HasSelfEdge since this structure does not retain the graph).
+  bool isNonTrivial(unsigned C, bool HasSelfEdge) const {
+    assert(C < Components.size() && "component index out of range");
+    return Components[C].size() > 1 || HasSelfEdge;
+  }
+};
+
+/// Computes SCCs with an iterative Tarjan algorithm.
+///
+/// \param NumNodes number of nodes; nodes are identified by [0, NumNodes).
+/// \param Successors callback yielding the successor list of a node.
+inline SCCResult computeSCCs(
+    unsigned NumNodes,
+    const std::function<const std::vector<unsigned> &(unsigned)> &Successors) {
+  SCCResult Result;
+  Result.ComponentOf.assign(NumNodes, ~0u);
+
+  constexpr unsigned Undefined = ~0u;
+  std::vector<unsigned> Index(NumNodes, Undefined);
+  std::vector<unsigned> LowLink(NumNodes, Undefined);
+  std::vector<bool> OnStack(NumNodes, false);
+  std::vector<unsigned> Stack;
+  unsigned NextIndex = 0;
+
+  // Explicit DFS frames: (node, next successor position).
+  struct Frame {
+    unsigned Node;
+    size_t SuccPos;
+  };
+  std::vector<Frame> DFS;
+
+  for (unsigned Root = 0; Root < NumNodes; ++Root) {
+    if (Index[Root] != Undefined)
+      continue;
+
+    DFS.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!DFS.empty()) {
+      Frame &F = DFS.back();
+      const std::vector<unsigned> &Succs = Successors(F.Node);
+      if (F.SuccPos < Succs.size()) {
+        unsigned Succ = Succs[F.SuccPos++];
+        assert(Succ < NumNodes && "successor id out of range");
+        if (Index[Succ] == Undefined) {
+          Index[Succ] = LowLink[Succ] = NextIndex++;
+          Stack.push_back(Succ);
+          OnStack[Succ] = true;
+          DFS.push_back({Succ, 0});
+        } else if (OnStack[Succ]) {
+          if (Index[Succ] < LowLink[F.Node])
+            LowLink[F.Node] = Index[Succ];
+        }
+        continue;
+      }
+
+      // Node finished: pop a component if this is an SCC root.
+      unsigned Node = F.Node;
+      DFS.pop_back();
+      if (!DFS.empty()) {
+        unsigned Parent = DFS.back().Node;
+        if (LowLink[Node] < LowLink[Parent])
+          LowLink[Parent] = LowLink[Node];
+      }
+      if (LowLink[Node] != Index[Node])
+        continue;
+
+      std::vector<unsigned> Component;
+      while (true) {
+        unsigned Member = Stack.back();
+        Stack.pop_back();
+        OnStack[Member] = false;
+        Result.ComponentOf[Member] =
+            static_cast<unsigned>(Result.Components.size());
+        Component.push_back(Member);
+        if (Member == Node)
+          break;
+      }
+      Result.Components.push_back(std::move(Component));
+    }
+  }
+  return Result;
+}
+
+} // namespace psc
+
+#endif // PSPDG_SUPPORT_SCCITERATOR_H

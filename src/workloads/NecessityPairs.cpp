@@ -1,0 +1,223 @@
+//===- NecessityPairs.cpp -------------------------------------*- C++ -*-===//
+
+#include "workloads/NecessityPairs.h"
+
+using namespace psc;
+
+namespace {
+
+// --- A: hierarchical nodes + undirected edges (critical vs ordered) ---------
+// Fast: dynamic instances of the region must not overlap but may run in any
+// order. Slow: instances must run in loop-iteration order.
+const char *AFast = R"PSC(
+int hist[64];
+int data[256];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 256; i++) {
+    #pragma psc critical
+    {
+      hist[data[i] % 64] += 1;
+    }
+  }
+  print(hist[0]);
+  return 0;
+}
+)PSC";
+
+const char *ASlow = R"PSC(
+int hist[64];
+int data[256];
+int main() {
+  int i;
+  #pragma psc parallel for ordered
+  for (i = 0; i < 256; i++) {
+    #pragma psc ordered
+    {
+      hist[data[i] % 64] += 1;
+    }
+  }
+  print(hist[0]);
+  return 0;
+}
+)PSC";
+
+// --- B: node traits (single vs replicated print) -----------------------------
+const char *BFast = R"PSC(
+int flag = 0;
+int main() {
+  int i;
+  #pragma psc parallel
+  {
+    #pragma psc single
+    {
+      print(42);
+    }
+    #pragma psc for
+    for (i = 0; i < 128; i++) {
+      flag += 0;
+    }
+  }
+  return 0;
+}
+)PSC";
+
+const char *BSlow = R"PSC(
+int flag = 0;
+int main() {
+  int i;
+  #pragma psc parallel
+  {
+    {
+      print(42);
+    }
+    #pragma psc for
+    for (i = 0; i < 128; i++) {
+      flag += 0;
+    }
+  }
+  return 0;
+}
+)PSC";
+
+// --- C: contexts (inner-loop independence declared vs unknown) --------------
+// The indirect subscript defeats the dependence analysis; only the
+// worksharing annotation on the inner loop (valid in the context of the
+// outer loop) reveals that inner iterations are independent.
+const char *CFast = R"PSC(
+double buf[1024];
+int idx[32];
+int main() {
+  int i;
+  int j;
+  #pragma psc parallel
+  {
+    for (i = 1; i < 32; i++) {
+      #pragma psc for
+      for (j = 0; j < 32; j++) {
+        buf[idx[j] * 32 + i] = buf[idx[j] * 32 + i - 1] + 1.0;
+      }
+    }
+  }
+  print(1);
+  return 0;
+}
+)PSC";
+
+const char *CSlow = R"PSC(
+double buf[1024];
+int idx[32];
+int main() {
+  int i;
+  int j;
+  #pragma psc parallel
+  {
+    for (i = 1; i < 32; i++) {
+      for (j = 0; j < 32; j++) {
+        buf[idx[j] * 32 + i] = buf[idx[j] * 32 + i - 1] + 1.0;
+      }
+    }
+  }
+  print(1);
+  return 0;
+}
+)PSC";
+
+// --- D: data-selector directed edges (relaxed vs lastprivate live-out) ------
+const char *DFast = R"PSC(
+int value = 0;
+int data[128];
+int main() {
+  int i;
+  #pragma psc parallel for relaxed(value)
+  for (i = 0; i < 128; i++) {
+    value = data[i];
+  }
+  print(value);
+  return 0;
+}
+)PSC";
+
+const char *DSlow = R"PSC(
+int value = 0;
+int data[128];
+int main() {
+  int i;
+  #pragma psc parallel for lastprivate(value)
+  for (i = 0; i < 128; i++) {
+    value = data[i];
+  }
+  print(value);
+  return 0;
+}
+)PSC";
+
+// --- E: parallel-semantic variables (reducible struct vs ordered access) ----
+const char *EFast = R"PSC(
+double pt[4];
+#pragma psc reducible(pt : merge_pt)
+
+void merge_pt(double dst[], double src[]) {
+  int k;
+  for (k = 0; k < 4; k++) {
+    dst[k] = dst[k] + src[k];
+  }
+}
+
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 256; i++) {
+    pt[i % 4] = pt[i % 4] + 1.0;
+  }
+  print(1);
+  return 0;
+}
+)PSC";
+
+const char *ESlow = R"PSC(
+double pt[4];
+
+void merge_pt(double dst[], double src[]) {
+  int k;
+  for (k = 0; k < 4; k++) {
+    dst[k] = dst[k] + src[k];
+  }
+}
+
+int main() {
+  int i;
+  #pragma psc parallel for ordered
+  for (i = 0; i < 256; i++) {
+    #pragma psc ordered
+    {
+      pt[i % 4] = pt[i % 4] + 1.0;
+    }
+  }
+  print(1);
+  return 0;
+}
+)PSC";
+
+std::vector<NecessityPair> makePairs() {
+  return {
+      {"A-HierarchicalNodesAndUndirectedEdges",
+       "hierarchical nodes + undirected edges",
+       FeatureSet::withoutHierarchicalNodes(), AFast, ASlow},
+      {"B-NodeTraits", "node traits", FeatureSet::withoutNodeTraits(), BFast,
+       BSlow},
+      {"C-Contexts", "contexts", FeatureSet::withoutContexts(), CFast, CSlow},
+      {"D-DataSelectors", "data-selector directed edges",
+       FeatureSet::withoutDataSelectors(), DFast, DSlow},
+      {"E-ParallelVariables", "parallel-semantic variables",
+       FeatureSet::withoutParallelVariables(), EFast, ESlow},
+  };
+}
+
+} // namespace
+
+const std::vector<NecessityPair> &psc::necessityPairs() {
+  static const std::vector<NecessityPair> Pairs = makePairs();
+  return Pairs;
+}

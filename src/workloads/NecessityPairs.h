@@ -1,0 +1,37 @@
+//===- NecessityPairs.h - Paper Fig. 11 program pairs -------------*- C++ -*-===//
+///
+/// \file
+/// The five program pairs of the paper's §4 necessity argument (Fig. 11
+/// A–E). Each pair consists of a *fast* and a *slow* program with different
+/// parallel semantics but identical computation; with the full PS-PDG their
+/// abstractions differ, and with the named feature removed they collapse to
+/// the same graph (checked by fingerprint equality in NecessityTest and
+/// shown by examples/necessity_gallery).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_WORKLOADS_NECESSITYPAIRS_H
+#define PSPDG_WORKLOADS_NECESSITYPAIRS_H
+
+#include "pspdg/Features.h"
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// One §4 ablation pair.
+struct NecessityPair {
+  std::string Name;    ///< "A-HierarchicalNodes", ...
+  std::string Feature; ///< Human-readable feature name.
+  FeatureSet Ablated;  ///< FeatureSet with the feature removed.
+  std::string Fast;    ///< PSC source of the faster program.
+  std::string Slow;    ///< PSC source of the slower program.
+};
+
+/// All five pairs, in paper order (A–E).
+const std::vector<NecessityPair> &necessityPairs();
+
+} // namespace psc
+
+#endif // PSPDG_WORKLOADS_NECESSITYPAIRS_H

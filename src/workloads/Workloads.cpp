@@ -1,0 +1,629 @@
+//===- Workloads.cpp - NAS-like PSC kernel sources -------------*- C++ -*-===//
+///
+/// \file
+/// PSC sources of the eight NAS-like kernels. Each kernel reproduces the
+/// parallel structure of its NAS counterpart:
+///
+///   BT/SP — ADI line solves: worksharing sweeps over independent lines
+///           with loop-carried recurrences along each line.
+///   CG    — sparse matvec (worksharing), dot products (scalar reductions),
+///           axpy updates, sequential outer iteration.
+///   EP    — independent random samples, scalar reductions, histogram
+///           update in an atomic region.
+///   FT    — row-wise butterfly transform with a threadprivate scratch
+///           buffer, evolve step.
+///   IS    — the paper's Fig. 3 kernel: threadprivate histogram, indirect
+///           worksharing fill, per-thread prefix sum, critical merge.
+///   LU    — SSOR-style wavefront with an ordered recurrence plus
+///           worksharing RHS loops.
+///   MG    — stencil smoothing/restriction with a non-annotated
+///           private-buffer loop and a max-reduction in a critical region.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace psc;
+
+namespace {
+
+// --------------------------------------------------------------------- IS --
+const char *ISSource = R"PSC(
+// NAS IS: bucket-sort ranking kernel (paper Fig. 3 structure).
+int key_array[2048];
+int key_buff1[256];
+int prv_buff1[256];
+#pragma psc threadprivate(prv_buff1)
+
+int main() {
+  int i;
+  int it;
+  int seed;
+  int checksum;
+
+  // Deterministic keys.
+  seed = 314159;
+  for (i = 0; i < 2048; i++) {
+    seed = lcg(seed);
+    key_array[i] = seed % 256;
+  }
+
+  for (it = 0; it < 10; it++) {
+    #pragma psc parallel
+    {
+      // Loop 1: clear the (thread-private) buffer.
+      for (i = 0; i < 256; i++) {
+        prv_buff1[i] = 0;
+      }
+      // Loop 2: worksharing histogram fill (indirect subscript).
+      #pragma psc for
+      for (i = 0; i < 2048; i++) {
+        prv_buff1[key_array[i]] += 1;
+      }
+      // Loop 3: per-thread prefix sum (loop-carried).
+      for (i = 0; i < 255; i++) {
+        prv_buff1[i + 1] += prv_buff1[i];
+      }
+      // Loop 4: merge private buffers into the shared histogram.
+      #pragma psc critical
+      {
+        for (i = 0; i < 256; i++) {
+          key_buff1[i] += prv_buff1[i];
+        }
+      }
+    }
+  }
+
+  checksum = 0;
+  for (i = 0; i < 256; i++) {
+    checksum = checksum + key_buff1[i] * (i + 1);
+  }
+  checksum = checksum % 1000000007;
+  print(checksum);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- EP --
+const char *EPSource = R"PSC(
+// NAS EP: independent pseudo-random pairs, reductions, atomic histogram.
+double q[10];
+double sx = 0.0;
+double sy = 0.0;
+
+int main() {
+  int i;
+  int k;
+  int seed;
+  int l;
+  double x;
+  double y;
+  double t;
+  int checksum;
+  int qsum;
+
+  #pragma psc parallel for reduction(+: sx, sy) private(k, seed, l, x, y, t)
+  for (i = 0; i < 256; i++) {
+    seed = 271828 + i * 7919;
+    for (k = 0; k < 32; k++) {
+      seed = lcg(seed);
+      x = seed % 1024;
+      x = x / 1024.0;
+      seed = lcg(seed);
+      y = seed % 1024;
+      y = y / 1024.0;
+      t = x * x + y * y;
+      if (t <= 1.0) {
+        sx = sx + x;
+        sy = sy + y;
+        l = imax(x * 10.0, y * 10.0);
+        #pragma psc atomic
+        q[l] += 1.0;
+      }
+    }
+  }
+
+  qsum = 0;
+  for (i = 0; i < 10; i++) {
+    qsum = qsum + q[i] * (i + 1);
+  }
+  checksum = qsum * 1000 + sx + sy;
+  print(checksum);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- CG --
+const char *CGSource = R"PSC(
+// NAS CG: conjugate-gradient iterations over a fixed sparse stencil.
+int rowstr[129];
+int colidx[512];
+double a[512];
+double x[128];
+double z[128];
+double r[128];
+double p[128];
+double q[128];
+double rho = 0.0;
+double rho0 = 0.0;
+double alpha = 0.0;
+double beta = 0.0;
+double dq = 0.0;
+
+int main() {
+  int i;
+  int j;
+  int k;
+  int cgit;
+  int nnz;
+  double sum;
+  int checksum;
+
+  // Build a banded 4-entries-per-row sparse matrix deterministically.
+  nnz = 0;
+  for (j = 0; j < 128; j++) {
+    rowstr[j] = nnz;
+    for (k = 0; k < 4; k++) {
+      colidx[nnz] = (j + k * 31) % 128;
+      a[nnz] = 1.0 / (1.0 + (j + k) % 7);
+      nnz = nnz + 1;
+    }
+  }
+  rowstr[128] = nnz;
+
+  #pragma psc parallel for
+  for (j = 0; j < 128; j++) {
+    x[j] = 1.0;
+    r[j] = 1.0;
+    p[j] = 1.0;
+    z[j] = 0.0;
+  }
+
+  rho = 128.0;
+  for (cgit = 0; cgit < 15; cgit++) {
+    // Sparse matvec: q = A p (worksharing; indirect reads).
+    #pragma psc parallel for private(sum, k)
+    for (j = 0; j < 128; j++) {
+      sum = 0.0;
+      for (k = rowstr[j]; k < rowstr[j + 1]; k++) {
+        sum = sum + a[k] * p[colidx[k]];
+      }
+      q[j] = sum;
+    }
+
+    // dq = p . q (scalar reduction).
+    dq = 0.0;
+    #pragma psc parallel for reduction(+: dq)
+    for (j = 0; j < 128; j++) {
+      dq = dq + p[j] * q[j];
+    }
+    alpha = rho / (dq + 0.000001);
+
+    rho0 = rho;
+    rho = 0.0;
+    #pragma psc parallel for reduction(+: rho)
+    for (j = 0; j < 128; j++) {
+      z[j] = z[j] + alpha * p[j];
+      r[j] = r[j] - alpha * q[j];
+      rho = rho + r[j] * r[j];
+    }
+    beta = rho / (rho0 + 0.000001);
+
+    #pragma psc parallel for
+    for (j = 0; j < 128; j++) {
+      p[j] = r[j] + beta * p[j];
+    }
+  }
+
+  sum = 0.0;
+  for (j = 0; j < 128; j++) {
+    sum = sum + z[j] * z[j];
+  }
+  checksum = sum * 1000.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- FT --
+// 32x32 grid; rows transformed by a butterfly-style pass using a
+// threadprivate scratch buffer, then an evolve step.
+const char *FTSource = R"PSC(
+// NAS FT: row-wise butterfly transform with threadprivate scratch.
+double re[1024];
+double im[1024];
+double scratch[64];
+#pragma psc threadprivate(scratch)
+
+int main() {
+  int row;
+  int k;
+  int stage;
+  int span;
+  int pair;
+  int it;
+  double tr;
+  double ti;
+  double sum;
+  int checksum;
+
+  // Deterministic init.
+  for (k = 0; k < 1024; k++) {
+    re[k] = (k % 17) / 17.0;
+    im[k] = (k % 13) / 13.0;
+  }
+
+  for (it = 0; it < 6; it++) {
+    #pragma psc parallel
+    {
+      // Row-wise butterflies on a thread-private scratch buffer.
+      #pragma psc for private(k, stage, span, pair, tr, ti)
+      for (row = 0; row < 32; row++) {
+        for (k = 0; k < 32; k++) {
+          scratch[k] = re[row * 32 + k];
+          scratch[32 + k] = im[row * 32 + k];
+        }
+        span = 1;
+        for (stage = 0; stage < 5; stage++) {
+          for (pair = 0; pair < 16; pair++) {
+            k = (pair / span) * span * 2 + pair % span;
+            tr = scratch[k + span];
+            ti = scratch[32 + k + span];
+            scratch[k + span] = scratch[k] - tr;
+            scratch[32 + k + span] = scratch[32 + k] - ti;
+            scratch[k] = scratch[k] + tr;
+            scratch[32 + k] = scratch[32 + k] + ti;
+          }
+          span = span * 2;
+        }
+        for (k = 0; k < 32; k++) {
+          re[row * 32 + k] = scratch[k];
+          im[row * 32 + k] = scratch[32 + k];
+        }
+      }
+
+      // Evolve: pointwise phase-like update.
+      #pragma psc for private(tr)
+      for (k = 0; k < 1024; k++) {
+        tr = re[k];
+        re[k] = re[k] * 0.75 - im[k] * 0.25;
+        im[k] = im[k] * 0.75 + tr * 0.25;
+      }
+    }
+  }
+
+  sum = 0.0;
+  for (k = 0; k < 1024; k++) {
+    sum = sum + re[k] * re[k] + im[k] * im[k];
+  }
+  checksum = sum * 100.0;
+  row = checksum;
+  print(row);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- MG --
+const char *MGSource = R"PSC(
+// NAS MG: stencil smoothing + restriction with a private line buffer and a
+// norm computed through a critical max update.
+double u[1156];
+double v[1156];
+double cgrid[289];
+double line[34];
+#pragma psc threadprivate(line)
+double rnorm = 0.0;
+
+int main() {
+  int i;
+  int j;
+  int it;
+  int ci;
+  int cj;
+  double s;
+  int checksum;
+
+  for (i = 0; i < 1156; i++) {
+    u[i] = ((i * 37) % 100) / 100.0;
+    v[i] = 0.0;
+  }
+
+  for (it = 0; it < 8; it++) {
+    #pragma psc parallel
+    {
+      // Jacobi smoothing sweep (worksharing over interior rows).
+      #pragma psc for private(j)
+      for (i = 1; i < 33; i++) {
+        for (j = 1; j < 33; j++) {
+          v[i * 34 + j] = 0.25 * (u[(i - 1) * 34 + j] + u[(i + 1) * 34 + j]
+                          + u[i * 34 + (j - 1)] + u[i * 34 + (j + 1)]);
+        }
+      }
+
+      // Per-thread line relaxation on a private buffer (NOT annotated:
+      // only the PS-PDG's privatizable variable exposes its parallelism).
+      for (i = 1; i < 33; i++) {
+        for (j = 0; j < 34; j++) {
+          line[j] = v[i * 34 + j];
+        }
+        for (j = 1; j < 33; j++) {
+          line[j] = 0.5 * line[j] + 0.25 * (line[j - 1] + line[j + 1]);
+        }
+        for (j = 0; j < 34; j++) {
+          v[i * 34 + j] = line[j];
+        }
+      }
+
+      // Restriction to the coarse grid (worksharing).
+      #pragma psc for private(cj)
+      for (ci = 0; ci < 17; ci++) {
+        for (cj = 0; cj < 17; cj++) {
+          cgrid[ci * 17 + cj] = v[(ci * 2) * 34 + (cj * 2)];
+        }
+      }
+
+      // Norm via critical max update.
+      #pragma psc for private(j, s)
+      for (i = 1; i < 33; i++) {
+        s = 0.0;
+        for (j = 1; j < 33; j++) {
+          s = s + fabs(v[i * 34 + j] - u[i * 34 + j]);
+        }
+        #pragma psc critical
+        {
+          rnorm = fmax(rnorm, s);
+        }
+      }
+
+      // Copy back (worksharing).
+      #pragma psc for
+      for (i = 0; i < 1156; i++) {
+        u[i] = v[i];
+      }
+    }
+  }
+
+  s = 0.0;
+  for (i = 0; i < 289; i++) {
+    s = s + cgrid[i];
+  }
+  checksum = s * 1000.0 + rnorm * 100.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- LU --
+const char *LUSource = R"PSC(
+// NAS LU: SSOR-style sweeps — worksharing RHS, ordered wavefront solve.
+double vmat[1024];
+double rhs[1024];
+
+int main() {
+  int i;
+  int j;
+  int it;
+  double s;
+  int checksum;
+
+  for (i = 0; i < 1024; i++) {
+    vmat[i] = ((i * 13) % 50) / 50.0;
+  }
+
+  for (it = 0; it < 8; it++) {
+    // RHS computation (worksharing, provably parallel).
+    #pragma psc parallel for private(j)
+    for (i = 1; i < 31; i++) {
+      for (j = 1; j < 31; j++) {
+        rhs[i * 32 + j] = 0.2 * (vmat[(i - 1) * 32 + j] + vmat[(i + 1) * 32 + j]
+                          + vmat[i * 32 + (j - 1)] + vmat[i * 32 + (j + 1)]
+                          + vmat[i * 32 + j]);
+      }
+    }
+
+    // Lower-triangular wavefront: carried in both dimensions. The OpenMP
+    // version expresses a pipelined plan with an ordered recurrence.
+    #pragma psc parallel for ordered private(j)
+    for (i = 1; i < 31; i++) {
+      #pragma psc ordered
+      {
+        for (j = 1; j < 31; j++) {
+          vmat[i * 32 + j] = rhs[i * 32 + j]
+                          + 0.3 * vmat[(i - 1) * 32 + j]
+                          + 0.3 * vmat[i * 32 + (j - 1)];
+        }
+      }
+    }
+
+    // Upper-triangular wavefront (reverse).
+    #pragma psc parallel for ordered private(j)
+    for (i = 30; i >= 1; i--) {
+      #pragma psc ordered
+      {
+        for (j = 30; j >= 1; j--) {
+          vmat[i * 32 + j] = vmat[i * 32 + j]
+                          + 0.2 * vmat[(i + 1) * 32 + j]
+                          + 0.2 * vmat[i * 32 + (j + 1)];
+        }
+      }
+    }
+  }
+
+  s = 0.0;
+  for (i = 0; i < 1024; i++) {
+    s = s + vmat[i];
+  }
+  checksum = s * 100.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- SP --
+const char *SPSource = R"PSC(
+// NAS SP: ADI sweeps — independent lines, carried recurrences along lines.
+double g[1024];
+double lhs[1024];
+
+int main() {
+  int i;
+  int j;
+  int it;
+  double s;
+  int checksum;
+
+  for (i = 0; i < 1024; i++) {
+    g[i] = ((i * 7) % 40) / 40.0;
+    lhs[i] = 0.05 + ((i * 3) % 10) / 100.0;
+  }
+
+  for (it = 0; it < 8; it++) {
+    // X-sweep: forward/backward recurrence along each row; rows are
+    // independent (worksharing over i).
+    #pragma psc parallel for private(j)
+    for (i = 0; i < 32; i++) {
+      for (j = 1; j < 32; j++) {
+        g[i * 32 + j] = g[i * 32 + j] - lhs[i * 32 + j] * g[i * 32 + (j - 1)];
+      }
+      for (j = 30; j >= 0; j--) {
+        g[i * 32 + j] = g[i * 32 + j] - lhs[i * 32 + j] * g[i * 32 + (j + 1)];
+      }
+    }
+
+    // Y-sweep: recurrence along columns; columns independent.
+    #pragma psc parallel for private(i)
+    for (j = 0; j < 32; j++) {
+      for (i = 1; i < 32; i++) {
+        g[i * 32 + j] = g[i * 32 + j] - lhs[i * 32 + j] * g[(i - 1) * 32 + j];
+      }
+    }
+
+    // Pointwise update (worksharing).
+    #pragma psc parallel for
+    for (i = 0; i < 1024; i++) {
+      g[i] = g[i] * 0.9 + 0.01;
+    }
+  }
+
+  s = 0.0;
+  for (i = 0; i < 1024; i++) {
+    s = s + g[i] * g[i];
+  }
+  checksum = s * 100.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
+// --------------------------------------------------------------------- BT --
+const char *BTSource = R"PSC(
+// NAS BT: block-tridiagonal ADI — heavier per-cell work than SP, carried
+// line solves, worksharing sweeps, and a custom-reduced accumulator.
+double w1[1024];
+double w2[1024];
+double acc[8];
+#pragma psc reducible(acc : combine_acc)
+
+void combine_acc(double dst[], double src[]) {
+  int t;
+  for (t = 0; t < 8; t++) {
+    dst[t] = dst[t] + src[t];
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  int it;
+  double s;
+  double d1;
+  double d2;
+  int checksum;
+
+  for (i = 0; i < 1024; i++) {
+    w1[i] = ((i * 11) % 60) / 60.0;
+    w2[i] = 0.0;
+  }
+
+  for (it = 0; it < 8; it++) {
+    // RHS-like heavy pointwise phase (worksharing).
+    #pragma psc parallel for private(j, d1, d2)
+    for (i = 1; i < 31; i++) {
+      for (j = 1; j < 31; j++) {
+        d1 = w1[(i - 1) * 32 + j] - 2.0 * w1[i * 32 + j] + w1[(i + 1) * 32 + j];
+        d2 = w1[i * 32 + (j - 1)] - 2.0 * w1[i * 32 + j] + w1[i * 32 + (j + 1)];
+        w2[i * 32 + j] = w1[i * 32 + j] + 0.1 * d1 + 0.1 * d2
+                       + 0.01 * d1 * d2;
+      }
+    }
+
+    // X line solves: carried along j, lines independent (worksharing).
+    #pragma psc parallel for private(j)
+    for (i = 0; i < 32; i++) {
+      for (j = 1; j < 32; j++) {
+        w2[i * 32 + j] = w2[i * 32 + j] - 0.4 * w2[i * 32 + (j - 1)];
+      }
+    }
+
+    // Accumulate per-line statistics into a reducible block accumulator.
+    #pragma psc parallel for private(j, s)
+    for (i = 0; i < 32; i++) {
+      s = 0.0;
+      for (j = 0; j < 32; j++) {
+        s = s + w2[i * 32 + j];
+      }
+      acc[i % 8] = acc[i % 8] + s;
+    }
+
+    // Copy back (worksharing).
+    #pragma psc parallel for
+    for (i = 0; i < 1024; i++) {
+      w1[i] = w2[i];
+    }
+  }
+
+  s = 0.0;
+  for (i = 0; i < 8; i++) {
+    s = s + acc[i] * (i + 1);
+  }
+  checksum = s * 10.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
+std::vector<Workload> makeWorkloads() {
+  return {
+      {"BT", "block-tridiagonal ADI with custom-reduced accumulator",
+       BTSource, 43376L},
+      {"CG", "conjugate gradient with sparse matvec and reductions",
+       CGSource, 286364430L},
+      {"EP", "embarrassingly parallel sampling with atomic histogram",
+       EPSource, 41512418L},
+      {"FT", "row-wise butterfly transform with threadprivate scratch",
+       FTSource, 3918867639892L},
+      {"IS", "bucket-sort ranking (paper Fig. 3 kernel)", ISSource, 450017280L},
+      {"LU", "SSOR wavefront with ordered recurrences", LUSource, 2677081538L},
+      {"MG", "multigrid smoothing with private line buffer", MGSource, 105159L},
+      {"SP", "scalar-pentadiagonal ADI line sweeps", SPSource, 9480L},
+  };
+}
+
+} // namespace
+
+const std::vector<Workload> &psc::nasWorkloads() {
+  static const std::vector<Workload> Workloads = makeWorkloads();
+  return Workloads;
+}
+
+const Workload *psc::findWorkload(const std::string &Name) {
+  for (const Workload &W : nasWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,39 @@
+//===- Workloads.h - NAS-like PSC kernels -------------------------*- C++ -*-===//
+///
+/// \file
+/// The eight benchmark kernels of the evaluation (paper §6: the NAS
+/// Parallel Benchmark suite). Each PSC kernel reproduces the parallel
+/// structure of its NAS counterpart — the same pragma patterns (worksharing
+/// loops, threadprivate buffers, critical sections, reductions, ordered
+/// pipelines) over scaled-down problem sizes, so that the abstraction-power
+/// experiments (options, critical path) exercise the same dependence
+/// shapes. See DESIGN.md §2 for the substitution argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_WORKLOADS_WORKLOADS_H
+#define PSPDG_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// One benchmark kernel.
+struct Workload {
+  std::string Name;        ///< "IS", "CG", ...
+  std::string Description; ///< What the kernel computes.
+  std::string Source;      ///< PSC source text.
+  long ExpectedChecksum;   ///< Value the program prints last (determinism).
+};
+
+/// The eight NAS-like kernels, in the paper's order (BT CG EP FT IS LU MG
+/// SP).
+const std::vector<Workload> &nasWorkloads();
+
+/// Lookup by name; null if absent.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace psc
+
+#endif // PSPDG_WORKLOADS_WORKLOADS_H

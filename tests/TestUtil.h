@@ -1,0 +1,87 @@
+//===- TestUtil.h - Shared helpers for the test suite ------------*- C++ -*-===//
+///
+/// \file
+/// Small helpers shared by the gtest suites: compile PSC snippets, build
+/// the analysis stack for a function, fetch loops by header name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_TESTS_TESTUTIL_H
+#define PSPDG_TESTS_TESTUTIL_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "frontend/Frontend.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace psc::test {
+
+/// Compiles \p Source, failing the test on diagnostics.
+inline std::unique_ptr<Module> compile(const std::string &Source) {
+  CompileResult R = compileSource(Source, "test");
+  if (!R.ok()) {
+    std::string Msg;
+    for (const std::string &D : R.Diagnostics)
+      Msg += D + "\n";
+    ADD_FAILURE() << "compilation failed:\n" << Msg;
+    return nullptr;
+  }
+  return std::move(R.M);
+}
+
+/// Compiles expecting failure; returns the diagnostics.
+inline std::vector<std::string> compileExpectError(const std::string &Source) {
+  CompileResult R = compileSource(Source, "test");
+  EXPECT_FALSE(R.ok()) << "expected compilation to fail";
+  return R.Diagnostics;
+}
+
+/// Analysis bundle over one function of a compiled module.
+struct Compiled {
+  std::unique_ptr<Module> M;
+  const Function *F = nullptr;
+  std::unique_ptr<FunctionAnalysis> FA;
+  std::unique_ptr<DependenceInfo> DI;
+};
+
+/// Compiles and analyzes \p FuncName (default "main").
+inline Compiled analyze(const std::string &Source,
+                        const std::string &FuncName = "main") {
+  Compiled C;
+  C.M = compile(Source);
+  if (!C.M)
+    return C;
+  C.F = C.M->getFunction(FuncName);
+  EXPECT_NE(C.F, nullptr) << "no function " << FuncName;
+  if (!C.F)
+    return C;
+  C.FA = std::make_unique<FunctionAnalysis>(*C.F);
+  C.DI = std::make_unique<DependenceInfo>(*C.FA);
+  return C;
+}
+
+/// First loop whose header block name starts with \p Prefix, or null.
+inline const Loop *loopByHeaderPrefix(const FunctionAnalysis &FA,
+                                      const std::string &Prefix) {
+  for (const Loop *L : FA.loopInfo().loops()) {
+    const std::string &Name =
+        FA.function().getBlock(L->getHeader())->getName();
+    if (Name.rfind(Prefix, 0) == 0)
+      return L;
+  }
+  return nullptr;
+}
+
+/// N-th loop in outer-to-inner, header order.
+inline const Loop *loopAt(const FunctionAnalysis &FA, unsigned Index) {
+  const auto &Loops = FA.loopInfo().loops();
+  return Index < Loops.size() ? Loops[Index] : nullptr;
+}
+
+} // namespace psc::test
+
+#endif // PSPDG_TESTS_TESTUTIL_H

@@ -1,0 +1,168 @@
+//===- AffineExprTest.cpp - Affine subscript recovery ------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "analysis/AffineExpr.h"
+#include "analysis/MemoryModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+/// Returns the affine subscript of the first store into \p ArrayName.
+AffineExpr subscriptOfFirstStore(const Compiled &C,
+                                 const std::string &ArrayName) {
+  for (Instruction *I : C.FA->instructions()) {
+    auto *SI = dyn_cast<StoreInst>(I);
+    if (!SI)
+      continue;
+    auto *GEP = dyn_cast<GEPInst>(SI->getPointer());
+    if (!GEP)
+      continue;
+    Value *Base = findUnderlyingObject(GEP->getBase());
+    if (Base && Base->getName() == ArrayName)
+      return buildAffineExpr(GEP->getIndex());
+  }
+  ADD_FAILURE() << "no store into " << ArrayName;
+  return AffineExpr::invalid();
+}
+
+TEST(AffineExprTest, ConstantSubscript) {
+  Compiled C = analyze("int a[8]; int main() { a[3] = 1; return 0; }");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.Constant, 3);
+}
+
+TEST(AffineExprTest, LinearInIV) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[2 * i + 5] = 1; }
+  return 0;
+}
+)");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  ASSERT_TRUE(E.Valid);
+  EXPECT_EQ(E.Constant, 5);
+  ASSERT_EQ(E.Coeffs.size(), 1u);
+  EXPECT_EQ(E.Coeffs.begin()->second, 2);
+  EXPECT_EQ(E.Coeffs.begin()->first->getName(), "i");
+}
+
+TEST(AffineExprTest, TwoDimensionalFlattened) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) { a[i * 8 + j] = 1; }
+  }
+  return 0;
+}
+)");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  ASSERT_TRUE(E.Valid);
+  ASSERT_EQ(E.Coeffs.size(), 2u);
+  long CI = 0, CJ = 0;
+  for (auto &[Sym, Coeff] : E.Coeffs) {
+    if (Sym->getName() == "i")
+      CI = Coeff;
+    if (Sym->getName() == "j")
+      CJ = Coeff;
+  }
+  EXPECT_EQ(CI, 8);
+  EXPECT_EQ(CJ, 1);
+}
+
+TEST(AffineExprTest, SubtractionAndNegation) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[32 - i] = 1; }
+  return 0;
+}
+)");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  ASSERT_TRUE(E.Valid);
+  EXPECT_EQ(E.Constant, 32);
+  EXPECT_EQ(E.Coeffs.begin()->second, -1);
+}
+
+TEST(AffineExprTest, ShiftAsMultiply) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i << 2] = 1; }
+  return 0;
+}
+)");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  ASSERT_TRUE(E.Valid);
+  EXPECT_EQ(E.Coeffs.begin()->second, 4);
+}
+
+TEST(AffineExprTest, IndirectSubscriptIsInvalid) {
+  Compiled C = analyze(R"(
+int a[64];
+int idx[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[idx[i]] = 1; }
+  return 0;
+}
+)");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  EXPECT_FALSE(E.Valid);
+}
+
+TEST(AffineExprTest, NonLinearIsInvalid) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i * i] = 1; }
+  return 0;
+}
+)");
+  AffineExpr E = subscriptOfFirstStore(C, "a");
+  EXPECT_FALSE(E.Valid);
+}
+
+TEST(AffineExprTest, SymbolCancellationInDifference) {
+  AffineExpr A = AffineExpr::constant(4);
+  Module M("t");
+  GlobalVariable *G = M.createGlobal("s", M.getTypes().getIntTy());
+  AffineExpr S = AffineExpr::symbol(G);
+  AffineExpr Sum = A + S;
+  AffineExpr Diff = Sum - S;
+  EXPECT_TRUE(Diff.isConstant());
+  EXPECT_EQ(Diff.Constant, 4);
+}
+
+TEST(AffineExprTest, MultiplyRequiresConstantSide) {
+  Module M("t");
+  GlobalVariable *G = M.createGlobal("s", M.getTypes().getIntTy());
+  AffineExpr S = AffineExpr::symbol(G);
+  EXPECT_FALSE((S * S).Valid);
+  AffineExpr R = S * AffineExpr::constant(3);
+  EXPECT_TRUE(R.Valid);
+  EXPECT_EQ(R.Coeffs.begin()->second, 3);
+}
+
+TEST(AffineExprTest, Rendering) {
+  Module M("t");
+  GlobalVariable *G = M.createGlobal("n", M.getTypes().getIntTy());
+  AffineExpr E = AffineExpr::symbol(G) * AffineExpr::constant(2) +
+                 AffineExpr::constant(7);
+  EXPECT_EQ(E.str(), "2*n + 7");
+  EXPECT_EQ(AffineExpr::invalid().str(), "<non-affine>");
+}
+
+} // namespace

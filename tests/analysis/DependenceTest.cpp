@@ -1,0 +1,305 @@
+//===- DependenceTest.cpp - Memory/control dependence analysis ----*- C++ -*-===//
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+/// Counts memory edges on a given object carried at \p L.
+unsigned carriedMemDeps(const Compiled &C, const Loop *L,
+                        const std::string &ObjName) {
+  unsigned N = 0;
+  for (const DepEdge &E : C.DI->edges()) {
+    if (!E.isMemory() || !E.isCarriedAt(L->getHeader()))
+      continue;
+    if (ObjName.empty() ||
+        (E.MemObject && E.MemObject->getName() == ObjName))
+      ++N;
+  }
+  return N;
+}
+
+TEST(DependenceTest, IndependentIterationsHaveNoCarriedArrayDeps) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  ASSERT_TRUE(C.DI);
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_EQ(carriedMemDeps(C, L, "a"), 0u);
+}
+
+TEST(DependenceTest, Distance1RecurrenceIsCarried) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i++) { a[i] = a[i - 1] + 1; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_GT(carriedMemDeps(C, L, "a"), 0u);
+}
+
+TEST(DependenceTest, StrideTwoDisjointAccesses) {
+  // Writes to even elements, reads odd: no dependence.
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 30; i++) { a[2 * i] = a[2 * i + 1]; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_EQ(carriedMemDeps(C, L, "a"), 0u);
+}
+
+TEST(DependenceTest, OffsetBeyondRangeNotCarried) {
+  // a[i] vs a[i+100] with only 50 iterations: distance exceeds trip count.
+  Compiled C = analyze(R"(
+int a[256];
+int main() {
+  int i;
+  for (i = 0; i < 50; i++) { a[i] = a[i + 100]; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_EQ(carriedMemDeps(C, L, "a"), 0u);
+}
+
+TEST(DependenceTest, OffsetWithinRangeCarried) {
+  Compiled C = analyze(R"(
+int a[256];
+int main() {
+  int i;
+  for (i = 0; i < 50; i++) { a[i] = a[i + 30]; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_GT(carriedMemDeps(C, L, "a"), 0u);
+}
+
+TEST(DependenceTest, ScalarAccumulatorCarried) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 8; i++) { s += i; }
+  return s;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_GT(carriedMemDeps(C, L, "s"), 0u);
+}
+
+TEST(DependenceTest, DistinctArraysNeverConflict) {
+  Compiled C = analyze(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = b[i]; }
+  return 0;
+}
+)");
+  for (const DepEdge &E : C.DI->edges())
+    if (E.isMemory() && E.MemObject)
+      EXPECT_NE(E.MemObject->getName(), "b"); // reads of b conflict with nothing
+}
+
+TEST(DependenceTest, OuterCarriedInnerIndependent) {
+  // buf[i*8+j] = buf[(i-1)*8+j]: carried at i, not at j.
+  Compiled C = analyze(R"(
+int buf[64];
+int main() {
+  int i;
+  int j;
+  for (i = 1; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      buf[i * 8 + j] = buf[(i - 1) * 8 + j] + 1;
+    }
+  }
+  return 0;
+}
+)");
+  const Loop *Outer = loopAt(*C.FA, 0);
+  const Loop *Inner = loopAt(*C.FA, 1);
+  ASSERT_EQ(Inner->getDepth(), 2u);
+  EXPECT_GT(carriedMemDeps(C, Outer, "buf"), 0u);
+  EXPECT_EQ(carriedMemDeps(C, Inner, "buf"), 0u);
+}
+
+TEST(DependenceTest, InnerCarriedOuterIndependent) {
+  // Row-local recurrence: carried at j, not at i.
+  Compiled C = analyze(R"(
+int buf[64];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    for (j = 1; j < 8; j++) {
+      buf[i * 8 + j] = buf[i * 8 + j - 1] + 1;
+    }
+  }
+  return 0;
+}
+)");
+  const Loop *Outer = loopAt(*C.FA, 0);
+  const Loop *Inner = loopAt(*C.FA, 1);
+  EXPECT_EQ(carriedMemDeps(C, Outer, "buf"), 0u);
+  EXPECT_GT(carriedMemDeps(C, Inner, "buf"), 0u);
+}
+
+TEST(DependenceTest, IndirectSubscriptConservative) {
+  Compiled C = analyze(R"(
+int a[64];
+int idx[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[idx[i]] += 1; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_GT(carriedMemDeps(C, L, "a"), 0u);
+}
+
+TEST(DependenceTest, IVDepsAreFlagged) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 8; i++) { s += 1; }
+  return s;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  bool SawIVDep = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.isMemory() && E.isCarriedAt(L->getHeader()) && E.IsIVDep)
+      SawIVDep = true;
+  EXPECT_TRUE(SawIVDep);
+}
+
+TEST(DependenceTest, RegisterDepsLinkDefToUse) {
+  Compiled C = analyze("int main() { int x; x = 1 + 2; return x; }");
+  bool Found = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.Kind == DepKind::Register && isa<BinaryInst>(E.Src) &&
+        isa<StoreInst>(E.Dst))
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(DependenceTest, ControlDepsFromBranches) {
+  Compiled C = analyze(R"(
+int main() {
+  int x;
+  x = 1;
+  if (x > 0) { x = 2; }
+  return x;
+}
+)");
+  bool Found = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.Kind == DepKind::Control && isa<CondBranchInst>(E.Src))
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(DependenceTest, PrintsAreOrdered) {
+  Compiled C = analyze(R"(
+int main() {
+  print(1);
+  print(2);
+  return 0;
+}
+)");
+  bool Found = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.IsIO)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(DependenceTest, CallsToDefinedFunctionsAreOpaque) {
+  Compiled C = analyze(R"(
+int g;
+void bump() { g += 1; }
+int main() {
+  int i;
+  for (i = 0; i < 4; i++) { bump(); }
+  return g;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  bool CarriedOpaque = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.isMemory() && !E.MemObject && E.isCarriedAt(L->getHeader()))
+      CarriedOpaque = true;
+  EXPECT_TRUE(CarriedOpaque);
+}
+
+TEST(DependenceTest, WAWBetweenWritesSameCell) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[0] = i; }
+  return a[0];
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  bool FoundWAW = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.Kind == DepKind::MemoryWAW && E.isCarriedAt(L->getHeader()))
+      FoundWAW = true;
+  EXPECT_TRUE(FoundWAW);
+}
+
+// Parameterized sweep: the classic strong-SIV distance test. Writing
+// a[i] and reading a[i+D] over N iterations is carried iff 0 < |D| < N.
+struct SIVCase {
+  int Distance;
+  int Trip;
+  bool Carried;
+};
+
+class StrongSIVTest : public ::testing::TestWithParam<SIVCase> {};
+
+TEST_P(StrongSIVTest, DistanceWithinTripCount) {
+  SIVCase P = GetParam();
+  std::string Src = "int a[4096];\nint main() {\n  int i;\n  for (i = 0; i < " +
+                    std::to_string(P.Trip) + "; i++) { a[i] = a[i + " +
+                    std::to_string(P.Distance) + "]; }\n  return 0;\n}\n";
+  Compiled C = analyze(Src);
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_EQ(carriedMemDeps(C, L, "a") > 0, P.Carried)
+      << "distance " << P.Distance << " trip " << P.Trip;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distances, StrongSIVTest,
+    ::testing::Values(SIVCase{0, 64, false},   // same cell each iter: no RAW
+                      SIVCase{1, 64, true},    // classic recurrence
+                      SIVCase{63, 64, true},   // just inside range
+                      SIVCase{64, 64, false},  // exactly trip: out of range
+                      SIVCase{100, 64, false}, // far out of range
+                      SIVCase{5, 6, true},     // small loop, in range
+                      SIVCase{5, 5, false}));  // small loop, out of range
+
+} // namespace

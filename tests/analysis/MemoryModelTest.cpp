@@ -1,0 +1,122 @@
+//===- MemoryModelTest.cpp - Access collection and aliasing ------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "analysis/MemoryModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+TEST(MemoryModelTest, CollectsLoadsAndStores) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int x;
+  x = a[1];
+  a[2] = x;
+  return x;
+}
+)");
+  auto Accesses = collectMemAccesses(*C.F);
+  unsigned Reads = 0, Writes = 0;
+  for (const MemAccess &A : Accesses) {
+    if (A.Kind == MemAccess::AccessKind::Read)
+      ++Reads;
+    if (A.Kind == MemAccess::AccessKind::Write)
+      ++Writes;
+  }
+  EXPECT_GE(Reads, 2u);  // a[1], x
+  EXPECT_GE(Writes, 2u); // x, a[2]
+}
+
+TEST(MemoryModelTest, MarkersAreSkipped) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  #pragma psc critical
+  { x = 1; }
+  return x;
+}
+)");
+  for (const MemAccess &A : collectMemAccesses(*C.F)) {
+    if (auto *CI = dyn_cast<CallInst>(A.I)) {
+      EXPECT_FALSE(
+          Module::isMarkerIntrinsicName(CI->getCallee()->getName()));
+    }
+  }
+}
+
+TEST(MemoryModelTest, MathIntrinsicsPure) {
+  Compiled C = analyze(R"(
+int main() {
+  double x;
+  x = sqrt(2.0) + sin(1.0);
+  return x;
+}
+)");
+  for (const MemAccess &A : collectMemAccesses(*C.F))
+    EXPECT_FALSE(isa<CallInst>(A.I)); // only the x store/loads
+}
+
+TEST(MemoryModelTest, PrintIsIO) {
+  Compiled C = analyze("int main() { print(3); return 0; }");
+  bool FoundIO = false;
+  for (const MemAccess &A : collectMemAccesses(*C.F))
+    if (A.IsIO)
+      FoundIO = true;
+  EXPECT_TRUE(FoundIO);
+}
+
+TEST(MemoryModelTest, UnderlyingObjectThroughGEP) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  a[3] = 1;
+  return 0;
+}
+)");
+  for (const MemAccess &A : collectMemAccesses(*C.F))
+    if (A.isWrite() && !A.IsScalar) {
+      ASSERT_NE(A.Base, nullptr);
+      EXPECT_EQ(A.Base->getName(), "a");
+      EXPECT_TRUE(A.Subscript.isConstant());
+    }
+}
+
+TEST(MemoryModelTest, AliasRules) {
+  Module M("t");
+  GlobalVariable *G1 =
+      M.createGlobal("g1", M.getTypes().getArrayTy(M.getTypes().getIntTy(), 4));
+  GlobalVariable *G2 =
+      M.createGlobal("g2", M.getTypes().getArrayTy(M.getTypes().getIntTy(), 4));
+  Function *F = M.createFunction(
+      "f", M.getTypes().getVoidTy(),
+      {M.getTypes().getPointerTy(M.getTypes().getIntTy()),
+       M.getTypes().getPointerTy(M.getTypes().getIntTy())},
+      {"p", "q"});
+  Argument *P = F->getArg(0), *Q = F->getArg(1);
+
+  EXPECT_EQ(aliasBases(G1, G2), AliasResult::NoAlias);
+  EXPECT_EQ(aliasBases(G1, G1), AliasResult::MayAlias);
+  EXPECT_EQ(aliasBases(P, Q), AliasResult::NoAlias); // restrict arrays
+  EXPECT_EQ(aliasBases(P, G1), AliasResult::MayAlias); // caller may pass g1
+  EXPECT_EQ(aliasBases(nullptr, G1), AliasResult::MayAlias); // opaque
+}
+
+TEST(MemoryModelTest, ArrayParamAccesses) {
+  Compiled C = analyze(R"(
+int f(int a[]) { return a[2]; }
+int g[8];
+int main() { return f(g); }
+)", "f");
+  bool Found = false;
+  for (const MemAccess &A : collectMemAccesses(*C.F))
+    if (A.Base && isa<Argument>(A.Base))
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

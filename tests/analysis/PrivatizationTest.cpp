@@ -1,0 +1,139 @@
+//===- PrivatizationTest.cpp - Iteration-private scalar detection -*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "analysis/Privatization.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+bool isPrivate(const Compiled &C, const Loop *L, const std::string &Name) {
+  std::set<const Value *> P = computeIterationPrivateScalars(*C.FA, *L);
+  for (const Value *V : P)
+    if (V->getName() == Name)
+      return true;
+  return false;
+}
+
+TEST(PrivatizationTest, WriteFirstTemporaryIsPrivate) {
+  Compiled C = analyze(R"(
+int a[8];
+int b[8];
+int main() {
+  int i;
+  int t;
+  for (i = 0; i < 8; i++) {
+    t = a[i] * 2;
+    b[i] = t + 1;
+  }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_TRUE(isPrivate(C, L, "t"));
+}
+
+TEST(PrivatizationTest, AccumulatorIsNotPrivate) {
+  // s is read before written each iteration: the carried RAW is real.
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 8; i++) { s = s + i; }
+  return s;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_FALSE(isPrivate(C, L, "s"));
+}
+
+TEST(PrivatizationTest, LiveOutScalarIsNotPrivate) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  int t;
+  t = 0;
+  for (i = 0; i < 8; i++) { t = a[i]; }
+  return t;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_FALSE(isPrivate(C, L, "t"));
+}
+
+TEST(PrivatizationTest, LoopCounterExcluded) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_FALSE(isPrivate(C, L, "i"));
+}
+
+TEST(PrivatizationTest, ConditionallyWrittenNotPrivate) {
+  // t only written under a condition: a read may see the previous
+  // iteration's value.
+  Compiled C = analyze(R"(
+int a[8];
+int b[8];
+int main() {
+  int i;
+  int t;
+  t = 0;
+  for (i = 0; i < 8; i++) {
+    if (a[i] > 0) { t = a[i]; }
+    b[i] = t;
+  }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_FALSE(isPrivate(C, L, "t"));
+}
+
+TEST(PrivatizationTest, GlobalsAreNotAutoPrivatized) {
+  Compiled C = analyze(R"(
+int g;
+int a[8];
+int b[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    g = a[i];
+    b[i] = g;
+  }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_FALSE(isPrivate(C, L, "g"));
+}
+
+TEST(PrivatizationTest, WriteFirstInDominatingBlockWithBranches) {
+  Compiled C = analyze(R"(
+int a[8];
+int b[8];
+int main() {
+  int i;
+  int t;
+  for (i = 0; i < 8; i++) {
+    t = a[i];
+    if (t > 3) { b[i] = t * 2; } else { b[i] = t; }
+  }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  EXPECT_TRUE(isPrivate(C, L, "t"));
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- CoverageTest.cpp - Loop coverage profiling -----------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "emulator/Coverage.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+TEST(CoverageTest, HotLoopDominatesCoverage) {
+  auto M = compile(R"(
+int a[1000];
+int main() {
+  int i;
+  int x;
+  x = 1;
+  for (i = 0; i < 1000; i++) { a[i] = i * 2 + 1; }
+  return x;
+}
+)");
+  ModuleAnalyses MA(*M);
+  CoverageProfiler Cov(MA);
+  Interpreter I(*M);
+  I.addObserver(&Cov);
+  I.run();
+  CoverageMap CM = Cov.coverage();
+  ASSERT_EQ(CM.size(), 1u);
+  EXPECT_GT(CM.begin()->second, 0.9);
+}
+
+TEST(CoverageTest, NestedLoopCountsTowardAllEnclosing) {
+  auto M = compile(R"(
+int main() {
+  int i;
+  int j;
+  int s;
+  s = 0;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j < 50; j++) { s += 1; }
+  }
+  return s;
+}
+)");
+  ModuleAnalyses MA(*M);
+  CoverageProfiler Cov(MA);
+  Interpreter I(*M);
+  I.addObserver(&Cov);
+  I.run();
+  CoverageMap CM = Cov.coverage();
+  ASSERT_EQ(CM.size(), 2u);
+  double Outer = 0, Inner = 0;
+  for (auto &[Key, Frac] : CM) {
+    Outer = std::max(Outer, Frac);
+    Inner = Inner == 0 ? Frac : std::min(Inner, Frac);
+  }
+  EXPECT_GE(Outer, Inner);
+  EXPECT_GT(Inner, 0.5); // inner loop is the hot part
+}
+
+TEST(CoverageTest, ColdLoopBelowOnePercent) {
+  auto M = compile(R"(
+int a[2000];
+int b[4];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 2000; i++) { a[i] = i * 3 + (i % 7); }
+  for (j = 0; j < 2; j++) { b[j] = j; }
+  return 0;
+}
+)");
+  ModuleAnalyses MA(*M);
+  CoverageProfiler Cov(MA);
+  Interpreter I(*M);
+  I.addObserver(&Cov);
+  I.run();
+  CoverageMap CM = Cov.coverage();
+  ASSERT_EQ(CM.size(), 2u);
+  unsigned Hot = 0, Cold = 0;
+  for (auto &[Key, Frac] : CM) {
+    if (Frac >= 0.01)
+      ++Hot;
+    else
+      ++Cold;
+  }
+  EXPECT_EQ(Hot, 1u);
+  EXPECT_EQ(Cold, 1u);
+}
+
+TEST(CoverageTest, LoopsInCalleesAttributed) {
+  auto M = compile(R"(
+int work() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 500; i++) { s += i; }
+  return s;
+}
+int main() { return work(); }
+)");
+  ModuleAnalyses MA(*M);
+  CoverageProfiler Cov(MA);
+  Interpreter I(*M);
+  I.addObserver(&Cov);
+  I.run();
+  CoverageMap CM = Cov.coverage();
+  ASSERT_EQ(CM.size(), 1u);
+  EXPECT_EQ(CM.begin()->first.first, "work");
+  EXPECT_GT(CM.begin()->second, 0.9);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- InterpreterTest.cpp - IR interpreter semantics -------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+RunResult run(const std::string &Source) {
+  auto M = compile(Source);
+  if (!M)
+    return {};
+  Interpreter I(*M);
+  return I.run();
+}
+
+TEST(InterpreterTest, ReturnValue) {
+  EXPECT_EQ(run("int main() { return 41 + 1; }").ExitValue, 42);
+}
+
+TEST(InterpreterTest, IntegerArithmetic) {
+  EXPECT_EQ(run("int main() { return (7 * 3 - 1) / 4 + 10 % 3; }").ExitValue,
+            6);
+}
+
+TEST(InterpreterTest, BitwiseOps) {
+  EXPECT_EQ(run("int main() { return (12 & 10) | (1 << 4) ^ 3; }").ExitValue,
+            (12 & 10) | (1 << 4) ^ 3);
+}
+
+TEST(InterpreterTest, FloatArithmeticAndConversion) {
+  EXPECT_EQ(run("int main() { double x; x = 2.5 * 4.0; return x; }").ExitValue,
+            10);
+  EXPECT_EQ(run("int main() { double x; int y; y = 7; x = y / 2.0; "
+                "return x * 10.0; }").ExitValue,
+            35);
+}
+
+TEST(InterpreterTest, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(run("int main() { int z; z = 0; return 5 / z; }").ExitValue, 0);
+  EXPECT_EQ(run("int main() { int z; z = 0; return 5 % z; }").ExitValue, 0);
+}
+
+TEST(InterpreterTest, ControlFlow) {
+  EXPECT_EQ(run(R"(
+int main() {
+  int x;
+  x = 10;
+  if (x > 5) { x = 1; } else { x = 2; }
+  return x;
+}
+)").ExitValue,
+            1);
+}
+
+TEST(InterpreterTest, LoopsAndArrays) {
+  EXPECT_EQ(run(R"(
+int a[10];
+int main() {
+  int i;
+  int s;
+  for (i = 0; i < 10; i++) { a[i] = i * i; }
+  s = 0;
+  for (i = 0; i < 10; i++) { s += a[i]; }
+  return s;
+}
+)").ExitValue,
+            285);
+}
+
+TEST(InterpreterTest, WhileLoop) {
+  EXPECT_EQ(run(R"(
+int main() {
+  int n;
+  int steps;
+  n = 1024;
+  steps = 0;
+  while (n > 1) { n = n / 2; steps++; }
+  return steps;
+}
+)").ExitValue,
+            10);
+}
+
+TEST(InterpreterTest, FunctionCallsAndRecursion) {
+  EXPECT_EQ(run(R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)").ExitValue,
+            144);
+}
+
+TEST(InterpreterTest, ArrayParamsShareStorage) {
+  EXPECT_EQ(run(R"(
+int buf[4];
+void fill(int a[], int v) {
+  int i;
+  for (i = 0; i < 4; i++) { a[i] = v; }
+}
+int main() {
+  fill(buf, 9);
+  return buf[0] + buf[3];
+}
+)").ExitValue,
+            18);
+}
+
+TEST(InterpreterTest, GlobalScalarInit) {
+  EXPECT_EQ(run("int g = 17; int main() { return g; }").ExitValue, 17);
+  EXPECT_EQ(run("double d = 2.5; int main() { return d * 4.0; }").ExitValue,
+            10);
+}
+
+TEST(InterpreterTest, LocalArraysZeroedPerExecution) {
+  EXPECT_EQ(run(R"(
+int f() {
+  int a[4];
+  a[1] += 1;
+  return a[1];
+}
+int main() {
+  f();
+  return f();
+}
+)").ExitValue,
+            1); // fresh alloca each call: not 2
+}
+
+TEST(InterpreterTest, PrintOutputCollected) {
+  RunResult R = run(R"(
+int main() {
+  print(3);
+  printf64(1.5);
+  print(4);
+  return 0;
+}
+)");
+  ASSERT_EQ(R.Output.size(), 3u);
+  EXPECT_EQ(R.Output[0], "3");
+  EXPECT_EQ(R.Output[1], "1.5");
+  EXPECT_EQ(R.Output[2], "4");
+}
+
+TEST(InterpreterTest, MathIntrinsics) {
+  EXPECT_EQ(run("int main() { return sqrt(81.0); }").ExitValue, 9);
+  EXPECT_EQ(run("int main() { return fabs(0.0 - 3.0); }").ExitValue, 3);
+  EXPECT_EQ(run("int main() { return pow(2.0, 10.0); }").ExitValue, 1024);
+  EXPECT_EQ(run("int main() { return imin(3, 8) + imax(3, 8); }").ExitValue,
+            11);
+  EXPECT_EQ(run("int main() { return fmin(1.5, 2.5) + fmax(1.5, 2.5); }")
+                .ExitValue,
+            4);
+}
+
+TEST(InterpreterTest, LcgDeterministic) {
+  RunResult A = run("int main() { return lcg(42) % 1000; }");
+  RunResult B = run("int main() { return lcg(42) % 1000; }");
+  EXPECT_EQ(A.ExitValue, B.ExitValue);
+  EXPECT_NE(run("int main() { return lcg(43) % 1000; }").ExitValue,
+            A.ExitValue);
+}
+
+TEST(InterpreterTest, LogicalOpsNormalize) {
+  EXPECT_EQ(run("int main() { return (5 && 3) + (0 || 7) + !9; }").ExitValue,
+            2);
+}
+
+TEST(InterpreterTest, MarkersAreNoOps) {
+  RunResult R = run(R"(
+int x;
+int main() {
+  #pragma psc critical
+  { x = 5; }
+  #pragma psc barrier
+  return x;
+}
+)");
+  EXPECT_EQ(R.ExitValue, 5);
+}
+
+TEST(InterpreterTest, InstructionBudgetAborts) {
+  auto M = compile(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 1000000; i++) { s += i; }
+  return s;
+}
+)");
+  Interpreter I(*M);
+  I.setInstructionBudget(1000);
+  RunResult R = I.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_LE(R.InstructionsExecuted, 1002u);
+}
+
+TEST(InterpreterTest, DeterministicAcrossRuns) {
+  auto M = compile(R"(
+int a[32];
+int main() {
+  int i;
+  int s;
+  s = 12345;
+  for (i = 0; i < 32; i++) {
+    s = lcg(s);
+    a[i] = s % 100;
+  }
+  s = 0;
+  for (i = 0; i < 32; i++) { s += a[i]; }
+  return s;
+}
+)");
+  Interpreter I1(*M), I2(*M);
+  EXPECT_EQ(I1.run().ExitValue, I2.run().ExitValue);
+}
+
+TEST(InterpreterTest, NestedLoopCounts) {
+  RunResult R = run(R"(
+int main() {
+  int i;
+  int j;
+  int n;
+  n = 0;
+  for (i = 0; i < 5; i++) {
+    for (j = 0; j < 7; j++) { n += 1; }
+  }
+  return n;
+}
+)");
+  EXPECT_EQ(R.ExitValue, 35);
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- CodeGenTest.cpp - AST → IR lowering -----------------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+unsigned countOpcode(const Function &F, Value::ValueKind K) {
+  unsigned N = 0;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->getKind() == K)
+        ++N;
+  return N;
+}
+
+TEST(CodeGenTest, ModulesAlwaysVerify) {
+  auto M = compile(R"(
+int g[16];
+double h = 2.5;
+int helper(int a, int b[]) { return a + b[0]; }
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 16; i++) { g[i] = i; }
+  s = helper(3, g);
+  if (s > 0) { s = s * 2; } else { s = -s; }
+  while (s > 100) { s = s / 2; }
+  print(s);
+  return s;
+}
+)");
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(isModuleValid(*M));
+}
+
+TEST(CodeGenTest, AllocasHoistedToEntry) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  for (i = 0; i < 4; i++) {
+    int t;
+    t = i * 2;
+    print(t);
+  }
+  return 0;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  // Every alloca sits in the entry block so loops never re-allocate.
+  for (BasicBlock *BB : *C.F) {
+    for (Instruction *I : *BB)
+      if (isa<AllocaInst>(I)) {
+        EXPECT_EQ(BB, C.F->getEntryBlock());
+      }
+  }
+  EXPECT_EQ(countOpcode(*C.F, Value::ValueKind::Alloca), 2u);
+}
+
+TEST(CodeGenTest, ScalarParamsGetStackHomes) {
+  Compiled C = analyze("int f(int a, double b) { return a; } "
+                       "int main() { return f(1, 2.0); }",
+                       "f");
+  ASSERT_TRUE(C.FA);
+  EXPECT_EQ(countOpcode(*C.F, Value::ValueKind::Alloca), 2u);
+}
+
+TEST(CodeGenTest, ArrayParamsUsedDirectly) {
+  Compiled C = analyze("int f(int a[]) { return a[2]; } "
+                       "int g[4]; int main() { return f(g); }",
+                       "f");
+  ASSERT_TRUE(C.FA);
+  EXPECT_EQ(countOpcode(*C.F, Value::ValueKind::Alloca), 0u);
+  EXPECT_EQ(countOpcode(*C.F, Value::ValueKind::GEP), 1u);
+}
+
+TEST(CodeGenTest, ForLoopShape) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 10; i++) { s += i; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  // preheader(entry) -> header -> body -> latch -> header; header -> exit.
+  ASSERT_EQ(C.FA->loopInfo().loops().size(), 1u);
+  const Loop *L = C.FA->loopInfo().loops()[0];
+  EXPECT_EQ(L->blocks().size(), 3u); // header, body, latch
+}
+
+TEST(CodeGenTest, RegionMarkersEmitted) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  #pragma psc critical
+  { x += 1; }
+  return x;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  unsigned Begins = 0, Ends = 0;
+  for (Instruction *I : C.FA->instructions())
+    if (auto *CI = dyn_cast<CallInst>(I)) {
+      if (CI->getCallee()->getName() == intrinsics::RegionBegin)
+        ++Begins;
+      if (CI->getCallee()->getName() == intrinsics::RegionEnd)
+        ++Ends;
+    }
+  EXPECT_EQ(Begins, 1u);
+  EXPECT_EQ(Ends, 1u);
+}
+
+TEST(CodeGenTest, LoopDirectiveBindsToHeader) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  #pragma psc parallel for reduction(+: s)
+  for (i = 0; i < 8; i++) { s += i; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const ParallelInfo &PI = C.M->getParallelInfo();
+  ASSERT_EQ(PI.directives().size(), 1u);
+  const Directive &D = PI.directives()[0];
+  EXPECT_EQ(D.Kind, DirectiveKind::ParallelFor);
+  ASSERT_NE(D.LoopHeader, nullptr);
+  const Loop *L = C.FA->loopInfo().loops()[0];
+  EXPECT_EQ(D.LoopHeader->getIndex(), L->getHeader());
+  ASSERT_EQ(D.Reductions.size(), 1u);
+  EXPECT_EQ(D.Reductions[0].Op, ReduceOp::Add);
+  ASSERT_NE(D.Reductions[0].Var.Storage, nullptr);
+}
+
+TEST(CodeGenTest, ClausesResolvedToStorage) {
+  Compiled C = analyze(R"(
+int shared_buf[32];
+int main() {
+  int i;
+  int t;
+  #pragma psc parallel for private(t) lastprivate(t)
+  for (i = 0; i < 8; i++) { t = shared_buf[i]; }
+  return 0;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const Directive &D = C.M->getParallelInfo().directives()[0];
+  ASSERT_EQ(D.Privates.size(), 1u);
+  EXPECT_TRUE(isa<AllocaInst>(D.Privates[0].Storage));
+  ASSERT_EQ(D.LiveOuts.size(), 1u);
+  EXPECT_EQ(D.LiveOuts[0].Policy, LiveOutPolicy::Last);
+}
+
+TEST(CodeGenTest, ImplicitConversionsLowered) {
+  Compiled C = analyze(R"(
+int main() {
+  double x;
+  int y;
+  y = 3;
+  x = y;
+  y = x * 2.0;
+  return y;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  EXPECT_GE(countOpcode(*C.F, Value::ValueKind::Cast), 2u);
+}
+
+TEST(CodeGenTest, ReturnInBothBranches) {
+  auto M = compile(R"(
+int f(int a) {
+  if (a > 0) { return 1; } else { return -1; }
+}
+int main() { return f(3); }
+)");
+  ASSERT_NE(M, nullptr); // unreachable tail block must still verify
+}
+
+TEST(CodeGenTest, BarrierEmitsMarker) {
+  Compiled C = analyze(R"(
+int main() {
+  #pragma psc barrier
+  return 0;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  bool Found = false;
+  for (Instruction *I : C.FA->instructions())
+    if (auto *CI = dyn_cast<CallInst>(I))
+      if (CI->getCallee()->getName() == intrinsics::BarrierMarker)
+        Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(CodeGenTest, ThreadPrivateRegistered) {
+  auto M = compile(R"(
+int buf[8];
+#pragma psc threadprivate(buf)
+int main() { return buf[0]; }
+)");
+  ASSERT_NE(M, nullptr);
+  EXPECT_TRUE(M->getParallelInfo().isThreadPrivate(M->getGlobal("buf")));
+}
+
+TEST(CodeGenTest, ReducibleRegisteredWithCustomReducer) {
+  auto M = compile(R"(
+double pt[4];
+#pragma psc reducible(pt : merge)
+void merge(double a[], double b[]) {
+  int k;
+  for (k = 0; k < 4; k++) { a[k] = a[k] + b[k]; }
+}
+int main() { return 0; }
+)");
+  ASSERT_NE(M, nullptr);
+  bool Found = false;
+  for (const Directive &D : M->getParallelInfo().directives())
+    for (const ReductionClause &R : D.Reductions)
+      if (R.Op == ReduceOp::Custom && R.CustomReducer &&
+          R.CustomReducer->getName() == "merge")
+        Found = true;
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

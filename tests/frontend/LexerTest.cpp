@@ -1,0 +1,111 @@
+//===- LexerTest.cpp - PSC lexer ---------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+std::vector<Token> lex(const std::string &S) { return Lexer(S).lexAll(); }
+
+TEST(LexerTest, EmptyInput) {
+  auto T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto T = lex("int x double while whilex");
+  EXPECT_TRUE(T[0].is(TokenKind::KwInt));
+  EXPECT_TRUE(T[1].is(TokenKind::Identifier));
+  EXPECT_EQ(T[1].Text, "x");
+  EXPECT_TRUE(T[2].is(TokenKind::KwDouble));
+  EXPECT_TRUE(T[3].is(TokenKind::KwWhile));
+  EXPECT_TRUE(T[4].is(TokenKind::Identifier)); // not a keyword prefix match
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto T = lex("0 42 1000000");
+  EXPECT_EQ(T[0].IntValue, 0);
+  EXPECT_EQ(T[1].IntValue, 42);
+  EXPECT_EQ(T[2].IntValue, 1000000);
+  EXPECT_TRUE(T[0].is(TokenKind::IntLiteral));
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto T = lex("1.5 0.25 2e3 1.5e-2");
+  EXPECT_TRUE(T[0].is(TokenKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(T[0].FloatValue, 1.5);
+  EXPECT_DOUBLE_EQ(T[1].FloatValue, 0.25);
+  EXPECT_DOUBLE_EQ(T[2].FloatValue, 2000.0);
+  EXPECT_DOUBLE_EQ(T[3].FloatValue, 0.015);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto T = lex("== != <= >= << >> && || += -= ++ --");
+  TokenKind Expected[] = {
+      TokenKind::EqEq,   TokenKind::NotEq,      TokenKind::LessEq,
+      TokenKind::GreaterEq, TokenKind::Shl,     TokenKind::Shr,
+      TokenKind::AmpAmp, TokenKind::PipePipe,   TokenKind::PlusAssign,
+      TokenKind::MinusAssign, TokenKind::PlusPlus, TokenKind::MinusMinus};
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_TRUE(T[I].is(Expected[I])) << "token " << I;
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto T = lex("a // comment\nb /* multi\nline */ c");
+  ASSERT_GE(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(LexerTest, PragmaTokenization) {
+  auto T = lex("#pragma psc parallel for private(x)\nint y;");
+  EXPECT_TRUE(T[0].is(TokenKind::PragmaStart));
+  EXPECT_EQ(T[1].Text, "parallel");
+  EXPECT_TRUE(T[2].is(TokenKind::KwFor));
+  EXPECT_EQ(T[3].Text, "private");
+  EXPECT_TRUE(T[4].is(TokenKind::LParen));
+  EXPECT_EQ(T[5].Text, "x");
+  EXPECT_TRUE(T[6].is(TokenKind::RParen));
+  EXPECT_TRUE(T[7].is(TokenKind::PragmaEnd));
+  EXPECT_TRUE(T[8].is(TokenKind::KwInt));
+}
+
+TEST(LexerTest, PragmaAtEndOfFile) {
+  auto T = lex("#pragma psc barrier");
+  EXPECT_TRUE(T[0].is(TokenKind::PragmaStart));
+  EXPECT_EQ(T[1].Text, "barrier");
+  EXPECT_TRUE(T[2].is(TokenKind::PragmaEnd));
+  EXPECT_TRUE(T[3].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto T = lex("a\nb\n\nc");
+  EXPECT_EQ(T[0].Line, 1u);
+  EXPECT_EQ(T[1].Line, 2u);
+  EXPECT_EQ(T[2].Line, 4u);
+}
+
+TEST(LexerTest, ErrorOnBadCharacter) {
+  auto T = lex("a $ b");
+  bool SawError = false;
+  for (const Token &Tok : T)
+    if (Tok.is(TokenKind::Error))
+      SawError = true;
+  EXPECT_TRUE(SawError);
+}
+
+TEST(LexerTest, ErrorOnBadPragma) {
+  auto T = lex("#pragma omp parallel");
+  bool SawError = false;
+  for (const Token &Tok : T)
+    if (Tok.is(TokenKind::Error))
+      SawError = true;
+  EXPECT_TRUE(SawError);
+}
+
+} // namespace

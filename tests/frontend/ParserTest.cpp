@@ -1,0 +1,232 @@
+//===- ParserTest.cpp - PSC parser -------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+TranslationUnit parse(const std::string &S, bool ExpectOk = true) {
+  Parser P(Lexer(S).lexAll());
+  TranslationUnit TU = P.parseTranslationUnit();
+  if (ExpectOk && P.hasErrors()) {
+    std::string Msg;
+    for (auto &E : P.errors())
+      Msg += E + "\n";
+    ADD_FAILURE() << "unexpected parse errors:\n" << Msg;
+  }
+  if (!ExpectOk) {
+    EXPECT_TRUE(P.hasErrors());
+  }
+  return TU;
+}
+
+TEST(ParserTest, GlobalDeclarations) {
+  TranslationUnit TU = parse("int a; double b[16]; int c = 5; double d = 1.5;");
+  ASSERT_EQ(TU.Globals.size(), 4u);
+  EXPECT_EQ(TU.Globals[0].Name, "a");
+  EXPECT_TRUE(TU.Globals[1].IsArray);
+  EXPECT_EQ(TU.Globals[1].ArraySize, 16);
+  EXPECT_TRUE(TU.Globals[2].HasInit);
+  EXPECT_DOUBLE_EQ(TU.Globals[2].Init, 5.0);
+  EXPECT_DOUBLE_EQ(TU.Globals[3].Init, 1.5);
+}
+
+TEST(ParserTest, NegativeGlobalInit) {
+  TranslationUnit TU = parse("double x = -2.5;");
+  ASSERT_EQ(TU.Globals.size(), 1u);
+  EXPECT_DOUBLE_EQ(TU.Globals[0].Init, -2.5);
+}
+
+TEST(ParserTest, FunctionWithParams) {
+  TranslationUnit TU = parse("int f(int a, double b, int c[]) { return a; }");
+  ASSERT_EQ(TU.Functions.size(), 1u);
+  const FunctionDecl &F = TU.Functions[0];
+  ASSERT_EQ(F.Params.size(), 3u);
+  EXPECT_FALSE(F.Params[0].IsArray);
+  EXPECT_EQ(F.Params[1].Ty, ASTType::Double);
+  EXPECT_TRUE(F.Params[2].IsArray);
+}
+
+TEST(ParserTest, ForLoopCanonicalForms) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int i;
+  for (i = 0; i < 10; i++) { }
+  for (i = 10; i >= 0; i--) { }
+  for (i = 0; i < 10; i += 2) { }
+  for (i = 0; i != 10; i = i + 1) { }
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  ASSERT_EQ(Body->Stmts.size(), 5u); // decl + 4 loops
+  const auto *F1 = cast<ForStmt>(Body->Stmts[1].get());
+  EXPECT_EQ(F1->Counter, "i");
+  EXPECT_TRUE(F1->StepIsAdd);
+  const auto *F2 = cast<ForStmt>(Body->Stmts[2].get());
+  EXPECT_FALSE(F2->StepIsAdd);
+  EXPECT_EQ(F2->Rel, BinaryExpr::Op::GE);
+  const auto *F4 = cast<ForStmt>(Body->Stmts[4].get());
+  EXPECT_EQ(F4->Rel, BinaryExpr::Op::NE);
+}
+
+TEST(ParserTest, ForRejectsMismatchedCounter) {
+  parse("void f() { int i; int j; for (i = 0; j < 10; i++) { } }",
+        /*ExpectOk=*/false);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  TranslationUnit TU = parse("void f() { int x; x = 1 + 2 * 3; }");
+  const auto *Body = TU.Functions[0].Body.get();
+  const auto *Asg = cast<AssignStmt>(Body->Stmts[1].get());
+  const auto *Add = cast<BinaryExpr>(Asg->Value.get());
+  EXPECT_EQ(Add->Operator, BinaryExpr::Op::Add);
+  EXPECT_TRUE(isa<IntLitExpr>(Add->LHS.get()));
+  const auto *Mul = cast<BinaryExpr>(Add->RHS.get());
+  EXPECT_EQ(Mul->Operator, BinaryExpr::Op::Mul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  TranslationUnit TU = parse("void f() { int x; x = (1 + 2) * 3; }");
+  const auto *Body = TU.Functions[0].Body.get();
+  const auto *Asg = cast<AssignStmt>(Body->Stmts[1].get());
+  const auto *Mul = cast<BinaryExpr>(Asg->Value.get());
+  EXPECT_EQ(Mul->Operator, BinaryExpr::Op::Mul);
+}
+
+TEST(ParserTest, CompoundAssignAndIncrement) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int x;
+  x += 3;
+  x *= 2;
+  x++;
+  x--;
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  EXPECT_EQ(cast<AssignStmt>(Body->Stmts[1].get())->Operator,
+            AssignStmt::Op::Add);
+  EXPECT_EQ(cast<AssignStmt>(Body->Stmts[2].get())->Operator,
+            AssignStmt::Op::Mul);
+  EXPECT_EQ(cast<AssignStmt>(Body->Stmts[3].get())->Operator,
+            AssignStmt::Op::Add);
+  EXPECT_EQ(cast<AssignStmt>(Body->Stmts[4].get())->Operator,
+            AssignStmt::Op::Sub);
+}
+
+TEST(ParserTest, PragmaParallelForWithClauses) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int i;
+  int s;
+  #pragma psc parallel for reduction(+: s) private(i) nowait schedule(static, 8)
+  for (i = 0; i < 10; i++) { s += i; }
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  const auto *P = cast<PragmaStmt>(Body->Stmts[2].get());
+  EXPECT_EQ(P->Directive.Kind, DirectiveKind::ParallelFor);
+  ASSERT_EQ(P->Directive.Reductions.size(), 1u);
+  EXPECT_EQ(P->Directive.Reductions[0].OpName, "+");
+  EXPECT_EQ(P->Directive.Reductions[0].Var, "s");
+  ASSERT_EQ(P->Directive.Privates.size(), 1u);
+  EXPECT_TRUE(P->Directive.NoWait);
+  EXPECT_EQ(P->Directive.ChunkSize, 8);
+  EXPECT_TRUE(isa<ForStmt>(P->Sub.get()));
+}
+
+TEST(ParserTest, PragmaCriticalNamed) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int x;
+  #pragma psc critical(lock1)
+  { x = 1; }
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  const auto *P = cast<PragmaStmt>(Body->Stmts[1].get());
+  EXPECT_EQ(P->Directive.Kind, DirectiveKind::Critical);
+  EXPECT_EQ(P->Directive.CriticalName, "lock1");
+}
+
+TEST(ParserTest, PragmaReductionVariants) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int i;
+  int a;
+  int b;
+  #pragma psc parallel for reduction(min: a) reduction(myfn: b)
+  for (i = 0; i < 4; i++) { }
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  const auto *P = cast<PragmaStmt>(Body->Stmts[3].get());
+  ASSERT_EQ(P->Directive.Reductions.size(), 2u);
+  EXPECT_EQ(P->Directive.Reductions[0].OpName, "min");
+  EXPECT_EQ(P->Directive.Reductions[1].OpName, "myfn");
+}
+
+TEST(ParserTest, TopLevelThreadprivateAndReducible) {
+  TranslationUnit TU = parse(R"(
+int a[8];
+double pt[4];
+#pragma psc threadprivate(a)
+#pragma psc reducible(pt : merge)
+void merge(double x[], double y[]) { }
+)");
+  ASSERT_EQ(TU.ThreadPrivates.size(), 1u);
+  EXPECT_EQ(TU.ThreadPrivates[0], "a");
+  ASSERT_EQ(TU.Reducibles.size(), 1u);
+  EXPECT_EQ(TU.Reducibles[0].first, "pt");
+  EXPECT_EQ(TU.Reducibles[0].second, "merge");
+}
+
+TEST(ParserTest, LoopDirectiveRequiresFor) {
+  parse("void f() { int x; #pragma psc parallel for\n x = 1; }",
+        /*ExpectOk=*/false);
+}
+
+TEST(ParserTest, BarrierIsStandalone) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int x;
+  #pragma psc barrier
+  x = 1;
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  EXPECT_TRUE(isa<BarrierStmt>(Body->Stmts[1].get()));
+  EXPECT_TRUE(isa<AssignStmt>(Body->Stmts[2].get()));
+}
+
+TEST(ParserTest, UnknownClauseRejected) {
+  parse("void f() { int i; #pragma psc parallel for frobnicate(i)\n"
+        "for (i = 0; i < 4; i++) { } }",
+        /*ExpectOk=*/false);
+}
+
+TEST(ParserTest, AssignToLiteralRejected) {
+  parse("void f() { int x; x = 0; 1 = x; }", /*ExpectOk=*/false);
+}
+
+TEST(ParserTest, RelaxedClause) {
+  TranslationUnit TU = parse(R"(
+void f() {
+  int i;
+  int v;
+  #pragma psc parallel for relaxed(v) lastprivate(i) firstprivate(v)
+  for (i = 0; i < 4; i++) { v = i; }
+}
+)");
+  const auto *Body = TU.Functions[0].Body.get();
+  const auto *P = cast<PragmaStmt>(Body->Stmts[2].get());
+  EXPECT_EQ(P->Directive.Relaxed.size(), 1u);
+  EXPECT_EQ(P->Directive.LastPrivates.size(), 1u);
+  EXPECT_EQ(P->Directive.FirstPrivates.size(), 1u);
+}
+
+} // namespace

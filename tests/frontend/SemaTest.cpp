@@ -1,0 +1,152 @@
+//===- SemaTest.cpp - PSC semantic analysis ----------------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+bool diagsContain(const std::vector<std::string> &Diags,
+                  const std::string &Needle) {
+  for (const std::string &D : Diags)
+    if (D.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  auto D = compileExpectError("int main() { x = 1; return 0; }");
+  EXPECT_TRUE(diagsContain(D, "undeclared"));
+}
+
+TEST(SemaTest, RedeclarationForbidden) {
+  auto D = compileExpectError("int main() { int x; int x; return 0; }");
+  EXPECT_TRUE(diagsContain(D, "redeclaration"));
+}
+
+TEST(SemaTest, ShadowingGlobalsForbidden) {
+  auto D = compileExpectError("int g; int main() { int g; return 0; }");
+  EXPECT_TRUE(diagsContain(D, "shadows"));
+}
+
+TEST(SemaTest, ArrayUsedAsScalar) {
+  auto D = compileExpectError("int a[4]; int main() { return a + 1; }");
+  EXPECT_TRUE(diagsContain(D, "used as a scalar"));
+}
+
+TEST(SemaTest, IndexingNonArray) {
+  auto D = compileExpectError("int x; int main() { return x[0]; }");
+  EXPECT_TRUE(diagsContain(D, "not an array"));
+}
+
+TEST(SemaTest, AssignToArrayForbidden) {
+  auto D = compileExpectError("int a[4]; int main() { a = 3; return 0; }");
+  EXPECT_TRUE(diagsContain(D, "array"));
+}
+
+TEST(SemaTest, LoopCounterMustBeInt) {
+  auto D = compileExpectError(
+      "int main() { double i; for (i = 0; i < 3; i++) { } return 0; }");
+  EXPECT_TRUE(diagsContain(D, "scalar int"));
+}
+
+TEST(SemaTest, VoidFunctionCannotReturnValue) {
+  auto D = compileExpectError("void f() { return 3; } int main() { return 0; }");
+  EXPECT_TRUE(diagsContain(D, "void function"));
+}
+
+TEST(SemaTest, NonVoidMustReturnValue) {
+  auto D = compileExpectError("int f() { return; } int main() { return 0; }");
+  EXPECT_TRUE(diagsContain(D, "must return a value"));
+}
+
+TEST(SemaTest, CallUndefinedFunction) {
+  auto D = compileExpectError("int main() { return mystery(1); }");
+  EXPECT_TRUE(diagsContain(D, "undefined function"));
+}
+
+TEST(SemaTest, CallArityChecked) {
+  auto D = compileExpectError(
+      "int f(int a) { return a; } int main() { return f(1, 2); }");
+  EXPECT_TRUE(diagsContain(D, "wrong number of arguments"));
+}
+
+TEST(SemaTest, ArrayParamNeedsArrayArgument) {
+  auto D = compileExpectError(
+      "int f(int a[]) { return a[0]; } int main() { int x; return f(x); }");
+  EXPECT_TRUE(diagsContain(D, "must be an array"));
+}
+
+TEST(SemaTest, ArrayElementTypeChecked) {
+  auto D = compileExpectError("double b[4];\n"
+                              "int f(int a[]) { return a[0]; }\n"
+                              "int main() { return f(b); }");
+  EXPECT_TRUE(diagsContain(D, "element type mismatch"));
+}
+
+TEST(SemaTest, PragmaClauseVariableMustExist) {
+  auto D = compileExpectError(R"(
+int main() {
+  int i;
+  #pragma psc parallel for private(nothere)
+  for (i = 0; i < 4; i++) { }
+  return 0;
+}
+)");
+  EXPECT_TRUE(diagsContain(D, "private"));
+}
+
+TEST(SemaTest, ReductionOperatorValidated) {
+  auto D = compileExpectError(R"(
+int main() {
+  int i;
+  int s;
+  #pragma psc parallel for reduction(bogusfn: s)
+  for (i = 0; i < 4; i++) { s += i; }
+  return 0;
+}
+)");
+  EXPECT_TRUE(diagsContain(D, "unknown reduction"));
+}
+
+TEST(SemaTest, ThreadprivateMustBeGlobal) {
+  auto D = compileExpectError(
+      "#pragma psc threadprivate(nope)\nint main() { return 0; }");
+  EXPECT_TRUE(diagsContain(D, "not a global"));
+}
+
+TEST(SemaTest, ReducibleNeedsDefinedReducer) {
+  auto D = compileExpectError(
+      "double pt[4];\n#pragma psc reducible(pt : ghost)\n"
+      "int main() { return 0; }");
+  EXPECT_TRUE(diagsContain(D, "not defined"));
+}
+
+TEST(SemaTest, IntOnlyOperatorsRejectFloats) {
+  auto D = compileExpectError("int main() { double x; x = 1.5; "
+                              "return x % 2; }");
+  EXPECT_TRUE(diagsContain(D, "integer operands"));
+}
+
+TEST(SemaTest, MixedArithmeticAllowed) {
+  auto M = compile("int main() { double x; int y; y = 3; x = y * 1.5; "
+                   "return x; }");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(SemaTest, BuiltinsTypeCheck) {
+  auto M = compile("int main() { double x; x = sqrt(2.0); "
+                   "return imax(1, 2) + lcg(5) % 3; }");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(SemaTest, LogicalOperatorsRequireInts) {
+  auto D = compileExpectError("int main() { double x; x = 1.0; "
+                              "if (x && 1) { } return 0; }");
+  EXPECT_TRUE(diagsContain(D, "integer operands"));
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- PropertyTest.cpp - Cross-workload invariants ---------------*- C++ -*-===//
+///
+/// Property-style sweeps over the whole benchmark suite: invariants that
+/// must hold for every kernel and every PS-PDG feature configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/CriticalPath.h"
+#include "pspdg/Fingerprint.h"
+#include "pspdg/PSPDGBuilder.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadPropertyTest, FingerprintIsDeterministic) {
+  const Workload &W = GetParam();
+  auto M1 = compile(W.Source);
+  auto M2 = compile(W.Source);
+  ASSERT_TRUE(M1 && M2);
+  FunctionAnalysis FA1(*M1->getFunction("main"));
+  FunctionAnalysis FA2(*M2->getFunction("main"));
+  DependenceInfo DI1(FA1), DI2(FA2);
+  auto G1 = buildPSPDG(FA1, DI1);
+  auto G2 = buildPSPDG(FA2, DI2);
+  EXPECT_EQ(fingerprint(*G1), fingerprint(*G2)) << W.Name;
+}
+
+TEST_P(WorkloadPropertyTest, AblationNeverAddsInformation) {
+  // Removing a feature may only shrink the edge-removal power: the full
+  // PS-PDG's directed carried-edge count is a lower bound for every
+  // ablation.
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_TRUE(M);
+  FunctionAnalysis FA(*M->getFunction("main"));
+  DependenceInfo DI(FA);
+
+  auto CountCarried = [](const PSPDG &G) {
+    size_t N = 0;
+    for (const PSDirectedEdge &E : G.directedEdges())
+      N += E.CarriedAtHeaders.size();
+    return N;
+  };
+
+  auto Full = buildPSPDG(FA, DI, FeatureSet::full());
+  size_t FullCarried = CountCarried(*Full);
+  for (const FeatureSet &F :
+       {FeatureSet::withoutHierarchicalNodes(),
+        FeatureSet::withoutNodeTraits(), FeatureSet::withoutContexts(),
+        FeatureSet::withoutDataSelectors(),
+        FeatureSet::withoutParallelVariables()}) {
+    auto Ablated = buildPSPDG(FA, DI, F);
+    EXPECT_GE(CountCarried(*Ablated), FullCarried)
+        << W.Name << " " << F.str();
+  }
+}
+
+TEST_P(WorkloadPropertyTest, AblatedCriticalPathNeverFaster) {
+  // Soundness: removing expressiveness can only lengthen (or keep) the
+  // best plan's critical path.
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_TRUE(M);
+
+  auto CP = [&](const FeatureSet &F) {
+    CriticalPathModel Model(*M, AbstractionKind::PSPDG, F);
+    CriticalPathEvaluator Eval(Model);
+    Interpreter I(*M);
+    I.addObserver(&Eval);
+    I.run();
+    return Eval.criticalPath();
+  };
+
+  double Full = CP(FeatureSet::full());
+  for (const FeatureSet &F :
+       {FeatureSet::withoutHierarchicalNodes(),
+        FeatureSet::withoutNodeTraits(), FeatureSet::withoutContexts(),
+        FeatureSet::withoutDataSelectors(),
+        FeatureSet::withoutParallelVariables()})
+    EXPECT_GE(CP(F), Full * 0.999) << W.Name << " " << F.str();
+}
+
+TEST_P(WorkloadPropertyTest, PSPDGEdgesAreSubsetOfDependences) {
+  // The builder only removes/annotates; it never invents dependences.
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_TRUE(M);
+  FunctionAnalysis FA(*M->getFunction("main"));
+  DependenceInfo DI(FA);
+  auto G = buildPSPDG(FA, DI);
+  EXPECT_LE(G->directedEdges().size(), DI.edges().size()) << W.Name;
+}
+
+TEST_P(WorkloadPropertyTest, GraphStructureIsWellFormed) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_TRUE(M);
+  FunctionAnalysis FA(*M->getFunction("main"));
+  DependenceInfo DI(FA);
+  auto G = buildPSPDG(FA, DI);
+
+  // Every node except the root has a parent, and parent/child lists agree.
+  for (PSNodeId N = 0; N < G->numNodes(); ++N) {
+    const PSNode &Node = G->node(N);
+    if (N == G->root()) {
+      EXPECT_EQ(Node.Parent, NoContext);
+      continue;
+    }
+    ASSERT_NE(Node.Parent, NoContext) << W.Name << " node " << N;
+    const PSNode &Parent = G->node(Node.Parent);
+    bool Listed = false;
+    for (PSNodeId C : Parent.Children)
+      if (C == N)
+        Listed = true;
+    EXPECT_TRUE(Listed) << W.Name << " node " << N;
+  }
+  // Edge endpoints are valid nodes.
+  for (const PSDirectedEdge &E : G->directedEdges()) {
+    EXPECT_LT(E.Src, G->numNodes());
+    EXPECT_LT(E.Dst, G->numNodes());
+  }
+  for (const PSUndirectedEdge &E : G->undirectedEdges()) {
+    EXPECT_LT(E.A, G->numNodes());
+    EXPECT_LT(E.B, G->numNodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NAS, WorkloadPropertyTest, ::testing::ValuesIn(nasWorkloads()),
+    [](const ::testing::TestParamInfo<Workload> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

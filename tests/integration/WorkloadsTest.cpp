@@ -1,0 +1,149 @@
+//===- WorkloadsTest.cpp - NAS-like kernels end-to-end ------------*- C++ -*-===//
+///
+/// Integration tests over the eight benchmark kernels: they compile,
+/// verify, run deterministically to their golden checksums, and the
+/// experiment pipeline reproduces the paper's qualitative results on them
+/// (PS-PDG ≥ J&K ≥ PDG in expressive power; PS-PDG's plans never slower
+/// than the programmer's).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Coverage.h"
+#include "emulator/CriticalPath.h"
+#include "parallel/PlanEnumerator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadTest, CompilesAndVerifies) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+}
+
+TEST_P(WorkloadTest, RunsToGoldenChecksum) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  Interpreter I(*M);
+  RunResult R = I.run();
+  ASSERT_TRUE(R.Completed);
+  ASSERT_FALSE(R.Output.empty());
+  EXPECT_EQ(R.Output.back(), std::to_string(W.ExpectedChecksum))
+      << W.Name << " checksum drifted";
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossRuns) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  Interpreter I1(*M), I2(*M);
+  RunResult R1 = I1.run(), R2 = I2.run();
+  EXPECT_EQ(R1.Output, R2.Output);
+  EXPECT_EQ(R1.InstructionsExecuted, R2.InstructionsExecuted);
+}
+
+TEST_P(WorkloadTest, PSPDGOptionsDominateOpenMP) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  OptionCount OpenMP = enumerateOptions(*M, AbstractionKind::OpenMP);
+  OptionCount PSPDG = enumerateOptions(*M, AbstractionKind::PSPDG);
+  EXPECT_GT(PSPDG.Total, OpenMP.Total)
+      << W.Name << ": the PS-PDG must expand the programmer's options";
+}
+
+TEST_P(WorkloadTest, PSPDGOptionsAtLeastJK) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  OptionCount JK = enumerateOptions(*M, AbstractionKind::JK);
+  OptionCount PSPDG = enumerateOptions(*M, AbstractionKind::PSPDG);
+  // The DOALL-only-counts-as-DOALL rule can cost a few HELIX options, so
+  // allow a small tolerance (see EXPERIMENTS.md).
+  EXPECT_GE(PSPDG.Total * 100, JK.Total * 95) << W.Name;
+}
+
+TEST_P(WorkloadTest, CriticalPathOrdering) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  CriticalPathReport R = evaluateCriticalPaths(*M);
+  // The PS-PDG plan is never worse than the programmer's (paper §6.3:
+  // "the PS-PDG ensures no loss of parallelism").
+  EXPECT_LE(R.PSPDG, R.OpenMP * 1.001) << W.Name;
+  // And never worse than what the weaker abstractions justify.
+  EXPECT_LE(R.PSPDG, R.JK * 1.001) << W.Name;
+  EXPECT_LE(R.PSPDG, R.PDG * 1.001) << W.Name;
+  // All critical paths are bounded by the sequential execution.
+  EXPECT_LE(R.OpenMP,
+            static_cast<double>(R.TotalDynamicInstructions) + 1)
+      << W.Name;
+}
+
+TEST_P(WorkloadTest, HotLoopsExist) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  ModuleAnalyses MA(*M);
+  CoverageProfiler Cov(MA);
+  Interpreter I(*M);
+  I.addObserver(&Cov);
+  I.run();
+  unsigned Hot = 0;
+  for (auto &[Key, Frac] : Cov.coverage())
+    if (Frac >= 0.01)
+      ++Hot;
+  EXPECT_GE(Hot, 2u) << W.Name << " should have multiple hot loops";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NAS, WorkloadTest, ::testing::ValuesIn(nasWorkloads()),
+    [](const ::testing::TestParamInfo<Workload> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(WorkloadRegistryTest, AllEightPresent) {
+  EXPECT_EQ(nasWorkloads().size(), 8u);
+  for (const char *Name : {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"})
+    EXPECT_NE(findWorkload(Name), nullptr) << Name;
+  EXPECT_EQ(findWorkload("XX"), nullptr);
+}
+
+TEST(WorkloadAggregateTest, PDGLosesToOpenMPOnCriticalPath) {
+  // The paper's motivating result: across the suite, the sequential-IR PDG
+  // cannot recover the programmer's parallel plan (Fig. 14, PDG < 1x).
+  unsigned PDGWorse = 0;
+  for (const Workload &W : nasWorkloads()) {
+    auto M = compile(W.Source);
+    ASSERT_NE(M, nullptr);
+    CriticalPathReport R = evaluateCriticalPaths(*M);
+    if (R.PDG > R.OpenMP)
+      ++PDGWorse;
+  }
+  EXPECT_GE(PDGWorse, 6u); // nearly all benchmarks
+}
+
+TEST(WorkloadAggregateTest, PSPDGUnlocksBeyondJKSomewhere) {
+  // J&K is insufficient on benchmarks that rely on data properties and
+  // orderless sections (paper: "e.g., IS"/"e.g., MG").
+  bool Somewhere = false;
+  for (const char *Name : {"IS", "MG", "FT", "LU"}) {
+    auto M = compile(findWorkload(Name)->Source);
+    ASSERT_NE(M, nullptr);
+    CriticalPathReport R = evaluateCriticalPaths(*M);
+    if (R.PSPDG < R.JK / 2.0)
+      Somewhere = true;
+  }
+  EXPECT_TRUE(Somewhere);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===- DominatorsTest.cpp - Dominator/post-dominator analyses ----*- C++ -*-===//
+
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+/// Diamond CFG: entry -> {a, b} -> merge -> ret.
+struct Diamond {
+  Module M{"t"};
+  Function *F;
+  BasicBlock *Entry, *A, *B, *Merge;
+
+  Diamond() {
+    F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+    Entry = F->createBlock("entry");
+    A = F->createBlock("a");
+    B = F->createBlock("b");
+    Merge = F->createBlock("merge");
+    IRBuilder Bld(M);
+    Bld.setInsertPoint(Entry);
+    Bld.createCondBr(M.getConstantInt(1), A, B);
+    Bld.setInsertPoint(A);
+    Bld.createBr(Merge);
+    Bld.setInsertPoint(B);
+    Bld.createBr(Merge);
+    Bld.setInsertPoint(Merge);
+    Bld.createRetVoid();
+  }
+};
+
+TEST(DominatorsTest, DiamondDominance) {
+  Diamond D;
+  CFG G(*D.F);
+  DominatorTree DT(G, /*Post=*/false);
+
+  unsigned E = D.Entry->getIndex(), A = D.A->getIndex(),
+           M = D.Merge->getIndex();
+  EXPECT_TRUE(DT.dominates(E, A));
+  EXPECT_TRUE(DT.dominates(E, M));
+  EXPECT_FALSE(DT.dominates(A, M)); // merge reachable through b too
+  EXPECT_TRUE(DT.dominates(M, M));  // reflexive
+  EXPECT_EQ(DT.getIDom(A), E);
+  EXPECT_EQ(DT.getIDom(M), E);
+  EXPECT_EQ(DT.getIDom(E), DominatorTree::None);
+}
+
+TEST(DominatorsTest, DiamondPostDominance) {
+  Diamond D;
+  CFG G(*D.F);
+  DominatorTree PDT(G, /*Post=*/true);
+
+  unsigned E = D.Entry->getIndex(), A = D.A->getIndex(),
+           M = D.Merge->getIndex();
+  EXPECT_TRUE(PDT.dominates(M, E)); // merge post-dominates entry
+  EXPECT_TRUE(PDT.dominates(M, A));
+  EXPECT_FALSE(PDT.dominates(A, E));
+  EXPECT_EQ(PDT.getVirtualExit(), G.size());
+}
+
+TEST(DominatorsTest, PostDominanceFrontierGivesControlDeps) {
+  Diamond D;
+  CFG G(*D.F);
+  DominatorTree PDT(G, /*Post=*/true);
+  // a and b are control-dependent on entry (the branch).
+  const auto &Frontiers = PDT.frontiers();
+  unsigned E = D.Entry->getIndex();
+  EXPECT_EQ(Frontiers[D.A->getIndex()], std::vector<unsigned>{E});
+  EXPECT_EQ(Frontiers[D.B->getIndex()], std::vector<unsigned>{E});
+  // merge executes unconditionally: no control dependence.
+  EXPECT_TRUE(Frontiers[D.Merge->getIndex()].empty());
+}
+
+TEST(DominatorsTest, LoopHeaderControlDependsOnItself) {
+  // entry -> header; header -> {body, exit}; body -> header.
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createBr(Header);
+  B.setInsertPoint(Header);
+  B.createCondBr(M.getConstantInt(1), Body, Exit);
+  B.setInsertPoint(Body);
+  B.createBr(Header);
+  B.setInsertPoint(Exit);
+  B.createRetVoid();
+
+  CFG G(*F);
+  DominatorTree PDT(G, /*Post=*/true);
+  const auto &Fr = PDT.frontiers();
+  unsigned H = Header->getIndex();
+  // The classic result: loop body (and header) are control-dependent on
+  // the header's branch.
+  EXPECT_NE(std::find(Fr[Body->getIndex()].begin(), Fr[Body->getIndex()].end(),
+                      H),
+            Fr[Body->getIndex()].end());
+  EXPECT_NE(std::find(Fr[H].begin(), Fr[H].end(), H), Fr[H].end());
+}
+
+TEST(DominatorsTest, MultipleExitsHandled) {
+  // entry -> {r1, r2}: two returns; post-dominance via virtual exit.
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *R1 = F->createBlock("r1");
+  BasicBlock *R2 = F->createBlock("r2");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createCondBr(M.getConstantInt(0), R1, R2);
+  B.setInsertPoint(R1);
+  B.createRetVoid();
+  B.setInsertPoint(R2);
+  B.createRetVoid();
+
+  CFG G(*F);
+  DominatorTree PDT(G, /*Post=*/true);
+  // Neither return post-dominates entry; the virtual exit does.
+  EXPECT_FALSE(PDT.dominates(R1->getIndex(), Entry->getIndex()));
+  EXPECT_FALSE(PDT.dominates(R2->getIndex(), Entry->getIndex()));
+  EXPECT_TRUE(PDT.dominates(PDT.getVirtualExit(), Entry->getIndex()));
+}
+
+TEST(DominatorsTest, CFGReversePostOrderStartsAtEntry) {
+  Diamond D;
+  CFG G(*D.F);
+  ASSERT_FALSE(G.reversePostOrder().empty());
+  EXPECT_EQ(G.reversePostOrder().front(), D.Entry->getIndex());
+  EXPECT_EQ(G.reversePostOrder().back(), D.Merge->getIndex());
+}
+
+TEST(DominatorsTest, UnreachableBlockExcluded) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Dead = F->createBlock("dead");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createRetVoid();
+  B.setInsertPoint(Dead);
+  B.createRetVoid();
+  CFG G(*F);
+  EXPECT_TRUE(G.isReachable(Entry->getIndex()));
+  EXPECT_FALSE(G.isReachable(Dead->getIndex()));
+  EXPECT_EQ(G.reversePostOrder().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- IRBuilderTest.cpp - IR construction and verification ------*- C++ -*-===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+/// Builds: define i64 @f() { entry: %x = alloca i64; store 1, %x;
+///                          %v = load %x; ret %v }
+TEST(IRBuilderTest, BuildSimpleFunction) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getIntTy(), {}, {});
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+
+  AllocaInst *X = B.createAlloca(M.getTypes().getIntTy(), "x");
+  B.createStore(M.getConstantInt(1), X);
+  LoadInst *V = B.createLoad(X);
+  B.createRet(V);
+
+  EXPECT_TRUE(isModuleValid(M));
+  EXPECT_EQ(F->getInstructionCount(), 4u);
+  EXPECT_EQ(Entry->getTerminator()->getKind(), Value::ValueKind::Ret);
+}
+
+TEST(IRBuilderTest, ValueIdsAreUniqueAndIncreasing) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  Instruction *A = B.createAlloca(M.getTypes().getIntTy(), "a");
+  Instruction *C = B.createAlloca(M.getTypes().getIntTy(), "b");
+  B.createRetVoid();
+  EXPECT_LT(A->getId(), C->getId());
+}
+
+TEST(IRBuilderTest, ConstantsAreUniqued) {
+  Module M("t");
+  EXPECT_EQ(M.getConstantInt(42), M.getConstantInt(42));
+  EXPECT_NE(M.getConstantInt(42), M.getConstantInt(43));
+  EXPECT_EQ(M.getConstantFloat(1.5), M.getConstantFloat(1.5));
+}
+
+TEST(IRBuilderTest, GlobalPointerType) {
+  Module M("t");
+  GlobalVariable *G =
+      M.createGlobal("g", M.getTypes().getArrayTy(M.getTypes().getFloatTy(), 8));
+  ASSERT_TRUE(G->getType()->isPointer());
+  EXPECT_EQ(cast<PointerType>(G->getType())->getPointee(),
+            M.getTypes().getFloatTy());
+}
+
+TEST(IRBuilderTest, GEPProducesElementPointer) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  GlobalVariable *G =
+      M.createGlobal("g", M.getTypes().getArrayTy(M.getTypes().getIntTy(), 8));
+  GEPInst *GEP = B.createGEP(G, M.getConstantInt(3));
+  B.createRetVoid();
+  EXPECT_TRUE(GEP->getType()->isPointer());
+  EXPECT_EQ(GEP->getBase(), G);
+}
+
+TEST(IRBuilderTest, VerifierCatchesMissingTerminator) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  F->createBlock("entry"); // left unterminated
+  std::vector<std::string> Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("no terminator"), std::string::npos);
+}
+
+TEST(IRBuilderTest, VerifierCatchesStoreTypeMismatch) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *X = B.createAlloca(M.getTypes().getIntTy(), "x");
+  B.createStore(M.getConstantFloat(1.0), X); // f64 into i64 slot
+  B.createRetVoid();
+  std::vector<std::string> Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("mismatch"), std::string::npos);
+}
+
+TEST(IRBuilderTest, VerifierCatchesCallArityMismatch) {
+  Module M("t");
+  Function *Callee =
+      M.createFunction("callee", M.getTypes().getVoidTy(),
+                       {M.getTypes().getIntTy()}, {"a"});
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createCall(Callee, {});
+  B.createRetVoid();
+  std::vector<std::string> Errors = verifyModule(M);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("arity"), std::string::npos);
+}
+
+TEST(IRBuilderTest, IntrinsicDeclarations) {
+  Module M("t");
+  Function *Sqrt = M.getOrCreateIntrinsic(intrinsics::Sqrt);
+  EXPECT_TRUE(Sqrt->isDeclaration());
+  EXPECT_EQ(Sqrt->getReturnType(), M.getTypes().getFloatTy());
+  EXPECT_EQ(Sqrt, M.getOrCreateIntrinsic(intrinsics::Sqrt)); // cached
+  EXPECT_TRUE(Module::isIntrinsicName(intrinsics::Lcg));
+  EXPECT_FALSE(Module::isIntrinsicName("nonsense"));
+  EXPECT_TRUE(Module::isMarkerIntrinsicName(intrinsics::RegionBegin));
+  EXPECT_FALSE(Module::isMarkerIntrinsicName(intrinsics::Print));
+}
+
+TEST(IRBuilderTest, SuccessorsOfTerminators) {
+  Module M("t");
+  Function *F = M.createFunction("f", M.getTypes().getVoidTy(), {}, {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createCondBr(M.getConstantInt(1), A, Bb);
+  B.setInsertPoint(A);
+  B.createBr(Bb);
+  B.setInsertPoint(Bb);
+  B.createRetVoid();
+
+  auto EntrySuccs = Entry->successors();
+  ASSERT_EQ(EntrySuccs.size(), 2u);
+  EXPECT_EQ(EntrySuccs[0], A);
+  EXPECT_EQ(EntrySuccs[1], Bb);
+  EXPECT_EQ(A->successors().size(), 1u);
+  EXPECT_TRUE(Bb->successors().empty());
+}
+
+TEST(IRBuilderTest, ModulePrinting) {
+  Module M("demo");
+  Function *F = M.createFunction("f", M.getTypes().getIntTy(), {}, {});
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(M.getConstantInt(5));
+  std::string S = M.str();
+  EXPECT_NE(S.find("define i64 @f()"), std::string::npos);
+  EXPECT_NE(S.find("ret 5"), std::string::npos);
+}
+
+} // namespace

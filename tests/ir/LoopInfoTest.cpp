@@ -1,0 +1,166 @@
+//===- LoopInfoTest.cpp - Natural-loop detection via the frontend -*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "ir/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+TEST(LoopInfoTest, SingleLoopDetected) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 10; i++) { s += i; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  ASSERT_EQ(C.FA->loopInfo().loops().size(), 1u);
+  const Loop *L = C.FA->loopInfo().loops()[0];
+  EXPECT_EQ(L->getDepth(), 1u);
+  EXPECT_EQ(L->getParent(), nullptr);
+  EXPECT_EQ(L->latches().size(), 1u);
+}
+
+TEST(LoopInfoTest, NestedLoopsHaveCorrectDepths) {
+  Compiled C = analyze(R"(
+int g[64];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      g[i * 8 + j] = i + j;
+    }
+  }
+  return 0;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const auto &Loops = C.FA->loopInfo().loops();
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_EQ(Loops[0]->getDepth(), 1u);
+  EXPECT_EQ(Loops[1]->getDepth(), 2u);
+  EXPECT_EQ(Loops[1]->getParent(), Loops[0]);
+  EXPECT_TRUE(Loops[0]->encloses(Loops[1]));
+  EXPECT_FALSE(Loops[1]->encloses(Loops[0]));
+  ASSERT_EQ(C.FA->loopInfo().topLevelLoops().size(), 1u);
+}
+
+TEST(LoopInfoTest, SiblingLoops) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 4; i++) { s += 1; }
+  for (i = 0; i < 4; i++) { s += 2; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const auto &Loops = C.FA->loopInfo().loops();
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_EQ(Loops[0]->getDepth(), 1u);
+  EXPECT_EQ(Loops[1]->getDepth(), 1u);
+  EXPECT_EQ(C.FA->loopInfo().topLevelLoops().size(), 2u);
+}
+
+TEST(LoopInfoTest, WhileLoopDetected) {
+  Compiled C = analyze(R"(
+int main() {
+  int n;
+  n = 100;
+  while (n > 1) {
+    n = n / 2;
+  }
+  return n;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  ASSERT_EQ(C.FA->loopInfo().loops().size(), 1u);
+}
+
+TEST(LoopInfoTest, LoopForBlockLookup) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 4; i++) { s += 1; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const Loop *L = C.FA->loopInfo().loops()[0];
+  for (unsigned B : L->blocks())
+    EXPECT_EQ(C.FA->loopInfo().getLoopFor(B), L);
+  EXPECT_EQ(C.FA->loopInfo().getLoopFor(0), nullptr); // entry block
+  EXPECT_EQ(C.FA->loopInfo().getLoopByHeader(L->getHeader()), L);
+}
+
+TEST(LoopInfoTest, ForLoopMetaRecorded) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 2; i < 20; i += 3) { s += i; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const Loop *L = C.FA->loopInfo().loops()[0];
+  const ForLoopMeta *Meta = C.FA->forMeta(L);
+  ASSERT_NE(Meta, nullptr);
+  EXPECT_TRUE(Meta->Canonical);
+  EXPECT_EQ(Meta->Step, 3);
+  EXPECT_EQ(Meta->tripCount(), 6); // 2,5,8,11,14,17
+  long Min = 0, Max = 0;
+  ASSERT_TRUE(Meta->ivRange(Min, Max));
+  EXPECT_EQ(Min, 2);
+  EXPECT_EQ(Max, 17);
+}
+
+TEST(LoopInfoTest, DownwardCountingTripCount) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 10; i >= 1; i--) { s += i; }
+  return s;
+}
+)");
+  ASSERT_TRUE(C.FA);
+  const ForLoopMeta *Meta = C.FA->forMeta(C.FA->loopInfo().loops()[0]);
+  ASSERT_NE(Meta, nullptr);
+  EXPECT_EQ(Meta->Step, -1);
+  EXPECT_EQ(Meta->tripCount(), 10);
+}
+
+TEST(LoopInfoTest, NonConstantBoundHasUnknownTrip) {
+  Compiled C = analyze(R"(
+int main(int n) { return 0; }
+int helper(int n) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < n; i++) { s += i; }
+  return s;
+}
+)", "helper");
+  ASSERT_TRUE(C.FA);
+  const ForLoopMeta *Meta = C.FA->forMeta(C.FA->loopInfo().loops()[0]);
+  ASSERT_NE(Meta, nullptr);
+  EXPECT_TRUE(Meta->Canonical); // constant step
+  EXPECT_EQ(Meta->tripCount(), -1);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- TypeTest.cpp - Type uniquing and rendering ----------------*- C++ -*-===//
+
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+TEST(TypeTest, ScalarSingletons) {
+  TypeContext TC;
+  EXPECT_EQ(TC.getIntTy(), TC.getIntTy());
+  EXPECT_EQ(TC.getFloatTy(), TC.getFloatTy());
+  EXPECT_NE(TC.getIntTy(), TC.getFloatTy());
+}
+
+TEST(TypeTest, PointerUniquing) {
+  TypeContext TC;
+  PointerType *A = TC.getPointerTy(TC.getIntTy());
+  PointerType *B = TC.getPointerTy(TC.getIntTy());
+  PointerType *C = TC.getPointerTy(TC.getFloatTy());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A->getPointee(), TC.getIntTy());
+}
+
+TEST(TypeTest, ArrayUniquing) {
+  TypeContext TC;
+  ArrayType *A = TC.getArrayTy(TC.getFloatTy(), 16);
+  ArrayType *B = TC.getArrayTy(TC.getFloatTy(), 16);
+  ArrayType *C = TC.getArrayTy(TC.getFloatTy(), 32);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A->getNumElements(), 16u);
+}
+
+TEST(TypeTest, FunctionUniquing) {
+  TypeContext TC;
+  FunctionType *A = TC.getFunctionTy(TC.getVoidTy(), {TC.getIntTy()});
+  FunctionType *B = TC.getFunctionTy(TC.getVoidTy(), {TC.getIntTy()});
+  FunctionType *C = TC.getFunctionTy(TC.getIntTy(), {TC.getIntTy()});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(TypeTest, Predicates) {
+  TypeContext TC;
+  EXPECT_TRUE(TC.getIntTy()->isScalar());
+  EXPECT_TRUE(TC.getFloatTy()->isScalar());
+  EXPECT_FALSE(TC.getVoidTy()->isScalar());
+  EXPECT_TRUE(TC.getPointerTy(TC.getIntTy())->isPointer());
+  EXPECT_TRUE(TC.getArrayTy(TC.getIntTy(), 4)->isArray());
+}
+
+TEST(TypeTest, Rendering) {
+  TypeContext TC;
+  EXPECT_EQ(TC.getIntTy()->str(), "i64");
+  EXPECT_EQ(TC.getFloatTy()->str(), "f64");
+  EXPECT_EQ(TC.getVoidTy()->str(), "void");
+  EXPECT_EQ(TC.getPointerTy(TC.getFloatTy())->str(), "ptr<f64>");
+  EXPECT_EQ(TC.getArrayTy(TC.getIntTy(), 8)->str(), "[8 x i64]");
+  EXPECT_EQ(TC.getFunctionTy(TC.getIntTy(), {TC.getFloatTy()})->str(),
+            "i64 (f64)");
+}
+
+TEST(TypeTest, TypeCasting) {
+  TypeContext TC;
+  Type *T = TC.getArrayTy(TC.getIntTy(), 4);
+  EXPECT_TRUE(isa<ArrayType>(T));
+  EXPECT_FALSE(isa<PointerType>(T));
+  EXPECT_EQ(cast<ArrayType>(T)->getElement(), TC.getIntTy());
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- AbstractionViewTest.cpp - PDG vs J&K vs PS-PDG views -------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "parallel/AbstractionView.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+struct Views {
+  Compiled C;
+  std::unique_ptr<PSPDG> G;
+  std::unique_ptr<AbstractionView> PDGView, JKView, PSView;
+
+  explicit Views(const std::string &Source) : C(analyze(Source)) {
+    G = buildPSPDG(*C.FA, *C.DI, FeatureSet::full());
+    PDGView = std::make_unique<AbstractionView>(AbstractionKind::PDG, *C.FA,
+                                                *C.DI);
+    JKView =
+        std::make_unique<AbstractionView>(AbstractionKind::JK, *C.FA, *C.DI);
+    PSView = std::make_unique<AbstractionView>(AbstractionKind::PSPDG, *C.FA,
+                                               *C.DI, G.get());
+  }
+
+  bool doall(const AbstractionView &V, const Loop *L) {
+    LoopPlanView PV = V.viewFor(*L);
+    LoopSCCDAG DAG(PV);
+    return DAG.allParallel() && PV.TripCountable;
+  }
+};
+
+TEST(AbstractionViewTest, AffineLoopIsDOALLForAll) {
+  Views V(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_TRUE(V.doall(*V.PDGView, L));
+  EXPECT_TRUE(V.doall(*V.JKView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, RecurrenceBlocksAll) {
+  Views V(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i++) { a[i] = a[i - 1]; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+  EXPECT_FALSE(V.doall(*V.JKView, L));
+  EXPECT_FALSE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, IndirectAnnotatedLoop) {
+  // PDG: blocked by the indirect write. J&K and PS-PDG: unlocked by the
+  // worksharing declaration.
+  Views V(R"(
+int a[64];
+int idx[64];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) { a[idx[i]] = i; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+  EXPECT_TRUE(V.doall(*V.JKView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, ThreadPrivateOnlyPSPDG) {
+  // The worksharing declaration alone does not justify the threadprivate
+  // buffer's cross-iteration conflicts; the PS-PDG's privatizable
+  // variable does.
+  Views V(R"(
+int buf[64];
+int keys[256];
+#pragma psc threadprivate(buf)
+int main() {
+  int i;
+  #pragma psc for
+  for (i = 0; i < 256; i++) { buf[keys[i]] += 1; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+  EXPECT_FALSE(V.doall(*V.JKView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, NonAnnotatedCriticalLoopOnlyPSPDG) {
+  // Orderless critical merge (IS loop 4 shape with indirection): only the
+  // PS-PDG's undirected edges make the loop's SCCs parallel.
+  Views V(R"(
+int dst[64];
+int perm[64];
+int src[64];
+int main() {
+  int i;
+  #pragma psc critical
+  {
+    for (i = 0; i < 64; i++) { dst[perm[i]] += src[i]; }
+  }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+  EXPECT_FALSE(V.doall(*V.JKView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+  // ...and the PS-PDG view reports the lock requirement.
+  LoopPlanView PV = V.PSView->viewFor(*L);
+  EXPECT_GT(PV.NumOrderlessConflicts, 0u);
+}
+
+TEST(AbstractionViewTest, ReductionUnlockedByJKAndPSPDG) {
+  Views V(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  #pragma psc parallel for reduction(+: s)
+  for (i = 0; i < 64; i++) { s += i; }
+  return s;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+  EXPECT_TRUE(V.doall(*V.JKView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, CustomReductionOnlyPSPDG) {
+  Views V(R"(
+double pt[4];
+#pragma psc reducible(pt : merge)
+void merge(double a[], double b[]) {
+  int k;
+  for (k = 0; k < 4; k++) { a[k] = a[k] + b[k]; }
+}
+int main() {
+  int i;
+  #pragma psc parallel for reduction(merge: pt)
+  for (i = 0; i < 64; i++) { pt[i % 4] += 1.0; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+  EXPECT_FALSE(V.doall(*V.JKView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, PrivatizedTemporaryUnlocksPDGToo) {
+  // Iteration-private scalar: standard compiler analysis, every
+  // abstraction benefits.
+  Views V(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  int t;
+  for (i = 0; i < 64; i++) {
+    t = a[i] * 3;
+    b[i] = t;
+  }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  EXPECT_TRUE(V.doall(*V.PDGView, L));
+  EXPECT_TRUE(V.doall(*V.PSView, L));
+}
+
+TEST(AbstractionViewTest, WhileLoopNotTripCountable) {
+  Views V(R"(
+int main() {
+  int n;
+  n = 1000;
+  while (n > 1) { n = n / 2; }
+  return n;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  LoopPlanView PV = V.PDGView->viewFor(*L);
+  EXPECT_FALSE(PV.TripCountable);
+  EXPECT_FALSE(V.doall(*V.PDGView, L));
+}
+
+TEST(AbstractionViewTest, MarkersExcludedFromViews) {
+  Views V(R"(
+int x;
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) {
+    #pragma psc critical
+    { x += 1; }
+  }
+  return x;
+}
+)");
+  const Loop *L = loopAt(*V.C.FA, 0);
+  LoopPlanView PV = V.PSView->viewFor(*L);
+  for (Instruction *I : PV.Insts)
+    if (auto *CI = dyn_cast<CallInst>(I))
+      EXPECT_FALSE(
+          Module::isMarkerIntrinsicName(CI->getCallee()->getName()));
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+//===- LoopSCCDAGTest.cpp - SCC decomposition for planning --------*- C++ -*-===//
+
+#include "parallel/LoopSCCDAG.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+LoopPlanView makeView(unsigned NumInsts, std::vector<LoopDepEdge> Edges) {
+  LoopPlanView V;
+  V.Insts.assign(NumInsts, nullptr);
+  V.Edges = std::move(Edges);
+  V.TripCountable = true;
+  return V;
+}
+
+TEST(LoopSCCDAGTest, NoEdgesAllParallelSingletons) {
+  LoopSCCDAG DAG(makeView(4, {}));
+  EXPECT_EQ(DAG.numSCCs(), 4u);
+  EXPECT_EQ(DAG.numSequentialSCCs(), 0u);
+  EXPECT_TRUE(DAG.allParallel());
+}
+
+TEST(LoopSCCDAGTest, IntraEdgesDoNotSequentialize) {
+  LoopSCCDAG DAG(makeView(3, {{0, 1, false}, {1, 2, false}}));
+  EXPECT_EQ(DAG.numSCCs(), 3u);
+  EXPECT_TRUE(DAG.allParallel());
+}
+
+TEST(LoopSCCDAGTest, CarriedSelfEdgeIsSequential) {
+  LoopSCCDAG DAG(makeView(2, {{0, 0, true}}));
+  EXPECT_EQ(DAG.numSCCs(), 2u);
+  EXPECT_EQ(DAG.numSequentialSCCs(), 1u);
+  EXPECT_TRUE(DAG.isSequential(DAG.sccOf(0)));
+  EXPECT_FALSE(DAG.isSequential(DAG.sccOf(1)));
+}
+
+TEST(LoopSCCDAGTest, CarriedCycleIsSequential) {
+  // 0 -> 1 (intra), 1 -> 0 (carried): one sequential SCC of both.
+  LoopSCCDAG DAG(makeView(2, {{0, 1, false}, {1, 0, true}}));
+  EXPECT_EQ(DAG.numSCCs(), 1u);
+  EXPECT_EQ(DAG.numSequentialSCCs(), 1u);
+}
+
+TEST(LoopSCCDAGTest, CarriedEdgeBetweenDifferentSCCsIsParallel) {
+  // A carried edge that does not close a cycle does not serialize: the
+  // dependence is satisfied by the pipeline order.
+  LoopSCCDAG DAG(makeView(2, {{0, 1, true}}));
+  EXPECT_EQ(DAG.numSCCs(), 2u);
+  EXPECT_EQ(DAG.numSequentialSCCs(), 0u);
+}
+
+TEST(LoopSCCDAGTest, MixedSequentialAndParallel) {
+  // {0,1} carried cycle; 2,3 independent.
+  LoopSCCDAG DAG(
+      makeView(4, {{0, 1, true}, {1, 0, false}, {2, 3, false}}));
+  EXPECT_EQ(DAG.numSCCs(), 3u);
+  EXPECT_EQ(DAG.numSequentialSCCs(), 1u);
+  EXPECT_EQ(DAG.sccOf(0), DAG.sccOf(1));
+  EXPECT_NE(DAG.sccOf(2), DAG.sccOf(3));
+}
+
+} // namespace

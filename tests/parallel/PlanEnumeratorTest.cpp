@@ -1,0 +1,143 @@
+//===- PlanEnumeratorTest.cpp - Fig. 13 option counting -----------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "parallel/PlanEnumerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+TEST(PlanEnumeratorTest, DOALLLoopCounts448Options) {
+  auto M = compile(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  OptionCount R = enumerateOptions(*M, AbstractionKind::PDG);
+  EXPECT_EQ(R.LoopsConsidered, 1u);
+  EXPECT_EQ(R.DOALLLoops, 1u);
+  EXPECT_EQ(R.Total, 56u * 8u);
+}
+
+TEST(PlanEnumeratorTest, SequentialLoopGetsHelixAndDSWPOptions) {
+  auto M = compile(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i++) { a[i] = a[i - 1] + i; }
+  return 0;
+}
+)");
+  OptionCount R = enumerateOptions(*M, AbstractionKind::PDG);
+  ASSERT_EQ(R.PerLoop.size(), 1u);
+  const LoopOptions &L = R.PerLoop[0];
+  EXPECT_FALSE(L.DOALL);
+  EXPECT_GE(L.NumSeqSCCs, 1u);
+  // HELIX: seqSCCs * 56; DSWP: min(#SCCs,56) - 1.
+  uint64_t Expected =
+      static_cast<uint64_t>(L.NumSeqSCCs) * 56 +
+      (std::min(L.NumSCCs, 56u) >= 2 ? std::min(L.NumSCCs, 56u) - 1 : 0);
+  EXPECT_EQ(L.Options, Expected);
+}
+
+TEST(PlanEnumeratorTest, OpenMPCountsOnlyAnnotatedLoops) {
+  auto M = compile(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  for (i = 0; i < 64; i++) { b[i] = i; }
+  return 0;
+}
+)");
+  OptionCount R = enumerateOptions(*M, AbstractionKind::OpenMP);
+  EXPECT_EQ(R.LoopsConsidered, 1u);
+  EXPECT_EQ(R.Total, 56u * 8u);
+}
+
+TEST(PlanEnumeratorTest, CoverageFilterExcludesColdLoops) {
+  auto M = compile(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  CoverageMap Cold;
+  // The loop exists but has below-threshold coverage.
+  OptionCount R =
+      enumerateOptions(*M, AbstractionKind::PDG, {}, &Cold);
+  EXPECT_EQ(R.LoopsConsidered, 0u);
+  EXPECT_EQ(R.Total, 0u);
+}
+
+TEST(PlanEnumeratorTest, ConfigurableMachineSize) {
+  auto M = compile(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  EnumeratorConfig Cfg;
+  Cfg.Cores = 4;
+  Cfg.ChunkSizes = 2;
+  OptionCount R = enumerateOptions(*M, AbstractionKind::PDG, Cfg);
+  EXPECT_EQ(R.Total, 8u);
+}
+
+TEST(PlanEnumeratorTest, PSPDGNeverBelowPDGOnDOALLKernels) {
+  // On an all-affine annotated kernel both find the same DOALL loops.
+  auto M = compile(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) { b[i] = a[i]; }
+  return 0;
+}
+)");
+  OptionCount P = enumerateOptions(*M, AbstractionKind::PDG);
+  OptionCount S = enumerateOptions(*M, AbstractionKind::PSPDG);
+  EXPECT_EQ(P.Total, S.Total);
+  EXPECT_EQ(S.DOALLLoops, 2u);
+}
+
+TEST(PlanEnumeratorTest, AblatedPSPDGLosesOptions) {
+  auto M = compile(R"(
+int buf[64];
+int keys[256];
+#pragma psc threadprivate(buf)
+int main() {
+  int i;
+  #pragma psc for
+  for (i = 0; i < 256; i++) { buf[keys[i]] += 1; }
+  return 0;
+}
+)");
+  OptionCount Full =
+      enumerateOptions(*M, AbstractionKind::PSPDG, {}, nullptr,
+                       FeatureSet::full());
+  OptionCount NoPSV =
+      enumerateOptions(*M, AbstractionKind::PSPDG, {}, nullptr,
+                       FeatureSet::withoutParallelVariables());
+  // With PSV the loop is DOALL; without it the threadprivate conflicts
+  // survive and it is not.
+  EXPECT_EQ(Full.DOALLLoops, 1u);
+  EXPECT_EQ(NoPSV.DOALLLoops, 0u);
+}
+
+} // namespace

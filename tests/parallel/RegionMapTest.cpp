@@ -1,0 +1,105 @@
+//===- RegionMapTest.cpp - Directive-region membership ------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "parallel/RegionMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+const Instruction *firstStoreTo(const Compiled &C, const std::string &Name) {
+  for (Instruction *I : C.FA->instructions())
+    if (auto *SI = dyn_cast<StoreInst>(I)) {
+      const Value *Obj = SI->getPointer();
+      if (auto *GEP = dyn_cast<GEPInst>(SI->getPointer()))
+        Obj = GEP->getBase();
+      if (Obj && Obj->getName() == Name)
+        return I;
+    }
+  return nullptr;
+}
+
+TEST(RegionMapTest, InstructionInsideCritical) {
+  Compiled C = analyze(R"(
+int x;
+int y;
+int main() {
+  y = 1;
+  #pragma psc critical
+  { x = 2; }
+  return x;
+}
+)");
+  RegionMap RM(*C.FA);
+  const Instruction *InCrit = firstStoreTo(C, "x");
+  const Instruction *Outside = firstStoreTo(C, "y");
+  ASSERT_TRUE(InCrit && Outside);
+  ASSERT_NE(RM.regionOf(InCrit), nullptr);
+  EXPECT_EQ(RM.regionOf(InCrit)->Kind, DirectiveKind::Critical);
+  EXPECT_EQ(RM.regionOf(Outside), nullptr);
+  EXPECT_TRUE(RM.inMutualExclusionRegion(InCrit));
+  EXPECT_FALSE(RM.inMutualExclusionRegion(Outside));
+}
+
+TEST(RegionMapTest, NestedRegionsResolveInnermost) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  #pragma psc parallel
+  {
+    #pragma psc critical
+    { x = 1; }
+  }
+  return x;
+}
+)");
+  RegionMap RM(*C.FA);
+  const Instruction *I = firstStoreTo(C, "x");
+  ASSERT_NE(RM.regionOf(I), nullptr);
+  EXPECT_EQ(RM.regionOf(I)->Kind, DirectiveKind::Critical);
+  // The nesting chain still reaches the parallel region.
+  EXPECT_NE(RM.enclosing(I, DirectiveKind::Parallel), nullptr);
+}
+
+TEST(RegionMapTest, OrderedDetected) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  int i;
+  #pragma psc parallel for ordered
+  for (i = 0; i < 4; i++) {
+    #pragma psc ordered
+    { x += i; }
+  }
+  return x;
+}
+)");
+  RegionMap RM(*C.FA);
+  const Instruction *I = firstStoreTo(C, "x");
+  EXPECT_TRUE(RM.inOrderedRegion(I));
+  EXPECT_FALSE(RM.inMutualExclusionRegion(I));
+}
+
+TEST(RegionMapTest, TaskRegionsTracked) {
+  Compiled C = analyze(R"(
+int g;
+void work() { g += 1; }
+int main() {
+  spawn work();
+  sync;
+  return g;
+}
+)");
+  RegionMap RM(*C.FA);
+  bool FoundTask = false;
+  for (Instruction *I : C.FA->instructions())
+    if (const Directive *D = RM.regionOf(I))
+      if (D->Kind == DirectiveKind::Task)
+        FoundTask = true;
+  EXPECT_TRUE(FoundTask);
+}
+
+} // namespace

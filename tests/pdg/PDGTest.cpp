@@ -1,0 +1,99 @@
+//===- PDGTest.cpp - Classic PDG construction --------------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "pdg/PDG.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+TEST(PDGTest, NodesMatchInstructions) {
+  Compiled C = analyze("int main() { int x; x = 1; return x; }");
+  PDG G(*C.FA, *C.DI);
+  EXPECT_EQ(G.numNodes(), C.FA->instructions().size());
+  for (unsigned N = 0; N < G.numNodes(); ++N)
+    EXPECT_EQ(G.node(N), C.FA->instructions()[N]);
+}
+
+TEST(PDGTest, EdgesMatchDependenceInfo) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i] = i; }
+  return a[3];
+}
+)");
+  PDG G(*C.FA, *C.DI);
+  EXPECT_EQ(G.edges().size(), C.DI->edges().size());
+}
+
+TEST(PDGTest, OutEdgeAdjacencyConsistent) {
+  Compiled C = analyze("int main() { int x; x = 1 + 2; return x; }");
+  PDG G(*C.FA, *C.DI);
+  unsigned Counted = 0;
+  for (unsigned N = 0; N < G.numNodes(); ++N)
+    for (unsigned E : G.outEdges(N)) {
+      EXPECT_EQ(C.FA->indexOf(G.edges()[E].Src), N);
+      ++Counted;
+    }
+  EXPECT_EQ(Counted, G.edges().size());
+}
+
+TEST(PDGTest, LoopSubgraphRestriction) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  a[0] = 9;
+  for (i = 1; i < 8; i++) { a[i] = a[i - 1]; }
+  return 0;
+}
+)");
+  PDG G(*C.FA, *C.DI);
+  const Loop *L = loopAt(*C.FA, 0);
+  for (const DepEdge *E : G.edgesWithin(*L)) {
+    EXPECT_TRUE(L->contains(E->Src->getParent()->getIndex()));
+    EXPECT_TRUE(L->contains(E->Dst->getParent()->getIndex()));
+  }
+}
+
+TEST(PDGTest, DotOutputWellFormed) {
+  Compiled C = analyze("int main() { int x; x = 2; print(x); return x; }");
+  PDG G(*C.FA, *C.DI);
+  std::string Dot = G.toDot();
+  EXPECT_NE(Dot.find("digraph PDG"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_EQ(Dot.find("null"), std::string::npos);
+}
+
+TEST(PDGTest, PDGSeesNoParallelSemantics) {
+  // The PDG of an annotated program equals the PDG of the plain program —
+  // the motivating limitation (paper §2.2).
+  Compiled C1 = analyze(R"(
+int a[32];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 32; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  Compiled C2 = analyze(R"(
+int a[32];
+int main() {
+  int i;
+  for (i = 0; i < 32; i++) { a[i] = i; }
+  return 0;
+}
+)");
+  PDG G1(*C1.FA, *C1.DI);
+  PDG G2(*C2.FA, *C2.DI);
+  EXPECT_EQ(G1.numNodes(), G2.numNodes());
+  EXPECT_EQ(G1.edges().size(), G2.edges().size());
+}
+
+} // namespace

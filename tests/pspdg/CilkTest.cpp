@@ -1,0 +1,233 @@
+//===- CilkTest.cpp - Appendix A: the Cilk model in the PS-PDG ----*- C++ -*-===//
+///
+/// The paper's Appendix A maps Cilk onto the PS-PDG: cilk_spawn becomes a
+/// SESE hierarchical node whose strand runs concurrently with the
+/// continuation until the next cilk_sync; hyperobjects become reducible
+/// parallel-semantic variables. PSC spells these `spawn f(...);`, `sync;`,
+/// and `#pragma psc reducible`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "parallel/AbstractionView.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+TEST(CilkTest, SpawnParsesAndRuns) {
+  auto M = compile(R"(
+int acc;
+void work(int v) { acc += v; }
+int main() {
+  spawn work(3);
+  spawn work(4);
+  sync;
+  return acc;
+}
+)");
+  ASSERT_NE(M, nullptr);
+  Interpreter I(*M);
+  EXPECT_EQ(I.run().ExitValue, 7); // sequential semantics preserved
+}
+
+TEST(CilkTest, SpawnRequiresDefinedFunctionCall) {
+  auto D = compileExpectError("int main() { spawn 3; return 0; }");
+  EXPECT_FALSE(D.empty());
+  auto D2 = compileExpectError("int main() { spawn sqrt(2.0); return 0; }");
+  EXPECT_FALSE(D2.empty()); // builtins are not spawnable strands
+}
+
+TEST(CilkTest, SpawnBecomesTaskRegionNode) {
+  Compiled C = analyze(R"(
+int acc;
+void work(int v) { acc += v; }
+int main() {
+  spawn work(1);
+  sync;
+  return acc;
+}
+)");
+  auto G = buildPSPDG(*C.FA, *C.DI);
+  bool Found = false;
+  for (PSNodeId N = 0; N < G->numNodes(); ++N)
+    if (G->node(N).Region == PSRegionKind::TaskRegion) {
+      Found = true;
+      EXPECT_TRUE(G->node(N).IsHierarchical);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CilkTest, TaskAndContinuationAreConcurrent) {
+  // The spawned strand's write and the continuation's write conflict, but
+  // spawn declares them concurrent until the sync.
+  Compiled C = analyze(R"(
+int shared_buf[8];
+void work(int v) { shared_buf[v % 8] = v; }
+int main() {
+  int t;
+  spawn work(5);
+  t = shared_buf[3];
+  sync;
+  return t;
+}
+)");
+  auto G = buildPSPDG(*C.FA, *C.DI);
+
+  // Find the spawned call's leaf and the continuation load's leaf; no
+  // directed edge may order them.
+  PSNodeId CallLeaf = NoContext, LoadLeaf = NoContext;
+  for (Instruction *I : C.FA->instructions()) {
+    if (auto *CI = dyn_cast<CallInst>(I))
+      if (CI->getCallee()->getName() == "work")
+        CallLeaf = G->leafOf(I);
+    if (auto *LI = dyn_cast<LoadInst>(I))
+      if (auto *GEP = dyn_cast<GEPInst>(LI->getPointer()))
+        if (findUnderlyingObject(GEP->getBase())->getName() == "shared_buf")
+          LoadLeaf = G->leafOf(I);
+  }
+  ASSERT_NE(CallLeaf, NoContext);
+  ASSERT_NE(LoadLeaf, NoContext);
+  for (const PSDirectedEdge &E : G->directedEdges()) {
+    bool Orders = (E.Src == CallLeaf && E.Dst == LoadLeaf) ||
+                  (E.Src == LoadLeaf && E.Dst == CallLeaf);
+    EXPECT_FALSE(Orders && E.Kind != DepKind::Control)
+        << "spawned strand must be concurrent with its continuation";
+  }
+}
+
+TEST(CilkTest, SyncRestoresOrdering) {
+  // Same conflict, but a sync intervenes: the ordering must survive.
+  Compiled C = analyze(R"(
+int shared_buf[8];
+void work(int v) { shared_buf[v % 8] = v; }
+int main() {
+  int t;
+  spawn work(5);
+  sync;
+  t = shared_buf[3];
+  return t;
+}
+)");
+  auto G = buildPSPDG(*C.FA, *C.DI);
+  bool Ordered = false;
+  for (const PSDirectedEdge &E : G->directedEdges()) {
+    const PSNode &Src = G->node(E.Src);
+    const PSNode &Dst = G->node(E.Dst);
+    bool IsMem = E.Kind == DepKind::MemoryRAW ||
+                 E.Kind == DepKind::MemoryWAR || E.Kind == DepKind::MemoryWAW;
+    if (IsMem && Src.I && Dst.I && isa<CallInst>(Src.I) &&
+        isa<LoadInst>(Dst.I))
+      Ordered = true;
+  }
+  EXPECT_TRUE(Ordered);
+}
+
+TEST(CilkTest, SpawnLoopIsDOALLUnderPSPDGOnly) {
+  // cilk_for idiom: spawn per iteration, sync after the loop.
+  Compiled C = analyze(R"(
+int results[64];
+void work(int i) { results[i % 64] = i * 3; }
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    spawn work(i);
+  }
+  sync;
+  return results[0];
+}
+)");
+  auto G = buildPSPDG(*C.FA, *C.DI);
+  AbstractionView PDGView(AbstractionKind::PDG, *C.FA, *C.DI);
+  AbstractionView PSView(AbstractionKind::PSPDG, *C.FA, *C.DI, G.get());
+  const Loop *L = loopAt(*C.FA, 0);
+
+  LoopPlanView PDGPlan = PDGView.viewFor(*L);
+  LoopSCCDAG PDGDag(PDGPlan);
+  EXPECT_FALSE(PDGDag.allParallel()); // opaque call: conservative
+
+  LoopPlanView PSPlan = PSView.viewFor(*L);
+  LoopSCCDAG PSDag(PSPlan);
+  EXPECT_TRUE(PSDag.allParallel() && PSPlan.TripCountable);
+}
+
+TEST(CilkTest, SyncInsideLoopKeepsCarriedDeps) {
+  // spawn+sync per iteration: strands never overlap across iterations.
+  Compiled C = analyze(R"(
+int acc;
+void work(int i) { acc += i; }
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    spawn work(i);
+    sync;
+  }
+  return acc;
+}
+)");
+  auto G = buildPSPDG(*C.FA, *C.DI);
+  const Loop *L = loopAt(*C.FA, 0);
+  bool CarriedKept = false;
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.Kind != DepKind::Register && E.Kind != DepKind::Control &&
+        E.CarriedAtHeaders.count(L->getHeader()))
+      CarriedKept = true;
+  EXPECT_TRUE(CarriedKept);
+}
+
+TEST(CilkTest, HyperobjectMakesSpawnedReductionSafe) {
+  // A Cilk hyperobject: the reducible variable justifies reordering the
+  // strands' updates (Appendix A + Fig. 10).
+  Compiled C = analyze(R"(
+double views[4];
+#pragma psc reducible(views : merge_views)
+void merge_views(double a[], double b[]) {
+  int k;
+  for (k = 0; k < 4; k++) { a[k] = a[k] + b[k]; }
+}
+void work(int i) { views[i % 4] = views[i % 4] + 1.0; }
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    spawn work(i);
+  }
+  sync;
+  return views[0];
+}
+)");
+  auto G = buildPSPDG(*C.FA, *C.DI);
+  const PSVariable *V = G->variableFor(C.M->getGlobal("views"));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->Kind, PSVariable::VarKind::Reducible);
+  ASSERT_NE(V->CustomReducer, nullptr);
+}
+
+TEST(CilkTest, WithoutHierarchicalNodesSpawnIsLost) {
+  // Fig. 11-style ablation for the Cilk model: without SESE hierarchical
+  // nodes the spawned concurrency is not representable.
+  Compiled C = analyze(R"(
+int results[64];
+void work(int i) { results[i % 64] = i * 3; }
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    spawn work(i);
+  }
+  sync;
+  return results[0];
+}
+)");
+  auto G =
+      buildPSPDG(*C.FA, *C.DI, FeatureSet::withoutHierarchicalNodes());
+  AbstractionView PSView(AbstractionKind::PSPDG, *C.FA, *C.DI, G.get());
+  const Loop *L = loopAt(*C.FA, 0);
+  LoopSCCDAG DAG(PSView.viewFor(*L));
+  EXPECT_FALSE(DAG.allParallel());
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- NecessityTest.cpp - Paper §4: every feature is necessary ---*- C++ -*-===//
+///
+/// For each PS-PDG feature, a pair of semantically-different programs
+/// (paper Fig. 11 A–E) must:
+///   (1) map to *different* PS-PDGs when the feature is available, and
+///   (2) collapse onto the *same* abstraction when it is removed.
+/// Fingerprints implement "same abstraction" (canonical serialization).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "pspdg/Fingerprint.h"
+#include "pspdg/PSPDGBuilder.h"
+#include "workloads/NecessityPairs.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+std::string fingerprintOf(const std::string &Source, const FeatureSet &F) {
+  Compiled C = analyze(Source);
+  if (!C.DI)
+    return "<compile error>";
+  auto G = buildPSPDG(*C.FA, *C.DI, F);
+  return fingerprint(*G);
+}
+
+class NecessityTest : public ::testing::TestWithParam<NecessityPair> {};
+
+TEST_P(NecessityTest, FullPSPDGDistinguishesThePair) {
+  const NecessityPair &P = GetParam();
+  std::string Fast = fingerprintOf(P.Fast, FeatureSet::full());
+  std::string Slow = fingerprintOf(P.Slow, FeatureSet::full());
+  EXPECT_NE(Fast, Slow)
+      << "the full PS-PDG must distinguish " << P.Name;
+}
+
+TEST_P(NecessityTest, AblatedPSPDGCollapsesThePair) {
+  const NecessityPair &P = GetParam();
+  std::string Fast = fingerprintOf(P.Fast, P.Ablated);
+  std::string Slow = fingerprintOf(P.Slow, P.Ablated);
+  EXPECT_EQ(Fast, Slow)
+      << "without " << P.Feature << ", " << P.Name
+      << " must be indistinguishable";
+}
+
+TEST_P(NecessityTest, HashAgreesWithFingerprint) {
+  const NecessityPair &P = GetParam();
+  Compiled CF = analyze(P.Fast);
+  Compiled CS = analyze(P.Slow);
+  ASSERT_TRUE(CF.DI && CS.DI);
+  auto GF = buildPSPDG(*CF.FA, *CF.DI, P.Ablated);
+  auto GS = buildPSPDG(*CS.FA, *CS.DI, P.Ablated);
+  EXPECT_EQ(fingerprint(*GF) == fingerprint(*GS),
+            fingerprintHash(*GF) == fingerprintHash(*GS));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig11, NecessityTest, ::testing::ValuesIn(necessityPairs()),
+    [](const ::testing::TestParamInfo<NecessityPair> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(FingerprintTest, IdenticalProgramsAreEqual) {
+  const char *Src = R"(
+int a[8];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) { a[i] = i; }
+  return 0;
+}
+)";
+  EXPECT_EQ(fingerprintOf(Src, FeatureSet::full()),
+            fingerprintOf(Src, FeatureSet::full()));
+}
+
+TEST(FingerprintTest, DifferentConstantsDiffer) {
+  const char *A = "int main() { return 1; }";
+  const char *B = "int main() { return 2; }";
+  EXPECT_NE(fingerprintOf(A, FeatureSet::full()),
+            fingerprintOf(B, FeatureSet::full()));
+}
+
+TEST(FingerprintTest, BareGroupingIsTransparent) {
+  // A master region with traits removed adds no constraints, so the
+  // fingerprint equals the region-free program's.
+  const char *WithRegion = R"(
+int x;
+int main() {
+  #pragma psc master
+  { x = 1; }
+  return x;
+}
+)";
+  const char *Without = R"(
+int x;
+int main() {
+  { x = 1; }
+  return x;
+}
+)";
+  EXPECT_EQ(fingerprintOf(WithRegion, FeatureSet::withoutNodeTraits()),
+            fingerprintOf(Without, FeatureSet::withoutNodeTraits()));
+  EXPECT_NE(fingerprintOf(WithRegion, FeatureSet::full()),
+            fingerprintOf(Without, FeatureSet::full()));
+}
+
+} // namespace

@@ -1,0 +1,328 @@
+//===- PSPDGBuilderTest.cpp - PS-PDG construction ----------------*- C++ -*-===//
+
+#include "../TestUtil.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+std::unique_ptr<PSPDG> build(const Compiled &C,
+                             const FeatureSet &F = FeatureSet()) {
+  return buildPSPDG(*C.FA, *C.DI, F);
+}
+
+TEST(PSPDGBuilderTest, RootIsFunctionContext) {
+  Compiled C = analyze("int main() { return 0; }");
+  auto G = build(C);
+  EXPECT_TRUE(G->node(G->root()).IsHierarchical);
+  EXPECT_EQ(G->node(G->root()).Region, PSRegionKind::Function);
+  EXPECT_TRUE(G->node(G->root()).IsContext);
+}
+
+TEST(PSPDGBuilderTest, MarkerCallsHaveNoLeaves) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  #pragma psc critical
+  { x = 1; }
+  return x;
+}
+)");
+  auto G = build(C);
+  for (Instruction *I : C.FA->instructions())
+    if (auto *CI = dyn_cast<CallInst>(I)) {
+      if (Module::isMarkerIntrinsicName(CI->getCallee()->getName()))
+        EXPECT_EQ(G->leafOf(I), NoContext);
+      else
+        EXPECT_NE(G->leafOf(I), NoContext);
+    }
+}
+
+TEST(PSPDGBuilderTest, LoopsBecomeHierarchicalContextNodes) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) { a[j] = i; }
+  }
+  return 0;
+}
+)");
+  auto G = build(C);
+  const Loop *Outer = loopAt(*C.FA, 0);
+  const Loop *Inner = loopAt(*C.FA, 1);
+  PSNodeId ON = G->loopNode(Outer->getHeader());
+  PSNodeId IN = G->loopNode(Inner->getHeader());
+  ASSERT_NE(ON, NoContext);
+  ASSERT_NE(IN, NoContext);
+  EXPECT_TRUE(G->node(ON).IsContext);
+  // Inner loop node nests (transitively) under the outer loop node.
+  PSNodeId P = G->node(IN).Parent;
+  while (P != NoContext && P != ON)
+    P = G->node(P).Parent;
+  EXPECT_EQ(P, ON);
+}
+
+TEST(PSPDGBuilderTest, CriticalRegionGetsAtomicUnorderedTraits) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) {
+    #pragma psc critical
+    { x += 1; }
+  }
+  return x;
+}
+)");
+  auto G = build(C);
+  bool Found = false;
+  for (PSNodeId N = 0; N < G->numNodes(); ++N) {
+    const PSNode &Node = G->node(N);
+    if (Node.Region == PSRegionKind::CriticalRegion) {
+      Found = true;
+      EXPECT_TRUE(Node.hasTrait(TraitKind::Atomic));
+      EXPECT_TRUE(Node.hasTrait(TraitKind::Unordered));
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(PSPDGBuilderTest, SingleRegionGetsSingularTrait) {
+  Compiled C = analyze(R"(
+int main() {
+  #pragma psc parallel
+  {
+    #pragma psc single
+    { print(1); }
+  }
+  return 0;
+}
+)");
+  auto G = build(C);
+  bool Found = false;
+  for (PSNodeId N = 0; N < G->numNodes(); ++N)
+    if (G->node(N).Region == PSRegionKind::SingleRegion) {
+      Found = true;
+      EXPECT_TRUE(G->node(N).hasTrait(TraitKind::Singular));
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(PSPDGBuilderTest, CriticalConflictsBecomeUndirectedEdges) {
+  Compiled C = analyze(R"(
+int hist[16];
+int idx[64];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) {
+    #pragma psc critical
+    { hist[idx[i]] += 1; }
+  }
+  return 0;
+}
+)");
+  auto G = build(C);
+  EXPECT_FALSE(G->undirectedEdges().empty());
+  // And the directed carried conflicts on hist at that loop are gone.
+  const Loop *L = loopAt(*C.FA, 0);
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.MemObject && E.MemObject->getName() == "hist")
+      EXPECT_FALSE(E.CarriedAtHeaders.count(L->getHeader()));
+}
+
+TEST(PSPDGBuilderTest, OrderedRegionKeepsDirectedEdges) {
+  Compiled C = analyze(R"(
+int hist[16];
+int idx[64];
+int main() {
+  int i;
+  #pragma psc parallel for ordered
+  for (i = 0; i < 64; i++) {
+    #pragma psc ordered
+    { hist[idx[i]] += 1; }
+  }
+  return 0;
+}
+)");
+  auto G = build(C);
+  EXPECT_TRUE(G->undirectedEdges().empty());
+  const Loop *L = loopAt(*C.FA, 0);
+  bool CarriedKept = false;
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.MemObject && E.MemObject->getName() == "hist" &&
+        E.CarriedAtHeaders.count(L->getHeader()))
+      CarriedKept = true;
+  EXPECT_TRUE(CarriedKept);
+}
+
+TEST(PSPDGBuilderTest, DeclaredIndependenceDropsCarriedDeps) {
+  // Indirect subscript: analysis keeps the dep; the annotation removes it.
+  Compiled C = analyze(R"(
+int a[64];
+int idx[64];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) { a[idx[i]] = i; }
+  return 0;
+}
+)");
+  auto G = build(C);
+  const Loop *L = loopAt(*C.FA, 0);
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.MemObject && E.MemObject->getName() == "a")
+      EXPECT_FALSE(E.CarriedAtHeaders.count(L->getHeader()));
+
+  // Without contexts the declaration cannot be scoped: deps stay.
+  auto G2 = build(C, FeatureSet::withoutContexts());
+  bool Kept = false;
+  for (const PSDirectedEdge &E : G2->directedEdges())
+    if (E.MemObject && E.MemObject->getName() == "a" &&
+        E.CarriedAtHeaders.count(L->getHeader()))
+      Kept = true;
+  EXPECT_TRUE(Kept);
+}
+
+TEST(PSPDGBuilderTest, ReductionVariableRecorded) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  #pragma psc parallel for reduction(+: s)
+  for (i = 0; i < 8; i++) { s += i; }
+  return s;
+}
+)");
+  auto G = build(C);
+  ASSERT_EQ(G->variables().size(), 1u);
+  const PSVariable &V = G->variables()[0];
+  EXPECT_EQ(V.Kind, PSVariable::VarKind::Reducible);
+  EXPECT_EQ(V.Op, ReduceOp::Add);
+  EXPECT_EQ(V.Name, "s");
+  EXPECT_FALSE(V.UseNodes.empty());
+  EXPECT_FALSE(V.DefNodes.empty());
+  // Carried deps on s at the annotated loop are gone.
+  const Loop *L = loopAt(*C.FA, 0);
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.MemObject && E.MemObject->getName() == "s")
+      EXPECT_FALSE(E.CarriedAtHeaders.count(L->getHeader()));
+}
+
+TEST(PSPDGBuilderTest, WithoutPSVReductionDepsStay) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  #pragma psc parallel for reduction(+: s)
+  for (i = 0; i < 8; i++) { s += i; }
+  return s;
+}
+)");
+  auto G = build(C, FeatureSet::withoutParallelVariables());
+  EXPECT_TRUE(G->variables().empty());
+  const Loop *L = loopAt(*C.FA, 0);
+  bool Kept = false;
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.MemObject && E.MemObject->getName() == "s" &&
+        E.CarriedAtHeaders.count(L->getHeader()))
+      Kept = true;
+  EXPECT_TRUE(Kept);
+}
+
+TEST(PSPDGBuilderTest, LastPrivateGetsLastProducerSelector) {
+  Compiled C = analyze(R"(
+int v;
+int data[32];
+int main() {
+  int i;
+  #pragma psc parallel for lastprivate(v)
+  for (i = 0; i < 32; i++) { v = data[i]; }
+  return v;
+}
+)");
+  auto G = build(C);
+  bool Found = false;
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.Selector && E.Selector->Kind == SelectorKind::LastProducer)
+      Found = true;
+  EXPECT_TRUE(Found);
+
+  auto G2 = build(C, FeatureSet::withoutDataSelectors());
+  for (const PSDirectedEdge &E : G2->directedEdges())
+    EXPECT_FALSE(E.Selector.has_value());
+}
+
+TEST(PSPDGBuilderTest, RelaxedGetsAnyProducerSelector) {
+  Compiled C = analyze(R"(
+int v;
+int data[32];
+int main() {
+  int i;
+  #pragma psc parallel for relaxed(v)
+  for (i = 0; i < 32; i++) { v = data[i]; }
+  return v;
+}
+)");
+  auto G = build(C);
+  bool Found = false;
+  for (const PSDirectedEdge &E : G->directedEdges())
+    if (E.Selector && E.Selector->Kind == SelectorKind::AnyProducer)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PSPDGBuilderTest, WithoutHierarchicalNodesOnlyRootAndLeaves) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) {
+    #pragma psc critical
+    { x += 1; }
+  }
+  return x;
+}
+)");
+  auto G = build(C, FeatureSet::withoutHierarchicalNodes());
+  unsigned Hier = 0;
+  for (PSNodeId N = 0; N < G->numNodes(); ++N)
+    if (G->node(N).IsHierarchical)
+      ++Hier;
+  EXPECT_EQ(Hier, 1u); // just the function root
+  EXPECT_TRUE(G->undirectedEdges().empty());
+}
+
+TEST(PSPDGBuilderTest, SummaryAndDotRender) {
+  Compiled C = analyze(R"(
+int x;
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) {
+    #pragma psc critical
+    { x += 1; }
+  }
+  return x;
+}
+)");
+  auto G = build(C);
+  std::string S = G->summary();
+  EXPECT_NE(S.find("hierarchical"), std::string::npos);
+  std::string Dot = G->toDot();
+  EXPECT_NE(Dot.find("digraph PSPDG"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- CastingTest.cpp - isa/cast/dyn_cast behaviour ------------*- C++ -*-===//
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct Base {
+  enum class Kind { A, B, C };
+  explicit Base(Kind K) : K(K) {}
+  Kind getKind() const { return K; }
+  Kind K;
+};
+
+struct A : Base {
+  A() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->getKind() == Kind::A; }
+};
+
+struct B : Base {
+  B() : Base(Kind::B) {}
+  int Payload = 7;
+  static bool classof(const Base *Bs) { return Bs->getKind() == Kind::B; }
+};
+
+using namespace psc;
+
+TEST(CastingTest, IsaPositive) {
+  A X;
+  Base *P = &X;
+  EXPECT_TRUE(isa<A>(P));
+}
+
+TEST(CastingTest, IsaNegative) {
+  A X;
+  Base *P = &X;
+  EXPECT_FALSE(isa<B>(P));
+}
+
+TEST(CastingTest, CastRoundTrip) {
+  B X;
+  Base *P = &X;
+  EXPECT_EQ(cast<B>(P)->Payload, 7);
+}
+
+TEST(CastingTest, DynCastReturnsNullOnMismatch) {
+  A X;
+  Base *P = &X;
+  EXPECT_EQ(dyn_cast<B>(P), nullptr);
+  EXPECT_NE(dyn_cast<A>(P), nullptr);
+}
+
+TEST(CastingTest, DynCastOrNullHandlesNull) {
+  Base *P = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<A>(P), nullptr);
+}
+
+TEST(CastingTest, IsaAndNonnull) {
+  Base *P = nullptr;
+  EXPECT_FALSE(isa_and_nonnull<A>(P));
+  A X;
+  P = &X;
+  EXPECT_TRUE(isa_and_nonnull<A>(P));
+}
+
+TEST(CastingTest, ConstCast) {
+  B X;
+  const Base *P = &X;
+  EXPECT_TRUE(isa<B>(P));
+  EXPECT_EQ(cast<B>(P)->Payload, 7);
+  EXPECT_EQ(dyn_cast<A>(P), nullptr);
+}
+
+} // namespace

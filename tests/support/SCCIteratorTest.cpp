@@ -1,0 +1,94 @@
+//===- SCCIteratorTest.cpp - Tarjan SCC over small graphs --------*- C++ -*-===//
+
+#include "support/SCCIterator.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+SCCResult runSCC(unsigned N, std::vector<std::vector<unsigned>> Adj) {
+  return computeSCCs(N, [Adj](unsigned Node) -> const std::vector<unsigned> & {
+    static thread_local std::vector<unsigned> Empty;
+    (void)Empty;
+    return Adj[Node];
+  });
+}
+
+TEST(SCCIteratorTest, EmptyGraph) {
+  SCCResult R = runSCC(0, {});
+  EXPECT_EQ(R.numComponents(), 0u);
+}
+
+TEST(SCCIteratorTest, SingleNodeNoEdge) {
+  SCCResult R = runSCC(1, {{}});
+  ASSERT_EQ(R.numComponents(), 1u);
+  EXPECT_EQ(R.Components[0].size(), 1u);
+}
+
+TEST(SCCIteratorTest, TwoNodeCycle) {
+  SCCResult R = runSCC(2, {{1}, {0}});
+  ASSERT_EQ(R.numComponents(), 1u);
+  EXPECT_EQ(R.Components[0].size(), 2u);
+}
+
+TEST(SCCIteratorTest, ChainHasSingletonComponents) {
+  SCCResult R = runSCC(4, {{1}, {2}, {3}, {}});
+  EXPECT_EQ(R.numComponents(), 4u);
+  for (auto &C : R.Components)
+    EXPECT_EQ(C.size(), 1u);
+}
+
+TEST(SCCIteratorTest, ReverseTopologicalEmission) {
+  // 0 -> 1 -> 2: component of 2 must be emitted before that of 0.
+  SCCResult R = runSCC(3, {{1}, {2}, {}});
+  EXPECT_LT(R.ComponentOf[2], R.ComponentOf[0]);
+}
+
+TEST(SCCIteratorTest, MixedCycleAndTail) {
+  // {0,1,2} cycle feeding 3 -> 4.
+  SCCResult R = runSCC(5, {{1}, {2}, {0, 3}, {4}, {}});
+  EXPECT_EQ(R.numComponents(), 3u);
+  EXPECT_EQ(R.ComponentOf[0], R.ComponentOf[1]);
+  EXPECT_EQ(R.ComponentOf[1], R.ComponentOf[2]);
+  EXPECT_NE(R.ComponentOf[2], R.ComponentOf[3]);
+}
+
+TEST(SCCIteratorTest, SelfEdgeStillSingleton) {
+  SCCResult R = runSCC(2, {{0, 1}, {}});
+  EXPECT_EQ(R.numComponents(), 2u);
+  EXPECT_TRUE(R.isNonTrivial(R.ComponentOf[0], /*HasSelfEdge=*/true));
+  EXPECT_FALSE(R.isNonTrivial(R.ComponentOf[1], /*HasSelfEdge=*/false));
+}
+
+TEST(SCCIteratorTest, DisconnectedComponents) {
+  SCCResult R = runSCC(4, {{1}, {0}, {3}, {2}});
+  EXPECT_EQ(R.numComponents(), 2u);
+}
+
+TEST(SCCIteratorTest, LargeCycleStress) {
+  // One big ring of 500 nodes: a single component.
+  unsigned N = 500;
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (unsigned I = 0; I < N; ++I)
+    Adj[I].push_back((I + 1) % N);
+  SCCResult R = runSCC(N, Adj);
+  EXPECT_EQ(R.numComponents(), 1u);
+  EXPECT_EQ(R.Components[0].size(), N);
+}
+
+TEST(SCCIteratorTest, DeepChainNoStackOverflow) {
+  // Iterative implementation must handle deep chains.
+  unsigned N = 200000;
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (unsigned I = 0; I + 1 < N; ++I)
+    Adj[I].push_back(I + 1);
+  SCCResult R = computeSCCs(
+      N, [&Adj](unsigned Node) -> const std::vector<unsigned> & {
+        return Adj[Node];
+      });
+  EXPECT_EQ(R.numComponents(), N);
+}
+
+} // namespace

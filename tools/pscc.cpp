@@ -1,0 +1,236 @@
+//===- pscc.cpp - PSC compiler driver ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Command-line driver over the whole stack: compile a PSC source file (or
+/// a built-in benchmark) and inspect every stage.
+///
+///   pscc [options] <file.psc | benchmark-name>
+///     --emit-ir            print the textual IR
+///     --emit-pdg           print the classic PDG as DOT
+///     --emit-pspdg         print the PS-PDG as DOT
+///     --summary            print the PS-PDG summary line
+///     --fingerprint        print the canonical PS-PDG fingerprint hash
+///     --plans[=ABS]        per-loop plan table (abs: openmp|pdg|jk|pspdg)
+///     --options[=ABS]      Fig. 13 option totals for one abstraction
+///     --critical-path      Fig. 14 critical paths under all abstractions
+///     --run                execute and print output
+///     --without=FEAT[,..]  ablate PS-PDG features (hn, nt, c, dsde, psv)
+///
+//===----------------------------------------------------------------------===//
+
+#include "emulator/CriticalPath.h"
+#include "frontend/Frontend.h"
+#include "parallel/PlanEnumerator.h"
+#include "pdg/PDG.h"
+#include "pspdg/Fingerprint.h"
+#include "pspdg/PSPDGBuilder.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace psc;
+
+namespace {
+
+struct Options {
+  std::string Input;
+  bool EmitIR = false, EmitPDG = false, EmitPSPDG = false;
+  bool Summary = false, Fingerprint = false, Run = false;
+  bool Plans = false, CountOptions = false, CriticalPath = false;
+  AbstractionKind Abs = AbstractionKind::PSPDG;
+  FeatureSet Features;
+};
+
+AbstractionKind parseAbs(const std::string &S) {
+  if (S == "openmp")
+    return AbstractionKind::OpenMP;
+  if (S == "pdg")
+    return AbstractionKind::PDG;
+  if (S == "jk")
+    return AbstractionKind::JK;
+  return AbstractionKind::PSPDG;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--emit-ir")
+      O.EmitIR = true;
+    else if (A == "--emit-pdg")
+      O.EmitPDG = true;
+    else if (A == "--emit-pspdg")
+      O.EmitPSPDG = true;
+    else if (A == "--summary")
+      O.Summary = true;
+    else if (A == "--fingerprint")
+      O.Fingerprint = true;
+    else if (A == "--run")
+      O.Run = true;
+    else if (A == "--critical-path")
+      O.CriticalPath = true;
+    else if (A.rfind("--plans", 0) == 0) {
+      O.Plans = true;
+      if (A.size() > 8)
+        O.Abs = parseAbs(A.substr(8));
+    } else if (A.rfind("--options", 0) == 0) {
+      O.CountOptions = true;
+      if (A.size() > 10)
+        O.Abs = parseAbs(A.substr(10));
+    } else if (A.rfind("--without=", 0) == 0) {
+      std::stringstream SS(A.substr(10));
+      std::string Tok;
+      while (std::getline(SS, Tok, ',')) {
+        if (Tok == "hn")
+          O.Features.HierarchicalNodesAndUndirectedEdges = false;
+        else if (Tok == "nt")
+          O.Features.NodeTraits = false;
+        else if (Tok == "c")
+          O.Features.Contexts = false;
+        else if (Tok == "dsde")
+          O.Features.DataSelectors = false;
+        else if (Tok == "psv")
+          O.Features.ParallelVariables = false;
+        else {
+          std::fprintf(stderr, "pscc: unknown feature '%s'\n", Tok.c_str());
+          return false;
+        }
+      }
+    } else if (A[0] == '-') {
+      std::fprintf(stderr, "pscc: unknown option '%s'\n", A.c_str());
+      return false;
+    } else {
+      O.Input = A;
+    }
+  }
+  return !O.Input.empty();
+}
+
+std::string loadInput(const std::string &Input, std::string &Name) {
+  if (const Workload *W = findWorkload(Input)) {
+    Name = W->Name;
+    return W->Source;
+  }
+  std::ifstream In(Input);
+  if (!In) {
+    std::fprintf(stderr, "pscc: cannot open '%s'\n", Input.c_str());
+    return "";
+  }
+  Name = Input;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    std::fprintf(
+        stderr,
+        "usage: pscc [--emit-ir] [--emit-pdg] [--emit-pspdg] [--summary]\n"
+        "            [--fingerprint] [--plans[=abs]] [--options[=abs]]\n"
+        "            [--critical-path] [--run] [--without=feat,...]\n"
+        "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP>\n");
+    return 2;
+  }
+
+  std::string Name;
+  std::string Source = loadInput(O.Input, Name);
+  if (Source.empty())
+    return 1;
+
+  CompileResult R = compileSource(Source, Name);
+  if (!R.ok()) {
+    for (const std::string &D : R.Diagnostics)
+      std::fprintf(stderr, "%s: %s\n", Name.c_str(), D.c_str());
+    return 1;
+  }
+  Module &M = *R.M;
+
+  if (O.EmitIR)
+    std::printf("%s", M.str().c_str());
+
+  // Per-function graph dumps.
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    if (!O.EmitPDG && !O.EmitPSPDG && !O.Summary && !O.Fingerprint)
+      break;
+    FunctionAnalysis FA(*F);
+    DependenceInfo DI(FA);
+    if (O.EmitPDG) {
+      PDG G(FA, DI);
+      std::printf("// PDG of @%s\n%s", F->getName().c_str(),
+                  G.toDot().c_str());
+    }
+    if (O.EmitPSPDG || O.Summary || O.Fingerprint) {
+      auto G = buildPSPDG(FA, DI, O.Features);
+      if (O.Summary)
+        std::printf("@%s: %s\n", F->getName().c_str(), G->summary().c_str());
+      if (O.Fingerprint)
+        std::printf("@%s: fingerprint %016llx\n", F->getName().c_str(),
+                    (unsigned long long)fingerprintHash(*G));
+      if (O.EmitPSPDG)
+        std::printf("// PS-PDG of @%s\n%s", F->getName().c_str(),
+                    G->toDot().c_str());
+    }
+  }
+
+  if (O.Plans) {
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      FunctionAnalysis FA(*F);
+      if (FA.loopInfo().loops().empty())
+        continue;
+      DependenceInfo DI(FA);
+      std::unique_ptr<PSPDG> G;
+      if (O.Abs == AbstractionKind::PSPDG)
+        G = buildPSPDG(FA, DI, O.Features);
+      if (O.Abs == AbstractionKind::OpenMP) {
+        std::printf("(OpenMP has no compiler plan view; see --options)\n");
+        break;
+      }
+      AbstractionView V(O.Abs, FA, DI, G.get());
+      for (const Loop *L : FA.loopInfo().loops()) {
+        LoopPlanView PV = V.viewFor(*L);
+        LoopSCCDAG DAG(PV);
+        std::printf("@%s %-16s depth=%u SCCs=%u seq=%u %s%s\n",
+                    F->getName().c_str(),
+                    F->getBlock(L->getHeader())->getName().c_str(),
+                    L->getDepth(), DAG.numSCCs(), DAG.numSequentialSCCs(),
+                    DAG.allParallel() && PV.TripCountable ? "DOALL" : "-",
+                    PV.NumOrderlessConflicts ? " (lock)" : "");
+      }
+    }
+  }
+
+  if (O.CountOptions) {
+    OptionCount C = enumerateOptions(M, O.Abs, {}, nullptr, O.Features);
+    std::printf("%s options: %llu over %u loops (%u DOALL)\n",
+                abstractionName(O.Abs), (unsigned long long)C.Total,
+                C.LoopsConsidered, C.DOALLLoops);
+  }
+
+  if (O.CriticalPath) {
+    CriticalPathReport C = evaluateCriticalPaths(M);
+    std::printf("sequential=%llu OpenMP=%.0f PDG=%.0f J&K=%.0f PS-PDG=%.0f\n",
+                (unsigned long long)C.TotalDynamicInstructions, C.OpenMP,
+                C.PDG, C.JK, C.PSPDG);
+  }
+
+  if (O.Run) {
+    Interpreter I(M);
+    RunResult Run = I.run();
+    for (const std::string &Line : Run.Output)
+      std::printf("%s\n", Line.c_str());
+    if (!Run.Completed)
+      std::fprintf(stderr, "pscc: instruction budget exhausted\n");
+    return static_cast<int>(Run.ExitValue);
+  }
+  return 0;
+}
