@@ -1,0 +1,132 @@
+//===- bench_runtime.cpp - Measured vs predicted parallel speedup --------===//
+///
+/// \file
+/// Closes the paper's predict→execute gap: for every NAS-like workload,
+/// runs the PS-PDG's best plan on real threads (ParallelRuntime) and
+/// compares the measured wall-clock speedup against the plan-constrained
+/// ideal-machine prediction of §6.3 (critical-path model, Fig. 14).
+///
+///   bench_runtime [threads] [abs]
+///     threads — worker threads (default: hardware concurrency, max 8)
+///     abs     — pdg | jk | pspdg (default pspdg)
+///
+/// The prediction assumes unlimited cores and free communication, so the
+/// measured column is bounded by the machine's core count while the
+/// predicted column is not; the point of the table is that both move in
+/// the same direction per workload, and that measured > 1 on the DOALL
+/// workloads when real cores are available.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "emulator/CriticalPath.h"
+#include "runtime/ParallelRuntime.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace psc;
+using namespace psc::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+      .count();
+}
+
+AbstractionKind parseAbs(const std::string &S) {
+  if (S == "pdg")
+    return AbstractionKind::PDG;
+  if (S == "jk")
+    return AbstractionKind::JK;
+  return AbstractionKind::PSPDG;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Threads = std::min(8u, std::thread::hardware_concurrency());
+  if (Threads == 0)
+    Threads = 4;
+  AbstractionKind Abs = AbstractionKind::PSPDG;
+  if (Argc > 1)
+    Threads = static_cast<unsigned>(std::max(1, std::atoi(Argv[1])));
+  if (Argc > 2)
+    Abs = parseAbs(Argv[2]);
+
+  std::printf("Parallel plan execution: measured vs predicted speedup "
+              "(%s plan, %u threads)\n",
+              abstractionName(Abs), Threads);
+  std::printf("%-4s %10s %10s %9s %10s %9s  %s\n", "WL", "seq(ms)",
+              "par(ms)", "measured", "predicted", "match", "schedules");
+  std::printf("---------------------------------------------------------------"
+              "--------\n");
+
+  for (const Workload &W : nasWorkloads()) {
+    std::unique_ptr<Module> M = compileOrDie(W.Source, W.Name);
+
+    Interpreter Seq(*M);
+    Clock::time_point T0 = Clock::now();
+    RunResult SeqR = Seq.run();
+    double SeqMs = msSince(T0);
+
+    RuntimePlan Plan = buildRuntimePlan(*M, Abs, Threads);
+    ParallelRuntime RT(*M, Plan);
+    Clock::time_point T1 = Clock::now();
+    ParallelRunResult Par = RT.run();
+    double ParMs = msSince(T1);
+
+    // Predicted ideal-machine speedup from the critical-path model.
+    CriticalPathReport CP = evaluateCriticalPaths(*M);
+    double ModelCP = 0;
+    switch (Abs) {
+    case AbstractionKind::PDG:
+      ModelCP = CP.PDG;
+      break;
+    case AbstractionKind::JK:
+      ModelCP = CP.JK;
+      break;
+    default:
+      ModelCP = CP.PSPDG;
+      break;
+    }
+    double Predicted =
+        ModelCP > 0
+            ? static_cast<double>(CP.TotalDynamicInstructions) / ModelCP
+            : 0.0;
+
+    unsigned NumDoall = 0, NumHelix = 0, NumDswp = 0;
+    for (const LoopExecStat &L : Par.Loops) {
+      if (L.Invocations == 0)
+        continue;
+      if (L.Kind == ScheduleKind::DOALL)
+        ++NumDoall;
+      else if (L.Kind == ScheduleKind::HELIX)
+        ++NumHelix;
+      else if (L.Kind == ScheduleKind::DSWP)
+        ++NumDswp;
+    }
+
+    bool Match = Par.Error.empty() && Par.R.Output == SeqR.Output &&
+                 Par.R.ExitValue == SeqR.ExitValue;
+    std::printf("%-4s %10.2f %10.2f %8.2fx %9.2fx %9s  %u DOALL, %u HELIX, "
+                "%u DSWP\n",
+                W.Name.c_str(), SeqMs, ParMs,
+                ParMs > 0 ? SeqMs / ParMs : 0.0, Predicted,
+                Match ? "yes" : "NO", NumDoall, NumHelix, NumDswp);
+    if (!Match) {
+      std::fprintf(stderr, "bench_runtime: %s diverged%s%s\n",
+                   W.Name.c_str(), Par.Error.empty() ? "" : ": ",
+                   Par.Error.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -11,13 +11,13 @@ void CoverageProfiler::onEnterFunction(const Function &F) {
   Activations.push_back(std::move(A));
 }
 
-void CoverageProfiler::onExitFunction(const Function &F) {
+void CoverageProfiler::onExitFunction(const Function &) {
   if (!Activations.empty())
     Activations.pop_back();
 }
 
-void CoverageProfiler::onBlockTransfer(const Function &F,
-                                       const BasicBlock *From,
+void CoverageProfiler::onBlockTransfer(const Function &,
+                                       const BasicBlock *,
                                        const BasicBlock *To) {
   if (Activations.empty())
     return;
@@ -43,7 +43,7 @@ void CoverageProfiler::onBlockTransfer(const Function &F,
     A.Stack.push_back(*It);
 }
 
-void CoverageProfiler::onInstruction(const Instruction &I) {
+void CoverageProfiler::onInstruction(const Instruction &) {
   ++Total;
   if (Activations.empty())
     return;

@@ -121,7 +121,7 @@ void CriticalPathEvaluator::onEnterFunction(const Function &F) {
   Activations.push_back(std::move(A));
 }
 
-void CriticalPathEvaluator::onExitFunction(const Function &F) {
+void CriticalPathEvaluator::onExitFunction(const Function &) {
   if (Activations.empty())
     return;
   Activation &A = Activations.back();

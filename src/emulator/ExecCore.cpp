@@ -1,0 +1,535 @@
+//===- ExecCore.cpp -------------------------------------------*- C++ -*-===//
+
+#include "emulator/ExecCore.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+using namespace psc;
+
+// --- ExecState ---------------------------------------------------------------
+
+static MemObject makeObject(const Type *ObjectTy) {
+  MemObject O;
+  const Type *Elem = ObjectTy;
+  uint64_t N = 1;
+  if (const auto *AT = dyn_cast<ArrayType>(ObjectTy)) {
+    Elem = AT->getElement();
+    N = AT->getNumElements();
+  }
+  O.IsFloat = Elem->isFloat();
+  if (O.IsFloat)
+    O.F.assign(N, 0.0);
+  else
+    O.I.assign(N, 0);
+  return O;
+}
+
+ExecState::ExecState(const Module &M) : M(M) {
+  for (const auto &G : M.globals()) {
+    MemObject O = makeObject(G->getObjectType());
+    if (G->hasScalarInit()) {
+      if (O.IsFloat)
+        O.F[0] = G->getScalarInit();
+      else
+        O.I[0] = static_cast<int64_t>(G->getScalarInit());
+    }
+    Globals[G.get()] = std::move(O);
+  }
+}
+
+void ExecState::appendOutput(std::string Line) {
+  std::lock_guard<std::mutex> Lock(OutputMu);
+  Output.push_back(std::move(Line));
+}
+
+void ExecState::appendOutput(std::vector<std::string> Lines) {
+  std::lock_guard<std::mutex> Lock(OutputMu);
+  for (std::string &L : Lines)
+    Output.push_back(std::move(L));
+}
+
+// --- Frame -------------------------------------------------------------------
+
+MemObject *Frame::createObject(const Type *ObjectTy) {
+  Owned.push_back(std::make_unique<MemObject>(makeObject(ObjectTy)));
+  return Owned.back().get();
+}
+
+// --- ShadowMemory ------------------------------------------------------------
+
+bool ShadowMemory::load(MemObject *O, uint64_t Off, bool &IsFloat, int64_t &I,
+                        double &F) const {
+  Key K{O, Off};
+  auto It = IterShared.find(K);
+  if (It == IterShared.end()) {
+    It = IterLocal.find(K);
+    if (It == IterLocal.end()) {
+      It = Persist.find(K);
+      if (It == Persist.end())
+        return false;
+    }
+  }
+  IsFloat = O->IsFloat;
+  I = It->second.I;
+  F = It->second.F;
+  return true;
+}
+
+void ShadowMemory::store(MemObject *O, uint64_t Off, int64_t I, double F,
+                         bool Owned, long Iter, unsigned Inst) {
+  Key K{O, Off};
+  Cell C;
+  C.I = I;
+  C.F = F;
+  C.Iter = Iter;
+  C.Inst = Inst;
+  if (Owned) {
+    IterShared[K] = C;
+    Persist[K] = C;
+  } else {
+    IterLocal[K] = C;
+  }
+}
+
+// --- ExecContext -------------------------------------------------------------
+
+RTValue ExecContext::evalOperand(const Value *V, Frame &Fr) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return RTValue::ofInt(CI->getValue());
+  if (const auto *CF = dyn_cast<ConstantFloat>(V))
+    return RTValue::ofFloat(CF->getValue());
+  if (const auto *GV = dyn_cast<GlobalVariable>(V)) {
+    auto It = Overrides.find(GV);
+    return RTValue::ofPtr(It != Overrides.end() ? It->second
+                                                : S.globalObject(GV),
+                          0);
+  }
+  if (isa<AllocaInst>(V))
+    return RTValue::ofPtr(Fr.Allocas.at(V), 0);
+  if (isa<Argument>(V) || isa<Instruction>(V))
+    return Fr.Regs.at(V);
+  psc_unreachable("unhandled operand kind");
+}
+
+MemObject *ExecContext::resolveStorage(const Value *Storage, Frame &Fr) {
+  if (const auto *GV = dyn_cast<GlobalVariable>(Storage)) {
+    auto It = Overrides.find(GV);
+    return It != Overrides.end() ? It->second : S.globalObject(GV);
+  }
+  if (isa<AllocaInst>(Storage)) {
+    auto It = Fr.Allocas.find(Storage);
+    return It != Fr.Allocas.end() ? It->second : nullptr;
+  }
+  return nullptr;
+}
+
+RTValue ExecContext::doLoad(const RTValue &P, const Type *Ty) {
+  if (P.Offset >= P.Obj->size())
+    reportFatalError("out-of-bounds load at offset " +
+                     std::to_string(P.Offset));
+  bool ObjFloat = P.Obj->IsFloat;
+  int64_t RawI = 0;
+  double RawF = 0.0;
+  bool FromShadow = Shadow && !Shadow->isBypassed(P.Obj) &&
+                    Shadow->load(P.Obj, P.Offset, ObjFloat, RawI, RawF);
+  if (!FromShadow) {
+    if (ObjFloat)
+      RawF = P.Obj->F[P.Offset];
+    else
+      RawI = P.Obj->I[P.Offset];
+  }
+  if (Ty->isFloat())
+    return RTValue::ofFloat(ObjFloat ? RawF : static_cast<double>(RawI));
+  if (Ty->isPointer()) {
+    // Pointer-typed slots are not supported in MemObjects; PSC never
+    // stores pointers to memory (array params are SSA arguments).
+    psc_unreachable("pointer load from memory");
+  }
+  return RTValue::ofInt(ObjFloat ? static_cast<int64_t>(RawF) : RawI);
+}
+
+void ExecContext::doStore(const RTValue &V, const RTValue &P,
+                          const Instruction *I) {
+  if (P.Offset >= P.Obj->size())
+    reportFatalError("out-of-bounds store at offset " +
+                     std::to_string(P.Offset));
+  bool Owned = !CommitFilter || CommitFilter(*I);
+  int64_t RawI =
+      V.Kind == RTValue::RTKind::Float ? static_cast<int64_t>(V.F) : V.I;
+  double RawF =
+      V.Kind == RTValue::RTKind::Float ? V.F : static_cast<double>(V.I);
+  if (Shadow && !Shadow->isBypassed(P.Obj)) {
+    unsigned Num = 0;
+    if (InstNumbering) {
+      auto It = InstNumbering->find(I);
+      if (It != InstNumbering->end())
+        Num = It->second;
+    }
+    Shadow->store(P.Obj, P.Offset, RawI, RawF, Owned, CurIteration, Num);
+    return;
+  }
+  if (!Owned)
+    return;
+  if (P.Obj->IsFloat)
+    P.Obj->F[P.Offset] = RawF;
+  else
+    P.Obj->I[P.Offset] = RawI;
+}
+
+void ExecContext::emitOutput(std::string Line) {
+  if (LocalOutput)
+    LocalOutput->push_back(std::move(Line));
+  else
+    S.appendOutput(std::move(Line));
+}
+
+RTValue ExecContext::callIntrinsic(const CallInst &CI,
+                                   std::vector<RTValue> &Args) {
+  const std::string &Name = CI.getCallee()->getName();
+  auto F1 = [&](double (*Fn)(double)) {
+    return RTValue::ofFloat(Fn(Args[0].F));
+  };
+  if (Name == intrinsics::RegionBegin) {
+    unsigned Id = static_cast<unsigned>(Args[0].I);
+    const Directive *D = S.module().getParallelInfo().getDirective(Id);
+    bool Lock = D && (D->Kind == DirectiveKind::Critical ||
+                      D->Kind == DirectiveKind::Atomic);
+    if (Lock)
+      S.regionLock().lock();
+    RegionStack.push_back({Id, Lock});
+    return RTValue();
+  }
+  if (Name == intrinsics::RegionEnd) {
+    if (!RegionStack.empty()) {
+      if (RegionStack.back().second)
+        S.regionLock().unlock();
+      RegionStack.pop_back();
+    }
+    return RTValue();
+  }
+  if (Name == intrinsics::BarrierMarker || Name == intrinsics::TaskWaitMarker)
+    return RTValue();
+  if (Name == intrinsics::Print) {
+    if (!CommitFilter || CommitFilter(CI))
+      emitOutput(std::to_string(Args[0].I));
+    return RTValue();
+  }
+  if (Name == intrinsics::PrintF) {
+    if (!CommitFilter || CommitFilter(CI)) {
+      std::ostringstream OS;
+      OS << Args[0].F;
+      emitOutput(OS.str());
+    }
+    return RTValue();
+  }
+  if (Name == intrinsics::Sqrt)
+    return F1(std::sqrt);
+  if (Name == intrinsics::Fabs)
+    return F1(std::fabs);
+  if (Name == intrinsics::Sin)
+    return F1(std::sin);
+  if (Name == intrinsics::Cos)
+    return F1(std::cos);
+  if (Name == intrinsics::Exp)
+    return F1(std::exp);
+  if (Name == intrinsics::Log)
+    return F1(std::log);
+  if (Name == intrinsics::Pow)
+    return RTValue::ofFloat(std::pow(Args[0].F, Args[1].F));
+  if (Name == intrinsics::IMin)
+    return RTValue::ofInt(std::min(Args[0].I, Args[1].I));
+  if (Name == intrinsics::IMax)
+    return RTValue::ofInt(std::max(Args[0].I, Args[1].I));
+  if (Name == intrinsics::FMin)
+    return RTValue::ofFloat(std::min(Args[0].F, Args[1].F));
+  if (Name == intrinsics::FMax)
+    return RTValue::ofFloat(std::max(Args[0].F, Args[1].F));
+  if (Name == intrinsics::Lcg) {
+    // 48-bit linear congruential step (deterministic pseudo-random).
+    uint64_t X = static_cast<uint64_t>(Args[0].I);
+    X = (X * 25214903917ULL + 11ULL) & ((1ULL << 48) - 1);
+    return RTValue::ofInt(static_cast<int64_t>(X));
+  }
+  reportFatalError("unknown intrinsic '" + Name + "' at runtime");
+}
+
+void ExecContext::gateWait(const Instruction *I) {
+  if (!Gate || Gate->Held || !Gate->SCCOf)
+    return;
+  auto It = Gate->SCCOf->find(I);
+  if (It == Gate->SCCOf->end() || !(*Gate->SCCIsSeq)[It->second])
+    return;
+  while (Gate->Turn->load(std::memory_order_acquire) != Gate->MyIter) {
+    if (S.aborted())
+      return;
+    std::this_thread::yield();
+  }
+  Gate->Held = true;
+}
+
+bool ExecContext::execInst(Frame &Fr, const Instruction *I,
+                           const BasicBlock *&Next, RTValue &Ret,
+                           bool &Returned) {
+  if (++PendingCharges >= ChargeBatch) {
+    uint64_t N = PendingCharges;
+    PendingCharges = 0;
+    if (!S.charge(N))
+      return false;
+  }
+  if (Gate) {
+    gateWait(I);
+    if (S.aborted())
+      return false;
+  }
+  switch (I->getKind()) {
+  case Value::ValueKind::Alloca: {
+    const auto *AI = cast<AllocaInst>(I);
+    Fr.Allocas[AI] = Fr.createObject(AI->getAllocatedType());
+    break;
+  }
+  case Value::ValueKind::Load: {
+    const auto *LI = cast<LoadInst>(I);
+    Fr.Regs[I] = doLoad(evalOperand(LI->getPointer(), Fr), LI->getType());
+    break;
+  }
+  case Value::ValueKind::Store: {
+    const auto *SI = cast<StoreInst>(I);
+    doStore(evalOperand(SI->getStoredValue(), Fr),
+            evalOperand(SI->getPointer(), Fr), I);
+    break;
+  }
+  case Value::ValueKind::GEP: {
+    const auto *GI = cast<GEPInst>(I);
+    RTValue Base = evalOperand(GI->getBase(), Fr);
+    RTValue Idx = evalOperand(GI->getIndex(), Fr);
+    Fr.Regs[I] =
+        RTValue::ofPtr(Base.Obj, Base.Offset + static_cast<uint64_t>(Idx.I));
+    break;
+  }
+  case Value::ValueKind::Binary: {
+    const auto *BI = cast<BinaryInst>(I);
+    RTValue L = evalOperand(BI->getLHS(), Fr);
+    RTValue R = evalOperand(BI->getRHS(), Fr);
+    Fr.Regs[I] = evalBinary(BI, L, R);
+    break;
+  }
+  case Value::ValueKind::Unary: {
+    const auto *UI = cast<UnaryInst>(I);
+    RTValue V = evalOperand(UI->getOperand(0), Fr);
+    if (UI->getUnOp() == UnaryInst::UnOp::Neg)
+      Fr.Regs[I] = V.Kind == RTValue::RTKind::Float ? RTValue::ofFloat(-V.F)
+                                                    : RTValue::ofInt(-V.I);
+    else
+      Fr.Regs[I] = RTValue::ofInt(V.I == 0 ? 1 : 0);
+    break;
+  }
+  case Value::ValueKind::Cmp: {
+    const auto *CI = cast<CmpInst>(I);
+    RTValue L = evalOperand(CI->getLHS(), Fr);
+    RTValue R = evalOperand(CI->getRHS(), Fr);
+    Fr.Regs[I] = RTValue::ofInt(evalCmp(CI, L, R) ? 1 : 0);
+    break;
+  }
+  case Value::ValueKind::Cast: {
+    const auto *CI = cast<CastInst>(I);
+    RTValue V = evalOperand(CI->getOperand(0), Fr);
+    Fr.Regs[I] = CI->getCastOp() == CastInst::CastOp::IntToFloat
+                     ? RTValue::ofFloat(static_cast<double>(V.I))
+                     : RTValue::ofInt(static_cast<int64_t>(V.F));
+    break;
+  }
+  case Value::ValueKind::Br:
+    Next = cast<BranchInst>(I)->getTarget();
+    break;
+  case Value::ValueKind::CondBr: {
+    const auto *CB = cast<CondBranchInst>(I);
+    RTValue C = evalOperand(CB->getCondition(), Fr);
+    Next = C.I != 0 ? CB->getTrueTarget() : CB->getFalseTarget();
+    break;
+  }
+  case Value::ValueKind::Ret: {
+    const auto *RI = cast<ReturnInst>(I);
+    if (RI->hasReturnValue())
+      Ret = evalOperand(RI->getReturnValue(), Fr);
+    Returned = true;
+    break;
+  }
+  case Value::ValueKind::Call: {
+    const auto *CI = cast<CallInst>(I);
+    std::vector<RTValue> CallArgs;
+    for (unsigned A = 0; A < CI->getNumArgs(); ++A)
+      CallArgs.push_back(evalOperand(CI->getArg(A), Fr));
+    const Function *Callee = CI->getCallee();
+    RTValue R = Callee->isDeclaration()
+                    ? callIntrinsic(*CI, CallArgs)
+                    : callFunction(*Callee, std::move(CallArgs));
+    if (!CI->getType()->isVoid())
+      Fr.Regs[I] = R;
+    break;
+  }
+  default:
+    psc_unreachable("unhandled instruction in interpreter");
+  }
+  return !S.aborted();
+}
+
+RTValue ExecContext::callFunction(const Function &F,
+                                  std::vector<RTValue> Args) {
+  for (ExecutionObserver *O : Observers)
+    O->onEnterFunction(F);
+
+  Frame Fr;
+  Fr.F = &F;
+  for (unsigned A = 0; A < F.getNumArgs(); ++A)
+    Fr.Regs[F.getArg(A)] = Args[A];
+
+  RTValue Ret;
+  bool Returned = false;
+  const BasicBlock *Block = F.getEntryBlock();
+  const BasicBlock *Prev = nullptr;
+
+  while (Block && !S.aborted()) {
+    if (Hook) {
+      const BasicBlock *Cont = Hook(*this, Fr, Prev, Block);
+      if (S.aborted())
+        break;
+      if (Cont) {
+        Prev = Block;
+        Block = Cont;
+        continue;
+      }
+    }
+    for (ExecutionObserver *O : Observers)
+      O->onBlockTransfer(F, Prev, Block);
+    Prev = Block;
+    const BasicBlock *Next = nullptr;
+
+    for (const Instruction *I : *Block) {
+      if (!execInst(Fr, I, Next, Ret, Returned))
+        return Ret;
+      for (ExecutionObserver *O : Observers)
+        O->onInstruction(*I);
+      if (Returned) {
+        for (ExecutionObserver *O : Observers)
+          O->onExitFunction(F);
+        return Ret;
+      }
+    }
+    Block = Next;
+  }
+  for (ExecutionObserver *O : Observers)
+    O->onExitFunction(F);
+  return Ret;
+}
+
+const BasicBlock *ExecContext::execWithin(Frame &Fr,
+                                          const std::set<unsigned> &LoopBlocks,
+                                          unsigned HeaderIdx,
+                                          const BasicBlock *Start) {
+  const BasicBlock *Block = Start;
+  RTValue Ret;
+  bool Returned = false;
+  while (Block && !S.aborted()) {
+    if (Block->getIndex() == HeaderIdx ||
+        LoopBlocks.count(Block->getIndex()) == 0)
+      return Block;
+    const BasicBlock *Next = nullptr;
+    for (const Instruction *I : *Block) {
+      if (!execInst(Fr, I, Next, Ret, Returned))
+        return nullptr;
+      if (Returned)
+        return nullptr; // validated parallel loops contain no return
+    }
+    Block = Next;
+  }
+  return nullptr;
+}
+
+RTValue ExecContext::evalBinary(const BinaryInst *BI, const RTValue &L,
+                                const RTValue &R) {
+  using Op = BinaryInst::BinOp;
+  if (BI->getType()->isFloat()) {
+    double A = L.F, B = R.F;
+    switch (BI->getBinOp()) {
+    case Op::Add:
+      return RTValue::ofFloat(A + B);
+    case Op::Sub:
+      return RTValue::ofFloat(A - B);
+    case Op::Mul:
+      return RTValue::ofFloat(A * B);
+    case Op::Div:
+      return RTValue::ofFloat(B == 0.0 ? 0.0 : A / B);
+    default:
+      psc_unreachable("invalid float binop");
+    }
+  }
+  int64_t A = L.I, B = R.I;
+  switch (BI->getBinOp()) {
+  case Op::Add:
+    return RTValue::ofInt(A + B);
+  case Op::Sub:
+    return RTValue::ofInt(A - B);
+  case Op::Mul:
+    return RTValue::ofInt(A * B);
+  case Op::Div:
+    return RTValue::ofInt(B == 0 ? 0 : A / B);
+  case Op::Rem:
+    return RTValue::ofInt(B == 0 ? 0 : A % B);
+  case Op::And:
+    return RTValue::ofInt(A & B);
+  case Op::Or:
+    return RTValue::ofInt(A | B);
+  case Op::Xor:
+    return RTValue::ofInt(A ^ B);
+  case Op::Shl:
+    return RTValue::ofInt(A << (B & 63));
+  case Op::Shr:
+    return RTValue::ofInt(A >> (B & 63));
+  }
+  psc_unreachable("invalid int binop");
+}
+
+bool ExecContext::evalCmp(const CmpInst *CI, const RTValue &L,
+                          const RTValue &R) {
+  using P = CmpInst::Predicate;
+  if (L.Kind == RTValue::RTKind::Float || R.Kind == RTValue::RTKind::Float) {
+    double A = L.Kind == RTValue::RTKind::Float ? L.F
+                                                : static_cast<double>(L.I);
+    double B = R.Kind == RTValue::RTKind::Float ? R.F
+                                                : static_cast<double>(R.I);
+    switch (CI->getPredicate()) {
+    case P::EQ:
+      return A == B;
+    case P::NE:
+      return A != B;
+    case P::LT:
+      return A < B;
+    case P::LE:
+      return A <= B;
+    case P::GT:
+      return A > B;
+    case P::GE:
+      return A >= B;
+    }
+  }
+  int64_t A = L.I, B = R.I;
+  switch (CI->getPredicate()) {
+  case P::EQ:
+    return A == B;
+  case P::NE:
+    return A != B;
+  case P::LT:
+    return A < B;
+  case P::LE:
+    return A <= B;
+  case P::GT:
+    return A > B;
+  case P::GE:
+    return A >= B;
+  }
+  psc_unreachable("invalid predicate");
+}

@@ -1,0 +1,349 @@
+//===- ExecCore.h - Re-entrant, thread-safe execution core -------*- C++ -*-===//
+///
+/// \file
+/// The execution core shared by the sequential Interpreter and the parallel
+/// plan-execution runtime (src/runtime/). The design splits the old
+/// monolithic interpreter into:
+///
+///   * ExecState   — the shared, thread-safe program state: global memory
+///     objects, the output stream, the instruction budget, the abort flag,
+///     and the mutual-exclusion lock realizing critical/atomic regions.
+///   * ExecContext — one re-entrant execution engine. Each OS thread of a
+///     parallel schedule drives its own ExecContext over the shared
+///     ExecState. Contexts carry the scheduler extension points: storage
+///     overrides (privatization), a loop hook (plan interception), a commit
+///     filter plus shadow memory (DSWP stage execution), an iteration gate
+///     (HELIX sequential segments), and a local output buffer (exact
+///     sequential print order under parallel execution).
+///
+/// Thread-safety contract: distinct ExecContexts may run concurrently over
+/// one ExecState as long as their concurrent memory accesses are
+/// data-race-free at MemObject-element granularity — exactly what a valid
+/// DOALL/HELIX/DSWP schedule guarantees. The instruction counter and abort
+/// flag are atomics; output and regions are lock-protected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_EMULATOR_EXECCORE_H
+#define PSPDG_EMULATOR_EXECCORE_H
+
+#include "ir/Module.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Callbacks fired during interpretation. All hooks are optional.
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver() = default;
+  /// Fired after \p I executes (including marker intrinsics).
+  virtual void onInstruction(const Instruction & /*I*/) {}
+  /// Fired when control moves between blocks of \p F (From null on entry).
+  virtual void onBlockTransfer(const Function & /*F*/,
+                               const BasicBlock * /*From*/,
+                               const BasicBlock * /*To*/) {}
+  virtual void onEnterFunction(const Function & /*F*/) {}
+  virtual void onExitFunction(const Function & /*F*/) {}
+};
+
+/// Result of a program run.
+struct RunResult {
+  bool Completed = false;       ///< false = instruction budget exhausted.
+  int64_t ExitValue = 0;        ///< main's return value.
+  uint64_t InstructionsExecuted = 0;
+  std::vector<std::string> Output; ///< print/printf64 lines, in order.
+};
+
+/// One runtime memory object (a global or an alloca instance).
+struct MemObject {
+  bool IsFloat = false;
+  std::vector<int64_t> I;
+  std::vector<double> F;
+
+  uint64_t size() const { return IsFloat ? F.size() : I.size(); }
+};
+
+/// Runtime value: scalar (int/float) or pointer into a MemObject.
+struct RTValue {
+  enum class RTKind { Int, Float, Ptr } Kind = RTKind::Int;
+  int64_t I = 0;
+  double F = 0.0;
+  MemObject *Obj = nullptr;
+  uint64_t Offset = 0;
+
+  static RTValue ofInt(int64_t V) {
+    RTValue R;
+    R.Kind = RTKind::Int;
+    R.I = V;
+    return R;
+  }
+  static RTValue ofFloat(double V) {
+    RTValue R;
+    R.Kind = RTKind::Float;
+    R.F = V;
+    return R;
+  }
+  static RTValue ofPtr(MemObject *O, uint64_t Off) {
+    RTValue R;
+    R.Kind = RTKind::Ptr;
+    R.Obj = O;
+    R.Offset = Off;
+    return R;
+  }
+};
+
+/// Shared, thread-safe state of one program run.
+class ExecState {
+public:
+  explicit ExecState(const Module &M);
+
+  const Module &module() const { return M; }
+
+  MemObject *globalObject(const GlobalVariable *G) { return &Globals.at(G); }
+
+  /// Appends one print line (locked; parallel contexts usually buffer
+  /// locally instead, to preserve sequential order).
+  void appendOutput(std::string Line);
+  void appendOutput(std::vector<std::string> Lines);
+  std::vector<std::string> takeOutput() { return std::move(Output); }
+
+  void setBudget(uint64_t B) { Budget = B; }
+  uint64_t budget() const { return Budget; }
+
+  /// Charges \p N instructions against the budget; trips the abort flag and
+  /// returns false once the budget is exhausted.
+  bool charge(uint64_t N) {
+    if (Instructions.fetch_add(N, std::memory_order_relaxed) + N > Budget) {
+      Aborted.store(true, std::memory_order_seq_cst);
+      return false;
+    }
+    return !aborted();
+  }
+
+  uint64_t instructionsExecuted() const {
+    return Instructions.load(std::memory_order_relaxed);
+  }
+
+  bool aborted() const { return Aborted.load(std::memory_order_relaxed); }
+  void abort() { Aborted.store(true, std::memory_order_seq_cst); }
+
+  /// The lock realizing critical/atomic regions at runtime. Recursive so
+  /// that nested regions (critical inside critical) cannot self-deadlock.
+  std::recursive_mutex &regionLock() { return RegionMu; }
+
+private:
+  const Module &M;
+  std::map<const GlobalVariable *, MemObject> Globals;
+  std::vector<std::string> Output;
+  std::mutex OutputMu;
+  std::recursive_mutex RegionMu;
+  std::atomic<uint64_t> Instructions{0};
+  uint64_t Budget = 2'000'000'000ULL;
+  std::atomic<bool> Aborted{false};
+};
+
+/// One activation record. Allocas are pointers so that a parallel worker
+/// can alias its parent frame's objects while redirecting privatized ones.
+struct Frame {
+  const Function *F = nullptr;
+  std::map<const Value *, RTValue> Regs;
+  std::map<const Value *, MemObject *> Allocas;
+  std::vector<std::unique_ptr<MemObject>> Owned;
+
+  MemObject *createObject(const Type *ObjectTy);
+};
+
+/// Per-stage shadow memory for DSWP pipeline execution. During a pipelined
+/// loop the shared memory image is frozen; every store lands in an overlay:
+///
+///   * IterShared — authoritative values of the current iteration: the
+///     incoming token (owned stores of upstream stages) plus this stage's
+///     own owned stores. This map IS the outgoing token, so owned values
+///     accumulate down the pipeline.
+///   * IterLocal  — this stage's *recomputed* (non-owned) stores. They
+///     support the stage's local control/data recomputation but must never
+///     flow downstream: a stage recomputing a downstream-owned store works
+///     from stale inputs, and leaking that value would shadow the frozen
+///     base image (the reverse-wavefront self-update pattern).
+///   * Persist    — owned stores kept across iterations: the loop-carried
+///     state of the stage.
+///
+/// Loads read IterShared, IterLocal, Persist, then the frozen shared
+/// image. At loop end every stage's Persist merges back into shared
+/// memory, last dynamic write (iteration, instruction index) winning.
+class ShadowMemory {
+public:
+  struct Cell {
+    int64_t I = 0;
+    double F = 0.0;
+    long Iter = -1;     ///< Iteration of the winning store (Persist only).
+    unsigned Inst = 0;  ///< FA instruction index of the store.
+  };
+  using Key = std::pair<MemObject *, uint64_t>;
+
+  /// Objects that bypass the shadow entirely (the stage-private IV copy).
+  void addBypass(MemObject *O) { Bypass.insert(O); }
+  bool isBypassed(MemObject *O) const { return Bypass.count(O) != 0; }
+
+  void beginIteration(std::map<Key, Cell> Incoming) {
+    IterShared = std::move(Incoming);
+    IterLocal.clear();
+  }
+  /// The outgoing token: incoming owned values + this stage's owned stores.
+  std::map<Key, Cell> &sharedOverlay() { return IterShared; }
+
+  bool load(MemObject *O, uint64_t Off, bool &IsFloat, int64_t &I,
+            double &F) const;
+  void store(MemObject *O, uint64_t Off, int64_t I, double F, bool Owned,
+             long Iter, unsigned Inst);
+
+  const std::map<Key, Cell> &persist() const { return Persist; }
+
+private:
+  std::map<Key, Cell> IterShared;
+  std::map<Key, Cell> IterLocal;
+  std::map<Key, Cell> Persist;
+  std::set<MemObject *> Bypass;
+};
+
+/// One re-entrant execution engine over a shared ExecState.
+class ExecContext {
+public:
+  explicit ExecContext(ExecState &S) : S(S) {}
+
+  /// Unwinds any regions still open (abort mid critical/atomic region) so
+  /// the shared region lock is never leaked to other contexts.
+  ~ExecContext() {
+    while (!RegionStack.empty()) {
+      if (RegionStack.back().second)
+        S.regionLock().unlock();
+      RegionStack.pop_back();
+    }
+  }
+
+  ExecState &state() { return S; }
+
+  // --- Scheduler extension points ---------------------------------------
+
+  /// Observers fire on this context only (the sequential interpreter's).
+  void addObserver(ExecutionObserver *O) { Observers.push_back(O); }
+
+  /// Called before a block executes; returning non-null means the hook ran
+  /// the construct (a whole loop invocation) and control continues at the
+  /// returned block. \p Prev is the dynamically preceding block (null on
+  /// function entry) so the hook can tell loop entry from a back edge.
+  using LoopHook = std::function<const BasicBlock *(
+      ExecContext &, Frame &, const BasicBlock *Prev, const BasicBlock *B)>;
+  void setLoopHook(LoopHook H) { Hook = std::move(H); }
+
+  /// Storage override: resolves a GlobalVariable (or outer alloca) to a
+  /// private object — privatization of globals (threadprivate, reductions).
+  void setStorageOverride(const Value *Storage, MemObject *Obj) {
+    Overrides[Storage] = Obj;
+  }
+  void clearStorageOverrides() { Overrides.clear(); }
+
+  /// DSWP: non-null filter makes this context a pipeline stage; the filter
+  /// answers "does this context own instruction I's side effects".
+  void setCommitFilter(std::function<bool(const Instruction &)> F) {
+    CommitFilter = std::move(F);
+  }
+  void setShadowMemory(ShadowMemory *SM) { Shadow = SM; }
+  /// FA instruction numbering for shadow-store tie-breaking (DSWP).
+  void setInstructionNumbering(
+      const std::map<const Instruction *, unsigned> *N) {
+    InstNumbering = N;
+  }
+  void setCurrentIteration(long It) { CurIteration = It; }
+
+  /// HELIX: instructions of sequential SCCs execute in iteration order.
+  struct IterationGate {
+    const std::map<const Instruction *, unsigned> *SCCOf = nullptr;
+    const std::vector<bool> *SCCIsSeq = nullptr;
+    std::atomic<long> *Turn = nullptr;
+    long MyIter = 0;
+    bool Held = false;
+  };
+  void setGate(IterationGate *G) { Gate = G; }
+
+  /// Redirects print output into \p Buf (worker contexts buffer so the
+  /// scheduler can splice output back in sequential order).
+  void setLocalOutput(std::vector<std::string> *Buf) { LocalOutput = Buf; }
+
+  /// Batches instruction-budget charging: the shared atomic counter is
+  /// touched once per \p N instructions instead of every instruction
+  /// (worker contexts use this — the shared cacheline would otherwise
+  /// serialize all cores). Totals stay exact once flushCharges() runs;
+  /// budget aborts coarsen by at most one batch per context.
+  void setChargeBatch(unsigned N) { ChargeBatch = N == 0 ? 1 : N; }
+  void flushCharges() {
+    if (PendingCharges) {
+      S.charge(PendingCharges);
+      PendingCharges = 0;
+    }
+  }
+
+  // --- Execution ---------------------------------------------------------
+
+  /// Runs \p F to completion (the sequential entry point).
+  RTValue callFunction(const Function &F, std::vector<RTValue> Args);
+
+  /// Executes blocks of \p Fr's function starting at \p Start, constrained
+  /// to the loop whose blocks are \p LoopBlocks with header \p HeaderIdx:
+  /// returns the first reached block that is the header or outside the loop
+  /// (without executing it), or null on abort/unexpected return.
+  const BasicBlock *execWithin(Frame &Fr, const std::set<unsigned> &LoopBlocks,
+                               unsigned HeaderIdx, const BasicBlock *Start);
+
+  /// Operand evaluation (public for the schedulers: IV setup, reductions).
+  RTValue evalOperand(const Value *V, Frame &Fr);
+
+  /// Resolves the memory object of a global/alloca storage value in \p Fr,
+  /// honoring overrides. Null if \p Storage is not a storage value.
+  MemObject *resolveStorage(const Value *Storage, Frame &Fr);
+
+private:
+  /// Executes one instruction. Sets \p Next on terminators, \p Returned on
+  /// Ret. Returns false on abort.
+  bool execInst(Frame &Fr, const Instruction *I, const BasicBlock *&Next,
+                RTValue &Ret, bool &Returned);
+
+  RTValue doLoad(const RTValue &P, const Type *Ty);
+  void doStore(const RTValue &V, const RTValue &P, const Instruction *I);
+  RTValue callIntrinsic(const CallInst &CI, std::vector<RTValue> &Args);
+  void emitOutput(std::string Line);
+  void gateWait(const Instruction *I);
+
+  static RTValue evalBinary(const BinaryInst *BI, const RTValue &L,
+                            const RTValue &R);
+  static bool evalCmp(const CmpInst *CI, const RTValue &L, const RTValue &R);
+
+  ExecState &S;
+  std::vector<ExecutionObserver *> Observers;
+  unsigned ChargeBatch = 1;
+  uint64_t PendingCharges = 0;
+  LoopHook Hook;
+  std::map<const Value *, MemObject *> Overrides;
+  std::function<bool(const Instruction &)> CommitFilter;
+  ShadowMemory *Shadow = nullptr;
+  const std::map<const Instruction *, unsigned> *InstNumbering = nullptr;
+  long CurIteration = 0;
+  IterationGate *Gate = nullptr;
+  std::vector<std::string> *LocalOutput = nullptr;
+  /// Dynamic directive-region stack: ids of open regions + whether each
+  /// holds the region lock.
+  std::vector<std::pair<unsigned, bool>> RegionStack;
+};
+
+} // namespace psc
+
+#endif // PSPDG_EMULATOR_EXECCORE_H

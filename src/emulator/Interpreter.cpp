@@ -4,422 +4,28 @@
 
 #include "support/ErrorHandling.h"
 
-#include <cmath>
-#include <sstream>
-
 using namespace psc;
 
-namespace {
-
-/// Runtime value: scalar (int/float) or pointer into a MemObject.
-struct RTValue {
-  enum class RTKind { Int, Float, Ptr } Kind = RTKind::Int;
-  int64_t I = 0;
-  double F = 0.0;
-  MemObject *Obj = nullptr;
-  uint64_t Offset = 0;
-
-  static RTValue ofInt(int64_t V) {
-    RTValue R;
-    R.Kind = RTKind::Int;
-    R.I = V;
-    return R;
-  }
-  static RTValue ofFloat(double V) {
-    RTValue R;
-    R.Kind = RTKind::Float;
-    R.F = V;
-    return R;
-  }
-  static RTValue ofPtr(MemObject *O, uint64_t Off) {
-    RTValue R;
-    R.Kind = RTKind::Ptr;
-    R.Obj = O;
-    R.Offset = Off;
-    return R;
-  }
-};
-
-} // namespace
-
-struct Interpreter::Impl {
-  Impl(const Module &M, Interpreter &Outer) : M(M), Outer(Outer) {}
-
-  const Module &M;
-  Interpreter &Outer;
-  std::map<const GlobalVariable *, MemObject> Globals;
-  RunResult Result;
-  uint64_t Budget = 0;
-  bool Aborted = false;
-
-  struct Frame {
-    const Function *F = nullptr;
-    std::map<const Value *, MemObject> Allocas;
-    std::map<const Value *, RTValue> Regs;
-  };
-
-  static MemObject makeObject(const Type *ObjectTy) {
-    MemObject O;
-    const Type *Elem = ObjectTy;
-    uint64_t N = 1;
-    if (const auto *AT = dyn_cast<ArrayType>(ObjectTy)) {
-      Elem = AT->getElement();
-      N = AT->getNumElements();
-    }
-    O.IsFloat = Elem->isFloat();
-    if (O.IsFloat)
-      O.F.assign(N, 0.0);
-    else
-      O.I.assign(N, 0);
-    return O;
-  }
-
-  void initGlobals() {
-    for (const auto &G : M.globals()) {
-      MemObject O = makeObject(G->getObjectType());
-      if (G->hasScalarInit()) {
-        if (O.IsFloat)
-          O.F[0] = G->getScalarInit();
-        else
-          O.I[0] = static_cast<int64_t>(G->getScalarInit());
-      }
-      Globals[G.get()] = std::move(O);
-    }
-  }
-
-  RTValue evalOperand(const Value *V, Frame &Fr) {
-    if (const auto *CI = dyn_cast<ConstantInt>(V))
-      return RTValue::ofInt(CI->getValue());
-    if (const auto *CF = dyn_cast<ConstantFloat>(V))
-      return RTValue::ofFloat(CF->getValue());
-    if (const auto *GV = dyn_cast<GlobalVariable>(V))
-      return RTValue::ofPtr(&Globals.at(GV), 0);
-    if (isa<AllocaInst>(V))
-      return RTValue::ofPtr(&Fr.Allocas.at(V), 0);
-    if (isa<Argument>(V) || isa<Instruction>(V))
-      return Fr.Regs.at(V);
-    psc_unreachable("unhandled operand kind");
-  }
-
-  static int64_t loadInt(const RTValue &P) {
-    return P.Obj->IsFloat ? static_cast<int64_t>(P.Obj->F[P.Offset])
-                          : P.Obj->I[P.Offset];
-  }
-
-  RTValue doLoad(const RTValue &P, const Type *Ty) {
-    if (P.Offset >= P.Obj->size())
-      reportFatalError("out-of-bounds load at offset " +
-                       std::to_string(P.Offset));
-    if (Ty->isFloat())
-      return RTValue::ofFloat(P.Obj->IsFloat
-                                  ? P.Obj->F[P.Offset]
-                                  : static_cast<double>(P.Obj->I[P.Offset]));
-    if (Ty->isPointer()) {
-      // Pointer-typed slots are not supported in MemObjects; PSC never
-      // stores pointers to memory (array params are SSA arguments).
-      psc_unreachable("pointer load from memory");
-    }
-    return RTValue::ofInt(loadInt(P));
-  }
-
-  void doStore(const RTValue &V, const RTValue &P) {
-    if (P.Offset >= P.Obj->size())
-      reportFatalError("out-of-bounds store at offset " +
-                       std::to_string(P.Offset));
-    if (P.Obj->IsFloat)
-      P.Obj->F[P.Offset] =
-          V.Kind == RTValue::RTKind::Float ? V.F : static_cast<double>(V.I);
-    else
-      P.Obj->I[P.Offset] =
-          V.Kind == RTValue::RTKind::Float ? static_cast<int64_t>(V.F) : V.I;
-  }
-
-  RTValue callIntrinsic(const CallInst &CI, std::vector<RTValue> &Args) {
-    const std::string &Name = CI.getCallee()->getName();
-    auto F1 = [&](double (*Fn)(double)) {
-      return RTValue::ofFloat(Fn(Args[0].F));
-    };
-    if (Name == intrinsics::RegionBegin || Name == intrinsics::RegionEnd ||
-        Name == intrinsics::BarrierMarker ||
-        Name == intrinsics::TaskWaitMarker)
-      return RTValue();
-    if (Name == intrinsics::Print) {
-      Result.Output.push_back(std::to_string(Args[0].I));
-      return RTValue();
-    }
-    if (Name == intrinsics::PrintF) {
-      std::ostringstream OS;
-      OS << Args[0].F;
-      Result.Output.push_back(OS.str());
-      return RTValue();
-    }
-    if (Name == intrinsics::Sqrt)
-      return F1(std::sqrt);
-    if (Name == intrinsics::Fabs)
-      return F1(std::fabs);
-    if (Name == intrinsics::Sin)
-      return F1(std::sin);
-    if (Name == intrinsics::Cos)
-      return F1(std::cos);
-    if (Name == intrinsics::Exp)
-      return F1(std::exp);
-    if (Name == intrinsics::Log)
-      return F1(std::log);
-    if (Name == intrinsics::Pow)
-      return RTValue::ofFloat(std::pow(Args[0].F, Args[1].F));
-    if (Name == intrinsics::IMin)
-      return RTValue::ofInt(std::min(Args[0].I, Args[1].I));
-    if (Name == intrinsics::IMax)
-      return RTValue::ofInt(std::max(Args[0].I, Args[1].I));
-    if (Name == intrinsics::FMin)
-      return RTValue::ofFloat(std::min(Args[0].F, Args[1].F));
-    if (Name == intrinsics::FMax)
-      return RTValue::ofFloat(std::max(Args[0].F, Args[1].F));
-    if (Name == intrinsics::Lcg) {
-      // 48-bit linear congruential step (deterministic pseudo-random).
-      uint64_t X = static_cast<uint64_t>(Args[0].I);
-      X = (X * 25214903917ULL + 11ULL) & ((1ULL << 48) - 1);
-      return RTValue::ofInt(static_cast<int64_t>(X));
-    }
-    reportFatalError("unknown intrinsic '" + Name + "' at runtime");
-  }
-
-  RTValue callFunction(const Function &F, std::vector<RTValue> Args) {
-    for (ExecutionObserver *O : Outer.Observers)
-      O->onEnterFunction(F);
-
-    Frame Fr;
-    Fr.F = &F;
-    for (unsigned A = 0; A < F.getNumArgs(); ++A)
-      Fr.Regs[F.getArg(A)] = Args[A];
-
-    RTValue Ret;
-    const BasicBlock *Block = F.getEntryBlock();
-    const BasicBlock *Prev = nullptr;
-
-    while (Block && !Aborted) {
-      for (ExecutionObserver *O : Outer.Observers)
-        O->onBlockTransfer(F, Prev, Block);
-      Prev = Block;
-      const BasicBlock *Next = nullptr;
-
-      for (const Instruction *I : *Block) {
-        if (++Result.InstructionsExecuted > Budget) {
-          Aborted = true;
-          return Ret;
-        }
-        switch (I->getKind()) {
-        case Value::ValueKind::Alloca: {
-          const auto *AI = cast<AllocaInst>(I);
-          Fr.Allocas[AI] = makeObject(AI->getAllocatedType());
-          break;
-        }
-        case Value::ValueKind::Load: {
-          const auto *LI = cast<LoadInst>(I);
-          Fr.Regs[I] = doLoad(evalOperand(LI->getPointer(), Fr),
-                              LI->getType());
-          break;
-        }
-        case Value::ValueKind::Store: {
-          const auto *SI = cast<StoreInst>(I);
-          doStore(evalOperand(SI->getStoredValue(), Fr),
-                  evalOperand(SI->getPointer(), Fr));
-          break;
-        }
-        case Value::ValueKind::GEP: {
-          const auto *GI = cast<GEPInst>(I);
-          RTValue Base = evalOperand(GI->getBase(), Fr);
-          RTValue Idx = evalOperand(GI->getIndex(), Fr);
-          Fr.Regs[I] = RTValue::ofPtr(
-              Base.Obj, Base.Offset + static_cast<uint64_t>(Idx.I));
-          break;
-        }
-        case Value::ValueKind::Binary: {
-          const auto *BI = cast<BinaryInst>(I);
-          RTValue L = evalOperand(BI->getLHS(), Fr);
-          RTValue R = evalOperand(BI->getRHS(), Fr);
-          Fr.Regs[I] = evalBinary(BI, L, R);
-          break;
-        }
-        case Value::ValueKind::Unary: {
-          const auto *UI = cast<UnaryInst>(I);
-          RTValue V = evalOperand(UI->getOperand(0), Fr);
-          if (UI->getUnOp() == UnaryInst::UnOp::Neg)
-            Fr.Regs[I] = V.Kind == RTValue::RTKind::Float
-                             ? RTValue::ofFloat(-V.F)
-                             : RTValue::ofInt(-V.I);
-          else
-            Fr.Regs[I] = RTValue::ofInt(V.I == 0 ? 1 : 0);
-          break;
-        }
-        case Value::ValueKind::Cmp: {
-          const auto *CI = cast<CmpInst>(I);
-          RTValue L = evalOperand(CI->getLHS(), Fr);
-          RTValue R = evalOperand(CI->getRHS(), Fr);
-          Fr.Regs[I] = RTValue::ofInt(evalCmp(CI, L, R) ? 1 : 0);
-          break;
-        }
-        case Value::ValueKind::Cast: {
-          const auto *CI = cast<CastInst>(I);
-          RTValue V = evalOperand(CI->getOperand(0), Fr);
-          Fr.Regs[I] = CI->getCastOp() == CastInst::CastOp::IntToFloat
-                           ? RTValue::ofFloat(static_cast<double>(V.I))
-                           : RTValue::ofInt(static_cast<int64_t>(V.F));
-          break;
-        }
-        case Value::ValueKind::Br:
-          Next = cast<BranchInst>(I)->getTarget();
-          break;
-        case Value::ValueKind::CondBr: {
-          const auto *CB = cast<CondBranchInst>(I);
-          RTValue C = evalOperand(CB->getCondition(), Fr);
-          Next = C.I != 0 ? CB->getTrueTarget() : CB->getFalseTarget();
-          break;
-        }
-        case Value::ValueKind::Ret: {
-          const auto *RI = cast<ReturnInst>(I);
-          if (RI->hasReturnValue())
-            Ret = evalOperand(RI->getReturnValue(), Fr);
-          for (ExecutionObserver *O : Outer.Observers)
-            O->onInstruction(*I);
-          for (ExecutionObserver *O : Outer.Observers)
-            O->onExitFunction(F);
-          return Ret;
-        }
-        case Value::ValueKind::Call: {
-          const auto *CI = cast<CallInst>(I);
-          std::vector<RTValue> CallArgs;
-          for (unsigned A = 0; A < CI->getNumArgs(); ++A)
-            CallArgs.push_back(evalOperand(CI->getArg(A), Fr));
-          const Function *Callee = CI->getCallee();
-          RTValue R = Callee->isDeclaration()
-                          ? callIntrinsic(*CI, CallArgs)
-                          : callFunction(*Callee, std::move(CallArgs));
-          if (!CI->getType()->isVoid())
-            Fr.Regs[I] = R;
-          break;
-        }
-        default:
-          psc_unreachable("unhandled instruction in interpreter");
-        }
-        for (ExecutionObserver *O : Outer.Observers)
-          O->onInstruction(*I);
-        if (Aborted)
-          return Ret;
-      }
-      Block = Next;
-    }
-    for (ExecutionObserver *O : Outer.Observers)
-      O->onExitFunction(F);
-    return Ret;
-  }
-
-  static RTValue evalBinary(const BinaryInst *BI, const RTValue &L,
-                            const RTValue &R) {
-    using Op = BinaryInst::BinOp;
-    if (BI->getType()->isFloat()) {
-      double A = L.F, B = R.F;
-      switch (BI->getBinOp()) {
-      case Op::Add:
-        return RTValue::ofFloat(A + B);
-      case Op::Sub:
-        return RTValue::ofFloat(A - B);
-      case Op::Mul:
-        return RTValue::ofFloat(A * B);
-      case Op::Div:
-        return RTValue::ofFloat(B == 0.0 ? 0.0 : A / B);
-      default:
-        psc_unreachable("invalid float binop");
-      }
-    }
-    int64_t A = L.I, B = R.I;
-    switch (BI->getBinOp()) {
-    case Op::Add:
-      return RTValue::ofInt(A + B);
-    case Op::Sub:
-      return RTValue::ofInt(A - B);
-    case Op::Mul:
-      return RTValue::ofInt(A * B);
-    case Op::Div:
-      return RTValue::ofInt(B == 0 ? 0 : A / B);
-    case Op::Rem:
-      return RTValue::ofInt(B == 0 ? 0 : A % B);
-    case Op::And:
-      return RTValue::ofInt(A & B);
-    case Op::Or:
-      return RTValue::ofInt(A | B);
-    case Op::Xor:
-      return RTValue::ofInt(A ^ B);
-    case Op::Shl:
-      return RTValue::ofInt(A << (B & 63));
-    case Op::Shr:
-      return RTValue::ofInt(A >> (B & 63));
-    }
-    psc_unreachable("invalid int binop");
-  }
-
-  static bool evalCmp(const CmpInst *CI, const RTValue &L, const RTValue &R) {
-    using P = CmpInst::Predicate;
-    if (L.Kind == RTValue::RTKind::Float || R.Kind == RTValue::RTKind::Float) {
-      double A = L.Kind == RTValue::RTKind::Float ? L.F
-                                                  : static_cast<double>(L.I);
-      double B = R.Kind == RTValue::RTKind::Float ? R.F
-                                                  : static_cast<double>(R.I);
-      switch (CI->getPredicate()) {
-      case P::EQ:
-        return A == B;
-      case P::NE:
-        return A != B;
-      case P::LT:
-        return A < B;
-      case P::LE:
-        return A <= B;
-      case P::GT:
-        return A > B;
-      case P::GE:
-        return A >= B;
-      }
-    }
-    int64_t A = L.I, B = R.I;
-    switch (CI->getPredicate()) {
-    case P::EQ:
-      return A == B;
-    case P::NE:
-      return A != B;
-    case P::LT:
-      return A < B;
-    case P::LE:
-      return A <= B;
-    case P::GT:
-      return A > B;
-    case P::GE:
-      return A >= B;
-    }
-    psc_unreachable("invalid predicate");
-  }
-};
-
-Interpreter::Interpreter(const Module &M) : M(M) {
-  P = std::make_unique<Impl>(M, *this);
-}
-
-Interpreter::~Interpreter() = default;
-
 RunResult Interpreter::run(const std::string &EntryName) {
-  P->Result = RunResult();
-  P->Aborted = false;
-  P->Budget = MaxInstructions;
-  P->Globals.clear();
-  P->initGlobals();
+  ExecState S(M);
+  S.setBudget(MaxInstructions);
 
   const Function *Entry = M.getFunction(EntryName);
   if (!Entry || Entry->isDeclaration())
     reportFatalError("entry function '" + EntryName + "' not found");
 
-  RTValue R = P->callFunction(*Entry, {});
-  P->Result.Completed = !P->Aborted;
-  P->Result.ExitValue = R.Kind == RTValue::RTKind::Float
-                            ? static_cast<int64_t>(R.F)
-                            : R.I;
-  return std::move(P->Result);
+  ExecContext C(S);
+  for (ExecutionObserver *O : Observers)
+    C.addObserver(O);
+
+  RTValue R = C.callFunction(*Entry, {});
+
+  RunResult Result;
+  Result.Completed = !S.aborted();
+  Result.InstructionsExecuted = S.instructionsExecuted();
+  Result.Output = S.takeOutput();
+  Result.ExitValue = R.Kind == RTValue::RTKind::Float
+                         ? static_cast<int64_t>(R.F)
+                         : R.I;
+  return Result;
 }

@@ -6,56 +6,29 @@
 /// dynamic properties (loop coverage, plan-constrained critical path).
 /// Deterministic: same module → same execution, same observer stream.
 ///
+/// The actual execution engine lives in ExecCore.h (ExecState/ExecContext);
+/// this class is the sequential, single-context driver over it. The
+/// parallel plan-execution runtime (src/runtime/) drives multiple
+/// ExecContexts over one shared ExecState instead.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSPDG_EMULATOR_INTERPRETER_H
 #define PSPDG_EMULATOR_INTERPRETER_H
 
+#include "emulator/ExecCore.h"
 #include "ir/Module.h"
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 namespace psc {
 
-/// Callbacks fired during interpretation. All hooks are optional.
-class ExecutionObserver {
-public:
-  virtual ~ExecutionObserver() = default;
-  /// Fired after \p I executes (including marker intrinsics).
-  virtual void onInstruction(const Instruction &I) {}
-  /// Fired when control moves between blocks of \p F (From null on entry).
-  virtual void onBlockTransfer(const Function &F, const BasicBlock *From,
-                               const BasicBlock *To) {}
-  virtual void onEnterFunction(const Function &F) {}
-  virtual void onExitFunction(const Function &F) {}
-};
-
-/// Result of a program run.
-struct RunResult {
-  bool Completed = false;       ///< false = instruction budget exhausted.
-  int64_t ExitValue = 0;        ///< main's return value.
-  uint64_t InstructionsExecuted = 0;
-  std::vector<std::string> Output; ///< print/printf64 lines, in order.
-};
-
-/// One runtime memory object (a global or an alloca instance).
-struct MemObject {
-  bool IsFloat = false;
-  std::vector<int64_t> I;
-  std::vector<double> F;
-
-  uint64_t size() const { return IsFloat ? F.size() : I.size(); }
-};
-
-/// Interprets one module.
+/// Interprets one module sequentially.
 class Interpreter {
 public:
-  explicit Interpreter(const Module &M);
-  ~Interpreter();
+  explicit Interpreter(const Module &M) : M(M) {}
 
   /// Registers an observer (not owned). Call before run().
   void addObserver(ExecutionObserver *O) { Observers.push_back(O); }
@@ -67,8 +40,6 @@ public:
   RunResult run(const std::string &EntryName = "main");
 
 private:
-  struct Impl;
-  std::unique_ptr<Impl> P;
   const Module &M;
   std::vector<ExecutionObserver *> Observers;
   uint64_t MaxInstructions = 2'000'000'000ULL;

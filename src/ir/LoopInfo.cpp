@@ -20,7 +20,7 @@ bool Loop::encloses(const Loop *Other) const {
   return false;
 }
 
-LoopInfo::LoopInfo(const Function &F, const CFG &G, const DominatorTree &DT) {
+LoopInfo::LoopInfo(const Function &, const CFG &G, const DominatorTree &DT) {
   unsigned N = G.size();
   BlockToLoop.assign(N, nullptr);
 

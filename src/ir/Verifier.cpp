@@ -56,7 +56,7 @@ private:
     }
   }
 
-  void verifyInstruction(const Function &F, const BasicBlock &BB,
+  void verifyInstruction(const Function &F, const BasicBlock &,
                          const Instruction &I,
                          const std::set<const Value *> &Visible,
                          const std::string &Where) {

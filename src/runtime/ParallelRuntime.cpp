@@ -1,0 +1,545 @@
+//===- ParallelRuntime.cpp ------------------------------------*- C++ -*-===//
+
+#include "runtime/ParallelRuntime.h"
+
+#include "runtime/SPSCQueue.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+using namespace psc;
+
+namespace {
+
+Frame cloneFrame(const Frame &Fr) {
+  Frame W;
+  W.F = Fr.F;
+  W.Regs = Fr.Regs;
+  W.Allocas = Fr.Allocas;
+  return W;
+}
+
+/// Resolves \p Storage to its shared memory object: globals through the
+/// state, allocas through the master frame.
+MemObject *sharedObject(ExecState &S, Frame &Fr, const Value *Storage) {
+  if (const auto *GV = dyn_cast<GlobalVariable>(Storage))
+    return S.globalObject(GV);
+  auto It = Fr.Allocas.find(Storage);
+  return It == Fr.Allocas.end() ? nullptr : It->second;
+}
+
+/// Identity element of a reduction in the object's own representation.
+void fillIdentity(MemObject &O, ReduceOp Op) {
+  int64_t IId = 0;
+  double FId = 0.0;
+  switch (Op) {
+  case ReduceOp::Add:
+    break;
+  case ReduceOp::Mul:
+    IId = 1;
+    FId = 1.0;
+    break;
+  case ReduceOp::Min:
+    IId = std::numeric_limits<int64_t>::max();
+    FId = std::numeric_limits<double>::infinity();
+    break;
+  case ReduceOp::Max:
+    IId = std::numeric_limits<int64_t>::min();
+    FId = -std::numeric_limits<double>::infinity();
+    break;
+  case ReduceOp::Custom:
+    break; // rejected by the plan compiler
+  }
+  std::fill(O.I.begin(), O.I.end(), IId);
+  std::fill(O.F.begin(), O.F.end(), FId);
+}
+
+void applyReduce(MemObject &Shared, const MemObject &Partial, ReduceOp Op) {
+  auto FoldI = [&](int64_t A, int64_t B) -> int64_t {
+    switch (Op) {
+    case ReduceOp::Add:
+      return A + B;
+    case ReduceOp::Mul:
+      return A * B;
+    case ReduceOp::Min:
+      return std::min(A, B);
+    case ReduceOp::Max:
+      return std::max(A, B);
+    case ReduceOp::Custom:
+      return A;
+    }
+    return A;
+  };
+  auto FoldF = [&](double A, double B) -> double {
+    switch (Op) {
+    case ReduceOp::Add:
+      return A + B;
+    case ReduceOp::Mul:
+      return A * B;
+    case ReduceOp::Min:
+      return std::min(A, B);
+    case ReduceOp::Max:
+      return std::max(A, B);
+    case ReduceOp::Custom:
+      return A;
+    }
+    return A;
+  };
+  if (Shared.IsFloat)
+    for (size_t K = 0; K < Shared.F.size(); ++K)
+      Shared.F[K] = FoldF(Shared.F[K], Partial.F[K]);
+  else
+    for (size_t K = 0; K < Shared.I.size(); ++K)
+      Shared.I[K] = FoldI(Shared.I[K], Partial.I[K]);
+}
+
+/// One worker's private storage for a parallel loop.
+struct PrivSet {
+  MemObject *IV = nullptr;
+  std::vector<MemObject *> Priv; ///< Parallel to LS.Privates.
+  std::vector<MemObject *> Red;  ///< Parallel to LS.Reductions.
+  std::vector<std::unique_ptr<MemObject>> Owned;
+
+  PrivSet() = default;
+  PrivSet(PrivSet &&) = default;
+  PrivSet &operator=(PrivSet &&) = default;
+};
+
+/// Redirects \p Storage to a fresh private object in (\p W, \p WF).
+MemObject *redirect(ExecContext &W, Frame &WF, ExecState &S, Frame &Master,
+                    const Value *Storage, PrivSet &P) {
+  MemObject *Shared = sharedObject(S, Master, Storage);
+  if (!Shared)
+    return nullptr;
+  P.Owned.push_back(std::make_unique<MemObject>(*Shared)); // copy-in
+  MemObject *Obj = P.Owned.back().get();
+  if (isa<GlobalVariable>(Storage))
+    W.setStorageOverride(Storage, Obj);
+  else
+    WF.Allocas[Storage] = Obj;
+  return Obj;
+}
+
+PrivSet privatize(ExecContext &W, Frame &WF, ExecState &S, Frame &Master,
+                  const LoopSchedule &LS) {
+  PrivSet P;
+  P.IV = redirect(W, WF, S, Master, LS.IVStorage, P);
+  for (const PrivateVar &V : LS.Privates)
+    P.Priv.push_back(redirect(W, WF, S, Master, V.Storage, P));
+  for (const ReductionVar &R : LS.Reductions) {
+    MemObject *Obj = redirect(W, WF, S, Master, R.Storage, P);
+    if (Obj)
+      fillIdentity(*Obj, R.Op);
+    P.Red.push_back(Obj);
+  }
+  return P;
+}
+
+void setIV(MemObject *IV, long Value) {
+  if (!IV)
+    return;
+  if (IV->IsFloat)
+    IV->F[0] = static_cast<double>(Value);
+  else
+    IV->I[0] = Value;
+}
+
+} // namespace
+
+// --- RunState ----------------------------------------------------------------
+
+struct ParallelRuntime::RunState {
+  RunState(const Module &M, unsigned Threads) : S(M), Pool(Threads) {}
+
+  ExecState S;
+  ThreadPool Pool;
+  std::map<const LoopSchedule *, LoopExecStat> Stats;
+  std::string Error;
+  std::mutex ErrorMu;
+
+  void fail(const std::string &Msg) {
+    {
+      std::lock_guard<std::mutex> Lock(ErrorMu);
+      if (Error.empty())
+        Error = Msg;
+    }
+    S.abort();
+  }
+};
+
+// --- ParallelRuntime ---------------------------------------------------------
+
+ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan)
+    : M(M), Plan(Plan) {}
+
+const BasicBlock *ParallelRuntime::hook(RunState &RS, ExecContext &Ctx,
+                                        Frame &Fr, const BasicBlock *Prev,
+                                        const BasicBlock *B) {
+  (void)Ctx;
+  const LoopSchedule *LS = Plan.scheduleFor(Fr.F, B->getIndex());
+  if (!LS || LS->Kind == ScheduleKind::Sequential)
+    return nullptr;
+  // Back edge or re-entry from inside the loop: sequential step continues.
+  if (Prev && LS->Blocks.count(Prev->getIndex()))
+    return nullptr;
+
+  LoopExecStat &Stat = RS.Stats[LS];
+  ++Stat.Invocations;
+  Stat.Iterations += static_cast<uint64_t>(std::max(0L, LS->Trip));
+
+  switch (LS->Kind) {
+  case ScheduleKind::DOALL:
+    return runDOALL(RS, Fr, *LS);
+  case ScheduleKind::HELIX:
+    return runHELIX(RS, Fr, *LS);
+  case ScheduleKind::DSWP:
+    return runDSWP(RS, Fr, *LS);
+  case ScheduleKind::Sequential:
+    break;
+  }
+  return nullptr;
+}
+
+// --- DOALL -------------------------------------------------------------------
+
+const BasicBlock *ParallelRuntime::runDOALL(RunState &RS, Frame &Fr,
+                                            const LoopSchedule &LS) {
+  ExecState &S = RS.S;
+  long Trip = LS.Trip;
+  MemObject *SharedIV = sharedObject(S, Fr, LS.IVStorage);
+  if (Trip <= 0)
+    return LS.Exit;
+
+  long Chunk = LS.Chunk > 0
+                   ? LS.Chunk
+                   : std::max<long>(1, Trip / (static_cast<long>(
+                                                  RS.Pool.numWorkers()) *
+                                              4));
+  long NumChunks = (Trip + Chunk - 1) / Chunk;
+
+  struct ChunkState {
+    std::vector<std::string> Out;
+    PrivSet P;
+    bool Diverged = false;
+  };
+  std::vector<ChunkState> CS(static_cast<size_t>(NumChunks));
+
+  for (long C = 0; C < NumChunks; ++C) {
+    RS.Pool.submit([&, C] {
+      ChunkState &St = CS[static_cast<size_t>(C)];
+      ExecContext W(S);
+      W.setChargeBatch(64);
+      Frame WF = cloneFrame(Fr);
+      St.P = privatize(W, WF, S, Fr, LS);
+      W.setLocalOutput(&St.Out);
+      long Lo = C * Chunk, Hi = std::min(Trip, Lo + Chunk);
+      for (long It = Lo; It < Hi; ++It) {
+        setIV(St.P.IV, LS.Init + It * LS.Step);
+        const BasicBlock *R =
+            W.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
+        if (!R || R->getIndex() != LS.Header) {
+          if (!S.aborted())
+            St.Diverged = true;
+          W.flushCharges();
+          return;
+        }
+      }
+      W.flushCharges();
+    });
+  }
+  RS.Pool.wait();
+
+  for (ChunkState &St : CS)
+    if (St.Diverged)
+      RS.fail("DOALL loop left its iteration space");
+  if (S.aborted())
+    return LS.Exit;
+
+  // Output, reductions, and last-iteration private state merge in chunk
+  // order — the sequential order.
+  for (ChunkState &St : CS)
+    if (!St.Out.empty())
+      S.appendOutput(std::move(St.Out));
+  for (size_t R = 0; R < LS.Reductions.size(); ++R) {
+    MemObject *Shared = sharedObject(S, Fr, LS.Reductions[R].Storage);
+    if (!Shared)
+      continue;
+    for (ChunkState &St : CS)
+      if (St.P.Red[R])
+        applyReduce(*Shared, *St.P.Red[R], LS.Reductions[R].Op);
+  }
+  ChunkState &Last = CS.back();
+  for (size_t V = 0; V < LS.Privates.size(); ++V) {
+    MemObject *Shared = sharedObject(S, Fr, LS.Privates[V].Storage);
+    if (Shared && Last.P.Priv[V])
+      *Shared = *Last.P.Priv[V];
+  }
+  setIV(SharedIV, LS.Init + Trip * LS.Step);
+  return LS.Exit;
+}
+
+// --- HELIX -------------------------------------------------------------------
+
+const BasicBlock *ParallelRuntime::runHELIX(RunState &RS, Frame &Fr,
+                                            const LoopSchedule &LS) {
+  ExecState &S = RS.S;
+  long Trip = LS.Trip;
+  MemObject *SharedIV = sharedObject(S, Fr, LS.IVStorage);
+  if (Trip <= 0)
+    return LS.Exit;
+
+  unsigned W = std::min<unsigned>(RS.Pool.numWorkers(),
+                                  static_cast<unsigned>(std::min<long>(
+                                      Trip, RS.Pool.numWorkers())));
+  if (W == 0)
+    W = 1;
+
+  std::atomic<long> Turn{0};
+  struct WorkerState {
+    PrivSet P;
+    bool Diverged = false;
+  };
+  std::vector<WorkerState> WS(W);
+
+  for (unsigned Wk = 0; Wk < W; ++Wk) {
+    RS.Pool.submit([&, Wk] {
+      WorkerState &St = WS[Wk];
+      ExecContext C(S);
+      C.setChargeBatch(64);
+      Frame WF = cloneFrame(Fr);
+      St.P = privatize(C, WF, S, Fr, LS);
+      ExecContext::IterationGate G;
+      G.SCCOf = &LS.SCCOf;
+      G.SCCIsSeq = &LS.SCCIsSeq;
+      G.Turn = &Turn;
+      C.setGate(&G);
+      std::vector<std::string> IterOut;
+      C.setLocalOutput(&IterOut);
+
+      for (long It = Wk; It < Trip; It += W) {
+        G.MyIter = It;
+        G.Held = false;
+        setIV(St.P.IV, LS.Init + It * LS.Step);
+        const BasicBlock *R =
+            C.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
+        if (!R || R->getIndex() != LS.Header) {
+          if (!S.aborted())
+            St.Diverged = true;
+          S.abort();
+          C.flushCharges();
+          return;
+        }
+        // Iteration-order handoff: pass the gate to iteration It+1 and
+        // release this iteration's buffered output in order.
+        while (Turn.load(std::memory_order_acquire) != It) {
+          if (S.aborted())
+            return;
+          std::this_thread::yield();
+        }
+        if (!IterOut.empty()) {
+          S.appendOutput(std::move(IterOut));
+          IterOut.clear();
+        }
+        Turn.store(It + 1, std::memory_order_release);
+      }
+      C.flushCharges();
+    });
+  }
+  RS.Pool.wait();
+
+  for (WorkerState &St : WS)
+    if (St.Diverged)
+      RS.fail("HELIX loop left its iteration space");
+  if (S.aborted())
+    return LS.Exit;
+
+  for (size_t R = 0; R < LS.Reductions.size(); ++R) {
+    MemObject *Shared = sharedObject(S, Fr, LS.Reductions[R].Storage);
+    if (!Shared)
+      continue;
+    for (WorkerState &St : WS)
+      if (St.P.Red[R])
+        applyReduce(*Shared, *St.P.Red[R], LS.Reductions[R].Op);
+  }
+  WorkerState &LastOwner = WS[static_cast<size_t>((Trip - 1) % W)];
+  for (size_t V = 0; V < LS.Privates.size(); ++V) {
+    MemObject *Shared = sharedObject(S, Fr, LS.Privates[V].Storage);
+    if (Shared && LastOwner.P.Priv[V])
+      *Shared = *LastOwner.P.Priv[V];
+  }
+  setIV(SharedIV, LS.Init + Trip * LS.Step);
+  return LS.Exit;
+}
+
+// --- DSWP --------------------------------------------------------------------
+
+namespace {
+struct DSWPToken {
+  long It = -1;
+  std::map<ShadowMemory::Key, ShadowMemory::Cell> Overlay;
+};
+} // namespace
+
+const BasicBlock *ParallelRuntime::runDSWP(RunState &RS, Frame &Fr,
+                                           const LoopSchedule &LS) {
+  ExecState &S = RS.S;
+  long Trip = LS.Trip;
+  MemObject *SharedIV = sharedObject(S, Fr, LS.IVStorage);
+  if (Trip <= 0)
+    return LS.Exit;
+
+  unsigned K = LS.NumStages;
+  struct StageState {
+    ShadowMemory SM;
+    PrivSet P;
+    bool Diverged = false;
+  };
+  std::vector<StageState> SS(K);
+  std::vector<std::unique_ptr<SPSCQueue<DSWPToken>>> Qs;
+  for (unsigned Q = 0; Q + 1 < K; ++Q)
+    Qs.push_back(std::make_unique<SPSCQueue<DSWPToken>>(64));
+
+  for (unsigned Stage = 0; Stage < K; ++Stage) {
+    RS.Pool.submit([&, Stage] {
+      StageState &St = SS[Stage];
+      ExecContext C(S);
+      C.setChargeBatch(64);
+      Frame WF = cloneFrame(Fr);
+      // Stage-private IV, bypassing the shadow (runtime-controlled).
+      LoopSchedule IVOnly;
+      IVOnly.IVStorage = LS.IVStorage;
+      St.P = privatize(C, WF, S, Fr, IVOnly);
+      if (St.P.IV)
+        St.SM.addBypass(St.P.IV);
+      C.setShadowMemory(&St.SM);
+      C.setCommitFilter([&LS, Stage](const Instruction &I) {
+        auto It = LS.StageOf.find(&I);
+        return It != LS.StageOf.end() && It->second == Stage;
+      });
+      C.setInstructionNumbering(&LS.InstIndex);
+
+      SPSCQueue<DSWPToken> *In = Stage > 0 ? Qs[Stage - 1].get() : nullptr;
+      SPSCQueue<DSWPToken> *Out = Stage + 1 < K ? Qs[Stage].get() : nullptr;
+
+      for (long It = 0; It < Trip; ++It) {
+        DSWPToken T;
+        if (In) {
+          if (!In->pop(T) || T.It != It) {
+            if (!S.aborted() && T.It != It && T.It >= 0)
+              St.Diverged = true;
+            break;
+          }
+        } else {
+          T.It = It;
+        }
+        St.SM.beginIteration(std::move(T.Overlay));
+        C.setCurrentIteration(It);
+        setIV(St.P.IV, LS.Init + It * LS.Step);
+        const BasicBlock *R =
+            C.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
+        if (!R || R->getIndex() != LS.Header) {
+          if (!S.aborted())
+            St.Diverged = true;
+          S.abort();
+          break;
+        }
+        if (Out) {
+          DSWPToken O;
+          O.It = It;
+          O.Overlay = std::move(St.SM.sharedOverlay());
+          St.SM.sharedOverlay().clear();
+          if (!Out->push(std::move(O)))
+            break;
+        }
+      }
+      C.flushCharges();
+      // Unblock neighbors on any exit path.
+      if (In)
+        In->close();
+      if (Out)
+        Out->close();
+    });
+  }
+  RS.Pool.wait();
+
+  for (StageState &St : SS)
+    if (St.Diverged)
+      RS.fail("DSWP stage diverged from its iteration space");
+  if (S.aborted())
+    return LS.Exit;
+
+  // Merge every stage's persistent overlay back into shared memory; the
+  // last dynamic write — ordered by (iteration, instruction index) — wins.
+  std::map<ShadowMemory::Key, ShadowMemory::Cell> Final;
+  for (StageState &St : SS) {
+    for (const auto &[Key, Cell] : St.SM.persist()) {
+      auto It = Final.find(Key);
+      if (It == Final.end() ||
+          std::make_pair(Cell.Iter, Cell.Inst) >
+              std::make_pair(It->second.Iter, It->second.Inst))
+        Final[Key] = Cell;
+    }
+  }
+  for (const auto &[Key, Cell] : Final) {
+    MemObject *O = Key.first;
+    if (O->IsFloat)
+      O->F[Key.second] = Cell.F;
+    else
+      O->I[Key.second] = Cell.I;
+  }
+  setIV(SharedIV, LS.Init + Trip * LS.Step);
+  return LS.Exit;
+}
+
+// --- Top level ---------------------------------------------------------------
+
+ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
+  const Function *Entry = M.getFunction(EntryName);
+  if (!Entry || Entry->isDeclaration())
+    reportFatalError("entry function '" + EntryName + "' not found");
+
+  RunState RS(M, Plan.Threads);
+  RS.S.setBudget(Budget);
+
+  ExecContext Master(RS.S);
+  Master.setLoopHook([this, &RS](ExecContext &Ctx, Frame &Fr,
+                                 const BasicBlock *Prev,
+                                 const BasicBlock *B) -> const BasicBlock * {
+    return hook(RS, Ctx, Fr, Prev, B);
+  });
+
+  RTValue R = Master.callFunction(*Entry, {});
+
+  ParallelRunResult Out;
+  Out.R.Completed = !RS.S.aborted();
+  Out.R.InstructionsExecuted = RS.S.instructionsExecuted();
+  Out.R.Output = RS.S.takeOutput();
+  Out.R.ExitValue = R.Kind == RTValue::RTKind::Float
+                        ? static_cast<int64_t>(R.F)
+                        : R.I;
+  Out.Error = RS.Error;
+  if (!Out.Error.empty())
+    Out.R.Completed = false;
+
+  // Per-loop stats: every planned loop, executed or not.
+  for (const auto &[Key, LS] : Plan.Loops) {
+    LoopExecStat Stat;
+    Stat.F = Key.first;
+    Stat.Header = Key.second;
+    Stat.Depth = LS.Depth;
+    Stat.Kind = LS.Kind;
+    Stat.Reason = LS.Reason;
+    auto It = RS.Stats.find(&LS);
+    if (It != RS.Stats.end()) {
+      Stat.Invocations = It->second.Invocations;
+      Stat.Iterations = It->second.Iterations;
+    }
+    Out.Loops.push_back(std::move(Stat));
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- ParallelRuntime.h - Parallel plan-execution engine --------*- C++ -*-===//
+///
+/// \file
+/// Executes a RuntimePlan on real threads: the master ExecContext runs the
+/// program sequentially until it reaches a loop header with a parallel
+/// schedule, then the engine takes over the whole loop invocation:
+///
+///   * DOALL — the iteration space is split into chunks executed by
+///     work-stealing pool tasks; each worker gets a private copy of the IV,
+///     clause/iteration-private scalars, and identity-initialized reduction
+///     partials; partials merge and buffered output splices in chunk order
+///     after the join, so program output matches the sequential run.
+///   * HELIX — iterations round-robin over the workers; instructions of
+///     sequential SCCs wait for an iteration-order gate (cross-core
+///     signal/wait), so every loop-carried chain executes in iteration
+///     order while parallel SCCs overlap.
+///   * DSWP — SCC stages form a pipeline over bounded SPSC queues. Shared
+///     memory is frozen for the duration of the loop: each stage interprets
+///     the full body per iteration but commits only its own SCCs' stores
+///     (to a persistent per-stage overlay); the per-iteration overlay flows
+///     down the pipeline as the token, and overlays merge back into shared
+///     memory at the join, last dynamic write winning.
+///
+/// The engine's invariant is *sequential output equivalence*: a run under
+/// any compiled plan produces the same print stream and exit value as
+/// Interpreter::run. The plan compiler's validations exist to uphold this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_RUNTIME_PARALLELRUNTIME_H
+#define PSPDG_RUNTIME_PARALLELRUNTIME_H
+
+#include "emulator/ExecCore.h"
+#include "runtime/Schedule.h"
+#include "runtime/ThreadPool.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Per-loop execution summary of one run.
+struct LoopExecStat {
+  const Function *F = nullptr;
+  unsigned Header = 0;
+  unsigned Depth = 0;
+  ScheduleKind Kind = ScheduleKind::Sequential;
+  std::string Reason;
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;
+};
+
+struct ParallelRunResult {
+  RunResult R;
+  std::vector<LoopExecStat> Loops;
+  std::string Error; ///< Non-empty if a parallel loop diverged.
+
+  bool ok() const { return Error.empty() && R.Completed; }
+};
+
+/// Drives one module under one runtime plan. Reusable across runs.
+class ParallelRuntime {
+public:
+  /// \p Plan must outlive the runtime (it owns the loop analyses).
+  ParallelRuntime(const Module &M, const RuntimePlan &Plan);
+
+  void setInstructionBudget(uint64_t B) { Budget = B; }
+
+  ParallelRunResult run(const std::string &EntryName = "main");
+
+private:
+  struct RunState;
+
+  const BasicBlock *hook(RunState &RS, ExecContext &Ctx, Frame &Fr,
+                         const BasicBlock *Prev, const BasicBlock *B);
+  const BasicBlock *runDOALL(RunState &RS, Frame &Fr, const LoopSchedule &LS);
+  const BasicBlock *runHELIX(RunState &RS, Frame &Fr, const LoopSchedule &LS);
+  const BasicBlock *runDSWP(RunState &RS, Frame &Fr, const LoopSchedule &LS);
+
+  const Module &M;
+  const RuntimePlan &Plan;
+  uint64_t Budget = 2'000'000'000ULL;
+};
+
+} // namespace psc
+
+#endif // PSPDG_RUNTIME_PARALLELRUNTIME_H

@@ -1,0 +1,507 @@
+//===- PlanCompiler.cpp - Runtime schedule selection ----------*- C++ -*-===//
+///
+/// Derives executable LoopSchedules from the abstraction views. See
+/// Schedule.h for the validation contract. The selection order per loop is
+/// DOALL > HELIX > DSWP > Sequential; a failed validation step records its
+/// reason so `pscc --run-parallel` can report why a loop stayed sequential.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Schedule.h"
+
+#include "analysis/Privatization.h"
+#include "parallel/RegionMap.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <algorithm>
+
+using namespace psc;
+
+const char *psc::scheduleKindName(ScheduleKind K) {
+  switch (K) {
+  case ScheduleKind::Sequential:
+    return "sequential";
+  case ScheduleKind::DOALL:
+    return "DOALL";
+  case ScheduleKind::HELIX:
+    return "HELIX";
+  case ScheduleKind::DSWP:
+    return "DSWP";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isScalarStorage(const Value *V) {
+  if (const auto *GV = dyn_cast<GlobalVariable>(V))
+    return !isa<ArrayType>(GV->getObjectType());
+  if (const auto *AI = dyn_cast<AllocaInst>(V))
+    return !isa<ArrayType>(AI->getAllocatedType());
+  return false;
+}
+
+bool isFloatStorage(const Value *V) {
+  const Type *Ty = nullptr;
+  if (const auto *GV = dyn_cast<GlobalVariable>(V))
+    Ty = GV->getObjectType();
+  else if (const auto *AI = dyn_cast<AllocaInst>(V))
+    Ty = AI->getAllocatedType();
+  if (!Ty)
+    return false;
+  if (const auto *AT = dyn_cast<ArrayType>(Ty))
+    Ty = AT->getElement();
+  return Ty->isFloat();
+}
+
+const Value *rootStorage(const Value *Ptr) {
+  while (const auto *G = dyn_cast<GEPInst>(Ptr))
+    Ptr = G->getBase();
+  return Ptr;
+}
+
+/// Statically collected facts about one loop's body (including nested
+/// loops), feeding the schedule validations.
+struct LoopFacts {
+  const BasicBlock *BodyEntry = nullptr;
+  const BasicBlock *Exit = nullptr;
+  bool SingleExit = false;
+  bool HasRet = false;
+  bool HasBarrier = false;
+  bool HasDefinedCalls = false;
+  bool HasPrint = false;
+  bool WritesThreadPrivate = false;
+  std::set<const Value *> Written;          ///< Root storages stored to.
+  std::set<const Value *> MutexSafeWritten; ///< Every store under a lock.
+  std::set<DirectiveKind> RegionKinds;      ///< Regions begun inside.
+  std::set<const Instruction *> OrderedInsts;
+};
+
+LoopFacts collectFacts(const Function &F, const FunctionAnalysis &FA,
+                       const RegionMap &Regions, const Loop &L) {
+  LoopFacts Facts;
+  const Module &M = *F.getParent();
+
+  // Exit structure: the only exit edge allowed is header → Exit.
+  const BasicBlock *Header = F.getBlock(L.getHeader());
+  Facts.SingleExit = true;
+  for (unsigned BI : L.blocks()) {
+    const BasicBlock *BB = F.getBlock(BI);
+    for (BasicBlock *Succ : BB->successors()) {
+      if (L.contains(Succ->getIndex()))
+        continue;
+      if (BB != Header || Facts.Exit) {
+        Facts.SingleExit = false;
+        continue;
+      }
+      Facts.Exit = Succ;
+    }
+  }
+  if (const auto *CB = dyn_cast_or_null<CondBranchInst>(
+          Header->getTerminator())) {
+    if (L.contains(CB->getTrueTarget()->getIndex()) &&
+        CB->getFalseTarget() == Facts.Exit)
+      Facts.BodyEntry = CB->getTrueTarget();
+    else if (L.contains(CB->getFalseTarget()->getIndex()) &&
+             CB->getTrueTarget() == Facts.Exit)
+      Facts.BodyEntry = CB->getFalseTarget();
+  }
+
+  std::set<const Value *> LockedWrites, UnlockedWrites;
+  for (unsigned BI : L.blocks()) {
+    const BasicBlock *BB = F.getBlock(BI);
+    for (const Instruction *I : *BB) {
+      if (isa<ReturnInst>(I))
+        Facts.HasRet = true;
+      if (const auto *SI = dyn_cast<StoreInst>(I)) {
+        const Value *Root = rootStorage(SI->getPointer());
+        Facts.Written.insert(Root);
+        if (M.getParallelInfo().isThreadPrivate(Root))
+          Facts.WritesThreadPrivate = true;
+        if (Regions.inMutualExclusionRegion(I))
+          LockedWrites.insert(Root);
+        else
+          UnlockedWrites.insert(Root);
+      }
+      if (const auto *CI = dyn_cast<CallInst>(I)) {
+        const std::string &Name = CI->getCallee()->getName();
+        if (Name == intrinsics::BarrierMarker)
+          Facts.HasBarrier = true;
+        else if (Name == intrinsics::Print || Name == intrinsics::PrintF)
+          Facts.HasPrint = true;
+        else if (Name == intrinsics::RegionBegin) {
+          if (const auto *IdC = dyn_cast<ConstantInt>(CI->getArg(0)))
+            if (const Directive *D = M.getParallelInfo().getDirective(
+                    static_cast<unsigned>(IdC->getValue())))
+              Facts.RegionKinds.insert(D->Kind);
+        } else if (!CI->getCallee()->isDeclaration())
+          Facts.HasDefinedCalls = true;
+      }
+      if (Regions.inOrderedRegion(I))
+        Facts.OrderedInsts.insert(I);
+    }
+  }
+  for (const Value *V : LockedWrites)
+    if (!UnlockedWrites.count(V))
+      Facts.MutexSafeWritten.insert(V);
+  (void)FA;
+  return Facts;
+}
+
+/// Fills iteration space + privatization lists shared by all kinds.
+/// Returns empty string on success, else the failure reason.
+std::string fillCommon(LoopSchedule &LS, const Function &F,
+                       const FunctionAnalysis &FA, const Loop &L,
+                       const LoopFacts &Facts) {
+  const ForLoopMeta *Meta = FA.forMeta(&L);
+  if (!Meta || !Meta->Canonical)
+    return "not a canonical counted loop";
+  long Trip = Meta->tripCount();
+  if (Trip < 0)
+    return "non-constant trip count";
+  if (!Facts.SingleExit || !Facts.Exit || !Facts.BodyEntry)
+    return "irregular exit structure";
+  if (Facts.HasRet)
+    return "return inside loop";
+  if (Facts.HasBarrier)
+    return "barrier inside loop";
+
+  LS.F = &F;
+  LS.Header = L.getHeader();
+  LS.Depth = L.getDepth();
+  LS.IVStorage = Meta->CounterStorage;
+  LS.Init = Meta->InitVal;
+  LS.Step = Meta->Step;
+  LS.Trip = Trip;
+  LS.BodyEntry = Facts.BodyEntry;
+  LS.Exit = Facts.Exit;
+  LS.Blocks.insert(L.blocks().begin(), L.blocks().end());
+  return "";
+}
+
+/// Privatization classification of the written scalars. Returns "" on
+/// success (Privates/Reductions filled), else the failure reason.
+std::string classifyScalars(LoopSchedule &LS, const Function &F,
+                            const FunctionAnalysis &FA, const Loop &L,
+                            const LoopFacts &Facts) {
+  const Module &M = *F.getParent();
+  BasicBlock *Header = F.getBlock(L.getHeader());
+
+  std::set<const Value *> Priv = computeIterationPrivateScalars(FA, L);
+  std::map<const Value *, ReduceOp> Reds;
+  for (const Directive *D : M.getParallelInfo().directivesForLoop(Header)) {
+    for (const VarRef &V : D->Privates)
+      Priv.insert(V.Storage);
+    for (const LiveOutClause &C : D->LiveOuts)
+      Priv.insert(C.Var.Storage);
+    for (const ReductionClause &R : D->Reductions) {
+      if (R.Op == ReduceOp::Custom)
+        return "custom reduction operator";
+      Reds[R.Var.Storage] = R.Op;
+    }
+  }
+
+  for (const Value *W : Facts.Written) {
+    if (W == LS.IVStorage)
+      continue;
+    if (!isScalarStorage(W)) {
+      // Arrays and argument-aliased objects: safety comes from the view's
+      // dependence edges (or the runtime lock for orderless conflicts).
+      continue;
+    }
+    if (Reds.count(W))
+      continue;
+    if (Priv.count(W))
+      continue;
+    if (Facts.MutexSafeWritten.count(W))
+      continue; // orderless update under the runtime region lock
+    return std::string("unprivatizable scalar write to '") +
+           (W->getName().empty() ? "?" : W->getName()) + "'";
+  }
+
+  for (const Value *P : Priv)
+    LS.Privates.push_back({P});
+  for (auto &[V, Op] : Reds)
+    LS.Reductions.push_back({V, Op, isFloatStorage(V)});
+  return "";
+}
+
+std::string tryDOALL(LoopSchedule &LS, const Function &F,
+                     const FunctionAnalysis &FA, const Loop &L,
+                     const LoopFacts &Facts, const LoopPlanView &PV,
+                     const LoopSCCDAG &DAG) {
+  if (!PV.TripCountable)
+    return "not trip-countable under this view";
+  if (!DAG.allParallel())
+    return "sequential SCCs remain";
+  for (const LoopDepEdge &E : PV.Edges)
+    if (E.CarriedAtLoop)
+      return "loop-carried dependence remains";
+  if (Facts.WritesThreadPrivate)
+    return "writes threadprivate storage";
+  for (DirectiveKind K : Facts.RegionKinds)
+    if (K == DirectiveKind::Ordered || K == DirectiveKind::Single ||
+        K == DirectiveKind::Master)
+      return "ordered/single/master region inside";
+  if (std::string R = classifyScalars(LS, F, FA, L, Facts); !R.empty())
+    return R;
+
+  BasicBlock *Header = F.getBlock(L.getHeader());
+  for (const Directive *D :
+       F.getParent()->getParallelInfo().directivesForLoop(Header))
+    if (D->ChunkSize > 0)
+      LS.Chunk = D->ChunkSize;
+  LS.Kind = ScheduleKind::DOALL;
+  return "";
+}
+
+std::string tryHELIX(LoopSchedule &LS, const Function &F,
+                     const FunctionAnalysis &FA, const Loop &L,
+                     const LoopFacts &Facts, const LoopPlanView &PV,
+                     const LoopSCCDAG &DAG, const RegionMap &Regions) {
+  if (!PV.TripCountable)
+    return "not trip-countable under this view";
+  if (DAG.numSCCs() == 0 ||
+      DAG.numSequentialSCCs() >= DAG.numSCCs())
+    return "no parallel SCCs to overlap";
+  if (Facts.WritesThreadPrivate)
+    return "writes threadprivate storage";
+  for (DirectiveKind K : Facts.RegionKinds)
+    if (K == DirectiveKind::Single || K == DirectiveKind::Master)
+      return "single/master region inside";
+  // Every carried dependence must land in a sequential SCC: the
+  // iteration-order gate serializes exactly those instructions.
+  std::map<const Instruction *, unsigned> SCCOf;
+  for (unsigned I = 0; I < PV.Insts.size(); ++I)
+    SCCOf[PV.Insts[I]] = DAG.sccOf(I);
+  for (const LoopDepEdge &E : PV.Edges)
+    if (E.CarriedAtLoop && !DAG.isSequential(DAG.sccOf(E.Dst)))
+      return "carried dependence into a parallel SCC";
+  // Ordered-region content must be gated too (iteration order).
+  for (const Instruction *I : Facts.OrderedInsts) {
+    auto It = SCCOf.find(I);
+    if (It != SCCOf.end() && !DAG.isSequential(It->second))
+      return "ordered region content not sequential";
+  }
+  if (std::string R = classifyScalars(LS, F, FA, L, Facts); !R.empty())
+    return R;
+
+  // Deadlock avoidance: a critical/atomic region whose content is gated
+  // must acquire the gate BEFORE its runtime lock, or the lock holder can
+  // wait on the gate while the gate owner waits on the lock. Gating the
+  // region-begin marker itself enforces the gate→lock order.
+  std::map<const Directive *, unsigned> GatedRegions;
+  for (unsigned I = 0; I < PV.Insts.size(); ++I) {
+    if (!DAG.isSequential(DAG.sccOf(I)))
+      continue;
+    if (const Directive *D =
+            Regions.enclosing(PV.Insts[I], DirectiveKind::Critical))
+      GatedRegions[D] = DAG.sccOf(I);
+    if (const Directive *D =
+            Regions.enclosing(PV.Insts[I], DirectiveKind::Atomic))
+      GatedRegions[D] = DAG.sccOf(I);
+  }
+  if (!GatedRegions.empty()) {
+    const Module &M = *F.getParent();
+    for (unsigned BI : L.blocks())
+      for (const Instruction *I : *F.getBlock(BI))
+        if (const auto *CI = dyn_cast<CallInst>(I))
+          if (CI->getCallee()->getName() == intrinsics::RegionBegin)
+            if (const auto *IdC = dyn_cast<ConstantInt>(CI->getArg(0)))
+              if (const Directive *D = M.getParallelInfo().getDirective(
+                      static_cast<unsigned>(IdC->getValue()))) {
+                auto It = GatedRegions.find(D);
+                if (It != GatedRegions.end())
+                  SCCOf[I] = It->second;
+              }
+  }
+
+  LS.SCCOf = std::move(SCCOf);
+  LS.SCCIsSeq.resize(DAG.numSCCs());
+  for (unsigned S = 0; S < DAG.numSCCs(); ++S)
+    LS.SCCIsSeq[S] = DAG.isSequential(S);
+  LS.Kind = ScheduleKind::HELIX;
+  return "";
+}
+
+std::string tryDSWP(LoopSchedule &LS, const Function &F,
+                    const FunctionAnalysis &FA, const Loop &L,
+                    const LoopFacts &Facts, const LoopPlanView &PV,
+                    const LoopSCCDAG &DAG, unsigned Threads) {
+  if (!PV.TripCountable)
+    return "not trip-countable under this view";
+  if (DAG.numSCCs() < 2)
+    return "fewer than two SCCs";
+  if (Threads < 2)
+    return "needs at least two threads";
+  if (Facts.HasDefinedCalls)
+    return "calls defined functions (stage recompute model)";
+  if (Facts.HasPrint)
+    return "prints inside loop";
+  if (Facts.WritesThreadPrivate)
+    return "writes threadprivate storage";
+  for (DirectiveKind K : Facts.RegionKinds)
+    if (K == DirectiveKind::Ordered || K == DirectiveKind::Single ||
+        K == DirectiveKind::Master)
+      return "ordered/single/master region inside";
+  BasicBlock *Header = F.getBlock(L.getHeader());
+  for (const Directive *D :
+       F.getParent()->getParallelInfo().directivesForLoop(Header))
+    if (!D->Reductions.empty() || !D->LiveOuts.empty())
+      return "reduction/live-out clauses (stage recompute model)";
+
+  // Stage assignment: SCCs in topological order (descending component
+  // index — Tarjan emits reverse-topologically), contiguous runs balanced
+  // by static instruction count.
+  unsigned NumSCCs = DAG.numSCCs();
+  unsigned K = std::min({Threads, NumSCCs, 4u});
+  std::vector<unsigned> TopoSCC(NumSCCs); // topological position → SCC id
+  for (unsigned C = 0; C < NumSCCs; ++C)
+    TopoSCC[NumSCCs - 1 - C] = C;
+  std::vector<uint64_t> Weight(NumSCCs, 0);
+  for (unsigned I = 0; I < PV.Insts.size(); ++I)
+    ++Weight[DAG.sccOf(I)];
+  uint64_t Total = PV.Insts.size();
+  std::vector<unsigned> StageOfSCC(NumSCCs, 0);
+  uint64_t Acc = 0;
+  unsigned Stage = 0;
+  for (unsigned T = 0; T < NumSCCs; ++T) {
+    unsigned C = TopoSCC[T];
+    // Keep at least one SCC per remaining stage.
+    unsigned Remaining = NumSCCs - T;
+    if (Stage + 1 < K && (Acc >= (Stage + 1) * Total / K ||
+                          Remaining <= K - Stage - 1))
+      ++Stage;
+    StageOfSCC[C] = Stage;
+    Acc += Weight[C];
+  }
+  unsigned NumStages = Stage + 1;
+  if (NumStages < 2)
+    return "stage partition collapsed";
+
+  // Carried dependences must stay inside one stage (each stage executes
+  // its iterations in order); cross-stage carried edges in topological
+  // direction are legal (token order covers them).
+  for (const LoopDepEdge &E : PV.Edges) {
+    unsigned SS = StageOfSCC[DAG.sccOf(E.Src)];
+    unsigned DS = StageOfSCC[DAG.sccOf(E.Dst)];
+    if (SS > DS)
+      return "dependence against pipeline order";
+  }
+  if (std::string R = classifyScalars(LS, F, FA, L, Facts); !R.empty())
+    return R;
+  if (!LS.Reductions.empty()) {
+    LS.Privates.clear();
+    LS.Reductions.clear();
+    return "reduction scalars (stage recompute model)";
+  }
+
+  for (unsigned I = 0; I < PV.Insts.size(); ++I) {
+    LS.StageOf[PV.Insts[I]] = StageOfSCC[DAG.sccOf(I)];
+    LS.InstIndex[PV.Insts[I]] = FA.indexOf(PV.Insts[I]);
+  }
+  LS.NumStages = NumStages;
+  LS.Kind = ScheduleKind::DSWP;
+  return "";
+}
+
+void planFunction(RuntimePlan &Plan, const Function &F,
+                  const FunctionAnalysis &FA, unsigned Threads) {
+  if (FA.loopInfo().loops().empty())
+    return;
+  const Module &M = *F.getParent();
+
+  auto Worksharing = [&](const Loop *L) -> bool {
+    BasicBlock *Header = F.getBlock(L->getHeader());
+    for (const Directive *D : M.getParallelInfo().directivesForLoop(Header))
+      if (D->Kind == DirectiveKind::ParallelFor ||
+          D->Kind == DirectiveKind::For)
+        return true;
+    return false;
+  };
+
+  DependenceInfo DI(FA);
+  std::unique_ptr<PSPDG> G;
+  if (Plan.Abs == AbstractionKind::PSPDG)
+    G = buildPSPDG(FA, DI, Plan.Features);
+  AbstractionView View(Plan.Abs, FA, DI, G.get());
+  RegionMap Regions(FA);
+
+  // Which loops the abstraction may re-plan (critical-path methodology):
+  // PDG outermost only; J&K outermost + worksharing inner (DOALL only);
+  // PS-PDG every loop.
+  bool InnerWorksharing = Plan.Abs == AbstractionKind::JK;
+  bool AllLoops = Plan.Abs == AbstractionKind::PSPDG;
+
+  for (const Loop *L : FA.loopInfo().loops()) {
+    bool Planned = L->getDepth() == 1 || AllLoops;
+    bool InnerWS = !Planned && InnerWorksharing && Worksharing(L);
+    if (!Planned && !InnerWS)
+      continue;
+
+    LoopPlanView PV = View.viewFor(*L);
+    LoopSCCDAG DAG(PV);
+    LoopFacts Facts = collectFacts(F, FA, Regions, *L);
+
+    LoopSchedule LS;
+    std::string Common = fillCommon(LS, F, FA, *L, Facts);
+    if (!Common.empty()) {
+      LS.F = &F;
+      LS.Header = L->getHeader();
+      LS.Depth = L->getDepth();
+      LS.Reason = Common;
+      Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
+      continue;
+    }
+
+    std::string DoallR = tryDOALL(LS, F, FA, *L, Facts, PV, DAG);
+    if (DoallR.empty()) {
+      LS.Reason = "DOALL";
+    } else if (InnerWS) {
+      // Inner worksharing loops the J&K view cannot prove stay sequential.
+      LS.Reason = "DOALL: " + DoallR;
+    } else {
+      LoopSchedule H = LS; // common fields, no DOALL residue
+      H.Privates.clear();
+      H.Reductions.clear();
+      std::string HelixR = tryHELIX(H, F, FA, *L, Facts, PV, DAG, Regions);
+      if (HelixR.empty()) {
+        LS = std::move(H);
+        LS.Reason = "HELIX";
+      } else {
+        LoopSchedule D = LS;
+        D.Privates.clear();
+        D.Reductions.clear();
+        std::string DswpR = tryDSWP(D, F, FA, *L, Facts, PV, DAG, Threads);
+        if (DswpR.empty()) {
+          LS = std::move(D);
+          LS.Reason = "DSWP";
+        } else {
+          LS.Privates.clear();
+          LS.Reductions.clear();
+          LS.Reason = "DOALL: " + DoallR + "; HELIX: " + HelixR +
+                      "; DSWP: " + DswpR;
+        }
+      }
+    }
+    Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
+  }
+}
+
+} // namespace
+
+RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
+                                  unsigned Threads,
+                                  const FeatureSet &Features) {
+  RuntimePlan Plan;
+  Plan.Abs = Kind;
+  Plan.Features = Features;
+  Plan.Threads = Threads == 0 ? 1 : Threads;
+  Plan.MA = std::make_shared<ModuleAnalyses>(M);
+  if (Kind == AbstractionKind::OpenMP)
+    return Plan; // no compiler plan view
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      planFunction(Plan, *F, Plan.MA->of(*F), Plan.Threads);
+  return Plan;
+}

@@ -1,0 +1,90 @@
+//===- SPSCQueue.h - Bounded single-producer/single-consumer queue -*- C++ -*-//
+///
+/// \file
+/// Lock-free bounded ring buffer connecting adjacent DSWP pipeline stages.
+/// Exactly one producer thread calls push/tryPush and exactly one consumer
+/// thread calls pop/tryPop. The acquire/release pairs on Head/Tail give the
+/// happens-before edge the pipeline relies on: everything stage s wrote
+/// before pushing iteration i's token is visible to stage s+1 after popping
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_RUNTIME_SPSCQUEUE_H
+#define PSPDG_RUNTIME_SPSCQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace psc {
+
+template <typename T> class SPSCQueue {
+public:
+  /// \p CapacityPow2 is rounded up to a power of two (slot count).
+  explicit SPSCQueue(size_t CapacityPow2 = 64) {
+    size_t N = 1;
+    while (N < CapacityPow2)
+      N <<= 1;
+    Slots.resize(N);
+    Mask = N - 1;
+  }
+
+  bool tryPush(T &&V) {
+    size_t T0 = Tail.load(std::memory_order_relaxed);
+    if (T0 - Head.load(std::memory_order_acquire) > Mask)
+      return false; // full
+    Slots[T0 & Mask] = std::move(V);
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool tryPop(T &Out) {
+    size_t H0 = Head.load(std::memory_order_relaxed);
+    if (H0 == Tail.load(std::memory_order_acquire))
+      return false; // empty
+    Out = std::move(Slots[H0 & Mask]);
+    Head.store(H0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push; spins with yield. Returns false if the queue is closed
+  /// (consumer died / run aborted).
+  bool push(T V) {
+    while (!tryPush(std::move(V))) {
+      if (Closed.load(std::memory_order_relaxed))
+        return false;
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  /// Blocking pop; returns false once the queue is closed and drained.
+  bool pop(T &Out) {
+    while (!tryPop(Out)) {
+      if (Closed.load(std::memory_order_acquire))
+        return tryPop(Out); // drain race: one final attempt
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  /// Unblocks both ends; pending pops drain remaining items first.
+  void close() { Closed.store(true, std::memory_order_release); }
+  bool closed() const { return Closed.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return Mask + 1; }
+
+private:
+  std::vector<T> Slots;
+  size_t Mask = 0;
+  alignas(64) std::atomic<size_t> Head{0};
+  alignas(64) std::atomic<size_t> Tail{0};
+  std::atomic<bool> Closed{false};
+};
+
+} // namespace psc
+
+#endif // PSPDG_RUNTIME_SPSCQUEUE_H

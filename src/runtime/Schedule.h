@@ -1,0 +1,120 @@
+//===- Schedule.h - Runtime parallel schedules for planned loops -*- C++ -*-===//
+///
+/// \file
+/// The runtime plan: for every loop an abstraction may re-plan, the
+/// concrete schedule the parallel engine will execute — or Sequential with
+/// a reason string when the loop fails runtime validation. The plan
+/// compiler (PlanCompiler.cpp) derives schedules from the same
+/// AbstractionView/LoopSCCDAG pipeline the paper's §6 experiments use, but
+/// applies *stricter* checks: a schedule must not only be justified by the
+/// abstraction, it must be executable by the engine while reproducing the
+/// program's sequential output exactly.
+///
+/// Validation summary (engine contract):
+///   * iteration space — canonical counted loop, constant bounds, single
+///     exit through the header, no return inside;
+///   * DOALL  — zero loop-carried edges in the view; every written scalar
+///     is the IV, clause-private, clause-reduction, iteration-private, or
+///     written only under critical/atomic (runtime lock, orderless);
+///   * HELIX  — every carried edge lands in a sequential SCC (the
+///     iteration-order gate covers it); ordered-region content sequential;
+///   * DSWP   — SCC stages in topological order; carried edges stay inside
+///     a stage; no defined calls / prints / reductions (stage recompute
+///     model);
+///   * loops writing threadprivate storage are never parallelized: their
+///     dependence removal encodes per-thread semantics the sequential
+///     output model cannot honor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_RUNTIME_SCHEDULE_H
+#define PSPDG_RUNTIME_SCHEDULE_H
+
+#include "analysis/FunctionAnalysis.h"
+#include "ir/ParallelInfo.h"
+#include "parallel/AbstractionView.h"
+#include "pspdg/Features.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace psc {
+
+enum class ScheduleKind { Sequential, DOALL, HELIX, DSWP };
+
+const char *scheduleKindName(ScheduleKind K);
+
+/// A scalar storage privatized per worker (copy-in, last-iteration-owner
+/// copy-out).
+struct PrivateVar {
+  const Value *Storage = nullptr;
+};
+
+/// A reduction scalar: per-worker identity-initialized partials, merged in
+/// worker order after the join.
+struct ReductionVar {
+  const Value *Storage = nullptr;
+  ReduceOp Op = ReduceOp::Add;
+  bool IsFloat = false;
+};
+
+/// Executable schedule of one loop.
+struct LoopSchedule {
+  ScheduleKind Kind = ScheduleKind::Sequential;
+  std::string Reason; ///< Why this kind (diagnostic; set for Sequential too).
+
+  const Function *F = nullptr;
+  unsigned Header = 0;
+  unsigned Depth = 0;
+
+  // Canonical iteration space.
+  const Value *IVStorage = nullptr;
+  long Init = 0, Step = 1, Trip = 0;
+  const BasicBlock *BodyEntry = nullptr; ///< Header's in-loop successor.
+  const BasicBlock *Exit = nullptr;      ///< Header's out-of-loop successor.
+  std::set<unsigned> Blocks;             ///< Loop block indices (incl. nested).
+
+  std::vector<PrivateVar> Privates;
+  std::vector<ReductionVar> Reductions;
+  long Chunk = 0; ///< DOALL chunk size; 0 = trip/(threads*4).
+
+  // HELIX: SCC classification for the iteration-order gate.
+  std::map<const Instruction *, unsigned> SCCOf;
+  std::vector<bool> SCCIsSeq;
+
+  // DSWP: pipeline stage per instruction, stages in topological order.
+  std::map<const Instruction *, unsigned> StageOf;
+  unsigned NumStages = 0;
+  /// Program-order index per instruction (shadow-store tie-breaking).
+  std::map<const Instruction *, unsigned> InstIndex;
+};
+
+/// Whole-module runtime plan under one abstraction.
+struct RuntimePlan {
+  AbstractionKind Abs = AbstractionKind::PSPDG;
+  FeatureSet Features;
+  unsigned Threads = 1;
+  /// Keeps Loop/analysis object lifetimes for the schedules below.
+  std::shared_ptr<ModuleAnalyses> MA;
+  std::map<std::pair<const Function *, unsigned>, LoopSchedule> Loops;
+
+  const LoopSchedule *scheduleFor(const Function *F, unsigned Header) const {
+    auto It = Loops.find({F, Header});
+    return It == Loops.end() ? nullptr : &It->second;
+  }
+};
+
+/// Compiles the runtime plan for \p M under abstraction \p Kind (PDG, J&K,
+/// or PS-PDG; OpenMP has no compiler plan view). Loops each abstraction may
+/// re-plan mirror the critical-path methodology: PDG outermost loops, J&K
+/// outermost + worksharing inner loops, PS-PDG every loop.
+RuntimePlan buildRuntimePlan(const Module &M, AbstractionKind Kind,
+                             unsigned Threads,
+                             const FeatureSet &Features = FeatureSet());
+
+} // namespace psc
+
+#endif // PSPDG_RUNTIME_SCHEDULE_H

@@ -1,0 +1,91 @@
+//===- ThreadPool.cpp -----------------------------------------*- C++ -*-===//
+
+#include "runtime/ThreadPool.h"
+
+#include <chrono>
+
+using namespace psc;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned W = 0; W < NumThreads; ++W)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(NumThreads);
+  for (unsigned W = 0; W < NumThreads; ++W)
+    Threads.emplace_back([this, W] { workerLoop(W); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  Stop.store(true);
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Q = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+               Workers.size();
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(Workers[Q]->Mu);
+    Workers[Q]->Q.push_back(std::move(Task));
+  }
+  WakeCv.notify_all();
+}
+
+std::function<void()> ThreadPool::take(unsigned Self) {
+  unsigned N = static_cast<unsigned>(Workers.size());
+  // Own deque: LIFO.
+  if (Self < N) {
+    Worker &W = *Workers[Self];
+    std::lock_guard<std::mutex> Lock(W.Mu);
+    if (!W.Q.empty()) {
+      auto Task = std::move(W.Q.back());
+      W.Q.pop_back();
+      return Task;
+    }
+  }
+  // Steal: FIFO from the other workers.
+  for (unsigned D = 0; D < N; ++D) {
+    unsigned V = (Self + 1 + D) % N;
+    Worker &W = *Workers[V];
+    std::lock_guard<std::mutex> Lock(W.Mu);
+    if (!W.Q.empty()) {
+      auto Task = std::move(W.Q.front());
+      W.Q.pop_front();
+      return Task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  while (!Stop.load(std::memory_order_relaxed)) {
+    std::function<void()> Task = take(Self);
+    if (Task) {
+      Task();
+      Pending.fetch_sub(1, std::memory_order_release);
+      WakeCv.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(WakeMu);
+    WakeCv.wait_for(Lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadPool::wait() {
+  // Lend this thread to the pool: steal with an out-of-range self id.
+  while (Pending.load(std::memory_order_acquire) != 0) {
+    std::function<void()> Task = take(static_cast<unsigned>(Workers.size()));
+    if (Task) {
+      Task();
+      Pending.fetch_sub(1, std::memory_order_release);
+      WakeCv.notify_all();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}

@@ -1,0 +1,70 @@
+//===- ThreadPool.h - Work-stealing thread pool ------------------*- C++ -*-===//
+///
+/// \file
+/// The worker pool behind the parallel plan-execution engine. Each worker
+/// owns a deque: it pushes/pops its own work LIFO and steals FIFO from the
+/// other workers when empty — the classic work-stealing arrangement, here
+/// with small mutex-guarded deques (plan schedules produce tens of coarse
+/// tasks, not millions of fine ones).
+///
+/// Scheduler contract: tasks that busy-wait on one another (HELIX gates,
+/// DSWP queue pops) must not outnumber the pool's workers, or the waited-on
+/// task may never get a thread. The schedulers size their task sets to
+/// numWorkers() accordingly. wait() lends the calling thread to the pool,
+/// so the caller never idles while work is pending.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_RUNTIME_THREADPOOL_H
+#define PSPDG_RUNTIME_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psc {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (min 1).
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues a task (round-robin over worker deques).
+  void submit(std::function<void()> Task);
+
+  /// Runs tasks on the calling thread until every submitted task finished.
+  void wait();
+
+private:
+  struct Worker {
+    std::mutex Mu;
+    std::deque<std::function<void()>> Q;
+  };
+
+  void workerLoop(unsigned Self);
+  /// Pops own work (back) or steals (front); empty function if none.
+  std::function<void()> take(unsigned Self);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::mutex WakeMu;
+  std::condition_variable WakeCv;
+  std::atomic<uint64_t> Pending{0}; ///< submitted, not yet finished
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> NextQueue{0};
+};
+
+} // namespace psc
+
+#endif // PSPDG_RUNTIME_THREADPOOL_H

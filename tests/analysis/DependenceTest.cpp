@@ -116,8 +116,9 @@ int main() {
 }
 )");
   for (const DepEdge &E : C.DI->edges())
-    if (E.isMemory() && E.MemObject)
+    if (E.isMemory() && E.MemObject) {
       EXPECT_NE(E.MemObject->getName(), "b"); // reads of b conflict with nothing
+    }
 }
 
 TEST(DependenceTest, OuterCarriedInnerIndependent) {

@@ -29,7 +29,7 @@ TEST(InterpreterTest, IntegerArithmetic) {
 
 TEST(InterpreterTest, BitwiseOps) {
   EXPECT_EQ(run("int main() { return (12 & 10) | (1 << 4) ^ 3; }").ExitValue,
-            (12 & 10) | (1 << 4) ^ 3);
+            (12 & 10) | ((1 << 4) ^ 3));
 }
 
 TEST(InterpreterTest, FloatArithmeticAndConversion) {

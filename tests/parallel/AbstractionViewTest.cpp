@@ -218,9 +218,10 @@ int main() {
   const Loop *L = loopAt(*V.C.FA, 0);
   LoopPlanView PV = V.PSView->viewFor(*L);
   for (Instruction *I : PV.Insts)
-    if (auto *CI = dyn_cast<CallInst>(I))
+    if (auto *CI = dyn_cast<CallInst>(I)) {
       EXPECT_FALSE(
           Module::isMarkerIntrinsicName(CI->getCallee()->getName()));
+    }
 }
 
 } // namespace

@@ -135,8 +135,9 @@ int main() {
   // And the directed carried conflicts on hist at that loop are gone.
   const Loop *L = loopAt(*C.FA, 0);
   for (const PSDirectedEdge &E : G->directedEdges())
-    if (E.MemObject && E.MemObject->getName() == "hist")
+    if (E.MemObject && E.MemObject->getName() == "hist") {
       EXPECT_FALSE(E.CarriedAtHeaders.count(L->getHeader()));
+    }
 }
 
 TEST(PSPDGBuilderTest, OrderedRegionKeepsDirectedEdges) {
@@ -179,8 +180,9 @@ int main() {
   auto G = build(C);
   const Loop *L = loopAt(*C.FA, 0);
   for (const PSDirectedEdge &E : G->directedEdges())
-    if (E.MemObject && E.MemObject->getName() == "a")
+    if (E.MemObject && E.MemObject->getName() == "a") {
       EXPECT_FALSE(E.CarriedAtHeaders.count(L->getHeader()));
+    }
 
   // Without contexts the declaration cannot be scoped: deps stay.
   auto G2 = build(C, FeatureSet::withoutContexts());
@@ -214,8 +216,9 @@ int main() {
   // Carried deps on s at the annotated loop are gone.
   const Loop *L = loopAt(*C.FA, 0);
   for (const PSDirectedEdge &E : G->directedEdges())
-    if (E.MemObject && E.MemObject->getName() == "s")
+    if (E.MemObject && E.MemObject->getName() == "s") {
       EXPECT_FALSE(E.CarriedAtHeaders.count(L->getHeader()));
+    }
 }
 
 TEST(PSPDGBuilderTest, WithoutPSVReductionDepsStay) {

@@ -41,8 +41,9 @@ int main() {
   ASSERT_NE(G->loopNode(L->getHeader()), NoContext);
   EXPECT_TRUE(G->node(G->loopNode(L->getHeader())).IsContext);
   for (const PSDirectedEdge &E : G->directedEdges())
-    if (E.MemObject && E.MemObject->getName() == "a")
+    if (E.MemObject && E.MemObject->getName() == "a") {
       EXPECT_TRUE(E.CarriedAtHeaders.empty());
+    }
 }
 
 TEST(SufficiencyTest, IndependenceScopedToAnnotatedLoopOnly) {

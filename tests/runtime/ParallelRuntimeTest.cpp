@@ -1,0 +1,358 @@
+//===- ParallelRuntimeTest.cpp - Parallel vs sequential equivalence -------===//
+///
+/// The engine's contract: executing any compiled plan produces exactly the
+/// sequential Interpreter's output and exit value — per workload, per
+/// thread count, deterministically. Plus targeted correctness tests for
+/// privatized and reduction variables under 1/2/8 threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+ParallelRunResult runParallel(const Module &M, AbstractionKind Abs,
+                              unsigned Threads) {
+  RuntimePlan Plan = buildRuntimePlan(M, Abs, Threads);
+  ParallelRuntime RT(M, Plan);
+  return RT.run();
+}
+
+void expectEquivalent(const Module &M, AbstractionKind Abs, unsigned Threads,
+                      const std::string &What) {
+  Interpreter Seq(M);
+  RunResult SeqR = Seq.run();
+  ParallelRunResult Par = runParallel(M, Abs, Threads);
+  EXPECT_TRUE(Par.Error.empty())
+      << What << ": " << Par.Error << " (threads=" << Threads << ")";
+  EXPECT_EQ(Par.R.ExitValue, SeqR.ExitValue)
+      << What << " threads=" << Threads;
+  EXPECT_EQ(Par.R.Output, SeqR.Output) << What << " threads=" << Threads;
+}
+
+// --- Workload equivalence ----------------------------------------------------
+
+class WorkloadEquivalence
+    : public ::testing::TestWithParam<std::tuple<Workload, unsigned>> {};
+
+TEST_P(WorkloadEquivalence, ParallelMatchesSequential) {
+  const Workload &W = std::get<0>(GetParam());
+  unsigned Threads = std::get<1>(GetParam());
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  expectEquivalent(*M, AbstractionKind::PSPDG, Threads, W.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadEquivalence,
+    ::testing::Combine(::testing::ValuesIn(nasWorkloads()),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<Workload, unsigned>> &I) {
+      return std::get<0>(I.param).Name + "_t" +
+             std::to_string(std::get<1>(I.param));
+    });
+
+TEST(ParallelRuntimeTest, WorkloadsMatchUnderPDGAndJKPlans) {
+  // Spot-check the weaker abstractions' plans on two workloads each.
+  for (const char *Name : {"EP", "LU"}) {
+    auto M = compile(findWorkload(Name)->Source);
+    ASSERT_NE(M, nullptr);
+    expectEquivalent(*M, AbstractionKind::PDG, 4, std::string(Name) + "/pdg");
+    expectEquivalent(*M, AbstractionKind::JK, 4, std::string(Name) + "/jk");
+  }
+}
+
+TEST(ParallelRuntimeTest, ParallelRunsAreDeterministic) {
+  auto M = compile(findWorkload("CG")->Source);
+  ASSERT_NE(M, nullptr);
+  ParallelRunResult A = runParallel(*M, AbstractionKind::PSPDG, 8);
+  ParallelRunResult B = runParallel(*M, AbstractionKind::PSPDG, 8);
+  ASSERT_TRUE(A.Error.empty());
+  EXPECT_EQ(A.R.Output, B.R.Output);
+  EXPECT_EQ(A.R.ExitValue, B.R.ExitValue);
+  EXPECT_EQ(A.R.InstructionsExecuted, B.R.InstructionsExecuted);
+}
+
+TEST(ParallelRuntimeTest, SequentialFallbackIsDeterministic) {
+  // A plan with no parallelizable loops degenerates to the interpreter;
+  // two runs and the sequential run agree exactly.
+  auto M = compile(R"PSC(
+int s = 0;
+int main() {
+  int i;
+  for (i = 0; i < 100; i++) {
+    s = s + i * i;
+  }
+  print(s);
+  return s % 127;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  Interpreter Seq(*M);
+  RunResult SeqR = Seq.run();
+  ParallelRunResult A = runParallel(*M, AbstractionKind::PSPDG, 8);
+  ParallelRunResult B = runParallel(*M, AbstractionKind::PSPDG, 8);
+  EXPECT_EQ(A.R.Output, SeqR.Output);
+  EXPECT_EQ(A.R.ExitValue, SeqR.ExitValue);
+  EXPECT_EQ(B.R.Output, A.R.Output);
+  EXPECT_EQ(B.R.InstructionsExecuted, A.R.InstructionsExecuted);
+}
+
+// --- Privatization and reductions -------------------------------------------
+
+class ThreadCountTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadCountTest, IntAddReduction) {
+  auto M = compile(R"PSC(
+int s = 0;
+int main() {
+  int i;
+  #pragma psc parallel for reduction(+: s)
+  for (i = 0; i < 1000; i++) {
+    s = s + i;
+  }
+  print(s);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  ParallelRunResult R = runParallel(*M, AbstractionKind::PSPDG, GetParam());
+  ASSERT_TRUE(R.Error.empty());
+  ASSERT_EQ(R.R.Output.size(), 1u);
+  EXPECT_EQ(R.R.Output[0], "499500");
+}
+
+TEST_P(ThreadCountTest, MinMaxMulReductions) {
+  auto M = compile(R"PSC(
+int mn = 1000000;
+int mx = -1000000;
+int pr = 1;
+int main() {
+  int i;
+  int v;
+  #pragma psc parallel for reduction(min: mn) reduction(max: mx) private(v)
+  for (i = 0; i < 64; i++) {
+    v = (i * 37) % 101 - 50;
+    mn = imin(mn, v);
+    mx = imax(mx, v);
+  }
+  #pragma psc parallel for reduction(*: pr)
+  for (i = 1; i < 11; i++) {
+    pr = pr * i;
+  }
+  print(mn);
+  print(mx);
+  print(pr);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  Interpreter Seq(*M);
+  RunResult SeqR = Seq.run();
+  ParallelRunResult R = runParallel(*M, AbstractionKind::PSPDG, GetParam());
+  ASSERT_TRUE(R.Error.empty());
+  EXPECT_EQ(R.R.Output, SeqR.Output);
+  ASSERT_EQ(R.R.Output.size(), 3u);
+  EXPECT_EQ(R.R.Output[2], "3628800"); // 10!
+}
+
+TEST_P(ThreadCountTest, FloatAddReductionExactDyadicSums) {
+  // Summands are multiples of 2^-10, so chunked partial sums are exact and
+  // must match the sequential fold bit-for-bit.
+  auto M = compile(R"PSC(
+double s = 0.0;
+int main() {
+  int i;
+  double x;
+  int c;
+  #pragma psc parallel for reduction(+: s) private(x)
+  for (i = 0; i < 512; i++) {
+    x = (i % 64) / 64.0;
+    s = s + x;
+  }
+  c = s * 64.0;
+  print(c);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  Interpreter Seq(*M);
+  RunResult SeqR = Seq.run();
+  ParallelRunResult R = runParallel(*M, AbstractionKind::PSPDG, GetParam());
+  ASSERT_TRUE(R.Error.empty());
+  EXPECT_EQ(R.R.Output, SeqR.Output);
+}
+
+TEST_P(ThreadCountTest, PrivateScalarsDoNotInterfere) {
+  auto M = compile(R"PSC(
+int out[256];
+int main() {
+  int i;
+  int t;
+  int u;
+  #pragma psc parallel for private(t, u)
+  for (i = 0; i < 256; i++) {
+    t = i * 3;
+    u = t + 7;
+    out[i] = u * u;
+  }
+  print(out[0]);
+  print(out[100]);
+  print(out[255]);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  Interpreter Seq(*M);
+  RunResult SeqR = Seq.run();
+  ParallelRunResult R = runParallel(*M, AbstractionKind::PSPDG, GetParam());
+  ASSERT_TRUE(R.Error.empty());
+  EXPECT_EQ(R.R.Output, SeqR.Output);
+}
+
+TEST_P(ThreadCountTest, HELIXRecurrenceMatchesSequential) {
+  auto M = compile(R"PSC(
+double a[512];
+double r[512];
+int main() {
+  int j;
+  int c;
+  double s;
+  for (j = 0; j < 512; j++) {
+    a[j] = (j % 7) / 8.0;
+    r[j] = (j % 5) / 8.0;
+  }
+  for (j = 1; j < 512; j++) {
+    a[j] = r[j] + 0.5 * a[j - 1];
+  }
+  s = 0.0;
+  for (j = 0; j < 512; j++) {
+    s = s + a[j];
+  }
+  c = s * 16.0;
+  print(c);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  expectEquivalent(*M, AbstractionKind::PSPDG, GetParam(), "helix");
+}
+
+TEST_P(ThreadCountTest, DSWPWavefrontMatchesSequential) {
+  auto M = compile(R"PSC(
+double v[1024];
+int main() {
+  int i;
+  int j;
+  double s;
+  int c;
+  for (i = 0; i < 1024; i++) {
+    v[i] = ((i * 13) % 50) / 64.0;
+  }
+  #pragma psc parallel for ordered private(j)
+  for (i = 30; i >= 1; i--) {
+    #pragma psc ordered
+    {
+      for (j = 30; j >= 1; j--) {
+        v[i * 32 + j] = v[i * 32 + j]
+                      + 0.25 * v[(i + 1) * 32 + j]
+                      + 0.25 * v[i * 32 + (j + 1)];
+      }
+    }
+  }
+  s = 0.0;
+  for (i = 0; i < 1024; i++) {
+    s = s + v[i];
+  }
+  c = s * 64.0;
+  print(c);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  expectEquivalent(*M, AbstractionKind::PSPDG, GetParam(), "dswp");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTest,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned> &I) {
+                           return "t" + std::to_string(I.param);
+                         });
+
+// --- Output ordering ---------------------------------------------------------
+
+TEST(ParallelRuntimeTest, PrintsInsideDOALLKeepSequentialOrder) {
+  auto M = compile(R"PSC(
+int main() {
+  int i;
+  for (i = 0; i < 50; i++) {
+    print(i * i);
+  }
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  Interpreter Seq(*M);
+  RunResult SeqR = Seq.run();
+  ASSERT_EQ(SeqR.Output.size(), 50u);
+  for (unsigned T : {2u, 8u}) {
+    ParallelRunResult R = runParallel(*M, AbstractionKind::PSPDG, T);
+    ASSERT_TRUE(R.Error.empty());
+    EXPECT_EQ(R.R.Output, SeqR.Output) << "threads=" << T;
+  }
+}
+
+TEST(ParallelRuntimeTest, BudgetAbortInsideCriticalRegionReleasesLock) {
+  // Regression: a worker aborting between region_begin and region_end must
+  // not leak the shared region lock (other workers would block forever and
+  // ExecState would be destroyed with the mutex held).
+  auto M = compile(R"PSC(
+int q[8];
+int main() {
+  int i;
+  int v;
+  #pragma psc parallel for private(v)
+  for (i = 0; i < 256; i++) {
+    v = i % 8;
+    #pragma psc atomic
+    q[v] += 1;
+  }
+  return q[0];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  ParallelRuntime RT(*M, Plan);
+  RT.setInstructionBudget(400); // aborts with workers mid-loop
+  ParallelRunResult R = RT.run(); // must terminate, not hang
+  EXPECT_FALSE(R.R.Completed);
+}
+
+TEST(ParallelRuntimeTest, BudgetExhaustionAbortsCleanly) {
+  auto M = compile(R"PSC(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    a[i] = i;
+  }
+  return a[63];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  ParallelRuntime RT(*M, Plan);
+  RT.setInstructionBudget(50); // far below the loop's dynamic count
+  ParallelRunResult R = RT.run();
+  EXPECT_FALSE(R.R.Completed);
+}
+
+} // namespace

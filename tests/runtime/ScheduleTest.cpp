@@ -1,0 +1,266 @@
+//===- ScheduleTest.cpp - Runtime plan compiler validations -------*- C++ -*-=//
+///
+/// Tests for buildRuntimePlan: which loops become DOALL/HELIX/DSWP, and —
+/// critically — which must NOT. The headline regression: a loop with a
+/// loop-carried dependence is never scheduled as DOALL under any
+/// abstraction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "runtime/Schedule.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+/// Schedule of the loop whose header block name starts with \p Prefix.
+const LoopSchedule *scheduleByHeader(const RuntimePlan &Plan,
+                                     const std::string &Prefix) {
+  for (const auto &[Key, LS] : Plan.Loops) {
+    const std::string &Name = Key.first->getBlock(Key.second)->getName();
+    if (Name.rfind(Prefix, 0) == 0)
+      return &LS;
+  }
+  return nullptr;
+}
+
+TEST(ScheduleTest, IndependentLoopIsDOALL) {
+  auto M = compile(R"PSC(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    a[i] = i * 3;
+  }
+  return a[7];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  for (AbstractionKind K :
+       {AbstractionKind::PDG, AbstractionKind::JK, AbstractionKind::PSPDG}) {
+    RuntimePlan Plan = buildRuntimePlan(*M, K, 4);
+    const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+    ASSERT_NE(LS, nullptr);
+    EXPECT_EQ(LS->Kind, ScheduleKind::DOALL) << abstractionName(K);
+    EXPECT_EQ(LS->Trip, 64);
+    EXPECT_EQ(LS->Init, 0);
+    EXPECT_EQ(LS->Step, 1);
+  }
+}
+
+TEST(ScheduleTest, CarriedDependenceIsNeverDOALL) {
+  // Regression: the recurrence a[i] = a[i-1] + 1 must never be DOALL.
+  auto M = compile(R"PSC(
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i++) {
+    a[i] = a[i - 1] + 1;
+  }
+  return a[63];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  for (AbstractionKind K :
+       {AbstractionKind::PDG, AbstractionKind::JK, AbstractionKind::PSPDG}) {
+    RuntimePlan Plan = buildRuntimePlan(*M, K, 8);
+    const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+    ASSERT_NE(LS, nullptr);
+    EXPECT_NE(LS->Kind, ScheduleKind::DOALL) << abstractionName(K);
+  }
+}
+
+TEST(ScheduleTest, ReductionClauseRecordedForDOALL) {
+  auto M = compile(R"PSC(
+int s = 0;
+int main() {
+  int i;
+  #pragma psc parallel for reduction(+: s)
+  for (i = 0; i < 128; i++) {
+    s = s + i;
+  }
+  return s;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+  ASSERT_NE(LS, nullptr);
+  EXPECT_EQ(LS->Kind, ScheduleKind::DOALL);
+  ASSERT_EQ(LS->Reductions.size(), 1u);
+  EXPECT_EQ(LS->Reductions[0].Op, ReduceOp::Add);
+  EXPECT_FALSE(LS->Reductions[0].IsFloat);
+}
+
+TEST(ScheduleTest, UnprivatizableSharedScalarStaysSequential) {
+  // s carries a dependence and has no reduction clause: not parallel.
+  auto M = compile(R"PSC(
+int s = 0;
+int main() {
+  int i;
+  for (i = 0; i < 128; i++) {
+    s = s + i;
+  }
+  return s;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  for (AbstractionKind K :
+       {AbstractionKind::PDG, AbstractionKind::PSPDG}) {
+    RuntimePlan Plan = buildRuntimePlan(*M, K, 4);
+    const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+    ASSERT_NE(LS, nullptr);
+    EXPECT_EQ(LS->Kind, ScheduleKind::Sequential) << abstractionName(K);
+    EXPECT_FALSE(LS->Reason.empty());
+  }
+}
+
+TEST(ScheduleTest, ThreadPrivateWritingLoopIsNeverParallel) {
+  // Writes to threadprivate storage encode per-thread semantics the
+  // sequential-equivalence engine cannot honor (the IS histogram shape).
+  auto M = compile(R"PSC(
+int key[64];
+int buf[16];
+#pragma psc threadprivate(buf)
+int main() {
+  int i;
+  #pragma psc parallel
+  {
+    #pragma psc for
+    for (i = 0; i < 64; i++) {
+      buf[key[i]] += 1;
+    }
+  }
+  return buf[0];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  for (AbstractionKind K :
+       {AbstractionKind::JK, AbstractionKind::PSPDG}) {
+    RuntimePlan Plan = buildRuntimePlan(*M, K, 4);
+    const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+    ASSERT_NE(LS, nullptr);
+    EXPECT_EQ(LS->Kind, ScheduleKind::Sequential) << abstractionName(K);
+  }
+}
+
+TEST(ScheduleTest, NonConstantTripCountStaysSequential) {
+  auto M = compile(R"PSC(
+int a[64];
+int main(){
+  int i;
+  int n;
+  n = a[0] + 10;
+  for (i = 0; i < n; i++) {
+    a[i] = i;
+  }
+  return a[5];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+  ASSERT_NE(LS, nullptr);
+  EXPECT_EQ(LS->Kind, ScheduleKind::Sequential);
+}
+
+TEST(ScheduleTest, NegativeStepLoopIsSchedulable) {
+  auto M = compile(R"PSC(
+int a[64];
+int main() {
+  int i;
+  for (i = 63; i >= 0; i--) {
+    a[i] = i * 2;
+  }
+  return a[10];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+  ASSERT_NE(LS, nullptr);
+  EXPECT_EQ(LS->Kind, ScheduleKind::DOALL);
+  EXPECT_EQ(LS->Init, 63);
+  EXPECT_EQ(LS->Step, -1);
+  EXPECT_EQ(LS->Trip, 64);
+}
+
+TEST(ScheduleTest, WavefrontRecurrencePipelines) {
+  // The LU reverse-wavefront shape: recurrence SCC + independent loads →
+  // DSWP (HELIX is blocked by the enclosing ordered region's content).
+  auto M = compile(R"PSC(
+double v[256];
+int main() {
+  int i;
+  int j;
+  #pragma psc parallel for ordered private(j)
+  for (i = 1; i < 15; i++) {
+    #pragma psc ordered
+    {
+      for (j = 1; j < 15; j++) {
+        v[i * 16 + j] = v[i * 16 + j] + 0.2 * v[i * 16 + (j - 1)];
+      }
+    }
+  }
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  const LoopSchedule *Inner = nullptr;
+  for (const auto &[Key, LS] : Plan.Loops)
+    if (LS.Depth == 2)
+      Inner = &LS;
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Kind, ScheduleKind::DSWP);
+  EXPECT_GE(Inner->NumStages, 2u);
+}
+
+TEST(ScheduleTest, RecurrenceWithParallelWorkPrefersHELIX) {
+  auto M = compile(R"PSC(
+double a[128];
+double r[128];
+int main() {
+  int j;
+  for (j = 1; j < 128; j++) {
+    a[j] = r[j] + 0.5 * a[j - 1];
+  }
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  const LoopSchedule *LS = scheduleByHeader(Plan, "for.header");
+  ASSERT_NE(LS, nullptr);
+  EXPECT_EQ(LS->Kind, ScheduleKind::HELIX);
+  EXPECT_GT(LS->SCCOf.size(), 0u);
+}
+
+TEST(ScheduleTest, WorkloadPlansContainParallelLoops) {
+  // Every NAS-like workload must yield at least one parallel loop under
+  // the PS-PDG plan, and EP's outer sampling loop must be DOALL.
+  for (const Workload &W : nasWorkloads()) {
+    auto M = compile(W.Source);
+    ASSERT_NE(M, nullptr) << W.Name;
+    RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+    unsigned Parallel = 0;
+    for (const auto &[Key, LS] : Plan.Loops)
+      if (LS.Kind != ScheduleKind::Sequential)
+        ++Parallel;
+    EXPECT_GT(Parallel, 0u) << W.Name;
+  }
+  auto EP = compile(findWorkload("EP")->Source);
+  ASSERT_NE(EP, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*EP, AbstractionKind::PSPDG, 8);
+  const LoopSchedule *Outer = scheduleByHeader(Plan, "for.header.0");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->Kind, ScheduleKind::DOALL);
+  EXPECT_EQ(Outer->Reductions.size(), 2u); // sx, sy
+}
+
+} // namespace

@@ -14,6 +14,10 @@
 ///     --options[=ABS]      Fig. 13 option totals for one abstraction
 ///     --critical-path      Fig. 14 critical paths under all abstractions
 ///     --run                execute and print output
+///     --run-parallel[=ABS] execute the abstraction's best plan on real
+///                          threads (abs: pdg|jk|pspdg; default pspdg) and
+///                          report per-loop schedules + speedup on stderr
+///     --threads=N          worker threads for --run-parallel (default 8)
 ///     --without=FEAT[,..]  ablate PS-PDG features (hn, nt, c, dsde, psv)
 ///
 //===----------------------------------------------------------------------===//
@@ -24,9 +28,12 @@
 #include "pdg/PDG.h"
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
+#include "runtime/ParallelRuntime.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,7 +47,10 @@ struct Options {
   bool EmitIR = false, EmitPDG = false, EmitPSPDG = false;
   bool Summary = false, Fingerprint = false, Run = false;
   bool Plans = false, CountOptions = false, CriticalPath = false;
+  bool RunParallel = false;
+  unsigned Threads = 8;
   AbstractionKind Abs = AbstractionKind::PSPDG;
+  AbstractionKind RunAbs = AbstractionKind::PSPDG;
   FeatureSet Features;
 };
 
@@ -71,7 +81,37 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Run = true;
     else if (A == "--critical-path")
       O.CriticalPath = true;
-    else if (A.rfind("--plans", 0) == 0) {
+    else if (A.rfind("--run-parallel", 0) == 0) {
+      O.RunParallel = true;
+      if (A.size() > 15 && A[14] == '=') {
+        std::string Abs = A.substr(15);
+        if (Abs == "pdg")
+          O.RunAbs = AbstractionKind::PDG;
+        else if (Abs == "jk")
+          O.RunAbs = AbstractionKind::JK;
+        else if (Abs == "pspdg")
+          O.RunAbs = AbstractionKind::PSPDG;
+        else if (Abs == "openmp") {
+          std::fprintf(stderr,
+                       "pscc: OpenMP has no compiler plan view to execute; "
+                       "use pdg, jk, or pspdg\n");
+          return false;
+        } else {
+          std::fprintf(stderr,
+                       "pscc: unknown abstraction '%s' for --run-parallel; "
+                       "use pdg, jk, or pspdg\n",
+                       Abs.c_str());
+          return false;
+        }
+      }
+    } else if (A.rfind("--threads=", 0) == 0) {
+      long N = std::atol(A.c_str() + 10);
+      if (N <= 0 || N > 4096) {
+        std::fprintf(stderr, "pscc: --threads must be in [1, 4096]\n");
+        return false;
+      }
+      O.Threads = static_cast<unsigned>(N);
+    } else if (A.rfind("--plans", 0) == 0) {
       O.Plans = true;
       if (A.size() > 8)
         O.Abs = parseAbs(A.substr(8));
@@ -133,7 +173,8 @@ int main(int Argc, char **Argv) {
         stderr,
         "usage: pscc [--emit-ir] [--emit-pdg] [--emit-pspdg] [--summary]\n"
         "            [--fingerprint] [--plans[=abs]] [--options[=abs]]\n"
-        "            [--critical-path] [--run] [--without=feat,...]\n"
+        "            [--critical-path] [--run] [--run-parallel[=abs]]\n"
+        "            [--threads=N] [--without=feat,...]\n"
         "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP>\n");
     return 2;
   }
@@ -231,6 +272,61 @@ int main(int Argc, char **Argv) {
     if (!Run.Completed)
       std::fprintf(stderr, "pscc: instruction budget exhausted\n");
     return static_cast<int>(Run.ExitValue);
+  }
+
+  if (O.RunParallel) {
+    using Clock = std::chrono::steady_clock;
+    auto Ms = [](Clock::time_point A, Clock::time_point B) {
+      return std::chrono::duration<double, std::milli>(B - A).count();
+    };
+
+    Interpreter Seq(M);
+    Clock::time_point T0 = Clock::now();
+    RunResult SeqR = Seq.run();
+    Clock::time_point T1 = Clock::now();
+
+    RuntimePlan Plan = buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features);
+    ParallelRuntime RT(M, Plan);
+    Clock::time_point T2 = Clock::now();
+    ParallelRunResult Par = RT.run();
+    Clock::time_point T3 = Clock::now();
+
+    for (const std::string &Line : Par.R.Output)
+      std::printf("%s\n", Line.c_str());
+
+    std::fprintf(stderr, "== %s plan on %u threads ==\n",
+                 abstractionName(O.RunAbs), O.Threads);
+    for (const LoopExecStat &L : Par.Loops) {
+      std::fprintf(stderr, "  @%s %-14s depth=%u %-10s invocations=%llu "
+                           "iterations=%llu%s%s\n",
+                   L.F->getName().c_str(),
+                   L.F->getBlock(L.Header)->getName().c_str(), L.Depth,
+                   scheduleKindName(L.Kind),
+                   (unsigned long long)L.Invocations,
+                   (unsigned long long)L.Iterations,
+                   L.Kind == ScheduleKind::Sequential ? "  // " : "",
+                   L.Kind == ScheduleKind::Sequential ? L.Reason.c_str()
+                                                      : "");
+    }
+    double SeqMs = Ms(T0, T1), ParMs = Ms(T2, T3);
+    std::fprintf(stderr,
+                 "sequential %.2f ms, parallel %.2f ms, speedup %.2fx\n",
+                 SeqMs, ParMs, ParMs > 0 ? SeqMs / ParMs : 0.0);
+
+    if (!Par.Error.empty()) {
+      std::fprintf(stderr, "pscc: parallel run failed: %s\n",
+                   Par.Error.c_str());
+      return 1;
+    }
+    if (!Par.R.Completed)
+      std::fprintf(stderr, "pscc: instruction budget exhausted\n");
+    if (Par.R.Output != SeqR.Output || Par.R.ExitValue != SeqR.ExitValue) {
+      std::fprintf(stderr,
+                   "pscc: PARALLEL OUTPUT DIVERGES FROM SEQUENTIAL RUN\n");
+      return 1;
+    }
+    std::fprintf(stderr, "output matches the sequential run\n");
+    return static_cast<int>(Par.R.ExitValue);
   }
   return 0;
 }
