@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_options.dir/bench/bench_fig13_options.cpp.o"
+  "CMakeFiles/bench_fig13_options.dir/bench/bench_fig13_options.cpp.o.d"
+  "bench_fig13_options"
+  "bench_fig13_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_critical_path.dir/bench/bench_fig14_critical_path.cpp.o"
+  "CMakeFiles/bench_fig14_critical_path.dir/bench/bench_fig14_critical_path.cpp.o.d"
+  "bench_fig14_critical_path"
+  "bench_fig14_critical_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

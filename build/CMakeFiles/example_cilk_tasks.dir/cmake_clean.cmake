@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cilk_tasks.dir/examples/cilk_tasks.cpp.o"
+  "CMakeFiles/example_cilk_tasks.dir/examples/cilk_tasks.cpp.o.d"
+  "example_cilk_tasks"
+  "example_cilk_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cilk_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

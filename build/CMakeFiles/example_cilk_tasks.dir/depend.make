@@ -1,0 +1,2 @@
+# Empty dependencies file for example_cilk_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_is_replanning.dir/examples/is_replanning.cpp.o"
+  "CMakeFiles/example_is_replanning.dir/examples/is_replanning.cpp.o.d"
+  "example_is_replanning"
+  "example_is_replanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_is_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_necessity_gallery.dir/examples/necessity_gallery.cpp.o"
+  "CMakeFiles/example_necessity_gallery.dir/examples/necessity_gallery.cpp.o.d"
+  "example_necessity_gallery"
+  "example_necessity_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_necessity_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

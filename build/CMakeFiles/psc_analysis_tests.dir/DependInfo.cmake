@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/AffineExprTest.cpp" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/AffineExprTest.cpp.o" "gcc" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/AffineExprTest.cpp.o.d"
+  "/root/repo/tests/analysis/DependenceTest.cpp" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/DependenceTest.cpp.o" "gcc" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/DependenceTest.cpp.o.d"
+  "/root/repo/tests/analysis/MemoryModelTest.cpp" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/MemoryModelTest.cpp.o" "gcc" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/MemoryModelTest.cpp.o.d"
+  "/root/repo/tests/analysis/PrivatizationTest.cpp" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/PrivatizationTest.cpp.o" "gcc" "CMakeFiles/psc_analysis_tests.dir/tests/analysis/PrivatizationTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/AffineExprTest.cpp.o"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/AffineExprTest.cpp.o.d"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/DependenceTest.cpp.o"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/DependenceTest.cpp.o.d"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/MemoryModelTest.cpp.o"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/MemoryModelTest.cpp.o.d"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/PrivatizationTest.cpp.o"
+  "CMakeFiles/psc_analysis_tests.dir/tests/analysis/PrivatizationTest.cpp.o.d"
+  "psc_analysis_tests"
+  "psc_analysis_tests.pdb"
+  "psc_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AffineExpr.cpp" "CMakeFiles/psc_core.dir/src/analysis/AffineExpr.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/analysis/AffineExpr.cpp.o.d"
+  "/root/repo/src/analysis/DependenceAnalysis.cpp" "CMakeFiles/psc_core.dir/src/analysis/DependenceAnalysis.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/analysis/DependenceAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/MemoryModel.cpp" "CMakeFiles/psc_core.dir/src/analysis/MemoryModel.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/analysis/MemoryModel.cpp.o.d"
+  "/root/repo/src/analysis/Privatization.cpp" "CMakeFiles/psc_core.dir/src/analysis/Privatization.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/analysis/Privatization.cpp.o.d"
+  "/root/repo/src/emulator/Coverage.cpp" "CMakeFiles/psc_core.dir/src/emulator/Coverage.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/emulator/Coverage.cpp.o.d"
+  "/root/repo/src/emulator/CriticalPath.cpp" "CMakeFiles/psc_core.dir/src/emulator/CriticalPath.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/emulator/CriticalPath.cpp.o.d"
+  "/root/repo/src/emulator/ExecCore.cpp" "CMakeFiles/psc_core.dir/src/emulator/ExecCore.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/emulator/ExecCore.cpp.o.d"
+  "/root/repo/src/emulator/Interpreter.cpp" "CMakeFiles/psc_core.dir/src/emulator/Interpreter.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/emulator/Interpreter.cpp.o.d"
+  "/root/repo/src/frontend/CodeGen.cpp" "CMakeFiles/psc_core.dir/src/frontend/CodeGen.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/frontend/CodeGen.cpp.o.d"
+  "/root/repo/src/frontend/Frontend.cpp" "CMakeFiles/psc_core.dir/src/frontend/Frontend.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/frontend/Frontend.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "CMakeFiles/psc_core.dir/src/frontend/Lexer.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "CMakeFiles/psc_core.dir/src/frontend/Parser.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/Sema.cpp" "CMakeFiles/psc_core.dir/src/frontend/Sema.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/frontend/Sema.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "CMakeFiles/psc_core.dir/src/ir/BasicBlock.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/CFG.cpp" "CMakeFiles/psc_core.dir/src/ir/CFG.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "CMakeFiles/psc_core.dir/src/ir/Dominators.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Instructions.cpp" "CMakeFiles/psc_core.dir/src/ir/Instructions.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/Instructions.cpp.o.d"
+  "/root/repo/src/ir/LoopInfo.cpp" "CMakeFiles/psc_core.dir/src/ir/LoopInfo.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/LoopInfo.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "CMakeFiles/psc_core.dir/src/ir/Module.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "CMakeFiles/psc_core.dir/src/ir/Printer.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "CMakeFiles/psc_core.dir/src/ir/Type.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "CMakeFiles/psc_core.dir/src/ir/Verifier.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/ir/Verifier.cpp.o.d"
+  "/root/repo/src/parallel/AbstractionView.cpp" "CMakeFiles/psc_core.dir/src/parallel/AbstractionView.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/parallel/AbstractionView.cpp.o.d"
+  "/root/repo/src/parallel/LoopSCCDAG.cpp" "CMakeFiles/psc_core.dir/src/parallel/LoopSCCDAG.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/parallel/LoopSCCDAG.cpp.o.d"
+  "/root/repo/src/parallel/PlanEnumerator.cpp" "CMakeFiles/psc_core.dir/src/parallel/PlanEnumerator.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/parallel/PlanEnumerator.cpp.o.d"
+  "/root/repo/src/parallel/RegionMap.cpp" "CMakeFiles/psc_core.dir/src/parallel/RegionMap.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/parallel/RegionMap.cpp.o.d"
+  "/root/repo/src/pdg/PDG.cpp" "CMakeFiles/psc_core.dir/src/pdg/PDG.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/pdg/PDG.cpp.o.d"
+  "/root/repo/src/pspdg/Fingerprint.cpp" "CMakeFiles/psc_core.dir/src/pspdg/Fingerprint.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/pspdg/Fingerprint.cpp.o.d"
+  "/root/repo/src/pspdg/PSPDG.cpp" "CMakeFiles/psc_core.dir/src/pspdg/PSPDG.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/pspdg/PSPDG.cpp.o.d"
+  "/root/repo/src/pspdg/PSPDGBuilder.cpp" "CMakeFiles/psc_core.dir/src/pspdg/PSPDGBuilder.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/pspdg/PSPDGBuilder.cpp.o.d"
+  "/root/repo/src/runtime/ParallelRuntime.cpp" "CMakeFiles/psc_core.dir/src/runtime/ParallelRuntime.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/runtime/ParallelRuntime.cpp.o.d"
+  "/root/repo/src/runtime/PlanCompiler.cpp" "CMakeFiles/psc_core.dir/src/runtime/PlanCompiler.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/runtime/PlanCompiler.cpp.o.d"
+  "/root/repo/src/runtime/ThreadPool.cpp" "CMakeFiles/psc_core.dir/src/runtime/ThreadPool.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/runtime/ThreadPool.cpp.o.d"
+  "/root/repo/src/support/ErrorHandling.cpp" "CMakeFiles/psc_core.dir/src/support/ErrorHandling.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/support/ErrorHandling.cpp.o.d"
+  "/root/repo/src/workloads/NecessityPairs.cpp" "CMakeFiles/psc_core.dir/src/workloads/NecessityPairs.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/workloads/NecessityPairs.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "CMakeFiles/psc_core.dir/src/workloads/Workloads.cpp.o" "gcc" "CMakeFiles/psc_core.dir/src/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

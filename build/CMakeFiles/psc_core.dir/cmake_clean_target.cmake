@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsc_core.a"
+)

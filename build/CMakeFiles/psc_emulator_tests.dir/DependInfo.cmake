@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/emulator/CoverageTest.cpp" "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CoverageTest.cpp.o" "gcc" "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CoverageTest.cpp.o.d"
+  "/root/repo/tests/emulator/CriticalPathTest.cpp" "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CriticalPathTest.cpp.o" "gcc" "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CriticalPathTest.cpp.o.d"
+  "/root/repo/tests/emulator/InterpreterTest.cpp" "CMakeFiles/psc_emulator_tests.dir/tests/emulator/InterpreterTest.cpp.o" "gcc" "CMakeFiles/psc_emulator_tests.dir/tests/emulator/InterpreterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CoverageTest.cpp.o"
+  "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CoverageTest.cpp.o.d"
+  "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CriticalPathTest.cpp.o"
+  "CMakeFiles/psc_emulator_tests.dir/tests/emulator/CriticalPathTest.cpp.o.d"
+  "CMakeFiles/psc_emulator_tests.dir/tests/emulator/InterpreterTest.cpp.o"
+  "CMakeFiles/psc_emulator_tests.dir/tests/emulator/InterpreterTest.cpp.o.d"
+  "psc_emulator_tests"
+  "psc_emulator_tests.pdb"
+  "psc_emulator_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_emulator_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for psc_emulator_tests.
+# This may be replaced when dependencies are built.

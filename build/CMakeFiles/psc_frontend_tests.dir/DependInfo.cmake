@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontend/CodeGenTest.cpp" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/CodeGenTest.cpp.o" "gcc" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/CodeGenTest.cpp.o.d"
+  "/root/repo/tests/frontend/LexerTest.cpp" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/LexerTest.cpp.o" "gcc" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/LexerTest.cpp.o.d"
+  "/root/repo/tests/frontend/ParserTest.cpp" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/ParserTest.cpp.o" "gcc" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/ParserTest.cpp.o.d"
+  "/root/repo/tests/frontend/SemaTest.cpp" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/SemaTest.cpp.o" "gcc" "CMakeFiles/psc_frontend_tests.dir/tests/frontend/SemaTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/CodeGenTest.cpp.o"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/CodeGenTest.cpp.o.d"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/LexerTest.cpp.o"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/LexerTest.cpp.o.d"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/ParserTest.cpp.o"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/ParserTest.cpp.o.d"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/SemaTest.cpp.o"
+  "CMakeFiles/psc_frontend_tests.dir/tests/frontend/SemaTest.cpp.o.d"
+  "psc_frontend_tests"
+  "psc_frontend_tests.pdb"
+  "psc_frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_integration_tests.dir/tests/integration/PropertyTest.cpp.o"
+  "CMakeFiles/psc_integration_tests.dir/tests/integration/PropertyTest.cpp.o.d"
+  "CMakeFiles/psc_integration_tests.dir/tests/integration/WorkloadsTest.cpp.o"
+  "CMakeFiles/psc_integration_tests.dir/tests/integration/WorkloadsTest.cpp.o.d"
+  "psc_integration_tests"
+  "psc_integration_tests.pdb"
+  "psc_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/DominatorsTest.cpp" "CMakeFiles/psc_ir_tests.dir/tests/ir/DominatorsTest.cpp.o" "gcc" "CMakeFiles/psc_ir_tests.dir/tests/ir/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/ir/IRBuilderTest.cpp" "CMakeFiles/psc_ir_tests.dir/tests/ir/IRBuilderTest.cpp.o" "gcc" "CMakeFiles/psc_ir_tests.dir/tests/ir/IRBuilderTest.cpp.o.d"
+  "/root/repo/tests/ir/LoopInfoTest.cpp" "CMakeFiles/psc_ir_tests.dir/tests/ir/LoopInfoTest.cpp.o" "gcc" "CMakeFiles/psc_ir_tests.dir/tests/ir/LoopInfoTest.cpp.o.d"
+  "/root/repo/tests/ir/TypeTest.cpp" "CMakeFiles/psc_ir_tests.dir/tests/ir/TypeTest.cpp.o" "gcc" "CMakeFiles/psc_ir_tests.dir/tests/ir/TypeTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "CMakeFiles/psc_ir_tests.dir/tests/ir/VerifierTest.cpp.o" "gcc" "CMakeFiles/psc_ir_tests.dir/tests/ir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/DominatorsTest.cpp.o"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/DominatorsTest.cpp.o.d"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/IRBuilderTest.cpp.o"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/IRBuilderTest.cpp.o.d"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/LoopInfoTest.cpp.o"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/LoopInfoTest.cpp.o.d"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/TypeTest.cpp.o"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/TypeTest.cpp.o.d"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/VerifierTest.cpp.o"
+  "CMakeFiles/psc_ir_tests.dir/tests/ir/VerifierTest.cpp.o.d"
+  "psc_ir_tests"
+  "psc_ir_tests.pdb"
+  "psc_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/AbstractionViewTest.cpp.o"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/AbstractionViewTest.cpp.o.d"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/LoopSCCDAGTest.cpp.o"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/LoopSCCDAGTest.cpp.o.d"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/PlanEnumeratorTest.cpp.o"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/PlanEnumeratorTest.cpp.o.d"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/RegionMapTest.cpp.o"
+  "CMakeFiles/psc_parallel_tests.dir/tests/parallel/RegionMapTest.cpp.o.d"
+  "psc_parallel_tests"
+  "psc_parallel_tests.pdb"
+  "psc_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

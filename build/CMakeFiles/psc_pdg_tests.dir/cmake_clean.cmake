@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_pdg_tests.dir/tests/pdg/PDGTest.cpp.o"
+  "CMakeFiles/psc_pdg_tests.dir/tests/pdg/PDGTest.cpp.o.d"
+  "psc_pdg_tests"
+  "psc_pdg_tests.pdb"
+  "psc_pdg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_pdg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pspdg/CilkTest.cpp" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/CilkTest.cpp.o" "gcc" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/CilkTest.cpp.o.d"
+  "/root/repo/tests/pspdg/NecessityTest.cpp" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/NecessityTest.cpp.o" "gcc" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/NecessityTest.cpp.o.d"
+  "/root/repo/tests/pspdg/PSPDGBuilderTest.cpp" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/PSPDGBuilderTest.cpp.o" "gcc" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/PSPDGBuilderTest.cpp.o.d"
+  "/root/repo/tests/pspdg/SufficiencyTest.cpp" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/SufficiencyTest.cpp.o" "gcc" "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/SufficiencyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/psc_core.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/CilkTest.cpp.o"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/CilkTest.cpp.o.d"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/NecessityTest.cpp.o"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/NecessityTest.cpp.o.d"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/PSPDGBuilderTest.cpp.o"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/PSPDGBuilderTest.cpp.o.d"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/SufficiencyTest.cpp.o"
+  "CMakeFiles/psc_pspdg_tests.dir/tests/pspdg/SufficiencyTest.cpp.o.d"
+  "psc_pspdg_tests"
+  "psc_pspdg_tests.pdb"
+  "psc_pspdg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_pspdg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

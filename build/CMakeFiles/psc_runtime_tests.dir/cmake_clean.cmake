@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_runtime_tests.dir/tests/runtime/ParallelRuntimeTest.cpp.o"
+  "CMakeFiles/psc_runtime_tests.dir/tests/runtime/ParallelRuntimeTest.cpp.o.d"
+  "CMakeFiles/psc_runtime_tests.dir/tests/runtime/ScheduleTest.cpp.o"
+  "CMakeFiles/psc_runtime_tests.dir/tests/runtime/ScheduleTest.cpp.o.d"
+  "CMakeFiles/psc_runtime_tests.dir/tests/runtime/ThreadingPrimitivesTest.cpp.o"
+  "CMakeFiles/psc_runtime_tests.dir/tests/runtime/ThreadingPrimitivesTest.cpp.o.d"
+  "psc_runtime_tests"
+  "psc_runtime_tests.pdb"
+  "psc_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

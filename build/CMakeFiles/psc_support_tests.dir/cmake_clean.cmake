@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_support_tests.dir/tests/support/CastingTest.cpp.o"
+  "CMakeFiles/psc_support_tests.dir/tests/support/CastingTest.cpp.o.d"
+  "CMakeFiles/psc_support_tests.dir/tests/support/SCCIteratorTest.cpp.o"
+  "CMakeFiles/psc_support_tests.dir/tests/support/SCCIteratorTest.cpp.o.d"
+  "psc_support_tests"
+  "psc_support_tests.pdb"
+  "psc_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscc.dir/tools/pscc.cpp.o"
+  "CMakeFiles/pscc.dir/tools/pscc.cpp.o.d"
+  "pscc"
+  "pscc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

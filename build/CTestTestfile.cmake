@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/psc_analysis_tests[1]_include.cmake")
+include("/root/repo/build/psc_emulator_tests[1]_include.cmake")
+include("/root/repo/build/psc_frontend_tests[1]_include.cmake")
+include("/root/repo/build/psc_integration_tests[1]_include.cmake")
+include("/root/repo/build/psc_ir_tests[1]_include.cmake")
+include("/root/repo/build/psc_parallel_tests[1]_include.cmake")
+include("/root/repo/build/psc_pdg_tests[1]_include.cmake")
+include("/root/repo/build/psc_pspdg_tests[1]_include.cmake")
+include("/root/repo/build/psc_runtime_tests[1]_include.cmake")
+include("/root/repo/build/psc_support_tests[1]_include.cmake")
+subdirs("googletest")
