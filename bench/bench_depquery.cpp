@@ -1,0 +1,153 @@
+//===- bench_depquery.cpp - Oracle-stack query throughput --------*- C++ -*-===//
+///
+/// \file
+/// Measures the dependence-oracle stack against the seed monolithic
+/// analysis on the NAS workloads:
+///
+///   * monolith      — referenceDepEdges(): one fused pass, no query
+///                     protocol (the pre-refactor baseline);
+///   * stack-cold    — buildDepEdges() through a fresh DepOracleStack per
+///                     build (protocol + dispatch overhead, empty cache);
+///   * stack-shared  — repeated builds over one stack (the collaborative
+///                     mode every consumer uses): cache-served queries.
+///
+/// Emits one JSON record per workload on stdout (machine-readable, for the
+/// perf trajectory) and a human-readable table on stderr. The workload
+/// with the most IR instructions is marked "largest": that row is the
+/// headline number.
+///
+///   bench_depquery [repeats]   (default 20 builds per mode)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/DepOracle.h"
+#include "analysis/ReferenceDependence.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace psc;
+using namespace psc::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+struct Row {
+  std::string Name;
+  size_t Instructions = 0;
+  size_t Edges = 0;
+  double MonolithBuildsPerSec = 0;
+  double StackColdBuildsPerSec = 0;
+  double StackSharedBuildsPerSec = 0;
+  double QueriesPerSecCold = 0;
+  double QueriesPerSecShared = 0;
+  double SharedHitRate = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Repeats = 20;
+  if (Argc > 1)
+    Repeats = static_cast<unsigned>(std::max(1, std::atoi(Argv[1])));
+
+  std::vector<Row> Rows;
+  size_t LargestIdx = 0;
+
+  for (const Workload &W : nasWorkloads()) {
+    auto M = compileOrDie(W.Source, W.Name);
+    FunctionAnalysis FA(*M->getFunction("main"));
+
+    Row R;
+    R.Name = W.Name;
+    R.Instructions = FA.instructions().size();
+
+    // Monolithic baseline.
+    Clock::time_point T0 = Clock::now();
+    for (unsigned I = 0; I < Repeats; ++I) {
+      auto Edges = referenceDepEdges(FA);
+      R.Edges = Edges.size();
+    }
+    double MonoSec = secondsSince(T0);
+    R.MonolithBuildsPerSec = Repeats / MonoSec;
+
+    // Stack, cold cache each build.
+    uint64_t ColdQueries = 0;
+    T0 = Clock::now();
+    for (unsigned I = 0; I < Repeats; ++I) {
+      DepOracleStack Stack(FA);
+      auto Edges = buildDepEdges(Stack);
+      ColdQueries += Stack.cacheStats().Queries;
+      if (Edges.size() != R.Edges) {
+        std::fprintf(stderr, "bench_depquery: edge mismatch on %s\n",
+                     W.Name.c_str());
+        return 1;
+      }
+    }
+    double ColdSec = secondsSince(T0);
+    R.StackColdBuildsPerSec = Repeats / ColdSec;
+    R.QueriesPerSecCold = ColdQueries / ColdSec;
+
+    // Stack, shared cache across builds (the collaborative mode).
+    DepOracleStack Shared(FA);
+    (void)buildDepEdges(Shared); // warm (counted: consumers share warm stacks)
+    T0 = Clock::now();
+    for (unsigned I = 0; I < Repeats; ++I)
+      (void)buildDepEdges(Shared);
+    double SharedSec = secondsSince(T0);
+    R.StackSharedBuildsPerSec = Repeats / SharedSec;
+    const auto &CS = Shared.cacheStats();
+    R.QueriesPerSecShared =
+        (CS.Queries - CS.Queries / (Repeats + 1)) / SharedSec;
+    R.SharedHitRate = CS.hitRate();
+
+    if (Rows.empty() || R.Instructions > Rows[LargestIdx].Instructions)
+      LargestIdx = Rows.size();
+    Rows.push_back(R);
+  }
+
+  // Machine-readable trajectory records.
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::printf(
+        "{\"bench\":\"depquery\",\"workload\":\"%s\",\"largest\":%s,"
+        "\"instructions\":%zu,\"edges\":%zu,"
+        "\"monolith_builds_per_sec\":%.1f,"
+        "\"stack_cold_builds_per_sec\":%.1f,"
+        "\"stack_shared_builds_per_sec\":%.1f,"
+        "\"queries_per_sec_cold\":%.0f,"
+        "\"queries_per_sec_shared\":%.0f,"
+        "\"shared_cache_hit_rate\":%.4f}\n",
+        R.Name.c_str(), I == LargestIdx ? "true" : "false", R.Instructions,
+        R.Edges, R.MonolithBuildsPerSec, R.StackColdBuildsPerSec,
+        R.StackSharedBuildsPerSec, R.QueriesPerSecCold, R.QueriesPerSecShared,
+        R.SharedHitRate);
+  }
+
+  // Human summary.
+  std::fprintf(stderr,
+               "\nDependence queries: oracle stack vs seed monolith "
+               "(%u builds/mode)\n",
+               Repeats);
+  std::fprintf(stderr, "%-4s %6s %6s %12s %12s %12s %14s %8s\n", "WL", "insts",
+               "edges", "mono(b/s)", "cold(b/s)", "shared(b/s)", "q/s shared",
+               "hit%");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(stderr, "%-4s %6zu %6zu %12.1f %12.1f %12.1f %14.0f %7.1f%%%s\n",
+                 R.Name.c_str(), R.Instructions, R.Edges,
+                 R.MonolithBuildsPerSec, R.StackColdBuildsPerSec,
+                 R.StackSharedBuildsPerSec, R.QueriesPerSecShared,
+                 100.0 * R.SharedHitRate, I == LargestIdx ? "  <- largest" : "");
+  }
+  return 0;
+}

@@ -66,8 +66,8 @@ int main() {
 
   const Function &F = *R.M->getFunction("main");
   FunctionAnalysis FA(F);
-  DependenceInfo DI(FA);
-  auto G = buildPSPDG(FA, DI);
+  DepOracleStack Stack(FA);
+  auto G = buildPSPDG(FA, Stack);
   std::printf("%s\n", G->summary().c_str());
 
   unsigned Tasks = 0;
@@ -80,8 +80,8 @@ int main() {
                 V->Name.c_str(), V->CustomReducer->getName().c_str(),
                 V->DefNodes.size(), V->UseNodes.size());
 
-  AbstractionView PDGView(AbstractionKind::PDG, FA, DI);
-  AbstractionView PSView(AbstractionKind::PSPDG, FA, DI, G.get());
+  AbstractionView PDGView(AbstractionKind::PDG, FA, Stack);
+  AbstractionView PSView(AbstractionKind::PSPDG, FA, Stack, G.get());
   const Loop *L = FA.loopInfo().loops()[0];
   LoopSCCDAG PDGDag(PDGView.viewFor(*L));
   LoopPlanView PSPlan = PSView.viewFor(*L);

@@ -27,13 +27,13 @@ int main() {
   auto M = compileOrDie(IS->Source, "IS");
   const Function &F = *M->getFunction("main");
   FunctionAnalysis FA(F);
-  DependenceInfo DI(FA);
-  auto G = buildPSPDG(FA, DI);
+  DepOracleStack Stack(FA); // one cache across all three views
+  auto G = buildPSPDG(FA, Stack);
   std::printf("%s\n\n", G->summary().c_str());
 
-  AbstractionView PDGView(AbstractionKind::PDG, FA, DI);
-  AbstractionView JKView(AbstractionKind::JK, FA, DI);
-  AbstractionView PSView(AbstractionKind::PSPDG, FA, DI, G.get());
+  AbstractionView PDGView(AbstractionKind::PDG, FA, Stack);
+  AbstractionView JKView(AbstractionKind::JK, FA, Stack);
+  AbstractionView PSView(AbstractionKind::PSPDG, FA, Stack, G.get());
 
   std::printf("%-16s %-10s | %-12s %-12s %-12s\n", "loop (header)", "depth",
               "PDG", "J&K", "PS-PDG");

@@ -21,8 +21,8 @@ using namespace psc;
 static uint64_t hashOf(const std::string &Source, const FeatureSet &F) {
   auto M = compileOrDie(Source, "pair");
   FunctionAnalysis FA(*M->getFunction("main"));
-  DependenceInfo DI(FA);
-  auto G = buildPSPDG(FA, DI, F);
+  DepOracleStack Stack(FA);
+  auto G = buildPSPDG(FA, Stack, F);
   return fingerprintHash(*G);
 }
 

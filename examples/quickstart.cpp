@@ -60,20 +60,24 @@ int main() {
   // 2. Analyses: CFG/dominators/loops + dependences.
   const Function &F = *M.getFunction("main");
   FunctionAnalysis FA(F);
-  DependenceInfo DI(FA);
+  DepOracleStack Stack(FA); // shared by every consumer below
   std::printf("--- analysis: %zu instructions, %zu loops, %zu dependence "
               "edges ---\n",
               FA.instructions().size(), FA.loopInfo().loops().size(),
-              DI.edges().size());
+              buildDepEdges(Stack).size());
 
-  // 3. Abstractions: the classic PDG and the PS-PDG.
-  PDG ClassicPDG(FA, DI);
-  std::unique_ptr<PSPDG> G = buildPSPDG(FA, DI);
-  std::printf("%s\n\n", G->summary().c_str());
+  // 3. Abstractions: the classic PDG and the PS-PDG (the second build is
+  // served almost entirely by the stack's query cache).
+  PDG ClassicPDG(FA, Stack);
+  std::unique_ptr<PSPDG> G = buildPSPDG(FA, Stack);
+  std::printf("%s\n", G->summary().c_str());
+  std::printf("dep-oracle cache: %llu queries, %llu hits\n\n",
+              (unsigned long long)Stack.cacheStats().Queries,
+              (unsigned long long)Stack.cacheStats().Hits);
 
   // 4. What can the parallelizer do with each abstraction?
-  AbstractionView PDGView(AbstractionKind::PDG, FA, DI);
-  AbstractionView PSView(AbstractionKind::PSPDG, FA, DI, G.get());
+  AbstractionView PDGView(AbstractionKind::PDG, FA, Stack);
+  AbstractionView PSView(AbstractionKind::PSPDG, FA, Stack, G.get());
   for (const Loop *L : FA.loopInfo().loops()) {
     const char *Header = F.getBlock(L->getHeader())->getName().c_str();
     for (const AbstractionView *V : {&PDGView, &PSView}) {

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Dead-oracle guard for the dependence-oracle stack.
+#
+# Runs `pscc --dep-stats` over the integration workloads and fails when
+#   (a) any registered oracle answered zero queries across all inputs
+#       (a "dead" oracle: registered but unreachable), or
+#   (b) any single input finishes with a zero cache hit rate (the
+#       collaborative cache is not collaborating).
+#
+# The eight NAS kernels are single-function programs, so nothing in them
+# issues an opaque-call query; a ninth synthetic input with a defined
+# function call keeps the opaque oracle covered.
+set -euo pipefail
+
+PSCC=${1:-./build/pscc}
+WORKLOADS=(BT CG EP FT IS LU MG SP)
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/calls.psc" <<'PSC'
+int g;
+void bump() { g += 1; }
+int main() {
+  int i;
+  for (i = 0; i < 4; i++) { bump(); print(i); }
+  return g;
+}
+PSC
+
+inputs=("${WORKLOADS[@]}" "$tmp/calls.psc")
+declare -A answered
+for name in ssa control io opaque alias affine; do answered[$name]=0; done
+fail=0
+
+for input in "${inputs[@]}"; do
+  echo "== pscc --dep-stats $input"
+  out=$("$PSCC" --dep-stats "$input")
+  echo "$out"
+  hits=$(echo "$out" | sed -n 's/^dep-cache .*hits=\([0-9]*\).*/\1/p')
+  if [ "${hits:-0}" -eq 0 ]; then
+    echo "FAIL: zero cache hits on $input"
+    fail=1
+  fi
+  while read -r name ans; do
+    answered[$name]=$(( ${answered[$name]:-0} + ans ))
+  done < <(echo "$out" | awk '/^dep-oracle/ { split($3, a, "="); print $2, a[2] }')
+done
+
+echo "== aggregate answered queries per oracle"
+for name in ssa control io opaque alias affine; do
+  echo "  $name: ${answered[$name]:-0}"
+  if [ "${answered[$name]:-0}" -eq 0 ]; then
+    echo "FAIL: dead oracle '$name' (zero answered queries across inputs)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "dead-oracle guard FAILED"
+  exit 1
+fi
+echo "dead-oracle guard OK"

@@ -1,0 +1,752 @@
+//===- DepOracle.cpp - Oracle implementations and the stack ----*- C++ -*-===//
+///
+/// The six default oracles and their disjoint answer domains:
+///
+///   ssa     — Register queries: MustDep when Dst consumes Src's result.
+///   control — Control queries: MustDep; carried iff the candidate loop
+///             contains the gated instruction (the branch gates later
+///             iterations too).
+///   io      — memory queries where either side is I/O and neither is
+///             opaque: cross I/O-vs-data pairs are disproven (prints only
+///             order against other prints), I/O-vs-I/O stays ordered.
+///   opaque  — memory queries where either side is an opaque call:
+///             conservatively assumed (unknown memory).
+///   alias   — memory queries between two known base objects that are
+///             distinct or scalar: NoAlias bases are disproven, may-alias
+///             distinct bases and whole-scalar conflicts are assumed.
+///   affine  — same-base array pairs: Banerjee-style interval disproof
+///             over affine subscripts (AffineExpr + ForLoopMeta ranges).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepOracle.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace psc;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+DepKind memKindOf(const MemAccess &Src, const MemAccess &Dst) {
+  if (Src.isWrite() && Dst.isWrite())
+    return DepKind::MemoryWAW;
+  if (Src.isWrite())
+    return DepKind::MemoryRAW;
+  return DepKind::MemoryWAR;
+}
+
+bool isMemQuery(const DepQuery &Q) {
+  return Q.Kind == DepQueryKind::MemIntra || Q.Kind == DepQueryKind::MemCarried;
+}
+
+//===----------------------------------------------------------------------===//
+// ssa — scalar SSA def→use
+//===----------------------------------------------------------------------===//
+
+class ScalarSSAOracle : public DepOracle {
+public:
+  const char *name() const override { return "ssa"; }
+  bool answer(const DepQuery &Q, DepResult &R) const override {
+    if (Q.Kind != DepQueryKind::Register)
+      return false;
+    R.Kind = DepKind::Register;
+    R.Carried = false;
+    R.Verdict = DepVerdict::NoDep;
+    for (const Value *Op : Q.Dst->operands())
+      if (Op == Q.Src)
+        R.Verdict = DepVerdict::MustDep;
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// control — post-dominance-frontier control dependences
+//===----------------------------------------------------------------------===//
+
+class ControlOracle : public DepOracle {
+public:
+  const char *name() const override { return "control"; }
+  bool answer(const DepQuery &Q, DepResult &R) const override {
+    if (Q.Kind != DepQueryKind::Control)
+      return false;
+    R.Kind = DepKind::Control;
+    R.Verdict = DepVerdict::MustDep;
+    // Carried at the innermost loop containing both the branch and the
+    // dependent block: the branch gates later iterations too.
+    R.Carried = Q.L && Q.L->contains(Q.Dst->getParent()->getIndex());
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// io — I/O ordering
+//===----------------------------------------------------------------------===//
+
+class IOOrderingOracle : public DepOracle {
+public:
+  const char *name() const override { return "io"; }
+  bool answer(const DepQuery &Q, DepResult &R) const override {
+    if (!isMemQuery(Q))
+      return false;
+    const MemAccess &A = *Q.SrcAcc, &B = *Q.DstAcc;
+    if ((!A.IsIO && !B.IsIO) || A.isOpaque() || B.isOpaque())
+      return false;
+    R.Kind = memKindOf(A, B);
+    if (A.IsIO != B.IsIO) {
+      // Prints conflict only with other prints/opaque calls.
+      R.Verdict = DepVerdict::NoDep;
+      R.Carried = false;
+    } else {
+      R.Verdict = DepVerdict::MayDep;
+      R.Carried = Q.Kind == DepQueryKind::MemCarried;
+    }
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// opaque — opaque-call fallback
+//===----------------------------------------------------------------------===//
+
+class OpaqueCallOracle : public DepOracle {
+public:
+  const char *name() const override { return "opaque"; }
+  bool answer(const DepQuery &Q, DepResult &R) const override {
+    if (!isMemQuery(Q))
+      return false;
+    const MemAccess &A = *Q.SrcAcc, &B = *Q.DstAcc;
+    if (!A.isOpaque() && !B.isOpaque())
+      return false;
+    R.Kind = memKindOf(A, B);
+    R.Verdict = DepVerdict::MayDep;
+    R.Carried = Q.Kind == DepQueryKind::MemCarried;
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// alias — base-object alias rules (MemoryModel)
+//===----------------------------------------------------------------------===//
+
+class AliasOracle : public DepOracle {
+public:
+  const char *name() const override { return "alias"; }
+  bool answer(const DepQuery &Q, DepResult &R) const override {
+    if (!isMemQuery(Q))
+      return false;
+    const MemAccess &A = *Q.SrcAcc, &B = *Q.DstAcc;
+    if (!A.Base || !B.Base)
+      return false; // opaque / I/O: not this oracle's domain
+    R.Kind = memKindOf(A, B);
+    if (aliasBases(A.Base, B.Base) == AliasResult::NoAlias) {
+      R.Verdict = DepVerdict::NoDep;
+      R.Carried = false;
+      return true;
+    }
+    if (A.Base != B.Base) {
+      // May-alias distinct bases (array argument vs global).
+      R.Verdict = DepVerdict::MayDep;
+      R.Carried = Q.Kind == DepQueryKind::MemCarried;
+      return true;
+    }
+    if (A.IsScalar || B.IsScalar) {
+      // Whole-scalar accesses of one object: every instance conflicts.
+      R.Verdict = DepVerdict::MayDep;
+      R.Carried = Q.Kind == DepQueryKind::MemCarried;
+      return true;
+    }
+    return false; // same-base array pair: the affine oracle's domain
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// affine — Banerjee-style interval disproof over affine subscripts
+//===----------------------------------------------------------------------===//
+
+/// Saturating interval arithmetic over "practically infinite" bounds.
+/// Coefficients and IV ranges in PSC programs are small; Huge is far above
+/// any product that can occur, so saturation only encodes "unbounded".
+constexpr long Huge = 4'000'000'000'000'000L;
+
+long clampMul(long A, long B) {
+  __int128 P = static_cast<__int128>(A) * B;
+  if (P > Huge)
+    return Huge;
+  if (P < -Huge)
+    return -Huge;
+  return static_cast<long>(P);
+}
+
+long clampAdd(long A, long B) {
+  __int128 S = static_cast<__int128>(A) + B;
+  if (S > Huge)
+    return Huge;
+  if (S < -Huge)
+    return -Huge;
+  return static_cast<long>(S);
+}
+
+struct Range {
+  long Min = 0, Max = 0;
+
+  static Range point(long V) { return {V, V}; }
+  static Range unbounded() { return {-Huge, Huge}; }
+
+  Range operator+(const Range &O) const {
+    return {clampAdd(Min, O.Min), clampAdd(Max, O.Max)};
+  }
+  Range scaledBy(long K) const {
+    long A = clampMul(Min, K), B = clampMul(Max, K);
+    return {std::min(A, B), std::max(A, B)};
+  }
+  bool contains(long V) const { return Min <= V && V <= Max; }
+};
+
+/// Innermost loop containing \p I whose canonical counter is \p Sym.
+const Loop *bindingLoop(const FunctionAnalysis &FA, const Instruction *I,
+                        const Value *Sym) {
+  for (Loop *L = FA.loopOf(I); L; L = L->getParent()) {
+    const ForLoopMeta *Meta = FA.forMeta(L);
+    if (Meta && Meta->CounterStorage == Sym)
+      return L;
+  }
+  return nullptr;
+}
+
+Range loopRange(const FunctionAnalysis &FA, const Loop *L) {
+  if (!L)
+    return Range::unbounded();
+  const ForLoopMeta *Meta = FA.forMeta(L);
+  long Min, Max;
+  if (Meta && Meta->ivRange(Min, Max))
+    return {Min, Max};
+  return Range::unbounded();
+}
+
+class AffineOracle : public DepOracle {
+public:
+  explicit AffineOracle(const FunctionAnalysis &FA) : FA(FA) {}
+
+  const char *name() const override { return "affine"; }
+  bool answer(const DepQuery &Q, DepResult &R) const override {
+    if (!isMemQuery(Q))
+      return false;
+    const MemAccess &A = *Q.SrcAcc, &B = *Q.DstAcc;
+    if (!A.Base || !B.Base || A.Base != B.Base || A.IsScalar || B.IsScalar)
+      return false;
+    R.Kind = memKindOf(A, B);
+    bool Possible = Q.Kind == DepQueryKind::MemIntra
+                        ? intraDepPossible(A, B)
+                        : carriedDepPossible(A, B, *Q.L);
+    R.Verdict = Possible ? DepVerdict::MayDep : DepVerdict::NoDep;
+    R.Carried = Possible && Q.Kind == DepQueryKind::MemCarried;
+    return true;
+  }
+
+private:
+  /// Classification of an affine symbol relative to a loop. Used only for
+  /// symbols with no binding loop: invariant when nothing in L stores it.
+  bool symbolUnknownIn(const Value *Sym, const Loop &L) const {
+    const Function &F = FA.function();
+    for (unsigned B : L.blocks())
+      for (Instruction *I : *F.getBlock(B))
+        if (auto *SI = dyn_cast<StoreInst>(I))
+          if (SI->getPointer() == Sym)
+            return true;
+    return false;
+  }
+
+  /// True if accesses \p P (in an earlier iteration of \p L) and \p Q (in
+  /// a later one) can touch the same location.
+  bool carriedDepPossible(const MemAccess &P, const MemAccess &Q,
+                          const Loop &L) const {
+    if (!P.Subscript.Valid || !Q.Subscript.Valid)
+      return true;
+
+    const ForLoopMeta *LMeta = FA.forMeta(&L);
+    const Value *LCounter =
+        (LMeta && LMeta->Canonical) ? LMeta->CounterStorage : nullptr;
+    long Trip = LMeta ? LMeta->tripCount() : -1;
+
+    // Accumulate the interval of  Sub_P(iter i) - Sub_Q(iter i + delta)
+    // minus its constant part, then ask whether the constant can be
+    // canceled.
+    Range Sum = Range::point(0);
+    long CoeffPi = 0, CoeffQi = 0; // coefficients of the IV of L per side
+
+    // Shared (invariant) symbols accumulate a combined coefficient.
+    std::map<const Value *, std::pair<long, const Loop *>> Shared;
+
+    auto AddSide = [&](const MemAccess &A, long Sign, long &IVCoeff) -> bool {
+      for (auto &[Sym, C] : A.Subscript.Coeffs) {
+        const Loop *B = bindingLoop(FA, A.I, Sym);
+        if (B && FA.forMeta(B) == LMeta) {
+          IVCoeff = C;
+          continue;
+        }
+        if (B && L.encloses(B)) {
+          // IV of a loop nested in L: independent between the instances.
+          Sum = Sum + loopRange(FA, B).scaledBy(Sign * C);
+          continue;
+        }
+        if (B) {
+          // IV of a loop enclosing L: same value for both instances.
+          Shared[Sym].first += Sign * C;
+          Shared[Sym].second = B;
+          continue;
+        }
+        // Plain variable: invariant in L → shared; else unknown.
+        if (symbolUnknownIn(Sym, L))
+          return false;
+        Shared[Sym].first += Sign * C;
+        Shared[Sym].second = nullptr;
+      }
+      return true;
+    };
+
+    if (!AddSide(P, +1, CoeffPi) || !AddSide(Q, -1, CoeffQi))
+      return true; // unknown symbol → conservative
+
+    // Shared symbols: coefficient difference times an (often unknown)
+    // value.
+    for (auto &[Sym, Entry] : Shared) {
+      auto &[Coeff, BindLoop] = Entry;
+      if (Coeff == 0)
+        continue;
+      Sum = Sum + loopRange(FA, BindLoop).scaledBy(Coeff);
+    }
+
+    // IV of L: (CoeffP - CoeffQ) * i  -  CoeffQ * delta, delta >= 1.
+    if (LCounter) {
+      Range IV = Range::unbounded();
+      long Min, Max;
+      if (LMeta && LMeta->ivRange(Min, Max))
+        IV = {Min, Max};
+      Sum = Sum + IV.scaledBy(CoeffPi - CoeffQi);
+      long MaxDelta = Trip > 1 ? Trip - 1 : (Trip < 0 ? Huge : 0);
+      if (MaxDelta == 0)
+        return false; // single-iteration loop: nothing is carried
+      Range Delta = {1, MaxDelta};
+      Sum = Sum + Delta.scaledBy(-CoeffQi);
+    } else {
+      // Non-canonical loop: if either side references any symbol stored in
+      // L we already bailed; subscripts are L-invariant, so the same
+      // element is touched every iteration.
+      if (CoeffPi != 0 || CoeffQi != 0)
+        return true;
+    }
+
+    long Target = Q.Subscript.Constant - P.Subscript.Constant;
+    return Sum.contains(Target);
+  }
+
+  /// True if \p P and \p Q can touch the same location within one
+  /// iteration of their innermost common loop (or anywhere, loop-free).
+  bool intraDepPossible(const MemAccess &P, const MemAccess &Q) const {
+    if (!P.Subscript.Valid || !Q.Subscript.Valid)
+      return true;
+
+    const Loop *C = FA.commonLoop(P.I, Q.I);
+
+    Range Sum = Range::point(0);
+    std::map<const Value *, std::pair<long, const Loop *>> Shared;
+
+    auto AddSide = [&](const MemAccess &A, long Sign) -> bool {
+      for (auto &[Sym, Coeff] : A.Subscript.Coeffs) {
+        const Loop *B = bindingLoop(FA, A.I, Sym);
+        if (B && C && C->encloses(B) && B != C) {
+          // Loop nested inside the common loop: iterates within one common
+          // iteration → independent values on each side.
+          Sum = Sum + loopRange(FA, B).scaledBy(Sign * Coeff);
+          continue;
+        }
+        if (B) {
+          // Common loop itself or an enclosing loop: same value both
+          // sides.
+          Shared[Sym].first += Sign * Coeff;
+          Shared[Sym].second = B;
+          continue;
+        }
+        // Plain variable: same value if not stored within the common
+        // scope.
+        if (C && symbolUnknownIn(Sym, *C))
+          return false;
+        Shared[Sym].first += Sign * Coeff;
+        Shared[Sym].second = nullptr;
+      }
+      return true;
+    };
+
+    if (!AddSide(P, +1) || !AddSide(Q, -1))
+      return true;
+
+    for (auto &[Sym, Entry] : Shared) {
+      auto &[Coeff, BindLoop] = Entry;
+      if (Coeff == 0)
+        continue;
+      Sum = Sum + loopRange(FA, BindLoop).scaledBy(Coeff);
+    }
+
+    long Target = Q.Subscript.Constant - P.Subscript.Constant;
+    return Sum.contains(Target);
+  }
+
+  const FunctionAnalysis &FA;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+const std::vector<std::string> &psc::knownDepOracleNames() {
+  static const std::vector<std::string> Names = {"ssa",    "control", "io",
+                                                 "opaque", "alias",   "affine"};
+  return Names;
+}
+
+bool psc::isKnownDepOracleName(const std::string &Name) {
+  const auto &Known = knownDepOracleNames();
+  return std::find(Known.begin(), Known.end(), Name) != Known.end();
+}
+
+std::unique_ptr<DepOracle> psc::createDepOracle(const std::string &Name,
+                                                const FunctionAnalysis &FA) {
+  if (Name == "ssa")
+    return std::make_unique<ScalarSSAOracle>();
+  if (Name == "control")
+    return std::make_unique<ControlOracle>();
+  if (Name == "io")
+    return std::make_unique<IOOrderingOracle>();
+  if (Name == "opaque")
+    return std::make_unique<OpaqueCallOracle>();
+  if (Name == "alias")
+    return std::make_unique<AliasOracle>();
+  if (Name == "affine")
+    return std::make_unique<AffineOracle>(FA);
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<DepOracle>>
+psc::createDepOracles(const FunctionAnalysis &FA,
+                      const std::vector<std::string> &Names) {
+  std::vector<std::unique_ptr<DepOracle>> Chain;
+  for (const std::string &Name :
+       Names.empty() ? knownDepOracleNames() : Names) {
+    auto O = createDepOracle(Name, FA);
+    if (!O)
+      reportFatalError("unknown dependence oracle '" + Name + "'");
+    for (const auto &Existing : Chain)
+      if (Name == Existing->name())
+        reportFatalError("duplicate dependence oracle '" + Name +
+                         "' (a later instance could never answer)");
+    Chain.push_back(std::move(O));
+  }
+  return Chain;
+}
+
+//===----------------------------------------------------------------------===//
+// DepOracleStack
+//===----------------------------------------------------------------------===//
+
+DepOracleStack::DepOracleStack(const FunctionAnalysis &FA,
+                               const std::vector<std::string> &OracleNames)
+    : DepOracleStack(FA, createDepOracles(FA, OracleNames)) {}
+
+DepOracleStack::DepOracleStack(const FunctionAnalysis &FA,
+                               std::vector<std::unique_ptr<DepOracle>> Chain)
+    : FA(FA), Oracles(std::move(Chain)),
+      Accesses(collectMemAccesses(FA.function())) {
+  Stats.resize(Oracles.size());
+  for (size_t I = 0; I < Oracles.size(); ++I)
+    Stats[I].Name = Oracles[I]->name();
+}
+
+namespace {
+
+/// Memo key: (kind, src index, dst index, loop header). Instruction and
+/// block counts stay far below 2^20 in PSC programs; a violation fails
+/// loudly (in every build type) instead of silently colliding cached
+/// verdicts.
+uint64_t memoKey(const FunctionAnalysis &FA, const DepQuery &Q) {
+  uint64_t Kind = static_cast<uint64_t>(Q.Kind);
+  uint64_t Src = FA.indexOf(Q.Src);
+  uint64_t Dst = FA.indexOf(Q.Dst);
+  uint64_t Header = Q.L ? Q.L->getHeader() + 1 : 0;
+  if (Src >= (1u << 20) || Dst >= (1u << 20) || Header >= (1u << 20))
+    reportFatalError("function too large for the dependence memo key");
+  return (Kind << 60) | (Src << 40) | (Dst << 20) | Header;
+}
+
+} // namespace
+
+DepResult DepOracleStack::query(const DepQuery &Q) {
+  ++Cache.Queries;
+  uint64_t Key = memoKey(FA, Q);
+  auto It = Memo.find(Key);
+  if (It != Memo.end()) {
+    ++Cache.Hits;
+    return It->second;
+  }
+
+  DepResult R;
+  bool Claimed = false;
+  for (size_t I = 0; I < Oracles.size() && !Claimed; ++I) {
+    if (Oracles[I]->answer(Q, R)) {
+      R.Oracle = Oracles[I]->name();
+      OracleStats &S = Stats[I];
+      ++S.Answered;
+      switch (R.Verdict) {
+      case DepVerdict::NoDep:
+        ++S.NoDep;
+        break;
+      case DepVerdict::MayDep:
+        ++S.MayDep;
+        break;
+      case DepVerdict::MustDep:
+        ++S.MustDep;
+        break;
+      }
+      Claimed = true;
+    }
+  }
+  if (!Claimed) {
+    // Conservative default: assume the dependence.
+    R.Verdict = DepVerdict::MayDep;
+    R.Carried = Q.Kind == DepQueryKind::MemCarried ||
+                (Q.Kind == DepQueryKind::Control && Q.L &&
+                 Q.L->contains(Q.Dst->getParent()->getIndex()));
+    if (isMemQuery(Q))
+      R.Kind = memKindOf(*Q.SrcAcc, *Q.DstAcc);
+    else if (Q.Kind == DepQueryKind::Control)
+      R.Kind = DepKind::Control;
+    else
+      R.Kind = DepKind::Register;
+    R.Oracle = "default";
+    ++Cache.Fallback;
+  }
+  Memo.emplace(Key, R);
+  return R;
+}
+
+std::vector<DepOracleStack::OracleStats> DepOracleStack::oracleStats() const {
+  return Stats;
+}
+
+void DepOracleStack::resetStats() {
+  for (OracleStats &S : Stats)
+    S = OracleStats{S.Name, 0, 0, 0, 0};
+  Cache = CacheStats{};
+  // Drop the memo too: with a warm memo every post-reset query would be a
+  // cache hit and the per-oracle attribution would read all-zero.
+  Memo.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Edge-set builder over the query API
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void buildRegisterEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
+  const FunctionAnalysis &FA = Stack.functionAnalysis();
+  for (Instruction *I : FA.instructions()) {
+    for (Value *Op : I->operands()) {
+      auto *Def = dyn_cast<Instruction>(Op);
+      if (!Def)
+        continue;
+      DepQuery Q;
+      Q.Kind = DepQueryKind::Register;
+      Q.Src = Def;
+      Q.Dst = I;
+      if (Stack.query(Q).disproven())
+        continue;
+      DepEdge E;
+      E.Src = Def;
+      E.Dst = I;
+      E.Kind = DepKind::Register;
+      E.Intra = true;
+      Edges.push_back(std::move(E));
+    }
+  }
+}
+
+void buildControlEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
+  const FunctionAnalysis &FA = Stack.functionAnalysis();
+  const Function &F = FA.function();
+  const auto &Frontiers = FA.postDomTree().frontiers();
+  unsigned VirtualExit = FA.postDomTree().getVirtualExit();
+
+  for (unsigned B = 0; B < F.getNumBlocks(); ++B) {
+    if (!FA.cfg().isReachable(B))
+      continue;
+    for (unsigned Controlling : Frontiers[B]) {
+      if (Controlling == VirtualExit || Controlling >= F.getNumBlocks())
+        continue;
+      Instruction *Branch = F.getBlock(Controlling)->getTerminator();
+      if (!Branch || !isa<CondBranchInst>(Branch))
+        continue;
+      const Loop *BranchLoop = FA.loopInfo().getLoopFor(Controlling);
+
+      for (Instruction *I : *F.getBlock(B)) {
+        DepQuery Q;
+        Q.Kind = DepQueryKind::Control;
+        Q.Src = Branch;
+        Q.Dst = I;
+        Q.L = BranchLoop;
+        DepResult R = Stack.query(Q);
+        if (R.disproven())
+          continue;
+        DepEdge E;
+        E.Src = Branch;
+        E.Dst = I;
+        E.Kind = DepKind::Control;
+        E.Intra = true;
+        if (R.Carried && BranchLoop)
+          E.CarriedAtHeaders.insert(BranchLoop->getHeader());
+        Edges.push_back(std::move(E));
+      }
+    }
+  }
+}
+
+void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
+  const FunctionAnalysis &FA = Stack.functionAnalysis();
+  const std::vector<MemAccess> &Accesses = Stack.accesses();
+
+  // All loops containing both instructions, innermost to outermost.
+  auto CommonLoops = [&](Instruction *A, Instruction *B) {
+    std::vector<const Loop *> Out;
+    for (Loop *L = FA.loopOf(A); L; L = L->getParent())
+      if (L->contains(B->getParent()->getIndex()))
+        Out.push_back(L);
+    return Out;
+  };
+
+  auto Carried = [&](const MemAccess &Src, const MemAccess &Dst,
+                     const Loop *L) {
+    DepQuery Q;
+    Q.Kind = DepQueryKind::MemCarried;
+    Q.Src = Src.I;
+    Q.Dst = Dst.I;
+    Q.SrcAcc = &Src;
+    Q.DstAcc = &Dst;
+    Q.L = L;
+    return !Stack.query(Q).disproven();
+  };
+
+  auto Intra = [&](const MemAccess &Src, const MemAccess &Dst) {
+    DepQuery Q;
+    Q.Kind = DepQueryKind::MemIntra;
+    Q.Src = Src.I;
+    Q.Dst = Dst.I;
+    Q.SrcAcc = &Src;
+    Q.DstAcc = &Dst;
+    return !Stack.query(Q).disproven();
+  };
+
+  auto CanonicalCounterAt = [&](const std::set<unsigned> &Headers,
+                                const Value *Obj) {
+    if (!Obj)
+      return false;
+    for (unsigned H : Headers) {
+      const ForLoopMeta *Meta =
+          FA.function().getParent()->getParallelInfo().getForLoopMeta(
+              FA.function().getBlock(H));
+      if (Meta && Meta->Canonical && Meta->CounterStorage == Obj)
+        return true;
+    }
+    return false;
+  };
+
+  // Self-dependences: one static write (or I/O / opaque call) conflicting
+  // with its own instances in later iterations.
+  for (const MemAccess &A : Accesses) {
+    if (!A.isWrite())
+      continue;
+    std::set<unsigned> CarriedAt;
+    for (const Loop *L : CommonLoops(A.I, A.I))
+      if (Carried(A, A, L))
+        CarriedAt.insert(L->getHeader());
+    if (CarriedAt.empty())
+      continue;
+    DepEdge E;
+    E.Src = A.I;
+    E.Dst = A.I;
+    E.Kind = A.isRead() ? DepKind::MemoryRAW : DepKind::MemoryWAW;
+    E.Intra = false;
+    E.CarriedAtHeaders = CarriedAt;
+    E.MemObject = A.Base;
+    E.IsIO = A.IsIO;
+    E.IsIVDep = CanonicalCounterAt(CarriedAt, A.Base);
+    Edges.push_back(std::move(E));
+  }
+
+  for (size_t AI = 0; AI < Accesses.size(); ++AI) {
+    for (size_t BI = AI + 1; BI < Accesses.size(); ++BI) {
+      const MemAccess &A = Accesses[AI];
+      const MemAccess &B = Accesses[BI];
+      if (!A.isWrite() && !B.isWrite())
+        continue;
+
+      const Value *Obj = A.Base == B.Base ? A.Base : nullptr;
+      std::vector<const Loop *> Loops = CommonLoops(A.I, B.I);
+
+      // Intra-iteration dependence, directed by program order (A first).
+      bool IntraDep = Intra(A, B);
+
+      // Carried dependences per loop, per direction.
+      std::set<unsigned> CarriedAB, CarriedBA;
+      for (const Loop *L : Loops) {
+        if (Carried(A, B, L))
+          CarriedAB.insert(L->getHeader());
+        if (Carried(B, A, L))
+          CarriedBA.insert(L->getHeader());
+      }
+
+      if (IntraDep || !CarriedAB.empty()) {
+        DepEdge E;
+        E.Src = A.I;
+        E.Dst = B.I;
+        E.Kind = memKindOf(A, B);
+        E.Intra = IntraDep;
+        E.CarriedAtHeaders = CarriedAB;
+        E.MemObject = Obj;
+        E.IsIO = A.IsIO && B.IsIO;
+        E.IsIVDep = CanonicalCounterAt(CarriedAB, Obj);
+        Edges.push_back(std::move(E));
+      }
+      if (!CarriedBA.empty()) {
+        DepEdge E;
+        E.Src = B.I;
+        E.Dst = A.I;
+        E.Kind = memKindOf(B, A);
+        E.Intra = false;
+        E.CarriedAtHeaders = CarriedBA;
+        E.MemObject = Obj;
+        E.IsIO = A.IsIO && B.IsIO;
+        E.IsIVDep = CanonicalCounterAt(CarriedBA, Obj);
+        Edges.push_back(std::move(E));
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::vector<DepEdge> psc::buildDepEdges(DepOracleStack &Stack) {
+  std::vector<DepEdge> Edges;
+  buildRegisterEdges(Stack, Edges);
+  buildControlEdges(Stack, Edges);
+  buildMemoryEdges(Stack, Edges);
+  return Edges;
+}

@@ -1,0 +1,209 @@
+//===- DepOracle.h - Collaborative dependence-oracle stack ------*- C++ -*-===//
+///
+/// \file
+/// The dependence-analysis layer as a chain-of-responsibility stack of
+/// independent *oracles* (the SCAF shape): each oracle answers the
+/// dependence queries it is certain about with a lattice verdict and
+/// forwards everything else down the chain. The stack front-end memoizes
+/// results per (loop, instruction-pair) and keeps per-oracle statistics so
+/// oracle ablations are a command-line experiment (`pscc --dep-oracles`)
+/// instead of a code fork. See DESIGN.md §7 for the full contract.
+///
+/// The verdict lattice:
+///
+///   NoDep   — the oracle *disproves* the dependence;
+///   MayDep  — the oracle cannot disprove it: the dependence is assumed
+///             (the conservative default of the whole stack);
+///   MustDep — the dependence provably exists (e.g. SSA def→use).
+///
+/// Chaining contract: an oracle may only claim a query it can decide
+/// without help, and the answer domains of the registered oracles are
+/// mutually disjoint. Consequently the *verdicts* of a stack are
+/// independent of oracle order; only the attribution (which oracle
+/// answered) and the statistics change. Removing a disproof oracle can
+/// only lose NoDep answers — queries then fall through to the MayDep
+/// default, i.e. ablation is always sound, never unsound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_DEPORACLE_H
+#define PSPDG_ANALYSIS_DEPORACLE_H
+
+#include "analysis/FunctionAnalysis.h"
+#include "analysis/MemoryModel.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psc {
+
+/// Dependence kinds. Register/Control are never removable by parallel
+/// semantics; Memory* edges are the ones the PS-PDG features attack.
+enum class DepKind { Register, MemoryRAW, MemoryWAR, MemoryWAW, Control };
+
+/// One dependence edge Src → Dst.
+struct DepEdge {
+  Instruction *Src = nullptr;
+  Instruction *Dst = nullptr;
+  DepKind Kind = DepKind::Register;
+
+  /// True if the dependence can occur within a single iteration of the
+  /// innermost loop containing both ends (or outside any loop).
+  bool Intra = true;
+
+  /// Headers (block indices) of loops at which the dependence is carried.
+  std::set<unsigned> CarriedAtHeaders;
+
+  /// Base object for memory dependences; null for opaque/IO conflicts.
+  const Value *MemObject = nullptr;
+
+  /// True when the dependence is on the canonical induction variable of
+  /// the carrying loop (the IV update chain): removable for any loop with
+  /// a computable trip count.
+  bool IsIVDep = false;
+
+  /// True when both endpoints are I/O calls (print ordering).
+  bool IsIO = false;
+
+  bool isMemory() const {
+    return Kind == DepKind::MemoryRAW || Kind == DepKind::MemoryWAR ||
+           Kind == DepKind::MemoryWAW;
+  }
+  bool isCarriedAt(unsigned Header) const {
+    return CarriedAtHeaders.count(Header) != 0;
+  }
+};
+
+/// Three-point verdict lattice (see file comment).
+enum class DepVerdict { NoDep, MayDep, MustDep };
+
+/// What a query asks.
+enum class DepQueryKind {
+  Register,   ///< Does Dst use Src's SSA result?
+  Control,    ///< Does branch Src control Dst (candidate from the PDF)?
+  MemIntra,   ///< Can the two accesses conflict within one iteration of
+              ///< their innermost common loop (or anywhere, loop-free)?
+  MemCarried, ///< Can SrcAcc (iteration i of L) conflict with DstAcc
+              ///< (iteration i + delta, delta >= 1)?
+};
+
+/// One dependence question. Memory queries carry the classified accesses;
+/// Control queries carry the candidate gating loop in L (the innermost
+/// loop of the branch; null when the branch is not in a loop).
+struct DepQuery {
+  DepQueryKind Kind = DepQueryKind::MemIntra;
+  const Instruction *Src = nullptr;
+  const Instruction *Dst = nullptr;
+  const MemAccess *SrcAcc = nullptr; ///< Memory queries only.
+  const MemAccess *DstAcc = nullptr; ///< Memory queries only.
+  const Loop *L = nullptr;           ///< MemCarried / Control candidate loop.
+};
+
+/// Answer: verdict plus attribution. Kind/Carried are meaningful only when
+/// the verdict is not NoDep.
+struct DepResult {
+  DepVerdict Verdict = DepVerdict::MayDep;
+  DepKind Kind = DepKind::Register; ///< Dependence kind when one exists.
+  bool Carried = false;             ///< Carried by the query's loop.
+  const char *Oracle = "default";   ///< Name of the responding oracle.
+
+  bool disproven() const { return Verdict == DepVerdict::NoDep; }
+};
+
+/// One analysis module in the stack. Implementations must obey the
+/// chaining contract from the file comment: claim a query (return true and
+/// fill \p R) only when the answer is decidable locally, otherwise forward
+/// (return false).
+class DepOracle {
+public:
+  virtual ~DepOracle() = default;
+  virtual const char *name() const = 0;
+  virtual bool answer(const DepQuery &Q, DepResult &R) const = 0;
+};
+
+/// Names accepted by createDepOracles / `pscc --dep-oracles`, in default
+/// chain order: ssa, control, io, opaque, alias, affine.
+const std::vector<std::string> &knownDepOracleNames();
+bool isKnownDepOracleName(const std::string &Name);
+
+/// Creates one oracle by name ("ssa", "control", "io", "opaque", "alias",
+/// "affine"); null for an unknown name.
+std::unique_ptr<DepOracle> createDepOracle(const std::string &Name,
+                                           const FunctionAnalysis &FA);
+
+/// Creates the oracle chain for \p Names in the given order; an empty list
+/// means the full default stack. An unknown or duplicate name is a fatal
+/// error — validate user-supplied names with isKnownDepOracleName first.
+std::vector<std::unique_ptr<DepOracle>>
+createDepOracles(const FunctionAnalysis &FA,
+                 const std::vector<std::string> &Names = {});
+
+/// The collaborative front-end: owns the oracle chain, the classified
+/// memory accesses of the function, the per-(loop, instruction-pair)
+/// memoizing query cache, and per-oracle statistics. Consumers (PDG,
+/// PS-PDG builder, abstraction views, plan compiler) share one stack per
+/// function so repeated queries are served from the cache.
+class DepOracleStack {
+public:
+  /// Default stack, or a named subset/reordering (ablation).
+  explicit DepOracleStack(const FunctionAnalysis &FA,
+                          const std::vector<std::string> &OracleNames = {});
+  DepOracleStack(const FunctionAnalysis &FA,
+                 std::vector<std::unique_ptr<DepOracle>> Chain);
+
+  /// Answers \p Q through the chain, memoized. Unclaimed queries get the
+  /// conservative MayDep default.
+  DepResult query(const DepQuery &Q);
+
+  const FunctionAnalysis &functionAnalysis() const { return FA; }
+
+  /// The function's memory accesses in program order (shared by every
+  /// consumer so query keys stay stable).
+  const std::vector<MemAccess> &accesses() const { return Accesses; }
+
+  size_t numOracles() const { return Oracles.size(); }
+  const DepOracle &oracle(size_t I) const { return *Oracles[I]; }
+
+  struct OracleStats {
+    const char *Name = "";
+    uint64_t Answered = 0; ///< Queries this oracle claimed (cache misses).
+    uint64_t NoDep = 0;    ///< ... of which disproofs.
+    uint64_t MayDep = 0;
+    uint64_t MustDep = 0;
+  };
+  struct CacheStats {
+    uint64_t Queries = 0; ///< Total queries, including cache hits.
+    uint64_t Hits = 0;
+    uint64_t Fallback = 0; ///< Misses no oracle claimed (MayDep default).
+    double hitRate() const {
+      return Queries ? static_cast<double>(Hits) / Queries : 0.0;
+    }
+  };
+  /// Per-oracle counters, in chain order.
+  std::vector<OracleStats> oracleStats() const;
+  const CacheStats &cacheStats() const { return Cache; }
+  void resetStats();
+
+private:
+  const FunctionAnalysis &FA;
+  std::vector<std::unique_ptr<DepOracle>> Oracles;
+  std::vector<MemAccess> Accesses;
+  std::vector<OracleStats> Stats; // parallel to Oracles
+  CacheStats Cache;
+  std::unordered_map<uint64_t, DepResult> Memo;
+};
+
+/// Builds the whole-function dependence edge set by issuing every query
+/// through \p Stack. With the full default stack the result is
+/// edge-for-edge identical to the seed monolithic analysis (differential
+/// test: tests/depquery). Each call re-issues the queries — repeated
+/// builds over one stack are served by its cache.
+std::vector<DepEdge> buildDepEdges(DepOracleStack &Stack);
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_DEPORACLE_H

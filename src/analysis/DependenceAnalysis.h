@@ -1,106 +1,52 @@
-//===- DependenceAnalysis.h - Data/memory/control dependences ---*- C++ -*-===//
+//===- DependenceAnalysis.h - Compatibility shim over DepOracle -*- C++ -*-===//
 ///
 /// \file
-/// Computes the dependences of one function:
-///
-///   * register dependences (SSA-style def→use of instruction results);
-///   * memory dependences (RAW/WAR/WAW) between may-aliasing accesses, with
-///     per-loop carried classification via a Banerjee-style interval test
-///     over affine subscripts (AffineExpr + ForLoopMeta ranges);
-///   * control dependences from post-dominance frontiers.
-///
-/// Edges carry everything the PDG/PS-PDG builders and the planner need:
-/// kind, carried levels, the base object (for privatization/reduction
-/// reasoning), and whether the dependence is purely on a canonical
-/// induction variable (removable for countable loops).
+/// Thin compatibility façade over the collaborative dependence-oracle
+/// stack (DepOracle.h). The monolithic analysis that used to live here was
+/// split into independent oracles (ssa, control, io, opaque, alias,
+/// affine); DependenceInfo now just binds a DepOracleStack to a function
+/// and materializes the whole-function edge set through it. New code
+/// should construct a DepOracleStack directly and share it between
+/// consumers so the query cache collaborates across builds; this shim
+/// remains for call sites that only need the edge vector.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSPDG_ANALYSIS_DEPENDENCEANALYSIS_H
 #define PSPDG_ANALYSIS_DEPENDENCEANALYSIS_H
 
-#include "analysis/FunctionAnalysis.h"
-#include "analysis/MemoryModel.h"
+#include "analysis/DepOracle.h"
 
-#include <set>
+#include <cassert>
+#include <memory>
 #include <vector>
 
 namespace psc {
 
-/// Dependence kinds. Register/Control are never removable by parallel
-/// semantics; Memory* edges are the ones the PS-PDG features attack.
-enum class DepKind { Register, MemoryRAW, MemoryWAR, MemoryWAW, Control };
-
-/// One dependence edge Src → Dst.
-struct DepEdge {
-  Instruction *Src = nullptr;
-  Instruction *Dst = nullptr;
-  DepKind Kind = DepKind::Register;
-
-  /// True if the dependence can occur within a single iteration of the
-  /// innermost loop containing both ends (or outside any loop).
-  bool Intra = true;
-
-  /// Headers (block indices) of loops at which the dependence is carried.
-  std::set<unsigned> CarriedAtHeaders;
-
-  /// Base object for memory dependences; null for opaque/IO conflicts.
-  const Value *MemObject = nullptr;
-
-  /// True when the dependence is on the canonical induction variable of
-  /// the carrying loop (the IV update chain): removable for any loop with
-  /// a computable trip count.
-  bool IsIVDep = false;
-
-  /// True when both endpoints are I/O calls (print ordering).
-  bool IsIO = false;
-
-  bool isMemory() const {
-    return Kind == DepKind::MemoryRAW || Kind == DepKind::MemoryWAR ||
-           Kind == DepKind::MemoryWAW;
-  }
-  bool isCarriedAt(unsigned Header) const {
-    return CarriedAtHeaders.count(Header) != 0;
-  }
-};
-
-/// Whole-function dependence set.
+/// Whole-function dependence set, materialized through a DepOracleStack.
 class DependenceInfo {
 public:
-  DependenceInfo(const FunctionAnalysis &FA);
+  /// Self-contained: owns a default oracle stack for \p FA.
+  explicit DependenceInfo(const FunctionAnalysis &FA)
+      : Owned(std::make_unique<DepOracleStack>(FA)), S(Owned.get()),
+        Edges(buildDepEdges(*S)) {}
+
+  /// Shares \p Stack (and its query cache) with other consumers.
+  DependenceInfo(const FunctionAnalysis &FA, DepOracleStack &Stack)
+      : S(&Stack), Edges(buildDepEdges(Stack)) {
+    assert(&Stack.functionAnalysis() == &FA && "stack bound to another fn");
+    (void)FA;
+  }
 
   const std::vector<DepEdge> &edges() const { return Edges; }
-  const FunctionAnalysis &functionAnalysis() const { return FA; }
+  const FunctionAnalysis &functionAnalysis() const {
+    return S->functionAnalysis();
+  }
+  DepOracleStack &stack() const { return *S; }
 
 private:
-  void computeRegisterDeps();
-  void computeControlDeps();
-  void computeMemoryDeps();
-
-  /// True if accesses \p P (in an earlier iteration of \p L) and \p Q (in a
-  /// later one) can touch the same location.
-  bool carriedDepPossible(const MemAccess &P, const MemAccess &Q,
-                          const Loop &L) const;
-  /// True if \p P and \p Q can touch the same location within one iteration
-  /// of their innermost common loop (or anywhere, when loop-free).
-  bool intraDepPossible(const MemAccess &P, const MemAccess &Q) const;
-
-  /// Classification of an affine symbol relative to a loop.
-  enum class SymClass { IVOfLoop, IVOfInner, InvariantInLoop, Unknown };
-  SymClass classifySymbol(const Value *Sym, const Loop &L) const;
-
-  /// Inclusive interval with infinities; helper for the Banerjee test.
-  struct Interval {
-    bool Valid = true; ///< false = unbounded (contains everything).
-    long Min = 0, Max = 0;
-    bool contains(long V) const { return !Valid || (Min <= V && V <= Max); }
-  };
-  Interval ivRangeOf(const Loop &L) const;
-
-  bool hasStoreTo(const Value *Storage, const Loop &L) const;
-
-  const FunctionAnalysis &FA;
-  std::vector<MemAccess> Accesses;
+  std::unique_ptr<DepOracleStack> Owned;
+  DepOracleStack *S;
   std::vector<DepEdge> Edges;
 };
 

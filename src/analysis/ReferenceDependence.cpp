@@ -1,0 +1,478 @@
+//===- ReferenceDependence.cpp - Frozen seed dependence analysis -*- C++ -*-===//
+///
+/// The seed monolithic implementation, kept as the differential-testing
+/// golden reference for the DepOracle stack. See ReferenceDependence.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReferenceDependence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace psc;
+
+namespace {
+
+/// Saturating interval arithmetic over "practically infinite" bounds.
+/// Coefficients and IV ranges in PSC programs are small; Huge is far above
+/// any product that can occur, so saturation only encodes "unbounded".
+constexpr long Huge = 4'000'000'000'000'000L;
+
+long clampMul(long A, long B) {
+  __int128 P = static_cast<__int128>(A) * B;
+  if (P > Huge)
+    return Huge;
+  if (P < -Huge)
+    return -Huge;
+  return static_cast<long>(P);
+}
+
+long clampAdd(long A, long B) {
+  __int128 S = static_cast<__int128>(A) + B;
+  if (S > Huge)
+    return Huge;
+  if (S < -Huge)
+    return -Huge;
+  return static_cast<long>(S);
+}
+
+struct Range {
+  long Min = 0, Max = 0;
+
+  static Range point(long V) { return {V, V}; }
+  static Range unbounded() { return {-Huge, Huge}; }
+
+  Range operator+(const Range &O) const {
+    return {clampAdd(Min, O.Min), clampAdd(Max, O.Max)};
+  }
+  Range scaledBy(long K) const {
+    long A = clampMul(Min, K), B = clampMul(Max, K);
+    return {std::min(A, B), std::max(A, B)};
+  }
+  bool contains(long V) const { return Min <= V && V <= Max; }
+};
+
+/// Innermost loop containing \p I whose canonical counter is \p Sym.
+const Loop *bindingLoop(const FunctionAnalysis &FA, const Instruction *I,
+                        const Value *Sym) {
+  for (Loop *L = FA.loopOf(I); L; L = L->getParent()) {
+    const ForLoopMeta *Meta = FA.forMeta(L);
+    if (Meta && Meta->CounterStorage == Sym)
+      return L;
+  }
+  return nullptr;
+}
+
+Range loopRange(const FunctionAnalysis &FA, const Loop *L) {
+  if (!L)
+    return Range::unbounded();
+  const ForLoopMeta *Meta = FA.forMeta(L);
+  long Min, Max;
+  if (Meta && Meta->ivRange(Min, Max))
+    return {Min, Max};
+  return Range::unbounded();
+}
+
+/// The seed DependenceInfo, repackaged without behavioral change.
+class ReferenceImpl {
+public:
+  explicit ReferenceImpl(const FunctionAnalysis &FA) : FA(FA) {
+    Accesses = collectMemAccesses(FA.function());
+    computeRegisterDeps();
+    computeControlDeps();
+    computeMemoryDeps();
+  }
+
+  std::vector<DepEdge> take() { return std::move(Edges); }
+
+private:
+  void computeRegisterDeps();
+  void computeControlDeps();
+  void computeMemoryDeps();
+
+  /// True if accesses \p P (in an earlier iteration of \p L) and \p Q (in a
+  /// later one) can touch the same location.
+  bool carriedDepPossible(const MemAccess &P, const MemAccess &Q,
+                          const Loop &L) const;
+  /// True if \p P and \p Q can touch the same location within one iteration
+  /// of their innermost common loop (or anywhere, when loop-free).
+  bool intraDepPossible(const MemAccess &P, const MemAccess &Q) const;
+
+  /// Classification of an affine symbol relative to a loop.
+  enum class SymClass { IVOfLoop, IVOfInner, InvariantInLoop, Unknown };
+  SymClass classifySymbol(const Value *Sym, const Loop &L) const;
+
+  /// Inclusive interval with infinities; helper for the Banerjee test.
+  struct Interval {
+    bool Valid = true; ///< false = unbounded (contains everything).
+    long Min = 0, Max = 0;
+    bool contains(long V) const { return !Valid || (Min <= V && V <= Max); }
+  };
+  Interval ivRangeOf(const Loop &L) const;
+
+  bool hasStoreTo(const Value *Storage, const Loop &L) const;
+
+  const FunctionAnalysis &FA;
+  std::vector<MemAccess> Accesses;
+  std::vector<DepEdge> Edges;
+};
+
+void ReferenceImpl::computeRegisterDeps() {
+  for (Instruction *I : FA.instructions()) {
+    for (Value *Op : I->operands()) {
+      auto *Def = dyn_cast<Instruction>(Op);
+      if (!Def)
+        continue;
+      DepEdge E;
+      E.Src = Def;
+      E.Dst = I;
+      E.Kind = DepKind::Register;
+      E.Intra = true;
+      Edges.push_back(std::move(E));
+    }
+  }
+}
+
+void ReferenceImpl::computeControlDeps() {
+  const Function &F = FA.function();
+  const auto &Frontiers = FA.postDomTree().frontiers();
+  unsigned VirtualExit = FA.postDomTree().getVirtualExit();
+
+  for (unsigned B = 0; B < F.getNumBlocks(); ++B) {
+    if (!FA.cfg().isReachable(B))
+      continue;
+    for (unsigned Controlling : Frontiers[B]) {
+      if (Controlling == VirtualExit || Controlling >= F.getNumBlocks())
+        continue;
+      Instruction *Branch = F.getBlock(Controlling)->getTerminator();
+      if (!Branch || !isa<CondBranchInst>(Branch))
+        continue;
+      // Carried at the innermost loop containing both the branch and the
+      // dependent block: the branch gates later iterations too.
+      Loop *BranchLoop = FA.loopInfo().getLoopFor(Controlling);
+      std::set<unsigned> Carried;
+      if (BranchLoop && BranchLoop->contains(B))
+        Carried.insert(BranchLoop->getHeader());
+
+      for (Instruction *I : *F.getBlock(B)) {
+        DepEdge E;
+        E.Src = Branch;
+        E.Dst = I;
+        E.Kind = DepKind::Control;
+        E.Intra = true;
+        E.CarriedAtHeaders = Carried;
+        Edges.push_back(std::move(E));
+      }
+    }
+  }
+}
+
+ReferenceImpl::SymClass ReferenceImpl::classifySymbol(const Value *Sym,
+                                                      const Loop &L) const {
+  // Used only for symbols with no binding loop (see bindingLoop below):
+  // invariant when nothing in L stores it.
+  return hasStoreTo(Sym, L) ? SymClass::Unknown : SymClass::InvariantInLoop;
+}
+
+bool ReferenceImpl::hasStoreTo(const Value *Storage, const Loop &L) const {
+  const Function &F = FA.function();
+  for (unsigned B : L.blocks())
+    for (Instruction *I : *F.getBlock(B))
+      if (auto *SI = dyn_cast<StoreInst>(I))
+        if (SI->getPointer() == Storage)
+          return true;
+  return false;
+}
+
+ReferenceImpl::Interval ReferenceImpl::ivRangeOf(const Loop &L) const {
+  Interval R;
+  const ForLoopMeta *Meta = FA.forMeta(&L);
+  long Min, Max;
+  if (Meta && Meta->ivRange(Min, Max)) {
+    R.Min = Min;
+    R.Max = Max;
+    return R;
+  }
+  R.Valid = false;
+  return R;
+}
+
+bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
+                                       const Loop &L) const {
+  // Non-affine / opaque / scalar cases are resolved by the caller; here both
+  // are array accesses on the same (or may-aliasing) base.
+  if (!P.Subscript.Valid || !Q.Subscript.Valid)
+    return true;
+
+  const ForLoopMeta *LMeta = FA.forMeta(&L);
+  const Value *LCounter =
+      (LMeta && LMeta->Canonical) ? LMeta->CounterStorage : nullptr;
+  long Trip = LMeta ? LMeta->tripCount() : -1;
+
+  // Accumulate the interval of  Sub_P(iter i) - Sub_Q(iter i + delta)
+  // minus its constant part, then ask whether the constant can be canceled.
+  Range Sum = Range::point(0);
+  long CoeffPi = 0, CoeffQi = 0; // coefficients of the IV of L on each side
+
+  // Shared (invariant) symbols accumulate a combined coefficient.
+  std::map<const Value *, std::pair<long, const Loop *>> Shared;
+
+  auto AddSide = [&](const MemAccess &A, long Sign, long &IVCoeff) -> bool {
+    for (auto &[Sym, C] : A.Subscript.Coeffs) {
+      const Loop *B = bindingLoop(FA, A.I, Sym);
+      if (B && FA.forMeta(B) == LMeta) {
+        IVCoeff = C;
+        continue;
+      }
+      if (B && L.encloses(B)) {
+        // IV of a loop nested in L: independent between the two instances.
+        Sum = Sum + loopRange(FA, B).scaledBy(Sign * C);
+        continue;
+      }
+      if (B) {
+        // IV of a loop enclosing L: same value for both instances.
+        Shared[Sym].first += Sign * C;
+        Shared[Sym].second = B;
+        continue;
+      }
+      // Plain variable: invariant in L → shared; else unknown.
+      if (classifySymbol(Sym, L) == SymClass::Unknown)
+        return false;
+      Shared[Sym].first += Sign * C;
+      Shared[Sym].second = nullptr;
+    }
+    return true;
+  };
+
+  if (!AddSide(P, +1, CoeffPi) || !AddSide(Q, -1, CoeffQi))
+    return true; // unknown symbol → conservative
+
+  // Shared symbols: coefficient difference times an (often unknown) value.
+  for (auto &[Sym, Entry] : Shared) {
+    auto &[Coeff, BindLoop] = Entry;
+    if (Coeff == 0)
+      continue;
+    Sum = Sum + loopRange(FA, BindLoop).scaledBy(Coeff);
+  }
+
+  // IV of L: (CoeffP - CoeffQ) * i  -  CoeffQ * delta, delta >= 1.
+  if (LCounter) {
+    Range IV = Range::unbounded();
+    Interval IVI = ivRangeOf(L);
+    if (IVI.Valid)
+      IV = {IVI.Min, IVI.Max};
+    Sum = Sum + IV.scaledBy(CoeffPi - CoeffQi);
+    long MaxDelta = Trip > 1 ? Trip - 1 : (Trip < 0 ? Huge : 0);
+    if (MaxDelta == 0)
+      return false; // single-iteration loop: nothing is carried
+    Range Delta = {1, MaxDelta};
+    Sum = Sum + Delta.scaledBy(-CoeffQi);
+  } else {
+    // Non-canonical loop: if either side references any symbol stored in L
+    // we already bailed; subscripts are L-invariant, so the same element is
+    // touched every iteration.
+    // (Fall through to the constant check with Sum as computed.)
+    if (CoeffPi != 0 || CoeffQi != 0)
+      return true;
+  }
+
+  long Target = Q.Subscript.Constant - P.Subscript.Constant;
+  return Sum.contains(Target);
+}
+
+bool ReferenceImpl::intraDepPossible(const MemAccess &P,
+                                     const MemAccess &Q) const {
+  if (!P.Subscript.Valid || !Q.Subscript.Valid)
+    return true;
+
+  const Loop *C = FA.commonLoop(P.I, Q.I);
+
+  Range Sum = Range::point(0);
+  std::map<const Value *, std::pair<long, const Loop *>> Shared;
+
+  auto AddSide = [&](const MemAccess &A, long Sign) -> bool {
+    for (auto &[Sym, Coeff] : A.Subscript.Coeffs) {
+      const Loop *B = bindingLoop(FA, A.I, Sym);
+      if (B && C && C->encloses(B) && B != C) {
+        // Loop nested inside the common loop: iterates within one common
+        // iteration → independent values on each side.
+        Sum = Sum + loopRange(FA, B).scaledBy(Sign * Coeff);
+        continue;
+      }
+      if (B) {
+        // Common loop itself or an enclosing loop: same value both sides.
+        Shared[Sym].first += Sign * Coeff;
+        Shared[Sym].second = B;
+        continue;
+      }
+      // Plain variable: same value if not stored within the common scope.
+      if (C && classifySymbol(Sym, *C) == SymClass::Unknown)
+        return false;
+      Shared[Sym].first += Sign * Coeff;
+      Shared[Sym].second = nullptr;
+    }
+    return true;
+  };
+
+  if (!AddSide(P, +1) || !AddSide(Q, -1))
+    return true;
+
+  for (auto &[Sym, Entry] : Shared) {
+    auto &[Coeff, BindLoop] = Entry;
+    if (Coeff == 0)
+      continue;
+    Sum = Sum + loopRange(FA, BindLoop).scaledBy(Coeff);
+  }
+
+  long Target = Q.Subscript.Constant - P.Subscript.Constant;
+  return Sum.contains(Target);
+}
+
+void ReferenceImpl::computeMemoryDeps() {
+  // All loops containing both instructions, innermost to outermost.
+  auto CommonLoops = [&](Instruction *A, Instruction *B) {
+    std::vector<const Loop *> Out;
+    for (Loop *L = FA.loopOf(A); L; L = L->getParent())
+      if (L->contains(B->getParent()->getIndex()))
+        Out.push_back(L);
+    return Out;
+  };
+
+  auto KindOf = [](const MemAccess &Src, const MemAccess &Dst) {
+    if (Src.isWrite() && Dst.isWrite())
+      return DepKind::MemoryWAW;
+    if (Src.isWrite())
+      return DepKind::MemoryRAW;
+    return DepKind::MemoryWAR;
+  };
+
+  // Self-dependences: one static write (or I/O / opaque call) conflicting
+  // with its own instances in later iterations.
+  for (const MemAccess &A : Accesses) {
+    if (!A.isWrite())
+      continue;
+    std::set<unsigned> Carried;
+    for (const Loop *L : CommonLoops(A.I, A.I)) {
+      bool Dep;
+      if (A.isOpaque() || A.IsIO || A.IsScalar)
+        Dep = true;
+      else
+        Dep = carriedDepPossible(A, A, *L);
+      if (Dep)
+        Carried.insert(L->getHeader());
+    }
+    if (Carried.empty())
+      continue;
+    DepEdge E;
+    E.Src = A.I;
+    E.Dst = A.I;
+    E.Kind = A.isRead() ? DepKind::MemoryRAW : DepKind::MemoryWAW;
+    E.Intra = false;
+    E.CarriedAtHeaders = Carried;
+    E.MemObject = A.Base;
+    E.IsIO = A.IsIO;
+    if (A.Base)
+      for (unsigned H : Carried) {
+        const ForLoopMeta *Meta =
+            FA.function().getParent()->getParallelInfo().getForLoopMeta(
+                FA.function().getBlock(H));
+        if (Meta && Meta->Canonical && Meta->CounterStorage == A.Base)
+          E.IsIVDep = true;
+      }
+    Edges.push_back(std::move(E));
+  }
+
+  for (size_t AI = 0; AI < Accesses.size(); ++AI) {
+    for (size_t BI = AI + 1; BI < Accesses.size(); ++BI) {
+      const MemAccess &A = Accesses[AI];
+      const MemAccess &B = Accesses[BI];
+      if (!A.isWrite() && !B.isWrite())
+        continue;
+
+      // I/O ordering: prints conflict only with other prints/opaque calls.
+      if (A.IsIO != B.IsIO && !A.isOpaque() && !B.isOpaque())
+        continue;
+
+      bool SameScalarObject = false;
+      bool Conservative = false;
+      if (A.isOpaque() || B.isOpaque() || (A.IsIO && B.IsIO)) {
+        Conservative = true;
+      } else if (aliasBases(A.Base, B.Base) == AliasResult::NoAlias) {
+        continue;
+      } else if (A.Base != B.Base) {
+        Conservative = true; // may-alias distinct bases (arg vs global)
+      } else if (A.IsScalar || B.IsScalar) {
+        SameScalarObject = true;
+      }
+
+      const Value *Obj = A.Base == B.Base ? A.Base : nullptr;
+      std::vector<const Loop *> Loops = CommonLoops(A.I, B.I);
+
+      // Intra-iteration dependence, directed by program order (A first).
+      bool Intra = Conservative || SameScalarObject || intraDepPossible(A, B);
+
+      // Carried dependences per loop, per direction.
+      std::set<unsigned> CarriedAB, CarriedBA;
+      for (const Loop *L : Loops) {
+        bool AB, BA;
+        if (Conservative || SameScalarObject) {
+          AB = BA = true;
+        } else {
+          AB = carriedDepPossible(A, B, *L);
+          BA = carriedDepPossible(B, A, *L);
+        }
+        if (AB)
+          CarriedAB.insert(L->getHeader());
+        if (BA)
+          CarriedBA.insert(L->getHeader());
+      }
+
+      auto IsIVObject = [&](const std::set<unsigned> &Headers) {
+        if (!Obj)
+          return false;
+        for (unsigned H : Headers) {
+          const ForLoopMeta *Meta = FA.function().getParent()
+                                        ->getParallelInfo()
+                                        .getForLoopMeta(
+                                            FA.function().getBlock(H));
+          if (Meta && Meta->Canonical && Meta->CounterStorage == Obj)
+            return true;
+        }
+        return false;
+      };
+
+      if (Intra || !CarriedAB.empty()) {
+        DepEdge E;
+        E.Src = A.I;
+        E.Dst = B.I;
+        E.Kind = KindOf(A, B);
+        E.Intra = Intra;
+        E.CarriedAtHeaders = CarriedAB;
+        E.MemObject = Obj;
+        E.IsIO = A.IsIO && B.IsIO;
+        E.IsIVDep = IsIVObject(CarriedAB);
+        Edges.push_back(std::move(E));
+      }
+      if (!CarriedBA.empty()) {
+        DepEdge E;
+        E.Src = B.I;
+        E.Dst = A.I;
+        E.Kind = KindOf(B, A);
+        E.Intra = false;
+        E.CarriedAtHeaders = CarriedBA;
+        E.MemObject = Obj;
+        E.IsIO = A.IsIO && B.IsIO;
+        E.IsIVDep = IsIVObject(CarriedBA);
+        Edges.push_back(std::move(E));
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::vector<DepEdge> psc::referenceDepEdges(const FunctionAnalysis &FA) {
+  return ReferenceImpl(FA).take();
+}

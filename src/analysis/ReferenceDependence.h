@@ -1,0 +1,29 @@
+//===- ReferenceDependence.h - Frozen seed dependence analysis --*- C++ -*-===//
+///
+/// \file
+/// The seed repository's monolithic dependence computation, preserved
+/// verbatim (modulo packaging) as the golden reference for differential
+/// testing and benchmarking of the DepOracle stack. Do NOT extend this
+/// file with new analysis power: its whole value is staying bit-identical
+/// to the pre-refactor edge sets. New disproof techniques belong in a
+/// DepOracle (see DepOracle.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_REFERENCEDEPENDENCE_H
+#define PSPDG_ANALYSIS_REFERENCEDEPENDENCE_H
+
+#include "analysis/DepOracle.h"
+
+#include <vector>
+
+namespace psc {
+
+/// Computes the whole-function dependence edge set with the seed
+/// monolithic algorithm (register SSA def→use, post-dominance-frontier
+/// control deps, Banerjee-tested memory deps).
+std::vector<DepEdge> referenceDepEdges(const FunctionAnalysis &FA);
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_REFERENCEDEPENDENCE_H

@@ -12,8 +12,9 @@ using namespace psc;
 // --- CriticalPathModel -------------------------------------------------------
 
 CriticalPathModel::CriticalPathModel(const Module &M, AbstractionKind Kind,
-                                     const FeatureSet &Features)
-    : Kind(Kind), Features(Features), MA(M) {
+                                     const FeatureSet &Features,
+                                     const std::vector<std::string> &DepOracles)
+    : Kind(Kind), Features(Features), DepOracles(DepOracles), MA(M) {
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
       planFunction(*F);
@@ -46,11 +47,14 @@ void CriticalPathModel::planFunction(const Function &F) {
     return;
   }
 
-  DependenceInfo DI(FA);
+  // One oracle stack per function; materialize the edge set once and feed
+  // it to both consumers (the PS-PDG build and the view).
+  DepOracleStack Stack(FA, DepOracles);
+  std::vector<DepEdge> DepEdges = buildDepEdges(Stack);
   std::unique_ptr<PSPDG> G;
   if (Kind == AbstractionKind::PSPDG)
-    G = buildPSPDG(FA, DI, Features);
-  AbstractionView View(Kind, FA, DI, G.get());
+    G = buildPSPDGFromEdges(FA, DepEdges, Features);
+  AbstractionView View(Kind, FA, std::move(DepEdges), G.get());
 
   // Which loops each abstraction may re-plan (paper §6.3 methodology):
   //   PDG    — outermost loops only;
@@ -286,14 +290,15 @@ void CriticalPathEvaluator::onInstruction(const Instruction &I) {
 
 // --- Whole-program convenience ------------------------------------------------
 
-CriticalPathReport psc::evaluateCriticalPaths(const Module &M,
-                                              uint64_t InstructionBudget) {
+CriticalPathReport
+psc::evaluateCriticalPaths(const Module &M, uint64_t InstructionBudget,
+                           const std::vector<std::string> &DepOracles) {
   CriticalPathReport Report;
   const AbstractionKind Kinds[] = {AbstractionKind::OpenMP,
                                    AbstractionKind::PDG, AbstractionKind::JK,
                                    AbstractionKind::PSPDG};
   for (AbstractionKind K : Kinds) {
-    CriticalPathModel Model(M, K);
+    CriticalPathModel Model(M, K, FeatureSet(), DepOracles);
     CriticalPathEvaluator Eval(Model);
     Interpreter Interp(M);
     Interp.setInstructionBudget(InstructionBudget);

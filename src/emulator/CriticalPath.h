@@ -61,8 +61,11 @@ struct LoopCPConfig {
 /// Precomputed plans for a whole module under one abstraction.
 class CriticalPathModel {
 public:
+  /// \p DepOracles names the dependence-oracle chain (empty = full default
+  /// stack; see DepOracle.h) so oracle ablations reach the model too.
   CriticalPathModel(const Module &M, AbstractionKind Kind,
-                    const FeatureSet &Features = FeatureSet());
+                    const FeatureSet &Features = FeatureSet(),
+                    const std::vector<std::string> &DepOracles = {});
 
   AbstractionKind kind() const { return Kind; }
   ModuleAnalyses &analyses() { return MA; }
@@ -78,6 +81,7 @@ private:
 
   AbstractionKind Kind;
   FeatureSet Features;
+  std::vector<std::string> DepOracles;
   ModuleAnalyses MA;
   std::map<std::pair<const Function *, unsigned>, LoopCPConfig> Configs;
 };
@@ -144,9 +148,10 @@ struct CriticalPathReport {
   uint64_t TotalDynamicInstructions = 0;
 };
 
-CriticalPathReport evaluateCriticalPaths(const Module &M,
-                                         uint64_t InstructionBudget =
-                                             2'000'000'000ULL);
+CriticalPathReport
+evaluateCriticalPaths(const Module &M,
+                      uint64_t InstructionBudget = 2'000'000'000ULL,
+                      const std::vector<std::string> &DepOracles = {});
 
 } // namespace psc
 

@@ -25,11 +25,21 @@ const char *psc::abstractionName(AbstractionKind K) {
 
 AbstractionView::AbstractionView(AbstractionKind Kind,
                                  const FunctionAnalysis &FA,
-                                 const DependenceInfo &DI, const PSPDG *G)
-    : Kind(Kind), FA(FA), DI(DI), G(G), Regions(FA) {
+                                 std::vector<DepEdge> Edges, const PSPDG *G)
+    : Kind(Kind), FA(FA), Edges(std::move(Edges)), G(G), Regions(FA) {
   assert((Kind != AbstractionKind::PSPDG || G) &&
          "PS-PDG view requires a built PS-PDG");
 }
+
+AbstractionView::AbstractionView(AbstractionKind Kind,
+                                 const FunctionAnalysis &FA,
+                                 DepOracleStack &Stack, const PSPDG *G)
+    : AbstractionView(Kind, FA, buildDepEdges(Stack), G) {}
+
+AbstractionView::AbstractionView(AbstractionKind Kind,
+                                 const FunctionAnalysis &FA,
+                                 const DependenceInfo &DI, const PSPDG *G)
+    : AbstractionView(Kind, FA, DI.edges(), G) {}
 
 const Directive *AbstractionView::worksharing(const Loop &L) const {
   const Module *M = FA.function().getParent();
@@ -164,7 +174,7 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
   }
 
   // PDG / J&K: filter raw dependence edges. (OpenMP builds no view.)
-  for (const DepEdge &E : DI.edges()) {
+  for (const DepEdge &E : Edges) {
     auto SIt = IdxOf.find(E.Src);
     auto DIt = IdxOf.find(E.Dst);
     if (SIt == IdxOf.end() || DIt == IdxOf.end())

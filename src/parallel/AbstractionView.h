@@ -43,9 +43,19 @@ const char *abstractionName(AbstractionKind K);
 class AbstractionView {
 public:
   /// \p G is required for AbstractionKind::PSPDG (it may be an ablated
-  /// PS-PDG) and ignored otherwise.
+  /// PS-PDG) and ignored otherwise. Issues the dependence queries through
+  /// the shared oracle stack (repeated builds are served by its cache).
+  AbstractionView(AbstractionKind Kind, const FunctionAnalysis &FA,
+                  DepOracleStack &Stack, const PSPDG *G = nullptr);
+
+  /// Compatibility: consume an already-materialized edge set.
   AbstractionView(AbstractionKind Kind, const FunctionAnalysis &FA,
                   const DependenceInfo &DI, const PSPDG *G = nullptr);
+
+  /// Core constructor: an explicit edge set (used by the differential
+  /// tests to feed reference edges through the same view logic).
+  AbstractionView(AbstractionKind Kind, const FunctionAnalysis &FA,
+                  std::vector<DepEdge> Edges, const PSPDG *G = nullptr);
 
   AbstractionKind kind() const { return Kind; }
 
@@ -61,7 +71,7 @@ private:
 
   AbstractionKind Kind;
   const FunctionAnalysis &FA;
-  const DependenceInfo &DI;
+  std::vector<DepEdge> Edges;
   const PSPDG *G;
   RegionMap Regions;
 };

@@ -40,7 +40,8 @@ uint64_t dswpOptions(const EnumeratorConfig &C, unsigned NumSCCs) {
 OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
                                   const EnumeratorConfig &Config,
                                   const CoverageMap *Coverage,
-                                  const FeatureSet &Features) {
+                                  const FeatureSet &Features,
+                                  const std::vector<std::string> &DepOracles) {
   OptionCount Out;
 
   for (const auto &FPtr : M.functions()) {
@@ -82,11 +83,14 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
       continue;
     }
 
-    DependenceInfo DI(FA);
+    // One oracle stack per function; materialize the edge set once and
+    // feed it to both consumers (the PS-PDG build and the view).
+    DepOracleStack Stack(FA, DepOracles);
+    std::vector<DepEdge> DepEdges = buildDepEdges(Stack);
     std::unique_ptr<PSPDG> G;
     if (Kind == AbstractionKind::PSPDG)
-      G = buildPSPDG(FA, DI, Features);
-    AbstractionView View(Kind, FA, DI, G.get());
+      G = buildPSPDGFromEdges(FA, DepEdges, Features);
+    AbstractionView View(Kind, FA, std::move(DepEdges), G.get());
 
     for (const Loop *L : FA.loopInfo().loops()) {
       if (!loopQualifies(Coverage, F.getName(), L->getHeader(),

@@ -64,10 +64,13 @@ struct OptionCount {
 
 /// Enumerates options for every qualifying loop of \p M under abstraction
 /// \p Kind. For PSPDG the FeatureSet selects the (possibly ablated) PS-PDG.
+/// \p DepOracles names the dependence-oracle chain (empty = full default
+/// stack; see DepOracle.h) so oracle ablations reach the enumeration too.
 OptionCount enumerateOptions(const Module &M, AbstractionKind Kind,
                              const EnumeratorConfig &Config = {},
                              const CoverageMap *Coverage = nullptr,
-                             const FeatureSet &Features = FeatureSet());
+                             const FeatureSet &Features = FeatureSet(),
+                             const std::vector<std::string> &DepOracles = {});
 
 } // namespace psc
 

@@ -6,6 +6,13 @@
 
 using namespace psc;
 
+PDG::PDG(const FunctionAnalysis &FA, DepOracleStack &Stack) : FA(FA) {
+  Edges = buildDepEdges(Stack);
+  Out.resize(numNodes());
+  for (unsigned E = 0; E < Edges.size(); ++E)
+    Out[FA.indexOf(Edges[E].Src)].push_back(E);
+}
+
 PDG::PDG(const FunctionAnalysis &FA, const DependenceInfo &DI) : FA(FA) {
   Edges = DI.edges();
   Out.resize(numNodes());

@@ -23,6 +23,10 @@ namespace psc {
 /// Classic PDG: instruction nodes + dependence edges.
 class PDG {
 public:
+  /// Builds the edge set through the shared oracle stack (repeated builds
+  /// are served by its query cache).
+  PDG(const FunctionAnalysis &FA, DepOracleStack &Stack);
+  /// Compatibility: consume an already-materialized edge set.
   PDG(const FunctionAnalysis &FA, const DependenceInfo &DI);
 
   const FunctionAnalysis &functionAnalysis() const { return FA; }

@@ -27,9 +27,9 @@ struct Container {
 
 class BuilderImpl {
 public:
-  BuilderImpl(const FunctionAnalysis &FA, const DependenceInfo &DI,
+  BuilderImpl(const FunctionAnalysis &FA, const std::vector<DepEdge> &Edges,
               const FeatureSet &Features)
-      : FA(FA), DI(DI), Feats(Features),
+      : FA(FA), Edges(Edges), Feats(Features),
         PI(FA.function().getParent()->getParallelInfo()) {}
 
   std::unique_ptr<PSPDG> run();
@@ -64,7 +64,7 @@ private:
   PSNodeId contextOf(PSNodeId Node) const; ///< Innermost labeled ancestor.
 
   const FunctionAnalysis &FA;
-  const DependenceInfo &DI;
+  const std::vector<DepEdge> &Edges;
   FeatureSet Feats;
   const ParallelInfo &PI;
 
@@ -416,7 +416,7 @@ void BuilderImpl::buildEdges() {
            B.Kind == PSRegionKind::AtomicRegion;
   };
 
-  for (const DepEdge &E : DI.edges()) {
+  for (const DepEdge &E : Edges) {
     if (isMarker(E.Src) || isMarker(E.Dst))
       continue;
     PSNodeId SrcLeaf = G->leafOf(E.Src);
@@ -661,7 +661,21 @@ std::unique_ptr<PSPDG> BuilderImpl::run() {
 } // namespace
 
 std::unique_ptr<PSPDG> psc::buildPSPDG(const FunctionAnalysis &FA,
+                                       DepOracleStack &Stack,
+                                       const FeatureSet &Features) {
+  std::vector<DepEdge> Edges = buildDepEdges(Stack);
+  return BuilderImpl(FA, Edges, Features).run();
+}
+
+std::unique_ptr<PSPDG> psc::buildPSPDG(const FunctionAnalysis &FA,
                                        const DependenceInfo &DI,
                                        const FeatureSet &Features) {
-  return BuilderImpl(FA, DI, Features).run();
+  return BuilderImpl(FA, DI.edges(), Features).run();
+}
+
+std::unique_ptr<PSPDG>
+psc::buildPSPDGFromEdges(const FunctionAnalysis &FA,
+                         const std::vector<DepEdge> &Edges,
+                         const FeatureSet &Features) {
+  return BuilderImpl(FA, Edges, Features).run();
 }

@@ -32,10 +32,23 @@
 
 namespace psc {
 
-/// Builds the PS-PDG of FA's function.
+/// Builds the PS-PDG of FA's function, issuing every dependence through
+/// the shared oracle stack (repeated builds are served by its cache).
+std::unique_ptr<PSPDG> buildPSPDG(const FunctionAnalysis &FA,
+                                  DepOracleStack &Stack,
+                                  const FeatureSet &Features = FeatureSet());
+
+/// Compatibility: consume an already-materialized edge set.
 std::unique_ptr<PSPDG> buildPSPDG(const FunctionAnalysis &FA,
                                   const DependenceInfo &DI,
                                   const FeatureSet &Features = FeatureSet());
+
+/// Core entry point: build from an explicit dependence edge set (used by
+/// the differential tests to feed reference edges through the builder).
+std::unique_ptr<PSPDG> buildPSPDGFromEdges(const FunctionAnalysis &FA,
+                                           const std::vector<DepEdge> &Edges,
+                                           const FeatureSet &Features =
+                                               FeatureSet());
 
 } // namespace psc
 

@@ -406,7 +406,8 @@ std::string tryDSWP(LoopSchedule &LS, const Function &F,
 }
 
 void planFunction(RuntimePlan &Plan, const Function &F,
-                  const FunctionAnalysis &FA, unsigned Threads) {
+                  const FunctionAnalysis &FA, unsigned Threads,
+                  const std::vector<std::string> &DepOracles) {
   if (FA.loopInfo().loops().empty())
     return;
   const Module &M = *F.getParent();
@@ -420,11 +421,15 @@ void planFunction(RuntimePlan &Plan, const Function &F,
     return false;
   };
 
-  DependenceInfo DI(FA);
+  // One oracle stack per function; materialize the edge set once and feed
+  // it to both consumers (the PS-PDG build and the view), whose validity
+  // checks below consume the views they produce.
+  DepOracleStack Stack(FA, DepOracles);
+  std::vector<DepEdge> DepEdges = buildDepEdges(Stack);
   std::unique_ptr<PSPDG> G;
   if (Plan.Abs == AbstractionKind::PSPDG)
-    G = buildPSPDG(FA, DI, Plan.Features);
-  AbstractionView View(Plan.Abs, FA, DI, G.get());
+    G = buildPSPDGFromEdges(FA, DepEdges, Plan.Features);
+  AbstractionView View(Plan.Abs, FA, std::move(DepEdges), G.get());
   RegionMap Regions(FA);
 
   // Which loops the abstraction may re-plan (critical-path methodology):
@@ -491,8 +496,8 @@ void planFunction(RuntimePlan &Plan, const Function &F,
 } // namespace
 
 RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
-                                  unsigned Threads,
-                                  const FeatureSet &Features) {
+                                  unsigned Threads, const FeatureSet &Features,
+                                  const std::vector<std::string> &DepOracles) {
   RuntimePlan Plan;
   Plan.Abs = Kind;
   Plan.Features = Features;
@@ -502,6 +507,6 @@ RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
     return Plan; // no compiler plan view
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
-      planFunction(Plan, *F, Plan.MA->of(*F), Plan.Threads);
+      planFunction(Plan, *F, Plan.MA->of(*F), Plan.Threads, DepOracles);
   return Plan;
 }

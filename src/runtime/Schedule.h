@@ -111,9 +111,12 @@ struct RuntimePlan {
 /// or PS-PDG; OpenMP has no compiler plan view). Loops each abstraction may
 /// re-plan mirror the critical-path methodology: PDG outermost loops, J&K
 /// outermost + worksharing inner loops, PS-PDG every loop.
+/// \p DepOracles names the dependence-oracle chain backing the plan's
+/// abstraction views (empty = full default stack; see DepOracle.h).
 RuntimePlan buildRuntimePlan(const Module &M, AbstractionKind Kind,
                              unsigned Threads,
-                             const FeatureSet &Features = FeatureSet());
+                             const FeatureSet &Features = FeatureSet(),
+                             const std::vector<std::string> &DepOracles = {});
 
 } // namespace psc
 

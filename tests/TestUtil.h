@@ -40,11 +40,14 @@ inline std::vector<std::string> compileExpectError(const std::string &Source) {
   return R.Diagnostics;
 }
 
-/// Analysis bundle over one function of a compiled module.
+/// Analysis bundle over one function of a compiled module. DI materializes
+/// its edge set through Stack, so tests can combine edge-level assertions
+/// (DI->edges()) with direct oracle queries and cache/stat checks (Stack).
 struct Compiled {
   std::unique_ptr<Module> M;
   const Function *F = nullptr;
   std::unique_ptr<FunctionAnalysis> FA;
+  std::unique_ptr<DepOracleStack> Stack;
   std::unique_ptr<DependenceInfo> DI;
 };
 
@@ -60,7 +63,8 @@ inline Compiled analyze(const std::string &Source,
   if (!C.F)
     return C;
   C.FA = std::make_unique<FunctionAnalysis>(*C.F);
-  C.DI = std::make_unique<DependenceInfo>(*C.FA);
+  C.Stack = std::make_unique<DepOracleStack>(*C.FA);
+  C.DI = std::make_unique<DependenceInfo>(*C.FA, *C.Stack);
   return C;
 }
 

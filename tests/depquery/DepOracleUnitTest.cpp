@@ -1,0 +1,347 @@
+//===- DepOracleUnitTest.cpp - Per-oracle behavior ---------------*- C++ -*-===//
+///
+/// Unit tests for each oracle in the dependence stack: alias rules,
+/// Banerjee disproofs, IO ordering, opaque fallback, SSA def→use, control,
+/// plus the stack's cache/stat bookkeeping and ablation soundness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "analysis/DepOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+/// First access of \p C's function matching base-object name and
+/// direction; null base name matches opaque/IO accesses.
+const MemAccess *accessOf(const Compiled &C, const std::string &BaseName,
+                          bool Write, unsigned Skip = 0) {
+  for (const MemAccess &A : C.Stack->accesses()) {
+    if (Write != A.isWrite() && !(A.Kind == MemAccess::AccessKind::ReadWrite))
+      continue;
+    bool NameMatch = BaseName.empty() ? A.Base == nullptr
+                                      : A.Base && A.Base->getName() == BaseName;
+    if (!NameMatch)
+      continue;
+    if (Skip == 0)
+      return &A;
+    --Skip;
+  }
+  return nullptr;
+}
+
+DepResult carriedQuery(Compiled &C, const MemAccess *Src, const MemAccess *Dst,
+                       const Loop *L) {
+  DepQuery Q;
+  Q.Kind = DepQueryKind::MemCarried;
+  Q.Src = Src->I;
+  Q.Dst = Dst->I;
+  Q.SrcAcc = Src;
+  Q.DstAcc = Dst;
+  Q.L = L;
+  return C.Stack->query(Q);
+}
+
+// --- affine ------------------------------------------------------------------
+
+TEST(AffineOracleTest, DisprovesStrideDisjointAccesses) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 30; i++) { a[2 * i] = a[2 * i + 1]; }
+  return 0;
+}
+)");
+  ASSERT_TRUE(C.Stack);
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *W = accessOf(C, "a", true);
+  const MemAccess *R = accessOf(C, "a", false);
+  ASSERT_TRUE(W && R);
+  DepResult Res = carriedQuery(C, W, R, L);
+  EXPECT_EQ(Res.Verdict, DepVerdict::NoDep);
+  EXPECT_STREQ(Res.Oracle, "affine");
+}
+
+TEST(AffineOracleTest, CannotDisproveRecurrence) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i++) { a[i] = a[i - 1] + 1; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *W = accessOf(C, "a", true);
+  const MemAccess *R = accessOf(C, "a", false);
+  ASSERT_TRUE(W && R);
+  DepResult Res = carriedQuery(C, W, R, L);
+  EXPECT_EQ(Res.Verdict, DepVerdict::MayDep);
+  EXPECT_STREQ(Res.Oracle, "affine");
+}
+
+TEST(AffineOracleTest, DistanceBeyondTripCountDisproven) {
+  Compiled C = analyze(R"(
+int a[256];
+int main() {
+  int i;
+  for (i = 0; i < 50; i++) { a[i] = a[i + 100]; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *W = accessOf(C, "a", true);
+  const MemAccess *R = accessOf(C, "a", false);
+  ASSERT_TRUE(W && R);
+  EXPECT_EQ(carriedQuery(C, W, R, L).Verdict, DepVerdict::NoDep);
+  EXPECT_EQ(carriedQuery(C, R, W, L).Verdict, DepVerdict::NoDep);
+}
+
+// --- alias -------------------------------------------------------------------
+
+TEST(AliasOracleTest, DistinctGlobalsDisproven) {
+  Compiled C = analyze(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = b[i]; }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *W = accessOf(C, "a", true);
+  const MemAccess *R = accessOf(C, "b", false);
+  ASSERT_TRUE(W && R);
+  DepResult Res = carriedQuery(C, W, R, L);
+  EXPECT_EQ(Res.Verdict, DepVerdict::NoDep);
+  EXPECT_STREQ(Res.Oracle, "alias");
+}
+
+TEST(AliasOracleTest, SameScalarObjectAssumed) {
+  Compiled C = analyze(R"(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 8; i++) { s += i; }
+  return s;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *W = accessOf(C, "s", true, /*Skip=*/1); // store inside loop
+  ASSERT_TRUE(W);
+  DepResult Res = carriedQuery(C, W, W, L);
+  EXPECT_EQ(Res.Verdict, DepVerdict::MayDep);
+  EXPECT_STREQ(Res.Oracle, "alias");
+}
+
+TEST(AliasOracleTest, ArgumentMayAliasGlobal) {
+  Compiled C = analyze(R"(
+int g[16];
+void kernel(int p[]) {
+  int i;
+  for (i = 0; i < 16; i++) { p[i] = g[i]; }
+}
+int main() {
+  kernel(g);
+  return 0;
+}
+)",
+                       "kernel");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *W = accessOf(C, "p", true);
+  const MemAccess *R = accessOf(C, "g", false);
+  ASSERT_TRUE(W && R);
+  DepResult Res = carriedQuery(C, W, R, L);
+  EXPECT_EQ(Res.Verdict, DepVerdict::MayDep);
+  EXPECT_STREQ(Res.Oracle, "alias");
+}
+
+// --- io ----------------------------------------------------------------------
+
+TEST(IOOracleTest, PrintOrdersOnlyAgainstPrint) {
+  Compiled C = analyze(R"(
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i] = i; print(i); }
+  return 0;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *Store = accessOf(C, "a", true);
+  const MemAccess *Print = accessOf(C, "", true); // IO: null base, writeish
+  ASSERT_TRUE(Store && Print);
+  ASSERT_TRUE(Print->IsIO);
+  // Cross I/O-vs-data: disproven by the io oracle.
+  DepResult Cross = carriedQuery(C, Store, Print, L);
+  EXPECT_EQ(Cross.Verdict, DepVerdict::NoDep);
+  EXPECT_STREQ(Cross.Oracle, "io");
+  // I/O against itself: ordered conservatively.
+  DepResult SelfIO = carriedQuery(C, Print, Print, L);
+  EXPECT_EQ(SelfIO.Verdict, DepVerdict::MayDep);
+  EXPECT_STREQ(SelfIO.Oracle, "io");
+}
+
+// --- opaque ------------------------------------------------------------------
+
+TEST(OpaqueOracleTest, DefinedCallAssumedAgainstEverything) {
+  Compiled C = analyze(R"(
+int g;
+void bump() { g += 1; }
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i] = i; bump(); }
+  return g;
+}
+)");
+  const Loop *L = loopAt(*C.FA, 0);
+  const MemAccess *Store = accessOf(C, "a", true);
+  const MemAccess *Call = accessOf(C, "", true);
+  ASSERT_TRUE(Store && Call);
+  ASSERT_TRUE(Call->isOpaque());
+  DepResult Res = carriedQuery(C, Store, Call, L);
+  EXPECT_EQ(Res.Verdict, DepVerdict::MayDep);
+  EXPECT_STREQ(Res.Oracle, "opaque");
+}
+
+// --- ssa / control -----------------------------------------------------------
+
+TEST(SSAOracleTest, DefUseIsMustDep) {
+  Compiled C = analyze("int main() { int x; x = 1 + 2; return x; }");
+  const Instruction *Def = nullptr, *Use = nullptr;
+  for (Instruction *I : C.FA->instructions())
+    for (Value *Op : I->operands())
+      if (auto *D = dyn_cast<Instruction>(Op)) {
+        Def = D;
+        Use = I;
+      }
+  ASSERT_TRUE(Def && Use);
+  DepQuery Q;
+  Q.Kind = DepQueryKind::Register;
+  Q.Src = Def;
+  Q.Dst = Use;
+  DepResult R = C.Stack->query(Q);
+  EXPECT_EQ(R.Verdict, DepVerdict::MustDep);
+  EXPECT_EQ(R.Kind, DepKind::Register);
+  EXPECT_STREQ(R.Oracle, "ssa");
+
+  // An unrelated pair is disproven.
+  DepQuery Q2;
+  Q2.Kind = DepQueryKind::Register;
+  Q2.Src = Use;
+  Q2.Dst = Def;
+  EXPECT_EQ(C.Stack->query(Q2).Verdict, DepVerdict::NoDep);
+}
+
+TEST(ControlOracleTest, BranchControlsMustDep) {
+  Compiled C = analyze(R"(
+int main() {
+  int x;
+  x = 1;
+  if (x > 0) { x = 2; }
+  return x;
+}
+)");
+  bool Found = false;
+  for (const DepEdge &E : C.DI->edges())
+    if (E.Kind == DepKind::Control && isa<CondBranchInst>(E.Src)) {
+      DepQuery Q;
+      Q.Kind = DepQueryKind::Control;
+      Q.Src = E.Src;
+      Q.Dst = E.Dst;
+      DepResult R = C.Stack->query(Q);
+      EXPECT_EQ(R.Verdict, DepVerdict::MustDep);
+      EXPECT_STREQ(R.Oracle, "control");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+// --- stack bookkeeping -------------------------------------------------------
+
+TEST(DepOracleStackTest, RepeatedQueriesHitTheCache) {
+  Compiled C = analyze(R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i++) { a[i] = a[i - 1]; }
+  return 0;
+}
+)");
+  uint64_t Q0 = C.Stack->cacheStats().Queries;
+  uint64_t H0 = C.Stack->cacheStats().Hits;
+  // Rebuild the edge set: every query repeats, so every one is a hit.
+  (void)buildDepEdges(*C.Stack);
+  uint64_t NewQueries = C.Stack->cacheStats().Queries - Q0;
+  uint64_t NewHits = C.Stack->cacheStats().Hits - H0;
+  EXPECT_GT(NewQueries, 0u);
+  EXPECT_EQ(NewQueries, NewHits);
+}
+
+TEST(DepOracleStackTest, StatsCountAnswersAndDisproofs) {
+  Compiled C = analyze(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) { a[i] = b[i]; }
+  return 0;
+}
+)");
+  bool SawAliasDisproof = false, SawSSA = false;
+  for (const auto &S : C.Stack->oracleStats()) {
+    if (std::string(S.Name) == "alias" && S.NoDep > 0)
+      SawAliasDisproof = true;
+    if (std::string(S.Name) == "ssa" && S.MustDep > 0)
+      SawSSA = true;
+    EXPECT_EQ(S.Answered, S.NoDep + S.MayDep + S.MustDep) << S.Name;
+  }
+  EXPECT_TRUE(SawAliasDisproof);
+  EXPECT_TRUE(SawSSA);
+  EXPECT_EQ(C.Stack->cacheStats().Fallback, 0u)
+      << "full stack must claim every query";
+}
+
+TEST(DepOracleStackTest, KnownOracleNames) {
+  EXPECT_TRUE(isKnownDepOracleName("affine"));
+  EXPECT_TRUE(isKnownDepOracleName("ssa"));
+  EXPECT_FALSE(isKnownDepOracleName("banerjee"));
+  EXPECT_EQ(knownDepOracleNames().size(), 6u);
+  for (const std::string &N : knownDepOracleNames()) {
+    Compiled C = analyze("int main() { return 0; }");
+    EXPECT_NE(createDepOracle(N, *C.FA), nullptr) << N;
+  }
+}
+
+TEST(DepOracleStackTest, AblationOnlyAddsEdges) {
+  // Removing disproof oracles can only lose NoDep answers: the ablated
+  // edge set is a superset (soundness of ablation).
+  Compiled C = analyze(R"(
+int a[64];
+int b[64];
+int main() {
+  int i;
+  for (i = 0; i < 30; i++) { a[2 * i] = b[2 * i + 1]; }
+  return 0;
+}
+)");
+  std::vector<DepEdge> Full = C.DI->edges();
+  DepOracleStack NoDisproofs(*C.FA, {"ssa", "control", "io", "opaque"});
+  std::vector<DepEdge> Ablated = buildDepEdges(NoDisproofs);
+  EXPECT_GE(Ablated.size(), Full.size());
+
+  DepOracleStack NoAffine(*C.FA, {"ssa", "control", "io", "opaque", "alias"});
+  std::vector<DepEdge> NoAffineEdges = buildDepEdges(NoAffine);
+  EXPECT_GE(NoAffineEdges.size(), Full.size());
+  EXPECT_LE(NoAffineEdges.size(), Ablated.size());
+}
+
+} // namespace

@@ -27,9 +27,9 @@ TEST_P(WorkloadPropertyTest, FingerprintIsDeterministic) {
   ASSERT_TRUE(M1 && M2);
   FunctionAnalysis FA1(*M1->getFunction("main"));
   FunctionAnalysis FA2(*M2->getFunction("main"));
-  DependenceInfo DI1(FA1), DI2(FA2);
-  auto G1 = buildPSPDG(FA1, DI1);
-  auto G2 = buildPSPDG(FA2, DI2);
+  DepOracleStack S1(FA1), S2(FA2);
+  auto G1 = buildPSPDG(FA1, S1);
+  auto G2 = buildPSPDG(FA2, S2);
   EXPECT_EQ(fingerprint(*G1), fingerprint(*G2)) << W.Name;
 }
 
@@ -41,7 +41,7 @@ TEST_P(WorkloadPropertyTest, AblationNeverAddsInformation) {
   auto M = compile(W.Source);
   ASSERT_TRUE(M);
   FunctionAnalysis FA(*M->getFunction("main"));
-  DependenceInfo DI(FA);
+  DepOracleStack Stack(FA);
 
   auto CountCarried = [](const PSPDG &G) {
     size_t N = 0;
@@ -50,14 +50,14 @@ TEST_P(WorkloadPropertyTest, AblationNeverAddsInformation) {
     return N;
   };
 
-  auto Full = buildPSPDG(FA, DI, FeatureSet::full());
+  auto Full = buildPSPDG(FA, Stack, FeatureSet::full());
   size_t FullCarried = CountCarried(*Full);
   for (const FeatureSet &F :
        {FeatureSet::withoutHierarchicalNodes(),
         FeatureSet::withoutNodeTraits(), FeatureSet::withoutContexts(),
         FeatureSet::withoutDataSelectors(),
         FeatureSet::withoutParallelVariables()}) {
-    auto Ablated = buildPSPDG(FA, DI, F);
+    auto Ablated = buildPSPDG(FA, Stack, F);
     EXPECT_GE(CountCarried(*Ablated), FullCarried)
         << W.Name << " " << F.str();
   }
@@ -94,9 +94,12 @@ TEST_P(WorkloadPropertyTest, PSPDGEdgesAreSubsetOfDependences) {
   auto M = compile(W.Source);
   ASSERT_TRUE(M);
   FunctionAnalysis FA(*M->getFunction("main"));
-  DependenceInfo DI(FA);
-  auto G = buildPSPDG(FA, DI);
+  DepOracleStack Stack(FA);
+  DependenceInfo DI(FA, Stack);
+  auto G = buildPSPDG(FA, Stack);
   EXPECT_LE(G->directedEdges().size(), DI.edges().size()) << W.Name;
+  // The PS-PDG build re-issued the shim's queries: all served by the cache.
+  EXPECT_GT(Stack.cacheStats().Hits, 0u) << W.Name;
 }
 
 TEST_P(WorkloadPropertyTest, GraphStructureIsWellFormed) {
@@ -104,8 +107,8 @@ TEST_P(WorkloadPropertyTest, GraphStructureIsWellFormed) {
   auto M = compile(W.Source);
   ASSERT_TRUE(M);
   FunctionAnalysis FA(*M->getFunction("main"));
-  DependenceInfo DI(FA);
-  auto G = buildPSPDG(FA, DI);
+  DepOracleStack Stack(FA);
+  auto G = buildPSPDG(FA, Stack);
 
   // Every node except the root has a parent, and parent/child lists agree.
   for (PSNodeId N = 0; N < G->numNodes(); ++N) {

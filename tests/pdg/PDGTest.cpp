@@ -12,7 +12,7 @@ namespace {
 
 TEST(PDGTest, NodesMatchInstructions) {
   Compiled C = analyze("int main() { int x; x = 1; return x; }");
-  PDG G(*C.FA, *C.DI);
+  PDG G(*C.FA, *C.Stack);
   EXPECT_EQ(G.numNodes(), C.FA->instructions().size());
   for (unsigned N = 0; N < G.numNodes(); ++N)
     EXPECT_EQ(G.node(N), C.FA->instructions()[N]);
@@ -27,13 +27,13 @@ int main() {
   return a[3];
 }
 )");
-  PDG G(*C.FA, *C.DI);
+  PDG G(*C.FA, *C.Stack);
   EXPECT_EQ(G.edges().size(), C.DI->edges().size());
 }
 
 TEST(PDGTest, OutEdgeAdjacencyConsistent) {
   Compiled C = analyze("int main() { int x; x = 1 + 2; return x; }");
-  PDG G(*C.FA, *C.DI);
+  PDG G(*C.FA, *C.Stack);
   unsigned Counted = 0;
   for (unsigned N = 0; N < G.numNodes(); ++N)
     for (unsigned E : G.outEdges(N)) {
@@ -53,7 +53,7 @@ int main() {
   return 0;
 }
 )");
-  PDG G(*C.FA, *C.DI);
+  PDG G(*C.FA, *C.Stack);
   const Loop *L = loopAt(*C.FA, 0);
   for (const DepEdge *E : G.edgesWithin(*L)) {
     EXPECT_TRUE(L->contains(E->Src->getParent()->getIndex()));
@@ -63,7 +63,7 @@ int main() {
 
 TEST(PDGTest, DotOutputWellFormed) {
   Compiled C = analyze("int main() { int x; x = 2; print(x); return x; }");
-  PDG G(*C.FA, *C.DI);
+  PDG G(*C.FA, *C.Stack);
   std::string Dot = G.toDot();
   EXPECT_NE(Dot.find("digraph PDG"), std::string::npos);
   EXPECT_NE(Dot.find("->"), std::string::npos);
@@ -90,8 +90,8 @@ int main() {
   return 0;
 }
 )");
-  PDG G1(*C1.FA, *C1.DI);
-  PDG G2(*C2.FA, *C2.DI);
+  PDG G1(*C1.FA, *C1.Stack);
+  PDG G2(*C2.FA, *C2.Stack);
   EXPECT_EQ(G1.numNodes(), G2.numNodes());
   EXPECT_EQ(G1.edges().size(), G2.edges().size());
 }
