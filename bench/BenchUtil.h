@@ -1,8 +1,9 @@
 //===- BenchUtil.h - Shared helpers for the benchmark harness ----*- C++ -*-===//
 ///
 /// \file
-/// Compiles a workload, profiles its loop coverage, and provides table
-/// printing for the experiment reproductions.
+/// Compiles a workload, profiles its loop coverage, provides table printing
+/// for the experiment reproductions, and writes the machine-readable
+/// BENCH_*.json perf-trajectory records (see scripts/run_benches.sh).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,9 +15,49 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 namespace psc::bench {
+
+/// One perf-trajectory record: a (workload, engine, threads) measurement.
+struct BenchRecord {
+  std::string Workload; ///< "IS", "CG", ... or a micro-benchmark name.
+  std::string Engine;   ///< "walker", "bytecode", "bytecode-parallel", ...
+  unsigned Threads = 1;
+  double NsPerIter = 0.0;    ///< Nanoseconds per full run / iteration.
+  double InstrsPerSec = 0.0; ///< Interpreted instructions per second (0 if
+                             ///< the record measures something else).
+};
+
+/// Writes the records as the repo's tracked BENCH_<name>.json format:
+/// one top-level object with a stable schema so successive baselines diff
+/// cleanly. Returns false (with a message on stderr) if the file cannot be
+/// written.
+inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
+                           const std::vector<BenchRecord> &Records) {
+  std::ostringstream OS;
+  OS << "{\n  \"bench\": \"" << Bench << "\",\n  \"records\": [\n";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    OS << "    {\"workload\": \"" << R.Workload << "\", \"engine\": \""
+       << R.Engine << "\", \"threads\": " << R.Threads
+       << ", \"ns_per_iter\": " << static_cast<long long>(R.NsPerIter)
+       << ", \"instrs_per_s\": " << static_cast<long long>(R.InstrsPerSec)
+       << "}" << (I + 1 < Records.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "bench: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << OS.str();
+  return true;
+}
 
 /// A compiled + profiled workload.
 struct PreparedWorkload {

@@ -1,14 +1,26 @@
 //===- bench_micro.cpp - Component micro-benchmarks ----------------*- C++ -*-===//
 ///
 /// \file
-/// google-benchmark timings of the compiler stack's components on the IS
-/// kernel (the paper's Fig. 3 program) and on synthetic inputs: frontend,
-/// dependence analysis, PDG and PS-PDG construction, SCC decomposition,
-/// option enumeration, fingerprinting, and the interpreter.
+/// Component-level timings of the compiler stack on the IS kernel (the
+/// paper's Fig. 3 program) and on synthetic inputs: frontend, dependence
+/// analysis, PDG and PS-PDG construction, SCC decomposition, option
+/// enumeration, fingerprinting, the bytecode decoder, and both execution
+/// engines.
+///
+/// Two modes:
+///   * `bench_micro --json=PATH [--reps=N]` — dependency-free mode: times
+///     the decode pass and both engines' interpreted-instruction
+///     throughput, writing BENCH_micro.json records (the tracked perf
+///     trajectory; see scripts/run_benches.sh).
+///   * `bench_micro [gbench args]` — the full Google-Benchmark suite, when
+///     the library is available (PSC_HAVE_GBENCH).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "analysis/DependenceAnalysis.h"
+#include "emulator/Bytecode.h"
 #include "emulator/Interpreter.h"
 #include "frontend/Frontend.h"
 #include "parallel/PlanEnumerator.h"
@@ -18,13 +30,88 @@
 #include "support/SCCIterator.h"
 #include "workloads/Workloads.h"
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstring>
 
 using namespace psc;
+using namespace psc::bench;
 
 namespace {
 
 const std::string &isSource() { return findWorkload("IS")->Source; }
+
+// --- JSON mode ---------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - T0).count();
+}
+
+/// Best-of-N wall time of one thunk, in nanoseconds.
+template <class Fn> double bestNs(unsigned Reps, Fn &&F) {
+  double Best = 1e300;
+  for (unsigned R = 0; R < Reps; ++R) {
+    Clock::time_point T0 = Clock::now();
+    F();
+    Best = std::min(Best, nsSince(T0));
+  }
+  return Best;
+}
+
+int runJsonMode(const std::string &Path, unsigned Reps) {
+  std::vector<BenchRecord> Records;
+  auto Add = [&](const std::string &Name, const std::string &Engine,
+                 double Ns, double InstrsPerSec) {
+    BenchRecord R;
+    R.Workload = Name;
+    R.Engine = Engine;
+    R.Threads = 1;
+    R.NsPerIter = Ns;
+    R.InstrsPerSec = InstrsPerSec;
+    Records.push_back(R);
+  };
+
+  // Component micros on IS.
+  Add("frontend_compile", "frontend",
+      bestNs(Reps, [] { compileOrDie(isSource(), "IS"); }), 0);
+
+  auto M = compileOrDie(isSource(), "IS");
+  Add("bytecode_decode", "bytecode",
+      bestNs(Reps, [&] { BytecodeModule BM(*M); }), 0);
+
+  // Engine throughput on every workload (the headline trajectory metric).
+  for (const Workload &W : nasWorkloads()) {
+    auto WM = compileOrDie(W.Source, W.Name);
+    for (ExecEngineKind E :
+         {ExecEngineKind::Walker, ExecEngineKind::Bytecode}) {
+      uint64_t Instrs = 0;
+      double Ns = bestNs(Reps, [&] {
+        Interpreter I(*WM);
+        I.setEngine(E);
+        Instrs = I.run().InstructionsExecuted;
+      });
+      Add(W.Name, execEngineName(E), Ns,
+          Ns > 0 ? static_cast<double>(Instrs) / (Ns * 1e-9) : 0);
+    }
+  }
+
+  if (!writeBenchJson(Path, "micro", Records))
+    return 1;
+  std::printf("bench_micro: wrote %zu records to %s\n", Records.size(),
+              Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+// --- Google-Benchmark suite --------------------------------------------------
+
+#ifdef PSC_HAVE_GBENCH
+
+#include <benchmark/benchmark.h>
+
+namespace {
 
 void BM_FrontendCompile(benchmark::State &State) {
   for (auto _ : State) {
@@ -86,18 +173,44 @@ void BM_OptionEnumeration(benchmark::State &State) {
 }
 BENCHMARK(BM_OptionEnumeration);
 
-void BM_InterpreterThroughput(benchmark::State &State) {
+void BM_BytecodeDecode(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  for (auto _ : State) {
+    BytecodeModule BM(*M);
+    benchmark::DoNotOptimize(BM.forFunction(M->getFunction("main")));
+  }
+}
+BENCHMARK(BM_BytecodeDecode);
+
+void BM_WalkerThroughput(benchmark::State &State) {
   auto M = compileOrDie(isSource(), "IS");
   uint64_t Instrs = 0;
   for (auto _ : State) {
     Interpreter I(*M);
+    I.setEngine(ExecEngineKind::Walker);
     RunResult R = I.run();
     Instrs += R.InstructionsExecuted;
   }
   State.counters["instrs/s"] = benchmark::Counter(
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpreterThroughput);
+BENCHMARK(BM_WalkerThroughput);
+
+void BM_BytecodeThroughput(benchmark::State &State) {
+  auto M = compileOrDie(isSource(), "IS");
+  BytecodeModule BM(*M); // decode hoisted: measure pure dispatch
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    Interpreter I(*M);
+    I.setEngine(ExecEngineKind::Bytecode);
+    I.setBytecode(&BM);
+    RunResult R = I.run();
+    Instrs += R.InstructionsExecuted;
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BytecodeThroughput);
 
 void BM_TarjanSCC(benchmark::State &State) {
   // Ring-of-rings synthetic graph.
@@ -130,4 +243,31 @@ BENCHMARK(BM_WorkloadCompile)->DenseRange(0, 7);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#endif // PSC_HAVE_GBENCH
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Reps = 3;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--reps=", 7) == 0)
+      Reps = static_cast<unsigned>(std::max(1, std::atoi(argv[I] + 7)));
+  }
+  if (!JsonPath.empty())
+    return runJsonMode(JsonPath, Reps);
+
+#ifdef PSC_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "bench_micro: built without Google Benchmark; only "
+               "--json=PATH mode is available\n");
+  return 2;
+#endif
+}

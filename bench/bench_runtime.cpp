@@ -1,14 +1,24 @@
-//===- bench_runtime.cpp - Measured vs predicted parallel speedup --------===//
+//===- bench_runtime.cpp - Engine throughput + measured vs predicted -----===//
 ///
 /// \file
-/// Closes the paper's predict→execute gap: for every NAS-like workload,
-/// runs the PS-PDG's best plan on real threads (ParallelRuntime) and
-/// compares the measured wall-clock speedup against the plan-constrained
-/// ideal-machine prediction of §6.3 (critical-path model, Fig. 14).
+/// The runtime perf harness, two experiments per NAS-like workload:
 ///
-///   bench_runtime [threads] [abs]
-///     threads — worker threads (default: hardware concurrency, max 8)
-///     abs     — pdg | jk | pspdg (default pspdg)
+///   1. Engine throughput — sequential interpreted-instructions/s of the
+///      tree-walking reference engine vs the pre-decoded bytecode engine
+///      (best of N reps each; both runs must produce identical output).
+///   2. Predict→execute gap — the PS-PDG's best plan on real threads
+///      (ParallelRuntime, bytecode engine) against the plan-constrained
+///      ideal-machine prediction of §6.3 (critical-path model, Fig. 14).
+///
+///   bench_runtime [threads] [abs] [--json=PATH] [--check-faster] [--reps=N]
+///     threads        — worker threads (default: hardware concurrency,
+///                      max 8)
+///     abs            — pdg | jk | pspdg (default pspdg)
+///     --json=PATH    — also write BENCH_runtime.json perf records
+///                      (workload, engine, threads, ns/iter, instrs/s)
+///     --check-faster — exit non-zero if the bytecode engine is slower
+///                      than the walker on any workload (the CI perf gate)
+///     --reps=N       — timing repetitions per measurement (default 3)
 ///
 /// The prediction assumes unlimited cores and free communication, so the
 /// measured column is bounded by the machine's core count while the
@@ -49,6 +59,37 @@ AbstractionKind parseAbs(const std::string &S) {
   return AbstractionKind::PSPDG;
 }
 
+struct SeqMeasurement {
+  double BestMs = 0.0;
+  uint64_t Instrs = 0;
+  RunResult R;
+};
+
+/// Best-of-N sequential run under one engine. The decode cost of the
+/// bytecode engine is included (each rep constructs a fresh Interpreter).
+SeqMeasurement measureSeq(const Module &M, ExecEngineKind Engine,
+                          unsigned Reps) {
+  SeqMeasurement Out;
+  Out.BestMs = 1e300;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    Interpreter I(M);
+    I.setEngine(Engine);
+    Clock::time_point T0 = Clock::now();
+    RunResult R = I.run();
+    double Ms = msSince(T0);
+    if (Ms < Out.BestMs) {
+      Out.BestMs = Ms;
+      Out.Instrs = R.InstructionsExecuted;
+      Out.R = std::move(R);
+    }
+  }
+  return Out;
+}
+
+double instrsPerSec(uint64_t Instrs, double Ms) {
+  return Ms > 0 ? static_cast<double>(Instrs) / (Ms * 1e-3) : 0.0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -56,32 +97,69 @@ int main(int Argc, char **Argv) {
   if (Threads == 0)
     Threads = 4;
   AbstractionKind Abs = AbstractionKind::PSPDG;
-  if (Argc > 1)
-    Threads = static_cast<unsigned>(std::max(1, std::atoi(Argv[1])));
-  if (Argc > 2)
-    Abs = parseAbs(Argv[2]);
+  std::string JsonPath;
+  bool CheckFaster = false;
+  unsigned Reps = 3;
 
-  std::printf("Parallel plan execution: measured vs predicted speedup "
-              "(%s plan, %u threads)\n",
-              abstractionName(Abs), Threads);
-  std::printf("%-4s %10s %10s %9s %10s %9s  %s\n", "WL", "seq(ms)",
-              "par(ms)", "measured", "predicted", "match", "schedules");
+  int Positional = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--json=", 0) == 0) {
+      JsonPath = A.substr(7);
+    } else if (A == "--check-faster") {
+      CheckFaster = true;
+    } else if (A.rfind("--reps=", 0) == 0) {
+      Reps = static_cast<unsigned>(std::max(1, std::atoi(A.c_str() + 7)));
+    } else if (Positional == 0) {
+      Threads = static_cast<unsigned>(std::max(1, std::atoi(A.c_str())));
+      ++Positional;
+    } else {
+      Abs = parseAbs(A);
+      ++Positional;
+    }
+  }
+
+  std::printf("Execution engines + parallel plan execution "
+              "(%s plan, %u threads, best of %u reps)\n",
+              abstractionName(Abs), Threads, Reps);
+  std::printf("%-4s %9s %9s %7s %8s %9s %10s %6s  %s\n", "WL", "walk(ms)",
+              "byte(ms)", "engine", "par(ms)", "measured", "predicted",
+              "match", "schedules");
   std::printf("---------------------------------------------------------------"
-              "--------\n");
+              "-----------------\n");
+
+  std::vector<BenchRecord> Records;
+  unsigned SlowerCount = 0;
+  std::string SlowerList;
 
   for (const Workload &W : nasWorkloads()) {
     std::unique_ptr<Module> M = compileOrDie(W.Source, W.Name);
 
-    Interpreter Seq(*M);
-    Clock::time_point T0 = Clock::now();
-    RunResult SeqR = Seq.run();
-    double SeqMs = msSince(T0);
+    // Experiment 1: engine throughput on the sequential semantics.
+    SeqMeasurement Walk = measureSeq(*M, ExecEngineKind::Walker, Reps);
+    SeqMeasurement Byte = measureSeq(*M, ExecEngineKind::Bytecode, Reps);
+    bool SeqMatch = Walk.R.Output == Byte.R.Output &&
+                    Walk.R.ExitValue == Byte.R.ExitValue &&
+                    Walk.Instrs == Byte.Instrs;
+    if (Byte.BestMs > Walk.BestMs) {
+      ++SlowerCount;
+      SlowerList += (SlowerList.empty() ? "" : ", ") + W.Name;
+    }
 
+    // Experiment 2: the plan on real threads (bytecode engine).
     RuntimePlan Plan = buildRuntimePlan(*M, Abs, Threads);
-    ParallelRuntime RT(*M, Plan);
-    Clock::time_point T1 = Clock::now();
-    ParallelRunResult Par = RT.run();
-    double ParMs = msSince(T1);
+    ParallelRuntime RT(*M, Plan, ExecEngineKind::Bytecode);
+    double ParMs = 1e300;
+    ParallelRunResult Par;
+    for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+      Clock::time_point T1 = Clock::now();
+      ParallelRunResult P = RT.run();
+      double Ms = msSince(T1);
+      if (Ms < ParMs) {
+        ParMs = Ms;
+        Par = std::move(P);
+      }
+    }
 
     // Predicted ideal-machine speedup from the critical-path model.
     CriticalPathReport CP = evaluateCriticalPaths(*M);
@@ -114,12 +192,14 @@ int main(int Argc, char **Argv) {
         ++NumDswp;
     }
 
-    bool Match = Par.Error.empty() && Par.R.Output == SeqR.Output &&
-                 Par.R.ExitValue == SeqR.ExitValue;
-    std::printf("%-4s %10.2f %10.2f %8.2fx %9.2fx %9s  %u DOALL, %u HELIX, "
-                "%u DSWP\n",
-                W.Name.c_str(), SeqMs, ParMs,
-                ParMs > 0 ? SeqMs / ParMs : 0.0, Predicted,
+    bool Match = SeqMatch && Par.Error.empty() &&
+                 Par.R.Output == Walk.R.Output &&
+                 Par.R.ExitValue == Walk.R.ExitValue;
+    std::printf("%-4s %9.2f %9.2f %6.2fx %8.2f %8.2fx %9.2fx %6s  %u DOALL, "
+                "%u HELIX, %u DSWP\n",
+                W.Name.c_str(), Walk.BestMs, Byte.BestMs,
+                Byte.BestMs > 0 ? Walk.BestMs / Byte.BestMs : 0.0, ParMs,
+                ParMs > 0 ? Byte.BestMs / ParMs : 0.0, Predicted,
                 Match ? "yes" : "NO", NumDoall, NumHelix, NumDswp);
     if (!Match) {
       std::fprintf(stderr, "bench_runtime: %s diverged%s%s\n",
@@ -127,6 +207,39 @@ int main(int Argc, char **Argv) {
                    Par.Error.c_str());
       return 1;
     }
+
+    BenchRecord RW;
+    RW.Workload = W.Name;
+    RW.Engine = "walker";
+    RW.Threads = 1;
+    RW.NsPerIter = Walk.BestMs * 1e6;
+    RW.InstrsPerSec = instrsPerSec(Walk.Instrs, Walk.BestMs);
+    Records.push_back(RW);
+    BenchRecord RB;
+    RB.Workload = W.Name;
+    RB.Engine = "bytecode";
+    RB.Threads = 1;
+    RB.NsPerIter = Byte.BestMs * 1e6;
+    RB.InstrsPerSec = instrsPerSec(Byte.Instrs, Byte.BestMs);
+    Records.push_back(RB);
+    BenchRecord RP;
+    RP.Workload = W.Name;
+    RP.Engine = "bytecode-parallel";
+    RP.Threads = Threads;
+    RP.NsPerIter = ParMs * 1e6;
+    RP.InstrsPerSec = instrsPerSec(Par.R.InstructionsExecuted, ParMs);
+    Records.push_back(RP);
   }
-  return 0;
+
+  if (!JsonPath.empty() && !writeBenchJson(JsonPath, "runtime", Records))
+    return 1;
+
+  if (CheckFaster && SlowerCount > 0) {
+    std::fprintf(stderr,
+                 "bench_runtime: bytecode engine slower than the walker on "
+                 "%u workload(s): %s\n",
+                 SlowerCount, SlowerList.c_str());
+    return 1;
+  }
+  return 0; // every workload matched (divergence returns early above)
 }

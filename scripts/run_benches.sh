@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmarks and (re)writes the tracked baseline
+# records at the repo root:
+#
+#   BENCH_runtime.json — per-workload engine throughput (walker vs
+#                        bytecode) and parallel plan execution
+#   BENCH_micro.json   — component micros (frontend, decoder) + engine
+#                        instrs/s per workload
+#
+# Usage: scripts/run_benches.sh [--check] [build-dir]
+#   --check     also fail if the bytecode engine is slower than the walker
+#               on any workload (the CI perf gate)
+#   build-dir   defaults to ./build (or $BUILD_DIR)
+#
+# Environment: THREADS (default 8), REPS (default 3).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=""
+BUILD="${BUILD_DIR:-build}"
+for ARG in "$@"; do
+  case "$ARG" in
+    --check) CHECK="--check-faster" ;;
+    *) BUILD="$ARG" ;;
+  esac
+done
+
+THREADS="${THREADS:-8}"
+REPS="${REPS:-3}"
+
+for BIN in bench_runtime bench_micro; do
+  if [[ ! -x "$BUILD/$BIN" ]]; then
+    echo "run_benches: $BUILD/$BIN not built (cmake --build $BUILD --target $BIN)" >&2
+    exit 1
+  fi
+done
+
+"$BUILD/bench_runtime" "$THREADS" pspdg --reps="$REPS" \
+    --json=BENCH_runtime.json $CHECK
+"$BUILD/bench_micro" --json=BENCH_micro.json --reps="$REPS"
+
+echo "run_benches: wrote BENCH_runtime.json and BENCH_micro.json"

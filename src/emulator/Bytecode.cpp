@@ -1,0 +1,797 @@
+//===- Bytecode.cpp - Decode pass + bytecode execution engine ---*- C++ -*-===//
+///
+/// The decoder lowers each Function once; the engine is a tight switch
+/// dispatch over the decoded stream. Every dynamic semantic here must match
+/// ExecContext (the tree-walking golden reference) bit for bit — including
+/// the div/rem-by-zero results, shift masking, float promotion rules, LCG
+/// constants, and print formatting. The differential suite enforces this.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emulator/Bytecode.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+using namespace psc;
+
+const char *psc::execEngineName(ExecEngineKind K) {
+  return K == ExecEngineKind::Walker ? "walker" : "bytecode";
+}
+
+// --- Decode-time constant evaluation ----------------------------------------
+//
+// Constant folding uses the shared scalar semantics of ExecCore.h
+// (evalBinaryOp/evalCmpOp — the same functions the walker dispatches
+// through), applied at decode time to instructions whose operands are all
+// constants. The folded instruction still occupies one PC (a ConstI/ConstF
+// slot write), so the dynamic instruction count is unchanged.
+
+namespace {
+
+RTValue rtOf(const BCOperand &O) {
+  return O.Kind == BCOperand::K::ImmF ? RTValue::ofFloat(O.F)
+                                      : RTValue::ofInt(O.I);
+}
+
+bool isImm(const BCOperand &O) {
+  return O.Kind == BCOperand::K::ImmI || O.Kind == BCOperand::K::ImmF;
+}
+
+BCOperand immOf(const RTValue &V) {
+  return V.Kind == RTValue::RTKind::Float ? BCOperand::immF(V.F)
+                                          : BCOperand::immI(V.I);
+}
+
+BCIntr intrinsicId(const std::string &Name) {
+  if (Name == intrinsics::RegionEnd)
+    return BCIntr::RegionEnd;
+  if (Name == intrinsics::BarrierMarker || Name == intrinsics::TaskWaitMarker)
+    return BCIntr::Marker;
+  if (Name == intrinsics::Print)
+    return BCIntr::Print;
+  if (Name == intrinsics::PrintF)
+    return BCIntr::PrintF;
+  if (Name == intrinsics::Sqrt)
+    return BCIntr::Sqrt;
+  if (Name == intrinsics::Fabs)
+    return BCIntr::Fabs;
+  if (Name == intrinsics::Sin)
+    return BCIntr::Sin;
+  if (Name == intrinsics::Cos)
+    return BCIntr::Cos;
+  if (Name == intrinsics::Exp)
+    return BCIntr::Exp;
+  if (Name == intrinsics::Log)
+    return BCIntr::Log;
+  if (Name == intrinsics::Pow)
+    return BCIntr::Pow;
+  if (Name == intrinsics::IMin)
+    return BCIntr::IMin;
+  if (Name == intrinsics::IMax)
+    return BCIntr::IMax;
+  if (Name == intrinsics::FMin)
+    return BCIntr::FMin;
+  if (Name == intrinsics::FMax)
+    return BCIntr::FMax;
+  if (Name == intrinsics::Lcg)
+    return BCIntr::Lcg;
+  reportFatalError("unknown intrinsic '" + Name + "' at decode time");
+}
+
+} // namespace
+
+// --- BytecodeModule ----------------------------------------------------------
+
+BytecodeModule::BytecodeModule(const Module &M) : M(M) {
+  NumGlobals = static_cast<unsigned>(M.globals().size());
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Decoded[F.get()] = std::make_unique<BCFunction>();
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      decodeFunction(*F, *Decoded[F.get()]);
+}
+
+void BytecodeModule::decodeFunction(const Function &F, BCFunction &BF) const {
+  BF.F = &F;
+  BF.EntryBlock = F.getEntryBlock()->getIndex();
+
+  // Slot assignment: arguments first, then value-producing instructions in
+  // program order. Allocas get indices in the flat per-frame alloca table.
+  for (unsigned A = 0; A < F.getNumArgs(); ++A) {
+    BF.SlotIdx[F.getArg(A)] = BF.NumSlots;
+    BF.ArgSlots.push_back(BF.NumSlots++);
+  }
+  BF.BlockPC.assign(F.getNumBlocks(), 0);
+  uint32_t PC = 0;
+  for (const BasicBlock *BB : F) {
+    BF.BlockPC[BB->getIndex()] = PC;
+    for (const Instruction *I : *BB) {
+      BF.InstPC[I] = PC++;
+      if (isa<AllocaInst>(I))
+        BF.AllocaIdx[I] = BF.NumAllocas++;
+      else if (!I->getType()->isVoid())
+        BF.SlotIdx[I] = BF.NumSlots++;
+    }
+  }
+  BF.Code.reserve(PC);
+
+  // Operand resolution. Results of decode-time-folded instructions become
+  // immediates at their uses (the fold propagates through chains).
+  std::unordered_map<const Value *, BCOperand> Folded;
+  auto Resolve = [&](const Value *V) -> BCOperand {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return BCOperand::immI(CI->getValue());
+    if (const auto *CF = dyn_cast<ConstantFloat>(V))
+      return BCOperand::immF(CF->getValue());
+    if (const auto *GV = dyn_cast<GlobalVariable>(V))
+      return BCOperand::global(GV->getGlobalIndex());
+    if (isa<AllocaInst>(V))
+      return BCOperand::allocaOp(BF.AllocaIdx.at(V));
+    auto Fo = Folded.find(V);
+    if (Fo != Folded.end())
+      return Fo->second;
+    return BCOperand::slot(BF.SlotIdx.at(V), V->getType()->isFloat());
+  };
+  auto EmitConst = [&](const Instruction *I, const RTValue &V) {
+    BCInst D;
+    D.Op = V.Kind == RTValue::RTKind::Float ? BCOp::ConstF : BCOp::ConstI;
+    D.Dest = BF.SlotIdx.at(I);
+    D.A = immOf(V);
+    D.Src = I;
+    Folded[I] = D.A;
+    BF.Code.push_back(D);
+  };
+
+  for (const BasicBlock *BB : F) {
+    for (const Instruction *I : *BB) {
+      BCInst D;
+      D.Src = I;
+      switch (I->getKind()) {
+      case Value::ValueKind::Alloca: {
+        const auto *AI = cast<AllocaInst>(I);
+        D.Op = BCOp::Alloca;
+        D.Dest = BF.AllocaIdx.at(AI);
+        D.AllocTy = AI->getAllocatedType();
+        break;
+      }
+      case Value::ValueKind::Load: {
+        const auto *LI = cast<LoadInst>(I);
+        D.Op = LI->getType()->isFloat() ? BCOp::LoadF : BCOp::LoadI;
+        D.Dest = BF.SlotIdx.at(I);
+        D.A = Resolve(LI->getPointer());
+        break;
+      }
+      case Value::ValueKind::Store: {
+        const auto *SI = cast<StoreInst>(I);
+        D.Op = BCOp::Store;
+        D.A = Resolve(SI->getStoredValue());
+        D.B = Resolve(SI->getPointer());
+        break;
+      }
+      case Value::ValueKind::GEP: {
+        const auto *GI = cast<GEPInst>(I);
+        D.Op = BCOp::GEP;
+        D.Dest = BF.SlotIdx.at(I);
+        D.A = Resolve(GI->getBase());
+        D.B = Resolve(GI->getIndex());
+        break;
+      }
+      case Value::ValueKind::Binary: {
+        const auto *BI = cast<BinaryInst>(I);
+        D.A = Resolve(BI->getLHS());
+        D.B = Resolve(BI->getRHS());
+        if (isImm(D.A) && isImm(D.B)) {
+          EmitConst(I, evalBinaryOp(BI->getType()->isFloat(), BI->getBinOp(),
+                                    rtOf(D.A), rtOf(D.B)));
+          continue;
+        }
+        using Op = BinaryInst::BinOp;
+        if (BI->getType()->isFloat()) {
+          switch (BI->getBinOp()) {
+          case Op::Add:
+            D.Op = BCOp::AddF;
+            break;
+          case Op::Sub:
+            D.Op = BCOp::SubF;
+            break;
+          case Op::Mul:
+            D.Op = BCOp::MulF;
+            break;
+          case Op::Div:
+            D.Op = BCOp::DivF;
+            break;
+          default:
+            psc_unreachable("invalid float binop");
+          }
+        } else {
+          switch (BI->getBinOp()) {
+          case Op::Add:
+            D.Op = BCOp::AddI;
+            break;
+          case Op::Sub:
+            D.Op = BCOp::SubI;
+            break;
+          case Op::Mul:
+            D.Op = BCOp::MulI;
+            break;
+          case Op::Div:
+            D.Op = BCOp::DivI;
+            break;
+          case Op::Rem:
+            D.Op = BCOp::RemI;
+            break;
+          case Op::And:
+            D.Op = BCOp::AndI;
+            break;
+          case Op::Or:
+            D.Op = BCOp::OrI;
+            break;
+          case Op::Xor:
+            D.Op = BCOp::XorI;
+            break;
+          case Op::Shl:
+            D.Op = BCOp::ShlI;
+            break;
+          case Op::Shr:
+            D.Op = BCOp::ShrI;
+            break;
+          }
+        }
+        D.Dest = BF.SlotIdx.at(I);
+        break;
+      }
+      case Value::ValueKind::Unary: {
+        const auto *UI = cast<UnaryInst>(I);
+        D.A = Resolve(UI->getOperand(0));
+        if (isImm(D.A)) {
+          RTValue V = rtOf(D.A);
+          RTValue R;
+          if (UI->getUnOp() == UnaryInst::UnOp::Neg)
+            R = V.Kind == RTValue::RTKind::Float ? RTValue::ofFloat(-V.F)
+                                                 : RTValue::ofInt(-V.I);
+          else
+            R = RTValue::ofInt(V.I == 0 ? 1 : 0);
+          EmitConst(I, R);
+          continue;
+        }
+        if (UI->getUnOp() == UnaryInst::UnOp::Neg)
+          D.Op = D.A.IsFloat ? BCOp::NegF : BCOp::NegI;
+        else
+          D.Op = BCOp::NotI;
+        D.Dest = BF.SlotIdx.at(I);
+        break;
+      }
+      case Value::ValueKind::Cmp: {
+        const auto *CI = cast<CmpInst>(I);
+        D.A = Resolve(CI->getLHS());
+        D.B = Resolve(CI->getRHS());
+        if (isImm(D.A) && isImm(D.B)) {
+          EmitConst(I, RTValue::ofInt(
+                           evalCmpOp(CI->getPredicate(), rtOf(D.A),
+                                     rtOf(D.B))
+                               ? 1
+                               : 0));
+          continue;
+        }
+        bool AnyFloat = D.A.IsFloat || D.B.IsFloat;
+        D.Op = AnyFloat ? BCOp::CmpF : BCOp::CmpI;
+        D.Sub = static_cast<uint8_t>(CI->getPredicate());
+        D.Dest = BF.SlotIdx.at(I);
+        break;
+      }
+      case Value::ValueKind::Cast: {
+        const auto *CI = cast<CastInst>(I);
+        D.A = Resolve(CI->getOperand(0));
+        bool ToFloat = CI->getCastOp() == CastInst::CastOp::IntToFloat;
+        if (isImm(D.A)) {
+          RTValue V = rtOf(D.A);
+          EmitConst(I, ToFloat
+                           ? RTValue::ofFloat(static_cast<double>(V.I))
+                           : RTValue::ofInt(static_cast<int64_t>(V.F)));
+          continue;
+        }
+        D.Op = ToFloat ? BCOp::CastIF : BCOp::CastFI;
+        D.Dest = BF.SlotIdx.at(I);
+        break;
+      }
+      case Value::ValueKind::Br: {
+        const auto *BI = cast<BranchInst>(I);
+        D.Op = BCOp::Br;
+        D.TBlock0 = BI->getTarget()->getIndex();
+        D.Target0 = BF.BlockPC[D.TBlock0];
+        break;
+      }
+      case Value::ValueKind::CondBr: {
+        const auto *CB = cast<CondBranchInst>(I);
+        D.Op = BCOp::CondBr;
+        D.A = Resolve(CB->getCondition());
+        D.TBlock0 = CB->getTrueTarget()->getIndex();
+        D.TBlock1 = CB->getFalseTarget()->getIndex();
+        D.Target0 = BF.BlockPC[D.TBlock0];
+        D.Target1 = BF.BlockPC[D.TBlock1];
+        break;
+      }
+      case Value::ValueKind::Ret: {
+        const auto *RI = cast<ReturnInst>(I);
+        D.Op = BCOp::Ret;
+        if (RI->hasReturnValue()) {
+          D.Sub = 1;
+          D.A = Resolve(RI->getReturnValue());
+        }
+        break;
+      }
+      case Value::ValueKind::Call: {
+        const auto *CI = cast<CallInst>(I);
+        D.ArgsBegin = static_cast<uint32_t>(BF.ExtraOps.size());
+        D.ArgsCount = CI->getNumArgs();
+        for (unsigned A = 0; A < CI->getNumArgs(); ++A)
+          BF.ExtraOps.push_back(Resolve(CI->getArg(A)));
+        const Function *Callee = CI->getCallee();
+        if (Callee->isDeclaration()) {
+          D.Op = BCOp::Intr;
+          const std::string &Name = Callee->getName();
+          if (Name == intrinsics::RegionBegin) {
+            const BCOperand &Id = BF.ExtraOps[D.ArgsBegin];
+            if (Id.Kind == BCOperand::K::ImmI) {
+              const Directive *Dir = M.getParallelInfo().getDirective(
+                  static_cast<unsigned>(Id.I));
+              bool Lock = Dir && (Dir->Kind == DirectiveKind::Critical ||
+                                  Dir->Kind == DirectiveKind::Atomic);
+              D.Sub = static_cast<uint8_t>(Lock ? BCIntr::RegionBeginLock
+                                                : BCIntr::RegionBeginNoLock);
+            } else {
+              D.Sub = static_cast<uint8_t>(BCIntr::RegionBeginDyn);
+            }
+          } else {
+            D.Sub = static_cast<uint8_t>(intrinsicId(Name));
+          }
+        } else {
+          D.Op = BCOp::Call;
+          D.Callee = forFunction(Callee);
+        }
+        if (!CI->getType()->isVoid())
+          D.Dest = BF.SlotIdx.at(I);
+        break;
+      }
+      default:
+        psc_unreachable("unhandled instruction in bytecode decoder");
+      }
+      BF.Code.push_back(D);
+    }
+  }
+}
+
+// --- BCContext: operand access ----------------------------------------------
+
+namespace {
+
+/// Integer read of an operand: slot or immediate. Mirrors the walker's
+/// blind .I member read (a float value reads as its zero-initialized I).
+inline int64_t getI(const BCOperand &O, const BCFrame &Fr) {
+  return O.Kind == BCOperand::K::Slot ? Fr.Regs[O.Index].I : O.I;
+}
+
+/// Float read of an operand (blind .F member read, as the walker does).
+inline double getF(const BCOperand &O, const BCFrame &Fr) {
+  return O.Kind == BCOperand::K::Slot ? Fr.Regs[O.Index].F : O.F;
+}
+
+/// Promoting read for float compares: ints widen to double exactly like
+/// the walker's runtime-kind promotion (static types equal runtime kinds).
+inline double getFProm(const BCOperand &O, const BCFrame &Fr) {
+  if (O.Kind == BCOperand::K::Slot) {
+    const RTValue &V = Fr.Regs[O.Index];
+    return O.IsFloat ? V.F : static_cast<double>(V.I);
+  }
+  return O.Kind == BCOperand::K::ImmF ? O.F : static_cast<double>(O.I);
+}
+
+} // namespace
+
+RTValue BCContext::fetch(const BCOperand &O, BCFrame &Fr) {
+  switch (O.Kind) {
+  case BCOperand::K::Slot:
+    return Fr.Regs[O.Index];
+  case BCOperand::K::ImmI:
+    return RTValue::ofInt(O.I);
+  case BCOperand::K::ImmF:
+    return RTValue::ofFloat(O.F);
+  case BCOperand::K::Global:
+    return RTValue::ofPtr(globalObject(O.Index), 0);
+  case BCOperand::K::Alloca:
+    return RTValue::ofPtr(Fr.Allocas[O.Index], 0);
+  }
+  psc_unreachable("unhandled operand kind");
+}
+
+// --- BCContext: memory ------------------------------------------------------
+
+RTValue BCContext::doLoad(const RTValue &P, bool WantFloat) {
+  if (P.Offset >= P.Obj->size())
+    reportFatalError("out-of-bounds load at offset " +
+                     std::to_string(P.Offset));
+  bool ObjFloat = P.Obj->IsFloat;
+  int64_t RawI = 0;
+  double RawF = 0.0;
+  bool FromShadow = Shadow && !Shadow->isBypassed(P.Obj) &&
+                    Shadow->load(P.Obj, P.Offset, ObjFloat, RawI, RawF);
+  if (!FromShadow) {
+    if (ObjFloat)
+      RawF = P.Obj->F[P.Offset];
+    else
+      RawI = P.Obj->I[P.Offset];
+  }
+  if (WantFloat)
+    return RTValue::ofFloat(ObjFloat ? RawF : static_cast<double>(RawI));
+  return RTValue::ofInt(ObjFloat ? static_cast<int64_t>(RawF) : RawI);
+}
+
+void BCContext::doStore(const RTValue &V, const RTValue &P, bool OwnedStore,
+                        unsigned Num) {
+  if (P.Offset >= P.Obj->size())
+    reportFatalError("out-of-bounds store at offset " +
+                     std::to_string(P.Offset));
+  int64_t RawI =
+      V.Kind == RTValue::RTKind::Float ? static_cast<int64_t>(V.F) : V.I;
+  double RawF =
+      V.Kind == RTValue::RTKind::Float ? V.F : static_cast<double>(V.I);
+  if (Shadow && !Shadow->isBypassed(P.Obj)) {
+    Shadow->store(P.Obj, P.Offset, RawI, RawF, OwnedStore, CurIteration, Num);
+    return;
+  }
+  if (!OwnedStore)
+    return;
+  if (P.Obj->IsFloat)
+    P.Obj->F[P.Offset] = RawF;
+  else
+    P.Obj->I[P.Offset] = RawI;
+}
+
+void BCContext::emitOutput(std::string Line) {
+  if (LocalOutput)
+    LocalOutput->push_back(std::move(Line));
+  else
+    S.appendOutput(std::move(Line));
+}
+
+// --- BCContext: intrinsics --------------------------------------------------
+
+RTValue BCContext::callIntrinsic(const BCFunction &F, const BCInst &I,
+                                 BCFrame &Fr, uint32_t PC) {
+  const BCOperand *Args = F.extraOps().data() + I.ArgsBegin;
+  auto Owns = [&]() {
+    return !Owned || (CommitFn == &F && (*Owned)[PC] != 0);
+  };
+  switch (static_cast<BCIntr>(I.Sub)) {
+  case BCIntr::RegionBeginLock:
+    S.regionLock().lock();
+    RegionStack.push_back({static_cast<unsigned>(Args[0].I), true});
+    return RTValue();
+  case BCIntr::RegionBeginNoLock:
+    RegionStack.push_back({static_cast<unsigned>(Args[0].I), false});
+    return RTValue();
+  case BCIntr::RegionBeginDyn: {
+    unsigned Id = static_cast<unsigned>(getI(Args[0], Fr));
+    const Directive *D = S.module().getParallelInfo().getDirective(Id);
+    bool Lock = D && (D->Kind == DirectiveKind::Critical ||
+                      D->Kind == DirectiveKind::Atomic);
+    if (Lock)
+      S.regionLock().lock();
+    RegionStack.push_back({Id, Lock});
+    return RTValue();
+  }
+  case BCIntr::RegionEnd:
+    if (!RegionStack.empty()) {
+      if (RegionStack.back().second)
+        S.regionLock().unlock();
+      RegionStack.pop_back();
+    }
+    return RTValue();
+  case BCIntr::Marker:
+    return RTValue();
+  case BCIntr::Print:
+    if (Owns())
+      emitOutput(std::to_string(getI(Args[0], Fr)));
+    return RTValue();
+  case BCIntr::PrintF:
+    if (Owns()) {
+      std::ostringstream OS;
+      OS << getF(Args[0], Fr);
+      emitOutput(OS.str());
+    }
+    return RTValue();
+  case BCIntr::Sqrt:
+    return RTValue::ofFloat(std::sqrt(getF(Args[0], Fr)));
+  case BCIntr::Fabs:
+    return RTValue::ofFloat(std::fabs(getF(Args[0], Fr)));
+  case BCIntr::Sin:
+    return RTValue::ofFloat(std::sin(getF(Args[0], Fr)));
+  case BCIntr::Cos:
+    return RTValue::ofFloat(std::cos(getF(Args[0], Fr)));
+  case BCIntr::Exp:
+    return RTValue::ofFloat(std::exp(getF(Args[0], Fr)));
+  case BCIntr::Log:
+    return RTValue::ofFloat(std::log(getF(Args[0], Fr)));
+  case BCIntr::Pow:
+    return RTValue::ofFloat(std::pow(getF(Args[0], Fr), getF(Args[1], Fr)));
+  case BCIntr::IMin:
+    return RTValue::ofInt(std::min(getI(Args[0], Fr), getI(Args[1], Fr)));
+  case BCIntr::IMax:
+    return RTValue::ofInt(std::max(getI(Args[0], Fr), getI(Args[1], Fr)));
+  case BCIntr::FMin:
+    return RTValue::ofFloat(std::min(getF(Args[0], Fr), getF(Args[1], Fr)));
+  case BCIntr::FMax:
+    return RTValue::ofFloat(std::max(getF(Args[0], Fr), getF(Args[1], Fr)));
+  case BCIntr::Lcg: {
+    // 48-bit linear congruential step (deterministic pseudo-random).
+    uint64_t X = static_cast<uint64_t>(getI(Args[0], Fr));
+    X = (X * 25214903917ULL + 11ULL) & ((1ULL << 48) - 1);
+    return RTValue::ofInt(static_cast<int64_t>(X));
+  }
+  }
+  psc_unreachable("unhandled intrinsic id");
+}
+
+// --- BCContext: dispatch -----------------------------------------------------
+
+void BCContext::gateWait(uint32_t PC) {
+  (void)PC;
+  while (Gate->Turn->load(std::memory_order_acquire) != Gate->MyIter) {
+    if (S.aborted())
+      return;
+    std::this_thread::yield();
+  }
+  Gate->Held = true;
+}
+
+BCContext::ExecRes BCContext::execOne(const BCFunction &F, BCFrame &Fr,
+                                      uint32_t PC, unsigned &NextBlock,
+                                      uint32_t &NextPC, RTValue &Ret) {
+  ++PendingCharges;
+  if (LocalMode ? PendingCharges > LocalLimit : PendingCharges >= ChargeBatch) {
+    uint64_t N = PendingCharges;
+    PendingCharges = 0;
+    if (!S.charge(N))
+      return ExecRes::Abort;
+  }
+  if (Gate) {
+    if (!Gate->Held && Gate->TablesFor == &F && (*Gate->SeqAtPC)[PC] != 0)
+      gateWait(PC);
+    if (S.aborted())
+      return ExecRes::Abort;
+  }
+  const BCInst &I = F.code()[PC];
+  ExecRes Res = ExecRes::Fall;
+  switch (I.Op) {
+  case BCOp::ConstI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(I.A.I);
+    break;
+  case BCOp::ConstF:
+    Fr.Regs[I.Dest] = RTValue::ofFloat(I.A.F);
+    break;
+  case BCOp::Alloca:
+    Fr.Allocas[I.Dest] = Fr.createObject(I.AllocTy);
+    break;
+  case BCOp::LoadI:
+    Fr.Regs[I.Dest] = doLoad(fetch(I.A, Fr), false);
+    break;
+  case BCOp::LoadF:
+    Fr.Regs[I.Dest] = doLoad(fetch(I.A, Fr), true);
+    break;
+  case BCOp::Store: {
+    bool OwnedStore = !Owned || (CommitFn == &F && (*Owned)[PC] != 0);
+    unsigned Num =
+        Numbering && CommitFn == &F ? (*Numbering)[PC] : 0;
+    doStore(fetch(I.A, Fr), fetch(I.B, Fr), OwnedStore, Num);
+    break;
+  }
+  case BCOp::GEP: {
+    RTValue Base = fetch(I.A, Fr);
+    Fr.Regs[I.Dest] = RTValue::ofPtr(
+        Base.Obj, Base.Offset + static_cast<uint64_t>(getI(I.B, Fr)));
+    break;
+  }
+  case BCOp::AddI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) + getI(I.B, Fr));
+    break;
+  case BCOp::SubI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) - getI(I.B, Fr));
+    break;
+  case BCOp::MulI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) * getI(I.B, Fr));
+    break;
+  case BCOp::DivI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(intDiv(getI(I.A, Fr), getI(I.B, Fr)));
+    break;
+  case BCOp::RemI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(intRem(getI(I.A, Fr), getI(I.B, Fr)));
+    break;
+  case BCOp::AndI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) & getI(I.B, Fr));
+    break;
+  case BCOp::OrI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) | getI(I.B, Fr));
+    break;
+  case BCOp::XorI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) ^ getI(I.B, Fr));
+    break;
+  case BCOp::ShlI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(intShl(getI(I.A, Fr), getI(I.B, Fr)));
+    break;
+  case BCOp::ShrI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(intShr(getI(I.A, Fr), getI(I.B, Fr)));
+    break;
+  case BCOp::AddF:
+    Fr.Regs[I.Dest] = RTValue::ofFloat(getF(I.A, Fr) + getF(I.B, Fr));
+    break;
+  case BCOp::SubF:
+    Fr.Regs[I.Dest] = RTValue::ofFloat(getF(I.A, Fr) - getF(I.B, Fr));
+    break;
+  case BCOp::MulF:
+    Fr.Regs[I.Dest] = RTValue::ofFloat(getF(I.A, Fr) * getF(I.B, Fr));
+    break;
+  case BCOp::DivF:
+    Fr.Regs[I.Dest] = RTValue::ofFloat(fltDiv(getF(I.A, Fr), getF(I.B, Fr)));
+    break;
+  case BCOp::NegI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(-getI(I.A, Fr));
+    break;
+  case BCOp::NegF:
+    Fr.Regs[I.Dest] = RTValue::ofFloat(-getF(I.A, Fr));
+    break;
+  case BCOp::NotI:
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) == 0 ? 1 : 0);
+    break;
+  case BCOp::CmpI:
+    Fr.Regs[I.Dest] =
+        RTValue::ofInt(evalCmpInt(static_cast<CmpInst::Predicate>(I.Sub),
+                                  getI(I.A, Fr), getI(I.B, Fr))
+                           ? 1
+                           : 0);
+    break;
+  case BCOp::CmpF:
+    Fr.Regs[I.Dest] =
+        RTValue::ofInt(evalCmpFloat(static_cast<CmpInst::Predicate>(I.Sub),
+                                    getFProm(I.A, Fr), getFProm(I.B, Fr))
+                           ? 1
+                           : 0);
+    break;
+  case BCOp::CastIF:
+    Fr.Regs[I.Dest] =
+        RTValue::ofFloat(static_cast<double>(getI(I.A, Fr)));
+    break;
+  case BCOp::CastFI:
+    Fr.Regs[I.Dest] =
+        RTValue::ofInt(static_cast<int64_t>(getF(I.A, Fr)));
+    break;
+  case BCOp::Br:
+    NextBlock = I.TBlock0;
+    NextPC = I.Target0;
+    Res = ExecRes::Jump;
+    break;
+  case BCOp::CondBr:
+    if (getI(I.A, Fr) != 0) {
+      NextBlock = I.TBlock0;
+      NextPC = I.Target0;
+    } else {
+      NextBlock = I.TBlock1;
+      NextPC = I.Target1;
+    }
+    Res = ExecRes::Jump;
+    break;
+  case BCOp::Ret:
+    if (I.Sub)
+      Ret = fetch(I.A, Fr);
+    Res = ExecRes::Returned;
+    break;
+  case BCOp::Call: {
+    std::vector<RTValue> CallArgs;
+    CallArgs.reserve(I.ArgsCount);
+    const BCOperand *Args = F.extraOps().data() + I.ArgsBegin;
+    for (uint32_t A = 0; A < I.ArgsCount; ++A)
+      CallArgs.push_back(fetch(Args[A], Fr));
+    RTValue R = callFunction(*I.Callee, std::move(CallArgs));
+    if (I.Dest != BCInst::NoSlot)
+      Fr.Regs[I.Dest] = R;
+    break;
+  }
+  case BCOp::Intr: {
+    RTValue R = callIntrinsic(F, I, Fr, PC);
+    if (I.Dest != BCInst::NoSlot)
+      Fr.Regs[I.Dest] = R;
+    break;
+  }
+  }
+  return S.aborted() ? ExecRes::Abort : Res;
+}
+
+RTValue BCContext::callFunction(const BCFunction &F,
+                                std::vector<RTValue> Args) {
+  const Function &IRF = *F.function();
+  for (ExecutionObserver *O : Observers)
+    O->onEnterFunction(IRF);
+
+  BCFrame Fr(F);
+  for (size_t A = 0; A < Args.size(); ++A)
+    Fr.Regs[F.argSlot(static_cast<unsigned>(A))] = Args[A];
+
+  RTValue Ret;
+  unsigned Block = F.entryBlock();
+  unsigned Prev = kNone;
+  const bool Stepped = static_cast<bool>(Hook) || !Observers.empty();
+
+  while (Block != kNone && !S.aborted()) {
+    if (Hook) {
+      unsigned Cont = Hook(*this, Fr, Prev, Block);
+      if (S.aborted())
+        break;
+      if (Cont != kNone) {
+        Prev = Block;
+        Block = Cont;
+        continue;
+      }
+    }
+    for (ExecutionObserver *O : Observers)
+      O->onBlockTransfer(IRF, Prev == kNone ? nullptr : IRF.getBlock(Prev),
+                         IRF.getBlock(Block));
+    Prev = Block;
+    uint32_t PC = F.blockPC(Block);
+    unsigned Next = kNone;
+    uint32_t NextPC = 0;
+    for (;;) {
+      ExecRes R = execOne(F, Fr, PC, Next, NextPC, Ret);
+      if (R == ExecRes::Abort)
+        return Ret;
+      for (ExecutionObserver *O : Observers)
+        O->onInstruction(*F.code()[PC].Src);
+      if (R == ExecRes::Returned) {
+        for (ExecutionObserver *O : Observers)
+          O->onExitFunction(IRF);
+        return Ret;
+      }
+      if (R == ExecRes::Jump) {
+        if (!Stepped) {
+          // Fast path: no hook/observers — thread the pre-linked PC
+          // directly without block bookkeeping.
+          PC = NextPC;
+          continue;
+        }
+        break;
+      }
+      ++PC;
+    }
+    Block = Next;
+  }
+  for (ExecutionObserver *O : Observers)
+    O->onExitFunction(IRF);
+  return Ret;
+}
+
+unsigned BCContext::execWithin(BCFrame &Fr, const std::vector<uint8_t> &InLoop,
+                               unsigned HeaderIdx, unsigned StartBlock) {
+  const BCFunction &F = *Fr.F;
+  unsigned Block = StartBlock;
+  RTValue Ret;
+  while (Block != kNone && !S.aborted()) {
+    if (Block == HeaderIdx || InLoop[Block] == 0)
+      return Block;
+    uint32_t PC = F.blockPC(Block);
+    unsigned Next = kNone;
+    uint32_t NextPC = 0;
+    for (;;) {
+      ExecRes R = execOne(F, Fr, PC, Next, NextPC, Ret);
+      if (R == ExecRes::Abort || R == ExecRes::Returned)
+        return kNone; // validated parallel loops contain no return
+      if (R == ExecRes::Jump)
+        break;
+      ++PC;
+    }
+    Block = Next;
+  }
+  return kNone;
+}

@@ -1,0 +1,424 @@
+//===- Bytecode.h - Pre-decoded bytecode execution engine --------*- C++ -*-===//
+///
+/// \file
+/// The fast execution engine: a per-function decode/lowering pass compiles
+/// each Function once into a flat, cache-friendly instruction array, and a
+/// tight switch-dispatch engine (BCContext) executes the decoded stream.
+/// The decode pass removes every per-instruction cost the tree-walking
+/// ExecContext pays at run time:
+///
+///   * dense register slots — SSA temporaries and arguments live in a flat
+///     std::vector<RTValue> indexed by decode-assigned slot numbers, not in
+///     a std::map<const Value*, RTValue> (no red-black-tree walks);
+///   * pre-resolved operands — each operand is lowered to a slot index, an
+///     immediate constant, a global number, or an alloca index at decode
+///     time (no dyn_cast chains in the dispatch loop);
+///   * flat global table — globals are numbered densely at IR creation
+///     (GlobalVariable::getGlobalIndex) and resolved by array index, the
+///     same numbering ExecState uses for its memory image;
+///   * pre-linked branches — branch targets are instruction-array offsets
+///     plus block indices, computed once;
+///   * typed opcodes — the result/operand types select int/float opcode
+///     variants at decode time (no runtime kind checks);
+///   * decode-time constant folding — pure instructions whose operands are
+///     all constants are lowered to immediate slot writes (the instruction
+///     still executes and charges one instruction, so dynamic instruction
+///     counts match the walker exactly);
+///   * intrinsics by id — callee names are resolved to an enum at decode
+///     time (no string comparisons per call).
+///
+/// The engine mirrors ExecContext's scheduler extension points so the
+/// parallel runtime can drive it: storage overrides (flat, per-global),
+/// a loop hook, commit/gate/numbering tables (flat, per-PC), shadow
+/// memory, local output buffering, and batched budget charging.
+///
+/// Contract: a BCContext run is observably bit-identical to an ExecContext
+/// run — same output lines, exit value, dynamic instruction count, and
+/// observer stream. The tree-walker stays as the golden reference; the
+/// differential suite (tests/emulator/bytecode_differential_test.cpp)
+/// enforces the equivalence on every workload, plan view, and thread
+/// count. See DESIGN.md §8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_EMULATOR_BYTECODE_H
+#define PSPDG_EMULATOR_BYTECODE_H
+
+#include "emulator/ExecCore.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace psc {
+
+/// Which execution engine runs a program. Walker is the original
+/// tree-walking ExecContext (golden reference); Bytecode is the pre-decoded
+/// engine (default).
+enum class ExecEngineKind { Walker, Bytecode };
+
+const char *execEngineName(ExecEngineKind K);
+
+/// A pre-resolved operand of a decoded instruction.
+struct BCOperand {
+  enum class K : uint8_t {
+    Slot,   ///< Register slot index (argument or instruction result).
+    ImmI,   ///< Immediate integer constant.
+    ImmF,   ///< Immediate float constant.
+    Global, ///< Global number (flat table in ExecState).
+    Alloca, ///< Alloca index (flat table in the frame).
+  };
+  K Kind = K::ImmI;
+  bool IsFloat = false; ///< Static scalar type (float promotion in compares).
+  uint32_t Index = 0;   ///< Slot / global / alloca index.
+  int64_t I = 0;        ///< ImmI payload.
+  double F = 0.0;       ///< ImmF payload.
+
+  static BCOperand slot(uint32_t Index, bool IsFloat) {
+    BCOperand O;
+    O.Kind = K::Slot;
+    O.Index = Index;
+    O.IsFloat = IsFloat;
+    return O;
+  }
+  static BCOperand immI(int64_t V) {
+    BCOperand O;
+    O.Kind = K::ImmI;
+    O.I = V;
+    return O;
+  }
+  static BCOperand immF(double V) {
+    BCOperand O;
+    O.Kind = K::ImmF;
+    O.IsFloat = true;
+    O.F = V;
+    return O;
+  }
+  static BCOperand global(uint32_t Index) {
+    BCOperand O;
+    O.Kind = K::Global;
+    O.Index = Index;
+    return O;
+  }
+  static BCOperand allocaOp(uint32_t Index) {
+    BCOperand O;
+    O.Kind = K::Alloca;
+    O.Index = Index;
+    return O;
+  }
+};
+
+/// Opcodes of the decoded stream. Typed variants are selected at decode
+/// time from the static IR types, exactly reproducing the walker's runtime
+/// type dispatch.
+enum class BCOp : uint8_t {
+  ConstI, ///< Dest <- immediate int (folded constant expression).
+  ConstF, ///< Dest <- immediate float (folded constant expression).
+  Alloca, ///< Allocas[Dest] <- fresh object of AllocTy.
+  LoadI,  ///< Dest <- int load through pointer operand A.
+  LoadF,  ///< Dest <- float load through pointer operand A.
+  Store,  ///< *(ptr B) <- value A.
+  GEP,    ///< Dest <- ptr A advanced by int B.
+  // Integer binary ops (operands A, B; Dest).
+  AddI, SubI, MulI, DivI, RemI, AndI, OrI, XorI, ShlI, ShrI,
+  // Float binary ops.
+  AddF, SubF, MulF, DivF,
+  NegI, NegF, NotI,
+  CmpI, ///< Int compare; Sub = predicate.
+  CmpF, ///< Float compare (either side float); Sub = predicate.
+  CastIF, CastFI,
+  Br,     ///< Jump to Target0.
+  CondBr, ///< A != 0 ? Target0 : Target1.
+  Ret,    ///< Sub != 0: return value is operand A.
+  Call,   ///< Call decoded function Callee with ExtraOps args.
+  Intr,   ///< Intrinsic call; Sub = BCIntr id.
+};
+
+/// Runtime built-ins by id (resolved from callee names at decode time).
+enum class BCIntr : uint8_t {
+  RegionBeginLock,   ///< critical/atomic region entry (takes the lock).
+  RegionBeginNoLock, ///< ordered/other region entry (no lock).
+  RegionBeginDyn,    ///< region id not a constant: resolve at run time.
+  RegionEnd,
+  Marker, ///< barrier / taskwait markers (no dynamic semantics).
+  Print, PrintF,
+  Sqrt, Fabs, Sin, Cos, Exp, Log, Pow,
+  IMin, IMax, FMin, FMax,
+  Lcg,
+};
+
+class BCFunction;
+
+/// One decoded instruction. Fixed-size so the stream is a flat array.
+struct BCInst {
+  static constexpr uint32_t NoSlot = 0xFFFFFFFFu;
+
+  BCOp Op = BCOp::ConstI;
+  uint8_t Sub = 0;        ///< Cmp predicate / BCIntr id / Ret-has-value flag.
+  uint32_t Dest = NoSlot; ///< Result slot (alloca index for Alloca).
+  BCOperand A, B;
+  uint32_t Target0 = 0, Target1 = 0; ///< Pre-linked branch target PCs.
+  uint32_t TBlock0 = 0, TBlock1 = 0; ///< Corresponding block indices.
+  uint32_t ArgsBegin = 0;            ///< Call args: range in ExtraOps.
+  uint32_t ArgsCount = 0;
+  const BCFunction *Callee = nullptr; ///< Call target (defined functions).
+  const Type *AllocTy = nullptr;      ///< Alloca object type.
+  const Instruction *Src = nullptr;   ///< Originating IR instruction.
+};
+
+/// The decoded form of one defined Function.
+class BCFunction {
+public:
+  const Function *function() const { return F; }
+
+  const std::vector<BCInst> &code() const { return Code; }
+  const std::vector<BCOperand> &extraOps() const { return ExtraOps; }
+
+  /// First PC of each block, indexed by block index.
+  uint32_t blockPC(unsigned BlockIdx) const { return BlockPC[BlockIdx]; }
+  unsigned numBlocks() const { return static_cast<unsigned>(BlockPC.size()); }
+  unsigned entryBlock() const { return EntryBlock; }
+
+  uint32_t numSlots() const { return NumSlots; }
+  uint32_t numAllocas() const { return NumAllocas; }
+
+  /// Slot of an argument or value-producing instruction; NoSlot if none.
+  uint32_t slotOf(const Value *V) const {
+    auto It = SlotIdx.find(V);
+    return It == SlotIdx.end() ? BCInst::NoSlot : It->second;
+  }
+  /// Alloca index of an AllocaInst; NoSlot if \p V is not an alloca here.
+  uint32_t allocaIndexOf(const Value *V) const {
+    auto It = AllocaIdx.find(V);
+    return It == AllocaIdx.end() ? BCInst::NoSlot : It->second;
+  }
+  /// PC of an instruction (for building per-PC scheduler tables).
+  uint32_t pcOf(const Instruction *I) const {
+    auto It = InstPC.find(I);
+    return It == InstPC.end() ? BCInst::NoSlot : It->second;
+  }
+  uint32_t argSlot(unsigned ArgIdx) const { return ArgSlots[ArgIdx]; }
+
+private:
+  friend class BytecodeModule;
+
+  const Function *F = nullptr;
+  std::vector<BCInst> Code;
+  std::vector<BCOperand> ExtraOps;
+  std::vector<uint32_t> BlockPC;
+  std::vector<uint32_t> ArgSlots;
+  unsigned EntryBlock = 0;
+  uint32_t NumSlots = 0;
+  uint32_t NumAllocas = 0;
+  std::unordered_map<const Value *, uint32_t> SlotIdx;
+  std::unordered_map<const Value *, uint32_t> AllocaIdx;
+  std::unordered_map<const Instruction *, uint32_t> InstPC;
+};
+
+/// The whole-module decode: every defined function lowered once. Reusable
+/// across runs and threads (immutable after construction).
+class BytecodeModule {
+public:
+  explicit BytecodeModule(const Module &M);
+
+  const Module &module() const { return M; }
+
+  /// Decoded form of a defined function; null for declarations.
+  const BCFunction *forFunction(const Function *F) const {
+    auto It = Decoded.find(F);
+    return It == Decoded.end() ? nullptr : It->second.get();
+  }
+
+  unsigned numGlobals() const { return NumGlobals; }
+
+private:
+  void decodeFunction(const Function &F, BCFunction &BF) const;
+
+  const Module &M;
+  unsigned NumGlobals = 0;
+  std::unordered_map<const Function *, std::unique_ptr<BCFunction>> Decoded;
+};
+
+/// One activation record of the bytecode engine: flat register and alloca
+/// tables. Allocas are pointers so a parallel worker can alias its parent
+/// frame's objects while redirecting privatized ones.
+struct BCFrame {
+  const BCFunction *F = nullptr;
+  std::vector<RTValue> Regs;
+  std::vector<MemObject *> Allocas;
+  std::vector<std::unique_ptr<MemObject>> Owned;
+
+  BCFrame() = default;
+  explicit BCFrame(const BCFunction &BF)
+      : F(&BF), Regs(BF.numSlots()), Allocas(BF.numAllocas(), nullptr) {}
+
+  /// Worker clone: aliases the parent's objects (Owned stays behind).
+  BCFrame cloneShallow() const {
+    BCFrame C;
+    C.F = F;
+    C.Regs = Regs;
+    C.Allocas = Allocas;
+    return C;
+  }
+
+  MemObject *createObject(const Type *ObjectTy) {
+    Owned.push_back(std::make_unique<MemObject>(makeMemObject(ObjectTy)));
+    return Owned.back().get();
+  }
+};
+
+/// One re-entrant bytecode execution engine over a shared ExecState. The
+/// extension points mirror ExecContext's, with the per-instruction maps
+/// replaced by flat per-PC tables (built by the scheduler from the decoded
+/// function via BCFunction::pcOf).
+class BCContext {
+public:
+  static constexpr unsigned kNone = 0xFFFFFFFFu;
+
+  BCContext(ExecState &S, const BytecodeModule &BM)
+      : S(S), BM(BM), GlobalOverrides(BM.numGlobals(), nullptr) {}
+
+  /// Unwinds any regions still open so the shared region lock is never
+  /// leaked to other contexts (abort mid critical/atomic region).
+  ~BCContext() {
+    while (!RegionStack.empty()) {
+      if (RegionStack.back().second)
+        S.regionLock().unlock();
+      RegionStack.pop_back();
+    }
+  }
+
+  ExecState &state() { return S; }
+  const BytecodeModule &bytecode() const { return BM; }
+
+  // --- Scheduler extension points ---------------------------------------
+
+  /// Observers fire on this context only (the sequential interpreter's).
+  void addObserver(ExecutionObserver *O) { Observers.push_back(O); }
+
+  /// Called before a block executes; returning a block index (!= kNone)
+  /// means the hook ran the construct (a whole loop invocation) and control
+  /// continues there. \p PrevBlock is kNone on function entry.
+  using LoopHook = std::function<unsigned(BCContext &, BCFrame &,
+                                          unsigned PrevBlock, unsigned Block)>;
+  void setLoopHook(LoopHook H) { Hook = std::move(H); }
+
+  /// Storage override for a global number — privatization of globals.
+  void setGlobalOverride(uint32_t GlobalIdx, MemObject *Obj) {
+    GlobalOverrides[GlobalIdx] = Obj;
+  }
+
+  /// DSWP stage ownership: per-PC flags of \p TablesFor ("does this context
+  /// own the side effects of the instruction at PC"). Instructions executed
+  /// in other functions are not owned, matching the walker's map semantics.
+  void setCommitTable(const BCFunction *TablesFor,
+                      const std::vector<uint8_t> *OwnedAtPC) {
+    CommitFn = TablesFor;
+    Owned = OwnedAtPC;
+  }
+  void setShadowMemory(ShadowMemory *SM) { Shadow = SM; }
+  /// Per-PC program-order numbering for shadow-store tie-breaking (DSWP).
+  void setNumberingTable(const std::vector<unsigned> *NumAtPC) {
+    Numbering = NumAtPC;
+  }
+  void setCurrentIteration(long It) { CurIteration = It; }
+
+  /// HELIX: instructions of sequential SCCs execute in iteration order.
+  struct IterationGate {
+    const BCFunction *TablesFor = nullptr;
+    const std::vector<uint8_t> *SeqAtPC = nullptr;
+    std::atomic<long> *Turn = nullptr;
+    long MyIter = 0;
+    bool Held = false;
+  };
+  void setGate(IterationGate *G) { Gate = G; }
+
+  /// Redirects print output into \p Buf (workers buffer so the scheduler
+  /// can splice output back in sequential order).
+  void setLocalOutput(std::vector<std::string> *Buf) { LocalOutput = Buf; }
+
+  /// Batched instruction-budget charging (see ExecContext::setChargeBatch).
+  void setChargeBatch(unsigned N) { ChargeBatch = N == 0 ? 1 : N; }
+
+  /// Exact local budgeting for single-context runs: the context leases the
+  /// state's whole remaining budget and checks a plain counter instead of
+  /// the shared atomic per instruction. The abort fires on exactly the same
+  /// instruction as per-instruction charging, and flushCharges() settles
+  /// the exact executed count — so sequential runs stay bit-identical to
+  /// the walker while touching the shared cacheline once.
+  void enableLocalBudget() {
+    LocalLimit = S.budget() - S.instructionsExecuted();
+    LocalMode = true;
+  }
+
+  void flushCharges() {
+    if (PendingCharges) {
+      S.charge(PendingCharges);
+      PendingCharges = 0;
+      if (LocalMode)
+        LocalLimit = S.budget() - S.instructionsExecuted();
+    }
+  }
+
+  // --- Execution ---------------------------------------------------------
+
+  /// Runs \p F to completion (the sequential entry point).
+  RTValue callFunction(const BCFunction &F, std::vector<RTValue> Args);
+
+  /// Executes blocks of \p Fr's function starting at \p StartBlock,
+  /// constrained to the loop whose membership bitmap is \p InLoop with
+  /// header \p HeaderIdx: returns the first reached block index that is the
+  /// header or outside the loop (without executing it), or kNone on
+  /// abort/unexpected return.
+  unsigned execWithin(BCFrame &Fr, const std::vector<uint8_t> &InLoop,
+                      unsigned HeaderIdx, unsigned StartBlock);
+
+  /// Resolves a global number honoring this context's overrides.
+  MemObject *globalObject(uint32_t GlobalIdx) {
+    MemObject *O = GlobalOverrides[GlobalIdx];
+    return O ? O : S.globalByIndex(GlobalIdx);
+  }
+
+private:
+  enum class ExecRes : uint8_t { Fall, Jump, Returned, Abort };
+
+  /// Executes the instruction at \p PC. On Jump, NextBlock/NextPC carry the
+  /// target; on Returned, Ret carries the value. Mirrors
+  /// ExecContext::execInst including charge batching and gate waits.
+  ExecRes execOne(const BCFunction &F, BCFrame &Fr, uint32_t PC,
+                  unsigned &NextBlock, uint32_t &NextPC, RTValue &Ret);
+
+  RTValue fetch(const BCOperand &O, BCFrame &Fr);
+  RTValue doLoad(const RTValue &P, bool WantFloat);
+  void doStore(const RTValue &V, const RTValue &P, bool OwnedStore,
+               unsigned Num);
+  RTValue callIntrinsic(const BCFunction &F, const BCInst &I, BCFrame &Fr,
+                        uint32_t PC);
+  void emitOutput(std::string Line);
+  void gateWait(uint32_t PC);
+
+  ExecState &S;
+  const BytecodeModule &BM;
+  std::vector<ExecutionObserver *> Observers;
+  unsigned ChargeBatch = 1;
+  bool LocalMode = false;
+  uint64_t LocalLimit = 0;
+  uint64_t PendingCharges = 0;
+  LoopHook Hook;
+  std::vector<MemObject *> GlobalOverrides;
+  const BCFunction *CommitFn = nullptr;
+  const std::vector<uint8_t> *Owned = nullptr;
+  ShadowMemory *Shadow = nullptr;
+  const std::vector<unsigned> *Numbering = nullptr;
+  long CurIteration = 0;
+  IterationGate *Gate = nullptr;
+  std::vector<std::string> *LocalOutput = nullptr;
+  /// Dynamic directive-region stack: ids of open regions + lock held.
+  std::vector<std::pair<unsigned, bool>> RegionStack;
+};
+
+} // namespace psc
+
+#endif // PSPDG_EMULATOR_BYTECODE_H

@@ -12,7 +12,7 @@ using namespace psc;
 
 // --- ExecState ---------------------------------------------------------------
 
-static MemObject makeObject(const Type *ObjectTy) {
+MemObject psc::makeMemObject(const Type *ObjectTy) {
   MemObject O;
   const Type *Elem = ObjectTy;
   uint64_t N = 1;
@@ -29,15 +29,16 @@ static MemObject makeObject(const Type *ObjectTy) {
 }
 
 ExecState::ExecState(const Module &M) : M(M) {
+  Globals.resize(M.globals().size());
   for (const auto &G : M.globals()) {
-    MemObject O = makeObject(G->getObjectType());
+    MemObject O = makeMemObject(G->getObjectType());
     if (G->hasScalarInit()) {
       if (O.IsFloat)
         O.F[0] = G->getScalarInit();
       else
         O.I[0] = static_cast<int64_t>(G->getScalarInit());
     }
-    Globals[G.get()] = std::move(O);
+    Globals[G->getGlobalIndex()] = std::move(O);
   }
 }
 
@@ -55,7 +56,7 @@ void ExecState::appendOutput(std::vector<std::string> Lines) {
 // --- Frame -------------------------------------------------------------------
 
 MemObject *Frame::createObject(const Type *ObjectTy) {
-  Owned.push_back(std::make_unique<MemObject>(makeObject(ObjectTy)));
+  Owned.push_back(std::make_unique<MemObject>(makeMemObject(ObjectTy)));
   return Owned.back().get();
 }
 
@@ -449,87 +450,102 @@ const BasicBlock *ExecContext::execWithin(Frame &Fr,
   return nullptr;
 }
 
-RTValue ExecContext::evalBinary(const BinaryInst *BI, const RTValue &L,
-                                const RTValue &R) {
-  using Op = BinaryInst::BinOp;
-  if (BI->getType()->isFloat()) {
+RTValue psc::evalBinaryOp(bool IsFloat, BinaryInst::BinOp Op, const RTValue &L,
+                          const RTValue &R) {
+  using O = BinaryInst::BinOp;
+  if (IsFloat) {
     double A = L.F, B = R.F;
-    switch (BI->getBinOp()) {
-    case Op::Add:
+    switch (Op) {
+    case O::Add:
       return RTValue::ofFloat(A + B);
-    case Op::Sub:
+    case O::Sub:
       return RTValue::ofFloat(A - B);
-    case Op::Mul:
+    case O::Mul:
       return RTValue::ofFloat(A * B);
-    case Op::Div:
-      return RTValue::ofFloat(B == 0.0 ? 0.0 : A / B);
+    case O::Div:
+      return RTValue::ofFloat(fltDiv(A, B));
     default:
       psc_unreachable("invalid float binop");
     }
   }
   int64_t A = L.I, B = R.I;
-  switch (BI->getBinOp()) {
-  case Op::Add:
+  switch (Op) {
+  case O::Add:
     return RTValue::ofInt(A + B);
-  case Op::Sub:
+  case O::Sub:
     return RTValue::ofInt(A - B);
-  case Op::Mul:
+  case O::Mul:
     return RTValue::ofInt(A * B);
-  case Op::Div:
-    return RTValue::ofInt(B == 0 ? 0 : A / B);
-  case Op::Rem:
-    return RTValue::ofInt(B == 0 ? 0 : A % B);
-  case Op::And:
+  case O::Div:
+    return RTValue::ofInt(intDiv(A, B));
+  case O::Rem:
+    return RTValue::ofInt(intRem(A, B));
+  case O::And:
     return RTValue::ofInt(A & B);
-  case Op::Or:
+  case O::Or:
     return RTValue::ofInt(A | B);
-  case Op::Xor:
+  case O::Xor:
     return RTValue::ofInt(A ^ B);
-  case Op::Shl:
-    return RTValue::ofInt(A << (B & 63));
-  case Op::Shr:
-    return RTValue::ofInt(A >> (B & 63));
+  case O::Shl:
+    return RTValue::ofInt(intShl(A, B));
+  case O::Shr:
+    return RTValue::ofInt(intShr(A, B));
   }
   psc_unreachable("invalid int binop");
 }
 
-bool ExecContext::evalCmp(const CmpInst *CI, const RTValue &L,
-                          const RTValue &R) {
-  using P = CmpInst::Predicate;
-  if (L.Kind == RTValue::RTKind::Float || R.Kind == RTValue::RTKind::Float) {
-    double A = L.Kind == RTValue::RTKind::Float ? L.F
-                                                : static_cast<double>(L.I);
-    double B = R.Kind == RTValue::RTKind::Float ? R.F
-                                                : static_cast<double>(R.I);
-    switch (CI->getPredicate()) {
-    case P::EQ:
-      return A == B;
-    case P::NE:
-      return A != B;
-    case P::LT:
-      return A < B;
-    case P::LE:
-      return A <= B;
-    case P::GT:
-      return A > B;
-    case P::GE:
-      return A >= B;
-    }
-  }
-  int64_t A = L.I, B = R.I;
-  switch (CI->getPredicate()) {
-  case P::EQ:
+bool psc::evalCmpInt(CmpInst::Predicate P, int64_t A, int64_t B) {
+  using Pr = CmpInst::Predicate;
+  switch (P) {
+  case Pr::EQ:
     return A == B;
-  case P::NE:
+  case Pr::NE:
     return A != B;
-  case P::LT:
+  case Pr::LT:
     return A < B;
-  case P::LE:
+  case Pr::LE:
     return A <= B;
-  case P::GT:
+  case Pr::GT:
     return A > B;
-  case P::GE:
+  case Pr::GE:
     return A >= B;
   }
   psc_unreachable("invalid predicate");
+}
+
+bool psc::evalCmpFloat(CmpInst::Predicate P, double A, double B) {
+  using Pr = CmpInst::Predicate;
+  switch (P) {
+  case Pr::EQ:
+    return A == B;
+  case Pr::NE:
+    return A != B;
+  case Pr::LT:
+    return A < B;
+  case Pr::LE:
+    return A <= B;
+  case Pr::GT:
+    return A > B;
+  case Pr::GE:
+    return A >= B;
+  }
+  psc_unreachable("invalid predicate");
+}
+
+bool psc::evalCmpOp(CmpInst::Predicate P, const RTValue &L, const RTValue &R) {
+  if (L.Kind == RTValue::RTKind::Float || R.Kind == RTValue::RTKind::Float)
+    return evalCmpFloat(
+        P, L.Kind == RTValue::RTKind::Float ? L.F : static_cast<double>(L.I),
+        R.Kind == RTValue::RTKind::Float ? R.F : static_cast<double>(R.I));
+  return evalCmpInt(P, L.I, R.I);
+}
+
+RTValue ExecContext::evalBinary(const BinaryInst *BI, const RTValue &L,
+                                const RTValue &R) {
+  return evalBinaryOp(BI->getType()->isFloat(), BI->getBinOp(), L, R);
+}
+
+bool ExecContext::evalCmp(const CmpInst *CI, const RTValue &L,
+                          const RTValue &R) {
+  return evalCmpOp(CI->getPredicate(), L, R);
 }

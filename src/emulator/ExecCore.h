@@ -72,6 +72,10 @@ struct MemObject {
   uint64_t size() const { return IsFloat ? F.size() : I.size(); }
 };
 
+/// Builds the zero-initialized memory object of an alloca/global object
+/// type (shared by both execution engines' frames).
+MemObject makeMemObject(const Type *ObjectTy);
+
 /// Runtime value: scalar (int/float) or pointer into a MemObject.
 struct RTValue {
   enum class RTKind { Int, Float, Ptr } Kind = RTKind::Int;
@@ -101,6 +105,29 @@ struct RTValue {
   }
 };
 
+// --- Shared scalar semantics -------------------------------------------------
+//
+// Single source of truth for the arithmetic edge cases both execution
+// engines — and the bytecode decoder's constant folder — must agree on
+// bit-for-bit: division/remainder by zero yields zero, shift amounts mask
+// to 63, and compares promote to float when either side is float.
+
+inline int64_t intDiv(int64_t A, int64_t B) { return B == 0 ? 0 : A / B; }
+inline int64_t intRem(int64_t A, int64_t B) { return B == 0 ? 0 : A % B; }
+inline int64_t intShl(int64_t A, int64_t B) { return A << (B & 63); }
+inline int64_t intShr(int64_t A, int64_t B) { return A >> (B & 63); }
+inline double fltDiv(double A, double B) { return B == 0.0 ? 0.0 : A / B; }
+
+bool evalCmpInt(CmpInst::Predicate P, int64_t A, int64_t B);
+bool evalCmpFloat(CmpInst::Predicate P, double A, double B);
+
+/// Binary-operation semantics over runtime values; \p IsFloat is the
+/// result type's (the walker's dynamic dispatch equals the static type).
+RTValue evalBinaryOp(bool IsFloat, BinaryInst::BinOp Op, const RTValue &L,
+                     const RTValue &R);
+/// Compare semantics with runtime-kind float promotion.
+bool evalCmpOp(CmpInst::Predicate P, const RTValue &L, const RTValue &R);
+
 /// Shared, thread-safe state of one program run.
 class ExecState {
 public:
@@ -108,7 +135,15 @@ public:
 
   const Module &module() const { return M; }
 
-  MemObject *globalObject(const GlobalVariable *G) { return &Globals.at(G); }
+  /// Global memory objects live in a flat table indexed by the dense global
+  /// number assigned at IR creation (GlobalVariable::getGlobalIndex). The
+  /// same numbering is used by the bytecode decoder, so both engines and
+  /// the scheduler resolve globals with one array index instead of a map.
+  MemObject *globalObject(const GlobalVariable *G) {
+    return &Globals[G->getGlobalIndex()];
+  }
+  MemObject *globalByIndex(unsigned Index) { return &Globals[Index]; }
+  unsigned numGlobals() const { return static_cast<unsigned>(Globals.size()); }
 
   /// Appends one print line (locked; parallel contexts usually buffer
   /// locally instead, to preserve sequential order).
@@ -142,7 +177,7 @@ public:
 
 private:
   const Module &M;
-  std::map<const GlobalVariable *, MemObject> Globals;
+  std::vector<MemObject> Globals; ///< Indexed by GlobalVariable global index.
   std::vector<std::string> Output;
   std::mutex OutputMu;
   std::recursive_mutex RegionMu;
@@ -194,7 +229,9 @@ public:
   void addBypass(MemObject *O) { Bypass.insert(O); }
   bool isBypassed(MemObject *O) const { return Bypass.count(O) != 0; }
 
-  void beginIteration(std::map<Key, Cell> Incoming) {
+  /// Takes the incoming token by rvalue reference: tokens are handed down
+  /// the pipeline, never duplicated, so the overlay map is moved in place.
+  void beginIteration(std::map<Key, Cell> &&Incoming) {
     IterShared = std::move(Incoming);
     IterLocal.clear();
   }

@@ -14,11 +14,26 @@ RunResult Interpreter::run(const std::string &EntryName) {
   if (!Entry || Entry->isDeclaration())
     reportFatalError("entry function '" + EntryName + "' not found");
 
-  ExecContext C(S);
-  for (ExecutionObserver *O : Observers)
-    C.addObserver(O);
-
-  RTValue R = C.callFunction(*Entry, {});
+  RTValue R;
+  if (Engine == ExecEngineKind::Bytecode) {
+    const BytecodeModule *BM = SharedBM;
+    if (!BM) {
+      if (!OwnedBM)
+        OwnedBM = std::make_unique<BytecodeModule>(M);
+      BM = OwnedBM.get();
+    }
+    BCContext C(S, *BM);
+    C.enableLocalBudget();
+    for (ExecutionObserver *O : Observers)
+      C.addObserver(O);
+    R = C.callFunction(*BM->forFunction(Entry), {});
+    C.flushCharges();
+  } else {
+    ExecContext C(S);
+    for (ExecutionObserver *O : Observers)
+      C.addObserver(O);
+    R = C.callFunction(*Entry, {});
+  }
 
   RunResult Result;
   Result.Completed = !S.aborted();

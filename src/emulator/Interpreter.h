@@ -6,16 +6,27 @@
 /// dynamic properties (loop coverage, plan-constrained critical path).
 /// Deterministic: same module → same execution, same observer stream.
 ///
-/// The actual execution engine lives in ExecCore.h (ExecState/ExecContext);
-/// this class is the sequential, single-context driver over it. The
-/// parallel plan-execution runtime (src/runtime/) drives multiple
-/// ExecContexts over one shared ExecState instead.
+/// Two engines implement the semantics (selectable via setEngine):
+///
+///   * Bytecode (default) — each Function is decoded once into a flat
+///     instruction stream with dense register slots and pre-resolved
+///     operands (emulator/Bytecode.h), then executed by tight switch
+///     dispatch.
+///   * Walker — the original tree-walking ExecContext over the IR
+///     (emulator/ExecCore.h); kept as the golden reference the bytecode
+///     engine is differentially tested against.
+///
+/// Both engines produce bit-identical runs: same output, exit value,
+/// instruction count, and observer stream. The parallel plan-execution
+/// runtime (src/runtime/) drives multiple contexts of either engine over
+/// one shared ExecState instead.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSPDG_EMULATOR_INTERPRETER_H
 #define PSPDG_EMULATOR_INTERPRETER_H
 
+#include "emulator/Bytecode.h"
 #include "emulator/ExecCore.h"
 #include "ir/Module.h"
 
@@ -36,6 +47,15 @@ public:
   /// Hard cap on executed instructions (runaway protection).
   void setInstructionBudget(uint64_t Budget) { MaxInstructions = Budget; }
 
+  /// Selects the execution engine (default: bytecode).
+  void setEngine(ExecEngineKind K) { Engine = K; }
+  ExecEngineKind engine() const { return Engine; }
+
+  /// Reuses an existing decode of this module (benchmark loops; must match
+  /// the constructor module). Without this, run() decodes on first use and
+  /// caches the result for subsequent runs.
+  void setBytecode(const BytecodeModule *BM) { SharedBM = BM; }
+
   /// Executes \p EntryName (default "main"; must take no parameters).
   RunResult run(const std::string &EntryName = "main");
 
@@ -43,6 +63,9 @@ private:
   const Module &M;
   std::vector<ExecutionObserver *> Observers;
   uint64_t MaxInstructions = 2'000'000'000ULL;
+  ExecEngineKind Engine = ExecEngineKind::Bytecode;
+  const BytecodeModule *SharedBM = nullptr;
+  std::unique_ptr<BytecodeModule> OwnedBM;
 };
 
 } // namespace psc

@@ -115,6 +115,7 @@ GlobalVariable *Module::createGlobal(const std::string &VarName,
   Globals.push_back(std::make_unique<GlobalVariable>(PT, ObjectTy, VarName));
   GlobalVariable *GV = Globals.back().get();
   GV->setId(takeNextValueId());
+  GV->setGlobalIndex(static_cast<unsigned>(Globals.size() - 1));
   return GV;
 }
 

@@ -131,6 +131,12 @@ public:
 
   Type *getObjectType() const { return ObjectTy; }
 
+  /// Dense per-module global number, assigned at creation in declaration
+  /// order. The execution engines key their flat global-memory tables by
+  /// this index (see ExecState and the bytecode decoder).
+  unsigned getGlobalIndex() const { return GlobalIndex; }
+  void setGlobalIndex(unsigned I) { GlobalIndex = I; }
+
   bool hasScalarInit() const { return HasInit; }
   double getScalarInit() const { return ScalarInit; }
   void setScalarInit(double V) {
@@ -144,6 +150,7 @@ public:
 
 private:
   Type *ObjectTy;
+  unsigned GlobalIndex = 0;
   bool HasInit = false;
   double ScalarInit = 0.0;
 };

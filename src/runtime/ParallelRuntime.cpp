@@ -1,4 +1,16 @@
 //===- ParallelRuntime.cpp ------------------------------------*- C++ -*-===//
+///
+/// The three schedulers (DOALL/HELIX/DSWP) are written once as templates
+/// over an engine adapter. The adapters hide the only differences between
+/// the tree-walking reference engine and the bytecode engine: how frames
+/// clone, how storage values resolve to memory objects, how loop bodies
+/// execute, and how the per-instruction scheduler tables (gates, stage
+/// ownership, numbering) are wired. All orchestration — chunking, the
+/// iteration-order turn, the stage pipeline, privatization copy-in/out,
+/// reduction merging, and output splicing — is engine-neutral, so both
+/// engines execute byte-identical schedules.
+///
+//===----------------------------------------------------------------------===//
 
 #include "runtime/ParallelRuntime.h"
 
@@ -16,21 +28,14 @@ using namespace psc;
 
 namespace {
 
+constexpr unsigned kNoBlock = 0xFFFFFFFFu;
+
 Frame cloneFrame(const Frame &Fr) {
   Frame W;
   W.F = Fr.F;
   W.Regs = Fr.Regs;
   W.Allocas = Fr.Allocas;
   return W;
-}
-
-/// Resolves \p Storage to its shared memory object: globals through the
-/// state, allocas through the master frame.
-MemObject *sharedObject(ExecState &S, Frame &Fr, const Value *Storage) {
-  if (const auto *GV = dyn_cast<GlobalVariable>(Storage))
-    return S.globalObject(GV);
-  auto It = Fr.Allocas.find(Storage);
-  return It == Fr.Allocas.end() ? nullptr : It->second;
 }
 
 /// Identity element of a reduction in the object's own representation.
@@ -110,36 +115,6 @@ struct PrivSet {
   PrivSet &operator=(PrivSet &&) = default;
 };
 
-/// Redirects \p Storage to a fresh private object in (\p W, \p WF).
-MemObject *redirect(ExecContext &W, Frame &WF, ExecState &S, Frame &Master,
-                    const Value *Storage, PrivSet &P) {
-  MemObject *Shared = sharedObject(S, Master, Storage);
-  if (!Shared)
-    return nullptr;
-  P.Owned.push_back(std::make_unique<MemObject>(*Shared)); // copy-in
-  MemObject *Obj = P.Owned.back().get();
-  if (isa<GlobalVariable>(Storage))
-    W.setStorageOverride(Storage, Obj);
-  else
-    WF.Allocas[Storage] = Obj;
-  return Obj;
-}
-
-PrivSet privatize(ExecContext &W, Frame &WF, ExecState &S, Frame &Master,
-                  const LoopSchedule &LS) {
-  PrivSet P;
-  P.IV = redirect(W, WF, S, Master, LS.IVStorage, P);
-  for (const PrivateVar &V : LS.Privates)
-    P.Priv.push_back(redirect(W, WF, S, Master, V.Storage, P));
-  for (const ReductionVar &R : LS.Reductions) {
-    MemObject *Obj = redirect(W, WF, S, Master, R.Storage, P);
-    if (Obj)
-      fillIdentity(*Obj, R.Op);
-    P.Red.push_back(Obj);
-  }
-  return P;
-}
-
 void setIV(MemObject *IV, long Value) {
   if (!IV)
     return;
@@ -149,12 +124,159 @@ void setIV(MemObject *IV, long Value) {
     IV->I[0] = Value;
 }
 
-} // namespace
+using LoopAux = ParallelRuntime::LoopAux;
 
-// --- RunState ----------------------------------------------------------------
+// --- Engine adapters ---------------------------------------------------------
 
-struct ParallelRuntime::RunState {
-  RunState(const Module &M, unsigned Threads) : S(M), Pool(Threads) {}
+/// The original tree-walking ExecContext engine (golden reference). The
+/// scheduler tables stay as the per-instruction maps in LoopSchedule.
+struct WalkerEng {
+  using Ctx = ExecContext;
+  using Frm = Frame;
+  struct Gate {
+    ExecContext::IterationGate G;
+  };
+
+  ExecState &S;
+
+  Ctx makeCtx() { return ExecContext(S); }
+  Frm clone(const Frm &Master) { return cloneFrame(Master); }
+
+  /// Resolves \p Storage to its shared memory object: globals through the
+  /// state, allocas through the master frame.
+  MemObject *shared(Frm &Master, const Value *Storage) {
+    if (const auto *GV = dyn_cast<GlobalVariable>(Storage))
+      return S.globalObject(GV);
+    auto It = Master.Allocas.find(Storage);
+    return It == Master.Allocas.end() ? nullptr : It->second;
+  }
+
+  void redirectStorage(Ctx &W, Frm &WF, const Value *Storage,
+                       MemObject *Obj) {
+    if (isa<GlobalVariable>(Storage))
+      W.setStorageOverride(Storage, Obj);
+    else
+      WF.Allocas[Storage] = Obj;
+  }
+
+  unsigned execWithin(Ctx &W, Frm &WF, const LoopSchedule &LS,
+                      const LoopAux *) {
+    const BasicBlock *R = W.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
+    return R ? R->getIndex() : kNoBlock;
+  }
+
+  void initGate(Ctx &C, Gate &G, const LoopSchedule &LS, const LoopAux *,
+                std::atomic<long> *Turn) {
+    G.G.SCCOf = &LS.SCCOf;
+    G.G.SCCIsSeq = &LS.SCCIsSeq;
+    G.G.Turn = Turn;
+    C.setGate(&G.G);
+  }
+  void gateIter(Gate &G, long It) {
+    G.G.MyIter = It;
+    G.G.Held = false;
+  }
+
+  void initStage(Ctx &C, const LoopSchedule &LS, const LoopAux *,
+                 unsigned Stage, ShadowMemory *SM) {
+    C.setShadowMemory(SM);
+    C.setCommitFilter([&LS, Stage](const Instruction &I) {
+      auto It = LS.StageOf.find(&I);
+      return It != LS.StageOf.end() && It->second == Stage;
+    });
+    C.setInstructionNumbering(&LS.InstIndex);
+  }
+};
+
+/// The pre-decoded bytecode engine: flat frames, flat storage resolution,
+/// and flat per-PC scheduler tables (LoopAux).
+struct BytecodeEng {
+  using Ctx = BCContext;
+  using Frm = BCFrame;
+  struct Gate {
+    BCContext::IterationGate G;
+  };
+
+  ExecState &S;
+  const BytecodeModule &BM;
+
+  Ctx makeCtx() { return BCContext(S, BM); }
+  Frm clone(const Frm &Master) { return Master.cloneShallow(); }
+
+  MemObject *shared(Frm &Master, const Value *Storage) {
+    if (const auto *GV = dyn_cast<GlobalVariable>(Storage))
+      return S.globalByIndex(GV->getGlobalIndex());
+    uint32_t Idx = Master.F->allocaIndexOf(Storage);
+    return Idx == BCInst::NoSlot ? nullptr : Master.Allocas[Idx];
+  }
+
+  void redirectStorage(Ctx &W, Frm &WF, const Value *Storage,
+                       MemObject *Obj) {
+    if (const auto *GV = dyn_cast<GlobalVariable>(Storage))
+      W.setGlobalOverride(GV->getGlobalIndex(), Obj);
+    else
+      WF.Allocas[WF.F->allocaIndexOf(Storage)] = Obj;
+  }
+
+  unsigned execWithin(Ctx &W, Frm &WF, const LoopSchedule &LS,
+                      const LoopAux *A) {
+    return W.execWithin(WF, A->InLoop, LS.Header, LS.BodyEntry->getIndex());
+  }
+
+  void initGate(Ctx &C, Gate &G, const LoopSchedule &LS, const LoopAux *A,
+                std::atomic<long> *Turn) {
+    G.G.TablesFor = BM.forFunction(LS.F);
+    G.G.SeqAtPC = &A->SeqAtPC;
+    G.G.Turn = Turn;
+    C.setGate(&G.G);
+  }
+  void gateIter(Gate &G, long It) {
+    G.G.MyIter = It;
+    G.G.Held = false;
+  }
+
+  void initStage(Ctx &C, const LoopSchedule &LS, const LoopAux *A,
+                 unsigned Stage, ShadowMemory *SM) {
+    C.setShadowMemory(SM);
+    C.setCommitTable(BM.forFunction(LS.F), &A->OwnedAtPC[Stage]);
+    C.setNumberingTable(&A->NumAtPC);
+  }
+};
+
+/// Redirects \p Storage to a fresh private object in (\p W, \p WF).
+template <class E>
+MemObject *redirect(E &Eng, typename E::Ctx &W, typename E::Frm &WF,
+                    typename E::Frm &Master, const Value *Storage,
+                    PrivSet &P) {
+  MemObject *Shared = Eng.shared(Master, Storage);
+  if (!Shared)
+    return nullptr;
+  P.Owned.push_back(std::make_unique<MemObject>(*Shared)); // copy-in
+  MemObject *Obj = P.Owned.back().get();
+  Eng.redirectStorage(W, WF, Storage, Obj);
+  return Obj;
+}
+
+template <class E>
+PrivSet privatize(E &Eng, typename E::Ctx &W, typename E::Frm &WF,
+                  typename E::Frm &Master, const LoopSchedule &LS) {
+  PrivSet P;
+  P.IV = redirect(Eng, W, WF, Master, LS.IVStorage, P);
+  for (const PrivateVar &V : LS.Privates)
+    P.Priv.push_back(redirect(Eng, W, WF, Master, V.Storage, P));
+  for (const ReductionVar &R : LS.Reductions) {
+    MemObject *Obj = redirect(Eng, W, WF, Master, R.Storage, P);
+    if (Obj)
+      fillIdentity(*Obj, R.Op);
+    P.Red.push_back(Obj);
+  }
+  return P;
+}
+
+// --- Shared run state --------------------------------------------------------
+
+struct PRState {
+  PRState(const Module &M, unsigned Threads) : S(M), Pool(Threads) {}
 
   ExecState S;
   ThreadPool Pool;
@@ -172,48 +294,17 @@ struct ParallelRuntime::RunState {
   }
 };
 
-// --- ParallelRuntime ---------------------------------------------------------
-
-ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan)
-    : M(M), Plan(Plan) {}
-
-const BasicBlock *ParallelRuntime::hook(RunState &RS, ExecContext &Ctx,
-                                        Frame &Fr, const BasicBlock *Prev,
-                                        const BasicBlock *B) {
-  (void)Ctx;
-  const LoopSchedule *LS = Plan.scheduleFor(Fr.F, B->getIndex());
-  if (!LS || LS->Kind == ScheduleKind::Sequential)
-    return nullptr;
-  // Back edge or re-entry from inside the loop: sequential step continues.
-  if (Prev && LS->Blocks.count(Prev->getIndex()))
-    return nullptr;
-
-  LoopExecStat &Stat = RS.Stats[LS];
-  ++Stat.Invocations;
-  Stat.Iterations += static_cast<uint64_t>(std::max(0L, LS->Trip));
-
-  switch (LS->Kind) {
-  case ScheduleKind::DOALL:
-    return runDOALL(RS, Fr, *LS);
-  case ScheduleKind::HELIX:
-    return runHELIX(RS, Fr, *LS);
-  case ScheduleKind::DSWP:
-    return runDSWP(RS, Fr, *LS);
-  case ScheduleKind::Sequential:
-    break;
-  }
-  return nullptr;
-}
-
 // --- DOALL -------------------------------------------------------------------
 
-const BasicBlock *ParallelRuntime::runDOALL(RunState &RS, Frame &Fr,
-                                            const LoopSchedule &LS) {
+template <class E>
+unsigned runDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
+                  const LoopSchedule &LS, const LoopAux *A) {
   ExecState &S = RS.S;
   long Trip = LS.Trip;
-  MemObject *SharedIV = sharedObject(S, Fr, LS.IVStorage);
+  MemObject *SharedIV = Eng.shared(Fr, LS.IVStorage);
+  unsigned ExitIdx = LS.Exit->getIndex();
   if (Trip <= 0)
-    return LS.Exit;
+    return ExitIdx;
 
   long Chunk = LS.Chunk > 0
                    ? LS.Chunk
@@ -232,17 +323,16 @@ const BasicBlock *ParallelRuntime::runDOALL(RunState &RS, Frame &Fr,
   for (long C = 0; C < NumChunks; ++C) {
     RS.Pool.submit([&, C] {
       ChunkState &St = CS[static_cast<size_t>(C)];
-      ExecContext W(S);
+      typename E::Ctx W = Eng.makeCtx();
       W.setChargeBatch(64);
-      Frame WF = cloneFrame(Fr);
-      St.P = privatize(W, WF, S, Fr, LS);
+      typename E::Frm WF = Eng.clone(Fr);
+      St.P = privatize(Eng, W, WF, Fr, LS);
       W.setLocalOutput(&St.Out);
       long Lo = C * Chunk, Hi = std::min(Trip, Lo + Chunk);
       for (long It = Lo; It < Hi; ++It) {
         setIV(St.P.IV, LS.Init + It * LS.Step);
-        const BasicBlock *R =
-            W.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
-        if (!R || R->getIndex() != LS.Header) {
+        unsigned R = Eng.execWithin(W, WF, LS, A);
+        if (R != LS.Header) {
           if (!S.aborted())
             St.Diverged = true;
           W.flushCharges();
@@ -258,7 +348,7 @@ const BasicBlock *ParallelRuntime::runDOALL(RunState &RS, Frame &Fr,
     if (St.Diverged)
       RS.fail("DOALL loop left its iteration space");
   if (S.aborted())
-    return LS.Exit;
+    return ExitIdx;
 
   // Output, reductions, and last-iteration private state merge in chunk
   // order — the sequential order.
@@ -266,7 +356,7 @@ const BasicBlock *ParallelRuntime::runDOALL(RunState &RS, Frame &Fr,
     if (!St.Out.empty())
       S.appendOutput(std::move(St.Out));
   for (size_t R = 0; R < LS.Reductions.size(); ++R) {
-    MemObject *Shared = sharedObject(S, Fr, LS.Reductions[R].Storage);
+    MemObject *Shared = Eng.shared(Fr, LS.Reductions[R].Storage);
     if (!Shared)
       continue;
     for (ChunkState &St : CS)
@@ -275,23 +365,25 @@ const BasicBlock *ParallelRuntime::runDOALL(RunState &RS, Frame &Fr,
   }
   ChunkState &Last = CS.back();
   for (size_t V = 0; V < LS.Privates.size(); ++V) {
-    MemObject *Shared = sharedObject(S, Fr, LS.Privates[V].Storage);
+    MemObject *Shared = Eng.shared(Fr, LS.Privates[V].Storage);
     if (Shared && Last.P.Priv[V])
       *Shared = *Last.P.Priv[V];
   }
   setIV(SharedIV, LS.Init + Trip * LS.Step);
-  return LS.Exit;
+  return ExitIdx;
 }
 
 // --- HELIX -------------------------------------------------------------------
 
-const BasicBlock *ParallelRuntime::runHELIX(RunState &RS, Frame &Fr,
-                                            const LoopSchedule &LS) {
+template <class E>
+unsigned runHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
+                  const LoopSchedule &LS, const LoopAux *A) {
   ExecState &S = RS.S;
   long Trip = LS.Trip;
-  MemObject *SharedIV = sharedObject(S, Fr, LS.IVStorage);
+  MemObject *SharedIV = Eng.shared(Fr, LS.IVStorage);
+  unsigned ExitIdx = LS.Exit->getIndex();
   if (Trip <= 0)
-    return LS.Exit;
+    return ExitIdx;
 
   unsigned W = std::min<unsigned>(RS.Pool.numWorkers(),
                                   static_cast<unsigned>(std::min<long>(
@@ -309,25 +401,20 @@ const BasicBlock *ParallelRuntime::runHELIX(RunState &RS, Frame &Fr,
   for (unsigned Wk = 0; Wk < W; ++Wk) {
     RS.Pool.submit([&, Wk] {
       WorkerState &St = WS[Wk];
-      ExecContext C(S);
+      typename E::Ctx C = Eng.makeCtx();
       C.setChargeBatch(64);
-      Frame WF = cloneFrame(Fr);
-      St.P = privatize(C, WF, S, Fr, LS);
-      ExecContext::IterationGate G;
-      G.SCCOf = &LS.SCCOf;
-      G.SCCIsSeq = &LS.SCCIsSeq;
-      G.Turn = &Turn;
-      C.setGate(&G);
+      typename E::Frm WF = Eng.clone(Fr);
+      St.P = privatize(Eng, C, WF, Fr, LS);
+      typename E::Gate G;
+      Eng.initGate(C, G, LS, A, &Turn);
       std::vector<std::string> IterOut;
       C.setLocalOutput(&IterOut);
 
       for (long It = Wk; It < Trip; It += W) {
-        G.MyIter = It;
-        G.Held = false;
+        Eng.gateIter(G, It);
         setIV(St.P.IV, LS.Init + It * LS.Step);
-        const BasicBlock *R =
-            C.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
-        if (!R || R->getIndex() != LS.Header) {
+        unsigned R = Eng.execWithin(C, WF, LS, A);
+        if (R != LS.Header) {
           if (!S.aborted())
             St.Diverged = true;
           S.abort();
@@ -356,10 +443,10 @@ const BasicBlock *ParallelRuntime::runHELIX(RunState &RS, Frame &Fr,
     if (St.Diverged)
       RS.fail("HELIX loop left its iteration space");
   if (S.aborted())
-    return LS.Exit;
+    return ExitIdx;
 
   for (size_t R = 0; R < LS.Reductions.size(); ++R) {
-    MemObject *Shared = sharedObject(S, Fr, LS.Reductions[R].Storage);
+    MemObject *Shared = Eng.shared(Fr, LS.Reductions[R].Storage);
     if (!Shared)
       continue;
     for (WorkerState &St : WS)
@@ -368,30 +455,30 @@ const BasicBlock *ParallelRuntime::runHELIX(RunState &RS, Frame &Fr,
   }
   WorkerState &LastOwner = WS[static_cast<size_t>((Trip - 1) % W)];
   for (size_t V = 0; V < LS.Privates.size(); ++V) {
-    MemObject *Shared = sharedObject(S, Fr, LS.Privates[V].Storage);
+    MemObject *Shared = Eng.shared(Fr, LS.Privates[V].Storage);
     if (Shared && LastOwner.P.Priv[V])
       *Shared = *LastOwner.P.Priv[V];
   }
   setIV(SharedIV, LS.Init + Trip * LS.Step);
-  return LS.Exit;
+  return ExitIdx;
 }
 
 // --- DSWP --------------------------------------------------------------------
 
-namespace {
 struct DSWPToken {
   long It = -1;
   std::map<ShadowMemory::Key, ShadowMemory::Cell> Overlay;
 };
-} // namespace
 
-const BasicBlock *ParallelRuntime::runDSWP(RunState &RS, Frame &Fr,
-                                           const LoopSchedule &LS) {
+template <class E>
+unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
+                 const LoopSchedule &LS, const LoopAux *A) {
   ExecState &S = RS.S;
   long Trip = LS.Trip;
-  MemObject *SharedIV = sharedObject(S, Fr, LS.IVStorage);
+  MemObject *SharedIV = Eng.shared(Fr, LS.IVStorage);
+  unsigned ExitIdx = LS.Exit->getIndex();
   if (Trip <= 0)
-    return LS.Exit;
+    return ExitIdx;
 
   unsigned K = LS.NumStages;
   struct StageState {
@@ -407,21 +494,16 @@ const BasicBlock *ParallelRuntime::runDSWP(RunState &RS, Frame &Fr,
   for (unsigned Stage = 0; Stage < K; ++Stage) {
     RS.Pool.submit([&, Stage] {
       StageState &St = SS[Stage];
-      ExecContext C(S);
+      typename E::Ctx C = Eng.makeCtx();
       C.setChargeBatch(64);
-      Frame WF = cloneFrame(Fr);
+      typename E::Frm WF = Eng.clone(Fr);
       // Stage-private IV, bypassing the shadow (runtime-controlled).
       LoopSchedule IVOnly;
       IVOnly.IVStorage = LS.IVStorage;
-      St.P = privatize(C, WF, S, Fr, IVOnly);
+      St.P = privatize(Eng, C, WF, Fr, IVOnly);
       if (St.P.IV)
         St.SM.addBypass(St.P.IV);
-      C.setShadowMemory(&St.SM);
-      C.setCommitFilter([&LS, Stage](const Instruction &I) {
-        auto It = LS.StageOf.find(&I);
-        return It != LS.StageOf.end() && It->second == Stage;
-      });
-      C.setInstructionNumbering(&LS.InstIndex);
+      Eng.initStage(C, LS, A, Stage, &St.SM);
 
       SPSCQueue<DSWPToken> *In = Stage > 0 ? Qs[Stage - 1].get() : nullptr;
       SPSCQueue<DSWPToken> *Out = Stage + 1 < K ? Qs[Stage].get() : nullptr;
@@ -440,9 +522,8 @@ const BasicBlock *ParallelRuntime::runDSWP(RunState &RS, Frame &Fr,
         St.SM.beginIteration(std::move(T.Overlay));
         C.setCurrentIteration(It);
         setIV(St.P.IV, LS.Init + It * LS.Step);
-        const BasicBlock *R =
-            C.execWithin(WF, LS.Blocks, LS.Header, LS.BodyEntry);
-        if (!R || R->getIndex() != LS.Header) {
+        unsigned R = Eng.execWithin(C, WF, LS, A);
+        if (R != LS.Header) {
           if (!S.aborted())
             St.Diverged = true;
           S.abort();
@@ -471,7 +552,7 @@ const BasicBlock *ParallelRuntime::runDSWP(RunState &RS, Frame &Fr,
     if (St.Diverged)
       RS.fail("DSWP stage diverged from its iteration space");
   if (S.aborted())
-    return LS.Exit;
+    return ExitIdx;
 
   // Merge every stage's persistent overlay back into shared memory; the
   // last dynamic write — ordered by (iteration, instruction index) — wins.
@@ -493,27 +574,129 @@ const BasicBlock *ParallelRuntime::runDSWP(RunState &RS, Frame &Fr,
       O->I[Key.second] = Cell.I;
   }
   setIV(SharedIV, LS.Init + Trip * LS.Step);
-  return LS.Exit;
+  return ExitIdx;
 }
 
-// --- Top level ---------------------------------------------------------------
+// --- Loop hook ---------------------------------------------------------------
+
+/// Engine-neutral loop interception: returns the exit block index when the
+/// hook ran the whole loop invocation, kNoBlock when the sequential step
+/// should continue.
+template <class E>
+unsigned hookLoop(PRState &RS, E &Eng, const RuntimePlan &Plan,
+                  const std::map<const LoopSchedule *, LoopAux> &Aux,
+                  typename E::Frm &Fr, const Function *F, unsigned PrevBlock,
+                  unsigned Block) {
+  const LoopSchedule *LS = Plan.scheduleFor(F, Block);
+  if (!LS || LS->Kind == ScheduleKind::Sequential)
+    return kNoBlock;
+  // Back edge or re-entry from inside the loop: sequential step continues.
+  if (PrevBlock != kNoBlock && LS->Blocks.count(PrevBlock))
+    return kNoBlock;
+
+  LoopExecStat &Stat = RS.Stats[LS];
+  ++Stat.Invocations;
+  Stat.Iterations += static_cast<uint64_t>(std::max(0L, LS->Trip));
+
+  auto AuxIt = Aux.find(LS);
+  const LoopAux *A = AuxIt == Aux.end() ? nullptr : &AuxIt->second;
+
+  switch (LS->Kind) {
+  case ScheduleKind::DOALL:
+    return runDOALL(RS, Eng, Fr, *LS, A);
+  case ScheduleKind::HELIX:
+    return runHELIX(RS, Eng, Fr, *LS, A);
+  case ScheduleKind::DSWP:
+    return runDSWP(RS, Eng, Fr, *LS, A);
+  case ScheduleKind::Sequential:
+    break;
+  }
+  return kNoBlock;
+}
+
+} // namespace
+
+// --- ParallelRuntime ---------------------------------------------------------
+
+ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan,
+                                 ExecEngineKind Engine)
+    : M(M), Plan(Plan), Engine(Engine) {
+  if (Engine != ExecEngineKind::Bytecode)
+    return;
+  BCM = std::make_unique<BytecodeModule>(M);
+  // Lower each planned loop's per-instruction scheduler maps into flat
+  // per-PC tables once; workers then index arrays instead of maps.
+  for (const auto &[Key, LS] : Plan.Loops) {
+    (void)Key;
+    if (LS.Kind == ScheduleKind::Sequential)
+      continue;
+    const BCFunction *BF = BCM->forFunction(LS.F);
+    if (!BF)
+      continue;
+    LoopAux A;
+    A.InLoop.assign(LS.F->getNumBlocks(), 0);
+    for (unsigned B : LS.Blocks)
+      A.InLoop[B] = 1;
+    if (LS.Kind == ScheduleKind::HELIX) {
+      A.SeqAtPC.assign(BF->code().size(), 0);
+      for (const auto &[I, SCC] : LS.SCCOf) {
+        if (!LS.SCCIsSeq[SCC])
+          continue;
+        uint32_t PC = BF->pcOf(I);
+        if (PC != BCInst::NoSlot)
+          A.SeqAtPC[PC] = 1;
+      }
+    }
+    if (LS.Kind == ScheduleKind::DSWP) {
+      A.OwnedAtPC.assign(LS.NumStages,
+                         std::vector<uint8_t>(BF->code().size(), 0));
+      for (const auto &[I, Stage] : LS.StageOf) {
+        uint32_t PC = BF->pcOf(I);
+        if (PC != BCInst::NoSlot)
+          A.OwnedAtPC[Stage][PC] = 1;
+      }
+      A.NumAtPC.assign(BF->code().size(), 0);
+      for (const auto &[I, N] : LS.InstIndex) {
+        uint32_t PC = BF->pcOf(I);
+        if (PC != BCInst::NoSlot)
+          A.NumAtPC[PC] = N;
+      }
+    }
+    Aux[&LS] = std::move(A);
+  }
+}
 
 ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
   const Function *Entry = M.getFunction(EntryName);
   if (!Entry || Entry->isDeclaration())
     reportFatalError("entry function '" + EntryName + "' not found");
 
-  RunState RS(M, Plan.Threads);
+  PRState RS(M, Plan.Threads);
   RS.S.setBudget(Budget);
 
-  ExecContext Master(RS.S);
-  Master.setLoopHook([this, &RS](ExecContext &Ctx, Frame &Fr,
-                                 const BasicBlock *Prev,
-                                 const BasicBlock *B) -> const BasicBlock * {
-    return hook(RS, Ctx, Fr, Prev, B);
-  });
-
-  RTValue R = Master.callFunction(*Entry, {});
+  RTValue R;
+  if (Engine == ExecEngineKind::Bytecode) {
+    BytecodeEng Eng{RS.S, *BCM};
+    BCContext Master(RS.S, *BCM);
+    Master.setLoopHook([this, &RS, &Eng](BCContext &, BCFrame &Fr,
+                                         unsigned Prev,
+                                         unsigned Block) -> unsigned {
+      return hookLoop(RS, Eng, Plan, Aux, Fr, Fr.F->function(), Prev, Block);
+    });
+    R = Master.callFunction(*BCM->forFunction(Entry), {});
+  } else {
+    WalkerEng Eng{RS.S};
+    ExecContext Master(RS.S);
+    Master.setLoopHook(
+        [this, &RS, &Eng](ExecContext &, Frame &Fr, const BasicBlock *Prev,
+                          const BasicBlock *B) -> const BasicBlock * {
+          unsigned Res =
+              hookLoop(RS, Eng, Plan, Aux, Fr, Fr.F,
+                       Prev ? Prev->getIndex() : kNoBlock, B->getIndex());
+          return Res == kNoBlock ? nullptr : Fr.F->getBlock(Res);
+        });
+    R = Master.callFunction(*Entry, {});
+  }
 
   ParallelRunResult Out;
   Out.R.Completed = !RS.S.aborted();

@@ -1,7 +1,7 @@
 //===- ParallelRuntime.h - Parallel plan-execution engine --------*- C++ -*-===//
 ///
 /// \file
-/// Executes a RuntimePlan on real threads: the master ExecContext runs the
+/// Executes a RuntimePlan on real threads: the master context runs the
 /// program sequentially until it reaches a loop header with a parallel
 /// schedule, then the engine takes over the whole loop invocation:
 ///
@@ -21,20 +21,31 @@
 ///     down the pipeline as the token, and overlays merge back into shared
 ///     memory at the join, last dynamic write winning.
 ///
+/// The schedulers are generic over the execution engine: the pre-decoded
+/// bytecode engine (default; emulator/Bytecode.h) or the tree-walking
+/// golden reference (emulator/ExecCore.h). For the bytecode engine the
+/// per-instruction scheduler maps (HELIX SCC gates, DSWP stage ownership
+/// and numbering, loop block membership) are lowered once per planned loop
+/// into flat per-PC tables.
+///
 /// The engine's invariant is *sequential output equivalence*: a run under
-/// any compiled plan produces the same print stream and exit value as
-/// Interpreter::run. The plan compiler's validations exist to uphold this.
+/// any compiled plan, on either engine, produces the same print stream and
+/// exit value as Interpreter::run. The plan compiler's validations exist to
+/// uphold this.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSPDG_RUNTIME_PARALLELRUNTIME_H
 #define PSPDG_RUNTIME_PARALLELRUNTIME_H
 
+#include "emulator/Bytecode.h"
 #include "emulator/ExecCore.h"
 #include "runtime/Schedule.h"
 #include "runtime/ThreadPool.h"
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,24 +74,33 @@ struct ParallelRunResult {
 class ParallelRuntime {
 public:
   /// \p Plan must outlive the runtime (it owns the loop analyses).
-  ParallelRuntime(const Module &M, const RuntimePlan &Plan);
+  /// \p Engine selects the execution engine for the master and all workers
+  /// (default: the pre-decoded bytecode engine).
+  ParallelRuntime(const Module &M, const RuntimePlan &Plan,
+                  ExecEngineKind Engine = ExecEngineKind::Bytecode);
 
   void setInstructionBudget(uint64_t B) { Budget = B; }
 
+  ExecEngineKind engine() const { return Engine; }
+
   ParallelRunResult run(const std::string &EntryName = "main");
 
+  /// Flat per-PC scheduler tables of one planned loop, derived from the
+  /// decoded bytecode (replacing the walker's per-instruction map lookups).
+  struct LoopAux {
+    std::vector<uint8_t> InLoop; ///< Block index -> inside the loop.
+    std::vector<uint8_t> SeqAtPC; ///< HELIX: PC -> in a sequential SCC.
+    std::vector<std::vector<uint8_t>> OwnedAtPC; ///< DSWP: stage x PC.
+    std::vector<unsigned> NumAtPC; ///< DSWP: PC -> program-order number.
+  };
+
 private:
-  struct RunState;
-
-  const BasicBlock *hook(RunState &RS, ExecContext &Ctx, Frame &Fr,
-                         const BasicBlock *Prev, const BasicBlock *B);
-  const BasicBlock *runDOALL(RunState &RS, Frame &Fr, const LoopSchedule &LS);
-  const BasicBlock *runHELIX(RunState &RS, Frame &Fr, const LoopSchedule &LS);
-  const BasicBlock *runDSWP(RunState &RS, Frame &Fr, const LoopSchedule &LS);
-
   const Module &M;
   const RuntimePlan &Plan;
   uint64_t Budget = 2'000'000'000ULL;
+  ExecEngineKind Engine;
+  std::unique_ptr<BytecodeModule> BCM; ///< Bytecode engine only.
+  std::map<const LoopSchedule *, LoopAux> Aux;
 };
 
 } // namespace psc

@@ -179,13 +179,38 @@ std::string fillCommon(LoopSchedule &LS, const Function &F,
   return "";
 }
 
+/// True if the loop writes storage registered by a module-scope
+/// `reducible(var : fn)` pragma. The abstraction views drop such a
+/// variable's accumulation dependences (the PS-PDG reducible trait), but
+/// this engine has no runtime combiner for it: privatizing the object
+/// would need identity values an application-specific merge function does
+/// not provide. Scheduling such a loop in parallel would race concurrent
+/// read-modify-writes on the shared object (nondeterministic accumulation
+/// order), violating sequential output equivalence.
+bool writesCustomReducible(const Module &M, const LoopFacts &Facts) {
+  for (const Directive &D : M.getParallelInfo().directives()) {
+    if (D.isLoopDirective())
+      continue;
+    for (const ReductionClause &R : D.Reductions)
+      if (R.Op == ReduceOp::Custom && Facts.Written.count(R.Var.Storage))
+        return true;
+  }
+  return false;
+}
+
 /// Privatization classification of the written scalars. Returns "" on
 /// success (Privates/Reductions filled), else the failure reason.
+/// (Loop-level custom reduction clauses are rejected here too — the
+/// "custom reduction operator" return below — so both spellings of a
+/// custom reduction keep their loop sequential.)
 std::string classifyScalars(LoopSchedule &LS, const Function &F,
                             const FunctionAnalysis &FA, const Loop &L,
                             const LoopFacts &Facts) {
   const Module &M = *F.getParent();
   BasicBlock *Header = F.getBlock(L.getHeader());
+
+  if (writesCustomReducible(M, Facts))
+    return "writes custom-reducible storage (no runtime combiner)";
 
   std::set<const Value *> Priv = computeIterationPrivateScalars(FA, L);
   std::map<const Value *, ReduceOp> Reds;

@@ -23,7 +23,11 @@
 ///     model);
 ///   * loops writing threadprivate storage are never parallelized: their
 ///     dependence removal encodes per-thread semantics the sequential
-///     output model cannot honor.
+///     output model cannot honor;
+///   * loops writing custom-reducible storage (`reducible(var : fn)`) are
+///     never parallelized: the views drop the accumulation dependences,
+///     but the engine has no combiner for application-specific reductions,
+///     and racing the shared object would break output determinism.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,350 @@
+//===- bytecode_decoder_test.cpp - Decode/lowering pass unit tests --------===//
+///
+/// Unit tests of the decode pass itself: dense slot assignment, alloca and
+/// global numbering, operand pre-resolution, branch pre-linking, and
+/// decode-time constant folding. (Dynamic equivalence is covered by
+/// bytecode_differential_test.cpp.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Bytecode.h"
+#include "emulator/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+struct DecodedMain {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<BytecodeModule> BM;
+  const Function *F = nullptr;
+  const BCFunction *BF = nullptr;
+};
+
+DecodedMain decodeMain(const std::string &Source) {
+  DecodedMain D;
+  D.M = compile(Source);
+  if (!D.M)
+    return D;
+  D.BM = std::make_unique<BytecodeModule>(*D.M);
+  D.F = D.M->getFunction("main");
+  D.BF = D.BM->forFunction(D.F);
+  return D;
+}
+
+// --- Slot and index assignment ----------------------------------------------
+
+TEST(BytecodeDecoderTest, SlotAssignmentIsDenseAndComplete) {
+  DecodedMain D = decodeMain(R"PSC(
+int g;
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 10; i++) {
+    s = s + i * 2;
+  }
+  g = s;
+  return s;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+
+  // Every value-producing instruction has a slot; slots are dense and
+  // unique; void instructions and allocas have none.
+  std::set<uint32_t> Seen;
+  uint32_t MaxSlot = 0;
+  unsigned Producing = 0;
+  for (const BasicBlock *BB : *D.F) {
+    for (const Instruction *I : *BB) {
+      uint32_t Slot = D.BF->slotOf(I);
+      if (isa<AllocaInst>(I)) {
+        EXPECT_EQ(Slot, BCInst::NoSlot);
+        EXPECT_NE(D.BF->allocaIndexOf(I), BCInst::NoSlot);
+        continue;
+      }
+      if (I->getType()->isVoid()) {
+        EXPECT_EQ(Slot, BCInst::NoSlot);
+        continue;
+      }
+      ++Producing;
+      ASSERT_NE(Slot, BCInst::NoSlot);
+      EXPECT_TRUE(Seen.insert(Slot).second) << "duplicate slot " << Slot;
+      MaxSlot = std::max(MaxSlot, Slot);
+    }
+  }
+  EXPECT_EQ(Seen.size(), Producing);
+  // Dense: numSlots covers args + producing instructions exactly.
+  EXPECT_EQ(D.BF->numSlots(), D.F->getNumArgs() + Producing);
+  EXPECT_LT(MaxSlot, D.BF->numSlots());
+}
+
+TEST(BytecodeDecoderTest, AllocaIndicesAreDense) {
+  DecodedMain D = decodeMain(R"PSC(
+int main() {
+  int a;
+  int b;
+  double c;
+  a = 1;
+  b = 2;
+  c = 3.0;
+  return a + b + c;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  std::set<uint32_t> Idx;
+  unsigned NumAllocas = 0;
+  for (const BasicBlock *BB : *D.F)
+    for (const Instruction *I : *BB)
+      if (isa<AllocaInst>(I)) {
+        ++NumAllocas;
+        uint32_t A = D.BF->allocaIndexOf(I);
+        ASSERT_NE(A, BCInst::NoSlot);
+        EXPECT_TRUE(Idx.insert(A).second);
+        EXPECT_LT(A, D.BF->numAllocas());
+      }
+  EXPECT_EQ(D.BF->numAllocas(), NumAllocas);
+  EXPECT_EQ(Idx.size(), NumAllocas);
+}
+
+TEST(BytecodeDecoderTest, GlobalsAreNumberedDenselyInDeclarationOrder) {
+  DecodedMain D = decodeMain(R"PSC(
+int x;
+double y[8];
+int z = 7;
+int main() {
+  return x + z;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  const auto &Globals = D.M->globals();
+  ASSERT_EQ(Globals.size(), 3u);
+  EXPECT_EQ(D.BM->numGlobals(), 3u);
+  for (unsigned I = 0; I < Globals.size(); ++I)
+    EXPECT_EQ(Globals[I]->getGlobalIndex(), I) << Globals[I]->getName();
+}
+
+// --- Operand pre-resolution --------------------------------------------------
+
+TEST(BytecodeDecoderTest, OperandsResolveToSlotsImmediatesGlobalsAllocas) {
+  DecodedMain D = decodeMain(R"PSC(
+int g[16];
+int main() {
+  int i;
+  i = 3;
+  g[i] = i + 40;
+  return g[3];
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  // Find the GEP feeding the store: its base must be a pre-resolved Global
+  // operand and no operand anywhere may require IR lookups (all operands
+  // are Slot/Imm/Global/Alloca by construction of the enum).
+  bool SawGlobalBase = false, SawAllocaPtr = false, SawImm = false;
+  for (const BCInst &I : D.BF->code()) {
+    if (I.Op == BCOp::GEP && I.A.Kind == BCOperand::K::Global)
+      SawGlobalBase = true;
+    if ((I.Op == BCOp::LoadI || I.Op == BCOp::Store) &&
+        (I.Op == BCOp::LoadI ? I.A : I.B).Kind == BCOperand::K::Alloca)
+      SawAllocaPtr = true;
+    if (I.Op == BCOp::Store && I.A.Kind == BCOperand::K::ImmI)
+      SawImm = true;
+  }
+  EXPECT_TRUE(SawGlobalBase);
+  EXPECT_TRUE(SawAllocaPtr);
+  EXPECT_TRUE(SawImm); // i = 3 stores an immediate
+}
+
+// --- Branch pre-linking ------------------------------------------------------
+
+TEST(BytecodeDecoderTest, BranchTargetsAreLinkedToBlockPCs) {
+  DecodedMain D = decodeMain(R"PSC(
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 5; i++) {
+    if (i % 2 == 0) {
+      s = s + i;
+    } else {
+      s = s - 1;
+    }
+  }
+  return s;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  unsigned Branches = 0;
+  for (const BasicBlock *BB : *D.F) {
+    for (const Instruction *I : *BB) {
+      uint32_t PC = D.BF->pcOf(I);
+      ASSERT_NE(PC, BCInst::NoSlot);
+      const BCInst &BI = D.BF->code()[PC];
+      EXPECT_EQ(BI.Src, I);
+      if (const auto *Br = dyn_cast<BranchInst>(I)) {
+        ++Branches;
+        EXPECT_EQ(BI.TBlock0, Br->getTarget()->getIndex());
+        EXPECT_EQ(BI.Target0, D.BF->blockPC(Br->getTarget()->getIndex()));
+      } else if (const auto *CB = dyn_cast<CondBranchInst>(I)) {
+        ++Branches;
+        EXPECT_EQ(BI.TBlock0, CB->getTrueTarget()->getIndex());
+        EXPECT_EQ(BI.TBlock1, CB->getFalseTarget()->getIndex());
+        EXPECT_EQ(BI.Target0, D.BF->blockPC(CB->getTrueTarget()->getIndex()));
+        EXPECT_EQ(BI.Target1,
+                  D.BF->blockPC(CB->getFalseTarget()->getIndex()));
+      }
+    }
+  }
+  EXPECT_GE(Branches, 4u); // loop latch + condition + if/else joins
+  // Block PCs point at the first instruction of each block.
+  for (const BasicBlock *BB : *D.F) {
+    if (!BB->empty()) {
+      EXPECT_EQ(D.BF->blockPC(BB->getIndex()), D.BF->pcOf(BB->front()));
+    }
+  }
+}
+
+// --- Decode-time constant folding -------------------------------------------
+
+TEST(BytecodeDecoderTest, ConstantOperandsFoldToImmediateWrites) {
+  DecodedMain D = decodeMain(R"PSC(
+int main() {
+  int x;
+  x = (3 + 4) * 5 - 100 / 7;
+  return x;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  // Every pure instruction over constants lowers to ConstI; the decoded
+  // stream of main must contain no live int arithmetic for this program.
+  unsigned NumConst = 0;
+  for (const BCInst &I : D.BF->code()) {
+    switch (I.Op) {
+    case BCOp::AddI:
+    case BCOp::SubI:
+    case BCOp::MulI:
+    case BCOp::DivI:
+      ADD_FAILURE() << "unfolded constant arithmetic at PC "
+                    << (&I - D.BF->code().data());
+      break;
+    case BCOp::ConstI:
+      ++NumConst;
+      break;
+    default:
+      break;
+    }
+  }
+  ASSERT_GE(NumConst, 1u);
+  // The folded chain's final value is (3+4)*5 - 100/7 = 35 - 14 = 21 and
+  // the fold must propagate through the chain to the last ConstI.
+  bool Saw21 = false;
+  for (const BCInst &I : D.BF->code())
+    if (I.Op == BCOp::ConstI && I.A.I == 21)
+      Saw21 = true;
+  EXPECT_TRUE(Saw21);
+  // Instruction count parity: folding never drops instructions.
+  EXPECT_EQ(D.BF->code().size(), D.F->getInstructionCount());
+
+  Interpreter I(*D.M);
+  I.setBytecode(D.BM.get());
+  RunResult R = I.run();
+  EXPECT_EQ(R.ExitValue, 21);
+}
+
+TEST(BytecodeDecoderTest, FoldingMatchesWalkerDivRemByZeroSemantics) {
+  DecodedMain D = decodeMain(R"PSC(
+int main() {
+  int a;
+  int b;
+  a = 7 / 0;
+  b = 7 % 0;
+  print(a);
+  print(b);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  Interpreter Byte(*D.M);
+  Byte.setBytecode(D.BM.get());
+  RunResult ByteR = Byte.run();
+  Interpreter Walk(*D.M);
+  Walk.setEngine(ExecEngineKind::Walker);
+  RunResult WalkR = Walk.run();
+  EXPECT_EQ(ByteR.Output, WalkR.Output); // both "0"
+  ASSERT_EQ(ByteR.Output.size(), 2u);
+  EXPECT_EQ(ByteR.Output[0], "0");
+  EXPECT_EQ(ByteR.Output[1], "0");
+}
+
+TEST(BytecodeDecoderTest, FloatConstantsFoldToConstF) {
+  DecodedMain D = decodeMain(R"PSC(
+double main_helper(double x) {
+  return x * 2.0;
+}
+int main() {
+  double y;
+  y = 1.5 + 2.25;
+  printf64(main_helper(y));
+  return 0;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  bool SawConstF = false;
+  for (const BCInst &I : D.BF->code())
+    if (I.Op == BCOp::ConstF && I.A.F == 3.75)
+      SawConstF = true;
+  EXPECT_TRUE(SawConstF);
+  Interpreter I(*D.M);
+  I.setBytecode(D.BM.get());
+  RunResult R = I.run();
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], "7.5");
+}
+
+// --- Intrinsic lowering ------------------------------------------------------
+
+TEST(BytecodeDecoderTest, IntrinsicsLowerToIdsAndRegionsPrecomputeLocking) {
+  DecodedMain D = decodeMain(R"PSC(
+int q;
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) {
+    #pragma psc critical
+    {
+      q = q + 1;
+    }
+  }
+  return q;
+}
+)PSC");
+  ASSERT_NE(D.BF, nullptr);
+  bool SawLockingRegion = false, SawRegionEnd = false;
+  for (const BCInst &I : D.BF->code()) {
+    if (I.Op != BCOp::Intr)
+      continue;
+    switch (static_cast<BCIntr>(I.Sub)) {
+    case BCIntr::RegionBeginLock:
+      SawLockingRegion = true;
+      break;
+    case BCIntr::RegionEnd:
+      SawRegionEnd = true;
+      break;
+    case BCIntr::RegionBeginDyn:
+      ADD_FAILURE() << "constant region id not precomputed";
+      break;
+    default:
+      break;
+    }
+  }
+  EXPECT_TRUE(SawLockingRegion);
+  EXPECT_TRUE(SawRegionEnd);
+}
+
+} // namespace

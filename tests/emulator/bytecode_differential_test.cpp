@@ -1,0 +1,226 @@
+//===- bytecode_differential_test.cpp - Bytecode vs walker equivalence ----===//
+///
+/// The bytecode engine's contract: observably bit-identical runs to the
+/// tree-walking golden reference. Differentially tested three ways:
+///
+///   1. Sequential — both engines over every workload: same output lines,
+///      exit value, and dynamic instruction count.
+///   2. Parallel — ParallelRuntime under both engines across all 8
+///      workloads × {pdg, jk, pspdg} plan views × {1, 2, 8} threads: the
+///      bytecode-parallel run must match the walker-sequential reference
+///      (and the walker-parallel run, which is itself checked against it).
+///   3. Observer stream — both engines drive the coverage profiler to the
+///      same result (same instruction/block event sequence).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Coverage.h"
+#include "emulator/Interpreter.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+RunResult runSeq(const Module &M, ExecEngineKind E) {
+  Interpreter I(M);
+  I.setEngine(E);
+  return I.run();
+}
+
+class WorkloadDifferential : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadDifferential, SequentialRunsBitIdentical) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  RunResult Walk = runSeq(*M, ExecEngineKind::Walker);
+  RunResult Byte = runSeq(*M, ExecEngineKind::Bytecode);
+  EXPECT_TRUE(Walk.Completed);
+  EXPECT_TRUE(Byte.Completed);
+  EXPECT_EQ(Byte.Output, Walk.Output) << W.Name;
+  EXPECT_EQ(Byte.ExitValue, Walk.ExitValue) << W.Name;
+  EXPECT_EQ(Byte.InstructionsExecuted, Walk.InstructionsExecuted) << W.Name;
+}
+
+TEST_P(WorkloadDifferential, ParallelRunsBitIdenticalAcrossPlansAndThreads) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  RunResult Ref = runSeq(*M, ExecEngineKind::Walker);
+
+  for (AbstractionKind Abs :
+       {AbstractionKind::PDG, AbstractionKind::JK, AbstractionKind::PSPDG}) {
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      RuntimePlan Plan = buildRuntimePlan(*M, Abs, Threads);
+      std::string What = W.Name + "/" + abstractionName(Abs) + "/t" +
+                         std::to_string(Threads);
+
+      ParallelRuntime WalkRT(*M, Plan, ExecEngineKind::Walker);
+      ParallelRunResult WalkPar = WalkRT.run();
+      ASSERT_TRUE(WalkPar.Error.empty()) << What << ": " << WalkPar.Error;
+      EXPECT_EQ(WalkPar.R.Output, Ref.Output) << What << " (walker)";
+      EXPECT_EQ(WalkPar.R.ExitValue, Ref.ExitValue) << What << " (walker)";
+
+      ParallelRuntime ByteRT(*M, Plan, ExecEngineKind::Bytecode);
+      ParallelRunResult BytePar = ByteRT.run();
+      ASSERT_TRUE(BytePar.Error.empty()) << What << ": " << BytePar.Error;
+      EXPECT_EQ(BytePar.R.Output, Ref.Output) << What << " (bytecode)";
+      EXPECT_EQ(BytePar.R.ExitValue, Ref.ExitValue) << What << " (bytecode)";
+
+      // Same schedules executed on both engines.
+      ASSERT_EQ(BytePar.Loops.size(), WalkPar.Loops.size()) << What;
+      for (size_t L = 0; L < BytePar.Loops.size(); ++L) {
+        EXPECT_EQ(BytePar.Loops[L].Kind, WalkPar.Loops[L].Kind) << What;
+        EXPECT_EQ(BytePar.Loops[L].Invocations, WalkPar.Loops[L].Invocations)
+            << What;
+        EXPECT_EQ(BytePar.Loops[L].Iterations, WalkPar.Loops[L].Iterations)
+            << What;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDifferential,
+                         ::testing::ValuesIn(nasWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &I) {
+                           return I.param.Name;
+                         });
+
+TEST(BytecodeDifferentialTest, ObserverStreamMatchesWalker) {
+  // The coverage profiler consumes the full observer stream (instruction +
+  // block-transfer events); identical coverage maps mean identical streams
+  // for this workload.
+  auto M = compile(findWorkload("IS")->Source);
+  ASSERT_NE(M, nullptr);
+  ModuleAnalyses MA(*M);
+
+  CoverageProfiler WalkCov(MA);
+  Interpreter Walk(*M);
+  Walk.setEngine(ExecEngineKind::Walker);
+  Walk.addObserver(&WalkCov);
+  RunResult WalkR = Walk.run();
+
+  CoverageProfiler ByteCov(MA);
+  Interpreter Byte(*M);
+  Byte.setEngine(ExecEngineKind::Bytecode);
+  Byte.addObserver(&ByteCov);
+  RunResult ByteR = Byte.run();
+
+  EXPECT_EQ(ByteR.Output, WalkR.Output);
+  EXPECT_EQ(ByteR.InstructionsExecuted, WalkR.InstructionsExecuted);
+  EXPECT_EQ(ByteCov.totalInstructions(), WalkCov.totalInstructions());
+  // Identical event streams produce identical coverage fractions, exactly.
+  EXPECT_EQ(ByteCov.coverage(), WalkCov.coverage());
+}
+
+TEST(BytecodeDifferentialTest, BudgetAbortsOnTheSameInstruction) {
+  // The local-budget lease must trip on exactly the same instruction as
+  // the walker's per-instruction charging.
+  auto M = compile(R"PSC(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    a[i] = i * 3;
+  }
+  return a[63];
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  for (uint64_t Budget : {1ull, 7ull, 50ull, 123ull}) {
+    Interpreter Walk(*M);
+    Walk.setEngine(ExecEngineKind::Walker);
+    Walk.setInstructionBudget(Budget);
+    RunResult WalkR = Walk.run();
+
+    Interpreter Byte(*M);
+    Byte.setEngine(ExecEngineKind::Bytecode);
+    Byte.setInstructionBudget(Budget);
+    RunResult ByteR = Byte.run();
+
+    EXPECT_EQ(ByteR.Completed, WalkR.Completed) << "budget=" << Budget;
+    EXPECT_EQ(ByteR.InstructionsExecuted, WalkR.InstructionsExecuted)
+        << "budget=" << Budget;
+    EXPECT_EQ(ByteR.Output, WalkR.Output) << "budget=" << Budget;
+  }
+}
+
+TEST(BytecodeDifferentialTest, IntrinsicsAndRegionsMatchWalker) {
+  auto M = compile(R"PSC(
+double acc = 0.0;
+int hits[4];
+int main() {
+  int i;
+  int b;
+  double x;
+  #pragma psc parallel for private(x, b) reduction(+: acc)
+  for (i = 0; i < 200; i++) {
+    x = sqrt(i * 1.0) + sin(i * 0.25) + cos(i * 0.5);
+    x = fmax(x, fabs(x) - 1.0) + fmin(exp(x * 0.01), log(i + 2.0));
+    x = x + pow(1.01, i % 7);
+    acc = acc + x;
+    b = (i * 29) % 4;
+    #pragma psc critical
+    {
+      hits[b] = hits[b] + imax(1, imin(2, i % 3));
+    }
+  }
+  printf64(acc);
+  print(hits[0] + hits[1] + hits[2] + hits[3]);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RunResult Walk = runSeq(*M, ExecEngineKind::Walker);
+  RunResult Byte = runSeq(*M, ExecEngineKind::Bytecode);
+  EXPECT_EQ(Byte.Output, Walk.Output);
+  EXPECT_EQ(Byte.InstructionsExecuted, Walk.InstructionsExecuted);
+
+  for (ExecEngineKind E :
+       {ExecEngineKind::Walker, ExecEngineKind::Bytecode}) {
+    RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+    ParallelRuntime RT(*M, Plan, E);
+    ParallelRunResult Par = RT.run();
+    ASSERT_TRUE(Par.Error.empty()) << execEngineName(E);
+    EXPECT_EQ(Par.R.Output, Walk.Output) << execEngineName(E);
+  }
+}
+
+TEST(BytecodeDifferentialTest, FunctionCallsMatchWalker) {
+  auto M = compile(R"PSC(
+int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+double scale(double x, int k) {
+  return x * k + 0.5;
+}
+int main() {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < 12; i++) {
+    s = s + scale(fib(i) * 1.0, i);
+  }
+  print(fib(15));
+  printf64(s);
+  return fib(10) % 100;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RunResult Walk = runSeq(*M, ExecEngineKind::Walker);
+  RunResult Byte = runSeq(*M, ExecEngineKind::Bytecode);
+  EXPECT_EQ(Byte.Output, Walk.Output);
+  EXPECT_EQ(Byte.ExitValue, Walk.ExitValue);
+  EXPECT_EQ(Byte.InstructionsExecuted, Walk.InstructionsExecuted);
+}
+
+} // namespace

@@ -336,6 +336,61 @@ int main() {
   EXPECT_FALSE(R.R.Completed);
 }
 
+TEST(ParallelRuntimeTest, CustomReducibleLoopsStaySequential) {
+  // Regression: a loop accumulating into `reducible(var : fn)` storage must
+  // not be parallelized — the abstraction views drop its carried
+  // dependences (that is the point of the trait), but the runtime has no
+  // combiner for application-specific reductions, so a parallel schedule
+  // would race concurrent read-modify-writes on the shared object
+  // (nondeterministic float accumulation order under load).
+  auto M = compile(R"PSC(
+double acc[4];
+#pragma psc reducible(acc : merge_acc)
+
+void merge_acc(double dst[], double src[]) {
+  int t;
+  for (t = 0; t < 4; t++) {
+    dst[t] = dst[t] + src[t];
+  }
+}
+
+int main() {
+  int i;
+  int c;
+  double s;
+  #pragma psc parallel for
+  for (i = 0; i < 64; i++) {
+    acc[i % 4] = acc[i % 4] + (i % 7) / 8.0;
+  }
+  s = 0.0;
+  for (i = 0; i < 4; i++) {
+    s = s + acc[i];
+  }
+  c = s * 8.0;
+  print(c);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+  for (const auto &[Key, LS] : Plan.Loops) {
+    (void)Key;
+    if (LS.Reason.find("custom-reducible") != std::string::npos) {
+      EXPECT_EQ(LS.Kind, ScheduleKind::Sequential);
+    }
+  }
+  bool SawRejection = false;
+  for (const auto &[Key, LS] : Plan.Loops) {
+    (void)Key;
+    if (LS.Kind == ScheduleKind::Sequential &&
+        LS.Reason.find("custom-reducible") != std::string::npos)
+      SawRejection = true;
+  }
+  EXPECT_TRUE(SawRejection)
+      << "the reducible-array loop was not rejected by the plan compiler";
+  expectEquivalent(*M, AbstractionKind::PSPDG, 8, "reducible");
+}
+
 TEST(ParallelRuntimeTest, BudgetExhaustionAbortsCleanly) {
   auto M = compile(R"PSC(
 int a[64];

@@ -17,6 +17,9 @@
 ///     --run-parallel[=ABS] execute the abstraction's best plan on real
 ///                          threads (abs: pdg|jk|pspdg; default pspdg) and
 ///                          report per-loop schedules + speedup on stderr
+///     --exec=ENGINE        execution engine: bytecode (pre-decoded flat
+///                          instruction stream; default) or walker (the
+///                          tree-walking golden reference)
 ///     --threads=N          worker threads for --run-parallel (default 8)
 ///     --without=FEAT[,..]  ablate PS-PDG features (hn, nt, c, dsde, psv)
 ///     --dep-oracles=LIST   dependence-oracle chain, in order (default:
@@ -57,6 +60,7 @@ struct Options {
   bool RunParallel = false;
   bool DepStats = false;
   std::vector<std::string> DepOracles;
+  ExecEngineKind Engine = ExecEngineKind::Bytecode;
   unsigned Threads = 8;
   AbstractionKind Abs = AbstractionKind::PSPDG;
   AbstractionKind RunAbs = AbstractionKind::PSPDG;
@@ -143,6 +147,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
           return false;
         }
       }
+    } else if (A.rfind("--exec=", 0) == 0) {
+      std::string E = A.substr(7);
+      if (E == "walker")
+        O.Engine = ExecEngineKind::Walker;
+      else if (E == "bytecode")
+        O.Engine = ExecEngineKind::Bytecode;
+      else {
+        std::fprintf(stderr,
+                     "pscc: unknown engine '%s' for --exec; use walker or "
+                     "bytecode\n",
+                     E.c_str());
+        return false;
+      }
     } else if (A.rfind("--threads=", 0) == 0) {
       long N = std::atol(A.c_str() + 10);
       if (N <= 0 || N > 4096) {
@@ -213,7 +230,8 @@ int main(int Argc, char **Argv) {
         "usage: pscc [--emit-ir] [--emit-pdg] [--emit-pspdg] [--summary]\n"
         "            [--fingerprint] [--plans[=abs]] [--options[=abs]]\n"
         "            [--critical-path] [--run] [--run-parallel[=abs]]\n"
-        "            [--threads=N] [--without=feat,...]\n"
+        "            [--exec=walker|bytecode] [--threads=N]\n"
+        "            [--without=feat,...]\n"
         "            [--dep-oracles=name,...] [--dep-stats]\n"
         "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP>\n");
     return 2;
@@ -371,6 +389,7 @@ int main(int Argc, char **Argv) {
 
   if (O.Run) {
     Interpreter I(M);
+    I.setEngine(O.Engine);
     RunResult Run = I.run();
     for (const std::string &Line : Run.Output)
       std::printf("%s\n", Line.c_str());
@@ -386,13 +405,14 @@ int main(int Argc, char **Argv) {
     };
 
     Interpreter Seq(M);
+    Seq.setEngine(O.Engine);
     Clock::time_point T0 = Clock::now();
     RunResult SeqR = Seq.run();
     Clock::time_point T1 = Clock::now();
 
     RuntimePlan Plan =
         buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features, O.DepOracles);
-    ParallelRuntime RT(M, Plan);
+    ParallelRuntime RT(M, Plan, O.Engine);
     Clock::time_point T2 = Clock::now();
     ParallelRunResult Par = RT.run();
     Clock::time_point T3 = Clock::now();
@@ -400,8 +420,9 @@ int main(int Argc, char **Argv) {
     for (const std::string &Line : Par.R.Output)
       std::printf("%s\n", Line.c_str());
 
-    std::fprintf(stderr, "== %s plan on %u threads ==\n",
-                 abstractionName(O.RunAbs), O.Threads);
+    std::fprintf(stderr, "== %s plan on %u threads (%s engine) ==\n",
+                 abstractionName(O.RunAbs), O.Threads,
+                 execEngineName(O.Engine));
     for (const LoopExecStat &L : Par.Loops) {
       std::fprintf(stderr, "  @%s %-14s depth=%u %-10s invocations=%llu "
                            "iterations=%llu%s%s\n",
