@@ -26,11 +26,16 @@ namespace psc::bench {
 /// One perf-trajectory record: a (workload, engine, threads) measurement.
 struct BenchRecord {
   std::string Workload; ///< "IS", "CG", ... or a micro-benchmark name.
-  std::string Engine;   ///< "walker", "bytecode", "bytecode-parallel", ...
+  std::string Engine;   ///< The configuration axis: "walker", "bytecode",
+                        ///< an abstraction ("pspdg"), or an ablation tag.
   unsigned Threads = 1;
   double NsPerIter = 0.0;    ///< Nanoseconds per full run / iteration.
   double InstrsPerSec = 0.0; ///< Interpreted instructions per second (0 if
                              ///< the record measures something else).
+  /// Bench-specific metrics appended verbatim as extra JSON keys (e.g. the
+  /// Fig. 13 option counts or the Fig. 14 critical paths). Keys must be
+  /// stable across runs so successive baselines diff cleanly.
+  std::vector<std::pair<std::string, double>> Extra;
 };
 
 /// Writes the records as the repo's tracked BENCH_<name>.json format:
@@ -46,8 +51,19 @@ inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
     OS << "    {\"workload\": \"" << R.Workload << "\", \"engine\": \""
        << R.Engine << "\", \"threads\": " << R.Threads
        << ", \"ns_per_iter\": " << static_cast<long long>(R.NsPerIter)
-       << ", \"instrs_per_s\": " << static_cast<long long>(R.InstrsPerSec)
-       << "}" << (I + 1 < Records.size() ? "," : "") << "\n";
+       << ", \"instrs_per_s\": " << static_cast<long long>(R.InstrsPerSec);
+    for (const auto &[Key, Value] : R.Extra) {
+      OS << ", \"" << Key << "\": ";
+      // Integral metrics (counts) print exactly; ratios keep two decimals.
+      if (Value == static_cast<double>(static_cast<long long>(Value)))
+        OS << static_cast<long long>(Value);
+      else {
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%.4f", Value);
+        OS << Buf;
+      }
+    }
+    OS << "}" << (I + 1 < Records.size() ? "," : "") << "\n";
   }
   OS << "  ]\n}\n";
   std::ofstream Out(Path);

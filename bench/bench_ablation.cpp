@@ -14,6 +14,8 @@
 #include "parallel/PlanEnumerator.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 using namespace psc;
@@ -32,7 +34,17 @@ double criticalPathWith(const Module &M, const FeatureSet &F) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: bench_ablation [--json=PATH]\n");
+      return 2;
+    }
+  }
+
   struct Ablation {
     const char *Name;
     FeatureSet F;
@@ -55,6 +67,7 @@ int main() {
     std::printf(" %13s", A.Name);
   std::printf("\n");
 
+  std::vector<BenchRecord> Records;
   for (const Workload &W : nasWorkloads()) {
     PreparedWorkload P = prepare(W);
 
@@ -72,9 +85,20 @@ int main() {
       std::snprintf(Buf, sizeof(Buf), "%llu/%.2f",
                     (unsigned long long)Options[K], CPs[K] / CPs[0]);
       std::printf(" %13s", Buf);
+      Records.push_back({W.Name,
+                         Ablations[K].Name,
+                         1,
+                         0.0,
+                         0.0,
+                         {{"options", static_cast<double>(Options[K])},
+                          {"critical_path", CPs[K]},
+                          {"cp_ratio_vs_full", CPs[K] / CPs[0]}}});
     }
     std::printf("\n");
   }
+
+  if (!JsonPath.empty() && !writeBenchJson(JsonPath, "ablation", Records))
+    return 1;
 
   std::printf("\nReading: 'options/CP-ratio'. A CP ratio above 1.00 means\n"
               "removing that feature lengthened the best plan's critical\n"

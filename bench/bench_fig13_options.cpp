@@ -12,11 +12,24 @@
 #include "parallel/PlanEnumerator.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace psc;
 using namespace psc::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: bench_fig13_options [--json=PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("=== Fig. 13: Total parallelization options considered ===\n");
   std::printf("(56 cores x 8 chunk sizes; loops with >=1%% coverage)\n\n");
   std::printf("%-6s %10s %10s %10s %10s   %s\n", "Bench", "OpenMP", "PDG",
@@ -24,6 +37,7 @@ int main() {
 
   EnumeratorConfig Cfg; // paper defaults
   uint64_t Sum[4] = {0, 0, 0, 0};
+  std::vector<BenchRecord> Records;
 
   for (const Workload &W : nasWorkloads()) {
     PreparedWorkload P = prepare(W);
@@ -36,6 +50,15 @@ int main() {
       OptionCount R = enumerateOptions(*P.M, Kinds[K], Cfg, &P.Coverage);
       Totals[K] = R.Total;
       Sum[K] += R.Total;
+      Records.push_back({W.Name,
+                         abstractionName(Kinds[K]),
+                         1,
+                         0.0,
+                         0.0,
+                         {{"options", static_cast<double>(R.Total)},
+                          {"loops_considered",
+                           static_cast<double>(R.LoopsConsidered)},
+                          {"doall_loops", static_cast<double>(R.DOALLLoops)}}});
       if (K == 3)
         Last = std::move(R);
     }
@@ -47,6 +70,9 @@ int main() {
   std::printf("%-6s %10llu %10llu %10llu %10llu\n", "TOTAL",
               (unsigned long long)Sum[0], (unsigned long long)Sum[1],
               (unsigned long long)Sum[2], (unsigned long long)Sum[3]);
+
+  if (!JsonPath.empty() && !writeBenchJson(JsonPath, "fig13_options", Records))
+    return 1;
 
   std::printf("\nExpected shape (paper Fig. 13): the PS-PDG gives the\n"
               "compiler the largest option space; OpenMP (the programmer's\n"

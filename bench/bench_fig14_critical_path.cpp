@@ -14,24 +14,60 @@
 #include "emulator/CriticalPath.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace psc;
 using namespace psc::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: bench_fig14_critical_path [--json=PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf(
       "=== Fig. 14: Critical path reduction over the OpenMP plan ===\n");
   std::printf("(ideal machine; critical path in dynamic IR instructions)\n\n");
   std::printf("%-6s %12s %12s | %9s %9s %9s\n", "Bench", "seq-instrs",
               "CP(OpenMP)", "PDG", "J&K", "PS-PDG");
 
+  std::vector<BenchRecord> Records;
   for (const Workload &W : nasWorkloads()) {
     PreparedWorkload P = prepare(W);
     CriticalPathReport R = evaluateCriticalPaths(*P.M);
     std::printf("%-6s %12llu %12.0f | %8.2fx %8.2fx %8.2fx\n", W.Name.c_str(),
                 (unsigned long long)R.TotalDynamicInstructions, R.OpenMP,
                 R.OpenMP / R.PDG, R.OpenMP / R.JK, R.OpenMP / R.PSPDG);
+    const struct {
+      const char *Abs;
+      double CP;
+    } Rows[] = {{"openmp", R.OpenMP},
+                {"pdg", R.PDG},
+                {"jk", R.JK},
+                {"pspdg", R.PSPDG}};
+    for (const auto &Row : Rows)
+      Records.push_back(
+          {W.Name,
+           Row.Abs,
+           1,
+           0.0,
+           0.0,
+           {{"critical_path", Row.CP},
+            {"reduction_vs_openmp", R.OpenMP / Row.CP},
+            {"seq_instrs",
+             static_cast<double>(R.TotalDynamicInstructions)}}});
   }
+
+  if (!JsonPath.empty() &&
+      !writeBenchJson(JsonPath, "fig14_critical_path", Records))
+    return 1;
 
   std::printf(
       "\nExpected shape (paper Fig. 14): PDG < 1x everywhere (a sequential\n"

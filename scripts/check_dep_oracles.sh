@@ -7,9 +7,16 @@
 #   (b) any single input finishes with a zero cache hit rate (the
 #       collaborative cache is not collaborating).
 #
+# The oracle list is NOT hardcoded: it is recovered from pscc's own
+# registry (the "known:" list in the unknown-oracle diagnostic), so an
+# oracle that is registered in the binary but never exercised by this
+# guard's inputs fails loudly instead of silently rotting.
+#
 # The eight NAS kernels are single-function programs, so nothing in them
 # issues an opaque-call query; a ninth synthetic input with a defined
-# function call keeps the opaque oracle covered.
+# function call keeps the opaque oracle covered. The 'spec' oracle only
+# answers under a training profile, so each workload is first profiled
+# (--profile-out) and then re-analyzed with --spec-profile.
 set -euo pipefail
 
 PSCC=${1:-./build/pscc}
@@ -27,27 +34,45 @@ int main() {
 }
 PSC
 
-inputs=("${WORKLOADS[@]}" "$tmp/calls.psc")
+# Recover the registered oracle names from the binary itself.
+known=$({ "$PSCC" --dep-oracles=__probe__ "$tmp/calls.psc" 2>&1 || true; } \
+          | sed -n "s/.*(known: \(.*\)).*/\1/p" | tr -d ',')
+if [ -z "$known" ]; then
+  echo "FAIL: could not recover the registered oracle list from $PSCC"
+  exit 1
+fi
+echo "== registered oracles: $known"
+
 declare -A answered
-for name in ssa control io opaque alias affine; do answered[$name]=0; done
+for name in $known; do answered[$name]=0; done
 fail=0
 
-for input in "${inputs[@]}"; do
-  echo "== pscc --dep-stats $input"
-  out=$("$PSCC" --dep-stats "$input")
+run_and_tally() {
+  local desc=$1; shift
+  echo "== pscc --dep-stats $desc"
+  local out
+  out=$("$PSCC" --dep-stats "$@")
   echo "$out"
+  local hits
   hits=$(echo "$out" | sed -n 's/^dep-cache .*hits=\([0-9]*\).*/\1/p')
   if [ "${hits:-0}" -eq 0 ]; then
-    echo "FAIL: zero cache hits on $input"
+    echo "FAIL: zero cache hits on $desc"
     fail=1
   fi
   while read -r name ans; do
     answered[$name]=$(( ${answered[$name]:-0} + ans ))
   done < <(echo "$out" | awk '/^dep-oracle/ { split($3, a, "="); print $2, a[2] }')
+}
+
+for w in "${WORKLOADS[@]}"; do
+  "$PSCC" --profile-out="$tmp/$w.profile.json" "$w" > /dev/null
+  run_and_tally "$w (spec-profile trained on $w)" \
+    --spec-profile="$tmp/$w.profile.json" "$w"
 done
+run_and_tally "calls.psc" "$tmp/calls.psc"
 
 echo "== aggregate answered queries per oracle"
-for name in ssa control io opaque alias affine; do
+for name in $known; do
   echo "  $name: ${answered[$name]:-0}"
   if [ "${answered[$name]:-0}" -eq 0 ]; then
     echo "FAIL: dead oracle '$name' (zero answered queries across inputs)"

@@ -6,6 +6,10 @@
 #                        bytecode) and parallel plan execution
 #   BENCH_micro.json   — component micros (frontend, decoder) + engine
 #                        instrs/s per workload
+#   BENCH_ablation.json — planner power per removed PS-PDG feature
+#                        (Fig. 13 option counts + Fig. 14 critical paths)
+#   BENCH_fig13.json   — parallelization options per abstraction
+#   BENCH_fig14.json   — ideal-machine critical paths per abstraction
 #
 # Usage: scripts/run_benches.sh [--check] [build-dir]
 #   --check     also fail if the bytecode engine is slower than the walker
@@ -29,7 +33,8 @@ done
 THREADS="${THREADS:-8}"
 REPS="${REPS:-3}"
 
-for BIN in bench_runtime bench_micro; do
+for BIN in bench_runtime bench_micro bench_ablation bench_fig13_options \
+           bench_fig14_critical_path; do
   if [[ ! -x "$BUILD/$BIN" ]]; then
     echo "run_benches: $BUILD/$BIN not built (cmake --build $BUILD --target $BIN)" >&2
     exit 1
@@ -39,5 +44,8 @@ done
 "$BUILD/bench_runtime" "$THREADS" pspdg --reps="$REPS" \
     --json=BENCH_runtime.json $CHECK
 "$BUILD/bench_micro" --json=BENCH_micro.json --reps="$REPS"
+"$BUILD/bench_ablation" --json=BENCH_ablation.json > /dev/null
+"$BUILD/bench_fig13_options" --json=BENCH_fig13.json > /dev/null
+"$BUILD/bench_fig14_critical_path" --json=BENCH_fig14.json > /dev/null
 
-echo "run_benches: wrote BENCH_runtime.json and BENCH_micro.json"
+echo "run_benches: wrote BENCH_{runtime,micro,ablation,fig13,fig14}.json"

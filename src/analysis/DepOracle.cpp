@@ -21,6 +21,7 @@
 
 #include "analysis/DepOracle.h"
 
+#include "analysis/SpecOracle.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -324,7 +325,11 @@ private:
       Sum = Sum + loopRange(FA, BindLoop).scaledBy(Coeff);
     }
 
-    // IV of L: (CoeffP - CoeffQ) * i  -  CoeffQ * delta, delta >= 1.
+    // IV of L: the later instance runs delta iterations further, so its IV
+    // value is i + delta * Step (Step may be negative — a decreasing
+    // loop's later iterations have SMALLER IV values):
+    //   Sub_P(i) - Sub_Q(i + delta*Step)
+    //     = (CoeffP - CoeffQ) * i  -  CoeffQ * Step * delta,   delta >= 1.
     if (LCounter) {
       Range IV = Range::unbounded();
       long Min, Max;
@@ -335,7 +340,7 @@ private:
       if (MaxDelta == 0)
         return false; // single-iteration loop: nothing is carried
       Range Delta = {1, MaxDelta};
-      Sum = Sum + Delta.scaledBy(-CoeffQi);
+      Sum = Sum + Delta.scaledBy(clampMul(-CoeffQi, LMeta->Step));
     } else {
       // Non-canonical loop: if either side references any symbol stored in
       // L we already bailed; subscripts are L-invariant, so the same
@@ -419,6 +424,16 @@ bool psc::isKnownDepOracleName(const std::string &Name) {
   return std::find(Known.begin(), Known.end(), Name) != Known.end();
 }
 
+const char *psc::specOracleName() { return "spec"; }
+
+bool DepOracleConfig::wantsSpec() const {
+  // Supplying a training profile is itself the opt-in; naming "spec"
+  // without one is a (loud) configuration error.
+  return SpecProfile != nullptr ||
+         std::find(Names.begin(), Names.end(), specOracleName()) !=
+             Names.end();
+}
+
 std::unique_ptr<DepOracle> psc::createDepOracle(const std::string &Name,
                                                 const FunctionAnalysis &FA) {
   if (Name == "ssa")
@@ -458,9 +473,32 @@ psc::createDepOracles(const FunctionAnalysis &FA,
 // DepOracleStack
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// The sound-chain names of a config: every name except "spec".
+std::vector<std::string> soundNames(const DepOracleConfig &Config) {
+  std::vector<std::string> Out;
+  for (const std::string &N : Config.Names)
+    if (N != specOracleName())
+      Out.push_back(N);
+  return Out;
+}
+
+} // namespace
+
 DepOracleStack::DepOracleStack(const FunctionAnalysis &FA,
-                               const std::vector<std::string> &OracleNames)
-    : DepOracleStack(FA, createDepOracles(FA, OracleNames)) {}
+                               const DepOracleConfig &Config)
+    : DepOracleStack(FA, createDepOracles(FA, soundNames(Config))) {
+  if (!Config.wantsSpec())
+    return;
+  if (!Config.SpecProfile)
+    reportFatalError("the 'spec' dependence oracle needs a training profile "
+                     "(--spec-profile)");
+  Spec = std::make_unique<SpecOracle>(FA, *Config.SpecProfile);
+  OracleStats S;
+  S.Name = Spec->name();
+  Stats.push_back(S);
+}
 
 DepOracleStack::DepOracleStack(const FunctionAnalysis &FA,
                                std::vector<std::unique_ptr<DepOracle>> Chain)
@@ -533,6 +571,22 @@ DepResult DepOracleStack::query(const DepQuery &Q) {
       R.Kind = DepKind::Register;
     R.Oracle = "default";
     ++Cache.Fallback;
+  }
+
+  // Speculative downgrade stage: only dependences the sound stack ASSUMED
+  // (MayDep) on a carried query are offered to the spec oracle, so sound
+  // verdicts — and sound-chain order independence — are untouched.
+  if (Spec && R.Verdict == DepVerdict::MayDep &&
+      Q.Kind == DepQueryKind::MemCarried) {
+    DepResult SR;
+    if (Spec->answer(Q, SR) && SR.disproven()) {
+      SR.Oracle = Spec->name();
+      SR.Speculative = true;
+      OracleStats &S = Stats.back();
+      ++S.Answered;
+      ++S.NoDep;
+      R = SR;
+    }
   }
   Memo.emplace(Key, R);
   return R;
@@ -632,8 +686,11 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     return Out;
   };
 
+  /// 0 = disproven, 1 = carried, 2 = speculatively disproven (assumed
+  /// absent; the edge records the header separately so consumers can turn
+  /// it into a runtime-validated assumption).
   auto Carried = [&](const MemAccess &Src, const MemAccess &Dst,
-                     const Loop *L) {
+                     const Loop *L) -> int {
     DepQuery Q;
     Q.Kind = DepQueryKind::MemCarried;
     Q.Src = Src.I;
@@ -641,7 +698,10 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     Q.SrcAcc = &Src;
     Q.DstAcc = &Dst;
     Q.L = L;
-    return !Stack.query(Q).disproven();
+    DepResult R = Stack.query(Q);
+    if (!R.disproven())
+      return 1;
+    return R.Speculative ? 2 : 0;
   };
 
   auto Intra = [&](const MemAccess &Src, const MemAccess &Dst) {
@@ -673,11 +733,15 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
   for (const MemAccess &A : Accesses) {
     if (!A.isWrite())
       continue;
-    std::set<unsigned> CarriedAt;
-    for (const Loop *L : CommonLoops(A.I, A.I))
-      if (Carried(A, A, L))
+    std::set<unsigned> CarriedAt, SpecAt;
+    for (const Loop *L : CommonLoops(A.I, A.I)) {
+      int C = Carried(A, A, L);
+      if (C == 1)
         CarriedAt.insert(L->getHeader());
-    if (CarriedAt.empty())
+      else if (C == 2)
+        SpecAt.insert(L->getHeader());
+    }
+    if (CarriedAt.empty() && SpecAt.empty())
       continue;
     DepEdge E;
     E.Src = A.I;
@@ -685,6 +749,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     E.Kind = A.isRead() ? DepKind::MemoryRAW : DepKind::MemoryWAW;
     E.Intra = false;
     E.CarriedAtHeaders = CarriedAt;
+    E.SpecCarriedAtHeaders = SpecAt;
     E.MemObject = A.Base;
     E.IsIO = A.IsIO;
     E.IsIVDep = CanonicalCounterAt(CarriedAt, A.Base);
@@ -705,33 +770,41 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
       bool IntraDep = Intra(A, B);
 
       // Carried dependences per loop, per direction.
-      std::set<unsigned> CarriedAB, CarriedBA;
+      std::set<unsigned> CarriedAB, CarriedBA, SpecAB, SpecBA;
       for (const Loop *L : Loops) {
-        if (Carried(A, B, L))
+        int AB = Carried(A, B, L);
+        if (AB == 1)
           CarriedAB.insert(L->getHeader());
-        if (Carried(B, A, L))
+        else if (AB == 2)
+          SpecAB.insert(L->getHeader());
+        int BA = Carried(B, A, L);
+        if (BA == 1)
           CarriedBA.insert(L->getHeader());
+        else if (BA == 2)
+          SpecBA.insert(L->getHeader());
       }
 
-      if (IntraDep || !CarriedAB.empty()) {
+      if (IntraDep || !CarriedAB.empty() || !SpecAB.empty()) {
         DepEdge E;
         E.Src = A.I;
         E.Dst = B.I;
         E.Kind = memKindOf(A, B);
         E.Intra = IntraDep;
         E.CarriedAtHeaders = CarriedAB;
+        E.SpecCarriedAtHeaders = SpecAB;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = CanonicalCounterAt(CarriedAB, Obj);
         Edges.push_back(std::move(E));
       }
-      if (!CarriedBA.empty()) {
+      if (!CarriedBA.empty() || !SpecBA.empty()) {
         DepEdge E;
         E.Src = B.I;
         E.Dst = A.I;
         E.Kind = memKindOf(B, A);
         E.Intra = false;
         E.CarriedAtHeaders = CarriedBA;
+        E.SpecCarriedAtHeaders = SpecBA;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = CanonicalCounterAt(CarriedBA, Obj);

@@ -24,6 +24,12 @@
 /// only lose NoDep answers — queries then fall through to the MayDep
 /// default, i.e. ablation is always sound, never unsound.
 ///
+/// The speculative oracle ("spec", SpecOracle.h) sits OUTSIDE the sound
+/// chain: it is a downgrade stage the stack consults only after the sound
+/// chain has answered MayDep on a MemCarried query, and its NoDep answers
+/// are marked speculative — they are profile-backed assumptions the
+/// runtime must validate, not proofs. See DESIGN.md §9.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSPDG_ANALYSIS_DEPORACLE_H
@@ -69,12 +75,22 @@ struct DepEdge {
   /// True when both endpoints are I/O calls (print ordering).
   bool IsIO = false;
 
+  /// Headers at which the dependence was *speculatively disproven*: the
+  /// sound chain answered MayDep but the spec oracle's profile never saw
+  /// the dependence manifest. Disjoint from CarriedAtHeaders. Consumers
+  /// must either treat these headers as carried (ignore speculation) or
+  /// convert them into runtime-validated assumptions (AbstractionView).
+  std::set<unsigned> SpecCarriedAtHeaders;
+
   bool isMemory() const {
     return Kind == DepKind::MemoryRAW || Kind == DepKind::MemoryWAR ||
            Kind == DepKind::MemoryWAW;
   }
   bool isCarriedAt(unsigned Header) const {
     return CarriedAtHeaders.count(Header) != 0;
+  }
+  bool isSpecCarriedAt(unsigned Header) const {
+    return SpecCarriedAtHeaders.count(Header) != 0;
   }
 };
 
@@ -111,6 +127,11 @@ struct DepResult {
   bool Carried = false;             ///< Carried by the query's loop.
   const char *Oracle = "default";   ///< Name of the responding oracle.
 
+  /// True when the verdict is a *speculative* NoDep: the sound chain said
+  /// MayDep and the spec oracle downgraded it under a profile-backed
+  /// assumption that the runtime must validate.
+  bool Speculative = false;
+
   bool disproven() const { return Verdict == DepVerdict::NoDep; }
 };
 
@@ -126,9 +147,48 @@ public:
 };
 
 /// Names accepted by createDepOracles / `pscc --dep-oracles`, in default
-/// chain order: ssa, control, io, opaque, alias, affine.
+/// chain order: ssa, control, io, opaque, alias, affine. The speculative
+/// oracle's name ("spec") is NOT in this list: it is not part of the sound
+/// chain and needs a dependence profile to construct (SpecOracle.h).
 const std::vector<std::string> &knownDepOracleNames();
 bool isKnownDepOracleName(const std::string &Name);
+
+/// The speculative oracle's reserved name.
+const char *specOracleName();
+
+class DepProfile; // profiling/DepProfile.h
+
+/// How to assemble a dependence-oracle stack. Implicitly convertible from
+/// a plain name list so sound-only call sites keep their vector-of-names
+/// spelling. Naming "spec" requires a profile; the profile must outlive
+/// every stack built from this config.
+struct DepOracleConfig {
+  std::vector<std::string> Names;          ///< Empty = default sound stack.
+  const DepProfile *SpecProfile = nullptr; ///< Required when "spec" named.
+
+  DepOracleConfig() = default;
+  DepOracleConfig(const std::vector<std::string> &N) : Names(N) {}
+  DepOracleConfig(std::vector<std::string> &&N) : Names(std::move(N)) {}
+  DepOracleConfig(std::initializer_list<std::string> N) : Names(N) {}
+  DepOracleConfig(std::vector<std::string> N, const DepProfile *P)
+      : Names(std::move(N)), SpecProfile(P) {}
+
+  bool wantsSpec() const;
+};
+
+/// One speculative assumption a plan depends on: the dependence Src → Dst,
+/// carried at loop header Header, is assumed absent because the training
+/// profile never saw it manifest. Ids are per-loop ordinals assigned by the
+/// view; Src/DstIdx are FunctionAnalysis instruction indices (the profile
+/// key space).
+struct SpecAssumption {
+  unsigned Id = 0;
+  unsigned Header = 0;
+  const Instruction *Src = nullptr;
+  const Instruction *Dst = nullptr;
+  unsigned SrcIdx = 0;
+  unsigned DstIdx = 0;
+};
 
 /// Creates one oracle by name ("ssa", "control", "io", "opaque", "alias",
 /// "affine"); null for an unknown name.
@@ -149,15 +209,21 @@ createDepOracles(const FunctionAnalysis &FA,
 /// function so repeated queries are served from the cache.
 class DepOracleStack {
 public:
-  /// Default stack, or a named subset/reordering (ablation).
+  /// Default stack, a named subset/reordering (ablation), or a config
+  /// naming "spec" with a training profile (speculation).
   explicit DepOracleStack(const FunctionAnalysis &FA,
-                          const std::vector<std::string> &OracleNames = {});
+                          const DepOracleConfig &Config = {});
   DepOracleStack(const FunctionAnalysis &FA,
                  std::vector<std::unique_ptr<DepOracle>> Chain);
 
   /// Answers \p Q through the chain, memoized. Unclaimed queries get the
-  /// conservative MayDep default.
+  /// conservative MayDep default. When a spec oracle is configured, a
+  /// MayDep answer to a MemCarried query is offered to it for a
+  /// speculative downgrade (the result is then marked Speculative).
   DepResult query(const DepQuery &Q);
+
+  /// True when a speculative downgrade stage is configured.
+  bool speculative() const { return Spec != nullptr; }
 
   const FunctionAnalysis &functionAnalysis() const { return FA; }
 
@@ -183,7 +249,8 @@ public:
       return Queries ? static_cast<double>(Hits) / Queries : 0.0;
     }
   };
-  /// Per-oracle counters, in chain order.
+  /// Per-oracle counters, in chain order; the spec oracle (when
+  /// configured) contributes a trailing row.
   std::vector<OracleStats> oracleStats() const;
   const CacheStats &cacheStats() const { return Cache; }
   void resetStats();
@@ -191,8 +258,10 @@ public:
 private:
   const FunctionAnalysis &FA;
   std::vector<std::unique_ptr<DepOracle>> Oracles;
+  /// The speculative downgrade stage; not part of the sound chain walk.
+  std::unique_ptr<DepOracle> Spec;
   std::vector<MemAccess> Accesses;
-  std::vector<OracleStats> Stats; // parallel to Oracles
+  std::vector<OracleStats> Stats; // parallel to Oracles (+ spec row)
   CacheStats Cache;
   std::unordered_map<uint64_t, DepResult> Memo;
 };

@@ -257,7 +257,13 @@ bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
     Sum = Sum + loopRange(FA, BindLoop).scaledBy(Coeff);
   }
 
-  // IV of L: (CoeffP - CoeffQ) * i  -  CoeffQ * delta, delta >= 1.
+  // IV of L: the later instance runs delta iterations further, so its IV
+  // value is i + delta * Step (Step may be negative — a decreasing loop's
+  // later iterations have SMALLER IV values):
+  //   Sub_P(i) - Sub_Q(i + delta*Step)
+  //     = (CoeffP - CoeffQ) * i  -  CoeffQ * Step * delta,   delta >= 1.
+  // (Step-sign fix applied in lockstep with the oracle stack so the
+  // stack-vs-reference differential stays edge-for-edge identical.)
   if (LCounter) {
     Range IV = Range::unbounded();
     Interval IVI = ivRangeOf(L);
@@ -268,7 +274,7 @@ bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
     if (MaxDelta == 0)
       return false; // single-iteration loop: nothing is carried
     Range Delta = {1, MaxDelta};
-    Sum = Sum + Delta.scaledBy(-CoeffQi);
+    Sum = Sum + Delta.scaledBy(clampMul(-CoeffQi, LMeta->Step));
   } else {
     // Non-canonical loop: if either side references any symbol stored in L
     // we already bailed; subscripts are L-invariant, so the same element is

@@ -1,0 +1,37 @@
+//===- SpecOracle.cpp -----------------------------------------*- C++ -*-===//
+
+#include "analysis/SpecOracle.h"
+
+#include "profiling/DepProfile.h"
+
+using namespace psc;
+
+SpecOracle::SpecOracle(const FunctionAnalysis &FA, const DepProfile &Profile)
+    : FA(FA), Profile(Profile) {}
+
+bool SpecOracle::answer(const DepQuery &Q, DepResult &R) const {
+  if (Q.Kind != DepQueryKind::MemCarried || !Q.L || !Q.SrcAcc || !Q.DstAcc)
+    return false;
+  const MemAccess &A = *Q.SrcAcc, &B = *Q.DstAcc;
+  // Only dependences between known-base, non-I/O accesses are speculable:
+  // the runtime validator watches load/store addresses, and an opaque
+  // call's or print's effects have none to watch.
+  if (!A.Base || !B.Base || A.IsIO || B.IsIO)
+    return false;
+
+  const std::string &Fn = FA.function().getName();
+  unsigned NumInsts = static_cast<unsigned>(FA.instructions().size());
+  unsigned Header = Q.L->getHeader();
+  if (!Profile.observed(Fn, NumInsts, Header))
+    return false; // untrained or stale: absence of data is not evidence
+  if (Profile.manifested(Fn, Header, FA.indexOf(Q.Src), FA.indexOf(Q.Dst)))
+    return false; // the dependence is real; leave the sound verdict alone
+
+  R.Kind = Q.SrcAcc->isWrite()
+               ? (Q.DstAcc->isWrite() ? DepKind::MemoryWAW : DepKind::MemoryRAW)
+               : DepKind::MemoryWAR;
+  R.Verdict = DepVerdict::NoDep;
+  R.Carried = false;
+  R.Speculative = true;
+  return true;
+}

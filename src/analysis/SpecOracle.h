@@ -1,0 +1,47 @@
+//===- SpecOracle.h - Profile-backed speculative dependence oracle -*- C++ -*-===//
+///
+/// \file
+/// The speculation-aware member of the dependence-oracle stack (the SCAF
+/// shape: an oracle that answers under profile-backed assumptions rather
+/// than proofs). Unlike the sound oracles it does NOT join the first-claim
+/// chain walk: DepOracleStack consults it as a *downgrade stage*, only for
+/// MemCarried queries the sound chain answered MayDep. It downgrades such
+/// a query to NoDep — marked Speculative — exactly when
+///
+///   * both accesses have known base objects (no opaque calls, no I/O:
+///     their effects cannot be watched by the runtime validator),
+///   * the training profile observed the carrying loop (and is not stale
+///     for the function), and
+///   * the (src, dst) instruction pair never manifested in training.
+///
+/// Every speculative NoDep obligates the runtime: the plan that relies on
+/// it carries the assumption, the engine watches both endpoints, and a
+/// manifestation at run time triggers rollback (DESIGN.md §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_SPECORACLE_H
+#define PSPDG_ANALYSIS_SPECORACLE_H
+
+#include "analysis/DepOracle.h"
+
+namespace psc {
+
+class DepProfile;
+
+class SpecOracle : public DepOracle {
+public:
+  /// \p Profile must outlive the oracle.
+  SpecOracle(const FunctionAnalysis &FA, const DepProfile &Profile);
+
+  const char *name() const override { return specOracleName(); }
+  bool answer(const DepQuery &Q, DepResult &R) const override;
+
+private:
+  const FunctionAnalysis &FA;
+  const DepProfile &Profile;
+};
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_SPECORACLE_H

@@ -452,6 +452,20 @@ void BCContext::doStore(const RTValue &V, const RTValue &P, bool OwnedStore,
     P.Obj->I[P.Offset] = RawI;
 }
 
+void BCContext::noteMemAccess(const BCFunction &F, uint32_t PC,
+                              const RTValue &P, bool IsWrite) {
+  if (!Observers.empty()) {
+    const Instruction *I = F.code()[PC].Src;
+    for (ExecutionObserver *O : Observers)
+      O->onMemAccess(*I, *P.Obj, P.Offset, IsWrite);
+  }
+  if (SpecWatch && SpecFn == &F) {
+    uint32_t W = (*SpecWatch)[PC];
+    if (W != 0 && (!Owned || (CommitFn == &F && (*Owned)[PC] != 0)))
+      SpecLog->push_back({P.Obj, P.Offset, CurIteration, W - 1, IsWrite});
+  }
+}
+
 void BCContext::emitOutput(std::string Line) {
   if (LocalOutput)
     LocalOutput->push_back(std::move(Line));
@@ -577,17 +591,28 @@ BCContext::ExecRes BCContext::execOne(const BCFunction &F, BCFrame &Fr,
   case BCOp::Alloca:
     Fr.Allocas[I.Dest] = Fr.createObject(I.AllocTy);
     break;
-  case BCOp::LoadI:
-    Fr.Regs[I.Dest] = doLoad(fetch(I.A, Fr), false);
+  case BCOp::LoadI: {
+    RTValue P = fetch(I.A, Fr);
+    Fr.Regs[I.Dest] = doLoad(P, false);
+    if (!Observers.empty() || SpecWatch)
+      noteMemAccess(F, PC, P, /*IsWrite=*/false);
     break;
-  case BCOp::LoadF:
-    Fr.Regs[I.Dest] = doLoad(fetch(I.A, Fr), true);
+  }
+  case BCOp::LoadF: {
+    RTValue P = fetch(I.A, Fr);
+    Fr.Regs[I.Dest] = doLoad(P, true);
+    if (!Observers.empty() || SpecWatch)
+      noteMemAccess(F, PC, P, /*IsWrite=*/false);
     break;
+  }
   case BCOp::Store: {
     bool OwnedStore = !Owned || (CommitFn == &F && (*Owned)[PC] != 0);
     unsigned Num =
-        Numbering && CommitFn == &F ? (*Numbering)[PC] : 0;
-    doStore(fetch(I.A, Fr), fetch(I.B, Fr), OwnedStore, Num);
+        Numbering && NumberingFn == &F ? (*Numbering)[PC] : 0;
+    RTValue P = fetch(I.B, Fr);
+    doStore(fetch(I.A, Fr), P, OwnedStore, Num);
+    if (!Observers.empty() || SpecWatch)
+      noteMemAccess(F, PC, P, /*IsWrite=*/true);
     break;
   }
   case BCOp::GEP: {

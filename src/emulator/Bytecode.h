@@ -319,11 +319,25 @@ public:
     Owned = OwnedAtPC;
   }
   void setShadowMemory(ShadowMemory *SM) { Shadow = SM; }
-  /// Per-PC program-order numbering for shadow-store tie-breaking (DSWP).
-  void setNumberingTable(const std::vector<unsigned> *NumAtPC) {
+  /// Per-PC program-order numbering of \p TablesFor for shadow-store
+  /// tie-breaking (DSWP and speculative overlay merges).
+  void setNumberingTable(const BCFunction *TablesFor,
+                         const std::vector<unsigned> *NumAtPC) {
+    NumberingFn = TablesFor;
     Numbering = NumAtPC;
   }
   void setCurrentIteration(long It) { CurIteration = It; }
+
+  /// Speculation: loads/stores at PCs with a non-zero entry in \p WatchAtPC
+  /// (watch index + 1) append an access record to \p Log. Stage contexts
+  /// record only PCs they own (commit table), mirroring the walker.
+  void setSpecWatch(const BCFunction *TablesFor,
+                    const std::vector<uint32_t> *WatchAtPC,
+                    SpecAccessLog *Log) {
+    SpecFn = TablesFor;
+    SpecWatch = WatchAtPC;
+    SpecLog = Log;
+  }
 
   /// HELIX: instructions of sequential SCCs execute in iteration order.
   struct IterationGate {
@@ -394,6 +408,10 @@ private:
   RTValue doLoad(const RTValue &P, bool WantFloat);
   void doStore(const RTValue &V, const RTValue &P, bool OwnedStore,
                unsigned Num);
+  /// Fires onMemAccess observers and the speculation watch for the
+  /// load/store at \p PC of \p F (mirrors ExecContext::noteMemAccess).
+  void noteMemAccess(const BCFunction &F, uint32_t PC, const RTValue &P,
+                     bool IsWrite);
   RTValue callIntrinsic(const BCFunction &F, const BCInst &I, BCFrame &Fr,
                         uint32_t PC);
   void emitOutput(std::string Line);
@@ -411,7 +429,11 @@ private:
   const BCFunction *CommitFn = nullptr;
   const std::vector<uint8_t> *Owned = nullptr;
   ShadowMemory *Shadow = nullptr;
+  const BCFunction *NumberingFn = nullptr;
   const std::vector<unsigned> *Numbering = nullptr;
+  const BCFunction *SpecFn = nullptr;
+  const std::vector<uint32_t> *SpecWatch = nullptr;
+  SpecAccessLog *SpecLog = nullptr;
   long CurIteration = 0;
   IterationGate *Gate = nullptr;
   std::vector<std::string> *LocalOutput = nullptr;

@@ -13,7 +13,7 @@ using namespace psc;
 
 CriticalPathModel::CriticalPathModel(const Module &M, AbstractionKind Kind,
                                      const FeatureSet &Features,
-                                     const std::vector<std::string> &DepOracles)
+                                     const DepOracleConfig &DepOracles)
     : Kind(Kind), Features(Features), DepOracles(DepOracles), MA(M) {
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
@@ -292,7 +292,7 @@ void CriticalPathEvaluator::onInstruction(const Instruction &I) {
 
 CriticalPathReport
 psc::evaluateCriticalPaths(const Module &M, uint64_t InstructionBudget,
-                           const std::vector<std::string> &DepOracles) {
+                           const DepOracleConfig &DepOracles) {
   CriticalPathReport Report;
   const AbstractionKind Kinds[] = {AbstractionKind::OpenMP,
                                    AbstractionKind::PDG, AbstractionKind::JK,

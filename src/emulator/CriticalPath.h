@@ -61,11 +61,12 @@ struct LoopCPConfig {
 /// Precomputed plans for a whole module under one abstraction.
 class CriticalPathModel {
 public:
-  /// \p DepOracles names the dependence-oracle chain (empty = full default
-  /// stack; see DepOracle.h) so oracle ablations reach the model too.
+  /// \p DepOracles configures the dependence-oracle stack (empty = full
+  /// default sound stack; see DepOracle.h) so oracle ablations — and
+  /// profile-backed speculation — reach the model too.
   CriticalPathModel(const Module &M, AbstractionKind Kind,
                     const FeatureSet &Features = FeatureSet(),
-                    const std::vector<std::string> &DepOracles = {});
+                    const DepOracleConfig &DepOracles = {});
 
   AbstractionKind kind() const { return Kind; }
   ModuleAnalyses &analyses() { return MA; }
@@ -81,7 +82,7 @@ private:
 
   AbstractionKind Kind;
   FeatureSet Features;
-  std::vector<std::string> DepOracles;
+  DepOracleConfig DepOracles;
   ModuleAnalyses MA;
   std::map<std::pair<const Function *, unsigned>, LoopCPConfig> Configs;
 };
@@ -151,7 +152,7 @@ struct CriticalPathReport {
 CriticalPathReport
 evaluateCriticalPaths(const Module &M,
                       uint64_t InstructionBudget = 2'000'000'000ULL,
-                      const std::vector<std::string> &DepOracles = {});
+                      const DepOracleConfig &DepOracles = {});
 
 } // namespace psc
 

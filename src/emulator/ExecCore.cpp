@@ -70,8 +70,21 @@ bool ShadowMemory::load(MemObject *O, uint64_t Off, bool &IsFloat, int64_t &I,
     It = IterLocal.find(K);
     if (It == IterLocal.end()) {
       It = Persist.find(K);
-      if (It == Persist.end())
+      if (It == Persist.end()) {
+        // Ring mode: fall back to the iteration-ordered committed overlay
+        // (guarded: parallel-SCC readers race with gate-held publishers).
+        if (Mode == SpecMode::Ring && Committed) {
+          std::lock_guard<std::mutex> Lock(Committed->Mu);
+          auto CIt = Committed->Map.find(K);
+          if (CIt == Committed->Map.end())
+            return false;
+          IsFloat = O->IsFloat;
+          I = CIt->second.I;
+          F = CIt->second.F;
+          return true;
+        }
         return false;
+      }
     }
   }
   IsFloat = O->IsFloat;
@@ -88,6 +101,19 @@ void ShadowMemory::store(MemObject *O, uint64_t Off, int64_t I, double F,
   C.F = F;
   C.Iter = Iter;
   C.Inst = Inst;
+  switch (Mode) {
+  case SpecMode::Chunk:
+    // Speculative DOALL: the worker's whole history in one overlay.
+    Persist[K] = C;
+    return;
+  case SpecMode::Ring:
+    // Speculative HELIX: current-iteration stores only; published into the
+    // committed overlay at the gate handoff.
+    IterShared[K] = C;
+    return;
+  case SpecMode::None:
+    break;
+  }
   if (Owned) {
     IterShared[K] = C;
     Persist[K] = C;
@@ -179,6 +205,18 @@ void ExecContext::doStore(const RTValue &V, const RTValue &P,
     P.Obj->F[P.Offset] = RawF;
   else
     P.Obj->I[P.Offset] = RawI;
+}
+
+void ExecContext::noteMemAccess(const Instruction *I, const RTValue &P,
+                                bool IsWrite) {
+  for (ExecutionObserver *O : Observers)
+    O->onMemAccess(*I, *P.Obj, P.Offset, IsWrite);
+  if (SpecWatchOf) {
+    auto It = SpecWatchOf->find(I);
+    if (It != SpecWatchOf->end() && (!CommitFilter || CommitFilter(*I)))
+      SpecLog->push_back(
+          {P.Obj, P.Offset, CurIteration, It->second, IsWrite});
+  }
 }
 
 void ExecContext::emitOutput(std::string Line) {
@@ -294,13 +332,18 @@ bool ExecContext::execInst(Frame &Fr, const Instruction *I,
   }
   case Value::ValueKind::Load: {
     const auto *LI = cast<LoadInst>(I);
-    Fr.Regs[I] = doLoad(evalOperand(LI->getPointer(), Fr), LI->getType());
+    RTValue P = evalOperand(LI->getPointer(), Fr);
+    Fr.Regs[I] = doLoad(P, LI->getType());
+    if (!Observers.empty() || SpecWatchOf)
+      noteMemAccess(I, P, /*IsWrite=*/false);
     break;
   }
   case Value::ValueKind::Store: {
     const auto *SI = cast<StoreInst>(I);
-    doStore(evalOperand(SI->getStoredValue(), Fr),
-            evalOperand(SI->getPointer(), Fr), I);
+    RTValue P = evalOperand(SI->getPointer(), Fr);
+    doStore(evalOperand(SI->getStoredValue(), Fr), P, I);
+    if (!Observers.empty() || SpecWatchOf)
+      noteMemAccess(I, P, /*IsWrite=*/true);
     break;
   }
   case Value::ValueKind::GEP: {

@@ -41,6 +41,8 @@
 
 namespace psc {
 
+struct MemObject;
+
 /// Callbacks fired during interpretation. All hooks are optional.
 class ExecutionObserver {
 public:
@@ -53,6 +55,12 @@ public:
                                const BasicBlock * /*To*/) {}
   virtual void onEnterFunction(const Function & /*F*/) {}
   virtual void onExitFunction(const Function & /*F*/) {}
+  /// Fired when load/store \p I touches element \p Offset of \p O, before
+  /// the instruction's onInstruction event. Both engines fire it at the
+  /// same execution points, so observer streams stay engine-identical
+  /// (the dependence profiler relies on this).
+  virtual void onMemAccess(const Instruction & /*I*/, const MemObject & /*O*/,
+                           uint64_t /*Offset*/, bool /*IsWrite*/) {}
 };
 
 /// Result of a program run.
@@ -171,6 +179,16 @@ public:
   bool aborted() const { return Aborted.load(std::memory_order_relaxed); }
   void abort() { Aborted.store(true, std::memory_order_seq_cst); }
 
+  /// Clears an abort raised to cancel a *speculative* loop invocation
+  /// (misspeculation rollback). Only the parallel runtime calls this,
+  /// after the pool has quiesced and only when the abort was not a budget
+  /// exhaustion. Instructions spent on the discarded attempt stay charged.
+  void clearAbort() { Aborted.store(false, std::memory_order_seq_cst); }
+
+  /// True when the executed-instruction counter has crossed the budget
+  /// (distinguishes a budget abort from a speculation-cancel abort).
+  bool budgetExhausted() const { return instructionsExecuted() > Budget; }
+
   /// The lock realizing critical/atomic regions at runtime. Recursive so
   /// that nested regions (critical inside critical) cannot self-deadlock.
   std::recursive_mutex &regionLock() { return RegionMu; }
@@ -215,6 +233,20 @@ struct Frame {
 /// Loads read IterShared, IterLocal, Persist, then the frozen shared
 /// image. At loop end every stage's Persist merges back into shared
 /// memory, last dynamic write (iteration, instruction index) winning.
+///
+/// The speculation subsystem (DESIGN.md §9) reuses the overlay as its
+/// checkpoint mechanism through two additional modes:
+///
+///   * SpecChunk (speculative DOALL) — every store is owned and lands in
+///     Persist only; loads see the worker's own history over the frozen
+///     base. Overlays merge into shared memory after validation, or are
+///     discarded wholesale on misspeculation.
+///   * SpecRing  (speculative HELIX) — per-iteration stores land in
+///     IterShared; at each gate handoff (iteration order) the worker
+///     publishes them into a CommittedOverlay shared by all workers.
+///     Loads read own-iteration stores, then the committed overlay
+///     (mutex-guarded: parallel-SCC code may read it concurrently with a
+///     publisher), then the frozen base.
 class ShadowMemory {
 public:
   struct Cell {
@@ -225,9 +257,23 @@ public:
   };
   using Key = std::pair<MemObject *, uint64_t>;
 
+  enum class SpecMode { None, Chunk, Ring };
+
+  /// Iteration-ordered overlay shared by the workers of one speculative
+  /// HELIX invocation. Publication happens at gate handoffs (iteration
+  /// order), so Map is last-write-wins by construction.
+  struct CommittedOverlay {
+    std::mutex Mu;
+    std::map<Key, Cell> Map;
+  };
+
   /// Objects that bypass the shadow entirely (the stage-private IV copy).
   void addBypass(MemObject *O) { Bypass.insert(O); }
   bool isBypassed(MemObject *O) const { return Bypass.count(O) != 0; }
+
+  void setSpecMode(SpecMode M) { Mode = M; }
+  /// Ring mode: the shared committed overlay loads fall back to.
+  void setCommitted(CommittedOverlay *C) { Committed = C; }
 
   /// Takes the incoming token by rvalue reference: tokens are handed down
   /// the pipeline, never duplicated, so the overlay map is moved in place.
@@ -250,7 +296,20 @@ private:
   std::map<Key, Cell> IterLocal;
   std::map<Key, Cell> Persist;
   std::set<MemObject *> Bypass;
+  SpecMode Mode = SpecMode::None;
+  CommittedOverlay *Committed = nullptr;
 };
+
+/// One watched memory access of a speculative loop iteration (the raw
+/// material of runtime assumption validation; see runtime/SpecValidation.h).
+struct SpecAccessRec {
+  MemObject *Obj = nullptr;
+  uint64_t Off = 0;
+  long Iter = 0;
+  uint32_t Watch = 0; ///< Watch index from the loop's conflict-check table.
+  bool IsWrite = false;
+};
+using SpecAccessLog = std::vector<SpecAccessRec>;
 
 /// One re-entrant execution engine over a shared ExecState.
 class ExecContext {
@@ -295,12 +354,23 @@ public:
     CommitFilter = std::move(F);
   }
   void setShadowMemory(ShadowMemory *SM) { Shadow = SM; }
-  /// FA instruction numbering for shadow-store tie-breaking (DSWP).
+  /// FA instruction numbering for shadow-store tie-breaking (DSWP and
+  /// speculative overlay merges).
   void setInstructionNumbering(
       const std::map<const Instruction *, unsigned> *N) {
     InstNumbering = N;
   }
   void setCurrentIteration(long It) { CurIteration = It; }
+
+  /// Speculation: loads/stores of instructions in \p WatchOf append an
+  /// access record to \p Log (the per-worker evidence the validator checks
+  /// against the plan's assumption set). For pipeline stages the log only
+  /// records instructions this context owns (commit filter).
+  void setSpecWatch(const std::map<const Instruction *, unsigned> *WatchOf,
+                    SpecAccessLog *Log) {
+    SpecWatchOf = WatchOf;
+    SpecLog = Log;
+  }
 
   /// HELIX: instructions of sequential SCCs execute in iteration order.
   struct IterationGate {
@@ -356,6 +426,9 @@ private:
 
   RTValue doLoad(const RTValue &P, const Type *Ty);
   void doStore(const RTValue &V, const RTValue &P, const Instruction *I);
+  /// Fires onMemAccess observers and the speculation watch for one
+  /// load/store of \p I at (\p P.Obj, \p P.Offset).
+  void noteMemAccess(const Instruction *I, const RTValue &P, bool IsWrite);
   RTValue callIntrinsic(const CallInst &CI, std::vector<RTValue> &Args);
   void emitOutput(std::string Line);
   void gateWait(const Instruction *I);
@@ -373,6 +446,8 @@ private:
   std::function<bool(const Instruction &)> CommitFilter;
   ShadowMemory *Shadow = nullptr;
   const std::map<const Instruction *, unsigned> *InstNumbering = nullptr;
+  const std::map<const Instruction *, unsigned> *SpecWatchOf = nullptr;
+  SpecAccessLog *SpecLog = nullptr;
   long CurIteration = 0;
   IterationGate *Gate = nullptr;
   std::vector<std::string> *LocalOutput = nullptr;

@@ -141,6 +141,22 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
 
   unsigned H = L.getHeader();
 
+  // Dedup assumptions per (Src, Dst) instruction pair: several graph edges
+  // can represent one speculated dependence.
+  std::set<std::pair<const Instruction *, const Instruction *>> AssumedPairs;
+  auto RecordAssumption = [&](const Instruction *Src, const Instruction *Dst) {
+    if (!AssumedPairs.insert({Src, Dst}).second)
+      return;
+    SpecAssumption A;
+    A.Id = static_cast<unsigned>(View.Assumptions.size());
+    A.Header = H;
+    A.Src = Src;
+    A.Dst = Dst;
+    A.SrcIdx = FA.indexOf(Src);
+    A.DstIdx = FA.indexOf(Dst);
+    View.Assumptions.push_back(A);
+  };
+
   if (Kind == AbstractionKind::PSPDG) {
     // Consume the PS-PDG's directed edges (feature-filtered).
     for (const PSDirectedEdge &E : G->directedEdges()) {
@@ -150,19 +166,22 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
       auto DIt = IdxOf.find(DstN.I);
       if (SIt == IdxOf.end() || DIt == IdxOf.end())
         continue;
-      bool Carried = E.CarriedAtHeaders.count(H) != 0;
-      if (Carried) {
-        // Common compiler-analysis removals (same as the PDG path).
+      // Common compiler-analysis removals (same as the PDG path).
+      auto SoundlyRemoved = [&] {
         const ForLoopMeta *M2 = FA.forMeta(&L);
         bool Countable = M2 && M2->Canonical;
         if (Countable && E.MemObject == M2->CounterStorage)
-          Carried = false;
-        else if (Countable && E.Kind == DepKind::Control &&
-                 SrcN.I->getParent()->getIndex() == H)
-          Carried = false;
-        else if (E.MemObject && PrivateScalars.count(E.MemObject))
-          Carried = false;
-      }
+          return true;
+        if (Countable && E.Kind == DepKind::Control &&
+            SrcN.I->getParent()->getIndex() == H)
+          return true;
+        return E.MemObject && PrivateScalars.count(E.MemObject) != 0;
+      };
+      bool Carried = E.CarriedAtHeaders.count(H) != 0 && !SoundlyRemoved();
+      // A speculatively-removed carried level that every sound removal
+      // would have kept becomes a runtime-validated assumption.
+      if (E.SpecCarriedAtHeaders.count(H) != 0 && !SoundlyRemoved())
+        RecordAssumption(SrcN.I, DstN.I);
       if (!Carried && !E.Intra)
         continue;
       View.Edges.push_back({SIt->second, DIt->second, Carried});
@@ -180,6 +199,8 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
     if (SIt == IdxOf.end() || DIt == IdxOf.end())
       continue;
     bool Carried = E.isCarriedAt(H) && keepCarried(E, L, PrivateScalars);
+    if (E.isSpecCarriedAt(H) && keepCarried(E, L, PrivateScalars))
+      RecordAssumption(E.Src, E.Dst);
     if (!Carried && !E.Intra)
       continue;
     View.Edges.push_back({SIt->second, DIt->second, Carried});

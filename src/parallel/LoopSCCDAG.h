@@ -13,6 +13,7 @@
 #ifndef PSPDG_PARALLEL_LOOPSCCDAG_H
 #define PSPDG_PARALLEL_LOOPSCCDAG_H
 
+#include "analysis/DepOracle.h"
 #include "analysis/FunctionAnalysis.h"
 
 #include <vector>
@@ -38,6 +39,13 @@ struct LoopPlanView {
   /// Number of orderless mutual-exclusion conflicts (locks) the plan must
   /// realize (PS-PDG undirected edges touching this loop).
   unsigned NumOrderlessConflicts = 0;
+
+  /// Speculative assumptions this view relies on: carried dependences the
+  /// view WOULD have kept, removed only because the spec oracle's profile
+  /// never saw them manifest. A plan built from this view must carry the
+  /// set into runtime validation (empty for sound views). Ids are ordinals
+  /// within this loop's set.
+  std::vector<SpecAssumption> Assumptions;
 };
 
 /// SCC decomposition of a LoopPlanView.

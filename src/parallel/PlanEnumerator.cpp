@@ -41,7 +41,7 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
                                   const EnumeratorConfig &Config,
                                   const CoverageMap *Coverage,
                                   const FeatureSet &Features,
-                                  const std::vector<std::string> &DepOracles) {
+                                  const DepOracleConfig &DepOracles) {
   OptionCount Out;
 
   for (const auto &FPtr : M.functions()) {
@@ -107,6 +107,7 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
       LO.NumSCCs = DAG.numSCCs();
       LO.NumSeqSCCs = DAG.numSequentialSCCs();
       LO.DOALL = DAG.allParallel() && PV.TripCountable;
+      LO.SpecAssumptions = static_cast<unsigned>(PV.Assumptions.size());
 
       if (LO.DOALL) {
         LO.Options = doallOptions(Config);

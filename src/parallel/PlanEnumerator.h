@@ -52,6 +52,9 @@ struct LoopOptions {
   unsigned NumSCCs = 0;
   unsigned NumSeqSCCs = 0;
   uint64_t Options = 0;
+  /// Speculative assumptions the loop's view relies on (0 = sound): any
+  /// plan counted under them must be runtime-validated.
+  unsigned SpecAssumptions = 0;
 };
 
 /// Totals for one function (or one benchmark) under one abstraction.
@@ -64,13 +67,14 @@ struct OptionCount {
 
 /// Enumerates options for every qualifying loop of \p M under abstraction
 /// \p Kind. For PSPDG the FeatureSet selects the (possibly ablated) PS-PDG.
-/// \p DepOracles names the dependence-oracle chain (empty = full default
-/// stack; see DepOracle.h) so oracle ablations reach the enumeration too.
+/// \p DepOracles configures the dependence-oracle stack (empty = full
+/// default sound stack; see DepOracle.h) so oracle ablations — and
+/// profile-backed speculation — reach the enumeration too.
 OptionCount enumerateOptions(const Module &M, AbstractionKind Kind,
                              const EnumeratorConfig &Config = {},
                              const CoverageMap *Coverage = nullptr,
                              const FeatureSet &Features = FeatureSet(),
-                             const std::vector<std::string> &DepOracles = {});
+                             const DepOracleConfig &DepOracles = {});
 
 } // namespace psc
 

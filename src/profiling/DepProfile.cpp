@@ -1,0 +1,324 @@
+//===- DepProfile.cpp -----------------------------------------*- C++ -*-===//
+///
+/// Profile queries, merging, and the JSON serialization. The parser is a
+/// minimal recursive-descent JSON reader covering exactly what the schema
+/// needs (objects, arrays, strings, unsigned integers); anything else in a
+/// profile file is a loud parse error, never a silent skip.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profiling/DepProfile.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace psc;
+
+//===----------------------------------------------------------------------===//
+// Queries and recording
+//===----------------------------------------------------------------------===//
+
+bool DepProfile::observed(const std::string &Fn, unsigned NumInstructions,
+                          unsigned Header) const {
+  auto FIt = Functions.find(Fn);
+  if (FIt == Functions.end())
+    return false;
+  if (FIt->second.NumInstructions != NumInstructions)
+    return false; // stale profile: never a license to speculate
+  return FIt->second.Loops.count(Header) != 0;
+}
+
+bool DepProfile::manifested(const std::string &Fn, unsigned Header,
+                            unsigned SrcIdx, unsigned DstIdx) const {
+  auto FIt = Functions.find(Fn);
+  if (FIt == Functions.end())
+    return false;
+  auto LIt = FIt->second.Loops.find(Header);
+  if (LIt == FIt->second.Loops.end())
+    return false;
+  return LIt->second.Manifested.count({SrcIdx, DstIdx}) != 0;
+}
+
+void DepProfile::recordLoop(const std::string &Fn, unsigned NumInstructions,
+                            unsigned Header, uint64_t Invocations,
+                            uint64_t Iterations) {
+  FunctionProfile &F = Functions[Fn];
+  F.NumInstructions = NumInstructions;
+  LoopProfile &L = F.Loops[Header];
+  L.Invocations += Invocations;
+  L.Iterations += Iterations;
+}
+
+void DepProfile::recordManifest(const std::string &Fn, unsigned Header,
+                                unsigned SrcIdx, unsigned DstIdx) {
+  Functions[Fn].Loops[Header].Manifested.insert({SrcIdx, DstIdx});
+}
+
+void DepProfile::merge(const DepProfile &O) {
+  for (const auto &[Name, OF] : O.Functions) {
+    if (Conflicted.count(Name))
+      continue; // dropped by an earlier merge; stays dropped
+    auto It = Functions.find(Name);
+    if (It == Functions.end()) {
+      Functions[Name] = OF;
+      continue;
+    }
+    FunctionProfile &F = It->second;
+    if (F.NumInstructions != OF.NumInstructions) {
+      // The two profiles trained different versions of this function:
+      // instruction indices are incomparable, so neither side's data is
+      // usable (no data, no speculation). The tombstone keeps a later
+      // same-version input from resurrecting the function with only its
+      // own partial training data — a merge must be order-independent.
+      Functions.erase(It);
+      Conflicted.insert(Name);
+      continue;
+    }
+    for (const auto &[Header, OL] : OF.Loops) {
+      LoopProfile &L = F.Loops[Header];
+      L.Invocations += OL.Invocations;
+      L.Iterations += OL.Iterations;
+      L.Manifested.insert(OL.Manifested.begin(), OL.Manifested.end());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string DepProfile::toJson() const {
+  std::ostringstream OS;
+  OS << "{\n  \"format\": \"psc-dep-profile\",\n  \"version\": " << Version
+     << ",\n  \"functions\": [";
+  bool FirstF = true;
+  for (const auto &[Name, F] : Functions) {
+    OS << (FirstF ? "\n" : ",\n");
+    FirstF = false;
+    OS << "    {\"name\": \"" << Name
+       << "\", \"instructions\": " << F.NumInstructions << ", \"loops\": [";
+    bool FirstL = true;
+    for (const auto &[Header, L] : F.Loops) {
+      OS << (FirstL ? "\n" : ",\n");
+      FirstL = false;
+      OS << "      {\"header\": " << Header
+         << ", \"invocations\": " << L.Invocations
+         << ", \"iterations\": " << L.Iterations << ", \"manifested\": [";
+      bool FirstP = true;
+      for (const auto &[Src, Dst] : L.Manifested) {
+        OS << (FirstP ? "" : ", ") << "[" << Src << "," << Dst << "]";
+        FirstP = false;
+      }
+      OS << "]}";
+    }
+    OS << (FirstL ? "]}" : "\n    ]}");
+  }
+  OS << (FirstF ? "]\n}\n" : "\n  ]\n}\n");
+  return OS.str();
+}
+
+namespace {
+
+/// Minimal JSON reader for the profile schema: objects, arrays, strings,
+/// and unsigned integers.
+class JsonReader {
+public:
+  explicit JsonReader(const std::string &Text) : Text(Text) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+  const std::string &error() const { return Err; }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  /// True (and consumes) when the next non-space char is \p C.
+  bool peekConsume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool string(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\')
+        return fail("escapes are not used by the profile schema");
+      Out.push_back(Text[Pos++]);
+    }
+    return consume('"');
+  }
+
+  bool number(uint64_t &Out) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("expected a non-negative integer");
+    Out = 0;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      uint64_t Digit = static_cast<uint64_t>(Text[Pos++] - '0');
+      if (Out > (UINT64_MAX - Digit) / 10)
+        return fail("integer overflows uint64");
+      Out = Out * 10 + Digit;
+    }
+    return true;
+  }
+
+  bool key(const char *Expected) {
+    std::string K;
+    if (!string(K))
+      return false;
+    if (K != Expected)
+      return fail(std::string("expected key \"") + Expected + "\", got \"" +
+                  K + "\"");
+    return consume(':');
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Text.size();
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+bool DepProfile::parseJson(const std::string &Text, DepProfile &Out,
+                           std::string &Err) {
+  Out.Functions.clear();
+  JsonReader R(Text);
+  auto Fail = [&](bool) {
+    Err = R.error().empty() ? "malformed profile" : R.error();
+    return false;
+  };
+
+  if (!R.consume('{'))
+    return Fail(false);
+  std::string Format;
+  if (!R.key("format") || !R.string(Format) || !R.consume(','))
+    return Fail(false);
+  if (Format != "psc-dep-profile") {
+    Err = "not a psc-dep-profile document (format \"" + Format + "\")";
+    return false;
+  }
+  uint64_t Ver = 0;
+  if (!R.key("version") || !R.number(Ver) || !R.consume(','))
+    return Fail(false);
+  if (Ver != Version) {
+    Err = "unsupported profile version " + std::to_string(Ver) +
+          " (expected " + std::to_string(Version) + ")";
+    return false;
+  }
+  if (!R.key("functions") || !R.consume('['))
+    return Fail(false);
+  if (!R.peekConsume(']')) {
+    do {
+      if (!R.consume('{'))
+        return Fail(false);
+      std::string Name;
+      uint64_t NumInsts = 0;
+      if (!R.key("name") || !R.string(Name) || !R.consume(',') ||
+          !R.key("instructions") || !R.number(NumInsts) || !R.consume(',') ||
+          !R.key("loops") || !R.consume('['))
+        return Fail(false);
+      if (Out.Functions.count(Name)) {
+        // A duplicate entry would let one side's loop data pass the other
+        // side's staleness guard; merge() handles cross-document unions.
+        Err = "duplicate function \"" + Name + "\" in profile document";
+        return false;
+      }
+      FunctionProfile &F = Out.Functions[Name];
+      F.NumInstructions = static_cast<unsigned>(NumInsts);
+      if (!R.peekConsume(']')) {
+        do {
+          uint64_t Header = 0, Invocations = 0, Iterations = 0;
+          if (!R.consume('{') || !R.key("header") || !R.number(Header) ||
+              !R.consume(',') || !R.key("invocations") ||
+              !R.number(Invocations) || !R.consume(',') ||
+              !R.key("iterations") || !R.number(Iterations) ||
+              !R.consume(',') || !R.key("manifested") || !R.consume('['))
+            return Fail(false);
+          LoopProfile &L = F.Loops[static_cast<unsigned>(Header)];
+          L.Invocations += Invocations;
+          L.Iterations += Iterations;
+          if (!R.peekConsume(']')) {
+            do {
+              uint64_t Src = 0, Dst = 0;
+              if (!R.consume('[') || !R.number(Src) || !R.consume(',') ||
+                  !R.number(Dst) || !R.consume(']'))
+                return Fail(false);
+              L.Manifested.insert({static_cast<unsigned>(Src),
+                                   static_cast<unsigned>(Dst)});
+            } while (R.peekConsume(','));
+            if (!R.consume(']'))
+              return Fail(false);
+          }
+          if (!R.consume('}'))
+            return Fail(false);
+        } while (R.peekConsume(','));
+        if (!R.consume(']'))
+          return Fail(false);
+      }
+      if (!R.consume('}'))
+        return Fail(false);
+    } while (R.peekConsume(','));
+    if (!R.consume(']'))
+      return Fail(false);
+  }
+  if (!R.consume('}'))
+    return Fail(false);
+  if (!R.atEnd()) {
+    Err = "trailing content after the profile document";
+    return false;
+  }
+  return true;
+}
+
+bool DepProfile::saveFile(const std::string &Path, std::string &Err) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Err = "cannot write '" + Path + "'";
+    return false;
+  }
+  Out << toJson();
+  if (!Out) {
+    Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool DepProfile::loadFile(const std::string &Path, DepProfile &Out,
+                          std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseJson(SS.str(), Out, Err);
+}

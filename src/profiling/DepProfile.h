@@ -1,0 +1,103 @@
+//===- DepProfile.h - Serialized dependence-manifestation profile -*- C++ -*-===//
+///
+/// \file
+/// The training artifact of the speculation subsystem: which memory
+/// dependences *actually manifested* while a workload ran. A profile
+/// records, per (function, loop), the set of (src, dst) instruction pairs
+/// for which an access of src in iteration i and an access of dst in a
+/// later iteration j > i touched the same memory location with at least
+/// one write. The speculative oracle (analysis/SpecOracle.h) downgrades a
+/// sound MayDep to a runtime-validated NoDep exactly when the profile
+/// *observed* the loop and the pair is absent.
+///
+/// Absence of data is never a license to speculate: a loop the profile did
+/// not observe, or a function whose instruction count no longer matches
+/// the profile (a stale profile), yields no downgrades.
+///
+/// Profiles serialize to a versioned JSON document and merge across
+/// training inputs (union of manifested pairs, summed counters); see
+/// DESIGN.md §9 for the format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PROFILING_DEPPROFILE_H
+#define PSPDG_PROFILING_DEPPROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace psc {
+
+/// A dependence-manifestation profile (see file comment).
+class DepProfile {
+public:
+  /// Bumped whenever the serialized schema changes; readers reject other
+  /// versions loudly rather than misinterpreting the data.
+  static constexpr unsigned Version = 1;
+
+  struct LoopProfile {
+    uint64_t Invocations = 0;
+    uint64_t Iterations = 0;
+    /// Manifested cross-iteration pairs, as (src, dst) FunctionAnalysis
+    /// instruction indices: src executed in the earlier iteration.
+    std::set<std::pair<unsigned, unsigned>> Manifested;
+  };
+
+  struct FunctionProfile {
+    /// Staleness guard: the function's instruction count when profiled.
+    /// Instruction indices are only meaningful against the same program.
+    unsigned NumInstructions = 0;
+    /// Keyed by loop header block index.
+    std::map<unsigned, LoopProfile> Loops;
+  };
+
+  std::map<std::string, FunctionProfile> Functions;
+
+  bool empty() const { return Functions.empty(); }
+
+  /// True when loop (Fn, Header) was trained and the profile is not stale
+  /// for the function (\p NumInstructions matches the recorded count).
+  bool observed(const std::string &Fn, unsigned NumInstructions,
+                unsigned Header) const;
+
+  /// True when the (SrcIdx → DstIdx) dependence carried at (Fn, Header)
+  /// manifested in training.
+  bool manifested(const std::string &Fn, unsigned Header, unsigned SrcIdx,
+                  unsigned DstIdx) const;
+
+  void recordLoop(const std::string &Fn, unsigned NumInstructions,
+                  unsigned Header, uint64_t Invocations, uint64_t Iterations);
+  void recordManifest(const std::string &Fn, unsigned Header, unsigned SrcIdx,
+                      unsigned DstIdx);
+
+  /// Merges \p O into this profile: union of manifested pairs, summed
+  /// counters. A function whose instruction counts disagree between the
+  /// two profiles is stale on one side and is dropped entirely (the
+  /// conservative choice: no data, no speculation) — and stays dropped
+  /// across subsequent merges into this object, so a chain of merges is
+  /// order-independent. The tombstones are merge-session state, not part
+  /// of the serialized document.
+  void merge(const DepProfile &O);
+
+  std::string toJson() const;
+
+  /// Parses a serialized profile; on failure returns false with a message
+  /// in \p Err. Rejects unknown formats and versions.
+  static bool parseJson(const std::string &Text, DepProfile &Out,
+                        std::string &Err);
+
+  bool saveFile(const std::string &Path, std::string &Err) const;
+  static bool loadFile(const std::string &Path, DepProfile &Out,
+                       std::string &Err);
+
+private:
+  /// Functions dropped by merge() for version conflicts (see merge()).
+  std::set<std::string> Conflicted;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PROFILING_DEPPROFILE_H

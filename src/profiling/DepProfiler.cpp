@@ -1,0 +1,115 @@
+//===- DepProfiler.cpp ----------------------------------------*- C++ -*-===//
+
+#include "profiling/DepProfiler.h"
+
+using namespace psc;
+
+void DepProfiler::onEnterFunction(const Function &F) {
+  Activation A;
+  A.F = &F;
+  A.FA = &MA.of(F);
+  Activations.push_back(std::move(A));
+}
+
+void DepProfiler::closeFrame(Activation &A, LoopFrame &Fr) {
+  // Iter counts header arrivals; the final arrival (the failing exit
+  // check) is part of the invocation, so executed iterations = Iter.
+  Profile.recordLoop(A.F->getName(),
+                     static_cast<unsigned>(A.FA->instructions().size()),
+                     Fr.L->getHeader(), /*Invocations=*/1,
+                     /*Iterations=*/static_cast<uint64_t>(Fr.Iter));
+}
+
+void DepProfiler::onExitFunction(const Function &) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  while (!A.Stack.empty()) {
+    closeFrame(A, A.Stack.back());
+    A.Stack.pop_back();
+  }
+  Activations.pop_back();
+}
+
+void DepProfiler::onBlockTransfer(const Function &, const BasicBlock *,
+                                  const BasicBlock *To) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  const LoopInfo &LI = A.FA->loopInfo();
+  unsigned ToIdx = To->getIndex();
+  const Loop *ToLoop = LI.getLoopFor(ToIdx);
+
+  // Pop loops that do not contain the destination (loop exits).
+  while (!A.Stack.empty() &&
+         (!ToLoop || !A.Stack.back().L->contains(ToIdx))) {
+    closeFrame(A, A.Stack.back());
+    A.Stack.pop_back();
+  }
+
+  // A transfer to the header of a loop already on the stack is a back
+  // edge: one more iteration.
+  if (!A.Stack.empty() && A.Stack.back().L->getHeader() == ToIdx)
+    ++A.Stack.back().Iter;
+
+  // Push newly-entered loops (outermost first).
+  std::vector<const Loop *> Chain;
+  for (const Loop *L = ToLoop; L; L = L->getParent()) {
+    bool OnStack = false;
+    for (const LoopFrame &Fr : A.Stack)
+      if (Fr.L == L)
+        OnStack = true;
+    if (!OnStack)
+      Chain.push_back(L);
+  }
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    LoopFrame Fr;
+    Fr.L = *It;
+    A.Stack.push_back(std::move(Fr));
+  }
+}
+
+void DepProfiler::onMemAccess(const Instruction &I, const MemObject &O,
+                              uint64_t Offset, bool IsWrite) {
+  if (Activations.empty())
+    return;
+  Activation &A = Activations.back();
+  if (A.Stack.empty())
+    return;
+  unsigned Idx = A.FA->indexOf(&I);
+  const std::string &Fn = A.F->getName();
+  LocKey Key{&O, Offset};
+
+  for (LoopFrame &Fr : A.Stack) {
+    LocHist &H = Fr.Table[Key];
+    unsigned Header = Fr.L->getHeader();
+    // The validator's predicate, incrementally: a prior instruction whose
+    // FIRST access at this location ran in an earlier iteration conflicts
+    // with this access if either side writes.
+    for (const auto &[SrcInstr, SrcH] : H.ByInstr) {
+      if (SrcH.FirstWrite >= 0 && SrcH.FirstWrite < Fr.Iter)
+        Profile.recordManifest(Fn, Header, SrcInstr, Idx); // RAW / WAW
+      else if (IsWrite && SrcH.FirstRead >= 0 && SrcH.FirstRead < Fr.Iter)
+        Profile.recordManifest(Fn, Header, SrcInstr, Idx); // WAR
+    }
+    AccessHist &Mine = H.ByInstr[Idx];
+    if (IsWrite) {
+      if (Mine.FirstWrite < 0)
+        Mine.FirstWrite = Fr.Iter;
+    } else if (Mine.FirstRead < 0) {
+      Mine.FirstRead = Fr.Iter;
+    }
+  }
+}
+
+DepProfile DepProfiler::takeProfile() {
+  while (!Activations.empty()) {
+    Activation &A = Activations.back();
+    while (!A.Stack.empty()) {
+      closeFrame(A, A.Stack.back());
+      A.Stack.pop_back();
+    }
+    Activations.pop_back();
+  }
+  return std::move(Profile);
+}

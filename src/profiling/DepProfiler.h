@@ -1,0 +1,97 @@
+//===- DepProfiler.h - Dependence-manifestation profiler ---------*- C++ -*-===//
+///
+/// \file
+/// Execution observer that trains a DepProfile: while a workload runs (on
+/// either engine — the observer streams are engine-identical), it tracks
+/// the active loop nest per function activation and, for every memory
+/// access, which earlier-iteration accesses of each enclosing loop touched
+/// the same location. A cross-iteration conflict (at least one side a
+/// write) records the (loop, src-instr, dst-instr) pair as *manifested*.
+///
+/// Detection uses exactly the runtime validator's predicate
+/// (runtime/SpecValidation.h): a pair (src, dst) manifests when src's
+/// earliest access and dst's latest access at one location are in
+/// different iterations with at least one write between them. Matching
+/// the validator matters: any pattern the validator would flag at run
+/// time is already in the profile, so an honestly-trained input never
+/// misspeculates — and anything NOT in the profile is safe to assume
+/// absent precisely because the validator will catch it if the
+/// assumption ever breaks.
+///
+/// Accesses inside callees train the callee's own loops; cross-function
+/// dependences surface as opaque-call queries, which the speculative
+/// oracle never touches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PROFILING_DEPPROFILER_H
+#define PSPDG_PROFILING_DEPPROFILER_H
+
+#include "analysis/FunctionAnalysis.h"
+#include "emulator/ExecCore.h"
+#include "profiling/DepProfile.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace psc {
+
+class DepProfiler : public ExecutionObserver {
+public:
+  explicit DepProfiler(ModuleAnalyses &MA) : MA(MA) {}
+
+  void onEnterFunction(const Function &F) override;
+  void onExitFunction(const Function &F) override;
+  void onBlockTransfer(const Function &F, const BasicBlock *From,
+                       const BasicBlock *To) override;
+  void onMemAccess(const Instruction &I, const MemObject &O, uint64_t Offset,
+                   bool IsWrite) override;
+
+  /// Finalizes open loop frames and returns the trained profile. The
+  /// profiler is spent afterwards.
+  DepProfile takeProfile();
+
+private:
+  struct LocKey {
+    const MemObject *Obj;
+    uint64_t Off;
+    bool operator==(const LocKey &O) const {
+      return Obj == O.Obj && Off == O.Off;
+    }
+  };
+  struct LocKeyHash {
+    size_t operator()(const LocKey &K) const {
+      return std::hash<const void *>()(K.Obj) * 1000003u ^
+             std::hash<uint64_t>()(K.Off);
+    }
+  };
+  /// Per-instruction first-access iterations at one location within one
+  /// loop invocation (the validator's min-side of its range predicate).
+  struct AccessHist {
+    long FirstRead = -1;
+    long FirstWrite = -1;
+  };
+  struct LocHist {
+    std::unordered_map<unsigned, AccessHist> ByInstr;
+  };
+  struct LoopFrame {
+    const Loop *L = nullptr;
+    long Iter = 0;
+    std::unordered_map<LocKey, LocHist, LocKeyHash> Table;
+  };
+  struct Activation {
+    const Function *F = nullptr;
+    const FunctionAnalysis *FA = nullptr;
+    std::vector<LoopFrame> Stack;
+  };
+
+  void closeFrame(Activation &A, LoopFrame &Fr);
+
+  ModuleAnalyses &MA;
+  std::vector<Activation> Activations;
+  DepProfile Profile;
+};
+
+} // namespace psc
+
+#endif // PSPDG_PROFILING_DEPPROFILER_H

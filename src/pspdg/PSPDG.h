@@ -115,6 +115,11 @@ struct PSDirectedEdge {
   DepKind Kind = DepKind::Register;
   bool Intra = true;
   std::set<unsigned> CarriedAtHeaders; ///< Loop header block indices.
+  /// Headers where the carried dependence survives every PS-PDG feature
+  /// removal but was *speculatively disproven* by the spec oracle: the
+  /// plan view converts these into runtime-validated assumptions instead
+  /// of treating the edge as carried (disjoint from CarriedAtHeaders).
+  std::set<unsigned> SpecCarriedAtHeaders;
   const Value *MemObject = nullptr;
   bool IsIVDep = false;
   bool IsIO = false;

@@ -433,6 +433,7 @@ void BuilderImpl::buildEdges() {
     Out.IsIVDep = E.IsIVDep;
     Out.IsIO = E.IsIO;
     Out.CarriedAtHeaders = E.CarriedAtHeaders;
+    Out.SpecCarriedAtHeaders = E.SpecCarriedAtHeaders;
 
     // Cilk-style task concurrency (Appendix A, needs the SESE hierarchical
     // nodes): a spawned strand runs concurrently with its continuation and
@@ -448,25 +449,32 @@ void BuilderImpl::buildEdges() {
       if ((TA >= 0 || TB >= 0)) {
         unsigned IA = FA.indexOf(E.Src), IB = FA.indexOf(E.Dst);
         unsigned Lo = std::min(IA, IB), Hi = std::max(IA, IB);
+        auto KeepSynced = [&](std::set<unsigned> &Headers) {
+          std::set<unsigned> Keep;
+          for (unsigned H : Headers)
+            if (SyncInsideLoop(H))
+              Keep.insert(H);
+          Headers = std::move(Keep);
+        };
         if (TA != TB && !SyncBetween(Lo, Hi)) {
           Out.Intra = false;
-          std::set<unsigned> Keep;
-          for (unsigned H : Out.CarriedAtHeaders)
-            if (SyncInsideLoop(H))
-              Keep.insert(H);
-          Out.CarriedAtHeaders = std::move(Keep);
+          KeepSynced(Out.CarriedAtHeaders);
+          KeepSynced(Out.SpecCarriedAtHeaders);
         } else if (TA == TB && TA >= 0) {
-          std::set<unsigned> Keep;
-          for (unsigned H : Out.CarriedAtHeaders)
-            if (SyncInsideLoop(H))
-              Keep.insert(H);
-          Out.CarriedAtHeaders = std::move(Keep);
+          KeepSynced(Out.CarriedAtHeaders);
+          KeepSynced(Out.SpecCarriedAtHeaders);
         }
       }
     }
 
     // Process each carried level against the declared parallel semantics.
-    for (unsigned H : E.CarriedAtHeaders) {
+    // Speculatively-disproven levels run through the same logic: a feature
+    // that would remove the carried dependence anyway removes the spec
+    // marker too (a sound removal needs no runtime-validated assumption).
+    std::set<unsigned> AllHeaders = E.CarriedAtHeaders;
+    AllHeaders.insert(E.SpecCarriedAtHeaders.begin(),
+                      E.SpecCarriedAtHeaders.end());
+    for (unsigned H : AllHeaders) {
       bool Drop = false;
 
       // (a) Privatizable / reducible variables (PSV).
@@ -552,8 +560,10 @@ void BuilderImpl::buildEdges() {
         Drop = true;
       }
 
-      if (Drop)
+      if (Drop) {
         Out.CarriedAtHeaders.erase(H);
+        Out.SpecCarriedAtHeaders.erase(H);
+      }
     }
 
     // Data-selectors on loop live-out/live-in RAW edges (DSDE).
@@ -584,8 +594,9 @@ void BuilderImpl::buildEdges() {
     }
 
     // An edge whose every constraint was discharged (no intra ordering, no
-    // carried level, no selector) represents nothing: omit it.
-    if (!Out.Intra && Out.CarriedAtHeaders.empty() && !Out.Selector)
+    // carried level, no assumption, no selector) represents nothing.
+    if (!Out.Intra && Out.CarriedAtHeaders.empty() &&
+        Out.SpecCarriedAtHeaders.empty() && !Out.Selector)
       continue;
 
     G->addDirectedEdge(std::move(Out));

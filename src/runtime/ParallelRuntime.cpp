@@ -15,6 +15,7 @@
 #include "runtime/ParallelRuntime.h"
 
 #include "runtime/SPSCQueue.h"
+#include "runtime/SpecValidation.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -29,6 +30,9 @@ using namespace psc;
 namespace {
 
 constexpr unsigned kNoBlock = 0xFFFFFFFFu;
+/// Scheduler-internal sentinel: the speculative invocation was rolled
+/// back; the caller must re-execute the loop sequentially.
+constexpr unsigned kMisspec = 0xFFFFFFFEu;
 
 Frame cloneFrame(const Frame &Fr) {
   Frame W;
@@ -186,6 +190,13 @@ struct WalkerEng {
     });
     C.setInstructionNumbering(&LS.InstIndex);
   }
+
+  /// Speculation: the watch table plus overlay-merge numbering.
+  void initSpec(Ctx &C, const LoopSchedule &LS, const LoopAux *,
+                SpecAccessLog *Log) {
+    C.setSpecWatch(&LS.WatchOf, Log);
+    C.setInstructionNumbering(&LS.InstIndex);
+  }
 };
 
 /// The pre-decoded bytecode engine: flat frames, flat storage resolution,
@@ -239,7 +250,14 @@ struct BytecodeEng {
                  unsigned Stage, ShadowMemory *SM) {
     C.setShadowMemory(SM);
     C.setCommitTable(BM.forFunction(LS.F), &A->OwnedAtPC[Stage]);
-    C.setNumberingTable(&A->NumAtPC);
+    C.setNumberingTable(BM.forFunction(LS.F), &A->NumAtPC);
+  }
+
+  /// Speculation: the watch table plus overlay-merge numbering.
+  void initSpec(Ctx &C, const LoopSchedule &LS, const LoopAux *A,
+                SpecAccessLog *Log) {
+    C.setSpecWatch(BM.forFunction(LS.F), &A->WatchAtPC, Log);
+    C.setNumberingTable(BM.forFunction(LS.F), &A->NumAtPC);
   }
 };
 
@@ -273,6 +291,46 @@ PrivSet privatize(E &Eng, typename E::Ctx &W, typename E::Frm &WF,
   return P;
 }
 
+// --- Speculation helpers -----------------------------------------------------
+
+/// Privatized objects carry their own copy-in/copy-out protocol; they must
+/// not be checkpointed by the speculative shadow.
+void bypassPrivates(ShadowMemory &SM, const PrivSet &P) {
+  for (const std::unique_ptr<MemObject> &O : P.Owned)
+    SM.addBypass(O.get());
+}
+
+/// Writes one overlay's cells into the shared MemObjects (the already
+/// last-write-wins final state of a validated speculative loop).
+void commitCells(const std::map<ShadowMemory::Key, ShadowMemory::Cell> &Map) {
+  for (const auto &[Key, Cell] : Map) {
+    MemObject *O = Key.first;
+    if (O->IsFloat)
+      O->F[Key.second] = Cell.F;
+    else
+      O->I[Key.second] = Cell.I;
+  }
+}
+
+/// Commits validated speculative overlays into shared memory: across all
+/// overlays the last dynamic write — ordered by (iteration, program-order
+/// instruction index) — wins.
+void commitOverlays(
+    const std::vector<const std::map<ShadowMemory::Key, ShadowMemory::Cell> *>
+        &Overlays) {
+  std::map<ShadowMemory::Key, ShadowMemory::Cell> Final;
+  for (const auto *O : Overlays) {
+    for (const auto &[Key, Cell] : *O) {
+      auto It = Final.find(Key);
+      if (It == Final.end() ||
+          std::make_pair(Cell.Iter, Cell.Inst) >
+              std::make_pair(It->second.Iter, It->second.Inst))
+        Final[Key] = Cell;
+    }
+  }
+  commitCells(Final);
+}
+
 // --- Shared run state --------------------------------------------------------
 
 struct PRState {
@@ -281,6 +339,9 @@ struct PRState {
   ExecState S;
   ThreadPool Pool;
   std::map<const LoopSchedule *, LoopExecStat> Stats;
+  /// Speculative schedules that misspeculated once: they execute
+  /// sequentially for the rest of the run (master thread only).
+  std::set<const LoopSchedule *> Blown;
   std::string Error;
   std::mutex ErrorMu;
 
@@ -291,6 +352,14 @@ struct PRState {
         Error = Msg;
     }
     S.abort();
+  }
+
+  /// Clears an abort raised solely to cancel a speculative invocation
+  /// (budget exhaustion and plan errors stay fatal).
+  void settleSpecAbort() {
+    std::lock_guard<std::mutex> Lock(ErrorMu);
+    if (Error.empty() && !S.budgetExhausted())
+      S.clearAbort();
   }
 };
 
@@ -352,6 +421,112 @@ unsigned runDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
 
   // Output, reductions, and last-iteration private state merge in chunk
   // order — the sequential order.
+  for (ChunkState &St : CS)
+    if (!St.Out.empty())
+      S.appendOutput(std::move(St.Out));
+  for (size_t R = 0; R < LS.Reductions.size(); ++R) {
+    MemObject *Shared = Eng.shared(Fr, LS.Reductions[R].Storage);
+    if (!Shared)
+      continue;
+    for (ChunkState &St : CS)
+      if (St.P.Red[R])
+        applyReduce(*Shared, *St.P.Red[R], LS.Reductions[R].Op);
+  }
+  ChunkState &Last = CS.back();
+  for (size_t V = 0; V < LS.Privates.size(); ++V) {
+    MemObject *Shared = Eng.shared(Fr, LS.Privates[V].Storage);
+    if (Shared && Last.P.Priv[V])
+      *Shared = *Last.P.Priv[V];
+  }
+  setIV(SharedIV, LS.Init + Trip * LS.Step);
+  return ExitIdx;
+}
+
+// --- Speculative DOALL -------------------------------------------------------
+//
+// Like runDOALL, but every shared store of every chunk is checkpointed in a
+// per-chunk overlay (ShadowMemory SpecChunk mode) and the assumption set is
+// validated at the join before anything commits. A chunk leaving its
+// iteration space is itself treated as evidence of misspeculation (stale
+// values can corrupt control), not as a plan error.
+
+template <class E>
+unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
+                      const LoopSchedule &LS, const LoopAux *A) {
+  ExecState &S = RS.S;
+  long Trip = LS.Trip;
+  MemObject *SharedIV = Eng.shared(Fr, LS.IVStorage);
+  unsigned ExitIdx = LS.Exit->getIndex();
+  if (Trip <= 0)
+    return ExitIdx;
+
+  long Chunk = LS.Chunk > 0
+                   ? LS.Chunk
+                   : std::max<long>(1, Trip / (static_cast<long>(
+                                                  RS.Pool.numWorkers()) *
+                                              4));
+  long NumChunks = (Trip + Chunk - 1) / Chunk;
+
+  struct ChunkState {
+    std::vector<std::string> Out;
+    PrivSet P;
+    ShadowMemory SM;
+    SpecAccessLog Log;
+    bool Diverged = false;
+  };
+  std::vector<ChunkState> CS(static_cast<size_t>(NumChunks));
+
+  for (long C = 0; C < NumChunks; ++C) {
+    RS.Pool.submit([&, C] {
+      ChunkState &St = CS[static_cast<size_t>(C)];
+      typename E::Ctx W = Eng.makeCtx();
+      W.setChargeBatch(64);
+      typename E::Frm WF = Eng.clone(Fr);
+      St.P = privatize(Eng, W, WF, Fr, LS);
+      St.SM.setSpecMode(ShadowMemory::SpecMode::Chunk);
+      bypassPrivates(St.SM, St.P);
+      W.setShadowMemory(&St.SM);
+      Eng.initSpec(W, LS, A, &St.Log);
+      W.setLocalOutput(&St.Out);
+      long Lo = C * Chunk, Hi = std::min(Trip, Lo + Chunk);
+      for (long It = Lo; It < Hi; ++It) {
+        W.setCurrentIteration(It);
+        setIV(St.P.IV, LS.Init + It * LS.Step);
+        unsigned R = Eng.execWithin(W, WF, LS, A);
+        if (R != LS.Header) {
+          if (!S.aborted())
+            St.Diverged = true;
+          W.flushCharges();
+          return;
+        }
+      }
+      W.flushCharges();
+    });
+  }
+  RS.Pool.wait();
+
+  if (S.aborted())
+    return ExitIdx; // budget / external abort: no state was committed
+
+  bool Misspec = false;
+  for (ChunkState &St : CS)
+    if (St.Diverged)
+      Misspec = true;
+  if (!Misspec) {
+    SpecValidator V(LS.AssumedPairs);
+    for (ChunkState &St : CS)
+      V.add(St.Log);
+    Misspec = !V.validate();
+  }
+  if (Misspec)
+    return kMisspec; // discard overlays, logs, and buffered output
+
+  // Validated: commit overlays, then output, reductions, and last-chunk
+  // private state in sequential order — exactly the sound DOALL epilogue.
+  std::vector<const std::map<ShadowMemory::Key, ShadowMemory::Cell> *> Ovs;
+  for (ChunkState &St : CS)
+    Ovs.push_back(&St.SM.persist());
+  commitOverlays(Ovs);
   for (ChunkState &St : CS)
     if (!St.Out.empty())
       S.appendOutput(std::move(St.Out));
@@ -463,6 +638,141 @@ unsigned runHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
   return ExitIdx;
 }
 
+// --- Speculative HELIX -------------------------------------------------------
+//
+// Like runHELIX, but shared stores land in a per-iteration overlay
+// (ShadowMemory SpecRing mode) and are published into an iteration-ordered
+// committed overlay at the gate handoff, where the iteration's watched
+// accesses are also validated against all earlier iterations — detection
+// happens at the gate boundary. Loads of gated (sequential-SCC) code read
+// the committed overlay while holding the turn, so every sound carried
+// chain still flows in iteration order. Output buffers globally (in
+// iteration order, under the turn) and is released only after the whole
+// invocation validates.
+
+template <class E>
+unsigned runSpecHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
+                      const LoopSchedule &LS, const LoopAux *A) {
+  ExecState &S = RS.S;
+  long Trip = LS.Trip;
+  MemObject *SharedIV = Eng.shared(Fr, LS.IVStorage);
+  unsigned ExitIdx = LS.Exit->getIndex();
+  if (Trip <= 0)
+    return ExitIdx;
+
+  unsigned W = std::min<unsigned>(RS.Pool.numWorkers(),
+                                  static_cast<unsigned>(std::min<long>(
+                                      Trip, RS.Pool.numWorkers())));
+  if (W == 0)
+    W = 1;
+
+  std::atomic<long> Turn{0};
+  std::atomic<bool> Misspec{false};
+  ShadowMemory::CommittedOverlay Committed;
+  SpecValidator Validator(LS.AssumedPairs);
+  std::vector<std::string> SpecOut; // appended under the turn, in order
+  struct WorkerState {
+    PrivSet P;
+  };
+  std::vector<WorkerState> WS(W);
+
+  for (unsigned Wk = 0; Wk < W; ++Wk) {
+    RS.Pool.submit([&, Wk] {
+      WorkerState &St = WS[Wk];
+      typename E::Ctx C = Eng.makeCtx();
+      C.setChargeBatch(64);
+      typename E::Frm WF = Eng.clone(Fr);
+      St.P = privatize(Eng, C, WF, Fr, LS);
+      ShadowMemory SM;
+      SM.setSpecMode(ShadowMemory::SpecMode::Ring);
+      SM.setCommitted(&Committed);
+      bypassPrivates(SM, St.P);
+      C.setShadowMemory(&SM);
+      SpecAccessLog IterLog;
+      Eng.initSpec(C, LS, A, &IterLog);
+      typename E::Gate G;
+      Eng.initGate(C, G, LS, A, &Turn);
+      std::vector<std::string> IterOut;
+      C.setLocalOutput(&IterOut);
+
+      for (long It = Wk; It < Trip; It += W) {
+        Eng.gateIter(G, It);
+        C.setCurrentIteration(It);
+        SM.beginIteration({});
+        IterLog.clear();
+        setIV(St.P.IV, LS.Init + It * LS.Step);
+        unsigned R = Eng.execWithin(C, WF, LS, A);
+        if (R != LS.Header) {
+          // Stale values can corrupt control: divergence in a speculative
+          // loop is misspeculation, not a plan error.
+          if (!S.aborted())
+            Misspec.store(true, std::memory_order_relaxed);
+          S.abort();
+          C.flushCharges();
+          return;
+        }
+        // Gate handoff: validate and publish this iteration in order.
+        while (Turn.load(std::memory_order_acquire) != It) {
+          if (S.aborted()) {
+            C.flushCharges();
+            return;
+          }
+          std::this_thread::yield();
+        }
+        if (!Validator.checkAndAdd(IterLog)) {
+          Misspec.store(true, std::memory_order_relaxed);
+          S.abort(); // unblock gate/turn waiters
+          C.flushCharges();
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> Lock(Committed.Mu);
+          for (auto &[Key, Cell] : SM.sharedOverlay())
+            Committed.Map[Key] = Cell;
+        }
+        if (!IterOut.empty()) {
+          for (std::string &Line : IterOut)
+            SpecOut.push_back(std::move(Line));
+          IterOut.clear();
+        }
+        Turn.store(It + 1, std::memory_order_release);
+      }
+      C.flushCharges();
+    });
+  }
+  RS.Pool.wait();
+
+  if (Misspec.load(std::memory_order_relaxed)) {
+    RS.settleSpecAbort();
+    return kMisspec;
+  }
+  if (S.aborted())
+    return ExitIdx;
+
+  // Validated: commit the iteration-ordered overlay (already
+  // last-write-wins by construction), release output, merge reductions
+  // and last-owner private state.
+  commitCells(Committed.Map);
+  if (!SpecOut.empty())
+    S.appendOutput(std::move(SpecOut));
+  for (size_t R = 0; R < LS.Reductions.size(); ++R) {
+    MemObject *Shared = Eng.shared(Fr, LS.Reductions[R].Storage);
+    if (!Shared)
+      continue;
+    for (WorkerState &St : WS)
+      if (St.P.Red[R])
+        applyReduce(*Shared, *St.P.Red[R], LS.Reductions[R].Op);
+  }
+  WorkerState &LastOwner = WS[static_cast<size_t>((Trip - 1) % W)];
+  for (size_t V = 0; V < LS.Privates.size(); ++V) {
+    MemObject *Shared = Eng.shared(Fr, LS.Privates[V].Storage);
+    if (Shared && LastOwner.P.Priv[V])
+      *Shared = *LastOwner.P.Priv[V];
+  }
+  setIV(SharedIV, LS.Init + Trip * LS.Step);
+  return ExitIdx;
+}
+
 // --- DSWP --------------------------------------------------------------------
 
 struct DSWPToken {
@@ -484,6 +794,7 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
   struct StageState {
     ShadowMemory SM;
     PrivSet P;
+    SpecAccessLog Log;
     bool Diverged = false;
   };
   std::vector<StageState> SS(K);
@@ -504,6 +815,8 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
       if (St.P.IV)
         St.SM.addBypass(St.P.IV);
       Eng.initStage(C, LS, A, Stage, &St.SM);
+      if (LS.Speculative)
+        Eng.initSpec(C, LS, A, &St.Log); // stage logs only owned accesses
 
       SPSCQueue<DSWPToken> *In = Stage > 0 ? Qs[Stage - 1].get() : nullptr;
       SPSCQueue<DSWPToken> *Out = Stage + 1 < K ? Qs[Stage].get() : nullptr;
@@ -548,31 +861,36 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
   }
   RS.Pool.wait();
 
+  bool Diverged = false;
   for (StageState &St : SS)
     if (St.Diverged)
-      RS.fail("DSWP stage diverged from its iteration space");
+      Diverged = true;
+  if (LS.Speculative) {
+    // Validation at overlay-merge time: divergence counts as evidence of
+    // misspeculation (stale values can corrupt stage control).
+    bool Misspec = Diverged;
+    if (!Misspec && !S.aborted()) {
+      SpecValidator V(LS.AssumedPairs);
+      for (StageState &St : SS)
+        V.add(St.Log);
+      Misspec = !V.validate();
+    }
+    if (Misspec) {
+      RS.settleSpecAbort();
+      return kMisspec; // overlays discarded, nothing committed
+    }
+  } else if (Diverged) {
+    RS.fail("DSWP stage diverged from its iteration space");
+  }
   if (S.aborted())
     return ExitIdx;
 
   // Merge every stage's persistent overlay back into shared memory; the
   // last dynamic write — ordered by (iteration, instruction index) — wins.
-  std::map<ShadowMemory::Key, ShadowMemory::Cell> Final;
-  for (StageState &St : SS) {
-    for (const auto &[Key, Cell] : St.SM.persist()) {
-      auto It = Final.find(Key);
-      if (It == Final.end() ||
-          std::make_pair(Cell.Iter, Cell.Inst) >
-              std::make_pair(It->second.Iter, It->second.Inst))
-        Final[Key] = Cell;
-    }
-  }
-  for (const auto &[Key, Cell] : Final) {
-    MemObject *O = Key.first;
-    if (O->IsFloat)
-      O->F[Key.second] = Cell.F;
-    else
-      O->I[Key.second] = Cell.I;
-  }
+  std::vector<const std::map<ShadowMemory::Key, ShadowMemory::Cell> *> Ovs;
+  for (StageState &St : SS)
+    Ovs.push_back(&St.SM.persist());
+  commitOverlays(Ovs);
   setIV(SharedIV, LS.Init + Trip * LS.Step);
   return ExitIdx;
 }
@@ -593,25 +911,42 @@ unsigned hookLoop(PRState &RS, E &Eng, const RuntimePlan &Plan,
   // Back edge or re-entry from inside the loop: sequential step continues.
   if (PrevBlock != kNoBlock && LS->Blocks.count(PrevBlock))
     return kNoBlock;
+  // A schedule that misspeculated once stays sequential for the run.
+  if (RS.Blown.count(LS))
+    return kNoBlock;
 
   LoopExecStat &Stat = RS.Stats[LS];
   ++Stat.Invocations;
-  Stat.Iterations += static_cast<uint64_t>(std::max(0L, LS->Trip));
 
   auto AuxIt = Aux.find(LS);
   const LoopAux *A = AuxIt == Aux.end() ? nullptr : &AuxIt->second;
 
+  unsigned Res = kNoBlock;
   switch (LS->Kind) {
   case ScheduleKind::DOALL:
-    return runDOALL(RS, Eng, Fr, *LS, A);
-  case ScheduleKind::HELIX:
-    return runHELIX(RS, Eng, Fr, *LS, A);
-  case ScheduleKind::DSWP:
-    return runDSWP(RS, Eng, Fr, *LS, A);
-  case ScheduleKind::Sequential:
+    Res = LS->Speculative ? runSpecDOALL(RS, Eng, Fr, *LS, A)
+                          : runDOALL(RS, Eng, Fr, *LS, A);
     break;
+  case ScheduleKind::HELIX:
+    Res = LS->Speculative ? runSpecHELIX(RS, Eng, Fr, *LS, A)
+                          : runHELIX(RS, Eng, Fr, *LS, A);
+    break;
+  case ScheduleKind::DSWP:
+    Res = runDSWP(RS, Eng, Fr, *LS, A);
+    break;
+  case ScheduleKind::Sequential:
+    return kNoBlock;
   }
-  return kNoBlock;
+  if (Res == kMisspec) {
+    // Rollback: every speculative side effect is discarded; the master
+    // context executes the loop natively (the sequential semantics), and
+    // the schedule is disabled for the rest of the run.
+    ++Stat.Misspeculations;
+    RS.Blown.insert(LS);
+    return kNoBlock;
+  }
+  Stat.Iterations += static_cast<uint64_t>(std::max(0L, LS->Trip));
+  return Res;
 }
 
 } // namespace
@@ -655,11 +990,21 @@ ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan,
         if (PC != BCInst::NoSlot)
           A.OwnedAtPC[Stage][PC] = 1;
       }
+    }
+    if (LS.Kind == ScheduleKind::DSWP || LS.Speculative) {
       A.NumAtPC.assign(BF->code().size(), 0);
       for (const auto &[I, N] : LS.InstIndex) {
         uint32_t PC = BF->pcOf(I);
         if (PC != BCInst::NoSlot)
           A.NumAtPC[PC] = N;
+      }
+    }
+    if (LS.Speculative) {
+      A.WatchAtPC.assign(BF->code().size(), 0);
+      for (const auto &[I, W] : LS.WatchOf) {
+        uint32_t PC = BF->pcOf(I);
+        if (PC != BCInst::NoSlot)
+          A.WatchAtPC[PC] = W + 1;
       }
     }
     Aux[&LS] = std::move(A);
@@ -717,10 +1062,13 @@ ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
     Stat.Depth = LS.Depth;
     Stat.Kind = LS.Kind;
     Stat.Reason = LS.Reason;
+    Stat.Speculative = LS.Speculative;
+    Stat.Assumptions = static_cast<unsigned>(LS.Assumptions.size());
     auto It = RS.Stats.find(&LS);
     if (It != RS.Stats.end()) {
       Stat.Invocations = It->second.Invocations;
       Stat.Iterations = It->second.Iterations;
+      Stat.Misspeculations = It->second.Misspeculations;
     }
     Out.Loops.push_back(std::move(Stat));
   }

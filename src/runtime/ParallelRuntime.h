@@ -33,6 +33,18 @@
 /// exit value as Interpreter::run. The plan compiler's validations exist to
 /// uphold this.
 ///
+/// Speculative schedules (DESIGN.md §9) extend the invariant with
+/// validation and rollback: workers execute against ShadowMemory
+/// checkpoints (per-chunk overlays for DOALL, an iteration-ordered
+/// committed overlay for HELIX, the existing stage overlays for DSWP)
+/// while logging the accesses of watched instructions; the assumption set
+/// is validated at overlay-merge time (DOALL/DSWP) or at each gate
+/// handoff (HELIX). Success commits the overlays and buffered output;
+/// misspeculation discards every side effect of the attempt and the loop
+/// re-executes sequentially on the master context (and stays sequential
+/// for the rest of the run), so output, exit code, and observer stream
+/// remain bit-identical to the sequential run either way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSPDG_RUNTIME_PARALLELRUNTIME_H
@@ -60,6 +72,11 @@ struct LoopExecStat {
   std::string Reason;
   uint64_t Invocations = 0;
   uint64_t Iterations = 0;
+
+  // Speculation (set for speculative schedules only).
+  bool Speculative = false;
+  unsigned Assumptions = 0;      ///< Size of the schedule's assumption set.
+  uint64_t Misspeculations = 0;  ///< Invocations rolled back to sequential.
 };
 
 struct ParallelRunResult {
@@ -91,7 +108,10 @@ public:
     std::vector<uint8_t> InLoop; ///< Block index -> inside the loop.
     std::vector<uint8_t> SeqAtPC; ///< HELIX: PC -> in a sequential SCC.
     std::vector<std::vector<uint8_t>> OwnedAtPC; ///< DSWP: stage x PC.
-    std::vector<unsigned> NumAtPC; ///< DSWP: PC -> program-order number.
+    /// DSWP + speculative: PC -> program-order number (merge ordering).
+    std::vector<unsigned> NumAtPC;
+    /// Speculative: PC -> watch index + 1 (0 = unwatched).
+    std::vector<uint32_t> WatchAtPC;
   };
 
 private:

@@ -251,12 +251,28 @@ std::string classifyScalars(LoopSchedule &LS, const Function &F,
   return "";
 }
 
+/// Extra validation a *speculative* schedule needs beyond its kind's own
+/// checks: the checkpoint mechanism shadows every store and commits only
+/// after validation, which cannot express in-place locked read-modify-write
+/// updates (concurrent critical/atomic regions would each update a private
+/// overlay and lose increments on merge).
+std::string specSafe(const LoopPlanView &PV, const LoopFacts &Facts) {
+  if (PV.Assumptions.empty())
+    return "";
+  if (Facts.RegionKinds.count(DirectiveKind::Critical) ||
+      Facts.RegionKinds.count(DirectiveKind::Atomic))
+    return "speculative plan cannot checkpoint critical/atomic regions";
+  return "";
+}
+
 std::string tryDOALL(LoopSchedule &LS, const Function &F,
                      const FunctionAnalysis &FA, const Loop &L,
                      const LoopFacts &Facts, const LoopPlanView &PV,
                      const LoopSCCDAG &DAG) {
   if (!PV.TripCountable)
     return "not trip-countable under this view";
+  if (std::string R = specSafe(PV, Facts); !R.empty())
+    return R;
   if (!DAG.allParallel())
     return "sequential SCCs remain";
   for (const LoopDepEdge &E : PV.Edges)
@@ -286,6 +302,8 @@ std::string tryHELIX(LoopSchedule &LS, const Function &F,
                      const LoopSCCDAG &DAG, const RegionMap &Regions) {
   if (!PV.TripCountable)
     return "not trip-countable under this view";
+  if (std::string R = specSafe(PV, Facts); !R.empty())
+    return R;
   if (DAG.numSCCs() == 0 ||
       DAG.numSequentialSCCs() >= DAG.numSCCs())
     return "no parallel SCCs to overlap";
@@ -355,6 +373,8 @@ std::string tryDSWP(LoopSchedule &LS, const Function &F,
                     const LoopSCCDAG &DAG, unsigned Threads) {
   if (!PV.TripCountable)
     return "not trip-countable under this view";
+  if (std::string R = specSafe(PV, Facts); !R.empty())
+    return R;
   if (DAG.numSCCs() < 2)
     return "fewer than two SCCs";
   if (Threads < 2)
@@ -430,9 +450,30 @@ std::string tryDSWP(LoopSchedule &LS, const Function &F,
   return "";
 }
 
+/// Lowers a speculative schedule's assumption set into the conflict-check
+/// table the runtime validator consumes, and numbers every view
+/// instruction for deterministic overlay merging.
+void lowerSpeculation(LoopSchedule &LS, const FunctionAnalysis &FA,
+                      const LoopPlanView &PV) {
+  LS.Speculative = true;
+  LS.Assumptions = PV.Assumptions;
+  auto WatchIdx = [&](const Instruction *I) {
+    auto It = LS.WatchOf.find(I);
+    if (It != LS.WatchOf.end())
+      return It->second;
+    unsigned Idx = LS.NumWatched++;
+    LS.WatchOf[I] = Idx;
+    return Idx;
+  };
+  for (const SpecAssumption &A : LS.Assumptions)
+    LS.AssumedPairs.push_back({WatchIdx(A.Src), WatchIdx(A.Dst)});
+  for (const Instruction *I : PV.Insts)
+    LS.InstIndex[I] = FA.indexOf(I);
+}
+
 void planFunction(RuntimePlan &Plan, const Function &F,
                   const FunctionAnalysis &FA, unsigned Threads,
-                  const std::vector<std::string> &DepOracles) {
+                  const DepOracleConfig &DepOracles) {
   if (FA.loopInfo().loops().empty())
     return;
   const Module &M = *F.getParent();
@@ -486,7 +527,7 @@ void planFunction(RuntimePlan &Plan, const Function &F,
 
     std::string DoallR = tryDOALL(LS, F, FA, *L, Facts, PV, DAG);
     if (DoallR.empty()) {
-      LS.Reason = "DOALL";
+      LS.Reason = PV.Assumptions.empty() ? "DOALL" : "DOALL (speculative)";
     } else if (InnerWS) {
       // Inner worksharing loops the J&K view cannot prove stay sequential.
       LS.Reason = "DOALL: " + DoallR;
@@ -497,7 +538,7 @@ void planFunction(RuntimePlan &Plan, const Function &F,
       std::string HelixR = tryHELIX(H, F, FA, *L, Facts, PV, DAG, Regions);
       if (HelixR.empty()) {
         LS = std::move(H);
-        LS.Reason = "HELIX";
+        LS.Reason = PV.Assumptions.empty() ? "HELIX" : "HELIX (speculative)";
       } else {
         LoopSchedule D = LS;
         D.Privates.clear();
@@ -505,7 +546,7 @@ void planFunction(RuntimePlan &Plan, const Function &F,
         std::string DswpR = tryDSWP(D, F, FA, *L, Facts, PV, DAG, Threads);
         if (DswpR.empty()) {
           LS = std::move(D);
-          LS.Reason = "DSWP";
+          LS.Reason = PV.Assumptions.empty() ? "DSWP" : "DSWP (speculative)";
         } else {
           LS.Privates.clear();
           LS.Reductions.clear();
@@ -514,6 +555,8 @@ void planFunction(RuntimePlan &Plan, const Function &F,
         }
       }
     }
+    if (LS.Kind != ScheduleKind::Sequential && !PV.Assumptions.empty())
+      lowerSpeculation(LS, FA, PV);
     Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
   }
 }
@@ -522,7 +565,7 @@ void planFunction(RuntimePlan &Plan, const Function &F,
 
 RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
                                   unsigned Threads, const FeatureSet &Features,
-                                  const std::vector<std::string> &DepOracles) {
+                                  const DepOracleConfig &DepOracles) {
   RuntimePlan Plan;
   Plan.Abs = Kind;
   Plan.Features = Features;

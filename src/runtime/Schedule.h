@@ -92,8 +92,25 @@ struct LoopSchedule {
   // DSWP: pipeline stage per instruction, stages in topological order.
   std::map<const Instruction *, unsigned> StageOf;
   unsigned NumStages = 0;
-  /// Program-order index per instruction (shadow-store tie-breaking).
+  /// Program-order index per instruction (shadow-store tie-breaking; also
+  /// filled for speculative DOALL/HELIX overlay merges).
   std::map<const Instruction *, unsigned> InstIndex;
+
+  // --- Speculation (DESIGN.md §9) ---------------------------------------
+  //
+  // A speculative schedule is justified by the plan view only under the
+  // assumption set below. The compiler lowers the set into a conflict-check
+  // table: the union of assumption endpoints becomes the *watch set*
+  // (instruction → dense watch index); the assumptions become watch-index
+  // pairs the runtime validator checks against the watched accesses each
+  // worker logged. On a detected violation the runtime discards all
+  // speculative state and re-executes the loop sequentially.
+  bool Speculative = false;
+  std::vector<SpecAssumption> Assumptions;
+  std::map<const Instruction *, unsigned> WatchOf;
+  unsigned NumWatched = 0;
+  /// Assumption id → (src watch, dst watch); the validator's pair table.
+  std::vector<std::pair<unsigned, unsigned>> AssumedPairs;
 };
 
 /// Whole-module runtime plan under one abstraction.
@@ -115,12 +132,14 @@ struct RuntimePlan {
 /// or PS-PDG; OpenMP has no compiler plan view). Loops each abstraction may
 /// re-plan mirror the critical-path methodology: PDG outermost loops, J&K
 /// outermost + worksharing inner loops, PS-PDG every loop.
-/// \p DepOracles names the dependence-oracle chain backing the plan's
-/// abstraction views (empty = full default stack; see DepOracle.h).
+/// \p DepOracles configures the dependence-oracle stack backing the plan's
+/// abstraction views (empty = full default sound stack; naming "spec" with
+/// a profile enables speculative schedules; see DepOracle.h). A named
+/// profile must outlive nothing — schedules copy their assumption sets.
 RuntimePlan buildRuntimePlan(const Module &M, AbstractionKind Kind,
                              unsigned Threads,
                              const FeatureSet &Features = FeatureSet(),
-                             const std::vector<std::string> &DepOracles = {});
+                             const DepOracleConfig &DepOracles = {});
 
 } // namespace psc
 

@@ -1,0 +1,64 @@
+//===- SpecValidation.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/SpecValidation.h"
+
+#include <sstream>
+
+using namespace psc;
+
+std::string SpecValidator::describe(const Loc &L, unsigned SrcW,
+                                    unsigned DstW) {
+  std::ostringstream OS;
+  OS << "assumed-absent dependence manifested: watch " << SrcW << " -> "
+     << DstW << " at object " << L.first << " offset " << L.second;
+  return OS.str();
+}
+
+bool SpecValidator::validate(std::string *Violation) const {
+  for (const auto &[Loc, Hists] : Table) {
+    for (const auto &[SrcW, SrcH] : Hists) {
+      for (const auto &[DstW, DstH] : Hists) {
+        if (!Pairs.count({SrcW, DstW}))
+          continue;
+        // A src WRITE strictly before any dst access, or a src READ
+        // strictly before a dst WRITE, realizes the dependence.
+        bool Hit = (SrcH.hasW() && SrcH.MinW < DstH.maxAny()) ||
+                   (SrcH.hasR() && DstH.hasW() && SrcH.MinR < DstH.MaxW);
+        if (Hit) {
+          if (Violation)
+            *Violation = describe(Loc, SrcW, DstW);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool SpecValidator::checkAndAdd(const SpecAccessLog &Log,
+                                std::string *Violation) {
+  // Check first, insert after: accesses within one iteration never violate
+  // (assumptions are strictly cross-iteration, delta >= 1).
+  bool OK = true;
+  for (const SpecAccessRec &R : Log) {
+    auto LIt = Table.find({R.Obj, R.Off});
+    if (LIt == Table.end())
+      continue;
+    for (const auto &[W, H] : LIt->second) {
+      // Previously-merged iterations are all earlier than R.Iter except
+      // entries from R's own iteration added by an earlier checkAndAdd of
+      // the same iteration — the strict < comparisons exclude those.
+      bool SrcToR = Pairs.count({W, R.Watch}) &&
+                    ((H.hasW() && H.MinW < R.Iter) ||
+                     (R.IsWrite && H.hasR() && H.MinR < R.Iter));
+      if (SrcToR) {
+        if (Violation && OK)
+          *Violation = describe({R.Obj, R.Off}, W, R.Watch);
+        OK = false;
+      }
+    }
+  }
+  for (const SpecAccessRec &R : Log)
+    insert(R);
+  return OK;
+}

@@ -1,0 +1,92 @@
+//===- SpecValidation.h - Runtime validation of speculative plans -*- C++ -*-===//
+///
+/// \file
+/// Checks the assumption set of a speculative LoopSchedule against the
+/// watched accesses the workers actually performed. An assumption
+/// (Src → Dst carried at L) is VIOLATED when some logged Src access in
+/// iteration i and some logged Dst access in iteration j > i touched the
+/// same location with at least one write — i.e. the dependence the plan
+/// assumed absent manifested after all.
+///
+/// The validator compresses per (location, watch-index) into iteration
+/// ranges, which keeps the check exact: a cross-iteration conflicting pair
+/// exists iff min(src-write iters) < max(dst iters) or, for WAR,
+/// min(src-read iters) < max(dst-write iters).
+///
+/// Two usage shapes:
+///   * batch (DOALL / DSWP): add() every worker's log after the join, then
+///     validate() before merging overlays into shared memory;
+///   * incremental (HELIX): checkAndAdd() one iteration's log at each gate
+///     handoff, in iteration order — detection at the gate boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_RUNTIME_SPECVALIDATION_H
+#define PSPDG_RUNTIME_SPECVALIDATION_H
+
+#include "emulator/ExecCore.h"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psc {
+
+class SpecValidator {
+public:
+  /// \p AssumedPairs are (src watch, dst watch) indices from the schedule's
+  /// conflict-check table.
+  explicit SpecValidator(
+      const std::vector<std::pair<unsigned, unsigned>> &AssumedPairs)
+      : Pairs(AssumedPairs.begin(), AssumedPairs.end()) {}
+
+  /// Batch: record a worker's whole log (no checking).
+  void add(const SpecAccessLog &Log) {
+    for (const SpecAccessRec &R : Log)
+      insert(R);
+  }
+
+  /// Batch: true when no assumption is violated by everything added.
+  bool validate(std::string *Violation = nullptr) const;
+
+  /// Incremental: checks \p Log (one iteration's accesses) against all
+  /// previously-added iterations, then records it. Returns false on a
+  /// violation. Logs must arrive in iteration order.
+  bool checkAndAdd(const SpecAccessLog &Log, std::string *Violation = nullptr);
+
+private:
+  static constexpr long None = std::numeric_limits<long>::min();
+
+  struct WatchHist {
+    long MinW = std::numeric_limits<long>::max(), MaxW = None;
+    long MinR = std::numeric_limits<long>::max(), MaxR = None;
+    bool hasW() const { return MaxW != None; }
+    bool hasR() const { return MaxR != None; }
+    long maxAny() const { return MaxW > MaxR ? MaxW : MaxR; }
+  };
+  using Loc = std::pair<MemObject *, uint64_t>;
+
+  void insert(const SpecAccessRec &R) {
+    WatchHist &H = Table[Loc{R.Obj, R.Off}][R.Watch];
+    if (R.IsWrite) {
+      H.MinW = std::min(H.MinW, R.Iter);
+      H.MaxW = std::max(H.MaxW, R.Iter);
+    } else {
+      H.MinR = std::min(H.MinR, R.Iter);
+      H.MaxR = std::max(H.MaxR, R.Iter);
+    }
+  }
+
+  static std::string describe(const Loc &L, unsigned SrcW, unsigned DstW);
+
+  std::set<std::pair<unsigned, unsigned>> Pairs;
+  std::map<Loc, std::map<uint32_t, WatchHist>> Table;
+};
+
+} // namespace psc
+
+#endif // PSPDG_RUNTIME_SPECVALIDATION_H

@@ -597,6 +597,65 @@ int main() {
 }
 )PSC";
 
+// --------------------------------------------------------------------- UA --
+const char *UASource = R"PSC(
+// NAS UA: unstructured adaptive — gather/scatter over an element->node
+// map. The map is a permutation, so scatter iterations never touch the
+// same node — but no sound analysis of an indirect subscript can prove
+// it. This is the speculation subsystem's showcase: a training profile
+// shows the conservative carried dependences never manifest, the spec
+// oracle downgrades them to runtime-validated assumptions, and the
+// scatter loops run as speculative DOALL/HELIX plans.
+int map0[512];
+double xnode[512];
+double elem[512];
+double wave[512];
+
+int main() {
+  int i;
+  int it;
+  double s;
+  int checksum;
+
+  // Element->node map: a permutation of 0..511 (167 is coprime with 512).
+  for (i = 0; i < 512; i++) {
+    map0[i] = (i * 167 + 3) % 512;
+    xnode[i] = ((i * 29) % 97) / 97.0;
+    elem[i] = 0.0;
+    wave[i] = 0.0;
+  }
+
+  for (it = 0; it < 8; it++) {
+    // Gather: read node values through the map (provably parallel: the
+    // only write is the affine elem[i]).
+    for (i = 0; i < 512; i++) {
+      elem[i] = xnode[map0[i]] * 0.5 + elem[i] * 0.5;
+    }
+    // Scatter: update node values through the map. Iterations never
+    // conflict (permutation), but the sound stack must assume they may.
+    for (i = 0; i < 512; i++) {
+      xnode[map0[i]] = xnode[map0[i]] * 0.9 + elem[i] * 0.1;
+    }
+    // Wavefront smoothing with an indirect flux scatter: the wave
+    // recurrence is a real carried dependence (sequential SCC), the
+    // elem scatter never conflicts — speculative HELIX territory.
+    for (i = 1; i < 512; i++) {
+      wave[i] = wave[i - 1] * 0.5 + xnode[i] * 0.5;
+      elem[map0[i]] = elem[map0[i]] + wave[i] * 0.125;
+    }
+  }
+
+  s = 0.0;
+  for (i = 0; i < 512; i++) {
+    s = s + xnode[i] * xnode[i] + wave[i];
+  }
+  checksum = s * 100.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
 std::vector<Workload> makeWorkloads() {
   return {
       {"BT", "block-tridiagonal ADI with custom-reduced accumulator",
@@ -614,6 +673,15 @@ std::vector<Workload> makeWorkloads() {
   };
 }
 
+std::vector<Workload> makeExtendedWorkloads() {
+  std::vector<Workload> Out = makeWorkloads();
+  Out.push_back({"UA",
+                 "unstructured adaptive: permutation gather/scatter "
+                 "(speculation showcase)",
+                 UASource, 40225L});
+  return Out;
+}
+
 } // namespace
 
 const std::vector<Workload> &psc::nasWorkloads() {
@@ -621,8 +689,13 @@ const std::vector<Workload> &psc::nasWorkloads() {
   return Workloads;
 }
 
+const std::vector<Workload> &psc::extendedWorkloads() {
+  static const std::vector<Workload> Workloads = makeExtendedWorkloads();
+  return Workloads;
+}
+
 const Workload *psc::findWorkload(const std::string &Name) {
-  for (const Workload &W : nasWorkloads())
+  for (const Workload &W : extendedWorkloads())
     if (W.Name == Name)
       return &W;
   return nullptr;

@@ -31,7 +31,13 @@ struct Workload {
 /// SP).
 const std::vector<Workload> &nasWorkloads();
 
-/// Lookup by name; null if absent.
+/// The NAS eight plus the speculation-era extensions (UA: unstructured
+/// adaptive, whose permutation gather/scatter only parallelizes under a
+/// profile-backed speculative plan). The paper-figure reproductions stay
+/// on nasWorkloads(); the speculation suite and pscc accept these too.
+const std::vector<Workload> &extendedWorkloads();
+
+/// Lookup by name (extended set); null if absent.
 const Workload *findWorkload(const std::string &Name);
 
 } // namespace psc

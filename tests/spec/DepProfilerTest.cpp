@@ -1,0 +1,283 @@
+//===- DepProfilerTest.cpp - Dependence profiler + profile format ---------===//
+///
+/// The training side of the speculation subsystem: manifest detection
+/// semantics, engine equivalence (walker and bytecode must train
+/// bit-identical profiles), and the serialized profile format (round-trip,
+/// merging, staleness guard).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "profiling/DepProfiler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M,
+                 ExecEngineKind E = ExecEngineKind::Bytecode) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.setEngine(E);
+  I.addObserver(&P);
+  RunResult R = I.run();
+  EXPECT_TRUE(R.Completed);
+  return P.takeProfile();
+}
+
+// --- Manifest-detection semantics -------------------------------------------
+
+TEST(DepProfilerTest, RecurrenceManifestsPermutationDoesNot) {
+  auto M = compile(R"PSC(
+double acc[64];
+double nodes[64];
+int perm[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    perm[i] = (i * 5 + 1) % 64;
+    acc[i] = i;
+    nodes[i] = i;
+  }
+  // Real recurrence: acc[i] reads acc[i-1] (manifests every iteration).
+  for (i = 1; i < 64; i++) {
+    acc[i] = acc[i - 1] + 1.0;
+  }
+  // Permutation scatter: never touches the same node twice (no manifest).
+  for (i = 0; i < 64; i++) {
+    nodes[perm[i]] = nodes[perm[i]] * 2.0;
+  }
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  unsigned NumInsts = static_cast<unsigned>(FA.instructions().size());
+
+  const Loop *Rec = loopAt(FA, 1);
+  const Loop *Scat = loopAt(FA, 2);
+  ASSERT_NE(Rec, nullptr);
+  ASSERT_NE(Scat, nullptr);
+  EXPECT_TRUE(P.observed("main", NumInsts, Rec->getHeader()));
+  EXPECT_TRUE(P.observed("main", NumInsts, Scat->getHeader()));
+
+  // The recurrence's store -> load RAW manifests; count the pairs per loop.
+  auto PairsAt = [&](unsigned Header) {
+    return P.Functions.at("main").Loops.at(Header).Manifested.size();
+  };
+  EXPECT_GT(PairsAt(Rec->getHeader()), 0u);
+
+  // The acc store (2nd store of main counting the init stores... identify
+  // directly): store acc[i] is the only store in the recurrence loop.
+  unsigned StoreIdx = 0, LoadIdx = 0;
+  for (const Instruction *I : FA.instructions()) {
+    if (!Rec->contains(I->getParent()->getIndex()))
+      continue;
+    if (isa<StoreInst>(I) && I->getParent()->getName().rfind("for.body", 0) ==
+                                 0) {
+      const auto *SI = cast<StoreInst>(I);
+      if (isa<GEPInst>(SI->getPointer()))
+        StoreIdx = FA.indexOf(I);
+    }
+    if (isa<LoadInst>(I)) {
+      const auto *LI = cast<LoadInst>(I);
+      if (isa<GEPInst>(LI->getPointer()))
+        LoadIdx = FA.indexOf(I); // acc[i-1] element load
+    }
+  }
+  EXPECT_TRUE(P.manifested("main", Rec->getHeader(), StoreIdx, LoadIdx))
+      << "the recurrence RAW must be recorded";
+
+  // The permutation scatter records no array-element pair (the IV scalar
+  // bookkeeping still manifests, but only on the counter storage's
+  // accesses, which are scalar loads/stores of i).
+  const auto &ScatPairs =
+      P.Functions.at("main").Loops.at(Scat->getHeader()).Manifested;
+  for (const auto &[Src, Dst] : ScatPairs) {
+    const Instruction *SrcI = FA.instructions()[Src];
+    const Instruction *DstI = FA.instructions()[Dst];
+    auto TouchesArray = [](const Instruction *I) {
+      if (const auto *SI = dyn_cast<StoreInst>(I))
+        return isa<GEPInst>(SI->getPointer());
+      if (const auto *LI = dyn_cast<LoadInst>(I))
+        return isa<GEPInst>(LI->getPointer());
+      return false;
+    };
+    EXPECT_FALSE(TouchesArray(SrcI) && TouchesArray(DstI))
+        << "permutation scatter must not manifest an element conflict ("
+        << Src << " -> " << Dst << ")";
+  }
+}
+
+TEST(DepProfilerTest, WARAndWAWAreRecorded) {
+  auto M2 = compile(R"PSC(
+double cell[4];
+int main() {
+  int i;
+  double t;
+  for (i = 0; i < 16; i++) {
+    t = cell[0];
+    cell[0] = t + 1.0;
+  }
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M2, nullptr);
+  DepProfile P2 = train(*M2);
+  const Function *F2 = M2->getFunction("main");
+  FunctionAnalysis FA2(*F2);
+  const Loop *L2 = loopAt(FA2, 0);
+  // The element access pair: the cell[0] store and the cell[0] load (the
+  // only GEP-addressed accesses of the program).
+  unsigned Store = 0, Load = 0;
+  for (const Instruction *I : FA2.instructions()) {
+    if (const auto *SI = dyn_cast<StoreInst>(I)) {
+      if (isa<GEPInst>(SI->getPointer()))
+        Store = FA2.indexOf(I);
+    } else if (const auto *LI = dyn_cast<LoadInst>(I)) {
+      if (isa<GEPInst>(LI->getPointer()))
+        Load = FA2.indexOf(I);
+    }
+  }
+  // RAW (store -> load), WAR (load -> store), WAW (store -> store) all
+  // manifest on cell[0].
+  EXPECT_TRUE(P2.manifested("main", L2->getHeader(), Store, Load));
+  EXPECT_TRUE(P2.manifested("main", L2->getHeader(), Load, Store));
+  EXPECT_TRUE(P2.manifested("main", L2->getHeader(), Store, Store));
+}
+
+// --- Engine equivalence ------------------------------------------------------
+
+class ProfilerEngineEquivalence : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(ProfilerEngineEquivalence, WalkerAndBytecodeTrainIdenticalProfiles) {
+  const Workload &W = GetParam();
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile Walker = train(*M, ExecEngineKind::Walker);
+  DepProfile Bytecode = train(*M, ExecEngineKind::Bytecode);
+  EXPECT_EQ(Walker.toJson(), Bytecode.toJson()) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ProfilerEngineEquivalence,
+                         ::testing::ValuesIn(extendedWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &I) {
+                           return I.param.Name;
+                         });
+
+// --- Serialization -----------------------------------------------------------
+
+TEST(DepProfileTest, JsonRoundTrip) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  std::string Json = P.toJson();
+
+  DepProfile Back;
+  std::string Err;
+  ASSERT_TRUE(DepProfile::parseJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(Back.toJson(), Json);
+}
+
+TEST(DepProfileTest, RejectsForeignAndFutureDocuments) {
+  DepProfile P;
+  std::string Err;
+  EXPECT_FALSE(DepProfile::parseJson("{\"bench\": \"x\"}", P, Err));
+  EXPECT_FALSE(DepProfile::parseJson(
+      "{\"format\": \"psc-dep-profile\", \"version\": 999, "
+      "\"functions\": []}",
+      P, Err));
+  EXPECT_NE(Err.find("version"), std::string::npos);
+  EXPECT_FALSE(DepProfile::parseJson("not json at all", P, Err));
+}
+
+TEST(DepProfileTest, RejectsDuplicateFunctionEntries) {
+  // Two entries for one function could carry different instruction
+  // counts, so one side's loop data would pass the other side's
+  // staleness guard; a document like this is malformed, not mergeable.
+  DepProfile P;
+  std::string Err;
+  EXPECT_FALSE(DepProfile::parseJson(
+      "{\"format\": \"psc-dep-profile\", \"version\": 1, \"functions\": ["
+      "{\"name\": \"main\", \"instructions\": 50, \"loops\": []},"
+      "{\"name\": \"main\", \"instructions\": 60, \"loops\": []}]}",
+      P, Err));
+  EXPECT_NE(Err.find("duplicate function"), std::string::npos);
+}
+
+TEST(DepProfileTest, MergeDropIsSticky) {
+  // A: f@100 with pair (1,2); B: f@120 (conflict — drop); C: f@100 with
+  // pair (3,4). A later same-version input must not resurrect f with
+  // only its own partial data: [A,B,C] and [A,C,B] must agree that f is
+  // unusable once any version conflict appeared.
+  DepProfile A, B, C;
+  A.recordLoop("f", 100, 4, 1, 10);
+  A.recordManifest("f", 4, 1, 2);
+  B.recordLoop("f", 120, 4, 1, 10);
+  C.recordLoop("f", 100, 4, 1, 10);
+  C.recordManifest("f", 4, 3, 4);
+
+  A.merge(B);
+  EXPECT_TRUE(A.Functions.empty());
+  A.merge(C);
+  EXPECT_TRUE(A.Functions.empty()) << "conflict-dropped function revived";
+  EXPECT_FALSE(A.observed("f", 100, 4));
+}
+
+TEST(DepProfileTest, RejectsOverflowingIntegers) {
+  DepProfile P;
+  std::string Err;
+  // 2^64 + 1 must be a loud parse error, not a silent wrap to 1.
+  EXPECT_FALSE(DepProfile::parseJson(
+      "{\"format\": \"psc-dep-profile\", \"version\": 1, \"functions\": ["
+      "{\"name\": \"main\", \"instructions\": 18446744073709551617, "
+      "\"loops\": []}]}",
+      P, Err));
+  EXPECT_NE(Err.find("overflow"), std::string::npos);
+}
+
+TEST(DepProfileTest, MergeUnionsPairsAndDropsStaleFunctions) {
+  DepProfile A, B;
+  A.recordLoop("f", 100, 4, 1, 10);
+  A.recordManifest("f", 4, 1, 2);
+  B.recordLoop("f", 100, 4, 2, 20);
+  B.recordManifest("f", 4, 3, 4);
+  B.recordLoop("g", 50, 0, 1, 5);
+
+  DepProfile M = A;
+  M.merge(B);
+  EXPECT_TRUE(M.manifested("f", 4, 1, 2));
+  EXPECT_TRUE(M.manifested("f", 4, 3, 4));
+  EXPECT_EQ(M.Functions.at("f").Loops.at(4).Invocations, 3u);
+  EXPECT_EQ(M.Functions.at("f").Loops.at(4).Iterations, 30u);
+  EXPECT_TRUE(M.observed("g", 50, 0));
+
+  // Disagreeing instruction counts mean one side is stale: the function's
+  // data is unusable and must drop (no data, no speculation).
+  DepProfile Stale;
+  Stale.recordLoop("f", 101, 4, 1, 1);
+  DepProfile M2 = A;
+  M2.merge(Stale);
+  EXPECT_FALSE(M2.observed("f", 100, 4));
+  EXPECT_FALSE(M2.observed("f", 101, 4));
+}
+
+TEST(DepProfileTest, StalenessGuardsObserved) {
+  DepProfile P;
+  P.recordLoop("main", 42, 7, 1, 8);
+  EXPECT_TRUE(P.observed("main", 42, 7));
+  EXPECT_FALSE(P.observed("main", 43, 7)) << "stale profile must not speculate";
+  EXPECT_FALSE(P.observed("main", 42, 8)) << "untrained loop";
+  EXPECT_FALSE(P.observed("other", 42, 7)) << "untrained function";
+}
+
+} // namespace

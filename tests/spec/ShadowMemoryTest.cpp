@@ -1,0 +1,222 @@
+//===- ShadowMemoryTest.cpp - Overlay semantics in isolation --------------===//
+///
+/// \file
+/// Direct coverage for the ShadowMemory checkpoint overlay that backs the
+/// speculative schedulers (DESIGN.md §9): lookup layering, per-mode store
+/// routing, the begin/merge/discard ordering of iteration tokens, and the
+/// rvalue-reference move contract of beginIteration. Everything else in
+/// tests/spec exercises these paths only indirectly, through full
+/// differential runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emulator/ExecCore.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+MemObject intObject(size_t N) {
+  MemObject O;
+  O.I.assign(N, 0);
+  return O;
+}
+
+int64_t loadInt(const ShadowMemory &SM, MemObject &O, uint64_t Off,
+                int64_t Fallthrough) {
+  bool IsFloat = false;
+  int64_t I = 0;
+  double F = 0.0;
+  if (!SM.load(&O, Off, IsFloat, I, F))
+    return Fallthrough; // the engine would read the MemObject itself
+  EXPECT_FALSE(IsFloat);
+  return I;
+}
+
+TEST(ShadowMemoryTest, StoresNeverTouchTheUnderlyingObject) {
+  // The whole point of the checkpoint: until a validated commit, shared
+  // memory is unmodified, so discarding on misspeculation is free.
+  MemObject O = intObject(4);
+  O.I[2] = 99;
+  ShadowMemory SM;
+  SM.store(&O, 2, 7, 0.0, /*Owned=*/true, /*Iter=*/0, /*Inst=*/5);
+  SM.store(&O, 3, 8, 0.0, /*Owned=*/false, /*Iter=*/0, /*Inst=*/6);
+  EXPECT_EQ(O.I[2], 99);
+  EXPECT_EQ(O.I[3], 0);
+  EXPECT_EQ(loadInt(SM, O, 2, -1), 7);
+  EXPECT_EQ(loadInt(SM, O, 3, -1), 8);
+}
+
+TEST(ShadowMemoryTest, MissFallsThroughToCallerMemory) {
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  EXPECT_EQ(loadInt(SM, O, 0, -1), -1);
+}
+
+TEST(ShadowMemoryTest, OwnedStoresPersistAcrossIterations) {
+  // Owned (DSWP: this stage owns the object) stores land in both the
+  // outgoing token and the worker-lifetime Persist layer, so they stay
+  // visible after the next beginIteration replaces the token.
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  SM.store(&O, 0, 11, 0.0, /*Owned=*/true, 0, 1);
+  SM.beginIteration({});
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 11);
+  // And they are in the committable snapshot with their (iter, inst) tag.
+  auto It = SM.persist().find({&O, 0});
+  ASSERT_NE(It, SM.persist().end());
+  EXPECT_EQ(It->second.I, 11);
+  EXPECT_EQ(It->second.Iter, 0);
+  EXPECT_EQ(It->second.Inst, 1u);
+}
+
+TEST(ShadowMemoryTest, UnownedStoresAreDiscardedAtIterationBoundary) {
+  // Unowned stores are iteration-local scratch: visible inside the
+  // iteration, dropped (not merged, not committed) by beginIteration.
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  SM.store(&O, 0, 21, 0.0, /*Owned=*/false, 0, 1);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 21);
+  EXPECT_TRUE(SM.persist().empty());
+  SM.beginIteration({});
+  EXPECT_EQ(loadInt(SM, O, 0, -1), -1);
+}
+
+TEST(ShadowMemoryTest, LookupPrefersIterationTokenOverPersist) {
+  // Begin > merge > discard ordering within one lookup: the incoming
+  // token (this iteration's upstream values) must shadow the stage's own
+  // older Persist entry for the same location.
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  SM.store(&O, 0, 1, 0.0, /*Owned=*/true, /*Iter=*/0, 1); // old iteration
+  std::map<ShadowMemory::Key, ShadowMemory::Cell> Token;
+  Token[{&O, 0}] = {2, 0.0, /*Iter=*/1, /*Inst=*/0};
+  SM.beginIteration(std::move(Token));
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 2);
+}
+
+TEST(ShadowMemoryTest, BeginIterationMovesTheTokenInPlace) {
+  // The DSWP handoff passes each token down the pipeline by value exactly
+  // once; beginIteration takes it by rvalue reference and must adopt the
+  // map rather than copying it.
+  MemObject O = intObject(8);
+  std::map<ShadowMemory::Key, ShadowMemory::Cell> Token;
+  for (uint64_t Off = 0; Off < 8; ++Off)
+    Token[{&O, Off}] = {int64_t(100 + Off), 0.0, 0, unsigned(Off)};
+  ShadowMemory SM;
+  SM.beginIteration(std::move(Token));
+  EXPECT_TRUE(Token.empty()); // NOLINT(bugprone-use-after-move): the move
+                              // contract under test
+  for (uint64_t Off = 0; Off < 8; ++Off)
+    EXPECT_EQ(loadInt(SM, O, Off, -1), int64_t(100 + Off));
+  // The adopted values flow into the outgoing token for the next stage.
+  EXPECT_EQ(SM.sharedOverlay().size(), 8u);
+}
+
+TEST(ShadowMemoryTest, TokenMergeIsStoreOverInheritOrdered) {
+  // A stage's own owned store must override the inherited token value in
+  // the outgoing token (downstream sees the latest write), while both
+  // remain distinguishable for the final commit by (iter, inst) tag.
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  std::map<ShadowMemory::Key, ShadowMemory::Cell> Token;
+  Token[{&O, 0}] = {5, 0.0, /*Iter=*/3, /*Inst=*/2};
+  SM.beginIteration(std::move(Token));
+  SM.store(&O, 0, 6, 0.0, /*Owned=*/true, /*Iter=*/3, /*Inst=*/4);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 6);
+  auto It = SM.sharedOverlay().find({&O, 0});
+  ASSERT_NE(It, SM.sharedOverlay().end());
+  EXPECT_EQ(It->second.I, 6);
+  EXPECT_EQ(It->second.Inst, 4u);
+}
+
+TEST(ShadowMemoryTest, ChunkModeCheckpointsTheWholeHistory) {
+  // Speculative DOALL: every store (owned or not) goes to the worker's
+  // Persist overlay so the commit step sees the chunk's full history, and
+  // later stores to the same location replace earlier ones.
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  SM.setSpecMode(ShadowMemory::SpecMode::Chunk);
+  SM.store(&O, 0, 1, 0.0, /*Owned=*/false, /*Iter=*/0, 1);
+  SM.store(&O, 0, 2, 0.0, /*Owned=*/false, /*Iter=*/4, 9);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 2);
+  ASSERT_EQ(SM.persist().size(), 1u);
+  const ShadowMemory::Cell &C = SM.persist().begin()->second;
+  EXPECT_EQ(C.I, 2);
+  EXPECT_EQ(C.Iter, 4);
+  EXPECT_EQ(C.Inst, 9u);
+  EXPECT_EQ(O.I[0], 0); // still nothing committed
+}
+
+TEST(ShadowMemoryTest, RingModeKeepsStoresIterationLocal) {
+  // Speculative HELIX: stores buffer in the iteration overlay; the
+  // scheduler publishes them at the gate handoff. A new iteration starts
+  // from an empty overlay — nothing leaks across the boundary.
+  MemObject O = intObject(2);
+  ShadowMemory SM;
+  SM.setSpecMode(ShadowMemory::SpecMode::Ring);
+  SM.store(&O, 0, 42, 0.0, /*Owned=*/true, /*Iter=*/0, 1);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 42);
+  EXPECT_TRUE(SM.persist().empty());
+  ASSERT_EQ(SM.sharedOverlay().size(), 1u);
+  SM.beginIteration({}); // discard: the scheduler did not publish
+  EXPECT_EQ(loadInt(SM, O, 0, -1), -1);
+}
+
+TEST(ShadowMemoryTest, RingModeFallsBackToCommittedOverlay) {
+  // Loads that miss every local layer consult the shared
+  // iteration-ordered committed overlay (earlier iterations' published
+  // stores); local layers still win when present.
+  MemObject O = intObject(2);
+  ShadowMemory::CommittedOverlay Committed;
+  Committed.Map[{&O, 0}] = {7, 0.0, /*Iter=*/0, /*Inst=*/1};
+  ShadowMemory SM;
+  SM.setSpecMode(ShadowMemory::SpecMode::Ring);
+  SM.setCommitted(&Committed);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 7);
+  SM.store(&O, 0, 8, 0.0, /*Owned=*/true, /*Iter=*/1, 2);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), 8);
+  // The committed overlay is only a read fallback; publication is the
+  // scheduler's job at the gate handoff.
+  EXPECT_EQ((Committed.Map[{&O, 0}].I), 7);
+}
+
+TEST(ShadowMemoryTest, CommittedOverlayIgnoredOutsideRingMode) {
+  // Chunk workers each own a private checkpoint; a stray committed
+  // overlay pointer must not bleed into their reads.
+  MemObject O = intObject(2);
+  ShadowMemory::CommittedOverlay Committed;
+  Committed.Map[{&O, 0}] = {7, 0.0, 0, 1};
+  ShadowMemory SM;
+  SM.setSpecMode(ShadowMemory::SpecMode::Chunk);
+  SM.setCommitted(&Committed);
+  EXPECT_EQ(loadInt(SM, O, 0, -1), -1);
+}
+
+TEST(ShadowMemoryTest, BypassBookkeeping) {
+  // Privatized objects run their own copy-in/copy-out protocol; the
+  // engines consult isBypassed before routing an access to the shadow.
+  MemObject A = intObject(1), B = intObject(1);
+  ShadowMemory SM;
+  SM.addBypass(&A);
+  EXPECT_TRUE(SM.isBypassed(&A));
+  EXPECT_FALSE(SM.isBypassed(&B));
+}
+
+TEST(ShadowMemoryTest, FloatObjectsRoundTrip) {
+  MemObject O;
+  O.IsFloat = true;
+  O.F.assign(2, 0.0);
+  ShadowMemory SM;
+  SM.store(&O, 1, 0, 2.5, /*Owned=*/true, 0, 1);
+  bool IsFloat = false;
+  int64_t I = 0;
+  double F = 0.0;
+  ASSERT_TRUE(SM.load(&O, 1, IsFloat, I, F));
+  EXPECT_TRUE(IsFloat);
+  EXPECT_DOUBLE_EQ(F, 2.5);
+}
+
+} // namespace

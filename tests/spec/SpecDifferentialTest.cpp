@@ -1,0 +1,323 @@
+//===- SpecDifferentialTest.cpp - Speculation end-to-end equivalence ------===//
+///
+/// The speculation subsystem's acceptance contract:
+///
+///   * with a profile trained on the same input, speculative plans produce
+///     bit-identical output and exit value to the sequential run, on both
+///     engines, across thread counts, for every workload;
+///   * UA (permutation gather/scatter) gains parallel plans the sound
+///     oracle stack alone must reject;
+///   * adversarial inputs that violate the trained profile are detected,
+///     rolled back, and still produce bit-identical output — for
+///     speculative DOALL, HELIX, and DSWP.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+DepOracleConfig specConfig(const DepProfile &P) {
+  return DepOracleConfig({}, &P);
+}
+
+struct SpecRun {
+  ParallelRunResult Par;
+  RunResult Seq;
+  const LoopExecStat *loop(unsigned Header) const {
+    for (const LoopExecStat &L : Par.Loops)
+      if (L.Header == Header)
+        return &L;
+    return nullptr;
+  }
+  uint64_t totalMisspeculations() const {
+    uint64_t N = 0;
+    for (const LoopExecStat &L : Par.Loops)
+      N += L.Misspeculations;
+    return N;
+  }
+  unsigned speculativeLoops() const {
+    unsigned N = 0;
+    for (const LoopExecStat &L : Par.Loops)
+      N += L.Speculative ? 1 : 0;
+    return N;
+  }
+};
+
+/// Runs \p M speculatively under \p Profile and checks output/exit
+/// equivalence against the sequential run.
+SpecRun runSpec(const Module &M, const DepProfile &Profile, unsigned Threads,
+                ExecEngineKind Engine, const std::string &What) {
+  SpecRun R;
+  Interpreter Seq(M);
+  Seq.setEngine(Engine);
+  R.Seq = Seq.run();
+
+  RuntimePlan Plan = buildRuntimePlan(M, AbstractionKind::PSPDG, Threads,
+                                      FeatureSet(), specConfig(Profile));
+  ParallelRuntime RT(M, Plan, Engine);
+  R.Par = RT.run();
+  EXPECT_TRUE(R.Par.Error.empty()) << What << ": " << R.Par.Error;
+  EXPECT_EQ(R.Par.R.ExitValue, R.Seq.ExitValue) << What;
+  EXPECT_EQ(R.Par.R.Output, R.Seq.Output) << What;
+  return R;
+}
+
+// --- Differential over all workloads ----------------------------------------
+
+class SpecWorkloadEquivalence
+    : public ::testing::TestWithParam<std::tuple<Workload, unsigned>> {};
+
+TEST_P(SpecWorkloadEquivalence, SpeculativePlanMatchesSequential) {
+  const Workload &W = std::get<0>(GetParam());
+  unsigned Threads = std::get<1>(GetParam());
+  auto M = compile(W.Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  for (ExecEngineKind E : {ExecEngineKind::Bytecode, ExecEngineKind::Walker}) {
+    SpecRun R = runSpec(*M, P, Threads,
+
+                        E, W.Name + std::string("/") + execEngineName(E));
+    // Training input == running input: nothing may misspeculate.
+    EXPECT_EQ(R.totalMisspeculations(), 0u) << W.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SpecWorkloadEquivalence,
+    ::testing::Combine(::testing::ValuesIn(extendedWorkloads()),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<Workload, unsigned>> &I) {
+      return std::get<0>(I.param).Name + "_t" +
+             std::to_string(std::get<1>(I.param));
+    });
+
+// --- The speculation win: UA gains plans the sound stack rejects ------------
+
+TEST(SpecPlanGainTest, UAGainsDOALLPlansTheSoundStackRejects) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  RuntimePlan Sound = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+  RuntimePlan Spec = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), specConfig(P));
+
+  // The sound stack must reject DOALL for the permutation scatter (its
+  // carried may-dependences remain); at best it can gate-serialize the
+  // whole scatter SCC behind a HELIX gate. Speculation removes the
+  // assumed-absent dependences outright, unlocking DOALL — a plan the
+  // sound stack alone rejects.
+  unsigned SoundDOALL = 0, SpecDOALL = 0, SpecSpeculative = 0;
+  bool SawSpecDOALLWhereSoundRejectedIt = false;
+  for (const auto &[Key, LS] : Spec.Loops) {
+    SpecDOALL += LS.Kind == ScheduleKind::DOALL;
+    if (LS.Speculative) {
+      ++SpecSpeculative;
+      EXPECT_FALSE(LS.Assumptions.empty());
+      EXPECT_EQ(LS.AssumedPairs.size(), LS.Assumptions.size());
+      EXPECT_GT(LS.NumWatched, 0u);
+      const LoopSchedule *SoundLS = Sound.scheduleFor(Key.first, Key.second);
+      ASSERT_NE(SoundLS, nullptr);
+      if (SoundLS->Kind == LS.Kind) {
+        // Same kind (HELIX): speculation must at least shrink the gated
+        // portion — fewer sequential SCCs than the sound schedule.
+        ASSERT_EQ(LS.Kind, ScheduleKind::HELIX);
+        auto NumSeq = [](const LoopSchedule &S) {
+          unsigned N = 0;
+          for (bool Seq : S.SCCIsSeq)
+            N += Seq;
+          return N;
+        };
+        EXPECT_LT(NumSeq(LS), NumSeq(*SoundLS));
+      }
+      if (LS.Kind == ScheduleKind::DOALL &&
+          SoundLS->Kind != ScheduleKind::DOALL)
+        SawSpecDOALLWhereSoundRejectedIt = true;
+    }
+  }
+  for (const auto &[Key, LS] : Sound.Loops)
+    SoundDOALL += LS.Kind == ScheduleKind::DOALL;
+
+  EXPECT_GE(SpecSpeculative, 2u)
+      << "UA's scatter (DOALL) and wavefront (HELIX) loops";
+  EXPECT_GT(SpecDOALL, SoundDOALL);
+  EXPECT_TRUE(SawSpecDOALLWhereSoundRejectedIt);
+}
+
+// --- Forced misspeculation ---------------------------------------------------
+
+/// UA with a non-coprime map multiplier: the "permutation" collides, the
+/// trained assumptions are violated at run time. Structure (and therefore
+/// instruction indices) is identical to the clean UA, so the clean profile
+/// applies — and must be caught.
+std::string adversarialUA() {
+  std::string S = findWorkload("UA")->Source;
+  size_t Pos = S.find("i * 167 + 3");
+  EXPECT_NE(Pos, std::string::npos);
+  S.replace(Pos, 11, "i * 166 + 3");
+  return S;
+}
+
+class MisspeculationRollback
+    : public ::testing::TestWithParam<std::tuple<unsigned, ExecEngineKind>> {
+};
+
+TEST_P(MisspeculationRollback, DetectsViolationAndMatchesSequential) {
+  unsigned Threads = std::get<0>(GetParam());
+  ExecEngineKind Engine = std::get<1>(GetParam());
+
+  auto Clean = compile(findWorkload("UA")->Source);
+  auto Adv = compile(adversarialUA());
+  ASSERT_NE(Clean, nullptr);
+  ASSERT_NE(Adv, nullptr);
+  DepProfile P = train(*Clean);
+
+  SpecRun R = runSpec(*Adv, P, Threads, Engine, "UA-adversarial");
+  // Both speculative loops must detect the violated assumptions, roll
+  // back, and stay sequential for the rest of the run — while the final
+  // output stays bit-identical.
+  EXPECT_GE(R.totalMisspeculations(), 2u)
+      << "speculative DOALL and HELIX must both detect the collision";
+  for (const LoopExecStat &L : R.Par.Loops) {
+    if (L.Speculative) {
+      EXPECT_LE(L.Misspeculations, 1u)
+          << "a blown schedule must not retry within the run";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndEngines, MisspeculationRollback,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(ExecEngineKind::Bytecode,
+                                         ExecEngineKind::Walker)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, ExecEngineKind>>
+           &I) {
+      return std::string(execEngineName(std::get<1>(I.param))) + "_t" +
+             std::to_string(std::get<0>(I.param));
+    });
+
+// --- Speculative DSWP --------------------------------------------------------
+
+/// Two recurrences coupled through an indirect read that in fact never
+/// aliases the in-loop writes: soundly one giant sequential SCC (no plan);
+/// speculatively a pipeline whose only cross-stage carried edge runs in
+/// token order — DSWP.
+const char *DSWPSpecSource = R"PSC(
+double a_arr[512];
+double c_arr[512];
+double d_arr[512];
+int m[512];
+int main() {
+  int i;
+  double s;
+  int checksum;
+  for (i = 0; i < 512; i++) {
+    m[i] = (i * 3) % 256;
+    a_arr[i] = i % 7;
+    c_arr[i] = 0.0;
+    d_arr[i] = i % 5;
+  }
+  for (i = 1; i < 256; i++) {
+    a_arr[i] = a_arr[i - 1] * 0.5 + d_arr[m[i]] * 0.25;
+    c_arr[i] = a_arr[i - 1] * 2.0;
+    d_arr[i + 256] = c_arr[i] * 0.125;
+  }
+  s = 0.0;
+  for (i = 0; i < 512; i++) {
+    s = s + a_arr[i] + c_arr[i] + d_arr[i];
+  }
+  checksum = s * 100.0;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
+TEST(SpecDSWPTest, PipelineUnlockedAndEquivalent) {
+  auto M = compile(DSWPSpecSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  RuntimePlan Sound = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+  RuntimePlan Spec = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), specConfig(P));
+  bool SpecDSWP = false;
+  for (const auto &[Key, LS] : Spec.Loops) {
+    if (LS.Kind == ScheduleKind::DSWP && LS.Speculative) {
+      SpecDSWP = true;
+      // The sound stack cannot build this pipeline: the assumed-absent
+      // backward dependence merges the recurrences into one serial SCC
+      // (at best a fully-gated HELIX).
+      const LoopSchedule *SoundLS = Sound.scheduleFor(Key.first, Key.second);
+      ASSERT_NE(SoundLS, nullptr);
+      EXPECT_NE(SoundLS->Kind, ScheduleKind::DSWP);
+    }
+  }
+  ASSERT_TRUE(SpecDSWP) << "the coupled-recurrence loop must become a "
+                           "speculative pipeline";
+
+  for (unsigned Threads : {2u, 8u})
+    for (ExecEngineKind E :
+         {ExecEngineKind::Bytecode, ExecEngineKind::Walker}) {
+      SpecRun R = runSpec(*M, P, Threads, E, "dswp-spec");
+      EXPECT_EQ(R.totalMisspeculations(), 0u);
+    }
+}
+
+TEST(SpecDSWPTest, MisspeculationDetectedAtOverlayMerge) {
+  // The adversarial variant's indirect reads reach into the region the
+  // loop writes: the assumed-absent backward dependence manifests.
+  std::string Adv = DSWPSpecSource;
+  size_t Pos = Adv.find("(i * 3) % 256");
+  ASSERT_NE(Pos, std::string::npos);
+  Adv.replace(Pos, 13, "(i * 3) % 512");
+
+  auto Clean = compile(DSWPSpecSource);
+  auto M = compile(Adv);
+  ASSERT_NE(Clean, nullptr);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*Clean);
+
+  for (ExecEngineKind E : {ExecEngineKind::Bytecode, ExecEngineKind::Walker}) {
+    SpecRun R = runSpec(*M, P, 4, E, "dswp-adversarial");
+    EXPECT_GE(R.totalMisspeculations(), 1u) << execEngineName(E);
+  }
+}
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(SpecDeterminismTest, SpeculativeRunsAreDeterministic) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), specConfig(P));
+  ParallelRuntime RT(*M, Plan);
+  ParallelRunResult A = RT.run();
+  ParallelRunResult B = RT.run();
+  ASSERT_TRUE(A.Error.empty());
+  EXPECT_EQ(A.R.Output, B.R.Output);
+  EXPECT_EQ(A.R.ExitValue, B.R.ExitValue);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- SpecOracleTest.cpp - Speculative oracle + stack integration --------===//
+///
+/// The spec oracle's contract: it is a downgrade stage outside the sound
+/// chain. It turns MayDep into a Speculative NoDep only for MemCarried
+/// queries between watchable accesses, only for loops its profile
+/// observed, and only for pairs that never manifested in training. Sound
+/// verdicts, sound-chain order independence, and untrained programs are
+/// untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "profiling/DepProfiler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+const char *ScatterSource = R"PSC(
+double acc[64];
+double nodes[64];
+int perm[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    perm[i] = (i * 5 + 1) % 64;
+    acc[i] = i;
+    nodes[i] = i;
+  }
+  for (i = 1; i < 64; i++) {
+    acc[i] = acc[i - 1] + 1.0;
+  }
+  for (i = 0; i < 64; i++) {
+    nodes[perm[i]] = nodes[perm[i]] * 2.0;
+  }
+  return 0;
+}
+)PSC";
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+/// Counts carried edges at \p L's header and speculative markers, over a
+/// freshly-built edge set.
+struct EdgeCounts {
+  unsigned Carried = 0;
+  unsigned Spec = 0;
+};
+EdgeCounts countAt(const std::vector<DepEdge> &Edges, unsigned Header) {
+  EdgeCounts C;
+  for (const DepEdge &E : Edges) {
+    if (E.isCarriedAt(Header))
+      ++C.Carried;
+    if (E.isSpecCarriedAt(Header))
+      ++C.Spec;
+  }
+  return C;
+}
+
+TEST(SpecOracleTest, DowngradesOnlyUnmanifestedPairsInObservedLoops) {
+  auto M = compile(ScatterSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  const Loop *Rec = loopAt(FA, 1);
+  const Loop *Scat = loopAt(FA, 2);
+  ASSERT_NE(Rec, nullptr);
+  ASSERT_NE(Scat, nullptr);
+
+  // Sound stack: the scatter loop has carried may-dependences (the
+  // indirect subscript defeats the affine oracle).
+  DepOracleStack Sound(FA);
+  std::vector<DepEdge> SoundEdges = buildDepEdges(Sound);
+  EdgeCounts SoundScat = countAt(SoundEdges, Scat->getHeader());
+  EXPECT_GT(SoundScat.Carried, 0u);
+  EXPECT_EQ(SoundScat.Spec, 0u) << "no spec oracle, no spec markers";
+
+  // Spec stack: the scatter's unmanifested carried deps become spec
+  // markers; the recurrence's manifested dep stays carried.
+  DepOracleStack Spec(FA, DepOracleConfig({}, &P));
+  ASSERT_TRUE(Spec.speculative());
+  std::vector<DepEdge> SpecEdges = buildDepEdges(Spec);
+  EdgeCounts SpecScat = countAt(SpecEdges, Scat->getHeader());
+  EXPECT_LT(SpecScat.Carried, SoundScat.Carried);
+  EXPECT_GT(SpecScat.Spec, 0u);
+
+  EdgeCounts SpecRec = countAt(SpecEdges, Rec->getHeader());
+  EdgeCounts SoundRec = countAt(SoundEdges, Rec->getHeader());
+  // The real recurrence RAW manifested in training: it must stay carried.
+  EXPECT_GT(SpecRec.Carried, 0u);
+  // The recurrence loop's WAR/WAW companions of an affine subscript are
+  // never even queried speculatively (the sound chain disproves them), so
+  // the only possible downgrades are pairs the profile cleared.
+  EXPECT_LE(SpecRec.Carried, SoundRec.Carried);
+}
+
+TEST(SpecOracleTest, UntrainedOrStaleProfileNeverSpeculates) {
+  auto M = compile(ScatterSource);
+  ASSERT_NE(M, nullptr);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+
+  // Empty profile: identical to the sound stack.
+  DepProfile Empty;
+  DepOracleStack SpecEmpty(FA, DepOracleConfig({}, &Empty));
+  DepOracleStack Sound(FA);
+  EXPECT_EQ(buildDepEdges(SpecEmpty).size(), buildDepEdges(Sound).size());
+  for (const DepEdge &E : buildDepEdges(SpecEmpty))
+    EXPECT_TRUE(E.SpecCarriedAtHeaders.empty());
+
+  // Stale profile (instruction count mismatch): same.
+  DepProfile Stale = train(*M);
+  for (auto &[Name, FP] : Stale.Functions)
+    FP.NumInstructions += 1;
+  DepOracleStack SpecStale(FA, DepOracleConfig({}, &Stale));
+  for (const DepEdge &E : buildDepEdges(SpecStale))
+    EXPECT_TRUE(E.SpecCarriedAtHeaders.empty())
+        << "a stale profile is never a license to speculate";
+}
+
+TEST(SpecOracleTest, SoundChainOrderDoesNotChangeSpeculativeVerdicts) {
+  auto M = compile(ScatterSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+
+  auto Fingerprint = [&](const DepOracleConfig &Cfg) {
+    DepOracleStack S(FA, Cfg);
+    std::vector<std::string> Out;
+    for (const DepEdge &E : buildDepEdges(S)) {
+      std::string Desc = std::to_string(FA.indexOf(E.Src)) + ">" +
+                         std::to_string(FA.indexOf(E.Dst)) + ":";
+      for (unsigned H : E.CarriedAtHeaders)
+        Desc += "c" + std::to_string(H);
+      for (unsigned H : E.SpecCarriedAtHeaders)
+        Desc += "s" + std::to_string(H);
+      Out.push_back(std::move(Desc));
+    }
+    std::sort(Out.begin(), Out.end());
+    std::string All;
+    for (const std::string &D : Out)
+      All += D + ";";
+    return All;
+  };
+
+  std::string A = Fingerprint(DepOracleConfig(
+      {"ssa", "control", "io", "opaque", "alias", "affine", "spec"}, &P));
+  std::string B = Fingerprint(DepOracleConfig(
+      {"spec", "affine", "alias", "opaque", "io", "control", "ssa"}, &P));
+  EXPECT_EQ(A, B) << "the spec downgrade stage runs after the sound chain "
+                     "regardless of its position in the name list";
+}
+
+TEST(SpecOracleTest, SpecStatsRowAppears) {
+  auto M = compile(ScatterSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  DepOracleStack S(FA, DepOracleConfig({}, &P));
+  (void)buildDepEdges(S);
+  auto Stats = S.oracleStats();
+  ASSERT_FALSE(Stats.empty());
+  const auto &SpecRow = Stats.back();
+  EXPECT_STREQ(SpecRow.Name, "spec");
+  EXPECT_GT(SpecRow.Answered, 0u);
+  EXPECT_EQ(SpecRow.Answered, SpecRow.NoDep)
+      << "the spec oracle only produces (speculative) disproofs";
+}
+
+TEST(SpecOracleTest, MissingProfileIsFatalViaConfig) {
+  auto M = compile(ScatterSource);
+  ASSERT_NE(M, nullptr);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  DepOracleConfig Cfg;
+  Cfg.Names = {"spec"};
+  EXPECT_TRUE(Cfg.wantsSpec());
+  EXPECT_DEATH({ DepOracleStack S(FA, Cfg); }, "training profile");
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- SpecValidatorTest.cpp - Runtime assumption validation units --------===//
+
+#include "runtime/SpecValidation.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+
+namespace {
+
+MemObject Obj;
+
+SpecAccessRec rec(uint64_t Off, long Iter, uint32_t Watch, bool IsWrite) {
+  return {&Obj, Off, Iter, Watch, IsWrite};
+}
+
+using Pairs = std::vector<std::pair<unsigned, unsigned>>;
+
+TEST(SpecValidatorTest, CleanLogsValidate) {
+  SpecValidator V(Pairs{{0, 1}});
+  // Watched accesses to disjoint locations never conflict.
+  V.add({rec(0, 0, 0, true), rec(1, 1, 1, false), rec(2, 2, 0, true)});
+  EXPECT_TRUE(V.validate());
+}
+
+TEST(SpecValidatorTest, RAWViolationDetected) {
+  SpecValidator V(Pairs{{0, 1}});
+  V.add({rec(7, 0, 0, true), rec(7, 3, 1, false)});
+  std::string Msg;
+  EXPECT_FALSE(V.validate(&Msg));
+  EXPECT_NE(Msg.find("manifested"), std::string::npos);
+}
+
+TEST(SpecValidatorTest, WARViolationDetected) {
+  // src read at iter 1, dst write at iter 2.
+  SpecValidator V(Pairs{{2, 3}});
+  V.add({rec(4, 1, 2, false), rec(4, 2, 3, true)});
+  EXPECT_FALSE(V.validate());
+}
+
+TEST(SpecValidatorTest, ReadsAloneNeverViolate) {
+  SpecValidator V(Pairs{{0, 1}});
+  V.add({rec(9, 0, 0, false), rec(9, 5, 1, false)});
+  EXPECT_TRUE(V.validate()) << "two reads are not a dependence";
+}
+
+TEST(SpecValidatorTest, SameIterationNeverViolates) {
+  // Assumptions are strictly cross-iteration (delta >= 1).
+  SpecValidator V(Pairs{{0, 1}});
+  V.add({rec(3, 4, 0, true), rec(3, 4, 1, false)});
+  EXPECT_TRUE(V.validate());
+}
+
+TEST(SpecValidatorTest, DirectionMatters) {
+  // Pair (0 -> 1): src must be the EARLIER iteration. Here watch 1 writes
+  // first and watch 0 reads later — that is the (1 -> 0) dependence, which
+  // is not assumed.
+  SpecValidator V(Pairs{{0, 1}});
+  V.add({rec(5, 0, 1, true), rec(5, 3, 0, false)});
+  EXPECT_TRUE(V.validate());
+
+  SpecValidator V2(Pairs{{1, 0}});
+  V2.add({rec(5, 0, 1, true), rec(5, 3, 0, false)});
+  EXPECT_FALSE(V2.validate());
+}
+
+TEST(SpecValidatorTest, UnwatchedPairsIgnored) {
+  SpecValidator V(Pairs{{0, 1}});
+  // Watches 2 and 3 conflict, but no assumption covers them.
+  V.add({rec(1, 0, 2, true), rec(1, 4, 3, true)});
+  EXPECT_TRUE(V.validate());
+}
+
+TEST(SpecValidatorTest, IncrementalDetectsAtTheBoundary) {
+  SpecValidator V(Pairs{{0, 1}});
+  EXPECT_TRUE(V.checkAndAdd({rec(2, 0, 0, true)}));
+  EXPECT_TRUE(V.checkAndAdd({rec(3, 1, 1, false)})); // different location
+  std::string Msg;
+  EXPECT_FALSE(V.checkAndAdd({rec(2, 2, 1, false)}, &Msg))
+      << "iteration 2 reads what iteration 0 wrote";
+  EXPECT_NE(Msg.find("manifested"), std::string::npos);
+}
+
+TEST(SpecValidatorTest, IncrementalSameIterationIsClean) {
+  SpecValidator V(Pairs{{0, 1}});
+  // One iteration's log contains both endpoints at one location: no
+  // violation (delta = 0), and later iterations at other locations stay
+  // clean.
+  EXPECT_TRUE(V.checkAndAdd({rec(6, 0, 0, true), rec(6, 0, 1, false)}));
+  EXPECT_TRUE(V.checkAndAdd({rec(7, 1, 0, true), rec(7, 1, 1, false)}));
+  // But iteration 1 touching iteration 0's location violates.
+  SpecValidator V2(Pairs{{0, 1}});
+  EXPECT_TRUE(V2.checkAndAdd({rec(6, 0, 0, true)}));
+  EXPECT_FALSE(V2.checkAndAdd({rec(6, 1, 1, false)}));
+}
+
+TEST(SpecValidatorTest, BatchMatchesIncrementalVerdicts) {
+  auto Logs = std::vector<SpecAccessLog>{
+      {rec(0, 0, 0, true), rec(1, 0, 1, false)},
+      {rec(2, 1, 0, true), rec(0, 1, 1, false)}, // reads iter-0's write
+      {rec(3, 2, 0, true)},
+  };
+  SpecValidator Batch(Pairs{{0, 1}});
+  for (const auto &L : Logs)
+    Batch.add(L);
+  EXPECT_FALSE(Batch.validate());
+
+  SpecValidator Inc(Pairs{{0, 1}});
+  bool OK = true;
+  for (const auto &L : Logs)
+    OK = Inc.checkAndAdd(L) && OK;
+  EXPECT_FALSE(OK);
+}
+
+} // namespace

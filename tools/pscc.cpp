@@ -23,9 +23,17 @@
 ///     --threads=N          worker threads for --run-parallel (default 8)
 ///     --without=FEAT[,..]  ablate PS-PDG features (hn, nt, c, dsde, psv)
 ///     --dep-oracles=LIST   dependence-oracle chain, in order (default:
-///                          ssa,control,io,opaque,alias,affine)
+///                          ssa,control,io,opaque,alias,affine; append
+///                          'spec' with --spec-profile for speculation)
 ///     --dep-stats          run the analysis bundle and report per-oracle
 ///                          query/disproof counts + cache hit rate
+///     --profile-out=FILE   run the program once (on --exec's engine) with
+///                          the dependence profiler and write the
+///                          manifestation profile as JSON
+///     --spec-profile=FILE  training profile backing the 'spec' oracle
+///                          (implies appending 'spec' to the oracle chain)
+///     --merge-profiles=OUT merge the positional profile files into OUT
+///                          (no program is compiled in this mode)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +42,7 @@
 #include "frontend/Frontend.h"
 #include "parallel/PlanEnumerator.h"
 #include "pdg/PDG.h"
+#include "profiling/DepProfiler.h"
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
 #include "runtime/ParallelRuntime.h"
@@ -54,12 +63,16 @@ namespace {
 
 struct Options {
   std::string Input;
+  std::vector<std::string> ExtraInputs; ///< --merge-profiles operands.
   bool EmitIR = false, EmitPDG = false, EmitPSPDG = false;
   bool Summary = false, Fingerprint = false, Run = false;
   bool Plans = false, CountOptions = false, CriticalPath = false;
   bool RunParallel = false;
   bool DepStats = false;
   std::vector<std::string> DepOracles;
+  std::string ProfileOut;
+  std::string SpecProfilePath;
+  std::string MergeProfilesOut;
   ExecEngineKind Engine = ExecEngineKind::Bytecode;
   unsigned Threads = 8;
   AbstractionKind Abs = AbstractionKind::PSPDG;
@@ -96,14 +109,21 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.CriticalPath = true;
     else if (A == "--dep-stats")
       O.DepStats = true;
+    else if (A.rfind("--profile-out=", 0) == 0)
+      O.ProfileOut = A.substr(14);
+    else if (A.rfind("--spec-profile=", 0) == 0)
+      O.SpecProfilePath = A.substr(15);
+    else if (A.rfind("--merge-profiles=", 0) == 0)
+      O.MergeProfilesOut = A.substr(17);
     else if (A.rfind("--dep-oracles=", 0) == 0) {
       std::stringstream SS(A.substr(14));
       std::string Tok;
       while (std::getline(SS, Tok, ',')) {
-        if (!isKnownDepOracleName(Tok)) {
+        if (!isKnownDepOracleName(Tok) && Tok != specOracleName()) {
           std::string Known;
           for (const std::string &N : knownDepOracleNames())
             Known += (Known.empty() ? "" : ", ") + N;
+          Known += std::string(", ") + specOracleName();
           std::fprintf(stderr,
                        "pscc: unknown dependence oracle '%s' (known: %s)\n",
                        Tok.c_str(), Known.c_str());
@@ -197,9 +217,28 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (A[0] == '-') {
       std::fprintf(stderr, "pscc: unknown option '%s'\n", A.c_str());
       return false;
-    } else {
+    } else if (O.Input.empty()) {
       O.Input = A;
+    } else {
+      O.ExtraInputs.push_back(A);
     }
+  }
+  if (!O.ExtraInputs.empty() && O.MergeProfilesOut.empty()) {
+    std::fprintf(stderr, "pscc: multiple inputs only make sense with "
+                         "--merge-profiles\n");
+    return false;
+  }
+  // --spec-profile implies the spec oracle; spec without a profile is an
+  // error (absence of training data is never a license to speculate).
+  bool WantsSpec = false;
+  for (const std::string &N : O.DepOracles)
+    WantsSpec |= N == specOracleName();
+  if (!O.SpecProfilePath.empty() && !WantsSpec)
+    O.DepOracles.push_back(specOracleName());
+  if (WantsSpec && O.SpecProfilePath.empty()) {
+    std::fprintf(stderr,
+                 "pscc: the 'spec' oracle needs --spec-profile=<file>\n");
+    return false;
   }
   return !O.Input.empty();
 }
@@ -233,9 +272,48 @@ int main(int Argc, char **Argv) {
         "            [--exec=walker|bytecode] [--threads=N]\n"
         "            [--without=feat,...]\n"
         "            [--dep-oracles=name,...] [--dep-stats]\n"
-        "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP>\n");
+        "            [--profile-out=file] [--spec-profile=file]\n"
+        "            [--merge-profiles=out in1.json in2.json ...]\n"
+        "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP|UA>\n");
     return 2;
   }
+
+  // Profile merge mode: no program, just profile files.
+  if (!O.MergeProfilesOut.empty()) {
+    DepProfile Merged;
+    std::vector<std::string> Inputs = O.ExtraInputs;
+    Inputs.insert(Inputs.begin(), O.Input);
+    for (const std::string &Path : Inputs) {
+      DepProfile P;
+      std::string Err;
+      if (!DepProfile::loadFile(Path, P, Err)) {
+        std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+        return 1;
+      }
+      Merged.merge(P);
+    }
+    std::string Err;
+    if (!Merged.saveFile(O.MergeProfilesOut, Err)) {
+      std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pscc: merged %zu profile%s into %s\n",
+                 Inputs.size(), Inputs.size() == 1 ? "" : "s",
+                 O.MergeProfilesOut.c_str());
+    return 0;
+  }
+
+  // Training profile for the spec oracle; must outlive every stack below.
+  DepProfile SpecProfile;
+  if (!O.SpecProfilePath.empty()) {
+    std::string Err;
+    if (!DepProfile::loadFile(O.SpecProfilePath, SpecProfile, Err)) {
+      std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  DepOracleConfig OracleCfg(
+      O.DepOracles, O.SpecProfilePath.empty() ? nullptr : &SpecProfile);
 
   std::string Name;
   std::string Source = loadInput(O.Input, Name);
@@ -272,7 +350,7 @@ int main(int Argc, char **Argv) {
       FnCtx C;
       C.F = F.get();
       C.FA = std::make_unique<FunctionAnalysis>(*F);
-      C.Stack = std::make_unique<DepOracleStack>(*C.FA, O.DepOracles);
+      C.Stack = std::make_unique<DepOracleStack>(*C.FA, OracleCfg);
       Ctxs.push_back(std::move(C));
     }
 
@@ -373,7 +451,7 @@ int main(int Argc, char **Argv) {
 
   if (O.CountOptions) {
     OptionCount C =
-        enumerateOptions(M, O.Abs, {}, nullptr, O.Features, O.DepOracles);
+        enumerateOptions(M, O.Abs, {}, nullptr, O.Features, OracleCfg);
     std::printf("%s options: %llu over %u loops (%u DOALL)\n",
                 abstractionName(O.Abs), (unsigned long long)C.Total,
                 C.LoopsConsidered, C.DOALLLoops);
@@ -381,10 +459,38 @@ int main(int Argc, char **Argv) {
 
   if (O.CriticalPath) {
     CriticalPathReport C =
-        evaluateCriticalPaths(M, 2'000'000'000ULL, O.DepOracles);
+        evaluateCriticalPaths(M, 2'000'000'000ULL, OracleCfg);
     std::printf("sequential=%llu OpenMP=%.0f PDG=%.0f J&K=%.0f PS-PDG=%.0f\n",
                 (unsigned long long)C.TotalDynamicInstructions, C.OpenMP,
                 C.PDG, C.JK, C.PSPDG);
+  }
+
+  if (!O.ProfileOut.empty()) {
+    // Training run: execute once with the dependence profiler attached and
+    // serialize what manifested. Engine choice follows --exec (the
+    // profiles are engine-identical; the spec differential tests enforce
+    // it).
+    ModuleAnalyses MA(M);
+    DepProfiler Prof(MA);
+    Interpreter I(M);
+    I.setEngine(O.Engine);
+    I.addObserver(&Prof);
+    RunResult Run = I.run();
+    if (!Run.Completed) {
+      std::fprintf(stderr, "pscc: instruction budget exhausted during "
+                           "profiling; profile not written\n");
+      return 1;
+    }
+    DepProfile P = Prof.takeProfile();
+    std::string Err;
+    if (!P.saveFile(O.ProfileOut, Err)) {
+      std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pscc: wrote dependence profile to %s\n",
+                 O.ProfileOut.c_str());
+    if (!O.Run && !O.RunParallel)
+      return 0;
   }
 
   if (O.Run) {
@@ -411,7 +517,7 @@ int main(int Argc, char **Argv) {
     Clock::time_point T1 = Clock::now();
 
     RuntimePlan Plan =
-        buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features, O.DepOracles);
+        buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features, OracleCfg);
     ParallelRuntime RT(M, Plan, O.Engine);
     Clock::time_point T2 = Clock::now();
     ParallelRunResult Par = RT.run();
@@ -424,13 +530,18 @@ int main(int Argc, char **Argv) {
                  abstractionName(O.RunAbs), O.Threads,
                  execEngineName(O.Engine));
     for (const LoopExecStat &L : Par.Loops) {
+      std::string Spec;
+      if (L.Speculative) {
+        Spec = " speculative(assumptions=" + std::to_string(L.Assumptions) +
+               " misspeculations=" + std::to_string(L.Misspeculations) + ")";
+      }
       std::fprintf(stderr, "  @%s %-14s depth=%u %-10s invocations=%llu "
-                           "iterations=%llu%s%s\n",
+                           "iterations=%llu%s%s%s\n",
                    L.F->getName().c_str(),
                    L.F->getBlock(L.Header)->getName().c_str(), L.Depth,
                    scheduleKindName(L.Kind),
                    (unsigned long long)L.Invocations,
-                   (unsigned long long)L.Iterations,
+                   (unsigned long long)L.Iterations, Spec.c_str(),
                    L.Kind == ScheduleKind::Sequential ? "  // " : "",
                    L.Kind == ScheduleKind::Sequential ? L.Reason.c_str()
                                                       : "");
