@@ -14,9 +14,11 @@
 #
 # The eight NAS kernels are single-function programs, so nothing in them
 # issues an opaque-call query; a ninth synthetic input with a defined
-# function call keeps the opaque oracle covered. The 'spec' oracle only
-# answers under a training profile, so each workload is first profiled
-# (--profile-out) and then re-analyzed with --spec-profile.
+# function call keeps the opaque oracle covered. The speculative oracles
+# ('spec' and 'valuespec') only answer under a training profile, so each
+# workload is first profiled (--profile-out) and then re-analyzed with
+# --spec-profile (which enables both downgrade stages; CG's strided
+# matrix-build cursor keeps 'valuespec' exercised).
 set -euo pipefail
 
 PSCC=${1:-./build/pscc}

@@ -8,6 +8,8 @@
 #                        instrs/s per workload
 #   BENCH_ablation.json — planner power per removed PS-PDG feature
 #                        (Fig. 13 option counts + Fig. 14 critical paths)
+#                        plus the speculation-stage ablation (sound /
+#                        +spec / +spec+valuespec options & DOALL loops)
 #   BENCH_fig13.json   — parallelization options per abstraction
 #   BENCH_fig14.json   — ideal-machine critical paths per abstraction
 #

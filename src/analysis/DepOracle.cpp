@@ -22,6 +22,7 @@
 #include "analysis/DepOracle.h"
 
 #include "analysis/SpecOracle.h"
+#include "analysis/ValueSpec.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -425,13 +426,36 @@ bool psc::isKnownDepOracleName(const std::string &Name) {
 }
 
 const char *psc::specOracleName() { return "spec"; }
+const char *psc::valueSpecOracleName() { return "valuespec"; }
+
+namespace {
+
+bool namesContain(const std::vector<std::string> &Names, const char *N) {
+  return std::find(Names.begin(), Names.end(), N) != Names.end();
+}
+
+/// True when the name list mentions any speculative stage explicitly — the
+/// opt-out of the "profile enables everything" default.
+bool namesAnySpecStage(const std::vector<std::string> &Names) {
+  return namesContain(Names, psc::specOracleName()) ||
+         namesContain(Names, psc::valueSpecOracleName());
+}
+
+} // namespace
 
 bool DepOracleConfig::wantsSpec() const {
-  // Supplying a training profile is itself the opt-in; naming "spec"
-  // without one is a (loud) configuration error.
-  return SpecProfile != nullptr ||
-         std::find(Names.begin(), Names.end(), specOracleName()) !=
-             Names.end();
+  // Supplying a training profile is itself the opt-in for both downgrade
+  // stages; naming a stage without a profile is a (loud) configuration
+  // error, and naming a subset enables exactly that subset (ablation).
+  if (namesAnySpecStage(Names))
+    return namesContain(Names, specOracleName());
+  return SpecProfile != nullptr;
+}
+
+bool DepOracleConfig::wantsValueSpec() const {
+  if (namesAnySpecStage(Names))
+    return namesContain(Names, valueSpecOracleName());
+  return SpecProfile != nullptr;
 }
 
 std::unique_ptr<DepOracle> psc::createDepOracle(const std::string &Name,
@@ -475,11 +499,11 @@ psc::createDepOracles(const FunctionAnalysis &FA,
 
 namespace {
 
-/// The sound-chain names of a config: every name except "spec".
+/// The sound-chain names of a config: every name except the spec stages.
 std::vector<std::string> soundNames(const DepOracleConfig &Config) {
   std::vector<std::string> Out;
   for (const std::string &N : Config.Names)
-    if (N != specOracleName())
+    if (N != specOracleName() && N != valueSpecOracleName())
       Out.push_back(N);
   return Out;
 }
@@ -489,15 +513,25 @@ std::vector<std::string> soundNames(const DepOracleConfig &Config) {
 DepOracleStack::DepOracleStack(const FunctionAnalysis &FA,
                                const DepOracleConfig &Config)
     : DepOracleStack(FA, createDepOracles(FA, soundNames(Config))) {
-  if (!Config.wantsSpec())
+  if (!Config.wantsSpec() && !Config.wantsValueSpec())
     return;
   if (!Config.SpecProfile)
-    reportFatalError("the 'spec' dependence oracle needs a training profile "
-                     "(--spec-profile)");
-  Spec = std::make_unique<SpecOracle>(FA, *Config.SpecProfile);
-  OracleStats S;
-  S.Name = Spec->name();
-  Stats.push_back(S);
+    reportFatalError("the speculative dependence oracles need a training "
+                     "profile (--spec-profile)");
+  if (Config.wantsSpec()) {
+    Spec = std::make_unique<SpecOracle>(FA, *Config.SpecProfile);
+    OracleStats S;
+    S.Name = Spec->name();
+    SpecStatsIdx = Stats.size();
+    Stats.push_back(S);
+  }
+  if (Config.wantsValueSpec()) {
+    VSpec = std::make_unique<ValueSpecOracle>(FA, *Config.SpecProfile);
+    OracleStats S;
+    S.Name = VSpec->name();
+    VSpecStatsIdx = Stats.size();
+    Stats.push_back(S);
+  }
 }
 
 DepOracleStack::DepOracleStack(const FunctionAnalysis &FA,
@@ -573,16 +607,26 @@ DepResult DepOracleStack::query(const DepQuery &Q) {
     ++Cache.Fallback;
   }
 
-  // Speculative downgrade stage: only dependences the sound stack ASSUMED
-  // (MayDep) on a carried query are offered to the spec oracle, so sound
-  // verdicts — and sound-chain order independence — are untouched.
-  if (Spec && R.Verdict == DepVerdict::MayDep &&
+  // Speculative downgrade stages: only dependences the sound stack ASSUMED
+  // (MayDep) on a carried query are offered to them, so sound verdicts —
+  // and sound-chain order independence — are untouched. The memory stage
+  // goes first; the value stage sees only what it declined (a manifested
+  // scalar chain can only fall to value prediction).
+  if (R.Verdict == DepVerdict::MayDep &&
       Q.Kind == DepQueryKind::MemCarried) {
     DepResult SR;
-    if (Spec->answer(Q, SR) && SR.disproven()) {
+    if (Spec && Spec->answer(Q, SR) && SR.disproven()) {
       SR.Oracle = Spec->name();
       SR.Speculative = true;
-      OracleStats &S = Stats.back();
+      OracleStats &S = Stats[SpecStatsIdx];
+      ++S.Answered;
+      ++S.NoDep;
+      R = SR;
+    } else if (VSpec && VSpec->answer(Q, SR) && SR.disproven()) {
+      SR.Oracle = VSpec->name();
+      SR.Speculative = true;
+      SR.ValueSpec = true;
+      OracleStats &S = Stats[VSpecStatsIdx];
       ++S.Answered;
       ++S.NoDep;
       R = SR;
@@ -686,9 +730,10 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     return Out;
   };
 
-  /// 0 = disproven, 1 = carried, 2 = speculatively disproven (assumed
-  /// absent; the edge records the header separately so consumers can turn
-  /// it into a runtime-validated assumption).
+  /// 0 = disproven, 1 = carried, 2 = memory-speculatively disproven,
+  /// 3 = value-speculatively disproven (assumed absent; the edge records
+  /// the header in the matching set so consumers can turn it into a
+  /// runtime-validated assumption of the right family).
   auto Carried = [&](const MemAccess &Src, const MemAccess &Dst,
                      const Loop *L) -> int {
     DepQuery Q;
@@ -701,7 +746,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     DepResult R = Stack.query(Q);
     if (!R.disproven())
       return 1;
-    return R.Speculative ? 2 : 0;
+    return R.Speculative ? (R.ValueSpec ? 3 : 2) : 0;
   };
 
   auto Intra = [&](const MemAccess &Src, const MemAccess &Dst) {
@@ -733,15 +778,17 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
   for (const MemAccess &A : Accesses) {
     if (!A.isWrite())
       continue;
-    std::set<unsigned> CarriedAt, SpecAt;
+    std::set<unsigned> CarriedAt, SpecAt, VSpecAt;
     for (const Loop *L : CommonLoops(A.I, A.I)) {
       int C = Carried(A, A, L);
       if (C == 1)
         CarriedAt.insert(L->getHeader());
       else if (C == 2)
         SpecAt.insert(L->getHeader());
+      else if (C == 3)
+        VSpecAt.insert(L->getHeader());
     }
-    if (CarriedAt.empty() && SpecAt.empty())
+    if (CarriedAt.empty() && SpecAt.empty() && VSpecAt.empty())
       continue;
     DepEdge E;
     E.Src = A.I;
@@ -750,6 +797,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     E.Intra = false;
     E.CarriedAtHeaders = CarriedAt;
     E.SpecCarriedAtHeaders = SpecAt;
+    E.ValueSpecCarriedAtHeaders = VSpecAt;
     E.MemObject = A.Base;
     E.IsIO = A.IsIO;
     E.IsIVDep = CanonicalCounterAt(CarriedAt, A.Base);
@@ -770,21 +818,27 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
       bool IntraDep = Intra(A, B);
 
       // Carried dependences per loop, per direction.
-      std::set<unsigned> CarriedAB, CarriedBA, SpecAB, SpecBA;
+      std::set<unsigned> CarriedAB, CarriedBA, SpecAB, SpecBA, VSpecAB,
+          VSpecBA;
       for (const Loop *L : Loops) {
         int AB = Carried(A, B, L);
         if (AB == 1)
           CarriedAB.insert(L->getHeader());
         else if (AB == 2)
           SpecAB.insert(L->getHeader());
+        else if (AB == 3)
+          VSpecAB.insert(L->getHeader());
         int BA = Carried(B, A, L);
         if (BA == 1)
           CarriedBA.insert(L->getHeader());
         else if (BA == 2)
           SpecBA.insert(L->getHeader());
+        else if (BA == 3)
+          VSpecBA.insert(L->getHeader());
       }
 
-      if (IntraDep || !CarriedAB.empty() || !SpecAB.empty()) {
+      if (IntraDep || !CarriedAB.empty() || !SpecAB.empty() ||
+          !VSpecAB.empty()) {
         DepEdge E;
         E.Src = A.I;
         E.Dst = B.I;
@@ -792,12 +846,13 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.Intra = IntraDep;
         E.CarriedAtHeaders = CarriedAB;
         E.SpecCarriedAtHeaders = SpecAB;
+        E.ValueSpecCarriedAtHeaders = VSpecAB;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = CanonicalCounterAt(CarriedAB, Obj);
         Edges.push_back(std::move(E));
       }
-      if (!CarriedBA.empty() || !SpecBA.empty()) {
+      if (!CarriedBA.empty() || !SpecBA.empty() || !VSpecBA.empty()) {
         DepEdge E;
         E.Src = B.I;
         E.Dst = A.I;
@@ -805,6 +860,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.Intra = false;
         E.CarriedAtHeaders = CarriedBA;
         E.SpecCarriedAtHeaders = SpecBA;
+        E.ValueSpecCarriedAtHeaders = VSpecBA;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = CanonicalCounterAt(CarriedBA, Obj);

@@ -24,11 +24,13 @@
 /// only lose NoDep answers — queries then fall through to the MayDep
 /// default, i.e. ablation is always sound, never unsound.
 ///
-/// The speculative oracle ("spec", SpecOracle.h) sits OUTSIDE the sound
-/// chain: it is a downgrade stage the stack consults only after the sound
-/// chain has answered MayDep on a MemCarried query, and its NoDep answers
-/// are marked speculative — they are profile-backed assumptions the
-/// runtime must validate, not proofs. See DESIGN.md §9.
+/// The speculative oracles ("spec", SpecOracle.h; "valuespec",
+/// ValueSpec.h) sit OUTSIDE the sound chain: they are downgrade stages the
+/// stack consults only after the sound chain has answered MayDep on a
+/// MemCarried query — the memory stage first, then the value stage for
+/// what it declined — and their NoDep answers are marked speculative:
+/// profile-backed assumptions the runtime must validate, not proofs. See
+/// DESIGN.md §9–§10.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -82,6 +84,14 @@ struct DepEdge {
   /// convert them into runtime-validated assumptions (AbstractionView).
   std::set<unsigned> SpecCarriedAtHeaders;
 
+  /// Headers at which the dependence was *value-speculatively* disproven
+  /// (ValueSpec.h): the carried value is predictable (invariant / strided /
+  /// write-first scalar) or reduction-combinable, so the runtime can break
+  /// the chain by prediction + validation instead of conflict watching.
+  /// Disjoint from both sets above; consumers convert these into per-value
+  /// assumptions (AbstractionView::viewFor → LoopPlanView::ValueAssumptions).
+  std::set<unsigned> ValueSpecCarriedAtHeaders;
+
   bool isMemory() const {
     return Kind == DepKind::MemoryRAW || Kind == DepKind::MemoryWAR ||
            Kind == DepKind::MemoryWAW;
@@ -91,6 +101,9 @@ struct DepEdge {
   }
   bool isSpecCarriedAt(unsigned Header) const {
     return SpecCarriedAtHeaders.count(Header) != 0;
+  }
+  bool isValueSpecCarriedAt(unsigned Header) const {
+    return ValueSpecCarriedAtHeaders.count(Header) != 0;
   }
 };
 
@@ -128,9 +141,14 @@ struct DepResult {
   const char *Oracle = "default";   ///< Name of the responding oracle.
 
   /// True when the verdict is a *speculative* NoDep: the sound chain said
-  /// MayDep and the spec oracle downgraded it under a profile-backed
+  /// MayDep and a downgrade stage removed it under a profile-backed
   /// assumption that the runtime must validate.
   bool Speculative = false;
+
+  /// Refines Speculative: the downgrade came from the *value*-speculation
+  /// stage (predictable value / combinable reduction, ValueSpec.h) rather
+  /// than the memory stage (never-manifested conflict, SpecOracle.h).
+  bool ValueSpec = false;
 
   bool disproven() const { return Verdict == DepVerdict::NoDep; }
 };
@@ -153,18 +171,23 @@ public:
 const std::vector<std::string> &knownDepOracleNames();
 bool isKnownDepOracleName(const std::string &Name);
 
-/// The speculative oracle's reserved name.
+/// The speculative oracles' reserved names ("spec" = memory speculation,
+/// "valuespec" = value/reduction speculation).
 const char *specOracleName();
+const char *valueSpecOracleName();
 
 class DepProfile; // profiling/DepProfile.h
 
 /// How to assemble a dependence-oracle stack. Implicitly convertible from
 /// a plain name list so sound-only call sites keep their vector-of-names
-/// spelling. Naming "spec" requires a profile; the profile must outlive
-/// every stack built from this config.
+/// spelling. Naming "spec" or "valuespec" requires a profile; the profile
+/// must outlive every stack built from this config. Supplying a profile
+/// without naming either enables BOTH downgrade stages (the default
+/// speculation configuration); naming one of them enables exactly the
+/// named subset (the ablation surface).
 struct DepOracleConfig {
   std::vector<std::string> Names;          ///< Empty = default sound stack.
-  const DepProfile *SpecProfile = nullptr; ///< Required when "spec" named.
+  const DepProfile *SpecProfile = nullptr; ///< Required for spec stages.
 
   DepOracleConfig() = default;
   DepOracleConfig(const std::vector<std::string> &N) : Names(N) {}
@@ -174,6 +197,7 @@ struct DepOracleConfig {
       : Names(std::move(N)), SpecProfile(P) {}
 
   bool wantsSpec() const;
+  bool wantsValueSpec() const;
 };
 
 /// One speculative assumption a plan depends on: the dependence Src → Dst,
@@ -188,6 +212,19 @@ struct SpecAssumption {
   const Instruction *Dst = nullptr;
   unsigned SrcIdx = 0;
   unsigned DstIdx = 0;
+};
+
+/// One *value* assumption a plan depends on: the carried dependences on
+/// \p Storage at loop \p Header were removed because the training profile
+/// predicts the storage's value behavior (scalar classes) or licenses a
+/// combiner-merged reduction (ValueSpec.h). The plan compiler resolves the
+/// concrete obligation (prediction table entry or promoted reduction) from
+/// the profile; ids are per-loop ordinals assigned by the view.
+struct ValueAssumption {
+  unsigned Id = 0;
+  unsigned Header = 0;
+  const Value *Storage = nullptr;
+  bool IsScalar = true; ///< Scalar prediction vs. reduction promotion.
 };
 
 /// Creates one oracle by name ("ssa", "control", "io", "opaque", "alias",
@@ -223,7 +260,7 @@ public:
   DepResult query(const DepQuery &Q);
 
   /// True when a speculative downgrade stage is configured.
-  bool speculative() const { return Spec != nullptr; }
+  bool speculative() const { return Spec != nullptr || VSpec != nullptr; }
 
   const FunctionAnalysis &functionAnalysis() const { return FA; }
 
@@ -249,8 +286,8 @@ public:
       return Queries ? static_cast<double>(Hits) / Queries : 0.0;
     }
   };
-  /// Per-oracle counters, in chain order; the spec oracle (when
-  /// configured) contributes a trailing row.
+  /// Per-oracle counters, in chain order; the spec and valuespec oracles
+  /// (when configured) contribute trailing rows.
   std::vector<OracleStats> oracleStats() const;
   const CacheStats &cacheStats() const { return Cache; }
   void resetStats();
@@ -258,10 +295,16 @@ public:
 private:
   const FunctionAnalysis &FA;
   std::vector<std::unique_ptr<DepOracle>> Oracles;
-  /// The speculative downgrade stage; not part of the sound chain walk.
+  /// The speculative downgrade stages; not part of the sound chain walk.
+  /// The memory stage (Spec) is consulted first, the value stage (VSpec)
+  /// only for queries the memory stage declines — a manifested scalar
+  /// chain can only fall to value prediction, a never-manifested conflict
+  /// is cheaper to watch than to predict.
   std::unique_ptr<DepOracle> Spec;
+  std::unique_ptr<DepOracle> VSpec;
+  size_t SpecStatsIdx = 0, VSpecStatsIdx = 0;
   std::vector<MemAccess> Accesses;
-  std::vector<OracleStats> Stats; // parallel to Oracles (+ spec row)
+  std::vector<OracleStats> Stats; // parallel to Oracles (+ spec rows)
   CacheStats Cache;
   std::unordered_map<uint64_t, DepResult> Memo;
 };

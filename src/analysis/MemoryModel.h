@@ -60,6 +60,17 @@ struct MemAccess {
 /// does not resolve to an alloca/global/argument.
 Value *findUnderlyingObject(Value *Ptr);
 
+/// Walks GEP chains to the base pointer value without classifying it (the
+/// result may be an alloca, global, argument, or any other pointer
+/// producer). The single shared spelling of the "strip GEPs" walk — the
+/// plan compiler, value-speculation analysis, and sound-alternative view
+/// must all agree on what "the storage" of an access is.
+inline const Value *rootStorage(const Value *Ptr) {
+  while (const auto *G = dyn_cast<GEPInst>(Ptr))
+    Ptr = G->getBase();
+  return Ptr;
+}
+
 /// Alias verdict for two base objects under the rules above. Null bases
 /// (opaque) alias everything.
 enum class AliasResult { NoAlias, MayAlias };

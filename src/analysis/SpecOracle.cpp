@@ -3,11 +3,12 @@
 #include "analysis/SpecOracle.h"
 
 #include "profiling/DepProfile.h"
+#include "pspdg/Fingerprint.h"
 
 using namespace psc;
 
 SpecOracle::SpecOracle(const FunctionAnalysis &FA, const DepProfile &Profile)
-    : FA(FA), Profile(Profile) {}
+    : FA(FA), Profile(Profile), BodyHash(functionBodyHash(FA.function())) {}
 
 bool SpecOracle::answer(const DepQuery &Q, DepResult &R) const {
   if (Q.Kind != DepQueryKind::MemCarried || !Q.L || !Q.SrcAcc || !Q.DstAcc)
@@ -22,7 +23,7 @@ bool SpecOracle::answer(const DepQuery &Q, DepResult &R) const {
   const std::string &Fn = FA.function().getName();
   unsigned NumInsts = static_cast<unsigned>(FA.instructions().size());
   unsigned Header = Q.L->getHeader();
-  if (!Profile.observed(Fn, NumInsts, Header))
+  if (!Profile.observed(Fn, NumInsts, BodyHash, Header))
     return false; // untrained or stale: absence of data is not evidence
   if (Profile.manifested(Fn, Header, FA.indexOf(Q.Src), FA.indexOf(Q.Dst)))
     return false; // the dependence is real; leave the sound verdict alone

@@ -40,6 +40,9 @@ public:
 private:
   const FunctionAnalysis &FA;
   const DepProfile &Profile;
+  /// Staleness guard inputs, computed once: profile indices only apply to
+  /// the same function body (DepProfile::observed).
+  uint64_t BodyHash = 0;
 };
 
 } // namespace psc

@@ -1,0 +1,231 @@
+//===- ValueSpec.cpp - Value/reduction speculation analysis ----*- C++ -*-===//
+
+#include "analysis/ValueSpec.h"
+
+#include "analysis/MemoryModel.h"
+#include "ir/Module.h"
+#include "pspdg/Fingerprint.h"
+
+using namespace psc;
+
+namespace {
+
+/// True when \p F is safe for the runtime to execute at merge time: pure
+/// compute over its arguments and its own locals — no I/O, no
+/// parallel-region markers, no calls to defined functions (whose effects
+/// the merge phase cannot account for), and no access to module globals.
+/// The sequential run never executes the combiner, so ANY externally
+/// visible effect — a print, or a load/store of a global — would diverge
+/// the parallel run undetectably. Math intrinsics are fine.
+bool combinerIsPure(const Function &F) {
+  if (F.isDeclaration())
+    return false;
+  for (const BasicBlock *BB : F) {
+    for (const Instruction *I : *BB) {
+      if (const auto *LI = dyn_cast<LoadInst>(I)) {
+        if (isa<GlobalVariable>(rootStorage(LI->getPointer())))
+          return false; // reads shared state the merge phase may mutate
+      } else if (const auto *SI = dyn_cast<StoreInst>(I)) {
+        if (isa<GlobalVariable>(rootStorage(SI->getPointer())))
+          return false; // mutates state the sequential run never touches
+      }
+      const auto *CI = dyn_cast<CallInst>(I);
+      if (!CI)
+        continue;
+      const Function *Callee = CI->getCallee();
+      if (!Callee->isDeclaration())
+        return false; // defined call: unbounded effects
+      const std::string &Name = Callee->getName();
+      if (Name == intrinsics::Print || Name == intrinsics::PrintF ||
+          Name == intrinsics::RegionBegin || Name == intrinsics::RegionEnd ||
+          Name == intrinsics::BarrierMarker ||
+          Name == intrinsics::TaskWaitMarker)
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::string psc::valueStorageKey(const Value *Storage) {
+  if (const auto *GV = dyn_cast<GlobalVariable>(Storage))
+    return GV->getName();
+  if (const auto *AI = dyn_cast<AllocaInst>(Storage))
+    return AI->getName().empty() ? std::string()
+                                 : "%" + AI->getName();
+  return std::string();
+}
+
+Function *psc::registeredCombiner(const Module &M, const Value *Storage) {
+  for (const Directive &D : M.getParallelInfo().directives()) {
+    if (D.isLoopDirective())
+      continue;
+    for (const ReductionClause &R : D.Reductions)
+      if (R.Op == ReduceOp::Custom && R.Var.Storage == Storage &&
+          R.CustomReducer && combinerIsPure(*R.CustomReducer))
+        return R.CustomReducer;
+  }
+  return nullptr;
+}
+
+ReductionShape psc::analyzeReductionShape(const FunctionAnalysis &FA,
+                                          const Loop &L, const Value *Storage,
+                                          const DepProfile *Profile,
+                                          uint64_t BodyHash) {
+  ReductionShape Shape;
+  Shape.Storage = Storage;
+  const Function &F = FA.function();
+  const Module &M = *F.getParent();
+
+  Shape.Combiner = registeredCombiner(M, Storage);
+  if (!Shape.Combiner) {
+    Shape.Reason = "no runnable combiner registered";
+    return Shape;
+  }
+
+  // Collect the loop's accesses of Storage and every SSA user of each
+  // in-loop instruction (the IR keeps no use lists; one linear pass).
+  std::vector<const Instruction *> Loads, Stores;
+  std::map<const Value *, std::vector<const Instruction *>> Users;
+  for (unsigned BI : L.blocks()) {
+    for (const Instruction *I : *F.getBlock(BI)) {
+      for (const Value *Op : I->operands())
+        if (isa<Instruction>(Op))
+          Users[Op].push_back(I);
+      if (const auto *LI = dyn_cast<LoadInst>(I)) {
+        if (rootStorage(LI->getPointer()) == Storage)
+          Loads.push_back(I);
+      } else if (const auto *SI = dyn_cast<StoreInst>(I)) {
+        if (rootStorage(SI->getPointer()) == Storage)
+          Stores.push_back(I);
+      }
+    }
+  }
+
+  // Conforming additive RMW: store(ptr, add/sub(load(ptr), x)) through the
+  // SAME pointer SSA value (the front-end's compound-assignment shape), the
+  // load feeding only the add, the add feeding only the store. Sub
+  // qualifies on its left operand only (old - x accumulates -x; x - old
+  // does not accumulate).
+  std::set<const Instruction *> Conforming; // loads + stores of valid RMWs
+  for (const Instruction *I : Stores) {
+    const auto *SI = cast<StoreInst>(I);
+    const auto *Bin = dyn_cast<BinaryInst>(SI->getStoredValue());
+    if (!Bin || (Bin->getBinOp() != BinaryInst::BinOp::Add &&
+                 Bin->getBinOp() != BinaryInst::BinOp::Sub))
+      continue;
+    const auto *Ld = dyn_cast<LoadInst>(Bin->getLHS());
+    if (!Ld || Ld->getPointer() != SI->getPointer())
+      continue;
+    auto OnlyUser = [&](const Value *V, const Instruction *Expected) {
+      auto It = Users.find(V);
+      if (It == Users.end())
+        return false;
+      for (const Instruction *U : It->second)
+        if (U != Expected)
+          return false;
+      return true;
+    };
+    if (!OnlyUser(Ld, Bin) || !OnlyUser(Bin, I))
+      continue; // the partial's value leaks beyond the accumulation
+    Conforming.insert(I);
+    Conforming.insert(Ld);
+    Shape.ConformingStores.push_back(I);
+  }
+  if (Shape.ConformingStores.empty()) {
+    Shape.Reason = "no additive read-modify-write accumulation";
+    return Shape;
+  }
+
+  // Promotion always needs training evidence: without an observation of
+  // this loop there is no cold/warm distinction to license guards.
+  const std::string &Fn = F.getName();
+  unsigned NumInsts = static_cast<unsigned>(FA.instructions().size());
+  unsigned Header = L.getHeader();
+  if (!Profile || !Profile->observed(Fn, NumInsts, BodyHash, Header)) {
+    Shape.Reason = "loop not observed by the training profile";
+    return Shape;
+  }
+
+  // Every non-conforming access must be cold in training: a load would
+  // observe the zero-seeded partial, a store would not accumulate. Cold
+  // accesses become runtime guards (execution = misspeculation).
+  for (const std::vector<const Instruction *> *Set : {&Loads, &Stores}) {
+    for (const Instruction *I : *Set) {
+      if (Conforming.count(I))
+        continue;
+      if (Profile->accessed(Fn, Header, FA.indexOf(I))) {
+        Shape.Reason = "non-conforming access to reducible storage is not "
+                       "profile-cold";
+        return Shape;
+      }
+      Shape.ColdAccesses.push_back(I);
+    }
+  }
+
+  Shape.Viable = true;
+  return Shape;
+}
+
+//===----------------------------------------------------------------------===//
+// ValueSpecOracle
+//===----------------------------------------------------------------------===//
+
+ValueSpecOracle::ValueSpecOracle(const FunctionAnalysis &FA,
+                                 const DepProfile &Profile)
+    : FA(FA), Profile(Profile), BodyHash(functionBodyHash(FA.function())) {}
+
+bool ValueSpecOracle::scalarSpeculable(const Value *Storage,
+                                       unsigned Header) const {
+  std::string Key = valueStorageKey(Storage);
+  if (Key.empty())
+    return false;
+  const DepProfile::ValueObs *Obs =
+      Profile.valueObs(FA.function().getName(), Header, Key);
+  return Obs && Obs->Kind != ValueClassKind::Varying;
+}
+
+bool ValueSpecOracle::reductionSpeculable(const Value *Storage,
+                                          const Loop &L) const {
+  auto Key = std::make_pair(L.getHeader(), Storage);
+  auto It = ShapeMemo.find(Key);
+  if (It != ShapeMemo.end())
+    return It->second;
+  bool Viable =
+      analyzeReductionShape(FA, L, Storage, &Profile, BodyHash).Viable;
+  ShapeMemo[Key] = Viable;
+  return Viable;
+}
+
+bool ValueSpecOracle::answer(const DepQuery &Q, DepResult &R) const {
+  if (Q.Kind != DepQueryKind::MemCarried || !Q.L || !Q.SrcAcc || !Q.DstAcc)
+    return false;
+  const MemAccess &A = *Q.SrcAcc, &B = *Q.DstAcc;
+  // Only same-object dependences with known bases are value-speculable:
+  // the prediction/combiner machinery attaches to one storage object.
+  if (!A.Base || !B.Base || A.Base != B.Base || A.IsIO || B.IsIO)
+    return false;
+
+  const std::string &Fn = FA.function().getName();
+  unsigned NumInsts = static_cast<unsigned>(FA.instructions().size());
+  unsigned Header = Q.L->getHeader();
+  if (!Profile.observed(Fn, NumInsts, BodyHash, Header))
+    return false; // untrained or stale: absence of data is not evidence
+
+  bool Speculable = false;
+  if (A.IsScalar && B.IsScalar)
+    Speculable = scalarSpeculable(A.Base, Header);
+  else if (!A.IsScalar && !B.IsScalar)
+    Speculable = reductionSpeculable(A.Base, *Q.L);
+  if (!Speculable)
+    return false;
+
+  R.Kind = A.isWrite() ? (B.isWrite() ? DepKind::MemoryWAW : DepKind::MemoryRAW)
+                       : DepKind::MemoryWAR;
+  R.Verdict = DepVerdict::NoDep;
+  R.Carried = false;
+  R.Speculative = true;
+  R.ValueSpec = true;
+  return true;
+}

@@ -1,0 +1,115 @@
+//===- ValueSpec.h - Profile-backed value/reduction speculation --*- C++ -*-===//
+///
+/// \file
+/// The second speculation pillar (DESIGN.md §10), parallel to the memory
+/// pillar in SpecOracle.h: instead of assuming a dependence never
+/// *manifests*, value speculation assumes the dependence's *value* is
+/// predictable — so the runtime can break the carried chain by predicting
+/// (and validating) the value instead of watching for conflicts.
+///
+/// Two speculation families:
+///
+///   * **Scalar value speculation.** A loop-carried scalar whose training
+///     profile classifies it (profiling/DepProfile.h) as
+///       - Invariant   — every write stored the loop-entry value,
+///       - Strided     — every iteration's last write advanced by a fixed
+///                       stride over the entry value, or
+///       - WriteFirst  — no iteration reads the carried-in value
+///     has its carried register/φ-equivalent dependences (in this IR,
+///     whole-scalar memory dependences) downgraded to assumption-carrying
+///     speculative NoDeps. The runtime privatizes the scalar, seeds each
+///     iteration with the predicted value, logs every write, and the
+///     validator checks observed == predicted (SpecValidation.h).
+///
+///   * **Reduction speculation.** A loop writing `reducible(var : fn)`
+///     storage — rejected outright by the sound plan compiler ("writes
+///     custom-reducible storage") — is promoted to a runnable reduction
+///     when (a) a defined, side-effect-free combiner is registered,
+///     (b) every *warm* access is an additive read-modify-write through
+///     one address computation (load → add/sub → store through the same
+///     pointer), and (c) every non-conforming access was cold in training
+///     (never executed). The runtime privatizes the storage zero-filled,
+///     merges partials by *executing* the user combiner in chunk order
+///     (the combiner registry), and guard-watches the cold accesses: one
+///     executing at run time is a misspeculation.
+///
+/// Like the memory oracle, the ValueSpecOracle sits OUTSIDE the sound
+/// chain: DepOracleStack consults it as a second downgrade stage, only for
+/// MemCarried queries neither the sound chain nor the memory-spec stage
+/// resolved. Every downgrade obligates the runtime (DESIGN.md §10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_ANALYSIS_VALUESPEC_H
+#define PSPDG_ANALYSIS_VALUESPEC_H
+
+#include "analysis/DepOracle.h"
+#include "profiling/DepProfile.h"
+
+#include <map>
+#include <vector>
+
+namespace psc {
+
+class Loop;
+
+/// Static + profile-backed viability of promoting one custom-reducible
+/// storage inside one loop to a runtime-combined reduction.
+struct ReductionShape {
+  bool Viable = false;
+  std::string Reason; ///< Why not viable (diagnostic), empty when viable.
+  const Value *Storage = nullptr;
+  Function *Combiner = nullptr;
+  /// Conforming additive-RMW stores (their paired loads are implied).
+  std::vector<const Instruction *> ConformingStores;
+  /// Accesses that are not part of a conforming RMW and were cold in
+  /// training: promoted plans guard-watch them (execution = rollback).
+  std::vector<const Instruction *> ColdAccesses;
+};
+
+/// Analyzes the accesses of \p Storage inside \p L. \p Profile (with the
+/// staleness inputs \p BodyHash) supplies the cold/warm evidence;
+/// promotion always needs training evidence, so a null or unobserving
+/// profile is never viable (the Reason string says why — diagnostics).
+ReductionShape analyzeReductionShape(const FunctionAnalysis &FA,
+                                     const Loop &L, const Value *Storage,
+                                     const DepProfile *Profile,
+                                     uint64_t BodyHash);
+
+/// The module-scope `reducible(var : fn)` combiner registered for
+/// \p Storage, or null. A combiner qualifies only when it is defined and
+/// free of externally visible effects (no I/O, no region markers, no
+/// calls to defined functions, no access to module globals — only its
+/// arguments and locals) — the runtime executes it at merge time, which
+/// the sequential run never does.
+Function *registeredCombiner(const Module &M, const Value *Storage);
+
+/// The profile key of a scalar storage's value observations: the bare name
+/// for globals, "%name" for allocas — so a local shadowing a same-named
+/// global cannot inherit (or pollute) the global's value class. Empty when
+/// \p Storage is not nameable scalar storage.
+std::string valueStorageKey(const Value *Storage);
+
+/// The value-speculation downgrade stage (see file comment).
+class ValueSpecOracle : public DepOracle {
+public:
+  /// \p Profile must outlive the oracle.
+  ValueSpecOracle(const FunctionAnalysis &FA, const DepProfile &Profile);
+
+  const char *name() const override { return valueSpecOracleName(); }
+  bool answer(const DepQuery &Q, DepResult &R) const override;
+
+private:
+  bool scalarSpeculable(const Value *Storage, unsigned Header) const;
+  bool reductionSpeculable(const Value *Storage, const Loop &L) const;
+
+  const FunctionAnalysis &FA;
+  const DepProfile &Profile;
+  uint64_t BodyHash = 0;
+  /// Reduction-shape verdicts, per (loop header, storage).
+  mutable std::map<std::pair<unsigned, const Value *>, bool> ShapeMemo;
+};
+
+} // namespace psc
+
+#endif // PSPDG_ANALYSIS_VALUESPEC_H

@@ -453,17 +453,51 @@ void BCContext::doStore(const RTValue &V, const RTValue &P, bool OwnedStore,
 }
 
 void BCContext::noteMemAccess(const BCFunction &F, uint32_t PC,
-                              const RTValue &P, bool IsWrite) {
+                              const RTValue &P, bool IsWrite,
+                              const RTValue *Stored) {
   if (!Observers.empty()) {
     const Instruction *I = F.code()[PC].Src;
     for (ExecutionObserver *O : Observers)
       O->onMemAccess(*I, *P.Obj, P.Offset, IsWrite);
   }
+  if (!SpecLog || (Owned && !(CommitFn == &F && (*Owned)[PC] != 0)))
+    return;
+  uint32_t Watch = 0, VWatch = 0, GWatch = 0;
+  bool HasWatch = false;
   if (SpecWatch && SpecFn == &F) {
     uint32_t W = (*SpecWatch)[PC];
-    if (W != 0 && (!Owned || (CommitFn == &F && (*Owned)[PC] != 0)))
-      SpecLog->push_back({P.Obj, P.Offset, CurIteration, W - 1, IsWrite});
+    if (W != 0) {
+      Watch = W - 1;
+      HasWatch = true;
+    }
   }
+  if (ValueWatch && ValueFn == &F)
+    VWatch = (*ValueWatch)[PC];
+  if (GuardWatch && ValueFn == &F)
+    GWatch = (*GuardWatch)[PC];
+  if (!HasWatch && !VWatch && !GWatch)
+    return;
+  SpecAccessRec R;
+  R.Obj = P.Obj;
+  R.Off = P.Offset;
+  R.Iter = CurIteration;
+  R.Watch = Watch;
+  R.IsWrite = IsWrite;
+  R.HasWatch = HasWatch;
+  R.VWatch = VWatch;
+  R.GWatch = GWatch;
+  if (Stored) {
+    // Fill only the matching lane: the value checks compare by the
+    // storage's element type, and casting an out-of-range double to
+    // int64 would be UB for nothing.
+    if (Stored->Kind == RTValue::RTKind::Float)
+      R.ValF = Stored->F;
+    else {
+      R.ValI = Stored->I;
+      R.ValF = static_cast<double>(Stored->I);
+    }
+  }
+  SpecLog->push_back(R);
 }
 
 void BCContext::emitOutput(std::string Line) {
@@ -594,14 +628,14 @@ BCContext::ExecRes BCContext::execOne(const BCFunction &F, BCFrame &Fr,
   case BCOp::LoadI: {
     RTValue P = fetch(I.A, Fr);
     Fr.Regs[I.Dest] = doLoad(P, false);
-    if (!Observers.empty() || SpecWatch)
+    if (!Observers.empty() || SpecLog)
       noteMemAccess(F, PC, P, /*IsWrite=*/false);
     break;
   }
   case BCOp::LoadF: {
     RTValue P = fetch(I.A, Fr);
     Fr.Regs[I.Dest] = doLoad(P, true);
-    if (!Observers.empty() || SpecWatch)
+    if (!Observers.empty() || SpecLog)
       noteMemAccess(F, PC, P, /*IsWrite=*/false);
     break;
   }
@@ -610,9 +644,10 @@ BCContext::ExecRes BCContext::execOne(const BCFunction &F, BCFrame &Fr,
     unsigned Num =
         Numbering && NumberingFn == &F ? (*Numbering)[PC] : 0;
     RTValue P = fetch(I.B, Fr);
-    doStore(fetch(I.A, Fr), P, OwnedStore, Num);
-    if (!Observers.empty() || SpecWatch)
-      noteMemAccess(F, PC, P, /*IsWrite=*/true);
+    RTValue V = fetch(I.A, Fr);
+    doStore(V, P, OwnedStore, Num);
+    if (!Observers.empty() || SpecLog)
+      noteMemAccess(F, PC, P, /*IsWrite=*/true, &V);
     break;
   }
   case BCOp::GEP: {

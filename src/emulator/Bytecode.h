@@ -339,6 +339,17 @@ public:
     SpecLog = Log;
   }
 
+  /// Value speculation: per-PC tables of \p TablesFor — value-watch index
+  /// + 1 (stores log the stored value) and guard ordinal + 1 (any logged
+  /// access is a misspeculation). Records go to the setSpecWatch log.
+  void setValueWatch(const BCFunction *TablesFor,
+                     const std::vector<uint32_t> *VWatchAtPC,
+                     const std::vector<uint32_t> *GuardAtPC) {
+    ValueFn = TablesFor;
+    ValueWatch = VWatchAtPC;
+    GuardWatch = GuardAtPC;
+  }
+
   /// HELIX: instructions of sequential SCCs execute in iteration order.
   struct IterationGate {
     const BCFunction *TablesFor = nullptr;
@@ -408,10 +419,11 @@ private:
   RTValue doLoad(const RTValue &P, bool WantFloat);
   void doStore(const RTValue &V, const RTValue &P, bool OwnedStore,
                unsigned Num);
-  /// Fires onMemAccess observers and the speculation watch for the
+  /// Fires onMemAccess observers and the speculation watches for the
   /// load/store at \p PC of \p F (mirrors ExecContext::noteMemAccess).
+  /// \p Stored is the just-stored value (null for loads).
   void noteMemAccess(const BCFunction &F, uint32_t PC, const RTValue &P,
-                     bool IsWrite);
+                     bool IsWrite, const RTValue *Stored = nullptr);
   RTValue callIntrinsic(const BCFunction &F, const BCInst &I, BCFrame &Fr,
                         uint32_t PC);
   void emitOutput(std::string Line);
@@ -433,6 +445,9 @@ private:
   const std::vector<unsigned> *Numbering = nullptr;
   const BCFunction *SpecFn = nullptr;
   const std::vector<uint32_t> *SpecWatch = nullptr;
+  const BCFunction *ValueFn = nullptr;
+  const std::vector<uint32_t> *ValueWatch = nullptr;
+  const std::vector<uint32_t> *GuardWatch = nullptr;
   SpecAccessLog *SpecLog = nullptr;
   long CurIteration = 0;
   IterationGate *Gate = nullptr;

@@ -208,15 +208,53 @@ void ExecContext::doStore(const RTValue &V, const RTValue &P,
 }
 
 void ExecContext::noteMemAccess(const Instruction *I, const RTValue &P,
-                                bool IsWrite) {
+                                bool IsWrite, const RTValue *Stored) {
   for (ExecutionObserver *O : Observers)
     O->onMemAccess(*I, *P.Obj, P.Offset, IsWrite);
+  if (!SpecLog || (CommitFilter && !CommitFilter(*I)))
+    return;
+  uint32_t Watch = 0, VWatch = 0, GWatch = 0;
+  bool HasWatch = false;
   if (SpecWatchOf) {
     auto It = SpecWatchOf->find(I);
-    if (It != SpecWatchOf->end() && (!CommitFilter || CommitFilter(*I)))
-      SpecLog->push_back(
-          {P.Obj, P.Offset, CurIteration, It->second, IsWrite});
+    if (It != SpecWatchOf->end()) {
+      Watch = It->second;
+      HasWatch = true;
+    }
   }
+  if (ValueWatchOf) {
+    auto It = ValueWatchOf->find(I);
+    if (It != ValueWatchOf->end())
+      VWatch = It->second + 1;
+  }
+  if (GuardWatchOf) {
+    auto It = GuardWatchOf->find(I);
+    if (It != GuardWatchOf->end())
+      GWatch = It->second + 1;
+  }
+  if (!HasWatch && !VWatch && !GWatch)
+    return;
+  SpecAccessRec R;
+  R.Obj = P.Obj;
+  R.Off = P.Offset;
+  R.Iter = CurIteration;
+  R.Watch = Watch;
+  R.IsWrite = IsWrite;
+  R.HasWatch = HasWatch;
+  R.VWatch = VWatch;
+  R.GWatch = GWatch;
+  if (Stored) {
+    // Fill only the matching lane: the value checks compare by the
+    // storage's element type, and casting an out-of-range double to
+    // int64 would be UB for nothing.
+    if (Stored->Kind == RTValue::RTKind::Float)
+      R.ValF = Stored->F;
+    else {
+      R.ValI = Stored->I;
+      R.ValF = static_cast<double>(Stored->I);
+    }
+  }
+  SpecLog->push_back(R);
 }
 
 void ExecContext::emitOutput(std::string Line) {
@@ -334,16 +372,17 @@ bool ExecContext::execInst(Frame &Fr, const Instruction *I,
     const auto *LI = cast<LoadInst>(I);
     RTValue P = evalOperand(LI->getPointer(), Fr);
     Fr.Regs[I] = doLoad(P, LI->getType());
-    if (!Observers.empty() || SpecWatchOf)
+    if (!Observers.empty() || SpecLog)
       noteMemAccess(I, P, /*IsWrite=*/false);
     break;
   }
   case Value::ValueKind::Store: {
     const auto *SI = cast<StoreInst>(I);
     RTValue P = evalOperand(SI->getPointer(), Fr);
-    doStore(evalOperand(SI->getStoredValue(), Fr), P, I);
-    if (!Observers.empty() || SpecWatchOf)
-      noteMemAccess(I, P, /*IsWrite=*/true);
+    RTValue V = evalOperand(SI->getStoredValue(), Fr);
+    doStore(V, P, I);
+    if (!Observers.empty() || SpecLog)
+      noteMemAccess(I, P, /*IsWrite=*/true, &V);
     break;
   }
   case Value::ValueKind::GEP: {

@@ -302,12 +302,22 @@ private:
 
 /// One watched memory access of a speculative loop iteration (the raw
 /// material of runtime assumption validation; see runtime/SpecValidation.h).
+/// A record can belong to up to three watch families at once: the memory
+/// conflict-check table (Watch, valid when HasWatch), the value-prediction
+/// table (VWatch, index + 1; stores carry the stored value in ValI/ValF),
+/// and the guard table of promoted reductions (GWatch, index + 1; any
+/// guarded record is a misspeculation).
 struct SpecAccessRec {
   MemObject *Obj = nullptr;
   uint64_t Off = 0;
   long Iter = 0;
   uint32_t Watch = 0; ///< Watch index from the loop's conflict-check table.
   bool IsWrite = false;
+  bool HasWatch = true; ///< Watch above is meaningful.
+  uint32_t VWatch = 0;  ///< Value-prediction index + 1; 0 = none.
+  uint32_t GWatch = 0;  ///< Guard ordinal + 1; 0 = none.
+  int64_t ValI = 0;     ///< Stored value (value-watched writes only).
+  double ValF = 0.0;
 };
 using SpecAccessLog = std::vector<SpecAccessRec>;
 
@@ -372,6 +382,15 @@ public:
     SpecLog = Log;
   }
 
+  /// Value speculation: accesses in \p VWatchOf log with the stored value
+  /// (prediction checks), accesses in \p GuardOf log as guard hits
+  /// (misspeculation on execution). Records go to the setSpecWatch log.
+  void setValueWatch(const std::map<const Instruction *, unsigned> *VWatchOf,
+                     const std::map<const Instruction *, unsigned> *GuardOf) {
+    ValueWatchOf = VWatchOf;
+    GuardWatchOf = GuardOf;
+  }
+
   /// HELIX: instructions of sequential SCCs execute in iteration order.
   struct IterationGate {
     const std::map<const Instruction *, unsigned> *SCCOf = nullptr;
@@ -426,9 +445,11 @@ private:
 
   RTValue doLoad(const RTValue &P, const Type *Ty);
   void doStore(const RTValue &V, const RTValue &P, const Instruction *I);
-  /// Fires onMemAccess observers and the speculation watch for one
-  /// load/store of \p I at (\p P.Obj, \p P.Offset).
-  void noteMemAccess(const Instruction *I, const RTValue &P, bool IsWrite);
+  /// Fires onMemAccess observers and the speculation watches for one
+  /// load/store of \p I at (\p P.Obj, \p P.Offset). \p Stored is the
+  /// just-stored value (null for loads) — value watches log it.
+  void noteMemAccess(const Instruction *I, const RTValue &P, bool IsWrite,
+                     const RTValue *Stored = nullptr);
   RTValue callIntrinsic(const CallInst &CI, std::vector<RTValue> &Args);
   void emitOutput(std::string Line);
   void gateWait(const Instruction *I);
@@ -447,6 +468,8 @@ private:
   ShadowMemory *Shadow = nullptr;
   const std::map<const Instruction *, unsigned> *InstNumbering = nullptr;
   const std::map<const Instruction *, unsigned> *SpecWatchOf = nullptr;
+  const std::map<const Instruction *, unsigned> *ValueWatchOf = nullptr;
+  const std::map<const Instruction *, unsigned> *GuardWatchOf = nullptr;
   SpecAccessLog *SpecLog = nullptr;
   long CurIteration = 0;
   IterationGate *Gate = nullptr;

@@ -2,6 +2,7 @@
 
 #include "parallel/AbstractionView.h"
 
+#include "analysis/MemoryModel.h"
 #include "analysis/Privatization.h"
 #include "ir/Module.h"
 
@@ -157,6 +158,27 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
     View.Assumptions.push_back(A);
   };
 
+  // Value assumptions dedup per storage: every value-speculated edge on
+  // one object represents the same per-value obligation.
+  std::set<const Value *> ValueAssumed;
+  auto RecordValueAssumption = [&](const Value *Storage, bool IsScalar) {
+    if (!Storage || !ValueAssumed.insert(Storage).second)
+      return;
+    ValueAssumption A;
+    A.Id = static_cast<unsigned>(View.ValueAssumptions.size());
+    A.Header = H;
+    A.Storage = Storage;
+    A.IsScalar = IsScalar;
+    View.ValueAssumptions.push_back(A);
+  };
+  auto IsScalarAccess = [](const Instruction *I) {
+    if (const auto *LI = dyn_cast<LoadInst>(I))
+      return !isa<GEPInst>(LI->getPointer());
+    if (const auto *SI = dyn_cast<StoreInst>(I))
+      return !isa<GEPInst>(SI->getPointer());
+    return false;
+  };
+
   if (Kind == AbstractionKind::PSPDG) {
     // Consume the PS-PDG's directed edges (feature-filtered).
     for (const PSDirectedEdge &E : G->directedEdges()) {
@@ -182,6 +204,8 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
       // would have kept becomes a runtime-validated assumption.
       if (E.SpecCarriedAtHeaders.count(H) != 0 && !SoundlyRemoved())
         RecordAssumption(SrcN.I, DstN.I);
+      if (E.ValueSpecCarriedAtHeaders.count(H) != 0 && !SoundlyRemoved())
+        RecordValueAssumption(E.MemObject, IsScalarAccess(SrcN.I));
       if (!Carried && !E.Intra)
         continue;
       View.Edges.push_back({SIt->second, DIt->second, Carried});
@@ -201,9 +225,63 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
     bool Carried = E.isCarriedAt(H) && keepCarried(E, L, PrivateScalars);
     if (E.isSpecCarriedAt(H) && keepCarried(E, L, PrivateScalars))
       RecordAssumption(E.Src, E.Dst);
+    if (E.isValueSpecCarriedAt(H) && keepCarried(E, L, PrivateScalars))
+      RecordValueAssumption(E.MemObject, IsScalarAccess(E.Src));
     if (!Carried && !E.Intra)
       continue;
     View.Edges.push_back({SIt->second, DIt->second, Carried});
   }
   return View;
+}
+
+LoopPlanView psc::soundAlternative(const LoopPlanView &PV) {
+  LoopPlanView Sound = PV;
+  Sound.Assumptions.clear();
+  Sound.ValueAssumptions.clear();
+
+  std::map<const Instruction *, unsigned> IdxOf;
+  for (unsigned I = 0; I < Sound.Insts.size(); ++I)
+    IdxOf[Sound.Insts[I]] = I;
+
+  std::set<std::pair<unsigned, unsigned>> Present;
+  for (LoopDepEdge &E : Sound.Edges)
+    if (E.CarriedAtLoop)
+      Present.insert({E.Src, E.Dst});
+  auto AddCarried = [&](const Instruction *Src, const Instruction *Dst) {
+    auto SIt = IdxOf.find(Src);
+    auto DIt = IdxOf.find(Dst);
+    if (SIt == IdxOf.end() || DIt == IdxOf.end())
+      return;
+    if (!Present.insert({SIt->second, DIt->second}).second)
+      return;
+    Sound.Edges.push_back({SIt->second, DIt->second, /*CarriedAtLoop=*/true});
+  };
+
+  // Memory assumptions restore exactly the removed edge.
+  for (const SpecAssumption &A : PV.Assumptions)
+    AddCarried(A.Src, A.Dst);
+
+  // Value assumptions restore the conservative whole-object carried
+  // conflicts: every writer of the storage against every access of it
+  // (both directions) — what the sound alias verdict would have kept.
+  for (const ValueAssumption &A : PV.ValueAssumptions) {
+    std::vector<const Instruction *> Writers, Accessors;
+    for (const Instruction *I : Sound.Insts) {
+      if (const auto *LI = dyn_cast<LoadInst>(I)) {
+        if (rootStorage(LI->getPointer()) == A.Storage)
+          Accessors.push_back(I);
+      } else if (const auto *SI = dyn_cast<StoreInst>(I)) {
+        if (rootStorage(SI->getPointer()) == A.Storage) {
+          Writers.push_back(I);
+          Accessors.push_back(I);
+        }
+      }
+    }
+    for (const Instruction *W : Writers)
+      for (const Instruction *X : Accessors) {
+        AddCarried(W, X);
+        AddCarried(X, W);
+      }
+  }
+  return Sound;
 }

@@ -76,6 +76,14 @@ private:
   RegionMap Regions;
 };
 
+/// The sound counterpart of a (possibly speculative) plan view: every
+/// assumption is re-materialized as the carried edges the view would have
+/// kept without speculation, and the assumption sets are cleared. Used by
+/// speculation-aware plan selection (PlanEnumerator.h): when the cost
+/// model rejects a speculative plan, the loop is re-planned from this
+/// view — falling back to whatever the sound stack justifies.
+LoopPlanView soundAlternative(const LoopPlanView &PV);
+
 } // namespace psc
 
 #endif // PSPDG_PARALLEL_ABSTRACTIONVIEW_H

@@ -46,6 +46,13 @@ struct LoopPlanView {
   /// set into runtime validation (empty for sound views). Ids are ordinals
   /// within this loop's set.
   std::vector<SpecAssumption> Assumptions;
+
+  /// Value assumptions (ValueSpec.h): carried dependences removed because
+  /// the training profile predicts the storage's value behavior or
+  /// licenses a combiner-merged reduction. One entry per storage; the plan
+  /// compiler resolves each into a prediction-table entry or a promoted
+  /// reduction, all runtime-validated (empty for sound views).
+  std::vector<ValueAssumption> ValueAssumptions;
 };
 
 /// SCC decomposition of a LoopPlanView.

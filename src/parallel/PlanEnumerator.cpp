@@ -2,6 +2,7 @@
 
 #include "parallel/PlanEnumerator.h"
 
+#include "profiling/DepProfile.h"
 #include "pspdg/PSPDGBuilder.h"
 
 #include <algorithm>
@@ -36,6 +37,33 @@ uint64_t dswpOptions(const EnumeratorConfig &C, unsigned NumSCCs) {
 }
 
 } // namespace
+
+double psc::speculativePlanCost(unsigned NumObligations, uint64_t Attempts,
+                                uint64_t Misspecs, const SpecCostModel &M) {
+  double Rate =
+      Attempts == 0 ? 0.0
+                    : static_cast<double>(Misspecs) / static_cast<double>(
+                                                          Attempts);
+  return M.AssumptionWeight * NumObligations + M.MisspecPenalty * Rate;
+}
+
+bool psc::acceptSpeculativePlan(unsigned NumObligations, uint64_t Attempts,
+                                uint64_t Misspecs, const SpecCostModel &M) {
+  return speculativePlanCost(NumObligations, Attempts, Misspecs, M) <=
+         M.AcceptThreshold;
+}
+
+bool psc::speculationAccepted(const DepProfile *Profile,
+                              const std::string &Fn, unsigned Header,
+                              unsigned NumObligations, double *CostOut,
+                              const SpecCostModel &M) {
+  uint64_t Attempts = 0, Misspecs = 0;
+  if (Profile)
+    Profile->specHistory(Fn, Header, Attempts, Misspecs);
+  if (CostOut)
+    *CostOut = speculativePlanCost(NumObligations, Attempts, Misspecs, M);
+  return acceptSpeculativePlan(NumObligations, Attempts, Misspecs, M);
+}
 
 OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
                                   const EnumeratorConfig &Config,
@@ -98,6 +126,20 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
         continue;
 
       LoopPlanView PV = View.viewFor(*L);
+
+      // Speculation-aware selection: a speculative view is costed by its
+      // obligation count and the profile's historical misspeculation rate;
+      // a rejected view counts its options from the sound alternative.
+      unsigned Obligations = static_cast<unsigned>(PV.Assumptions.size() +
+                                                   PV.ValueAssumptions.size());
+      double SpecCost = 0.0;
+      bool SpecRejected = false;
+      if (Obligations &&
+          !speculationAccepted(DepOracles.SpecProfile, F.getName(),
+                               L->getHeader(), Obligations, &SpecCost)) {
+        SpecRejected = true;
+        PV = soundAlternative(PV);
+      }
       LoopSCCDAG DAG(PV);
 
       LoopOptions LO;
@@ -107,7 +149,9 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
       LO.NumSCCs = DAG.numSCCs();
       LO.NumSeqSCCs = DAG.numSequentialSCCs();
       LO.DOALL = DAG.allParallel() && PV.TripCountable;
-      LO.SpecAssumptions = static_cast<unsigned>(PV.Assumptions.size());
+      LO.SpecAssumptions = Obligations;
+      LO.SpecCost = SpecCost;
+      LO.SpecRejected = SpecRejected;
 
       if (LO.DOALL) {
         LO.Options = doallOptions(Config);

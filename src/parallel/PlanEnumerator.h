@@ -38,6 +38,46 @@ struct EnumeratorConfig {
   double CoverageThreshold = 0.01;
 };
 
+/// Speculation-aware plan selection (ROADMAP "speculation-aware plan
+/// *selection*"): a speculative plan is no longer chosen on structure
+/// alone — it pays for its assumption count (validation overhead: every
+/// assumption endpoint is watched and logged) and for its *historical
+/// misspeculation rate* (rollback cost: a blown invocation re-executes
+/// sequentially and disables the schedule for the run). History comes
+/// from the profile's per-loop spec_attempts / spec_misspecs counters,
+/// fed back by `pscc --spec-feedback` after parallel runs.
+struct SpecCostModel {
+  double AssumptionWeight = 1.0;   ///< Cost per runtime obligation.
+  double MisspecPenalty = 400.0;   ///< Cost at misspeculation rate 1.0.
+  double AcceptThreshold = 64.0;   ///< Plans costlier than this fall back
+                                   ///< to the sound alternative.
+};
+
+/// Cost of one speculative plan: obligations weighted, plus the historical
+/// misspeculation rate (misspecs / attempts; 0 with no history) scaled by
+/// the rollback penalty.
+double speculativePlanCost(unsigned NumObligations, uint64_t Attempts,
+                           uint64_t Misspecs, const SpecCostModel &M = {});
+
+/// Selection predicate: cost under the threshold. With default knobs a
+/// fresh profile (no history) accepts anything under 64 obligations; a
+/// single recorded misspeculation in few attempts rejects speculation for
+/// the loop until clean runs dilute the rate.
+bool acceptSpeculativePlan(unsigned NumObligations, uint64_t Attempts,
+                           uint64_t Misspecs, const SpecCostModel &M = {});
+
+class DepProfile;
+
+/// The one shared selection decision both surfaces consult — the plan
+/// compiler (with schedule-level obligations) and the enumerator (with
+/// view-level obligations): looks up (Fn, Header)'s speculation history in
+/// \p Profile (null = no history) and accepts/rejects \p NumObligations
+/// under the model. \p CostOut (optional) receives the computed cost.
+bool speculationAccepted(const DepProfile *Profile, const std::string &Fn,
+                         unsigned Header, unsigned NumObligations,
+                         double *CostOut = nullptr,
+                         const SpecCostModel &M = {});
+
 /// Loop runtime coverage: header block → fraction of dynamic instructions.
 /// Keys are (function name, header block index).
 using CoverageMap = std::map<std::pair<std::string, unsigned>, double>;
@@ -53,8 +93,14 @@ struct LoopOptions {
   unsigned NumSeqSCCs = 0;
   uint64_t Options = 0;
   /// Speculative assumptions the loop's view relies on (0 = sound): any
-  /// plan counted under them must be runtime-validated.
+  /// plan counted under them must be runtime-validated. Counts memory
+  /// assumptions plus per-value obligations (ValueAssumptions).
   unsigned SpecAssumptions = 0;
+  /// Cost-model verdict for the speculative view (0.0 for sound loops).
+  double SpecCost = 0.0;
+  /// True when the cost model rejected speculation for this loop: the
+  /// options above were counted from the sound alternative view.
+  bool SpecRejected = false;
 };
 
 /// Totals for one function (or one benchmark) under one abstraction.

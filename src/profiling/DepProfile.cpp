@@ -2,29 +2,77 @@
 ///
 /// Profile queries, merging, and the JSON serialization. The parser is a
 /// minimal recursive-descent JSON reader covering exactly what the schema
-/// needs (objects, arrays, strings, unsigned integers); anything else in a
-/// profile file is a loud parse error, never a silent skip.
+/// needs (objects, arrays, strings, integers); anything else in a profile
+/// file is a loud parse error, never a silent skip. Float strides are
+/// serialized as their exact IEEE-754 bit patterns (decimal uint64), so a
+/// round trip is bit-preserving without a decimal-float grammar.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "profiling/DepProfile.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 using namespace psc;
+
+const char *psc::valueClassKindName(ValueClassKind K) {
+  switch (K) {
+  case ValueClassKind::Varying:
+    return "varying";
+  case ValueClassKind::Invariant:
+    return "invariant";
+  case ValueClassKind::Strided:
+    return "strided";
+  case ValueClassKind::WriteFirst:
+    return "writefirst";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t bitsOfDouble(double D) {
+  uint64_t U = 0;
+  static_assert(sizeof(U) == sizeof(D), "double is not 64-bit");
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
+}
+
+double doubleOfBits(uint64_t U) {
+  double D = 0.0;
+  std::memcpy(&D, &U, sizeof(D));
+  return D;
+}
+
+bool kindFromName(const std::string &S, ValueClassKind &K) {
+  for (ValueClassKind C :
+       {ValueClassKind::Varying, ValueClassKind::Invariant,
+        ValueClassKind::Strided, ValueClassKind::WriteFirst})
+    if (S == valueClassKindName(C)) {
+      K = C;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Queries and recording
 //===----------------------------------------------------------------------===//
 
 bool DepProfile::observed(const std::string &Fn, unsigned NumInstructions,
-                          unsigned Header) const {
+                          uint64_t BodyHash, unsigned Header) const {
   auto FIt = Functions.find(Fn);
   if (FIt == Functions.end())
     return false;
-  if (FIt->second.NumInstructions != NumInstructions)
-    return false; // stale profile: never a license to speculate
+  // Stale profile: never a license to speculate. The body hash catches
+  // same-size edits the instruction count alone would miss.
+  if (FIt->second.NumInstructions != NumInstructions ||
+      FIt->second.BodyHash != BodyHash)
+    return false;
   return FIt->second.Loops.count(Header) != 0;
 }
 
@@ -39,11 +87,50 @@ bool DepProfile::manifested(const std::string &Fn, unsigned Header,
   return LIt->second.Manifested.count({SrcIdx, DstIdx}) != 0;
 }
 
+bool DepProfile::accessed(const std::string &Fn, unsigned Header,
+                          unsigned Idx) const {
+  auto FIt = Functions.find(Fn);
+  if (FIt == Functions.end())
+    return false;
+  auto LIt = FIt->second.Loops.find(Header);
+  if (LIt == FIt->second.Loops.end())
+    return false;
+  return LIt->second.Accessed.count(Idx) != 0;
+}
+
+const DepProfile::ValueObs *DepProfile::valueObs(const std::string &Fn,
+                                                 unsigned Header,
+                                                 const std::string &Var) const {
+  auto FIt = Functions.find(Fn);
+  if (FIt == Functions.end())
+    return nullptr;
+  auto LIt = FIt->second.Loops.find(Header);
+  if (LIt == FIt->second.Loops.end())
+    return nullptr;
+  auto VIt = LIt->second.Values.find(Var);
+  return VIt == LIt->second.Values.end() ? nullptr : &VIt->second;
+}
+
+void DepProfile::specHistory(const std::string &Fn, unsigned Header,
+                             uint64_t &Attempts, uint64_t &Misspecs) const {
+  Attempts = 0;
+  Misspecs = 0;
+  auto FIt = Functions.find(Fn);
+  if (FIt == Functions.end())
+    return;
+  auto LIt = FIt->second.Loops.find(Header);
+  if (LIt == FIt->second.Loops.end())
+    return;
+  Attempts = LIt->second.SpecAttempts;
+  Misspecs = LIt->second.SpecMisspecs;
+}
+
 void DepProfile::recordLoop(const std::string &Fn, unsigned NumInstructions,
-                            unsigned Header, uint64_t Invocations,
-                            uint64_t Iterations) {
+                            uint64_t BodyHash, unsigned Header,
+                            uint64_t Invocations, uint64_t Iterations) {
   FunctionProfile &F = Functions[Fn];
   F.NumInstructions = NumInstructions;
+  F.BodyHash = BodyHash;
   LoopProfile &L = F.Loops[Header];
   L.Invocations += Invocations;
   L.Iterations += Iterations;
@@ -52,6 +139,55 @@ void DepProfile::recordLoop(const std::string &Fn, unsigned NumInstructions,
 void DepProfile::recordManifest(const std::string &Fn, unsigned Header,
                                 unsigned SrcIdx, unsigned DstIdx) {
   Functions[Fn].Loops[Header].Manifested.insert({SrcIdx, DstIdx});
+}
+
+void DepProfile::recordAccessed(const std::string &Fn, unsigned Header,
+                                unsigned Idx) {
+  Functions[Fn].Loops[Header].Accessed.insert(Idx);
+}
+
+void DepProfile::recordAccessedSet(const std::string &Fn, unsigned Header,
+                                   const std::set<unsigned> &Idxs) {
+  Functions[Fn].Loops[Header].Accessed.insert(Idxs.begin(), Idxs.end());
+}
+
+namespace {
+
+/// Meet of two value observations over the classification lattice
+/// (Varying is bottom): matching kinds keep the class, mismatches — and
+/// mismatched strides or element types — degrade to Varying.
+DepProfile::ValueObs meetObs(const DepProfile::ValueObs &A,
+                             const DepProfile::ValueObs &B) {
+  DepProfile::ValueObs Out = A;
+  Out.Writes = A.Writes + B.Writes;
+  if (A.Kind != B.Kind || A.IsFloat != B.IsFloat) {
+    Out.Kind = ValueClassKind::Varying;
+    return Out;
+  }
+  if (A.Kind == ValueClassKind::Strided &&
+      (A.StrideI != B.StrideI ||
+       bitsOfDouble(A.StrideF) != bitsOfDouble(B.StrideF)))
+    Out.Kind = ValueClassKind::Varying;
+  return Out;
+}
+
+} // namespace
+
+void DepProfile::recordValueObs(const std::string &Fn, unsigned Header,
+                                const std::string &Var, const ValueObs &Obs) {
+  std::map<std::string, ValueObs> &Values = Functions[Fn].Loops[Header].Values;
+  auto It = Values.find(Var);
+  if (It == Values.end())
+    Values[Var] = Obs;
+  else
+    It->second = meetObs(It->second, Obs);
+}
+
+void DepProfile::recordSpecOutcome(const std::string &Fn, unsigned Header,
+                                   uint64_t Attempts, uint64_t Misspecs) {
+  LoopProfile &L = Functions[Fn].Loops[Header];
+  L.SpecAttempts += Attempts;
+  L.SpecMisspecs += Misspecs;
 }
 
 void DepProfile::merge(const DepProfile &O) {
@@ -64,7 +200,8 @@ void DepProfile::merge(const DepProfile &O) {
       continue;
     }
     FunctionProfile &F = It->second;
-    if (F.NumInstructions != OF.NumInstructions) {
+    if (F.NumInstructions != OF.NumInstructions ||
+        F.BodyHash != OF.BodyHash) {
       // The two profiles trained different versions of this function:
       // instruction indices are incomparable, so neither side's data is
       // usable (no data, no speculation). The tombstone keeps a later
@@ -78,7 +215,17 @@ void DepProfile::merge(const DepProfile &O) {
       LoopProfile &L = F.Loops[Header];
       L.Invocations += OL.Invocations;
       L.Iterations += OL.Iterations;
+      L.SpecAttempts += OL.SpecAttempts;
+      L.SpecMisspecs += OL.SpecMisspecs;
       L.Manifested.insert(OL.Manifested.begin(), OL.Manifested.end());
+      L.Accessed.insert(OL.Accessed.begin(), OL.Accessed.end());
+      for (const auto &[Var, Obs] : OL.Values) {
+        auto VIt = L.Values.find(Var);
+        if (VIt == L.Values.end())
+          L.Values[Var] = Obs;
+        else
+          VIt->second = meetObs(VIt->second, Obs);
+      }
     }
   }
 }
@@ -96,14 +243,36 @@ std::string DepProfile::toJson() const {
     OS << (FirstF ? "\n" : ",\n");
     FirstF = false;
     OS << "    {\"name\": \"" << Name
-       << "\", \"instructions\": " << F.NumInstructions << ", \"loops\": [";
+       << "\", \"instructions\": " << F.NumInstructions
+       << ", \"bodyhash\": " << F.BodyHash << ", \"loops\": [";
     bool FirstL = true;
     for (const auto &[Header, L] : F.Loops) {
       OS << (FirstL ? "\n" : ",\n");
       FirstL = false;
       OS << "      {\"header\": " << Header
          << ", \"invocations\": " << L.Invocations
-         << ", \"iterations\": " << L.Iterations << ", \"manifested\": [";
+         << ", \"iterations\": " << L.Iterations
+         << ", \"spec_attempts\": " << L.SpecAttempts
+         << ", \"spec_misspecs\": " << L.SpecMisspecs << ",\n"
+         << "       \"accessed\": [";
+      bool FirstA = true;
+      for (unsigned A : L.Accessed) {
+        OS << (FirstA ? "" : ", ") << A;
+        FirstA = false;
+      }
+      OS << "],\n       \"values\": [";
+      bool FirstV = true;
+      for (const auto &[Var, Obs] : L.Values) {
+        OS << (FirstV ? "" : ", ");
+        FirstV = false;
+        OS << "{\"var\": \"" << Var << "\", \"kind\": \""
+           << valueClassKindName(Obs.Kind)
+           << "\", \"float\": " << (Obs.IsFloat ? 1 : 0)
+           << ", \"stride\": " << Obs.StrideI
+           << ", \"fstridebits\": " << bitsOfDouble(Obs.StrideF)
+           << ", \"writes\": " << Obs.Writes << "}";
+      }
+      OS << "],\n       \"manifested\": [";
       bool FirstP = true;
       for (const auto &[Src, Dst] : L.Manifested) {
         OS << (FirstP ? "" : ", ") << "[" << Src << "," << Dst << "]";
@@ -120,7 +289,7 @@ std::string DepProfile::toJson() const {
 namespace {
 
 /// Minimal JSON reader for the profile schema: objects, arrays, strings,
-/// and unsigned integers.
+/// and (optionally signed) integers.
 class JsonReader {
 public:
   explicit JsonReader(const std::string &Text) : Text(Text) {}
@@ -183,6 +352,25 @@ public:
     return true;
   }
 
+  bool signedNumber(int64_t &Out) {
+    skipWs();
+    bool Neg = false;
+    if (Pos < Text.size() && Text[Pos] == '-') {
+      Neg = true;
+      ++Pos;
+    }
+    uint64_t U = 0;
+    if (!number(U))
+      return false;
+    if (U > (Neg ? static_cast<uint64_t>(INT64_MAX) + 1
+                 : static_cast<uint64_t>(INT64_MAX)))
+      return fail("integer overflows int64");
+    // Negate in unsigned space: INT64_MIN (U == 2^63) cannot be produced
+    // by negating a signed value without overflow.
+    Out = Neg ? static_cast<int64_t>(0u - U) : static_cast<int64_t>(U);
+    return true;
+  }
+
   bool key(const char *Expected) {
     std::string K;
     if (!string(K))
@@ -229,7 +417,8 @@ bool DepProfile::parseJson(const std::string &Text, DepProfile &Out,
     return Fail(false);
   if (Ver != Version) {
     Err = "unsupported profile version " + std::to_string(Ver) +
-          " (expected " + std::to_string(Version) + ")";
+          " (expected " + std::to_string(Version) + "; retrain with this "
+          "binary's --profile-out)";
     return false;
   }
   if (!R.key("functions") || !R.consume('['))
@@ -239,9 +428,10 @@ bool DepProfile::parseJson(const std::string &Text, DepProfile &Out,
       if (!R.consume('{'))
         return Fail(false);
       std::string Name;
-      uint64_t NumInsts = 0;
+      uint64_t NumInsts = 0, BodyHash = 0;
       if (!R.key("name") || !R.string(Name) || !R.consume(',') ||
           !R.key("instructions") || !R.number(NumInsts) || !R.consume(',') ||
+          !R.key("bodyhash") || !R.number(BodyHash) || !R.consume(',') ||
           !R.key("loops") || !R.consume('['))
         return Fail(false);
       if (Out.Functions.count(Name)) {
@@ -252,18 +442,67 @@ bool DepProfile::parseJson(const std::string &Text, DepProfile &Out,
       }
       FunctionProfile &F = Out.Functions[Name];
       F.NumInstructions = static_cast<unsigned>(NumInsts);
+      F.BodyHash = BodyHash;
       if (!R.peekConsume(']')) {
         do {
           uint64_t Header = 0, Invocations = 0, Iterations = 0;
+          uint64_t Attempts = 0, Misspecs = 0;
           if (!R.consume('{') || !R.key("header") || !R.number(Header) ||
               !R.consume(',') || !R.key("invocations") ||
               !R.number(Invocations) || !R.consume(',') ||
               !R.key("iterations") || !R.number(Iterations) ||
-              !R.consume(',') || !R.key("manifested") || !R.consume('['))
+              !R.consume(',') || !R.key("spec_attempts") ||
+              !R.number(Attempts) || !R.consume(',') ||
+              !R.key("spec_misspecs") || !R.number(Misspecs) ||
+              !R.consume(',') || !R.key("accessed") || !R.consume('['))
             return Fail(false);
           LoopProfile &L = F.Loops[static_cast<unsigned>(Header)];
           L.Invocations += Invocations;
           L.Iterations += Iterations;
+          L.SpecAttempts += Attempts;
+          L.SpecMisspecs += Misspecs;
+          if (!R.peekConsume(']')) {
+            do {
+              uint64_t Idx = 0;
+              if (!R.number(Idx))
+                return Fail(false);
+              L.Accessed.insert(static_cast<unsigned>(Idx));
+            } while (R.peekConsume(','));
+            if (!R.consume(']'))
+              return Fail(false);
+          }
+          if (!R.consume(',') || !R.key("values") || !R.consume('['))
+            return Fail(false);
+          if (!R.peekConsume(']')) {
+            do {
+              std::string Var, KindName;
+              uint64_t IsFloat = 0, FBits = 0, Writes = 0;
+              int64_t StrideI = 0;
+              if (!R.consume('{') || !R.key("var") || !R.string(Var) ||
+                  !R.consume(',') || !R.key("kind") || !R.string(KindName) ||
+                  !R.consume(',') || !R.key("float") || !R.number(IsFloat) ||
+                  !R.consume(',') || !R.key("stride") ||
+                  !R.signedNumber(StrideI) || !R.consume(',') ||
+                  !R.key("fstridebits") || !R.number(FBits) ||
+                  !R.consume(',') || !R.key("writes") || !R.number(Writes) ||
+                  !R.consume('}'))
+                return Fail(false);
+              ValueObs Obs;
+              if (!kindFromName(KindName, Obs.Kind)) {
+                Err = "unknown value class \"" + KindName + "\"";
+                return false;
+              }
+              Obs.IsFloat = IsFloat != 0;
+              Obs.StrideI = StrideI;
+              Obs.StrideF = doubleOfBits(FBits);
+              Obs.Writes = Writes;
+              L.Values[Var] = Obs;
+            } while (R.peekConsume(','));
+            if (!R.consume(']'))
+              return Fail(false);
+          }
+          if (!R.consume(',') || !R.key("manifested") || !R.consume('['))
+            return Fail(false);
           if (!R.peekConsume(']')) {
             do {
               uint64_t Src = 0, Dst = 0;

@@ -1,22 +1,32 @@
-//===- DepProfile.h - Serialized dependence-manifestation profile -*- C++ -*-===//
+//===- DepProfile.h - Serialized dependence + value profile ------*- C++ -*-===//
 ///
 /// \file
-/// The training artifact of the speculation subsystem: which memory
-/// dependences *actually manifested* while a workload ran. A profile
-/// records, per (function, loop), the set of (src, dst) instruction pairs
-/// for which an access of src in iteration i and an access of dst in a
-/// later iteration j > i touched the same memory location with at least
-/// one write. The speculative oracle (analysis/SpecOracle.h) downgrades a
-/// sound MayDep to a runtime-validated NoDep exactly when the profile
-/// *observed* the loop and the pair is absent.
+/// The training artifact of the speculation subsystem. A profile records,
+/// per (function, loop):
 ///
-/// Absence of data is never a license to speculate: a loop the profile did
-/// not observe, or a function whose instruction count no longer matches
-/// the profile (a stale profile), yields no downgrades.
+///   * the set of (src, dst) instruction pairs whose memory dependence
+///     *actually manifested* while a workload ran (the memory-speculation
+///     evidence; see SpecOracle.h);
+///   * the set of instruction indices that performed any memory access
+///     (so an access that never executed in training is *cold* — the
+///     license for guard-watched reduction promotion, and the raw material
+///     of `pscc --profile-report` manifest-density reporting);
+///   * per-scalar *value observations*: whether a loop-carried scalar was
+///     invariant, affine-strided, or written-before-read in every training
+///     iteration (the value-speculation evidence; see ValueSpec.h);
+///   * the speculation history (attempts / misspeculations) fed back by
+///     `pscc --spec-feedback`, consumed by speculation-aware plan
+///     selection (PlanEnumerator.h).
+///
+/// Staleness: indices are only meaningful against the same program, so a
+/// function records both its instruction count and the canonical *body
+/// hash* (pspdg/Fingerprint.h, functionBodyHash). A same-size edit no
+/// longer silently retargets indices: the hash mismatch rejects the data.
+/// Absence of data is never a license to speculate.
 ///
 /// Profiles serialize to a versioned JSON document and merge across
-/// training inputs (union of manifested pairs, summed counters); see
-/// DESIGN.md §9 for the format.
+/// training inputs (union of manifested pairs / accessed sets, summed
+/// counters, value classes meet-joined); see DESIGN.md §9–§10.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,25 +41,59 @@
 
 namespace psc {
 
-/// A dependence-manifestation profile (see file comment).
+/// Observed value behavior of one scalar across the iterations of one loop
+/// (per invocation, re-anchored at the invocation's entry value).
+enum class ValueClassKind {
+  Varying,    ///< No exploitable pattern (never speculated).
+  Invariant,  ///< Every write stored the loop-entry value.
+  Strided,    ///< Every iteration's last write advanced by a fixed stride.
+  WriteFirst, ///< Every iteration's first access was a write (no iteration
+              ///< reads the carried-in value).
+};
+
+const char *valueClassKindName(ValueClassKind K);
+
+/// A dependence + value profile (see file comment).
 class DepProfile {
 public:
   /// Bumped whenever the serialized schema changes; readers reject other
   /// versions loudly rather than misinterpreting the data.
-  static constexpr unsigned Version = 1;
+  /// v2: body-hash staleness guard, accessed-instruction sets, per-scalar
+  /// value observations, speculation history.
+  static constexpr unsigned Version = 2;
+
+  struct ValueObs {
+    ValueClassKind Kind = ValueClassKind::Varying;
+    bool IsFloat = false;
+    int64_t StrideI = 0; ///< Strided, int scalars.
+    double StrideF = 0.0; ///< Strided, float scalars.
+    uint64_t Writes = 0;  ///< Dynamic writes observed (all invocations).
+  };
 
   struct LoopProfile {
     uint64_t Invocations = 0;
     uint64_t Iterations = 0;
+    /// Speculation history (fed back by `pscc --spec-feedback`): attempts
+    /// = speculative invocations, misspecs = rollbacks. Plan selection
+    /// rejects speculation whose historical misspeculation rate is high.
+    uint64_t SpecAttempts = 0;
+    uint64_t SpecMisspecs = 0;
     /// Manifested cross-iteration pairs, as (src, dst) FunctionAnalysis
     /// instruction indices: src executed in the earlier iteration.
     std::set<std::pair<unsigned, unsigned>> Manifested;
+    /// Instruction indices that performed any memory access inside the
+    /// loop during training. An access instruction absent here is *cold*.
+    std::set<unsigned> Accessed;
+    /// Per-scalar value observations, keyed by storage name (global name,
+    /// or alloca name within this function).
+    std::map<std::string, ValueObs> Values;
   };
 
   struct FunctionProfile {
-    /// Staleness guard: the function's instruction count when profiled.
-    /// Instruction indices are only meaningful against the same program.
+    /// Staleness guards: instruction count and canonical body hash when
+    /// profiled. Indices are only meaningful against the same body.
     unsigned NumInstructions = 0;
+    uint64_t BodyHash = 0;
     /// Keyed by loop header block index.
     std::map<unsigned, LoopProfile> Loops;
   };
@@ -59,33 +103,63 @@ public:
   bool empty() const { return Functions.empty(); }
 
   /// True when loop (Fn, Header) was trained and the profile is not stale
-  /// for the function (\p NumInstructions matches the recorded count).
+  /// for the function (\p NumInstructions and \p BodyHash both match the
+  /// recorded guards).
   bool observed(const std::string &Fn, unsigned NumInstructions,
-                unsigned Header) const;
+                uint64_t BodyHash, unsigned Header) const;
 
   /// True when the (SrcIdx → DstIdx) dependence carried at (Fn, Header)
   /// manifested in training.
   bool manifested(const std::string &Fn, unsigned Header, unsigned SrcIdx,
                   unsigned DstIdx) const;
 
+  /// True when instruction \p Idx performed a memory access inside loop
+  /// (Fn, Header) during training. Callers must gate on observed() first.
+  bool accessed(const std::string &Fn, unsigned Header, unsigned Idx) const;
+
+  /// Value observation for scalar \p Var at (Fn, Header); null if none.
+  /// Callers must gate on observed() first.
+  const ValueObs *valueObs(const std::string &Fn, unsigned Header,
+                           const std::string &Var) const;
+
+  /// Speculation history of (Fn, Header): attempts and misspeculations.
+  void specHistory(const std::string &Fn, unsigned Header, uint64_t &Attempts,
+                   uint64_t &Misspecs) const;
+
   void recordLoop(const std::string &Fn, unsigned NumInstructions,
-                  unsigned Header, uint64_t Invocations, uint64_t Iterations);
+                  uint64_t BodyHash, unsigned Header, uint64_t Invocations,
+                  uint64_t Iterations);
   void recordManifest(const std::string &Fn, unsigned Header, unsigned SrcIdx,
                       unsigned DstIdx);
+  void recordAccessed(const std::string &Fn, unsigned Header, unsigned Idx);
+  /// Bulk form: unions a whole invocation's accessed-index set with one
+  /// lookup (the profiler buffers per loop frame and flushes on close).
+  void recordAccessedSet(const std::string &Fn, unsigned Header,
+                         const std::set<unsigned> &Idxs);
+  /// Meet-joins \p Obs into the recorded class for (Fn, Header, Var):
+  /// matching kinds (and strides) keep the class, anything else degrades to
+  /// Varying — so multi-invocation and multi-input training stay sound.
+  void recordValueObs(const std::string &Fn, unsigned Header,
+                      const std::string &Var, const ValueObs &Obs);
+  /// Adds a speculative-execution outcome (attempts, misspeculations) for
+  /// (Fn, Header) — `pscc --spec-feedback` after a parallel run.
+  void recordSpecOutcome(const std::string &Fn, unsigned Header,
+                         uint64_t Attempts, uint64_t Misspecs);
 
-  /// Merges \p O into this profile: union of manifested pairs, summed
-  /// counters. A function whose instruction counts disagree between the
-  /// two profiles is stale on one side and is dropped entirely (the
-  /// conservative choice: no data, no speculation) — and stays dropped
-  /// across subsequent merges into this object, so a chain of merges is
-  /// order-independent. The tombstones are merge-session state, not part
-  /// of the serialized document.
+  /// Merges \p O into this profile: union of manifested pairs and accessed
+  /// sets, summed counters, value classes meet-joined. A function whose
+  /// staleness guards disagree between the two profiles is stale on one
+  /// side and is dropped entirely (the conservative choice: no data, no
+  /// speculation) — and stays dropped across subsequent merges into this
+  /// object, so a chain of merges is order-independent. The tombstones are
+  /// merge-session state, not part of the serialized document.
   void merge(const DepProfile &O);
 
   std::string toJson() const;
 
   /// Parses a serialized profile; on failure returns false with a message
-  /// in \p Err. Rejects unknown formats and versions.
+  /// in \p Err. Rejects unknown formats and versions (including v1
+  /// documents, whose loops lack the staleness hash and value data).
   static bool parseJson(const std::string &Text, DepProfile &Out,
                         std::string &Err);
 

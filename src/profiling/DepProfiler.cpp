@@ -2,7 +2,45 @@
 
 #include "profiling/DepProfiler.h"
 
+#include "analysis/ValueSpec.h"
+#include "pspdg/Fingerprint.h"
+
 using namespace psc;
+
+uint64_t DepProfiler::bodyHashOf(const Function &F) {
+  auto It = BodyHashes.find(&F);
+  if (It != BodyHashes.end())
+    return It->second;
+  uint64_t H = functionBodyHash(F);
+  BodyHashes[&F] = H;
+  return H;
+}
+
+const Value *DepProfiler::scalarStorageOf(const Instruction &I) {
+  auto It = ScalarStorage.find(&I);
+  if (It != ScalarStorage.end())
+    return It->second;
+  // Direct (GEP-free) accesses of a named scalar object: the only shape
+  // PSC scalars take, and the only shape the value-speculation runtime can
+  // privatize and predict.
+  const Value *Ptr = nullptr;
+  if (const auto *LI = dyn_cast<LoadInst>(&I))
+    Ptr = LI->getPointer();
+  else if (const auto *SI = dyn_cast<StoreInst>(&I))
+    Ptr = SI->getPointer();
+  const Value *Storage = nullptr;
+  if (Ptr) {
+    if (const auto *GV = dyn_cast<GlobalVariable>(Ptr)) {
+      if (!isa<ArrayType>(GV->getObjectType()) && !GV->getName().empty())
+        Storage = GV;
+    } else if (const auto *AI = dyn_cast<AllocaInst>(Ptr)) {
+      if (!isa<ArrayType>(AI->getAllocatedType()) && !AI->getName().empty())
+        Storage = AI;
+    }
+  }
+  ScalarStorage[&I] = Storage;
+  return Storage;
+}
 
 void DepProfiler::onEnterFunction(const Function &F) {
   Activation A;
@@ -11,13 +49,81 @@ void DepProfiler::onEnterFunction(const Function &F) {
   Activations.push_back(std::move(A));
 }
 
+void DepProfiler::finalizeWritingIter(ValTrack &T) {
+  if (T.CurIter < 0)
+    return;
+  // Stride between the just-completed writing iteration's final value and
+  // its predecessor's (the entry value before iteration 0). Gaps — a
+  // writing iteration that does not immediately follow the previous one —
+  // break the write-every-iteration requirement of Strided.
+  bool HaveAnchor = true;
+  int64_t DI = 0;
+  double DF = 0.0;
+  if (T.PrevIter >= 0) {
+    if (T.CurIter != T.PrevIter + 1)
+      T.EveryIterWrote = false;
+    DI = T.CurI - T.PrevI;
+    DF = T.CurF - T.PrevF;
+  } else {
+    if (T.CurIter != 0)
+      T.EveryIterWrote = false;
+    if (T.EntryKnown) {
+      DI = T.CurI - T.EntryI;
+      DF = T.CurF - T.EntryF;
+    } else {
+      HaveAnchor = false;
+    }
+  }
+  if (!HaveAnchor) {
+    T.StridedOK = false;
+  } else if (!T.StrideSet) {
+    T.StrideI = DI;
+    T.StrideF = DF;
+    T.StrideSet = true;
+  } else if (T.IsFloat ? (DF != T.StrideF) : (DI != T.StrideI)) {
+    T.StridedOK = false;
+  }
+  T.PrevIter = T.CurIter;
+  T.PrevI = T.CurI;
+  T.PrevF = T.CurF;
+  T.CurIter = -1;
+}
+
 void DepProfiler::closeFrame(Activation &A, LoopFrame &Fr) {
   // Iter counts header arrivals; the final arrival (the failing exit
   // check) is part of the invocation, so executed iterations = Iter.
-  Profile.recordLoop(A.F->getName(),
+  const std::string &Fn = A.F->getName();
+  unsigned Header = Fr.L->getHeader();
+  Profile.recordLoop(Fn,
                      static_cast<unsigned>(A.FA->instructions().size()),
-                     Fr.L->getHeader(), /*Invocations=*/1,
+                     bodyHashOf(*A.F), Header, /*Invocations=*/1,
                      /*Iterations=*/static_cast<uint64_t>(Fr.Iter));
+  Profile.recordAccessedSet(Fn, Header, Fr.Accessed);
+
+  for (auto &[Storage, T] : Fr.Scalars) {
+    if (T.Writes == 0)
+      continue;
+    finalizeWritingIter(T);
+    if (T.PrevIter != Fr.Iter - 1)
+      T.EveryIterWrote = false; // the final iteration did not write
+
+    DepProfile::ValueObs Obs;
+    Obs.IsFloat = T.IsFloat;
+    Obs.Writes = T.Writes;
+    if (T.EntryKnown && T.InvariantOK) {
+      Obs.Kind = ValueClassKind::Invariant;
+    } else if (T.EntryKnown && T.StridedOK && T.StrideSet &&
+               T.EveryIterWrote) {
+      Obs.Kind = ValueClassKind::Strided;
+      Obs.StrideI = T.StrideI;
+      Obs.StrideF = T.StrideF;
+    } else if (T.WriteFirstOK) {
+      Obs.Kind = ValueClassKind::WriteFirst;
+    } else {
+      Obs.Kind = ValueClassKind::Varying;
+    }
+    Profile.recordValueObs(Fn, Header, valueStorageKey(Storage), Obs);
+  }
 }
 
 void DepProfiler::onExitFunction(const Function &) {
@@ -79,8 +185,11 @@ void DepProfiler::onMemAccess(const Instruction &I, const MemObject &O,
   unsigned Idx = A.FA->indexOf(&I);
   const std::string &Fn = A.F->getName();
   LocKey Key{&O, Offset};
+  const Value *Scalar = scalarStorageOf(I);
 
   for (LoopFrame &Fr : A.Stack) {
+    Fr.Accessed.insert(Idx);
+
     LocHist &H = Fr.Table[Key];
     unsigned Header = Fr.L->getHeader();
     // The validator's predicate, incrementally: a prior instruction whose
@@ -98,6 +207,39 @@ void DepProfiler::onMemAccess(const Instruction &I, const MemObject &O,
         Mine.FirstWrite = Fr.Iter;
     } else if (Mine.FirstRead < 0) {
       Mine.FirstRead = Fr.Iter;
+    }
+
+    // Value observation: direct scalar accesses only. The observer fires
+    // after a store commits (engine contract), so O holds the value just
+    // written; loads leave memory untouched, so O holds the pre-access
+    // value — the entry-value capture relies on both.
+    if (!Scalar)
+      continue;
+    ValTrack &T = Fr.Scalars[Scalar];
+    T.IsFloat = O.IsFloat;
+    int64_t VI = O.IsFloat ? 0 : O.I[Offset];
+    double VF = O.IsFloat ? O.F[Offset] : 0.0;
+    if (T.FirstAccessIter != Fr.Iter) {
+      T.FirstAccessIter = Fr.Iter;
+      if (!IsWrite)
+        T.WriteFirstOK = false; // this iteration reads the carried value
+    }
+    if (IsWrite) {
+      ++T.Writes;
+      if (!T.EntryKnown)
+        T.InvariantOK = false; // no anchor to compare against
+      else if (T.IsFloat ? (VF != T.EntryF) : (VI != T.EntryI))
+        T.InvariantOK = false;
+      if (T.CurIter != Fr.Iter) {
+        finalizeWritingIter(T);
+        T.CurIter = Fr.Iter;
+      }
+      T.CurI = VI;
+      T.CurF = VF;
+    } else if (!T.EntryKnown && T.Writes == 0) {
+      T.EntryKnown = true;
+      T.EntryI = VI;
+      T.EntryF = VF;
     }
   }
 }

@@ -1,4 +1,4 @@
-//===- DepProfiler.h - Dependence-manifestation profiler ---------*- C++ -*-===//
+//===- DepProfiler.h - Dependence + value manifestation profiler -*- C++ -*-===//
 ///
 /// \file
 /// Execution observer that trains a DepProfile: while a workload runs (on
@@ -17,6 +17,13 @@
 /// misspeculates — and anything NOT in the profile is safe to assume
 /// absent precisely because the validator will catch it if the
 /// assumption ever breaks.
+///
+/// Beyond dependences, the profiler observes *values* (DESIGN.md §10):
+/// per loop it records which instructions accessed memory at all (cold
+/// instructions license guard-watched reduction promotion) and classifies
+/// every scalar written in the loop as invariant / affine-strided /
+/// write-before-read / varying, anchored at the invocation's entry value.
+/// These observations back the value-speculation oracle (ValueSpec.h).
 ///
 /// Accesses inside callees train the callee's own loops; cross-function
 /// dependences surface as opaque-call queries, which the speculative
@@ -74,10 +81,43 @@ private:
   struct LocHist {
     std::unordered_map<unsigned, AccessHist> ByInstr;
   };
+  /// One scalar's value track within one loop invocation. The entry value
+  /// anchors invariant/strided classification; it is only observable when
+  /// the invocation's first access is a load (otherwise the classes that
+  /// need it are off and only WriteFirst can hold).
+  struct ValTrack {
+    bool EntryKnown = false;
+    bool IsFloat = false;
+    int64_t EntryI = 0;
+    double EntryF = 0.0;
+    uint64_t Writes = 0;
+    // Per-iteration last-write folding (lazy: finalized when a later
+    // iteration first writes, and at frame close).
+    long CurIter = -1;       ///< Iteration currently accumulating writes.
+    int64_t CurI = 0;        ///< Last value written in CurIter.
+    double CurF = 0.0;
+    long PrevIter = -1;      ///< Last *finalized* writing iteration.
+    int64_t PrevI = 0;       ///< Its final value.
+    double PrevF = 0.0;
+    bool StrideSet = false;
+    int64_t StrideI = 0;
+    double StrideF = 0.0;
+    // Classification flags (start optimistic, violations clear them).
+    bool InvariantOK = true;   ///< Every write stored the entry value.
+    bool StridedOK = true;     ///< Consecutive-iteration stride constant.
+    bool EveryIterWrote = true;///< No iteration finished without a write.
+    bool WriteFirstOK = true;  ///< Every iteration's first access wrote.
+    long FirstAccessIter = -1; ///< Iteration of the first access.
+  };
   struct LoopFrame {
     const Loop *L = nullptr;
     long Iter = 0;
     std::unordered_map<LocKey, LocHist, LocKeyHash> Table;
+    std::unordered_map<const Value *, ValTrack> Scalars;
+    /// Instruction indices that accessed memory this invocation; flushed
+    /// into the profile at frame close (one map lookup per invocation
+    /// instead of string-keyed lookups on the interpreter's hot path).
+    std::set<unsigned> Accessed;
   };
   struct Activation {
     const Function *F = nullptr;
@@ -86,10 +126,17 @@ private:
   };
 
   void closeFrame(Activation &A, LoopFrame &Fr);
+  void finalizeWritingIter(ValTrack &T);
+  uint64_t bodyHashOf(const Function &F);
+  /// Root scalar storage of a load/store (null when not a direct or
+  /// GEP-free scalar access); memoized per instruction.
+  const Value *scalarStorageOf(const Instruction &I);
 
   ModuleAnalyses &MA;
   std::vector<Activation> Activations;
   DepProfile Profile;
+  std::unordered_map<const Function *, uint64_t> BodyHashes;
+  std::unordered_map<const Instruction *, const Value *> ScalarStorage;
 };
 
 } // namespace psc

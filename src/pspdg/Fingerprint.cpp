@@ -262,12 +262,73 @@ std::string psc::fingerprint(const PSPDG &G) {
   return Canonicalizer(G).serialize();
 }
 
-uint64_t psc::fingerprintHash(const PSPDG &G) {
-  std::string S = fingerprint(G);
+namespace {
+
+uint64_t fnv1a(const std::string &S) {
   uint64_t H = 1469598103934665603ULL;
   for (unsigned char C : S) {
     H ^= C;
     H *= 1099511628211ULL;
   }
   return H;
+}
+
+} // namespace
+
+uint64_t psc::fingerprintHash(const PSPDG &G) { return fnv1a(fingerprint(G)); }
+
+std::string psc::functionBody(const Function &F) {
+  // Program-order instruction numbering (the same order FunctionAnalysis
+  // assigns profile indices in), then the fingerprint's leaf conventions —
+  // with one deliberate deviation: constants serialize kind-only. Literal
+  // values are program *inputs* under the speculation contract (training
+  // and adversarial variants differ exactly in literals, and the runtime
+  // validator exists to catch behavioral divergence); the hash guards
+  // *index retargeting*, which only structure — opcodes, operand shapes,
+  // names, block targets — can cause.
+  std::map<const Instruction *, unsigned> Number;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      Number[I] = static_cast<unsigned>(Number.size());
+
+  auto Ref = [&](const Value *V) -> std::string {
+    if (isa<ConstantInt>(V))
+      return "c";
+    if (isa<ConstantFloat>(V))
+      return "f";
+    if (const auto *GV = dyn_cast<GlobalVariable>(V))
+      return "g:" + GV->getName();
+    if (const auto *Fn = dyn_cast<Function>(V))
+      return "fn:" + Fn->getName();
+    if (const auto *Arg = dyn_cast<Argument>(V))
+      return "arg" + std::to_string(Arg->getArgIndex());
+    if (const auto *I = dyn_cast<Instruction>(V)) {
+      if (const auto *AI = dyn_cast<AllocaInst>(I))
+        return "a:" + AI->getName();
+      return "%" + std::to_string(Number.at(I));
+    }
+    return "?";
+  };
+
+  std::ostringstream OS;
+  OS << "body @" << F.getName() << "\n";
+  for (const BasicBlock *BB : F) {
+    OS << "b" << BB->getIndex() << "\n";
+    for (const Instruction *I : *BB) {
+      OS << Number.at(I) << " " << I->getOpcodeName();
+      for (const Value *Op : I->operands())
+        OS << " " << Ref(Op);
+      if (const auto *Br = dyn_cast<BranchInst>(I))
+        OS << " ->b" << Br->getTarget()->getIndex();
+      if (const auto *CBr = dyn_cast<CondBranchInst>(I))
+        OS << " ->b" << CBr->getTrueTarget()->getIndex() << ",b"
+           << CBr->getFalseTarget()->getIndex();
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}
+
+uint64_t psc::functionBodyHash(const Function &F) {
+  return fnv1a(functionBody(F));
 }

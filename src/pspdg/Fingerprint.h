@@ -34,6 +34,22 @@ std::string fingerprint(const PSPDG &G);
 /// FNV-1a hash of fingerprint(G), for compact reporting.
 uint64_t fingerprintHash(const PSPDG &G);
 
+class Function;
+
+/// Canonical serialization of one function *body*, using the fingerprint's
+/// leaf conventions (program-order instruction numbering; operands as
+/// global/alloca names, argument indices, or defining-instruction numbers;
+/// branch targets as block indices; constants kind-only — literal values
+/// are training/adversarial *inputs* under the speculation contract, not
+/// structure). Two bodies serialize equally iff their instruction streams
+/// are structurally identical — the staleness guard the dependence profile
+/// records (DepProfile): profile instruction indices are only meaningful
+/// against a structurally identical body.
+std::string functionBody(const Function &F);
+
+/// FNV-1a hash of functionBody(F).
+uint64_t functionBodyHash(const Function &F);
+
 } // namespace psc
 
 #endif // PSPDG_PSPDG_FINGERPRINT_H

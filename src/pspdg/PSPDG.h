@@ -120,6 +120,9 @@ struct PSDirectedEdge {
   /// plan view converts these into runtime-validated assumptions instead
   /// of treating the edge as carried (disjoint from CarriedAtHeaders).
   std::set<unsigned> SpecCarriedAtHeaders;
+  /// Same, for the value-speculation stage (ValueSpec.h): the view turns
+  /// these into per-value assumptions on the edge's MemObject.
+  std::set<unsigned> ValueSpecCarriedAtHeaders;
   const Value *MemObject = nullptr;
   bool IsIVDep = false;
   bool IsIO = false;

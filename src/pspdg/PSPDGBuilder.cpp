@@ -434,6 +434,7 @@ void BuilderImpl::buildEdges() {
     Out.IsIO = E.IsIO;
     Out.CarriedAtHeaders = E.CarriedAtHeaders;
     Out.SpecCarriedAtHeaders = E.SpecCarriedAtHeaders;
+    Out.ValueSpecCarriedAtHeaders = E.ValueSpecCarriedAtHeaders;
 
     // Cilk-style task concurrency (Appendix A, needs the SESE hierarchical
     // nodes): a spawned strand runs concurrently with its continuation and
@@ -460,9 +461,11 @@ void BuilderImpl::buildEdges() {
           Out.Intra = false;
           KeepSynced(Out.CarriedAtHeaders);
           KeepSynced(Out.SpecCarriedAtHeaders);
+          KeepSynced(Out.ValueSpecCarriedAtHeaders);
         } else if (TA == TB && TA >= 0) {
           KeepSynced(Out.CarriedAtHeaders);
           KeepSynced(Out.SpecCarriedAtHeaders);
+          KeepSynced(Out.ValueSpecCarriedAtHeaders);
         }
       }
     }
@@ -474,6 +477,8 @@ void BuilderImpl::buildEdges() {
     std::set<unsigned> AllHeaders = E.CarriedAtHeaders;
     AllHeaders.insert(E.SpecCarriedAtHeaders.begin(),
                       E.SpecCarriedAtHeaders.end());
+    AllHeaders.insert(E.ValueSpecCarriedAtHeaders.begin(),
+                      E.ValueSpecCarriedAtHeaders.end());
     for (unsigned H : AllHeaders) {
       bool Drop = false;
 
@@ -563,6 +568,7 @@ void BuilderImpl::buildEdges() {
       if (Drop) {
         Out.CarriedAtHeaders.erase(H);
         Out.SpecCarriedAtHeaders.erase(H);
+        Out.ValueSpecCarriedAtHeaders.erase(H);
       }
     }
 
@@ -596,7 +602,8 @@ void BuilderImpl::buildEdges() {
     // An edge whose every constraint was discharged (no intra ordering, no
     // carried level, no assumption, no selector) represents nothing.
     if (!Out.Intra && Out.CarriedAtHeaders.empty() &&
-        Out.SpecCarriedAtHeaders.empty() && !Out.Selector)
+        Out.SpecCarriedAtHeaders.empty() &&
+        Out.ValueSpecCarriedAtHeaders.empty() && !Out.Selector)
       continue;
 
     G->addDirectedEdge(std::move(Out));

@@ -191,11 +191,20 @@ struct WalkerEng {
     C.setInstructionNumbering(&LS.InstIndex);
   }
 
-  /// Speculation: the watch table plus overlay-merge numbering.
+  /// Speculation: the watch tables plus overlay-merge numbering.
   void initSpec(Ctx &C, const LoopSchedule &LS, const LoopAux *,
                 SpecAccessLog *Log) {
     C.setSpecWatch(&LS.WatchOf, Log);
+    if (!LS.ValueWatchOf.empty() || !LS.GuardWatchOf.empty())
+      C.setValueWatch(&LS.ValueWatchOf, &LS.GuardWatchOf);
     C.setInstructionNumbering(&LS.InstIndex);
+  }
+
+  /// Executes a defined function on a fresh context over the shared state
+  /// (the combiner registry's merge phase).
+  RTValue callFn(const Function *F, std::vector<RTValue> Args) {
+    ExecContext C(S);
+    return C.callFunction(*F, std::move(Args));
   }
 };
 
@@ -253,11 +262,21 @@ struct BytecodeEng {
     C.setNumberingTable(BM.forFunction(LS.F), &A->NumAtPC);
   }
 
-  /// Speculation: the watch table plus overlay-merge numbering.
+  /// Speculation: the watch tables plus overlay-merge numbering.
   void initSpec(Ctx &C, const LoopSchedule &LS, const LoopAux *A,
                 SpecAccessLog *Log) {
-    C.setSpecWatch(BM.forFunction(LS.F), &A->WatchAtPC, Log);
-    C.setNumberingTable(BM.forFunction(LS.F), &A->NumAtPC);
+    const BCFunction *BF = BM.forFunction(LS.F);
+    C.setSpecWatch(BF, &A->WatchAtPC, Log);
+    if (!A->VWatchAtPC.empty() || !A->GuardAtPC.empty())
+      C.setValueWatch(BF, &A->VWatchAtPC, &A->GuardAtPC);
+    C.setNumberingTable(BF, &A->NumAtPC);
+  }
+
+  /// Executes a defined function on a fresh context over the shared state
+  /// (the combiner registry's merge phase).
+  RTValue callFn(const Function *F, std::vector<RTValue> Args) {
+    BCContext C(S, BM);
+    return C.callFunction(*BM.forFunction(F), std::move(Args));
   }
 };
 
@@ -445,10 +464,42 @@ unsigned runDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
 // --- Speculative DOALL -------------------------------------------------------
 //
 // Like runDOALL, but every shared store of every chunk is checkpointed in a
-// per-chunk overlay (ShadowMemory SpecChunk mode) and the assumption set is
+// per-chunk overlay (ShadowMemory SpecChunk mode) and the obligation set is
 // validated at the join before anything commits. A chunk leaving its
 // iteration space is itself treated as evidence of misspeculation (stale
 // values can corrupt control), not as a plan error.
+//
+// Value obligations (DESIGN.md §10) extend the protocol:
+//   * value-speculated scalars are privatized per worker and re-seeded at
+//     every iteration with the predicted value (prediction tables built
+//     here, anchored at the live entry value and advanced by the trained
+//     stride through repeated addition — the sequential rounding chain);
+//   * promoted custom reductions privatize their storage zero-filled;
+//     after validation the registered combiner *executes* on
+//     (shared, partial) in chunk order — the combiner registry;
+//   * the validator additionally checks observed writes against the
+//     prediction tables and rejects any guarded (cold) access.
+
+/// Reads element 0 of a scalar object into the matching lane (the other
+/// lane stays zero: predictions compare by the object's own type, and an
+/// out-of-range float-to-int cast would be UB).
+void readScalar(const MemObject *O, int64_t &I, double &F) {
+  I = 0;
+  F = 0.0;
+  if (O->IsFloat)
+    F = O->F[0];
+  else {
+    I = O->I[0];
+    F = static_cast<double>(O->I[0]);
+  }
+}
+
+void writeScalar(MemObject *O, int64_t I, double F) {
+  if (O->IsFloat)
+    O->F[0] = F;
+  else
+    O->I[0] = I;
+}
 
 template <class E>
 unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
@@ -467,11 +518,40 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
                                               4));
   long NumChunks = (Trip + Chunk - 1) / Chunk;
 
+  // Prediction tables, one per value-speculated scalar: Pred[k] = expected
+  // value at entry of iteration k, Pred[Trip] = expected final value.
+  // Anchored at the storage's live value NOW (training anchors the same
+  // way, so predictions survive input-dependent entry values) and advanced
+  // by repeated addition, reproducing sequential float rounding exactly.
+  std::vector<SpecValidator::ValueCheck> Checks(LS.ValuePreds.size());
+  for (size_t P = 0; P < LS.ValuePreds.size(); ++P) {
+    const ValuePrediction &VP = LS.ValuePreds[P];
+    SpecValidator::ValueCheck &C = Checks[P];
+    C.Kind = VP.Kind;
+    C.IsFloat = VP.IsFloat;
+    int64_t EI = 0;
+    double EF = 0.0;
+    readScalar(Eng.shared(Fr, VP.Storage), EI, EF);
+    size_t N = VP.Kind == ValueClassKind::Strided
+                   ? static_cast<size_t>(Trip) + 1
+                   : 1;
+    C.PredI.resize(N);
+    C.PredF.resize(N);
+    C.PredI[0] = EI;
+    C.PredF[0] = EF;
+    for (size_t K = 1; K < N; ++K) {
+      C.PredI[K] = C.PredI[K - 1] + VP.StrideI;
+      C.PredF[K] = C.PredF[K - 1] + VP.StrideF;
+    }
+  }
+
   struct ChunkState {
     std::vector<std::string> Out;
     PrivSet P;
     ShadowMemory SM;
     SpecAccessLog Log;
+    std::vector<MemObject *> VObj; ///< Parallel to LS.ValuePreds.
+    std::vector<MemObject *> RObj; ///< Parallel to LS.SpecReductions.
     bool Diverged = false;
   };
   std::vector<ChunkState> CS(static_cast<size_t>(NumChunks));
@@ -483,6 +563,16 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
       W.setChargeBatch(64);
       typename E::Frm WF = Eng.clone(Fr);
       St.P = privatize(Eng, W, WF, Fr, LS);
+      // Per-value checkpoints: predicted scalars (seeded per iteration
+      // below) and zero-filled reduction partials.
+      for (const ValuePrediction &VP : LS.ValuePreds)
+        St.VObj.push_back(redirect(Eng, W, WF, Fr, VP.Storage, St.P));
+      for (const SpecReduction &SR : LS.SpecReductions) {
+        MemObject *Obj = redirect(Eng, W, WF, Fr, SR.Storage, St.P);
+        if (Obj)
+          fillIdentity(*Obj, ReduceOp::Add); // zero: the additive identity
+        St.RObj.push_back(Obj);
+      }
       St.SM.setSpecMode(ShadowMemory::SpecMode::Chunk);
       bypassPrivates(St.SM, St.P);
       W.setShadowMemory(&St.SM);
@@ -492,6 +582,19 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
       for (long It = Lo; It < Hi; ++It) {
         W.setCurrentIteration(It);
         setIV(St.P.IV, LS.Init + It * LS.Step);
+        for (size_t P = 0; P < LS.ValuePreds.size(); ++P) {
+          // Seed the predicted entry value (WriteFirst scalars keep their
+          // own chunk-local history: a conforming iteration writes before
+          // reading anyway, and a violating read is caught by the log).
+          if (LS.ValuePreds[P].Kind == ValueClassKind::WriteFirst)
+            continue;
+          const SpecValidator::ValueCheck &Ck = Checks[P];
+          size_t Idx = Ck.Kind == ValueClassKind::Strided
+                           ? static_cast<size_t>(It)
+                           : 0;
+          if (St.VObj[P])
+            writeScalar(St.VObj[P], Ck.PredI[Idx], Ck.PredF[Idx]);
+        }
         unsigned R = Eng.execWithin(W, WF, LS, A);
         if (R != LS.Header) {
           if (!S.aborted())
@@ -512,14 +615,15 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
   for (ChunkState &St : CS)
     if (St.Diverged)
       Misspec = true;
+  SpecValidator V(LS.AssumedPairs);
   if (!Misspec) {
-    SpecValidator V(LS.AssumedPairs);
+    V.setValueChecks(std::move(Checks), Trip);
     for (ChunkState &St : CS)
       V.add(St.Log);
     Misspec = !V.validate();
   }
   if (Misspec)
-    return kMisspec; // discard overlays, logs, and buffered output
+    return kMisspec; // discard overlays, partials, logs, buffered output
 
   // Validated: commit overlays, then output, reductions, and last-chunk
   // private state in sequential order — exactly the sound DOALL epilogue.
@@ -538,11 +642,48 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
       if (St.P.Red[R])
         applyReduce(*Shared, *St.P.Red[R], LS.Reductions[R].Op);
   }
+  // Promoted reductions: the combiner registry's merge phase. The user's
+  // combiner executes on (shared, partial) per chunk, in chunk order — the
+  // declared merge semantics of `reducible(var : fn)`.
+  for (size_t R = 0; R < LS.SpecReductions.size(); ++R) {
+    MemObject *Shared = Eng.shared(Fr, LS.SpecReductions[R].Storage);
+    if (!Shared)
+      continue;
+    for (ChunkState &St : CS)
+      if (St.RObj[R])
+        Eng.callFn(LS.SpecReductions[R].Combiner,
+                   {RTValue::ofPtr(Shared, 0), RTValue::ofPtr(St.RObj[R], 0)});
+  }
+  // Value-speculated scalars: the validated final value. Strided lands on
+  // the last predicted value; invariant keeps the entry value (already in
+  // place); WriteFirst takes the globally-last validated write.
+  for (size_t P = 0; P < LS.ValuePreds.size(); ++P) {
+    const ValuePrediction &VP = LS.ValuePreds[P];
+    MemObject *Shared = Eng.shared(Fr, VP.Storage);
+    if (!Shared)
+      continue;
+    if (VP.Kind == ValueClassKind::Strided) {
+      int64_t FI = 0;
+      double FF = 0.0;
+      readScalar(Shared, FI, FF); // types; values overwritten below
+      // Recompute the final from the entry the same additive way.
+      // (The check tables were moved into the validator; re-deriving via
+      // finalValue keeps one authority for the committed value.)
+      if (!V.finalValue(static_cast<unsigned>(P), FI, FF))
+        continue; // strided requires a write per iteration; unreachable
+      writeScalar(Shared, FI, FF);
+    } else if (VP.Kind == ValueClassKind::WriteFirst) {
+      int64_t FI = 0;
+      double FF = 0.0;
+      if (V.finalValue(static_cast<unsigned>(P), FI, FF))
+        writeScalar(Shared, FI, FF);
+    }
+  }
   ChunkState &Last = CS.back();
-  for (size_t V = 0; V < LS.Privates.size(); ++V) {
-    MemObject *Shared = Eng.shared(Fr, LS.Privates[V].Storage);
-    if (Shared && Last.P.Priv[V])
-      *Shared = *Last.P.Priv[V];
+  for (size_t V2 = 0; V2 < LS.Privates.size(); ++V2) {
+    MemObject *Shared = Eng.shared(Fr, LS.Privates[V2].Storage);
+    if (Shared && Last.P.Priv[V2])
+      *Shared = *Last.P.Priv[V2];
   }
   setIV(SharedIV, LS.Init + Trip * LS.Step);
   return ExitIdx;
@@ -1006,6 +1147,22 @@ ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan,
         if (PC != BCInst::NoSlot)
           A.WatchAtPC[PC] = W + 1;
       }
+      if (!LS.ValueWatchOf.empty() || !LS.GuardWatchOf.empty()) {
+        // Both tables are built together (the engine indexes both when
+        // either is installed).
+        A.VWatchAtPC.assign(BF->code().size(), 0);
+        A.GuardAtPC.assign(BF->code().size(), 0);
+        for (const auto &[I, P] : LS.ValueWatchOf) {
+          uint32_t PC = BF->pcOf(I);
+          if (PC != BCInst::NoSlot)
+            A.VWatchAtPC[PC] = P + 1;
+        }
+        for (const auto &[I, G] : LS.GuardWatchOf) {
+          uint32_t PC = BF->pcOf(I);
+          if (PC != BCInst::NoSlot)
+            A.GuardAtPC[PC] = G + 1;
+        }
+      }
     }
     Aux[&LS] = std::move(A);
   }
@@ -1064,6 +1221,8 @@ ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
     Stat.Reason = LS.Reason;
     Stat.Speculative = LS.Speculative;
     Stat.Assumptions = static_cast<unsigned>(LS.Assumptions.size());
+    Stat.ValuePreds = static_cast<unsigned>(LS.ValuePreds.size());
+    Stat.SpecReductions = static_cast<unsigned>(LS.SpecReductions.size());
     auto It = RS.Stats.find(&LS);
     if (It != RS.Stats.end()) {
       Stat.Invocations = It->second.Invocations;

@@ -76,6 +76,8 @@ struct LoopExecStat {
   // Speculation (set for speculative schedules only).
   bool Speculative = false;
   unsigned Assumptions = 0;      ///< Size of the schedule's assumption set.
+  unsigned ValuePreds = 0;       ///< Value-speculated scalars (§10).
+  unsigned SpecReductions = 0;   ///< Promoted custom reductions (§10).
   uint64_t Misspeculations = 0;  ///< Invocations rolled back to sequential.
 };
 
@@ -112,6 +114,10 @@ public:
     std::vector<unsigned> NumAtPC;
     /// Speculative: PC -> watch index + 1 (0 = unwatched).
     std::vector<uint32_t> WatchAtPC;
+    /// Value speculation: PC -> value-prediction index + 1 (0 = none).
+    std::vector<uint32_t> VWatchAtPC;
+    /// Value speculation: PC -> guard ordinal + 1 (0 = none).
+    std::vector<uint32_t> GuardAtPC;
   };
 
 private:

@@ -5,12 +5,25 @@
 /// DOALL > HELIX > DSWP > Sequential; a failed validation step records its
 /// reason so `pscc --run-parallel` can report why a loop stayed sequential.
 ///
+/// Speculative plans (assumption-carrying views, DESIGN.md §9–§10) pass
+/// through speculation-aware selection: the plan's obligation count and
+/// the profile's historical misspeculation rate feed the SpecCostModel
+/// (PlanEnumerator.h); a rejected plan is re-derived from the sound
+/// alternative view. Value obligations — predicted scalars and promoted
+/// custom reductions — are DOALL-only and are lowered into the schedule's
+/// prediction/guard tables here.
+///
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Schedule.h"
 
+#include "analysis/MemoryModel.h"
 #include "analysis/Privatization.h"
+#include "analysis/ValueSpec.h"
+#include "parallel/PlanEnumerator.h"
 #include "parallel/RegionMap.h"
+#include "profiling/DepProfile.h"
+#include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
 
 #include <algorithm>
@@ -54,11 +67,12 @@ bool isFloatStorage(const Value *V) {
   return Ty->isFloat();
 }
 
-const Value *rootStorage(const Value *Ptr) {
-  while (const auto *G = dyn_cast<GEPInst>(Ptr))
-    Ptr = G->getBase();
-  return Ptr;
-}
+/// Value-speculation inputs of one planning pass: the training profile
+/// (null = value promotions off) with its staleness hash.
+struct SpecCtx {
+  const DepProfile *Profile = nullptr;
+  uint64_t BodyHash = 0;
+};
 
 /// Statically collected facts about one loop's body (including nested
 /// loops), feeding the schedule validations.
@@ -179,38 +193,64 @@ std::string fillCommon(LoopSchedule &LS, const Function &F,
   return "";
 }
 
-/// True if the loop writes storage registered by a module-scope
+/// Storages written by the loop that are registered by a module-scope
 /// `reducible(var : fn)` pragma. The abstraction views drop such a
 /// variable's accumulation dependences (the PS-PDG reducible trait), but
-/// this engine has no runtime combiner for it: privatizing the object
-/// would need identity values an application-specific merge function does
-/// not provide. Scheduling such a loop in parallel would race concurrent
-/// read-modify-writes on the shared object (nondeterministic accumulation
-/// order), violating sequential output equivalence.
-bool writesCustomReducible(const Module &M, const LoopFacts &Facts) {
+/// the engine can only run them with a promoted combiner (Schedule.h
+/// SpecReduction); unpromoted, scheduling such a loop in parallel would
+/// race concurrent read-modify-writes on the shared object
+/// (nondeterministic accumulation order), violating sequential output
+/// equivalence.
+std::vector<const ReductionClause *>
+customReducibleWrites(const Module &M, const LoopFacts &Facts) {
+  std::vector<const ReductionClause *> Out;
   for (const Directive &D : M.getParallelInfo().directives()) {
     if (D.isLoopDirective())
       continue;
     for (const ReductionClause &R : D.Reductions)
       if (R.Op == ReduceOp::Custom && Facts.Written.count(R.Var.Storage))
-        return true;
+        Out.push_back(&R);
   }
-  return false;
+  return Out;
 }
 
 /// Privatization classification of the written scalars. Returns "" on
-/// success (Privates/Reductions filled), else the failure reason.
+/// success (Privates/Reductions — and under \p AllowValueSpec the value
+/// predictions / promoted reductions — filled), else the failure reason.
 /// (Loop-level custom reduction clauses are rejected here too — the
 /// "custom reduction operator" return below — so both spellings of a
-/// custom reduction keep their loop sequential.)
+/// custom reduction keep their loop sequential unless promoted.)
 std::string classifyScalars(LoopSchedule &LS, const Function &F,
                             const FunctionAnalysis &FA, const Loop &L,
-                            const LoopFacts &Facts) {
+                            const LoopFacts &Facts, const LoopPlanView &PV,
+                            bool AllowValueSpec, const SpecCtx &Spec) {
   const Module &M = *F.getParent();
   BasicBlock *Header = F.getBlock(L.getHeader());
 
-  if (writesCustomReducible(M, Facts))
-    return "writes custom-reducible storage (no runtime combiner)";
+  // Custom-reducible storage: promoted to a runnable reduction when value
+  // speculation is on and the profile confirms the shape (ValueSpec.h);
+  // rejected otherwise — exactly the sound engine's historical guard.
+  for (const ReductionClause *R : customReducibleWrites(M, Facts)) {
+    if (!AllowValueSpec || !Spec.Profile)
+      return "writes custom-reducible storage (no runtime combiner)";
+    ReductionShape Shape = analyzeReductionShape(FA, L, R->Var.Storage,
+                                                 Spec.Profile, Spec.BodyHash);
+    if (!Shape.Viable)
+      return "writes custom-reducible storage (" + Shape.Reason + ")";
+    LS.SpecReductions.push_back({Shape.Storage, Shape.Combiner});
+    for (const Instruction *I : Shape.ColdAccesses) {
+      unsigned G = static_cast<unsigned>(LS.GuardWatchOf.size());
+      LS.GuardWatchOf.emplace(I, G);
+    }
+  }
+
+  // Value-speculated scalars this view assumes (per-storage assumptions
+  // recorded by AbstractionView); resolved against the profile's class.
+  std::set<const Value *> ValueSpecScalars;
+  if (AllowValueSpec)
+    for (const ValueAssumption &A : PV.ValueAssumptions)
+      if (A.IsScalar && isScalarStorage(A.Storage))
+        ValueSpecScalars.insert(A.Storage);
 
   std::set<const Value *> Priv = computeIterationPrivateScalars(FA, L);
   std::map<const Value *, ReduceOp> Reds;
@@ -240,6 +280,22 @@ std::string classifyScalars(LoopSchedule &LS, const Function &F,
       continue;
     if (Facts.MutexSafeWritten.count(W))
       continue; // orderless update under the runtime region lock
+    if (ValueSpecScalars.count(W)) {
+      // Privatized + predicted + validated (DESIGN.md §10).
+      const DepProfile::ValueObs *Obs = Spec.Profile->valueObs(
+          F.getName(), L.getHeader(), valueStorageKey(W));
+      if (!Obs || Obs->Kind == ValueClassKind::Varying)
+        return std::string("value-speculated scalar '") + W->getName() +
+               "' has no usable profile class";
+      ValuePrediction P;
+      P.Storage = W;
+      P.Kind = Obs->Kind;
+      P.IsFloat = Obs->IsFloat;
+      P.StrideI = Obs->StrideI;
+      P.StrideF = Obs->StrideF;
+      LS.ValuePreds.push_back(P);
+      continue;
+    }
     return std::string("unprivatizable scalar write to '") +
            (W->getName().empty() ? "?" : W->getName()) + "'";
   }
@@ -255,9 +311,10 @@ std::string classifyScalars(LoopSchedule &LS, const Function &F,
 /// checks: the checkpoint mechanism shadows every store and commits only
 /// after validation, which cannot express in-place locked read-modify-write
 /// updates (concurrent critical/atomic regions would each update a private
-/// overlay and lose increments on merge).
-std::string specSafe(const LoopPlanView &PV, const LoopFacts &Facts) {
-  if (PV.Assumptions.empty())
+/// overlay and lose increments on merge). Value obligations checkpoint
+/// through the same overlays, so the same restriction applies.
+std::string specSafe(bool Speculative, const LoopFacts &Facts) {
+  if (!Speculative)
     return "";
   if (Facts.RegionKinds.count(DirectiveKind::Critical) ||
       Facts.RegionKinds.count(DirectiveKind::Atomic))
@@ -268,10 +325,10 @@ std::string specSafe(const LoopPlanView &PV, const LoopFacts &Facts) {
 std::string tryDOALL(LoopSchedule &LS, const Function &F,
                      const FunctionAnalysis &FA, const Loop &L,
                      const LoopFacts &Facts, const LoopPlanView &PV,
-                     const LoopSCCDAG &DAG) {
+                     const LoopSCCDAG &DAG, const SpecCtx &Spec) {
   if (!PV.TripCountable)
     return "not trip-countable under this view";
-  if (std::string R = specSafe(PV, Facts); !R.empty())
+  if (std::string R = specSafe(!PV.Assumptions.empty(), Facts); !R.empty())
     return R;
   if (!DAG.allParallel())
     return "sequential SCCs remain";
@@ -284,8 +341,20 @@ std::string tryDOALL(LoopSchedule &LS, const Function &F,
     if (K == DirectiveKind::Ordered || K == DirectiveKind::Single ||
         K == DirectiveKind::Master)
       return "ordered/single/master region inside";
-  if (std::string R = classifyScalars(LS, F, FA, L, Facts); !R.empty())
+  if (std::string R = classifyScalars(LS, F, FA, L, Facts, PV,
+                                      /*AllowValueSpec=*/true, Spec);
+      !R.empty())
     return R;
+  // Value obligations discovered during classification checkpoint through
+  // the speculative overlays too.
+  if (std::string R = specSafe(LS.hasValueSpec(), Facts); !R.empty()) {
+    LS.ValuePreds.clear();
+    LS.SpecReductions.clear();
+    LS.GuardWatchOf.clear();
+    LS.Privates.clear();
+    LS.Reductions.clear();
+    return R;
+  }
 
   BasicBlock *Header = F.getBlock(L.getHeader());
   for (const Directive *D :
@@ -299,10 +368,11 @@ std::string tryDOALL(LoopSchedule &LS, const Function &F,
 std::string tryHELIX(LoopSchedule &LS, const Function &F,
                      const FunctionAnalysis &FA, const Loop &L,
                      const LoopFacts &Facts, const LoopPlanView &PV,
-                     const LoopSCCDAG &DAG, const RegionMap &Regions) {
+                     const LoopSCCDAG &DAG, const RegionMap &Regions,
+                     const SpecCtx &Spec) {
   if (!PV.TripCountable)
     return "not trip-countable under this view";
-  if (std::string R = specSafe(PV, Facts); !R.empty())
+  if (std::string R = specSafe(!PV.Assumptions.empty(), Facts); !R.empty())
     return R;
   if (DAG.numSCCs() == 0 ||
       DAG.numSequentialSCCs() >= DAG.numSCCs())
@@ -326,7 +396,11 @@ std::string tryHELIX(LoopSchedule &LS, const Function &F,
     if (It != SCCOf.end() && !DAG.isSequential(It->second))
       return "ordered region content not sequential";
   }
-  if (std::string R = classifyScalars(LS, F, FA, L, Facts); !R.empty())
+  // Value obligations privatize per worker — inexpressible under the gate
+  // model, so HELIX plans never carry them (AllowValueSpec off).
+  if (std::string R = classifyScalars(LS, F, FA, L, Facts, PV,
+                                      /*AllowValueSpec=*/false, Spec);
+      !R.empty())
     return R;
 
   // Deadlock avoidance: a critical/atomic region whose content is gated
@@ -370,10 +444,11 @@ std::string tryHELIX(LoopSchedule &LS, const Function &F,
 std::string tryDSWP(LoopSchedule &LS, const Function &F,
                     const FunctionAnalysis &FA, const Loop &L,
                     const LoopFacts &Facts, const LoopPlanView &PV,
-                    const LoopSCCDAG &DAG, unsigned Threads) {
+                    const LoopSCCDAG &DAG, unsigned Threads,
+                    const SpecCtx &Spec) {
   if (!PV.TripCountable)
     return "not trip-countable under this view";
-  if (std::string R = specSafe(PV, Facts); !R.empty())
+  if (std::string R = specSafe(!PV.Assumptions.empty(), Facts); !R.empty())
     return R;
   if (DAG.numSCCs() < 2)
     return "fewer than two SCCs";
@@ -433,7 +508,9 @@ std::string tryDSWP(LoopSchedule &LS, const Function &F,
     if (SS > DS)
       return "dependence against pipeline order";
   }
-  if (std::string R = classifyScalars(LS, F, FA, L, Facts); !R.empty())
+  if (std::string R = classifyScalars(LS, F, FA, L, Facts, PV,
+                                      /*AllowValueSpec=*/false, Spec);
+      !R.empty())
     return R;
   if (!LS.Reductions.empty()) {
     LS.Privates.clear();
@@ -451,8 +528,9 @@ std::string tryDSWP(LoopSchedule &LS, const Function &F,
 }
 
 /// Lowers a speculative schedule's assumption set into the conflict-check
-/// table the runtime validator consumes, and numbers every view
-/// instruction for deterministic overlay merging.
+/// table the runtime validator consumes, the value obligations into their
+/// watch tables, and numbers every view instruction for deterministic
+/// overlay merging.
 void lowerSpeculation(LoopSchedule &LS, const FunctionAnalysis &FA,
                       const LoopPlanView &PV) {
   LS.Speculative = true;
@@ -467,8 +545,84 @@ void lowerSpeculation(LoopSchedule &LS, const FunctionAnalysis &FA,
   };
   for (const SpecAssumption &A : LS.Assumptions)
     LS.AssumedPairs.push_back({WatchIdx(A.Src), WatchIdx(A.Dst)});
+  // Value watches: every access of a value-speculated scalar logs (stores
+  // with their value) so the validator can check observed == predicted and
+  // extract final values.
+  for (unsigned P = 0; P < LS.ValuePreds.size(); ++P) {
+    const Value *Storage = LS.ValuePreds[P].Storage;
+    for (const Instruction *I : PV.Insts) {
+      const Value *Ptr = nullptr;
+      if (const auto *LI = dyn_cast<LoadInst>(I))
+        Ptr = LI->getPointer();
+      else if (const auto *SI = dyn_cast<StoreInst>(I))
+        Ptr = SI->getPointer();
+      if (Ptr && rootStorage(Ptr) == Storage)
+        LS.ValueWatchOf[I] = P;
+    }
+  }
   for (const Instruction *I : PV.Insts)
     LS.InstIndex[I] = FA.indexOf(I);
+}
+
+/// Derives the best schedule for one loop from one plan view, running the
+/// DOALL > HELIX > DSWP chain. \p InnerWS marks J&K inner worksharing
+/// loops (DOALL or nothing).
+LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
+                              const Loop &L, const LoopFacts &Facts,
+                              const LoopPlanView &PV, const RegionMap &Regions,
+                              unsigned Threads, bool InnerWS,
+                              const SpecCtx &Spec) {
+  LoopSCCDAG DAG(PV);
+  LoopSchedule LS;
+  std::string Common = fillCommon(LS, F, FA, L, Facts);
+  if (!Common.empty()) {
+    LS.F = &F;
+    LS.Header = L.getHeader();
+    LS.Depth = L.getDepth();
+    LS.Reason = Common;
+    return LS;
+  }
+
+  auto ClearResidue = [](LoopSchedule &S) {
+    S.Privates.clear();
+    S.Reductions.clear();
+    S.ValuePreds.clear();
+    S.SpecReductions.clear();
+    S.GuardWatchOf.clear();
+  };
+
+  std::string DoallR = tryDOALL(LS, F, FA, L, Facts, PV, DAG, Spec);
+  bool Spd = !PV.Assumptions.empty() || LS.hasValueSpec();
+  if (DoallR.empty()) {
+    LS.Reason = Spd ? "DOALL (speculative)" : "DOALL";
+  } else if (InnerWS) {
+    // Inner worksharing loops the J&K view cannot prove stay sequential.
+    LS.Reason = "DOALL: " + DoallR;
+  } else {
+    LoopSchedule H = LS; // common fields, no DOALL residue
+    ClearResidue(H);
+    std::string HelixR = tryHELIX(H, F, FA, L, Facts, PV, DAG, Regions, Spec);
+    if (HelixR.empty()) {
+      LS = std::move(H);
+      LS.Reason = PV.Assumptions.empty() ? "HELIX" : "HELIX (speculative)";
+    } else {
+      LoopSchedule D = LS;
+      ClearResidue(D);
+      std::string DswpR = tryDSWP(D, F, FA, L, Facts, PV, DAG, Threads, Spec);
+      if (DswpR.empty()) {
+        LS = std::move(D);
+        LS.Reason = PV.Assumptions.empty() ? "DSWP" : "DSWP (speculative)";
+      } else {
+        ClearResidue(LS);
+        LS.Reason = "DOALL: " + DoallR + "; HELIX: " + HelixR +
+                    "; DSWP: " + DswpR;
+      }
+    }
+  }
+  if (LS.Kind != ScheduleKind::Sequential &&
+      (!PV.Assumptions.empty() || LS.hasValueSpec()))
+    lowerSpeculation(LS, FA, PV);
+  return LS;
 }
 
 void planFunction(RuntimePlan &Plan, const Function &F,
@@ -498,6 +652,12 @@ void planFunction(RuntimePlan &Plan, const Function &F,
   AbstractionView View(Plan.Abs, FA, std::move(DepEdges), G.get());
   RegionMap Regions(FA);
 
+  SpecCtx Spec;
+  if (DepOracles.wantsValueSpec() && DepOracles.SpecProfile) {
+    Spec.Profile = DepOracles.SpecProfile;
+    Spec.BodyHash = functionBodyHash(F);
+  }
+
   // Which loops the abstraction may re-plan (critical-path methodology):
   // PDG outermost only; J&K outermost + worksharing inner (DOALL only);
   // PS-PDG every loop.
@@ -511,52 +671,32 @@ void planFunction(RuntimePlan &Plan, const Function &F,
       continue;
 
     LoopPlanView PV = View.viewFor(*L);
-    LoopSCCDAG DAG(PV);
     LoopFacts Facts = collectFacts(F, FA, Regions, *L);
 
-    LoopSchedule LS;
-    std::string Common = fillCommon(LS, F, FA, *L, Facts);
-    if (!Common.empty()) {
-      LS.F = &F;
-      LS.Header = L->getHeader();
-      LS.Depth = L->getDepth();
-      LS.Reason = Common;
-      Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
-      continue;
-    }
+    LoopSchedule LS = scheduleFromView(F, FA, *L, Facts, PV, Regions,
+                                       Threads, InnerWS, Spec);
 
-    std::string DoallR = tryDOALL(LS, F, FA, *L, Facts, PV, DAG);
-    if (DoallR.empty()) {
-      LS.Reason = PV.Assumptions.empty() ? "DOALL" : "DOALL (speculative)";
-    } else if (InnerWS) {
-      // Inner worksharing loops the J&K view cannot prove stay sequential.
-      LS.Reason = "DOALL: " + DoallR;
-    } else {
-      LoopSchedule H = LS; // common fields, no DOALL residue
-      H.Privates.clear();
-      H.Reductions.clear();
-      std::string HelixR = tryHELIX(H, F, FA, *L, Facts, PV, DAG, Regions);
-      if (HelixR.empty()) {
-        LS = std::move(H);
-        LS.Reason = PV.Assumptions.empty() ? "HELIX" : "HELIX (speculative)";
-      } else {
-        LoopSchedule D = LS;
-        D.Privates.clear();
-        D.Reductions.clear();
-        std::string DswpR = tryDSWP(D, F, FA, *L, Facts, PV, DAG, Threads);
-        if (DswpR.empty()) {
-          LS = std::move(D);
-          LS.Reason = PV.Assumptions.empty() ? "DSWP" : "DSWP (speculative)";
-        } else {
-          LS.Privates.clear();
-          LS.Reductions.clear();
-          LS.Reason = "DOALL: " + DoallR + "; HELIX: " + HelixR +
-                      "; DSWP: " + DswpR;
-        }
+    // Speculation-aware selection (ROADMAP): a speculative schedule is
+    // costed by its obligation count and the profile's historical
+    // misspeculation rate; rejection falls back to the sound alternative
+    // view — whatever schedule the sound stack alone justifies.
+    if (LS.Speculative && DepOracles.SpecProfile) {
+      unsigned Obligations =
+          static_cast<unsigned>(LS.Assumptions.size() + LS.ValuePreds.size() +
+                                LS.SpecReductions.size());
+      if (!speculationAccepted(DepOracles.SpecProfile, F.getName(),
+                               L->getHeader(), Obligations)) {
+        uint64_t Attempts = 0, Misspecs = 0;
+        DepOracles.SpecProfile->specHistory(F.getName(), L->getHeader(),
+                                            Attempts, Misspecs);
+        LoopPlanView Sound = soundAlternative(PV);
+        LS = scheduleFromView(F, FA, *L, Facts, Sound, Regions, Threads,
+                              InnerWS, SpecCtx{});
+        LS.Reason += " [speculation rejected by cost model: " +
+                     std::to_string(Misspecs) + "/" +
+                     std::to_string(Attempts) + " misspeculated]";
       }
     }
-    if (LS.Kind != ScheduleKind::Sequential && !PV.Assumptions.empty())
-      lowerSpeculation(LS, FA, PV);
     Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
   }
 }

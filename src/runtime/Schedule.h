@@ -37,6 +37,7 @@
 #include "analysis/FunctionAnalysis.h"
 #include "ir/ParallelInfo.h"
 #include "parallel/AbstractionView.h"
+#include "profiling/DepProfile.h"
 #include "pspdg/Features.h"
 
 #include <map>
@@ -63,6 +64,30 @@ struct ReductionVar {
   const Value *Storage = nullptr;
   ReduceOp Op = ReduceOp::Add;
   bool IsFloat = false;
+};
+
+/// A value-speculated scalar (DESIGN.md §10): privatized per worker and
+/// seeded each iteration with the predicted value. Every access is
+/// value-watched; the validator checks observed writes against the
+/// prediction table the runtime builds at invocation time (anchored at the
+/// storage's live entry value, advanced by the trained stride).
+struct ValuePrediction {
+  const Value *Storage = nullptr;
+  ValueClassKind Kind = ValueClassKind::Invariant;
+  bool IsFloat = false;
+  int64_t StrideI = 0; ///< Strided only.
+  double StrideF = 0.0;
+};
+
+/// A promoted custom reduction (`reducible(var : fn)`): per-worker
+/// zero-filled partials accumulated by profile-confirmed additive RMWs and
+/// merged by *executing* the registered combiner in chunk order — the
+/// combiner registry made runnable. Cold non-conforming accesses are
+/// guard-watched (GuardWatchOf): one executing at run time is a
+/// misspeculation.
+struct SpecReduction {
+  const Value *Storage = nullptr;
+  const Function *Combiner = nullptr;
 };
 
 /// Executable schedule of one loop.
@@ -111,6 +136,29 @@ struct LoopSchedule {
   unsigned NumWatched = 0;
   /// Assumption id → (src watch, dst watch); the validator's pair table.
   std::vector<std::pair<unsigned, unsigned>> AssumedPairs;
+
+  // --- Value & reduction speculation (DESIGN.md §10) --------------------
+  //
+  // A schedule may additionally carry per-value obligations: predicted
+  // scalars (ValuePreds, accesses in ValueWatchOf logged with their
+  // stored values) and promoted custom reductions (SpecReductions, their
+  // cold accesses in GuardWatchOf). Only DOALL schedules carry them —
+  // value speculation privatizes its storage per worker, which the gate /
+  // pipeline models cannot express. Validation and rollback share the §9
+  // machinery: one SpecValidator checks conflict pairs, value predictions,
+  // and guards together at the join.
+  std::vector<ValuePrediction> ValuePreds;
+  std::vector<SpecReduction> SpecReductions;
+  /// Access instruction → ValuePreds index (loads and stores of the
+  /// value-speculated scalars).
+  std::map<const Instruction *, unsigned> ValueWatchOf;
+  /// Cold access instruction → guard ordinal; any logged execution is a
+  /// misspeculation.
+  std::map<const Instruction *, unsigned> GuardWatchOf;
+
+  bool hasValueSpec() const {
+    return !ValuePreds.empty() || !SpecReductions.empty();
+  }
 };
 
 /// Whole-module runtime plan under one abstraction.

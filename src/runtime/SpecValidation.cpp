@@ -14,7 +14,83 @@ std::string SpecValidator::describe(const Loc &L, unsigned SrcW,
   return OS.str();
 }
 
+bool SpecValidator::validateValues(std::string *Violation) const {
+  if (GuardHit) {
+    if (Violation)
+      *Violation = GuardDesc;
+    return false;
+  }
+  for (unsigned P = 0; P < VChecks.size(); ++P) {
+    const ValueCheck &C = VChecks[P];
+    auto TIt = VTable.find(P);
+    const std::map<long, IterVal> *Iters =
+        TIt == VTable.end() ? nullptr : &TIt->second;
+    auto Fail = [&](long Iter, const char *What) {
+      if (Violation)
+        *Violation = std::string("value prediction violated: scalar ") +
+                     std::to_string(P) + " " + What + " at iteration " +
+                     std::to_string(Iter);
+      return false;
+    };
+    switch (C.Kind) {
+    case ValueClassKind::Invariant:
+      // Every observed write must store the entry value.
+      if (Iters)
+        for (const auto &[Iter, V] : *Iters)
+          if (V.HasWrite &&
+              (C.IsFloat ? V.LastF != C.PredF[0] : V.LastI != C.PredI[0]))
+            return Fail(Iter, "wrote a non-invariant value");
+      break;
+    case ValueClassKind::Strided:
+      // Every iteration must write, and its last write must land exactly
+      // on the next predicted value.
+      for (long It = 0; It < Trip; ++It) {
+        const IterVal *V = nullptr;
+        if (Iters) {
+          auto VIt = Iters->find(It);
+          if (VIt != Iters->end())
+            V = &VIt->second;
+        }
+        if (!V || !V->HasWrite)
+          return Fail(It, "did not advance the stride");
+        size_t Next = static_cast<size_t>(It) + 1;
+        if (C.IsFloat ? V->LastF != C.PredF[Next] : V->LastI != C.PredI[Next])
+          return Fail(It, "wrote off the predicted stride");
+      }
+      break;
+    case ValueClassKind::WriteFirst:
+      // No iteration may read the carried-in value.
+      if (Iters)
+        for (const auto &[Iter, V] : *Iters)
+          if (!V.FirstIsWrite)
+            return Fail(Iter, "read before its first write");
+      break;
+    case ValueClassKind::Varying:
+      break; // never installed
+    }
+  }
+  return true;
+}
+
+bool SpecValidator::finalValue(unsigned Pred, int64_t &I, double &F) const {
+  auto TIt = VTable.find(Pred);
+  if (TIt == VTable.end())
+    return false;
+  // Iterations are disjoint across workers and map-ordered; the last
+  // writing iteration's fold holds the sequential final value.
+  for (auto It = TIt->second.rbegin(); It != TIt->second.rend(); ++It) {
+    if (It->second.HasWrite) {
+      I = It->second.LastI;
+      F = It->second.LastF;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool SpecValidator::validate(std::string *Violation) const {
+  if (!validateValues(Violation))
+    return false;
   for (const auto &[Loc, Hists] : Table) {
     for (const auto &[SrcW, SrcH] : Hists) {
       for (const auto &[DstW, DstH] : Hists) {

@@ -1,23 +1,34 @@
 //===- SpecValidation.h - Runtime validation of speculative plans -*- C++ -*-===//
 ///
 /// \file
-/// Checks the assumption set of a speculative LoopSchedule against the
-/// watched accesses the workers actually performed. An assumption
-/// (Src → Dst carried at L) is VIOLATED when some logged Src access in
-/// iteration i and some logged Dst access in iteration j > i touched the
-/// same location with at least one write — i.e. the dependence the plan
-/// assumed absent manifested after all.
+/// Checks the obligations of a speculative LoopSchedule against the
+/// watched accesses the workers actually performed. Three obligation
+/// families share one validator (and one access log):
 ///
-/// The validator compresses per (location, watch-index) into iteration
-/// ranges, which keeps the check exact: a cross-iteration conflicting pair
-/// exists iff min(src-write iters) < max(dst iters) or, for WAR,
-/// min(src-read iters) < max(dst-write iters).
+///   * **Conflict pairs** (§9): an assumption (Src → Dst carried at L) is
+///     VIOLATED when some logged Src access in iteration i and some logged
+///     Dst access in iteration j > i touched the same location with at
+///     least one write — i.e. the dependence the plan assumed absent
+///     manifested after all. The validator compresses per (location,
+///     watch-index) into iteration ranges, which keeps the check exact: a
+///     cross-iteration conflicting pair exists iff min(src-write iters) <
+///     max(dst iters) or, for WAR, min(src-read iters) < max(dst-write
+///     iters).
+///   * **Value predictions** (§10): per value-watched scalar, every
+///     iteration's observed writes must match the prediction table —
+///     invariant scalars may only store the entry value, strided scalars
+///     must write every iteration with the last write landing exactly on
+///     the next predicted value, write-first scalars must write before any
+///     read in every iteration that touches them.
+///   * **Guards** (§10): any logged access carrying a guard mark (a cold
+///     access of a promoted reduction) is a violation outright.
 ///
 /// Two usage shapes:
 ///   * batch (DOALL / DSWP): add() every worker's log after the join, then
 ///     validate() before merging overlays into shared memory;
 ///   * incremental (HELIX): checkAndAdd() one iteration's log at each gate
 ///     handoff, in iteration order — detection at the gate boundary.
+///     (Value obligations are DOALL-only, hence batch-only.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +36,7 @@
 #define PSPDG_RUNTIME_SPECVALIDATION_H
 
 #include "emulator/ExecCore.h"
+#include "profiling/DepProfile.h"
 
 #include <cstdint>
 #include <limits>
@@ -44,19 +56,46 @@ public:
       const std::vector<std::pair<unsigned, unsigned>> &AssumedPairs)
       : Pairs(AssumedPairs.begin(), AssumedPairs.end()) {}
 
+  /// One value-speculated scalar's prediction. Pred[k] is the expected
+  /// value at the *entry* of iteration k; Pred[Trip] is the expected final
+  /// value. Built by the runtime at invocation time (anchored at the live
+  /// entry value and advanced by the trained stride via repeated addition,
+  /// so float predictions reproduce the sequential rounding chain).
+  /// Invariant predictions hold one value; WriteFirst predictions only use
+  /// index 0 (the entry value is never validated against, only reported).
+  struct ValueCheck {
+    ValueClassKind Kind = ValueClassKind::Invariant;
+    bool IsFloat = false;
+    std::vector<int64_t> PredI;
+    std::vector<double> PredF;
+  };
+
+  /// Installs the value-prediction checks (indexed by VWatch - 1) for a
+  /// \p Trip -iteration loop.
+  void setValueChecks(std::vector<ValueCheck> Checks, long Trip) {
+    VChecks = std::move(Checks);
+    this->Trip = Trip;
+  }
+
   /// Batch: record a worker's whole log (no checking).
   void add(const SpecAccessLog &Log) {
     for (const SpecAccessRec &R : Log)
       insert(R);
   }
 
-  /// Batch: true when no assumption is violated by everything added.
+  /// Batch: true when no obligation — conflict pair, value prediction, or
+  /// guard — is violated by everything added.
   bool validate(std::string *Violation = nullptr) const;
 
   /// Incremental: checks \p Log (one iteration's accesses) against all
   /// previously-added iterations, then records it. Returns false on a
   /// violation. Logs must arrive in iteration order.
   bool checkAndAdd(const SpecAccessLog &Log, std::string *Violation = nullptr);
+
+  /// The globally-last written value of value-watched scalar \p Pred
+  /// (by iteration, then log order) — the sequential final value of a
+  /// validated WriteFirst scalar. False when no write was logged.
+  bool finalValue(unsigned Pred, int64_t &I, double &F) const;
 
 private:
   static constexpr long None = std::numeric_limits<long>::min();
@@ -68,23 +107,56 @@ private:
     bool hasR() const { return MaxR != None; }
     long maxAny() const { return MaxW > MaxR ? MaxW : MaxR; }
   };
+  /// Per (value watch, iteration) fold of the value-watched accesses.
+  struct IterVal {
+    bool FirstIsWrite = false;
+    bool HasWrite = false;
+    int64_t LastI = 0;
+    double LastF = 0.0;
+  };
   using Loc = std::pair<MemObject *, uint64_t>;
 
   void insert(const SpecAccessRec &R) {
-    WatchHist &H = Table[Loc{R.Obj, R.Off}][R.Watch];
-    if (R.IsWrite) {
-      H.MinW = std::min(H.MinW, R.Iter);
-      H.MaxW = std::max(H.MaxW, R.Iter);
-    } else {
-      H.MinR = std::min(H.MinR, R.Iter);
-      H.MaxR = std::max(H.MaxR, R.Iter);
+    if (R.HasWatch) {
+      WatchHist &H = Table[Loc{R.Obj, R.Off}][R.Watch];
+      if (R.IsWrite) {
+        H.MinW = std::min(H.MinW, R.Iter);
+        H.MaxW = std::max(H.MaxW, R.Iter);
+      } else {
+        H.MinR = std::min(H.MinR, R.Iter);
+        H.MaxR = std::max(H.MaxR, R.Iter);
+      }
+    }
+    if (R.VWatch) {
+      auto [It, New] = VTable[R.VWatch - 1].try_emplace(R.Iter);
+      IterVal &V = It->second;
+      if (New)
+        V.FirstIsWrite = R.IsWrite;
+      if (R.IsWrite) {
+        V.HasWrite = true;
+        V.LastI = R.ValI;
+        V.LastF = R.ValF;
+      }
+    }
+    if (R.GWatch && !GuardHit) {
+      GuardHit = true;
+      GuardDesc = "guarded cold access executed (guard " +
+                  std::to_string(R.GWatch - 1) + ", iteration " +
+                  std::to_string(R.Iter) + ")";
     }
   }
+
+  bool validateValues(std::string *Violation) const;
 
   static std::string describe(const Loc &L, unsigned SrcW, unsigned DstW);
 
   std::set<std::pair<unsigned, unsigned>> Pairs;
   std::map<Loc, std::map<uint32_t, WatchHist>> Table;
+  std::vector<ValueCheck> VChecks;
+  std::map<unsigned, std::map<long, IterVal>> VTable;
+  long Trip = 0;
+  bool GuardHit = false;
+  std::string GuardDesc;
 };
 
 } // namespace psc

@@ -656,6 +656,86 @@ int main() {
 }
 )PSC";
 
+// --------------------------------------------------------------------- RX --
+const char *RXSource = R"PSC(
+// RX: binned reduction statistics + table-strided cursor walk — the value
+// & reduction speculation showcase. The bins loop writes custom-reducible
+// storage, which the sound plan compiler rejects outright ("writes
+// custom-reducible storage"); a training profile confirms every warm
+// access is an additive read-modify-write and the reset path is cold, so
+// the loop promotes to a speculative DOALL whose partials merge by
+// executing combine_bins. The cursor loop carries `pos` through a
+// table-driven stride no sound analysis can bound; the profile classifies
+// it strided, and the runtime predicts + validates it per iteration.
+// Every accumulated value is a dyadic rational, so any association order
+// is bit-exact.
+double bins[16];
+#pragma psc reducible(bins : combine_bins)
+double samples[512];
+double trace[1024];
+int step_tab[256];
+int pos = 0;
+int reset_len = 0;
+
+void combine_bins(double dst[], double src[]) {
+  int t;
+  for (t = 0; t < 16; t++) {
+    dst[t] = dst[t] + src[t];
+  }
+}
+
+int main() {
+  int i;
+  int k;
+  int it;
+  double s;
+  int checksum;
+
+  for (i = 0; i < 512; i++) {
+    samples[i] = (i % 64) / 64.0;
+  }
+  for (i = 0; i < 256; i++) {
+    step_tab[i] = 2 + (i / 300);
+  }
+  for (i = 0; i < 1024; i++) {
+    trace[i] = 0.0;
+  }
+
+  for (it = 0; it < 6; it++) {
+    // Binned accumulation into custom-reducible storage. The adaptive
+    // rebinning reset sweep is disabled in this configuration
+    // (reset_len = 0): it is the cold, guard-watched path whose execution
+    // means misspeculation.
+    for (i = 0; i < 512; i++) {
+      bins[i % 16] += samples[i] * 0.25;
+      for (k = 0; k < reset_len; k++) {
+        bins[k] = 0.0;
+      }
+    }
+    // Cursor walk: pos advances by table strides (2 everywhere in
+    // training). The carried scalar blocks every sound plan; value
+    // speculation predicts it and unlocks DOALL.
+    pos = 0;
+    for (i = 0; i < 256; i++) {
+      pos = pos + step_tab[i];
+      trace[pos] = trace[pos] + samples[i];
+    }
+  }
+
+  s = 0.0;
+  for (i = 0; i < 16; i++) {
+    s = s + bins[i] * (i + 1);
+  }
+  for (i = 0; i < 1024; i++) {
+    s = s + trace[i];
+  }
+  checksum = s * 64.0 + pos;
+  i = checksum;
+  print(i);
+  return 0;
+}
+)PSC";
+
 std::vector<Workload> makeWorkloads() {
   return {
       {"BT", "block-tridiagonal ADI with custom-reduced accumulator",
@@ -679,6 +759,10 @@ std::vector<Workload> makeExtendedWorkloads() {
                  "unstructured adaptive: permutation gather/scatter "
                  "(speculation showcase)",
                  UASource, 40225L});
+  Out.push_back({"RX",
+                 "binned reduction + strided cursor walk (value & "
+                 "reduction speculation showcase)",
+                 RXSource, 270848L});
   return Out;
 }
 

@@ -1,0 +1,210 @@
+//===- AffineAuditTest.cpp - Fuzzed affine disproof-form audit ------------===//
+///
+/// ROADMAP "decreasing-IV affine forms": PR 4 fixed the affine oracle's
+/// step-sign bug for decreasing loops; this audit sweeps the remaining
+/// disproof forms — triangular (IV-dependent) inner bounds, coupled
+/// subscripts mixing two IVs, negative coefficients and constant offsets,
+/// increasing and decreasing IVs — over a deterministic fuzz of loop
+/// shapes, differentially checking the oracle stack's edge set against the
+/// frozen seed reference (ReferenceDependence) on every shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "analysis/DepOracle.h"
+#include "analysis/ReferenceDependence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+std::string describeEdge(const FunctionAnalysis &FA, const DepEdge &E) {
+  std::ostringstream OS;
+  OS << "edge " << FA.indexOf(E.Src) << " -> " << FA.indexOf(E.Dst)
+     << " kind=" << static_cast<int>(E.Kind) << " intra=" << E.Intra
+     << " carried={";
+  for (unsigned H : E.CarriedAtHeaders)
+    OS << H << ",";
+  OS << "}";
+  return OS.str();
+}
+
+::testing::AssertionResult edgesBitIdentical(const FunctionAnalysis &FA,
+                                             const std::vector<DepEdge> &A,
+                                             const std::vector<DepEdge> &B) {
+  if (A.size() != B.size())
+    return ::testing::AssertionFailure()
+           << "edge counts differ: " << A.size() << " vs " << B.size();
+  for (size_t I = 0; I < A.size(); ++I) {
+    const DepEdge &X = A[I], &Y = B[I];
+    if (X.Src != Y.Src || X.Dst != Y.Dst || X.Kind != Y.Kind ||
+        X.Intra != Y.Intra || X.CarriedAtHeaders != Y.CarriedAtHeaders ||
+        X.MemObject != Y.MemObject || X.IsIVDep != Y.IsIVDep ||
+        X.IsIO != Y.IsIO)
+      return ::testing::AssertionFailure()
+             << "edge " << I << " differs:\n  stack:     "
+             << describeEdge(FA, X)
+             << "\n  reference: " << describeEdge(FA, Y);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Deterministic 48-bit LCG (the PSC `lcg` intrinsic's constants).
+struct Rng {
+  uint64_t X;
+  explicit Rng(uint64_t Seed) : X(Seed) {}
+  uint64_t next() {
+    X = (X * 25214903917ULL + 11ULL) & ((1ULL << 48) - 1);
+    return X >> 16;
+  }
+  long range(long Lo, long Hi) { // inclusive
+    return Lo + static_cast<long>(next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+  bool flip() { return next() & 1; }
+};
+
+/// One fuzzed doubly-nested loop shape writing/reading A with affine
+/// subscripts over both IVs. The generator keeps subscripts inside
+/// A[0, 4096) by construction for every (i, j) the bounds admit.
+std::string fuzzedShape(Rng &R, std::string &Desc) {
+  // Outer loop: increasing or decreasing, small constant bounds.
+  bool Dec = R.flip();
+  long OLo = R.range(0, 3), OHi = OLo + R.range(3, 9);
+  long OStep = R.range(1, 2);
+  // Inner loop: constant, triangular (bounded by i), or decreasing.
+  int InnerForm = static_cast<int>(R.range(0, 2));
+  long ILo = R.range(0, 2), IHi = ILo + R.range(3, 8);
+  // Subscripts: a*i + b*j + c on the write, d*i + e*j + f on the read.
+  long A = R.range(-2, 3), B = R.range(-2, 3), C = R.range(0, 40);
+  long D = R.range(-2, 3), E = R.range(-2, 3), Fc = R.range(0, 40);
+  // Keep offsets non-negative: shift by the worst negative excursion.
+  long MaxIV = std::max(OHi, IHi) * 2 + 4;
+  long Shift = 3 * MaxIV + 2;
+  C += Shift;
+  Fc += Shift;
+
+  std::ostringstream OS, DS;
+  OS << "int A[4096];\nint s;\nint main() {\n  int i;\n  int j;\n";
+  if (Dec)
+    OS << "  for (i = " << OHi << "; i >= " << OLo << "; i -= " << OStep
+       << ") {\n";
+  else
+    OS << "  for (i = " << OLo << "; i < " << OHi << "; i += " << OStep
+       << ") {\n";
+  switch (InnerForm) {
+  case 0: // constant bounds
+    OS << "    for (j = " << ILo << "; j < " << IHi << "; j++) {\n";
+    break;
+  case 1: // triangular: bounded by the outer IV
+    OS << "    for (j = 0; j <= i; j++) {\n";
+    break;
+  default: // decreasing inner
+    OS << "    for (j = " << IHi << "; j >= " << ILo << "; j--) {\n";
+    break;
+  }
+  auto Sub = [&](long CI, long CJ, long CC) {
+    std::ostringstream T;
+    T << "i * (" << CI << ") + j * (" << CJ << ") + " << CC;
+    return T.str();
+  };
+  OS << "      A[" << Sub(A, B, C) << "] = A[" << Sub(D, E, Fc)
+     << "] + 1;\n";
+  OS << "    }\n  }\n  s = A[" << Shift << "];\n  print(s);\n  return 0;\n}\n";
+
+  DS << (Dec ? "dec" : "inc") << " outer [" << OLo << "," << OHi << "] step "
+     << OStep << ", inner form " << InnerForm << ", write " << Sub(A, B, C)
+     << ", read " << Sub(D, E, Fc);
+  Desc = DS.str();
+  return OS.str();
+}
+
+TEST(AffineAuditTest, FuzzedLoopShapesMatchTheFrozenReference) {
+  Rng R(0x5EEDF00DULL);
+  for (int Case = 0; Case < 160; ++Case) {
+    std::string Desc;
+    std::string Source = fuzzedShape(R, Desc);
+    auto M = compile(Source);
+    ASSERT_NE(M, nullptr) << Desc << "\n" << Source;
+    const Function *F = M->getFunction("main");
+    FunctionAnalysis FA(*F);
+    DepOracleStack Stack(FA);
+    EXPECT_TRUE(
+        edgesBitIdentical(FA, buildDepEdges(Stack), referenceDepEdges(FA)))
+        << "case " << Case << ": " << Desc << "\n" << Source;
+  }
+}
+
+/// Directed forms the fuzz space covers only thinly, pinned explicitly.
+TEST(AffineAuditTest, DirectedDisproofForms) {
+  const char *Cases[] = {
+      // Decreasing IV, unit negative coefficient: distinct elements.
+      R"PSC(
+int A[128];
+int main() {
+  int i;
+  for (i = 40; i >= 1; i--) { A[40 - i] = A[40 - i] + 1; }
+  print(A[0]);
+  return 0;
+}
+)PSC",
+      // Triangular bound with coupled subscript i - j (the wavefront
+      // diagonal): conflicts across iterations of the outer loop.
+      R"PSC(
+int A[128];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j <= i; j++) { A[i - j] = A[i - j] + 1; }
+  }
+  print(A[0]);
+  return 0;
+}
+)PSC",
+      // Coupled subscripts with opposite signs on the two sides.
+      R"PSC(
+int A[256];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) { A[i * 8 + j + 64] = A[64 + j * 8 + i] + 1; }
+  }
+  print(A[64]);
+  return 0;
+}
+)PSC",
+      // Decreasing outer + increasing inner, strided write vs offset read.
+      R"PSC(
+int A[256];
+int main() {
+  int i;
+  int j;
+  for (i = 12; i >= 2; i -= 2) {
+    for (j = 0; j < 6; j++) { A[i * 6 + j + 20] = A[i * 6 + j + 19] + 1; }
+  }
+  print(A[32]);
+  return 0;
+}
+)PSC",
+  };
+  int N = 0;
+  for (const char *Source : Cases) {
+    auto M = compile(Source);
+    ASSERT_NE(M, nullptr) << "case " << N;
+    const Function *F = M->getFunction("main");
+    FunctionAnalysis FA(*F);
+    DepOracleStack Stack(FA);
+    EXPECT_TRUE(
+        edgesBitIdentical(FA, buildDepEdges(Stack), referenceDepEdges(FA)))
+        << "case " << N << "\n" << Source;
+    ++N;
+  }
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include "../TestUtil.h"
 #include "emulator/Interpreter.h"
 #include "profiling/DepProfiler.h"
+#include "pspdg/Fingerprint.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -67,8 +68,9 @@ int main() {
   const Loop *Scat = loopAt(FA, 2);
   ASSERT_NE(Rec, nullptr);
   ASSERT_NE(Scat, nullptr);
-  EXPECT_TRUE(P.observed("main", NumInsts, Rec->getHeader()));
-  EXPECT_TRUE(P.observed("main", NumInsts, Scat->getHeader()));
+  uint64_t Hash = functionBodyHash(*F);
+  EXPECT_TRUE(P.observed("main", NumInsts, Hash, Rec->getHeader()));
+  EXPECT_TRUE(P.observed("main", NumInsts, Hash, Scat->getHeader()));
 
   // The recurrence's store -> load RAW manifests; count the pairs per loop.
   auto PairsAt = [&](unsigned Header) {
@@ -207,9 +209,11 @@ TEST(DepProfileTest, RejectsDuplicateFunctionEntries) {
   DepProfile P;
   std::string Err;
   EXPECT_FALSE(DepProfile::parseJson(
-      "{\"format\": \"psc-dep-profile\", \"version\": 1, \"functions\": ["
-      "{\"name\": \"main\", \"instructions\": 50, \"loops\": []},"
-      "{\"name\": \"main\", \"instructions\": 60, \"loops\": []}]}",
+      "{\"format\": \"psc-dep-profile\", \"version\": 2, \"functions\": ["
+      "{\"name\": \"main\", \"instructions\": 50, \"bodyhash\": 1, "
+      "\"loops\": []},"
+      "{\"name\": \"main\", \"instructions\": 60, \"bodyhash\": 1, "
+      "\"loops\": []}]}",
       P, Err));
   EXPECT_NE(Err.find("duplicate function"), std::string::npos);
 }
@@ -220,17 +224,17 @@ TEST(DepProfileTest, MergeDropIsSticky) {
   // only its own partial data: [A,B,C] and [A,C,B] must agree that f is
   // unusable once any version conflict appeared.
   DepProfile A, B, C;
-  A.recordLoop("f", 100, 4, 1, 10);
+  A.recordLoop("f", 100, 77, 4, 1, 10);
   A.recordManifest("f", 4, 1, 2);
-  B.recordLoop("f", 120, 4, 1, 10);
-  C.recordLoop("f", 100, 4, 1, 10);
+  B.recordLoop("f", 120, 77, 4, 1, 10);
+  C.recordLoop("f", 100, 77, 4, 1, 10);
   C.recordManifest("f", 4, 3, 4);
 
   A.merge(B);
   EXPECT_TRUE(A.Functions.empty());
   A.merge(C);
   EXPECT_TRUE(A.Functions.empty()) << "conflict-dropped function revived";
-  EXPECT_FALSE(A.observed("f", 100, 4));
+  EXPECT_FALSE(A.observed("f", 100, 77, 4));
 }
 
 TEST(DepProfileTest, RejectsOverflowingIntegers) {
@@ -238,20 +242,20 @@ TEST(DepProfileTest, RejectsOverflowingIntegers) {
   std::string Err;
   // 2^64 + 1 must be a loud parse error, not a silent wrap to 1.
   EXPECT_FALSE(DepProfile::parseJson(
-      "{\"format\": \"psc-dep-profile\", \"version\": 1, \"functions\": ["
+      "{\"format\": \"psc-dep-profile\", \"version\": 2, \"functions\": ["
       "{\"name\": \"main\", \"instructions\": 18446744073709551617, "
-      "\"loops\": []}]}",
+      "\"bodyhash\": 1, \"loops\": []}]}",
       P, Err));
   EXPECT_NE(Err.find("overflow"), std::string::npos);
 }
 
 TEST(DepProfileTest, MergeUnionsPairsAndDropsStaleFunctions) {
   DepProfile A, B;
-  A.recordLoop("f", 100, 4, 1, 10);
+  A.recordLoop("f", 100, 77, 4, 1, 10);
   A.recordManifest("f", 4, 1, 2);
-  B.recordLoop("f", 100, 4, 2, 20);
+  B.recordLoop("f", 100, 77, 4, 2, 20);
   B.recordManifest("f", 4, 3, 4);
-  B.recordLoop("g", 50, 0, 1, 5);
+  B.recordLoop("g", 50, 88, 0, 1, 5);
 
   DepProfile M = A;
   M.merge(B);
@@ -259,25 +263,28 @@ TEST(DepProfileTest, MergeUnionsPairsAndDropsStaleFunctions) {
   EXPECT_TRUE(M.manifested("f", 4, 3, 4));
   EXPECT_EQ(M.Functions.at("f").Loops.at(4).Invocations, 3u);
   EXPECT_EQ(M.Functions.at("f").Loops.at(4).Iterations, 30u);
-  EXPECT_TRUE(M.observed("g", 50, 0));
+  EXPECT_TRUE(M.observed("g", 50, 88, 0));
 
   // Disagreeing instruction counts mean one side is stale: the function's
   // data is unusable and must drop (no data, no speculation).
   DepProfile Stale;
-  Stale.recordLoop("f", 101, 4, 1, 1);
+  Stale.recordLoop("f", 101, 77, 4, 1, 1);
   DepProfile M2 = A;
   M2.merge(Stale);
-  EXPECT_FALSE(M2.observed("f", 100, 4));
-  EXPECT_FALSE(M2.observed("f", 101, 4));
+  EXPECT_FALSE(M2.observed("f", 100, 77, 4));
+  EXPECT_FALSE(M2.observed("f", 101, 77, 4));
 }
 
 TEST(DepProfileTest, StalenessGuardsObserved) {
   DepProfile P;
-  P.recordLoop("main", 42, 7, 1, 8);
-  EXPECT_TRUE(P.observed("main", 42, 7));
-  EXPECT_FALSE(P.observed("main", 43, 7)) << "stale profile must not speculate";
-  EXPECT_FALSE(P.observed("main", 42, 8)) << "untrained loop";
-  EXPECT_FALSE(P.observed("other", 42, 7)) << "untrained function";
+  P.recordLoop("main", 42, 99, 7, 1, 8);
+  EXPECT_TRUE(P.observed("main", 42, 99, 7));
+  EXPECT_FALSE(P.observed("main", 43, 99, 7))
+      << "stale profile must not speculate";
+  EXPECT_FALSE(P.observed("main", 42, 98, 7))
+      << "a same-size body edit (hash mismatch) must not speculate";
+  EXPECT_FALSE(P.observed("main", 42, 99, 8)) << "untrained loop";
+  EXPECT_FALSE(P.observed("other", 42, 99, 7)) << "untrained function";
 }
 
 } // namespace

@@ -1,0 +1,147 @@
+//===- SpecSelectionTest.cpp - Speculation-aware plan selection -----------===//
+///
+/// ROADMAP "speculation-aware plan *selection*": speculative plans are
+/// costed by assumption count and historical misspeculation rate instead
+/// of structure alone. Covers the cost model itself, the plan compiler's
+/// sound fallback (UA's scatter demotes from speculative DOALL back to the
+/// gate-serialized HELIX the sound stack justifies), feedback accounting,
+/// and the enumerator's cost-aware option counting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "parallel/PlanEnumerator.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+TEST(SpecCostModelTest, CostGrowsWithObligationsAndHistory) {
+  // No history: obligations alone decide.
+  EXPECT_TRUE(acceptSpeculativePlan(3, 0, 0));
+  EXPECT_TRUE(acceptSpeculativePlan(64, 0, 0));
+  EXPECT_FALSE(acceptSpeculativePlan(65, 0, 0));
+
+  // One misspeculation in one attempt: rejected outright.
+  EXPECT_FALSE(acceptSpeculativePlan(1, 1, 1));
+  // The same misspeculation diluted by clean attempts: accepted again —
+  // the rate, not the count, is the signal.
+  EXPECT_TRUE(acceptSpeculativePlan(1, 100, 1));
+
+  EXPECT_GT(speculativePlanCost(3, 2, 1), speculativePlanCost(3, 2, 0));
+  EXPECT_GT(speculativePlanCost(9, 0, 0), speculativePlanCost(3, 0, 0));
+  EXPECT_EQ(speculativePlanCost(0, 0, 0), 0.0);
+}
+
+TEST(SpecSelectionTest, MisspecHistoryDemotesUAScatterToSoundHELIX) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  RuntimePlan Fresh = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                       FeatureSet(), DepOracleConfig({}, &P));
+  RuntimePlan Sound = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+
+  // Record a 100% misspeculation history on every speculative loop.
+  unsigned Speculative = 0;
+  for (const auto &[Key, LS] : Fresh.Loops)
+    if (LS.Speculative) {
+      ++Speculative;
+      P.recordSpecOutcome(Key.first->getName(), Key.second, /*Attempts=*/2,
+                          /*Misspecs=*/2);
+    }
+  ASSERT_GE(Speculative, 2u);
+
+  RuntimePlan Burned = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                        FeatureSet(), DepOracleConfig({}, &P));
+  for (const auto &[Key, LS] : Burned.Loops) {
+    EXPECT_FALSE(LS.Speculative)
+        << "a fully-misspeculating history must reject speculation";
+    const LoopSchedule *SoundLS = Sound.scheduleFor(Key.first, Key.second);
+    ASSERT_NE(SoundLS, nullptr);
+    EXPECT_EQ(LS.Kind, SoundLS->Kind)
+        << "the fallback must be the sound alternative, not bare "
+           "sequential";
+    if (Fresh.scheduleFor(Key.first, Key.second)->Speculative)
+      EXPECT_NE(LS.Reason.find("rejected by cost model"), std::string::npos)
+          << LS.Reason;
+  }
+
+  // And the demoted plan still runs bit-identically.
+  Interpreter Seq(*M);
+  RunResult SeqR = Seq.run();
+  ParallelRuntime RT(*M, Burned);
+  ParallelRunResult Par = RT.run();
+  ASSERT_TRUE(Par.Error.empty());
+  EXPECT_EQ(Par.R.Output, SeqR.Output);
+  EXPECT_EQ(Par.R.ExitValue, SeqR.ExitValue);
+}
+
+TEST(SpecSelectionTest, CleanHistoryKeepsSpeculation) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Fresh = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                       FeatureSet(), DepOracleConfig({}, &P));
+  for (const auto &[Key, LS] : Fresh.Loops)
+    if (LS.Speculative)
+      P.recordSpecOutcome(Key.first->getName(), Key.second, /*Attempts=*/50,
+                          /*Misspecs=*/0);
+  RuntimePlan Again = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                       FeatureSet(), DepOracleConfig({}, &P));
+  unsigned FreshSpec = 0, AgainSpec = 0;
+  for (const auto &[Key, LS] : Fresh.Loops)
+    FreshSpec += LS.Speculative;
+  for (const auto &[Key, LS] : Again.Loops)
+    AgainSpec += LS.Speculative;
+  EXPECT_EQ(FreshSpec, AgainSpec) << "clean history must not demote";
+}
+
+TEST(SpecSelectionTest, EnumeratorCountsRejectedLoopsFromSoundView) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  OptionCount Fresh = enumerateOptions(*M, AbstractionKind::PSPDG, {},
+                                       nullptr, FeatureSet(),
+                                       DepOracleConfig({}, &P));
+  // Burn every loop with history.
+  for (auto &[Name, F] : P.Functions)
+    for (auto &[Header, L] : F.Loops) {
+      L.SpecAttempts = 2;
+      L.SpecMisspecs = 2;
+    }
+  OptionCount Burned = enumerateOptions(*M, AbstractionKind::PSPDG, {},
+                                        nullptr, FeatureSet(),
+                                        DepOracleConfig({}, &P));
+  OptionCount Sound = enumerateOptions(*M, AbstractionKind::PSPDG);
+
+  bool SawRejected = false;
+  for (const LoopOptions &LO : Burned.PerLoop)
+    if (LO.SpecRejected) {
+      SawRejected = true;
+      EXPECT_GT(LO.SpecCost, 64.0);
+    }
+  EXPECT_TRUE(SawRejected);
+  EXPECT_EQ(Burned.DOALLLoops, Sound.DOALLLoops)
+      << "cost-rejected speculation must count sound structure";
+  EXPECT_GT(Fresh.DOALLLoops, Burned.DOALLLoops);
+}
+
+} // namespace

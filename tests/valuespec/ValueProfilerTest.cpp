@@ -1,0 +1,396 @@
+//===- ValueProfilerTest.cpp - Value classification + profile v2 ----------===//
+///
+/// The value-speculation training side (DESIGN.md §10): scalar value
+/// classification (invariant / strided / write-first / varying, anchored
+/// at the invocation entry value and meet-joined across invocations and
+/// merges), accessed-instruction sets (the cold/warm evidence), the v2
+/// serialization, and the body-hash staleness guard.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "profiling/DepProfiler.h"
+#include "pspdg/Fingerprint.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M,
+                 ExecEngineKind E = ExecEngineKind::Bytecode) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.setEngine(E);
+  I.addObserver(&P);
+  RunResult R = I.run();
+  EXPECT_TRUE(R.Completed);
+  return P.takeProfile();
+}
+
+/// Value class of \p Var at loop \p Index of main.
+const DepProfile::ValueObs *obsAt(const DepProfile &P, const Module &M,
+                                  unsigned Index, const std::string &Var) {
+  const Function *F = M.getFunction("main");
+  FunctionAnalysis FA(*F);
+  const Loop *L = loopAt(FA, Index);
+  if (!L)
+    return nullptr;
+  return P.valueObs("main", L->getHeader(), Var);
+}
+
+/// Value class of \p Var at the first loop of main with depth \p Depth.
+const DepProfile::ValueObs *obsAtDepth(const DepProfile &P, const Module &M,
+                                       unsigned Depth,
+                                       const std::string &Var) {
+  const Function *F = M.getFunction("main");
+  FunctionAnalysis FA(*F);
+  for (const Loop *L : FA.loopInfo().loops())
+    if (L->getDepth() == Depth)
+      return P.valueObs("main", L->getHeader(), Var);
+  return nullptr;
+}
+
+// --- Scalar classification ---------------------------------------------------
+
+TEST(ValueProfilerTest, ClassifiesTheFourScalarShapes) {
+  auto M = compile(R"PSC(
+int tab[32];
+int out[64];
+int main() {
+  int i;
+  int base;      // invariant: rewritten with its entry value
+  int cursor;    // strided: advances by tab[i] == 3 every iteration
+  int tmp;       // write-first: assigned before any use, every iteration
+  int chaos;     // varying: accumulates data-dependent amounts
+  int k;
+  for (i = 0; i < 32; i++) {
+    tab[i] = 3;
+  }
+  base = 7;
+  cursor = 5;
+  chaos = 1;
+  for (i = 0; i < 32; i++) {
+    k = base;              // read first: entry observable
+    out[i] = k;
+    base = 7;              // stores the entry value every iteration
+    cursor = cursor + tab[i];
+    tmp = i * 2;           // written before any read
+    out[32 + i] = tmp + cursor;
+    chaos = chaos + out[i] * i;
+  }
+  print(chaos + cursor + base);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  const DepProfile::ValueObs *Base = obsAt(P, *M, 1, "%base");
+  ASSERT_NE(Base, nullptr);
+  EXPECT_EQ(Base->Kind, ValueClassKind::Invariant);
+
+  const DepProfile::ValueObs *Cursor = obsAt(P, *M, 1, "%cursor");
+  ASSERT_NE(Cursor, nullptr);
+  EXPECT_EQ(Cursor->Kind, ValueClassKind::Strided);
+  EXPECT_EQ(Cursor->StrideI, 3);
+  EXPECT_FALSE(Cursor->IsFloat);
+
+  const DepProfile::ValueObs *Tmp = obsAt(P, *M, 1, "%tmp");
+  ASSERT_NE(Tmp, nullptr);
+  EXPECT_EQ(Tmp->Kind, ValueClassKind::WriteFirst);
+
+  const DepProfile::ValueObs *Chaos = obsAt(P, *M, 1, "%chaos");
+  ASSERT_NE(Chaos, nullptr);
+  EXPECT_EQ(Chaos->Kind, ValueClassKind::Varying);
+
+  // The canonical IV itself classifies strided(+step) — harmless, the
+  // views remove its dependences soundly.
+  const DepProfile::ValueObs *IV = obsAt(P, *M, 1, "%i");
+  ASSERT_NE(IV, nullptr);
+  EXPECT_EQ(IV->Kind, ValueClassKind::Strided);
+  EXPECT_EQ(IV->StrideI, 1);
+}
+
+TEST(ValueProfilerTest, EntryMustBeObservedForAnchoredClasses) {
+  // The scalar is overwritten before its first read, so the entry value
+  // is never observable: invariant/strided are off the table even though
+  // every write stores the same value; WriteFirst holds instead.
+  auto M = compile(R"PSC(
+int sink[16];
+int main() {
+  int i;
+  int x;
+  for (i = 0; i < 16; i++) {
+    x = 42;
+    sink[i] = x;
+  }
+  print(x);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const DepProfile::ValueObs *X = obsAt(P, *M, 0, "%x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->Kind, ValueClassKind::WriteFirst);
+}
+
+TEST(ValueProfilerTest, IterationWithoutAWriteBreaksStrided) {
+  // cursor strides by 2 but skips the write whenever i % 8 == 7 (the
+  // inner loop trips zero times): a runtime prediction would diverge, so
+  // the class must degrade.
+  auto M = compile(R"PSC(
+int out[64];
+int main() {
+  int i;
+  int k;
+  int cursor;
+  cursor = 0;
+  for (i = 0; i < 32; i++) {
+    out[i] = cursor;
+    for (k = 0; k < 1 - (i % 8) / 7; k++) {
+      cursor = cursor + 2;
+    }
+  }
+  print(cursor);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const DepProfile::ValueObs *Cursor = obsAtDepth(P, *M, 1, "%cursor");
+  ASSERT_NE(Cursor, nullptr);
+  EXPECT_NE(Cursor->Kind, ValueClassKind::Strided);
+  EXPECT_NE(Cursor->Kind, ValueClassKind::Invariant);
+}
+
+TEST(ValueProfilerTest, MultiInvocationMeetDegradesDisagreeingClasses) {
+  // The inner loop strides by 1 on even outer iterations and by 2 on odd
+  // ones: each invocation alone is strided, the meet is Varying.
+  auto M = compile(R"PSC(
+int out[8];
+int main() {
+  int it;
+  int i;
+  int step;
+  int cur;
+  for (it = 0; it < 4; it++) {
+    step = 1 + it % 2;
+    cur = 0;
+    for (i = 0; i < 8; i++) {
+      cur = cur + step;
+      out[i] = cur;
+    }
+  }
+  print(cur);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const DepProfile::ValueObs *Cur = obsAtDepth(P, *M, 2, "%cur");
+  ASSERT_NE(Cur, nullptr);
+  EXPECT_EQ(Cur->Kind, ValueClassKind::Varying);
+}
+
+TEST(ValueProfilerTest, AccessedSetsSeparateWarmFromCold) {
+  auto M = compile(R"PSC(
+int cold_len = 0;
+int warm[32];
+int main() {
+  int i;
+  int k;
+  for (i = 0; i < 32; i++) {
+    warm[i] = i;
+    for (k = 0; k < cold_len; k++) {
+      warm[0] = 0;          // never executes: cold
+    }
+  }
+  print(warm[31]);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  const Loop *L = loopAt(FA, 0);
+  ASSERT_NE(L, nullptr);
+
+  const Instruction *WarmStore = nullptr, *ColdStore = nullptr;
+  for (const Instruction *I : FA.instructions()) {
+    const auto *SI = dyn_cast<StoreInst>(I);
+    if (!SI || !isa<GEPInst>(SI->getPointer()))
+      continue;
+    if (isa<ConstantInt>(SI->getStoredValue()))
+      ColdStore = I; // warm[0] = 0
+    else
+      WarmStore = I; // warm[i] = i
+  }
+  ASSERT_NE(WarmStore, nullptr);
+  ASSERT_NE(ColdStore, nullptr);
+  EXPECT_TRUE(P.accessed("main", L->getHeader(), FA.indexOf(WarmStore)));
+  EXPECT_FALSE(P.accessed("main", L->getHeader(), FA.indexOf(ColdStore)));
+}
+
+// --- Engine equivalence ------------------------------------------------------
+
+TEST(ValueProfilerTest, ValueObservationsAreEngineIdentical) {
+  for (const char *Name : {"RX", "CG", "UA"}) {
+    auto M = compile(findWorkload(Name)->Source);
+    ASSERT_NE(M, nullptr);
+    DepProfile Walker = train(*M, ExecEngineKind::Walker);
+    DepProfile Bytecode = train(*M, ExecEngineKind::Bytecode);
+    EXPECT_EQ(Walker.toJson(), Bytecode.toJson()) << Name;
+  }
+}
+
+// --- Serialization (v2) ------------------------------------------------------
+
+TEST(ValueProfileFormatTest, V2RoundTripPreservesEverything) {
+  auto M = compile(findWorkload("RX")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  // Synthesize a spec history so the round trip covers it too.
+  P.recordSpecOutcome("main", 1, 5, 2);
+  std::string Json = P.toJson();
+
+  DepProfile Back;
+  std::string Err;
+  ASSERT_TRUE(DepProfile::parseJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(Back.toJson(), Json);
+  uint64_t A = 0, Mi = 0;
+  Back.specHistory("main", 1, A, Mi);
+  EXPECT_EQ(A, 5u);
+  EXPECT_EQ(Mi, 2u);
+}
+
+TEST(ValueProfileFormatTest, FloatStridesRoundTripBitExactly) {
+  DepProfile P;
+  DepProfile::ValueObs Obs;
+  Obs.Kind = ValueClassKind::Strided;
+  Obs.IsFloat = true;
+  Obs.StrideF = 0.1; // not representable: the bit pattern must survive
+  Obs.Writes = 3;
+  P.recordLoop("f", 10, 11, 2, 1, 3);
+  P.recordValueObs("f", 2, "x", Obs);
+
+  DepProfile Back;
+  std::string Err;
+  ASSERT_TRUE(DepProfile::parseJson(P.toJson(), Back, Err)) << Err;
+  const DepProfile::ValueObs *B = Back.valueObs("f", 2, "x");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->StrideF, 0.1);
+  EXPECT_EQ(B->Kind, ValueClassKind::Strided);
+}
+
+TEST(ValueProfileFormatTest, RejectsV1Documents) {
+  DepProfile P;
+  std::string Err;
+  EXPECT_FALSE(DepProfile::parseJson(
+      "{\"format\": \"psc-dep-profile\", \"version\": 1, \"functions\": []}",
+      P, Err));
+  EXPECT_NE(Err.find("version"), std::string::npos);
+}
+
+TEST(ValueProfileFormatTest, MergeMeetsValueClasses) {
+  DepProfile A, B;
+  A.recordLoop("f", 10, 11, 2, 1, 4);
+  B.recordLoop("f", 10, 11, 2, 1, 4);
+  DepProfile::ValueObs S;
+  S.Kind = ValueClassKind::Strided;
+  S.StrideI = 2;
+  S.Writes = 4;
+  A.recordValueObs("f", 2, "x", S);
+  A.recordValueObs("f", 2, "y", S);
+  DepProfile::ValueObs T = S;
+  T.StrideI = 3; // disagreeing stride: meet must degrade
+  B.recordValueObs("f", 2, "x", T);
+  B.recordValueObs("f", 2, "y", S);
+
+  A.merge(B);
+  EXPECT_EQ(A.valueObs("f", 2, "x")->Kind, ValueClassKind::Varying);
+  EXPECT_EQ(A.valueObs("f", 2, "y")->Kind, ValueClassKind::Strided);
+  EXPECT_EQ(A.valueObs("f", 2, "y")->Writes, 8u);
+}
+
+// --- Body-hash staleness -----------------------------------------------------
+
+TEST(BodyHashTest, ConstantsAreInputsStructureIsIdentity) {
+  // Literal swaps (training vs adversarial inputs) keep the hash; a
+  // structural edit of the same instruction count changes it.
+  const char *Base = R"PSC(
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i] = i * 3; }
+  return a[7];
+}
+)PSC";
+  auto M1 = compile(Base);
+  std::string ConstSwap = Base;
+  ConstSwap.replace(ConstSwap.find("i * 3"), 5, "i * 5");
+  auto M2 = compile(ConstSwap);
+  std::string OpSwap = Base;
+  OpSwap.replace(OpSwap.find("i * 3"), 5, "i + 3");
+  auto M3 = compile(OpSwap);
+  ASSERT_NE(M1, nullptr);
+  ASSERT_NE(M2, nullptr);
+  ASSERT_NE(M3, nullptr);
+
+  uint64_t H1 = functionBodyHash(*M1->getFunction("main"));
+  uint64_t H2 = functionBodyHash(*M2->getFunction("main"));
+  uint64_t H3 = functionBodyHash(*M3->getFunction("main"));
+  EXPECT_EQ(H1, H2) << "a literal swap is an input change, not staleness";
+  EXPECT_NE(H1, H3) << "an opcode swap must invalidate the profile";
+}
+
+TEST(BodyHashTest, SameSizeEditRejectsProfile) {
+  // The motivating gap: two bodies with identical instruction COUNTS but
+  // different structure. v1 (count-only) would silently retarget indices;
+  // v2's hash rejects.
+  const char *A = R"PSC(
+int x[8];
+int y[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { x[i] = y[i]; }
+  return x[0];
+}
+)PSC";
+  const char *B = R"PSC(
+int x[8];
+int y[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { y[i] = x[i]; }
+  return x[0];
+}
+)PSC";
+  auto MA_ = compile(A);
+  auto MB = compile(B);
+  ASSERT_NE(MA_, nullptr);
+  ASSERT_NE(MB, nullptr);
+  const Function *FA_ = MA_->getFunction("main");
+  const Function *FB = MB->getFunction("main");
+  FunctionAnalysis AnA(*FA_), AnB(*FB);
+  ASSERT_EQ(AnA.instructions().size(), AnB.instructions().size())
+      << "the test premise: equal instruction counts";
+
+  DepProfile P = train(*MA_);
+  unsigned N = static_cast<unsigned>(AnB.instructions().size());
+  const Loop *L = loopAt(AnB, 0);
+  ASSERT_NE(L, nullptr);
+  EXPECT_FALSE(
+      P.observed("main", N, functionBodyHash(*FB), L->getHeader()))
+      << "a same-size structural edit must reject the profile";
+  EXPECT_TRUE(P.observed("main", N, functionBodyHash(*FA_), L->getHeader()));
+}
+
+} // namespace

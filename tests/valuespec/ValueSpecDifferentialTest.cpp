@@ -1,0 +1,270 @@
+//===- ValueSpecDifferentialTest.cpp - Value speculation end to end -------===//
+///
+/// The value & reduction speculation acceptance contract (ISSUE 5):
+///
+///   * RX's bins loop — rejected by the sound compiler with "writes
+///     custom-reducible storage (no runtime combiner)" — executes as a
+///     speculative DOALL with the registered combiner, bit-identical to
+///     the sequential run on both engines at 1/2/8 threads;
+///   * RX's cursor loop — blocked by an unprovable carried scalar —
+///     executes as a speculative DOALL under a strided value prediction;
+///   * forced value misspeculations (adversarial inputs breaking the
+///     trained reduction shape or the trained stride) detect, roll back,
+///     and re-execute sequentially bit-identically;
+///   * value-speculative runs are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+struct SpecRun {
+  ParallelRunResult Par;
+  RunResult Seq;
+  uint64_t totalMisspeculations() const {
+    uint64_t N = 0;
+    for (const LoopExecStat &L : Par.Loops)
+      N += L.Misspeculations;
+    return N;
+  }
+};
+
+SpecRun runSpec(const Module &M, const DepProfile &Profile, unsigned Threads,
+                ExecEngineKind Engine, const std::string &What) {
+  SpecRun R;
+  Interpreter Seq(M);
+  Seq.setEngine(Engine);
+  R.Seq = Seq.run();
+
+  RuntimePlan Plan = buildRuntimePlan(M, AbstractionKind::PSPDG, Threads,
+                                      FeatureSet(),
+                                      DepOracleConfig({}, &Profile));
+  ParallelRuntime RT(M, Plan, Engine);
+  R.Par = RT.run();
+  EXPECT_TRUE(R.Par.Error.empty()) << What << ": " << R.Par.Error;
+  EXPECT_EQ(R.Par.R.ExitValue, R.Seq.ExitValue) << What;
+  EXPECT_EQ(R.Par.R.Output, R.Seq.Output) << What;
+  return R;
+}
+
+// --- The acceptance criterion: rejected loop → speculative DOALL ------------
+
+TEST(ValueSpecPlanGainTest, RejectedReducibleLoopBecomesSpeculativeDOALL) {
+  auto M = compile(findWorkload("RX")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  RuntimePlan Sound = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+  RuntimePlan Spec = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), DepOracleConfig({}, &P));
+
+  bool SawPromotedReduction = false, SawValuePrediction = false;
+  bool SawStrided = false;
+  for (const auto &[Key, LS] : Spec.Loops) {
+    const LoopSchedule *SoundLS = Sound.scheduleFor(Key.first, Key.second);
+    ASSERT_NE(SoundLS, nullptr);
+    if (!LS.SpecReductions.empty()) {
+      SawPromotedReduction = true;
+      // The sound compiler rejects THIS loop with the historical guard.
+      EXPECT_EQ(SoundLS->Kind, ScheduleKind::Sequential);
+      EXPECT_NE(SoundLS->Reason.find(
+                    "writes custom-reducible storage (no runtime combiner)"),
+                std::string::npos)
+          << SoundLS->Reason;
+      // Promoted: speculative DOALL with a runnable combiner and at least
+      // one guarded cold access.
+      EXPECT_EQ(LS.Kind, ScheduleKind::DOALL);
+      EXPECT_TRUE(LS.Speculative);
+      EXPECT_NE(LS.SpecReductions[0].Combiner, nullptr);
+      EXPECT_FALSE(LS.GuardWatchOf.empty());
+    }
+    if (!LS.ValuePreds.empty()) {
+      SawValuePrediction = true;
+      EXPECT_EQ(LS.Kind, ScheduleKind::DOALL);
+      EXPECT_TRUE(LS.Speculative);
+      EXPECT_EQ(SoundLS->Kind, ScheduleKind::Sequential)
+          << "the carried scalar blocks every sound plan";
+      for (const ValuePrediction &VP : LS.ValuePreds)
+        SawStrided |= VP.Kind == ValueClassKind::Strided;
+    }
+  }
+  EXPECT_TRUE(SawPromotedReduction);
+  EXPECT_TRUE(SawValuePrediction);
+  EXPECT_TRUE(SawStrided) << "the cursor loop must carry a strided pred";
+}
+
+TEST(ValueSpecPlanGainTest, CGMatrixBuildGainsDOALLFromComposedStages) {
+  // The organic cross-workload win: CG's matrix-build loop composes value
+  // speculation (strided nnz, write-first inner IV) with memory
+  // speculation (indirect colidx/a stores) into one speculative DOALL.
+  auto M = compile(findWorkload("CG")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Sound = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+  RuntimePlan Spec = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), DepOracleConfig({}, &P));
+  bool SawComposed = false;
+  for (const auto &[Key, LS] : Spec.Loops) {
+    if (LS.Kind == ScheduleKind::DOALL && !LS.ValuePreds.empty() &&
+        !LS.Assumptions.empty()) {
+      SawComposed = true;
+      const LoopSchedule *SoundLS = Sound.scheduleFor(Key.first, Key.second);
+      ASSERT_NE(SoundLS, nullptr);
+      EXPECT_EQ(SoundLS->Kind, ScheduleKind::Sequential);
+    }
+  }
+  EXPECT_TRUE(SawComposed);
+}
+
+// --- Differential ------------------------------------------------------------
+
+class ValueSpecEquivalence
+    : public ::testing::TestWithParam<std::tuple<unsigned, ExecEngineKind>> {
+};
+
+TEST_P(ValueSpecEquivalence, RXMatchesSequentialWithoutMisspeculation) {
+  unsigned Threads = std::get<0>(GetParam());
+  ExecEngineKind Engine = std::get<1>(GetParam());
+  auto M = compile(findWorkload("RX")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  SpecRun R = runSpec(*M, P, Threads, Engine, "RX");
+  EXPECT_EQ(R.totalMisspeculations(), 0u)
+      << "training input == running input: nothing may misspeculate";
+  unsigned Promoted = 0, Predicted = 0;
+  for (const LoopExecStat &L : R.Par.Loops) {
+    Promoted += L.SpecReductions;
+    Predicted += L.ValuePreds;
+  }
+  EXPECT_GE(Promoted, 1u);
+  EXPECT_GE(Predicted, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndEngines, ValueSpecEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(ExecEngineKind::Bytecode,
+                                         ExecEngineKind::Walker)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, ExecEngineKind>>
+           &I) {
+      return std::string(execEngineName(std::get<1>(I.param))) + "_t" +
+             std::to_string(std::get<0>(I.param));
+    });
+
+// --- Forced misspeculation ---------------------------------------------------
+
+/// RX with the rebinning reset enabled: the guarded cold store executes,
+/// violating the promoted reduction's shape assumption. Structure is
+/// identical to the trained RX (a global-initializer swap), so the clean
+/// profile applies — and must be caught.
+std::string adversarialReduction() {
+  std::string S = findWorkload("RX")->Source;
+  size_t Pos = S.find("int reset_len = 0;");
+  EXPECT_NE(Pos, std::string::npos);
+  S.replace(Pos, 18, "int reset_len = 4;");
+  return S;
+}
+
+/// RX with a perturbed stride table: iterations past 200 advance the
+/// cursor by 3 instead of the trained 2 — the write lands off the
+/// predicted stride.
+std::string adversarialStride() {
+  std::string S = findWorkload("RX")->Source;
+  size_t Pos = S.find("2 + (i / 300)");
+  EXPECT_NE(Pos, std::string::npos);
+  S.replace(Pos, 13, "2 + (i / 200)");
+  return S;
+}
+
+class ValueMisspeculationRollback
+    : public ::testing::TestWithParam<std::tuple<unsigned, ExecEngineKind>> {
+};
+
+TEST_P(ValueMisspeculationRollback, GuardViolationDetectsAndRollsBack) {
+  unsigned Threads = std::get<0>(GetParam());
+  ExecEngineKind Engine = std::get<1>(GetParam());
+  auto Clean = compile(findWorkload("RX")->Source);
+  auto Adv = compile(adversarialReduction());
+  ASSERT_NE(Clean, nullptr);
+  ASSERT_NE(Adv, nullptr);
+  DepProfile P = train(*Clean);
+
+  SpecRun R = runSpec(*Adv, P, Threads, Engine, "RX-adversarial-reduction");
+  uint64_t ReductionMisspecs = 0;
+  for (const LoopExecStat &L : R.Par.Loops) {
+    if (L.SpecReductions)
+      ReductionMisspecs += L.Misspeculations;
+    EXPECT_LE(L.Misspeculations, 1u)
+        << "a blown schedule must not retry within the run";
+  }
+  EXPECT_GE(ReductionMisspecs, 1u)
+      << "the guarded cold store must trip the promoted reduction";
+}
+
+TEST_P(ValueMisspeculationRollback, StrideViolationDetectsAndRollsBack) {
+  unsigned Threads = std::get<0>(GetParam());
+  ExecEngineKind Engine = std::get<1>(GetParam());
+  auto Clean = compile(findWorkload("RX")->Source);
+  auto Adv = compile(adversarialStride());
+  ASSERT_NE(Clean, nullptr);
+  ASSERT_NE(Adv, nullptr);
+  DepProfile P = train(*Clean);
+
+  SpecRun R = runSpec(*Adv, P, Threads, Engine, "RX-adversarial-stride");
+  uint64_t ValueMisspecs = 0;
+  for (const LoopExecStat &L : R.Par.Loops) {
+    if (L.ValuePreds)
+      ValueMisspecs += L.Misspeculations;
+    EXPECT_LE(L.Misspeculations, 1u);
+  }
+  EXPECT_GE(ValueMisspecs, 1u)
+      << "the off-stride write must trip the value prediction";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndEngines, ValueMisspeculationRollback,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(ExecEngineKind::Bytecode,
+                                         ExecEngineKind::Walker)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, ExecEngineKind>>
+           &I) {
+      return std::string(execEngineName(std::get<1>(I.param))) + "_t" +
+             std::to_string(std::get<0>(I.param));
+    });
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(ValueSpecDeterminismTest, ValueSpeculativeRunsAreDeterministic) {
+  auto M = compile(findWorkload("RX")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), DepOracleConfig({}, &P));
+  ParallelRuntime RT(*M, Plan);
+  ParallelRunResult A = RT.run();
+  ParallelRunResult B = RT.run();
+  ASSERT_TRUE(A.Error.empty());
+  EXPECT_EQ(A.R.Output, B.R.Output);
+  EXPECT_EQ(A.R.ExitValue, B.R.ExitValue);
+}
+
+} // namespace

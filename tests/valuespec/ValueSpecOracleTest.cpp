@@ -1,0 +1,328 @@
+//===- ValueSpecOracleTest.cpp - Value-spec downgrades + reduction shape --===//
+///
+/// The middle layer of the value-speculation pillar: the ValueSpecOracle's
+/// downgrade conditions (profile-classified scalars, shape-confirmed
+/// reductions, staleness/ablation gating) and the reduction-shape analysis
+/// (conforming additive RMW, cold non-conforming accesses, combiner
+/// purity), plus the view-level ValueAssumption recording.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "analysis/ValueSpec.h"
+#include "emulator/Interpreter.h"
+#include "parallel/AbstractionView.h"
+#include "parallel/LoopSCCDAG.h"
+#include "profiling/DepProfiler.h"
+#include "pspdg/Fingerprint.h"
+#include "pspdg/PSPDGBuilder.h"
+#include "runtime/Schedule.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+/// Strided-cursor program: `pos` is loop-carried, unprovable, strided 2.
+const char *CursorSource = R"PSC(
+int out[128];
+int pos = 0;
+int main() {
+  int i;
+  for (i = 0; i < 32; i++) {
+    pos = pos + 2;
+    out[pos] = out[pos] + i;
+  }
+  print(pos);
+  return 0;
+}
+)PSC";
+
+TEST(ValueSpecOracleTest, DowngradesCarriedScalarPairsAsValueSpec) {
+  auto M = compile(CursorSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  DepOracleStack Stack(FA, DepOracleConfig({}, &P));
+  std::vector<DepEdge> Edges = buildDepEdges(Stack);
+
+  const Loop *L = loopAt(FA, 0);
+  ASSERT_NE(L, nullptr);
+  unsigned H = L->getHeader();
+
+  // Every carried dependence on `pos` must be value-downgraded; none may
+  // remain carried, and none may land in the memory-spec set (the chain
+  // manifests every iteration — only value prediction can remove it).
+  const Value *Pos = nullptr;
+  for (const auto &G : M->globals())
+    if (G->getName() == "pos")
+      Pos = G.get();
+  ASSERT_NE(Pos, nullptr);
+  bool SawValueSpec = false;
+  for (const DepEdge &E : Edges) {
+    if (E.MemObject != Pos)
+      continue;
+    EXPECT_FALSE(E.isCarriedAt(H)) << "pos chain must be value-downgraded";
+    EXPECT_FALSE(E.isSpecCarriedAt(H))
+        << "a manifested chain is not memory-speculable";
+    SawValueSpec |= E.isValueSpecCarriedAt(H);
+  }
+  EXPECT_TRUE(SawValueSpec);
+}
+
+TEST(ValueSpecOracleTest, ViewRecordsOneValueAssumptionPerStorage) {
+  auto M = compile(CursorSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  DepOracleStack Stack(FA, DepOracleConfig({}, &P));
+  auto G = buildPSPDG(FA, Stack);
+  AbstractionView View(AbstractionKind::PSPDG, FA, Stack, G.get());
+  const Loop *L = loopAt(FA, 0);
+  LoopPlanView PV = View.viewFor(*L);
+
+  ASSERT_EQ(PV.ValueAssumptions.size(), 1u)
+      << "several downgraded edges, one per-storage obligation";
+  EXPECT_EQ(PV.ValueAssumptions[0].Storage->getName(), "pos");
+  EXPECT_TRUE(PV.ValueAssumptions[0].IsScalar);
+
+  // soundAlternative() must restore the carried chain: the sound view's
+  // SCC structure cannot be all-parallel.
+  LoopPlanView Sound = soundAlternative(PV);
+  EXPECT_TRUE(Sound.ValueAssumptions.empty());
+  LoopSCCDAG SpecDAG(PV), SoundDAG(Sound);
+  EXPECT_TRUE(SpecDAG.allParallel());
+  EXPECT_FALSE(SoundDAG.allParallel());
+}
+
+TEST(ValueSpecOracleTest, VaryingScalarsAndStaleProfilesDecline) {
+  auto M = compile(CursorSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+
+  // Stale: a structurally different function under the same name.
+  auto M2 = compile(R"PSC(
+int out[128];
+int pos = 0;
+int main() {
+  int i;
+  for (i = 0; i < 32; i++) {
+    pos = pos + 2;
+    out[pos] = out[pos] * i;
+  }
+  print(pos);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M2, nullptr);
+  const Function *F2 = M2->getFunction("main");
+  FunctionAnalysis FA2(*F2);
+  DepOracleStack Stack(FA2, DepOracleConfig({}, &P));
+  std::vector<DepEdge> Edges = buildDepEdges(Stack);
+  const Loop *L = loopAt(FA2, 0);
+  for (const DepEdge &E : Edges)
+    EXPECT_TRUE(E.ValueSpecCarriedAtHeaders.empty())
+        << "a stale profile must never license value speculation";
+  (void)L;
+}
+
+TEST(ValueSpecOracleTest, AblationSurfaceSelectsStages) {
+  auto M = compile(CursorSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+
+  DepOracleConfig Both({}, &P);
+  EXPECT_TRUE(Both.wantsSpec());
+  EXPECT_TRUE(Both.wantsValueSpec());
+
+  DepOracleConfig MemOnly({"ssa", "control", "io", "opaque", "alias",
+                           "affine", "spec"},
+                          &P);
+  EXPECT_TRUE(MemOnly.wantsSpec());
+  EXPECT_FALSE(MemOnly.wantsValueSpec());
+
+  DepOracleConfig ValueOnly({"ssa", "control", "io", "opaque", "alias",
+                             "affine", "valuespec"},
+                            &P);
+  EXPECT_FALSE(ValueOnly.wantsSpec());
+  EXPECT_TRUE(ValueOnly.wantsValueSpec());
+
+  // With the value stage ablated, the pos chain stays carried.
+  DepOracleStack Stack(FA, MemOnly);
+  std::vector<DepEdge> Edges = buildDepEdges(Stack);
+  const Loop *L = loopAt(FA, 0);
+  bool PosCarried = false;
+  for (const DepEdge &E : Edges) {
+    EXPECT_TRUE(E.ValueSpecCarriedAtHeaders.empty());
+    if (E.MemObject && E.MemObject->getName() == "pos" &&
+        E.isCarriedAt(L->getHeader()))
+      PosCarried = true;
+  }
+  EXPECT_TRUE(PosCarried);
+}
+
+// --- Reduction shape ---------------------------------------------------------
+
+/// Shape-analysis fixture: a reducible accumulation with a cold escape.
+const char *ReducibleSource = R"PSC(
+double acc[8];
+#pragma psc reducible(acc : merge_acc)
+double vals[64];
+int cold_len = 0;
+void merge_acc(double dst[], double src[]) {
+  int t;
+  for (t = 0; t < 8; t++) {
+    dst[t] = dst[t] + src[t];
+  }
+}
+int main() {
+  int i;
+  int k;
+  for (i = 0; i < 64; i++) {
+    vals[i] = (i % 8) / 8.0;
+  }
+  for (i = 0; i < 64; i++) {
+    acc[i % 8] += vals[i];
+    for (k = 0; k < cold_len; k++) {
+      acc[k] = 0.0;
+    }
+  }
+  print(acc[0] * 1000.0);
+  return 0;
+}
+)PSC";
+
+TEST(ReductionShapeTest, ConfirmsConformingShapeWithColdGuards) {
+  auto M = compile(ReducibleSource);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+  uint64_t Hash = functionBodyHash(*F);
+
+  const Value *Acc = nullptr;
+  for (const auto &G : M->globals())
+    if (G->getName() == "acc")
+      Acc = G.get();
+  ASSERT_NE(Acc, nullptr);
+
+  const Loop *L = nullptr;
+  for (const Loop *C : FA.loopInfo().loops())
+    if (C->getDepth() == 1 && loopAt(FA, 0) != C)
+      L = C; // the accumulation loop (second top-level)
+  ASSERT_NE(L, nullptr);
+
+  ReductionShape Shape = analyzeReductionShape(FA, *L, Acc, &P, Hash);
+  EXPECT_TRUE(Shape.Viable) << Shape.Reason;
+  EXPECT_NE(Shape.Combiner, nullptr);
+  EXPECT_EQ(Shape.Combiner->getName(), "merge_acc");
+  EXPECT_EQ(Shape.ConformingStores.size(), 1u);
+  EXPECT_EQ(Shape.ColdAccesses.size(), 1u) << "the acc[k] = 0.0 reset";
+
+  // Without a profile there is no cold/warm evidence: never viable.
+  ReductionShape NoEvidence = analyzeReductionShape(FA, *L, Acc, nullptr, 0);
+  EXPECT_FALSE(NoEvidence.Viable);
+}
+
+TEST(ReductionShapeTest, HotNonConformingAccessRejects) {
+  // The reset sweep runs every iteration (cold_len = 1): the non-RMW
+  // store is warm, so promotion must refuse.
+  std::string Hot = ReducibleSource;
+  size_t P0 = Hot.find("int cold_len = 0;");
+  ASSERT_NE(P0, std::string::npos);
+  Hot.replace(P0, 17, "int cold_len = 1;");
+  auto M = compile(Hot);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  const Function *F = M->getFunction("main");
+  FunctionAnalysis FA(*F);
+
+  const Value *Acc = nullptr;
+  for (const auto &G : M->globals())
+    if (G->getName() == "acc")
+      Acc = G.get();
+  const Loop *L = nullptr;
+  for (const Loop *C : FA.loopInfo().loops())
+    if (C->getDepth() == 1 && loopAt(FA, 0) != C)
+      L = C;
+  ASSERT_NE(L, nullptr);
+  ReductionShape Shape =
+      analyzeReductionShape(FA, *L, Acc, &P, functionBodyHash(*F));
+  EXPECT_FALSE(Shape.Viable);
+  EXPECT_NE(Shape.Reason.find("not profile-cold"), std::string::npos);
+}
+
+TEST(ReductionShapeTest, ImpureCombinerIsNotRegistered) {
+  // A combiner that prints cannot run at merge time: the registry must
+  // refuse it, keeping the loop sequential.
+  std::string Impure = ReducibleSource;
+  size_t P0 = Impure.find("dst[t] = dst[t] + src[t];");
+  ASSERT_NE(P0, std::string::npos);
+  Impure.insert(P0, "print(t); ");
+  auto M = compile(Impure);
+  ASSERT_NE(M, nullptr);
+  const Value *Acc = nullptr;
+  for (const auto &G : M->globals())
+    if (G->getName() == "acc")
+      Acc = G.get();
+  ASSERT_NE(Acc, nullptr);
+  EXPECT_EQ(registeredCombiner(*M, Acc), nullptr);
+}
+
+TEST(ReductionShapeTest, GlobalTouchingCombinerIsNotRegistered) {
+  // The sequential run never executes the combiner, so a combiner that
+  // reads or writes a module global would silently diverge the parallel
+  // run with no misspeculation to catch it. The registry must refuse it —
+  // a combiner may only touch its arguments and locals.
+  std::string Counting = ReducibleSource;
+  size_t P0 = Counting.find("dst[t] = dst[t] + src[t];");
+  ASSERT_NE(P0, std::string::npos);
+  Counting.insert(P0, "cold_len = cold_len + 0; ");
+  auto M = compile(Counting);
+  ASSERT_NE(M, nullptr);
+  const Value *Acc = nullptr;
+  for (const auto &G : M->globals())
+    if (G->getName() == "acc")
+      Acc = G.get();
+  ASSERT_NE(Acc, nullptr);
+  EXPECT_EQ(registeredCombiner(*M, Acc), nullptr);
+}
+
+TEST(ReductionShapeTest, SpelledOutTwoAddressFormIsNotProvable) {
+  // BT's `acc[i % 8] = acc[i % 8] + s` computes the address twice; the
+  // single-pointer RMW proof does not apply, so the loop must stay
+  // sequential (documented limitation — ROADMAP follow-up).
+  auto M = compile(findWorkload("BT")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Spec = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), DepOracleConfig({}, &P));
+  bool SawAccLoop = false;
+  for (const auto &[Key, LS] : Spec.Loops) {
+    (void)Key;
+    if (LS.Reason.find("custom-reducible") != std::string::npos) {
+      SawAccLoop = true;
+      EXPECT_EQ(LS.Kind, ScheduleKind::Sequential);
+    }
+    EXPECT_TRUE(LS.SpecReductions.empty());
+  }
+  EXPECT_TRUE(SawAccLoop);
+}
+
+} // namespace

@@ -29,15 +29,25 @@
 ///                          query/disproof counts + cache hit rate
 ///     --profile-out=FILE   run the program once (on --exec's engine) with
 ///                          the dependence profiler and write the
-///                          manifestation profile as JSON
-///     --spec-profile=FILE  training profile backing the 'spec' oracle
-///                          (implies appending 'spec' to the oracle chain)
+///                          manifestation + value profile as JSON
+///     --spec-profile=FILE  training profile backing the speculative
+///                          oracles (enables both 'spec' and 'valuespec'
+///                          unless --dep-oracles names a subset)
+///     --profile-report     cross-reference the program's loops against
+///                          --spec-profile: observation coverage, manifest
+///                          density, value classes, speculation history —
+///                          unobserved (unspeculatable) loops made visible
+///     --spec-feedback=FILE after --run-parallel, fold each speculative
+///                          loop's attempts/misspeculations back into the
+///                          --spec-profile document and write it to FILE
+///                          (feeds speculation-aware plan selection)
 ///     --merge-profiles=OUT merge the positional profile files into OUT
 ///                          (no program is compiled in this mode)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DepOracle.h"
+#include "analysis/ValueSpec.h"
 #include "emulator/CriticalPath.h"
 #include "frontend/Frontend.h"
 #include "parallel/PlanEnumerator.h"
@@ -69,9 +79,11 @@ struct Options {
   bool Plans = false, CountOptions = false, CriticalPath = false;
   bool RunParallel = false;
   bool DepStats = false;
+  bool ProfileReport = false;
   std::vector<std::string> DepOracles;
   std::string ProfileOut;
   std::string SpecProfilePath;
+  std::string SpecFeedbackOut;
   std::string MergeProfilesOut;
   ExecEngineKind Engine = ExecEngineKind::Bytecode;
   unsigned Threads = 8;
@@ -109,21 +121,27 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.CriticalPath = true;
     else if (A == "--dep-stats")
       O.DepStats = true;
+    else if (A == "--profile-report")
+      O.ProfileReport = true;
     else if (A.rfind("--profile-out=", 0) == 0)
       O.ProfileOut = A.substr(14);
     else if (A.rfind("--spec-profile=", 0) == 0)
       O.SpecProfilePath = A.substr(15);
+    else if (A.rfind("--spec-feedback=", 0) == 0)
+      O.SpecFeedbackOut = A.substr(16);
     else if (A.rfind("--merge-profiles=", 0) == 0)
       O.MergeProfilesOut = A.substr(17);
     else if (A.rfind("--dep-oracles=", 0) == 0) {
       std::stringstream SS(A.substr(14));
       std::string Tok;
       while (std::getline(SS, Tok, ',')) {
-        if (!isKnownDepOracleName(Tok) && Tok != specOracleName()) {
+        if (!isKnownDepOracleName(Tok) && Tok != specOracleName() &&
+            Tok != valueSpecOracleName()) {
           std::string Known;
           for (const std::string &N : knownDepOracleNames())
             Known += (Known.empty() ? "" : ", ") + N;
           Known += std::string(", ") + specOracleName();
+          Known += std::string(", ") + valueSpecOracleName();
           std::fprintf(stderr,
                        "pscc: unknown dependence oracle '%s' (known: %s)\n",
                        Tok.c_str(), Known.c_str());
@@ -228,16 +246,28 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                          "--merge-profiles\n");
     return false;
   }
-  // --spec-profile implies the spec oracle; spec without a profile is an
-  // error (absence of training data is never a license to speculate).
-  bool WantsSpec = false;
+  // --spec-profile without explicit stage names enables BOTH speculative
+  // downgrade stages (spec + valuespec; the DepOracleConfig default);
+  // naming a stage without a profile is an error (absence of training data
+  // is never a license to speculate). Naming a subset with a profile
+  // enables exactly that subset — the ablation surface.
+  bool NamesSpecStage = false;
   for (const std::string &N : O.DepOracles)
-    WantsSpec |= N == specOracleName();
-  if (!O.SpecProfilePath.empty() && !WantsSpec)
-    O.DepOracles.push_back(specOracleName());
-  if (WantsSpec && O.SpecProfilePath.empty()) {
+    NamesSpecStage |= N == specOracleName() || N == valueSpecOracleName();
+  if (NamesSpecStage && O.SpecProfilePath.empty()) {
+    std::fprintf(stderr, "pscc: the speculative oracles need "
+                         "--spec-profile=<file>\n");
+    return false;
+  }
+  if (O.ProfileReport && O.SpecProfilePath.empty()) {
     std::fprintf(stderr,
-                 "pscc: the 'spec' oracle needs --spec-profile=<file>\n");
+                 "pscc: --profile-report needs --spec-profile=<file>\n");
+    return false;
+  }
+  if (!O.SpecFeedbackOut.empty() &&
+      (O.SpecProfilePath.empty() || !O.RunParallel)) {
+    std::fprintf(stderr, "pscc: --spec-feedback needs --spec-profile and "
+                         "--run-parallel\n");
     return false;
   }
   return !O.Input.empty();
@@ -273,8 +303,9 @@ int main(int Argc, char **Argv) {
         "            [--without=feat,...]\n"
         "            [--dep-oracles=name,...] [--dep-stats]\n"
         "            [--profile-out=file] [--spec-profile=file]\n"
+        "            [--profile-report] [--spec-feedback=file]\n"
         "            [--merge-profiles=out in1.json in2.json ...]\n"
-        "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP|UA>\n");
+        "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP|UA|RX>\n");
     return 2;
   }
 
@@ -342,7 +373,7 @@ int main(int Argc, char **Argv) {
   };
   std::vector<FnCtx> Ctxs;
   bool NeedCtxs = O.EmitPDG || O.EmitPSPDG || O.Summary || O.Fingerprint ||
-                  O.Plans || O.DepStats;
+                  O.Plans || O.DepStats || O.ProfileReport;
   if (NeedCtxs)
     for (const auto &F : M.functions()) {
       if (F->isDeclaration())
@@ -449,6 +480,79 @@ int main(int Argc, char **Argv) {
                 (unsigned long long)Cache.Fallback);
   }
 
+  if (O.ProfileReport) {
+    // Cross-reference every loop of the program against the training
+    // profile: which loops the training inputs observed (and thus license
+    // speculation for), how dense the manifested-conflict evidence is, the
+    // value classes, and the speculation history — making training *gaps*
+    // visible after --merge-profiles.
+    unsigned TotalLoops = 0, ObservedLoops = 0;
+    std::printf("== profile report (%s) ==\n", O.SpecProfilePath.c_str());
+    for (FnCtx &C : Ctxs) {
+      const Function *F = C.F;
+      const FunctionAnalysis &FA = *C.FA;
+      if (FA.loopInfo().loops().empty())
+        continue;
+      unsigned NumInsts = static_cast<unsigned>(FA.instructions().size());
+      uint64_t Hash = functionBodyHash(*F);
+      auto FIt = SpecProfile.Functions.find(F->getName());
+      bool Stale =
+          FIt != SpecProfile.Functions.end() &&
+          (FIt->second.NumInstructions != NumInsts ||
+           FIt->second.BodyHash != Hash);
+      std::printf("@%s: %u instructions%s\n", F->getName().c_str(), NumInsts,
+                  Stale ? " — PROFILE STALE (no speculation)"
+                        : (FIt == SpecProfile.Functions.end()
+                               ? " — not in profile"
+                               : ""));
+      for (const Loop *L : FA.loopInfo().loops()) {
+        ++TotalLoops;
+        unsigned H = L->getHeader();
+        const char *Name = F->getBlock(H)->getName().c_str();
+        if (!SpecProfile.observed(F->getName(), NumInsts, Hash, H)) {
+          std::printf("  %-16s depth=%u UNOBSERVED (unspeculatable)\n", Name,
+                      L->getDepth());
+          continue;
+        }
+        ++ObservedLoops;
+        const auto &LP = FIt->second.Loops.at(H);
+        // Manifest density: manifested pairs over the loop's static
+        // access-instruction count (the worst-case pair space scales with
+        // its square), plus how many access sites training reached.
+        unsigned StaticAccesses = 0;
+        for (unsigned BI : L->blocks())
+          for (const Instruction *I : *F->getBlock(BI))
+            if (isa<LoadInst>(I) || isa<StoreInst>(I))
+              ++StaticAccesses;
+        std::printf("  %-16s depth=%u observed: invocations=%llu "
+                    "iterations=%llu manifested=%zu accessed=%zu/%u",
+                    Name, L->getDepth(),
+                    (unsigned long long)LP.Invocations,
+                    (unsigned long long)LP.Iterations, LP.Manifested.size(),
+                    LP.Accessed.size(), StaticAccesses);
+        if (LP.SpecAttempts || LP.SpecMisspecs)
+          std::printf(" spec-history=%llu/%llu",
+                      (unsigned long long)LP.SpecMisspecs,
+                      (unsigned long long)LP.SpecAttempts);
+        std::printf("\n");
+        for (const auto &[Var, Obs] : LP.Values) {
+          if (Obs.Kind == ValueClassKind::Varying)
+            continue;
+          std::printf("    value %-12s %s", Var.c_str(),
+                      valueClassKindName(Obs.Kind));
+          if (Obs.Kind == ValueClassKind::Strided) {
+            if (Obs.IsFloat)
+              std::printf("(%+g)", Obs.StrideF);
+            else
+              std::printf("(%+lld)", (long long)Obs.StrideI);
+          }
+          std::printf(" writes=%llu\n", (unsigned long long)Obs.Writes);
+        }
+      }
+    }
+    std::printf("== %u of %u loops observed ==\n", ObservedLoops, TotalLoops);
+  }
+
   if (O.CountOptions) {
     OptionCount C =
         enumerateOptions(M, O.Abs, {}, nullptr, O.Features, OracleCfg);
@@ -532,8 +636,12 @@ int main(int Argc, char **Argv) {
     for (const LoopExecStat &L : Par.Loops) {
       std::string Spec;
       if (L.Speculative) {
-        Spec = " speculative(assumptions=" + std::to_string(L.Assumptions) +
-               " misspeculations=" + std::to_string(L.Misspeculations) + ")";
+        Spec = " speculative(assumptions=" + std::to_string(L.Assumptions);
+        if (L.ValuePreds)
+          Spec += " values=" + std::to_string(L.ValuePreds);
+        if (L.SpecReductions)
+          Spec += " reductions=" + std::to_string(L.SpecReductions);
+        Spec += " misspeculations=" + std::to_string(L.Misspeculations) + ")";
       }
       std::fprintf(stderr, "  @%s %-14s depth=%u %-10s invocations=%llu "
                            "iterations=%llu%s%s%s\n",
@@ -564,6 +672,25 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::fprintf(stderr, "output matches the sequential run\n");
+
+    if (!O.SpecFeedbackOut.empty()) {
+      // Fold this run's speculative outcomes back into the profile, so
+      // the next plan build can weigh the historical misspeculation rate
+      // (speculation-aware plan selection, PlanEnumerator.h). Deliberately
+      // AFTER the error/divergence checks: a failed or diverging run must
+      // never be recorded as clean speculation history.
+      for (const LoopExecStat &L : Par.Loops)
+        if (L.Speculative && L.Invocations)
+          SpecProfile.recordSpecOutcome(L.F->getName(), L.Header,
+                                        L.Invocations, L.Misspeculations);
+      std::string Err;
+      if (!SpecProfile.saveFile(O.SpecFeedbackOut, Err)) {
+        std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "pscc: wrote speculation feedback to %s\n",
+                   O.SpecFeedbackOut.c_str());
+    }
     return static_cast<int>(Par.R.ExitValue);
   }
   return 0;
