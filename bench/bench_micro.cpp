@@ -27,6 +27,7 @@
 #include "pdg/PDG.h"
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
+#include "runtime/ThreadPool.h"
 #include "support/SCCIterator.h"
 #include "workloads/Workloads.h"
 
@@ -81,6 +82,8 @@ int runJsonMode(const std::string &Path, unsigned Reps) {
       bestNs(Reps, [&] { BytecodeModule BM(*M); }), 0);
 
   // Engine throughput on every workload (the headline trajectory metric).
+  double BytecodeNsPerInstr = 0;
+  unsigned BytecodeSamples = 0;
   for (const Workload &W : nasWorkloads()) {
     auto WM = compileOrDie(W.Source, W.Name);
     for (ExecEngineKind E :
@@ -93,7 +96,60 @@ int runJsonMode(const std::string &Path, unsigned Reps) {
       });
       Add(W.Name, execEngineName(E), Ns,
           Ns > 0 ? static_cast<double>(Instrs) / (Ns * 1e-9) : 0);
+      if (E == ExecEngineKind::Bytecode && Instrs > 0) {
+        BytecodeNsPerInstr += Ns / static_cast<double>(Instrs);
+        ++BytecodeSamples;
+      }
     }
+  }
+  if (BytecodeSamples)
+    BytecodeNsPerInstr /= BytecodeSamples;
+
+  // Parallel-overhead calibration: the measurements behind the grain
+  // model's constants (Schedule.h GrainConfig; derivation in DESIGN.md
+  // §11). Each cost is reported both in nanoseconds and — via the mean
+  // bytecode ns/instruction above — in interpreted-instruction
+  // equivalents (the unit GrainConfig uses).
+  {
+    ThreadPool Pool(4);
+    // Warm the pool (lazy thread spawn must not count as per-chunk cost).
+    Pool.submit([] {});
+    Pool.wait();
+    // pool_spawn_join: submit+execute+join of one empty task — the
+    // irreducible per-chunk scheduling cost (GrainConfig::SpawnCost plus
+    // the amortized share of JoinCost).
+    double SpawnNs = bestNs(Reps, [&] {
+      for (int T = 0; T < 64; ++T)
+        Pool.submit([] {});
+      Pool.wait();
+    }) / 64.0;
+    BenchRecord RS;
+    RS.Workload = "pool_spawn_join";
+    RS.Engine = "runtime";
+    RS.Threads = 4;
+    RS.NsPerIter = SpawnNs;
+    if (BytecodeNsPerInstr > 0)
+      RS.Extra.push_back(
+          {"instr_equiv", SpawnNs / BytecodeNsPerInstr});
+    Records.push_back(RS);
+    // region_lock: one uncontended lock/unlock of the critical/atomic
+    // region spinlock (ExecCore.h RegionLock) — bounds the cost a
+    // `#pragma psc atomic` body adds per execution.
+    ExecState S(*M);
+    double LockNs = bestNs(Reps, [&] {
+      for (int T = 0; T < 1024; ++T) {
+        S.regionLock().lock();
+        S.regionLock().unlock();
+      }
+    }) / 1024.0;
+    BenchRecord RL;
+    RL.Workload = "region_lock";
+    RL.Engine = "runtime";
+    RL.Threads = 1;
+    RL.NsPerIter = LockNs;
+    if (BytecodeNsPerInstr > 0)
+      RL.Extra.push_back({"instr_equiv", LockNs / BytecodeNsPerInstr});
+    Records.push_back(RL);
   }
 
   if (!writeBenchJson(Path, "micro", Records))

@@ -10,15 +10,25 @@
 ///      (ParallelRuntime, bytecode engine) against the plan-constrained
 ///      ideal-machine prediction of §6.3 (critical-path model, Fig. 14).
 ///
-///   bench_runtime [threads] [abs] [--json=PATH] [--check-faster] [--reps=N]
-///     threads        — worker threads (default: hardware concurrency,
-///                      max 8)
-///     abs            — pdg | jk | pspdg (default pspdg)
-///     --json=PATH    — also write BENCH_runtime.json perf records
-///                      (workload, engine, threads, ns/iter, instrs/s)
-///     --check-faster — exit non-zero if the bytecode engine is slower
-///                      than the walker on any workload (the CI perf gate)
-///     --reps=N       — timing repetitions per measurement (default 3)
+///   bench_runtime [threads] [abs] [--json=PATH] [--check-faster]
+///                 [--check-parallel] [--grain=auto|off|N] [--reps=N]
+///     threads          — worker threads (default: hardware concurrency,
+///                        max 8)
+///     abs              — pdg | jk | pspdg (default pspdg)
+///     --json=PATH      — also write BENCH_runtime.json perf records
+///                        (workload, engine, threads, ns/iter, instrs/s,
+///                        and par_speedup on the parallel records)
+///     --check-faster   — exit non-zero if the bytecode engine is slower
+///                        than the walker on any workload (CI perf gate)
+///     --check-parallel — exit non-zero if the parallel run is slower
+///                        than the sequential bytecode run beyond a 10%%
+///                        noise margin on any workload (CI perf gate;
+///                        needs --grain=auto so the plan compiler demotes
+///                        loops below the machine's parallel grain)
+///     --grain=MODE     — grain pass: auto (default; cost-model demotion
+///                        + chunk sizing for this machine), off, or a
+///                        forced DOALL chunk size N
+///     --reps=N         — timing repetitions per measurement (default 3)
 ///
 /// The prediction assumes unlimited cores and free communication, so the
 /// measured column is bounded by the machine's core count while the
@@ -99,6 +109,8 @@ int main(int Argc, char **Argv) {
   AbstractionKind Abs = AbstractionKind::PSPDG;
   std::string JsonPath;
   bool CheckFaster = false;
+  bool CheckParallel = false;
+  std::string GrainMode = "auto";
   unsigned Reps = 3;
 
   int Positional = 0;
@@ -108,6 +120,10 @@ int main(int Argc, char **Argv) {
       JsonPath = A.substr(7);
     } else if (A == "--check-faster") {
       CheckFaster = true;
+    } else if (A == "--check-parallel") {
+      CheckParallel = true;
+    } else if (A.rfind("--grain=", 0) == 0) {
+      GrainMode = A.substr(8);
     } else if (A.rfind("--reps=", 0) == 0) {
       Reps = static_cast<unsigned>(std::max(1, std::atoi(A.c_str() + 7)));
     } else if (Positional == 0) {
@@ -131,6 +147,8 @@ int main(int Argc, char **Argv) {
   std::vector<BenchRecord> Records;
   unsigned SlowerCount = 0;
   std::string SlowerList;
+  unsigned ParSlowerCount = 0;
+  std::string ParSlowerList;
 
   for (const Workload &W : nasWorkloads()) {
     std::unique_ptr<Module> M = compileOrDie(W.Source, W.Name);
@@ -146,8 +164,21 @@ int main(int Argc, char **Argv) {
       SlowerList += (SlowerList.empty() ? "" : ", ") + W.Name;
     }
 
-    // Experiment 2: the plan on real threads (bytecode engine).
-    RuntimePlan Plan = buildRuntimePlan(*M, Abs, Threads);
+    // Experiment 2: the plan on real threads (bytecode engine). The
+    // grain pass sizes the plan for THIS machine: loops whose modeled
+    // parallel time cannot beat sequential demote, so the parallel run is
+    // never slower than sequential by more than scheduling noise.
+    GrainConfig Grain;
+    if (GrainMode == "auto") {
+      Grain.Enabled = true;
+      unsigned HW = std::thread::hardware_concurrency();
+      Grain.Workers = std::min(Threads, HW == 0 ? Threads : HW);
+    } else if (GrainMode != "off") {
+      Grain.Enabled = true;
+      Grain.ForcedChunk = std::atol(GrainMode.c_str());
+    }
+    RuntimePlan Plan = buildRuntimePlan(*M, Abs, Threads, FeatureSet(), {},
+                                        Grain);
     ParallelRuntime RT(*M, Plan, ExecEngineKind::Bytecode);
     double ParMs = 1e300;
     ParallelRunResult Par;
@@ -222,18 +253,34 @@ int main(int Argc, char **Argv) {
     RB.NsPerIter = Byte.BestMs * 1e6;
     RB.InstrsPerSec = instrsPerSec(Byte.Instrs, Byte.BestMs);
     Records.push_back(RB);
+    double ParSpeedup = ParMs > 0 ? Byte.BestMs / ParMs : 0.0;
+    // The gate tolerance absorbs single-run scheduler noise; the grain
+    // pass guarantees the *plan* never schedules a losing loop, not that
+    // the OS never preempts a timing run.
+    if (ParSpeedup < 0.90) {
+      ++ParSlowerCount;
+      ParSlowerList += (ParSlowerList.empty() ? "" : ", ") + W.Name;
+    }
     BenchRecord RP;
     RP.Workload = W.Name;
     RP.Engine = "bytecode-parallel";
     RP.Threads = Threads;
     RP.NsPerIter = ParMs * 1e6;
     RP.InstrsPerSec = instrsPerSec(Par.R.InstructionsExecuted, ParMs);
+    RP.Extra.push_back({"par_speedup", ParSpeedup});
     Records.push_back(RP);
   }
 
   if (!JsonPath.empty() && !writeBenchJson(JsonPath, "runtime", Records))
     return 1;
 
+  if (CheckParallel && ParSlowerCount > 0) {
+    std::fprintf(stderr,
+                 "bench_runtime: parallel run slower than sequential "
+                 "bytecode beyond tolerance on %u workload(s): %s\n",
+                 ParSlowerCount, ParSlowerList.c_str());
+    return 1;
+  }
   if (CheckFaster && SlowerCount > 0) {
     std::fprintf(stderr,
                  "bench_runtime: bytecode engine slower than the walker on "

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs-consistency gate: every command-line flag pscc parses must be
+# documented in the README flag table, and the usage synopses must not
+# drift from the parser (spot-checked via the workload list).
+#
+# The flag inventory is extracted from the string literals in
+# tools/pscc.cpp ("--flag" / "--flag="), so adding a flag without
+# documenting it fails CI rather than rotting silently.
+#
+# Usage: scripts/check_docs.sh [pscc-source] [readme]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PSCC="${1:-tools/pscc.cpp}"
+README="${2:-README.md}"
+
+FAIL=0
+
+# Every parsed "--flag" literal must appear in the README as `--flag`.
+FLAGS=$(grep -o '"--[a-z][a-z0-9-]*=\?"' "$PSCC" | tr -d '"' | sed 's/=$//' | sort -u)
+for FLAG in $FLAGS; do
+  if ! grep -q -- "\`$FLAG" "$README"; then
+    echo "check_docs: pscc flag $FLAG is not documented in $README" >&2
+    FAIL=1
+  fi
+done
+
+# The README usage line must list the same workloads pscc's usage does
+# (catches the next workload addition forgetting the README).
+for WL in BT CG EP FT IS LU MG SP UA RX; do
+  if ! grep -q "$WL" <(grep -m1 'pscc.*BT|' "$README"); then
+    echo "check_docs: workload $WL missing from the README usage line" >&2
+    FAIL=1
+  fi
+done
+
+# bench/README.md documents the tracked BENCH_*.json schemas; the top-level
+# README must link it so the schemas stay discoverable.
+if ! grep -q 'bench/README.md' "$README"; then
+  echo "check_docs: $README does not link bench/README.md" >&2
+  FAIL=1
+fi
+
+if [[ "$FAIL" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_docs: $(echo "$FLAGS" | wc -l) pscc flags documented; docs consistent"

@@ -14,8 +14,11 @@
 #   BENCH_fig14.json   — ideal-machine critical paths per abstraction
 #
 # Usage: scripts/run_benches.sh [--check] [build-dir]
-#   --check     also fail if the bytecode engine is slower than the walker
-#               on any workload (the CI perf gate)
+#   --check     the CI perf gates: fail if the bytecode engine is slower
+#               than the walker on any workload, or if the parallel run is
+#               slower than sequential bytecode beyond the 10% noise margin
+#               (the grain pass demotes loops below this machine's grain,
+#               so parallel must never lose; see DESIGN.md §11)
 #   build-dir   defaults to ./build (or $BUILD_DIR)
 #
 # Environment: THREADS (default 8), REPS (default 3).
@@ -27,7 +30,7 @@ CHECK=""
 BUILD="${BUILD_DIR:-build}"
 for ARG in "$@"; do
   case "$ARG" in
-    --check) CHECK="--check-faster" ;;
+    --check) CHECK="--check-faster --check-parallel" ;;
     *) BUILD="$ARG" ;;
   esac
 done

@@ -107,6 +107,7 @@ void BytecodeModule::decodeFunction(const Function &F, BCFunction &BF) const {
     BF.ArgSlots.push_back(BF.NumSlots++);
   }
   BF.BlockPC.assign(F.getNumBlocks(), 0);
+  std::vector<uint32_t> BlockEnd(F.getNumBlocks(), 0);
   uint32_t PC = 0;
   for (const BasicBlock *BB : F) {
     BF.BlockPC[BB->getIndex()] = PC;
@@ -117,6 +118,7 @@ void BytecodeModule::decodeFunction(const Function &F, BCFunction &BF) const {
       else if (!I->getType()->isVoid())
         BF.SlotIdx[I] = BF.NumSlots++;
     }
+    BlockEnd[BB->getIndex()] = PC;
   }
   BF.Code.reserve(PC);
 
@@ -362,6 +364,53 @@ void BytecodeModule::decodeFunction(const Function &F, BCFunction &BF) const {
         psc_unreachable("unhandled instruction in bytecode decoder");
       }
       BF.Code.push_back(D);
+    }
+  }
+
+  // Superinstruction fusion post-pass (DESIGN.md §11): flag the first
+  // instruction of a hot producer/consumer pair with a fused dispatch code.
+  // Legality: the pair is adjacent within one block (branch targets are
+  // always block starts, so the second instruction is reached only by
+  // fall-through from the first) and the consumer reads the producer's
+  // result slot. The fused handler still writes the producer's slot and
+  // charges both sub-instructions separately, so execution is bit-identical
+  // to the unfused pair.
+  for (BCInst &D : BF.Code)
+    D.Disp = static_cast<uint8_t>(D.Op);
+  auto UsesSlot = [](const BCOperand &O, uint32_t Slot) {
+    return O.Kind == BCOperand::K::Slot && O.Index == Slot;
+  };
+  for (const BasicBlock *BB : F) {
+    uint32_t Begin = BF.BlockPC[BB->getIndex()];
+    uint32_t End = BlockEnd[BB->getIndex()];
+    for (uint32_t P = Begin; P + 1 < End; ++P) {
+      BCInst &I = BF.Code[P];
+      const BCInst &J = BF.Code[P + 1];
+      if (I.Dest == BCInst::NoSlot)
+        continue;
+      if (J.Op == BCOp::CondBr && UsesSlot(J.A, I.Dest)) {
+        if (I.Op == BCOp::CmpI)
+          I.Disp = bcdisp::CmpIBr;
+        else if (I.Op == BCOp::CmpF)
+          I.Disp = bcdisp::CmpFBr;
+      } else if (I.Op == BCOp::GEP) {
+        if (J.Op == BCOp::LoadI && UsesSlot(J.A, I.Dest))
+          I.Disp = bcdisp::GepLoadI;
+        else if (J.Op == BCOp::LoadF && UsesSlot(J.A, I.Dest))
+          I.Disp = bcdisp::GepLoadF;
+        else if (J.Op == BCOp::Store && UsesSlot(J.B, I.Dest) &&
+                 !UsesSlot(J.A, I.Dest))
+          I.Disp = bcdisp::GepStore;
+      } else if (J.Op == BCOp::Store && UsesSlot(J.A, I.Dest)) {
+        if (I.Op == BCOp::AddI)
+          I.Disp = bcdisp::AddIStore;
+        else if (I.Op == BCOp::AddF)
+          I.Disp = bcdisp::AddFStore;
+        else if (I.Op == BCOp::SubF)
+          I.Disp = bcdisp::SubFStore;
+        else if (I.Op == BCOp::MulF)
+          I.Disp = bcdisp::MulFStore;
+      }
     }
   }
 }
@@ -770,6 +819,469 @@ BCContext::ExecRes BCContext::execOne(const BCFunction &F, BCFrame &Fr,
   return S.aborted() ? ExecRes::Abort : Res;
 }
 
+// --- BCContext: fast dispatch loop -------------------------------------------
+//
+// The zero-obligation execution path (DESIGN.md §11): when a context has no
+// observers, gate, shadow overlay, speculation log, or commit table
+// (canFastPath), instructions dispatch through a direct-threaded loop —
+// GCC/Clang labels-as-values, with a switch fallback selected where the
+// extension is unavailable (or when PSC_NO_COMPUTED_GOTO is defined, the
+// build-time lane CI uses to check the two dispatchers stay equivalent).
+// Loads and stores skip the per-access overlay/watch checks entirely; the
+// decode-time fused pairs (BCInst::Disp) execute as superinstructions.
+// Budget-charge cadence is identical to execOne: one charge per
+// sub-instruction, checked before it executes, so sequential runs are
+// bit-identical to the stepped path (and to the walker). Cross-context
+// aborts are detected at charge-flush boundaries and at calls, which only
+// batched-charging parallel workers can observe.
+
+#if !defined(PSC_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define PSC_DIRECT_THREADED 1
+#else
+#define PSC_DIRECT_THREADED 0
+#endif
+
+#if PSC_DIRECT_THREADED
+#define PSC_CASE_B(name) Lbl_##name:
+#define PSC_CASE_F(name) Lbl_##name:
+#define PSC_DISPATCH()                                                         \
+  do {                                                                         \
+    if (!ChargeOne())                                                          \
+      return FastRes::Abort;                                                   \
+    goto *JT[Code[PC].Disp];                                                   \
+  } while (0)
+#else
+#define PSC_CASE_B(name) case static_cast<uint8_t>(BCOp::name):
+#define PSC_CASE_F(name) case bcdisp::name:
+#define PSC_DISPATCH()                                                         \
+  do {                                                                         \
+    if (!ChargeOne())                                                          \
+      return FastRes::Abort;                                                   \
+    goto dispatch;                                                             \
+  } while (0)
+#endif
+
+// Jump to block TBlk at PC TPc, honoring the mode's stop condition (the
+// boundary block is neither executed nor charged, exactly as the stepped
+// block loop leaves it to the caller).
+#define PSC_JUMP(TBlk, TPc)                                                    \
+  do {                                                                         \
+    unsigned T_ = (TBlk);                                                      \
+    if (Mode == FastMode::HookStops && StopFlag[T_]) {                         \
+      Prev = Cur;                                                              \
+      Block = T_;                                                              \
+      return FastRes::Stopped;                                                 \
+    }                                                                          \
+    if (Mode == FastMode::LoopBounded &&                                       \
+        (T_ == HeaderIdx || (*InLoop)[T_] == 0)) {                             \
+      Block = T_;                                                              \
+      return FastRes::Stopped;                                                 \
+    }                                                                          \
+    if (Mode == FastMode::HookStops) {                                         \
+      Prev = Cur;                                                              \
+      Cur = T_;                                                                \
+    }                                                                          \
+    PC = (TPc);                                                                \
+    PSC_DISPATCH();                                                            \
+  } while (0)
+
+template <BCContext::FastMode Mode>
+BCContext::FastRes BCContext::fastDispatch(const BCFunction &F, BCFrame &Fr,
+                                           unsigned &Block, unsigned &Prev,
+                                           RTValue &Ret,
+                                           const uint8_t *StopFlag,
+                                           const std::vector<uint8_t> *InLoop,
+                                           unsigned HeaderIdx) {
+  const BCInst *Code = F.code().data();
+  uint32_t PC = F.blockPC(Block);
+  unsigned Cur = Block;
+  (void)Cur;
+  (void)StopFlag;
+  (void)InLoop;
+  (void)HeaderIdx;
+
+  // Identical cadence to execOne's charge preamble: every sub-instruction
+  // charges before it executes; LocalMode aborts on exactly the first
+  // over-budget instruction.
+  auto ChargeOne = [&]() -> bool {
+    ++PendingCharges;
+    if (LocalMode ? PendingCharges > LocalLimit
+                  : PendingCharges >= ChargeBatch) {
+      uint64_t N = PendingCharges;
+      PendingCharges = 0;
+      if (!S.charge(N))
+        return false;
+      if (S.aborted())
+        return false;
+    }
+    return true;
+  };
+
+#if PSC_DIRECT_THREADED
+  // Table order must match BCOp, then the bcdisp fused codes.
+  static const void *const JT[bcdisp::NumDisp] = {
+      &&Lbl_ConstI, &&Lbl_ConstF, &&Lbl_Alloca, &&Lbl_LoadI,  &&Lbl_LoadF,
+      &&Lbl_Store,  &&Lbl_GEP,    &&Lbl_AddI,   &&Lbl_SubI,   &&Lbl_MulI,
+      &&Lbl_DivI,   &&Lbl_RemI,   &&Lbl_AndI,   &&Lbl_OrI,    &&Lbl_XorI,
+      &&Lbl_ShlI,   &&Lbl_ShrI,   &&Lbl_AddF,   &&Lbl_SubF,   &&Lbl_MulF,
+      &&Lbl_DivF,   &&Lbl_NegI,   &&Lbl_NegF,   &&Lbl_NotI,   &&Lbl_CmpI,
+      &&Lbl_CmpF,   &&Lbl_CastIF, &&Lbl_CastFI, &&Lbl_Br,     &&Lbl_CondBr,
+      &&Lbl_Ret,    &&Lbl_Call,   &&Lbl_Intr,   &&Lbl_CmpIBr, &&Lbl_CmpFBr,
+      &&Lbl_GepLoadI, &&Lbl_GepLoadF, &&Lbl_GepStore, &&Lbl_AddIStore,
+      &&Lbl_AddFStore, &&Lbl_SubFStore, &&Lbl_MulFStore,
+  };
+#endif
+
+  PSC_DISPATCH();
+
+#if !PSC_DIRECT_THREADED
+dispatch:
+  switch (Code[PC].Disp) {
+#endif
+
+  PSC_CASE_B(ConstI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(I.A.I);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(ConstF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(I.A.F);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(Alloca) {
+    const BCInst &I = Code[PC];
+    Fr.Allocas[I.Dest] = Fr.createObject(I.AllocTy);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(LoadI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = doLoad(fetch(I.A, Fr), false);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(LoadF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = doLoad(fetch(I.A, Fr), true);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(Store) {
+    const BCInst &I = Code[PC];
+    RTValue P = fetch(I.B, Fr);
+    RTValue V = fetch(I.A, Fr);
+    doStore(V, P, /*OwnedStore=*/true, 0);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(GEP) {
+    const BCInst &I = Code[PC];
+    RTValue Base = fetch(I.A, Fr);
+    Fr.Regs[I.Dest] = RTValue::ofPtr(
+        Base.Obj, Base.Offset + static_cast<uint64_t>(getI(I.B, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(AddI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) + getI(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(SubI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) - getI(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(MulI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) * getI(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(DivI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(intDiv(getI(I.A, Fr), getI(I.B, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(RemI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(intRem(getI(I.A, Fr), getI(I.B, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(AndI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) & getI(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(OrI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) | getI(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(XorI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) ^ getI(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(ShlI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(intShl(getI(I.A, Fr), getI(I.B, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(ShrI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(intShr(getI(I.A, Fr), getI(I.B, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(AddF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(getF(I.A, Fr) + getF(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(SubF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(getF(I.A, Fr) - getF(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(MulF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(getF(I.A, Fr) * getF(I.B, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(DivF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(fltDiv(getF(I.A, Fr), getF(I.B, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(NegI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(-getI(I.A, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(NegF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(-getF(I.A, Fr));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(NotI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(getI(I.A, Fr) == 0 ? 1 : 0);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(CmpI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] =
+        RTValue::ofInt(evalCmpInt(static_cast<CmpInst::Predicate>(I.Sub),
+                                  getI(I.A, Fr), getI(I.B, Fr))
+                           ? 1
+                           : 0);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(CmpF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] =
+        RTValue::ofInt(evalCmpFloat(static_cast<CmpInst::Predicate>(I.Sub),
+                                    getFProm(I.A, Fr), getFProm(I.B, Fr))
+                           ? 1
+                           : 0);
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(CastIF) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofFloat(static_cast<double>(getI(I.A, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(CastFI) {
+    const BCInst &I = Code[PC];
+    Fr.Regs[I.Dest] = RTValue::ofInt(static_cast<int64_t>(getF(I.A, Fr)));
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(Br) {
+    const BCInst &I = Code[PC];
+    PSC_JUMP(I.TBlock0, I.Target0);
+  }
+  PSC_CASE_B(CondBr) {
+    const BCInst &I = Code[PC];
+    if (getI(I.A, Fr) != 0)
+      PSC_JUMP(I.TBlock0, I.Target0);
+    PSC_JUMP(I.TBlock1, I.Target1);
+  }
+  PSC_CASE_B(Ret) {
+    const BCInst &I = Code[PC];
+    if (I.Sub)
+      Ret = fetch(I.A, Fr);
+    return FastRes::Returned;
+  }
+  PSC_CASE_B(Call) {
+    const BCInst &I = Code[PC];
+    std::vector<RTValue> CallArgs;
+    CallArgs.reserve(I.ArgsCount);
+    const BCOperand *Args = F.extraOps().data() + I.ArgsBegin;
+    for (uint32_t A = 0; A < I.ArgsCount; ++A)
+      CallArgs.push_back(fetch(Args[A], Fr));
+    RTValue R = callFunction(*I.Callee, std::move(CallArgs));
+    if (S.aborted())
+      return FastRes::Abort;
+    if (I.Dest != BCInst::NoSlot)
+      Fr.Regs[I.Dest] = R;
+    ++PC;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_B(Intr) {
+    const BCInst &I = Code[PC];
+    RTValue R = callIntrinsic(F, I, Fr, PC);
+    if (I.Dest != BCInst::NoSlot)
+      Fr.Regs[I.Dest] = R;
+    ++PC;
+    PSC_DISPATCH();
+  }
+
+  // Fused pairs: the producer's result slot is written before the consumer
+  // runs, and the consumer charges (and can budget-abort) separately, so
+  // the pair is indistinguishable from its unfused execution.
+  PSC_CASE_F(CmpIBr) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    bool C = evalCmpInt(static_cast<CmpInst::Predicate>(I.Sub), getI(I.A, Fr),
+                        getI(I.B, Fr));
+    Fr.Regs[I.Dest] = RTValue::ofInt(C ? 1 : 0);
+    if (!ChargeOne())
+      return FastRes::Abort;
+    if (C)
+      PSC_JUMP(J.TBlock0, J.Target0);
+    PSC_JUMP(J.TBlock1, J.Target1);
+  }
+  PSC_CASE_F(CmpFBr) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    bool C = evalCmpFloat(static_cast<CmpInst::Predicate>(I.Sub),
+                          getFProm(I.A, Fr), getFProm(I.B, Fr));
+    Fr.Regs[I.Dest] = RTValue::ofInt(C ? 1 : 0);
+    if (!ChargeOne())
+      return FastRes::Abort;
+    if (C)
+      PSC_JUMP(J.TBlock0, J.Target0);
+    PSC_JUMP(J.TBlock1, J.Target1);
+  }
+  PSC_CASE_F(GepLoadI) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue Base = fetch(I.A, Fr);
+    RTValue P = RTValue::ofPtr(
+        Base.Obj, Base.Offset + static_cast<uint64_t>(getI(I.B, Fr)));
+    Fr.Regs[I.Dest] = P;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    Fr.Regs[J.Dest] = doLoad(P, false);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_F(GepLoadF) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue Base = fetch(I.A, Fr);
+    RTValue P = RTValue::ofPtr(
+        Base.Obj, Base.Offset + static_cast<uint64_t>(getI(I.B, Fr)));
+    Fr.Regs[I.Dest] = P;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    Fr.Regs[J.Dest] = doLoad(P, true);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_F(GepStore) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue Base = fetch(I.A, Fr);
+    RTValue P = RTValue::ofPtr(
+        Base.Obj, Base.Offset + static_cast<uint64_t>(getI(I.B, Fr)));
+    Fr.Regs[I.Dest] = P;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    RTValue V = fetch(J.A, Fr);
+    doStore(V, P, /*OwnedStore=*/true, 0);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_F(AddIStore) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue V = RTValue::ofInt(getI(I.A, Fr) + getI(I.B, Fr));
+    Fr.Regs[I.Dest] = V;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    doStore(V, fetch(J.B, Fr), /*OwnedStore=*/true, 0);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_F(AddFStore) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue V = RTValue::ofFloat(getF(I.A, Fr) + getF(I.B, Fr));
+    Fr.Regs[I.Dest] = V;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    doStore(V, fetch(J.B, Fr), /*OwnedStore=*/true, 0);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_F(SubFStore) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue V = RTValue::ofFloat(getF(I.A, Fr) - getF(I.B, Fr));
+    Fr.Regs[I.Dest] = V;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    doStore(V, fetch(J.B, Fr), /*OwnedStore=*/true, 0);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+  PSC_CASE_F(MulFStore) {
+    const BCInst &I = Code[PC];
+    const BCInst &J = Code[PC + 1];
+    RTValue V = RTValue::ofFloat(getF(I.A, Fr) * getF(I.B, Fr));
+    Fr.Regs[I.Dest] = V;
+    if (!ChargeOne())
+      return FastRes::Abort;
+    doStore(V, fetch(J.B, Fr), /*OwnedStore=*/true, 0);
+    PC += 2;
+    PSC_DISPATCH();
+  }
+
+#if !PSC_DIRECT_THREADED
+  }
+  psc_unreachable("unhandled dispatch code");
+#endif
+}
+
+#undef PSC_JUMP
+#undef PSC_DISPATCH
+#undef PSC_CASE_B
+#undef PSC_CASE_F
+
 RTValue BCContext::callFunction(const BCFunction &F,
                                 std::vector<RTValue> Args) {
   const Function &IRF = *F.function();
@@ -783,6 +1295,41 @@ RTValue BCContext::callFunction(const BCFunction &F,
   RTValue Ret;
   unsigned Block = F.entryBlock();
   unsigned Prev = kNone;
+
+  if (canFastPath() && (!Hook || HookHeaders)) {
+    if (!Hook) {
+      if (!S.aborted())
+        fastDispatch<FastMode::Pure>(F, Fr, Block, Prev, Ret, nullptr, nullptr,
+                                     0);
+      return Ret;
+    }
+    // Hooked master with narrowed headers: run the fast loop between
+    // flagged blocks, consulting the hook exactly where the stepped path
+    // would act on it.
+    auto It = HookHeaders->find(&F);
+    const std::vector<uint8_t> *HH =
+        It == HookHeaders->end() ? nullptr : &It->second;
+    while (Block != kNone && !S.aborted()) {
+      if (HH && (*HH)[Block]) {
+        unsigned Cont = Hook(*this, Fr, Prev, Block);
+        if (S.aborted())
+          break;
+        if (Cont != kNone) {
+          Prev = Block;
+          Block = Cont;
+          continue;
+        }
+      }
+      FastRes R = HH ? fastDispatch<FastMode::HookStops>(
+                           F, Fr, Block, Prev, Ret, HH->data(), nullptr, 0)
+                     : fastDispatch<FastMode::Pure>(F, Fr, Block, Prev, Ret,
+                                                    nullptr, nullptr, 0);
+      if (R != FastRes::Stopped)
+        return Ret;
+    }
+    return Ret;
+  }
+
   const bool Stepped = static_cast<bool>(Hook) || !Observers.empty();
 
   while (Block != kNone && !S.aborted()) {
@@ -836,6 +1383,21 @@ unsigned BCContext::execWithin(BCFrame &Fr, const std::vector<uint8_t> &InLoop,
                                unsigned HeaderIdx, unsigned StartBlock) {
   const BCFunction &F = *Fr.F;
   unsigned Block = StartBlock;
+  if (canFastPath()) {
+    // Zero-obligation worker: the whole body runs in the fast loop,
+    // stopping (without executing) at the header or the first block
+    // outside the iteration space.
+    if (Block == kNone || S.aborted())
+      return kNone;
+    if (Block == HeaderIdx || InLoop[Block] == 0)
+      return Block;
+    RTValue Ret;
+    unsigned Prev = kNone;
+    FastRes R = fastDispatch<FastMode::LoopBounded>(F, Fr, Block, Prev, Ret,
+                                                    nullptr, &InLoop,
+                                                    HeaderIdx);
+    return R == FastRes::Stopped ? Block : kNone;
+  }
   RTValue Ret;
   while (Block != kNone && !S.aborted()) {
     if (Block == HeaderIdx || InLoop[Block] == 0)

@@ -136,6 +136,32 @@ enum class BCOp : uint8_t {
   Intr,   ///< Intrinsic call; Sub = BCIntr id.
 };
 
+/// Dispatch codes consulted by the fast dispatch loop: the base opcodes
+/// keep their BCOp values; the decoder's fusion post-pass assigns one of
+/// the fused codes below to the *first* instruction of a recognized
+/// adjacent pair (second instruction reached only by fall-through). The
+/// stepped path (observers / generic hooks / scheduler tables installed)
+/// ignores Disp entirely and executes per-BCOp, so fusion can never change
+/// observable behavior there. A fused pair still charges its two
+/// sub-instructions separately, in order, so dynamic instruction counts —
+/// including the exact budget-abort instruction — match unfused execution.
+/// See DESIGN.md §11.
+namespace bcdisp {
+enum : uint8_t {
+  NumBase = static_cast<uint8_t>(BCOp::Intr) + 1,
+  CmpIBr = NumBase, ///< CmpI + CondBr on its result.
+  CmpFBr,           ///< CmpF + CondBr on its result.
+  GepLoadI,         ///< GEP + LoadI through it (array read).
+  GepLoadF,         ///< GEP + LoadF through it.
+  GepStore,         ///< GEP + Store through it (array write).
+  AddIStore,        ///< AddI + Store of the sum (IV increments).
+  AddFStore,        ///< AddF + Store of the sum (accumulations).
+  SubFStore,        ///< SubF + Store of the difference.
+  MulFStore,        ///< MulF + Store of the product.
+  NumDisp,
+};
+}
+
 /// Runtime built-ins by id (resolved from callee names at decode time).
 enum class BCIntr : uint8_t {
   RegionBeginLock,   ///< critical/atomic region entry (takes the lock).
@@ -156,7 +182,8 @@ struct BCInst {
   static constexpr uint32_t NoSlot = 0xFFFFFFFFu;
 
   BCOp Op = BCOp::ConstI;
-  uint8_t Sub = 0;        ///< Cmp predicate / BCIntr id / Ret-has-value flag.
+  uint8_t Sub = 0;  ///< Cmp predicate / BCIntr id / Ret-has-value flag.
+  uint8_t Disp = 0; ///< Fast-loop dispatch code (bcdisp; = Op unless fused).
   uint32_t Dest = NoSlot; ///< Result slot (alloca index for Alloca).
   BCOperand A, B;
   uint32_t Target0 = 0, Target1 = 0; ///< Pre-linked branch target PCs.
@@ -305,6 +332,20 @@ public:
                                           unsigned PrevBlock, unsigned Block)>;
   void setLoopHook(LoopHook H) { Hook = std::move(H); }
 
+  /// Narrows the loop hook to specific blocks so the master context can use
+  /// the fast dispatch loop between them: when set, the hook is consulted
+  /// only when control enters a block whose per-function bitmap entry is
+  /// non-zero (functions absent from the map are never interrupted). The
+  /// caller guarantees the hook returns kNone for every unflagged block —
+  /// the parallel runtime flags exactly the headers of non-sequential
+  /// schedules, the only blocks its hook acts on. Without this, a hooked
+  /// context falls back to consulting the hook at every block transition.
+  void setHookHeaders(
+      const std::unordered_map<const BCFunction *, std::vector<uint8_t>>
+          *HeadersByFn) {
+    HookHeaders = HeadersByFn;
+  }
+
   /// Storage override for a global number — privatization of globals.
   void setGlobalOverride(uint32_t GlobalIdx, MemObject *Obj) {
     GlobalOverrides[GlobalIdx] = Obj;
@@ -374,7 +415,8 @@ public:
   /// the exact executed count — so sequential runs stay bit-identical to
   /// the walker while touching the shared cacheline once.
   void enableLocalBudget() {
-    LocalLimit = S.budget() - S.instructionsExecuted();
+    uint64_t Used = S.instructionsExecuted();
+    LocalLimit = Used >= S.budget() ? 0 : S.budget() - Used;
     LocalMode = true;
   }
 
@@ -382,9 +424,21 @@ public:
     if (PendingCharges) {
       S.charge(PendingCharges);
       PendingCharges = 0;
-      if (LocalMode)
-        LocalLimit = S.budget() - S.instructionsExecuted();
+      if (LocalMode) {
+        uint64_t Used = S.instructionsExecuted();
+        LocalLimit = Used >= S.budget() ? 0 : S.budget() - Used;
+      }
     }
+  }
+
+  /// True when this context carries no execution-observation obligations:
+  /// no observers, iteration gate, shadow overlay, speculation access log,
+  /// or stage-commit table. Exactly these contexts run the fast dispatch
+  /// loop (direct-threaded, fused superinstructions, no per-access
+  /// watch/overlay checks) — the zero-obligation fast path of DESIGN.md
+  /// §11. Any obligation forces the stepped per-instruction path.
+  bool canFastPath() const {
+    return Observers.empty() && !Gate && !Shadow && !SpecLog && !Owned;
   }
 
   // --- Execution ---------------------------------------------------------
@@ -408,6 +462,25 @@ public:
 
 private:
   enum class ExecRes : uint8_t { Fall, Jump, Returned, Abort };
+
+  /// Fast dispatch loop stop conditions. Pure runs to return/abort;
+  /// HookStops exits (without executing or charging the target) when a jump
+  /// reaches a hook-flagged block; LoopBounded exits when a jump leaves the
+  /// execWithin iteration space.
+  enum class FastMode : uint8_t { Pure, HookStops, LoopBounded };
+  enum class FastRes : uint8_t { Returned, Stopped, Abort };
+
+  /// The fast dispatch loop (direct-threaded where the compiler supports
+  /// labels-as-values, a switch loop otherwise). Executes from the start of
+  /// \p Block; on Stopped, \p Block holds the unexecuted boundary block and
+  /// \p Prev the block that jumped to it. Bit-identical to chained execOne
+  /// for zero-obligation contexts (canFastPath); abort detection for
+  /// cross-context aborts is deferred to charge-flush boundaries, which
+  /// only batched-charging parallel workers can observe.
+  template <FastMode Mode>
+  FastRes fastDispatch(const BCFunction &F, BCFrame &Fr, unsigned &Block,
+                       unsigned &Prev, RTValue &Ret, const uint8_t *StopFlag,
+                       const std::vector<uint8_t> *InLoop, unsigned HeaderIdx);
 
   /// Executes the instruction at \p PC. On Jump, NextBlock/NextPC carry the
   /// target; on Returned, Ret carries the value. Mirrors
@@ -437,6 +510,8 @@ private:
   uint64_t LocalLimit = 0;
   uint64_t PendingCharges = 0;
   LoopHook Hook;
+  const std::unordered_map<const BCFunction *, std::vector<uint8_t>>
+      *HookHeaders = nullptr;
   std::vector<MemObject *> GlobalOverrides;
   const BCFunction *CommitFn = nullptr;
   const std::vector<uint8_t> *Owned = nullptr;

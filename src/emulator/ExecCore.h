@@ -37,11 +37,61 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace psc {
 
 struct MemObject;
+
+/// Recursive spinlock realizing critical/atomic regions. The regions the
+/// source language expresses are tiny (a handful of scalar updates), so a
+/// userspace spin with exponential backoff beats a futex-based mutex by an
+/// order of magnitude under contention — the lock hold time is far below
+/// the cost of a single kernel handoff. Recursive so that nested regions
+/// (critical inside critical) cannot self-deadlock.
+class RegionLock {
+public:
+  void lock() {
+    uint32_t Me = self();
+    if (Owner.load(std::memory_order_relaxed) == Me) {
+      ++Depth;
+      return;
+    }
+    unsigned Spins = 0;
+    for (;;) {
+      uint32_t Free = 0;
+      if (Owner.compare_exchange_weak(Free, Me, std::memory_order_acquire,
+                                      std::memory_order_relaxed))
+        break;
+      // Back off on reads only; the CAS above runs once per observed
+      // release so the line is not bounced while the lock is held.
+      do {
+        if (++Spins > 1024) {
+          std::this_thread::yield();
+          Spins = 0;
+        }
+      } while (Owner.load(std::memory_order_relaxed) != 0);
+    }
+    Depth = 1;
+  }
+
+  void unlock() {
+    if (--Depth == 0)
+      Owner.store(0, std::memory_order_release);
+  }
+
+private:
+  /// Small dense thread id (0 is reserved for "unlocked").
+  static uint32_t self() {
+    static std::atomic<uint32_t> Next{1};
+    thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+    return Id;
+  }
+
+  std::atomic<uint32_t> Owner{0};
+  uint32_t Depth = 0; ///< Only touched by the owning thread.
+};
 
 /// Callbacks fired during interpretation. All hooks are optional.
 class ExecutionObserver {
@@ -191,14 +241,14 @@ public:
 
   /// The lock realizing critical/atomic regions at runtime. Recursive so
   /// that nested regions (critical inside critical) cannot self-deadlock.
-  std::recursive_mutex &regionLock() { return RegionMu; }
+  RegionLock &regionLock() { return RegionMu; }
 
 private:
   const Module &M;
   std::vector<MemObject> Globals; ///< Indexed by GlobalVariable global index.
   std::vector<std::string> Output;
   std::mutex OutputMu;
-  std::recursive_mutex RegionMu;
+  RegionLock RegionMu;
   std::atomic<uint64_t> Instructions{0};
   uint64_t Budget = 2'000'000'000ULL;
   std::atomic<bool> Aborted{false};

@@ -412,7 +412,7 @@ unsigned runDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
     RS.Pool.submit([&, C] {
       ChunkState &St = CS[static_cast<size_t>(C)];
       typename E::Ctx W = Eng.makeCtx();
-      W.setChargeBatch(64);
+      W.setChargeBatch(4096);
       typename E::Frm WF = Eng.clone(Fr);
       St.P = privatize(Eng, W, WF, Fr, LS);
       W.setLocalOutput(&St.Out);
@@ -560,7 +560,7 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
     RS.Pool.submit([&, C] {
       ChunkState &St = CS[static_cast<size_t>(C)];
       typename E::Ctx W = Eng.makeCtx();
-      W.setChargeBatch(64);
+      W.setChargeBatch(4096);
       typename E::Frm WF = Eng.clone(Fr);
       St.P = privatize(Eng, W, WF, Fr, LS);
       // Per-value checkpoints: predicted scalars (seeded per iteration
@@ -718,7 +718,7 @@ unsigned runHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
     RS.Pool.submit([&, Wk] {
       WorkerState &St = WS[Wk];
       typename E::Ctx C = Eng.makeCtx();
-      C.setChargeBatch(64);
+      C.setChargeBatch(4096);
       typename E::Frm WF = Eng.clone(Fr);
       St.P = privatize(Eng, C, WF, Fr, LS);
       typename E::Gate G;
@@ -821,7 +821,7 @@ unsigned runSpecHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
     RS.Pool.submit([&, Wk] {
       WorkerState &St = WS[Wk];
       typename E::Ctx C = Eng.makeCtx();
-      C.setChargeBatch(64);
+      C.setChargeBatch(4096);
       typename E::Frm WF = Eng.clone(Fr);
       St.P = privatize(Eng, C, WF, Fr, LS);
       ShadowMemory SM;
@@ -947,7 +947,7 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
     RS.Pool.submit([&, Stage] {
       StageState &St = SS[Stage];
       typename E::Ctx C = Eng.makeCtx();
-      C.setChargeBatch(64);
+      C.setChargeBatch(4096);
       typename E::Frm WF = Eng.clone(Fr);
       // Stage-private IV, bypassing the shadow (runtime-controlled).
       LoopSchedule IVOnly;
@@ -1109,6 +1109,13 @@ ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan,
     const BCFunction *BF = BCM->forFunction(LS.F);
     if (!BF)
       continue;
+    // The master only needs hook interception at headers of non-sequential
+    // schedules (hookLoop is a no-op everywhere else); flagging exactly
+    // those blocks lets it run the fast dispatch loop in between.
+    auto &Headers = HookHeaders[BF];
+    if (Headers.empty())
+      Headers.assign(LS.F->getNumBlocks(), 0);
+    Headers[LS.Header] = 1;
     LoopAux A;
     A.InLoop.assign(LS.F->getNumBlocks(), 0);
     for (unsigned B : LS.Blocks)
@@ -1180,12 +1187,24 @@ ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
   if (Engine == ExecEngineKind::Bytecode) {
     BytecodeEng Eng{RS.S, *BCM};
     BCContext Master(RS.S, *BCM);
-    Master.setLoopHook([this, &RS, &Eng](BCContext &, BCFrame &Fr,
+    // The master's sequential stretches run under an exact local budget
+    // lease (workers only execute while the master blocks inside the
+    // hook, so the lease is never stale while the master runs). Charges
+    // settle before each hook dispatch and the lease renews after, so
+    // workers and the master always see a consistent shared count.
+    Master.enableLocalBudget();
+    Master.setHookHeaders(&HookHeaders);
+    Master.setLoopHook([this, &RS, &Eng](BCContext &C, BCFrame &Fr,
                                          unsigned Prev,
                                          unsigned Block) -> unsigned {
-      return hookLoop(RS, Eng, Plan, Aux, Fr, Fr.F->function(), Prev, Block);
+      C.flushCharges();
+      unsigned Res =
+          hookLoop(RS, Eng, Plan, Aux, Fr, Fr.F->function(), Prev, Block);
+      C.enableLocalBudget();
+      return Res;
     });
     R = Master.callFunction(*BCM->forFunction(Entry), {});
+    Master.flushCharges();
   } else {
     WalkerEng Eng{RS.S};
     ExecContext Master(RS.S);

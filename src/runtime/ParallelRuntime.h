@@ -127,6 +127,10 @@ private:
   ExecEngineKind Engine;
   std::unique_ptr<BytecodeModule> BCM; ///< Bytecode engine only.
   std::map<const LoopSchedule *, LoopAux> Aux;
+  /// Per-function bitmap of non-sequential schedule headers: the only
+  /// blocks where the master's loop hook can act, so the master context
+  /// runs the fast dispatch loop everywhere else (bytecode engine only).
+  std::unordered_map<const BCFunction *, std::vector<uint8_t>> HookHeaders;
 };
 
 } // namespace psc

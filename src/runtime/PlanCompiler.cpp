@@ -27,6 +27,8 @@
 #include "pspdg/PSPDGBuilder.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 using namespace psc;
 
@@ -564,6 +566,134 @@ void lowerSpeculation(LoopSchedule &LS, const FunctionAnalysis &FA,
     LS.InstIndex[I] = FA.indexOf(I);
 }
 
+// --- Grain pass (DESIGN.md §11) ---------------------------------------------
+
+/// Estimated dynamic instructions of ONE iteration of \p L: the static
+/// instruction count of the loop's own blocks plus, for each immediate
+/// sub-loop, its constant trip (or GrainConfig::DefaultTrip when unknown)
+/// times its own per-iteration estimate, recursively. Branchy bodies
+/// overestimate (every block counts once per iteration); that bias is
+/// conservative for the demotion decision only when work is *under*
+/// the threshold, so MinSpeedup absorbs the slack.
+double estimateIterWork(const Function &F, const FunctionAnalysis &FA,
+                        const Loop &L, const GrainConfig &G) {
+  std::set<unsigned> SubBlocks;
+  double W = 0;
+  for (const Loop *Sub : L.subLoops()) {
+    const ForLoopMeta *Meta = FA.forMeta(Sub);
+    long Trip = Meta && Meta->Canonical ? Meta->tripCount() : -1;
+    if (Trip < 0)
+      Trip = G.DefaultTrip;
+    W += static_cast<double>(Trip) * estimateIterWork(F, FA, *Sub, G);
+    SubBlocks.insert(Sub->blocks().begin(), Sub->blocks().end());
+  }
+  for (unsigned BI : L.blocks()) {
+    if (SubBlocks.count(BI))
+      continue;
+    const BasicBlock *BB = F.getBlock(BI);
+    for (const Instruction *I : *BB) {
+      (void)I;
+      W += 1;
+    }
+  }
+  return W;
+}
+
+/// Applies the calibrated cost model to one selected schedule: estimates
+/// the per-invocation parallel runtime from the schedule kind's overhead
+/// profile, demotes to Sequential when the modeled speedup falls under
+/// GrainConfig::MinSpeedup, and sizes DOALL chunks so each carries at
+/// least MinChunkWork interpreted instructions. See DESIGN.md §11 for the
+/// model and the calibration of the constants.
+void applyGrain(LoopSchedule &LS, const Function &F,
+                const FunctionAnalysis &FA, const Loop &L, unsigned Threads,
+                const GrainConfig &G) {
+  if (LS.Kind == ScheduleKind::Sequential)
+    return;
+  if (G.ForcedChunk > 0) {
+    // Escape hatch: pin the chunk size, skip the model entirely.
+    if (LS.Kind == ScheduleKind::DOALL)
+      LS.Chunk = G.ForcedChunk;
+    return;
+  }
+
+  double IterWork = std::max(1.0, estimateIterWork(F, FA, L, G));
+  double Trip = static_cast<double>(std::max<long>(1, LS.Trip));
+  double Tseq = Trip * IterWork;
+  unsigned W = G.Workers ? G.Workers : Threads;
+  if (W == 0)
+    W = 1;
+
+  double Tpar = 0;
+  long NewChunk = 0;
+  switch (LS.Kind) {
+  case ScheduleKind::DOALL: {
+    long Chunk = LS.Chunk > 0 ? LS.Chunk
+                              : std::max<long>(1, LS.Trip / (static_cast<long>(
+                                                     Threads) *
+                                                 4));
+    // Auto-chunk: grow default chunks until each carries MinChunkWork.
+    if (LS.Chunk == 0) {
+      long Need = static_cast<long>(G.MinChunkWork / IterWork) + 1;
+      if (Need > Chunk)
+        Chunk = std::min(std::max<long>(1, LS.Trip), Need);
+    }
+    long NumChunks = (std::max<long>(1, LS.Trip) + Chunk - 1) / Chunk;
+    double Weff = std::min<double>(W, static_cast<double>(NumChunks));
+    Tpar = Tseq / Weff + G.SpawnCost * static_cast<double>(NumChunks) +
+           G.JoinCost;
+    NewChunk = Chunk;
+    break;
+  }
+  case ScheduleKind::HELIX: {
+    // Amdahl over the view's SCC classification: gated (sequential-SCC)
+    // instructions serialize, the rest divides across workers, and every
+    // iteration pays the gate handoff.
+    uint64_t Seq = 0, Tot = 0;
+    for (const auto &[I, SCC] : LS.SCCOf) {
+      (void)I;
+      ++Tot;
+      if (SCC < LS.SCCIsSeq.size() && LS.SCCIsSeq[SCC])
+        ++Seq;
+    }
+    double SeqFrac = Tot ? static_cast<double>(Seq) / Tot : 1.0;
+    double Weff = std::min<double>(W, Trip);
+    Tpar = Tseq * SeqFrac + Tseq * (1.0 - SeqFrac) / Weff +
+           G.GateCost * Trip + G.SpawnCost * W + G.JoinCost;
+    break;
+  }
+  case ScheduleKind::DSWP:
+    // Stage-recompute model: every stage interprets the full body and
+    // commits only its own SCCs' stores, so the wall-clock lower bound is
+    // the full sequential work plus token traffic — the modeled speedup
+    // never clears MinSpeedup. DSWP schedules exist for pipeline-semantics
+    // validation (grain off); a grain-enabled plan always demotes them.
+    Tpar = Tseq + G.TokenCost * Trip * LS.NumStages +
+           G.SpawnCost * LS.NumStages + G.JoinCost;
+    break;
+  case ScheduleKind::Sequential:
+    return;
+  }
+
+  double Speedup = Tpar > 0 ? Tseq / Tpar : 0.0;
+  if (Speedup < G.MinSpeedup) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s below parallel grain (modeled speedup %.2fx < %.2fx "
+                  "on %u workers)",
+                  scheduleKindName(LS.Kind), Speedup, G.MinSpeedup, W);
+    LoopSchedule Seq;
+    Seq.F = LS.F;
+    Seq.Header = LS.Header;
+    Seq.Depth = LS.Depth;
+    Seq.Reason = Buf;
+    LS = std::move(Seq);
+    return;
+  }
+  if (LS.Kind == ScheduleKind::DOALL && LS.Chunk == 0)
+    LS.Chunk = NewChunk;
+}
+
 /// Derives the best schedule for one loop from one plan view, running the
 /// DOALL > HELIX > DSWP chain. \p InnerWS marks J&K inner worksharing
 /// loops (DOALL or nothing).
@@ -627,7 +757,8 @@ LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
 
 void planFunction(RuntimePlan &Plan, const Function &F,
                   const FunctionAnalysis &FA, unsigned Threads,
-                  const DepOracleConfig &DepOracles) {
+                  const DepOracleConfig &DepOracles,
+                  const GrainConfig &Grain) {
   if (FA.loopInfo().loops().empty())
     return;
   const Module &M = *F.getParent();
@@ -697,6 +828,8 @@ void planFunction(RuntimePlan &Plan, const Function &F,
                      std::to_string(Attempts) + " misspeculated]";
       }
     }
+    if (Grain.Enabled)
+      applyGrain(LS, F, FA, *L, Threads, Grain);
     Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
   }
 }
@@ -705,7 +838,8 @@ void planFunction(RuntimePlan &Plan, const Function &F,
 
 RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
                                   unsigned Threads, const FeatureSet &Features,
-                                  const DepOracleConfig &DepOracles) {
+                                  const DepOracleConfig &DepOracles,
+                                  const GrainConfig &Grain) {
   RuntimePlan Plan;
   Plan.Abs = Kind;
   Plan.Features = Features;
@@ -715,6 +849,7 @@ RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
     return Plan; // no compiler plan view
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
-      planFunction(Plan, *F, Plan.MA->of(*F), Plan.Threads, DepOracles);
+      planFunction(Plan, *F, Plan.MA->of(*F), Plan.Threads, DepOracles,
+                   Grain);
   return Plan;
 }

@@ -159,6 +159,50 @@ struct LoopSchedule {
   bool hasValueSpec() const {
     return !ValuePreds.empty() || !SpecReductions.empty();
   }
+
+  /// A zero-obligation schedule carries nothing the runtime must watch,
+  /// validate, or roll back: no conflict assumptions, no value
+  /// predictions, no promoted reductions, no guards. Workers of such a
+  /// schedule run with no shadow memory, no access log, and no watch
+  /// tables installed, so the engine's fast dispatch loop
+  /// (BCContext::canFastPath) engages. This predicate is the plan-level
+  /// half of the fast-path contract documented in DESIGN.md §11.
+  bool zeroObligation() const {
+    return !Speculative && Assumptions.empty() && ValuePreds.empty() &&
+           SpecReductions.empty() && GuardWatchOf.empty();
+  }
+};
+
+/// Calibrated cost model for the per-loop grain pass (DESIGN.md §11). When
+/// enabled, the plan compiler estimates each parallel schedule's
+/// per-invocation runtime from static instruction counts and the constants
+/// below, demotes schedules whose modeled speedup falls under MinSpeedup
+/// ("below parallel grain"), and sizes DOALL chunks so each carries at
+/// least MinChunkWork interpreted instructions.
+///
+/// All costs are in interpreted-instruction equivalents: microsecond
+/// measurements from bench_micro divided by the fast dispatch loop's
+/// measured ns/instruction (see DESIGN.md §11 for the derivation).
+/// Disabled by default so plan-construction APIs and their tests keep
+/// their historical, purely validity-driven schedules.
+struct GrainConfig {
+  bool Enabled = false;
+  /// >0: force this DOALL chunk size everywhere and skip demotion
+  /// entirely (the `--grain=N` escape hatch).
+  long ForcedChunk = 0;
+  /// Concurrent hardware capacity the model divides parallel work by
+  /// (0 = assume the plan's thread count). Callers that want plans
+  /// reflecting the actual machine pass min(threads, hw concurrency).
+  unsigned Workers = 0;
+  // -- calibrated constants (interpreted-instruction equivalents) --
+  double SpawnCost = 900;     ///< Per DOALL chunk / HELIX worker task:
+                              ///< context + frame clone + privatize + enqueue.
+  double JoinCost = 1800;     ///< Per invocation: pool wait + merges.
+  double GateCost = 80;       ///< HELIX: per iteration-order gate handoff.
+  double TokenCost = 250;     ///< DSWP: per token send/receive per iteration.
+  double MinSpeedup = 1.2;    ///< Demote below this modeled speedup.
+  double MinChunkWork = 8192; ///< DOALL auto-chunk floor (instructions).
+  long DefaultTrip = 16;      ///< Trip guess for non-constant nested loops.
 };
 
 /// Whole-module runtime plan under one abstraction.
@@ -184,10 +228,13 @@ struct RuntimePlan {
 /// abstraction views (empty = full default sound stack; naming "spec" with
 /// a profile enables speculative schedules; see DepOracle.h). A named
 /// profile must outlive nothing — schedules copy their assumption sets.
+/// \p Grain configures the cost-model grain pass (default: disabled, so
+/// schedules are purely validity-driven as before).
 RuntimePlan buildRuntimePlan(const Module &M, AbstractionKind Kind,
                              unsigned Threads,
                              const FeatureSet &Features = FeatureSet(),
-                             const DepOracleConfig &DepOracles = {});
+                             const DepOracleConfig &DepOracles = {},
+                             const GrainConfig &Grain = {});
 
 } // namespace psc
 

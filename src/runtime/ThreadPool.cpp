@@ -2,8 +2,6 @@
 
 #include "runtime/ThreadPool.h"
 
-#include <chrono>
-
 using namespace psc;
 
 ThreadPool::ThreadPool(unsigned NumThreads) {
@@ -12,26 +10,44 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
   Workers.reserve(NumThreads);
   for (unsigned W = 0; W < NumThreads; ++W)
     Workers.push_back(std::make_unique<Worker>());
-  Threads.reserve(NumThreads);
-  for (unsigned W = 0; W < NumThreads; ++W)
-    Threads.emplace_back([this, W] { workerLoop(W); });
+  // Worker threads spawn lazily on the first submit(): a plan whose loops
+  // all stayed sequential never pays for thread creation or idle wakeups.
 }
 
 ThreadPool::~ThreadPool() {
   wait();
   Stop.store(true);
+  {
+    // Lock around the notify so a worker between its predicate check and
+    // its wait cannot miss the stop signal.
+    std::lock_guard<std::mutex> Lock(WakeMu);
+  }
   WakeCv.notify_all();
   for (std::thread &T : Threads)
     T.join();
 }
 
+void ThreadPool::ensureStarted() {
+  if (!Threads.empty())
+    return;
+  unsigned N = static_cast<unsigned>(Workers.size());
+  Threads.reserve(N);
+  for (unsigned W = 0; W < N; ++W)
+    Threads.emplace_back([this, W] { workerLoop(W); });
+}
+
 void ThreadPool::submit(std::function<void()> Task) {
+  ensureStarted();
   unsigned Q = NextQueue.fetch_add(1, std::memory_order_relaxed) %
                Workers.size();
   Pending.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> Lock(Workers[Q]->Mu);
     Workers[Q]->Q.push_back(std::move(Task));
+  }
+  {
+    std::lock_guard<std::mutex> Lock(WakeMu);
+    ++SubmitEpoch;
   }
   WakeCv.notify_all();
 }
@@ -64,15 +80,27 @@ std::function<void()> ThreadPool::take(unsigned Self) {
 
 void ThreadPool::workerLoop(unsigned Self) {
   while (!Stop.load(std::memory_order_relaxed)) {
+    // Snapshot the submit epoch BEFORE scanning the deques: a submit that
+    // lands after the scan bumps the epoch, so the wait predicate below
+    // sees it and the worker rescans instead of sleeping through it.
+    uint64_t Seen;
+    {
+      std::lock_guard<std::mutex> Lock(WakeMu);
+      Seen = SubmitEpoch;
+    }
     std::function<void()> Task = take(Self);
     if (Task) {
       Task();
       Pending.fetch_sub(1, std::memory_order_release);
-      WakeCv.notify_all();
       continue;
     }
+    // Idle: block until new work is submitted (epoch moves) or shutdown.
+    // No timeout poll — an idle pool must not preempt the master thread,
+    // which on small machines shares its core with the workers.
     std::unique_lock<std::mutex> Lock(WakeMu);
-    WakeCv.wait_for(Lock, std::chrono::milliseconds(1));
+    WakeCv.wait(Lock, [&] {
+      return Stop.load(std::memory_order_relaxed) || SubmitEpoch != Seen;
+    });
   }
 }
 
@@ -83,7 +111,6 @@ void ThreadPool::wait() {
     if (Task) {
       Task();
       Pending.fetch_sub(1, std::memory_order_release);
-      WakeCv.notify_all();
     } else {
       std::this_thread::yield();
     }

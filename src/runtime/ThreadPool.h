@@ -31,7 +31,8 @@ namespace psc {
 
 class ThreadPool {
 public:
-  /// Spawns \p Threads workers (min 1).
+  /// Sizes the pool at \p Threads workers (min 1). Worker threads spawn
+  /// lazily on the first submit(), so an unused pool costs nothing.
   explicit ThreadPool(unsigned Threads);
   ~ThreadPool();
 
@@ -40,7 +41,9 @@ public:
 
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// Enqueues a task (round-robin over worker deques).
+  /// Enqueues a task (round-robin over worker deques). Must be called
+  /// from the coordinating thread only (the lazy worker spawn and the
+  /// round-robin cursor are not submit-concurrent).
   void submit(std::function<void()> Task);
 
   /// Runs tasks on the calling thread until every submitted task finished.
@@ -52,6 +55,7 @@ private:
     std::deque<std::function<void()>> Q;
   };
 
+  void ensureStarted();
   void workerLoop(unsigned Self);
   /// Pops own work (back) or steals (front); empty function if none.
   std::function<void()> take(unsigned Self);
@@ -61,6 +65,7 @@ private:
   std::mutex WakeMu;
   std::condition_variable WakeCv;
   std::atomic<uint64_t> Pending{0}; ///< submitted, not yet finished
+  uint64_t SubmitEpoch = 0; ///< bumped per submit, guarded by WakeMu
   std::atomic<bool> Stop{false};
   std::atomic<unsigned> NextQueue{0};
 };

@@ -1,0 +1,300 @@
+//===- FastPathTest.cpp - Zero-obligation fast-path contract --------------===//
+///
+/// The fast-path contract of DESIGN.md §11, from both ends:
+///
+///   * Engine side — BCContext::canFastPath() is true exactly when no
+///     observer, gate, shadow memory, speculation log, or commit table is
+///     installed; installing any obligation carrier disables it.
+///   * Plan side — LoopSchedule::zeroObligation() is true exactly when the
+///     schedule carries no watch sets, value predictions, guards, or
+///     promoted reductions; plain validity-driven plans are
+///     zero-obligation throughout.
+///   * Differential — zero-obligation parallel execution is bit-identical
+///     to the sequential run (output + exit value), and the fast dispatch
+///     loop preserves the exact budget-abort instruction across engines.
+///
+/// Plus the grain pass: a cost model sized for one worker demotes every
+/// schedule ("below parallel grain"), ample workers keep coarse DOALLs
+/// parallel with auto-sized chunks, and a forced chunk pins LS.Chunk.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+// A coarse-grained DOALL: big trip, array writes, a scalar reduction.
+const char *CoarseDoall = R"PSC(
+int a[2048];
+int sum = 0;
+int main() {
+  int i;
+  #pragma psc parallel for reduction(+: sum)
+  for (i = 0; i < 2048; i++) {
+    a[i] = i * 3 + (i % 7);
+    sum = sum + a[i];
+  }
+  print(sum);
+  return 0;
+}
+)PSC";
+
+// A tiny loop: the spawn/join overhead dwarfs eight iterations of work.
+const char *TinyDoall = R"PSC(
+int a[8];
+int main() {
+  int i;
+  #pragma psc parallel for
+  for (i = 0; i < 8; i++) {
+    a[i] = i + 1;
+  }
+  print(a[7]);
+  return 0;
+}
+)PSC";
+
+// --- Engine side: canFastPath ------------------------------------------------
+
+TEST(CanFastPath, FreshContextQualifies) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  ExecState S(*M);
+  BytecodeModule BM(*M);
+  BCContext C(S, BM);
+  EXPECT_TRUE(C.canFastPath());
+}
+
+TEST(CanFastPath, ObserverDisables) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  ExecState S(*M);
+  BytecodeModule BM(*M);
+  BCContext C(S, BM);
+  ExecutionObserver Obs;
+  C.addObserver(&Obs);
+  EXPECT_FALSE(C.canFastPath());
+}
+
+TEST(CanFastPath, GateDisables) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  ExecState S(*M);
+  BytecodeModule BM(*M);
+  BCContext C(S, BM);
+  BCContext::IterationGate Gate;
+  C.setGate(&Gate);
+  EXPECT_FALSE(C.canFastPath());
+}
+
+TEST(CanFastPath, ShadowMemoryDisables) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  ExecState S(*M);
+  BytecodeModule BM(*M);
+  BCContext C(S, BM);
+  ShadowMemory SM;
+  C.setShadowMemory(&SM);
+  EXPECT_FALSE(C.canFastPath());
+}
+
+TEST(CanFastPath, SpecWatchDisables) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  ExecState S(*M);
+  BytecodeModule BM(*M);
+  BCContext C(S, BM);
+  const BCFunction *BF = BM.forFunction(M->getFunction("main"));
+  ASSERT_NE(BF, nullptr);
+  std::vector<uint32_t> Watch(1, 0);
+  SpecAccessLog Log;
+  C.setSpecWatch(BF, &Watch, &Log);
+  EXPECT_FALSE(C.canFastPath());
+}
+
+TEST(CanFastPath, CommitTableDisables) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  ExecState S(*M);
+  BytecodeModule BM(*M);
+  BCContext C(S, BM);
+  const BCFunction *BF = BM.forFunction(M->getFunction("main"));
+  ASSERT_NE(BF, nullptr);
+  std::vector<uint8_t> Owned(1, 1);
+  C.setCommitTable(BF, &Owned);
+  EXPECT_FALSE(C.canFastPath());
+}
+
+// --- Plan side: zeroObligation ----------------------------------------------
+
+TEST(ZeroObligation, PlainPlansCarryNoObligations) {
+  for (const Workload &W : nasWorkloads()) {
+    auto M = compile(W.Source);
+    ASSERT_NE(M, nullptr) << W.Name;
+    RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+    for (const auto &[Key, LS] : Plan.Loops)
+      EXPECT_TRUE(LS.zeroObligation())
+          << W.Name << " header " << LS.Header
+          << ": sound plans must not carry speculation obligations";
+  }
+}
+
+TEST(ZeroObligation, AnyObligationDisqualifies) {
+  LoopSchedule LS;
+  EXPECT_TRUE(LS.zeroObligation());
+
+  LoopSchedule Spec = LS;
+  Spec.Speculative = true;
+  EXPECT_FALSE(Spec.zeroObligation());
+
+  LoopSchedule Assumed = LS;
+  Assumed.Assumptions.emplace_back();
+  EXPECT_FALSE(Assumed.zeroObligation());
+
+  LoopSchedule Valued = LS;
+  Valued.ValuePreds.emplace_back();
+  EXPECT_FALSE(Valued.zeroObligation());
+
+  LoopSchedule Promoted = LS;
+  Promoted.SpecReductions.emplace_back();
+  EXPECT_FALSE(Promoted.zeroObligation());
+
+  LoopSchedule Guarded = LS;
+  Guarded.GuardWatchOf.emplace(nullptr, 0u);
+  EXPECT_FALSE(Guarded.zeroObligation());
+}
+
+// --- Differential: zero-obligation execution is bit-identical ---------------
+
+TEST(FastPathDifferential, ZeroObligationParallelMatchesSequential) {
+  for (const char *Src : {CoarseDoall, TinyDoall}) {
+    auto M = compile(Src);
+    ASSERT_NE(M, nullptr);
+    Interpreter Seq(*M);
+    RunResult SeqR = Seq.run();
+    ASSERT_TRUE(SeqR.Completed);
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, Threads);
+      for (const auto &[Key, LS] : Plan.Loops)
+        ASSERT_TRUE(LS.zeroObligation());
+      ParallelRuntime RT(*M, Plan);
+      ParallelRunResult Par = RT.run();
+      EXPECT_TRUE(Par.Error.empty()) << Par.Error;
+      EXPECT_EQ(Par.R.Output, SeqR.Output) << "threads=" << Threads;
+      EXPECT_EQ(Par.R.ExitValue, SeqR.ExitValue) << "threads=" << Threads;
+    }
+  }
+}
+
+TEST(FastPathDifferential, BudgetAbortInstructionExactAcrossEngines) {
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  // The fast dispatch loop batches its budget charging; the abort must
+  // still fire on exactly the same instruction as the walker's
+  // per-instruction cadence.
+  for (uint64_t Budget : {100ULL, 1537ULL, 20000ULL}) {
+    Interpreter Walk(*M);
+    Walk.setEngine(ExecEngineKind::Walker);
+    Walk.setInstructionBudget(Budget);
+    RunResult WR = Walk.run();
+
+    Interpreter Byte(*M);
+    Byte.setEngine(ExecEngineKind::Bytecode);
+    Byte.setInstructionBudget(Budget);
+    RunResult BR = Byte.run();
+
+    EXPECT_EQ(WR.Completed, BR.Completed) << "budget=" << Budget;
+    EXPECT_EQ(WR.InstructionsExecuted, BR.InstructionsExecuted)
+        << "budget=" << Budget;
+    EXPECT_EQ(WR.Output, BR.Output) << "budget=" << Budget;
+  }
+}
+
+// --- Grain pass --------------------------------------------------------------
+
+TEST(GrainPass, OneWorkerDemotesEverything) {
+  GrainConfig G;
+  G.Enabled = true;
+  G.Workers = 1; // modeled capacity: parallel work cannot divide
+  for (const char *Src : {CoarseDoall, TinyDoall}) {
+    auto M = compile(Src);
+    ASSERT_NE(M, nullptr);
+    RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                        FeatureSet(), {}, G);
+    for (const auto &[Key, LS] : Plan.Loops) {
+      EXPECT_EQ(LS.Kind, ScheduleKind::Sequential);
+      EXPECT_NE(LS.Reason.find("below parallel grain"), std::string::npos)
+          << LS.Reason;
+    }
+  }
+}
+
+TEST(GrainPass, AmpleWorkersKeepCoarseDoallWithSizedChunks) {
+  GrainConfig G;
+  G.Enabled = true;
+  G.Workers = 8;
+  auto M = compile(CoarseDoall);
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), {}, G);
+  bool SawDoall = false;
+  for (const auto &[Key, LS] : Plan.Loops)
+    if (LS.Kind == ScheduleKind::DOALL) {
+      SawDoall = true;
+      // Auto-chunking: each chunk carries at least MinChunkWork modeled
+      // instructions, so the chunk is larger than the trip/(threads*4)
+      // default of 64.
+      EXPECT_GE(LS.Chunk, 64) << "chunk not sized by the grain model";
+    }
+  EXPECT_TRUE(SawDoall) << "coarse DOALL demoted despite ample workers";
+}
+
+TEST(GrainPass, TinyTripDemotesEvenWithAmpleWorkers) {
+  GrainConfig G;
+  G.Enabled = true;
+  G.Workers = 8;
+  auto M = compile(TinyDoall);
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), {}, G);
+  for (const auto &[Key, LS] : Plan.Loops)
+    EXPECT_EQ(LS.Kind, ScheduleKind::Sequential)
+        << "8-iteration loop must stay below parallel grain";
+}
+
+TEST(GrainPass, ForcedChunkPinsScheduleChunk) {
+  GrainConfig G;
+  G.Enabled = true;
+  G.ForcedChunk = 128;
+  auto M = compile(TinyDoall); // would demote under the model
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8,
+                                      FeatureSet(), {}, G);
+  bool SawDoall = false;
+  for (const auto &[Key, LS] : Plan.Loops)
+    if (LS.Kind == ScheduleKind::DOALL) {
+      SawDoall = true;
+      EXPECT_EQ(LS.Chunk, 128);
+    }
+  EXPECT_TRUE(SawDoall) << "forced grain must skip demotion";
+}
+
+TEST(GrainPass, DisabledByDefaultKeepsSchedules) {
+  auto M = compile(TinyDoall);
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 8);
+  bool SawDoall = false;
+  for (const auto &[Key, LS] : Plan.Loops)
+    SawDoall |= LS.Kind == ScheduleKind::DOALL;
+  EXPECT_TRUE(SawDoall)
+      << "grain off: schedules stay purely validity-driven";
+}
+
+} // namespace

@@ -21,6 +21,12 @@
 ///                          instruction stream; default) or walker (the
 ///                          tree-walking golden reference)
 ///     --threads=N          worker threads for --run-parallel (default 8)
+///     --grain=MODE         parallel-grain control for --run-parallel:
+///                          auto (default; cost-model demotion of loops
+///                          below parallel grain + DOALL chunk sizing,
+///                          calibrated for this machine), off (purely
+///                          validity-driven schedules), or a number N
+///                          (force DOALL chunk size N, no demotion)
 ///     --without=FEAT[,..]  ablate PS-PDG features (hn, nt, c, dsde, psv)
 ///     --dep-oracles=LIST   dependence-oracle chain, in order (default:
 ///                          ssa,control,io,opaque,alias,affine; append
@@ -59,6 +65,7 @@
 #include "workloads/Workloads.h"
 
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -87,6 +94,7 @@ struct Options {
   std::string MergeProfilesOut;
   ExecEngineKind Engine = ExecEngineKind::Bytecode;
   unsigned Threads = 8;
+  std::string Grain = "auto"; ///< --grain: auto | off | <chunk>.
   AbstractionKind Abs = AbstractionKind::PSPDG;
   AbstractionKind RunAbs = AbstractionKind::PSPDG;
   FeatureSet Features;
@@ -205,6 +213,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       O.Threads = static_cast<unsigned>(N);
+    } else if (A.rfind("--grain=", 0) == 0) {
+      O.Grain = A.substr(8);
+      if (O.Grain != "auto" && O.Grain != "off") {
+        long N = std::atol(O.Grain.c_str());
+        if (N <= 0) {
+          std::fprintf(stderr,
+                       "pscc: --grain must be auto, off, or a chunk size\n");
+          return false;
+        }
+      }
     } else if (A.rfind("--plans", 0) == 0) {
       O.Plans = true;
       if (A.size() > 8)
@@ -300,6 +318,7 @@ int main(int Argc, char **Argv) {
         "            [--fingerprint] [--plans[=abs]] [--options[=abs]]\n"
         "            [--critical-path] [--run] [--run-parallel[=abs]]\n"
         "            [--exec=walker|bytecode] [--threads=N]\n"
+        "            [--grain=auto|off|N]\n"
         "            [--without=feat,...]\n"
         "            [--dep-oracles=name,...] [--dep-stats]\n"
         "            [--profile-out=file] [--spec-profile=file]\n"
@@ -620,8 +639,17 @@ int main(int Argc, char **Argv) {
     RunResult SeqR = Seq.run();
     Clock::time_point T1 = Clock::now();
 
-    RuntimePlan Plan =
-        buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features, OracleCfg);
+    GrainConfig Grain;
+    if (O.Grain == "auto") {
+      Grain.Enabled = true;
+      unsigned HW = std::thread::hardware_concurrency();
+      Grain.Workers = std::min(O.Threads, HW == 0 ? O.Threads : HW);
+    } else if (O.Grain != "off") {
+      Grain.Enabled = true;
+      Grain.ForcedChunk = std::atol(O.Grain.c_str());
+    }
+    RuntimePlan Plan = buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features,
+                                        OracleCfg, Grain);
     ParallelRuntime RT(M, Plan, O.Engine);
     Clock::time_point T2 = Clock::now();
     ParallelRunResult Par = RT.run();
