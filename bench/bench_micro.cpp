@@ -27,6 +27,7 @@
 #include "pdg/PDG.h"
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
+#include "runtime/SpecValidation.h"
 #include "runtime/ThreadPool.h"
 #include "support/SCCIterator.h"
 #include "workloads/Workloads.h"
@@ -150,6 +151,56 @@ int runJsonMode(const std::string &Path, unsigned Reps) {
     if (BytecodeNsPerInstr > 0)
       RL.Extra.push_back({"instr_equiv", LockNs / BytecodeNsPerInstr});
     Records.push_back(RL);
+    // Speculation-overhead calibration: the measurements behind the
+    // SpecCostModel constants (PlanEnumerator.h; derivation in its
+    // comment). A speculative schedule pays per obligation per iteration:
+    // each watched endpoint logs a SpecAccessRec into the worker's log,
+    // and the validator folds every logged record into its per-location
+    // iteration-range table before the conflict check.
+    MemObject SpecObj;
+    SpecObj.I.resize(64);
+    // spec_watch_access: appending one watched access to the worker log —
+    // the per-access cost setSpecWatch adds to every watched load/store.
+    SpecAccessLog WatchLog;
+    double WatchNs = bestNs(Reps, [&] {
+      WatchLog.clear();
+      for (int T = 0; T < 1024; ++T) {
+        SpecAccessRec R;
+        R.Obj = &SpecObj;
+        R.Off = static_cast<uint64_t>(T & 63);
+        R.Iter = T;
+        R.Watch = static_cast<uint32_t>(T & 1);
+        R.IsWrite = (T & 1) != 0;
+        WatchLog.push_back(R);
+      }
+    }) / 1024.0;
+    BenchRecord RW;
+    RW.Workload = "spec_watch_access";
+    RW.Engine = "runtime";
+    RW.Threads = 1;
+    RW.NsPerIter = WatchNs;
+    if (BytecodeNsPerInstr > 0)
+      RW.Extra.push_back({"instr_equiv", WatchNs / BytecodeNsPerInstr});
+    Records.push_back(RW);
+    // spec_validate_pair: per logged access, the cost of folding the log
+    // into the validator's (location, watch) iteration-range table plus
+    // the amortized share of the conflict-pair check (one assumed pair,
+    // the batch DOALL shape).
+    std::vector<std::pair<unsigned, unsigned>> OnePair = {{0, 1}};
+    double ValidateNs = bestNs(Reps, [&] {
+      SpecValidator V(OnePair);
+      V.add(WatchLog);
+      std::string Why;
+      (void)V.validate(&Why);
+    }) / static_cast<double>(WatchLog.size());
+    BenchRecord RV;
+    RV.Workload = "spec_validate_pair";
+    RV.Engine = "runtime";
+    RV.Threads = 1;
+    RV.NsPerIter = ValidateNs;
+    if (BytecodeNsPerInstr > 0)
+      RV.Extra.push_back({"instr_equiv", ValidateNs / BytecodeNsPerInstr});
+    Records.push_back(RV);
   }
 
   if (!writeBenchJson(Path, "micro", Records))

@@ -1,0 +1,273 @@
+//===- bench_server.cpp - resident-service load benchmark ----------------===//
+///
+/// \file
+/// Load benchmark for the pscd resident analysis service: an in-process
+/// Server on a unix-domain socket, hammered by C concurrent client
+/// threads (one connection each, like real pscc --connect users).
+///
+/// Per session mode (analyze, run, full) the harness measures two phases
+/// over K structurally distinct sources (distinct statement counts — the
+/// body hash ignores constant *values*, so structure is what defeats the
+/// caches):
+///
+///   * cold — every source's first session on a fresh server: the
+///     frontend, bytecode decoder, and dependence-oracle chain all run;
+///   * warm — repeated passes over the same sources: the L1 module cache
+///     skips frontend + decode, the L2 memo cache feeds the oracle chain.
+///
+///   bench_server [--clients=N] [--sources=K] [--reps=N] [--json=PATH]
+///                [--check]
+///     --clients=N  concurrent client connections (default 4)
+///     --sources=K  distinct programs per pass (default 16)
+///     --reps=N     repetitions, best-of (default 3; each rep gets a
+///                  fresh server so cold is really cold)
+///     --json=PATH  write BENCH_server.json perf records (cold/warm
+///                  sessions/s per mode, warm speedup, cache hit rates)
+///     --check      CI gate: warm run-mode sessions/s must be ≥ 3× cold,
+///                  and the warm module-cache hit rate ≥ 0.9
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "service/Client.h"
+#include "service/Server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace psc;
+using namespace psc::bench;
+using namespace psc::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Source #J: compile-heavy (several helper functions, a loop body of
+/// J+24 statements) but cheap to run — the shape that makes residency
+/// pay. Each J is a structurally distinct program (distinct source key
+/// AND distinct body hashes).
+std::string makeSource(unsigned J) {
+  std::string Src;
+  for (unsigned F = 0; F < 4; ++F) {
+    std::string Body;
+    for (unsigned I = 0; I <= J + F * 3; ++I)
+      Body += "    s = s + i + x;\n";
+    Src += "int helper" + std::to_string(F) +
+           "(int x) {\n  int i;\n  int s = 0;\n"
+           "  for (i = 0; i < 4; i++) {\n" +
+           Body + "  }\n  return s;\n}\n";
+  }
+  std::string Body;
+  for (unsigned I = 0; I <= J + 24; ++I)
+    Body += "    s = s + i;\n";
+  Src += "int main() {\n  int i;\n  int s = 0;\n"
+         "  for (i = 0; i < 8; i++) {\n" +
+         Body +
+         "  }\n  s = s + helper0(1) + helper1(2) + helper2(3) + "
+         "helper3(4);\n  print(s);\n  return 0;\n}\n";
+  return Src;
+}
+
+/// One timed pass: the C clients split the K sessions round-robin.
+/// Returns seconds; aborts the process on any failed session.
+double timedPass(const std::string &SocketPath, unsigned Clients,
+                 const std::vector<std::string> &Sources,
+                 const std::string &Mode) {
+  std::vector<std::thread> Ts;
+  Clock::time_point T0 = Clock::now();
+  for (unsigned Cl = 0; Cl < Clients; ++Cl)
+    Ts.emplace_back([&, Cl] {
+      Client Conn;
+      std::string Err;
+      if (!Conn.connect(SocketPath, Err)) {
+        std::fprintf(stderr, "bench_server: %s\n", Err.c_str());
+        std::abort();
+      }
+      for (size_t I = Cl; I < Sources.size(); I += Clients) {
+        Message Resp;
+        // Distinct module names: these are different programs, not edits
+        // of one program, so they must not cross-invalidate the L2.
+        Message Req{{"op", "session"},
+                    {"source", Sources[I]},
+                    {"name", "bench" + std::to_string(I)},
+                    {"mode", Mode}};
+        if (!Conn.request(Req, Resp, Err) || field(Resp, "ok") != "1") {
+          std::fprintf(stderr, "bench_server: session failed: %s%s\n",
+                       Err.c_str(), field(Resp, "error").c_str());
+          std::abort();
+        }
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// Pulls the integer after \p Key inside the \p Section object of the
+/// stats JSON.
+double statOf(const std::string &StatsJson, const char *Section,
+              const char *Key) {
+  size_t Pos = StatsJson.find("\"" + std::string(Section) + "\"");
+  if (Pos == std::string::npos)
+    return 0.0;
+  std::string K = "\"" + std::string(Key) + "\":";
+  Pos = StatsJson.find(K, Pos);
+  if (Pos == std::string::npos)
+    return 0.0;
+  return std::atof(StatsJson.c_str() + Pos + K.size());
+}
+
+/// Hit rate of \p Section over the window between two stats snapshots —
+/// the warm-phase rate, uncontaminated by the cold pass's misses.
+double windowHitRate(const std::string &Before, const std::string &After,
+                     const char *Section) {
+  double Hits = statOf(After, Section, "hits") -
+                statOf(Before, Section, "hits");
+  double Misses = statOf(After, Section, "misses") -
+                  statOf(Before, Section, "misses");
+  return Hits + Misses > 0 ? Hits / (Hits + Misses) : 0.0;
+}
+
+struct ModeResult {
+  double ColdSps = 0.0, WarmSps = 0.0;
+  double ModuleHitRate = 0.0, MemoHitRate = 0.0;
+  double speedup() const { return ColdSps > 0 ? WarmSps / ColdSps : 0.0; }
+};
+
+ModeResult benchMode(const std::string &Mode, unsigned Clients,
+                     const std::vector<std::string> &Sources,
+                     unsigned Reps) {
+  ModeResult Best;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    ServerConfig C;
+    C.SocketPath = "/tmp/psc-bench-server-" + std::to_string(::getpid()) +
+                   "-" + Mode + std::to_string(Rep) + ".sock";
+    C.PoolThreads = Clients;
+    Server S(C);
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "bench_server: %s\n", Err.c_str());
+      std::abort();
+    }
+    double ColdS = timedPass(C.SocketPath, Clients, Sources, Mode);
+    std::string AfterCold = S.statsJson();
+    // Warm passes over the same sources; best of 3 (the first also
+    // settles any memo tables the cold pass raced on).
+    double WarmS = timedPass(C.SocketPath, Clients, Sources, Mode);
+    for (int P = 0; P < 2; ++P)
+      WarmS = std::min(WarmS,
+                       timedPass(C.SocketPath, Clients, Sources, Mode));
+    double ColdSps = Sources.size() / ColdS;
+    double WarmSps = Sources.size() / WarmS;
+    if (WarmSps > Best.WarmSps) {
+      Best.ColdSps = ColdSps;
+      Best.WarmSps = WarmSps;
+      std::string AfterWarm = S.statsJson();
+      Best.ModuleHitRate = windowHitRate(AfterCold, AfterWarm,
+                                         "module_cache");
+      Best.MemoHitRate = windowHitRate(AfterCold, AfterWarm, "memo_cache");
+    }
+    S.stop();
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Clients = 4, NumSources = 16, Reps = 3;
+  std::string JsonPath;
+  bool Check = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--clients=", 0) == 0)
+      Clients = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    else if (A.rfind("--sources=", 0) == 0)
+      NumSources = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    else if (A.rfind("--reps=", 0) == 0)
+      Reps = static_cast<unsigned>(std::atoi(A.c_str() + 7));
+    else if (A.rfind("--json=", 0) == 0)
+      JsonPath = A.substr(7);
+    else if (A == "--check")
+      Check = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_server [--clients=N] [--sources=K] "
+                   "[--reps=N] [--json=PATH] [--check]\n");
+      return 2;
+    }
+  }
+  if (Clients == 0 || NumSources == 0 || Reps == 0) {
+    std::fprintf(stderr, "bench_server: counts must be positive\n");
+    return 2;
+  }
+
+  std::vector<std::string> Sources;
+  for (unsigned J = 0; J < NumSources; ++J)
+    Sources.push_back(makeSource(J));
+
+  std::printf("== resident-service load (%u clients, %u sources, "
+              "best of %u) ==\n",
+              Clients, NumSources, Reps);
+  std::printf("%-8s %12s %12s %8s %10s %9s\n", "mode", "cold sess/s",
+              "warm sess/s", "speedup", "L1 hits", "L2 hits");
+
+  std::vector<BenchRecord> Records;
+  ModeResult RunRes;
+  for (const char *Mode : {"analyze", "run", "full"}) {
+    ModeResult R = benchMode(Mode, Clients, Sources, Reps);
+    if (std::strcmp(Mode, "run") == 0)
+      RunRes = R;
+    std::printf("%-8s %12.1f %12.1f %7.2fx %9.0f%% %8.0f%%\n", Mode,
+                R.ColdSps, R.WarmSps, R.speedup(), R.ModuleHitRate * 100,
+                R.MemoHitRate * 100);
+    BenchRecord Cold;
+    Cold.Workload = "server";
+    Cold.Engine = std::string("cold_") + Mode;
+    Cold.Threads = Clients;
+    Cold.NsPerIter = 1e9 / R.ColdSps;
+    Cold.Extra.push_back({"sessions_per_s", R.ColdSps});
+    Records.push_back(Cold);
+    BenchRecord Warm;
+    Warm.Workload = "server";
+    Warm.Engine = std::string("warm_") + Mode;
+    Warm.Threads = Clients;
+    Warm.NsPerIter = 1e9 / R.WarmSps;
+    Warm.Extra.push_back({"sessions_per_s", R.WarmSps});
+    Warm.Extra.push_back({"warm_speedup", R.speedup()});
+    Warm.Extra.push_back({"module_cache_hit_rate", R.ModuleHitRate});
+    Warm.Extra.push_back({"memo_cache_hit_rate", R.MemoHitRate});
+    Records.push_back(Warm);
+  }
+
+  if (!JsonPath.empty() && !writeBenchJson(JsonPath, "server", Records))
+    return 1;
+
+  if (Check) {
+    if (RunRes.speedup() < 3.0) {
+      std::fprintf(stderr,
+                   "bench_server: CHECK FAILED — warm run sessions/s only "
+                   "%.2fx cold (gate: 3x)\n",
+                   RunRes.speedup());
+      return 1;
+    }
+    if (RunRes.ModuleHitRate < 0.9) {
+      std::fprintf(stderr,
+                   "bench_server: CHECK FAILED — warm module-cache hit "
+                   "rate %.2f (gate: 0.9)\n",
+                   RunRes.ModuleHitRate);
+      return 1;
+    }
+    std::printf("check: warm run sessions/s %.2fx cold (>= 3x), module "
+                "hit rate %.2f (>= 0.9) — OK\n",
+                RunRes.speedup(), RunRes.ModuleHitRate);
+  }
+  return 0;
+}

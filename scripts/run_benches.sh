@@ -12,13 +12,19 @@
 #                        +spec / +spec+valuespec options & DOALL loops)
 #   BENCH_fig13.json   — parallelization options per abstraction
 #   BENCH_fig14.json   — ideal-machine critical paths per abstraction
+#   BENCH_server.json  — resident-service (pscd) load: cold vs warm
+#                        sessions/s per session mode under concurrent
+#                        clients, cache hit rates
 #
 # Usage: scripts/run_benches.sh [--check] [build-dir]
 #   --check     the CI perf gates: fail if the bytecode engine is slower
 #               than the walker on any workload, or if the parallel run is
 #               slower than sequential bytecode beyond the 10% noise margin
 #               (the grain pass demotes loops below this machine's grain,
-#               so parallel must never lose; see DESIGN.md §11)
+#               so parallel must never lose; see DESIGN.md §11); plus the
+#               service gates (warm run sessions/s >= 3x cold, warm
+#               module-cache hit rate >= 0.9) and a sanity parse of the
+#               written BENCH_server.json
 #   build-dir   defaults to ./build (or $BUILD_DIR)
 #
 # Environment: THREADS (default 8), REPS (default 3).
@@ -39,7 +45,7 @@ THREADS="${THREADS:-8}"
 REPS="${REPS:-3}"
 
 for BIN in bench_runtime bench_micro bench_ablation bench_fig13_options \
-           bench_fig14_critical_path; do
+           bench_fig14_critical_path bench_server; do
   if [[ ! -x "$BUILD/$BIN" ]]; then
     echo "run_benches: $BUILD/$BIN not built (cmake --build $BUILD --target $BIN)" >&2
     exit 1
@@ -52,5 +58,26 @@ done
 "$BUILD/bench_ablation" --json=BENCH_ablation.json > /dev/null
 "$BUILD/bench_fig13_options" --json=BENCH_fig13.json > /dev/null
 "$BUILD/bench_fig14_critical_path" --json=BENCH_fig14.json > /dev/null
+"$BUILD/bench_server" --reps="$REPS" --json=BENCH_server.json \
+    ${CHECK:+--check} > /dev/null 2>&1 || {
+  echo "run_benches: bench_server failed its perf gates" >&2
+  "$BUILD/bench_server" --reps=1 ${CHECK:+--check} >&2 || true
+  exit 1
+}
 
-echo "run_benches: wrote BENCH_{runtime,micro,ablation,fig13,fig14}.json"
+if [[ -n "$CHECK" ]]; then
+  # BENCH_server.json must exist and parse: a stable schema with the warm
+  # records carrying the cache-hit-rate evidence.
+  python3 - <<'EOF'
+import json
+with open("BENCH_server.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "server", doc
+records = doc["records"]
+assert any(r["engine"] == "warm_run" and "module_cache_hit_rate" in r
+           for r in records), records
+print("run_benches: BENCH_server.json parses (%d records)" % len(records))
+EOF
+fi
+
+echo "run_benches: wrote BENCH_{runtime,micro,ablation,fig13,fig14,server}.json"

@@ -245,11 +245,14 @@ public:
     if (!A.Base || !B.Base || A.Base != B.Base || A.IsScalar || B.IsScalar)
       return false;
     R.Kind = memKindOf(A, B);
-    bool Possible = Q.Kind == DepQueryKind::MemIntra
-                        ? intraDepPossible(A, B)
-                        : carriedDepPossible(A, B, *Q.L);
-    R.Verdict = Possible ? DepVerdict::MayDep : DepVerdict::NoDep;
-    R.Carried = Possible && Q.Kind == DepQueryKind::MemCarried;
+    if (Q.Kind == DepQueryKind::MemIntra) {
+      R.Verdict =
+          intraDepPossible(A, B) ? DepVerdict::MayDep : DepVerdict::NoDep;
+      R.Carried = false;
+    } else {
+      R.Verdict = carriedDepVerdict(A, B, *Q.L);
+      R.Carried = R.Verdict != DepVerdict::NoDep;
+    }
     return true;
   }
 
@@ -266,12 +269,15 @@ private:
     return false;
   }
 
-  /// True if accesses \p P (in an earlier iteration of \p L) and \p Q (in
-  /// a later one) can touch the same location.
-  bool carriedDepPossible(const MemAccess &P, const MemAccess &Q,
-                          const Loop &L) const {
+  /// Can accesses \p P (in an earlier iteration of \p L) and \p Q (in a
+  /// later one) touch the same location? NoDep disproves it; MustDep means
+  /// the subscript pair *proves* a conflict at a definite iteration
+  /// distance (whenever both instances execute) — a `parallel for`
+  /// annotation must not be allowed to erase it.
+  DepVerdict carriedDepVerdict(const MemAccess &P, const MemAccess &Q,
+                               const Loop &L) const {
     if (!P.Subscript.Valid || !Q.Subscript.Valid)
-      return true;
+      return DepVerdict::MayDep;
 
     const ForLoopMeta *LMeta = FA.forMeta(&L);
     const Value *LCounter =
@@ -315,7 +321,7 @@ private:
     };
 
     if (!AddSide(P, +1, CoeffPi) || !AddSide(Q, -1, CoeffQi))
-      return true; // unknown symbol → conservative
+      return DepVerdict::MayDep; // unknown symbol → conservative
 
     // Shared symbols: coefficient difference times an (often unknown)
     // value.
@@ -339,19 +345,37 @@ private:
       Sum = Sum + IV.scaledBy(CoeffPi - CoeffQi);
       long MaxDelta = Trip > 1 ? Trip - 1 : (Trip < 0 ? Huge : 0);
       if (MaxDelta == 0)
-        return false; // single-iteration loop: nothing is carried
+        return DepVerdict::NoDep; // single-iteration loop: nothing carried
+      // Definite-distance precondition: with every non-delta term exactly
+      // canceled, the difference collapses to  -CoeffQ*Step*delta == Target
+      // — a solvable equation, not an interval question.
+      bool ExactZero = Sum.Min == 0 && Sum.Max == 0;
+      long PerDelta = clampMul(-CoeffQi, LMeta->Step);
       Range Delta = {1, MaxDelta};
-      Sum = Sum + Delta.scaledBy(clampMul(-CoeffQi, LMeta->Step));
-    } else {
-      // Non-canonical loop: if either side references any symbol stored in
-      // L we already bailed; subscripts are L-invariant, so the same
-      // element is touched every iteration.
-      if (CoeffPi != 0 || CoeffQi != 0)
-        return true;
+      Sum = Sum + Delta.scaledBy(PerDelta);
+      long Target = Q.Subscript.Constant - P.Subscript.Constant;
+      if (!Sum.contains(Target))
+        return DepVerdict::NoDep;
+      // The normalized subscript pair (a[c*j+k1] vs a[c*j+k2]) proves the
+      // conflict when the constant offset divides into an integer iteration
+      // distance inside the known trip count: e.g. a[j] = ... a[j-1] ...
+      // solves delta = 1 — the distance-1 recurrence MUST manifest.
+      if (ExactZero && PerDelta != 0 && MaxDelta != Huge &&
+          Target % PerDelta == 0) {
+        long DeltaVal = Target / PerDelta;
+        if (DeltaVal >= 1 && DeltaVal <= MaxDelta)
+          return DepVerdict::MustDep;
+      }
+      return DepVerdict::MayDep;
     }
+    // Non-canonical loop: if either side references any symbol stored in
+    // L we already bailed; subscripts are L-invariant, so the same
+    // element is touched every iteration.
+    if (CoeffPi != 0 || CoeffQi != 0)
+      return DepVerdict::MayDep;
 
     long Target = Q.Subscript.Constant - P.Subscript.Constant;
-    return Sum.contains(Target);
+    return Sum.contains(Target) ? DepVerdict::MayDep : DepVerdict::NoDep;
   }
 
   /// True if \p P and \p Q can touch the same location within one
@@ -649,6 +673,20 @@ void DepOracleStack::resetStats() {
   Memo.clear();
 }
 
+std::unordered_map<uint64_t, DepResult> DepOracleStack::exportMemo() const {
+  if (speculative())
+    return {};
+  return Memo;
+}
+
+bool DepOracleStack::seedMemo(
+    const std::unordered_map<uint64_t, DepResult> &Seed) {
+  if (speculative())
+    return false;
+  Memo.insert(Seed.begin(), Seed.end());
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Edge-set builder over the query API
 //===----------------------------------------------------------------------===//
@@ -733,7 +771,9 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
   /// 0 = disproven, 1 = carried, 2 = memory-speculatively disproven,
   /// 3 = value-speculatively disproven (assumed absent; the edge records
   /// the header in the matching set so consumers can turn it into a
-  /// runtime-validated assumption of the right family).
+  /// runtime-validated assumption of the right family), 4 = carried AND
+  /// proven to manifest (MustDep — a definite constant-distance conflict
+  /// annotations must never be allowed to drop).
   auto Carried = [&](const MemAccess &Src, const MemAccess &Dst,
                      const Loop *L) -> int {
     DepQuery Q;
@@ -745,7 +785,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     Q.L = L;
     DepResult R = Stack.query(Q);
     if (!R.disproven())
-      return 1;
+      return R.Verdict == DepVerdict::MustDep ? 4 : 1;
     return R.Speculative ? (R.ValueSpec ? 3 : 2) : 0;
   };
 
@@ -778,12 +818,14 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
   for (const MemAccess &A : Accesses) {
     if (!A.isWrite())
       continue;
-    std::set<unsigned> CarriedAt, SpecAt, VSpecAt;
+    std::set<unsigned> CarriedAt, MustAt, SpecAt, VSpecAt;
     for (const Loop *L : CommonLoops(A.I, A.I)) {
       int C = Carried(A, A, L);
-      if (C == 1)
+      if (C == 1 || C == 4) {
         CarriedAt.insert(L->getHeader());
-      else if (C == 2)
+        if (C == 4)
+          MustAt.insert(L->getHeader());
+      } else if (C == 2)
         SpecAt.insert(L->getHeader());
       else if (C == 3)
         VSpecAt.insert(L->getHeader());
@@ -796,6 +838,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     E.Kind = A.isRead() ? DepKind::MemoryRAW : DepKind::MemoryWAW;
     E.Intra = false;
     E.CarriedAtHeaders = CarriedAt;
+    E.MustCarriedAtHeaders = MustAt;
     E.SpecCarriedAtHeaders = SpecAt;
     E.ValueSpecCarriedAtHeaders = VSpecAt;
     E.MemObject = A.Base;
@@ -818,20 +861,24 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
       bool IntraDep = Intra(A, B);
 
       // Carried dependences per loop, per direction.
-      std::set<unsigned> CarriedAB, CarriedBA, SpecAB, SpecBA, VSpecAB,
-          VSpecBA;
+      std::set<unsigned> CarriedAB, CarriedBA, MustAB, MustBA, SpecAB,
+          SpecBA, VSpecAB, VSpecBA;
       for (const Loop *L : Loops) {
         int AB = Carried(A, B, L);
-        if (AB == 1)
+        if (AB == 1 || AB == 4) {
           CarriedAB.insert(L->getHeader());
-        else if (AB == 2)
+          if (AB == 4)
+            MustAB.insert(L->getHeader());
+        } else if (AB == 2)
           SpecAB.insert(L->getHeader());
         else if (AB == 3)
           VSpecAB.insert(L->getHeader());
         int BA = Carried(B, A, L);
-        if (BA == 1)
+        if (BA == 1 || BA == 4) {
           CarriedBA.insert(L->getHeader());
-        else if (BA == 2)
+          if (BA == 4)
+            MustBA.insert(L->getHeader());
+        } else if (BA == 2)
           SpecBA.insert(L->getHeader());
         else if (BA == 3)
           VSpecBA.insert(L->getHeader());
@@ -845,6 +892,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.Kind = memKindOf(A, B);
         E.Intra = IntraDep;
         E.CarriedAtHeaders = CarriedAB;
+        E.MustCarriedAtHeaders = MustAB;
         E.SpecCarriedAtHeaders = SpecAB;
         E.ValueSpecCarriedAtHeaders = VSpecAB;
         E.MemObject = Obj;
@@ -859,6 +907,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.Kind = memKindOf(B, A);
         E.Intra = false;
         E.CarriedAtHeaders = CarriedBA;
+        E.MustCarriedAtHeaders = MustBA;
         E.SpecCarriedAtHeaders = SpecBA;
         E.ValueSpecCarriedAtHeaders = VSpecBA;
         E.MemObject = Obj;

@@ -66,6 +66,15 @@ struct DepEdge {
   /// Headers (block indices) of loops at which the dependence is carried.
   std::set<unsigned> CarriedAtHeaders;
 
+  /// Subset of CarriedAtHeaders where the dependence *provably manifests*:
+  /// the affine oracle found a definite constant-distance conflict (e.g.
+  /// a[j] vs a[j-1] — every non-delta term cancels exactly and the offset
+  /// solves to an integer iteration distance within the trip count). A
+  /// `parallel for` annotation resolves *uncertainty*; it cannot erase a
+  /// proof, so views must never drop these headers on the annotation's
+  /// authority (PSPDGBuilder context rule, AbstractionView::jkRemovable).
+  std::set<unsigned> MustCarriedAtHeaders;
+
   /// Base object for memory dependences; null for opaque/IO conflicts.
   const Value *MemObject = nullptr;
 
@@ -98,6 +107,9 @@ struct DepEdge {
   }
   bool isCarriedAt(unsigned Header) const {
     return CarriedAtHeaders.count(Header) != 0;
+  }
+  bool isMustCarriedAt(unsigned Header) const {
+    return MustCarriedAtHeaders.count(Header) != 0;
   }
   bool isSpecCarriedAt(unsigned Header) const {
     return SpecCarriedAtHeaders.count(Header) != 0;
@@ -291,6 +303,19 @@ public:
   std::vector<OracleStats> oracleStats() const;
   const CacheStats &cacheStats() const { return Cache; }
   void resetStats();
+
+  /// Cross-session memoization (the resident analysis service): the memo
+  /// table of a *non-speculative* default-chain stack is a pure function
+  /// of the function body, so it can be exported after a session's
+  /// queries and seeded into a fresh stack over a structurally identical
+  /// body (keyed by functionBodyHash in the service's MemoCache).
+  /// Speculative stacks also depend on the training profile; exporting
+  /// them returns an empty table so stale assumptions never leak across
+  /// requests.
+  std::unordered_map<uint64_t, DepResult> exportMemo() const;
+  /// Installs \p Seed as the starting memo table; seeded answers count as
+  /// cache hits. Refused (returns false) on speculative stacks.
+  bool seedMemo(const std::unordered_map<uint64_t, DepResult> &Seed);
 
 private:
   const FunctionAnalysis &FA;

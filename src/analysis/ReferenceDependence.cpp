@@ -92,10 +92,11 @@ private:
   void computeControlDeps();
   void computeMemoryDeps();
 
-  /// True if accesses \p P (in an earlier iteration of \p L) and \p Q (in a
-  /// later one) can touch the same location.
-  bool carriedDepPossible(const MemAccess &P, const MemAccess &Q,
-                          const Loop &L) const;
+  /// Can accesses \p P (in an earlier iteration of \p L) and \p Q (in a
+  /// later one) touch the same location? 0 = no, 1 = maybe, 2 = provably
+  /// (definite constant-distance conflict — must-carried).
+  int carriedDepPossible(const MemAccess &P, const MemAccess &Q,
+                         const Loop &L) const;
   /// True if \p P and \p Q can touch the same location within one iteration
   /// of their innermost common loop (or anywhere, when loop-free).
   bool intraDepPossible(const MemAccess &P, const MemAccess &Q) const;
@@ -199,12 +200,12 @@ ReferenceImpl::Interval ReferenceImpl::ivRangeOf(const Loop &L) const {
   return R;
 }
 
-bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
-                                       const Loop &L) const {
+int ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
+                                      const Loop &L) const {
   // Non-affine / opaque / scalar cases are resolved by the caller; here both
   // are array accesses on the same (or may-aliasing) base.
   if (!P.Subscript.Valid || !Q.Subscript.Valid)
-    return true;
+    return 1;
 
   const ForLoopMeta *LMeta = FA.forMeta(&L);
   const Value *LCounter =
@@ -247,7 +248,7 @@ bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
   };
 
   if (!AddSide(P, +1, CoeffPi) || !AddSide(Q, -1, CoeffQi))
-    return true; // unknown symbol → conservative
+    return 1; // unknown symbol → conservative
 
   // Shared symbols: coefficient difference times an (often unknown) value.
   for (auto &[Sym, Entry] : Shared) {
@@ -262,8 +263,9 @@ bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
   // later iterations have SMALLER IV values):
   //   Sub_P(i) - Sub_Q(i + delta*Step)
   //     = (CoeffP - CoeffQ) * i  -  CoeffQ * Step * delta,   delta >= 1.
-  // (Step-sign fix applied in lockstep with the oracle stack so the
-  // stack-vs-reference differential stays edge-for-edge identical.)
+  // (Step-sign fix and the definite constant-distance detection applied in
+  // lockstep with the oracle stack so the stack-vs-reference differential
+  // stays edge-for-edge identical.)
   if (LCounter) {
     Range IV = Range::unbounded();
     Interval IVI = ivRangeOf(L);
@@ -272,20 +274,33 @@ bool ReferenceImpl::carriedDepPossible(const MemAccess &P, const MemAccess &Q,
     Sum = Sum + IV.scaledBy(CoeffPi - CoeffQi);
     long MaxDelta = Trip > 1 ? Trip - 1 : (Trip < 0 ? Huge : 0);
     if (MaxDelta == 0)
-      return false; // single-iteration loop: nothing is carried
+      return 0; // single-iteration loop: nothing is carried
+    bool ExactZero = Sum.Min == 0 && Sum.Max == 0;
+    long PerDelta = clampMul(-CoeffQi, LMeta->Step);
     Range Delta = {1, MaxDelta};
-    Sum = Sum + Delta.scaledBy(clampMul(-CoeffQi, LMeta->Step));
-  } else {
-    // Non-canonical loop: if either side references any symbol stored in L
-    // we already bailed; subscripts are L-invariant, so the same element is
-    // touched every iteration.
-    // (Fall through to the constant check with Sum as computed.)
-    if (CoeffPi != 0 || CoeffQi != 0)
-      return true;
+    Sum = Sum + Delta.scaledBy(PerDelta);
+    long Target = Q.Subscript.Constant - P.Subscript.Constant;
+    if (!Sum.contains(Target))
+      return 0;
+    // Definite distance: every non-delta term canceled exactly and the
+    // constant offset solves to an integer delta within the trip count
+    // (a[j] vs a[j-1] → delta = 1): the conflict provably manifests.
+    if (ExactZero && PerDelta != 0 && MaxDelta != Huge &&
+        Target % PerDelta == 0) {
+      long DeltaVal = Target / PerDelta;
+      if (DeltaVal >= 1 && DeltaVal <= MaxDelta)
+        return 2;
+    }
+    return 1;
   }
+  // Non-canonical loop: if either side references any symbol stored in L
+  // we already bailed; subscripts are L-invariant, so the same element is
+  // touched every iteration.
+  if (CoeffPi != 0 || CoeffQi != 0)
+    return 1;
 
   long Target = Q.Subscript.Constant - P.Subscript.Constant;
-  return Sum.contains(Target);
+  return Sum.contains(Target) ? 1 : 0;
 }
 
 bool ReferenceImpl::intraDepPossible(const MemAccess &P,
@@ -359,15 +374,18 @@ void ReferenceImpl::computeMemoryDeps() {
   for (const MemAccess &A : Accesses) {
     if (!A.isWrite())
       continue;
-    std::set<unsigned> Carried;
+    std::set<unsigned> Carried, Must;
     for (const Loop *L : CommonLoops(A.I, A.I)) {
-      bool Dep;
+      int Dep;
       if (A.isOpaque() || A.IsIO || A.IsScalar)
-        Dep = true;
+        Dep = 1;
       else
         Dep = carriedDepPossible(A, A, *L);
-      if (Dep)
+      if (Dep) {
         Carried.insert(L->getHeader());
+        if (Dep == 2)
+          Must.insert(L->getHeader());
+      }
     }
     if (Carried.empty())
       continue;
@@ -377,6 +395,7 @@ void ReferenceImpl::computeMemoryDeps() {
     E.Kind = A.isRead() ? DepKind::MemoryRAW : DepKind::MemoryWAW;
     E.Intra = false;
     E.CarriedAtHeaders = Carried;
+    E.MustCarriedAtHeaders = Must;
     E.MemObject = A.Base;
     E.IsIO = A.IsIO;
     if (A.Base)
@@ -420,19 +439,25 @@ void ReferenceImpl::computeMemoryDeps() {
       bool Intra = Conservative || SameScalarObject || intraDepPossible(A, B);
 
       // Carried dependences per loop, per direction.
-      std::set<unsigned> CarriedAB, CarriedBA;
+      std::set<unsigned> CarriedAB, CarriedBA, MustAB, MustBA;
       for (const Loop *L : Loops) {
-        bool AB, BA;
+        int AB, BA;
         if (Conservative || SameScalarObject) {
-          AB = BA = true;
+          AB = BA = 1;
         } else {
           AB = carriedDepPossible(A, B, *L);
           BA = carriedDepPossible(B, A, *L);
         }
-        if (AB)
+        if (AB) {
           CarriedAB.insert(L->getHeader());
-        if (BA)
+          if (AB == 2)
+            MustAB.insert(L->getHeader());
+        }
+        if (BA) {
           CarriedBA.insert(L->getHeader());
+          if (BA == 2)
+            MustBA.insert(L->getHeader());
+        }
       }
 
       auto IsIVObject = [&](const std::set<unsigned> &Headers) {
@@ -456,6 +481,7 @@ void ReferenceImpl::computeMemoryDeps() {
         E.Kind = KindOf(A, B);
         E.Intra = Intra;
         E.CarriedAtHeaders = CarriedAB;
+        E.MustCarriedAtHeaders = MustAB;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = IsIVObject(CarriedAB);
@@ -468,6 +494,7 @@ void ReferenceImpl::computeMemoryDeps() {
         E.Kind = KindOf(B, A);
         E.Intra = false;
         E.CarriedAtHeaders = CarriedBA;
+        E.MustCarriedAtHeaders = MustBA;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = IsIVObject(CarriedBA);

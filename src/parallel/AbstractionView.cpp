@@ -55,6 +55,11 @@ bool AbstractionView::jkRemovable(const DepEdge &E, const Loop &L) const {
   const Directive *D = worksharing(L);
   if (!D || !E.isMemory() || E.IsIO)
     return false;
+  // A must-carried level is a proof the conflict manifests (definite
+  // constant-distance recurrence): no worksharing declaration can refine
+  // it away, under any abstraction.
+  if (E.isMustCarriedAt(L.getHeader()))
+    return false;
   // Conservative content: mutual-exclusion and ordered regions keep their
   // dependences (J&K has no representation for orderless atomicity).
   if (Regions.inMutualExclusionRegion(E.Src) ||

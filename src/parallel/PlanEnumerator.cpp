@@ -83,7 +83,23 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
 
     if (Kind == AbstractionKind::OpenMP) {
       // Programmer plan only: each worksharing loop exposes the
-      // environment-variable surface (threads × chunk sizes).
+      // environment-variable surface (threads × chunk sizes). One
+      // exception outranks the annotation: a must-carried dependence
+      // (a definite constant-distance conflict the oracle *proved* to
+      // manifest) — a declaration resolves uncertainty, it cannot erase
+      // a proof, so even the programmer plan refuses DOALL there.
+      std::unique_ptr<DepOracleStack> LazyStack;
+      std::vector<DepEdge> LazyEdges;
+      auto MustCarriedAt = [&](unsigned H) {
+        if (!LazyStack) {
+          LazyStack = std::make_unique<DepOracleStack>(FA);
+          LazyEdges = buildDepEdges(*LazyStack);
+        }
+        for (const DepEdge &E : LazyEdges)
+          if (E.isMustCarriedAt(H))
+            return true;
+        return false;
+      };
       for (const Loop *L : FA.loopInfo().loops()) {
         if (!loopQualifies(Coverage, F.getName(), L->getHeader(),
                            Config.CoverageThreshold))
@@ -101,11 +117,13 @@ OptionCount psc::enumerateOptions(const Module &M, AbstractionKind Kind,
         LO.FunctionName = F.getName();
         LO.HeaderBlock = L->getHeader();
         LO.Depth = L->getDepth();
-        LO.DOALL = true;
-        LO.Options = doallOptions(Config);
+        LO.DOALL = !MustCarriedAt(L->getHeader());
+        if (LO.DOALL) {
+          LO.Options = doallOptions(Config);
+          ++Out.DOALLLoops;
+        }
         Out.Total += LO.Options;
         ++Out.LoopsConsidered;
-        ++Out.DOALLLoops;
         Out.PerLoop.push_back(std::move(LO));
       }
       continue;

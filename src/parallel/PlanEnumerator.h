@@ -46,10 +46,33 @@ struct EnumeratorConfig {
 /// sequentially and disables the schedule for the run). History comes
 /// from the profile's per-loop spec_attempts / spec_misspecs counters,
 /// fed back by `pscc --spec-feedback` after parallel runs.
+/// The constants are calibrated from bench_micro's runtime records
+/// (BENCH_micro.json), in interpreted-instruction equivalents per loop
+/// iteration — the same unit discipline as GrainConfig (Schedule.h):
+///
+///   * AssumptionWeight = 8: one obligation watches its two endpoint
+///     accesses; every watched access pays a log append
+///     (`spec_watch_access`, ~1.1 instr-equiv) plus the validator's
+///     per-record fold and conflict-check share (`spec_validate_pair`,
+///     ~2.7 instr-equiv) — 2 x ~3.8 ~= 7.7, rounded up to 8.
+///   * MisspecPenalty = 512: at rate 1.0 every invocation rolls back —
+///     the parallel attempt is discarded and the loop re-executes
+///     sequentially, so the waste is a whole invocation, not a
+///     per-iteration constant. Charged as the canonical calibration trip
+///     (64 iterations) times the per-obligation cost: 64 x 8 = 512.
+///     One misspeculation in <= 2 attempts thus rejects even an
+///     obligation-free plan.
+///   * AcceptThreshold = 256: the per-iteration validation budget. The
+///     benchmarked kernels' hot bodies run a few hundred interpreted
+///     instructions per iteration, so 256 means validation may at worst
+///     add about one body's worth of work — which an 8-way DOALL still
+///     amortizes below the parallel win. On a cold profile this admits
+///     up to 32 simultaneous obligations (the densest organic plan, RX's
+///     histogram loop, carries 16).
 struct SpecCostModel {
-  double AssumptionWeight = 1.0;   ///< Cost per runtime obligation.
-  double MisspecPenalty = 400.0;   ///< Cost at misspeculation rate 1.0.
-  double AcceptThreshold = 64.0;   ///< Plans costlier than this fall back
+  double AssumptionWeight = 8.0;   ///< Cost per runtime obligation.
+  double MisspecPenalty = 512.0;   ///< Cost at misspeculation rate 1.0.
+  double AcceptThreshold = 256.0;  ///< Plans costlier than this fall back
                                    ///< to the sound alternative.
 };
 
@@ -60,9 +83,9 @@ double speculativePlanCost(unsigned NumObligations, uint64_t Attempts,
                            uint64_t Misspecs, const SpecCostModel &M = {});
 
 /// Selection predicate: cost under the threshold. With default knobs a
-/// fresh profile (no history) accepts anything under 64 obligations; a
-/// single recorded misspeculation in few attempts rejects speculation for
-/// the loop until clean runs dilute the rate.
+/// fresh profile (no history) accepts up to 32 obligations; a single
+/// recorded misspeculation in one or two attempts rejects speculation
+/// for the loop until clean runs dilute the rate.
 bool acceptSpeculativePlan(unsigned NumObligations, uint64_t Attempts,
                            uint64_t Misspecs, const SpecCostModel &M = {});
 

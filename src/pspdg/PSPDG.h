@@ -115,6 +115,11 @@ struct PSDirectedEdge {
   DepKind Kind = DepKind::Register;
   bool Intra = true;
   std::set<unsigned> CarriedAtHeaders; ///< Loop header block indices.
+  /// Subset of CarriedAtHeaders the oracle *proved* to manifest (definite
+  /// constant-distance conflicts, DepEdge::MustCarriedAtHeaders): declared
+  /// independence must never drop these levels, and views must not offer
+  /// them for speculation.
+  std::set<unsigned> MustCarriedAtHeaders;
   /// Headers where the carried dependence survives every PS-PDG feature
   /// removal but was *speculatively disproven* by the spec oracle: the
   /// plan view converts these into runtime-validated assumptions instead

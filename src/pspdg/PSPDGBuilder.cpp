@@ -433,6 +433,7 @@ void BuilderImpl::buildEdges() {
     Out.IsIVDep = E.IsIVDep;
     Out.IsIO = E.IsIO;
     Out.CarriedAtHeaders = E.CarriedAtHeaders;
+    Out.MustCarriedAtHeaders = E.MustCarriedAtHeaders;
     Out.SpecCarriedAtHeaders = E.SpecCarriedAtHeaders;
     Out.ValueSpecCarriedAtHeaders = E.ValueSpecCarriedAtHeaders;
 
@@ -460,10 +461,12 @@ void BuilderImpl::buildEdges() {
         if (TA != TB && !SyncBetween(Lo, Hi)) {
           Out.Intra = false;
           KeepSynced(Out.CarriedAtHeaders);
+          KeepSynced(Out.MustCarriedAtHeaders);
           KeepSynced(Out.SpecCarriedAtHeaders);
           KeepSynced(Out.ValueSpecCarriedAtHeaders);
         } else if (TA == TB && TA >= 0) {
           KeepSynced(Out.CarriedAtHeaders);
+          KeepSynced(Out.MustCarriedAtHeaders);
           KeepSynced(Out.SpecCarriedAtHeaders);
           KeepSynced(Out.ValueSpecCarriedAtHeaders);
         }
@@ -539,7 +542,12 @@ void BuilderImpl::buildEdges() {
         bool DeclaredData = isPrivatizableAt(E.MemObject, H) ||
                             isReducibleAt(E.MemObject, H) ||
                             (E.MemObject && PI.isThreadPrivate(E.MemObject));
-        if (IsCounter || (!E.IsIO && !Protected && !DeclaredData))
+        // A must-carried level is a *proof* the conflict manifests
+        // (definite constant-distance recurrence): the annotation resolves
+        // uncertainty, it cannot erase a proof, so the level survives and
+        // the loop keeps its dependence SCC (ROADMAP soundness audit).
+        if ((IsCounter || (!E.IsIO && !Protected && !DeclaredData)) &&
+            !E.isMustCarriedAt(H))
           Drop = true;
       }
 
@@ -567,6 +575,7 @@ void BuilderImpl::buildEdges() {
 
       if (Drop) {
         Out.CarriedAtHeaders.erase(H);
+        Out.MustCarriedAtHeaders.erase(H);
         Out.SpecCarriedAtHeaders.erase(H);
         Out.ValueSpecCarriedAtHeaders.erase(H);
       }

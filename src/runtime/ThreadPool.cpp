@@ -28,12 +28,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ensureStarted() {
-  if (!Threads.empty())
-    return;
-  unsigned N = static_cast<unsigned>(Workers.size());
-  Threads.reserve(N);
-  for (unsigned W = 0; W < N; ++W)
-    Threads.emplace_back([this, W] { workerLoop(W); });
+  // Two session handlers may race into the first submit() (the analysis
+  // service shares one pool across connections); call_once makes exactly
+  // one of them spawn, and its release ordering publishes Threads to the
+  // losers before they enqueue.
+  std::call_once(StartOnce, [this] {
+    unsigned N = static_cast<unsigned>(Workers.size());
+    Threads.reserve(N);
+    for (unsigned W = 0; W < N; ++W)
+      Threads.emplace_back([this, W] { workerLoop(W); });
+  });
 }
 
 void ThreadPool::submit(std::function<void()> Task) {

@@ -41,9 +41,10 @@ public:
 
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// Enqueues a task (round-robin over worker deques). Must be called
-  /// from the coordinating thread only (the lazy worker spawn and the
-  /// round-robin cursor are not submit-concurrent).
+  /// Enqueues a task (round-robin over worker deques). Safe to call from
+  /// any thread: the lazy worker spawn is guarded by a once-flag and the
+  /// round-robin cursor is atomic, so concurrent submitters (the analysis
+  /// service's session handlers) interleave without coordination.
   void submit(std::function<void()> Task);
 
   /// Runs tasks on the calling thread until every submitted task finished.
@@ -62,6 +63,7 @@ private:
 
   std::vector<std::unique_ptr<Worker>> Workers;
   std::vector<std::thread> Threads;
+  std::once_flag StartOnce; ///< Guards the lazy spawn against racing submits.
   std::mutex WakeMu;
   std::condition_variable WakeCv;
   std::atomic<uint64_t> Pending{0}; ///< submitted, not yet finished

@@ -1,0 +1,135 @@
+//===- Caches.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "service/Caches.h"
+
+#include <cstdio>
+
+using namespace psc;
+using namespace psc::service;
+
+uint64_t service::sourceKey(const std::string &Source,
+                            const std::string &Name) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<uint8_t>(C);
+      H *= 1099511628211ULL;
+    }
+    H ^= 0xff; // separator so ("ab","c") != ("a","bc")
+    H *= 1099511628211ULL;
+  };
+  Mix(Name);
+  Mix(Source);
+  return H;
+}
+
+// --- ModuleCache -------------------------------------------------------------
+
+std::shared_ptr<const CachedModule> ModuleCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return nullptr;
+  }
+  ++Stats.Hits;
+  LRU.splice(LRU.begin(), LRU, It->second); // bump to most-recent
+  return It->second->V;
+}
+
+void ModuleCache::insert(uint64_t Key,
+                         std::shared_ptr<const CachedModule> V) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Index.count(Key))
+    return; // a concurrent session compiled the same source first
+  LRU.push_front(Entry{Key, std::move(V)});
+  Index[Key] = LRU.begin();
+  while (LRU.size() > Capacity) {
+    Index.erase(LRU.back().Key);
+    LRU.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+CacheStats ModuleCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+size_t ModuleCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return LRU.size();
+}
+
+// --- MemoCache ---------------------------------------------------------------
+
+void MemoCache::eraseKeyLocked(uint64_t Key) {
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return;
+  LRU.erase(It->second);
+  Index.erase(It);
+}
+
+void MemoCache::noteBodyLocked(const std::string &FnName,
+                               uint64_t BodyHash) {
+  auto [It, New] = LastHash.try_emplace(FnName, BodyHash);
+  if (New || It->second == BodyHash)
+    return;
+  // The function was edited: its name re-arrived with a different body
+  // hash. Evict the predecessor's analysis loudly — a stale memo served
+  // here would mean planning the *new* body with the *old* body's
+  // dependence answers.
+  std::fprintf(stderr,
+               "pscd: memo cache invalidating @%s (body hash %016llx -> "
+               "%016llx)\n",
+               FnName.c_str(), (unsigned long long)It->second,
+               (unsigned long long)BodyHash);
+  eraseKeyLocked(It->second);
+  ++Stats.Invalidations;
+  It->second = BodyHash;
+}
+
+std::shared_ptr<const MemoCache::MemoTable>
+MemoCache::lookup(uint64_t BodyHash) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(BodyHash);
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return nullptr;
+  }
+  ++Stats.Hits;
+  LRU.splice(LRU.begin(), LRU, It->second);
+  return It->second->V;
+}
+
+void MemoCache::insert(const std::string &FnName, uint64_t BodyHash,
+                       MemoTable T) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  noteBodyLocked(FnName, BodyHash);
+  if (Index.count(BodyHash))
+    return;
+  LRU.push_front(Entry{BodyHash,
+                       std::make_shared<const MemoTable>(std::move(T))});
+  Index[BodyHash] = LRU.begin();
+  while (LRU.size() > Capacity) {
+    Index.erase(LRU.back().Key);
+    LRU.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+void MemoCache::noteBody(const std::string &FnName, uint64_t BodyHash) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  noteBodyLocked(FnName, BodyHash);
+}
+
+CacheStats MemoCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+size_t MemoCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return LRU.size();
+}

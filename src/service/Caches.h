@@ -1,0 +1,149 @@
+//===- Caches.h - pscd cross-request caches -----------------------*- C++ -*-===//
+///
+/// \file
+/// The resident service's two cross-request caches, both LRU with
+/// hit/miss/eviction counters:
+///
+///   * **ModuleCache (L1)** — compiled modules plus their pre-decoded
+///     bytecode, keyed by a hash of the *source text*. A warm session
+///     skips the frontend and the bytecode decoder entirely. Entries are
+///     shared_ptr-held so an evicted module stays alive for sessions
+///     still running on it.
+///   * **MemoCache (L2)** — per-function dependence-oracle memo tables
+///     (DepOracleStack::exportMemo), keyed by the *function body hash*
+///     (pspdg/Fingerprint.h functionBodyHash). The key is semantic, not
+///     textual: two sources whose function bodies are structurally
+///     identical share analysis results, and an edited body misses
+///     naturally. The cache additionally tracks the last body hash seen
+///     per function *name* (callers scope the name — the server prefixes
+///     the module name, so two modules' @main coexist): when a name
+///     re-arrives with a different hash
+///     (the function was edited), the stale entry is evicted LOUDLY —
+///     counted in Stats::Invalidations and reported on stderr — so a
+///     stale plan can never be served for an edited function. Only
+///     non-speculative memo tables may be stored; speculative answers
+///     depend on the training profile as well as the body (the stack
+///     refuses to export them, Caches refuses to admit them).
+///
+/// Both caches are internally locked; all methods are thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SERVICE_CACHES_H
+#define PSPDG_SERVICE_CACHES_H
+
+#include "analysis/DepOracle.h"
+#include "emulator/Bytecode.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace psc {
+namespace service {
+
+/// FNV-1a of the source text + module name — the L1 key.
+uint64_t sourceKey(const std::string &Source, const std::string &Name);
+
+/// One compiled program, shared read-only across sessions.
+struct CachedModule {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<BytecodeModule> BCM;
+  /// functionBodyHash of every defined function — the L2 key space, and
+  /// the raw material of the edited-body invalidation check.
+  std::map<std::string, uint64_t> BodyHashes;
+};
+
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;     ///< Capacity (LRU) evictions.
+  uint64_t Invalidations = 0; ///< Edited-body (stale-hash) evictions.
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / Total : 0.0;
+  }
+};
+
+/// L1: source-text hash → compiled module. LRU at \p Capacity entries.
+class ModuleCache {
+public:
+  explicit ModuleCache(size_t Capacity = 64) : Capacity(Capacity) {}
+
+  /// Returns the cached module for \p Key, bumping its recency; null on
+  /// miss.
+  std::shared_ptr<const CachedModule> lookup(uint64_t Key);
+
+  /// Admits \p V under \p Key (no-op if the key raced in concurrently),
+  /// evicting the least-recently-used entry beyond capacity.
+  void insert(uint64_t Key, std::shared_ptr<const CachedModule> V);
+
+  CacheStats stats() const;
+  size_t size() const;
+
+private:
+  struct Entry {
+    uint64_t Key;
+    std::shared_ptr<const CachedModule> V;
+  };
+  mutable std::mutex Mu;
+  size_t Capacity;
+  std::list<Entry> LRU; ///< Front = most recent.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  CacheStats Stats;
+};
+
+/// L2: function body hash → dependence memo table. LRU at \p Capacity
+/// entries, with loud edited-body invalidation (see file comment).
+class MemoCache {
+public:
+  using MemoTable = std::unordered_map<uint64_t, DepResult>;
+
+  explicit MemoCache(size_t Capacity = 256) : Capacity(Capacity) {}
+
+  /// Returns the memo table for \p BodyHash, bumping recency; null on
+  /// miss.
+  std::shared_ptr<const MemoTable> lookup(uint64_t BodyHash);
+
+  /// Admits \p T for function \p FnName at \p BodyHash. If \p FnName was
+  /// last seen with a *different* body hash, the stale entry is evicted
+  /// and the invalidation is counted and reported on stderr — an edited
+  /// function must never be served its predecessor's analysis.
+  void insert(const std::string &FnName, uint64_t BodyHash, MemoTable T);
+
+  /// The edited-body check without an insert: notes that \p FnName now
+  /// has \p BodyHash, evicting (loudly) any entry recorded under the
+  /// name's previous hash. Used by the compile stage so invalidation
+  /// happens as soon as the new body is seen, not only after its
+  /// analysis completes.
+  void noteBody(const std::string &FnName, uint64_t BodyHash);
+
+  CacheStats stats() const;
+  size_t size() const;
+
+private:
+  struct Entry {
+    uint64_t Key;
+    std::shared_ptr<const MemoTable> V;
+  };
+  void noteBodyLocked(const std::string &FnName, uint64_t BodyHash);
+  void eraseKeyLocked(uint64_t Key);
+
+  mutable std::mutex Mu;
+  size_t Capacity;
+  std::list<Entry> LRU;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  /// Function name → last body hash seen (the invalidation trigger).
+  std::unordered_map<std::string, uint64_t> LastHash;
+  CacheStats Stats;
+};
+
+} // namespace service
+} // namespace psc
+
+#endif // PSPDG_SERVICE_CACHES_H

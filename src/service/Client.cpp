@@ -1,0 +1,73 @@
+//===- Client.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace psc;
+using namespace psc::service;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string &Err,
+                     unsigned RetryMs) {
+  close();
+  if (SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Err = "socket path too long for AF_UNIX";
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline = Clock::now() + std::chrono::milliseconds(RetryMs);
+  for (;;) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return true;
+    int E = errno;
+    ::close(Fd);
+    Fd = -1;
+    // ENOENT/ECONNREFUSED: the server hasn't bound (or hasn't listened)
+    // yet — retry until the deadline. Anything else is terminal.
+    if ((E != ENOENT && E != ECONNREFUSED) || Clock::now() >= Deadline) {
+      Err = "cannot connect to " + SocketPath + ": " + std::strerror(E);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool Client::request(const Message &Req, Message &Resp, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Req, Err))
+    return false;
+  if (!readFrame(Fd, Resp, Err)) {
+    if (Err.empty())
+      Err = "server closed the connection";
+    return false;
+  }
+  return true;
+}

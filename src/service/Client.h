@@ -1,0 +1,50 @@
+//===- Client.h - pscd client connection --------------------------*- C++ -*-===//
+///
+/// \file
+/// Thin synchronous client for the pscd protocol: connect() to a
+/// unix-domain socket (with a short bounded retry so a just-spawned
+/// server's bind races are absorbed), then request() round-trips one
+/// framed Message at a time. One Client is one connection; it is NOT
+/// thread-safe — concurrent load generators open one Client per thread,
+/// which is also what exercises the server's concurrency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SERVICE_CLIENT_H
+#define PSPDG_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <string>
+
+namespace psc {
+namespace service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p SocketPath, retrying for up to \p RetryMs
+  /// milliseconds (a freshly forked pscd may not have bound yet).
+  bool connect(const std::string &SocketPath, std::string &Err,
+               unsigned RetryMs = 2000);
+
+  /// Sends \p Req and blocks for the response. False (with \p Err) on
+  /// any transport failure; the connection is then unusable.
+  bool request(const Message &Req, Message &Resp, std::string &Err);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace psc
+
+#endif // PSPDG_SERVICE_CLIENT_H

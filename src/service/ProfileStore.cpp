@@ -1,0 +1,68 @@
+//===- ProfileStore.cpp ---------------------------------------*- C++ -*-===//
+
+#include "service/ProfileStore.h"
+
+using namespace psc;
+using namespace psc::service;
+
+ProfileStore::ProfileStore(unsigned NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+unsigned ProfileStore::shardOf(const std::string &FnName) const {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : FnName) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ULL;
+  }
+  return static_cast<unsigned>(H % Shards.size());
+}
+
+void ProfileStore::merge(const DepProfile &P) {
+  // Split the incoming document into per-shard slices first (no locks
+  // held), then merge each slice under its shard's lock only. Function
+  // names hash to stable shards, so one function's whole history — and
+  // DepProfile::merge's stale-guard tombstones for it — stay in one
+  // shard across any interleaving of concurrent merges.
+  std::vector<DepProfile> Slices(Shards.size());
+  for (const auto &[Name, FP] : P.Functions)
+    Slices[shardOf(Name)].Functions.emplace(Name, FP);
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    if (Slices[I].empty())
+      continue;
+    Shard &S = *Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.P.merge(Slices[I]);
+    ++S.Merges;
+  }
+}
+
+DepProfile ProfileStore::snapshot() const {
+  DepProfile Out;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    // Shards hold disjoint function sets, so plain merge() is a union
+    // with no conflict path.
+    Out.merge(S->P);
+  }
+  return Out;
+}
+
+std::vector<ProfileStore::ShardStat> ProfileStore::shardStats() const {
+  std::vector<ShardStat> Out;
+  Out.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    ShardStat St;
+    St.Functions = S->P.Functions.size();
+    for (const auto &[Name, FP] : S->P.Functions)
+      St.Loops += FP.Loops.size();
+    St.Merges = S->Merges;
+    Out.push_back(St);
+  }
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- ProfileStore.h - Sharded training-evidence store -----------*- C++ -*-===//
+///
+/// \file
+/// The resident service's accumulator of training evidence (DepProfile
+/// documents): an incremental, concurrent counterpart of
+/// `pscc --merge-profiles`. Profiles stream in one at a time (the
+/// `profile-merge` request) and merge *incrementally* — each incoming
+/// document is split by function name across N shards, and each shard
+/// merges its slice under its own lock. Two properties follow:
+///
+///   * merges from concurrent connections interleave at shard
+///     granularity instead of serializing on one store lock;
+///   * the merge semantics per function are exactly DepProfile::merge's
+///     (union of manifested pairs and accessed sets, summed counters,
+///     value classes meet-joined, stale-guard conflicts tombstoned) —
+///     sharding by *function* keeps every function's whole history in
+///     one shard, so the tombstone discipline survives distribution.
+///
+/// Sessions that speculate take a snapshot(): a point-in-time combined
+/// profile assembled shard by shard. A snapshot is sequentially
+/// consistent per shard but not across shards — fine for training
+/// evidence, which only ever *licenses* speculation the runtime still
+/// validates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SERVICE_PROFILESTORE_H
+#define PSPDG_SERVICE_PROFILESTORE_H
+
+#include "profiling/DepProfile.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace psc {
+namespace service {
+
+class ProfileStore {
+public:
+  explicit ProfileStore(unsigned NumShards = 16);
+
+  /// Streams \p P into the store: split by function name, merged shard by
+  /// shard under the shard locks.
+  void merge(const DepProfile &P);
+
+  /// Point-in-time combined profile (see file comment).
+  DepProfile snapshot() const;
+
+  struct ShardStat {
+    size_t Functions = 0; ///< Occupancy: functions resident in the shard.
+    size_t Loops = 0;     ///< Occupancy: trained loops across them.
+    uint64_t Merges = 0;  ///< Merge operations that touched the shard.
+  };
+  std::vector<ShardStat> shardStats() const;
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// The shard a function's evidence lives in (FNV-1a of the name).
+  unsigned shardOf(const std::string &FnName) const;
+
+private:
+  struct Shard {
+    mutable std::mutex Mu;
+    DepProfile P;
+    uint64_t Merges = 0;
+  };
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace service
+} // namespace psc
+
+#endif // PSPDG_SERVICE_PROFILESTORE_H

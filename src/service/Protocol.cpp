@@ -1,0 +1,158 @@
+//===- Protocol.cpp -------------------------------------------*- C++ -*-===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace psc;
+using namespace psc::service;
+
+namespace {
+
+void putU32(std::string &S, uint32_t V) {
+  S.push_back(static_cast<char>(V & 0xff));
+  S.push_back(static_cast<char>((V >> 8) & 0xff));
+  S.push_back(static_cast<char>((V >> 16) & 0xff));
+  S.push_back(static_cast<char>((V >> 24) & 0xff));
+}
+
+bool getU32(const std::string &S, size_t &Pos, uint32_t &V) {
+  if (Pos + 4 > S.size())
+    return false;
+  V = static_cast<uint8_t>(S[Pos]) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(S[Pos + 1])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(S[Pos + 2])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(S[Pos + 3])) << 24);
+  Pos += 4;
+  return true;
+}
+
+bool writeAll(int Fd, const char *Buf, size_t Len, std::string &Err) {
+  while (Len) {
+    ssize_t N = ::write(Fd, Buf, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    Buf += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Len bytes. \p SawAny reports whether any byte arrived
+/// before EOF (distinguishing clean connection close from truncation).
+bool readAll(int Fd, char *Buf, size_t Len, bool &SawAny, std::string &Err) {
+  while (Len) {
+    ssize_t N = ::read(Fd, Buf, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      if (SawAny)
+        Err = "truncated frame (connection closed mid-message)";
+      return false;
+    }
+    SawAny = true;
+    Buf += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+std::string service::encodeMessage(const Message &M) {
+  std::string S;
+  putU32(S, static_cast<uint32_t>(M.size()));
+  for (const auto &[K, V] : M) {
+    putU32(S, static_cast<uint32_t>(K.size()));
+    S += K;
+    putU32(S, static_cast<uint32_t>(V.size()));
+    S += V;
+  }
+  return S;
+}
+
+bool service::decodeMessage(const std::string &Payload, Message &Out,
+                            std::string &Err) {
+  Out.clear();
+  size_t Pos = 0;
+  uint32_t Count = 0;
+  if (!getU32(Payload, Pos, Count)) {
+    Err = "truncated message header";
+    return false;
+  }
+  // Each field needs at least its two length words.
+  if (Count > Payload.size() / 8 + 1) {
+    Err = "implausible field count " + std::to_string(Count);
+    return false;
+  }
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t KLen = 0, VLen = 0;
+    if (!getU32(Payload, Pos, KLen) || Pos + KLen > Payload.size()) {
+      Err = "truncated field key";
+      return false;
+    }
+    std::string K = Payload.substr(Pos, KLen);
+    Pos += KLen;
+    if (!getU32(Payload, Pos, VLen) || Pos + VLen > Payload.size()) {
+      Err = "truncated field value";
+      return false;
+    }
+    Out[K] = Payload.substr(Pos, VLen);
+    Pos += VLen;
+  }
+  if (Pos != Payload.size()) {
+    Err = "trailing bytes after last field";
+    return false;
+  }
+  return true;
+}
+
+bool service::writeFrame(int Fd, const Message &M, std::string &Err) {
+  std::string Payload = encodeMessage(M);
+  if (Payload.size() > MaxFrameBytes) {
+    Err = "frame exceeds the protocol limit";
+    return false;
+  }
+  std::string Frame;
+  Frame.reserve(Payload.size() + 4);
+  putU32(Frame, static_cast<uint32_t>(Payload.size()));
+  Frame += Payload;
+  return writeAll(Fd, Frame.data(), Frame.size(), Err);
+}
+
+bool service::readFrame(int Fd, Message &Out, std::string &Err) {
+  Err.clear();
+  char Hdr[4];
+  bool SawAny = false;
+  if (!readAll(Fd, Hdr, 4, SawAny, Err))
+    return false;
+  std::string HdrS(Hdr, 4);
+  size_t Pos = 0;
+  uint32_t Len = 0;
+  getU32(HdrS, Pos, Len);
+  if (Len > MaxFrameBytes) {
+    Err = "frame length " + std::to_string(Len) + " exceeds the protocol "
+          "limit (corrupt stream?)";
+    return false;
+  }
+  std::string Payload(Len, '\0');
+  if (Len && !readAll(Fd, Payload.data(), Len, SawAny, Err))
+    return false;
+  return decodeMessage(Payload, Out, Err);
+}
+
+std::string service::field(const Message &M, const std::string &Key,
+                           const std::string &Default) {
+  auto It = M.find(Key);
+  return It == M.end() ? Default : It->second;
+}

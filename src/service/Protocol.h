@@ -1,0 +1,69 @@
+//===- Protocol.h - pscd wire protocol ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The resident analysis service's request protocol over a unix-domain
+/// socket. A connection carries a sequence of independent request/response
+/// frames:
+///
+///   frame   := u32le payload-length, payload
+///   payload := u32le field-count, field*
+///   field   := u32le key-length, key-bytes, u32le value-length, value-bytes
+///
+/// A message is a flat string→string field map. Values are binary-safe
+/// (no escaping), so program sources and profile JSON ride verbatim.
+/// Every request names its operation in the "op" field:
+///
+///   op=ping            liveness probe → {op:pong}
+///   op=session         one compile→plan→run session; see Server.h for
+///                      the field set (source, mode, engine, budget, ...)
+///   op=stats           service observability snapshot → {json:...}
+///   op=profile-merge   stream one training profile into the sharded
+///                      store ({profile: <DepProfile JSON>})
+///   op=shutdown        stop the server after responding
+///
+/// Responses carry ok=1 on success or ok=0 plus error=<message>; a
+/// malformed frame closes the connection (there is no way to resynchronize
+/// a corrupt length-prefixed stream).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SERVICE_PROTOCOL_H
+#define PSPDG_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace psc {
+namespace service {
+
+/// A protocol message: a flat field map (see file comment).
+using Message = std::map<std::string, std::string>;
+
+/// Upper bound on one frame's payload; a length prefix beyond it is
+/// treated as stream corruption, not an allocation request.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Serializes \p M to the payload wire form (without the frame length).
+std::string encodeMessage(const Message &M);
+
+/// Parses a payload back into a field map. Returns false (with \p Err)
+/// on truncation, trailing bytes, or an oversize field count.
+bool decodeMessage(const std::string &Payload, Message &Out,
+                   std::string &Err);
+
+/// Writes one length-prefixed frame to \p Fd (loops over partial writes).
+bool writeFrame(int Fd, const Message &M, std::string &Err);
+
+/// Reads one length-prefixed frame from \p Fd. Returns false on EOF or
+/// error; a clean EOF before any byte leaves \p Err empty.
+bool readFrame(int Fd, Message &Out, std::string &Err);
+
+/// Convenience accessor: field value or \p Default when absent.
+std::string field(const Message &M, const std::string &Key,
+                  const std::string &Default = "");
+
+} // namespace service
+} // namespace psc
+
+#endif // PSPDG_SERVICE_PROTOCOL_H

@@ -1,0 +1,443 @@
+//===- Server.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "service/Server.h"
+
+#include "analysis/DepOracle.h"
+#include "emulator/Interpreter.h"
+#include "frontend/Frontend.h"
+#include "parallel/AbstractionView.h"
+#include "parallel/LoopSCCDAG.h"
+#include "pspdg/Fingerprint.h"
+#include "pspdg/PSPDGBuilder.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace psc;
+using namespace psc::service;
+
+namespace {
+
+AbstractionKind parseAbs(const std::string &S) {
+  if (S == "pdg")
+    return AbstractionKind::PDG;
+  if (S == "jk")
+    return AbstractionKind::JK;
+  return AbstractionKind::PSPDG;
+}
+
+Message errorResponse(const std::string &Err) {
+  return Message{{"ok", "0"}, {"error", Err}};
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  double Rank = P * (Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - Lo;
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+}
+
+} // namespace
+
+Server::Server(ServerConfig Config)
+    : C(std::move(Config)), Pool(C.PoolThreads ? C.PoolThreads : 1),
+      Modules(C.ModuleCacheCap), Memos(C.MemoCacheCap),
+      Profiles(C.ProfileShards), BudgetAvail(C.BudgetPool),
+      StartTime(std::chrono::steady_clock::now()) {
+  LatencyRing.reserve(RingCap);
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Err) {
+  if (C.SocketPath.empty()) {
+    Err = "pscd: no socket path configured";
+    return false;
+  }
+  if (C.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Err = "pscd: socket path too long for AF_UNIX";
+    return false;
+  }
+  // A client that disconnects mid-response must cost the handler an EPIPE,
+  // not the process a SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = "pscd: socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  ::unlink(C.SocketPath.c_str());
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, C.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 64) != 0) {
+    Err = "pscd: cannot bind " + C.SocketPath + ": " +
+          std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  Accepter = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // listener closed (stop())
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      break;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    OpenFds.insert(Fd);
+    Handlers.emplace_back([this, Fd] { connection(Fd); });
+  }
+}
+
+void Server::connection(int Fd) {
+  for (;;) {
+    Message Req, Resp;
+    std::string Err;
+    if (!readFrame(Fd, Req, Err)) {
+      // Clean EOF ends the connection silently; a malformed frame is
+      // unresynchronizable, so it ends it loudly.
+      if (!Err.empty())
+        std::fprintf(stderr, "pscd: dropping connection: %s\n", Err.c_str());
+      break;
+    }
+    Resp = handle(Req);
+    if (!writeFrame(Fd, Resp, Err)) {
+      std::fprintf(stderr, "pscd: %s\n", Err.c_str());
+      break;
+    }
+    if (field(Req, "op") == "shutdown")
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    OpenFds.erase(Fd);
+  }
+  ::close(Fd);
+}
+
+void Server::waitForShutdown() {
+  std::unique_lock<std::mutex> Lock(ConnMu);
+  ShutdownCv.wait(Lock, [&] {
+    return ShutdownRequested.load() || Stopping.load();
+  });
+}
+
+void Server::stop() {
+  if (Stopping.exchange(true))
+    return;
+  if (ListenFd >= 0) {
+    // shutdown() unblocks accept(); close() releases the fd.
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+  }
+  {
+    // Unblock handlers parked in readFrame().
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : OpenFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  if (Accepter.joinable())
+    Accepter.join();
+  // After the accepter is gone, Handlers can no longer grow.
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ToJoin.swap(Handlers);
+  }
+  for (std::thread &T : ToJoin)
+    T.join();
+  if (!C.SocketPath.empty())
+    ::unlink(C.SocketPath.c_str());
+  ShutdownCv.notify_all();
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+Message Server::handle(const Message &Req) {
+  std::string Op = field(Req, "op");
+  if (Op == "ping")
+    return Message{{"ok", "1"}, {"op", "pong"}};
+  if (Op == "stats")
+    return Message{{"ok", "1"}, {"json", statsJson()}};
+  if (Op == "session")
+    return handleSession(Req);
+  if (Op == "profile-merge")
+    return handleProfileMerge(Req);
+  if (Op == "shutdown") {
+    ShutdownRequested.store(true);
+    ShutdownCv.notify_all();
+    return Message{{"ok", "1"}};
+  }
+  return errorResponse("unknown op '" + Op + "'");
+}
+
+void Server::onPool(const std::function<void()> &Stage) {
+  std::promise<void> Done;
+  std::future<void> Fut = Done.get_future();
+  Pool.submit([&] {
+    Stage();
+    Done.set_value();
+  });
+  Fut.wait();
+}
+
+uint64_t Server::acquireBudget(uint64_t Want) {
+  // A lease larger than the pool could never be satisfied; clamp instead
+  // of deadlocking the session.
+  Want = std::min<uint64_t>(std::max<uint64_t>(Want, 1), C.BudgetPool);
+  std::unique_lock<std::mutex> Lock(BudgetMu);
+  BudgetCv.wait(Lock, [&] { return BudgetAvail >= Want; });
+  BudgetAvail -= Want;
+  return Want;
+}
+
+void Server::releaseBudget(uint64_t Lease) {
+  {
+    std::lock_guard<std::mutex> Lock(BudgetMu);
+    BudgetAvail += Lease;
+  }
+  BudgetCv.notify_all();
+}
+
+void Server::recordSession(double Ms) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++TotalSessions;
+  if (LatencyRing.size() < RingCap) {
+    LatencyRing.push_back(Ms);
+  } else {
+    LatencyRing[RingPos] = Ms;
+    RingPos = (RingPos + 1) % RingCap;
+  }
+}
+
+// --- Sessions ----------------------------------------------------------------
+
+Message Server::handleSession(const Message &Req) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+
+  std::string Source = field(Req, "source");
+  if (Source.empty())
+    return errorResponse("session without source");
+  std::string Name = field(Req, "name", "session");
+  std::string Mode = field(Req, "mode", "full");
+  if (Mode != "run" && Mode != "analyze" && Mode != "full")
+    return errorResponse("unknown mode '" + Mode + "'");
+  std::string EngineS = field(Req, "engine", "bytecode");
+  if (EngineS != "bytecode" && EngineS != "walker")
+    return errorResponse("unknown engine '" + EngineS + "'");
+  ExecEngineKind Engine = EngineS == "walker" ? ExecEngineKind::Walker
+                                              : ExecEngineKind::Bytecode;
+  AbstractionKind Abs = parseAbs(field(Req, "abs", "pspdg"));
+  bool Spec = field(Req, "spec") == "1";
+
+  Message Resp{{"ok", "1"}};
+
+  // Stage 1 — compile (or L1 hit). Runs on the pool like every stage;
+  // this handler thread only coordinates.
+  std::shared_ptr<const CachedModule> CM;
+  std::string CompileErr;
+  bool L1Hit = false;
+  uint64_t Key = sourceKey(Source, Name);
+  onPool([&] {
+    CM = Modules.lookup(Key);
+    if (CM) {
+      L1Hit = true;
+      return;
+    }
+    CompileResult R = compileSource(Source, Name);
+    if (!R.ok()) {
+      for (const std::string &D : R.Diagnostics)
+        CompileErr += (CompileErr.empty() ? "" : "\n") + D;
+      if (CompileErr.empty())
+        CompileErr = "compilation failed";
+      return;
+    }
+    auto Fresh = std::make_shared<CachedModule>();
+    Fresh->M = std::move(R.M);
+    Fresh->BCM = std::make_unique<BytecodeModule>(*Fresh->M);
+    for (const auto &F : Fresh->M->functions()) {
+      if (F->isDeclaration())
+        continue;
+      uint64_t BH = functionBodyHash(*F);
+      Fresh->BodyHashes[F->getName()] = BH;
+      // Edited-body invalidation fires the moment the new body is seen.
+      // The tracking key is scoped by module name: editing @main in one
+      // module must not evict another module's @main (unrelated programs
+      // routinely share entry-point names; their memo entries coexist
+      // under their own body hashes).
+      Memos.noteBody(Name + ":" + F->getName(), BH);
+    }
+    Modules.insert(Key, Fresh);
+    CM = std::move(Fresh);
+  });
+  if (!CM)
+    return errorResponse(CompileErr);
+  Resp["cached"] = L1Hit ? "1" : "0";
+
+  // Stage 2 — plan (analyze/full): per-function dependence analysis and
+  // per-loop plan views, memoized across requests through the L2 cache.
+  if (Mode != "run") {
+    // Speculative sessions plan against a point-in-time store snapshot;
+    // their oracle answers depend on it, so the memo cache is bypassed.
+    DepProfile Snapshot;
+    if (Spec)
+      Snapshot = Profiles.snapshot();
+    DepOracleConfig OracleCfg({}, Spec ? &Snapshot : nullptr);
+    std::string Plans;
+    onPool([&] {
+      for (const auto &F : CM->M->functions()) {
+        if (F->isDeclaration())
+          continue;
+        FunctionAnalysis FA(*F);
+        if (FA.loopInfo().loops().empty())
+          continue;
+        DepOracleStack Stack(FA, OracleCfg);
+        uint64_t BH = CM->BodyHashes.at(F->getName());
+        if (!Stack.speculative())
+          if (auto Seed = Memos.lookup(BH))
+            Stack.seedMemo(*Seed);
+        std::unique_ptr<PSPDG> G;
+        if (Abs == AbstractionKind::PSPDG)
+          G = buildPSPDG(FA, Stack);
+        AbstractionView View(Abs, FA, Stack, G.get());
+        for (const Loop *L : FA.loopInfo().loops()) {
+          LoopPlanView PV = View.viewFor(*L);
+          LoopSCCDAG DAG(PV);
+          // Byte-identical to pscc --plans so server and standalone
+          // outputs diff clean.
+          char Line[256];
+          std::snprintf(Line, sizeof(Line),
+                        "@%s %-16s depth=%u SCCs=%u seq=%u %s%s\n",
+                        F->getName().c_str(),
+                        F->getBlock(L->getHeader())->getName().c_str(),
+                        L->getDepth(), DAG.numSCCs(),
+                        DAG.numSequentialSCCs(),
+                        DAG.allParallel() && PV.TripCountable ? "DOALL"
+                                                              : "-",
+                        PV.NumOrderlessConflicts ? " (lock)" : "");
+          Plans += Line;
+        }
+        if (!Stack.speculative())
+          Memos.insert(Name + ":" + F->getName(), BH, Stack.exportMemo());
+      }
+    });
+    Resp["plans"] = Plans;
+  }
+
+  // Stage 3 — run (run/full): fresh ExecState per session (Interpreter
+  // constructs one per run()), shared pre-decoded bytecode, instruction
+  // budget leased from the server-wide pool.
+  if (Mode != "analyze") {
+    uint64_t Want = 2'000'000'000ULL;
+    std::string BudgetS = field(Req, "budget");
+    if (!BudgetS.empty())
+      Want = std::strtoull(BudgetS.c_str(), nullptr, 10);
+    uint64_t Lease = acquireBudget(Want);
+    RunResult R;
+    onPool([&] {
+      Interpreter I(*CM->M);
+      I.setEngine(Engine);
+      if (Engine == ExecEngineKind::Bytecode)
+        I.setBytecode(CM->BCM.get());
+      I.setInstructionBudget(Lease);
+      R = I.run();
+    });
+    releaseBudget(Lease);
+    std::string Output;
+    for (const std::string &Line : R.Output)
+      Output += Line + "\n";
+    Resp["output"] = Output;
+    Resp["exit"] = std::to_string(R.ExitValue);
+    Resp["completed"] = R.Completed ? "1" : "0";
+  }
+
+  double Ms = std::chrono::duration<double, std::milli>(Clock::now() - T0)
+                  .count();
+  recordSession(Ms);
+  Resp["latency_ms"] = std::to_string(Ms);
+  return Resp;
+}
+
+Message Server::handleProfileMerge(const Message &Req) {
+  std::string Text = field(Req, "profile");
+  if (Text.empty())
+    return errorResponse("profile-merge without profile");
+  DepProfile P;
+  std::string Err;
+  if (!DepProfile::parseJson(Text, P, Err))
+    return errorResponse("profile-merge: " + Err);
+  Profiles.merge(P);
+  return Message{{"ok", "1"},
+                 {"functions", std::to_string(P.Functions.size())}};
+}
+
+// --- Observability -----------------------------------------------------------
+
+std::string Server::statsJson() const {
+  std::vector<double> Lat;
+  uint64_t Sessions;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Lat = LatencyRing;
+    Sessions = TotalSessions;
+  }
+  std::sort(Lat.begin(), Lat.end());
+  double Uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - StartTime)
+                      .count();
+  CacheStats MC = Modules.stats(), XC = Memos.stats();
+  std::vector<ProfileStore::ShardStat> Shards = Profiles.shardStats();
+
+  std::ostringstream J;
+  J.setf(std::ios::fixed);
+  J.precision(3);
+  J << "{\"uptime_s\":" << Uptime << ",\"sessions\":" << Sessions
+    << ",\"sessions_per_s\":" << (Uptime > 0 ? Sessions / Uptime : 0.0)
+    << ",\"latency_ms\":{\"count\":" << Lat.size() << ",\"p50\":"
+    << percentile(Lat, 0.50) << ",\"p90\":" << percentile(Lat, 0.90)
+    << ",\"p99\":" << percentile(Lat, 0.99) << "}";
+  auto Cache = [&J](const char *Name, const CacheStats &S, size_t Size) {
+    J << ",\"" << Name << "\":{\"hits\":" << S.Hits << ",\"misses\":"
+      << S.Misses << ",\"evictions\":" << S.Evictions
+      << ",\"invalidations\":" << S.Invalidations << ",\"entries\":" << Size
+      << ",\"hit_rate\":" << S.hitRate() << "}";
+  };
+  Cache("module_cache", MC, Modules.size());
+  Cache("memo_cache", XC, Memos.size());
+  J << ",\"profile_store\":{\"shards\":[";
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    if (I)
+      J << ",";
+    J << "{\"functions\":" << Shards[I].Functions << ",\"loops\":"
+      << Shards[I].Loops << ",\"merges\":" << Shards[I].Merges << "}";
+  }
+  J << "]},\"pool_workers\":" << Pool.numWorkers() << "}";
+  return J.str();
+}

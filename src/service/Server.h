@@ -1,0 +1,147 @@
+//===- Server.h - pscd resident analysis service ------------------*- C++ -*-===//
+///
+/// \file
+/// The resident analysis server behind `pscd` and `pscc --serve`: accepts
+/// connections on a unix-domain socket and serves concurrent
+/// compile→plan→run sessions (Protocol.h). Architecture:
+///
+///   * one accept thread; one handler thread per connection (connections
+///     are long-lived client REPLs, not per-request sockets);
+///   * session *stages* execute as tasks on the shared work-stealing
+///     ThreadPool (runtime/ThreadPool.h) — the same scheduler the
+///     parallel plan-execution engine uses — so N connections interleave
+///     their compile/plan/run work across the pool's workers while each
+///     handler thread merely coordinates;
+///   * per-session isolation: every run stage executes on a fresh
+///     ExecState (Interpreter::run constructs one per call) against the
+///     shared read-only Module + BytecodeModule, under an *instruction
+///     budget lease* drawn from a server-wide pool — a runaway session
+///     exhausts its lease, not the server;
+///   * cross-request caching: the source-keyed ModuleCache (L1) and the
+///     body-hash-keyed MemoCache (L2) from Caches.h, plus the sharded
+///     ProfileStore for streamed training evidence;
+///   * observability: the `stats` request returns a JSON snapshot of
+///     session latency percentiles, sessions/s, cache hit rates, and
+///     profile-store shard occupancy.
+///
+/// Session request fields (op=session):
+///   source   program text (required)
+///   name     module name (default "session"; workload names are NOT
+///            resolved server-side — the client ships the text)
+///   mode     run | analyze | full (default full): which stages after
+///            compile run — analyze = plan only, run = execute only
+///   engine   bytecode (default) | walker
+///   abs      pspdg (default) | pdg | jk — the plan stage's abstraction
+///   budget   instruction-budget lease for the run stage (default 2e9)
+///   spec     "1" = plan speculatively against a ProfileStore snapshot
+///            (bypasses the memo cache; speculative answers are
+///            profile-dependent and are never cached across requests)
+///
+/// Response fields: ok, error, cached ("1" = L1 hit), plans (per-loop
+/// table, analyze/full), output + exit + completed (run/full).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_SERVICE_SERVER_H
+#define PSPDG_SERVICE_SERVER_H
+
+#include "runtime/ThreadPool.h"
+#include "service/Caches.h"
+#include "service/ProfileStore.h"
+#include "service/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace psc {
+namespace service {
+
+struct ServerConfig {
+  std::string SocketPath;
+  unsigned PoolThreads = 4;      ///< Session-stage workers.
+  size_t ModuleCacheCap = 64;    ///< L1 entries.
+  size_t MemoCacheCap = 256;     ///< L2 entries.
+  unsigned ProfileShards = 16;
+  /// Server-wide instruction-budget pool the run stages lease from.
+  uint64_t BudgetPool = 16'000'000'000ULL;
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig Config);
+  ~Server();
+
+  /// Binds the socket, starts the accept thread. False (with \p Err) when
+  /// the path cannot be bound.
+  bool start(std::string &Err);
+
+  /// Blocks until a client's `shutdown` request arrives (or stop()).
+  void waitForShutdown();
+
+  /// Stops accepting, unblocks and joins every connection, removes the
+  /// socket. Idempotent; the destructor calls it.
+  void stop();
+
+  const ServerConfig &config() const { return C; }
+
+  /// Dispatches one request in-process — the session/stats/profile-merge
+  /// machinery without a socket. The unit-test and benchmark surface; the
+  /// socket handlers call exactly this.
+  Message handle(const Message &Req);
+
+  /// The observability snapshot (the `stats` request's json field).
+  std::string statsJson() const;
+
+private:
+  void acceptLoop();
+  void connection(int Fd);
+
+  Message handleSession(const Message &Req);
+  Message handleProfileMerge(const Message &Req);
+
+  /// Runs \p Stage as a ThreadPool task and blocks this (coordinator)
+  /// thread until it finishes.
+  void onPool(const std::function<void()> &Stage);
+
+  uint64_t acquireBudget(uint64_t Want);
+  void releaseBudget(uint64_t Lease);
+  void recordSession(double Ms);
+
+  ServerConfig C;
+  int ListenFd = -1;
+  std::thread Accepter;
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> ShutdownRequested{false};
+
+  std::mutex ConnMu;
+  std::condition_variable ShutdownCv;
+  std::vector<std::thread> Handlers;
+  std::set<int> OpenFds; ///< Live connections, shut down to unblock reads.
+
+  ThreadPool Pool;
+  ModuleCache Modules;
+  MemoCache Memos;
+  ProfileStore Profiles;
+
+  std::mutex BudgetMu;
+  std::condition_variable BudgetCv;
+  uint64_t BudgetAvail;
+
+  mutable std::mutex StatsMu;
+  std::vector<double> LatencyRing; ///< Last RingCap session latencies, ms.
+  size_t RingPos = 0;
+  uint64_t TotalSessions = 0;
+  std::chrono::steady_clock::time_point StartTime;
+  static constexpr size_t RingCap = 512;
+};
+
+} // namespace service
+} // namespace psc
+
+#endif // PSPDG_SERVICE_SERVER_H

@@ -13,6 +13,7 @@
 #include "../TestUtil.h"
 #include "analysis/DepOracle.h"
 #include "analysis/ReferenceDependence.h"
+#include "parallel/PlanEnumerator.h"
 
 #include <gtest/gtest.h>
 
@@ -30,6 +31,9 @@ std::string describeEdge(const FunctionAnalysis &FA, const DepEdge &E) {
      << " carried={";
   for (unsigned H : E.CarriedAtHeaders)
     OS << H << ",";
+  OS << "} must={";
+  for (unsigned H : E.MustCarriedAtHeaders)
+    OS << H << ",";
   OS << "}";
   return OS.str();
 }
@@ -44,6 +48,7 @@ std::string describeEdge(const FunctionAnalysis &FA, const DepEdge &E) {
     const DepEdge &X = A[I], &Y = B[I];
     if (X.Src != Y.Src || X.Dst != Y.Dst || X.Kind != Y.Kind ||
         X.Intra != Y.Intra || X.CarriedAtHeaders != Y.CarriedAtHeaders ||
+        X.MustCarriedAtHeaders != Y.MustCarriedAtHeaders ||
         X.MemObject != Y.MemObject || X.IsIVDep != Y.IsIVDep ||
         X.IsIO != Y.IsIO)
       return ::testing::AssertionFailure()
@@ -204,6 +209,153 @@ int main() {
         edgesBitIdentical(FA, buildDepEdges(Stack), referenceDepEdges(FA)))
         << "case " << N << "\n" << Source;
     ++N;
+  }
+}
+
+/// Constant-offset directed cases (ROADMAP soundness audit): a constant
+/// subscript offset along the loop IV either solves to a definite
+/// iteration distance (must-carried — the conflict provably manifests, no
+/// annotation may drop it) or is disproven outright; only an unknown trip
+/// count leaves the conservative carried-but-not-proven middle ground.
+TEST(AffineAuditTest, ConstantOffsetDirectedCases) {
+  struct Case {
+    const char *Source;
+    bool ExpectCarried; ///< Any memory edge on A carried at some loop.
+    bool ExpectMust;    ///< ... of which at least one provably manifests.
+  };
+  const Case Cases[] = {
+      // Distance-1 flow recurrence: delta = 1, proven.
+      {R"PSC(
+int A[64];
+int main() {
+  int j;
+  for (j = 1; j < 64; j++) { A[j] = A[j - 1] + 1; }
+  print(A[63]);
+  return 0;
+}
+)PSC",
+       true, true},
+      // Distance-1 anti direction (read ahead of the write): proven.
+      {R"PSC(
+int A[65];
+int main() {
+  int j;
+  for (j = 0; j < 64; j++) { A[j] = A[j + 1] + 1; }
+  print(A[0]);
+  return 0;
+}
+)PSC",
+       true, true},
+      // Strided with matching parity: 2j+8 vs 2j+6 solves delta = 1.
+      {R"PSC(
+int A[256];
+int main() {
+  int j;
+  for (j = 0; j < 64; j++) { A[2 * j + 8] = A[2 * j + 6] + 1; }
+  print(A[8]);
+  return 0;
+}
+)PSC",
+       true, true},
+      // Distance-3: delta = 3 within trip 64, proven.
+      {R"PSC(
+int A[128];
+int main() {
+  int j;
+  for (j = 3; j < 64; j++) { A[j] = A[j - 3] + 1; }
+  print(A[63]);
+  return 0;
+}
+)PSC",
+       true, true},
+      // Mismatched parity: 2j vs 2j+1 never meet — disproven.
+      {R"PSC(
+int A[256];
+int main() {
+  int j;
+  for (j = 0; j < 64; j++) { A[2 * j] = A[2 * j + 1] + 1; }
+  print(A[0]);
+  return 0;
+}
+)PSC",
+       false, false},
+      // Offset beyond the trip count: delta = 5 > 3 — disproven.
+      {R"PSC(
+int A[64];
+int main() {
+  int j;
+  for (j = 0; j < 4; j++) { A[j] = A[j + 5] + 1; }
+  print(A[0]);
+  return 0;
+}
+)PSC",
+       false, false},
+      // Unknown trip count: the distance solves to 1 but the loop may run
+      // a single iteration — carried conservatively, NOT proven.
+      {R"PSC(
+int A[64];
+int n;
+int main() {
+  int j;
+  n = 64;
+  for (j = 1; j < n; j++) { A[j] = A[j - 1] + 1; }
+  print(A[1]);
+  return 0;
+}
+)PSC",
+       true, false},
+  };
+  int N = 0;
+  for (const Case &TC : Cases) {
+    auto M = compile(TC.Source);
+    ASSERT_NE(M, nullptr) << "case " << N;
+    const Function *F = M->getFunction("main");
+    FunctionAnalysis FA(*F);
+    DepOracleStack Stack(FA);
+    std::vector<DepEdge> Edges = buildDepEdges(Stack);
+    EXPECT_TRUE(edgesBitIdentical(FA, Edges, referenceDepEdges(FA)))
+        << "case " << N << "\n" << TC.Source;
+    bool Carried = false, Must = false;
+    for (const DepEdge &E : Edges) {
+      if (!E.isMemory() || !E.MemObject ||
+          E.MemObject->getName() != "A")
+        continue;
+      Carried |= !E.CarriedAtHeaders.empty();
+      Must |= !E.MustCarriedAtHeaders.empty();
+    }
+    EXPECT_EQ(Carried, TC.ExpectCarried) << "case " << N << "\n" << TC.Source;
+    EXPECT_EQ(Must, TC.ExpectMust) << "case " << N << "\n" << TC.Source;
+    ++N;
+  }
+}
+
+/// The ROADMAP item 6 repro, pinned at the plan level: an annotated
+/// constant-offset recurrence must never enumerate a DOALL option under
+/// any abstraction — the proof outweighs the annotation.
+TEST(AffineAuditTest, AnnotatedRecurrenceNeverPlansDOALL) {
+  auto M = compile(R"PSC(
+double a[64];
+double r[64];
+int main() {
+  int j;
+  int checksum;
+  #pragma psc parallel for
+  for (j = 1; j < 64; j++) { a[j] = r[j] + 0.5 * a[j - 1]; }
+  checksum = a[63] * 100.0;
+  print(checksum);
+  return 0;
+}
+)PSC");
+  ASSERT_NE(M, nullptr);
+  for (AbstractionKind K :
+       {AbstractionKind::PSPDG, AbstractionKind::JK, AbstractionKind::OpenMP,
+        AbstractionKind::PDG}) {
+    OptionCount R = enumerateOptions(*M, K);
+    for (const LoopOptions &L : R.PerLoop)
+      EXPECT_FALSE(L.DOALL)
+          << "abstraction " << static_cast<int>(K)
+          << " planned the recurrence DOALL (header " << L.HeaderBlock
+          << ")";
   }
 }
 

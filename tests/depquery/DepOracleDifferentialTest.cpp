@@ -32,6 +32,9 @@ std::string describeEdge(const FunctionAnalysis &FA, const DepEdge &E) {
                   " intra=" + std::to_string(E.Intra) + " carried={";
   for (unsigned H : E.CarriedAtHeaders)
     S += std::to_string(H) + ",";
+  S += "} must={";
+  for (unsigned H : E.MustCarriedAtHeaders)
+    S += std::to_string(H) + ",";
   S += "} iv=" + std::to_string(E.IsIVDep) + " io=" + std::to_string(E.IsIO);
   return S;
 }
@@ -46,6 +49,7 @@ std::string describeEdge(const FunctionAnalysis &FA, const DepEdge &E) {
     const DepEdge &X = A[I], &Y = B[I];
     if (X.Src != Y.Src || X.Dst != Y.Dst || X.Kind != Y.Kind ||
         X.Intra != Y.Intra || X.CarriedAtHeaders != Y.CarriedAtHeaders ||
+        X.MustCarriedAtHeaders != Y.MustCarriedAtHeaders ||
         X.MemObject != Y.MemObject || X.IsIVDep != Y.IsIVDep ||
         X.IsIO != Y.IsIO)
       return ::testing::AssertionFailure()

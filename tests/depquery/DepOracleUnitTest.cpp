@@ -67,7 +67,11 @@ int main() {
   EXPECT_STREQ(Res.Oracle, "affine");
 }
 
-TEST(AffineOracleTest, CannotDisproveRecurrence) {
+TEST(AffineOracleTest, RecurrenceIsProvenNotJustAssumed) {
+  // a[i] vs a[i-1]: every non-delta term cancels and the offset solves to
+  // delta = 1 within the trip count — the distance-1 conflict provably
+  // manifests, so the verdict is MustDep (not the conservative MayDep),
+  // which in turn bars speculative downgrade and annotation-based removal.
   Compiled C = analyze(R"(
 int a[64];
 int main() {
@@ -81,7 +85,7 @@ int main() {
   const MemAccess *R = accessOf(C, "a", false);
   ASSERT_TRUE(W && R);
   DepResult Res = carriedQuery(C, W, R, L);
-  EXPECT_EQ(Res.Verdict, DepVerdict::MayDep);
+  EXPECT_EQ(Res.Verdict, DepVerdict::MustDep);
   EXPECT_STREQ(Res.Oracle, "affine");
 }
 

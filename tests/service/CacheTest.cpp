@@ -1,0 +1,130 @@
+//===- CacheTest.cpp - cross-request cache contracts ----------------------===//
+///
+/// The two pscd caches in isolation:
+///
+///   * ModuleCache — LRU order under pressure (least-recently-USED is
+///     evicted, not least-recently-inserted), racing-insert no-op,
+///     hit/miss/eviction counters.
+///   * MemoCache — the edited-body invalidation contract: a function name
+///     re-arriving with a different body hash evicts the predecessor's
+///     memo table (counted in Invalidations) so a stale analysis can
+///     never be served; plus LRU eviction under pressure.
+///   * sourceKey — distinct for distinct (source, name) splits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Caches.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::service;
+
+namespace {
+
+std::shared_ptr<const CachedModule> dummyModule() {
+  return std::make_shared<CachedModule>();
+}
+
+MemoCache::MemoTable dummyTable() {
+  MemoCache::MemoTable T;
+  T.emplace(1, DepResult{});
+  return T;
+}
+
+} // namespace
+
+TEST(SourceKeyTest, DistinguishesSourceNameSplit) {
+  // The separator must keep ("ab","c") and ("a","bc") apart.
+  EXPECT_NE(sourceKey("ab", "c"), sourceKey("a", "bc"));
+  EXPECT_NE(sourceKey("x", "m"), sourceKey("y", "m"));
+  EXPECT_NE(sourceKey("x", "m"), sourceKey("x", "n"));
+  EXPECT_EQ(sourceKey("x", "m"), sourceKey("x", "m"));
+}
+
+TEST(ModuleCacheTest, HitMissCounters) {
+  ModuleCache C(4);
+  EXPECT_EQ(C.lookup(1), nullptr);
+  C.insert(1, dummyModule());
+  EXPECT_NE(C.lookup(1), nullptr);
+  CacheStats S = C.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST(ModuleCacheTest, LruEvictionUnderPressure) {
+  ModuleCache C(2);
+  C.insert(1, dummyModule());
+  C.insert(2, dummyModule());
+  // Touch 1 so 2 becomes the least recently used.
+  ASSERT_NE(C.lookup(1), nullptr);
+  C.insert(3, dummyModule());
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_NE(C.lookup(1), nullptr) << "recently used entry was evicted";
+  EXPECT_EQ(C.lookup(2), nullptr) << "LRU entry survived past capacity";
+  EXPECT_NE(C.lookup(3), nullptr);
+}
+
+TEST(ModuleCacheTest, RacingInsertKeepsFirst) {
+  ModuleCache C(4);
+  auto First = dummyModule();
+  C.insert(7, First);
+  C.insert(7, dummyModule()); // a concurrent session lost the race
+  EXPECT_EQ(C.lookup(7), First);
+  EXPECT_EQ(C.size(), 1u);
+}
+
+TEST(MemoCacheTest, EditedBodyInvalidatesLoudly) {
+  MemoCache C(8);
+  C.insert("f", 0x1111, dummyTable());
+  ASSERT_NE(C.lookup(0x1111), nullptr);
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+
+  // Same function name, different body hash: the edit must evict the old
+  // entry and count an invalidation.
+  C.noteBody("f", 0x2222);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.lookup(0x1111), nullptr)
+      << "stale memo table served after the function was edited";
+
+  // The new body caches independently; re-noting the same hash is quiet.
+  C.insert("f", 0x2222, dummyTable());
+  C.noteBody("f", 0x2222);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_NE(C.lookup(0x2222), nullptr);
+}
+
+TEST(MemoCacheTest, DistinctFunctionsDoNotCrossInvalidate) {
+  MemoCache C(8);
+  C.insert("f", 0xaaaa, dummyTable());
+  C.insert("g", 0xbbbb, dummyTable());
+  C.noteBody("f", 0xcccc); // editing f must not touch g
+  EXPECT_EQ(C.lookup(0xaaaa), nullptr);
+  EXPECT_NE(C.lookup(0xbbbb), nullptr);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+}
+
+TEST(MemoCacheTest, LruEvictionUnderPressure) {
+  MemoCache C(2);
+  C.insert("a", 1, dummyTable());
+  C.insert("b", 2, dummyTable());
+  ASSERT_NE(C.lookup(1), nullptr); // bump a; b is now LRU
+  C.insert("c", 3, dummyTable());
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_NE(C.lookup(1), nullptr);
+  EXPECT_EQ(C.lookup(2), nullptr);
+  EXPECT_NE(C.lookup(3), nullptr);
+}
+
+TEST(MemoCacheTest, StructurallyIdenticalBodiesShareEntries) {
+  // The L2 key is the body hash, not the name: two names carrying the
+  // same hash share one entry (the semantic-key property).
+  MemoCache C(8);
+  C.insert("f", 0x5555, dummyTable());
+  C.noteBody("g", 0x5555);
+  EXPECT_NE(C.lookup(0x5555), nullptr);
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+}

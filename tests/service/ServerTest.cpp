@@ -1,0 +1,417 @@
+//===- ServerTest.cpp - resident service end-to-end contracts -------------===//
+///
+/// The pscd server through its two surfaces:
+///
+///   * handle() in-process — session correctness (run output identical to
+///     a standalone Interpreter, analyze plans identical across repeats),
+///     L1/L2 cache behavior (cold/warm, edited-body invalidation through
+///     the full compile→plan path, LRU eviction under pressure), graceful
+///     error reporting, budget leases.
+///   * the real unix-domain socket — 8 concurrent client sessions
+///     bit-identical to the standalone run (the paper-repo acceptance
+///     criterion), shutdown semantics, and a ServiceStress mixed-load
+///     test sized for the TSan lane.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Server.h"
+
+#include "emulator/Interpreter.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace psc;
+using namespace psc::service;
+
+namespace {
+
+/// Carried dependence: a[j] reads a[j-1], so the loop must not be DOALL.
+const char *CarriedSrc = R"PSC(
+int a[64];
+int r[64];
+int main() {
+  int j;
+  for (j = 1; j < 64; j++) {
+    a[j] = r[j] + a[j - 1];
+  }
+  print(a[63]);
+  return 0;
+}
+)PSC";
+
+/// Independent iterations: a textbook DOALL.
+const char *DoallSrc = R"PSC(
+int a[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++) {
+    a[i] = i * i;
+  }
+  for (i = 0; i < 64; i++) {
+    s = s + a[i];
+  }
+  print(s);
+  return s % 127;
+}
+)PSC";
+
+/// What a session's "output" field should hold for \p Source.
+std::string referenceOutput(const std::string &Source, int64_t *Exit) {
+  CompileResult R = compileSource(Source, "ref");
+  EXPECT_TRUE(R.ok());
+  Interpreter I(*R.M);
+  RunResult Run = I.run();
+  EXPECT_TRUE(Run.Completed);
+  if (Exit)
+    *Exit = Run.ExitValue;
+  std::string Out;
+  for (const std::string &Line : Run.Output)
+    Out += Line + "\n";
+  return Out;
+}
+
+std::string testSocketPath(const char *Tag) {
+  return "/tmp/psc-service-" + std::to_string(::getpid()) + "-" + Tag +
+         ".sock";
+}
+
+Message sessionReq(const std::string &Source, const std::string &Mode,
+                   const std::string &Name = "session") {
+  return Message{{"op", "session"},
+                 {"source", Source},
+                 {"name", Name},
+                 {"mode", Mode}};
+}
+
+} // namespace
+
+TEST(ServerTest, PingPong) {
+  Server S({});
+  Message R = S.handle({{"op", "ping"}});
+  EXPECT_EQ(field(R, "ok"), "1");
+  EXPECT_EQ(field(R, "op"), "pong");
+}
+
+TEST(ServerTest, UnknownOpIsGracefullyRejected) {
+  Server S({});
+  Message R = S.handle({{"op", "transmogrify"}});
+  EXPECT_EQ(field(R, "ok"), "0");
+  EXPECT_NE(field(R, "error"), "");
+}
+
+TEST(ServerTest, CompileErrorIsReportedNotFatal) {
+  Server S({});
+  Message R = S.handle(sessionReq("int main() { return undeclared; }",
+                                  "run"));
+  EXPECT_EQ(field(R, "ok"), "0");
+  EXPECT_NE(field(R, "error"), "") << "diagnostics must reach the client";
+  // The server survives and keeps serving.
+  EXPECT_EQ(field(S.handle({{"op", "ping"}}), "ok"), "1");
+}
+
+TEST(ServerTest, SessionRunMatchesStandalone) {
+  Server S({});
+  int64_t RefExit = 0;
+  std::string Ref = referenceOutput(DoallSrc, &RefExit);
+  for (const char *Engine : {"bytecode", "walker"}) {
+    Message Req = sessionReq(DoallSrc, "run");
+    Req["engine"] = Engine;
+    Message R = S.handle(Req);
+    ASSERT_EQ(field(R, "ok"), "1") << field(R, "error");
+    EXPECT_EQ(field(R, "output"), Ref) << "engine " << Engine;
+    EXPECT_EQ(field(R, "exit"), std::to_string(RefExit));
+    EXPECT_EQ(field(R, "completed"), "1");
+  }
+}
+
+TEST(ServerTest, WarmSessionHitsModuleCache) {
+  Server S({});
+  Message Cold = S.handle(sessionReq(DoallSrc, "full"));
+  ASSERT_EQ(field(Cold, "ok"), "1") << field(Cold, "error");
+  EXPECT_EQ(field(Cold, "cached"), "0");
+  Message Warm = S.handle(sessionReq(DoallSrc, "full"));
+  ASSERT_EQ(field(Warm, "ok"), "1");
+  EXPECT_EQ(field(Warm, "cached"), "1");
+  // Identical source ⇒ identical plans and output, cold or warm.
+  EXPECT_EQ(field(Warm, "plans"), field(Cold, "plans"));
+  EXPECT_EQ(field(Warm, "output"), field(Cold, "output"));
+  EXPECT_NE(field(Warm, "plans"), "");
+}
+
+TEST(ServerTest, PlansRespectCarriedDependence) {
+  // The ROADMAP item-6 soundness family, through the service: the carried
+  // loop must never come back DOALL, warm or cold, while the independent
+  // loop must.
+  Server S({});
+  Message Carried = S.handle(sessionReq(CarriedSrc, "analyze"));
+  ASSERT_EQ(field(Carried, "ok"), "1") << field(Carried, "error");
+  EXPECT_EQ(field(Carried, "plans").find("DOALL"), std::string::npos)
+      << field(Carried, "plans");
+  Message Doall = S.handle(sessionReq(DoallSrc, "analyze"));
+  ASSERT_EQ(field(Doall, "ok"), "1");
+  EXPECT_NE(field(Doall, "plans").find("DOALL"), std::string::npos)
+      << field(Doall, "plans");
+  // Warm repeats serve the same answers from the caches.
+  EXPECT_EQ(field(S.handle(sessionReq(CarriedSrc, "analyze")), "plans"),
+            field(Carried, "plans"));
+}
+
+TEST(ServerTest, EditedBodyNeverServesStalePlan) {
+  // Two sources defining the same function name with different bodies:
+  // the DOALL version arriving after the carried version must trigger the
+  // L2's loud invalidation, and each source must always get its own plans
+  // no matter the request order — a stale memo would leak the other
+  // body's dependence answers.
+  Server S({});
+  Message First = S.handle(sessionReq(CarriedSrc, "analyze"));
+  ASSERT_EQ(field(First, "ok"), "1") << field(First, "error");
+
+  Message Edited = S.handle(sessionReq(DoallSrc, "analyze"));
+  ASSERT_EQ(field(Edited, "ok"), "1");
+  EXPECT_NE(field(Edited, "plans"), field(First, "plans"));
+  EXPECT_NE(field(Edited, "plans").find("DOALL"), std::string::npos);
+
+  // The stats snapshot must have counted the invalidation (both sources
+  // define @main with different body hashes).
+  std::string Stats = S.statsJson();
+  size_t MemoPos = Stats.find("\"memo_cache\"");
+  ASSERT_NE(MemoPos, std::string::npos);
+  EXPECT_EQ(Stats.find("\"invalidations\":0", MemoPos), std::string::npos)
+      << "edited @main did not count an invalidation: " << Stats;
+
+  // Direct check: going back to the first source reproduces its original
+  // plans exactly (recomputed, not stale).
+  Message Back = S.handle(sessionReq(CarriedSrc, "analyze"));
+  ASSERT_EQ(field(Back, "ok"), "1");
+  EXPECT_EQ(field(Back, "plans"), field(First, "plans"));
+  EXPECT_EQ(field(Back, "plans").find("DOALL"), std::string::npos);
+}
+
+TEST(ServerTest, ModuleCacheEvictionUnderPressure) {
+  ServerConfig C;
+  C.ModuleCacheCap = 2;
+  C.MemoCacheCap = 2;
+  Server S(C);
+  // Three structurally distinct sources blow a 2-entry cache.
+  std::vector<std::string> Sources;
+  for (int N = 1; N <= 3; ++N) {
+    std::string Body;
+    for (int I = 0; I < N; ++I)
+      Body += "    s = s + i;\n";
+    Sources.push_back("int main() {\n  int i;\n  int s = 0;\n"
+                      "  for (i = 0; i < 8; i++) {\n" +
+                      Body + "  }\n  print(s);\n  return 0;\n}\n");
+  }
+  std::vector<std::string> FirstPlans;
+  for (const std::string &Src : Sources) {
+    Message R = S.handle(sessionReq(Src, "analyze"));
+    ASSERT_EQ(field(R, "ok"), "1") << field(R, "error");
+    EXPECT_EQ(field(R, "cached"), "0");
+    FirstPlans.push_back(field(R, "plans"));
+  }
+  // Source 0 was evicted; the re-request recompiles and reproduces the
+  // same plans.
+  Message Again = S.handle(sessionReq(Sources[0], "analyze"));
+  ASSERT_EQ(field(Again, "ok"), "1");
+  EXPECT_EQ(field(Again, "cached"), "0") << "expected LRU eviction";
+  EXPECT_EQ(field(Again, "plans"), FirstPlans[0]);
+  // The module cache (not the memo cache — there the three @main bodies
+  // replace each other via invalidation) must have counted LRU evictions.
+  std::string Stats = S.statsJson();
+  size_t L1Pos = Stats.find("\"module_cache\"");
+  size_t L2Pos = Stats.find("\"memo_cache\"");
+  ASSERT_NE(L1Pos, std::string::npos);
+  size_t Zero = Stats.find("\"evictions\":0", L1Pos);
+  EXPECT_TRUE(Zero == std::string::npos || Zero > L2Pos)
+      << "no module-cache evictions counted under pressure: " << Stats;
+}
+
+TEST(ServerTest, BudgetLeaseStopsRunawaySession) {
+  Server S({});
+  Message Req = sessionReq(DoallSrc, "run");
+  Req["budget"] = "50"; // far below the program's instruction count
+  Message R = S.handle(Req);
+  ASSERT_EQ(field(R, "ok"), "1") << field(R, "error");
+  EXPECT_EQ(field(R, "completed"), "0");
+  // The lease was returned: a full-budget session still completes.
+  Message R2 = S.handle(sessionReq(DoallSrc, "run"));
+  EXPECT_EQ(field(R2, "completed"), "1");
+}
+
+TEST(ServerTest, ProfileMergeFeedsSpeculativeSessions) {
+  Server S({});
+  Message Bad = S.handle({{"op", "profile-merge"}, {"profile", "not json"}});
+  EXPECT_EQ(field(Bad, "ok"), "0");
+
+  DepProfile P;
+  DepProfile::FunctionProfile FP;
+  FP.NumInstructions = 3;
+  FP.BodyHash = 0x99;
+  FP.Loops[0].Invocations = 1;
+  FP.Loops[0].Iterations = 64;
+  P.Functions["main"] = FP;
+  Message Good = S.handle({{"op", "profile-merge"}, {"profile", P.toJson()}});
+  ASSERT_EQ(field(Good, "ok"), "1") << field(Good, "error");
+  EXPECT_EQ(field(Good, "functions"), "1");
+
+  // A speculative session against the (stale-guarded) store still answers
+  // soundly: the profile's body hash matches nothing, so no downgrade
+  // fires and the carried loop stays sequential.
+  Message Req = sessionReq(CarriedSrc, "analyze");
+  Req["spec"] = "1";
+  Message R = S.handle(Req);
+  ASSERT_EQ(field(R, "ok"), "1") << field(R, "error");
+  EXPECT_EQ(field(R, "plans").find("DOALL"), std::string::npos);
+}
+
+TEST(ServerTest, StatsJsonShape) {
+  Server S({});
+  (void)S.handle(sessionReq(DoallSrc, "full"));
+  std::string J = field(S.handle({{"op", "stats"}}), "json");
+  for (const char *Key :
+       {"\"uptime_s\"", "\"sessions\"", "\"sessions_per_s\"",
+        "\"latency_ms\"", "\"p50\"", "\"p99\"", "\"module_cache\"",
+        "\"memo_cache\"", "\"hit_rate\"", "\"invalidations\"",
+        "\"profile_store\"", "\"shards\"", "\"pool_workers\""})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key << " missing: " << J;
+  EXPECT_NE(J.find("\"sessions\":1"), std::string::npos) << J;
+}
+
+// --- Over the real socket ----------------------------------------------------
+
+TEST(ServerSocketTest, EightConcurrentSessionsBitIdentical) {
+  // The acceptance criterion: 8 concurrent client sessions produce output
+  // bit-identical to the standalone run — shared caches and interleaved
+  // pool stages must never bleed state across sessions.
+  ServerConfig C;
+  C.SocketPath = testSocketPath("concurrent");
+  C.PoolThreads = 4;
+  Server S(C);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  int64_t RefExit = 0;
+  std::string Ref = referenceOutput(DoallSrc, &RefExit);
+  std::string CarriedRef = referenceOutput(CarriedSrc, nullptr);
+
+  constexpr unsigned N = 8;
+  std::vector<Message> Resps(N);
+  std::vector<std::string> Errs(N);
+  std::vector<std::thread> Ts;
+  for (unsigned I = 0; I < N; ++I)
+    Ts.emplace_back([&, I] {
+      Client Cl;
+      std::string E;
+      if (!Cl.connect(C.SocketPath, E)) {
+        Errs[I] = E;
+        return;
+      }
+      // Alternate sources so both cache-hit and cache-miss paths run
+      // concurrently.
+      const char *Src = (I % 2) ? CarriedSrc : DoallSrc;
+      if (!Cl.request(sessionReq(Src, "full"), Resps[I], E))
+        Errs[I] = E;
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  for (unsigned I = 0; I < N; ++I) {
+    ASSERT_EQ(Errs[I], "") << "client " << I;
+    ASSERT_EQ(field(Resps[I], "ok"), "1")
+        << "client " << I << ": " << field(Resps[I], "error");
+    EXPECT_EQ(field(Resps[I], "output"), (I % 2) ? CarriedRef : Ref)
+        << "client " << I;
+    if (!(I % 2))
+      EXPECT_EQ(field(Resps[I], "exit"), std::to_string(RefExit));
+  }
+  S.stop();
+}
+
+TEST(ServerSocketTest, ShutdownRequestStopsTheServer) {
+  ServerConfig C;
+  C.SocketPath = testSocketPath("shutdown");
+  Server S(C);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  std::thread Waiter([&] { S.waitForShutdown(); });
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(C.SocketPath, Err)) << Err;
+  Message R;
+  ASSERT_TRUE(Cl.request({{"op", "shutdown"}}, R, Err)) << Err;
+  EXPECT_EQ(field(R, "ok"), "1");
+  Waiter.join(); // returns only because the request landed
+  S.stop();
+  // The socket is gone: a fresh connect must fail fast.
+  Client C2;
+  EXPECT_FALSE(C2.connect(C.SocketPath, Err, /*RetryMs=*/50));
+}
+
+TEST(ServiceStressTest, ConcurrentMixedLoad) {
+  // The TSan lane's main course: sessions over both sources (hitting and
+  // missing both caches, including cross-source @main invalidations),
+  // profile merges, and stats snapshots, all interleaved from 8 client
+  // threads over the real socket.
+  ServerConfig C;
+  C.SocketPath = testSocketPath("stress");
+  C.PoolThreads = 4;
+  C.ModuleCacheCap = 1; // force L1 churn under contention
+  Server S(C);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  DepProfile P;
+  P.Functions["main"].NumInstructions = 3;
+  std::string ProfileJson = P.toJson();
+
+  constexpr unsigned Threads = 8, Iters = 6;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      Client Cl;
+      std::string E;
+      if (!Cl.connect(C.SocketPath, E)) {
+        ++Failures;
+        return;
+      }
+      for (unsigned I = 0; I < Iters; ++I) {
+        Message R;
+        bool Ok = true;
+        switch ((T + I) % 4) {
+        case 0:
+          Ok = Cl.request(sessionReq(DoallSrc, "full"), R, E) &&
+               field(R, "ok") == "1";
+          break;
+        case 1:
+          Ok = Cl.request(sessionReq(CarriedSrc, "analyze"), R, E) &&
+               field(R, "ok") == "1";
+          break;
+        case 2:
+          Ok = Cl.request({{"op", "profile-merge"},
+                           {"profile", ProfileJson}},
+                          R, E) &&
+               field(R, "ok") == "1";
+          break;
+        case 3:
+          Ok = Cl.request({{"op", "stats"}}, R, E) &&
+               field(R, "json").find("\"sessions\"") != std::string::npos;
+          break;
+        }
+        if (!Ok)
+          ++Failures;
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  S.stop();
+}

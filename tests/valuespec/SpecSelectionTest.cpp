@@ -33,10 +33,13 @@ DepProfile train(const Module &M) {
 }
 
 TEST(SpecCostModelTest, CostGrowsWithObligationsAndHistory) {
-  // No history: obligations alone decide.
+  // No history: obligations alone decide. The calibrated weight (8
+  // instr-equivalents per obligation per iteration, see SpecCostModel's
+  // derivation comment) puts the cold-profile boundary at 32 obligations
+  // against the 256-instr-equivalent validation budget.
   EXPECT_TRUE(acceptSpeculativePlan(3, 0, 0));
-  EXPECT_TRUE(acceptSpeculativePlan(64, 0, 0));
-  EXPECT_FALSE(acceptSpeculativePlan(65, 0, 0));
+  EXPECT_TRUE(acceptSpeculativePlan(32, 0, 0));
+  EXPECT_FALSE(acceptSpeculativePlan(33, 0, 0));
 
   // One misspeculation in one attempt: rejected outright.
   EXPECT_FALSE(acceptSpeculativePlan(1, 1, 1));

@@ -49,6 +49,23 @@
 ///                          (feeds speculation-aware plan selection)
 ///     --merge-profiles=OUT merge the positional profile files into OUT
 ///                          (no program is compiled in this mode)
+///     --serve=SOCK         run the resident analysis service on a
+///                          unix-domain socket (in-process pscd); serves
+///                          concurrent compile→plan→run sessions with
+///                          cross-request caching until a client sends
+///                          shutdown
+///     --connect=SOCK       client mode: ship the input source to a
+///                          resident server as one session instead of
+///                          compiling locally (--plans → analyze,
+///                          --run → run, both/neither → full; with
+///                          --spec-profile the profile is streamed into
+///                          the server's store first and the session
+///                          plans speculatively against it)
+///     --stats              with --connect: print the server's
+///                          observability snapshot (latency percentiles,
+///                          sessions/s, cache hit rates, profile-store
+///                          shard occupancy) as JSON
+///     --shutdown           with --connect: ask the server to exit
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +79,8 @@
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
 #include "runtime/ParallelRuntime.h"
+#include "service/Client.h"
+#include "service/Server.h"
 #include "workloads/Workloads.h"
 
 #include <chrono>
@@ -92,6 +111,10 @@ struct Options {
   std::string SpecProfilePath;
   std::string SpecFeedbackOut;
   std::string MergeProfilesOut;
+  std::string ServeSocket;   ///< --serve: run the resident service.
+  std::string ConnectSocket; ///< --connect: session against a server.
+  bool Stats = false;        ///< --connect --stats: observability JSON.
+  bool Shutdown = false;     ///< --connect --shutdown: stop the server.
   ExecEngineKind Engine = ExecEngineKind::Bytecode;
   unsigned Threads = 8;
   std::string Grain = "auto"; ///< --grain: auto | off | <chunk>.
@@ -139,6 +162,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.SpecFeedbackOut = A.substr(16);
     else if (A.rfind("--merge-profiles=", 0) == 0)
       O.MergeProfilesOut = A.substr(17);
+    else if (A.rfind("--serve=", 0) == 0)
+      O.ServeSocket = A.substr(8);
+    else if (A.rfind("--connect=", 0) == 0)
+      O.ConnectSocket = A.substr(10);
+    else if (A == "--stats")
+      O.Stats = true;
+    else if (A == "--shutdown")
+      O.Shutdown = true;
     else if (A.rfind("--dep-oracles=", 0) == 0) {
       std::stringstream SS(A.substr(14));
       std::string Tok;
@@ -288,6 +319,21 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                          "--run-parallel\n");
     return false;
   }
+  if ((O.Stats || O.Shutdown) && O.ConnectSocket.empty()) {
+    std::fprintf(stderr,
+                 "pscc: --stats/--shutdown need --connect=<socket>\n");
+    return false;
+  }
+  if (!O.ServeSocket.empty() && !O.ConnectSocket.empty()) {
+    std::fprintf(stderr, "pscc: --serve and --connect are exclusive\n");
+    return false;
+  }
+  // The server takes no input program; a stats/shutdown-only client
+  // request doesn't either.
+  if (!O.ServeSocket.empty())
+    return true;
+  if (!O.ConnectSocket.empty() && (O.Stats || O.Shutdown))
+    return true;
   return !O.Input.empty();
 }
 
@@ -324,8 +370,114 @@ int main(int Argc, char **Argv) {
         "            [--profile-out=file] [--spec-profile=file]\n"
         "            [--profile-report] [--spec-feedback=file]\n"
         "            [--merge-profiles=out in1.json in2.json ...]\n"
+        "            [--serve=sock | --connect=sock [--stats] [--shutdown]]\n"
         "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP|UA|RX>\n");
     return 2;
+  }
+
+  // Resident-service server mode: pscd in-process.
+  if (!O.ServeSocket.empty()) {
+    service::ServerConfig SC;
+    SC.SocketPath = O.ServeSocket;
+    SC.PoolThreads = O.Threads;
+    service::Server S(SC);
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pscc: serving on %s (%u workers)\n",
+                 SC.SocketPath.c_str(), O.Threads);
+    S.waitForShutdown();
+    S.stop();
+    return 0;
+  }
+
+  // Client mode: run this invocation as a session on a resident server.
+  if (!O.ConnectSocket.empty()) {
+    service::Client Cl;
+    std::string Err;
+    if (!Cl.connect(O.ConnectSocket, Err)) {
+      std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+      return 1;
+    }
+    auto roundTrip = [&](const service::Message &Req,
+                         service::Message &Resp) -> bool {
+      if (!Cl.request(Req, Resp, Err)) {
+        std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+        return false;
+      }
+      if (service::field(Resp, "ok") != "1") {
+        std::fprintf(stderr, "pscc: server: %s\n",
+                     service::field(Resp, "error").c_str());
+        return false;
+      }
+      return true;
+    };
+    int Exit = 0;
+    if (!O.Input.empty()) {
+      std::string Name;
+      std::string Source = loadInput(O.Input, Name);
+      if (Source.empty())
+        return 1;
+      bool Spec = !O.SpecProfilePath.empty();
+      if (Spec) {
+        // Stream the local training profile into the server's sharded
+        // store, then plan speculatively against it.
+        std::ifstream In(O.SpecProfilePath);
+        if (!In) {
+          std::fprintf(stderr, "pscc: cannot open '%s'\n",
+                       O.SpecProfilePath.c_str());
+          return 1;
+        }
+        std::ostringstream SS;
+        SS << In.rdbuf();
+        service::Message MResp;
+        if (!roundTrip({{"op", "profile-merge"}, {"profile", SS.str()}},
+                       MResp))
+          return 1;
+      }
+      service::Message Req{
+          {"op", "session"},
+          {"source", Source},
+          {"name", Name},
+          {"engine", O.Engine == ExecEngineKind::Walker ? "walker"
+                                                        : "bytecode"},
+      };
+      if (O.Plans && !O.Run)
+        Req["mode"] = "analyze";
+      else if (O.Run && !O.Plans)
+        Req["mode"] = "run";
+      else
+        Req["mode"] = "full";
+      if (O.Plans)
+        Req["abs"] = O.Abs == AbstractionKind::PDG   ? "pdg"
+                     : O.Abs == AbstractionKind::JK ? "jk"
+                                                     : "pspdg";
+      if (Spec)
+        Req["spec"] = "1";
+      service::Message Resp;
+      if (!roundTrip(Req, Resp))
+        return 1;
+      std::fputs(service::field(Resp, "plans").c_str(), stdout);
+      std::fputs(service::field(Resp, "output").c_str(), stdout);
+      if (service::field(Resp, "completed") == "0")
+        std::fprintf(stderr, "pscc: instruction budget exhausted\n");
+      if (Resp.count("exit"))
+        Exit = std::atoi(Resp.at("exit").c_str());
+    }
+    if (O.Stats) {
+      service::Message Resp;
+      if (!roundTrip({{"op", "stats"}}, Resp))
+        return 1;
+      std::printf("%s\n", service::field(Resp, "json").c_str());
+    }
+    if (O.Shutdown) {
+      service::Message Resp;
+      if (!roundTrip({{"op", "shutdown"}}, Resp))
+        return 1;
+    }
+    return Exit;
   }
 
   // Profile merge mode: no program, just profile files.

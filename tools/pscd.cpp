@@ -1,0 +1,86 @@
+//===- pscd.cpp - resident analysis service daemon ----------------*- C++ -*-===//
+///
+/// \file
+/// `pscd --socket=/path.sock` binds the unix-domain socket, serves
+/// concurrent compile→plan→run sessions (see service/Server.h), and
+/// exits when a client sends `op=shutdown` (or on SIGINT/SIGTERM).
+/// `pscc --connect=/path.sock` is the matching client.
+///
+///   --socket=PATH        socket path (required)
+///   --threads=N          session-stage worker threads (default 4)
+///   --module-cache=N     L1 compiled-module cache entries (default 64)
+///   --memo-cache=N       L2 dependence-memo cache entries (default 256)
+///   --shards=N           profile-store shards (default 16)
+///   --budget-pool=N      server-wide instruction-budget pool
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace psc::service;
+
+namespace {
+
+Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  // stop() is not async-signal-safe in general, but pscd is single-purpose:
+  // the alternative (a self-pipe) buys nothing for a dev-tool daemon.
+  if (ActiveServer)
+    ActiveServer->stop();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pscd --socket=PATH [--threads=N] [--module-cache=N]\n"
+               "            [--memo-cache=N] [--shards=N] [--budget-pool=N]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerConfig C;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Val = [&A](size_t Prefix) { return A.substr(Prefix); };
+    if (A.rfind("--socket=", 0) == 0)
+      C.SocketPath = Val(9);
+    else if (A.rfind("--threads=", 0) == 0)
+      C.PoolThreads = static_cast<unsigned>(std::atoi(Val(10).c_str()));
+    else if (A.rfind("--module-cache=", 0) == 0)
+      C.ModuleCacheCap = static_cast<size_t>(std::atoll(Val(15).c_str()));
+    else if (A.rfind("--memo-cache=", 0) == 0)
+      C.MemoCacheCap = static_cast<size_t>(std::atoll(Val(12).c_str()));
+    else if (A.rfind("--shards=", 0) == 0)
+      C.ProfileShards = static_cast<unsigned>(std::atoi(Val(9).c_str()));
+    else if (A.rfind("--budget-pool=", 0) == 0)
+      C.BudgetPool = std::strtoull(Val(14).c_str(), nullptr, 10);
+    else
+      return usage();
+  }
+  if (C.SocketPath.empty())
+    return usage();
+
+  Server S(C);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+  ActiveServer = &S;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::fprintf(stderr, "pscd: serving on %s (%u workers)\n",
+               C.SocketPath.c_str(), S.config().PoolThreads);
+  S.waitForShutdown();
+  S.stop();
+  ActiveServer = nullptr;
+  std::fprintf(stderr, "pscd: shut down\n");
+  return 0;
+}
