@@ -13,7 +13,9 @@
 ///   * cold — every source's first session on a fresh server: the
 ///     frontend, bytecode decoder, and dependence-oracle chain all run;
 ///   * warm — repeated passes over the same sources: the L1 module cache
-///     skips frontend + decode, the L2 memo cache feeds the oracle chain.
+///     skips frontend + decode, and the L3 plan cache serves finished
+///     plan lines with zero analysis work (on the warm window the L2
+///     memo cache sees no traffic at all — L3 hits never reach it).
 ///
 ///   bench_server [--clients=N] [--sources=K] [--reps=N] [--json=PATH]
 ///                [--check]
@@ -22,9 +24,12 @@
 ///     --reps=N     repetitions, best-of (default 3; each rep gets a
 ///                  fresh server so cold is really cold)
 ///     --json=PATH  write BENCH_server.json perf records (cold/warm
-///                  sessions/s per mode, warm speedup, cache hit rates)
-///     --check      CI gate: warm run-mode sessions/s must be ≥ 3× cold,
-///                  and the warm module-cache hit rate ≥ 0.9
+///                  sessions/s per mode, warm speedup, cache hit rates,
+///                  per-stage warm-window latency means)
+///     --check      CI gates: warm run-mode sessions/s ≥ 3× cold with
+///                  warm module-cache hit rate ≥ 0.9, and warm
+///                  analyze-mode sessions/s ≥ 3× cold with warm
+///                  plan-cache hit rate ≥ 0.9
 ///
 //===----------------------------------------------------------------------===//
 
@@ -135,9 +140,22 @@ double windowHitRate(const std::string &Before, const std::string &After,
   return Hits + Misses > 0 ? Hits / (Hits + Misses) : 0.0;
 }
 
+/// Mean per-session stage latency over the window between two stats
+/// snapshots (stage_compile / stage_plan / stage_run sections).
+double windowStageMean(const std::string &Before, const std::string &After,
+                       const char *Section) {
+  double Ms = statOf(After, Section, "total_ms") -
+              statOf(Before, Section, "total_ms");
+  double N = statOf(After, Section, "count") -
+             statOf(Before, Section, "count");
+  return N > 0 ? Ms / N : 0.0;
+}
+
 struct ModeResult {
   double ColdSps = 0.0, WarmSps = 0.0;
-  double ModuleHitRate = 0.0, MemoHitRate = 0.0;
+  double ModuleHitRate = 0.0, MemoHitRate = 0.0, PlanHitRate = 0.0;
+  /// Warm-window mean per-session stage latencies, ms.
+  double StageCompileMs = 0.0, StagePlanMs = 0.0, StageRunMs = 0.0;
   double speedup() const { return ColdSps > 0 ? WarmSps / ColdSps : 0.0; }
 };
 
@@ -173,6 +191,12 @@ ModeResult benchMode(const std::string &Mode, unsigned Clients,
       Best.ModuleHitRate = windowHitRate(AfterCold, AfterWarm,
                                          "module_cache");
       Best.MemoHitRate = windowHitRate(AfterCold, AfterWarm, "memo_cache");
+      Best.PlanHitRate = windowHitRate(AfterCold, AfterWarm, "plan_cache");
+      Best.StageCompileMs = windowStageMean(AfterCold, AfterWarm,
+                                            "stage_compile");
+      Best.StagePlanMs = windowStageMean(AfterCold, AfterWarm,
+                                         "stage_plan");
+      Best.StageRunMs = windowStageMean(AfterCold, AfterWarm, "stage_run");
     }
     S.stop();
   }
@@ -217,17 +241,19 @@ int main(int Argc, char **Argv) {
               "best of %u) ==\n",
               Clients, NumSources, Reps);
   std::printf("%-8s %12s %12s %8s %10s %9s\n", "mode", "cold sess/s",
-              "warm sess/s", "speedup", "L1 hits", "L2 hits");
+              "warm sess/s", "speedup", "L1 hits", "L3 hits");
 
   std::vector<BenchRecord> Records;
-  ModeResult RunRes;
+  ModeResult RunRes, AnalyzeRes;
   for (const char *Mode : {"analyze", "run", "full"}) {
     ModeResult R = benchMode(Mode, Clients, Sources, Reps);
     if (std::strcmp(Mode, "run") == 0)
       RunRes = R;
+    if (std::strcmp(Mode, "analyze") == 0)
+      AnalyzeRes = R;
     std::printf("%-8s %12.1f %12.1f %7.2fx %9.0f%% %8.0f%%\n", Mode,
                 R.ColdSps, R.WarmSps, R.speedup(), R.ModuleHitRate * 100,
-                R.MemoHitRate * 100);
+                R.PlanHitRate * 100);
     BenchRecord Cold;
     Cold.Workload = "server";
     Cold.Engine = std::string("cold_") + Mode;
@@ -244,6 +270,10 @@ int main(int Argc, char **Argv) {
     Warm.Extra.push_back({"warm_speedup", R.speedup()});
     Warm.Extra.push_back({"module_cache_hit_rate", R.ModuleHitRate});
     Warm.Extra.push_back({"memo_cache_hit_rate", R.MemoHitRate});
+    Warm.Extra.push_back({"plan_cache_hit_rate", R.PlanHitRate});
+    Warm.Extra.push_back({"stage_compile_ms", R.StageCompileMs});
+    Warm.Extra.push_back({"stage_plan_ms", R.StagePlanMs});
+    Warm.Extra.push_back({"stage_run_ms", R.StageRunMs});
     Records.push_back(Warm);
   }
 
@@ -265,9 +295,26 @@ int main(int Argc, char **Argv) {
                    RunRes.ModuleHitRate);
       return 1;
     }
+    if (AnalyzeRes.speedup() < 3.0) {
+      std::fprintf(stderr,
+                   "bench_server: CHECK FAILED — warm analyze sessions/s "
+                   "only %.2fx cold (gate: 3x)\n",
+                   AnalyzeRes.speedup());
+      return 1;
+    }
+    if (AnalyzeRes.PlanHitRate < 0.9) {
+      std::fprintf(stderr,
+                   "bench_server: CHECK FAILED — warm plan-cache hit rate "
+                   "%.2f (gate: 0.9)\n",
+                   AnalyzeRes.PlanHitRate);
+      return 1;
+    }
     std::printf("check: warm run sessions/s %.2fx cold (>= 3x), module "
                 "hit rate %.2f (>= 0.9) — OK\n",
                 RunRes.speedup(), RunRes.ModuleHitRate);
+    std::printf("check: warm analyze sessions/s %.2fx cold (>= 3x), plan "
+                "hit rate %.2f (>= 0.9) — OK\n",
+                AnalyzeRes.speedup(), AnalyzeRes.PlanHitRate);
   }
   return 0;
 }

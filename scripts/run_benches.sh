@@ -22,9 +22,11 @@
 #               slower than sequential bytecode beyond the 10% noise margin
 #               (the grain pass demotes loops below this machine's grain,
 #               so parallel must never lose; see DESIGN.md §11); plus the
-#               service gates (warm run sessions/s >= 3x cold, warm
-#               module-cache hit rate >= 0.9) and a sanity parse of the
-#               written BENCH_server.json
+#               service gates (warm run sessions/s >= 3x cold with warm
+#               module-cache hit rate >= 0.9, warm analyze sessions/s
+#               >= 3x cold with warm plan-cache hit rate >= 0.9) and a
+#               sanity parse of the written BENCH_server.json, re-checking
+#               both warm gates from the committed record
 #   build-dir   defaults to ./build (or $BUILD_DIR)
 #
 # Environment: THREADS (default 8), REPS (default 3).
@@ -76,7 +78,18 @@ assert doc["bench"] == "server", doc
 records = doc["records"]
 assert any(r["engine"] == "warm_run" and "module_cache_hit_rate" in r
            for r in records), records
-print("run_benches: BENCH_server.json parses (%d records)" % len(records))
+# The warm-analyze gate, re-checked from the record the run just wrote:
+# the L3 plan cache must make warm analyze sessions >= 3x cold with a
+# >= 0.9 plan-cache hit rate on the warm window.
+warm_analyze = [r for r in records if r["engine"] == "warm_analyze"]
+assert warm_analyze, records
+r = warm_analyze[0]
+assert r["warm_speedup"] >= 3.0, r
+assert r["plan_cache_hit_rate"] >= 0.9, r
+assert "stage_plan_ms" in r, r
+print("run_benches: BENCH_server.json parses (%d records), warm analyze "
+      "%.1fx cold, plan hit rate %.2f" %
+      (len(records), r["warm_speedup"], r["plan_cache_hit_rate"]))
 EOF
 fi
 

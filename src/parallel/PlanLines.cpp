@@ -1,0 +1,49 @@
+//===- PlanLines.cpp ------------------------------------------*- C++ -*-===//
+
+#include "parallel/PlanLines.h"
+
+#include <cstdio>
+
+using namespace psc;
+
+LoopPlanSummary psc::summarizeLoopPlan(const FunctionAnalysis &FA,
+                                       const Loop &L, const LoopPlanView &PV,
+                                       const LoopSCCDAG &DAG) {
+  LoopPlanSummary S;
+  S.Fn = FA.function().getName();
+  S.Header = FA.function().getBlock(L.getHeader())->getName();
+  S.Depth = L.getDepth();
+  S.NumSCCs = DAG.numSCCs();
+  S.NumSeqSCCs = DAG.numSequentialSCCs();
+  S.DOALL = DAG.allParallel() && PV.TripCountable;
+  S.Lock = PV.NumOrderlessConflicts != 0;
+  return S;
+}
+
+std::string psc::renderPlanLine(const LoopPlanSummary &S) {
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "@%s %-16s depth=%u SCCs=%u seq=%u %s%s\n",
+                S.Fn.c_str(), S.Header.c_str(), S.Depth, S.NumSCCs,
+                S.NumSeqSCCs, S.DOALL ? "DOALL" : "-",
+                S.Lock ? " (lock)" : "");
+  return Line;
+}
+
+std::vector<LoopPlanSummary> psc::summarizePlans(const FunctionAnalysis &FA,
+                                                 const AbstractionView &View) {
+  std::vector<LoopPlanSummary> Summaries;
+  for (const Loop *L : FA.loopInfo().loops()) {
+    LoopPlanView PV = View.viewFor(*L);
+    LoopSCCDAG DAG(PV);
+    Summaries.push_back(summarizeLoopPlan(FA, *L, PV, DAG));
+  }
+  return Summaries;
+}
+
+std::string psc::renderPlanLines(const FunctionAnalysis &FA,
+                                 const AbstractionView &View) {
+  std::string Lines;
+  for (const LoopPlanSummary &S : summarizePlans(FA, View))
+    Lines += renderPlanLine(S);
+  return Lines;
+}

@@ -1,0 +1,59 @@
+//===- PlanLines.h - Canonical `--plans` rendering ---------------*- C++ -*-===//
+///
+/// \file
+/// The one source of truth for the per-loop plan table printed by
+/// `pscc --plans` and served by the resident service (Server.cpp stage 2).
+/// Both consumers funnel through renderPlanLine(), so served and
+/// standalone output are byte-identical **by construction** — the CI
+/// served-vs-local diff job is the proof, not the mechanism.
+///
+/// The split into summarize + render exists for the service's analysis
+/// caches: a LoopPlanSummary is a tiny POD distilled from the
+/// (expensive) AbstractionView/LoopSCCDAG pass, so the service can hold
+/// summaries in its per-module analysis bundles and re-render lines
+/// without re-running any analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_PARALLEL_PLANLINES_H
+#define PSPDG_PARALLEL_PLANLINES_H
+
+#include "parallel/AbstractionView.h"
+
+#include <string>
+#include <vector>
+
+namespace psc {
+
+/// Everything one `--plans` row says about a loop, with the analysis
+/// already burned in.
+struct LoopPlanSummary {
+  std::string Fn;       ///< Function name (printed as @Fn).
+  std::string Header;   ///< Header block name.
+  unsigned Depth = 0;
+  unsigned NumSCCs = 0;
+  unsigned NumSeqSCCs = 0;
+  bool DOALL = false;   ///< allParallel() && TripCountable.
+  bool Lock = false;    ///< NumOrderlessConflicts != 0.
+};
+
+/// Distills the row for loop \p L from its plan view and SCC DAG.
+LoopPlanSummary summarizeLoopPlan(const FunctionAnalysis &FA, const Loop &L,
+                                  const LoopPlanView &PV,
+                                  const LoopSCCDAG &DAG);
+
+/// The canonical row (includes the trailing newline).
+std::string renderPlanLine(const LoopPlanSummary &S);
+
+/// Summaries for every loop of FA's function under \p View, in loop-forest
+/// order (the `--plans` order).
+std::vector<LoopPlanSummary> summarizePlans(const FunctionAnalysis &FA,
+                                            const AbstractionView &View);
+
+/// The full `--plans` block for one function: summarize + render.
+std::string renderPlanLines(const FunctionAnalysis &FA,
+                            const AbstractionView &View);
+
+} // namespace psc
+
+#endif // PSPDG_PARALLEL_PLANLINES_H

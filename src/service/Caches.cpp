@@ -2,6 +2,8 @@
 
 #include "service/Caches.h"
 
+#include "pspdg/PSPDGBuilder.h"
+
 #include <cstdio>
 
 using namespace psc;
@@ -21,6 +23,78 @@ uint64_t service::sourceKey(const std::string &Source,
   Mix(Name);
   Mix(Source);
   return H;
+}
+
+// --- CachedModule analysis bundles -------------------------------------------
+
+/// The once-per-function analysis artifacts. FAOnce/PlanOnce give
+/// single-flight construction: the first session to ask builds, every
+/// concurrent asker blocks inside call_once, every later asker returns
+/// immediately. Entries live in a node-stable std::map guarded by
+/// BundleMu (map shape only — the flags serialize the builds themselves).
+struct CachedModule::FnBundle {
+  std::once_flag FAOnce;
+  std::unique_ptr<FunctionAnalysis> FA;
+  /// One flight + result slot per AbstractionKind (OpenMP's slot exists
+  /// but is never used — it has no compiler plan view).
+  std::once_flag PlanOnce[4];
+  std::vector<LoopPlanSummary> Plans[4];
+  /// The PS-PDG, built only by the PSPDG-abstraction flight (the only
+  /// flight that touches it — no cross-flight race).
+  std::unique_ptr<PSPDG> G;
+};
+
+CachedModule::CachedModule() = default;
+CachedModule::~CachedModule() = default;
+
+CachedModule::FnBundle &CachedModule::bundleFor(const Function &F) const {
+  std::lock_guard<std::mutex> Lock(BundleMu);
+  std::unique_ptr<FnBundle> &Slot = Bundles[&F];
+  if (!Slot)
+    Slot = std::make_unique<FnBundle>();
+  return *Slot;
+}
+
+const FunctionAnalysis &
+CachedModule::functionAnalysis(const Function &F) const {
+  FnBundle &B = bundleFor(F);
+  std::call_once(B.FAOnce,
+                 [&] { B.FA = std::make_unique<FunctionAnalysis>(F); });
+  return *B.FA;
+}
+
+const std::vector<LoopPlanSummary> &
+CachedModule::planSummaries(const Function &F, AbstractionKind Abs,
+                            MemoCache *L2,
+                            std::atomic<uint64_t> *Builds) const {
+  FnBundle &B = bundleFor(F);
+  unsigned AbsIdx = static_cast<unsigned>(Abs);
+  std::call_once(B.PlanOnce[AbsIdx], [&] {
+    if (Builds)
+      ++*Builds;
+    const FunctionAnalysis &FA = functionAnalysis(F);
+    // A sound default-chain stack: its memo (and therefore the summaries)
+    // is a pure function of the body, so both are safe to share across
+    // sessions and to persist through L2/L3. Speculative planning must
+    // not come through here — it depends on the profile snapshot.
+    DepOracleStack Stack(FA);
+    uint64_t BH = BodyHashes.at(F.getName());
+    if (L2)
+      if (auto Seed = L2->lookup(BH))
+        Stack.seedMemo(*Seed);
+    // Only this abstraction's flight may touch B.G: a concurrent PDG/JK
+    // flight reading it while the PSPDG flight writes would race.
+    PSPDG *G = nullptr;
+    if (Abs == AbstractionKind::PSPDG) {
+      B.G = buildPSPDG(FA, Stack);
+      G = B.G.get();
+    }
+    AbstractionView View(Abs, FA, Stack, G);
+    B.Plans[AbsIdx] = summarizePlans(FA, View);
+    if (L2)
+      L2->insert(Name + ":" + F.getName(), BH, Stack.exportMemo());
+  });
+  return B.Plans[AbsIdx];
 }
 
 // --- ModuleCache -------------------------------------------------------------
@@ -130,6 +204,91 @@ CacheStats MemoCache::stats() const {
 }
 
 size_t MemoCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return LRU.size();
+}
+
+// --- PlanCache ---------------------------------------------------------------
+
+uint64_t PlanCache::keyFor(uint64_t BodyHash, AbstractionKind Abs) {
+  // Splitmix-style mix of the abstraction index into the body hash so
+  // the per-abstraction entries of one body land on distinct keys.
+  uint64_t K = BodyHash ^
+               (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(Abs) + 1));
+  K ^= K >> 30;
+  K *= 0xbf58476d1ce4e5b9ULL;
+  K ^= K >> 27;
+  return K;
+}
+
+void PlanCache::eraseKeyLocked(uint64_t Key) {
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return;
+  LRU.erase(It->second);
+  Index.erase(It);
+}
+
+void PlanCache::noteBodyLocked(const std::string &FnName,
+                               uint64_t BodyHash) {
+  auto [It, New] = LastHash.try_emplace(FnName, BodyHash);
+  if (New || It->second == BodyHash)
+    return;
+  // Edited body: evict every abstraction's lines cached under the
+  // previous hash, loudly — a stale plan served for a new body is the
+  // one failure mode this cache must never have.
+  std::fprintf(stderr,
+               "pscd: plan cache invalidating @%s (body hash %016llx -> "
+               "%016llx)\n",
+               FnName.c_str(), (unsigned long long)It->second,
+               (unsigned long long)BodyHash);
+  for (unsigned A = 0; A < 4; ++A)
+    eraseKeyLocked(keyFor(It->second, static_cast<AbstractionKind>(A)));
+  ++Stats.Invalidations;
+  It->second = BodyHash;
+}
+
+std::shared_ptr<const std::string>
+PlanCache::lookup(uint64_t BodyHash, AbstractionKind Abs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(keyFor(BodyHash, Abs));
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return nullptr;
+  }
+  ++Stats.Hits;
+  LRU.splice(LRU.begin(), LRU, It->second);
+  return It->second->V;
+}
+
+void PlanCache::insert(const std::string &FnName, uint64_t BodyHash,
+                       AbstractionKind Abs, std::string Lines) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  noteBodyLocked(FnName, BodyHash);
+  uint64_t Key = keyFor(BodyHash, Abs);
+  if (Index.count(Key))
+    return; // a concurrent session rendered the same plans first
+  LRU.push_front(Entry{Key,
+                       std::make_shared<const std::string>(std::move(Lines))});
+  Index[Key] = LRU.begin();
+  while (LRU.size() > Capacity) {
+    Index.erase(LRU.back().Key);
+    LRU.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+void PlanCache::noteBody(const std::string &FnName, uint64_t BodyHash) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  noteBodyLocked(FnName, BodyHash);
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+size_t PlanCache::size() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return LRU.size();
 }

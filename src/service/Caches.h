@@ -1,8 +1,8 @@
 //===- Caches.h - pscd cross-request caches -----------------------*- C++ -*-===//
 ///
 /// \file
-/// The resident service's two cross-request caches, both LRU with
-/// hit/miss/eviction counters:
+/// The resident service's cross-request cache hierarchy, every level LRU
+/// with hit/miss/eviction counters:
 ///
 ///   * **ModuleCache (L1)** — compiled modules plus their pre-decoded
 ///     bytecode, keyed by a hash of the *source text*. A warm session
@@ -24,8 +24,25 @@
 ///     non-speculative memo tables may be stored; speculative answers
 ///     depend on the training profile as well as the body (the stack
 ///     refuses to export them, Caches refuses to admit them).
+///   * **PlanCache (L3)** — finished `--plans` lines, keyed by
+///     (function body hash, abstraction kind). A warm non-speculative
+///     analyze/full session does *zero* analysis work: the server serves
+///     the rendered lines straight from here. Same loud edited-body
+///     invalidation contract as L2 (one edit evicts every abstraction's
+///     lines for that function). Speculative sessions bypass L3 entirely
+///     — their plans depend on the profile snapshot, not just the body.
 ///
-/// Both caches are internally locked; all methods are thread-safe.
+/// Between L1 and L3 sits the per-module **analysis bundle**: every
+/// CachedModule lazily builds, once per (function, abstraction), the
+/// FunctionAnalysis / PS-PDG / per-loop plan summaries — single-flight
+/// (std::call_once), so concurrent first-analyze sessions block on one
+/// builder instead of duplicating the work. The module is shared_ptr-held
+/// and immutable, so references into a bundle stay valid for the entry's
+/// lifetime; an edited source yields a new L1 key and therefore a fresh
+/// module with fresh (empty) bundles — bundle invalidation is by
+/// construction.
+///
+/// All caches are internally locked; all methods are thread-safe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,7 +52,9 @@
 #include "analysis/DepOracle.h"
 #include "emulator/Bytecode.h"
 #include "ir/Module.h"
+#include "parallel/PlanLines.h"
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -47,16 +66,51 @@
 namespace psc {
 namespace service {
 
+class MemoCache;
+
 /// FNV-1a of the source text + module name — the L1 key.
 uint64_t sourceKey(const std::string &Source, const std::string &Name);
 
-/// One compiled program, shared read-only across sessions.
+/// One compiled program, shared read-only across sessions — plus its
+/// lazily-built per-function analysis bundles (see file comment).
 struct CachedModule {
+  CachedModule();
+  ~CachedModule();
+
+  /// Module name — scopes the L2/L3 invalidation-tracking names the
+  /// bundle builder writes back under (`<Name>:<fn>`).
+  std::string Name;
   std::unique_ptr<Module> M;
   std::unique_ptr<BytecodeModule> BCM;
-  /// functionBodyHash of every defined function — the L2 key space, and
-  /// the raw material of the edited-body invalidation check.
+  /// functionBodyHash of every defined function — the L2/L3 key space,
+  /// and the raw material of the edited-body invalidation check.
   std::map<std::string, uint64_t> BodyHashes;
+
+  /// The per-function FunctionAnalysis (CFG, dom/post-dom, loop forest,
+  /// instruction numbering), built once on first request (single-flight)
+  /// and shared by every later session on this module. Safe for
+  /// speculative sessions too: FunctionAnalysis is profile-independent
+  /// and immutable after construction.
+  const FunctionAnalysis &functionAnalysis(const Function &F) const;
+
+  /// The per-loop plan summaries of \p F under \p Abs, built once per
+  /// (function, abstraction) — single-flight; concurrent first-analyze
+  /// sessions block on the one builder. The build runs a sound
+  /// default-chain DepOracleStack (NEVER speculative — callers with a
+  /// profile snapshot must plan on a fresh stack instead), seeding its
+  /// memo from \p L2 and exporting it back after. \p Builds, when
+  /// non-null, is incremented once per actual build — the stats
+  /// counter the single-flight tests assert on.
+  const std::vector<LoopPlanSummary> &
+  planSummaries(const Function &F, AbstractionKind Abs, MemoCache *L2,
+                std::atomic<uint64_t> *Builds) const;
+
+private:
+  struct FnBundle;
+  FnBundle &bundleFor(const Function &F) const;
+
+  mutable std::mutex BundleMu; ///< Guards the Bundles map shape only.
+  mutable std::map<const Function *, std::unique_ptr<FnBundle>> Bundles;
 };
 
 struct CacheStats {
@@ -130,6 +184,52 @@ private:
   struct Entry {
     uint64_t Key;
     std::shared_ptr<const MemoTable> V;
+  };
+  void noteBodyLocked(const std::string &FnName, uint64_t BodyHash);
+  void eraseKeyLocked(uint64_t Key);
+
+  mutable std::mutex Mu;
+  size_t Capacity;
+  std::list<Entry> LRU;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  /// Function name → last body hash seen (the invalidation trigger).
+  std::unordered_map<std::string, uint64_t> LastHash;
+  CacheStats Stats;
+};
+
+/// L3: (function body hash, abstraction kind) → finished plan lines.
+/// LRU at \p Capacity entries, with the same loud edited-body
+/// invalidation contract as L2 — one edit evicts the lines of *every*
+/// abstraction cached under the function's previous hash. Only
+/// non-speculative sessions read or write this cache.
+class PlanCache {
+public:
+  explicit PlanCache(size_t Capacity = 512) : Capacity(Capacity) {}
+
+  /// Returns the rendered plan lines for (\p BodyHash, \p Abs), bumping
+  /// recency; null on miss. An empty string is a valid hit (a loop-free
+  /// function plans to nothing — caching that still skips the analysis).
+  std::shared_ptr<const std::string> lookup(uint64_t BodyHash,
+                                            AbstractionKind Abs);
+
+  /// Admits \p Lines for function \p FnName at (\p BodyHash, \p Abs),
+  /// with the L2-style edited-body check on \p FnName first.
+  void insert(const std::string &FnName, uint64_t BodyHash,
+              AbstractionKind Abs, std::string Lines);
+
+  /// The edited-body check without an insert (see MemoCache::noteBody).
+  void noteBody(const std::string &FnName, uint64_t BodyHash);
+
+  CacheStats stats() const;
+  size_t size() const;
+
+private:
+  /// The composite key: the body hash mixed with the abstraction index.
+  static uint64_t keyFor(uint64_t BodyHash, AbstractionKind Abs);
+
+  struct Entry {
+    uint64_t Key;
+    std::shared_ptr<const std::string> V;
   };
   void noteBodyLocked(const std::string &FnName, uint64_t BodyHash);
   void eraseKeyLocked(uint64_t Key);

@@ -6,7 +6,7 @@
 #include "emulator/Interpreter.h"
 #include "frontend/Frontend.h"
 #include "parallel/AbstractionView.h"
-#include "parallel/LoopSCCDAG.h"
+#include "parallel/PlanLines.h"
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
 
@@ -54,6 +54,7 @@ double percentile(std::vector<double> Sorted, double P) {
 Server::Server(ServerConfig Config)
     : C(std::move(Config)), Pool(C.PoolThreads ? C.PoolThreads : 1),
       Modules(C.ModuleCacheCap), Memos(C.MemoCacheCap),
+      Plans(C.PlanCacheCap),
       Profiles(C.ProfileShards), BudgetAvail(C.BudgetPool),
       StartTime(std::chrono::steady_clock::now()) {
   LatencyRing.reserve(RingCap);
@@ -236,6 +237,12 @@ void Server::recordSession(double Ms) {
   }
 }
 
+void Server::recordStage(unsigned Stage, double Ms) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Stages[Stage].Count;
+  Stages[Stage].TotalMs += Ms;
+}
+
 // --- Sessions ----------------------------------------------------------------
 
 Message Server::handleSession(const Message &Req) {
@@ -265,6 +272,7 @@ Message Server::handleSession(const Message &Req) {
   std::string CompileErr;
   bool L1Hit = false;
   uint64_t Key = sourceKey(Source, Name);
+  Clock::time_point S1 = Clock::now();
   onPool([&] {
     CM = Modules.lookup(Key);
     if (CM) {
@@ -280,6 +288,7 @@ Message Server::handleSession(const Message &Req) {
       return;
     }
     auto Fresh = std::make_shared<CachedModule>();
+    Fresh->Name = Name;
     Fresh->M = std::move(R.M);
     Fresh->BCM = std::make_unique<BytecodeModule>(*Fresh->M);
     for (const auto &F : Fresh->M->functions()) {
@@ -287,68 +296,84 @@ Message Server::handleSession(const Message &Req) {
         continue;
       uint64_t BH = functionBodyHash(*F);
       Fresh->BodyHashes[F->getName()] = BH;
-      // Edited-body invalidation fires the moment the new body is seen.
-      // The tracking key is scoped by module name: editing @main in one
-      // module must not evict another module's @main (unrelated programs
-      // routinely share entry-point names; their memo entries coexist
-      // under their own body hashes).
+      // Edited-body invalidation fires the moment the new body is seen,
+      // in every body-keyed cache level. The tracking key is scoped by
+      // module name: editing @main in one module must not evict another
+      // module's @main (unrelated programs routinely share entry-point
+      // names; their entries coexist under their own body hashes).
       Memos.noteBody(Name + ":" + F->getName(), BH);
+      Plans.noteBody(Name + ":" + F->getName(), BH);
     }
     Modules.insert(Key, Fresh);
     CM = std::move(Fresh);
   });
   if (!CM)
     return errorResponse(CompileErr);
+  recordStage(0, std::chrono::duration<double, std::milli>(Clock::now() - S1)
+                     .count());
   Resp["cached"] = L1Hit ? "1" : "0";
 
-  // Stage 2 — plan (analyze/full): per-function dependence analysis and
-  // per-loop plan views, memoized across requests through the L2 cache.
+  // Stage 2 — plan (analyze/full). Non-speculative sessions are served
+  // from the cache hierarchy: finished lines from L3 when warm; when
+  // cold, the module's single-flight analysis bundle builds the
+  // summaries once (seeding/exporting the L2 memo on the way) and the
+  // rendered lines are published to L3. Both paths render through
+  // parallel/PlanLines.h — the same code `pscc --plans` uses — so served
+  // and standalone output are byte-identical by construction.
   if (Mode != "run") {
+    Clock::time_point S2 = Clock::now();
     // Speculative sessions plan against a point-in-time store snapshot;
-    // their oracle answers depend on it, so the memo cache is bypassed.
+    // their oracle answers depend on it, so the memo and plan caches are
+    // bypassed entirely (the profile-independent FunctionAnalysis is
+    // still shared from the bundle).
     DepProfile Snapshot;
     if (Spec)
       Snapshot = Profiles.snapshot();
     DepOracleConfig OracleCfg({}, Spec ? &Snapshot : nullptr);
-    std::string Plans;
+    std::string PlanText;
     onPool([&] {
       for (const auto &F : CM->M->functions()) {
         if (F->isDeclaration())
           continue;
-        FunctionAnalysis FA(*F);
+        uint64_t BH = CM->BodyHashes.at(F->getName());
+        if (!Spec) {
+          if (auto Hit = Plans.lookup(BH, Abs)) {
+            PlanText += *Hit;
+            continue;
+          }
+          const FunctionAnalysis &FA = CM->functionAnalysis(*F);
+          if (FA.loopInfo().loops().empty()) {
+            // A loop-free function plans to nothing; cache the nothing
+            // so warm sessions skip even the loop-forest check.
+            Plans.insert(Name + ":" + F->getName(), BH, Abs,
+                         std::string());
+            continue;
+          }
+          const std::vector<LoopPlanSummary> &Summaries =
+              CM->planSummaries(*F, Abs, &Memos, &AnalysisBuilds);
+          std::string Lines;
+          for (const LoopPlanSummary &S : Summaries)
+            Lines += renderPlanLine(S);
+          PlanText += Lines;
+          Plans.insert(Name + ":" + F->getName(), BH, Abs,
+                       std::move(Lines));
+          continue;
+        }
+        const FunctionAnalysis &FA = CM->functionAnalysis(*F);
         if (FA.loopInfo().loops().empty())
           continue;
         DepOracleStack Stack(FA, OracleCfg);
-        uint64_t BH = CM->BodyHashes.at(F->getName());
-        if (!Stack.speculative())
-          if (auto Seed = Memos.lookup(BH))
-            Stack.seedMemo(*Seed);
         std::unique_ptr<PSPDG> G;
         if (Abs == AbstractionKind::PSPDG)
           G = buildPSPDG(FA, Stack);
         AbstractionView View(Abs, FA, Stack, G.get());
-        for (const Loop *L : FA.loopInfo().loops()) {
-          LoopPlanView PV = View.viewFor(*L);
-          LoopSCCDAG DAG(PV);
-          // Byte-identical to pscc --plans so server and standalone
-          // outputs diff clean.
-          char Line[256];
-          std::snprintf(Line, sizeof(Line),
-                        "@%s %-16s depth=%u SCCs=%u seq=%u %s%s\n",
-                        F->getName().c_str(),
-                        F->getBlock(L->getHeader())->getName().c_str(),
-                        L->getDepth(), DAG.numSCCs(),
-                        DAG.numSequentialSCCs(),
-                        DAG.allParallel() && PV.TripCountable ? "DOALL"
-                                                              : "-",
-                        PV.NumOrderlessConflicts ? " (lock)" : "");
-          Plans += Line;
-        }
-        if (!Stack.speculative())
-          Memos.insert(Name + ":" + F->getName(), BH, Stack.exportMemo());
+        PlanText += renderPlanLines(FA, View);
       }
     });
-    Resp["plans"] = Plans;
+    Resp["plans"] = PlanText;
+    recordStage(1,
+                std::chrono::duration<double, std::milli>(Clock::now() - S2)
+                    .count());
   }
 
   // Stage 3 — run (run/full): fresh ExecState per session (Interpreter
@@ -360,6 +385,7 @@ Message Server::handleSession(const Message &Req) {
     if (!BudgetS.empty())
       Want = std::strtoull(BudgetS.c_str(), nullptr, 10);
     uint64_t Lease = acquireBudget(Want);
+    Clock::time_point S3 = Clock::now();
     RunResult R;
     onPool([&] {
       Interpreter I(*CM->M);
@@ -369,6 +395,9 @@ Message Server::handleSession(const Message &Req) {
       I.setInstructionBudget(Lease);
       R = I.run();
     });
+    recordStage(2,
+                std::chrono::duration<double, std::milli>(Clock::now() - S3)
+                    .count());
     releaseBudget(Lease);
     std::string Output;
     for (const std::string &Line : R.Output)
@@ -403,16 +432,19 @@ Message Server::handleProfileMerge(const Message &Req) {
 std::string Server::statsJson() const {
   std::vector<double> Lat;
   uint64_t Sessions;
+  StageStat StageSnap[3];
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
     Lat = LatencyRing;
     Sessions = TotalSessions;
+    for (unsigned I = 0; I < 3; ++I)
+      StageSnap[I] = Stages[I];
   }
   std::sort(Lat.begin(), Lat.end());
   double Uptime = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - StartTime)
                       .count();
-  CacheStats MC = Modules.stats(), XC = Memos.stats();
+  CacheStats MC = Modules.stats(), XC = Memos.stats(), PC = Plans.stats();
   std::vector<ProfileStore::ShardStat> Shards = Profiles.shardStats();
 
   std::ostringstream J;
@@ -431,6 +463,18 @@ std::string Server::statsJson() const {
   };
   Cache("module_cache", MC, Modules.size());
   Cache("memo_cache", XC, Memos.size());
+  Cache("plan_cache", PC, Plans.size());
+  J << ",\"analysis_builds\":" << AnalysisBuilds.load();
+  // Per-stage latency breakdown: each stage as its own top-level object
+  // so naive single-level JSON consumers (bench_server's statOf) can
+  // read the fields.
+  for (unsigned I = 0; I < 3; ++I)
+    J << ",\"stage_" << StageNames[I] << "\":{\"count\":"
+      << StageSnap[I].Count << ",\"total_ms\":" << StageSnap[I].TotalMs
+      << ",\"mean_ms\":"
+      << (StageSnap[I].Count ? StageSnap[I].TotalMs / StageSnap[I].Count
+                             : 0.0)
+      << "}";
   J << ",\"profile_store\":{\"shards\":[";
   for (size_t I = 0; I < Shards.size(); ++I) {
     if (I)

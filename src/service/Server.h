@@ -17,12 +17,16 @@
 ///     shared read-only Module + BytecodeModule, under an *instruction
 ///     budget lease* drawn from a server-wide pool — a runaway session
 ///     exhausts its lease, not the server;
-///   * cross-request caching: the source-keyed ModuleCache (L1) and the
-///     body-hash-keyed MemoCache (L2) from Caches.h, plus the sharded
-///     ProfileStore for streamed training evidence;
+///   * cross-request caching: the source-keyed ModuleCache (L1), the
+///     body-hash-keyed MemoCache (L2), and the plan-line PlanCache (L3)
+///     from Caches.h — plus per-module single-flight analysis bundles —
+///     so a warm non-speculative analyze session does zero analysis
+///     work; plus the sharded ProfileStore for streamed training
+///     evidence;
 ///   * observability: the `stats` request returns a JSON snapshot of
-///     session latency percentiles, sessions/s, cache hit rates, and
-///     profile-store shard occupancy.
+///     session latency percentiles, sessions/s, per-cache hit rates, a
+///     per-stage (compile/plan/run) latency breakdown, the analysis
+///     build counter, and profile-store shard occupancy.
 ///
 /// Session request fields (op=session):
 ///   source   program text (required)
@@ -34,8 +38,9 @@
 ///   abs      pspdg (default) | pdg | jk — the plan stage's abstraction
 ///   budget   instruction-budget lease for the run stage (default 2e9)
 ///   spec     "1" = plan speculatively against a ProfileStore snapshot
-///            (bypasses the memo cache; speculative answers are
-///            profile-dependent and are never cached across requests)
+///            (bypasses the memo and plan caches; speculative answers
+///            are profile-dependent and are never cached across
+///            requests)
 ///
 /// Response fields: ok, error, cached ("1" = L1 hit), plans (per-loop
 /// table, analyze/full), output + exit + completed (run/full).
@@ -67,6 +72,7 @@ struct ServerConfig {
   unsigned PoolThreads = 4;      ///< Session-stage workers.
   size_t ModuleCacheCap = 64;    ///< L1 entries.
   size_t MemoCacheCap = 256;     ///< L2 entries.
+  size_t PlanCacheCap = 512;     ///< L3 (plan-line) entries.
   unsigned ProfileShards = 16;
   /// Server-wide instruction-budget pool the run stages lease from.
   uint64_t BudgetPool = 16'000'000'000ULL;
@@ -113,6 +119,10 @@ private:
   void releaseBudget(uint64_t Lease);
   void recordSession(double Ms);
 
+  /// Per-stage latency accounting (compile/plan/run), for the stats op's
+  /// stage breakdown. \p Stage indexes StageNames.
+  void recordStage(unsigned Stage, double Ms);
+
   ServerConfig C;
   int ListenFd = -1;
   std::thread Accepter;
@@ -127,7 +137,13 @@ private:
   ThreadPool Pool;
   ModuleCache Modules;
   MemoCache Memos;
+  PlanCache Plans;
   ProfileStore Profiles;
+
+  /// Times the analysis bundle was actually built (once per
+  /// function × abstraction × module incarnation) — the single-flight
+  /// tests assert this stays flat under concurrent first-analyzes.
+  std::atomic<uint64_t> AnalysisBuilds{0};
 
   std::mutex BudgetMu;
   std::condition_variable BudgetCv;
@@ -137,6 +153,12 @@ private:
   std::vector<double> LatencyRing; ///< Last RingCap session latencies, ms.
   size_t RingPos = 0;
   uint64_t TotalSessions = 0;
+  struct StageStat {
+    uint64_t Count = 0;
+    double TotalMs = 0.0;
+  };
+  StageStat Stages[3]; ///< compile / plan / run, under StatsMu.
+  static constexpr const char *StageNames[3] = {"compile", "plan", "run"};
   std::chrono::steady_clock::time_point StartTime;
   static constexpr size_t RingCap = 512;
 };

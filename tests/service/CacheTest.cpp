@@ -1,6 +1,6 @@
 //===- CacheTest.cpp - cross-request cache contracts ----------------------===//
 ///
-/// The two pscd caches in isolation:
+/// The pscd caches in isolation:
 ///
 ///   * ModuleCache — LRU order under pressure (least-recently-USED is
 ///     evicted, not least-recently-inserted), racing-insert no-op,
@@ -9,6 +9,9 @@
 ///     re-arriving with a different body hash evicts the predecessor's
 ///     memo table (counted in Invalidations) so a stale analysis can
 ///     never be served; plus LRU eviction under pressure.
+///   * PlanCache — the same contract at the plan-line level, keyed by
+///     (body hash, abstraction): one edit evicts every abstraction's
+///     lines; empty lines are a valid (cache-worthy) value.
 ///   * sourceKey — distinct for distinct (source, name) splits.
 ///
 //===----------------------------------------------------------------------===//
@@ -127,4 +130,79 @@ TEST(MemoCacheTest, StructurallyIdenticalBodiesShareEntries) {
   C.noteBody("g", 0x5555);
   EXPECT_NE(C.lookup(0x5555), nullptr);
   EXPECT_EQ(C.stats().Invalidations, 0u);
+}
+
+TEST(PlanCacheTest, EditedBodyInvalidatesLoudly) {
+  PlanCache C(8);
+  C.insert("f", 0x1111, AbstractionKind::PSPDG, "@f loop0 ...\n");
+  ASSERT_NE(C.lookup(0x1111, AbstractionKind::PSPDG), nullptr);
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+
+  // Same function name, different body hash: the edit must evict the old
+  // lines and count an invalidation — a stale plan is the one failure
+  // mode this cache must never have.
+  C.noteBody("f", 0x2222);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.lookup(0x1111, AbstractionKind::PSPDG), nullptr)
+      << "stale plan lines served after the function was edited";
+
+  // The new body caches independently; re-noting the same hash is quiet.
+  C.insert("f", 0x2222, AbstractionKind::PSPDG, "@f loop0 ...\n");
+  C.noteBody("f", 0x2222);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_NE(C.lookup(0x2222, AbstractionKind::PSPDG), nullptr);
+}
+
+TEST(PlanCacheTest, PerAbstractionEntriesCoexistAndEvictTogether) {
+  PlanCache C(8);
+  C.insert("f", 0x1111, AbstractionKind::PSPDG, "pspdg\n");
+  C.insert("f", 0x1111, AbstractionKind::PDG, "pdg\n");
+  C.insert("f", 0x1111, AbstractionKind::JK, "jk\n");
+  EXPECT_EQ(C.size(), 3u);
+  EXPECT_EQ(*C.lookup(0x1111, AbstractionKind::PDG), "pdg\n");
+  EXPECT_EQ(*C.lookup(0x1111, AbstractionKind::JK), "jk\n");
+  EXPECT_EQ(*C.lookup(0x1111, AbstractionKind::PSPDG), "pspdg\n");
+
+  // One edit evicts ALL the function's abstraction variants (counted as
+  // one invalidation event, matching the L2's per-edit accounting).
+  C.noteBody("f", 0x2222);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.lookup(0x1111, AbstractionKind::PDG), nullptr);
+  EXPECT_EQ(C.lookup(0x1111, AbstractionKind::JK), nullptr);
+  EXPECT_EQ(C.lookup(0x1111, AbstractionKind::PSPDG), nullptr);
+}
+
+TEST(PlanCacheTest, EmptyLinesAreAValidHit) {
+  // A loop-free function plans to nothing; caching the nothing is what
+  // lets warm sessions skip its analysis entirely.
+  PlanCache C(8);
+  C.insert("f", 0x1111, AbstractionKind::PSPDG, "");
+  auto Hit = C.lookup(0x1111, AbstractionKind::PSPDG);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(*Hit, "");
+  EXPECT_EQ(C.stats().Hits, 1u);
+}
+
+TEST(PlanCacheTest, LruEvictionUnderPressure) {
+  PlanCache C(2);
+  C.insert("a", 1, AbstractionKind::PSPDG, "a\n");
+  C.insert("b", 2, AbstractionKind::PSPDG, "b\n");
+  ASSERT_NE(C.lookup(1, AbstractionKind::PSPDG), nullptr); // b is now LRU
+  C.insert("c", 3, AbstractionKind::PSPDG, "c\n");
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_NE(C.lookup(1, AbstractionKind::PSPDG), nullptr);
+  EXPECT_EQ(C.lookup(2, AbstractionKind::PSPDG), nullptr);
+  EXPECT_NE(C.lookup(3, AbstractionKind::PSPDG), nullptr);
+}
+
+TEST(PlanCacheTest, DistinctFunctionsDoNotCrossInvalidate) {
+  PlanCache C(8);
+  C.insert("f", 0xaaaa, AbstractionKind::PSPDG, "f\n");
+  C.insert("g", 0xbbbb, AbstractionKind::PSPDG, "g\n");
+  C.noteBody("f", 0xcccc); // editing f must not touch g
+  EXPECT_EQ(C.lookup(0xaaaa, AbstractionKind::PSPDG), nullptr);
+  EXPECT_NE(C.lookup(0xbbbb, AbstractionKind::PSPDG), nullptr);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
 }

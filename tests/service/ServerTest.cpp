@@ -4,13 +4,16 @@
 ///
 ///   * handle() in-process — session correctness (run output identical to
 ///     a standalone Interpreter, analyze plans identical across repeats),
-///     L1/L2 cache behavior (cold/warm, edited-body invalidation through
-///     the full compile→plan path, LRU eviction under pressure), graceful
-///     error reporting, budget leases.
+///     L1/L2/L3 cache behavior (cold/warm, edited-body invalidation
+///     through the full compile→plan path at every level, warm analyze
+///     serving from the plan cache with zero analysis builds, speculative
+///     bypass, LRU eviction under pressure), graceful error reporting,
+///     budget leases.
 ///   * the real unix-domain socket — 8 concurrent client sessions
 ///     bit-identical to the standalone run (the paper-repo acceptance
-///     criterion), shutdown semantics, and a ServiceStress mixed-load
-///     test sized for the TSan lane.
+///     criterion), shutdown semantics, and the ServiceStress pair sized
+///     for the TSan lane: a mixed-load soak and the single-flight
+///     first-analyze race.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -89,6 +93,24 @@ Message sessionReq(const std::string &Source, const std::string &Mode,
                  {"source", Source},
                  {"name", Name},
                  {"mode", Mode}};
+}
+
+/// The integer after "Key": in the stats JSON (first occurrence); -1 when
+/// absent.
+long statLong(const std::string &J, const std::string &Key) {
+  std::string K = "\"" + Key + "\":";
+  size_t P = J.find(K);
+  return P == std::string::npos ? -1 : std::atol(J.c_str() + P + K.size());
+}
+
+/// The "Section":{...} object substring of the stats JSON (flat objects
+/// only), for before/after comparisons of a whole cache's counters.
+std::string statSection(const std::string &J, const std::string &Section) {
+  size_t P = J.find("\"" + Section + "\"");
+  if (P == std::string::npos)
+    return "";
+  size_t End = J.find('}', P);
+  return J.substr(P, End == std::string::npos ? End : End - P + 1);
 }
 
 } // namespace
@@ -180,12 +202,13 @@ TEST(ServerTest, EditedBodyNeverServesStalePlan) {
   EXPECT_NE(field(Edited, "plans").find("DOALL"), std::string::npos);
 
   // The stats snapshot must have counted the invalidation (both sources
-  // define @main with different body hashes).
+  // define @main with different body hashes) — in the memo cache AND the
+  // plan cache: the edit evicts the stale plan lines too.
   std::string Stats = S.statsJson();
-  size_t MemoPos = Stats.find("\"memo_cache\"");
-  ASSERT_NE(MemoPos, std::string::npos);
-  EXPECT_EQ(Stats.find("\"invalidations\":0", MemoPos), std::string::npos)
-      << "edited @main did not count an invalidation: " << Stats;
+  EXPECT_GT(statLong(statSection(Stats, "memo_cache"), "invalidations"), 0)
+      << "edited @main did not count an L2 invalidation: " << Stats;
+  EXPECT_GT(statLong(statSection(Stats, "plan_cache"), "invalidations"), 0)
+      << "edited @main did not count an L3 invalidation: " << Stats;
 
   // Direct check: going back to the first source reproduces its original
   // plans exactly (recomputed, not stale).
@@ -193,6 +216,48 @@ TEST(ServerTest, EditedBodyNeverServesStalePlan) {
   ASSERT_EQ(field(Back, "ok"), "1");
   EXPECT_EQ(field(Back, "plans"), field(First, "plans"));
   EXPECT_EQ(field(Back, "plans").find("DOALL"), std::string::npos);
+}
+
+TEST(ServerTest, WarmAnalyzeServesFromPlanCache) {
+  // The PR-8 contract: a warm non-speculative analyze session does zero
+  // analysis work — finished lines from L3, no new analysis builds.
+  Server S({});
+  Message Cold = S.handle(sessionReq(DoallSrc, "analyze"));
+  ASSERT_EQ(field(Cold, "ok"), "1") << field(Cold, "error");
+  std::string StatsCold = S.statsJson();
+  long BuildsCold = statLong(StatsCold, "analysis_builds");
+  EXPECT_GT(BuildsCold, 0) << StatsCold;
+
+  for (int I = 0; I < 3; ++I) {
+    Message Warm = S.handle(sessionReq(DoallSrc, "analyze"));
+    ASSERT_EQ(field(Warm, "ok"), "1");
+    EXPECT_EQ(field(Warm, "plans"), field(Cold, "plans"));
+  }
+  std::string StatsWarm = S.statsJson();
+  EXPECT_EQ(statLong(StatsWarm, "analysis_builds"), BuildsCold)
+      << "warm analyze sessions rebuilt analysis: " << StatsWarm;
+  EXPECT_GT(statLong(statSection(StatsWarm, "plan_cache"), "hits"), 0)
+      << "warm analyze sessions did not hit the plan cache: " << StatsWarm;
+}
+
+TEST(ServerTest, SpeculativeSessionsBypassPlanCache) {
+  // Speculative plans depend on the profile snapshot, so they must
+  // neither read nor write L3 — and must not touch its counters.
+  Server S({});
+  Message Sound = S.handle(sessionReq(CarriedSrc, "analyze"));
+  ASSERT_EQ(field(Sound, "ok"), "1") << field(Sound, "error");
+  std::string Before = statSection(S.statsJson(), "plan_cache");
+  ASSERT_NE(Before, "");
+
+  Message Req = sessionReq(CarriedSrc, "analyze");
+  Req["spec"] = "1";
+  Message Spec = S.handle(Req);
+  ASSERT_EQ(field(Spec, "ok"), "1") << field(Spec, "error");
+  // With an empty profile store no downgrade fires, so the plans agree —
+  // but they were recomputed, not served from L3.
+  EXPECT_EQ(field(Spec, "plans"), field(Sound, "plans"));
+  EXPECT_EQ(statSection(S.statsJson(), "plan_cache"), Before)
+      << "a speculative session touched the plan cache";
 }
 
 TEST(ServerTest, ModuleCacheEvictionUnderPressure) {
@@ -279,7 +344,9 @@ TEST(ServerTest, StatsJsonShape) {
   for (const char *Key :
        {"\"uptime_s\"", "\"sessions\"", "\"sessions_per_s\"",
         "\"latency_ms\"", "\"p50\"", "\"p99\"", "\"module_cache\"",
-        "\"memo_cache\"", "\"hit_rate\"", "\"invalidations\"",
+        "\"memo_cache\"", "\"plan_cache\"", "\"analysis_builds\"",
+        "\"stage_compile\"", "\"stage_plan\"", "\"stage_run\"",
+        "\"mean_ms\"", "\"hit_rate\"", "\"invalidations\"",
         "\"profile_store\"", "\"shards\"", "\"pool_workers\""})
     EXPECT_NE(J.find(Key), std::string::npos) << Key << " missing: " << J;
   EXPECT_NE(J.find("\"sessions\":1"), std::string::npos) << J;
@@ -353,6 +420,58 @@ TEST(ServerSocketTest, ShutdownRequestStopsTheServer) {
   // The socket is gone: a fresh connect must fail fast.
   Client C2;
   EXPECT_FALSE(C2.connect(C.SocketPath, Err, /*RetryMs=*/50));
+}
+
+TEST(ServiceStressTest, SingleFlightFirstAnalyze) {
+  // N clients race to first-analyze the same analysis-cold module: the
+  // per-module bundle must build exactly once (single-flight), every
+  // racer must get bit-identical plans, and (in the TSan lane) the
+  // call_once/map machinery must be clean. A run-mode session seats the
+  // module in L1 first so all racers share one CachedModule — the
+  // single-flight scope is the module object, not the source text.
+  ServerConfig C;
+  C.SocketPath = testSocketPath("singleflight");
+  C.PoolThreads = 4;
+  Server S(C);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Message Seat = S.handle(sessionReq(DoallSrc, "run"));
+  ASSERT_EQ(field(Seat, "ok"), "1") << field(Seat, "error");
+  ASSERT_EQ(statLong(S.statsJson(), "analysis_builds"), 0)
+      << "a run-mode session built analysis";
+
+  constexpr unsigned N = 8;
+  std::vector<Message> Resps(N);
+  std::vector<std::string> Errs(N);
+  std::vector<std::thread> Ts;
+  for (unsigned I = 0; I < N; ++I)
+    Ts.emplace_back([&, I] {
+      Client Cl;
+      std::string E;
+      if (!Cl.connect(C.SocketPath, E)) {
+        Errs[I] = E;
+        return;
+      }
+      if (!Cl.request(sessionReq(DoallSrc, "analyze"), Resps[I], E))
+        Errs[I] = E;
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  for (unsigned I = 0; I < N; ++I) {
+    ASSERT_EQ(Errs[I], "") << "client " << I;
+    ASSERT_EQ(field(Resps[I], "ok"), "1")
+        << "client " << I << ": " << field(Resps[I], "error");
+    EXPECT_EQ(field(Resps[I], "plans"), field(Resps[0], "plans"))
+        << "client " << I;
+  }
+  EXPECT_NE(field(Resps[0], "plans"), "");
+  // DoallSrc defines one loop-bearing function (@main): exactly one
+  // analysis build no matter how many racers.
+  EXPECT_EQ(statLong(S.statsJson(), "analysis_builds"), 1)
+      << S.statsJson();
+  S.stop();
 }
 
 TEST(ServiceStressTest, ConcurrentMixedLoad) {

@@ -74,6 +74,7 @@
 #include "emulator/CriticalPath.h"
 #include "frontend/Frontend.h"
 #include "parallel/PlanEnumerator.h"
+#include "parallel/PlanLines.h"
 #include "pdg/PDG.h"
 #include "profiling/DepProfiler.h"
 #include "pspdg/Fingerprint.h"
@@ -580,7 +581,6 @@ int main(int Argc, char **Argv) {
 
   if (O.Plans) {
     for (FnCtx &C : Ctxs) {
-      const Function *F = C.F;
       FunctionAnalysis &FA = *C.FA;
       if (FA.loopInfo().loops().empty())
         continue;
@@ -592,16 +592,7 @@ int main(int Argc, char **Argv) {
         break;
       }
       AbstractionView V(O.Abs, FA, *C.Stack, G.get());
-      for (const Loop *L : FA.loopInfo().loops()) {
-        LoopPlanView PV = V.viewFor(*L);
-        LoopSCCDAG DAG(PV);
-        std::printf("@%s %-16s depth=%u SCCs=%u seq=%u %s%s\n",
-                    F->getName().c_str(),
-                    F->getBlock(L->getHeader())->getName().c_str(),
-                    L->getDepth(), DAG.numSCCs(), DAG.numSequentialSCCs(),
-                    DAG.allParallel() && PV.TripCountable ? "DOALL" : "-",
-                    PV.NumOrderlessConflicts ? " (lock)" : "");
-      }
+      std::fputs(renderPlanLines(FA, V).c_str(), stdout);
     }
   }
 

@@ -10,6 +10,7 @@
 ///   --threads=N          session-stage worker threads (default 4)
 ///   --module-cache=N     L1 compiled-module cache entries (default 64)
 ///   --memo-cache=N       L2 dependence-memo cache entries (default 256)
+///   --plan-cache=N       L3 plan-line cache entries (default 512)
 ///   --shards=N           profile-store shards (default 16)
 ///   --budget-pool=N      server-wide instruction-budget pool
 ///
@@ -38,7 +39,8 @@ void onSignal(int) {
 int usage() {
   std::fprintf(stderr,
                "usage: pscd --socket=PATH [--threads=N] [--module-cache=N]\n"
-               "            [--memo-cache=N] [--shards=N] [--budget-pool=N]\n");
+               "            [--memo-cache=N] [--plan-cache=N] [--shards=N]\n"
+               "            [--budget-pool=N]\n");
   return 2;
 }
 
@@ -57,6 +59,8 @@ int main(int argc, char **argv) {
       C.ModuleCacheCap = static_cast<size_t>(std::atoll(Val(15).c_str()));
     else if (A.rfind("--memo-cache=", 0) == 0)
       C.MemoCacheCap = static_cast<size_t>(std::atoll(Val(12).c_str()));
+    else if (A.rfind("--plan-cache=", 0) == 0)
+      C.PlanCacheCap = static_cast<size_t>(std::atoll(Val(13).c_str()));
     else if (A.rfind("--shards=", 0) == 0)
       C.ProfileShards = static_cast<unsigned>(std::atoi(Val(9).c_str()));
     else if (A.rfind("--budget-pool=", 0) == 0)
