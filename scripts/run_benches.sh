@@ -91,6 +91,22 @@ print("run_benches: BENCH_server.json parses (%d records), warm analyze "
       "%.1fx cold, plan hit rate %.2f" %
       (len(records), r["warm_speedup"], r["plan_cache_hit_rate"]))
 EOF
+  # Trace-off overhead gate (DESIGN.md §13): the probes compiled into the
+  # dispatch hot path must model out to <= 2% of the untraced run when
+  # tracing is off.
+  python3 - <<'EOF'
+import json
+with open("BENCH_micro.json") as f:
+    doc = json.load(f)
+recs = [r for r in doc["records"] if r["workload"] == "trace_off_overhead"]
+assert recs, "bench_micro must write the trace_off_overhead record"
+r = recs[0]
+assert "off_ns_per_probe" in r and "probe_fires" in r, r
+assert r["overhead_pct"] <= 2.0, r
+print("run_benches: trace-off overhead %.4f%% of the dispatch hot loop "
+      "(%.3f ns/probe x %d fires)" %
+      (r["overhead_pct"], r["off_ns_per_probe"], r["probe_fires"]))
+EOF
 fi
 
 echo "run_benches: wrote BENCH_{runtime,micro,ablation,fig13,fig14,server}.json"

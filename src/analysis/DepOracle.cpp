@@ -747,8 +747,10 @@ void buildControlEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.Dst = I;
         E.Kind = DepKind::Control;
         E.Intra = true;
-        if (R.Carried && BranchLoop)
+        if (R.Carried && BranchLoop) {
           E.CarriedAtHeaders.insert(BranchLoop->getHeader());
+          E.OracleAtHeaders[BranchLoop->getHeader()] = R.Oracle;
+        }
         Edges.push_back(std::move(E));
       }
     }
@@ -774,8 +776,10 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
   /// runtime-validated assumption of the right family), 4 = carried AND
   /// proven to manifest (MustDep — a definite constant-distance conflict
   /// annotations must never be allowed to drop).
+  /// \p Oracle receives the responding oracle's name (attribution for
+  /// carried and speculatively-removed results; untouched on code 0).
   auto Carried = [&](const MemAccess &Src, const MemAccess &Dst,
-                     const Loop *L) -> int {
+                     const Loop *L, const char *&Oracle) -> int {
     DepQuery Q;
     Q.Kind = DepQueryKind::MemCarried;
     Q.Src = Src.I;
@@ -784,6 +788,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     Q.DstAcc = &Dst;
     Q.L = L;
     DepResult R = Stack.query(Q);
+    Oracle = R.Oracle;
     if (!R.disproven())
       return R.Verdict == DepVerdict::MustDep ? 4 : 1;
     return R.Speculative ? (R.ValueSpec ? 3 : 2) : 0;
@@ -819,8 +824,10 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     if (!A.isWrite())
       continue;
     std::set<unsigned> CarriedAt, MustAt, SpecAt, VSpecAt;
+    std::map<unsigned, const char *> OracleAt;
     for (const Loop *L : CommonLoops(A.I, A.I)) {
-      int C = Carried(A, A, L);
+      const char *Oracle = nullptr;
+      int C = Carried(A, A, L, Oracle);
       if (C == 1 || C == 4) {
         CarriedAt.insert(L->getHeader());
         if (C == 4)
@@ -829,6 +836,8 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         SpecAt.insert(L->getHeader());
       else if (C == 3)
         VSpecAt.insert(L->getHeader());
+      if (C != 0)
+        OracleAt[L->getHeader()] = Oracle;
     }
     if (CarriedAt.empty() && SpecAt.empty() && VSpecAt.empty())
       continue;
@@ -841,6 +850,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
     E.MustCarriedAtHeaders = MustAt;
     E.SpecCarriedAtHeaders = SpecAt;
     E.ValueSpecCarriedAtHeaders = VSpecAt;
+    E.OracleAtHeaders = OracleAt;
     E.MemObject = A.Base;
     E.IsIO = A.IsIO;
     E.IsIVDep = CanonicalCounterAt(CarriedAt, A.Base);
@@ -863,8 +873,10 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
       // Carried dependences per loop, per direction.
       std::set<unsigned> CarriedAB, CarriedBA, MustAB, MustBA, SpecAB,
           SpecBA, VSpecAB, VSpecBA;
+      std::map<unsigned, const char *> OracleAB, OracleBA;
       for (const Loop *L : Loops) {
-        int AB = Carried(A, B, L);
+        const char *Oracle = nullptr;
+        int AB = Carried(A, B, L, Oracle);
         if (AB == 1 || AB == 4) {
           CarriedAB.insert(L->getHeader());
           if (AB == 4)
@@ -873,7 +885,9 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
           SpecAB.insert(L->getHeader());
         else if (AB == 3)
           VSpecAB.insert(L->getHeader());
-        int BA = Carried(B, A, L);
+        if (AB != 0)
+          OracleAB[L->getHeader()] = Oracle;
+        int BA = Carried(B, A, L, Oracle);
         if (BA == 1 || BA == 4) {
           CarriedBA.insert(L->getHeader());
           if (BA == 4)
@@ -882,6 +896,8 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
           SpecBA.insert(L->getHeader());
         else if (BA == 3)
           VSpecBA.insert(L->getHeader());
+        if (BA != 0)
+          OracleBA[L->getHeader()] = Oracle;
       }
 
       if (IntraDep || !CarriedAB.empty() || !SpecAB.empty() ||
@@ -895,6 +911,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.MustCarriedAtHeaders = MustAB;
         E.SpecCarriedAtHeaders = SpecAB;
         E.ValueSpecCarriedAtHeaders = VSpecAB;
+        E.OracleAtHeaders = OracleAB;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = CanonicalCounterAt(CarriedAB, Obj);
@@ -910,6 +927,7 @@ void buildMemoryEdges(DepOracleStack &Stack, std::vector<DepEdge> &Edges) {
         E.MustCarriedAtHeaders = MustBA;
         E.SpecCarriedAtHeaders = SpecBA;
         E.ValueSpecCarriedAtHeaders = VSpecBA;
+        E.OracleAtHeaders = OracleBA;
         E.MemObject = Obj;
         E.IsIO = A.IsIO && B.IsIO;
         E.IsIVDep = CanonicalCounterAt(CarriedBA, Obj);

@@ -41,6 +41,7 @@
 #include "analysis/MemoryModel.h"
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -101,6 +102,14 @@ struct DepEdge {
   /// assumptions (AbstractionView::viewFor → LoopPlanView::ValueAssumptions).
   std::set<unsigned> ValueSpecCarriedAtHeaders;
 
+  /// Attribution: for every header in CarriedAtHeaders, Spec- or
+  /// ValueSpecCarriedAtHeaders, the name of the oracle whose verdict put
+  /// it there (DepResult::Oracle — static strings). This is the evidence
+  /// the plan-decision log surfaces via `pscc --explain`: which oracle
+  /// kept (or speculatively removed) the dependence that killed a
+  /// candidate schedule.
+  std::map<unsigned, const char *> OracleAtHeaders;
+
   bool isMemory() const {
     return Kind == DepKind::MemoryRAW || Kind == DepKind::MemoryWAR ||
            Kind == DepKind::MemoryWAW;
@@ -116,6 +125,12 @@ struct DepEdge {
   }
   bool isValueSpecCarriedAt(unsigned Header) const {
     return ValueSpecCarriedAtHeaders.count(Header) != 0;
+  }
+  /// The owning oracle of this edge's verdict at \p Header (null when the
+  /// edge has no carried/speculative entry for it).
+  const char *oracleAt(unsigned Header) const {
+    auto It = OracleAtHeaders.find(Header);
+    return It == OracleAtHeaders.end() ? nullptr : It->second;
   }
 };
 

@@ -15,6 +15,7 @@
 #include "ir/Function.h"
 #include "ir/LoopInfo.h"
 #include "ir/Module.h"
+#include "obs/Trace.h"
 
 #include <map>
 #include <memory>
@@ -86,6 +87,7 @@ public:
     auto It = Cache.find(&F);
     if (It != Cache.end())
       return *It->second;
+    obs::TraceSpan Span("analysis.bundle", "fn=%s", F.getName().c_str());
     auto FA = std::make_unique<FunctionAnalysis>(F);
     const FunctionAnalysis &Ref = *FA;
     Cache[&F] = std::move(FA);

@@ -7,34 +7,50 @@
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "support/ErrorHandling.h"
 
 using namespace psc;
 
 CompileResult psc::compileSource(const std::string &Source,
                                  const std::string &ModuleName) {
+  obs::TraceSpan CompileSpan("compile", "module=%s", ModuleName.c_str());
   CompileResult Result;
 
-  Lexer L(Source);
-  Parser P(L.lexAll());
-  TranslationUnit TU = P.parseTranslationUnit();
-  if (P.hasErrors()) {
-    Result.Diagnostics = P.errors();
-    return Result;
+  TranslationUnit TU;
+  {
+    obs::TraceSpan Span("compile.lex+parse");
+    Lexer L(Source);
+    Parser P(L.lexAll());
+    TU = P.parseTranslationUnit();
+    if (P.hasErrors()) {
+      Result.Diagnostics = P.errors();
+      return Result;
+    }
   }
 
-  Sema S;
-  Result.Diagnostics = S.analyze(TU);
-  if (!Result.Diagnostics.empty())
-    return Result;
+  {
+    obs::TraceSpan Span("compile.sema");
+    Sema S;
+    Result.Diagnostics = S.analyze(TU);
+    if (!Result.Diagnostics.empty())
+      return Result;
+  }
 
-  CodeGen CG;
-  std::unique_ptr<Module> M = CG.emit(TU, ModuleName);
+  std::unique_ptr<Module> M;
+  {
+    obs::TraceSpan Span("compile.codegen");
+    CodeGen CG;
+    M = CG.emit(TU, ModuleName);
+  }
 
-  std::vector<std::string> VerifierErrors = verifyModule(*M);
-  if (!VerifierErrors.empty()) {
-    Result.Diagnostics = std::move(VerifierErrors);
-    return Result;
+  {
+    obs::TraceSpan Span("compile.verify");
+    std::vector<std::string> VerifierErrors = verifyModule(*M);
+    if (!VerifierErrors.empty()) {
+      Result.Diagnostics = std::move(VerifierErrors);
+      return Result;
+    }
   }
 
   Result.M = std::move(M);

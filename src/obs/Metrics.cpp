@@ -1,0 +1,158 @@
+//===- Metrics.cpp --------------------------------------------*- C++ -*-===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+using namespace psc;
+using namespace psc::obs;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)) {
+  std::sort(Bounds.begin(), Bounds.end());
+  BucketStore =
+      std::make_unique<std::atomic<uint64_t>[]>(Bounds.size() + 1);
+  Buckets = BucketStore.get();
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double V) {
+  size_t I = 0;
+  while (I < Bounds.size() && V > Bounds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Old = SumBits.load(std::memory_order_relaxed);
+  for (;;) {
+    double S;
+    std::memcpy(&S, &Old, sizeof(S));
+    S += V;
+    uint64_t New;
+    std::memcpy(&New, &S, sizeof(New));
+    if (SumBits.compare_exchange_weak(Old, New, std::memory_order_relaxed))
+      break;
+  }
+}
+
+double Histogram::sum() const {
+  uint64_t Bits = SumBits.load(std::memory_order_relaxed);
+  double S;
+  std::memcpy(&S, &Bits, sizeof(S));
+  return S;
+}
+
+double Histogram::quantile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  double Rank = Q * static_cast<double>(Total);
+  uint64_t Seen = 0;
+  double Lo = 0.0;
+  for (size_t I = 0; I <= Bounds.size(); ++I) {
+    uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+    double Hi = I < Bounds.size() ? Bounds[I] : Bounds.empty()
+                    ? 0.0
+                    : Bounds.back() * 2;
+    if (Seen + C >= Rank && C > 0) {
+      double Frac = (Rank - static_cast<double>(Seen)) /
+                    static_cast<double>(C);
+      return Lo + (Hi - Lo) * std::min(1.0, std::max(0.0, Frac));
+    }
+    Seen += C;
+    Lo = Hi;
+  }
+  return Lo;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Labels,
+                                  const std::string &Help,
+                                  const std::string &Type) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Family &F = Families[Name];
+  if (F.Type.empty()) {
+    F.Type = Type;
+    F.Help = Help;
+  }
+  std::unique_ptr<Counter> &Slot = F.Counters[Labels];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double> UpperBounds,
+                                      const std::string &Labels,
+                                      const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Family &F = Families[Name];
+  if (F.Type.empty()) {
+    F.Type = "histogram";
+    F.Help = Help;
+  }
+  std::unique_ptr<Histogram> &Slot = F.Histograms[Labels];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *Slot;
+}
+
+namespace {
+
+void formatNumber(std::ostringstream &OS, double V) {
+  if (V == static_cast<double>(static_cast<long long>(V))) {
+    OS << static_cast<long long>(V);
+    return;
+  }
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  OS << Buf;
+}
+
+std::string withLabels(const std::string &Name, const std::string &Labels,
+                       const std::string &ExtraLabel = "") {
+  std::string Body = Labels;
+  if (!ExtraLabel.empty()) {
+    if (!Body.empty())
+      Body += ",";
+    Body += ExtraLabel;
+  }
+  if (Body.empty())
+    return Name;
+  return Name + "{" + Body + "}";
+}
+
+} // namespace
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  for (const auto &[Name, F] : Families) {
+    if (!F.Help.empty())
+      OS << "# HELP " << Name << " " << F.Help << "\n";
+    OS << "# TYPE " << Name << " " << F.Type << "\n";
+    for (const auto &[Labels, C] : F.Counters)
+      OS << withLabels(Name, Labels) << " " << C->value() << "\n";
+    for (const auto &[Labels, H] : F.Histograms) {
+      uint64_t Cum = 0;
+      for (size_t I = 0; I < H->bounds().size(); ++I) {
+        Cum += H->bucketCount(I);
+        char Le[64];
+        std::snprintf(Le, sizeof(Le), "le=\"%g\"", H->bounds()[I]);
+        OS << withLabels(Name + "_bucket", Labels, Le) << " " << Cum << "\n";
+      }
+      Cum += H->bucketCount(H->bounds().size());
+      OS << withLabels(Name + "_bucket", Labels, "le=\"+Inf\"") << " " << Cum
+         << "\n";
+      OS << withLabels(Name + "_sum", Labels) << " ";
+      formatNumber(OS, H->sum());
+      OS << "\n";
+      OS << withLabels(Name + "_count", Labels) << " " << H->count() << "\n";
+    }
+  }
+  return OS.str();
+}

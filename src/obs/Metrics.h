@@ -1,0 +1,98 @@
+//===- Metrics.h - Named counters and histograms ----------------*- C++ -*-===//
+///
+/// \file
+/// The unified metrics surface (DESIGN.md §13): one registry of named,
+/// optionally labeled counters/gauges and fixed-bucket histograms,
+/// rendered in the Prometheus text exposition format. The resident
+/// service owns one registry and exposes it via the `metrics` op and
+/// `pscd --metrics-out`; the oracle-stack and cache stat structs export
+/// into it at render time (they keep their cheap internal counters — the
+/// registry is the *presentation* layer, so a fleet scrape story exists
+/// without putting atomics on analysis hot paths).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_OBS_METRICS_H
+#define PSPDG_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psc {
+namespace obs {
+
+/// A monotonically increasing count (or, via set(), a sampled gauge).
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Fixed-bucket histogram: cumulative bucket counts plus sum/count, the
+/// Prometheus histogram shape.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double V);
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Linearly interpolated quantile estimate from the bucket counts
+  /// (exact enough for p50/p90/p99 dashboards; tests use count()).
+  double quantile(double Q) const;
+  const std::vector<double> &bounds() const { return Bounds; }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::vector<double> Bounds; ///< Ascending upper bounds; +inf implicit.
+  std::unique_ptr<std::atomic<uint64_t>[]> BucketStore;
+  std::atomic<uint64_t> *Buckets; ///< Bounds.size()+1 cells.
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> SumBits{0}; ///< double, CAS-accumulated.
+};
+
+/// Registry of metric families. Registration is mutex-guarded and
+/// returns stable references; updates on the returned objects are
+/// lock-free atomics.
+class MetricsRegistry {
+public:
+  /// \p Type is "counter" or "gauge" (exposition TYPE line).
+  /// \p Labels is a pre-formatted Prometheus label body, e.g.
+  /// `cache="module"` — empty for an unlabeled metric.
+  Counter &counter(const std::string &Name, const std::string &Labels = "",
+                   const std::string &Help = "",
+                   const std::string &Type = "counter");
+  Histogram &histogram(const std::string &Name,
+                       std::vector<double> UpperBounds,
+                       const std::string &Labels = "",
+                       const std::string &Help = "");
+
+  /// Prometheus text exposition of every registered metric.
+  std::string render() const;
+
+private:
+  struct Family {
+    std::string Help;
+    std::string Type;
+    std::map<std::string, std::unique_ptr<Counter>> Counters;
+    std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  };
+  mutable std::mutex Mu;
+  std::map<std::string, Family> Families;
+};
+
+} // namespace obs
+} // namespace psc
+
+#endif // PSPDG_OBS_METRICS_H

@@ -1,0 +1,87 @@
+//===- PlanDecision.cpp - Rendering the plan-decision log -----*- C++ -*-===//
+
+#include "obs/PlanDecision.h"
+
+#include <cstdio>
+
+using namespace psc;
+using namespace psc::obs;
+
+std::string psc::obs::renderLoopDecision(const LoopDecision &D) {
+  std::string Out;
+  char Buf[320];
+
+  std::snprintf(Buf, sizeof(Buf), "loop @%s %s depth=%u [%s]\n", D.Fn.c_str(),
+                D.Header.c_str(), D.Depth, D.Abstraction.c_str());
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  plan: %s — %s\n", D.Final.c_str(),
+                D.Reason.c_str());
+  Out += Buf;
+
+  if (!D.Candidates.empty()) {
+    Out += "  candidates:\n";
+    for (const PlanCandidate &C : D.Candidates) {
+      std::snprintf(Buf, sizeof(Buf), "    %-5s %s: %s\n",
+                    C.Kind.c_str(), C.Chosen ? "+" : "-", C.Verdict.c_str());
+      Out += Buf;
+    }
+  }
+
+  if (!D.Blockers.empty()) {
+    Out += "  carried dependences kept by the view:\n";
+    for (const PlanBlocker &B : D.Blockers) {
+      std::snprintf(Buf, sizeof(Buf), "    %s -> %s  [oracle: %s%s]\n",
+                    B.Src.c_str(), B.Dst.c_str(),
+                    B.Oracle.empty() ? "?" : B.Oracle.c_str(),
+                    B.Must ? ", must" : "");
+      Out += Buf;
+    }
+  }
+
+  if (!D.Assumptions.empty()) {
+    Out += "  speculative assumptions:\n";
+    for (const std::string &A : D.Assumptions)
+      Out += "    " + A + "\n";
+  }
+  if (!D.ValueAssumptions.empty()) {
+    Out += "  value assumptions:\n";
+    for (const std::string &A : D.ValueAssumptions)
+      Out += "    " + A + "\n";
+  }
+
+  if (D.SpecConsidered) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  cost model: cost=%.1f threshold=%.1f history=%llu/%llu "
+                  "misspeculated -> %s\n",
+                  D.SpecCost, D.SpecThreshold,
+                  static_cast<unsigned long long>(D.SpecMisspecs),
+                  static_cast<unsigned long long>(D.SpecAttempts),
+                  D.SpecRejected ? "rejected (sound alternative)"
+                                 : "accepted");
+    Out += Buf;
+  }
+
+  if (!D.GrainNote.empty())
+    Out += "  grain: " + D.GrainNote + "\n";
+
+  return Out;
+}
+
+std::string psc::obs::renderDecisionLog(const PlanDecisionLog &Log,
+                                        const std::string &LoopFilter) {
+  std::string Out;
+  for (const LoopDecision &D : Log.Loops) {
+    if (!LoopFilter.empty()) {
+      std::string Id = "@" + D.Fn + " " + D.Header;
+      if (Id.find(LoopFilter) == std::string::npos)
+        continue;
+    }
+    if (!Out.empty())
+      Out += "\n";
+    Out += renderLoopDecision(D);
+  }
+  if (Out.empty())
+    Out = LoopFilter.empty() ? "no loops planned\n"
+                             : "no loop matches '" + LoopFilter + "'\n";
+  return Out;
+}

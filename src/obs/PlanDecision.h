@@ -1,0 +1,92 @@
+//===- PlanDecision.h - Structured plan-decision log ------------*- C++ -*-===//
+///
+/// \file
+/// Why did this loop get this plan? The plan compiler already computes
+/// the answer — candidate schedules tried in preference order, the
+/// oracle-attributed carried dependences that killed each candidate, the
+/// speculative assumptions taken, the cost-model verdict, and the grain
+/// demotion — but until now it threw everything except the final reason
+/// string away. The decision log keeps the whole derivation as data, and
+/// one renderer turns it into the `--explain` report for both standalone
+/// `pscc --explain` and the resident service's `explain` op, so the two
+/// are byte-identical by construction (the PlanLines.h pattern).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_OBS_PLANDECISION_H
+#define PSPDG_OBS_PLANDECISION_H
+
+#include <string>
+#include <vector>
+
+namespace psc {
+namespace obs {
+
+/// One candidate schedule kind the compiler tried for a loop, in
+/// preference order, and the verdict that accepted or killed it.
+struct PlanCandidate {
+  std::string Kind;    ///< "DOALL" / "HELIX" / "DSWP".
+  bool Chosen = false; ///< This candidate became the schedule.
+  std::string Verdict; ///< "selected", or the rejection reason.
+};
+
+/// A loop-carried dependence that blocked parallelization, with the
+/// owning oracle's attribution (LoopDepEdge::Oracle).
+struct PlanBlocker {
+  std::string Src;    ///< Source instruction summary.
+  std::string Dst;    ///< Destination instruction summary.
+  std::string Oracle; ///< Responding oracle name ("?" if unattributed).
+  bool Must = false;  ///< MustDep proof vs conservative MayDep.
+};
+
+/// The full decision record of one loop.
+struct LoopDecision {
+  std::string Fn;          ///< Function name (without @).
+  std::string Header;      ///< Header block name.
+  unsigned HeaderIdx = 0;  ///< Header block index.
+  unsigned Depth = 0;
+  std::string Abstraction; ///< Abstraction the plan was built under.
+
+  std::vector<PlanCandidate> Candidates;
+  std::vector<PlanBlocker> Blockers;
+  /// Speculative assumptions the chosen view relies on (one line each,
+  /// "src -> dst" summaries); empty for sound plans.
+  std::vector<std::string> Assumptions;
+  std::vector<std::string> ValueAssumptions;
+
+  // Cost-model evidence (SpecCostModel), set when speculation was
+  // considered: modeled cost, threshold, and whether the model rejected
+  // the speculative plan (forcing the sound alternative).
+  bool SpecConsidered = false;
+  bool SpecRejected = false;
+  double SpecCost = 0.0;
+  double SpecThreshold = 0.0;
+  uint64_t SpecMisspecs = 0; ///< History: misspeculations / attempts.
+  uint64_t SpecAttempts = 0;
+
+  /// Grain decision: empty when the grain pass kept the schedule, else
+  /// the demotion note (modeled speedup vs threshold).
+  std::string GrainNote;
+
+  std::string Final;  ///< Final schedule kind name.
+  std::string Reason; ///< Final reason string (as in the exec report).
+};
+
+/// The per-module decision log `buildRuntimePlan` fills when asked.
+struct PlanDecisionLog {
+  std::vector<LoopDecision> Loops;
+};
+
+/// Renders one loop's decision block (multi-line, trailing newline).
+std::string renderLoopDecision(const LoopDecision &D);
+
+/// The full `--explain` report: every loop, loop-forest order. When
+/// \p LoopFilter is non-empty only loops whose "@fn header" id contains
+/// it are rendered (the `--explain=loop` form).
+std::string renderDecisionLog(const PlanDecisionLog &Log,
+                              const std::string &LoopFilter = "");
+
+} // namespace obs
+} // namespace psc
+
+#endif // PSPDG_OBS_PLANDECISION_H

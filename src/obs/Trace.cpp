@@ -1,0 +1,283 @@
+//===- Trace.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+using namespace psc;
+using namespace psc::obs;
+
+std::atomic<bool> trace_detail::Enabled{false};
+
+namespace {
+
+constexpr size_t kRingCap = 16384; ///< Events kept per thread (newest win).
+
+struct RawEvent {
+  const char *Name = nullptr;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  bool Instant = false;
+  char Detail[96];
+};
+
+/// One thread's ring. The owner pushes under Lock (uncontended: only a
+/// collector ever competes); the registry's shared_ptr keeps the ring
+/// alive after the owning thread exits.
+struct Ring {
+  unsigned Tid = 0;
+  std::atomic_flag Lock = ATOMIC_FLAG_INIT;
+  uint64_t Count = 0; ///< Total events ever pushed (wrap = Count % cap).
+  std::vector<RawEvent> Buf;
+
+  explicit Ring(unsigned Tid) : Tid(Tid) { Buf.resize(kRingCap); }
+
+  void push(const char *Name, uint64_t StartNs, uint64_t DurNs, bool Instant,
+            const char *Detail) {
+    while (Lock.test_and_set(std::memory_order_acquire))
+      ;
+    RawEvent &E = Buf[Count % kRingCap];
+    E.Name = Name;
+    E.StartNs = StartNs;
+    E.DurNs = DurNs;
+    E.Instant = Instant;
+    std::snprintf(E.Detail, sizeof(E.Detail), "%s", Detail ? Detail : "");
+    ++Count;
+    Lock.clear(std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::shared_ptr<Ring>> Rings;
+  std::atomic<uint64_t> EpochNs{0};
+  /// Bumped by traceEnable to invalidate rings; holders compare it
+  /// lock-free so the hot path never touches Mu after registration.
+  std::atomic<uint64_t> Generation{0};
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The calling thread's ring, registered on first use. The holder keeps
+/// a generation stamp so rings recycle across traceEnable() cycles.
+Ring &myRing() {
+  struct Holder {
+    std::shared_ptr<Ring> R;
+    uint64_t Gen = ~0ull;
+  };
+  thread_local Holder H;
+  Registry &Reg = registry();
+  uint64_t Gen = Reg.Generation.load(std::memory_order_acquire);
+  if (!H.R || H.Gen != Gen) {
+    std::lock_guard<std::mutex> Lock(Reg.Mu);
+    H.R = std::make_shared<Ring>(static_cast<unsigned>(Reg.Rings.size()));
+    H.Gen = Gen;
+    Reg.Rings.push_back(H.R);
+  }
+  return *H.R;
+}
+
+void escapeJson(std::ostringstream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+bool writeEvents(const std::string &Path,
+                 const std::vector<TraceEventData> &Events,
+                 const std::vector<std::pair<std::string, std::string>> &Meta,
+                 std::string &Err) {
+  std::ostringstream OS;
+  OS << "{\"traceEvents\":[";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const TraceEventData &E = Events[I];
+    if (I)
+      OS << ",";
+    OS << "\n{\"name\":\"";
+    escapeJson(OS, E.Name);
+    OS << "\",\"ph\":\"" << (E.Instant ? "i" : "X") << "\"";
+    if (E.Instant)
+      OS << ",\"s\":\"t\"";
+    char Ts[64];
+    std::snprintf(Ts, sizeof(Ts), "%.3f",
+                  static_cast<double>(E.StartNs) / 1000.0);
+    OS << ",\"pid\":1,\"tid\":" << E.Tid << ",\"ts\":" << Ts;
+    if (!E.Instant) {
+      std::snprintf(Ts, sizeof(Ts), "%.3f",
+                    static_cast<double>(E.DurNs) / 1000.0);
+      OS << ",\"dur\":" << Ts;
+    }
+    if (!E.Detail.empty()) {
+      OS << ",\"args\":{\"detail\":\"";
+      escapeJson(OS, E.Detail);
+      OS << "\"}";
+    }
+    OS << "}";
+  }
+  OS << "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{";
+  for (size_t I = 0; I < Meta.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << "\"";
+    escapeJson(OS, Meta[I].first);
+    OS << "\":\"";
+    escapeJson(OS, Meta[I].second);
+    OS << "\"";
+  }
+  OS << "}}\n";
+  std::ofstream Out(Path);
+  if (!Out) {
+    Err = "cannot write trace file '" + Path + "'";
+    return false;
+  }
+  Out << OS.str();
+  return true;
+}
+
+std::vector<TraceEventData> collect(uint64_t LoNs, uint64_t HiNs) {
+  Registry &Reg = registry();
+  std::vector<std::shared_ptr<Ring>> Rings;
+  {
+    std::lock_guard<std::mutex> Lock(Reg.Mu);
+    Rings = Reg.Rings;
+  }
+  std::vector<TraceEventData> Out;
+  for (const std::shared_ptr<Ring> &R : Rings) {
+    while (R->Lock.test_and_set(std::memory_order_acquire))
+      ;
+    uint64_t N = std::min<uint64_t>(R->Count, kRingCap);
+    for (uint64_t K = R->Count - N; K < R->Count; ++K) {
+      const RawEvent &E = R->Buf[K % kRingCap];
+      if (E.StartNs < LoNs || E.StartNs > HiNs)
+        continue;
+      TraceEventData D;
+      D.Name = E.Name;
+      D.Detail = E.Detail;
+      D.Tid = R->Tid;
+      D.StartNs = E.StartNs;
+      D.DurNs = E.DurNs;
+      D.Instant = E.Instant;
+      Out.push_back(std::move(D));
+    }
+    R->Lock.clear(std::memory_order_release);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEventData &A, const TraceEventData &B) {
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return A.StartNs < B.StartNs;
+            });
+  return Out;
+}
+
+} // namespace
+
+uint64_t trace_detail::nowNs() {
+  return steadyNs() - registry().EpochNs.load(std::memory_order_relaxed);
+}
+
+void trace_detail::recordSpan(const char *Name, uint64_t StartNs,
+                              uint64_t DurNs, const char *Detail) {
+  myRing().push(Name, StartNs, DurNs, /*Instant=*/false, Detail);
+}
+
+void trace_detail::recordInstant(const char *Name, const char *Detail) {
+  myRing().push(Name, trace_detail::nowNs(), 0, /*Instant=*/true, Detail);
+}
+
+void obs::traceEnable() {
+  Registry &Reg = registry();
+  {
+    std::lock_guard<std::mutex> Lock(Reg.Mu);
+    Reg.Rings.clear(); // holders re-register lazily via the generation
+    ++Reg.Generation;
+  }
+  Reg.EpochNs.store(steadyNs(), std::memory_order_relaxed);
+  trace_detail::Enabled.store(true, std::memory_order_release);
+}
+
+void obs::traceDisable() {
+  trace_detail::Enabled.store(false, std::memory_order_release);
+}
+
+uint64_t obs::traceNowNs() {
+  return traceEnabled() ? trace_detail::nowNs() : 0;
+}
+
+std::vector<TraceEventData> obs::traceCollect() {
+  return collect(0, ~0ull);
+}
+
+bool obs::traceWrite(
+    const std::string &Path,
+    const std::vector<std::pair<std::string, std::string>> &Meta,
+    std::string &Err) {
+  return writeEvents(Path, collect(0, ~0ull), Meta, Err);
+}
+
+bool obs::traceWriteWindow(
+    const std::string &Path, uint64_t LoNs, uint64_t HiNs,
+    const std::vector<std::pair<std::string, std::string>> &Meta,
+    std::string &Err) {
+  return writeEvents(Path, collect(LoNs, HiNs), Meta, Err);
+}
+
+void obs::traceInstantf(const char *Name, const char *Fmt, ...) {
+  if (!traceEnabled())
+    return;
+  char Buf[96];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  trace_detail::recordInstant(Name, Buf);
+}
+
+TraceSpan::TraceSpan(const char *Name, const char *Fmt, ...) {
+  if (!traceEnabled())
+    return;
+  this->Name = Name;
+  Start = trace_detail::nowNs();
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Detail, sizeof(Detail), Fmt, Args);
+  va_end(Args);
+}

@@ -213,7 +213,16 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
         RecordValueAssumption(E.MemObject, IsScalarAccess(SrcN.I));
       if (!Carried && !E.Intra)
         continue;
-      View.Edges.push_back({SIt->second, DIt->second, Carried});
+      LoopDepEdge LE;
+      LE.Src = SIt->second;
+      LE.Dst = DIt->second;
+      LE.CarriedAtLoop = Carried;
+      if (Carried) {
+        auto OIt = E.OracleAtHeaders.find(H);
+        LE.Oracle = OIt == E.OracleAtHeaders.end() ? nullptr : OIt->second;
+        LE.Must = E.MustCarriedAtHeaders.count(H) != 0;
+      }
+      View.Edges.push_back(LE);
     }
     for (const PSUndirectedEdge &E : G->undirectedEdges())
       if (E.CarriedAtHeaders.count(H))
@@ -234,7 +243,15 @@ LoopPlanView AbstractionView::viewFor(const Loop &L) const {
       RecordValueAssumption(E.MemObject, IsScalarAccess(E.Src));
     if (!Carried && !E.Intra)
       continue;
-    View.Edges.push_back({SIt->second, DIt->second, Carried});
+    LoopDepEdge LE;
+    LE.Src = SIt->second;
+    LE.Dst = DIt->second;
+    LE.CarriedAtLoop = Carried;
+    if (Carried) {
+      LE.Oracle = E.oracleAt(H);
+      LE.Must = E.isMustCarriedAt(H);
+    }
+    View.Edges.push_back(LE);
   }
   return View;
 }
@@ -252,19 +269,25 @@ LoopPlanView psc::soundAlternative(const LoopPlanView &PV) {
   for (LoopDepEdge &E : Sound.Edges)
     if (E.CarriedAtLoop)
       Present.insert({E.Src, E.Dst});
-  auto AddCarried = [&](const Instruction *Src, const Instruction *Dst) {
+  auto AddCarried = [&](const Instruction *Src, const Instruction *Dst,
+                        const char *Oracle) {
     auto SIt = IdxOf.find(Src);
     auto DIt = IdxOf.find(Dst);
     if (SIt == IdxOf.end() || DIt == IdxOf.end())
       return;
     if (!Present.insert({SIt->second, DIt->second}).second)
       return;
-    Sound.Edges.push_back({SIt->second, DIt->second, /*CarriedAtLoop=*/true});
+    LoopDepEdge LE;
+    LE.Src = SIt->second;
+    LE.Dst = DIt->second;
+    LE.CarriedAtLoop = true;
+    LE.Oracle = Oracle; // the stage whose removal was rolled back
+    Sound.Edges.push_back(LE);
   };
 
   // Memory assumptions restore exactly the removed edge.
   for (const SpecAssumption &A : PV.Assumptions)
-    AddCarried(A.Src, A.Dst);
+    AddCarried(A.Src, A.Dst, specOracleName());
 
   // Value assumptions restore the conservative whole-object carried
   // conflicts: every writer of the storage against every access of it
@@ -284,8 +307,8 @@ LoopPlanView psc::soundAlternative(const LoopPlanView &PV) {
     }
     for (const Instruction *W : Writers)
       for (const Instruction *X : Accessors) {
-        AddCarried(W, X);
-        AddCarried(X, W);
+        AddCarried(W, X, valueSpecOracleName());
+        AddCarried(X, W, valueSpecOracleName());
       }
   }
   return Sound;

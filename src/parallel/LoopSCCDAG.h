@@ -26,6 +26,13 @@ struct LoopDepEdge {
   unsigned Src = 0;
   unsigned Dst = 0;
   bool CarriedAtLoop = false;
+  /// Attribution of a carried edge for the plan-decision log: the name of
+  /// the oracle whose verdict kept the dependence at this loop (a static
+  /// string; null when unattributed, e.g. register/IV chains), and
+  /// whether the verdict was a MustDep proof rather than a conservative
+  /// MayDep.
+  const char *Oracle = nullptr;
+  bool Must = false;
 };
 
 /// The per-loop dependence view an abstraction exposes to the planner.

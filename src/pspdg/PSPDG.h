@@ -26,6 +26,7 @@
 #include "analysis/DependenceAnalysis.h"
 #include "ir/ParallelInfo.h"
 
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -128,6 +129,9 @@ struct PSDirectedEdge {
   /// Same, for the value-speculation stage (ValueSpec.h): the view turns
   /// these into per-value assumptions on the edge's MemObject.
   std::set<unsigned> ValueSpecCarriedAtHeaders;
+  /// Per-header oracle attribution, carried through from
+  /// DepEdge::OracleAtHeaders for the plan-decision log.
+  std::map<unsigned, const char *> OracleAtHeaders;
   const Value *MemObject = nullptr;
   bool IsIVDep = false;
   bool IsIO = false;

@@ -436,6 +436,7 @@ void BuilderImpl::buildEdges() {
     Out.MustCarriedAtHeaders = E.MustCarriedAtHeaders;
     Out.SpecCarriedAtHeaders = E.SpecCarriedAtHeaders;
     Out.ValueSpecCarriedAtHeaders = E.ValueSpecCarriedAtHeaders;
+    Out.OracleAtHeaders = E.OracleAtHeaders;
 
     // Cilk-style task concurrency (Appendix A, needs the SESE hierarchical
     // nodes): a spawned strand runs concurrently with its continuation and

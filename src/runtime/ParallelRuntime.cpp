@@ -14,6 +14,7 @@
 
 #include "runtime/ParallelRuntime.h"
 
+#include "obs/Trace.h"
 #include "runtime/SPSCQueue.h"
 #include "runtime/SpecValidation.h"
 #include "support/ErrorHandling.h"
@@ -410,6 +411,7 @@ unsigned runDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
 
   for (long C = 0; C < NumChunks; ++C) {
     RS.Pool.submit([&, C] {
+      obs::TraceSpan Span("doall.chunk", "header=%u chunk=%ld", LS.Header, C);
       ChunkState &St = CS[static_cast<size_t>(C)];
       typename E::Ctx W = Eng.makeCtx();
       W.setChargeBatch(4096);
@@ -558,6 +560,8 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
 
   for (long C = 0; C < NumChunks; ++C) {
     RS.Pool.submit([&, C] {
+      obs::TraceSpan Span("specdoall.chunk", "header=%u chunk=%ld", LS.Header,
+                          C);
       ChunkState &St = CS[static_cast<size_t>(C)];
       typename E::Ctx W = Eng.makeCtx();
       W.setChargeBatch(4096);
@@ -612,25 +616,36 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
     return ExitIdx; // budget / external abort: no state was committed
 
   bool Misspec = false;
+  std::string Violation;
   for (ChunkState &St : CS)
-    if (St.Diverged)
+    if (St.Diverged) {
       Misspec = true;
+      Violation = "iteration-space divergence";
+    }
   SpecValidator V(LS.AssumedPairs);
   if (!Misspec) {
+    obs::TraceSpan VSpan("spec.validate", "header=%u", LS.Header);
     V.setValueChecks(std::move(Checks), Trip);
     for (ChunkState &St : CS)
       V.add(St.Log);
-    Misspec = !V.validate();
+    Misspec = !V.validate(&Violation);
   }
-  if (Misspec)
+  if (Misspec) {
+    obs::traceInstantf("spec.misspec", "header=%u %s", LS.Header,
+                       Violation.c_str());
     return kMisspec; // discard overlays, partials, logs, buffered output
+  }
 
   // Validated: commit overlays, then output, reductions, and last-chunk
   // private state in sequential order — exactly the sound DOALL epilogue.
   std::vector<const std::map<ShadowMemory::Key, ShadowMemory::Cell> *> Ovs;
   for (ChunkState &St : CS)
     Ovs.push_back(&St.SM.persist());
-  commitOverlays(Ovs);
+  {
+    obs::TraceSpan CSpan("overlay.commit", "header=%u overlays=%zu", LS.Header,
+                         Ovs.size());
+    commitOverlays(Ovs);
+  }
   for (ChunkState &St : CS)
     if (!St.Out.empty())
       S.appendOutput(std::move(St.Out));
@@ -716,6 +731,8 @@ unsigned runHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
 
   for (unsigned Wk = 0; Wk < W; ++Wk) {
     RS.Pool.submit([&, Wk] {
+      obs::TraceSpan WSpan("helix.worker", "header=%u worker=%u", LS.Header,
+                           Wk);
       WorkerState &St = WS[Wk];
       typename E::Ctx C = Eng.makeCtx();
       C.setChargeBatch(4096);
@@ -739,10 +756,13 @@ unsigned runHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
         }
         // Iteration-order handoff: pass the gate to iteration It+1 and
         // release this iteration's buffered output in order.
-        while (Turn.load(std::memory_order_acquire) != It) {
-          if (S.aborted())
-            return;
-          std::this_thread::yield();
+        {
+          obs::TraceSpan GWait("helix.gate_wait", "it=%ld", It);
+          while (Turn.load(std::memory_order_acquire) != It) {
+            if (S.aborted())
+              return;
+            std::this_thread::yield();
+          }
         }
         if (!IterOut.empty()) {
           S.appendOutput(std::move(IterOut));
@@ -819,6 +839,8 @@ unsigned runSpecHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
 
   for (unsigned Wk = 0; Wk < W; ++Wk) {
     RS.Pool.submit([&, Wk] {
+      obs::TraceSpan WSpan("spechelix.worker", "header=%u worker=%u",
+                           LS.Header, Wk);
       WorkerState &St = WS[Wk];
       typename E::Ctx C = Eng.makeCtx();
       C.setChargeBatch(4096);
@@ -853,20 +875,27 @@ unsigned runSpecHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
           return;
         }
         // Gate handoff: validate and publish this iteration in order.
-        while (Turn.load(std::memory_order_acquire) != It) {
-          if (S.aborted()) {
-            C.flushCharges();
-            return;
+        {
+          obs::TraceSpan GWait("helix.gate_wait", "it=%ld", It);
+          while (Turn.load(std::memory_order_acquire) != It) {
+            if (S.aborted()) {
+              C.flushCharges();
+              return;
+            }
+            std::this_thread::yield();
           }
-          std::this_thread::yield();
         }
-        if (!Validator.checkAndAdd(IterLog)) {
+        std::string Violation;
+        if (!Validator.checkAndAdd(IterLog, &Violation)) {
+          obs::traceInstantf("spec.misspec", "header=%u it=%ld %s", LS.Header,
+                             It, Violation.c_str());
           Misspec.store(true, std::memory_order_relaxed);
           S.abort(); // unblock gate/turn waiters
           C.flushCharges();
           return;
         }
         {
+          obs::TraceSpan MSpan("overlay.merge", "it=%ld", It);
           std::lock_guard<std::mutex> Lock(Committed.Mu);
           for (auto &[Key, Cell] : SM.sharedOverlay())
             Committed.Map[Key] = Cell;
@@ -893,7 +922,11 @@ unsigned runSpecHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
   // Validated: commit the iteration-ordered overlay (already
   // last-write-wins by construction), release output, merge reductions
   // and last-owner private state.
-  commitCells(Committed.Map);
+  {
+    obs::TraceSpan CSpan("overlay.commit", "header=%u cells=%zu", LS.Header,
+                         Committed.Map.size());
+    commitCells(Committed.Map);
+  }
   if (!SpecOut.empty())
     S.appendOutput(std::move(SpecOut));
   for (size_t R = 0; R < LS.Reductions.size(); ++R) {
@@ -945,6 +978,8 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
 
   for (unsigned Stage = 0; Stage < K; ++Stage) {
     RS.Pool.submit([&, Stage] {
+      obs::TraceSpan SSpan("dswp.stage", "header=%u stage=%u", LS.Header,
+                           Stage);
       StageState &St = SS[Stage];
       typename E::Ctx C = Eng.makeCtx();
       C.setChargeBatch(4096);
@@ -965,6 +1000,8 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
       for (long It = 0; It < Trip; ++It) {
         DSWPToken T;
         if (In) {
+          obs::TraceSpan TWait("dswp.token_wait", "stage=%u it=%ld", Stage,
+                               It);
           if (!In->pop(T) || T.It != It) {
             if (!S.aborted() && T.It != It && T.It >= 0)
               St.Diverged = true;
@@ -1010,13 +1047,17 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
     // Validation at overlay-merge time: divergence counts as evidence of
     // misspeculation (stale values can corrupt stage control).
     bool Misspec = Diverged;
+    std::string Violation = Diverged ? "iteration-space divergence" : "";
     if (!Misspec && !S.aborted()) {
+      obs::TraceSpan VSpan("spec.validate", "header=%u", LS.Header);
       SpecValidator V(LS.AssumedPairs);
       for (StageState &St : SS)
         V.add(St.Log);
-      Misspec = !V.validate();
+      Misspec = !V.validate(&Violation);
     }
     if (Misspec) {
+      obs::traceInstantf("spec.misspec", "header=%u %s", LS.Header,
+                         Violation.c_str());
       RS.settleSpecAbort();
       return kMisspec; // overlays discarded, nothing committed
     }
@@ -1031,7 +1072,11 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
   std::vector<const std::map<ShadowMemory::Key, ShadowMemory::Cell> *> Ovs;
   for (StageState &St : SS)
     Ovs.push_back(&St.SM.persist());
-  commitOverlays(Ovs);
+  {
+    obs::TraceSpan CSpan("overlay.commit", "header=%u overlays=%zu", LS.Header,
+                         Ovs.size());
+    commitOverlays(Ovs);
+  }
   setIV(SharedIV, LS.Init + Trip * LS.Step);
   return ExitIdx;
 }
@@ -1062,6 +1107,10 @@ unsigned hookLoop(PRState &RS, E &Eng, const RuntimePlan &Plan,
   auto AuxIt = Aux.find(LS);
   const LoopAux *A = AuxIt == Aux.end() ? nullptr : &AuxIt->second;
 
+  obs::TraceSpan Span("loop.invoke", "fn=%s header=%u kind=%s%s",
+                      F->getName().c_str(), Block,
+                      scheduleKindName(LS->Kind),
+                      LS->Speculative ? " spec" : "");
   unsigned Res = kNoBlock;
   switch (LS->Kind) {
   case ScheduleKind::DOALL:
@@ -1083,6 +1132,11 @@ unsigned hookLoop(PRState &RS, E &Eng, const RuntimePlan &Plan,
     // context executes the loop natively (the sequential semantics), and
     // the schedule is disabled for the rest of the run.
     ++Stat.Misspeculations;
+    obs::traceInstantf("spec.rollback", "fn=%s header=%u",
+                       F->getName().c_str(), Block);
+    obs::traceInstantf("plan.burned", "fn=%s header=%u kind=%s",
+                       F->getName().c_str(), Block,
+                       scheduleKindName(LS->Kind));
     RS.Blown.insert(LS);
     return kNoBlock;
   }
@@ -1099,6 +1153,7 @@ ParallelRuntime::ParallelRuntime(const Module &M, const RuntimePlan &Plan,
     : M(M), Plan(Plan), Engine(Engine) {
   if (Engine != ExecEngineKind::Bytecode)
     return;
+  obs::TraceSpan Span("run.decode");
   BCM = std::make_unique<BytecodeModule>(M);
   // Lower each planned loop's per-instruction scheduler maps into flat
   // per-PC tables once; workers then index arrays instead of maps.
@@ -1183,6 +1238,11 @@ ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
   PRState RS(M, Plan.Threads);
   RS.S.setBudget(Budget);
 
+  obs::TraceSpan RunSpan("run", "entry=%s engine=%s threads=%u",
+                         EntryName.c_str(),
+                         Engine == ExecEngineKind::Bytecode ? "bytecode"
+                                                            : "walker",
+                         Plan.Threads);
   RTValue R;
   if (Engine == ExecEngineKind::Bytecode) {
     BytecodeEng Eng{RS.S, *BCM};

@@ -20,6 +20,8 @@
 #include "analysis/MemoryModel.h"
 #include "analysis/Privatization.h"
 #include "analysis/ValueSpec.h"
+#include "obs/PlanDecision.h"
+#include "obs/Trace.h"
 #include "parallel/PlanEnumerator.h"
 #include "parallel/RegionMap.h"
 #include "profiling/DepProfile.h"
@@ -696,14 +698,21 @@ void applyGrain(LoopSchedule &LS, const Function &F,
 
 /// Derives the best schedule for one loop from one plan view, running the
 /// DOALL > HELIX > DSWP chain. \p InnerWS marks J&K inner worksharing
-/// loops (DOALL or nothing).
+/// loops (DOALL or nothing). \p Dec (optional) receives the candidate
+/// verdicts for the plan-decision log.
 LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
                               const Loop &L, const LoopFacts &Facts,
                               const LoopPlanView &PV, const RegionMap &Regions,
                               unsigned Threads, bool InnerWS,
-                              const SpecCtx &Spec) {
+                              const SpecCtx &Spec,
+                              obs::LoopDecision *Dec = nullptr) {
   LoopSCCDAG DAG(PV);
   LoopSchedule LS;
+  auto Candidate = [&](const char *Kind, const std::string &Verdict) {
+    if (Dec)
+      Dec->Candidates.push_back(
+          {Kind, Verdict.empty(), Verdict.empty() ? "selected" : Verdict});
+  };
   std::string Common = fillCommon(LS, F, FA, L, Facts);
   if (!Common.empty()) {
     LS.F = &F;
@@ -722,6 +731,7 @@ LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
   };
 
   std::string DoallR = tryDOALL(LS, F, FA, L, Facts, PV, DAG, Spec);
+  Candidate("DOALL", DoallR);
   bool Spd = !PV.Assumptions.empty() || LS.hasValueSpec();
   if (DoallR.empty()) {
     LS.Reason = Spd ? "DOALL (speculative)" : "DOALL";
@@ -732,6 +742,7 @@ LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
     LoopSchedule H = LS; // common fields, no DOALL residue
     ClearResidue(H);
     std::string HelixR = tryHELIX(H, F, FA, L, Facts, PV, DAG, Regions, Spec);
+    Candidate("HELIX", HelixR);
     if (HelixR.empty()) {
       LS = std::move(H);
       LS.Reason = PV.Assumptions.empty() ? "HELIX" : "HELIX (speculative)";
@@ -739,6 +750,7 @@ LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
       LoopSchedule D = LS;
       ClearResidue(D);
       std::string DswpR = tryDSWP(D, F, FA, L, Facts, PV, DAG, Threads, Spec);
+      Candidate("DSWP", DswpR);
       if (DswpR.empty()) {
         LS = std::move(D);
         LS.Reason = PV.Assumptions.empty() ? "DSWP" : "DSWP (speculative)";
@@ -755,12 +767,64 @@ LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
   return LS;
 }
 
+/// One-line summary of a loop instruction for the decision log:
+/// opcode, accessed storage (when a memory access), defining block.
+std::string instDesc(const Instruction *I) {
+  std::string S = I->getOpcodeName();
+  const Value *Ptr = nullptr;
+  if (const auto *LI = dyn_cast<LoadInst>(I))
+    Ptr = LI->getPointer();
+  else if (const auto *SI = dyn_cast<StoreInst>(I))
+    Ptr = SI->getPointer();
+  if (Ptr)
+    if (const Value *Root = rootStorage(Ptr))
+      if (!Root->getName().empty())
+        S += " '" + Root->getName() + "'";
+  if (const BasicBlock *BB = I->getParent())
+    S += " (" + BB->getName() + ")";
+  return S;
+}
+
+/// Fills the static (pre-selection) half of a LoopDecision: identity,
+/// oracle-attributed carried edges, and the view's assumption sets.
+void describeView(obs::LoopDecision &Dec, const Function &F,
+                  AbstractionKind Abs, const Loop &L,
+                  const LoopPlanView &PV) {
+  Dec.Fn = F.getName();
+  Dec.Header = F.getBlock(L.getHeader())->getName();
+  Dec.HeaderIdx = L.getHeader();
+  Dec.Depth = L.getDepth();
+  Dec.Abstraction = abstractionName(Abs);
+  for (const LoopDepEdge &E : PV.Edges) {
+    if (!E.CarriedAtLoop)
+      continue;
+    obs::PlanBlocker B;
+    B.Src = instDesc(PV.Insts[E.Src]);
+    B.Dst = instDesc(PV.Insts[E.Dst]);
+    B.Oracle = E.Oracle ? E.Oracle : "";
+    B.Must = E.Must;
+    Dec.Blockers.push_back(std::move(B));
+  }
+  for (const SpecAssumption &A : PV.Assumptions)
+    Dec.Assumptions.push_back(instDesc(A.Src) + " -> " + instDesc(A.Dst));
+  for (const ValueAssumption &A : PV.ValueAssumptions) {
+    std::string Name = "?";
+    if (A.Storage && !A.Storage->getName().empty())
+      Name = A.Storage->getName();
+    Dec.ValueAssumptions.push_back(
+        "'" + Name + "' " + (A.IsScalar ? "(predicted scalar)"
+                                        : "(promoted reduction)"));
+  }
+}
+
 void planFunction(RuntimePlan &Plan, const Function &F,
                   const FunctionAnalysis &FA, unsigned Threads,
                   const DepOracleConfig &DepOracles,
-                  const GrainConfig &Grain) {
+                  const GrainConfig &Grain,
+                  obs::PlanDecisionLog *Decisions) {
   if (FA.loopInfo().loops().empty())
     return;
+  obs::TraceSpan Span("plan.function", "fn=%s", F.getName().c_str());
   const Module &M = *F.getParent();
 
   auto Worksharing = [&](const Loop *L) -> bool {
@@ -804,8 +868,13 @@ void planFunction(RuntimePlan &Plan, const Function &F,
     LoopPlanView PV = View.viewFor(*L);
     LoopFacts Facts = collectFacts(F, FA, Regions, *L);
 
+    obs::LoopDecision Dec;
+    obs::LoopDecision *DecP = Decisions ? &Dec : nullptr;
+    if (DecP)
+      describeView(Dec, F, Plan.Abs, *L, PV);
+
     LoopSchedule LS = scheduleFromView(F, FA, *L, Facts, PV, Regions,
-                                       Threads, InnerWS, Spec);
+                                       Threads, InnerWS, Spec, DecP);
 
     // Speculation-aware selection (ROADMAP): a speculative schedule is
     // costed by its obligation count and the profile's historical
@@ -815,21 +884,47 @@ void planFunction(RuntimePlan &Plan, const Function &F,
       unsigned Obligations =
           static_cast<unsigned>(LS.Assumptions.size() + LS.ValuePreds.size() +
                                 LS.SpecReductions.size());
-      if (!speculationAccepted(DepOracles.SpecProfile, F.getName(),
-                               L->getHeader(), Obligations)) {
-        uint64_t Attempts = 0, Misspecs = 0;
-        DepOracles.SpecProfile->specHistory(F.getName(), L->getHeader(),
-                                            Attempts, Misspecs);
+      double Cost = 0.0;
+      bool Accepted = speculationAccepted(DepOracles.SpecProfile, F.getName(),
+                                          L->getHeader(), Obligations, &Cost);
+      uint64_t Attempts = 0, Misspecs = 0;
+      DepOracles.SpecProfile->specHistory(F.getName(), L->getHeader(),
+                                          Attempts, Misspecs);
+      if (DecP) {
+        Dec.SpecConsidered = true;
+        Dec.SpecRejected = !Accepted;
+        Dec.SpecCost = Cost;
+        Dec.SpecThreshold = SpecCostModel().AcceptThreshold;
+        Dec.SpecAttempts = Attempts;
+        Dec.SpecMisspecs = Misspecs;
+      }
+      if (!Accepted) {
+        obs::traceInstantf("plan.spec_rejected", "fn=%s header=%u cost=%.0f",
+                           F.getName().c_str(), L->getHeader(), Cost);
         LoopPlanView Sound = soundAlternative(PV);
+        if (DecP)
+          Dec.Candidates.clear(); // re-derivation: keep the sound verdicts
         LS = scheduleFromView(F, FA, *L, Facts, Sound, Regions, Threads,
-                              InnerWS, SpecCtx{});
+                              InnerWS, SpecCtx{}, DecP);
         LS.Reason += " [speculation rejected by cost model: " +
                      std::to_string(Misspecs) + "/" +
                      std::to_string(Attempts) + " misspeculated]";
       }
     }
-    if (Grain.Enabled)
+    if (Grain.Enabled) {
+      ScheduleKind Before = LS.Kind;
       applyGrain(LS, F, FA, *L, Threads, Grain);
+      if (DecP && LS.Kind != Before) {
+        Dec.GrainNote = LS.Reason; // "<kind> below parallel grain (...)"
+        obs::traceInstantf("plan.grain_demoted", "fn=%s header=%u",
+                           F.getName().c_str(), L->getHeader());
+      }
+    }
+    if (DecP) {
+      Dec.Final = scheduleKindName(LS.Kind);
+      Dec.Reason = LS.Reason;
+      Decisions->Loops.push_back(std::move(Dec));
+    }
     Plan.Loops[{&F, L->getHeader()}] = std::move(LS);
   }
 }
@@ -839,7 +934,10 @@ void planFunction(RuntimePlan &Plan, const Function &F,
 RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
                                   unsigned Threads, const FeatureSet &Features,
                                   const DepOracleConfig &DepOracles,
-                                  const GrainConfig &Grain) {
+                                  const GrainConfig &Grain,
+                                  obs::PlanDecisionLog *Decisions) {
+  obs::TraceSpan Span("plan.build", "abs=%s threads=%u",
+                      abstractionName(Kind), Threads);
   RuntimePlan Plan;
   Plan.Abs = Kind;
   Plan.Features = Features;
@@ -850,6 +948,6 @@ RuntimePlan psc::buildRuntimePlan(const Module &M, AbstractionKind Kind,
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
       planFunction(Plan, *F, Plan.MA->of(*F), Plan.Threads, DepOracles,
-                   Grain);
+                   Grain, Decisions);
   return Plan;
 }

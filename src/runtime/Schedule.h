@@ -48,6 +48,10 @@
 
 namespace psc {
 
+namespace obs {
+struct PlanDecisionLog;
+} // namespace obs
+
 enum class ScheduleKind { Sequential, DOALL, HELIX, DSWP };
 
 const char *scheduleKindName(ScheduleKind K);
@@ -230,11 +234,16 @@ struct RuntimePlan {
 /// profile must outlive nothing — schedules copy their assumption sets.
 /// \p Grain configures the cost-model grain pass (default: disabled, so
 /// schedules are purely validity-driven as before).
+/// \p Decisions (optional) receives one structured LoopDecision per planned
+/// loop — the `--explain` evidence (obs/PlanDecision.h): candidate
+/// verdicts, oracle-attributed blockers, assumptions, cost-model numbers,
+/// and the grain outcome. Null costs nothing.
 RuntimePlan buildRuntimePlan(const Module &M, AbstractionKind Kind,
                              unsigned Threads,
                              const FeatureSet &Features = FeatureSet(),
                              const DepOracleConfig &DepOracles = {},
-                             const GrainConfig &Grain = {});
+                             const GrainConfig &Grain = {},
+                             obs::PlanDecisionLog *Decisions = nullptr);
 
 } // namespace psc
 

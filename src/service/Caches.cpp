@@ -4,8 +4,6 @@
 
 #include "pspdg/PSPDGBuilder.h"
 
-#include <cstdio>
-
 using namespace psc;
 using namespace psc::service;
 
@@ -58,15 +56,18 @@ CachedModule::FnBundle &CachedModule::bundleFor(const Function &F) const {
 const FunctionAnalysis &
 CachedModule::functionAnalysis(const Function &F) const {
   FnBundle &B = bundleFor(F);
-  std::call_once(B.FAOnce,
-                 [&] { B.FA = std::make_unique<FunctionAnalysis>(F); });
+  std::call_once(B.FAOnce, [&] {
+    obs::TraceSpan Span("analysis.bundle", "fn=%s", F.getName().c_str());
+    B.FA = std::make_unique<FunctionAnalysis>(F);
+  });
   return *B.FA;
 }
 
 const std::vector<LoopPlanSummary> &
-CachedModule::planSummaries(const Function &F, AbstractionKind Abs,
-                            MemoCache *L2,
-                            std::atomic<uint64_t> *Builds) const {
+CachedModule::planSummaries(
+    const Function &F, AbstractionKind Abs, MemoCache *L2,
+    std::atomic<uint64_t> *Builds,
+    const std::function<void(const DepOracleStack &)> &OnStats) const {
   FnBundle &B = bundleFor(F);
   unsigned AbsIdx = static_cast<unsigned>(Abs);
   std::call_once(B.PlanOnce[AbsIdx], [&] {
@@ -93,122 +94,13 @@ CachedModule::planSummaries(const Function &F, AbstractionKind Abs,
     B.Plans[AbsIdx] = summarizePlans(FA, View);
     if (L2)
       L2->insert(Name + ":" + F.getName(), BH, Stack.exportMemo());
+    if (OnStats)
+      OnStats(Stack);
   });
   return B.Plans[AbsIdx];
 }
 
-// --- ModuleCache -------------------------------------------------------------
-
-std::shared_ptr<const CachedModule> ModuleCache::lookup(uint64_t Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Index.find(Key);
-  if (It == Index.end()) {
-    ++Stats.Misses;
-    return nullptr;
-  }
-  ++Stats.Hits;
-  LRU.splice(LRU.begin(), LRU, It->second); // bump to most-recent
-  return It->second->V;
-}
-
-void ModuleCache::insert(uint64_t Key,
-                         std::shared_ptr<const CachedModule> V) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (Index.count(Key))
-    return; // a concurrent session compiled the same source first
-  LRU.push_front(Entry{Key, std::move(V)});
-  Index[Key] = LRU.begin();
-  while (LRU.size() > Capacity) {
-    Index.erase(LRU.back().Key);
-    LRU.pop_back();
-    ++Stats.Evictions;
-  }
-}
-
-CacheStats ModuleCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
-}
-
-size_t ModuleCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return LRU.size();
-}
-
-// --- MemoCache ---------------------------------------------------------------
-
-void MemoCache::eraseKeyLocked(uint64_t Key) {
-  auto It = Index.find(Key);
-  if (It == Index.end())
-    return;
-  LRU.erase(It->second);
-  Index.erase(It);
-}
-
-void MemoCache::noteBodyLocked(const std::string &FnName,
-                               uint64_t BodyHash) {
-  auto [It, New] = LastHash.try_emplace(FnName, BodyHash);
-  if (New || It->second == BodyHash)
-    return;
-  // The function was edited: its name re-arrived with a different body
-  // hash. Evict the predecessor's analysis loudly — a stale memo served
-  // here would mean planning the *new* body with the *old* body's
-  // dependence answers.
-  std::fprintf(stderr,
-               "pscd: memo cache invalidating @%s (body hash %016llx -> "
-               "%016llx)\n",
-               FnName.c_str(), (unsigned long long)It->second,
-               (unsigned long long)BodyHash);
-  eraseKeyLocked(It->second);
-  ++Stats.Invalidations;
-  It->second = BodyHash;
-}
-
-std::shared_ptr<const MemoCache::MemoTable>
-MemoCache::lookup(uint64_t BodyHash) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Index.find(BodyHash);
-  if (It == Index.end()) {
-    ++Stats.Misses;
-    return nullptr;
-  }
-  ++Stats.Hits;
-  LRU.splice(LRU.begin(), LRU, It->second);
-  return It->second->V;
-}
-
-void MemoCache::insert(const std::string &FnName, uint64_t BodyHash,
-                       MemoTable T) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  noteBodyLocked(FnName, BodyHash);
-  if (Index.count(BodyHash))
-    return;
-  LRU.push_front(Entry{BodyHash,
-                       std::make_shared<const MemoTable>(std::move(T))});
-  Index[BodyHash] = LRU.begin();
-  while (LRU.size() > Capacity) {
-    Index.erase(LRU.back().Key);
-    LRU.pop_back();
-    ++Stats.Evictions;
-  }
-}
-
-void MemoCache::noteBody(const std::string &FnName, uint64_t BodyHash) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  noteBodyLocked(FnName, BodyHash);
-}
-
-CacheStats MemoCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
-}
-
-size_t MemoCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return LRU.size();
-}
-
-// --- PlanCache ---------------------------------------------------------------
+// --- PlanCache keying --------------------------------------------------------
 
 uint64_t PlanCache::keyFor(uint64_t BodyHash, AbstractionKind Abs) {
   // Splitmix-style mix of the abstraction index into the body hash so
@@ -221,74 +113,8 @@ uint64_t PlanCache::keyFor(uint64_t BodyHash, AbstractionKind Abs) {
   return K;
 }
 
-void PlanCache::eraseKeyLocked(uint64_t Key) {
-  auto It = Index.find(Key);
-  if (It == Index.end())
-    return;
-  LRU.erase(It->second);
-  Index.erase(It);
-}
-
-void PlanCache::noteBodyLocked(const std::string &FnName,
-                               uint64_t BodyHash) {
-  auto [It, New] = LastHash.try_emplace(FnName, BodyHash);
-  if (New || It->second == BodyHash)
-    return;
-  // Edited body: evict every abstraction's lines cached under the
-  // previous hash, loudly — a stale plan served for a new body is the
-  // one failure mode this cache must never have.
-  std::fprintf(stderr,
-               "pscd: plan cache invalidating @%s (body hash %016llx -> "
-               "%016llx)\n",
-               FnName.c_str(), (unsigned long long)It->second,
-               (unsigned long long)BodyHash);
+unsigned PlanCache::expandKeys(uint64_t OldHash, uint64_t Keys[4]) {
   for (unsigned A = 0; A < 4; ++A)
-    eraseKeyLocked(keyFor(It->second, static_cast<AbstractionKind>(A)));
-  ++Stats.Invalidations;
-  It->second = BodyHash;
-}
-
-std::shared_ptr<const std::string>
-PlanCache::lookup(uint64_t BodyHash, AbstractionKind Abs) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Index.find(keyFor(BodyHash, Abs));
-  if (It == Index.end()) {
-    ++Stats.Misses;
-    return nullptr;
-  }
-  ++Stats.Hits;
-  LRU.splice(LRU.begin(), LRU, It->second);
-  return It->second->V;
-}
-
-void PlanCache::insert(const std::string &FnName, uint64_t BodyHash,
-                       AbstractionKind Abs, std::string Lines) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  noteBodyLocked(FnName, BodyHash);
-  uint64_t Key = keyFor(BodyHash, Abs);
-  if (Index.count(Key))
-    return; // a concurrent session rendered the same plans first
-  LRU.push_front(Entry{Key,
-                       std::make_shared<const std::string>(std::move(Lines))});
-  Index[Key] = LRU.begin();
-  while (LRU.size() > Capacity) {
-    Index.erase(LRU.back().Key);
-    LRU.pop_back();
-    ++Stats.Evictions;
-  }
-}
-
-void PlanCache::noteBody(const std::string &FnName, uint64_t BodyHash) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  noteBodyLocked(FnName, BodyHash);
-}
-
-CacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
-}
-
-size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return LRU.size();
+    Keys[A] = keyFor(OldHash, static_cast<AbstractionKind>(A));
+  return 4;
 }

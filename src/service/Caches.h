@@ -52,10 +52,13 @@
 #include "analysis/DepOracle.h"
 #include "emulator/Bytecode.h"
 #include "ir/Module.h"
+#include "obs/Trace.h"
 #include "parallel/PlanLines.h"
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -103,7 +106,9 @@ struct CachedModule {
   /// counter the single-flight tests assert on.
   const std::vector<LoopPlanSummary> &
   planSummaries(const Function &F, AbstractionKind Abs, MemoCache *L2,
-                std::atomic<uint64_t> *Builds) const;
+                std::atomic<uint64_t> *Builds,
+                const std::function<void(const DepOracleStack &)> &OnStats =
+                    {}) const;
 
 private:
   struct FnBundle;
@@ -124,32 +129,164 @@ struct CacheStats {
   }
 };
 
-/// L1: source-text hash → compiled module. LRU at \p Capacity entries.
-class ModuleCache {
+namespace cache_detail {
+
+/// The LRU machinery shared by all three levels: one recency list + key
+/// index + per-name last-body-hash map (the loud edited-body
+/// invalidation trigger) + hit/miss/eviction counters behind one mutex.
+/// Each level wraps a core with its own value type and key derivation;
+/// a level whose entries fan out to multiple keys per body hash (L3:
+/// one per abstraction) supplies a key expander so invalidation evicts
+/// every derived key. Lookups and invalidations emit `cache.*` trace
+/// instants tagged with the level's name.
+template <typename V> class LruCore {
 public:
-  explicit ModuleCache(size_t Capacity = 64) : Capacity(Capacity) {}
+  /// Maps an invalidated body hash to the derived keys to evict (at
+  /// most 4); null means the hash itself is the key.
+  using KeyExpander = unsigned (*)(uint64_t OldHash, uint64_t Keys[4]);
 
-  /// Returns the cached module for \p Key, bumping its recency; null on
-  /// miss.
-  std::shared_ptr<const CachedModule> lookup(uint64_t Key);
+  LruCore(const char *Name, size_t Capacity, KeyExpander Expand = nullptr)
+      : Name(Name), Capacity(Capacity), Expand(Expand) {}
 
-  /// Admits \p V under \p Key (no-op if the key raced in concurrently),
-  /// evicting the least-recently-used entry beyond capacity.
-  void insert(uint64_t Key, std::shared_ptr<const CachedModule> V);
+  /// Returns the entry for \p Key, bumping its recency; null on miss.
+  std::shared_ptr<const V> lookup(uint64_t Key) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      ++Stats.Misses;
+      obs::traceInstantf("cache.miss", "cache=%s", Name);
+      return nullptr;
+    }
+    ++Stats.Hits;
+    obs::traceInstantf("cache.hit", "cache=%s", Name);
+    LRU.splice(LRU.begin(), LRU, It->second); // bump to most-recent
+    return It->second->Val;
+  }
 
-  CacheStats stats() const;
-  size_t size() const;
+  /// Admits \p Val under \p Key (no-op if the key raced in
+  /// concurrently), evicting the least-recently-used entries beyond
+  /// capacity.
+  void insert(uint64_t Key, std::shared_ptr<const V> Val) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    insertLocked(Key, std::move(Val));
+  }
+
+  /// insert() with the edited-body check on \p FnName first, under one
+  /// lock acquisition.
+  void insertNoted(const std::string &FnName, uint64_t BodyHash,
+                   uint64_t Key, std::shared_ptr<const V> Val) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    noteBodyLocked(FnName, BodyHash);
+    insertLocked(Key, std::move(Val));
+  }
+
+  /// The edited-body check without an insert: notes that \p FnName now
+  /// has \p BodyHash, evicting (loudly) any entry recorded under the
+  /// name's previous hash.
+  void noteBody(const std::string &FnName, uint64_t BodyHash) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    noteBodyLocked(FnName, BodyHash);
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Stats;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return LRU.size();
+  }
 
 private:
   struct Entry {
     uint64_t Key;
-    std::shared_ptr<const CachedModule> V;
+    std::shared_ptr<const V> Val;
   };
+
+  void insertLocked(uint64_t Key, std::shared_ptr<const V> Val) {
+    if (Index.count(Key))
+      return; // a concurrent session inserted the same entry first
+    LRU.push_front(Entry{Key, std::move(Val)});
+    Index[Key] = LRU.begin();
+    while (LRU.size() > Capacity) {
+      Index.erase(LRU.back().Key);
+      LRU.pop_back();
+      ++Stats.Evictions;
+      obs::traceInstantf("cache.evict", "cache=%s", Name);
+    }
+  }
+
+  void eraseKeyLocked(uint64_t Key) {
+    auto It = Index.find(Key);
+    if (It == Index.end())
+      return;
+    LRU.erase(It->second);
+    Index.erase(It);
+  }
+
+  void noteBodyLocked(const std::string &FnName, uint64_t BodyHash) {
+    auto [It, New] = LastHash.try_emplace(FnName, BodyHash);
+    if (New || It->second == BodyHash)
+      return;
+    // The function was edited: its name re-arrived with a different body
+    // hash. Evict the predecessor's entries loudly — a stale answer
+    // served here would mean planning the *new* body with the *old*
+    // body's results.
+    std::fprintf(stderr,
+                 "pscd: %s cache invalidating @%s (body hash %016llx -> "
+                 "%016llx)\n",
+                 Name, FnName.c_str(), (unsigned long long)It->second,
+                 (unsigned long long)BodyHash);
+    obs::traceInstantf("cache.invalidate", "cache=%s fn=%s", Name,
+                       FnName.c_str());
+    if (Expand) {
+      uint64_t Keys[4];
+      unsigned N = Expand(It->second, Keys);
+      for (unsigned I = 0; I < N; ++I)
+        eraseKeyLocked(Keys[I]);
+    } else {
+      eraseKeyLocked(It->second);
+    }
+    ++Stats.Invalidations;
+    It->second = BodyHash;
+  }
+
+  const char *Name;
   mutable std::mutex Mu;
   size_t Capacity;
+  KeyExpander Expand;
   std::list<Entry> LRU; ///< Front = most recent.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> Index;
+  /// Function name → last body hash seen (the invalidation trigger).
+  std::unordered_map<std::string, uint64_t> LastHash;
   CacheStats Stats;
+};
+
+} // namespace cache_detail
+
+/// L1: source-text hash → compiled module. LRU at \p Capacity entries.
+class ModuleCache {
+public:
+  explicit ModuleCache(size_t Capacity = 64) : Core("module", Capacity) {}
+
+  /// Returns the cached module for \p Key, bumping its recency; null on
+  /// miss.
+  std::shared_ptr<const CachedModule> lookup(uint64_t Key) {
+    return Core.lookup(Key);
+  }
+
+  /// Admits \p V under \p Key (no-op if the key raced in concurrently),
+  /// evicting the least-recently-used entry beyond capacity.
+  void insert(uint64_t Key, std::shared_ptr<const CachedModule> V) {
+    Core.insert(Key, std::move(V));
+  }
+
+  CacheStats stats() const { return Core.stats(); }
+  size_t size() const { return Core.size(); }
+
+private:
+  cache_detail::LruCore<CachedModule> Core;
 };
 
 /// L2: function body hash → dependence memo table. LRU at \p Capacity
@@ -158,89 +295,82 @@ class MemoCache {
 public:
   using MemoTable = std::unordered_map<uint64_t, DepResult>;
 
-  explicit MemoCache(size_t Capacity = 256) : Capacity(Capacity) {}
+  explicit MemoCache(size_t Capacity = 256) : Core("memo", Capacity) {}
 
   /// Returns the memo table for \p BodyHash, bumping recency; null on
   /// miss.
-  std::shared_ptr<const MemoTable> lookup(uint64_t BodyHash);
+  std::shared_ptr<const MemoTable> lookup(uint64_t BodyHash) {
+    return Core.lookup(BodyHash);
+  }
 
   /// Admits \p T for function \p FnName at \p BodyHash. If \p FnName was
   /// last seen with a *different* body hash, the stale entry is evicted
   /// and the invalidation is counted and reported on stderr — an edited
   /// function must never be served its predecessor's analysis.
-  void insert(const std::string &FnName, uint64_t BodyHash, MemoTable T);
+  void insert(const std::string &FnName, uint64_t BodyHash, MemoTable T) {
+    Core.insertNoted(FnName, BodyHash, BodyHash,
+                     std::make_shared<const MemoTable>(std::move(T)));
+  }
 
   /// The edited-body check without an insert: notes that \p FnName now
   /// has \p BodyHash, evicting (loudly) any entry recorded under the
   /// name's previous hash. Used by the compile stage so invalidation
   /// happens as soon as the new body is seen, not only after its
   /// analysis completes.
-  void noteBody(const std::string &FnName, uint64_t BodyHash);
+  void noteBody(const std::string &FnName, uint64_t BodyHash) {
+    Core.noteBody(FnName, BodyHash);
+  }
 
-  CacheStats stats() const;
-  size_t size() const;
+  CacheStats stats() const { return Core.stats(); }
+  size_t size() const { return Core.size(); }
 
 private:
-  struct Entry {
-    uint64_t Key;
-    std::shared_ptr<const MemoTable> V;
-  };
-  void noteBodyLocked(const std::string &FnName, uint64_t BodyHash);
-  void eraseKeyLocked(uint64_t Key);
-
-  mutable std::mutex Mu;
-  size_t Capacity;
-  std::list<Entry> LRU;
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
-  /// Function name → last body hash seen (the invalidation trigger).
-  std::unordered_map<std::string, uint64_t> LastHash;
-  CacheStats Stats;
+  cache_detail::LruCore<MemoTable> Core;
 };
 
 /// L3: (function body hash, abstraction kind) → finished plan lines.
 /// LRU at \p Capacity entries, with the same loud edited-body
 /// invalidation contract as L2 — one edit evicts the lines of *every*
-/// abstraction cached under the function's previous hash. Only
-/// non-speculative sessions read or write this cache.
+/// abstraction cached under the function's previous hash (the key
+/// expander handed to the core). Only non-speculative sessions read or
+/// write this cache.
 class PlanCache {
 public:
-  explicit PlanCache(size_t Capacity = 512) : Capacity(Capacity) {}
+  explicit PlanCache(size_t Capacity = 512)
+      : Core("plan", Capacity, &PlanCache::expandKeys) {}
 
   /// Returns the rendered plan lines for (\p BodyHash, \p Abs), bumping
   /// recency; null on miss. An empty string is a valid hit (a loop-free
   /// function plans to nothing — caching that still skips the analysis).
   std::shared_ptr<const std::string> lookup(uint64_t BodyHash,
-                                            AbstractionKind Abs);
+                                            AbstractionKind Abs) {
+    return Core.lookup(keyFor(BodyHash, Abs));
+  }
 
   /// Admits \p Lines for function \p FnName at (\p BodyHash, \p Abs),
   /// with the L2-style edited-body check on \p FnName first.
   void insert(const std::string &FnName, uint64_t BodyHash,
-              AbstractionKind Abs, std::string Lines);
+              AbstractionKind Abs, std::string Lines) {
+    Core.insertNoted(
+        FnName, BodyHash, keyFor(BodyHash, Abs),
+        std::make_shared<const std::string>(std::move(Lines)));
+  }
 
   /// The edited-body check without an insert (see MemoCache::noteBody).
-  void noteBody(const std::string &FnName, uint64_t BodyHash);
+  void noteBody(const std::string &FnName, uint64_t BodyHash) {
+    Core.noteBody(FnName, BodyHash);
+  }
 
-  CacheStats stats() const;
-  size_t size() const;
+  CacheStats stats() const { return Core.stats(); }
+  size_t size() const { return Core.size(); }
 
 private:
   /// The composite key: the body hash mixed with the abstraction index.
   static uint64_t keyFor(uint64_t BodyHash, AbstractionKind Abs);
+  /// Invalidation fan-out: every abstraction's key for \p OldHash.
+  static unsigned expandKeys(uint64_t OldHash, uint64_t Keys[4]);
 
-  struct Entry {
-    uint64_t Key;
-    std::shared_ptr<const std::string> V;
-  };
-  void noteBodyLocked(const std::string &FnName, uint64_t BodyHash);
-  void eraseKeyLocked(uint64_t Key);
-
-  mutable std::mutex Mu;
-  size_t Capacity;
-  std::list<Entry> LRU;
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
-  /// Function name → last body hash seen (the invalidation trigger).
-  std::unordered_map<std::string, uint64_t> LastHash;
-  CacheStats Stats;
+  cache_detail::LruCore<std::string> Core;
 };
 
 } // namespace service

@@ -5,10 +5,13 @@
 #include "analysis/DepOracle.h"
 #include "emulator/Interpreter.h"
 #include "frontend/Frontend.h"
+#include "obs/PlanDecision.h"
+#include "obs/Trace.h"
 #include "parallel/AbstractionView.h"
 #include "parallel/PlanLines.h"
 #include "pspdg/Fingerprint.h"
 #include "pspdg/PSPDGBuilder.h"
+#include "runtime/Schedule.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -17,6 +20,7 @@
 #include <cstring>
 #include <future>
 #include <sstream>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -58,6 +62,10 @@ Server::Server(ServerConfig Config)
       Profiles(C.ProfileShards), BudgetAvail(C.BudgetPool),
       StartTime(std::chrono::steady_clock::now()) {
   LatencyRing.reserve(RingCap);
+  // Per-session trace files need the recorder armed for the server's
+  // whole lifetime; sessions carve their [start, end] windows out of it.
+  if (!C.TraceDir.empty())
+    obs::traceEnable();
 }
 
 Server::~Server() { stop(); }
@@ -186,8 +194,12 @@ Message Server::handle(const Message &Req) {
     return Message{{"ok", "1"}, {"op", "pong"}};
   if (Op == "stats")
     return Message{{"ok", "1"}, {"json", statsJson()}};
+  if (Op == "metrics")
+    return Message{{"ok", "1"}, {"text", metricsText()}};
   if (Op == "session")
     return handleSession(Req);
+  if (Op == "explain")
+    return handleExplain(Req);
   if (Op == "profile-merge")
     return handleProfileMerge(Req);
   if (Op == "shutdown") {
@@ -213,6 +225,15 @@ uint64_t Server::acquireBudget(uint64_t Want) {
   // of deadlocking the session.
   Want = std::min<uint64_t>(std::max<uint64_t>(Want, 1), C.BudgetPool);
   std::unique_lock<std::mutex> Lock(BudgetMu);
+  if (BudgetAvail < Want) {
+    // The pool is short: this session now blocks until another run
+    // stage releases its lease. Counted (metrics) and marked (trace) —
+    // lease contention is the service's run-stage backpressure signal.
+    BudgetDenials.fetch_add(1, std::memory_order_relaxed);
+    obs::traceInstantf("budget.denied", "want=%llu avail=%llu",
+                       (unsigned long long)Want,
+                       (unsigned long long)BudgetAvail);
+  }
   BudgetCv.wait(Lock, [&] { return BudgetAvail >= Want; });
   BudgetAvail -= Want;
   return Want;
@@ -227,6 +248,13 @@ void Server::releaseBudget(uint64_t Lease) {
 }
 
 void Server::recordSession(double Ms) {
+  // The one registry write on a session path: once per session, into a
+  // lock-free histogram cell (registration cost only on first call).
+  Registry
+      .histogram("pscd_session_latency_ms",
+                 {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000},
+                 "", "End-to-end session latency in milliseconds")
+      .observe(Ms);
   std::lock_guard<std::mutex> Lock(StatsMu);
   ++TotalSessions;
   if (LatencyRing.size() < RingCap) {
@@ -239,41 +267,47 @@ void Server::recordSession(double Ms) {
 
 void Server::recordStage(unsigned Stage, double Ms) {
   std::lock_guard<std::mutex> Lock(StatsMu);
-  ++Stages[Stage].Count;
-  Stages[Stage].TotalMs += Ms;
+  StageStat &S = Stages[Stage];
+  ++S.Count;
+  S.TotalMs += Ms;
+  if (S.Ring.size() < RingCap) {
+    S.Ring.push_back(Ms);
+  } else {
+    S.Ring[S.Pos] = Ms;
+    S.Pos = (S.Pos + 1) % RingCap;
+  }
+}
+
+void Server::noteOracleStats(const DepOracleStack &Stack) {
+  std::vector<DepOracleStack::OracleStats> Per = Stack.oracleStats();
+  const DepOracleStack::CacheStats &QC = Stack.cacheStats();
+  std::lock_guard<std::mutex> Lock(OracleMu);
+  for (const DepOracleStack::OracleStats &S : Per) {
+    DepOracleStack::OracleStats &T = OracleTotals[S.Name];
+    T.Name = S.Name;
+    T.Answered += S.Answered;
+    T.NoDep += S.NoDep;
+    T.MayDep += S.MayDep;
+    T.MustDep += S.MustDep;
+  }
+  OracleCacheTotals.Queries += QC.Queries;
+  OracleCacheTotals.Hits += QC.Hits;
+  OracleCacheTotals.Fallback += QC.Fallback;
 }
 
 // --- Sessions ----------------------------------------------------------------
 
-Message Server::handleSession(const Message &Req) {
+std::shared_ptr<const CachedModule>
+Server::getModule(const std::string &Source, const std::string &Name,
+                  bool &L1Hit, std::string &Err) {
   using Clock = std::chrono::steady_clock;
-  Clock::time_point T0 = Clock::now();
-
-  std::string Source = field(Req, "source");
-  if (Source.empty())
-    return errorResponse("session without source");
-  std::string Name = field(Req, "name", "session");
-  std::string Mode = field(Req, "mode", "full");
-  if (Mode != "run" && Mode != "analyze" && Mode != "full")
-    return errorResponse("unknown mode '" + Mode + "'");
-  std::string EngineS = field(Req, "engine", "bytecode");
-  if (EngineS != "bytecode" && EngineS != "walker")
-    return errorResponse("unknown engine '" + EngineS + "'");
-  ExecEngineKind Engine = EngineS == "walker" ? ExecEngineKind::Walker
-                                              : ExecEngineKind::Bytecode;
-  AbstractionKind Abs = parseAbs(field(Req, "abs", "pspdg"));
-  bool Spec = field(Req, "spec") == "1";
-
-  Message Resp{{"ok", "1"}};
-
-  // Stage 1 — compile (or L1 hit). Runs on the pool like every stage;
-  // this handler thread only coordinates.
+  // Compile (or L1 hit). Runs on the pool like every stage; the handler
+  // thread only coordinates.
   std::shared_ptr<const CachedModule> CM;
-  std::string CompileErr;
-  bool L1Hit = false;
   uint64_t Key = sourceKey(Source, Name);
   Clock::time_point S1 = Clock::now();
   onPool([&] {
+    obs::TraceSpan Span("service.compile", "name=%s", Name.c_str());
     CM = Modules.lookup(Key);
     if (CM) {
       L1Hit = true;
@@ -282,9 +316,9 @@ Message Server::handleSession(const Message &Req) {
     CompileResult R = compileSource(Source, Name);
     if (!R.ok()) {
       for (const std::string &D : R.Diagnostics)
-        CompileErr += (CompileErr.empty() ? "" : "\n") + D;
-      if (CompileErr.empty())
-        CompileErr = "compilation failed";
+        Err += (Err.empty() ? "" : "\n") + D;
+      if (Err.empty())
+        Err = "compilation failed";
       return;
     }
     auto Fresh = std::make_shared<CachedModule>();
@@ -307,10 +341,42 @@ Message Server::handleSession(const Message &Req) {
     Modules.insert(Key, Fresh);
     CM = std::move(Fresh);
   });
+  if (CM)
+    recordStage(0,
+                std::chrono::duration<double, std::milli>(Clock::now() - S1)
+                    .count());
+  return CM;
+}
+
+Message Server::handleSession(const Message &Req) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+  uint64_t TraceT0 = C.TraceDir.empty() ? 0 : obs::traceNowNs();
+
+  std::string Source = field(Req, "source");
+  if (Source.empty())
+    return errorResponse("session without source");
+  std::string Name = field(Req, "name", "session");
+  std::string Mode = field(Req, "mode", "full");
+  if (Mode != "run" && Mode != "analyze" && Mode != "full")
+    return errorResponse("unknown mode '" + Mode + "'");
+  std::string EngineS = field(Req, "engine", "bytecode");
+  if (EngineS != "bytecode" && EngineS != "walker")
+    return errorResponse("unknown engine '" + EngineS + "'");
+  ExecEngineKind Engine = EngineS == "walker" ? ExecEngineKind::Walker
+                                              : ExecEngineKind::Bytecode;
+  AbstractionKind Abs = parseAbs(field(Req, "abs", "pspdg"));
+  bool Spec = field(Req, "spec") == "1";
+
+  Message Resp{{"ok", "1"}};
+
+  // Stage 1 — compile (or L1 hit).
+  std::string CompileErr;
+  bool L1Hit = false;
+  std::shared_ptr<const CachedModule> CM =
+      getModule(Source, Name, L1Hit, CompileErr);
   if (!CM)
     return errorResponse(CompileErr);
-  recordStage(0, std::chrono::duration<double, std::milli>(Clock::now() - S1)
-                     .count());
   Resp["cached"] = L1Hit ? "1" : "0";
 
   // Stage 2 — plan (analyze/full). Non-speculative sessions are served
@@ -332,6 +398,8 @@ Message Server::handleSession(const Message &Req) {
     DepOracleConfig OracleCfg({}, Spec ? &Snapshot : nullptr);
     std::string PlanText;
     onPool([&] {
+      obs::TraceSpan Span("service.plan", "name=%s spec=%d", Name.c_str(),
+                          Spec ? 1 : 0);
       for (const auto &F : CM->M->functions()) {
         if (F->isDeclaration())
           continue;
@@ -350,7 +418,10 @@ Message Server::handleSession(const Message &Req) {
             continue;
           }
           const std::vector<LoopPlanSummary> &Summaries =
-              CM->planSummaries(*F, Abs, &Memos, &AnalysisBuilds);
+              CM->planSummaries(*F, Abs, &Memos, &AnalysisBuilds,
+                                [this](const DepOracleStack &S) {
+                                  noteOracleStats(S);
+                                });
           std::string Lines;
           for (const LoopPlanSummary &S : Summaries)
             Lines += renderPlanLine(S);
@@ -368,6 +439,7 @@ Message Server::handleSession(const Message &Req) {
           G = buildPSPDG(FA, Stack);
         AbstractionView View(Abs, FA, Stack, G.get());
         PlanText += renderPlanLines(FA, View);
+        noteOracleStats(Stack);
       }
     });
     Resp["plans"] = PlanText;
@@ -388,6 +460,8 @@ Message Server::handleSession(const Message &Req) {
     Clock::time_point S3 = Clock::now();
     RunResult R;
     onPool([&] {
+      obs::TraceSpan Span("service.run", "name=%s engine=%s", Name.c_str(),
+                          EngineS.c_str());
       Interpreter I(*CM->M);
       I.setEngine(Engine);
       if (Engine == ExecEngineKind::Bytecode)
@@ -411,7 +485,75 @@ Message Server::handleSession(const Message &Req) {
                   .count();
   recordSession(Ms);
   Resp["latency_ms"] = std::to_string(Ms);
+
+  if (!C.TraceDir.empty()) {
+    // One trace file per session: the recorder's events restricted to
+    // this session's time window. Events of sessions running
+    // concurrently with the window land in the file too — documented
+    // limitation (DESIGN.md §13); the session id in the metadata names
+    // whose window it is.
+    uint64_t Id = SessionSeq.fetch_add(1) + 1;
+    std::string Path =
+        C.TraceDir + "/session-" + std::to_string(Id) + ".json";
+    std::string Err;
+    if (!obs::traceWriteWindow(Path, TraceT0, obs::traceNowNs(),
+                               {{"tool", "pscd"},
+                                {"session", std::to_string(Id)},
+                                {"name", Name}},
+                               Err))
+      std::fprintf(stderr, "pscd: %s\n", Err.c_str());
+  }
   return Resp;
+}
+
+Message Server::handleExplain(const Message &Req) {
+  std::string Source = field(Req, "source");
+  if (Source.empty())
+    return errorResponse("explain without source");
+  std::string Name = field(Req, "name", "session");
+  AbstractionKind Abs = parseAbs(field(Req, "abs", "pspdg"));
+  unsigned Threads = 1;
+  std::string ThreadsS = field(Req, "threads");
+  if (!ThreadsS.empty())
+    Threads = std::max(1, std::atoi(ThreadsS.c_str()));
+  bool Spec = field(Req, "spec") == "1";
+  std::string LoopFilter = field(Req, "loop");
+
+  // Mirrors pscc's makeGrain so the served report is byte-identical to
+  // the standalone one on the same machine.
+  GrainConfig Grain;
+  std::string GrainS = field(Req, "grain", "auto");
+  if (GrainS == "auto") {
+    Grain.Enabled = true;
+    unsigned HW = std::thread::hardware_concurrency();
+    Grain.Workers = std::min(Threads, HW == 0 ? Threads : HW);
+  } else if (GrainS != "off") {
+    Grain.Enabled = true;
+    Grain.ForcedChunk = std::atol(GrainS.c_str());
+  }
+
+  std::string CompileErr;
+  bool L1Hit = false;
+  std::shared_ptr<const CachedModule> CM =
+      getModule(Source, Name, L1Hit, CompileErr);
+  if (!CM)
+    return errorResponse(CompileErr);
+
+  // The decision log depends on the profile snapshot when speculative,
+  // so it is planned fresh per request (never cached) — explain is a
+  // diagnostic surface, not a hot path.
+  DepProfile Snapshot;
+  if (Spec)
+    Snapshot = Profiles.snapshot();
+  DepOracleConfig OracleCfg({}, Spec ? &Snapshot : nullptr);
+  obs::PlanDecisionLog Log;
+  onPool([&] {
+    (void)buildRuntimePlan(*CM->M, Abs, Threads, FeatureSet(), OracleCfg,
+                           Grain, &Log);
+  });
+  return Message{{"ok", "1"},
+                 {"cached", L1Hit ? "1" : "0"},
+                 {"explain", obs::renderDecisionLog(Log, LoopFilter)}};
 }
 
 Message Server::handleProfileMerge(const Message &Req) {
@@ -440,6 +582,8 @@ std::string Server::statsJson() const {
     for (unsigned I = 0; I < 3; ++I)
       StageSnap[I] = Stages[I];
   }
+  for (unsigned I = 0; I < 3; ++I)
+    std::sort(StageSnap[I].Ring.begin(), StageSnap[I].Ring.end());
   std::sort(Lat.begin(), Lat.end());
   double Uptime = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - StartTime)
@@ -474,7 +618,9 @@ std::string Server::statsJson() const {
       << ",\"mean_ms\":"
       << (StageSnap[I].Count ? StageSnap[I].TotalMs / StageSnap[I].Count
                              : 0.0)
-      << "}";
+      << ",\"p50\":" << percentile(StageSnap[I].Ring, 0.50)
+      << ",\"p90\":" << percentile(StageSnap[I].Ring, 0.90)
+      << ",\"p99\":" << percentile(StageSnap[I].Ring, 0.99) << "}";
   J << ",\"profile_store\":{\"shards\":[";
   for (size_t I = 0; I < Shards.size(); ++I) {
     if (I)
@@ -484,4 +630,95 @@ std::string Server::statsJson() const {
   }
   J << "]},\"pool_workers\":" << Pool.numWorkers() << "}";
   return J.str();
+}
+
+std::string Server::metricsText() const {
+  // Export the cheap internal stat structs into the registry, then
+  // render. counter().set() makes every export idempotent — repeated
+  // scrapes overwrite, they never double-count.
+  double Uptime = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - StartTime)
+                      .count();
+  Registry
+      .counter("pscd_uptime_seconds", "", "Seconds since server start",
+               "gauge")
+      .set(static_cast<uint64_t>(Uptime));
+  Registry.counter("pscd_pool_workers", "", "Session-stage pool size",
+                   "gauge")
+      .set(Pool.numWorkers());
+  Registry
+      .counter("pscd_analysis_builds_total", "",
+               "Analysis bundles actually built")
+      .set(AnalysisBuilds.load());
+  Registry
+      .counter("pscd_budget_denials_total", "",
+               "Run-stage budget leases that had to wait for capacity")
+      .set(BudgetDenials.load());
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Registry.counter("pscd_sessions_total", "", "Sessions served")
+        .set(TotalSessions);
+    for (unsigned I = 0; I < 3; ++I) {
+      std::string L = std::string("stage=\"") + StageNames[I] + "\"";
+      Registry
+          .counter("pscd_stage_count_total", L,
+                   "Session stages executed, by stage")
+          .set(Stages[I].Count);
+      Registry
+          .counter("pscd_stage_ms_total", L,
+                   "Cumulative stage latency in ms, by stage")
+          .set(static_cast<uint64_t>(Stages[I].TotalMs));
+    }
+  }
+  struct {
+    const char *Label;
+    CacheStats S;
+    size_t Size;
+  } Caches[3] = {{"cache=\"module\"", Modules.stats(), Modules.size()},
+                 {"cache=\"memo\"", Memos.stats(), Memos.size()},
+                 {"cache=\"plan\"", Plans.stats(), Plans.size()}};
+  for (const auto &E : Caches) {
+    Registry
+        .counter("pscd_cache_hits_total", E.Label, "Cache hits, by level")
+        .set(E.S.Hits);
+    Registry
+        .counter("pscd_cache_misses_total", E.Label,
+                 "Cache misses, by level")
+        .set(E.S.Misses);
+    Registry
+        .counter("pscd_cache_evictions_total", E.Label,
+                 "Capacity (LRU) evictions, by level")
+        .set(E.S.Evictions);
+    Registry
+        .counter("pscd_cache_invalidations_total", E.Label,
+                 "Edited-body invalidations, by level")
+        .set(E.S.Invalidations);
+    Registry
+        .counter("pscd_cache_entries", E.Label, "Resident entries, by level",
+                 "gauge")
+        .set(E.Size);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(OracleMu);
+    for (const auto &[Name, S] : OracleTotals) {
+      std::string L = "oracle=\"" + Name + "\"";
+      Registry
+          .counter("pscd_oracle_answered_total", L,
+                   "Dependence queries claimed, by oracle")
+          .set(S.Answered);
+      Registry
+          .counter("pscd_oracle_nodep_total", L,
+                   "Dependence disproofs, by oracle")
+          .set(S.NoDep);
+    }
+    Registry
+        .counter("pscd_depquery_total", "",
+                 "Dependence queries issued (incl. memo hits)")
+        .set(OracleCacheTotals.Queries);
+    Registry
+        .counter("pscd_depquery_memo_hits_total", "",
+                 "Dependence queries served from the memo")
+        .set(OracleCacheTotals.Hits);
+  }
+  return Registry.render();
 }

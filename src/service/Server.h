@@ -50,6 +50,8 @@
 #ifndef PSPDG_SERVICE_SERVER_H
 #define PSPDG_SERVICE_SERVER_H
 
+#include "analysis/DepOracle.h"
+#include "obs/Metrics.h"
 #include "runtime/ThreadPool.h"
 #include "service/Caches.h"
 #include "service/ProfileStore.h"
@@ -76,6 +78,10 @@ struct ServerConfig {
   unsigned ProfileShards = 16;
   /// Server-wide instruction-budget pool the run stages lease from.
   uint64_t BudgetPool = 16'000'000'000ULL;
+  /// When non-empty, tracing is armed for the server's lifetime and each
+  /// session's events are written to `<TraceDir>/session-<id>.json`
+  /// (the session's time window; see DESIGN.md §13).
+  std::string TraceDir;
 };
 
 class Server {
@@ -104,12 +110,30 @@ public:
   /// The observability snapshot (the `stats` request's json field).
   std::string statsJson() const;
 
+  /// Prometheus text exposition (the `metrics` request's text field and
+  /// `pscd --metrics-out`): the cache / stage / oracle / budget counters
+  /// exported into the MetricsRegistry and rendered.
+  std::string metricsText() const;
+
 private:
   void acceptLoop();
   void connection(int Fd);
 
   Message handleSession(const Message &Req);
+  Message handleExplain(const Message &Req);
   Message handleProfileMerge(const Message &Req);
+
+  /// Stage-1 compile (or L1 hit) shared by session and explain requests:
+  /// returns the cached/fresh module, null with \p Err on a compile
+  /// failure. Runs the work on the pool; records the compile stage.
+  std::shared_ptr<const CachedModule> getModule(const std::string &Source,
+                                                const std::string &Name,
+                                                bool &L1Hit,
+                                                std::string &Err);
+
+  /// Folds one oracle stack's per-oracle and query-cache counters into
+  /// the server-wide totals metricsText() exports.
+  void noteOracleStats(const DepOracleStack &Stack);
 
   /// Runs \p Stage as a ThreadPool task and blocks this (coordinator)
   /// thread until it finishes.
@@ -156,11 +180,33 @@ private:
   struct StageStat {
     uint64_t Count = 0;
     double TotalMs = 0.0;
+    /// Last RingCap latencies of this stage, for the stats op's
+    /// per-stage p50/p90/p99 (same ring discipline as LatencyRing).
+    std::vector<double> Ring;
+    size_t Pos = 0;
   };
   StageStat Stages[3]; ///< compile / plan / run, under StatsMu.
   static constexpr const char *StageNames[3] = {"compile", "plan", "run"};
   std::chrono::steady_clock::time_point StartTime;
   static constexpr size_t RingCap = 512;
+
+  /// Budget leases that found the pool short on first look (the session
+  /// then blocks until capacity frees — this counts the contention).
+  std::atomic<uint64_t> BudgetDenials{0};
+
+  /// Per-oracle query totals accumulated from every plan-stage stack
+  /// (bundle builds and speculative sessions alike), under OracleMu.
+  mutable std::mutex OracleMu;
+  std::map<std::string, DepOracleStack::OracleStats> OracleTotals;
+  DepOracleStack::CacheStats OracleCacheTotals;
+
+  /// Monotonic session ordinal — names the per-session trace files.
+  std::atomic<uint64_t> SessionSeq{0};
+
+  /// The unified metrics surface (obs/Metrics.h). The cheap stat structs
+  /// above stay authoritative on their hot paths; metricsText() exports
+  /// them into the registry and renders.
+  mutable obs::MetricsRegistry Registry;
 };
 
 } // namespace service

@@ -1,0 +1,176 @@
+//===- PlanDecisionTest.cpp - Plan-decision log units ---------------------===//
+///
+/// The `--explain` evidence chain (obs/PlanDecision.h): the renderer's
+/// exact shape, the loop filter, and — end to end through
+/// buildRuntimePlan — that every planned loop carries candidate verdicts
+/// and that kept carried dependences name the owning oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "obs/PlanDecision.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/Schedule.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+obs::PlanDecisionLog planWithLog(const Module &M, unsigned Threads,
+                                 const DepOracleConfig &Cfg = {},
+                                 const GrainConfig &Grain = {}) {
+  obs::PlanDecisionLog Log;
+  (void)buildRuntimePlan(M, AbstractionKind::PSPDG, Threads, FeatureSet(),
+                         Cfg, Grain, &Log);
+  return Log;
+}
+
+} // namespace
+
+TEST(PlanDecisionTest, RendererShape) {
+  obs::LoopDecision D;
+  D.Fn = "main";
+  D.Header = "for.header.4";
+  D.HeaderIdx = 4;
+  D.Depth = 1;
+  D.Abstraction = "PS-PDG";
+  D.Candidates.push_back({"DOALL", false, "sequential SCCs remain"});
+  D.Candidates.push_back({"HELIX", true, "selected"});
+  D.Blockers.push_back({"store 'a'", "load 'a'", "affine", true});
+  D.Assumptions.push_back("store 'p' -> load 'p'");
+  D.Final = "HELIX";
+  D.Reason = "2 of 3 SCCs parallel";
+
+  std::string Text = obs::renderLoopDecision(D);
+  EXPECT_NE(Text.find("loop @main for.header.4 depth=1 [PS-PDG]"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("plan: HELIX — 2 of 3 SCCs parallel"),
+            std::string::npos);
+  EXPECT_NE(Text.find("DOALL -: sequential SCCs remain"), std::string::npos);
+  EXPECT_NE(Text.find("HELIX +: selected"), std::string::npos);
+  EXPECT_NE(Text.find("store 'a' -> load 'a'  [oracle: affine, must]"),
+            std::string::npos);
+  EXPECT_NE(Text.find("store 'p' -> load 'p'"), std::string::npos);
+}
+
+TEST(PlanDecisionTest, RenderLogFiltersAndHandlesEmpty) {
+  obs::PlanDecisionLog Log;
+  EXPECT_EQ(obs::renderDecisionLog(Log), "no loops planned\n");
+
+  obs::LoopDecision A;
+  A.Fn = "main";
+  A.Header = "for.header.0";
+  A.Final = "DOALL";
+  A.Reason = "r";
+  obs::LoopDecision B = A;
+  B.Header = "for.header.4";
+  Log.Loops.push_back(A);
+  Log.Loops.push_back(B);
+
+  std::string All = obs::renderDecisionLog(Log);
+  EXPECT_NE(All.find("for.header.0"), std::string::npos);
+  EXPECT_NE(All.find("for.header.4"), std::string::npos);
+
+  std::string One = obs::renderDecisionLog(Log, "for.header.4");
+  EXPECT_EQ(One.find("for.header.0 "), std::string::npos);
+  EXPECT_NE(One.find("for.header.4"), std::string::npos);
+
+  EXPECT_EQ(obs::renderDecisionLog(Log, "nope"),
+            "no loop matches 'nope'\n");
+}
+
+TEST(PlanDecisionTest, EveryPlannedLoopCarriesCandidatesAndFinal) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  obs::PlanDecisionLog Log = planWithLog(*M, 8);
+  ASSERT_FALSE(Log.Loops.empty());
+  for (const obs::LoopDecision &D : Log.Loops) {
+    EXPECT_FALSE(D.Fn.empty());
+    EXPECT_FALSE(D.Header.empty());
+    EXPECT_FALSE(D.Candidates.empty()) << "@" << D.Fn << " " << D.Header;
+    EXPECT_FALSE(D.Final.empty());
+    EXPECT_FALSE(D.Reason.empty());
+  }
+}
+
+TEST(PlanDecisionTest, RejectedLoopNamesTheOwningOracle) {
+  // UA's sound plan must keep at least one loop sequential because of
+  // carried dependences the view kept — and each kept edge names the
+  // oracle that answered it.
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  obs::PlanDecisionLog Log = planWithLog(*M, 8);
+  bool SawBlockedLoop = false;
+  for (const obs::LoopDecision &D : Log.Loops) {
+    if (D.Final != "sequential" || D.Blockers.empty())
+      continue;
+    SawBlockedLoop = true;
+    for (const obs::PlanBlocker &B : D.Blockers) {
+      EXPECT_FALSE(B.Oracle.empty())
+          << "@" << D.Fn << " " << D.Header << ": " << B.Src << " -> "
+          << B.Dst;
+      EXPECT_FALSE(B.Src.empty());
+      EXPECT_FALSE(B.Dst.empty());
+    }
+    // The rendered record carries the oracle attribution the user sees.
+    std::string Text = obs::renderLoopDecision(D);
+    EXPECT_NE(Text.find("[oracle: "), std::string::npos) << Text;
+  }
+  EXPECT_TRUE(SawBlockedLoop)
+      << "UA's sound plan should keep a loop sequential with kept edges";
+}
+
+TEST(PlanDecisionTest, SpeculativePlanRecordsAssumptionsAndCost) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  ModuleAnalyses MA(*M);
+  DepProfiler P(MA);
+  Interpreter I(*M);
+  I.addObserver(&P);
+  ASSERT_TRUE(I.run().Completed);
+  DepProfile Profile = P.takeProfile();
+
+  obs::PlanDecisionLog Log =
+      planWithLog(*M, 8, DepOracleConfig({}, &Profile));
+  bool SawSpec = false;
+  for (const obs::LoopDecision &D : Log.Loops) {
+    if (!D.SpecConsidered)
+      continue;
+    SawSpec = true;
+    EXPECT_FALSE(D.SpecRejected) << "clean profile: cost model accepts";
+    EXPECT_GT(D.SpecThreshold, 0.0);
+    EXPECT_FALSE(D.Assumptions.empty() && D.ValueAssumptions.empty())
+        << "a speculative plan without assumptions explains nothing";
+    std::string Text = obs::renderLoopDecision(D);
+    EXPECT_NE(Text.find("cost model:"), std::string::npos) << Text;
+    EXPECT_NE(Text.find("accepted"), std::string::npos) << Text;
+  }
+  EXPECT_TRUE(SawSpec) << "UA must speculate under its own clean profile";
+}
+
+TEST(PlanDecisionTest, GrainDemotionIsRecorded) {
+  auto M = compile(findWorkload("EP")->Source);
+  ASSERT_NE(M, nullptr);
+  // Force demotion: one worker makes every parallel plan lose to the
+  // modeled overhead, so the grain pass rewrites it to sequential and
+  // the decision log must say so.
+  GrainConfig Grain;
+  Grain.Enabled = true;
+  Grain.Workers = 1;
+  obs::PlanDecisionLog Log = planWithLog(*M, 8, {}, Grain);
+  bool SawDemotion = false;
+  for (const obs::LoopDecision &D : Log.Loops)
+    if (!D.GrainNote.empty()) {
+      SawDemotion = true;
+      EXPECT_EQ(D.Final, "sequential");
+      EXPECT_NE(obs::renderLoopDecision(D).find("grain: "),
+                std::string::npos);
+    }
+  EXPECT_TRUE(SawDemotion) << "1-worker grain must demote EP's DOALL";
+}

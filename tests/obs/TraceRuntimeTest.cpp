@@ -1,0 +1,187 @@
+//===- TraceRuntimeTest.cpp - Runtime tracing end to end ------------------===//
+///
+/// The runtime's trace emission under real parallel execution:
+///
+///   * an 8-thread forced-misspeculation run (the spec suite's
+///     adversarial UA) records per-worker events in per-thread order,
+///     plus the misspec instants naming the violated assumption, the
+///     rollback, and the burned-plan demotion — this is the TSan stress
+///     for the recorder's concurrent hot path;
+///   * the walker and bytecode engines emit the same spans for the same
+///     plan (the decode pass being the bytecode engine's one extra
+///     span).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "obs/Trace.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+/// UA with a non-coprime map multiplier (the spec suite's adversarial
+/// input): structurally identical to clean UA, so the clean profile
+/// applies — and is violated at run time.
+std::string adversarialUA() {
+  std::string S = findWorkload("UA")->Source;
+  size_t Pos = S.find("i * 167 + 3");
+  EXPECT_NE(Pos, std::string::npos);
+  S.replace(Pos, 11, "i * 166 + 3");
+  return S;
+}
+
+std::vector<obs::TraceEventData> traceRun(const Module &M,
+                                          const RuntimePlan &Plan,
+                                          ExecEngineKind Engine) {
+  obs::traceEnable();
+  ParallelRuntime RT(M, Plan, Engine);
+  ParallelRunResult R = RT.run();
+  obs::traceDisable();
+  EXPECT_TRUE(R.Error.empty()) << R.Error;
+  return obs::traceCollect();
+}
+
+uint64_t countNamed(const std::vector<obs::TraceEventData> &Evs,
+                    const std::string &Name) {
+  uint64_t N = 0;
+  for (const obs::TraceEventData &E : Evs)
+    N += E.Name == Name;
+  return N;
+}
+
+} // namespace
+
+TEST(TraceRuntimeTest, ForcedMisspecRunEmitsDetectionRollbackDemotion) {
+  auto Clean = compile(findWorkload("UA")->Source);
+  auto Adv = compile(adversarialUA());
+  ASSERT_NE(Clean, nullptr);
+  ASSERT_NE(Adv, nullptr);
+  DepProfile P = train(*Clean);
+
+  RuntimePlan Plan =
+      buildRuntimePlan(*Adv, AbstractionKind::PSPDG, 8, FeatureSet(),
+                       DepOracleConfig({}, &P));
+  std::vector<obs::TraceEventData> Evs =
+      traceRun(*Adv, Plan, ExecEngineKind::Bytecode);
+
+  // Detection, rollback, and demotion instants all present.
+  EXPECT_GE(countNamed(Evs, "spec.misspec"), 1u);
+  EXPECT_GE(countNamed(Evs, "spec.rollback"), 1u);
+  EXPECT_GE(countNamed(Evs, "plan.burned"), 1u);
+  // The misspec instant names the violated assumption.
+  bool SawViolation = false;
+  for (const obs::TraceEventData &E : Evs)
+    if (E.Name == "spec.misspec" && E.Detail.find("header=") == 0 &&
+        E.Detail.size() > std::string("header=N ").size())
+      SawViolation = true;
+  EXPECT_TRUE(SawViolation)
+      << "spec.misspec must carry the violated assumption's description";
+
+  // Speculative workers traced their chunks/iterations, and a rollback
+  // implies the loop re-ran under its sound schedule afterwards.
+  EXPECT_GE(countNamed(Evs, "loop.invoke"), 1u);
+  EXPECT_GE(countNamed(Evs, "spec.validate"), 1u);
+
+  // Per-thread event ordering: traceCollect sorts by (tid, start); the
+  // starts within each tid must be non-decreasing and events from
+  // multiple worker threads must be present at 8 threads.
+  std::map<unsigned, uint64_t> LastStart;
+  std::map<unsigned, uint64_t> PerTid;
+  for (const obs::TraceEventData &E : Evs) {
+    auto It = LastStart.find(E.Tid);
+    if (It != LastStart.end())
+      EXPECT_GE(E.StartNs, It->second) << "tid " << E.Tid;
+    LastStart[E.Tid] = E.StartNs;
+    ++PerTid[E.Tid];
+  }
+  EXPECT_GT(PerTid.size(), 1u) << "worker threads must record events";
+}
+
+TEST(TraceRuntimeTest, WalkerAndBytecodeEmitTheSameSpanSequence) {
+  // The spans live in the scheduler layer, so both engines must emit
+  // the same *multiset* of spans for the same plan (chunk stealing
+  // between master and worker makes the flat interleaving — and the
+  // first-record tid order — scheduling-dependent, so the sequence
+  // comparison is per structure, not per flat event order).
+  auto M = compile(findWorkload("EP")->Source);
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 1);
+
+  struct EngineTrace {
+    std::vector<std::string> SortedNames;
+    const obs::TraceEventData *Run = nullptr;
+    const obs::TraceEventData *Invoke = nullptr;
+    std::vector<obs::TraceEventData> Evs;
+  };
+  auto Capture = [&](ExecEngineKind Engine) {
+    EngineTrace T;
+    T.Evs = traceRun(*M, Plan, Engine);
+    for (const obs::TraceEventData &E : T.Evs) {
+      if (E.Instant)
+        continue;
+      if (E.Name == "run.decode")
+        continue; // the bytecode engine's one extra span
+      T.SortedNames.push_back(E.Name);
+      if (E.Name == "run")
+        T.Run = &E;
+      if (E.Name == "loop.invoke")
+        T.Invoke = &E;
+    }
+    std::sort(T.SortedNames.begin(), T.SortedNames.end());
+    return T;
+  };
+
+  EngineTrace Walker = Capture(ExecEngineKind::Walker);
+  EngineTrace Bytecode = Capture(ExecEngineKind::Bytecode);
+  ASSERT_FALSE(Walker.SortedNames.empty());
+  EXPECT_EQ(Walker.SortedNames, Bytecode.SortedNames);
+  for (const EngineTrace *T : {&Walker, &Bytecode}) {
+    // Exactly one run span, fired identically from both engines, on the
+    // same (master) thread as the loop invocation it encloses.
+    EXPECT_EQ(std::count(T->SortedNames.begin(), T->SortedNames.end(),
+                         "run"),
+              1);
+    ASSERT_NE(T->Run, nullptr);
+    ASSERT_NE(T->Invoke, nullptr);
+    EXPECT_EQ(T->Run->Tid, T->Invoke->Tid);
+    EXPECT_GE(T->Invoke->StartNs, T->Run->StartNs);
+    EXPECT_LE(T->Invoke->StartNs + T->Invoke->DurNs,
+              T->Run->StartNs + T->Run->DurNs);
+  }
+}
+
+TEST(TraceRuntimeTest, CleanSpeculativeRunEmitsNoMisspecEvents) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Plan =
+      buildRuntimePlan(*M, AbstractionKind::PSPDG, 4, FeatureSet(),
+                       DepOracleConfig({}, &P));
+  std::vector<obs::TraceEventData> Evs =
+      traceRun(*M, Plan, ExecEngineKind::Bytecode);
+  EXPECT_EQ(countNamed(Evs, "spec.misspec"), 0u);
+  EXPECT_EQ(countNamed(Evs, "spec.rollback"), 0u);
+  EXPECT_GE(countNamed(Evs, "spec.validate"), 1u)
+      << "speculative loops must still validate";
+  EXPECT_GE(countNamed(Evs, "overlay.commit"), 1u);
+}

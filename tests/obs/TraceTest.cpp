@@ -1,0 +1,350 @@
+//===- TraceTest.cpp - Trace recorder units -------------------------------===//
+///
+/// The recorder's core contracts (DESIGN.md §13):
+///
+///   * off mode records nothing — probes are a single cold-flag branch;
+///   * spans and instants carry name/detail/tid/timestamps;
+///   * ring overflow wraps, keeping the NEWEST events;
+///   * traceWrite emits valid JSON (checked by a real parser here, and by
+///     Python's json module in the CI trace-smoke job), with details
+///     containing quotes/backslashes/control bytes escaped;
+///   * traceWriteWindow restricts to the [lo, hi] time window.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace psc;
+
+namespace {
+
+/// Minimal recursive-descent JSON validator — enough to reject every
+/// malformed escape, bad number, or unbalanced bracket the writer could
+/// produce.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // raw control byte — must have been escaped
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (Pos >= S.size() || !std::isxdigit((unsigned char)S[Pos]))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
+      ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+  void skipWs() {
+    while (Pos < S.size() && std::isspace((unsigned char)S[Pos]))
+      ++Pos;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string tmpPath(const char *Stem) {
+  return ::testing::TempDir() + Stem;
+}
+
+} // namespace
+
+TEST(TraceTest, OffModeEmitsNothing) {
+  obs::traceEnable(); // clear any previous rings
+  obs::traceDisable();
+  {
+    obs::TraceSpan Span("should-not-appear", "x=%d", 1);
+    obs::traceInstant("nor-this");
+    obs::traceInstantf("nor-that", "y=%d", 2);
+  }
+  EXPECT_FALSE(obs::traceEnabled());
+  EXPECT_TRUE(obs::traceCollect().empty());
+  EXPECT_EQ(obs::traceNowNs(), 0u);
+}
+
+TEST(TraceTest, SpansAndInstantsRecorded) {
+  obs::traceEnable();
+  {
+    obs::TraceSpan Outer("outer", "fn=%s", "main");
+    {
+      obs::TraceSpan Inner("inner");
+      obs::traceInstantf("marker", "it=%d", 7);
+    }
+  }
+  obs::traceDisable();
+  std::vector<obs::TraceEventData> Evs = obs::traceCollect();
+  ASSERT_EQ(Evs.size(), 3u);
+  // All on this thread; collect sorts by (tid, start): marker starts
+  // after both spans open.
+  for (const obs::TraceEventData &E : Evs)
+    EXPECT_EQ(E.Tid, Evs[0].Tid);
+
+  auto Find = [&](const std::string &Name) -> const obs::TraceEventData * {
+    for (const obs::TraceEventData &E : Evs)
+      if (E.Name == Name)
+        return &E;
+    return nullptr;
+  };
+  const obs::TraceEventData *Outer = Find("outer");
+  const obs::TraceEventData *Inner = Find("inner");
+  const obs::TraceEventData *Marker = Find("marker");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_NE(Marker, nullptr);
+  EXPECT_FALSE(Outer->Instant);
+  EXPECT_TRUE(Marker->Instant);
+  EXPECT_EQ(Outer->Detail, "fn=main");
+  EXPECT_EQ(Marker->Detail, "it=7");
+  // Inner nests inside outer.
+  EXPECT_GE(Inner->StartNs, Outer->StartNs);
+  EXPECT_LE(Inner->StartNs + Inner->DurNs, Outer->StartNs + Outer->DurNs);
+}
+
+TEST(TraceTest, RingOverflowKeepsNewest) {
+  constexpr int N = 20000; // > the per-thread ring capacity
+  obs::traceEnable();
+  for (int I = 0; I < N; ++I)
+    obs::traceInstantf("overflow", "i=%d", I);
+  obs::traceDisable();
+  std::vector<obs::TraceEventData> Evs = obs::traceCollect();
+  ASSERT_FALSE(Evs.empty());
+  ASSERT_LT(Evs.size(), static_cast<size_t>(N)) << "ring did not wrap";
+  // Overflow keeps the newest: exactly the last `Evs.size()` emissions
+  // survive, in order.
+  int First = N - static_cast<int>(Evs.size());
+  for (size_t I = 0; I < Evs.size(); ++I) {
+    EXPECT_EQ(Evs[I].Name, "overflow");
+    EXPECT_EQ(Evs[I].Detail, "i=" + std::to_string(First + (int)I));
+  }
+}
+
+TEST(TraceTest, EventsSurviveThreadExit) {
+  obs::traceEnable();
+  std::thread T([] {
+    obs::TraceSpan Span("worker-span");
+    obs::traceInstant("worker-instant");
+  });
+  T.join();
+  obs::traceDisable();
+  std::vector<obs::TraceEventData> Evs = obs::traceCollect();
+  ASSERT_EQ(Evs.size(), 2u) << "events must outlive their thread";
+  EXPECT_EQ(Evs[0].Tid, Evs[1].Tid);
+}
+
+TEST(TraceTest, WriteEmitsValidJsonWithEscapedDetails) {
+  obs::traceEnable();
+  {
+    obs::TraceSpan Span("span \"quoted\"", "path=a\\b\tc");
+    obs::traceInstantf("instant", "msg=%s", "line1\nline2");
+  }
+  obs::traceDisable();
+  std::string Path = tmpPath("trace_valid.json");
+  std::string Err;
+  ASSERT_TRUE(obs::traceWrite(Path, {{"tool", "test \"x\""}}, Err)) << Err;
+  std::string Text = slurp(Path);
+  EXPECT_TRUE(JsonChecker(Text).valid()) << Text;
+  EXPECT_NE(Text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Text.find("\"ph\":\"i\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceTest, OffModeWriteProducesEmptyEventList) {
+  obs::traceEnable();
+  obs::traceDisable();
+  std::string Path = tmpPath("trace_empty.json");
+  std::string Err;
+  ASSERT_TRUE(obs::traceWrite(Path, {}, Err)) << Err;
+  std::string Text = slurp(Path);
+  EXPECT_TRUE(JsonChecker(Text).valid()) << Text;
+  EXPECT_NE(Text.find("\"traceEvents\""), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("\"ph\":"), std::string::npos)
+      << "no events may be emitted when nothing was recorded: " << Text;
+  std::remove(Path.c_str());
+}
+
+TEST(TraceTest, WindowRestrictsToTimeRange) {
+  obs::traceEnable();
+  obs::traceInstant("before");
+  uint64_t Lo = obs::traceNowNs();
+  obs::traceInstant("inside");
+  uint64_t Hi = obs::traceNowNs();
+  // The window boundary needs the next event strictly after Hi.
+  while (obs::traceNowNs() == Hi) {
+  }
+  obs::traceInstant("after");
+  obs::traceDisable();
+
+  std::string Path = tmpPath("trace_window.json");
+  std::string Err;
+  ASSERT_TRUE(obs::traceWriteWindow(Path, Lo, Hi, {}, Err)) << Err;
+  std::string Text = slurp(Path);
+  EXPECT_TRUE(JsonChecker(Text).valid()) << Text;
+  EXPECT_NE(Text.find("\"inside\""), std::string::npos);
+  EXPECT_EQ(Text.find("\"before\""), std::string::npos);
+  EXPECT_EQ(Text.find("\"after\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceTest, ReenableClearsPreviousEvents) {
+  obs::traceEnable();
+  obs::traceInstant("old");
+  obs::traceEnable(); // re-arm: previous rings cleared
+  obs::traceInstant("new");
+  obs::traceDisable();
+  std::vector<obs::TraceEventData> Evs = obs::traceCollect();
+  ASSERT_EQ(Evs.size(), 1u);
+  EXPECT_EQ(Evs[0].Name, "new");
+}

@@ -66,6 +66,17 @@
 ///                          sessions/s, cache hit rates, profile-store
 ///                          shard occupancy) as JSON
 ///     --shutdown           with --connect: ask the server to exit
+///     --trace-out=FILE     record Chrome-trace events for this invocation
+///                          (compile/analysis/plan/run spans, per-worker
+///                          chunk/gate/stage events, misspeculation and
+///                          cache instants) and write the JSON to FILE
+///     --explain[=LOOP]     per-loop plan-decision report: candidate
+///                          schedules tried, the oracle whose verdict kept
+///                          each blocking dependence, speculative
+///                          assumptions, cost-model numbers, and grain
+///                          demotions; LOOP filters by "@fn header"
+///                          substring (with --connect: served explain op,
+///                          byte-identical output)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,6 +84,8 @@
 #include "analysis/ValueSpec.h"
 #include "emulator/CriticalPath.h"
 #include "frontend/Frontend.h"
+#include "obs/PlanDecision.h"
+#include "obs/Trace.h"
 #include "parallel/PlanEnumerator.h"
 #include "parallel/PlanLines.h"
 #include "pdg/PDG.h"
@@ -116,6 +129,9 @@ struct Options {
   std::string ConnectSocket; ///< --connect: session against a server.
   bool Stats = false;        ///< --connect --stats: observability JSON.
   bool Shutdown = false;     ///< --connect --shutdown: stop the server.
+  std::string TraceOut;      ///< --trace-out: Chrome-trace JSON file.
+  bool Explain = false;      ///< --explain: plan-decision report.
+  std::string ExplainLoop;   ///< --explain=loop: substring filter.
   ExecEngineKind Engine = ExecEngineKind::Bytecode;
   unsigned Threads = 8;
   std::string Grain = "auto"; ///< --grain: auto | off | <chunk>.
@@ -132,6 +148,21 @@ AbstractionKind parseAbs(const std::string &S) {
   if (S == "jk")
     return AbstractionKind::JK;
   return AbstractionKind::PSPDG;
+}
+
+/// GrainConfig from --grain/--threads; shared by --run-parallel and
+/// --explain so the explained plan is the executed plan.
+GrainConfig makeGrain(const Options &O) {
+  GrainConfig Grain;
+  if (O.Grain == "auto") {
+    Grain.Enabled = true;
+    unsigned HW = std::thread::hardware_concurrency();
+    Grain.Workers = std::min(O.Threads, HW == 0 ? O.Threads : HW);
+  } else if (O.Grain != "off") {
+    Grain.Enabled = true;
+    Grain.ForcedChunk = std::atol(O.Grain.c_str());
+  }
+  return Grain;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -171,6 +202,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Stats = true;
     else if (A == "--shutdown")
       O.Shutdown = true;
+    else if (A.rfind("--trace-out=", 0) == 0)
+      O.TraceOut = A.substr(12);
+    else if (A.rfind("--explain", 0) == 0 &&
+             (A.size() == 9 || A[9] == '=')) {
+      O.Explain = true;
+      if (A.size() > 10)
+        O.ExplainLoop = A.substr(10);
+    }
     else if (A.rfind("--dep-oracles=", 0) == 0) {
       std::stringstream SS(A.substr(14));
       std::string Tok;
@@ -372,8 +411,26 @@ int main(int Argc, char **Argv) {
         "            [--profile-report] [--spec-feedback=file]\n"
         "            [--merge-profiles=out in1.json in2.json ...]\n"
         "            [--serve=sock | --connect=sock [--stats] [--shutdown]]\n"
+        "            [--trace-out=file] [--explain[=loop]]\n"
         "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP|UA|RX>\n");
     return 2;
+  }
+
+  // Tracing covers the whole invocation; the JSON is written on every
+  // exit path by this RAII guard.
+  struct TraceGuard {
+    std::string Path;
+    ~TraceGuard() {
+      if (Path.empty())
+        return;
+      std::string Err;
+      if (!obs::traceWrite(Path, {{"tool", "pscc"}}, Err))
+        std::fprintf(stderr, "pscc: %s\n", Err.c_str());
+    }
+  } Trace;
+  if (!O.TraceOut.empty()) {
+    obs::traceEnable();
+    Trace.Path = O.TraceOut;
   }
 
   // Resident-service server mode: pscd in-process.
@@ -438,34 +495,57 @@ int main(int Argc, char **Argv) {
                        MResp))
           return 1;
       }
-      service::Message Req{
-          {"op", "session"},
-          {"source", Source},
-          {"name", Name},
-          {"engine", O.Engine == ExecEngineKind::Walker ? "walker"
-                                                        : "bytecode"},
-      };
-      if (O.Plans && !O.Run)
-        Req["mode"] = "analyze";
-      else if (O.Run && !O.Plans)
-        Req["mode"] = "run";
-      else
-        Req["mode"] = "full";
-      if (O.Plans)
-        Req["abs"] = O.Abs == AbstractionKind::PDG   ? "pdg"
-                     : O.Abs == AbstractionKind::JK ? "jk"
-                                                     : "pspdg";
-      if (Spec)
-        Req["spec"] = "1";
-      service::Message Resp;
-      if (!roundTrip(Req, Resp))
-        return 1;
-      std::fputs(service::field(Resp, "plans").c_str(), stdout);
-      std::fputs(service::field(Resp, "output").c_str(), stdout);
-      if (service::field(Resp, "completed") == "0")
-        std::fprintf(stderr, "pscc: instruction budget exhausted\n");
-      if (Resp.count("exit"))
-        Exit = std::atoi(Resp.at("exit").c_str());
+      if (O.Explain) {
+        // Served plan-decision report: byte-identical to the standalone
+        // `pscc --explain` rendering (one shared renderer).
+        service::Message Req{
+            {"op", "explain"},
+            {"source", Source},
+            {"name", Name},
+            {"threads", std::to_string(O.Threads)},
+            {"grain", O.Grain},
+            {"abs", O.RunAbs == AbstractionKind::PDG   ? "pdg"
+                    : O.RunAbs == AbstractionKind::JK ? "jk"
+                                                       : "pspdg"},
+        };
+        if (Spec)
+          Req["spec"] = "1";
+        if (!O.ExplainLoop.empty())
+          Req["loop"] = O.ExplainLoop;
+        service::Message Resp;
+        if (!roundTrip(Req, Resp))
+          return 1;
+        std::fputs(service::field(Resp, "explain").c_str(), stdout);
+      } else {
+        service::Message Req{
+            {"op", "session"},
+            {"source", Source},
+            {"name", Name},
+            {"engine", O.Engine == ExecEngineKind::Walker ? "walker"
+                                                          : "bytecode"},
+        };
+        if (O.Plans && !O.Run)
+          Req["mode"] = "analyze";
+        else if (O.Run && !O.Plans)
+          Req["mode"] = "run";
+        else
+          Req["mode"] = "full";
+        if (O.Plans)
+          Req["abs"] = O.Abs == AbstractionKind::PDG   ? "pdg"
+                       : O.Abs == AbstractionKind::JK ? "jk"
+                                                       : "pspdg";
+        if (Spec)
+          Req["spec"] = "1";
+        service::Message Resp;
+        if (!roundTrip(Req, Resp))
+          return 1;
+        std::fputs(service::field(Resp, "plans").c_str(), stdout);
+        std::fputs(service::field(Resp, "output").c_str(), stdout);
+        if (service::field(Resp, "completed") == "0")
+          std::fprintf(stderr, "pscc: instruction budget exhausted\n");
+        if (Resp.count("exit"))
+          Exit = std::atoi(Resp.at("exit").c_str());
+      }
     }
     if (O.Stats) {
       service::Message Resp;
@@ -723,6 +803,13 @@ int main(int Argc, char **Argv) {
                 C.LoopsConsidered, C.DOALLLoops);
   }
 
+  if (O.Explain) {
+    obs::PlanDecisionLog Log;
+    (void)buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features, OracleCfg,
+                           makeGrain(O), &Log);
+    std::fputs(obs::renderDecisionLog(Log, O.ExplainLoop).c_str(), stdout);
+  }
+
   if (O.CriticalPath) {
     CriticalPathReport C =
         evaluateCriticalPaths(M, 2'000'000'000ULL, OracleCfg);
@@ -782,15 +869,7 @@ int main(int Argc, char **Argv) {
     RunResult SeqR = Seq.run();
     Clock::time_point T1 = Clock::now();
 
-    GrainConfig Grain;
-    if (O.Grain == "auto") {
-      Grain.Enabled = true;
-      unsigned HW = std::thread::hardware_concurrency();
-      Grain.Workers = std::min(O.Threads, HW == 0 ? O.Threads : HW);
-    } else if (O.Grain != "off") {
-      Grain.Enabled = true;
-      Grain.ForcedChunk = std::atol(O.Grain.c_str());
-    }
+    GrainConfig Grain = makeGrain(O);
     RuntimePlan Plan = buildRuntimePlan(M, O.RunAbs, O.Threads, O.Features,
                                         OracleCfg, Grain);
     ParallelRuntime RT(M, Plan, O.Engine);

@@ -13,6 +13,11 @@
 ///   --plan-cache=N       L3 plan-line cache entries (default 512)
 ///   --shards=N           profile-store shards (default 16)
 ///   --budget-pool=N      server-wide instruction-budget pool
+///   --trace-dir=DIR      write one Chrome-trace file per session
+///                        (DIR/session-<id>.json; arms the recorder)
+///   --metrics-out=FILE   write the Prometheus metrics exposition to
+///                        FILE at shutdown (the `metrics` op serves the
+///                        same text live)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,7 +45,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: pscd --socket=PATH [--threads=N] [--module-cache=N]\n"
                "            [--memo-cache=N] [--plan-cache=N] [--shards=N]\n"
-               "            [--budget-pool=N]\n");
+               "            [--budget-pool=N] [--trace-dir=DIR]\n"
+               "            [--metrics-out=FILE]\n");
   return 2;
 }
 
@@ -48,11 +54,16 @@ int usage() {
 
 int main(int argc, char **argv) {
   ServerConfig C;
+  std::string MetricsOut;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto Val = [&A](size_t Prefix) { return A.substr(Prefix); };
     if (A.rfind("--socket=", 0) == 0)
       C.SocketPath = Val(9);
+    else if (A.rfind("--trace-dir=", 0) == 0)
+      C.TraceDir = Val(12);
+    else if (A.rfind("--metrics-out=", 0) == 0)
+      MetricsOut = Val(14);
     else if (A.rfind("--threads=", 0) == 0)
       C.PoolThreads = static_cast<unsigned>(std::atoi(Val(10).c_str()));
     else if (A.rfind("--module-cache=", 0) == 0)
@@ -83,6 +94,16 @@ int main(int argc, char **argv) {
   std::fprintf(stderr, "pscd: serving on %s (%u workers)\n",
                C.SocketPath.c_str(), S.config().PoolThreads);
   S.waitForShutdown();
+  if (!MetricsOut.empty()) {
+    std::FILE *F = std::fopen(MetricsOut.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "pscd: cannot write %s\n", MetricsOut.c_str());
+    } else {
+      std::string Text = S.metricsText();
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    }
+  }
   S.stop();
   ActiveServer = nullptr;
   std::fprintf(stderr, "pscd: shut down\n");
