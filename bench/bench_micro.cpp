@@ -243,6 +243,30 @@ int runJsonMode(const std::string &Path, unsigned Reps) {
     RO.Extra.push_back(
         {"overhead_pct", RunNs > 0 ? 100.0 * Fires * ProbeNs / RunNs : 0});
     Records.push_back(RO);
+    // trace_on_overhead: the cost of actually recording, measured rather
+    // than modeled — the same parallel run with the recorder armed vs.
+    // disarmed. Arming stays outside the timed thunk: traceEnable()
+    // reallocates every thread's 2 MB ring, a one-time session cost that
+    // would otherwise dwarf the per-event price on a millisecond run.
+    // Push cost is identical once rings wrap (newest win, same write),
+    // so steady-state reps measure full recording cost. Armed sessions
+    // are opt-in, but a profiling run must not distort what it profiles,
+    // so run_benches.sh --check gates the measured fraction <= 5%.
+    obs::traceEnable();
+    double OnNs = bestNs(Reps, [&] { RT.run(); });
+    obs::traceDisable();
+    obs::traceEnable(); // leave clean rings behind for any later user
+    obs::traceDisable();
+    BenchRecord RN;
+    RN.Workload = "trace_on_overhead";
+    RN.Engine = "bytecode";
+    RN.Threads = 4;
+    RN.NsPerIter = OnNs;
+    RN.Extra.push_back({"untraced_ns", RunNs});
+    RN.Extra.push_back({"events_per_run", Fires});
+    RN.Extra.push_back(
+        {"overhead_pct", RunNs > 0 ? 100.0 * (OnNs - RunNs) / RunNs : 0});
+    Records.push_back(RN);
   }
 
   if (!writeBenchJson(Path, "micro", Records))

@@ -107,6 +107,21 @@ print("run_benches: trace-off overhead %.4f%% of the dispatch hot loop "
       "(%.3f ns/probe x %d fires)" %
       (r["overhead_pct"], r["off_ns_per_probe"], r["probe_fires"]))
 EOF
+  # Trace-ON overhead gate (DESIGN.md §14): an armed recorder may slow the
+  # measured parallel run by at most 5% — a profiling run must not distort
+  # what it profiles.
+  python3 - <<'EOF'
+import json
+with open("BENCH_micro.json") as f:
+    doc = json.load(f)
+recs = [r for r in doc["records"] if r["workload"] == "trace_on_overhead"]
+assert recs, "bench_micro must write the trace_on_overhead record"
+r = recs[0]
+assert "untraced_ns" in r and "events_per_run" in r, r
+assert r["overhead_pct"] <= 5.0, r
+print("run_benches: trace-on overhead %.3f%% of the untraced run "
+      "(%d events/run)" % (r["overhead_pct"], r["events_per_run"]))
+EOF
 fi
 
 echo "run_benches: wrote BENCH_{runtime,micro,ablation,fig13,fig14,server}.json"

@@ -1,0 +1,142 @@
+//===- Forensics.cpp ------------------------------------------*- C++ -*-===//
+
+#include "obs/Forensics.h"
+
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+using namespace psc;
+using namespace psc::obs;
+
+namespace {
+
+struct RecorderState {
+  std::mutex Mu;
+  std::deque<MisspecRecord> Ring;
+  uint64_t Total = 0;
+};
+
+RecorderState &state() {
+  static RecorderState S;
+  return S;
+}
+
+void escape(std::ostringstream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+void str(std::ostringstream &OS, const char *Key, const std::string &V) {
+  OS << "\"" << Key << "\":\"";
+  escape(OS, V);
+  OS << "\"";
+}
+
+} // namespace
+
+std::string obs::renderMisspecRecord(const MisspecRecord &R) {
+  std::ostringstream OS;
+  OS << "{";
+  str(OS, "fn", R.Fn);
+  OS << ",\"header\":" << R.Header << ",";
+  str(OS, "kind", R.Kind);
+  OS << ",";
+  str(OS, "abstraction", R.Abstraction);
+  OS << ",\"threads\":" << R.Threads;
+  OS << ",\"violation\":{";
+  str(OS, "kind", R.ViolationKind);
+  OS << ",";
+  str(OS, "description", R.Description);
+  if (R.ViolationKind == "value" || R.ViolationKind == "guard")
+    OS << ",\"scalar\":" << R.Scalar << ",\"iteration\":" << R.Iter;
+  OS << "}";
+  if (R.ViolationKind == "conflict") {
+    OS << ",\"assumption\":{\"id\":" << R.AssumptionId << ",";
+    str(OS, "src", R.AssumedSrc);
+    OS << ",";
+    str(OS, "dst", R.AssumedDst);
+    OS << ",";
+    // Provenance: assumptions exist only because the speculation
+    // oracle's training profile predicted absence at this key.
+    str(OS, "oracle", "profile");
+    OS << ",\"profile_key\":[" << R.SrcIdx << "," << R.DstIdx << "]"
+       << ",\"src_watch\":" << R.SrcWatch << ",\"dst_watch\":" << R.DstWatch
+       << "},\"conflict\":{";
+    str(OS, "object", R.Object);
+    OS << ",\"offset\":" << R.Offset << ",\"src_iteration\":" << R.SrcIter
+       << ",\"dst_iteration\":" << R.DstIter << "}";
+  }
+  OS << ",\"watch_set\":[";
+  for (size_t I = 0; I < R.WatchSet.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << "\"";
+    escape(OS, R.WatchSet[I]);
+    OS << "\"";
+  }
+  OS << "],\"lost_instructions\":" << R.LostInstructions << "}";
+  return OS.str();
+}
+
+std::string obs::renderMisspecArtifact(const std::string &Tool) {
+  std::vector<MisspecRecord> Records = misspecRecords();
+  std::ostringstream OS;
+  OS << "{";
+  str(OS, "tool", Tool);
+  OS << ",\"version\":1,\"total\":" << misspecTotal() << ",\"records\":[";
+  for (size_t I = 0; I < Records.size(); ++I)
+    OS << (I ? ",\n" : "\n") << renderMisspecRecord(Records[I]);
+  OS << "\n]}\n";
+  return OS.str();
+}
+
+void obs::misspecPush(MisspecRecord R) {
+  RecorderState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  ++S.Total;
+  S.Ring.push_back(std::move(R));
+  while (S.Ring.size() > kMisspecRingCap)
+    S.Ring.pop_front();
+}
+
+std::vector<MisspecRecord> obs::misspecRecords() {
+  RecorderState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return std::vector<MisspecRecord>(S.Ring.begin(), S.Ring.end());
+}
+
+uint64_t obs::misspecTotal() {
+  RecorderState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Total;
+}
+
+void obs::misspecClear() {
+  RecorderState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Ring.clear();
+  S.Total = 0;
+}

@@ -1,0 +1,105 @@
+//===- Forensics.h - Misspeculation flight recorder ------------*- C++ -*-===//
+///
+/// \file
+/// The misspeculation flight recorder (DESIGN.md §14): when a speculative
+/// loop invocation rolls back, the runtime captures one bounded forensic
+/// record — the violated assumption with its oracle provenance, the
+/// conflicting access pair (objects, offsets, iterations), the schedule's
+/// watch-set snapshot, the plan identity, and the rollback cost in lost
+/// instructions — into a process-wide ring of the last kMisspecRingCap
+/// records.
+///
+/// Two consumers read the ring through one canonical renderer
+/// (renderMisspecRecord), so their output is byte-identical by
+/// construction:
+///   * pscc `--misspec-out=FILE` writes the records as a
+///     `.psc-misspec.json` artifact after a parallel run;
+///   * the pscd `forensics` op returns the resident ring.
+///
+/// Determinism: records carry no raw pointers and no wall-clock state —
+/// objects are named through the module's global table, instructions
+/// through the same opcode/storage/block summaries the plan-decision log
+/// uses — so the same misspeculation renders to the same bytes in every
+/// process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_OBS_FORENSICS_H
+#define PSPDG_OBS_FORENSICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psc {
+namespace obs {
+
+/// Records kept resident (newest win; the total ever captured is still
+/// reported so overflow is never silent).
+constexpr size_t kMisspecRingCap = 16;
+
+/// One misspeculation, fully attributed. String fields hold deterministic
+/// summaries (instruction descriptions, object names), never pointers.
+struct MisspecRecord {
+  // Plan identity.
+  std::string Fn;          ///< Function containing the loop.
+  unsigned Header = 0;     ///< Loop header block index.
+  std::string Kind;        ///< Schedule kind (DOALL/HELIX/DSWP).
+  std::string Abstraction; ///< Abstraction that justified the plan.
+  unsigned Threads = 0;    ///< Plan thread count.
+
+  // The violation itself.
+  std::string ViolationKind; ///< conflict | value | guard | divergence.
+  std::string Description;   ///< The validator's violation text.
+  unsigned Scalar = 0;       ///< value/guard: scalar or guard ordinal.
+  long Iter = 0;             ///< value/guard: violating iteration.
+
+  // Violated assumption (conflict only), with oracle provenance: the
+  // dependence was assumed absent because the speculation oracle's
+  // training profile never saw it manifest; SrcIdx/DstIdx are the
+  // FunctionAnalysis instruction indices — the profile's key space.
+  int AssumptionId = -1;
+  std::string AssumedSrc, AssumedDst; ///< Instruction summaries.
+  unsigned SrcIdx = 0, DstIdx = 0;    ///< Profile key of the assumption.
+  unsigned SrcWatch = 0, DstWatch = 0;
+
+  // Conflicting access pair (conflict only).
+  std::string Object; ///< Global name; "<unnamed>" when not a global.
+  uint64_t Offset = 0;
+  long SrcIter = 0, DstIter = 0; ///< Iterations realizing the dependence.
+
+  // Watch-set snapshot: instruction summary per dense watch index.
+  std::vector<std::string> WatchSet;
+
+  // Rollback cost: instructions executed by the discarded speculative
+  // invocation (workers + validation), measured at the rollback site.
+  uint64_t LostInstructions = 0;
+};
+
+/// Canonical single-line JSON for one record — the shared renderer both
+/// the pscc artifact and the pscd forensics op emit through.
+std::string renderMisspecRecord(const MisspecRecord &R);
+
+/// The `.psc-misspec.json` artifact envelope around the resident ring:
+/// {"tool":<Tool>,"version":1,"total":N,"records":[...]} with each
+/// record rendered by renderMisspecRecord on its own line. pscc's
+/// --misspec-out writes exactly this; the pscd forensics op returns the
+/// same record lines, so the two stay byte-comparable.
+std::string renderMisspecArtifact(const std::string &Tool);
+
+/// Appends to the process-wide ring (keeps the newest kMisspecRingCap).
+void misspecPush(MisspecRecord R);
+
+/// The resident records, oldest first.
+std::vector<MisspecRecord> misspecRecords();
+
+/// Total records ever captured (>= misspecRecords().size()).
+uint64_t misspecTotal();
+
+/// Clears the ring and the total (tests; pscc between runs).
+void misspecClear();
+
+} // namespace obs
+} // namespace psc
+
+#endif // PSPDG_OBS_FORENSICS_H

@@ -1,0 +1,1034 @@
+//===- Insight.cpp --------------------------------------------*- C++ -*-===//
+
+#include "obs/Insight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace psc;
+using namespace psc::obs;
+
+// --- JSON parsing ------------------------------------------------------------
+//
+// A dependency-free recursive-descent reader for the writer's own output
+// (and hand-written test inputs). Every syntax error carries the byte
+// offset; truncated input fails like any other malformed input.
+
+namespace {
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  double N = 0.0;
+  std::string S;
+  std::vector<JValue> A;
+  std::vector<std::pair<std::string, JValue>> O;
+
+  const JValue *get(const std::string &Key) const {
+    for (const auto &[K2, V] : O)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+struct JParser {
+  const std::string &In;
+  size_t Pos = 0;
+  std::string Err;
+
+  explicit JParser(const std::string &In) : In(In) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < In.size() && (In[Pos] == ' ' || In[Pos] == '\t' ||
+                               In[Pos] == '\n' || In[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool expect(char C) {
+    skipWs();
+    if (Pos >= In.size() || In[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (Pos >= In.size() || In[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < In.size() && In[Pos] != '"') {
+      char C = In[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= In.size())
+        return fail("truncated escape");
+      char E = In[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > In.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int K = 0; K < 4; ++K) {
+          char H = In[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // The writer only escapes control characters; decode ASCII and
+        // replace anything wider (good enough for trace details).
+        Out += V < 0x80 ? static_cast<char>(V) : '?';
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= In.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseValue(JValue &V) {
+    skipWs();
+    if (Pos >= In.size())
+      return fail("unexpected end of input");
+    char C = In[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = JValue::Obj;
+      skipWs();
+      if (Pos < In.size() && In[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        std::string Key;
+        if (!parseString(Key) || !expect(':'))
+          return false;
+        JValue Val;
+        if (!parseValue(Val))
+          return false;
+        V.O.emplace_back(std::move(Key), std::move(Val));
+        skipWs();
+        if (Pos >= In.size())
+          return fail("unterminated object");
+        if (In[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (In[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = JValue::Arr;
+      skipWs();
+      if (Pos < In.size() && In[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        JValue Elem;
+        if (!parseValue(Elem))
+          return false;
+        V.A.push_back(std::move(Elem));
+        skipWs();
+        if (Pos >= In.size())
+          return fail("unterminated array");
+        if (In[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (In[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      V.K = JValue::Str;
+      return parseString(V.S);
+    }
+    if (C == 't' || C == 'f') {
+      const char *Lit = C == 't' ? "true" : "false";
+      size_t Len = C == 't' ? 4 : 5;
+      if (In.compare(Pos, Len, Lit) != 0)
+        return fail("bad literal");
+      Pos += Len;
+      V.K = JValue::Bool;
+      V.B = C == 't';
+      return true;
+    }
+    if (C == 'n') {
+      if (In.compare(Pos, 4, "null") != 0)
+        return fail("bad literal");
+      Pos += 4;
+      V.K = JValue::Null;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    if (In[Pos] == '-')
+      ++Pos;
+    while (Pos < In.size() &&
+           (std::isdigit(static_cast<unsigned char>(In[Pos])) ||
+            In[Pos] == '.' || In[Pos] == 'e' || In[Pos] == 'E' ||
+            In[Pos] == '+' || In[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("unexpected character");
+    V.K = JValue::Num;
+    V.N = std::strtod(In.c_str() + Start, nullptr);
+    return true;
+  }
+};
+
+/// detail strings are space-separated `key=value` tokens (plus free text
+/// in misspec instants); returns the value for \p Key or "".
+std::string detailValue(const std::string &Detail, const std::string &Key) {
+  std::string Needle = Key + "=";
+  size_t Pos = 0;
+  while (Pos < Detail.size()) {
+    size_t End = Detail.find(' ', Pos);
+    if (End == std::string::npos)
+      End = Detail.size();
+    if (Detail.compare(Pos, Needle.size(), Needle) == 0)
+      return Detail.substr(Pos + Needle.size(), End - Pos - Needle.size());
+    Pos = End + 1;
+  }
+  return "";
+}
+
+bool detailHasFlag(const std::string &Detail, const std::string &Flag) {
+  size_t Pos = 0;
+  while (Pos < Detail.size()) {
+    size_t End = Detail.find(' ', Pos);
+    if (End == std::string::npos)
+      End = Detail.size();
+    if (Detail.compare(Pos, End - Pos, Flag) == 0)
+      return true;
+    Pos = End + 1;
+  }
+  return false;
+}
+
+double toMs(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
+
+bool isWorkerSpan(const std::string &Name) {
+  return Name == "doall.chunk" || Name == "specdoall.chunk" ||
+         Name == "helix.worker" || Name == "spechelix.worker" ||
+         Name == "dswp.stage";
+}
+
+bool isWaitSpan(const std::string &Name) {
+  return Name == "helix.gate_wait" || Name == "dswp.token_wait";
+}
+
+} // namespace
+
+bool obs::parseTraceJson(const std::string &Text, InsightTrace &T,
+                         std::string &Err) {
+  JParser P(Text);
+  JValue Doc;
+  if (!P.parseValue(Doc)) {
+    Err = P.Err;
+    return false;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    Err = "trailing data after JSON document at byte " +
+          std::to_string(P.Pos);
+    return false;
+  }
+  if (Doc.K != JValue::Obj) {
+    Err = "top level is not an object";
+    return false;
+  }
+  const JValue *Events = Doc.get("traceEvents");
+  if (!Events || Events->K != JValue::Arr) {
+    Err = "missing traceEvents array";
+    return false;
+  }
+  T.Events.clear();
+  T.Meta.clear();
+  for (size_t I = 0; I < Events->A.size(); ++I) {
+    const JValue &E = Events->A[I];
+    std::string At = "event " + std::to_string(I);
+    if (E.K != JValue::Obj) {
+      Err = At + " is not an object";
+      return false;
+    }
+    const JValue *Name = E.get("name");
+    const JValue *Ph = E.get("ph");
+    const JValue *Tid = E.get("tid");
+    const JValue *Ts = E.get("ts");
+    if (!Name || Name->K != JValue::Str || !Ph || Ph->K != JValue::Str ||
+        !Tid || Tid->K != JValue::Num || !Ts || Ts->K != JValue::Num) {
+      Err = At + " lacks name/ph/tid/ts";
+      return false;
+    }
+    InsightEvent Ev;
+    Ev.Name = Name->S;
+    Ev.Tid = static_cast<unsigned>(Tid->N);
+    Ev.StartNs = static_cast<uint64_t>(Ts->N * 1000.0 + 0.5);
+    if (Ph->S == "i") {
+      Ev.Instant = true;
+    } else if (Ph->S == "X") {
+      const JValue *Dur = E.get("dur");
+      if (!Dur || Dur->K != JValue::Num) {
+        Err = At + " is a span without dur";
+        return false;
+      }
+      Ev.DurNs = static_cast<uint64_t>(Dur->N * 1000.0 + 0.5);
+    } else {
+      Err = At + " has unknown ph '" + Ph->S + "'";
+      return false;
+    }
+    if (const JValue *Args = E.get("args"))
+      if (const JValue *Detail = Args->get("detail"))
+        if (Detail->K == JValue::Str)
+          Ev.Detail = Detail->S;
+    T.Events.push_back(std::move(Ev));
+  }
+  if (const JValue *Meta = Doc.get("metadata")) {
+    if (Meta->K != JValue::Obj) {
+      Err = "metadata is not an object";
+      return false;
+    }
+    for (const auto &[K, V] : Meta->O)
+      if (V.K == JValue::Str)
+        T.Meta.emplace_back(K, V.S);
+  }
+  return true;
+}
+
+bool obs::parseTraceFile(const std::string &Path, InsightTrace &T,
+                         std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot read trace file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (!parseTraceJson(SS.str(), T, Err)) {
+    Err = Path + ": " + Err;
+    return false;
+  }
+  return true;
+}
+
+// --- Analyses ----------------------------------------------------------------
+
+namespace {
+
+struct SpanNode {
+  size_t Ev;                ///< Index into the trace's event vector.
+  size_t Parent = SIZE_MAX; ///< Index into the node vector.
+  std::vector<size_t> Kids;
+};
+
+uint64_t endNs(const InsightEvent &E) { return E.StartNs + E.DurNs; }
+
+/// Per-thread containment forests, then worker/stage roots re-attached
+/// across threads to the smallest loop.invoke / service.* span that
+/// contains them in time (the span that spawned the work).
+std::vector<SpanNode> buildSpanForest(const std::vector<InsightEvent> &Evs) {
+  std::vector<size_t> Spans;
+  for (size_t I = 0; I < Evs.size(); ++I)
+    if (!Evs[I].Instant)
+      Spans.push_back(I);
+  std::sort(Spans.begin(), Spans.end(), [&](size_t A, size_t B) {
+    if (Evs[A].Tid != Evs[B].Tid)
+      return Evs[A].Tid < Evs[B].Tid;
+    if (Evs[A].StartNs != Evs[B].StartNs)
+      return Evs[A].StartNs < Evs[B].StartNs;
+    return Evs[A].DurNs > Evs[B].DurNs; // outer span first on ties
+  });
+
+  std::vector<SpanNode> Nodes;
+  Nodes.reserve(Spans.size());
+  std::map<size_t, size_t> NodeOf; // event index -> node index
+  std::vector<size_t> Stack;       // node indices, innermost last
+  unsigned CurTid = ~0u;
+  for (size_t EvIdx : Spans) {
+    const InsightEvent &E = Evs[EvIdx];
+    if (E.Tid != CurTid) {
+      Stack.clear();
+      CurTid = E.Tid;
+    }
+    while (!Stack.empty() &&
+           endNs(Evs[Nodes[Stack.back()].Ev]) < endNs(E))
+      Stack.pop_back();
+    SpanNode N;
+    N.Ev = EvIdx;
+    if (!Stack.empty() &&
+        Evs[Nodes[Stack.back()].Ev].StartNs <= E.StartNs &&
+        endNs(E) <= endNs(Evs[Nodes[Stack.back()].Ev]))
+      N.Parent = Stack.back();
+    size_t Me = Nodes.size();
+    Nodes.push_back(std::move(N));
+    NodeOf[EvIdx] = Me;
+    if (Nodes[Me].Parent != SIZE_MAX)
+      Nodes[Nodes[Me].Parent].Kids.push_back(Me);
+    Stack.push_back(Me);
+  }
+
+  // Cross-thread attachment: the spans that spawn work on other threads.
+  std::vector<size_t> Containers;
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    const std::string &Name = Evs[Nodes[N].Ev].Name;
+    if (Name == "loop.invoke" || Name == "service.compile" ||
+        Name == "service.plan" || Name == "service.run")
+      Containers.push_back(N);
+  }
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    if (Nodes[N].Parent != SIZE_MAX)
+      continue;
+    const InsightEvent &E = Evs[Nodes[N].Ev];
+    bool Attachable = isWorkerSpan(E.Name) || E.Name == "compile" ||
+                      E.Name == "plan.build" || E.Name == "run";
+    if (!Attachable)
+      continue;
+    size_t Best = SIZE_MAX;
+    for (size_t C : Containers) {
+      const InsightEvent &CE = Evs[Nodes[C].Ev];
+      if (C == N || CE.Tid == E.Tid)
+        continue;
+      if (CE.StartNs <= E.StartNs && endNs(E) <= endNs(CE) &&
+          (Best == SIZE_MAX || Evs[Nodes[Best].Ev].DurNs > CE.DurNs))
+        Best = C;
+    }
+    if (Best != SIZE_MAX) {
+      Nodes[N].Parent = Best;
+      Nodes[Best].Kids.push_back(N);
+    }
+  }
+  return Nodes;
+}
+
+void addStage(std::vector<StageBreak> &Out, const std::string &Name,
+              double Ms, uint64_t Count) {
+  for (StageBreak &S : Out)
+    if (S.Name == Name) {
+      S.Ms += Ms;
+      S.Count += Count;
+      return;
+    }
+  StageBreak S;
+  S.Name = Name;
+  S.Ms = Ms;
+  S.Count = Count;
+  Out.push_back(std::move(S));
+}
+
+} // namespace
+
+InsightReport obs::analyzeTrace(const InsightTrace &T,
+                                const std::string &Source) {
+  InsightReport R;
+  R.Source = Source;
+  R.Meta = T.Meta;
+  R.NumEvents = T.Events.size();
+  for (const auto &[K, V] : T.Meta)
+    if (K == "dropped_events")
+      R.DroppedEvents = std::strtoull(V.c_str(), nullptr, 10);
+
+  const std::vector<InsightEvent> &Evs = T.Events;
+  if (Evs.empty())
+    return R;
+
+  uint64_t Lo = ~0ull, Hi = 0;
+  for (const InsightEvent &E : Evs) {
+    Lo = std::min(Lo, E.StartNs);
+    Hi = std::max(Hi, std::max(E.StartNs, endNs(E)));
+  }
+  R.WindowMs = toMs(Hi - Lo);
+
+  // --- Stage breakdown: top-level pipeline spans and their children. ---
+  static const struct {
+    const char *Stage;
+    const char *Children[5];
+  } StageTable[] = {
+      {"compile",
+       {"compile.lex+parse", "compile.sema", "compile.codegen",
+        "compile.verify", nullptr}},
+      {"plan.build", {"analysis.bundle", "plan.function", nullptr}},
+      {"run", {"run.decode", "loop.invoke", nullptr}},
+      {"service.compile", {"compile", nullptr}},
+      {"service.plan", {"analysis.bundle", "plan.function", nullptr}},
+      {"service.run", {"run", nullptr}},
+  };
+  for (const auto &Row : StageTable) {
+    double Ms = 0;
+    uint64_t Count = 0;
+    for (const InsightEvent &E : Evs)
+      if (!E.Instant && E.Name == Row.Stage) {
+        Ms += toMs(E.DurNs);
+        ++Count;
+      }
+    if (!Count)
+      continue;
+    StageBreak S;
+    S.Name = Row.Stage;
+    S.Ms = Ms;
+    S.Count = Count;
+    for (const char *const *C = Row.Children; *C; ++C) {
+      double CMs = 0;
+      uint64_t CCount = 0;
+      for (const InsightEvent &E : Evs)
+        if (!E.Instant && E.Name == *C) {
+          CMs += toMs(E.DurNs);
+          ++CCount;
+        }
+      if (CCount)
+        addStage(S.Children, *C, CMs, CCount);
+    }
+    R.Stages.push_back(std::move(S));
+  }
+
+  // --- Worker utilization: busy = worker spans minus waits. ---
+  std::set<unsigned> WorkerTids;
+  for (const InsightEvent &E : Evs)
+    if (!E.Instant && isWorkerSpan(E.Name))
+      WorkerTids.insert(E.Tid);
+  std::map<unsigned, std::pair<uint64_t, uint64_t>> BusyWait; // tid -> ns
+  for (const InsightEvent &E : Evs) {
+    if (E.Instant || !WorkerTids.count(E.Tid))
+      continue;
+    if (isWorkerSpan(E.Name))
+      BusyWait[E.Tid].first += E.DurNs;
+    else if (isWaitSpan(E.Name))
+      BusyWait[E.Tid].second += E.DurNs;
+  }
+  double TotalBusyMs = 0;
+  for (unsigned Tid : WorkerTids) {
+    ThreadUtil U;
+    U.Tid = Tid;
+    uint64_t Busy = BusyWait[Tid].first;
+    uint64_t Wait = std::min(BusyWait[Tid].second, Busy);
+    U.BusyMs = toMs(Busy - Wait);
+    U.WaitMs = toMs(Wait);
+    U.Pct = R.WindowMs > 0 ? 100.0 * U.BusyMs / R.WindowMs : 0.0;
+    TotalBusyMs += U.BusyMs;
+    R.Utilization.push_back(U);
+  }
+  if (!WorkerTids.empty() && R.WindowMs > 0)
+    R.OverallUtilPct =
+        100.0 * TotalBusyMs / (R.WindowMs * WorkerTids.size());
+
+  // Timeline: per-bucket busy fraction across the worker threads.
+  if (!WorkerTids.empty() && Hi > Lo) {
+    constexpr size_t Buckets = 24;
+    std::vector<double> BusyNs(Buckets, 0.0);
+    double BucketNs = static_cast<double>(Hi - Lo) / Buckets;
+    for (const InsightEvent &E : Evs) {
+      if (E.Instant || !WorkerTids.count(E.Tid))
+        continue;
+      double Sign = isWorkerSpan(E.Name) ? 1.0
+                    : isWaitSpan(E.Name) ? -1.0
+                                         : 0.0;
+      if (Sign == 0.0)
+        continue;
+      double S = static_cast<double>(E.StartNs - Lo);
+      double F = S + static_cast<double>(E.DurNs);
+      size_t B0 = std::min(Buckets - 1, static_cast<size_t>(S / BucketNs));
+      size_t B1 = std::min(Buckets - 1, static_cast<size_t>(F / BucketNs));
+      for (size_t B = B0; B <= B1; ++B) {
+        double BLo = B * BucketNs, BHi = BLo + BucketNs;
+        double Overlap = std::min(F, BHi) - std::max(S, BLo);
+        if (Overlap > 0)
+          BusyNs[B] += Sign * Overlap;
+      }
+    }
+    for (size_t B = 0; B < Buckets; ++B)
+      R.Timeline.push_back(std::max(
+          0.0, BusyNs[B] / (BucketNs * WorkerTids.size())));
+  }
+
+  // --- Span forest + critical path. ---
+  std::vector<SpanNode> Nodes = buildSpanForest(Evs);
+  std::vector<size_t> Roots;
+  for (size_t N = 0; N < Nodes.size(); ++N)
+    if (Nodes[N].Parent == SIZE_MAX)
+      Roots.push_back(N);
+  std::sort(Roots.begin(), Roots.end(), [&](size_t A, size_t B) {
+    return Evs[Nodes[A].Ev].StartNs < Evs[Nodes[B].Ev].StartNs;
+  });
+  std::vector<const InsightEvent *> MisspecInstants;
+  for (const InsightEvent &E : Evs)
+    if (E.Instant && E.Name == "spec.misspec")
+      MisspecInstants.push_back(&E);
+  auto Descend = [&](size_t Root) {
+    unsigned Depth = 0;
+    for (size_t N = Root;;) {
+      const InsightEvent &E = Evs[Nodes[N].Ev];
+      CriticalPathEntry P;
+      P.Name = E.Name;
+      P.Detail = E.Detail;
+      P.Tid = E.Tid;
+      P.Depth = Depth;
+      P.Ms = toMs(E.DurNs);
+      uint64_t KidNs = 0;
+      for (size_t K : Nodes[N].Kids)
+        KidNs += Evs[Nodes[K].Ev].DurNs;
+      P.SelfMs = toMs(E.DurNs > KidNs ? E.DurNs - KidNs : 0);
+      for (const InsightEvent *M : MisspecInstants)
+        if (M->StartNs >= E.StartNs && M->StartNs <= endNs(E))
+          P.Misspec = true;
+      R.CriticalPath.push_back(std::move(P));
+      // Longest child carries the chain.
+      size_t Next = SIZE_MAX;
+      for (size_t K : Nodes[N].Kids)
+        if (Next == SIZE_MAX ||
+            Evs[Nodes[K].Ev].DurNs > Evs[Nodes[Next].Ev].DurNs)
+          Next = K;
+      if (Next == SIZE_MAX)
+        break;
+      N = Next;
+      ++Depth;
+    }
+  };
+  for (size_t Root : Roots)
+    Descend(Root);
+
+  // --- Per-loop attribution. ---
+  struct InvokeWindow {
+    uint64_t Lo, Hi;
+    LoopInsight *L;
+  };
+  std::map<std::pair<std::string, unsigned>, LoopInsight> LoopMap;
+  std::vector<InvokeWindow> Invokes;
+  for (const InsightEvent &E : Evs) {
+    if (E.Instant || E.Name != "loop.invoke")
+      continue;
+    std::string Fn = detailValue(E.Detail, "fn");
+    unsigned Header = static_cast<unsigned>(
+        std::strtoul(detailValue(E.Detail, "header").c_str(), nullptr, 10));
+    LoopInsight &L = LoopMap[{Fn, Header}];
+    L.Fn = Fn;
+    L.Header = Header;
+    L.Kind = detailValue(E.Detail, "kind");
+    L.Spec = L.Spec || detailHasFlag(E.Detail, "spec");
+    ++L.Invocations;
+    L.TotalMs += toMs(E.DurNs);
+    Invokes.push_back({E.StartNs, endNs(E), &L});
+  }
+  // Waits and chunks attribute to the invoke window containing them.
+  struct ChunkAgg {
+    uint64_t MaxNs = 0, SumNs = 0, Count = 0;
+  };
+  std::map<const InvokeWindow *, ChunkAgg> ChunksOf;
+  for (const InsightEvent &E : Evs) {
+    if (E.Instant)
+      continue;
+    bool Wait = isWaitSpan(E.Name);
+    bool Chunk = E.Name == "doall.chunk" || E.Name == "specdoall.chunk";
+    if (!Wait && !Chunk)
+      continue;
+    for (InvokeWindow &W : Invokes) {
+      if (E.StartNs < W.Lo || endNs(E) > W.Hi)
+        continue;
+      if (Wait) {
+        if (E.Name == "helix.gate_wait")
+          W.L->GateWaitMs += toMs(E.DurNs);
+        else
+          W.L->TokenWaitMs += toMs(E.DurNs);
+      } else {
+        ChunkAgg &A = ChunksOf[&W];
+        A.MaxNs = std::max(A.MaxNs, E.DurNs);
+        A.SumNs += E.DurNs;
+        ++A.Count;
+        ++W.L->Chunks;
+      }
+      break; // innermost-first not needed: invoke windows don't overlap
+    }
+  }
+  // Chunk imbalance: mean over invocations of (max - mean) / max.
+  std::map<LoopInsight *, std::pair<double, uint64_t>> Imb;
+  for (const auto &[W, A] : ChunksOf) {
+    if (A.Count < 1)
+      continue;
+    double Mean = static_cast<double>(A.SumNs) / A.Count;
+    double Pct =
+        A.MaxNs ? 100.0 * (A.MaxNs - Mean) / static_cast<double>(A.MaxNs)
+                : 0.0;
+    Imb[W->L].first += Pct;
+    ++Imb[W->L].second;
+  }
+  for (auto &[L, P] : Imb)
+    L->ChunkImbalancePct = P.second ? P.first / P.second : 0.0;
+  // Misspec / rollback / burned attribution.
+  for (const InsightEvent &E : Evs) {
+    if (!E.Instant)
+      continue;
+    if (E.Name == "spec.misspec") {
+      unsigned Header = static_cast<unsigned>(std::strtoul(
+          detailValue(E.Detail, "header").c_str(), nullptr, 10));
+      ++R.Spec.Misspecs;
+      for (auto &[Key, L] : LoopMap)
+        if (Key.second == Header)
+          ++L.Misspecs;
+    } else if (E.Name == "spec.rollback") {
+      std::string Fn = detailValue(E.Detail, "fn");
+      unsigned Header = static_cast<unsigned>(std::strtoul(
+          detailValue(E.Detail, "header").c_str(), nullptr, 10));
+      uint64_t Lost = std::strtoull(detailValue(E.Detail, "lost").c_str(),
+                                    nullptr, 10);
+      ++R.Spec.Rollbacks;
+      R.Spec.LostInstructions += Lost;
+      auto It = LoopMap.find({Fn, Header});
+      if (It != LoopMap.end()) {
+        ++It->second.Rollbacks;
+        It->second.LostInstructions += Lost;
+      }
+    } else if (E.Name == "plan.burned") {
+      std::string Fn = detailValue(E.Detail, "fn");
+      unsigned Header = static_cast<unsigned>(std::strtoul(
+          detailValue(E.Detail, "header").c_str(), nullptr, 10));
+      ++R.Spec.BurnedPlans;
+      auto It = LoopMap.find({Fn, Header});
+      if (It != LoopMap.end())
+        It->second.Burned = true;
+    }
+  }
+  for (auto &[Key, L] : LoopMap) {
+    (void)Key;
+    if (L.Spec)
+      R.Spec.SpecInvocations += L.Invocations;
+    R.Loops.push_back(std::move(L));
+  }
+  std::sort(R.Loops.begin(), R.Loops.end(),
+            [](const LoopInsight &A, const LoopInsight &B) {
+              return A.TotalMs > B.TotalMs;
+            });
+
+  // --- Cache traffic. ---
+  std::map<std::string, CacheInsight> CacheMap;
+  for (const InsightEvent &E : Evs) {
+    if (!E.Instant || E.Name.rfind("cache.", 0) != 0)
+      continue;
+    std::string Which = detailValue(E.Detail, "cache");
+    if (Which.empty())
+      Which = "?";
+    CacheInsight &C = CacheMap[Which];
+    C.Name = Which;
+    if (E.Name == "cache.hit")
+      ++C.Hits;
+    else if (E.Name == "cache.miss")
+      ++C.Misses;
+    else if (E.Name == "cache.evict")
+      ++C.Evictions;
+    else if (E.Name == "cache.invalidate")
+      ++C.Invalidations;
+  }
+  for (auto &[Name, C] : CacheMap) {
+    (void)Name;
+    R.Caches.push_back(std::move(C));
+  }
+  return R;
+}
+
+// --- Rendering ---------------------------------------------------------------
+
+namespace {
+
+void jsonEscape(std::ostringstream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+std::string fmt(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string obs::renderInsightReport(const InsightReport &R) {
+  std::ostringstream OS;
+  OS << "=== psc-insight: " << R.Source << " ===\n";
+  std::string Tool, Session;
+  for (const auto &[K, V] : R.Meta) {
+    if (K == "tool")
+      Tool = V;
+    if (K == "session")
+      Session = V;
+  }
+  OS << "events: " << R.NumEvents;
+  if (!Tool.empty())
+    OS << "  tool: " << Tool;
+  if (!Session.empty())
+    OS << "  session: " << Session;
+  OS << "  window: " << fmt(R.WindowMs) << " ms\n";
+  if (R.DroppedEvents)
+    OS << "WARNING: " << R.DroppedEvents
+       << " events dropped to ring overflow — totals are lower bounds\n";
+
+  OS << "\n-- stage breakdown --\n";
+  for (const StageBreak &S : R.Stages) {
+    OS << "  " << S.Name << ": " << fmt(S.Ms) << " ms (" << S.Count
+       << " span" << (S.Count == 1 ? "" : "s") << ")\n";
+    for (const StageBreak &C : S.Children)
+      OS << "    " << C.Name << ": " << fmt(C.Ms) << " ms (" << C.Count
+         << ")\n";
+  }
+
+  if (!R.Utilization.empty()) {
+    OS << "\n-- worker utilization (" << fmt(R.OverallUtilPct)
+       << "% overall) --\n";
+    for (const ThreadUtil &U : R.Utilization)
+      OS << "  tid " << U.Tid << ": busy " << fmt(U.BusyMs) << " ms, wait "
+         << fmt(U.WaitMs) << " ms (" << fmt(U.Pct) << "%)\n";
+    if (!R.Timeline.empty()) {
+      static const char *Glyphs[] = {" ", ".", ":", "-", "=", "+",
+                                     "*", "#", "%", "@"};
+      OS << "  timeline [";
+      for (double F : R.Timeline) {
+        int G = static_cast<int>(F * 9.0 + 0.5);
+        OS << Glyphs[std::max(0, std::min(9, G))];
+      }
+      OS << "]\n";
+    }
+  }
+
+  OS << "\n-- critical path --\n";
+  for (const CriticalPathEntry &P : R.CriticalPath) {
+    OS << "  ";
+    for (unsigned D = 0; D < P.Depth; ++D)
+      OS << "  ";
+    OS << P.Name;
+    if (!P.Detail.empty())
+      OS << " [" << P.Detail << "]";
+    OS << " " << fmt(P.Ms) << " ms (self " << fmt(P.SelfMs) << ")";
+    if (P.Misspec)
+      OS << "  << MISSPECULATED";
+    OS << "\n";
+  }
+
+  if (!R.Loops.empty()) {
+    OS << "\n-- loops --\n";
+    for (const LoopInsight &L : R.Loops) {
+      OS << "  " << L.Fn << " header " << L.Header << " [" << L.Kind
+         << (L.Spec ? " spec" : "") << "]: " << L.Invocations
+         << " invocation" << (L.Invocations == 1 ? "" : "s") << ", "
+         << fmt(L.TotalMs) << " ms";
+      if (L.GateWaitMs > 0)
+        OS << ", gate-wait " << fmt(L.GateWaitMs) << " ms";
+      if (L.TokenWaitMs > 0)
+        OS << ", token-wait " << fmt(L.TokenWaitMs) << " ms";
+      if (L.Chunks)
+        OS << ", " << L.Chunks << " chunks (imbalance "
+           << fmt(L.ChunkImbalancePct) << "%)";
+      if (L.Misspecs)
+        OS << ", " << L.Misspecs << " misspec (lost "
+           << L.LostInstructions << " instructions)";
+      if (L.Burned)
+        OS << ", plan burned";
+      OS << "\n";
+    }
+  }
+
+  OS << "\n-- speculation --\n"
+     << "  spec invocations: " << R.Spec.SpecInvocations
+     << ", misspecs: " << R.Spec.Misspecs << " (rate "
+     << fmt(R.Spec.misspecRate() * 100.0) << "%), rollbacks: "
+     << R.Spec.Rollbacks << ", lost instructions: "
+     << R.Spec.LostInstructions << ", burned plans: " << R.Spec.BurnedPlans
+     << "\n";
+
+  if (!R.Caches.empty()) {
+    OS << "\n-- cache traffic --\n";
+    for (const CacheInsight &C : R.Caches)
+      OS << "  " << C.Name << ": " << C.Hits << " hits, " << C.Misses
+         << " misses (rate " << fmt(C.hitRate()) << "), " << C.Evictions
+         << " evictions, " << C.Invalidations << " invalidations\n";
+  }
+  return OS.str();
+}
+
+std::string obs::renderInsightJson(
+    const std::vector<InsightReport> &Reports) {
+  std::ostringstream OS;
+  OS << "{\"tool\":\"psc-insight\",\"version\":1,\"sessions\":[";
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const InsightReport &R = Reports[I];
+    if (I)
+      OS << ",";
+    OS << "\n{\"source\":\"";
+    jsonEscape(OS, R.Source);
+    OS << "\",\"events\":" << R.NumEvents
+       << ",\"dropped_events\":" << R.DroppedEvents
+       << ",\"window_ms\":" << fmt(R.WindowMs) << ",\"metadata\":{";
+    for (size_t M = 0; M < R.Meta.size(); ++M) {
+      if (M)
+        OS << ",";
+      OS << "\"";
+      jsonEscape(OS, R.Meta[M].first);
+      OS << "\":\"";
+      jsonEscape(OS, R.Meta[M].second);
+      OS << "\"";
+    }
+    OS << "},\"stages\":[";
+    for (size_t S = 0; S < R.Stages.size(); ++S) {
+      const StageBreak &St = R.Stages[S];
+      if (S)
+        OS << ",";
+      OS << "{\"name\":\"";
+      jsonEscape(OS, St.Name);
+      OS << "\",\"ms\":" << fmt(St.Ms) << ",\"count\":" << St.Count
+         << ",\"children\":[";
+      for (size_t C = 0; C < St.Children.size(); ++C) {
+        if (C)
+          OS << ",";
+        OS << "{\"name\":\"";
+        jsonEscape(OS, St.Children[C].Name);
+        OS << "\",\"ms\":" << fmt(St.Children[C].Ms)
+           << ",\"count\":" << St.Children[C].Count << "}";
+      }
+      OS << "]}";
+    }
+    OS << "],\"utilization\":{\"overall_pct\":" << fmt(R.OverallUtilPct)
+       << ",\"threads\":[";
+    for (size_t U = 0; U < R.Utilization.size(); ++U) {
+      const ThreadUtil &T = R.Utilization[U];
+      if (U)
+        OS << ",";
+      OS << "{\"tid\":" << T.Tid << ",\"busy_ms\":" << fmt(T.BusyMs)
+         << ",\"wait_ms\":" << fmt(T.WaitMs) << ",\"pct\":" << fmt(T.Pct)
+         << "}";
+    }
+    OS << "],\"timeline\":[";
+    for (size_t B = 0; B < R.Timeline.size(); ++B) {
+      if (B)
+        OS << ",";
+      OS << fmt(R.Timeline[B]);
+    }
+    OS << "]},\"critical_path\":[";
+    for (size_t P = 0; P < R.CriticalPath.size(); ++P) {
+      const CriticalPathEntry &E = R.CriticalPath[P];
+      if (P)
+        OS << ",";
+      OS << "{\"name\":\"";
+      jsonEscape(OS, E.Name);
+      OS << "\",\"detail\":\"";
+      jsonEscape(OS, E.Detail);
+      OS << "\",\"tid\":" << E.Tid << ",\"depth\":" << E.Depth
+         << ",\"ms\":" << fmt(E.Ms) << ",\"self_ms\":" << fmt(E.SelfMs)
+         << ",\"misspec\":" << (E.Misspec ? "true" : "false") << "}";
+    }
+    OS << "],\"loops\":[";
+    for (size_t L = 0; L < R.Loops.size(); ++L) {
+      const LoopInsight &Lp = R.Loops[L];
+      if (L)
+        OS << ",";
+      OS << "{\"fn\":\"";
+      jsonEscape(OS, Lp.Fn);
+      OS << "\",\"header\":" << Lp.Header << ",\"kind\":\"";
+      jsonEscape(OS, Lp.Kind);
+      OS << "\",\"spec\":" << (Lp.Spec ? "true" : "false")
+         << ",\"invocations\":" << Lp.Invocations
+         << ",\"total_ms\":" << fmt(Lp.TotalMs)
+         << ",\"gate_wait_ms\":" << fmt(Lp.GateWaitMs)
+         << ",\"token_wait_ms\":" << fmt(Lp.TokenWaitMs)
+         << ",\"chunks\":" << Lp.Chunks
+         << ",\"chunk_imbalance_pct\":" << fmt(Lp.ChunkImbalancePct)
+         << ",\"misspecs\":" << Lp.Misspecs
+         << ",\"rollbacks\":" << Lp.Rollbacks
+         << ",\"rollback_lost_instructions\":" << Lp.LostInstructions
+         << ",\"burned\":" << (Lp.Burned ? "true" : "false") << "}";
+    }
+    OS << "],\"speculation\":{\"spec_invocations\":"
+       << R.Spec.SpecInvocations << ",\"misspecs\":" << R.Spec.Misspecs
+       << ",\"misspec_rate\":" << fmt(R.Spec.misspecRate())
+       << ",\"rollbacks\":" << R.Spec.Rollbacks
+       << ",\"lost_instructions\":" << R.Spec.LostInstructions
+       << ",\"burned_plans\":" << R.Spec.BurnedPlans << "},\"caches\":[";
+    for (size_t C = 0; C < R.Caches.size(); ++C) {
+      const CacheInsight &Ca = R.Caches[C];
+      if (C)
+        OS << ",";
+      OS << "{\"cache\":\"";
+      jsonEscape(OS, Ca.Name);
+      OS << "\",\"hits\":" << Ca.Hits << ",\"misses\":" << Ca.Misses
+         << ",\"evictions\":" << Ca.Evictions
+         << ",\"invalidations\":" << Ca.Invalidations
+         << ",\"hit_rate\":" << fmt(Ca.hitRate()) << "}";
+    }
+    OS << "]}";
+  }
+  OS << "\n]}\n";
+  return OS.str();
+}

@@ -1,0 +1,166 @@
+//===- Insight.h - Offline trace analytics ---------------------*- C++ -*-===//
+///
+/// \file
+/// The analysis layer behind `psc-insight` (DESIGN.md §14): ingests the
+/// Chrome trace-event JSON this repo's recorder writes (`pscc
+/// --trace-out`, `pscd --trace-dir` session files) and derives, per
+/// trace:
+///
+///   * a stage wall-clock breakdown (compile/plan/run and their
+///     sub-stages, or the service.* stages for pscd sessions);
+///   * a worker-utilization timeline — busy fraction per worker thread
+///     with gate/token waits subtracted, bucketed over the trace window;
+///   * the critical path through the span graph: per-thread containment
+///     forests, worker spans re-attached across threads to the
+///     loop.invoke that spawned them, then a greedy longest-child
+///     descent from each top-level span in time order;
+///   * per-loop attribution: invocations, wall-clock, gate-wait,
+///     token-wait, chunk imbalance, misspeculations, rollback cost;
+///   * speculation efficiency: misspec rate, rollback cost in lost
+///     instructions (from the `lost=` detail the rollback instant
+///     carries), burned-plan impact;
+///   * L1/L2/L3 cache traffic from the cache.* instants.
+///
+/// Parsing is a dependency-free recursive-descent JSON reader that
+/// rejects malformed or truncated traces with a diagnostic instead of
+/// guessing. Rendering is split human/machine: renderInsightReport for
+/// eyes, renderInsightJson for CI gates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSPDG_OBS_INSIGHT_H
+#define PSPDG_OBS_INSIGHT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psc {
+namespace obs {
+
+/// One parsed trace event (the writer's shape, decoded back to ns).
+struct InsightEvent {
+  std::string Name;
+  std::string Detail;
+  unsigned Tid = 0;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  bool Instant = false;
+};
+
+/// A parsed trace file: events plus the top-level metadata object.
+struct InsightTrace {
+  std::vector<InsightEvent> Events;
+  std::vector<std::pair<std::string, std::string>> Meta;
+};
+
+/// Parses trace JSON text. False (with \p Err) on malformed, truncated,
+/// or schema-violating input — never a partial result.
+bool parseTraceJson(const std::string &Text, InsightTrace &T,
+                    std::string &Err);
+
+/// Reads and parses \p Path. False with \p Err on I/O or parse failure.
+bool parseTraceFile(const std::string &Path, InsightTrace &T,
+                    std::string &Err);
+
+/// One stage's share of the wall clock, with its sub-stage children.
+struct StageBreak {
+  std::string Name;
+  double Ms = 0.0;
+  uint64_t Count = 0;
+  std::vector<StageBreak> Children;
+};
+
+/// One step on the critical path (depth > 0 = nested under the previous
+/// shallower entry).
+struct CriticalPathEntry {
+  std::string Name;
+  std::string Detail;
+  unsigned Tid = 0;
+  unsigned Depth = 0;
+  double Ms = 0.0;
+  double SelfMs = 0.0; ///< Ms minus the attached children's total.
+  bool Misspec = false; ///< A spec.misspec instant fell inside this span.
+};
+
+/// One worker thread's utilization over the trace window.
+struct ThreadUtil {
+  unsigned Tid = 0;
+  double BusyMs = 0.0; ///< Worker-span time minus gate/token waits.
+  double WaitMs = 0.0; ///< Gate/token wait time.
+  double Pct = 0.0;    ///< 100 * BusyMs / window.
+};
+
+/// Per-loop attribution, keyed by (fn, header) from loop.invoke spans.
+struct LoopInsight {
+  std::string Fn;
+  unsigned Header = 0;
+  std::string Kind;
+  bool Spec = false;
+  uint64_t Invocations = 0;
+  double TotalMs = 0.0;
+  double GateWaitMs = 0.0;  ///< helix.gate_wait inside this loop's invokes.
+  double TokenWaitMs = 0.0; ///< dswp.token_wait inside this loop's invokes.
+  uint64_t Chunks = 0;
+  /// Mean over invocations of 100 * (max chunk - mean chunk) / max chunk.
+  double ChunkImbalancePct = 0.0;
+  uint64_t Misspecs = 0;
+  uint64_t Rollbacks = 0;
+  uint64_t LostInstructions = 0; ///< Sum of the rollbacks' lost= cost.
+  bool Burned = false;
+};
+
+struct CacheInsight {
+  std::string Name; ///< module / memo / plan.
+  uint64_t Hits = 0, Misses = 0, Evictions = 0, Invalidations = 0;
+  double hitRate() const {
+    uint64_t T = Hits + Misses;
+    return T ? static_cast<double>(Hits) / T : 0.0;
+  }
+};
+
+struct SpecSummary {
+  uint64_t SpecInvocations = 0;
+  uint64_t Misspecs = 0;
+  uint64_t Rollbacks = 0;
+  uint64_t LostInstructions = 0;
+  uint64_t BurnedPlans = 0;
+  double misspecRate() const {
+    return SpecInvocations
+               ? static_cast<double>(Misspecs) / SpecInvocations
+               : 0.0;
+  }
+};
+
+/// Everything the analyses derive from one trace.
+struct InsightReport {
+  std::string Source; ///< File path (or label) the trace came from.
+  std::vector<std::pair<std::string, std::string>> Meta;
+  size_t NumEvents = 0;
+  uint64_t DroppedEvents = 0; ///< From the writer's metadata.
+  double WindowMs = 0.0;      ///< First event start to last event end.
+  std::vector<StageBreak> Stages;
+  std::vector<ThreadUtil> Utilization;
+  std::vector<double> Timeline; ///< Per-bucket worker busy fraction [0,1].
+  double OverallUtilPct = 0.0;
+  std::vector<CriticalPathEntry> CriticalPath;
+  std::vector<LoopInsight> Loops;
+  SpecSummary Spec;
+  std::vector<CacheInsight> Caches;
+};
+
+/// Runs every analysis over \p T. \p Source labels the report.
+InsightReport analyzeTrace(const InsightTrace &T, const std::string &Source);
+
+/// Human-readable report (one trace).
+std::string renderInsightReport(const InsightReport &R);
+
+/// Machine output for every analyzed trace:
+/// {"tool":"psc-insight","version":1,"sessions":[...]}.
+std::string renderInsightJson(const std::vector<InsightReport> &Reports);
+
+} // namespace obs
+} // namespace psc
+
+#endif // PSPDG_OBS_INSIGHT_H

@@ -31,18 +31,27 @@ struct RawEvent {
 /// One thread's ring. The owner pushes under Lock (uncontended: only a
 /// collector ever competes); the registry's shared_ptr keeps the ring
 /// alive after the owning thread exits.
+///
+/// Buf grows on demand instead of pre-zeroing all kRingCap slots: worker
+/// threads are born per parallel invocation, and paging in a 2 MB ring
+/// on each one's first event used to cost more than the run it traced
+/// (the bench_micro trace_on_overhead gate caught this). The invariant
+/// Buf.size() == min(Count, kRingCap) keeps the collectors' Count-based
+/// indexing valid throughout.
 struct Ring {
   unsigned Tid = 0;
   std::atomic_flag Lock = ATOMIC_FLAG_INIT;
   uint64_t Count = 0; ///< Total events ever pushed (wrap = Count % cap).
   std::vector<RawEvent> Buf;
 
-  explicit Ring(unsigned Tid) : Tid(Tid) { Buf.resize(kRingCap); }
+  explicit Ring(unsigned Tid) : Tid(Tid) { Buf.reserve(64); }
 
   void push(const char *Name, uint64_t StartNs, uint64_t DurNs, bool Instant,
             const char *Detail) {
     while (Lock.test_and_set(std::memory_order_acquire))
       ;
+    if (Buf.size() < kRingCap)
+      Buf.emplace_back();
     RawEvent &E = Buf[Count % kRingCap];
     E.Name = Name;
     E.StartNs = StartNs;
@@ -125,6 +134,9 @@ bool writeEvents(const std::string &Path,
                  const std::vector<TraceEventData> &Events,
                  const std::vector<std::pair<std::string, std::string>> &Meta,
                  std::string &Err) {
+  std::vector<std::pair<std::string, std::string>> AllMeta = Meta;
+  AllMeta.emplace_back("dropped_events",
+                       std::to_string(obs::traceDroppedEvents()));
   std::ostringstream OS;
   OS << "{\"traceEvents\":[";
   for (size_t I = 0; I < Events.size(); ++I) {
@@ -153,13 +165,13 @@ bool writeEvents(const std::string &Path,
     OS << "}";
   }
   OS << "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{";
-  for (size_t I = 0; I < Meta.size(); ++I) {
+  for (size_t I = 0; I < AllMeta.size(); ++I) {
     if (I)
       OS << ",";
     OS << "\"";
-    escapeJson(OS, Meta[I].first);
+    escapeJson(OS, AllMeta[I].first);
     OS << "\":\"";
-    escapeJson(OS, Meta[I].second);
+    escapeJson(OS, AllMeta[I].second);
     OS << "\"";
   }
   OS << "}}\n";
@@ -244,6 +256,28 @@ uint64_t obs::traceNowNs() {
 
 std::vector<TraceEventData> obs::traceCollect() {
   return collect(0, ~0ull);
+}
+
+uint64_t obs::traceDroppedEvents(
+    std::vector<std::pair<unsigned, uint64_t>> *PerThread) {
+  Registry &Reg = registry();
+  std::vector<std::shared_ptr<Ring>> Rings;
+  {
+    std::lock_guard<std::mutex> Lock(Reg.Mu);
+    Rings = Reg.Rings;
+  }
+  uint64_t Total = 0;
+  for (const std::shared_ptr<Ring> &R : Rings) {
+    while (R->Lock.test_and_set(std::memory_order_acquire))
+      ;
+    uint64_t Count = R->Count;
+    R->Lock.clear(std::memory_order_release);
+    uint64_t Dropped = Count > kRingCap ? Count - kRingCap : 0;
+    Total += Dropped;
+    if (PerThread && Dropped)
+      PerThread->emplace_back(R->Tid, Dropped);
+  }
+  return Total;
 }
 
 bool obs::traceWrite(

@@ -83,9 +83,19 @@ struct TraceEventData {
 /// other threads record (each ring is copied under its spinlock).
 std::vector<TraceEventData> traceCollect();
 
+/// Events lost to ring overflow since traceEnable(): each per-thread
+/// ring keeps only the newest 16K events, and before this accessor the
+/// wrap was silent. Returns the total across rings; with \p PerThread
+/// non-null also fills (tid, dropped) pairs for every ring that lost
+/// events. Safe to call while other threads record.
+uint64_t traceDroppedEvents(
+    std::vector<std::pair<unsigned, uint64_t>> *PerThread = nullptr);
+
 /// Writes the Chrome trace-event JSON for all recorded events to
-/// \p Path, with \p Meta as the top-level metadata object. Returns false
-/// with \p Err on I/O failure.
+/// \p Path, with \p Meta as the top-level metadata object. A
+/// "dropped_events" key holding traceDroppedEvents() is appended to the
+/// metadata automatically so overflow is never silent in the artifact.
+/// Returns false with \p Err on I/O failure.
 bool traceWrite(const std::string &Path,
                 const std::vector<std::pair<std::string, std::string>> &Meta,
                 std::string &Err);

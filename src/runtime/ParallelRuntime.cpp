@@ -14,6 +14,7 @@
 
 #include "runtime/ParallelRuntime.h"
 
+#include "obs/Forensics.h"
 #include "obs/Trace.h"
 #include "runtime/SPSCQueue.h"
 #include "runtime/SpecValidation.h"
@@ -353,6 +354,11 @@ void commitOverlays(
 
 // --- Shared run state --------------------------------------------------------
 
+/// Resident bytes per overlay map entry (key + cell payload) — the unit
+/// the resource accounting converts overlay cell counts with.
+constexpr uint64_t kOverlayEntryBytes =
+    sizeof(ShadowMemory::Key) + sizeof(ShadowMemory::Cell);
+
 struct PRState {
   PRState(const Module &M, unsigned Threads) : S(M), Pool(Threads) {}
 
@@ -364,6 +370,18 @@ struct PRState {
   std::set<const LoopSchedule *> Blown;
   std::string Error;
   std::mutex ErrorMu;
+
+  /// The structured violation behind a kMisspec return, stored by the
+  /// detecting scheduler (master thread, after its join) for the flight
+  /// recorder; hookLoop consumes it when it publishes the record.
+  SpecValidator::ViolationInfo PendingViolation;
+  bool HasViolation = false;
+
+  /// Last speculative invocation's resource footprint, written by the
+  /// scheduler after its join (master thread) and folded into the loop's
+  /// LoopExecStat by hookLoop — misspeculated invocations count too.
+  uint64_t InvSpecLogEntries = 0;
+  uint64_t InvOverlayBytes = 0;
 
   void fail(const std::string &Msg) {
     {
@@ -630,9 +648,16 @@ unsigned runSpecDOALL(PRState &RS, E &Eng, typename E::Frm &Fr,
       V.add(St.Log);
     Misspec = !V.validate(&Violation);
   }
+  RS.InvSpecLogEntries = V.entriesChecked();
+  for (ChunkState &St : CS)
+    RS.InvOverlayBytes += St.SM.persist().size() * kOverlayEntryBytes;
   if (Misspec) {
     obs::traceInstantf("spec.misspec", "header=%u %s", LS.Header,
                        Violation.c_str());
+    RS.PendingViolation = V.lastViolation();
+    if (RS.PendingViolation.K == SpecValidator::ViolationInfo::Kind::None)
+      RS.PendingViolation.Desc = Violation; // divergence, no validator hit
+    RS.HasViolation = true;
     return kMisspec; // discard overlays, partials, logs, buffered output
   }
 
@@ -912,7 +937,15 @@ unsigned runSpecHELIX(PRState &RS, E &Eng, typename E::Frm &Fr,
   }
   RS.Pool.wait();
 
+  RS.InvSpecLogEntries = Validator.entriesChecked();
+  RS.InvOverlayBytes = Committed.Map.size() * kOverlayEntryBytes;
   if (Misspec.load(std::memory_order_relaxed)) {
+    // The gate serialized every checkAndAdd, so the validator's last
+    // violation is stable now that the workers have joined.
+    RS.PendingViolation = Validator.lastViolation();
+    if (RS.PendingViolation.K == SpecValidator::ViolationInfo::Kind::None)
+      RS.PendingViolation.Desc = "iteration-space divergence";
+    RS.HasViolation = true;
     RS.settleSpecAbort();
     return kMisspec;
   }
@@ -1039,6 +1072,9 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
   }
   RS.Pool.wait();
 
+  for (StageState &St : SS)
+    RS.InvOverlayBytes += St.SM.persist().size() * kOverlayEntryBytes;
+
   bool Diverged = false;
   for (StageState &St : SS)
     if (St.Diverged)
@@ -1048,16 +1084,21 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
     // misspeculation (stale values can corrupt stage control).
     bool Misspec = Diverged;
     std::string Violation = Diverged ? "iteration-space divergence" : "";
+    SpecValidator V(LS.AssumedPairs);
     if (!Misspec && !S.aborted()) {
       obs::TraceSpan VSpan("spec.validate", "header=%u", LS.Header);
-      SpecValidator V(LS.AssumedPairs);
       for (StageState &St : SS)
         V.add(St.Log);
       Misspec = !V.validate(&Violation);
     }
+    RS.InvSpecLogEntries = V.entriesChecked();
     if (Misspec) {
       obs::traceInstantf("spec.misspec", "header=%u %s", LS.Header,
                          Violation.c_str());
+      RS.PendingViolation = V.lastViolation();
+      if (RS.PendingViolation.K == SpecValidator::ViolationInfo::Kind::None)
+        RS.PendingViolation.Desc = Violation;
+      RS.HasViolation = true;
       RS.settleSpecAbort();
       return kMisspec; // overlays discarded, nothing committed
     }
@@ -1082,6 +1123,79 @@ unsigned runDSWP(PRState &RS, E &Eng, typename E::Frm &Fr,
 }
 
 // --- Loop hook ---------------------------------------------------------------
+
+/// Builds and publishes the flight-recorder record for a rolled-back
+/// invocation (obs/Forensics.h): plan identity, the scheduler's pending
+/// structured violation, the violated assumption with its profile
+/// provenance, the deterministically-named conflicting object, the
+/// watch-set snapshot, and the measured rollback cost.
+void recordMisspec(PRState &RS, const RuntimePlan &Plan,
+                   const LoopSchedule &LS, const Function *F, unsigned Block,
+                   uint64_t Lost) {
+  obs::MisspecRecord Rec;
+  Rec.Fn = F->getName();
+  Rec.Header = Block;
+  Rec.Kind = scheduleKindName(LS.Kind);
+  Rec.Abstraction = abstractionName(Plan.Abs);
+  Rec.Threads = Plan.Threads;
+  Rec.LostInstructions = Lost;
+  Rec.WatchSet.resize(LS.NumWatched);
+  for (const auto &[I, W] : LS.WatchOf)
+    if (W < Rec.WatchSet.size())
+      Rec.WatchSet[W] = instDesc(I);
+  using VK = SpecValidator::ViolationInfo::Kind;
+  const SpecValidator::ViolationInfo &VI = RS.PendingViolation;
+  if (!RS.HasViolation || VI.K == VK::None) {
+    Rec.ViolationKind = "divergence";
+    Rec.Description =
+        VI.Desc.empty() ? "iteration-space divergence" : VI.Desc;
+  } else if (VI.K == VK::Conflict) {
+    Rec.ViolationKind = "conflict";
+    Rec.SrcWatch = VI.SrcW;
+    Rec.DstWatch = VI.DstW;
+    Rec.Offset = VI.Off;
+    Rec.SrcIter = VI.SrcIter;
+    Rec.DstIter = VI.DstIter;
+    // The pair table is indexed by assumption id: recover which
+    // assumption the violated (src, dst) watch pair lowered from.
+    for (size_t Id = 0; Id < LS.AssumedPairs.size(); ++Id) {
+      if (LS.AssumedPairs[Id] != std::make_pair(VI.SrcW, VI.DstW))
+        continue;
+      Rec.AssumptionId = static_cast<int>(Id);
+      if (Id < LS.Assumptions.size()) {
+        const SpecAssumption &A = LS.Assumptions[Id];
+        Rec.AssumedSrc = instDesc(A.Src);
+        Rec.AssumedDst = instDesc(A.Dst);
+        Rec.SrcIdx = A.SrcIdx;
+        Rec.DstIdx = A.DstIdx;
+      }
+      break;
+    }
+    // Raw MemObject pointers are run-varying; the module's global table
+    // names the object deterministically.
+    Rec.Object = "<unnamed>";
+    for (const auto &GV : F->getParent()->globals())
+      if (RS.S.globalByIndex(GV->getGlobalIndex()) == VI.Obj) {
+        Rec.Object = GV->getName();
+        break;
+      }
+    // The validator's text names the object by pointer (run-varying);
+    // the record's description re-renders it with the resolved name so
+    // the same misspeculation produces the same bytes in every process.
+    Rec.Description = "assumed-absent dependence manifested: watch " +
+                      std::to_string(VI.SrcW) + " -> " +
+                      std::to_string(VI.DstW) + " at '" + Rec.Object +
+                      "' offset " + std::to_string(VI.Off);
+  } else {
+    Rec.ViolationKind = VI.K == VK::Value ? "value" : "guard";
+    Rec.Description = VI.Desc;
+    Rec.Scalar = VI.Scalar;
+    Rec.Iter = VI.Iter;
+  }
+  RS.HasViolation = false;
+  RS.PendingViolation = SpecValidator::ViolationInfo();
+  obs::misspecPush(std::move(Rec));
+}
 
 /// Engine-neutral loop interception: returns the exit block index when the
 /// hook ran the whole loop invocation, kNoBlock when the sequential step
@@ -1111,6 +1225,9 @@ unsigned hookLoop(PRState &RS, E &Eng, const RuntimePlan &Plan,
                       F->getName().c_str(), Block,
                       scheduleKindName(LS->Kind),
                       LS->Speculative ? " spec" : "");
+  uint64_t InstrBefore = RS.S.instructionsExecuted();
+  RS.InvSpecLogEntries = 0;
+  RS.InvOverlayBytes = 0;
   unsigned Res = kNoBlock;
   switch (LS->Kind) {
   case ScheduleKind::DOALL:
@@ -1127,16 +1244,22 @@ unsigned hookLoop(PRState &RS, E &Eng, const RuntimePlan &Plan,
   case ScheduleKind::Sequential:
     return kNoBlock;
   }
+  Stat.SpecLogEntries += RS.InvSpecLogEntries;
+  Stat.PeakOverlayBytes = std::max(Stat.PeakOverlayBytes, RS.InvOverlayBytes);
   if (Res == kMisspec) {
     // Rollback: every speculative side effect is discarded; the master
     // context executes the loop natively (the sequential semantics), and
-    // the schedule is disabled for the rest of the run.
+    // the schedule is disabled for the rest of the run. The delta on the
+    // instruction counter is the discarded work — the rollback's cost.
+    uint64_t Lost = RS.S.instructionsExecuted() - InstrBefore;
     ++Stat.Misspeculations;
-    obs::traceInstantf("spec.rollback", "fn=%s header=%u",
-                       F->getName().c_str(), Block);
+    obs::traceInstantf("spec.rollback", "fn=%s header=%u lost=%llu",
+                       F->getName().c_str(), Block,
+                       static_cast<unsigned long long>(Lost));
     obs::traceInstantf("plan.burned", "fn=%s header=%u kind=%s",
                        F->getName().c_str(), Block,
                        scheduleKindName(LS->Kind));
+    recordMisspec(RS, Plan, *LS, F, Block, Lost);
     RS.Blown.insert(LS);
     return kNoBlock;
   }
@@ -1307,6 +1430,8 @@ ParallelRunResult ParallelRuntime::run(const std::string &EntryName) {
       Stat.Invocations = It->second.Invocations;
       Stat.Iterations = It->second.Iterations;
       Stat.Misspeculations = It->second.Misspeculations;
+      Stat.SpecLogEntries = It->second.SpecLogEntries;
+      Stat.PeakOverlayBytes = It->second.PeakOverlayBytes;
     }
     Out.Loops.push_back(std::move(Stat));
   }

@@ -79,6 +79,12 @@ struct LoopExecStat {
   unsigned ValuePreds = 0;       ///< Value-speculated scalars (§10).
   unsigned SpecReductions = 0;   ///< Promoted custom reductions (§10).
   uint64_t Misspeculations = 0;  ///< Invocations rolled back to sequential.
+
+  // Resource accounting (speculative schedules; DESIGN.md §14): the
+  // speculation machinery's memory footprint, for the health layer's
+  // per-session rollups.
+  uint64_t SpecLogEntries = 0;    ///< Watched access records validated.
+  uint64_t PeakOverlayBytes = 0;  ///< Largest invocation's overlay cells.
 };
 
 struct ParallelRunResult {

@@ -48,6 +48,22 @@ const char *psc::scheduleKindName(ScheduleKind K) {
   return "?";
 }
 
+std::string psc::instDesc(const Instruction *I) {
+  std::string S = I->getOpcodeName();
+  const Value *Ptr = nullptr;
+  if (const auto *LI = dyn_cast<LoadInst>(I))
+    Ptr = LI->getPointer();
+  else if (const auto *SI = dyn_cast<StoreInst>(I))
+    Ptr = SI->getPointer();
+  if (Ptr)
+    if (const Value *Root = rootStorage(Ptr))
+      if (!Root->getName().empty())
+        S += " '" + Root->getName() + "'";
+  if (const BasicBlock *BB = I->getParent())
+    S += " (" + BB->getName() + ")";
+  return S;
+}
+
 namespace {
 
 bool isScalarStorage(const Value *V) {
@@ -765,24 +781,6 @@ LoopSchedule scheduleFromView(const Function &F, const FunctionAnalysis &FA,
       (!PV.Assumptions.empty() || LS.hasValueSpec()))
     lowerSpeculation(LS, FA, PV);
   return LS;
-}
-
-/// One-line summary of a loop instruction for the decision log:
-/// opcode, accessed storage (when a memory access), defining block.
-std::string instDesc(const Instruction *I) {
-  std::string S = I->getOpcodeName();
-  const Value *Ptr = nullptr;
-  if (const auto *LI = dyn_cast<LoadInst>(I))
-    Ptr = LI->getPointer();
-  else if (const auto *SI = dyn_cast<StoreInst>(I))
-    Ptr = SI->getPointer();
-  if (Ptr)
-    if (const Value *Root = rootStorage(Ptr))
-      if (!Root->getName().empty())
-        S += " '" + Root->getName() + "'";
-  if (const BasicBlock *BB = I->getParent())
-    S += " (" + BB->getName() + ")";
-  return S;
 }
 
 /// Fills the static (pre-selection) half of a LoopDecision: identity,

@@ -56,6 +56,12 @@ enum class ScheduleKind { Sequential, DOALL, HELIX, DSWP };
 
 const char *scheduleKindName(ScheduleKind K);
 
+/// One-line deterministic summary of a loop instruction — opcode, accessed
+/// storage (when a memory access), defining block. The shared renderer
+/// behind the plan-decision log's assumption/blocker lines and the
+/// misspeculation flight recorder (obs/Forensics.h).
+std::string instDesc(const Instruction *I);
+
 /// A scalar storage privatized per worker (copy-in, last-iteration-owner
 /// copy-out).
 struct PrivateVar {

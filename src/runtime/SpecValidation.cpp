@@ -16,6 +16,11 @@ std::string SpecValidator::describe(const Loc &L, unsigned SrcW,
 
 bool SpecValidator::validateValues(std::string *Violation) const {
   if (GuardHit) {
+    Last = ViolationInfo();
+    Last.K = ViolationInfo::Kind::Guard;
+    Last.Scalar = GuardW;
+    Last.Iter = GuardIter;
+    Last.Desc = GuardDesc;
     if (Violation)
       *Violation = GuardDesc;
     return false;
@@ -26,10 +31,15 @@ bool SpecValidator::validateValues(std::string *Violation) const {
     const std::map<long, IterVal> *Iters =
         TIt == VTable.end() ? nullptr : &TIt->second;
     auto Fail = [&](long Iter, const char *What) {
+      Last = ViolationInfo();
+      Last.K = ViolationInfo::Kind::Value;
+      Last.Scalar = P;
+      Last.Iter = Iter;
+      Last.Desc = std::string("value prediction violated: scalar ") +
+                  std::to_string(P) + " " + What + " at iteration " +
+                  std::to_string(Iter);
       if (Violation)
-        *Violation = std::string("value prediction violated: scalar ") +
-                     std::to_string(P) + " " + What + " at iteration " +
-                     std::to_string(Iter);
+        *Violation = Last.Desc;
       return false;
     };
     switch (C.Kind) {
@@ -98,11 +108,20 @@ bool SpecValidator::validate(std::string *Violation) const {
           continue;
         // A src WRITE strictly before any dst access, or a src READ
         // strictly before a dst WRITE, realizes the dependence.
-        bool Hit = (SrcH.hasW() && SrcH.MinW < DstH.maxAny()) ||
-                   (SrcH.hasR() && DstH.hasW() && SrcH.MinR < DstH.MaxW);
-        if (Hit) {
+        bool WriteHit = SrcH.hasW() && SrcH.MinW < DstH.maxAny();
+        bool ReadHit = SrcH.hasR() && DstH.hasW() && SrcH.MinR < DstH.MaxW;
+        if (WriteHit || ReadHit) {
+          Last = ViolationInfo();
+          Last.K = ViolationInfo::Kind::Conflict;
+          Last.SrcW = SrcW;
+          Last.DstW = DstW;
+          Last.Obj = Loc.first;
+          Last.Off = Loc.second;
+          Last.SrcIter = WriteHit ? SrcH.MinW : SrcH.MinR;
+          Last.DstIter = WriteHit ? DstH.maxAny() : DstH.MaxW;
+          Last.Desc = describe(Loc, SrcW, DstW);
           if (Violation)
-            *Violation = describe(Loc, SrcW, DstW);
+            *Violation = Last.Desc;
           return false;
         }
       }
@@ -115,6 +134,7 @@ bool SpecValidator::checkAndAdd(const SpecAccessLog &Log,
                                 std::string *Violation) {
   // Check first, insert after: accesses within one iteration never violate
   // (assumptions are strictly cross-iteration, delta >= 1).
+  Entries += Log.size();
   bool OK = true;
   for (const SpecAccessRec &R : Log) {
     auto LIt = Table.find({R.Obj, R.Off});
@@ -124,12 +144,23 @@ bool SpecValidator::checkAndAdd(const SpecAccessLog &Log,
       // Previously-merged iterations are all earlier than R.Iter except
       // entries from R's own iteration added by an earlier checkAndAdd of
       // the same iteration — the strict < comparisons exclude those.
-      bool SrcToR = Pairs.count({W, R.Watch}) &&
-                    ((H.hasW() && H.MinW < R.Iter) ||
-                     (R.IsWrite && H.hasR() && H.MinR < R.Iter));
+      bool WriteHit = H.hasW() && H.MinW < R.Iter;
+      bool ReadHit = R.IsWrite && H.hasR() && H.MinR < R.Iter;
+      bool SrcToR = Pairs.count({W, R.Watch}) && (WriteHit || ReadHit);
       if (SrcToR) {
-        if (Violation && OK)
-          *Violation = describe({R.Obj, R.Off}, W, R.Watch);
+        if (OK) {
+          Last = ViolationInfo();
+          Last.K = ViolationInfo::Kind::Conflict;
+          Last.SrcW = W;
+          Last.DstW = R.Watch;
+          Last.Obj = R.Obj;
+          Last.Off = R.Off;
+          Last.SrcIter = WriteHit ? H.MinW : H.MinR;
+          Last.DstIter = R.Iter;
+          Last.Desc = describe({R.Obj, R.Off}, W, R.Watch);
+          if (Violation)
+            *Violation = Last.Desc;
+        }
         OK = false;
       }
     }

@@ -50,6 +50,22 @@ namespace psc {
 
 class SpecValidator {
 public:
+  /// Structured description of the first detected violation — the flight
+  /// recorder's raw material (DESIGN.md §14). Filled alongside the string
+  /// form whenever validate()/checkAndAdd() report a failure.
+  struct ViolationInfo {
+    enum class Kind { None, Conflict, Value, Guard };
+    Kind K = Kind::None;
+    unsigned SrcW = 0, DstW = 0; ///< Conflict: violated pair's watches.
+    MemObject *Obj = nullptr;    ///< Conflict: conflicting object.
+    uint64_t Off = 0;            ///< Conflict: offset within the object.
+    long SrcIter = 0;            ///< Conflict: realizing source iteration.
+    long DstIter = 0;            ///< Conflict: realizing dest iteration.
+    unsigned Scalar = 0;         ///< Value/Guard: scalar or guard index.
+    long Iter = 0;               ///< Value/Guard: violating iteration.
+    std::string Desc;            ///< Same text as the string form.
+  };
+
   /// \p AssumedPairs are (src watch, dst watch) indices from the schedule's
   /// conflict-check table.
   explicit SpecValidator(
@@ -79,9 +95,15 @@ public:
 
   /// Batch: record a worker's whole log (no checking).
   void add(const SpecAccessLog &Log) {
+    Entries += Log.size();
     for (const SpecAccessRec &R : Log)
       insert(R);
   }
+
+  /// Watched access records this validator has consumed (add and
+  /// checkAndAdd alike) — the invocation's spec-log volume, surfaced in
+  /// LoopExecStat for resource accounting.
+  uint64_t entriesChecked() const { return Entries; }
 
   /// Batch: true when no obligation — conflict pair, value prediction, or
   /// guard — is violated by everything added.
@@ -91,6 +113,10 @@ public:
   /// previously-added iterations, then records it. Returns false on a
   /// violation. Logs must arrive in iteration order.
   bool checkAndAdd(const SpecAccessLog &Log, std::string *Violation = nullptr);
+
+  /// The first violation the last failing validate()/checkAndAdd()
+  /// detected (Kind::None while everything has validated).
+  const ViolationInfo &lastViolation() const { return Last; }
 
   /// The globally-last written value of value-watched scalar \p Pred
   /// (by iteration, then log order) — the sequential final value of a
@@ -140,6 +166,8 @@ private:
     }
     if (R.GWatch && !GuardHit) {
       GuardHit = true;
+      GuardW = R.GWatch - 1;
+      GuardIter = R.Iter;
       GuardDesc = "guarded cold access executed (guard " +
                   std::to_string(R.GWatch - 1) + ", iteration " +
                   std::to_string(R.Iter) + ")";
@@ -155,8 +183,12 @@ private:
   std::vector<ValueCheck> VChecks;
   std::map<unsigned, std::map<long, IterVal>> VTable;
   long Trip = 0;
+  uint64_t Entries = 0;
   bool GuardHit = false;
+  unsigned GuardW = 0;
+  long GuardIter = 0;
   std::string GuardDesc;
+  mutable ViolationInfo Last; ///< validate() is const but still reports.
 };
 
 } // namespace psc

@@ -17,6 +17,11 @@
 ///   op=session         one compile→plan→run session; see Server.h for
 ///                      the field set (source, mode, engine, budget, ...)
 ///   op=stats           service observability snapshot → {json:...}
+///   op=health          SLO-style health rollups (error rate, p99 vs.
+///                      target, cache hit-rate floors) → {json:...}
+///   op=forensics       the misspeculation flight recorder's resident
+///                      ring → {total, count, records:<one JSON record
+///                      per line, the pscc --misspec-out rendering>}
 ///   op=profile-merge   stream one training profile into the sharded
 ///                      store ({profile: <DepProfile JSON>})
 ///   op=shutdown        stop the server after responding

@@ -5,6 +5,7 @@
 #include "analysis/DepOracle.h"
 #include "emulator/Interpreter.h"
 #include "frontend/Frontend.h"
+#include "obs/Forensics.h"
 #include "obs/PlanDecision.h"
 #include "obs/Trace.h"
 #include "parallel/AbstractionView.h"
@@ -18,6 +19,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -41,6 +43,16 @@ AbstractionKind parseAbs(const std::string &S) {
 
 Message errorResponse(const std::string &Err) {
   return Message{{"ok", "0"}, {"error", Err}};
+}
+
+/// CPU time of the calling thread in ms — sampled at a stage task's entry
+/// and exit (same pool thread) for the health layer's per-stage cpu
+/// accounting.
+double threadCpuMs() {
+  timespec TS;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &TS) != 0)
+    return 0.0;
+  return TS.tv_sec * 1e3 + TS.tv_nsec / 1e6;
 }
 
 double percentile(std::vector<double> Sorted, double P) {
@@ -196,8 +208,29 @@ Message Server::handle(const Message &Req) {
     return Message{{"ok", "1"}, {"json", statsJson()}};
   if (Op == "metrics")
     return Message{{"ok", "1"}, {"text", metricsText()}};
-  if (Op == "session")
-    return handleSession(Req);
+  if (Op == "health")
+    return Message{{"ok", "1"}, {"json", healthJson()}};
+  if (Op == "forensics") {
+    // The misspeculation flight recorder's resident ring, rendered by
+    // the same canonical renderer pscc's --misspec-out artifact uses —
+    // record lines are byte-identical across the two surfaces.
+    std::vector<obs::MisspecRecord> Records = obs::misspecRecords();
+    std::string Lines;
+    for (const obs::MisspecRecord &R : Records)
+      Lines += obs::renderMisspecRecord(R) + "\n";
+    return Message{{"ok", "1"},
+                   {"total", std::to_string(obs::misspecTotal())},
+                   {"count", std::to_string(Records.size())},
+                   {"records", Lines}};
+  }
+  if (Op == "session") {
+    Message Resp = handleSession(Req);
+    // Error responses bypass recordSession; counting them here keeps the
+    // health op's error rate honest.
+    if (field(Resp, "ok") != "1")
+      FailedSessions.fetch_add(1, std::memory_order_relaxed);
+    return Resp;
+  }
   if (Op == "explain")
     return handleExplain(Req);
   if (Op == "profile-merge")
@@ -265,11 +298,12 @@ void Server::recordSession(double Ms) {
   }
 }
 
-void Server::recordStage(unsigned Stage, double Ms) {
+void Server::recordStage(unsigned Stage, double Ms, double CpuMs) {
   std::lock_guard<std::mutex> Lock(StatsMu);
   StageStat &S = Stages[Stage];
   ++S.Count;
   S.TotalMs += Ms;
+  S.TotalCpuMs += CpuMs;
   if (S.Ring.size() < RingCap) {
     S.Ring.push_back(Ms);
   } else {
@@ -306,8 +340,14 @@ Server::getModule(const std::string &Source, const std::string &Name,
   std::shared_ptr<const CachedModule> CM;
   uint64_t Key = sourceKey(Source, Name);
   Clock::time_point S1 = Clock::now();
+  double CpuMs = 0.0;
   onPool([&] {
     obs::TraceSpan Span("service.compile", "name=%s", Name.c_str());
+    double Cpu0 = threadCpuMs();
+    struct CpuGuard {
+      double &Out, Start;
+      ~CpuGuard() { Out = threadCpuMs() - Start; }
+    } Cpu{CpuMs, Cpu0};
     CM = Modules.lookup(Key);
     if (CM) {
       L1Hit = true;
@@ -344,7 +384,8 @@ Server::getModule(const std::string &Source, const std::string &Name,
   if (CM)
     recordStage(0,
                 std::chrono::duration<double, std::milli>(Clock::now() - S1)
-                    .count());
+                    .count(),
+                CpuMs);
   return CM;
 }
 
@@ -397,9 +438,15 @@ Message Server::handleSession(const Message &Req) {
       Snapshot = Profiles.snapshot();
     DepOracleConfig OracleCfg({}, Spec ? &Snapshot : nullptr);
     std::string PlanText;
+    double PlanCpuMs = 0.0;
     onPool([&] {
       obs::TraceSpan Span("service.plan", "name=%s spec=%d", Name.c_str(),
                           Spec ? 1 : 0);
+      double Cpu0 = threadCpuMs();
+      struct CpuGuard {
+        double &Out, Start;
+        ~CpuGuard() { Out = threadCpuMs() - Start; }
+      } Cpu{PlanCpuMs, Cpu0};
       for (const auto &F : CM->M->functions()) {
         if (F->isDeclaration())
           continue;
@@ -445,7 +492,8 @@ Message Server::handleSession(const Message &Req) {
     Resp["plans"] = PlanText;
     recordStage(1,
                 std::chrono::duration<double, std::milli>(Clock::now() - S2)
-                    .count());
+                    .count(),
+                PlanCpuMs);
   }
 
   // Stage 3 — run (run/full): fresh ExecState per session (Interpreter
@@ -459,9 +507,15 @@ Message Server::handleSession(const Message &Req) {
     uint64_t Lease = acquireBudget(Want);
     Clock::time_point S3 = Clock::now();
     RunResult R;
+    double RunCpuMs = 0.0;
     onPool([&] {
       obs::TraceSpan Span("service.run", "name=%s engine=%s", Name.c_str(),
                           EngineS.c_str());
+      double Cpu0 = threadCpuMs();
+      struct CpuGuard {
+        double &Out, Start;
+        ~CpuGuard() { Out = threadCpuMs() - Start; }
+      } Cpu{RunCpuMs, Cpu0};
       Interpreter I(*CM->M);
       I.setEngine(Engine);
       if (Engine == ExecEngineKind::Bytecode)
@@ -471,7 +525,8 @@ Message Server::handleSession(const Message &Req) {
     });
     recordStage(2,
                 std::chrono::duration<double, std::milli>(Clock::now() - S3)
-                    .count());
+                    .count(),
+                RunCpuMs);
     releaseBudget(Lease);
     std::string Output;
     for (const std::string &Line : R.Output)
@@ -484,6 +539,15 @@ Message Server::handleSession(const Message &Req) {
   double Ms = std::chrono::duration<double, std::milli>(Clock::now() - T0)
                   .count();
   recordSession(Ms);
+  if (C.SlowSessionMs > 0 && Ms > C.SlowSessionMs) {
+    // The slow-session log: one stderr line per offender, with enough
+    // identity to find the matching per-session trace file.
+    SlowSessions.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "pscd: slow session name=%s mode=%s latency_ms=%.3f "
+                 "(threshold %.1f)\n",
+                 Name.c_str(), Mode.c_str(), Ms, C.SlowSessionMs);
+  }
   Resp["latency_ms"] = std::to_string(Ms);
 
   if (!C.TraceDir.empty()) {
@@ -632,6 +696,68 @@ std::string Server::statsJson() const {
   return J.str();
 }
 
+std::string Server::healthJson() const {
+  std::vector<double> Lat;
+  uint64_t Sessions;
+  StageStat StageSnap[3];
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Lat = LatencyRing;
+    Sessions = TotalSessions;
+    for (unsigned I = 0; I < 3; ++I)
+      StageSnap[I] = Stages[I];
+  }
+  std::sort(Lat.begin(), Lat.end());
+  double P99 = percentile(Lat, 0.99);
+  uint64_t Failed = FailedSessions.load(std::memory_order_relaxed);
+  uint64_t Slow = SlowSessions.load(std::memory_order_relaxed);
+  uint64_t All = Sessions + Failed;
+  double ErrorRate = All ? static_cast<double>(Failed) / All : 0.0;
+  CacheStats MC = Modules.stats(), XC = Memos.stats(), PC = Plans.stats();
+  uint64_t Dropped = obs::traceDroppedEvents();
+
+  // SLO grading. Latency and cache floors grade only with evidence (a
+  // session served / traffic on the level): an idle server is healthy.
+  bool ErrOk = ErrorRate <= C.MaxErrorRate;
+  bool P99Ok = Lat.empty() || P99 <= C.TargetP99Ms;
+  auto CacheOk = [&](const CacheStats &S) {
+    return S.Hits + S.Misses == 0 || S.hitRate() >= C.MinCacheHitRate;
+  };
+  bool CachesOk = CacheOk(MC) && CacheOk(XC) && CacheOk(PC);
+  bool Ok = ErrOk && P99Ok && CachesOk;
+
+  std::ostringstream J;
+  J.setf(std::ios::fixed);
+  J.precision(4);
+  J << "{\"ok\":" << (Ok ? "true" : "false")
+    << ",\"sessions\":" << Sessions << ",\"failed_sessions\":" << Failed
+    << ",\"error_rate\":" << ErrorRate << ",\"max_error_rate\":"
+    << C.MaxErrorRate << ",\"error_rate_ok\":" << (ErrOk ? "true" : "false")
+    << ",\"p99_ms\":" << P99 << ",\"target_p99_ms\":" << C.TargetP99Ms
+    << ",\"p99_ok\":" << (P99Ok ? "true" : "false")
+    << ",\"slow_sessions\":" << Slow << ",\"slow_threshold_ms\":"
+    << C.SlowSessionMs;
+  auto Cache = [&J](const char *Name, const CacheStats &S) {
+    J << ",\"" << Name << "_hit_rate\":" << S.hitRate();
+  };
+  Cache("module_cache", MC);
+  Cache("memo_cache", XC);
+  Cache("plan_cache", PC);
+  J << ",\"min_cache_hit_rate\":" << C.MinCacheHitRate
+    << ",\"caches_ok\":" << (CachesOk ? "true" : "false");
+  // Per-stage resource accounting: wall and cpu time per stage. The run
+  // stage is the sequential service interpreter, so overlay / spec-log
+  // footprints are zero here; they are accounted per loop in
+  // LoopExecStat when the parallel engine executes in-process.
+  for (unsigned I = 0; I < 3; ++I)
+    J << ",\"stage_" << StageNames[I] << "_ms\":" << StageSnap[I].TotalMs
+      << ",\"stage_" << StageNames[I] << "_cpu_ms\":"
+      << StageSnap[I].TotalCpuMs;
+  J << ",\"trace_dropped_events\":" << Dropped
+    << ",\"misspec_records\":" << obs::misspecTotal() << "}";
+  return J.str();
+}
+
 std::string Server::metricsText() const {
   // Export the cheap internal stat structs into the registry, then
   // render. counter().set() makes every export idempotent — repeated
@@ -654,6 +780,22 @@ std::string Server::metricsText() const {
       .counter("pscd_budget_denials_total", "",
                "Run-stage budget leases that had to wait for capacity")
       .set(BudgetDenials.load());
+  Registry
+      .counter("pscd_sessions_failed_total", "",
+               "Sessions that returned an error response")
+      .set(FailedSessions.load());
+  Registry
+      .counter("pscd_slow_sessions_total", "",
+               "Sessions over the configured slow threshold")
+      .set(SlowSessions.load());
+  Registry
+      .counter("trace_dropped_events_total", "",
+               "Trace events lost to per-thread ring overflow")
+      .set(obs::traceDroppedEvents());
+  Registry
+      .counter("pscd_misspec_records_total", "",
+               "Misspeculation flight-recorder records captured")
+      .set(obs::misspecTotal());
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
     Registry.counter("pscd_sessions_total", "", "Sessions served")
@@ -668,6 +810,10 @@ std::string Server::metricsText() const {
           .counter("pscd_stage_ms_total", L,
                    "Cumulative stage latency in ms, by stage")
           .set(static_cast<uint64_t>(Stages[I].TotalMs));
+      Registry
+          .counter("pscd_stage_cpu_ms_total", L,
+                   "Cumulative stage thread cpu time in ms, by stage")
+          .set(static_cast<uint64_t>(Stages[I].TotalCpuMs));
     }
   }
   struct {

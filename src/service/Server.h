@@ -82,6 +82,18 @@ struct ServerConfig {
   /// session's events are written to `<TraceDir>/session-<id>.json`
   /// (the session's time window; see DESIGN.md §13).
   std::string TraceDir;
+
+  // --- Health layer (DESIGN.md §14) -------------------------------------
+  /// >0: sessions slower than this are counted and logged to stderr (the
+  /// slow-session log). 0 disables the log but never the counting SLOs.
+  double SlowSessionMs = 0.0;
+  /// SLO: the p99 session latency the `health` op grades against.
+  double TargetP99Ms = 250.0;
+  /// SLO: minimum acceptable hit rate for each warm cache level (graded
+  /// only once a level has traffic; 0 accepts everything).
+  double MinCacheHitRate = 0.0;
+  /// SLO: maximum acceptable session error rate (errors / all sessions).
+  double MaxErrorRate = 0.05;
 };
 
 class Server {
@@ -109,6 +121,12 @@ public:
 
   /// The observability snapshot (the `stats` request's json field).
   std::string statsJson() const;
+
+  /// SLO-style health rollups (the `health` op's json field): session
+  /// error rate, p99 latency vs. target, cache hit-rate floors, per-stage
+  /// cpu time, slow-session and dropped-trace-event counts — each graded
+  /// pass/fail plus an overall verdict.
+  std::string healthJson() const;
 
   /// Prometheus text exposition (the `metrics` request's text field and
   /// `pscd --metrics-out`): the cache / stage / oracle / budget counters
@@ -143,9 +161,10 @@ private:
   void releaseBudget(uint64_t Lease);
   void recordSession(double Ms);
 
-  /// Per-stage latency accounting (compile/plan/run), for the stats op's
-  /// stage breakdown. \p Stage indexes StageNames.
-  void recordStage(unsigned Stage, double Ms);
+  /// Per-stage latency + cpu-time accounting (compile/plan/run), for the
+  /// stats op's stage breakdown and the health op's cpu rollup. \p Stage
+  /// indexes StageNames; \p CpuMs is the stage task's thread cpu time.
+  void recordStage(unsigned Stage, double Ms, double CpuMs = 0.0);
 
   ServerConfig C;
   int ListenFd = -1;
@@ -180,6 +199,7 @@ private:
   struct StageStat {
     uint64_t Count = 0;
     double TotalMs = 0.0;
+    double TotalCpuMs = 0.0; ///< Thread cpu time of the stage tasks.
     /// Last RingCap latencies of this stage, for the stats op's
     /// per-stage p50/p90/p99 (same ring discipline as LatencyRing).
     std::vector<double> Ring;
@@ -193,6 +213,11 @@ private:
   /// Budget leases that found the pool short on first look (the session
   /// then blocks until capacity frees — this counts the contention).
   std::atomic<uint64_t> BudgetDenials{0};
+
+  /// Health accounting: sessions that returned an error response (they
+  /// never reach recordSession) and sessions over the slow threshold.
+  std::atomic<uint64_t> FailedSessions{0};
+  std::atomic<uint64_t> SlowSessions{0};
 
   /// Per-oracle query totals accumulated from every plan-stage stack
   /// (bundle builds and speculative sessions alike), under OracleMu.

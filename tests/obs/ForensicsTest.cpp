@@ -1,0 +1,163 @@
+//===- ForensicsTest.cpp - misspeculation flight recorder -----------------===//
+///
+/// The flight recorder (obs/Forensics.h): a real forced-misspeculation
+/// run captures a fully attributed record — plan identity, the violated
+/// assumption with oracle provenance, the conflicting access pair, the
+/// watch-set snapshot, the rollback cost — with no raw pointers, so the
+/// canonical renderer is deterministic; the ring keeps the newest
+/// kMisspecRingCap records while the total stays honest; and the
+/// --misspec-out artifact envelope embeds exactly the canonical record
+/// lines the pscd forensics op serves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "obs/Forensics.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+using namespace psc::obs;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+std::string adversarialUA() {
+  std::string S = findWorkload("UA")->Source;
+  size_t Pos = S.find("i * 167 + 3");
+  EXPECT_NE(Pos, std::string::npos);
+  S.replace(Pos, 11, "i * 166 + 3");
+  return S;
+}
+
+/// Forces at least one misspeculation and returns the resident records.
+std::vector<MisspecRecord> forceMisspec() {
+  misspecClear();
+  auto Clean = compile(findWorkload("UA")->Source);
+  auto Adv = compile(adversarialUA());
+  EXPECT_NE(Clean, nullptr);
+  EXPECT_NE(Adv, nullptr);
+  if (!Clean || !Adv)
+    return {};
+  DepProfile P = train(*Clean);
+  RuntimePlan Plan =
+      buildRuntimePlan(*Adv, AbstractionKind::PSPDG, 8, FeatureSet(),
+                       DepOracleConfig({}, &P));
+  ParallelRuntime RT(*Adv, Plan, ExecEngineKind::Bytecode);
+  ParallelRunResult R = RT.run();
+  EXPECT_TRUE(R.Error.empty()) << R.Error;
+  return misspecRecords();
+}
+
+} // namespace
+
+TEST(ForensicsTest, ForcedMisspecCapturesAttributedRecord) {
+  std::vector<MisspecRecord> Records = forceMisspec();
+  ASSERT_GE(Records.size(), 1u);
+  EXPECT_EQ(misspecTotal(), Records.size());
+
+  const MisspecRecord &R = Records.front();
+  // Plan identity.
+  EXPECT_EQ(R.Fn, "main");
+  EXPECT_FALSE(R.Kind.empty());
+  EXPECT_EQ(R.Abstraction, "PS-PDG");
+  EXPECT_EQ(R.Threads, 8u);
+  EXPECT_GT(R.Header, 0u);
+  // The violation: an assumed-absent dependence that manifested, with
+  // the conflicting pair resolved to a named object (never a pointer).
+  EXPECT_EQ(R.ViolationKind, "conflict");
+  EXPECT_EQ(R.Description.rfind("assumed-absent dependence manifested", 0),
+            0u)
+      << R.Description;
+  EXPECT_FALSE(R.Object.empty());
+  EXPECT_NE(R.Object, "<unnamed>");
+  EXPECT_NE(R.Description.find("'" + R.Object + "'"), std::string::npos);
+  EXPECT_EQ(R.Description.find("0x"), std::string::npos)
+      << "records must not leak raw pointers: " << R.Description;
+  // Oracle provenance: the violated assumption names both endpoints in
+  // the profile's key space.
+  EXPECT_GE(R.AssumptionId, 0);
+  EXPECT_FALSE(R.AssumedSrc.empty());
+  EXPECT_FALSE(R.AssumedDst.empty());
+  // Watch-set snapshot and rollback cost.
+  EXPECT_FALSE(R.WatchSet.empty());
+  EXPECT_LT(R.SrcWatch, R.WatchSet.size());
+  EXPECT_LT(R.DstWatch, R.WatchSet.size());
+  for (const std::string &W : R.WatchSet)
+    EXPECT_FALSE(W.empty());
+  EXPECT_GT(R.LostInstructions, 0u);
+
+  // The canonical renderer is a pure function of the record.
+  std::string Line = renderMisspecRecord(R);
+  EXPECT_EQ(Line, renderMisspecRecord(R));
+  EXPECT_EQ(Line.rfind("{\"fn\":", 0), 0u) << Line;
+  EXPECT_NE(Line.find("\"violation\":{\"kind\":\"conflict\""),
+            std::string::npos)
+      << Line;
+  EXPECT_NE(Line.find("\"oracle\":\"profile\""), std::string::npos)
+      << "conflict records carry the assumption's oracle provenance";
+  EXPECT_NE(Line.find("\"lost_instructions\":"), std::string::npos);
+  EXPECT_EQ(Line.find('\n'), std::string::npos) << "one line per record";
+
+  misspecClear();
+  EXPECT_TRUE(misspecRecords().empty());
+  EXPECT_EQ(misspecTotal(), 0u);
+}
+
+TEST(ForensicsTest, RingKeepsNewestRecordsAndHonestTotal) {
+  misspecClear();
+  for (unsigned I = 0; I < kMisspecRingCap + 4; ++I) {
+    MisspecRecord R;
+    R.Fn = "f";
+    R.Header = I;
+    R.ViolationKind = "conflict";
+    misspecPush(std::move(R));
+  }
+  std::vector<MisspecRecord> Records = misspecRecords();
+  ASSERT_EQ(Records.size(), kMisspecRingCap);
+  EXPECT_EQ(misspecTotal(), kMisspecRingCap + 4);
+  // Oldest first, newest win: headers 4 .. cap+3.
+  EXPECT_EQ(Records.front().Header, 4u);
+  EXPECT_EQ(Records.back().Header,
+            static_cast<unsigned>(kMisspecRingCap + 3));
+  misspecClear();
+}
+
+TEST(ForensicsTest, ArtifactEnvelopeEmbedsCanonicalRecordLines) {
+  misspecClear();
+  for (unsigned I = 0; I < 2; ++I) {
+    MisspecRecord R;
+    R.Fn = "main";
+    R.Header = 10 + I;
+    R.Kind = "DOALL";
+    R.Abstraction = "pspdg";
+    R.ViolationKind = "conflict";
+    R.Object = "a";
+    R.LostInstructions = 100 + I;
+    misspecPush(std::move(R));
+  }
+  std::string Artifact = renderMisspecArtifact("pscc");
+  EXPECT_EQ(Artifact.rfind("{\"tool\":\"pscc\",\"version\":1,\"total\":2",
+                           0),
+            0u)
+      << Artifact;
+  // Each resident record appears byte-identically — the property that
+  // keeps the pscc artifact and the pscd forensics op comparable.
+  for (const MisspecRecord &R : misspecRecords())
+    EXPECT_NE(Artifact.find(renderMisspecRecord(R)), std::string::npos);
+  EXPECT_EQ(Artifact.back(), '\n');
+  misspecClear();
+}

@@ -1,0 +1,304 @@
+//===- InsightTest.cpp - psc-insight trace analytics ----------------------===//
+///
+/// The offline trace analyzer (obs/Insight.h, the library behind
+/// `psc-insight`):
+///
+///   * the critical-path / utilization / attribution math on a hand-built
+///     synthetic trace with known answers;
+///   * malformed and truncated trace JSON is rejected with a diagnostic,
+///     never a partial result;
+///   * end to end on a real forced-misspeculation run: the recorder's
+///     artifact round-trips through the parser, and the report puts the
+///     misspeculating loop on the critical path with its rollback cost —
+///     the acceptance criterion of DESIGN.md §14.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "obs/Insight.h"
+#include "obs/Trace.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace psc;
+using namespace psc::test;
+using namespace psc::obs;
+
+namespace {
+
+constexpr uint64_t Ms = 1'000'000; // ns per millisecond
+
+InsightEvent span(const char *Name, unsigned Tid, uint64_t StartNs,
+                  uint64_t DurNs, const char *Detail = "") {
+  InsightEvent E;
+  E.Name = Name;
+  E.Detail = Detail;
+  E.Tid = Tid;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  return E;
+}
+
+InsightEvent instant(const char *Name, unsigned Tid, uint64_t StartNs,
+                     const char *Detail = "") {
+  InsightEvent E = span(Name, Tid, StartNs, 0, Detail);
+  E.Instant = true;
+  return E;
+}
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+/// UA with a non-coprime map multiplier: structurally identical to clean
+/// UA, so the clean profile applies — and is violated at run time.
+std::string adversarialUA() {
+  std::string S = findWorkload("UA")->Source;
+  size_t Pos = S.find("i * 167 + 3");
+  EXPECT_NE(Pos, std::string::npos);
+  S.replace(Pos, 11, "i * 166 + 3");
+  return S;
+}
+
+} // namespace
+
+TEST(InsightTest, SyntheticCriticalPathUtilizationAndAttribution) {
+  // A 100ms run: an 80ms speculative DOALL invocation fanning out two
+  // chunks (40ms and 20ms) to workers, misspeculating at t=50ms.
+  InsightTrace T;
+  T.Meta.push_back({"mode", "synthetic"});
+  T.Meta.push_back({"dropped_events", "7"});
+  T.Events.push_back(span("run", 0, 0, 100 * Ms));
+  T.Events.push_back(span("loop.invoke", 0, 10 * Ms, 80 * Ms,
+                          "fn=main header=5 kind=DOALL spec"));
+  T.Events.push_back(span("specdoall.chunk", 1, 10 * Ms, 40 * Ms));
+  T.Events.push_back(span("specdoall.chunk", 2, 10 * Ms, 20 * Ms));
+  T.Events.push_back(instant("spec.misspec", 0, 50 * Ms, "header=5"));
+  T.Events.push_back(
+      instant("spec.rollback", 0, 55 * Ms, "fn=main header=5 lost=1234"));
+  T.Events.push_back(instant("plan.burned", 0, 56 * Ms, "fn=main header=5"));
+
+  InsightReport R = analyzeTrace(T, "synthetic");
+  EXPECT_EQ(R.NumEvents, 7u);
+  EXPECT_EQ(R.DroppedEvents, 7u);
+  EXPECT_DOUBLE_EQ(R.WindowMs, 100.0);
+
+  // Stage breakdown: one run span with the invocation as its child.
+  ASSERT_EQ(R.Stages.size(), 1u);
+  EXPECT_EQ(R.Stages[0].Name, "run");
+  EXPECT_DOUBLE_EQ(R.Stages[0].Ms, 100.0);
+  ASSERT_EQ(R.Stages[0].Children.size(), 1u);
+  EXPECT_EQ(R.Stages[0].Children[0].Name, "loop.invoke");
+  EXPECT_DOUBLE_EQ(R.Stages[0].Children[0].Ms, 80.0);
+
+  // Utilization: only the worker threads count; tid1 runs chunks for
+  // 40/100ms, tid2 for 20/100ms, overall (40+20)/(2*100).
+  ASSERT_EQ(R.Utilization.size(), 2u);
+  EXPECT_EQ(R.Utilization[0].Tid, 1u);
+  EXPECT_DOUBLE_EQ(R.Utilization[0].BusyMs, 40.0);
+  EXPECT_DOUBLE_EQ(R.Utilization[0].Pct, 40.0);
+  EXPECT_EQ(R.Utilization[1].Tid, 2u);
+  EXPECT_DOUBLE_EQ(R.Utilization[1].BusyMs, 20.0);
+  EXPECT_DOUBLE_EQ(R.OverallUtilPct, 30.0);
+
+  // Critical path: run -> loop.invoke -> the 40ms chunk (cross-thread
+  // attached), each with self time = duration minus attached children.
+  ASSERT_EQ(R.CriticalPath.size(), 3u);
+  EXPECT_EQ(R.CriticalPath[0].Name, "run");
+  EXPECT_DOUBLE_EQ(R.CriticalPath[0].SelfMs, 20.0); // 100 - 80
+  EXPECT_EQ(R.CriticalPath[1].Name, "loop.invoke");
+  EXPECT_EQ(R.CriticalPath[1].Depth, 1u);
+  EXPECT_DOUBLE_EQ(R.CriticalPath[1].Ms, 80.0);
+  EXPECT_DOUBLE_EQ(R.CriticalPath[1].SelfMs, 20.0); // 80 - (40 + 20)
+  EXPECT_TRUE(R.CriticalPath[1].Misspec)
+      << "the misspec instant falls inside the invocation";
+  EXPECT_EQ(R.CriticalPath[2].Name, "specdoall.chunk");
+  EXPECT_EQ(R.CriticalPath[2].Tid, 1u);
+  EXPECT_DOUBLE_EQ(R.CriticalPath[2].Ms, 40.0);
+
+  // Per-loop attribution with the chunk-imbalance figure:
+  // 100 * (40 - 30) / 40 for the (40, 20) chunk pair.
+  ASSERT_EQ(R.Loops.size(), 1u);
+  const LoopInsight &L = R.Loops[0];
+  EXPECT_EQ(L.Fn, "main");
+  EXPECT_EQ(L.Header, 5u);
+  EXPECT_EQ(L.Kind, "DOALL");
+  EXPECT_TRUE(L.Spec);
+  EXPECT_EQ(L.Invocations, 1u);
+  EXPECT_DOUBLE_EQ(L.TotalMs, 80.0);
+  EXPECT_EQ(L.Chunks, 2u);
+  EXPECT_DOUBLE_EQ(L.ChunkImbalancePct, 25.0);
+  EXPECT_EQ(L.Misspecs, 1u);
+  EXPECT_EQ(L.Rollbacks, 1u);
+  EXPECT_EQ(L.LostInstructions, 1234u);
+  EXPECT_TRUE(L.Burned);
+
+  // Speculation efficiency rollup.
+  EXPECT_EQ(R.Spec.SpecInvocations, 1u);
+  EXPECT_EQ(R.Spec.Misspecs, 1u);
+  EXPECT_EQ(R.Spec.Rollbacks, 1u);
+  EXPECT_EQ(R.Spec.LostInstructions, 1234u);
+  EXPECT_EQ(R.Spec.BurnedPlans, 1u);
+  EXPECT_DOUBLE_EQ(R.Spec.misspecRate(), 1.0);
+}
+
+TEST(InsightTest, GateWaitsSubtractFromUtilizationAndAttributeToLoop) {
+  InsightTrace T;
+  T.Events.push_back(
+      span("loop.invoke", 0, 0, 100 * Ms, "fn=main header=7 kind=HELIX"));
+  T.Events.push_back(span("helix.worker", 1, 0, 100 * Ms));
+  T.Events.push_back(span("helix.gate_wait", 1, 10 * Ms, 30 * Ms));
+
+  InsightReport R = analyzeTrace(T, "waits");
+  ASSERT_EQ(R.Utilization.size(), 1u);
+  EXPECT_DOUBLE_EQ(R.Utilization[0].BusyMs, 70.0);
+  EXPECT_DOUBLE_EQ(R.Utilization[0].WaitMs, 30.0);
+  EXPECT_DOUBLE_EQ(R.Utilization[0].Pct, 70.0);
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_DOUBLE_EQ(R.Loops[0].GateWaitMs, 30.0);
+  EXPECT_DOUBLE_EQ(R.Loops[0].TokenWaitMs, 0.0);
+  // The timeline integrates to the overall busy fraction.
+  ASSERT_FALSE(R.Timeline.empty());
+  double Sum = 0;
+  for (double B : R.Timeline)
+    Sum += B;
+  EXPECT_NEAR(Sum / R.Timeline.size(), 0.70, 1e-9);
+}
+
+TEST(InsightTest, CacheInstantsAggregatePerLevel) {
+  InsightTrace T;
+  T.Events.push_back(instant("cache.hit", 0, 1 * Ms, "cache=module"));
+  T.Events.push_back(instant("cache.hit", 0, 2 * Ms, "cache=module"));
+  T.Events.push_back(instant("cache.miss", 0, 3 * Ms, "cache=module"));
+  T.Events.push_back(instant("cache.miss", 0, 4 * Ms, "cache=plan"));
+  T.Events.push_back(instant("cache.evict", 0, 5 * Ms, "cache=plan"));
+
+  InsightReport R = analyzeTrace(T, "caches");
+  ASSERT_EQ(R.Caches.size(), 2u);
+  const CacheInsight *Module = nullptr, *Plan = nullptr;
+  for (const CacheInsight &C : R.Caches)
+    (C.Name == "module" ? Module : Plan) = &C;
+  ASSERT_NE(Module, nullptr);
+  ASSERT_NE(Plan, nullptr);
+  EXPECT_EQ(Module->Hits, 2u);
+  EXPECT_EQ(Module->Misses, 1u);
+  EXPECT_NEAR(Module->hitRate(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(Plan->Misses, 1u);
+  EXPECT_EQ(Plan->Evictions, 1u);
+}
+
+TEST(InsightTest, MalformedTracesAreRejectedWithDiagnostics) {
+  const char *Valid =
+      "{\"traceEvents\":[{\"name\":\"run\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":0,\"ts\":0,\"dur\":5}],\"displayTimeUnit\":\"ms\"}";
+  InsightTrace T;
+  std::string Err;
+  ASSERT_TRUE(parseTraceJson(Valid, T, Err)) << Err;
+  ASSERT_EQ(T.Events.size(), 1u);
+  EXPECT_EQ(T.Events[0].Name, "run");
+  EXPECT_EQ(T.Events[0].DurNs, 5000u); // µs on the wire, ns parsed
+
+  const char *Bad[] = {
+      "",                                   // empty
+      "not json",                           // not JSON at all
+      "{\"traceEvents\":",                  // truncated mid-document
+      "{}",                                 // missing traceEvents
+      "{\"traceEvents\":[{\"ph\":\"X\"}]}", // event missing name/tid/ts
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"tid\":0,"
+      "\"ts\":0}]}",                        // "X" span without dur
+      "{\"traceEvents\":[]} trailing",      // trailing garbage
+  };
+  for (const char *Text : Bad) {
+    InsightTrace Out;
+    Err.clear();
+    EXPECT_FALSE(parseTraceJson(Text, Out, Err)) << Text;
+    EXPECT_FALSE(Err.empty()) << Text;
+  }
+
+  // Truncating the valid document anywhere must fail, not half-parse.
+  std::string V(Valid);
+  for (size_t Cut : {V.size() - 1, V.size() / 2, size_t(10)}) {
+    InsightTrace Out;
+    Err.clear();
+    EXPECT_FALSE(parseTraceJson(V.substr(0, Cut), Out, Err)) << Cut;
+    EXPECT_FALSE(Err.empty()) << Cut;
+  }
+}
+
+TEST(InsightTest, ForcedMisspecTraceRoundTripsWithRollbackCostOnPath) {
+  auto Clean = compile(findWorkload("UA")->Source);
+  auto Adv = compile(adversarialUA());
+  ASSERT_NE(Clean, nullptr);
+  ASSERT_NE(Adv, nullptr);
+  DepProfile P = train(*Clean);
+  RuntimePlan Plan =
+      buildRuntimePlan(*Adv, AbstractionKind::PSPDG, 8, FeatureSet(),
+                       DepOracleConfig({}, &P));
+
+  obs::traceEnable();
+  ParallelRuntime RT(*Adv, Plan, ExecEngineKind::Bytecode);
+  ParallelRunResult Run = RT.run();
+  obs::traceDisable();
+  ASSERT_TRUE(Run.Error.empty()) << Run.Error;
+
+  std::string Path =
+      "/tmp/psc-insight-test-" + std::to_string(::getpid()) + ".json";
+  std::string Err;
+  ASSERT_TRUE(obs::traceWrite(Path, {{"mode", "test"}}, Err)) << Err;
+
+  InsightTrace T;
+  ASSERT_TRUE(parseTraceFile(Path, T, Err)) << Err;
+  std::remove(Path.c_str());
+  ASSERT_FALSE(T.Events.empty());
+
+  InsightReport R = analyzeTrace(T, Path);
+  // The writer's metadata round-trips (including the overflow counter).
+  bool SawMode = false, SawDropped = false;
+  for (const auto &[K, V] : R.Meta) {
+    SawMode |= K == "mode" && V == "test";
+    SawDropped |= K == "dropped_events";
+  }
+  EXPECT_TRUE(SawMode);
+  EXPECT_TRUE(SawDropped);
+
+  // The misspeculating loop: recorded, attributed, costed.
+  EXPECT_GE(R.Spec.Misspecs, 1u);
+  EXPECT_GE(R.Spec.Rollbacks, 1u);
+  EXPECT_GT(R.Spec.LostInstructions, 0u);
+  const LoopInsight *Bad = nullptr;
+  for (const LoopInsight &L : R.Loops)
+    if (L.Misspecs)
+      Bad = &L;
+  ASSERT_NE(Bad, nullptr);
+  EXPECT_GT(Bad->LostInstructions, 0u);
+  EXPECT_GE(Bad->Invocations, 1u);
+
+  // Acceptance criterion: the misspeculating invocation sits on the
+  // critical path, flagged.
+  bool OnPath = false;
+  for (const CriticalPathEntry &E : R.CriticalPath)
+    OnPath |= E.Name == "loop.invoke" && E.Misspec;
+  EXPECT_TRUE(OnPath)
+      << "the misspeculating loop.invoke must appear on the critical path";
+
+  // Both renderers carry the story.
+  std::string Human = renderInsightReport(R);
+  EXPECT_NE(Human.find("MISSPECULATED"), std::string::npos);
+  EXPECT_NE(Human.find("critical path"), std::string::npos);
+  std::string Json = renderInsightJson({R});
+  EXPECT_NE(Json.find("\"tool\":\"psc-insight\""), std::string::npos);
+  EXPECT_NE(Json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(Json.find("\"rollback_lost_instructions\""), std::string::npos);
+}

@@ -1,0 +1,104 @@
+//===- ResourceAccountingTest.cpp - per-loop speculation footprints -------===//
+///
+/// The health layer's per-loop resource accounting (DESIGN.md §14):
+/// speculative schedules report how many watched access records the
+/// validator consumed (SpecLogEntries) and the largest invocation's
+/// overlay footprint in bytes (PeakOverlayBytes); sound schedules carry
+/// no speculation machinery and report zero for both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "emulator/Interpreter.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::test;
+
+namespace {
+
+DepProfile train(const Module &M) {
+  ModuleAnalyses MA(M);
+  DepProfiler P(MA);
+  Interpreter I(M);
+  I.addObserver(&P);
+  EXPECT_TRUE(I.run().Completed);
+  return P.takeProfile();
+}
+
+} // namespace
+
+TEST(ResourceAccountingTest, SpeculativeLoopsReportLogAndOverlayFootprint) {
+  auto M = compile(findWorkload("UA")->Source);
+  ASSERT_NE(M, nullptr);
+  DepProfile P = train(*M);
+  RuntimePlan Plan =
+      buildRuntimePlan(*M, AbstractionKind::PSPDG, 4, FeatureSet(),
+                       DepOracleConfig({}, &P));
+  ParallelRuntime RT(*M, Plan, ExecEngineKind::Bytecode);
+  ParallelRunResult R = RT.run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+
+  bool SawSpec = false;
+  for (const LoopExecStat &L : R.Loops) {
+    if (!L.Speculative || !L.Invocations)
+      continue;
+    SawSpec = true;
+    // Every speculative invocation watches at least its assumed
+    // endpoints, so the validator consumed a non-empty log...
+    EXPECT_GT(L.SpecLogEntries, 0u) << "header " << L.Header;
+    // ...and the workers buffered their writes in a non-empty overlay.
+    EXPECT_GT(L.PeakOverlayBytes, 0u) << "header " << L.Header;
+  }
+  EXPECT_TRUE(SawSpec) << "UA under a trained profile must speculate";
+}
+
+TEST(ResourceAccountingTest, SoundSchedulesReportZeroFootprint) {
+  auto M = compile(findWorkload("EP")->Source);
+  ASSERT_NE(M, nullptr);
+  RuntimePlan Plan = buildRuntimePlan(*M, AbstractionKind::PSPDG, 4);
+  ParallelRuntime RT(*M, Plan, ExecEngineKind::Bytecode);
+  ParallelRunResult R = RT.run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  for (const LoopExecStat &L : R.Loops) {
+    if (L.Speculative)
+      continue;
+    EXPECT_EQ(L.SpecLogEntries, 0u) << "header " << L.Header;
+    EXPECT_EQ(L.PeakOverlayBytes, 0u) << "header " << L.Header;
+  }
+}
+
+TEST(ResourceAccountingTest, MisspeculatedInvocationsStillAccount) {
+  // The adversarial UA from the spec suite: the clean profile applies
+  // structurally and is violated at run time. The discarded speculative
+  // invocation's footprint must still be accounted — forensics cares
+  // most about exactly these invocations.
+  auto Clean = compile(findWorkload("UA")->Source);
+  ASSERT_NE(Clean, nullptr);
+  std::string Adv = findWorkload("UA")->Source;
+  size_t Pos = Adv.find("i * 167 + 3");
+  ASSERT_NE(Pos, std::string::npos);
+  Adv.replace(Pos, 11, "i * 166 + 3");
+  auto AdvM = compile(Adv);
+  ASSERT_NE(AdvM, nullptr);
+  DepProfile P = train(*Clean);
+  RuntimePlan Plan =
+      buildRuntimePlan(*AdvM, AbstractionKind::PSPDG, 8, FeatureSet(),
+                       DepOracleConfig({}, &P));
+  ParallelRuntime RT(*AdvM, Plan, ExecEngineKind::Bytecode);
+  ParallelRunResult R = RT.run();
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+
+  bool SawMisspec = false;
+  for (const LoopExecStat &L : R.Loops) {
+    if (!L.Misspeculations)
+      continue;
+    SawMisspec = true;
+    EXPECT_GT(L.SpecLogEntries, 0u) << "header " << L.Header;
+  }
+  EXPECT_TRUE(SawMisspec);
+}

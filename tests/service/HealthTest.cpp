@@ -1,0 +1,233 @@
+//===- HealthTest.cpp - pscd health layer and forensics op ----------------===//
+///
+/// The always-on health layer (DESIGN.md §14) through handle()
+/// in-process:
+///
+///   * the `health` op's SLO rollups — session/error accounting, p99
+///     grading against the target, cache hit-rate floors, per-stage
+///     cpu-time accounting — and the evidence rule: an idle server is
+///     healthy, floors grade only once a surface has traffic;
+///   * failed sessions count against the error rate and flip the overall
+///     verdict once the rate exceeds the configured maximum;
+///   * the slow-session log's counter;
+///   * the `forensics` op returns the resident flight-recorder ring
+///     byte-identical to the pscc --misspec-out artifact's record lines
+///     (the shared-renderer acceptance criterion).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "emulator/Interpreter.h"
+#include "frontend/Frontend.h"
+#include "obs/Forensics.h"
+#include "profiling/DepProfiler.h"
+#include "runtime/ParallelRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace psc;
+using namespace psc::service;
+
+namespace {
+
+const char *SimpleSrc = R"PSC(
+int a[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++) {
+    a[i] = i * i;
+  }
+  for (i = 0; i < 64; i++) {
+    s = s + a[i];
+  }
+  print(s);
+  return 0;
+}
+)PSC";
+
+Message sessionReq(const std::string &Source, const std::string &Mode) {
+  return Message{{"op", "session"},
+                 {"source", Source},
+                 {"name", "session"},
+                 {"mode", Mode}};
+}
+
+long healthLong(const std::string &J, const std::string &Key) {
+  std::string K = "\"" + Key + "\":";
+  size_t P = J.find(K);
+  return P == std::string::npos ? -1 : std::atol(J.c_str() + P + K.size());
+}
+
+double healthDouble(const std::string &J, const std::string &Key) {
+  std::string K = "\"" + Key + "\":";
+  size_t P = J.find(K);
+  return P == std::string::npos ? -1.0
+                                : std::atof(J.c_str() + P + K.size());
+}
+
+/// The "Key":true|false grade; -1 when absent.
+int healthBool(const std::string &J, const std::string &Key) {
+  std::string K = "\"" + Key + "\":";
+  size_t P = J.find(K);
+  if (P == std::string::npos)
+    return -1;
+  return J.compare(P + K.size(), 4, "true") == 0 ? 1 : 0;
+}
+
+std::string health(Server &S) {
+  Message R = S.handle({{"op", "health"}});
+  EXPECT_EQ(field(R, "ok"), "1");
+  return field(R, "json");
+}
+
+} // namespace
+
+TEST(HealthTest, IdleServerIsHealthy) {
+  Server S({});
+  std::string J = health(S);
+  // No sessions, no latency evidence, no cache traffic: every SLO
+  // passes vacuously.
+  EXPECT_EQ(healthLong(J, "sessions"), 0);
+  EXPECT_EQ(healthLong(J, "failed_sessions"), 0);
+  EXPECT_EQ(healthBool(J, "ok"), 1);
+  EXPECT_EQ(healthBool(J, "error_rate_ok"), 1);
+  EXPECT_EQ(healthBool(J, "p99_ok"), 1);
+  EXPECT_EQ(healthBool(J, "caches_ok"), 1);
+  EXPECT_EQ(healthLong(J, "slow_sessions"), 0);
+}
+
+TEST(HealthTest, SessionsAccrueLatencyAndCpuAccounting) {
+  Server S({});
+  ASSERT_EQ(field(S.handle(sessionReq(SimpleSrc, "full")), "ok"), "1");
+  ASSERT_EQ(field(S.handle(sessionReq(SimpleSrc, "full")), "ok"), "1");
+  std::string J = health(S);
+  EXPECT_EQ(healthLong(J, "sessions"), 2);
+  EXPECT_EQ(healthLong(J, "failed_sessions"), 0);
+  EXPECT_GT(healthDouble(J, "p99_ms"), 0.0);
+  // Per-stage resource accounting: a full session ran all three stages,
+  // and each stage's wall and cpu totals are recorded.
+  EXPECT_GT(healthDouble(J, "stage_compile_ms"), 0.0);
+  EXPECT_GT(healthDouble(J, "stage_plan_ms"), 0.0);
+  EXPECT_GT(healthDouble(J, "stage_run_ms"), 0.0);
+  EXPECT_GE(healthDouble(J, "stage_compile_cpu_ms"), 0.0);
+  EXPECT_GE(healthDouble(J, "stage_run_cpu_ms"), 0.0);
+  // The warm second session gave the module cache traffic; the floor is
+  // 0 by default, so caches still grade healthy.
+  EXPECT_GE(healthDouble(J, "module_cache_hit_rate"), 0.0);
+  EXPECT_EQ(healthBool(J, "caches_ok"), 1);
+  EXPECT_EQ(healthBool(J, "ok"), 1);
+}
+
+TEST(HealthTest, FailedSessionsFlipTheErrorRateGrade) {
+  Server S({});
+  Message Bad = S.handle(sessionReq("int main() { return undeclared; }",
+                                    "run"));
+  EXPECT_EQ(field(Bad, "ok"), "0");
+  std::string J = health(S);
+  EXPECT_EQ(healthLong(J, "failed_sessions"), 1);
+  // 1 failure / 1 session = 100% error rate, far over the 5% default.
+  EXPECT_NEAR(healthDouble(J, "error_rate"), 1.0, 1e-9);
+  EXPECT_EQ(healthBool(J, "error_rate_ok"), 0);
+  EXPECT_EQ(healthBool(J, "ok"), 0);
+
+  // A permissive ceiling accepts the same history.
+  ServerConfig C;
+  C.MaxErrorRate = 1.0;
+  Server S2(C);
+  S2.handle(sessionReq("int main() { return undeclared; }", "run"));
+  std::string J2 = health(S2);
+  EXPECT_EQ(healthBool(J2, "error_rate_ok"), 1);
+}
+
+TEST(HealthTest, TightP99TargetFlipsTheLatencyGrade) {
+  ServerConfig C;
+  C.TargetP99Ms = 1e-6; // nothing real finishes this fast
+  Server S(C);
+  ASSERT_EQ(field(S.handle(sessionReq(SimpleSrc, "run")), "ok"), "1");
+  std::string J = health(S);
+  EXPECT_EQ(healthBool(J, "p99_ok"), 0);
+  EXPECT_EQ(healthBool(J, "ok"), 0);
+  EXPECT_GT(healthDouble(J, "p99_ms"), healthDouble(J, "target_p99_ms"));
+}
+
+TEST(HealthTest, SlowSessionThresholdCountsSessions) {
+  ServerConfig C;
+  C.SlowSessionMs = 1e-6; // every real session is "slow"
+  Server S(C);
+  ASSERT_EQ(field(S.handle(sessionReq(SimpleSrc, "run")), "ok"), "1");
+  std::string J = health(S);
+  EXPECT_GE(healthLong(J, "slow_sessions"), 1);
+  EXPECT_NEAR(healthDouble(J, "slow_threshold_ms"), 0.0, 1e-3);
+  // Slowness is logged and counted, never graded: the verdict only
+  // tracks the SLOs.
+  EXPECT_EQ(healthBool(J, "ok"), 1);
+}
+
+TEST(HealthTest, ForensicsOpMatchesArtifactRecordsByteForByte) {
+  // Fill the process-wide ring through the real parallel engine: train
+  // on clean UA, run the adversarial variant against that profile.
+  obs::misspecClear();
+  std::string Adv = findWorkload("UA")->Source;
+  size_t Pos = Adv.find("i * 167 + 3");
+  ASSERT_NE(Pos, std::string::npos);
+  Adv.replace(Pos, 11, "i * 166 + 3");
+
+  CompileResult Clean = compileSource(findWorkload("UA")->Source, "ua");
+  CompileResult AdvR = compileSource(Adv, "ua_adv");
+  ASSERT_TRUE(Clean.ok());
+  ASSERT_TRUE(AdvR.ok());
+  ModuleAnalyses MA(*Clean.M);
+  DepProfiler Prof(MA);
+  Interpreter I(*Clean.M);
+  I.addObserver(&Prof);
+  ASSERT_TRUE(I.run().Completed);
+  DepProfile P = Prof.takeProfile();
+  RuntimePlan Plan =
+      buildRuntimePlan(*AdvR.M, AbstractionKind::PSPDG, 8, FeatureSet(),
+                       DepOracleConfig({}, &P));
+  ParallelRuntime RT(*AdvR.M, Plan, ExecEngineKind::Bytecode);
+  ASSERT_TRUE(RT.run().Error.empty());
+  std::vector<obs::MisspecRecord> Records = obs::misspecRecords();
+  ASSERT_GE(Records.size(), 1u);
+
+  Server S({});
+  Message R = S.handle({{"op", "forensics"}});
+  ASSERT_EQ(field(R, "ok"), "1");
+  EXPECT_EQ(field(R, "count"), std::to_string(Records.size()));
+  EXPECT_EQ(field(R, "total"), std::to_string(obs::misspecTotal()));
+
+  // Byte-identity: the op's record lines are exactly the canonical
+  // renderings pscc's --misspec-out artifact embeds.
+  std::string Expected;
+  for (const obs::MisspecRecord &Rec : Records)
+    Expected += obs::renderMisspecRecord(Rec) + "\n";
+  EXPECT_EQ(field(R, "records"), Expected);
+  std::string Artifact = obs::renderMisspecArtifact("pscc");
+  for (const obs::MisspecRecord &Rec : Records)
+    EXPECT_NE(Artifact.find(obs::renderMisspecRecord(Rec)),
+              std::string::npos)
+        << "artifact and op must share the canonical renderer";
+  obs::misspecClear();
+}
+
+TEST(HealthTest, HealthSurfacesForensicAndTraceCounters) {
+  obs::misspecClear();
+  obs::MisspecRecord Rec;
+  Rec.Fn = "main";
+  Rec.ViolationKind = "conflict";
+  obs::misspecPush(std::move(Rec));
+  Server S({});
+  std::string J = health(S);
+  EXPECT_EQ(healthLong(J, "misspec_records"), 1);
+  EXPECT_GE(healthLong(J, "trace_dropped_events"), 0);
+  // The same counters ride the Prometheus surface.
+  std::string Metrics = S.metricsText();
+  EXPECT_NE(Metrics.find("pscd_misspec_records_total"), std::string::npos);
+  EXPECT_NE(Metrics.find("trace_dropped_events_total"), std::string::npos);
+  EXPECT_NE(Metrics.find("pscd_sessions_failed_total"), std::string::npos);
+  EXPECT_NE(Metrics.find("pscd_slow_sessions_total"), std::string::npos);
+  obs::misspecClear();
+}

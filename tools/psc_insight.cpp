@@ -1,0 +1,118 @@
+//===- psc_insight.cpp - offline trace analytics ------------------*- C++ -*-===//
+///
+/// \file
+/// `psc-insight` ingests the Chrome-trace files this repo's recorder
+/// writes (`pscc --trace-out=FILE`, `pscd --trace-dir=DIR` session
+/// files) and prints, per trace: the stage wall-clock breakdown, a
+/// worker-utilization timeline, the critical path through the span
+/// graph, per-loop gate-wait / token-wait / chunk-imbalance
+/// attribution, speculation efficiency (misspec rate, rollback cost in
+/// lost instructions, burned plans), and L1/L2/L3 cache traffic.
+///
+///   psc_insight [--json] TRACE.json...
+///   psc_insight [--json] --trace-dir=DIR
+///
+///   --trace-dir=DIR   analyze every DIR/session-*.json (a pscd trace
+///                     directory), in session order
+///   --json            machine output:
+///                     {"tool":"psc-insight","version":1,"sessions":[...]}
+///
+/// Malformed or truncated traces are rejected with a diagnostic and a
+/// nonzero exit — never a partial report.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Insight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
+#include <string>
+#include <vector>
+
+using namespace psc::obs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: psc_insight [--json] TRACE.json...\n"
+                       "       psc_insight [--json] --trace-dir=DIR\n");
+  return 2;
+}
+
+/// DIR/session-*.json, sorted by name (session ids are zero-padded by
+/// the writer's sequence counter ordering either way for small counts).
+bool listSessionTraces(const std::string &Dir, std::vector<std::string> &Out,
+                       std::string &Err) {
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    Err = "cannot open trace directory '" + Dir + "'";
+    return false;
+  }
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("session-", 0) == 0 && Name.size() > 5 &&
+        Name.compare(Name.size() - 5, 5, ".json") == 0)
+      Out.push_back(Dir + "/" + Name);
+  }
+  closedir(D);
+  std::sort(Out.begin(), Out.end());
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::string TraceDir;
+  std::vector<std::string> Files;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--json")
+      Json = true;
+    else if (A.rfind("--trace-dir=", 0) == 0)
+      TraceDir = A.substr(12);
+    else if (A.rfind("--", 0) == 0)
+      return usage();
+    else
+      Files.push_back(A);
+  }
+  if (!TraceDir.empty()) {
+    std::string Err;
+    if (!listSessionTraces(TraceDir, Files, Err)) {
+      std::fprintf(stderr, "psc_insight: %s\n", Err.c_str());
+      return 1;
+    }
+    if (Files.empty()) {
+      std::fprintf(stderr, "psc_insight: no session-*.json traces in %s\n",
+                   TraceDir.c_str());
+      return 1;
+    }
+  }
+  if (Files.empty())
+    return usage();
+
+  std::vector<InsightReport> Reports;
+  for (const std::string &Path : Files) {
+    InsightTrace T;
+    std::string Err;
+    if (!parseTraceFile(Path, T, Err)) {
+      std::fprintf(stderr, "psc_insight: %s\n", Err.c_str());
+      return 1;
+    }
+    Reports.push_back(analyzeTrace(T, Path));
+  }
+
+  if (Json) {
+    std::string Out = renderInsightJson(Reports);
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+    return 0;
+  }
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    if (I)
+      std::printf("\n");
+    std::string Out = renderInsightReport(Reports[I]);
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+  }
+  return 0;
+}

@@ -70,6 +70,12 @@
 ///                          (compile/analysis/plan/run spans, per-worker
 ///                          chunk/gate/stage events, misspeculation and
 ///                          cache instants) and write the JSON to FILE
+///     --misspec-out=FILE   write the misspeculation flight recorder's
+///                          forensic records (violated assumption with
+///                          oracle provenance, conflicting access pair,
+///                          watch-set snapshot, plan identity, rollback
+///                          cost) as a .psc-misspec.json artifact; empty
+///                          runs still write the (empty) envelope
 ///     --explain[=LOOP]     per-loop plan-decision report: candidate
 ///                          schedules tried, the oracle whose verdict kept
 ///                          each blocking dependence, speculative
@@ -84,6 +90,7 @@
 #include "analysis/ValueSpec.h"
 #include "emulator/CriticalPath.h"
 #include "frontend/Frontend.h"
+#include "obs/Forensics.h"
 #include "obs/PlanDecision.h"
 #include "obs/Trace.h"
 #include "parallel/PlanEnumerator.h"
@@ -130,6 +137,7 @@ struct Options {
   bool Stats = false;        ///< --connect --stats: observability JSON.
   bool Shutdown = false;     ///< --connect --shutdown: stop the server.
   std::string TraceOut;      ///< --trace-out: Chrome-trace JSON file.
+  std::string MisspecOut;    ///< --misspec-out: flight-recorder artifact.
   bool Explain = false;      ///< --explain: plan-decision report.
   std::string ExplainLoop;   ///< --explain=loop: substring filter.
   ExecEngineKind Engine = ExecEngineKind::Bytecode;
@@ -204,6 +212,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Shutdown = true;
     else if (A.rfind("--trace-out=", 0) == 0)
       O.TraceOut = A.substr(12);
+    else if (A.rfind("--misspec-out=", 0) == 0)
+      O.MisspecOut = A.substr(14);
     else if (A.rfind("--explain", 0) == 0 &&
              (A.size() == 9 || A[9] == '=')) {
       O.Explain = true;
@@ -411,7 +421,8 @@ int main(int Argc, char **Argv) {
         "            [--profile-report] [--spec-feedback=file]\n"
         "            [--merge-profiles=out in1.json in2.json ...]\n"
         "            [--serve=sock | --connect=sock [--stats] [--shutdown]]\n"
-        "            [--trace-out=file] [--explain[=loop]]\n"
+        "            [--trace-out=file] [--misspec-out=file]\n"
+        "            [--explain[=loop]]\n"
         "            <file.psc | BT|CG|EP|FT|IS|LU|MG|SP|UA|RX>\n");
     return 2;
   }
@@ -431,6 +442,26 @@ int main(int Argc, char **Argv) {
   if (!O.TraceOut.empty()) {
     obs::traceEnable();
     Trace.Path = O.TraceOut;
+  }
+
+  // Flight-recorder artifact: written on every exit path, even with an
+  // empty ring — CI distinguishes "no misspeculation" from "no file".
+  struct MisspecGuard {
+    std::string Path;
+    ~MisspecGuard() {
+      if (Path.empty())
+        return;
+      std::ofstream Out(Path);
+      if (!Out) {
+        std::fprintf(stderr, "pscc: cannot write %s\n", Path.c_str());
+        return;
+      }
+      Out << obs::renderMisspecArtifact("pscc");
+    }
+  } Misspec;
+  if (!O.MisspecOut.empty()) {
+    obs::misspecClear();
+    Misspec.Path = O.MisspecOut;
   }
 
   // Resident-service server mode: pscd in-process.

@@ -18,6 +18,14 @@
 ///   --metrics-out=FILE   write the Prometheus metrics exposition to
 ///                        FILE at shutdown (the `metrics` op serves the
 ///                        same text live)
+///   --slow-ms=X          log (stderr) and count sessions slower than X
+///                        milliseconds (the slow-session log; 0 = off)
+///   --target-p99-ms=X    SLO: p99 session latency the `health` op
+///                        grades against (default 250)
+///   --min-cache-hit=X    SLO: minimum hit rate [0,1] each warm cache
+///                        level must sustain (default 0 = accept all)
+///   --max-error-rate=X   SLO: maximum session error rate [0,1]
+///                        (default 0.05)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,7 +54,9 @@ int usage() {
                "usage: pscd --socket=PATH [--threads=N] [--module-cache=N]\n"
                "            [--memo-cache=N] [--plan-cache=N] [--shards=N]\n"
                "            [--budget-pool=N] [--trace-dir=DIR]\n"
-               "            [--metrics-out=FILE]\n");
+               "            [--metrics-out=FILE] [--slow-ms=X]\n"
+               "            [--target-p99-ms=X] [--min-cache-hit=X]\n"
+               "            [--max-error-rate=X]\n");
   return 2;
 }
 
@@ -76,6 +86,14 @@ int main(int argc, char **argv) {
       C.ProfileShards = static_cast<unsigned>(std::atoi(Val(9).c_str()));
     else if (A.rfind("--budget-pool=", 0) == 0)
       C.BudgetPool = std::strtoull(Val(14).c_str(), nullptr, 10);
+    else if (A.rfind("--slow-ms=", 0) == 0)
+      C.SlowSessionMs = std::atof(Val(10).c_str());
+    else if (A.rfind("--target-p99-ms=", 0) == 0)
+      C.TargetP99Ms = std::atof(Val(16).c_str());
+    else if (A.rfind("--min-cache-hit=", 0) == 0)
+      C.MinCacheHitRate = std::atof(Val(16).c_str());
+    else if (A.rfind("--max-error-rate=", 0) == 0)
+      C.MaxErrorRate = std::atof(Val(17).c_str());
     else
       return usage();
   }
